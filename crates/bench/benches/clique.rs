@@ -1,0 +1,87 @@
+//! Maximal-clique enumeration micro-benchmarks: the three Bron–Kerbosch
+//! strategies on worst-case (Moon–Moser) graphs and on the paper's regime
+//! (near-complete graphs: everything compatible except a few injected
+//! contradictions).
+
+use bcdb_graph::{count_maximal_cliques, CliqueStrategy, UndirectedGraph};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// K_{3,3,…,3}: 3^(n/3) maximal cliques — the theoretical maximum.
+fn moon_moser(groups: usize) -> UndirectedGraph {
+    let n = groups * 3;
+    let mut g = UndirectedGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if u / 3 != v / 3 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// Complete graph on `n` nodes minus `conflicts` random edges — the shape
+/// of `GfTd` with few double spends.
+fn near_complete(n: usize, conflicts: usize, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut removed = std::collections::HashSet::new();
+    while removed.len() < conflicts {
+        let a = rng.random_range(0..n);
+        let b = rng.random_range(0..n);
+        if a != b {
+            removed.insert((a.min(b), a.max(b)));
+        }
+    }
+    let mut g = UndirectedGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if !removed.contains(&(u, v)) {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+fn bench_moon_moser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique/moon_moser");
+    group.sample_size(10);
+    for groups in [4usize, 5, 6] {
+        let g = moon_moser(groups);
+        for strategy in [
+            CliqueStrategy::Plain,
+            CliqueStrategy::Pivot,
+            CliqueStrategy::Degeneracy,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), groups * 3),
+                &g,
+                |b, g| b.iter(|| count_maximal_cliques(g, strategy)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_near_complete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("clique/near_complete");
+    group.sample_size(10);
+    // Conflict counts stay near 10: maximal cliques grow ~2^conflicts
+    // (the CoNP wall), and a bench iteration must stay sub-second.
+    for (n, conflicts) in [(100, 8), (200, 10), (400, 12)] {
+        let g = near_complete(n, conflicts, 7);
+        for strategy in [CliqueStrategy::Pivot, CliqueStrategy::Degeneracy] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{strategy:?}"), format!("n{n}_c{conflicts}")),
+                &g,
+                |b, g| b.iter(|| count_maximal_cliques(g, strategy)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_moon_moser, bench_near_complete);
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! End-to-end DCSat benchmarks and ablations of each optimization the
+//! paper (and this implementation) adds:
+//!
+//! * pre-check on/off (§6.3's monotone short-circuit);
+//! * covers on/off (`OptDCSat`'s constant pruning);
+//! * clique pivoting on/off;
+//! * parallel component checking on/off (extension).
+
+use bcdb_bench::datasets::load_dataset;
+use bcdb_bench::picker::ConstantPicker;
+use bcdb_bench::queries::{qp_text, qs_text, SAT_ADDRESS};
+use bcdb_chain::Dataset;
+use bcdb_core::{dcsat_with, Algorithm, DcSatOptions, Precomputed};
+use bcdb_graph::CliqueStrategy;
+use bcdb_query::parse_denial_constraint;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut d = load_dataset(Dataset::Small, 42);
+    let scenario = d.scenario.clone();
+    let picker = ConstantPicker::new(&scenario);
+    let (px, py) = picker.path_unsat(3).expect("constants");
+    let pre = Precomputed::build(&d.db);
+
+    let sat = parse_denial_constraint(
+        &qp_text(3, SAT_ADDRESS, SAT_ADDRESS),
+        d.db.database().catalog(),
+    )
+    .unwrap();
+    let unsat = parse_denial_constraint(&qp_text(3, &px, &py), d.db.database().catalog()).unwrap();
+
+    let mut group = c.benchmark_group("dcsat/qp3");
+    group.sample_size(10);
+    for (regime, dc) in [("satisfied", &sat), ("unsatisfied", &unsat)] {
+        for (name, algorithm) in [("naive", Algorithm::Naive), ("opt", Algorithm::Opt)] {
+            group.bench_function(format!("{name}/{regime}"), |b| {
+                b.iter(|| {
+                    dcsat_with(
+                        &mut d.db,
+                        &pre,
+                        dc,
+                        &DcSatOptions {
+                            algorithm,
+                            ..DcSatOptions::default()
+                        },
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut d = load_dataset(Dataset::Small, 42);
+    let scenario = d.scenario.clone();
+    let picker = ConstantPicker::new(&scenario);
+    let recv = picker.receiver_unsat().expect("constants");
+    let pre = Precomputed::build(&d.db);
+    let sat = parse_denial_constraint(&qs_text(SAT_ADDRESS), d.db.database().catalog()).unwrap();
+    let unsat = parse_denial_constraint(&qs_text(&recv), d.db.database().catalog()).unwrap();
+
+    let mut group = c.benchmark_group("dcsat/ablations");
+    group.sample_size(10);
+    let variants: [(&str, DcSatOptions); 5] = [
+        (
+            "opt/full",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt/no_precheck",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                use_precheck: false,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt/no_covers",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                use_precheck: false,
+                use_covers: false,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt/plain_bk",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                use_precheck: false,
+                clique_strategy: CliqueStrategy::Plain,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt/parallel",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                use_precheck: false,
+                parallel: true,
+                ..DcSatOptions::default()
+            },
+        ),
+    ];
+    for (name, options) in &variants {
+        for (regime, dc) in [("satisfied", &sat), ("unsatisfied", &unsat)] {
+            group.bench_function(format!("{name}/{regime}"), |b| {
+                b.iter(|| dcsat_with(&mut d.db, &pre, dc, options).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Query-evaluation micro-benchmarks: world-masked evaluation of the §7
+//! query families over base-only, single-transaction, and all-pending
+//! worlds.
+
+use bcdb_bench::datasets::load_dataset;
+use bcdb_bench::picker::ConstantPicker;
+use bcdb_bench::queries::{qp_text, qr_text, qs_text, SAT_ADDRESS};
+use bcdb_chain::Dataset;
+use bcdb_query::{evaluate_bool, parse_denial_constraint, prepare, DenialConstraint};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_families(c: &mut Criterion) {
+    let mut d = load_dataset(Dataset::Small, 42);
+    let picker_scenario = d.scenario.clone();
+    let picker = ConstantPicker::new(&picker_scenario);
+    let recv = picker.receiver_unsat().expect("pending receiver exists");
+    let (px, py) = picker.path_unsat(3).expect("path constants exist");
+
+    let cases = [
+        ("qs_absent", qs_text(SAT_ADDRESS)),
+        ("qs_present", qs_text(&recv)),
+        ("qp3_absent", qp_text(3, SAT_ADDRESS, SAT_ADDRESS)),
+        ("qp3_present", qp_text(3, &px, &py)),
+        ("qr3_absent", qr_text(3, SAT_ADDRESS)),
+    ];
+
+    let mut group = c.benchmark_group("query_eval");
+    group.sample_size(20);
+    for (name, text) in &cases {
+        let dc = parse_denial_constraint(text, d.db.database().catalog()).unwrap();
+        let DenialConstraint::Conjunctive(q) = dc else {
+            unreachable!()
+        };
+        let pq = prepare(d.db.database_mut(), &q);
+        let base = d.db.database().base_mask();
+        let all = d.db.database().all_mask();
+        group.bench_with_input(BenchmarkId::new(*name, "base"), &base, |b, m| {
+            b.iter(|| evaluate_bool(d.db.database(), &pq, m))
+        });
+        group.bench_with_input(BenchmarkId::new(*name, "all"), &all, |b, m| {
+            b.iter(|| evaluate_bool(d.db.database(), &pq, m))
+        });
+    }
+    group.finish();
+}
+
+fn bench_prepare(c: &mut Criterion) {
+    let mut d = load_dataset(Dataset::Small, 42);
+    let text = qp_text(4, SAT_ADDRESS, SAT_ADDRESS);
+    let dc = parse_denial_constraint(&text, d.db.database().catalog()).unwrap();
+    let DenialConstraint::Conjunctive(q) = dc else {
+        unreachable!()
+    };
+    // First preparation builds indexes; steady-state re-preparation is
+    // what this measures.
+    let _ = prepare(d.db.database_mut(), &q);
+    c.bench_function("query_eval/prepare_qp4", |b| {
+        b.iter(|| prepare(d.db.database_mut(), &q))
+    });
+}
+
+criterion_group!(benches, bench_families, bench_prepare);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Possible-world machinery micro-benchmarks: steady-state precomputation
+//! (§6.3), `getMaximal`, and Proposition-1 recognition.
+
+use bcdb_bench::datasets::load_dataset;
+use bcdb_chain::Dataset;
+use bcdb_core::{get_maximal, is_possible_world, Precomputed};
+use bcdb_storage::TxId;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_precompute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worlds/precompute");
+    group.sample_size(10);
+    for ds in [Dataset::Small, Dataset::D100] {
+        let d = load_dataset(ds, 42);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(d.name.clone()),
+            &d.db,
+            |b, db| b.iter(|| Precomputed::build(db)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_get_maximal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("worlds/get_maximal");
+    group.sample_size(10);
+    for ds in [Dataset::Small, Dataset::D100] {
+        let d = load_dataset(ds, 42);
+        let pre = Precomputed::build(&d.db);
+        let all: Vec<TxId> = d.db.tx_ids().collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}_{}txs", d.name, all.len())),
+            &(&d.db, &pre, &all),
+            |b, (db, pre, all)| b.iter(|| get_maximal(db, pre, all)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_incremental_maintenance(c: &mut Criterion) {
+    // Cost of absorbing one newly issued transaction: incremental update
+    // vs full rebuild (the §6.3 steady-state ablation).
+    let d = load_dataset(Dataset::Small, 42);
+    let mut group = c.benchmark_group("worlds/steady_state");
+    group.sample_size(10);
+    group.bench_function("rebuild_after_issue", |b| {
+        b.iter_batched(
+            || {
+                let mut db = d.db.clone();
+                let pre = Precomputed::build(&db);
+                let txout = db.database().catalog().resolve("TxOut").unwrap();
+                db.add_transaction(
+                    "new",
+                    [(txout, bcdb_storage::tuple!["fresh", 1i64, "pkZ", 5i64])],
+                )
+                .unwrap();
+                (db, pre)
+            },
+            |(db, _pre)| Precomputed::build(&db),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("incremental_after_issue", |b| {
+        b.iter_batched(
+            || {
+                let mut db = d.db.clone();
+                let pre = Precomputed::build(&db);
+                let txout = db.database().catalog().resolve("TxOut").unwrap();
+                let tx = db
+                    .add_transaction(
+                        "new",
+                        [(txout, bcdb_storage::tuple!["fresh", 1i64, "pkZ", 5i64])],
+                    )
+                    .unwrap();
+                (db, pre, tx)
+            },
+            |(db, mut pre, tx)| {
+                pre.note_transaction_added(&db, tx);
+                pre
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_recognition(c: &mut Criterion) {
+    let d = load_dataset(Dataset::Small, 42);
+    let pre = Precomputed::build(&d.db);
+    let all: Vec<TxId> = d.db.tx_ids().collect();
+    let world = get_maximal(&d.db, &pre, &all);
+    let members: Vec<TxId> = world.txs().collect();
+    c.bench_function("worlds/is_possible_world", |b| {
+        b.iter(|| is_possible_world(&d.db, &pre, &members))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_precompute,
+    bench_get_maximal,
+    bench_incremental_maintenance,
+    bench_recognition
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Dataset generation and loading into blockchain databases.
+
+use bcdb_chain::{
+    export, generate, Dataset, ExportCounts, RelationalExport, Scenario, ScenarioConfig,
+};
+use bcdb_core::BlockchainDb;
+
+/// A generated dataset loaded into a [`BlockchainDb`].
+pub struct LoadedDataset {
+    /// The dataset's display name.
+    pub name: String,
+    /// The loaded database (current state + pending transactions).
+    pub db: BlockchainDb,
+    /// Table 1 counts for the current state.
+    pub base_counts: ExportCounts,
+    /// Table 1 counts for the pending set.
+    pub pending_counts: ExportCounts,
+    /// The underlying simulated scenario (used by structural constant
+    /// pickers).
+    pub scenario: Scenario,
+}
+
+/// Loads a relational export into a fresh [`BlockchainDb`].
+pub fn load_export(e: &RelationalExport) -> BlockchainDb {
+    let mut db = BlockchainDb::new(e.catalog.clone(), e.constraints.clone());
+    for (rel, tuple) in &e.base {
+        db.insert_current(*rel, tuple.clone())
+            .expect("export is schema-consistent");
+    }
+    for (name, tuples) in &e.pending {
+        db.add_transaction(name.clone(), tuples.iter().cloned())
+            .expect("export is schema-consistent");
+    }
+    db
+}
+
+/// Generates and loads a preset dataset.
+pub fn load_dataset(ds: Dataset, seed: u64) -> LoadedDataset {
+    load_config(ds.name(), &ds.config(seed))
+}
+
+/// Generates and loads a custom configuration.
+pub fn load_config(name: &str, cfg: &ScenarioConfig) -> LoadedDataset {
+    let scenario = generate(cfg);
+    let e = export(&scenario).expect("generated scenarios always export");
+    LoadedDataset {
+        name: name.to_string(),
+        db: load_export(&e),
+        base_counts: e.base_counts,
+        pending_counts: e.pending_counts,
+        scenario,
+    }
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+
+//! Shared harness code for the experiment reproduction (`repro` binary)
+//! and the Criterion micro-benchmarks.
+
+pub mod datasets;
+pub mod picker;
+pub mod queries;
+pub mod report;
+
+pub use datasets::{load_dataset, load_export, LoadedDataset};
+pub use picker::ConstantPicker;
+pub use queries::{pick_unsat_constants, qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
+pub use report::{time_avg, Table};

@@ -1,0 +1,176 @@
+//! The paper's four denial-constraint families (§7) and constant selection.
+//!
+//! * `qs` — an address received bitcoins;
+//! * `qpᵢ` — a transfer path through `i-1` (output, input) hops;
+//! * `qrᵢ` — one address transferred to `i` distinct transactions (star);
+//! * `qaⁿ` — an address received at least `n` satoshis in total.
+//!
+//! Constants are chosen either so the underlying query is unsatisfiable
+//! over `R ∪ ⋃T` (the **satisfied**-constraint regime, where the monotone
+//! pre-check answers instantly) or by probing the data for values realised
+//! in some possible world (the **unsatisfied** regime, which forces world
+//! enumeration).
+
+use bcdb_core::BlockchainDb;
+use bcdb_query::{for_each_match, parse_denial_constraint, prepare, DenialConstraint, EvalOptions};
+use std::ops::ControlFlow;
+
+/// An address guaranteed absent from generated datasets (satisfied regime).
+pub const SAT_ADDRESS: &str = "pkNOSUCHADDRESS00";
+
+/// `qs() ← TxOut(ntx, s, X, a)`.
+pub fn qs_text(x: &str) -> String {
+    format!("q() <- TxOut(ntx, s, '{x}', a)")
+}
+
+/// `qpᵢ`: the paper's path constraint. Size `i ≥ 2` produces `i-1`
+/// (TxOut, TxIn) hops; `qp3` reproduces the paper's query verbatim
+/// (including the shared amount variable in the final hop).
+pub fn qp_text(i: usize, x: &str, y: &str) -> String {
+    assert!(i >= 2, "path queries start at size 2");
+    let hops = i - 1;
+    let mut atoms: Vec<String> = Vec::new();
+    for j in 1..=hops {
+        let owner = if j == 1 {
+            format!("'{x}'")
+        } else {
+            format!("pkout{j}")
+        };
+        let spender = if j == hops {
+            format!("'{y}'")
+        } else {
+            format!("pkin{j}")
+        };
+        // Final hop spends the amount named in its TxOut (paper's a3).
+        let (out_amt, in_amt) = if j == hops {
+            (format!("a{j}"), format!("a{j}"))
+        } else {
+            (format!("a{j}"), format!("b{j}"))
+        };
+        atoms.push(format!("TxOut(ntx{j}, s{j}, {owner}, {out_amt})"));
+        atoms.push(format!(
+            "TxIn(ntx{j}, s{j}, {spender}, {in_amt}, ntx{}, sig{j})",
+            j + 1
+        ));
+    }
+    format!("q() <- {}", atoms.join(", "))
+}
+
+/// `qrᵢ`: the star constraint — address `X` spends inputs into `i`
+/// pairwise-distinct new transactions, each of which has an output.
+pub fn qr_text(i: usize, x: &str) -> String {
+    assert!(i >= 2, "star queries start at size 2");
+    let mut atoms = Vec::new();
+    for j in 1..=i {
+        atoms.push(format!("TxIn(pntx{j}, s{j}, '{x}', a{j}, ntx{j}, sig{j})"));
+        atoms.push(format!("TxOut(ntx{j}, os{j}, pk{j}, b{j})"));
+    }
+    let mut cmps = Vec::new();
+    for j in 1..=i {
+        for k in j + 1..=i {
+            cmps.push(format!("ntx{j} != ntx{k}"));
+        }
+    }
+    format!("q() <- {}, {}", atoms.join(", "), cmps.join(", "))
+}
+
+/// `qaⁿ`: aggregate constraint — address `X` received `≥ n` satoshis.
+pub fn qa_text(n: i64, x: &str) -> String {
+    format!("[q(sum(a)) <- TxOut(ntx, s, '{x}', a)] >= {n}")
+}
+
+/// Probes the dataset for constants that make a query family's underlying
+/// query satisfiable in some world reachable through pending transactions.
+///
+/// `probe` is the family's text with the constants replaced by the
+/// variables named in `wanted` (e.g. `xx`, `yy`); the first match over
+/// `R ∪ ⋃T` whose support includes at least one pending transaction
+/// provides the values. Returns `None` if the data offers no such match.
+pub fn pick_unsat_constants(
+    db: &mut BlockchainDb,
+    probe: &str,
+    wanted: &[&str],
+) -> Option<Vec<String>> {
+    let dc = parse_denial_constraint(probe, db.database().catalog())
+        .expect("probe queries are well-formed");
+    let DenialConstraint::Conjunctive(q) = dc else {
+        panic!("probe queries are conjunctive");
+    };
+    let var_idx: Vec<usize> = wanted
+        .iter()
+        .map(|name| {
+            q.var_names
+                .iter()
+                .position(|n| n == name)
+                .unwrap_or_else(|| panic!("probe lacks variable {name}"))
+        })
+        .collect();
+    let pq = prepare(db.database_mut(), &q);
+    let all = db.database().all_mask();
+    let mut found: Option<Vec<String>> = None;
+    for_each_match(db.database(), &pq, &all, EvalOptions::default(), |m| {
+        if m.sources.iter().any(|s| s.tx().is_some()) {
+            found = Some(
+                var_idx
+                    .iter()
+                    .map(|&i| {
+                        m.assignment[i]
+                            .as_text()
+                            .expect("address variables are text")
+                            .to_string()
+                    })
+                    .collect(),
+            );
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    found
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_chain::bitcoin_catalog;
+
+    #[test]
+    fn qp3_matches_paper_shape() {
+        let text = qp_text(3, "X", "Y");
+        let (cat, _) = bitcoin_catalog();
+        let dc = parse_denial_constraint(&text, &cat).unwrap();
+        let q = dc.body();
+        assert_eq!(q.positive.len(), 4); // TxOut, TxIn, TxOut, TxIn
+        assert!(bcdb_query::is_connected(q));
+        // Sizes 2..5 all parse and stay connected.
+        for i in 2..=5 {
+            let dc = parse_denial_constraint(&qp_text(i, "X", "Y"), &cat).unwrap();
+            assert_eq!(dc.body().positive.len(), 2 * (i - 1));
+            assert!(bcdb_query::is_connected(dc.body()));
+        }
+    }
+
+    #[test]
+    fn qr3_has_distinctness_comparisons() {
+        let (cat, _) = bitcoin_catalog();
+        let dc = parse_denial_constraint(&qr_text(3, "X"), &cat).unwrap();
+        let q = dc.body();
+        assert_eq!(q.positive.len(), 6);
+        assert_eq!(q.comparisons.len(), 3); // C(3,2)
+        assert!(bcdb_query::is_connected(q));
+    }
+
+    #[test]
+    fn qa_is_aggregate() {
+        let (cat, _) = bitcoin_catalog();
+        let dc = parse_denial_constraint(&qa_text(100, "X"), &cat).unwrap();
+        assert!(dc.is_aggregate());
+        assert!(bcdb_query::monotonicity(&dc).is_monotone());
+    }
+
+    #[test]
+    fn qs_parses() {
+        let (cat, _) = bitcoin_catalog();
+        assert!(parse_denial_constraint(&qs_text(SAT_ADDRESS), &cat).is_ok());
+    }
+}

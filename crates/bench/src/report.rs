@@ -1,0 +1,102 @@
+//! Timing and plain-text table rendering for the experiment harness.
+
+use std::time::{Duration, Instant};
+
+/// Runs `f` `runs` times and returns the mean wall-clock duration (the
+/// paper reports the average of three executions).
+pub fn time_avg(runs: usize, mut f: impl FnMut()) -> Duration {
+    let mut total = Duration::ZERO;
+    for _ in 0..runs {
+        let start = Instant::now();
+        f();
+        total += start.elapsed();
+    }
+    total / runs as u32
+}
+
+/// A plain-text table with aligned columns.
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        Table {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header's column count).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut s = String::new();
+            for i in 0..cols {
+                if i > 0 {
+                    s.push_str("  ");
+                }
+                s.push_str(&format!("{:<width$}", cells[i], width = widths[i]));
+            }
+            s.trim_end().to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["name", "value"]);
+        t.row(&["a".into(), "1".into()]);
+        t.row(&["longer".into(), "22".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+    }
+
+    #[test]
+    fn time_avg_runs_n_times() {
+        let mut n = 0;
+        let d = time_avg(3, || n += 1);
+        assert_eq!(n, 3);
+        assert!(d < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(Duration::from_millis(1500)), "1.5000");
+    }
+}

@@ -1,0 +1,318 @@
+//! Blocks and the chain.
+
+use crate::hash::{Digest, Hasher};
+use crate::script::Keyring;
+use crate::tx::Transaction;
+use crate::utxo::{TxError, UtxoSet};
+use std::fmt;
+
+/// A block: an ordered batch of transactions committed together (§1), plus
+/// the hash of its predecessor (§2).
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Hash of the predecessor block ([`Digest::ZERO`] for genesis).
+    pub prev_hash: Digest,
+    /// Transactions; the first must be the coinbase.
+    pub transactions: Vec<Transaction>,
+    hash: Digest,
+}
+
+impl Block {
+    /// Assembles a block and computes its hash.
+    pub fn new(height: u64, prev_hash: Digest, transactions: Vec<Transaction>) -> Self {
+        let mut h = Hasher::new();
+        h.write_str("block")
+            .write_u64(height)
+            .write_digest(&prev_hash);
+        for tx in &transactions {
+            h.write_digest(&tx.txid());
+        }
+        let hash = h.finish();
+        Block {
+            height,
+            prev_hash,
+            transactions,
+            hash,
+        }
+    }
+
+    /// The block hash.
+    pub fn hash(&self) -> Digest {
+        self.hash
+    }
+}
+
+/// Chain consensus parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ChainParams {
+    /// Block subsidy in satoshis (fixed; halving is irrelevant to the
+    /// reasoning problem).
+    pub subsidy: u64,
+    /// Maximum total transaction vsize per block — the knapsack capacity
+    /// miners optimise against.
+    pub max_block_vsize: usize,
+}
+
+impl Default for ChainParams {
+    fn default() -> Self {
+        ChainParams {
+            subsidy: 50_0000_0000, // 50 BTC in satoshis
+            max_block_vsize: 40_000,
+        }
+    }
+}
+
+/// Why a block failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockError {
+    /// Wrong predecessor hash or height.
+    BadLinkage,
+    /// The first transaction must be (the only) coinbase.
+    BadCoinbase,
+    /// A transaction failed validation.
+    BadTransaction(usize, TxError),
+    /// The coinbase claims more than subsidy + fees.
+    ExcessiveCoinbase {
+        /// What it claimed.
+        claimed: u64,
+        /// What was allowed.
+        allowed: u64,
+    },
+    /// The block exceeds the size limit.
+    TooLarge(usize),
+}
+
+impl fmt::Display for BlockError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockError::BadLinkage => write!(f, "block does not extend the tip"),
+            BlockError::BadCoinbase => write!(f, "first transaction must be the only coinbase"),
+            BlockError::BadTransaction(i, e) => write!(f, "transaction {i}: {e}"),
+            BlockError::ExcessiveCoinbase { claimed, allowed } => {
+                write!(f, "coinbase claims {claimed}, allowed {allowed}")
+            }
+            BlockError::TooLarge(size) => write!(f, "block vsize {size} over limit"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
+/// An append-only chain of blocks with the induced UTXO set.
+#[derive(Clone, Debug)]
+pub struct Blockchain {
+    params: ChainParams,
+    blocks: Vec<Block>,
+    utxo: UtxoSet,
+}
+
+impl Blockchain {
+    /// A chain containing only the genesis block (empty coinbase-less
+    /// genesis: the Genesis Block's reward is famously unspendable, so we
+    /// simply mint nothing there).
+    pub fn new(params: ChainParams) -> Self {
+        let genesis = Block::new(0, Digest::ZERO, Vec::new());
+        Blockchain {
+            params,
+            blocks: vec![genesis],
+            utxo: UtxoSet::new(),
+        }
+    }
+
+    /// Consensus parameters.
+    pub fn params(&self) -> &ChainParams {
+        &self.params
+    }
+
+    /// Current height (genesis = 0).
+    pub fn height(&self) -> u64 {
+        (self.blocks.len() - 1) as u64
+    }
+
+    /// The tip block.
+    pub fn tip(&self) -> &Block {
+        self.blocks.last().expect("genesis always present")
+    }
+
+    /// All blocks, genesis first.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// The current UTXO set.
+    pub fn utxo(&self) -> &UtxoSet {
+        &self.utxo
+    }
+
+    /// Validates and appends a block.
+    pub fn append(&mut self, block: Block, keyring: &Keyring<'_>) -> Result<(), BlockError> {
+        if block.prev_hash != self.tip().hash() || block.height != self.height() + 1 {
+            return Err(BlockError::BadLinkage);
+        }
+        let vsize: usize = block.transactions.iter().map(|t| t.vsize()).sum();
+        if vsize > self.params.max_block_vsize {
+            return Err(BlockError::TooLarge(vsize));
+        }
+        let [coinbase, rest @ ..] = block.transactions.as_slice() else {
+            return Err(BlockError::BadCoinbase);
+        };
+        if !coinbase.is_coinbase() || rest.iter().any(|t| t.is_coinbase()) {
+            return Err(BlockError::BadCoinbase);
+        }
+        // Validate sequentially against a scratch UTXO view so intra-block
+        // spends of freshly created outputs work.
+        let mut scratch = self.utxo.clone();
+        let mut fees: u64 = 0;
+        for (i, tx) in rest.iter().enumerate() {
+            let fee = scratch
+                .validate(tx, keyring)
+                .map_err(|e| BlockError::BadTransaction(i + 1, e))?;
+            scratch.apply(tx);
+            fees += fee;
+        }
+        let allowed = self.params.subsidy + fees;
+        if coinbase.output_value() > allowed {
+            return Err(BlockError::ExcessiveCoinbase {
+                claimed: coinbase.output_value(),
+                allowed,
+            });
+        }
+        scratch.apply(coinbase);
+        self.utxo = scratch;
+        self.blocks.push(block);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::script::{ScriptPubKey, ScriptSig};
+    use crate::tx::{TxInput, TxOutput};
+
+    fn coinbase(kp: &KeyPair, value: u64, tag: u64) -> Transaction {
+        Transaction::new(
+            vec![],
+            vec![TxOutput {
+                value: value + tag * 0, // tag reserved for future use
+                script: ScriptPubKey::P2pk(kp.public().clone()),
+            }],
+        )
+    }
+
+    #[test]
+    fn genesis_and_simple_growth() {
+        let miner = KeyPair::from_secret(1);
+        let keys = vec![miner.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        assert_eq!(chain.height(), 0);
+        let b1 = Block::new(
+            1,
+            chain.tip().hash(),
+            vec![coinbase(&miner, 50_0000_0000, 1)],
+        );
+        chain.append(b1, &ring).unwrap();
+        assert_eq!(chain.height(), 1);
+        assert_eq!(chain.utxo().len(), 1);
+    }
+
+    #[test]
+    fn linkage_enforced() {
+        let miner = KeyPair::from_secret(1);
+        let keys = vec![miner.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        let wrong = Block::new(1, Digest::ZERO, vec![coinbase(&miner, 1, 1)]);
+        // prev_hash is the genesis hash, not ZERO.
+        assert_eq!(chain.append(wrong, &ring), Err(BlockError::BadLinkage));
+        let wrong_height = Block::new(2, chain.tip().hash(), vec![coinbase(&miner, 1, 1)]);
+        assert_eq!(
+            chain.append(wrong_height, &ring),
+            Err(BlockError::BadLinkage)
+        );
+    }
+
+    #[test]
+    fn coinbase_rules() {
+        let miner = KeyPair::from_secret(1);
+        let keys = vec![miner.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        // No coinbase at all.
+        let empty = Block::new(1, chain.tip().hash(), vec![]);
+        assert_eq!(chain.append(empty, &ring), Err(BlockError::BadCoinbase));
+        // Excessive claim.
+        let greedy = Block::new(
+            1,
+            chain.tip().hash(),
+            vec![coinbase(&miner, 99_0000_0000, 1)],
+        );
+        assert!(matches!(
+            chain.append(greedy, &ring),
+            Err(BlockError::ExcessiveCoinbase { .. })
+        ));
+    }
+
+    #[test]
+    fn intra_block_spend_chain_is_valid() {
+        let miner = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let keys = vec![miner.clone(), bob.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        let cb1 = coinbase(&miner, 50_0000_0000, 1);
+        let b1 = Block::new(1, chain.tip().hash(), vec![cb1.clone()]);
+        chain.append(b1, &ring).unwrap();
+        // Block 2: miner pays bob; bob immediately re-spends in the same block.
+        let outs1 = vec![TxOutput {
+            value: 49_0000_0000,
+            script: ScriptPubKey::P2pk(bob.public().clone()),
+        }];
+        let msg1 = Transaction::signing_digest(&[cb1.outpoint(1)], &outs1);
+        let pay_bob = Transaction::new(
+            vec![TxInput {
+                prev: cb1.outpoint(1),
+                script_sig: ScriptSig::Sig(miner.sign(&msg1)),
+                spender: miner.public().clone(),
+            }],
+            outs1,
+        );
+        let outs2 = vec![TxOutput {
+            value: 48_0000_0000,
+            script: ScriptPubKey::P2pk(miner.public().clone()),
+        }];
+        let msg2 = Transaction::signing_digest(&[pay_bob.outpoint(1)], &outs2);
+        let bob_spends = Transaction::new(
+            vec![TxInput {
+                prev: pay_bob.outpoint(1),
+                script_sig: ScriptSig::Sig(bob.sign(&msg2)),
+                spender: bob.public().clone(),
+            }],
+            outs2,
+        );
+        let cb2 = coinbase(&miner, 50_0000_0000, 2);
+        let b2 = Block::new(2, chain.tip().hash(), vec![cb2, pay_bob, bob_spends]);
+        chain.append(b2, &ring).unwrap();
+        assert_eq!(chain.height(), 2);
+    }
+
+    #[test]
+    fn oversized_block_rejected() {
+        let miner = KeyPair::from_secret(1);
+        let keys = vec![miner.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams {
+            subsidy: 100,
+            max_block_vsize: 20, // smaller than any coinbase
+        });
+        let b = Block::new(1, chain.tip().hash(), vec![coinbase(&miner, 100, 1)]);
+        assert!(matches!(
+            chain.append(b, &ring),
+            Err(BlockError::TooLarge(_))
+        ));
+    }
+}

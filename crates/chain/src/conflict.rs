@@ -1,0 +1,200 @@
+//! Deriving contradicting transactions.
+//!
+//! The paper's conclusion lists as future work "how to automatically derive
+//! a new transaction that contradicts previous transactions". In the UTXO
+//! model a contradiction is a double spend: any transaction consuming one
+//! of the same outpoints can never coexist with the original on chain
+//! (footnote 3: "users can attempt to retract a transaction by issuing a
+//! more attractive contradicting transaction, e.g., one with higher fee" —
+//! Bitcoin's replace-by-fee).
+//!
+//! [`derive_contradiction`] builds exactly that: given a pending
+//! transaction to cancel, it re-spends one of its inputs back to a key of
+//! the owner's choosing, with a strictly higher fee so miners prefer it.
+
+use crate::block::Blockchain;
+use crate::keys::{KeyPair, PublicKey};
+use crate::mempool::Mempool;
+use crate::script::{ScriptPubKey, ScriptSig};
+use crate::tx::{Transaction, TxInput, TxOutput};
+
+/// Why a contradiction could not be derived.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConflictError {
+    /// The target has no inputs (a coinbase cannot be contradicted).
+    NoInputs,
+    /// No input of the target is owned by the supplied key (we can only
+    /// re-sign our own coins).
+    NotOwner,
+    /// The consumed value is too small to pay a strictly higher fee.
+    InsufficientValue,
+}
+
+impl std::fmt::Display for ConflictError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConflictError::NoInputs => write!(f, "target transaction has no inputs"),
+            ConflictError::NotOwner => write!(f, "no input is spendable by the supplied key"),
+            ConflictError::InsufficientValue => {
+                write!(f, "consumed value cannot cover a higher fee")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConflictError {}
+
+/// Derives a transaction that **contradicts** `target`: it spends one of
+/// `target`'s inputs (so the `TxIn` key constraint forbids their
+/// coexistence), pays the remaining value to `refund_to`, and carries at
+/// least `fee_bump` satoshis more fee than `target` paid for that input's
+/// share — making it the more attractive choice for miners.
+///
+/// `target`'s consumed outputs are resolved through the chain UTXO set and
+/// the mempool (the input may itself spend a pending output).
+pub fn derive_contradiction(
+    chain: &Blockchain,
+    mempool: &Mempool,
+    target: &Transaction,
+    owner: &KeyPair,
+    refund_to: &PublicKey,
+    fee_bump: u64,
+) -> Result<Transaction, ConflictError> {
+    if target.inputs().is_empty() {
+        return Err(ConflictError::NoInputs);
+    }
+    // Find an input whose consumed output is a P2PK of `owner`.
+    let target_fee = mempool.get(&target.txid()).map(|e| e.fee).unwrap_or(0);
+    for input in target.inputs() {
+        let Some(consumed) = mempool.resolve_output(chain, &input.prev) else {
+            continue;
+        };
+        let ScriptPubKey::P2pk(pk) = &consumed.script else {
+            continue;
+        };
+        if pk != owner.public() {
+            continue;
+        }
+        let fee = target_fee.saturating_add(fee_bump).max(1);
+        if consumed.value <= fee {
+            return Err(ConflictError::InsufficientValue);
+        }
+        let outs = vec![TxOutput {
+            value: consumed.value - fee,
+            script: ScriptPubKey::P2pk(refund_to.clone()),
+        }];
+        let msg = Transaction::signing_digest(&[input.prev], &outs);
+        return Ok(Transaction::new(
+            vec![TxInput {
+                prev: input.prev,
+                script_sig: ScriptSig::Sig(owner.sign(&msg)),
+                spender: owner.public().clone(),
+            }],
+            outs,
+        ));
+    }
+    Err(ConflictError::NotOwner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, ChainParams};
+    use crate::script::Keyring;
+
+    fn setup() -> (Blockchain, Mempool, Vec<KeyPair>, Transaction) {
+        let keys: Vec<KeyPair> = (0..3).map(KeyPair::from_secret).collect();
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        let cb = Transaction::new(
+            vec![],
+            vec![TxOutput {
+                value: 100_000,
+                script: ScriptPubKey::P2pk(keys[0].public().clone()),
+            }],
+        );
+        let b = Block::new(1, chain.tip().hash(), vec![cb.clone()]);
+        chain.append(b, &ring).unwrap();
+        (chain, Mempool::new(), keys, cb)
+    }
+
+    fn pay(from: &KeyPair, prev: crate::tx::OutPoint, to: &PublicKey, v: u64) -> Transaction {
+        let outs = vec![TxOutput {
+            value: v,
+            script: ScriptPubKey::P2pk(to.clone()),
+        }];
+        let msg = Transaction::signing_digest(&[prev], &outs);
+        Transaction::new(
+            vec![TxInput {
+                prev,
+                script_sig: ScriptSig::Sig(from.sign(&msg)),
+                spender: from.public().clone(),
+            }],
+            outs,
+        )
+    }
+
+    #[test]
+    fn derived_transaction_conflicts_and_outbids() {
+        let (chain, mut pool, keys, cb) = setup();
+        let stuck = pay(&keys[0], cb.outpoint(1), keys[1].public(), 99_000); // fee 1k
+        pool.insert(&chain, stuck.clone()).unwrap();
+        let replacement =
+            derive_contradiction(&chain, &pool, &stuck, &keys[0], keys[0].public(), 5_000).unwrap();
+        // Shares the input: mutually exclusive on chain.
+        assert_eq!(replacement.inputs()[0].prev, stuck.inputs()[0].prev);
+        assert_ne!(replacement.txid(), stuck.txid());
+        // Strictly higher fee.
+        let fee = pool.insert(&chain, replacement.clone()).unwrap();
+        assert_eq!(fee, 6_000);
+        // The miner prefers the replacement.
+        let ring = Keyring::new(&keys);
+        let block = crate::miner::build_block_template(&chain, &pool, &ring, &keys[2]);
+        let mined: Vec<_> = block.transactions[1..].iter().map(|t| t.txid()).collect();
+        assert!(mined.contains(&replacement.txid()));
+        assert!(!mined.contains(&stuck.txid()));
+    }
+
+    #[test]
+    fn cannot_contradict_foreign_or_coinbase() {
+        let (chain, mut pool, keys, cb) = setup();
+        // Coinbase: no inputs.
+        assert_eq!(
+            derive_contradiction(&chain, &pool, &cb, &keys[0], keys[0].public(), 1),
+            Err(ConflictError::NoInputs)
+        );
+        // Foreign coin: keys[1] does not own cb's output.
+        let stuck = pay(&keys[0], cb.outpoint(1), keys[1].public(), 99_000);
+        pool.insert(&chain, stuck.clone()).unwrap();
+        assert_eq!(
+            derive_contradiction(&chain, &pool, &stuck, &keys[1], keys[1].public(), 1),
+            Err(ConflictError::NotOwner)
+        );
+    }
+
+    #[test]
+    fn insufficient_value_detected() {
+        let (chain, mut pool, keys, cb) = setup();
+        let stuck = pay(&keys[0], cb.outpoint(1), keys[1].public(), 99_000); // fee 1k
+        pool.insert(&chain, stuck.clone()).unwrap();
+        // Bump exceeding the whole coin.
+        assert_eq!(
+            derive_contradiction(&chain, &pool, &stuck, &keys[0], keys[0].public(), 200_000),
+            Err(ConflictError::InsufficientValue)
+        );
+    }
+
+    #[test]
+    fn works_against_pending_parents() {
+        let (chain, mut pool, keys, cb) = setup();
+        // keys[0] pays keys[1]; keys[1]'s pending output is then spent by a
+        // second pending tx; contradict the child.
+        let parent = pay(&keys[0], cb.outpoint(1), keys[1].public(), 99_000);
+        pool.insert(&chain, parent.clone()).unwrap();
+        let child = pay(&keys[1], parent.outpoint(1), keys[2].public(), 95_000);
+        pool.insert(&chain, child.clone()).unwrap();
+        let replacement =
+            derive_contradiction(&chain, &pool, &child, &keys[1], keys[1].public(), 1_000).unwrap();
+        assert_eq!(replacement.inputs()[0].prev, child.inputs()[0].prev);
+    }
+}

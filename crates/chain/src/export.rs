@@ -1,0 +1,355 @@
+//! Export of a chain + mempool into the paper's relational schema.
+//!
+//! Example 1 of the paper:
+//!
+//! ```text
+//! TxOut(txId, ser, pk, amount)                       key: (txId, ser)
+//! TxIn(prevTxId, prevSer, pk, amount, newTxId, sig)  key: (prevTxId, prevSer)
+//! TxIn[prevTxId, prevSer, pk, amount] ⊆ TxOut[txId, ser, pk, amount]
+//! TxIn[newTxId] ⊆ TxOut[txId]
+//! ```
+//!
+//! On-chain transactions become the current state `R`; mempool entries
+//! become pending transactions, each a small set of `TxIn`/`TxOut` tuples.
+//! Double spends in the mempool violate `TxIn`'s key — exactly the paper's
+//! contradiction mechanism — and spending a pending output induces the
+//! IND dependency chains that `getMaximal` must order.
+
+use crate::generator::Scenario;
+use crate::hash::Digest;
+use crate::tx::Transaction;
+use bcdb_storage::{
+    tuple, Catalog, ConstraintSet, Fd, Ind, RelationId, RelationSchema, StorageError, Tuple,
+    ValueType,
+};
+use rustc_hash::FxHashMap;
+
+/// The paper's two-relation Bitcoin schema plus constraints.
+pub fn bitcoin_catalog() -> (Catalog, ConstraintSet) {
+    let mut cat = Catalog::new();
+    cat.add(
+        RelationSchema::new(
+            "TxOut",
+            [
+                ("txId", ValueType::Text),
+                ("ser", ValueType::Int),
+                ("pk", ValueType::Text),
+                ("amount", ValueType::Int),
+            ],
+        )
+        .expect("static schema"),
+    )
+    .expect("static schema");
+    cat.add(
+        RelationSchema::new(
+            "TxIn",
+            [
+                ("prevTxId", ValueType::Text),
+                ("prevSer", ValueType::Int),
+                ("pk", ValueType::Text),
+                ("amount", ValueType::Int),
+                ("newTxId", ValueType::Text),
+                ("sig", ValueType::Text),
+            ],
+        )
+        .expect("static schema"),
+    )
+    .expect("static schema");
+    let mut cs = ConstraintSet::new();
+    cs.add_fd(Fd::named_key(&cat, "TxOut", &["txId", "ser"]).expect("static"));
+    cs.add_fd(Fd::named_key(&cat, "TxIn", &["prevTxId", "prevSer"]).expect("static"));
+    cs.add_ind(
+        Ind::named(
+            &cat,
+            "TxIn",
+            &["prevTxId", "prevSer", "pk", "amount"],
+            "TxOut",
+            &["txId", "ser", "pk", "amount"],
+        )
+        .expect("static"),
+    );
+    cs.add_ind(Ind::named(&cat, "TxIn", &["newTxId"], "TxOut", &["txId"]).expect("static"));
+    (cat, cs)
+}
+
+/// Row counts for one side of Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExportCounts {
+    /// Blocks contributing.
+    pub blocks: u64,
+    /// Transactions.
+    pub transactions: usize,
+    /// `TxIn` rows.
+    pub inputs: usize,
+    /// `TxOut` rows.
+    pub outputs: usize,
+}
+
+/// A chain exported into the paper's relational model, ready to be loaded
+/// into a `bcdb_core::BlockchainDb` (this crate stays independent of the
+/// core crate; loading is a five-line loop at the call site).
+#[derive(Clone, Debug)]
+pub struct RelationalExport {
+    /// The schema.
+    pub catalog: Catalog,
+    /// Keys + INDs of Example 1.
+    pub constraints: ConstraintSet,
+    /// Current-state tuples.
+    pub base: Vec<(RelationId, Tuple)>,
+    /// Pending transactions: name + tuples.
+    pub pending: Vec<(String, Vec<(RelationId, Tuple)>)>,
+    /// Table 1 counts for the current state.
+    pub base_counts: ExportCounts,
+    /// Table 1 counts for the pending set.
+    pub pending_counts: ExportCounts,
+}
+
+fn txid_text(d: Digest) -> String {
+    d.short()
+}
+
+/// Emits the tuples of one transaction, resolving consumed outputs through
+/// `resolve` (txid -> transaction).
+fn tuples_of_tx(
+    tx: &Transaction,
+    resolve: &FxHashMap<Digest, &Transaction>,
+    txout: RelationId,
+    txin: RelationId,
+) -> Result<Vec<(RelationId, Tuple)>, StorageError> {
+    let mut out = Vec::with_capacity(tx.inputs().len() + tx.outputs().len());
+    let new_txid = txid_text(tx.txid());
+    for input in tx.inputs() {
+        let creator =
+            resolve
+                .get(&input.prev.txid)
+                .ok_or_else(|| StorageError::MalformedConstraint {
+                    detail: format!("dangling outpoint {}:{}", input.prev.txid, input.prev.vout),
+                })?;
+        let consumed = &creator.outputs()[(input.prev.vout - 1) as usize];
+        out.push((
+            txin,
+            tuple![
+                txid_text(input.prev.txid),
+                input.prev.vout as i64,
+                consumed.script.display_owner(),
+                consumed.value as i64,
+                new_txid.as_str(),
+                input.script_sig.display_sig()
+            ],
+        ));
+    }
+    for (i, o) in tx.outputs().iter().enumerate() {
+        out.push((
+            txout,
+            tuple![
+                new_txid.as_str(),
+                (i + 1) as i64,
+                o.script.display_owner(),
+                o.value as i64
+            ],
+        ));
+    }
+    Ok(out)
+}
+
+/// Fee-rate-derived acceptance probabilities for the mempool's pending
+/// transactions, aligned with [`export`]'s pending order.
+///
+/// A crude but data-driven "learned estimation of their actual likelihood"
+/// (the paper's future-work phrasing): miners prefer high fee rates, so
+/// probabilities scale linearly with fee-rate rank from `lo` (cheapest)
+/// to `hi` (priciest). Pair with `bcdb_core::PerTxAcceptance`.
+pub fn feerate_probabilities(scenario: &Scenario, lo: f64, hi: f64) -> Vec<f64> {
+    let entries = scenario.mempool.entries();
+    let n = entries.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    if n == 1 {
+        return vec![(lo + hi) / 2.0];
+    }
+    // Rank by fee rate (stable: ties keep mempool order).
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| entries[i].feerate_millisats);
+    let mut probs = vec![0.0; n];
+    for (rank, &i) in order.iter().enumerate() {
+        probs[i] = lo + (hi - lo) * rank as f64 / (n - 1) as f64;
+    }
+    probs
+}
+
+/// Exports a scenario: blocks → current state, mempool → pending set.
+pub fn export(scenario: &Scenario) -> Result<RelationalExport, StorageError> {
+    let (catalog, constraints) = bitcoin_catalog();
+    let txout = catalog.resolve("TxOut").expect("schema");
+    let txin = catalog.resolve("TxIn").expect("schema");
+
+    // Full transaction index (chain + mempool) for outpoint resolution.
+    let mut index: FxHashMap<Digest, &Transaction> = FxHashMap::default();
+    for block in scenario.chain.blocks() {
+        for tx in &block.transactions {
+            index.insert(tx.txid(), tx);
+        }
+    }
+    for entry in scenario.mempool.entries() {
+        index.insert(entry.tx.txid(), &entry.tx);
+    }
+
+    let mut base = Vec::new();
+    let mut base_counts = ExportCounts {
+        blocks: scenario.chain.height() + 1,
+        ..ExportCounts::default()
+    };
+    for block in scenario.chain.blocks() {
+        for tx in &block.transactions {
+            base_counts.transactions += 1;
+            base_counts.inputs += tx.inputs().len();
+            base_counts.outputs += tx.outputs().len();
+            base.extend(tuples_of_tx(tx, &index, txout, txin)?);
+        }
+    }
+
+    let mut pending = Vec::new();
+    let mut pending_counts = ExportCounts::default();
+    for entry in scenario.mempool.entries() {
+        pending_counts.transactions += 1;
+        pending_counts.inputs += entry.tx.inputs().len();
+        pending_counts.outputs += entry.tx.outputs().len();
+        pending.push((
+            txid_text(entry.tx.txid()),
+            tuples_of_tx(&entry.tx, &index, txout, txin)?,
+        ));
+    }
+
+    Ok(RelationalExport {
+        catalog,
+        constraints,
+        base,
+        pending,
+        base_counts,
+        pending_counts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, ScenarioConfig};
+
+    fn small_export() -> RelationalExport {
+        let cfg = ScenarioConfig {
+            seed: 11,
+            wallets: 8,
+            blocks: 6,
+            txs_per_block: 4,
+            pending_txs: 15,
+            contradictions: 2,
+            ..ScenarioConfig::default()
+        };
+        export(&generate(&cfg)).unwrap()
+    }
+
+    #[test]
+    fn feerate_probabilities_are_rank_monotone() {
+        let cfg = ScenarioConfig {
+            seed: 3,
+            wallets: 8,
+            blocks: 6,
+            txs_per_block: 4,
+            pending_txs: 20,
+            contradictions: 0,
+            ..ScenarioConfig::default()
+        };
+        let s = generate(&cfg);
+        let probs = feerate_probabilities(&s, 0.2, 0.9);
+        assert_eq!(probs.len(), s.mempool.len());
+        assert!(probs.iter().all(|p| (0.2..=0.9).contains(p)));
+        // The priciest entry gets the highest probability.
+        let (best, _) = s
+            .mempool
+            .entries()
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, e)| e.feerate_millisats)
+            .unwrap();
+        assert!((probs[best] - 0.9).abs() < 1e-9);
+        let (worst, _) = s
+            .mempool
+            .entries()
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.feerate_millisats)
+            .unwrap();
+        assert!((probs[worst] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn schema_matches_paper() {
+        let (cat, cs) = bitcoin_catalog();
+        assert_eq!(cat.relation_count(), 2);
+        assert_eq!(cs.fds().len(), 2);
+        assert_eq!(cs.inds().len(), 2);
+        let txin = cat.resolve("TxIn").unwrap();
+        assert_eq!(cat.schema(txin).arity(), 6);
+    }
+
+    #[test]
+    fn counts_match_tuples() {
+        let e = small_export();
+        let txout = e.catalog.resolve("TxOut").unwrap();
+        let txin = e.catalog.resolve("TxIn").unwrap();
+        let base_out = e.base.iter().filter(|(r, _)| *r == txout).count();
+        let base_in = e.base.iter().filter(|(r, _)| *r == txin).count();
+        assert_eq!(base_out, e.base_counts.outputs);
+        assert_eq!(base_in, e.base_counts.inputs);
+        assert_eq!(e.pending.len(), e.pending_counts.transactions);
+        assert!(e.pending_counts.inputs > 0);
+    }
+
+    #[test]
+    fn base_tuples_reference_existing_outputs() {
+        // Every base TxIn row's (prevTxId, prevSer, pk, amount) appears as
+        // a TxOut row (IND 1 over the current state).
+        let e = small_export();
+        let txout = e.catalog.resolve("TxOut").unwrap();
+        let txin = e.catalog.resolve("TxIn").unwrap();
+        let outs: std::collections::HashSet<Vec<bcdb_storage::Value>> = e
+            .base
+            .iter()
+            .filter(|(r, _)| *r == txout)
+            .map(|(_, t)| t.values().to_vec())
+            .collect();
+        for (r, t) in &e.base {
+            if *r != txin {
+                continue;
+            }
+            let projected: Vec<bcdb_storage::Value> = t.project(&[0, 1, 2, 3]).to_vec();
+            assert!(outs.contains(&projected), "dangling base TxIn {t}");
+        }
+    }
+
+    #[test]
+    fn contradictions_surface_as_key_conflicts() {
+        // At least one pair of pending transactions shares (prevTxId, prevSer).
+        let e = small_export();
+        let txin = e.catalog.resolve("TxIn").unwrap();
+        let mut seen: FxHashMap<Vec<bcdb_storage::Value>, usize> = FxHashMap::default();
+        let mut conflict = false;
+        for (i, (_, tuples)) in e.pending.iter().enumerate() {
+            for (r, t) in tuples {
+                if *r != txin {
+                    continue;
+                }
+                let key = t.project(&[0, 1]).to_vec();
+                if let Some(&j) = seen.get(&key) {
+                    if j != i {
+                        conflict = true;
+                    }
+                } else {
+                    seen.insert(key, i);
+                }
+            }
+        }
+        assert!(conflict, "expected at least one pending double spend");
+    }
+}

@@ -1,0 +1,298 @@
+//! Text serialization of [`RelationalExport`]s.
+//!
+//! Generating D300 takes ~10 s; dumping the export once and reloading it
+//! makes experiments and CLI sessions instant. The format is a plain
+//! line-based text file over the fixed `TxOut`/`TxIn` schema:
+//!
+//! ```text
+//! bcdb-export v1
+//! base
+//! O <txId> <ser> <pk> <amount>
+//! I <prevTxId> <prevSer> <pk> <amount> <newTxId> <sig>
+//! tx <name>
+//! I ...
+//! O ...
+//! ```
+//!
+//! Fields are space-separated; the simulator's identifiers are hex strings
+//! and never contain whitespace.
+
+use crate::export::{bitcoin_catalog, ExportCounts, RelationalExport};
+use bcdb_storage::{tuple, RelationId, Tuple, Value};
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Errors from reading a dumped export.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExportIoError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A malformed line, with its 1-based number.
+    BadLine(usize, String),
+    /// Underlying I/O failure.
+    Io(String),
+}
+
+impl std::fmt::Display for ExportIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExportIoError::BadHeader => write!(f, "not a bcdb-export v1 file"),
+            ExportIoError::BadLine(n, detail) => write!(f, "line {n}: {detail}"),
+            ExportIoError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExportIoError {}
+
+impl From<std::io::Error> for ExportIoError {
+    fn from(e: std::io::Error) -> Self {
+        ExportIoError::Io(e.to_string())
+    }
+}
+
+fn write_tuple(out: &mut String, kind: char, t: &Tuple) {
+    out.push(kind);
+    for v in t.values() {
+        out.push(' ');
+        match v {
+            Value::Int(i) => write!(out, "{i}").unwrap(),
+            Value::Text(s) => out.push_str(s),
+            Value::Bool(b) => write!(out, "{b}").unwrap(),
+        }
+    }
+    out.push('\n');
+}
+
+/// Serializes an export to a writer.
+pub fn write_export(e: &RelationalExport, w: &mut impl Write) -> Result<(), ExportIoError> {
+    let txout = e.catalog.resolve("TxOut").expect("bitcoin schema");
+    let mut out = String::new();
+    out.push_str("bcdb-export v1\n");
+    writeln!(out, "blocks {}", e.base_counts.blocks).unwrap();
+    out.push_str("base\n");
+    for (rel, t) in &e.base {
+        write_tuple(&mut out, if *rel == txout { 'O' } else { 'I' }, t);
+    }
+    for (name, tuples) in &e.pending {
+        writeln!(out, "tx {name}").unwrap();
+        for (rel, t) in tuples {
+            write_tuple(&mut out, if *rel == txout { 'O' } else { 'I' }, t);
+        }
+    }
+    w.write_all(out.as_bytes())?;
+    Ok(())
+}
+
+fn parse_row(
+    line: &str,
+    lineno: usize,
+    txout: RelationId,
+    txin: RelationId,
+) -> Result<(RelationId, Tuple), ExportIoError> {
+    let bad = |d: &str| ExportIoError::BadLine(lineno, d.to_string());
+    let mut parts = line.split(' ');
+    let kind = parts.next().ok_or_else(|| bad("empty row"))?;
+    let fields: Vec<&str> = parts.collect();
+    let int = |s: &str| -> Result<i64, ExportIoError> {
+        s.parse().map_err(|_| bad(&format!("bad integer '{s}'")))
+    };
+    match kind {
+        "O" => {
+            let [txid, ser, pk, amount] = fields.as_slice() else {
+                return Err(bad("TxOut rows have 4 fields"));
+            };
+            Ok((txout, tuple![*txid, int(ser)?, *pk, int(amount)?]))
+        }
+        "I" => {
+            let [prev, pser, pk, amount, new, sig] = fields.as_slice() else {
+                return Err(bad("TxIn rows have 6 fields"));
+            };
+            Ok((
+                txin,
+                tuple![*prev, int(pser)?, *pk, int(amount)?, *new, *sig],
+            ))
+        }
+        other => Err(bad(&format!("unknown row kind '{other}'"))),
+    }
+}
+
+/// Deserializes an export from a reader, recomputing the Table-1 counts.
+pub fn read_export(r: impl Read) -> Result<RelationalExport, ExportIoError> {
+    let (catalog, constraints) = bitcoin_catalog();
+    let txout = catalog.resolve("TxOut").expect("schema");
+    let txin = catalog.resolve("TxIn").expect("schema");
+    let mut lines = BufReader::new(r).lines();
+    let header = lines.next().transpose()?.ok_or(ExportIoError::BadHeader)?;
+    if header.trim() != "bcdb-export v1" {
+        return Err(ExportIoError::BadHeader);
+    }
+
+    let mut base: Vec<(RelationId, Tuple)> = Vec::new();
+    let mut pending: Vec<(String, Vec<(RelationId, Tuple)>)> = Vec::new();
+    let mut base_counts = ExportCounts::default();
+    let mut pending_counts = ExportCounts::default();
+    #[derive(PartialEq)]
+    enum Section {
+        Preamble,
+        Base,
+        Tx,
+    }
+    let mut section = Section::Preamble;
+    for (i, line) in lines.enumerate() {
+        let lineno = i + 2;
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(b) = line.strip_prefix("blocks ") {
+            base_counts.blocks = b
+                .parse()
+                .map_err(|_| ExportIoError::BadLine(lineno, "bad block count".into()))?;
+            continue;
+        }
+        if line == "base" {
+            section = Section::Base;
+            continue;
+        }
+        if let Some(name) = line.strip_prefix("tx ") {
+            pending.push((name.to_string(), Vec::new()));
+            pending_counts.transactions += 1;
+            section = Section::Tx;
+            continue;
+        }
+        let (rel, t) = parse_row(line, lineno, txout, txin)?;
+        let counts = match section {
+            Section::Base => &mut base_counts,
+            Section::Tx => &mut pending_counts,
+            Section::Preamble => {
+                return Err(ExportIoError::BadLine(
+                    lineno,
+                    "row before any section".into(),
+                ))
+            }
+        };
+        if rel == txout {
+            counts.outputs += 1;
+        } else {
+            counts.inputs += 1;
+        }
+        match section {
+            Section::Base => base.push((rel, t)),
+            Section::Tx => pending
+                .last_mut()
+                .expect("tx section open")
+                .1
+                .push((rel, t)),
+            Section::Preamble => unreachable!(),
+        }
+    }
+    // Base transactions are not individually delimited in the format; count
+    // distinct creating txids.
+    let mut seen = std::collections::HashSet::new();
+    for (rel, t) in &base {
+        if *rel == txout {
+            seen.insert(t[0].clone());
+        }
+    }
+    base_counts.transactions = seen.len();
+
+    Ok(RelationalExport {
+        catalog,
+        constraints,
+        base,
+        pending,
+        base_counts,
+        pending_counts,
+    })
+}
+
+/// Convenience: dump to a file path.
+pub fn write_export_file(
+    e: &RelationalExport,
+    path: &std::path::Path,
+) -> Result<(), ExportIoError> {
+    let mut f = std::fs::File::create(path)?;
+    write_export(e, &mut f)
+}
+
+/// Convenience: load from a file path.
+pub fn read_export_file(path: &std::path::Path) -> Result<RelationalExport, ExportIoError> {
+    read_export(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::export::export;
+    use crate::generator::{generate, ScenarioConfig};
+
+    fn small_export() -> RelationalExport {
+        let cfg = ScenarioConfig {
+            seed: 21,
+            wallets: 8,
+            blocks: 5,
+            txs_per_block: 4,
+            pending_txs: 12,
+            contradictions: 2,
+            ..ScenarioConfig::default()
+        };
+        export(&generate(&cfg)).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let e = small_export();
+        let mut buf = Vec::new();
+        write_export(&e, &mut buf).unwrap();
+        let back = read_export(buf.as_slice()).unwrap();
+        assert_eq!(back.base, e.base);
+        assert_eq!(back.pending, e.pending);
+        assert_eq!(back.base_counts.blocks, e.base_counts.blocks);
+        assert_eq!(back.base_counts.inputs, e.base_counts.inputs);
+        assert_eq!(back.base_counts.outputs, e.base_counts.outputs);
+        assert_eq!(back.pending_counts, e.pending_counts);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert_eq!(
+            read_export(&b"nonsense"[..]).unwrap_err(),
+            ExportIoError::BadHeader
+        );
+        let bad_row = b"bcdb-export v1\nbase\nO only two\n";
+        assert!(matches!(
+            read_export(&bad_row[..]).unwrap_err(),
+            ExportIoError::BadLine(3, _)
+        ));
+        let bad_kind = b"bcdb-export v1\nbase\nZ a b c d\n";
+        assert!(matches!(
+            read_export(&bad_kind[..]).unwrap_err(),
+            ExportIoError::BadLine(3, _)
+        ));
+        let premature = b"bcdb-export v1\nO a 1 b 2\n";
+        assert!(matches!(
+            read_export(&premature[..]).unwrap_err(),
+            ExportIoError::BadLine(2, _)
+        ));
+        let bad_int = b"bcdb-export v1\nbase\nO t xx pk 5\n";
+        assert!(matches!(
+            read_export(&bad_int[..]).unwrap_err(),
+            ExportIoError::BadLine(3, _)
+        ));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let e = small_export();
+        let dir = std::env::temp_dir().join("bcdb_export_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("small.bcdb");
+        write_export_file(&e, &path).unwrap();
+        let back = read_export_file(&path).unwrap();
+        assert_eq!(back.base.len(), e.base.len());
+        assert_eq!(back.pending.len(), e.pending.len());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,407 @@
+//! Synthetic Bitcoin-shaped workload generation.
+//!
+//! The paper's experiments run on the first 100k–300k real Bitcoin blocks
+//! with subsequent blocks as pending transactions. We have no chain to
+//! sync, so this module *simulates* one with the same structural knobs
+//! (see DESIGN.md's substitution table): wallets make fee-paying UTXO
+//! payments, a miner assembles fee-ordered blocks, a mempool accumulates
+//! pending transactions including dependency chains, and a configurable
+//! number of double-spend **contradictions** is injected — the parameter
+//! swept in Fig. 6e/6f.
+
+use crate::block::{Blockchain, ChainParams};
+use crate::keys::KeyPair;
+use crate::mempool::Mempool;
+use crate::miner::build_block_template;
+use crate::script::{Keyring, ScriptPubKey, ScriptSig};
+use crate::tx::{OutPoint, Transaction, TxInput, TxOutput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rustc_hash::FxHashSet;
+
+/// Parameters of a synthetic scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// RNG seed (every run is fully deterministic given the seed).
+    pub seed: u64,
+    /// Number of wallets.
+    pub wallets: usize,
+    /// Blocks to mine into the current state.
+    pub blocks: u64,
+    /// Payments issued per block round.
+    pub txs_per_block: usize,
+    /// Pending transactions left in the mempool at the end.
+    pub pending_txs: usize,
+    /// Double-spend pairs injected among the pending transactions.
+    pub contradictions: usize,
+    /// Probability (percent) that a pending payment spends another pending
+    /// payment's output, forming dependency chains.
+    pub chain_dependency_pct: u32,
+    /// Chain consensus parameters.
+    pub chain: ChainParams,
+}
+
+impl Default for ScenarioConfig {
+    fn default() -> Self {
+        ScenarioConfig {
+            seed: 42,
+            wallets: 40,
+            blocks: 50,
+            txs_per_block: 20,
+            pending_txs: 200,
+            contradictions: 10,
+            chain_dependency_pct: 30,
+            chain: ChainParams::default(),
+        }
+    }
+}
+
+/// A generated scenario: the chain (current state), the mempool (pending
+/// transactions), and the key material.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// The mined chain.
+    pub chain: Blockchain,
+    /// The pending transactions.
+    pub mempool: Mempool,
+    /// All wallet key pairs (index 0 doubles as the miner).
+    pub keys: Vec<KeyPair>,
+    /// The configuration that produced this scenario.
+    pub config: ScenarioConfig,
+}
+
+/// A spendable output tracked by the generator.
+#[derive(Clone, Debug)]
+struct Spendable {
+    point: OutPoint,
+    value: u64,
+    owner: usize,
+}
+
+struct Generator {
+    rng: StdRng,
+    chain: Blockchain,
+    mempool: Mempool,
+    keys: Vec<KeyPair>,
+    /// Confirmed spendables (on-chain, unspent, unreserved).
+    confirmed: Vec<Spendable>,
+    /// Outputs created by pending transactions (spendable for chains).
+    pending_outputs: Vec<Spendable>,
+    /// Outpoints already consumed by a pending transaction (avoids
+    /// *accidental* double spends; intentional ones bypass this).
+    reserved: FxHashSet<OutPoint>,
+}
+
+impl Generator {
+    fn new(config: &ScenarioConfig) -> Self {
+        let keys: Vec<KeyPair> = (0..config.wallets as u64)
+            .map(|i| KeyPair::from_secret(i + 1))
+            .collect();
+        Generator {
+            rng: StdRng::seed_from_u64(config.seed),
+            chain: Blockchain::new(config.chain),
+            mempool: Mempool::new(),
+            keys,
+            confirmed: Vec::new(),
+            pending_outputs: Vec::new(),
+            reserved: FxHashSet::default(),
+        }
+    }
+
+    fn owner_of(&self, script: &ScriptPubKey) -> Option<usize> {
+        match script {
+            ScriptPubKey::P2pk(pk) => self.keys.iter().position(|k| k.public() == pk),
+            _ => None,
+        }
+    }
+
+    /// Refreshes the confirmed-spendables list from the chain UTXO set.
+    fn refresh_confirmed(&mut self) {
+        let mut list: Vec<Spendable> = self
+            .chain
+            .utxo()
+            .iter()
+            .filter(|(p, _)| !self.reserved.contains(p))
+            .filter_map(|(p, o)| {
+                self.owner_of(&o.script).map(|owner| Spendable {
+                    point: *p,
+                    value: o.value,
+                    owner,
+                })
+            })
+            .collect();
+        list.sort_by_key(|s| s.point);
+        self.confirmed = list;
+    }
+
+    /// Builds one signed payment spending `from` (one tx may consume
+    /// several coins of the same owner — Bitcoin's many-to-many shape),
+    /// paying 1–2 random wallets and returning change. Fee is 0.1%–2% of
+    /// the spent value (min 100 satoshis).
+    fn payment(&mut self, inputs: &[Spendable]) -> Transaction {
+        debug_assert!(!inputs.is_empty());
+        let owner = inputs[0].owner;
+        let total: u64 = inputs.iter().map(|s| s.value).sum();
+        let fee = (total / self.rng.random_range(50..1000))
+            .max(100)
+            .min(total / 2);
+        let available = total - fee;
+        let pay_value = self.rng.random_range(1..=available.max(2) - 1).max(1);
+        let change = available - pay_value;
+        let mut outs = Vec::with_capacity(3);
+        // Occasionally split the payment across two payees (batching).
+        if pay_value >= 2 && self.rng.random_range(0..100) < 25 {
+            let first = self.rng.random_range(1..pay_value);
+            for v in [first, pay_value - first] {
+                let payee = self.rng.random_range(0..self.keys.len());
+                outs.push(TxOutput {
+                    value: v,
+                    script: ScriptPubKey::P2pk(self.keys[payee].public().clone()),
+                });
+            }
+        } else {
+            let payee = self.rng.random_range(0..self.keys.len());
+            outs.push(TxOutput {
+                value: pay_value,
+                script: ScriptPubKey::P2pk(self.keys[payee].public().clone()),
+            });
+        }
+        if change > 0 {
+            outs.push(TxOutput {
+                value: change,
+                script: ScriptPubKey::P2pk(self.keys[owner].public().clone()),
+            });
+        }
+        let points: Vec<OutPoint> = inputs.iter().map(|s| s.point).collect();
+        let msg = Transaction::signing_digest(&points, &outs);
+        Transaction::new(
+            inputs
+                .iter()
+                .map(|s| TxInput {
+                    prev: s.point,
+                    script_sig: ScriptSig::Sig(self.keys[s.owner].sign(&msg)),
+                    spender: self.keys[s.owner].public().clone(),
+                })
+                .collect(),
+            outs,
+        )
+    }
+
+    /// Issues one pending payment into the mempool; returns false if no
+    /// spendable output was available.
+    fn issue_payment(&mut self, allow_pending_parent: bool, dependency_pct: u32) -> bool {
+        let use_pending = allow_pending_parent
+            && !self.pending_outputs.is_empty()
+            && self.rng.random_range(0..100) < dependency_pct;
+        let source = if use_pending {
+            let i = self.rng.random_range(0..self.pending_outputs.len());
+            self.pending_outputs.swap_remove(i)
+        } else {
+            if self.confirmed.is_empty() {
+                return false;
+            }
+            let i = self.rng.random_range(0..self.confirmed.len());
+            self.confirmed.swap_remove(i)
+        };
+        if source.value < 1000 {
+            return false; // dust; skip
+        }
+        // Occasionally consolidate a second confirmed coin of the same
+        // owner (multi-input transactions, §2's many-to-many transfers).
+        let mut inputs = vec![source];
+        if self.rng.random_range(0..100) < 25 {
+            if let Some(i) = self
+                .confirmed
+                .iter()
+                .position(|s| s.owner == inputs[0].owner)
+            {
+                inputs.push(self.confirmed.swap_remove(i));
+            }
+        }
+        let tx = self.payment(&inputs);
+        for s in &inputs {
+            self.reserved.insert(s.point);
+        }
+        if self.mempool.insert(&self.chain, tx.clone()).is_ok() {
+            for (i, out) in tx.outputs().iter().enumerate() {
+                if let Some(owner) = self.owner_of(&out.script) {
+                    self.pending_outputs.push(Spendable {
+                        point: tx.outpoint(i as u32 + 1),
+                        value: out.value,
+                        owner,
+                    });
+                }
+            }
+            true
+        } else {
+            false
+        }
+    }
+
+    fn mine_block(&mut self) {
+        let miner = self.keys[0].clone();
+        let keys = self.keys.clone();
+        let ring = Keyring::new(&keys);
+        let block = build_block_template(&self.chain, &self.mempool, &ring, &miner);
+        let mined: Vec<_> = block.transactions[1..].iter().map(|t| t.txid()).collect();
+        self.chain
+            .append(block, &ring)
+            .expect("template blocks always validate");
+        self.mempool.purge_after_block(&self.chain, &mined);
+        // Everything pending was either mined or purged; reset tracking.
+        self.pending_outputs.clear();
+        self.reserved.clear();
+        // Re-admit any survivors' reservations.
+        for e in self.mempool.entries() {
+            for i in e.tx.inputs() {
+                self.reserved.insert(i.prev);
+            }
+        }
+        self.refresh_confirmed();
+    }
+
+    /// Injects one contradiction: re-spends an outpoint already consumed by
+    /// a pending transaction, to a different payee with a higher fee — the
+    /// "reissue with increased fee" of the paper's motivating example.
+    fn inject_contradiction(&mut self) -> bool {
+        // Choose a random pending non-dependent input that is a chain UTXO.
+        let candidates: Vec<(OutPoint, u64, usize)> = self
+            .mempool
+            .entries()
+            .iter()
+            .flat_map(|e| e.tx.inputs())
+            .filter_map(|i| {
+                let out = self.chain.utxo().get(&i.prev)?;
+                let owner = self.owner_of(&out.script)?;
+                Some((i.prev, out.value, owner))
+            })
+            .collect();
+        if candidates.is_empty() {
+            return false;
+        }
+        let (point, value, owner) = candidates[self.rng.random_range(0..candidates.len())];
+        if value < 1000 {
+            return false;
+        }
+        let spend = Spendable {
+            point,
+            value,
+            owner,
+        };
+        let tx = self.payment(&[spend]);
+        self.mempool.insert(&self.chain, tx).is_ok()
+    }
+}
+
+/// Generates a scenario per `config`.
+pub fn generate(config: &ScenarioConfig) -> Scenario {
+    let mut g = Generator::new(config);
+    // Bootstrap funding: mine empty blocks so wallet 0 accrues subsidies,
+    // then fan value out through normal payment rounds.
+    for _ in 0..8 {
+        g.mine_block();
+    }
+    for _ in 0..config.blocks {
+        let n = g.confirmed.len().min(config.txs_per_block);
+        for _ in 0..n {
+            g.issue_payment(true, config.chain_dependency_pct);
+        }
+        g.mine_block();
+    }
+    // Leave the requested pending set in the mempool.
+    let mut attempts = 0;
+    while g.mempool.len() < config.pending_txs && attempts < config.pending_txs * 4 {
+        g.issue_payment(true, config.chain_dependency_pct);
+        attempts += 1;
+    }
+    let mut injected = 0;
+    let mut tries = 0;
+    while injected < config.contradictions && tries < config.contradictions * 20 {
+        if g.inject_contradiction() {
+            injected += 1;
+        }
+        tries += 1;
+    }
+    Scenario {
+        chain: g.chain,
+        mempool: g.mempool,
+        keys: g.keys,
+        config: config.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ScenarioConfig {
+        ScenarioConfig {
+            seed: 7,
+            wallets: 10,
+            blocks: 10,
+            txs_per_block: 5,
+            pending_txs: 30,
+            contradictions: 3,
+            ..ScenarioConfig::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_shape() {
+        let s = generate(&small());
+        assert!(s.chain.height() >= 10);
+        assert!(s.mempool.len() >= 30, "mempool {}", s.mempool.len());
+        let conflicts = s.mempool.conflict_pairs();
+        assert!(conflicts.len() >= 3, "conflicts {}", conflicts.len());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a.chain.tip().hash(), b.chain.tip().hash());
+        assert_eq!(a.mempool.len(), b.mempool.len());
+        let ta: Vec<_> = a.mempool.entries().iter().map(|e| e.tx.txid()).collect();
+        let tb: Vec<_> = b.mempool.entries().iter().map(|e| e.tx.txid()).collect();
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&small());
+        let b = generate(&ScenarioConfig { seed: 8, ..small() });
+        assert_ne!(a.chain.tip().hash(), b.chain.tip().hash());
+    }
+
+    #[test]
+    fn pending_set_contains_dependency_chains() {
+        let cfg = ScenarioConfig {
+            pending_txs: 60,
+            chain_dependency_pct: 60,
+            ..small()
+        };
+        let s = generate(&cfg);
+        // Some pending tx spends an output created by another pending tx.
+        let pending_txids: FxHashSet<_> = s.mempool.entries().iter().map(|e| e.tx.txid()).collect();
+        let has_chain = s.mempool.entries().iter().any(|e| {
+            e.tx.inputs()
+                .iter()
+                .any(|i| pending_txids.contains(&i.prev.txid))
+        });
+        assert!(has_chain, "expected at least one pending dependency chain");
+    }
+
+    #[test]
+    fn contradictions_spend_same_outpoint() {
+        let s = generate(&small());
+        for (a, b) in s.mempool.conflict_pairs() {
+            let ta = &s.mempool.get(&a).unwrap().tx;
+            let tb = &s.mempool.get(&b).unwrap().tx;
+            let ins_a: FxHashSet<_> = ta.inputs().iter().map(|i| i.prev).collect();
+            assert!(
+                tb.inputs().iter().any(|i| ins_a.contains(&i.prev)),
+                "conflict pair must share an input"
+            );
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Deterministic hashing for the simulated chain.
+//!
+//! Real Bitcoin uses double-SHA256; for the simulator we only need a
+//! deterministic, collision-resistant-in-practice digest for txids, block
+//! hashes, and simulated signatures. A 256-bit digest is derived from four
+//! lanes of an FNV-1a/splitmix64 construction — no cryptographic claims,
+//! but stable across runs and platforms, which the experiments require.
+
+use std::fmt;
+
+/// A 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u64; 4]);
+
+impl Digest {
+    /// The all-zero digest (used as the genesis predecessor).
+    pub const ZERO: Digest = Digest([0; 4]);
+
+    /// Renders the digest as 64 lowercase hex characters.
+    pub fn to_hex(self) -> String {
+        let mut s = String::with_capacity(64);
+        for lane in self.0 {
+            s.push_str(&format!("{lane:016x}"));
+        }
+        s
+    }
+
+    /// A short 16-hex-character prefix (convenient display id).
+    pub fn short(self) -> String {
+        format!("{:016x}", self.0[0])
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_hex())
+    }
+}
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// An incremental hasher producing a [`Digest`].
+#[derive(Clone, Debug)]
+pub struct Hasher {
+    lanes: [u64; 4],
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Hasher {
+    /// Starts a fresh hasher.
+    pub fn new() -> Self {
+        Hasher {
+            lanes: [
+                0xcbf29ce484222325,
+                0x9e3779b97f4a7c15,
+                0x6a09e667f3bcc908,
+                0xbb67ae8584caa73b,
+            ],
+        }
+    }
+
+    /// Absorbs a 64-bit word.
+    pub fn write_u64(&mut self, v: u64) -> &mut Self {
+        for (i, lane) in self.lanes.iter_mut().enumerate() {
+            *lane = splitmix64(*lane ^ v.rotate_left(i as u32 * 16));
+        }
+        self
+    }
+
+    /// Absorbs bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) -> &mut Self {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+        self.write_u64(bytes.len() as u64);
+        self
+    }
+
+    /// Absorbs a string.
+    pub fn write_str(&mut self, s: &str) -> &mut Self {
+        self.write_bytes(s.as_bytes())
+    }
+
+    /// Absorbs another digest.
+    pub fn write_digest(&mut self, d: &Digest) -> &mut Self {
+        for lane in d.0 {
+            self.write_u64(lane);
+        }
+        self
+    }
+
+    /// Produces the digest.
+    pub fn finish(&self) -> Digest {
+        let mut out = self.lanes;
+        for (i, lane) in out.iter_mut().enumerate() {
+            *lane = splitmix64(lane.wrapping_add(i as u64));
+        }
+        Digest(out)
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn hash_bytes(bytes: &[u8]) -> Digest {
+    let mut h = Hasher::new();
+    h.write_bytes(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_calls() {
+        assert_eq!(hash_bytes(b"abc"), hash_bytes(b"abc"));
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abd"));
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abcd"));
+    }
+
+    #[test]
+    fn length_matters() {
+        // Same words, different lengths must differ.
+        assert_ne!(hash_bytes(b"a\0"), hash_bytes(b"a"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Hasher::new();
+        a.write_u64(1).write_u64(2);
+        let mut b = Hasher::new();
+        b.write_u64(2).write_u64(1);
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_rendering() {
+        let d = hash_bytes(b"hello");
+        assert_eq!(d.to_hex().len(), 64);
+        assert!(d.to_hex().chars().all(|c| c.is_ascii_hexdigit()));
+        assert_eq!(d.short().len(), 16);
+        assert!(d.to_hex().starts_with(&d.short()));
+    }
+
+    #[test]
+    fn no_trivial_collisions_in_small_space() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            let mut h = Hasher::new();
+            h.write_u64(i);
+            assert!(seen.insert(h.finish()), "collision at {i}");
+        }
+    }
+}

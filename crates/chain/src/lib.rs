@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! A Bitcoin-shaped blockchain simulator and workload generator.
+//!
+//! The paper's experiments (§7) run against real Bitcoin data: the first
+//! 100k–300k blocks as the current state, subsequent blocks as pending
+//! transactions, and injected double spends as FD contradictions. This
+//! crate builds the equivalent synthetic substrate from scratch:
+//!
+//! * UTXO [`tx`] transactions with fees, [`script`]s (P2PK / multisig /
+//!   hash locks) and simulated [`keys`];
+//! * [`block`]s and chain validation, a fee-greedy [`miner`] (the paper's
+//!   "constrained knapsack"), and a conflict-admitting [`mempool`];
+//! * a deterministic scenario [`generator`] with dataset presets
+//!   ([`params`]) mirroring Table 1;
+//! * a relational [`export()`] into the paper's `TxOut`/`TxIn` schema with
+//!   its keys and inclusion dependencies (Example 1).
+
+pub mod block;
+pub mod conflict;
+pub mod export;
+pub mod export_io;
+pub mod generator;
+pub mod hash;
+pub mod keys;
+pub mod mempool;
+pub mod miner;
+pub mod params;
+pub mod script;
+pub mod tx;
+pub mod utxo;
+
+pub use block::{Block, BlockError, Blockchain, ChainParams};
+pub use conflict::{derive_contradiction, ConflictError};
+pub use export::{bitcoin_catalog, export, feerate_probabilities, ExportCounts, RelationalExport};
+pub use export_io::{
+    read_export, read_export_file, write_export, write_export_file, ExportIoError,
+};
+pub use generator::{generate, Scenario, ScenarioConfig};
+pub use hash::{hash_bytes, Digest, Hasher};
+pub use keys::{KeyPair, PublicKey, Signature};
+pub use mempool::{Mempool, MempoolEntry, MempoolError};
+pub use miner::build_block_template;
+pub use params::Dataset;
+pub use script::{verify_spend, Keyring, ScriptPubKey, ScriptSig};
+pub use tx::{OutPoint, Transaction, TxInput, TxOutput};
+pub use utxo::{TxError, UtxoSet};

@@ -1,0 +1,284 @@
+//! The mempool: issued-but-unaccepted transactions (§2).
+//!
+//! Unlike a node implementation that rejects conflicting transactions, the
+//! mempool here deliberately *admits* conflicts (double spends) and
+//! dependency chains — they are precisely the pending-transaction structure
+//! the paper reasons about, and the contradiction-injection experiments
+//! (Fig. 6e/6f) require them.
+
+use crate::block::Blockchain;
+use crate::hash::Digest;
+use crate::tx::{OutPoint, Transaction, TxOutput};
+use rustc_hash::FxHashMap;
+
+/// A mempool entry: the transaction plus its fee and fee rate.
+#[derive(Clone, Debug)]
+pub struct MempoolEntry {
+    /// The transaction.
+    pub tx: Transaction,
+    /// Fee in satoshis.
+    pub fee: u64,
+    /// Fee per vsize byte ×1000 (integer millisats/vB).
+    pub feerate_millisats: u64,
+}
+
+/// Why a transaction was refused by the mempool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MempoolError {
+    /// An input could not be resolved in the chain UTXO set or the mempool.
+    UnresolvableInput(OutPoint),
+    /// Output value exceeds input value.
+    NegativeFee,
+    /// The txid is already present.
+    Duplicate,
+    /// Coinbases do not enter mempools.
+    Coinbase,
+}
+
+/// The set of pending transactions known to the node.
+#[derive(Clone, Debug, Default)]
+pub struct Mempool {
+    entries: Vec<MempoolEntry>,
+    by_txid: FxHashMap<Digest, usize>,
+    /// outpoint -> (creating mempool txid) for dependency resolution.
+    outputs: FxHashMap<OutPoint, usize>,
+}
+
+impl Mempool {
+    /// An empty mempool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the mempool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The entries, in insertion order.
+    pub fn entries(&self) -> &[MempoolEntry] {
+        &self.entries
+    }
+
+    /// The entry with the given txid.
+    pub fn get(&self, txid: &Digest) -> Option<&MempoolEntry> {
+        self.by_txid.get(txid).map(|&i| &self.entries[i])
+    }
+
+    /// Resolves the output an outpoint refers to, looking first at the
+    /// chain's UTXO set, then at outputs created by mempool transactions
+    /// (spent or conflicted outpoints on chain resolve to `None`).
+    pub fn resolve_output<'a>(
+        &'a self,
+        chain: &'a Blockchain,
+        point: &OutPoint,
+    ) -> Option<&'a TxOutput> {
+        if let Some(out) = chain.utxo().get(point) {
+            return Some(out);
+        }
+        self.outputs
+            .get(point)
+            .map(|&i| &self.entries[i].tx.outputs()[(point.vout - 1) as usize])
+    }
+
+    /// Admits a transaction, computing its fee against the chain + mempool
+    /// view. Conflicting (double-spending) transactions are admitted; the
+    /// consensus layer will pick at most one of each conflict set.
+    pub fn insert(&mut self, chain: &Blockchain, tx: Transaction) -> Result<u64, MempoolError> {
+        if tx.is_coinbase() {
+            return Err(MempoolError::Coinbase);
+        }
+        if self.by_txid.contains_key(&tx.txid()) {
+            return Err(MempoolError::Duplicate);
+        }
+        let mut input_value: u64 = 0;
+        for input in tx.inputs() {
+            let out = self
+                .resolve_output(chain, &input.prev)
+                .ok_or(MempoolError::UnresolvableInput(input.prev))?;
+            input_value += out.value;
+        }
+        let output_value = tx.output_value();
+        if output_value > input_value {
+            return Err(MempoolError::NegativeFee);
+        }
+        let fee = input_value - output_value;
+        let idx = self.entries.len();
+        let feerate_millisats = fee.saturating_mul(1000) / tx.vsize() as u64;
+        self.by_txid.insert(tx.txid(), idx);
+        for i in 0..tx.outputs().len() {
+            self.outputs.insert(tx.outpoint(i as u32 + 1), idx);
+        }
+        self.entries.push(MempoolEntry {
+            tx,
+            fee,
+            feerate_millisats,
+        });
+        Ok(fee)
+    }
+
+    /// Removes every transaction whose txid is in `mined`, plus any
+    /// transaction that directly conflicts with (shares an input with) a
+    /// mined one or whose ancestry disappeared. Mirrors a node updating
+    /// its mempool after a block: "conflicting transactions … are
+    /// immediately discarded".
+    pub fn purge_after_block(&mut self, chain: &Blockchain, mined: &[Digest]) {
+        let old = std::mem::take(&mut self.entries);
+        self.by_txid.clear();
+        self.outputs.clear();
+        for entry in old {
+            if mined.contains(&entry.tx.txid()) {
+                continue;
+            }
+            // Re-admit; drops entries whose inputs became unresolvable
+            // (spent by a mined conflict and not re-creatable).
+            let _ = self.insert(chain, entry.tx);
+        }
+    }
+
+    /// Pending transactions whose inputs collide — the double-spend pairs.
+    pub fn conflict_pairs(&self) -> Vec<(Digest, Digest)> {
+        let mut by_input: FxHashMap<OutPoint, Vec<Digest>> = FxHashMap::default();
+        for e in &self.entries {
+            for i in e.tx.inputs() {
+                by_input.entry(i.prev).or_default().push(e.tx.txid());
+            }
+        }
+        let mut out = Vec::new();
+        for group in by_input.values() {
+            for (i, a) in group.iter().enumerate() {
+                for b in &group[i + 1..] {
+                    out.push((*a, *b));
+                }
+            }
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{Block, ChainParams};
+    use crate::keys::KeyPair;
+    use crate::script::{Keyring, ScriptPubKey, ScriptSig};
+    use crate::tx::TxInput;
+
+    fn funded_chain(kp: &KeyPair) -> (Blockchain, Transaction) {
+        let keys = vec![kp.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        let cb = Transaction::new(
+            vec![],
+            vec![TxOutput {
+                value: 100_000,
+                script: ScriptPubKey::P2pk(kp.public().clone()),
+            }],
+        );
+        let b = Block::new(1, chain.tip().hash(), vec![cb.clone()]);
+        chain.append(b, &ring).unwrap();
+        (chain, cb)
+    }
+
+    fn pay(from: &KeyPair, prev: OutPoint, to: &KeyPair, value: u64) -> Transaction {
+        let outs = vec![TxOutput {
+            value,
+            script: ScriptPubKey::P2pk(to.public().clone()),
+        }];
+        let msg = Transaction::signing_digest(&[prev], &outs);
+        Transaction::new(
+            vec![TxInput {
+                prev,
+                script_sig: ScriptSig::Sig(from.sign(&msg)),
+                spender: from.public().clone(),
+            }],
+            outs,
+        )
+    }
+
+    #[test]
+    fn fees_and_dependencies() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let (chain, cb) = funded_chain(&alice);
+        let mut pool = Mempool::new();
+        let t1 = pay(&alice, cb.outpoint(1), &bob, 90_000);
+        let fee = pool.insert(&chain, t1.clone()).unwrap();
+        assert_eq!(fee, 10_000);
+        // Child spends the mempool-created output.
+        let t2 = pay(&bob, t1.outpoint(1), &alice, 85_000);
+        let fee2 = pool.insert(&chain, t2.clone()).unwrap();
+        assert_eq!(fee2, 5_000);
+        assert_eq!(pool.len(), 2);
+        assert!(pool.get(&t1.txid()).is_some());
+        // Unresolvable input rejected.
+        let bogus = pay(
+            &alice,
+            OutPoint {
+                txid: crate::hash::hash_bytes(b"x"),
+                vout: 1,
+            },
+            &bob,
+            1,
+        );
+        assert!(matches!(
+            pool.insert(&chain, bogus),
+            Err(MempoolError::UnresolvableInput(_))
+        ));
+        // Duplicate rejected.
+        assert_eq!(pool.insert(&chain, t1), Err(MempoolError::Duplicate));
+    }
+
+    #[test]
+    fn conflicts_are_admitted_and_reported() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let carol = KeyPair::from_secret(3);
+        let (chain, cb) = funded_chain(&alice);
+        let mut pool = Mempool::new();
+        let t1 = pay(&alice, cb.outpoint(1), &bob, 90_000);
+        let t2 = pay(&alice, cb.outpoint(1), &carol, 95_000); // double spend
+        pool.insert(&chain, t1.clone()).unwrap();
+        pool.insert(&chain, t2.clone()).unwrap();
+        assert_eq!(pool.len(), 2);
+        let pairs = pool.conflict_pairs();
+        assert_eq!(pairs.len(), 1);
+        let (a, b) = pairs[0];
+        assert!(a == t1.txid() || b == t1.txid());
+    }
+
+    #[test]
+    fn purge_after_block_drops_mined_and_conflicts() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let carol = KeyPair::from_secret(3);
+        let keys = vec![alice.clone(), bob.clone(), carol.clone()];
+        let ring = Keyring::new(&keys);
+        let (mut chain, cb) = funded_chain(&alice);
+        let mut pool = Mempool::new();
+        let t1 = pay(&alice, cb.outpoint(1), &bob, 90_000);
+        let t2 = pay(&alice, cb.outpoint(1), &carol, 95_000);
+        pool.insert(&chain, t1.clone()).unwrap();
+        pool.insert(&chain, t2.clone()).unwrap();
+        // Mine t1.
+        let cb2 = Transaction::new(
+            vec![],
+            vec![TxOutput {
+                value: chain.params().subsidy,
+                script: ScriptPubKey::P2pk(alice.public().clone()),
+            }],
+        );
+        let b2 = Block::new(2, chain.tip().hash(), vec![cb2, t1.clone()]);
+        chain.append(b2, &ring).unwrap();
+        pool.purge_after_block(&chain, &[t1.txid()]);
+        // t2 conflicted with the mined t1 -> dropped.
+        assert!(pool.is_empty());
+    }
+}

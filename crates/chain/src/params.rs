@@ -1,0 +1,113 @@
+//! Dataset presets mirroring the paper's Table 1, scaled to laptop size.
+//!
+//! The paper used the first 100k/200k/300k real Bitcoin blocks
+//! (217k/7.3M/38.5M transactions) with ~2.7k/3.7k/2.8k pending
+//! transactions and 10–50 injected FD contradictions. Absolute base sizes
+//! are scaled down (the algorithms' asymptotics are dominated by the
+//! pending set and index lookups, not base cardinality), while the
+//! *pending-set sizes and contradiction counts are kept at the paper's
+//! values* since they drive clique enumeration and component structure.
+
+use crate::generator::ScenarioConfig;
+
+/// A named dataset preset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dataset {
+    /// Scaled counterpart of the paper's D100.
+    D100,
+    /// Scaled counterpart of the paper's D200 (the default dataset).
+    D200,
+    /// Scaled counterpart of the paper's D300.
+    D300,
+    /// A small dataset for tests and smoke runs.
+    Small,
+}
+
+impl Dataset {
+    /// The preset's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Dataset::D100 => "D100",
+            Dataset::D200 => "D200",
+            Dataset::D300 => "D300",
+            Dataset::Small => "Small",
+        }
+    }
+
+    /// The generator configuration for this preset.
+    pub fn config(self, seed: u64) -> ScenarioConfig {
+        match self {
+            Dataset::D100 => ScenarioConfig {
+                seed,
+                wallets: 120,
+                blocks: 180,
+                txs_per_block: 28,
+                pending_txs: 2741,
+                contradictions: 20,
+                chain_dependency_pct: 30,
+                ..ScenarioConfig::default()
+            },
+            Dataset::D200 => ScenarioConfig {
+                seed,
+                wallets: 200,
+                blocks: 400,
+                txs_per_block: 55,
+                pending_txs: 3733,
+                contradictions: 20,
+                chain_dependency_pct: 30,
+                ..ScenarioConfig::default()
+            },
+            Dataset::D300 => ScenarioConfig {
+                seed,
+                wallets: 300,
+                blocks: 700,
+                txs_per_block: 85,
+                pending_txs: 2766,
+                contradictions: 20,
+                chain_dependency_pct: 30,
+                ..ScenarioConfig::default()
+            },
+            Dataset::Small => ScenarioConfig {
+                seed,
+                wallets: 20,
+                blocks: 20,
+                txs_per_block: 8,
+                pending_txs: 60,
+                contradictions: 5,
+                chain_dependency_pct: 30,
+                ..ScenarioConfig::default()
+            },
+        }
+    }
+
+    /// All paper-scale presets, smallest first.
+    pub fn paper_presets() -> [Dataset; 3] {
+        [Dataset::D100, Dataset::D200, Dataset::D300]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let d100 = Dataset::D100.config(1);
+        let d200 = Dataset::D200.config(1);
+        let d300 = Dataset::D300.config(1);
+        assert!(d100.blocks < d200.blocks && d200.blocks < d300.blocks);
+        assert!(d100.txs_per_block < d200.txs_per_block);
+        // Pending sizes match the paper's Table 1 exactly.
+        assert_eq!(d100.pending_txs, 2741);
+        assert_eq!(d200.pending_txs, 3733);
+        assert_eq!(d300.pending_txs, 2766);
+        // Default contradictions match the paper's default of 20.
+        assert_eq!(d200.contradictions, 20);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Dataset::D200.name(), "D200");
+        assert_eq!(Dataset::Small.name(), "Small");
+    }
+}

@@ -1,0 +1,251 @@
+//! Output scripts and their spending conditions.
+//!
+//! §2 of the paper: "Outputs are essentially an association between an
+//! amount of bitcoins and a script that specifies how this money is to be
+//! claimed. The typical script requires the spender to present a valid
+//! cryptographic signature…, but other scripts are also possible, e.g.,
+//! requiring a preimage to a cryptographic hash…, or several signatures
+//! matching different public keys." All three are modelled.
+
+use crate::hash::{hash_bytes, Digest};
+use crate::keys::{KeyPair, PublicKey, Signature};
+
+/// The challenge attached to a transaction output.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptPubKey {
+    /// Pay-to-public-key: one signature from the named key.
+    P2pk(PublicKey),
+    /// m-of-n multisignature.
+    MultiSig {
+        /// Required number of signatures.
+        threshold: usize,
+        /// The eligible keys.
+        keys: Vec<PublicKey>,
+    },
+    /// Hash lock: reveal a preimage of the digest.
+    HashLock(Digest),
+}
+
+impl ScriptPubKey {
+    /// The "owner" key for relational export: the single key for P2PK, the
+    /// first key for multisig, a synthetic text for hash locks.
+    pub fn display_owner(&self) -> String {
+        match self {
+            ScriptPubKey::P2pk(pk) => pk.as_str().to_string(),
+            ScriptPubKey::MultiSig { keys, .. } => keys
+                .first()
+                .map(|k| k.as_str().to_string())
+                .unwrap_or_else(|| "multisig".into()),
+            ScriptPubKey::HashLock(d) => format!("hashlock{}", d.short()),
+        }
+    }
+}
+
+/// The response presented by a transaction input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScriptSig {
+    /// A single signature (for [`ScriptPubKey::P2pk`]).
+    Sig(Signature),
+    /// Several (key, signature) pairs (for [`ScriptPubKey::MultiSig`]).
+    MultiSig(Vec<(PublicKey, Signature)>),
+    /// A revealed preimage (for [`ScriptPubKey::HashLock`]).
+    Preimage(Vec<u8>),
+}
+
+impl ScriptSig {
+    /// The signature text for relational export (first signature, or a
+    /// digest of the preimage).
+    pub fn display_sig(&self) -> String {
+        match self {
+            ScriptSig::Sig(s) => s.as_str().to_string(),
+            ScriptSig::MultiSig(sigs) => sigs
+                .first()
+                .map(|(_, s)| s.as_str().to_string())
+                .unwrap_or_else(|| "multisig".into()),
+            ScriptSig::Preimage(p) => format!("pre{}", hash_bytes(p).short()),
+        }
+    }
+}
+
+/// Spending-time verification context: the signing message (the new
+/// transaction's digest) and the keyring able to check signatures.
+///
+/// Because signatures in the simulation can only be recomputed by the
+/// secret holder, chain-level validation verifies through a [`Keyring`]
+/// of known key pairs — the simulator's stand-in for public-key math.
+pub struct Keyring<'a> {
+    keys: &'a [KeyPair],
+}
+
+impl<'a> Keyring<'a> {
+    /// Wraps a slice of key pairs.
+    pub fn new(keys: &'a [KeyPair]) -> Self {
+        Keyring { keys }
+    }
+
+    fn find(&self, pk: &PublicKey) -> Option<&KeyPair> {
+        self.keys.iter().find(|k| k.public() == pk)
+    }
+
+    /// Verifies `sig` as `pk`'s signature over `message`.
+    pub fn verify(&self, pk: &PublicKey, message: &Digest, sig: &Signature) -> bool {
+        self.find(pk).is_some_and(|kp| kp.verify_own(message, sig))
+    }
+}
+
+/// Checks whether `script_sig` satisfies `script_pubkey` for the spending
+/// transaction whose signing digest is `message`.
+pub fn verify_spend(
+    script_pubkey: &ScriptPubKey,
+    script_sig: &ScriptSig,
+    message: &Digest,
+    keyring: &Keyring<'_>,
+) -> bool {
+    match (script_pubkey, script_sig) {
+        (ScriptPubKey::P2pk(pk), ScriptSig::Sig(sig)) => keyring.verify(pk, message, sig),
+        (ScriptPubKey::MultiSig { threshold, keys }, ScriptSig::MultiSig(sigs)) => {
+            let mut used: Vec<&PublicKey> = Vec::new();
+            let mut valid = 0usize;
+            for (pk, sig) in sigs {
+                if !keys.contains(pk) || used.contains(&pk) {
+                    continue;
+                }
+                if keyring.verify(pk, message, sig) {
+                    used.push(pk);
+                    valid += 1;
+                }
+            }
+            valid >= *threshold
+        }
+        (ScriptPubKey::HashLock(digest), ScriptSig::Preimage(pre)) => hash_bytes(pre) == *digest,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::hash_bytes;
+
+    fn keys(n: u64) -> Vec<KeyPair> {
+        (0..n).map(KeyPair::from_secret).collect()
+    }
+
+    #[test]
+    fn p2pk_accepts_only_owner_signature() {
+        let ks = keys(2);
+        let ring = Keyring::new(&ks);
+        let msg = hash_bytes(b"spend");
+        let script = ScriptPubKey::P2pk(ks[0].public().clone());
+        assert!(verify_spend(
+            &script,
+            &ScriptSig::Sig(ks[0].sign(&msg)),
+            &msg,
+            &ring
+        ));
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::Sig(ks[1].sign(&msg)),
+            &msg,
+            &ring
+        ));
+        let other_msg = hash_bytes(b"other");
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::Sig(ks[0].sign(&other_msg)),
+            &msg,
+            &ring
+        ));
+    }
+
+    #[test]
+    fn multisig_two_of_three() {
+        let ks = keys(4);
+        let ring = Keyring::new(&ks);
+        let msg = hash_bytes(b"spend");
+        let script = ScriptPubKey::MultiSig {
+            threshold: 2,
+            keys: vec![
+                ks[0].public().clone(),
+                ks[1].public().clone(),
+                ks[2].public().clone(),
+            ],
+        };
+        let sig = |i: usize| (ks[i].public().clone(), ks[i].sign(&msg));
+        assert!(verify_spend(
+            &script,
+            &ScriptSig::MultiSig(vec![sig(0), sig(2)]),
+            &msg,
+            &ring
+        ));
+        // One signature is not enough; duplicates don't count twice.
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::MultiSig(vec![sig(0)]),
+            &msg,
+            &ring
+        ));
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::MultiSig(vec![sig(0), sig(0)]),
+            &msg,
+            &ring
+        ));
+        // A non-member key does not help.
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::MultiSig(vec![sig(0), sig(3)]),
+            &msg,
+            &ring
+        ));
+    }
+
+    #[test]
+    fn hashlock_requires_exact_preimage() {
+        let ring = Keyring::new(&[]);
+        let msg = hash_bytes(b"spend");
+        let script = ScriptPubKey::HashLock(hash_bytes(b"secret"));
+        assert!(verify_spend(
+            &script,
+            &ScriptSig::Preimage(b"secret".to_vec()),
+            &msg,
+            &ring
+        ));
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::Preimage(b"wrong".to_vec()),
+            &msg,
+            &ring
+        ));
+    }
+
+    #[test]
+    fn mismatched_script_kinds_fail() {
+        let ks = keys(1);
+        let ring = Keyring::new(&ks);
+        let msg = hash_bytes(b"spend");
+        let script = ScriptPubKey::P2pk(ks[0].public().clone());
+        assert!(!verify_spend(
+            &script,
+            &ScriptSig::Preimage(b"x".to_vec()),
+            &msg,
+            &ring
+        ));
+    }
+
+    #[test]
+    fn display_owner_forms() {
+        let ks = keys(2);
+        assert!(ScriptPubKey::P2pk(ks[0].public().clone())
+            .display_owner()
+            .starts_with("pk"));
+        assert!(ScriptPubKey::HashLock(hash_bytes(b"s"))
+            .display_owner()
+            .starts_with("hashlock"));
+        let ms = ScriptPubKey::MultiSig {
+            threshold: 1,
+            keys: vec![ks[1].public().clone()],
+        };
+        assert_eq!(ms.display_owner(), ks[1].public().as_str());
+    }
+}

@@ -1,0 +1,202 @@
+//! Transactions: many-to-many transfers from inputs to outputs (§2).
+
+use crate::hash::{Digest, Hasher};
+use crate::keys::PublicKey;
+use crate::script::{ScriptPubKey, ScriptSig};
+
+/// A reference to a previous transaction output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OutPoint {
+    /// The creating transaction.
+    pub txid: Digest,
+    /// Output serial within that transaction (1-based, like the paper's
+    /// `ser` attribute).
+    pub vout: u32,
+}
+
+/// A transaction input: points at a previous output and provides the
+/// response to its script's challenge. Inputs fully spend the referenced
+/// output (§2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxInput {
+    /// The consumed output.
+    pub prev: OutPoint,
+    /// The spending response.
+    pub script_sig: ScriptSig,
+    /// The public key claiming the spend (denormalised for the relational
+    /// export's `pk` attribute; validated against the consumed script).
+    pub spender: PublicKey,
+}
+
+/// A transaction output: an amount and the script controlling it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TxOutput {
+    /// Amount in satoshis.
+    pub value: u64,
+    /// The spending challenge.
+    pub script: ScriptPubKey,
+}
+
+/// A transaction. The txid is a digest of the full contents, computed at
+/// construction (Bitcoin's historical malleability — §1's MtGox example —
+/// came precisely from script data being part of the id; we keep that
+/// fidelity: re-signing the same transfer yields a different txid).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Transaction {
+    inputs: Vec<TxInput>,
+    outputs: Vec<TxOutput>,
+    txid: Digest,
+}
+
+impl Transaction {
+    /// Builds a transaction and computes its txid.
+    pub fn new(inputs: Vec<TxInput>, outputs: Vec<TxOutput>) -> Self {
+        let mut h = Hasher::new();
+        h.write_str("tx");
+        for i in &inputs {
+            h.write_digest(&i.prev.txid).write_u64(i.prev.vout as u64);
+            h.write_str(&i.script_sig.display_sig());
+            h.write_str(i.spender.as_str());
+        }
+        for o in &outputs {
+            h.write_u64(o.value);
+            h.write_str(&o.script.display_owner());
+        }
+        let txid = h.finish();
+        Transaction {
+            inputs,
+            outputs,
+            txid,
+        }
+    }
+
+    /// The digest signed by spenders: commits to the transfer (outpoints
+    /// and outputs) but not to the signatures themselves.
+    pub fn signing_digest(inputs: &[OutPoint], outputs: &[TxOutput]) -> Digest {
+        let mut h = Hasher::new();
+        h.write_str("signing");
+        for p in inputs {
+            h.write_digest(&p.txid).write_u64(p.vout as u64);
+        }
+        for o in outputs {
+            h.write_u64(o.value);
+            h.write_str(&o.script.display_owner());
+        }
+        h.finish()
+    }
+
+    /// The transaction id.
+    pub fn txid(&self) -> Digest {
+        self.txid
+    }
+
+    /// The inputs.
+    pub fn inputs(&self) -> &[TxInput] {
+        &self.inputs
+    }
+
+    /// The outputs.
+    pub fn outputs(&self) -> &[TxOutput] {
+        &self.outputs
+    }
+
+    /// Whether this is a coinbase (block-reward) transaction: no inputs.
+    pub fn is_coinbase(&self) -> bool {
+        self.inputs.is_empty()
+    }
+
+    /// Total output value in satoshis.
+    pub fn output_value(&self) -> u64 {
+        self.outputs.iter().map(|o| o.value).sum()
+    }
+
+    /// Virtual size estimate in bytes (drives the block-space knapsack:
+    /// "blocks have a maximum length; transactions have varying lengths
+    /// and fees").
+    pub fn vsize(&self) -> usize {
+        10 + 68 * self.inputs.len() + 31 * self.outputs.len()
+    }
+
+    /// The outpoint of this transaction's `vout`-th output (1-based).
+    pub fn outpoint(&self, vout: u32) -> OutPoint {
+        debug_assert!(vout >= 1 && (vout as usize) <= self.outputs.len());
+        OutPoint {
+            txid: self.txid,
+            vout,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+
+    fn p2pk_out(kp: &KeyPair, value: u64) -> TxOutput {
+        TxOutput {
+            value,
+            script: ScriptPubKey::P2pk(kp.public().clone()),
+        }
+    }
+
+    #[test]
+    fn txid_commits_to_contents() {
+        let kp = KeyPair::from_secret(1);
+        let a = Transaction::new(vec![], vec![p2pk_out(&kp, 50)]);
+        let b = Transaction::new(vec![], vec![p2pk_out(&kp, 50)]);
+        let c = Transaction::new(vec![], vec![p2pk_out(&kp, 51)]);
+        assert_eq!(a.txid(), b.txid());
+        assert_ne!(a.txid(), c.txid());
+    }
+
+    #[test]
+    fn txid_is_malleable_through_signatures() {
+        // Two transactions making the identical transfer but carrying
+        // different witness data have different txids — the malleability
+        // the paper's motivating attack exploited.
+        let kp = KeyPair::from_secret(1);
+        let payee = KeyPair::from_secret(2);
+        let prev = OutPoint {
+            txid: crate::hash::hash_bytes(b"prev"),
+            vout: 1,
+        };
+        let outs = vec![p2pk_out(&payee, 40)];
+        let msg1 = crate::hash::hash_bytes(b"v1");
+        let msg2 = crate::hash::hash_bytes(b"v2");
+        let mk = |msg: &Digest| {
+            Transaction::new(
+                vec![TxInput {
+                    prev,
+                    script_sig: ScriptSig::Sig(kp.sign(msg)),
+                    spender: kp.public().clone(),
+                }],
+                outs.clone(),
+            )
+        };
+        assert_ne!(mk(&msg1).txid(), mk(&msg2).txid());
+    }
+
+    #[test]
+    fn signing_digest_ignores_signatures() {
+        let kp = KeyPair::from_secret(1);
+        let prev = vec![OutPoint {
+            txid: crate::hash::hash_bytes(b"prev"),
+            vout: 1,
+        }];
+        let outs = vec![p2pk_out(&kp, 10)];
+        assert_eq!(
+            Transaction::signing_digest(&prev, &outs),
+            Transaction::signing_digest(&prev, &outs)
+        );
+    }
+
+    #[test]
+    fn coinbase_detection_and_sizes() {
+        let kp = KeyPair::from_secret(1);
+        let cb = Transaction::new(vec![], vec![p2pk_out(&kp, 50)]);
+        assert!(cb.is_coinbase());
+        assert_eq!(cb.output_value(), 50);
+        assert_eq!(cb.vsize(), 10 + 31);
+        assert_eq!(cb.outpoint(1).vout, 1);
+    }
+}

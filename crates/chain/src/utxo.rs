@@ -1,0 +1,305 @@
+//! The unspent-transaction-output set and transaction validation.
+
+use crate::keys::PublicKey;
+use crate::script::{verify_spend, Keyring, ScriptPubKey};
+use crate::tx::{OutPoint, Transaction, TxOutput};
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Why a transaction failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TxError {
+    /// An input references an output that does not exist or is spent.
+    MissingInput(OutPoint),
+    /// Two inputs of the same transaction spend the same outpoint.
+    DuplicateInput(OutPoint),
+    /// Output value exceeds input value (would mint money).
+    ValueOverflow {
+        /// Total input satoshis.
+        input: u64,
+        /// Total output satoshis.
+        output: u64,
+    },
+    /// A script challenge was not satisfied.
+    BadScript(OutPoint),
+    /// A coinbase appeared where one is not allowed, or vice versa.
+    CoinbaseViolation,
+    /// An output has zero value.
+    ZeroValueOutput,
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::MissingInput(p) => {
+                write!(f, "input {}:{} missing or spent", p.txid.short(), p.vout)
+            }
+            TxError::DuplicateInput(p) => {
+                write!(f, "duplicate input {}:{}", p.txid.short(), p.vout)
+            }
+            TxError::ValueOverflow { input, output } => {
+                write!(f, "outputs ({output}) exceed inputs ({input})")
+            }
+            TxError::BadScript(p) => {
+                write!(f, "script check failed for {}:{}", p.txid.short(), p.vout)
+            }
+            TxError::CoinbaseViolation => write!(f, "coinbase rule violated"),
+            TxError::ZeroValueOutput => write!(f, "zero-value output"),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// The set of unspent outputs.
+#[derive(Clone, Debug, Default)]
+pub struct UtxoSet {
+    map: FxHashMap<OutPoint, TxOutput>,
+}
+
+impl UtxoSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of unspent outputs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The output at `point`, if unspent.
+    pub fn get(&self, point: &OutPoint) -> Option<&TxOutput> {
+        self.map.get(point)
+    }
+
+    /// Whether `point` is unspent.
+    pub fn contains(&self, point: &OutPoint) -> bool {
+        self.map.contains_key(point)
+    }
+
+    /// Iterates all unspent outpoints with their outputs.
+    pub fn iter(&self) -> impl Iterator<Item = (&OutPoint, &TxOutput)> {
+        self.map.iter()
+    }
+
+    /// Total unspent value.
+    pub fn total_value(&self) -> u64 {
+        self.map.values().map(|o| o.value).sum()
+    }
+
+    /// Validates `tx` against this set (without applying it). Returns the
+    /// fee. Coinbases are rejected here — they are only valid inside a
+    /// block, validated by the chain.
+    pub fn validate(&self, tx: &Transaction, keyring: &Keyring<'_>) -> Result<u64, TxError> {
+        if tx.is_coinbase() {
+            return Err(TxError::CoinbaseViolation);
+        }
+        if tx.outputs().iter().any(|o| o.value == 0) {
+            return Err(TxError::ZeroValueOutput);
+        }
+        let outpoints: Vec<OutPoint> = tx.inputs().iter().map(|i| i.prev).collect();
+        for (i, p) in outpoints.iter().enumerate() {
+            if outpoints[..i].contains(p) {
+                return Err(TxError::DuplicateInput(*p));
+            }
+        }
+        let message = Transaction::signing_digest(&outpoints, tx.outputs());
+        let mut input_value: u64 = 0;
+        for input in tx.inputs() {
+            let consumed = self
+                .get(&input.prev)
+                .ok_or(TxError::MissingInput(input.prev))?;
+            if !verify_spend(&consumed.script, &input.script_sig, &message, keyring) {
+                return Err(TxError::BadScript(input.prev));
+            }
+            input_value += consumed.value;
+        }
+        let output_value = tx.output_value();
+        if output_value > input_value {
+            return Err(TxError::ValueOverflow {
+                input: input_value,
+                output: output_value,
+            });
+        }
+        Ok(input_value - output_value)
+    }
+
+    /// Applies `tx`: removes its inputs, inserts its outputs. The caller
+    /// must have validated first (this also accepts coinbases).
+    pub fn apply(&mut self, tx: &Transaction) {
+        for input in tx.inputs() {
+            self.map.remove(&input.prev);
+        }
+        for (i, out) in tx.outputs().iter().enumerate() {
+            self.map.insert(tx.outpoint(i as u32 + 1), out.clone());
+        }
+    }
+
+    /// The owner key of an unspent P2PK output, if that is its script kind.
+    pub fn p2pk_owner(&self, point: &OutPoint) -> Option<&PublicKey> {
+        match self.get(point).map(|o| &o.script) {
+            Some(ScriptPubKey::P2pk(pk)) => Some(pk),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::keys::KeyPair;
+    use crate::script::ScriptSig;
+    use crate::tx::TxInput;
+
+    fn coinbase_to(kp: &KeyPair, value: u64, tag: u64) -> Transaction {
+        // `tag` differentiates otherwise-identical coinbases.
+        Transaction::new(
+            vec![],
+            vec![
+                TxOutput {
+                    value,
+                    script: ScriptPubKey::P2pk(kp.public().clone()),
+                },
+                TxOutput {
+                    value: tag + 1,
+                    script: ScriptPubKey::P2pk(kp.public().clone()),
+                },
+            ],
+        )
+    }
+
+    fn spend(from: &KeyPair, prev: OutPoint, to: &KeyPair, value: u64, change: u64) -> Transaction {
+        let outs = vec![
+            TxOutput {
+                value,
+                script: ScriptPubKey::P2pk(to.public().clone()),
+            },
+            TxOutput {
+                value: change,
+                script: ScriptPubKey::P2pk(from.public().clone()),
+            },
+        ];
+        let msg = Transaction::signing_digest(&[prev], &outs);
+        Transaction::new(
+            vec![TxInput {
+                prev,
+                script_sig: ScriptSig::Sig(from.sign(&msg)),
+                spender: from.public().clone(),
+            }],
+            outs,
+        )
+    }
+
+    #[test]
+    fn apply_and_spend_flow() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let keys = vec![alice.clone(), bob.clone()];
+        let ring = Keyring::new(&keys);
+        let mut utxo = UtxoSet::new();
+        let cb = coinbase_to(&alice, 100, 0);
+        utxo.apply(&cb);
+        assert_eq!(utxo.len(), 2);
+        assert_eq!(utxo.total_value(), 101);
+        assert_eq!(utxo.p2pk_owner(&cb.outpoint(1)), Some(alice.public()));
+
+        let tx = spend(&alice, cb.outpoint(1), &bob, 60, 30);
+        let fee = utxo.validate(&tx, &ring).unwrap();
+        assert_eq!(fee, 10);
+        utxo.apply(&tx);
+        assert!(!utxo.contains(&cb.outpoint(1)));
+        assert!(utxo.contains(&tx.outpoint(1)));
+        // Double spend now fails.
+        let tx2 = spend(&alice, cb.outpoint(1), &bob, 50, 40);
+        assert!(matches!(
+            utxo.validate(&tx2, &ring),
+            Err(TxError::MissingInput(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_signer_rejected() {
+        let alice = KeyPair::from_secret(1);
+        let mallory = KeyPair::from_secret(3);
+        let keys = vec![alice.clone(), mallory.clone()];
+        let ring = Keyring::new(&keys);
+        let mut utxo = UtxoSet::new();
+        let cb = coinbase_to(&alice, 100, 0);
+        utxo.apply(&cb);
+        // Mallory signs for Alice's output.
+        let tx = spend(&mallory, cb.outpoint(1), &mallory, 90, 5);
+        assert!(matches!(
+            utxo.validate(&tx, &ring),
+            Err(TxError::BadScript(_))
+        ));
+    }
+
+    #[test]
+    fn value_overflow_rejected() {
+        let alice = KeyPair::from_secret(1);
+        let keys = vec![alice.clone()];
+        let ring = Keyring::new(&keys);
+        let mut utxo = UtxoSet::new();
+        let cb = coinbase_to(&alice, 100, 0);
+        utxo.apply(&cb);
+        let tx = spend(&alice, cb.outpoint(1), &alice, 90, 20); // 110 > 100
+        assert!(matches!(
+            utxo.validate(&tx, &ring),
+            Err(TxError::ValueOverflow {
+                input: 100,
+                output: 110
+            })
+        ));
+    }
+
+    #[test]
+    fn duplicate_inputs_rejected() {
+        let alice = KeyPair::from_secret(1);
+        let keys = vec![alice.clone()];
+        let ring = Keyring::new(&keys);
+        let mut utxo = UtxoSet::new();
+        let cb = coinbase_to(&alice, 100, 0);
+        utxo.apply(&cb);
+        let prev = cb.outpoint(1);
+        let outs = vec![TxOutput {
+            value: 150,
+            script: ScriptPubKey::P2pk(alice.public().clone()),
+        }];
+        let msg = Transaction::signing_digest(&[prev, prev], &outs);
+        let tx = Transaction::new(
+            vec![
+                TxInput {
+                    prev,
+                    script_sig: ScriptSig::Sig(alice.sign(&msg)),
+                    spender: alice.public().clone(),
+                },
+                TxInput {
+                    prev,
+                    script_sig: ScriptSig::Sig(alice.sign(&msg)),
+                    spender: alice.public().clone(),
+                },
+            ],
+            outs,
+        );
+        assert!(matches!(
+            utxo.validate(&tx, &ring),
+            Err(TxError::DuplicateInput(_))
+        ));
+    }
+
+    #[test]
+    fn coinbase_not_directly_validatable() {
+        let alice = KeyPair::from_secret(1);
+        let keys = vec![alice.clone()];
+        let ring = Keyring::new(&keys);
+        let utxo = UtxoSet::new();
+        let cb = coinbase_to(&alice, 100, 0);
+        assert_eq!(utxo.validate(&cb, &ring), Err(TxError::CoinbaseViolation));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property tests for the consensus substrate: miner templates always
+//! validate, respect the size cap, never include conflicting transactions,
+//! and the chain's UTXO set conserves value.
+
+use bcdb_chain::{
+    build_block_template, Block, Blockchain, ChainParams, KeyPair, Keyring, Mempool, OutPoint,
+    ScriptPubKey, ScriptSig, Transaction, TxInput, TxOutput,
+};
+use proptest::prelude::*;
+use rustc_hash::FxHashSet;
+
+fn keys(n: u64) -> Vec<KeyPair> {
+    (0..n).map(KeyPair::from_secret).collect()
+}
+
+fn pay(from: &KeyPair, prev: OutPoint, to: &KeyPair, value: u64, change: u64) -> Transaction {
+    let mut outs = vec![TxOutput {
+        value,
+        script: ScriptPubKey::P2pk(to.public().clone()),
+    }];
+    if change > 0 {
+        outs.push(TxOutput {
+            value: change,
+            script: ScriptPubKey::P2pk(from.public().clone()),
+        });
+    }
+    let msg = Transaction::signing_digest(&[prev], &outs);
+    Transaction::new(
+        vec![TxInput {
+            prev,
+            script_sig: ScriptSig::Sig(from.sign(&msg)),
+            spender: from.public().clone(),
+        }],
+        outs,
+    )
+}
+
+/// Funds wallet 0 with `coins` outputs of 100_000 satoshis each.
+fn funded_chain(ks: &[KeyPair], coins: usize) -> (Blockchain, Transaction) {
+    let ring = Keyring::new(ks);
+    let mut chain = Blockchain::new(ChainParams {
+        subsidy: 100_000 * coins as u64,
+        max_block_vsize: 100_000,
+    });
+    let cb = Transaction::new(
+        vec![],
+        (0..coins)
+            .map(|_| TxOutput {
+                value: 100_000,
+                script: ScriptPubKey::P2pk(ks[0].public().clone()),
+            })
+            .collect(),
+    );
+    let b = Block::new(1, chain.tip().hash(), vec![cb.clone()]);
+    chain.append(b, &ring).unwrap();
+    (chain, cb)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Random mixes of independent, dependent, and conflicting payments:
+    /// the template always appends cleanly, never double-spends, and
+    /// collects fees consistent with the coinbase claim.
+    #[test]
+    fn miner_templates_always_validate(
+        spends in prop::collection::vec((0..6usize, 1..5u64, prop::bool::ANY), 1..10),
+        cap in 200usize..2000,
+    ) {
+        let ks = keys(4);
+        let (_, cb) = funded_chain(&ks, 6);
+        // Rebuild the chain with the requested cap.
+        let mut chain = {
+            let ring = Keyring::new(&ks);
+            let mut c = Blockchain::new(ChainParams { subsidy: 600_000, max_block_vsize: cap.max(200) });
+            let b = Block::new(1, c.tip().hash(), vec![cb.clone()]);
+            c.append(b, &ring).unwrap();
+            c
+        };
+        let mut pool = Mempool::new();
+        let mut children: Vec<Transaction> = Vec::new();
+        for (coin, tenth, spend_child) in spends {
+            let tx = if spend_child && !children.is_empty() {
+                // Spend a mempool-created output (dependency chain).
+                let parent = children.last().unwrap().clone();
+                let value = parent.outputs()[0].value;
+                if value < 2_000 { continue; }
+                pay(&ks[1], parent.outpoint(1), &ks[2], value * tenth / 8, 0)
+            } else {
+                pay(&ks[0], cb.outpoint(coin as u32 % 6 + 1), &ks[1], 10_000 * tenth, 100_000 - 10_000 * tenth - 1_000)
+            };
+            if pool.insert(&chain, tx.clone()).is_ok() {
+                children.push(tx);
+            }
+        }
+        let ring = Keyring::new(&ks);
+        let block = build_block_template(&chain, &pool, &ring, &ks[3]);
+        // Size cap respected.
+        let vsize: usize = block.transactions.iter().map(|t| t.vsize()).sum();
+        prop_assert!(vsize <= chain.params().max_block_vsize);
+        // No outpoint spent twice within the block.
+        let mut seen: FxHashSet<OutPoint> = FxHashSet::default();
+        for tx in &block.transactions {
+            for i in tx.inputs() {
+                prop_assert!(seen.insert(i.prev), "double spend in template");
+            }
+        }
+        // The block validates and appends.
+        let before = chain.utxo().total_value();
+        let minted = chain.params().subsidy;
+        chain.append(block.clone(), &ring).unwrap();
+        // Value conservation: new total = old total + subsidy + fees kept
+        // by the coinbase minus fees... i.e. old + coinbase_outputs -
+        // consumed + created-by-others. Simpler global check:
+        // total_after = total_before + subsidy (fees just move around).
+        let after = chain.utxo().total_value();
+        let fees: u64 = block.transactions[0].output_value() - minted;
+        prop_assert_eq!(after + fees, before + minted + fees);
+    }
+}

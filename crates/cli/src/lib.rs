@@ -1,0 +1,642 @@
+#![warn(missing_docs)]
+
+//! `bcdb` — a command-line interface over the blockchain-database library.
+//!
+//! ```text
+//! bcdb stats   [--dataset d200] [--seed 42]
+//! bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize] '<constraint>'
+//! bcdb explain [--dataset small] '<constraint>'
+//! bcdb worlds  [--dataset small] [--seed 42] [--limit 50]
+//! ```
+//!
+//! Constraints use the paper's syntax over the `TxOut`/`TxIn` schema, e.g.
+//! `q() <- TxOut(t, s, 'pkabc', a)` or `[q(sum(a)) <- TxOut(t, s, 'pkabc', a)] > 100`.
+
+use bcdb_bench::datasets::{load_dataset, load_export, LoadedDataset};
+use bcdb_chain::Dataset;
+use bcdb_core::{
+    dcsat, estimate_violation_risk, for_each_possible_world, minimize_witness, Algorithm,
+    DcSatOptions, PerTxAcceptance, Precomputed, PreparedConstraint, UniformAcceptance,
+};
+use bcdb_query::{
+    atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
+};
+use std::fmt::Write as _;
+use std::ops::ControlFlow;
+use std::path::PathBuf;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `stats`: dataset sizes.
+    Stats {
+        /// Which dataset preset.
+        dataset: Dataset,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// `check`: run DCSat on a constraint.
+    Check {
+        /// Which dataset preset.
+        dataset: Dataset,
+        /// Generator seed.
+        seed: u64,
+        /// Load from a dumped export file instead of generating.
+        file: Option<PathBuf>,
+        /// Which algorithm.
+        algorithm: Algorithm,
+        /// Minimize the witness on violation.
+        minimize: bool,
+        /// The constraint text.
+        constraint: String,
+    },
+    /// `explain`: classify a constraint.
+    Explain {
+        /// Which dataset preset (for the schema + tractability context).
+        dataset: Dataset,
+        /// Generator seed.
+        seed: u64,
+        /// The constraint text.
+        constraint: String,
+    },
+    /// `risk`: Monte Carlo violation-probability estimate.
+    Risk {
+        /// Which dataset preset.
+        dataset: Dataset,
+        /// Generator seed.
+        seed: u64,
+        /// Monte Carlo samples.
+        samples: usize,
+        /// Uniform acceptance probability; `None` uses the fee-rate model.
+        prob: Option<f64>,
+        /// The constraint text.
+        constraint: String,
+    },
+    /// `worlds`: enumerate possible worlds.
+    Worlds {
+        /// Which dataset preset.
+        dataset: Dataset,
+        /// Generator seed.
+        seed: u64,
+        /// Maximum worlds to print.
+        limit: usize,
+    },
+    /// `dump`: serialize a generated dataset to a file.
+    Dump {
+        /// Which dataset preset.
+        dataset: Dataset,
+        /// Generator seed.
+        seed: u64,
+        /// Output path.
+        out: PathBuf,
+    },
+    /// `help`.
+    Help,
+}
+
+/// A CLI-level error (bad flags, bad constraint, …).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn parse_dataset(s: &str) -> Result<Dataset, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "d100" => Ok(Dataset::D100),
+        "d200" => Ok(Dataset::D200),
+        "d300" => Ok(Dataset::D300),
+        "small" => Ok(Dataset::Small),
+        other => Err(CliError(format!(
+            "unknown dataset '{other}' (choose d100, d200, d300, small, or a dumped file path)"
+        ))),
+    }
+}
+
+/// Loads a database from a dumped export file (the `--dataset <path>` form).
+pub fn load_file(path: &std::path::Path) -> Result<bcdb_core::BlockchainDb, CliError> {
+    let e = bcdb_chain::read_export_file(path).map_err(|err| CliError(err.to_string()))?;
+    Ok(load_export(&e))
+}
+
+fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
+    match s.to_ascii_lowercase().as_str() {
+        "auto" => Ok(Algorithm::Auto),
+        "naive" => Ok(Algorithm::Naive),
+        "opt" => Ok(Algorithm::Opt),
+        "tractable" => Ok(Algorithm::Tractable),
+        "oracle" => Ok(Algorithm::Oracle),
+        other => Err(CliError(format!(
+            "unknown algorithm '{other}' (choose auto, naive, opt, tractable, oracle)"
+        ))),
+    }
+}
+
+/// Parses the argument vector (without the program name).
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some((sub, rest)) = args.split_first() else {
+        return Ok(Command::Help);
+    };
+    let mut dataset = Dataset::Small;
+    let mut seed = 42u64;
+    let mut algorithm = Algorithm::Auto;
+    let mut minimize = false;
+    let mut limit = 50usize;
+    let mut samples = 1000usize;
+    let mut prob: Option<f64> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut file: Option<PathBuf> = None;
+    let mut positional: Vec<String> = Vec::new();
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        let mut flag_value = |name: &str| -> Result<String, CliError> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| CliError(format!("{name} requires a value")))
+        };
+        match a.as_str() {
+            "--dataset" => dataset = parse_dataset(&flag_value("--dataset")?)?,
+            "--seed" => {
+                seed = flag_value("--seed")?
+                    .parse()
+                    .map_err(|_| CliError("--seed requires an integer".into()))?;
+            }
+            "--algorithm" => algorithm = parse_algorithm(&flag_value("--algorithm")?)?,
+            "--minimize" => minimize = true,
+            "--out" => out_path = Some(PathBuf::from(flag_value("--out")?)),
+            "--file" => file = Some(PathBuf::from(flag_value("--file")?)),
+            "--limit" => {
+                limit = flag_value("--limit")?
+                    .parse()
+                    .map_err(|_| CliError("--limit requires an integer".into()))?;
+            }
+            "--samples" => {
+                samples = flag_value("--samples")?
+                    .parse()
+                    .map_err(|_| CliError("--samples requires an integer".into()))?;
+            }
+            "--prob" => {
+                let p: f64 = flag_value("--prob")?
+                    .parse()
+                    .map_err(|_| CliError("--prob requires a number in [0,1]".into()))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(CliError("--prob must be in [0,1]".into()));
+                }
+                prob = Some(p);
+            }
+            other if other.starts_with("--") => {
+                return Err(CliError(format!("unknown flag '{other}'")));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let constraint = || -> Result<String, CliError> {
+        match positional.as_slice() {
+            [one] => Ok(one.clone()),
+            [] => Err(CliError("expected a denial constraint argument".into())),
+            _ => Err(CliError(
+                "expected exactly one constraint (quote the whole expression)".into(),
+            )),
+        }
+    };
+    match sub.as_str() {
+        "stats" => Ok(Command::Stats { dataset, seed }),
+        "check" => Ok(Command::Check {
+            dataset,
+            seed,
+            file,
+            algorithm,
+            minimize,
+            constraint: constraint()?,
+        }),
+        "explain" => Ok(Command::Explain {
+            dataset,
+            seed,
+            constraint: constraint()?,
+        }),
+        "risk" => Ok(Command::Risk {
+            dataset,
+            seed,
+            samples,
+            prob,
+            constraint: constraint()?,
+        }),
+        "worlds" => Ok(Command::Worlds {
+            dataset,
+            seed,
+            limit,
+        }),
+        "dump" => Ok(Command::Dump {
+            dataset,
+            seed,
+            out: out_path.ok_or_else(|| CliError("dump requires --out <path>".into()))?,
+        }),
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        other => Err(CliError(format!("unknown subcommand '{other}'"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+bcdb — reasoning about the future in blockchain databases
+
+USAGE:
+  bcdb stats   [--dataset d200]  [--seed 42]
+  bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize] '<constraint>'
+  bcdb explain [--dataset small] '<constraint>'
+  bcdb risk    [--dataset small] [--seed 42] [--samples 1000] [--prob P] '<constraint>'
+  bcdb worlds  [--dataset small] [--seed 42] [--limit 50]
+  bcdb dump    [--dataset d100]  [--seed 42] --out <path>
+
+`risk` estimates the probability that the constraint is ever violated,
+drawing future worlds from an acceptance model: --prob P accepts every
+pending transaction with probability P; without it, acceptance follows the
+fee-rate rank (miners prefer high fee rates).
+
+Constraints use the paper's syntax over TxOut(txId, ser, pk, amount) and
+TxIn(prevTxId, prevSer, pk, amount, newTxId, sig), e.g.:
+  q() <- TxOut(t, s, 'pkabc', a)
+  [q(sum(a)) <- TxOut(t, s, 'pkabc', a)] > 100
+";
+
+fn load(dataset: Dataset, seed: u64) -> LoadedDataset {
+    load_dataset(dataset, seed)
+}
+
+/// Executes a command, returning the text to print.
+pub fn run(cmd: Command) -> Result<String, CliError> {
+    let mut out = String::new();
+    match cmd {
+        Command::Help => out.push_str(USAGE),
+        Command::Stats { dataset, seed } => {
+            let d = load(dataset, seed);
+            writeln!(out, "dataset {} (seed {seed})", d.name).unwrap();
+            writeln!(
+                out,
+                "current state: {} blocks, {} transactions, {} inputs, {} outputs",
+                d.base_counts.blocks,
+                d.base_counts.transactions,
+                d.base_counts.inputs,
+                d.base_counts.outputs
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "pending:       {} transactions, {} inputs, {} outputs",
+                d.pending_counts.transactions, d.pending_counts.inputs, d.pending_counts.outputs
+            )
+            .unwrap();
+        }
+        Command::Check {
+            dataset,
+            seed,
+            file,
+            algorithm,
+            minimize,
+            constraint,
+        } => {
+            let mut db = match file {
+                Some(path) => load_file(&path)?,
+                None => load(dataset, seed).db,
+            };
+            let dc = parse_denial_constraint(&constraint, db.database().catalog())
+                .map_err(|e| CliError(e.to_string()))?;
+            let outcome = dcsat(
+                &mut db,
+                &dc,
+                &DcSatOptions {
+                    algorithm,
+                    ..DcSatOptions::default()
+                },
+            )
+            .map_err(|e| CliError(e.to_string()))?;
+            writeln!(
+                out,
+                "satisfied: {} (algorithm: {}, worlds evaluated: {}, cliques: {})",
+                outcome.satisfied,
+                outcome.stats.algorithm,
+                outcome.stats.worlds_evaluated,
+                outcome.stats.cliques_enumerated
+            )
+            .unwrap();
+            if let Some(w) = outcome.witness {
+                let w = if minimize {
+                    let pre = Precomputed::build(&db);
+                    let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
+                    minimize_witness(&db, &pre, &pc, &w)
+                } else {
+                    w
+                };
+                let names: Vec<&str> = w.txs().map(|t| db.transaction(t).name.as_str()).collect();
+                writeln!(
+                    out,
+                    "witness world: R plus {} pending transaction(s){}{}",
+                    names.len(),
+                    if names.is_empty() { "" } else { ": " },
+                    names.join(", ")
+                )
+                .unwrap();
+            }
+        }
+        Command::Explain {
+            dataset,
+            seed,
+            constraint,
+        } => {
+            let mut d = load(dataset, seed);
+            let dc = parse_denial_constraint(&constraint, d.db.database().catalog())
+                .map_err(|e| CliError(e.to_string()))?;
+            let body = dc.body();
+            writeln!(
+                out,
+                "form:        {}",
+                if dc.is_aggregate() {
+                    "aggregate"
+                } else {
+                    "conjunctive"
+                }
+            )
+            .unwrap();
+            writeln!(out, "positive:    {}", body.is_positive()).unwrap();
+            writeln!(out, "monotone:    {:?}", monotonicity(&dc)).unwrap();
+            writeln!(out, "connected:   {}", is_connected(body)).unwrap();
+            writeln!(out, "prop2-safe:  {}", atom_graph_complete(body)).unwrap();
+            let case = bcdb_core::dcsat::tractable::classify(&d.db, &dc);
+            writeln!(out, "tractable:   {case:?}").unwrap();
+            // What Auto would do, without running the check.
+            let route = if case.is_some() {
+                "tractable decider"
+            } else if monotonicity(&dc).is_monotone() {
+                match &dc {
+                    DenialConstraint::Conjunctive(q)
+                        if is_connected(q) && atom_graph_complete(q) =>
+                    {
+                        "OptDCSat"
+                    }
+                    _ => "NaiveDCSat",
+                }
+            } else {
+                "exhaustive oracle"
+            };
+            writeln!(out, "auto route:  {route}").unwrap();
+            // Evaluation plan for the (body) query.
+            let plan = bcdb_query::prepare(d.db.database_mut(), dc.body())
+                .explain(d.db.database().catalog());
+            writeln!(out, "plan:").unwrap();
+            for line in plan.lines() {
+                writeln!(out, "  {line}").unwrap();
+            }
+        }
+        Command::Risk {
+            dataset,
+            seed,
+            samples,
+            prob,
+            constraint,
+        } => {
+            let mut d = load(dataset, seed);
+            let dc = parse_denial_constraint(&constraint, d.db.database().catalog())
+                .map_err(|e| CliError(e.to_string()))?;
+            let pre = Precomputed::build(&d.db);
+            let pc = PreparedConstraint::prepare(d.db.database_mut(), &dc);
+            let estimate = match prob {
+                Some(p) => {
+                    estimate_violation_risk(&d.db, &pre, &pc, &UniformAcceptance(p), samples, seed)
+                }
+                None => {
+                    let probs = bcdb_chain::feerate_probabilities(&d.scenario, 0.25, 0.95);
+                    estimate_violation_risk(
+                        &d.db,
+                        &pre,
+                        &pc,
+                        &PerTxAcceptance(probs),
+                        samples,
+                        seed,
+                    )
+                }
+            };
+            writeln!(
+                out,
+                "violation probability ≈ {:.4} (± {:.4}, {} samples, model: {})",
+                estimate.violation_probability,
+                estimate.std_error,
+                estimate.samples,
+                match prob {
+                    Some(p) => format!("uniform {p}"),
+                    None => "fee-rate rank".into(),
+                }
+            )
+            .unwrap();
+            if let Some(w) = estimate.example_violation {
+                let names: Vec<&str> = w.txs().map(|t| d.db.transaction(t).name.as_str()).collect();
+                writeln!(
+                    out,
+                    "example violating future: {} pending transaction(s) accepted",
+                    names.len()
+                )
+                .unwrap();
+            }
+        }
+        Command::Dump {
+            dataset,
+            seed,
+            out: path,
+        } => {
+            let d = load(dataset, seed);
+            let e = bcdb_chain::export(&d.scenario).map_err(|err| CliError(err.to_string()))?;
+            bcdb_chain::write_export_file(&e, &path).map_err(|err| CliError(err.to_string()))?;
+            writeln!(
+                out,
+                "wrote {} ({} base rows, {} pending transactions)",
+                path.display(),
+                e.base.len(),
+                e.pending.len()
+            )
+            .unwrap();
+        }
+        Command::Worlds {
+            dataset,
+            seed,
+            limit,
+        } => {
+            let d = load(dataset, seed);
+            let pre = Precomputed::build(&d.db);
+            let mut shown = 0usize;
+            let mut total = 0usize;
+            for_each_possible_world(&d.db, &pre, |w| {
+                total += 1;
+                if shown < limit {
+                    let names: Vec<&str> =
+                        w.txs().map(|t| d.db.transaction(t).name.as_str()).collect();
+                    if names.is_empty() {
+                        writeln!(out, "R").unwrap();
+                    } else {
+                        writeln!(out, "R + {{{}}}", names.join(", ")).unwrap();
+                    }
+                    shown += 1;
+                    ControlFlow::Continue(())
+                } else {
+                    ControlFlow::Break(())
+                }
+            });
+            if shown < total || shown == limit {
+                writeln!(
+                    out,
+                    "... (stopped after {shown} worlds; Poss(D) may be exponential)"
+                )
+                .unwrap();
+            } else {
+                writeln!(out, "total: {total} possible worlds").unwrap();
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_stats() {
+        let cmd = parse_args(&argv("stats --dataset d100 --seed 7")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Stats {
+                dataset: Dataset::D100,
+                seed: 7
+            }
+        );
+    }
+
+    #[test]
+    fn parses_check_with_flags() {
+        let mut args = argv("check --algorithm naive --minimize");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        let cmd = parse_args(&args).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Check {
+                dataset: Dataset::Small,
+                seed: 42,
+                file: None,
+                algorithm: Algorithm::Naive,
+                minimize: true,
+                constraint: "q() <- TxOut(t, s, 'x', a)".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(parse_args(&argv("frobnicate")).is_err());
+        assert!(parse_args(&argv("check")).is_err()); // missing constraint
+        assert!(parse_args(&argv("stats --dataset mars")).is_err());
+        assert!(parse_args(&argv("stats --seed notanumber")).is_err());
+        assert!(parse_args(&argv("stats --bogus")).is_err());
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv("help")).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn check_and_explain_run_end_to_end() {
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: true,
+            constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
+        })
+        .unwrap();
+        assert!(out.contains("satisfied: true"), "{out}");
+
+        let out = run(Command::Explain {
+            dataset: Dataset::Small,
+            seed: 42,
+            constraint: "[q(sum(a)) <- TxOut(t, s, 'pkNOSUCH', a)] > 5".into(),
+        })
+        .unwrap();
+        assert!(out.contains("form:        aggregate"), "{out}");
+        assert!(out.contains("auto route:"), "{out}");
+
+        let err = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            constraint: "q() <- Nope(x)".into(),
+        })
+        .unwrap_err();
+        assert!(err.0.contains("Nope"));
+    }
+
+    #[test]
+    fn parses_and_runs_risk() {
+        let mut args = argv("risk --samples 200 --prob 0.5");
+        args.push("q() <- TxOut(t, s, 'pkNOSUCH', a)".into());
+        let cmd = parse_args(&args).unwrap();
+        assert!(matches!(
+            &cmd,
+            Command::Risk { samples: 200, prob: Some(p), .. } if *p == 0.5
+        ));
+        let out = run(cmd).unwrap();
+        assert!(out.contains("violation probability ≈ 0.0000"), "{out}");
+        // Fee-rate model path.
+        let mut args = argv("risk --samples 50");
+        args.push("q() <- TxOut(t, s, 'pkNOSUCH', a)".into());
+        let out = run(parse_args(&args).unwrap()).unwrap();
+        assert!(out.contains("fee-rate rank"), "{out}");
+        // Bad probability rejected.
+        let mut args = argv("risk --prob 1.5");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        assert!(parse_args(&args).is_err());
+    }
+
+    #[test]
+    fn dump_then_check_from_file() {
+        let dir = std::env::temp_dir().join("bcdb_cli_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.bcdb");
+        run(Command::Dump {
+            dataset: Dataset::Small,
+            seed: 42,
+            out: path.clone(),
+        })
+        .unwrap();
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: Some(path.clone()),
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
+        })
+        .unwrap();
+        assert!(out.contains("satisfied: true"), "{out}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn worlds_respects_limit() {
+        let out = run(Command::Worlds {
+            dataset: Dataset::Small,
+            seed: 42,
+            limit: 3,
+        })
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() <= 5, "{out}");
+        assert!(lines[0] == "R", "{out}");
+    }
+}

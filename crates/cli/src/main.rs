@@ -1,0 +1,14 @@
+//! Thin entry point for the `bcdb` CLI; all logic lives in the library so
+//! it is unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match bcdb_cli::parse_args(&args).and_then(bcdb_cli::run) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", bcdb_cli::USAGE);
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! The blockchain database `D = (R, I, T)` (§4 of the paper).
+
+use crate::error::CoreError;
+use bcdb_storage::{
+    build_ind_indexes, first_violation, ConstraintSet, Database, RelationId, Source, Tuple, TxId,
+};
+
+/// A pending (issued but unaccepted) insert transaction: a named set of
+/// ground tuples for (some of) the relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingTransaction {
+    /// Display name (e.g. `"T1"`, or a txid from a chain).
+    pub name: String,
+    /// The tuples the transaction would append.
+    pub tuples: Vec<(RelationId, Tuple)>,
+}
+
+/// A blockchain database `D = (R, I, T)`:
+///
+/// * `R` — the **current state**: relations already accepted on chain,
+///   required to satisfy `I`;
+/// * `I` — the **integrity constraints** (keys, FDs, INDs);
+/// * `T` — the **pending transactions**, which may be appended in any order
+///   and combination that keeps every intermediate state consistent.
+///
+/// Internally, base and pending tuples live in one [`Database`], tagged by
+/// [`Source`], so possible worlds are world-masks rather than copies.
+#[derive(Clone, Debug)]
+pub struct BlockchainDb {
+    db: Database,
+    constraints: ConstraintSet,
+    pending: Vec<PendingTransaction>,
+}
+
+impl BlockchainDb {
+    /// Creates an empty blockchain database over `catalog` with constraints
+    /// `constraints`. Referenced-side IND indexes are built eagerly.
+    pub fn new(catalog: bcdb_storage::Catalog, constraints: ConstraintSet) -> Self {
+        let mut db = Database::new(catalog);
+        build_ind_indexes(&mut db, &constraints);
+        BlockchainDb {
+            db,
+            constraints,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Appends a tuple directly to the current state `R`.
+    ///
+    /// Consistency of `R` is *not* re-checked per insert (bulk loading a
+    /// chain would be quadratic); call
+    /// [`check_current_state`](Self::check_current_state) after loading.
+    pub fn insert_current(&mut self, rel: RelationId, tuple: Tuple) -> Result<(), CoreError> {
+        self.db.insert_base(rel, tuple)?;
+        Ok(())
+    }
+
+    /// Verifies `R |= I` (the definition of a blockchain database).
+    pub fn check_current_state(&self) -> Result<(), CoreError> {
+        let base = self.db.base_mask();
+        if let Some(v) = first_violation(&self.db, &self.constraints, &base) {
+            return Err(CoreError::InconsistentCurrentState {
+                detail: format!("{v:?}"),
+            });
+        }
+        Ok(())
+    }
+
+    /// Issues a pending transaction; returns its [`TxId`].
+    ///
+    /// Tuples are typechecked, but the transaction is *not* required to be
+    /// consistent with `R` or with other pending transactions — mutually
+    /// contradicting pending transactions are exactly what the paper
+    /// reasons about.
+    pub fn add_transaction(
+        &mut self,
+        name: impl Into<String>,
+        tuples: impl IntoIterator<Item = (RelationId, Tuple)>,
+    ) -> Result<TxId, CoreError> {
+        let id = TxId(self.pending.len() as u32);
+        let tuples: Vec<(RelationId, Tuple)> = tuples.into_iter().collect();
+        for (rel, tuple) in &tuples {
+            self.db.catalog().schema(*rel).typecheck(tuple)?;
+        }
+        for (rel, tuple) in &tuples {
+            self.db.insert(*rel, tuple.clone(), Source::Pending(id))?;
+        }
+        self.pending.push(PendingTransaction {
+            name: name.into(),
+            tuples,
+        });
+        Ok(id)
+    }
+
+    /// The underlying multi-source database.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// Mutable access (query preparation builds indexes).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// The integrity constraints `I`.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    /// The pending transactions `T`, indexed by [`TxId`].
+    pub fn pending(&self) -> &[PendingTransaction] {
+        &self.pending
+    }
+
+    /// Number of pending transactions.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The pending transaction with id `tx`.
+    pub fn transaction(&self, tx: TxId) -> &PendingTransaction {
+        &self.pending[tx.index()]
+    }
+
+    /// All pending transaction ids.
+    pub fn tx_ids(&self) -> impl Iterator<Item = TxId> {
+        (0..self.pending.len() as u32).map(TxId)
+    }
+
+    /// Rebuilds the database with `accepted` folded into the current state
+    /// and the remaining pending transactions re-issued (with fresh,
+    /// renumbered [`TxId`]s, in their original order).
+    ///
+    /// This models a block being mined: some of `T` moves into `R`.
+    /// Returns the new database and the mapping `old TxId -> new TxId` for
+    /// the surviving pending transactions.
+    pub fn accept_transactions(
+        &self,
+        accepted: &[TxId],
+    ) -> Result<(BlockchainDb, Vec<(TxId, TxId)>), CoreError> {
+        let mut next = BlockchainDb::new(self.db.catalog().clone(), self.constraints.clone());
+        // Copy the current state.
+        for (rel, _) in self.db.catalog().iter() {
+            for (_, row) in self.db.relation(rel).scan_all() {
+                if row.source == Source::Base {
+                    next.insert_current(rel, row.tuple.clone())?;
+                }
+            }
+        }
+        // Fold in the accepted transactions, in the order given.
+        for &tx in accepted {
+            for (rel, tuple) in &self.pending[tx.index()].tuples {
+                next.insert_current(*rel, tuple.clone())?;
+            }
+        }
+        // Re-issue the survivors.
+        let mut mapping = Vec::new();
+        for old in self.tx_ids() {
+            if accepted.contains(&old) {
+                continue;
+            }
+            let pt = &self.pending[old.index()];
+            let new = next.add_transaction(pt.name.clone(), pt.tuples.iter().cloned())?;
+            mapping.push((old, new));
+        }
+        Ok((next, mapping))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_storage::{tuple, Catalog, Fd, Ind, RelationSchema, ValueType};
+
+    pub(crate) fn simple_setup() -> (BlockchainDb, RelationId, RelationId) {
+        let mut cat = Catalog::new();
+        let r = cat
+            .add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+            .unwrap();
+        let s = cat
+            .add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["a"]).unwrap());
+        (BlockchainDb::new(cat, cs), r, s)
+    }
+
+    #[test]
+    fn build_and_check_current_state() {
+        let (mut bc, r, s) = simple_setup();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.insert_current(s, tuple![1i64]).unwrap();
+        bc.check_current_state().unwrap();
+        // Violate the IND.
+        bc.insert_current(s, tuple![99i64]).unwrap();
+        assert!(matches!(
+            bc.check_current_state(),
+            Err(CoreError::InconsistentCurrentState { .. })
+        ));
+    }
+
+    #[test]
+    fn transactions_get_sequential_ids() {
+        let (mut bc, r, _) = simple_setup();
+        let t0 = bc.add_transaction("T0", [(r, tuple![1i64, 1i64])]).unwrap();
+        let t1 = bc.add_transaction("T1", [(r, tuple![2i64, 2i64])]).unwrap();
+        assert_eq!(t0, TxId(0));
+        assert_eq!(t1, TxId(1));
+        assert_eq!(bc.pending_count(), 2);
+        assert_eq!(bc.transaction(t1).name, "T1");
+        assert_eq!(bc.database().tx_count(), 2);
+    }
+
+    #[test]
+    fn conflicting_transactions_are_accepted_into_t() {
+        let (mut bc, r, _) = simple_setup();
+        bc.add_transaction("T0", [(r, tuple![1i64, 1i64])]).unwrap();
+        // Conflicts with T0 on the key — still a legal pending transaction.
+        bc.add_transaction("T1", [(r, tuple![1i64, 2i64])]).unwrap();
+        assert_eq!(bc.pending_count(), 2);
+    }
+
+    #[test]
+    fn typecheck_on_add_transaction() {
+        let (mut bc, r, _) = simple_setup();
+        let err = bc.add_transaction("bad", [(r, tuple!["oops", 1i64])]);
+        assert!(err.is_err());
+        // Nothing staged.
+        assert_eq!(bc.pending_count(), 0);
+        assert_eq!(bc.database().total_rows(), 0);
+    }
+
+    #[test]
+    fn accept_transactions_folds_into_base() {
+        let (mut bc, r, s) = simple_setup();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        let t0 = bc
+            .add_transaction("T0", [(r, tuple![2i64, 20i64])])
+            .unwrap();
+        let _t1 = bc.add_transaction("T1", [(s, tuple![2i64])]).unwrap();
+        let (next, mapping) = bc.accept_transactions(&[t0]).unwrap();
+        assert_eq!(next.pending_count(), 1);
+        assert_eq!(next.transaction(TxId(0)).name, "T1");
+        assert_eq!(mapping, vec![(TxId(1), TxId(0))]);
+        // The accepted tuple is now base.
+        let base = next.database().base_mask();
+        assert!(next
+            .database()
+            .relation(r)
+            .contains(&tuple![2i64, 20i64], &base));
+        next.check_current_state().unwrap();
+    }
+}

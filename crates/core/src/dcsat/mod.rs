@@ -1,0 +1,259 @@
+//! Denial-constraint satisfaction (§5–§6 of the paper).
+//!
+//! `D |= ¬q` iff the Boolean query `q` is false over *every* possible world
+//! of the blockchain database `D`. Four algorithms are provided:
+//!
+//! * [`naive`] — the paper's `NaiveDCSat`: enumerate maximal cliques of
+//!   `GfTd`, build each maximal world with `getMaximal`, evaluate `q`.
+//!   Sound for monotonic constraints.
+//! * [`opt`] — the paper's `OptDCSat`: additionally decompose along the
+//!   connected components of `Gq,ind` and prune components that cannot
+//!   cover the query's constants. Sound for monotonic *connected
+//!   conjunctive* constraints.
+//! * [`tractable`] — PTIME deciders for the polynomial cases of
+//!   Theorems 1–2 (e.g. conjunctive constraints under FDs-only or
+//!   INDs-only).
+//! * [`oracle`] — exhaustive enumeration of `Poss(D)`; exponential, but
+//!   sound for *every* constraint. Used as the validation oracle and as
+//!   the fallback for non-monotonic constraints outside the tractable
+//!   cases.
+//!
+//! The top-level [`dcsat`] routes automatically; [`DcSatOptions`] can force
+//! an algorithm and toggle each optimization (for the ablation benchmarks).
+
+pub mod naive;
+pub mod opt;
+pub mod oracle;
+pub mod tractable;
+
+#[cfg(test)]
+mod tests;
+
+use crate::db::BlockchainDb;
+use crate::error::CoreError;
+use crate::precompute::Precomputed;
+use bcdb_graph::CliqueStrategy;
+use bcdb_query::{
+    atom_graph_complete, evaluate_aggregate, evaluate_bool, is_connected, monotonicity, prepare,
+    prepare_aggregate, DenialConstraint, Monotonicity, PreparedAggregate, PreparedQuery,
+};
+use bcdb_storage::{Database, WorldMask};
+
+/// Which algorithm to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Algorithm {
+    /// Route automatically: tractable case if one applies, else
+    /// `OptDCSat` (monotonic + connected conjunctive), else `NaiveDCSat`
+    /// (monotonic), else the exhaustive oracle.
+    #[default]
+    Auto,
+    /// Force the paper's `NaiveDCSat` (requires a monotonic constraint).
+    Naive,
+    /// Force the paper's `OptDCSat` (requires monotonic, connected,
+    /// conjunctive).
+    Opt,
+    /// Force a tractable decider (errors if none applies).
+    Tractable,
+    /// Force exhaustive possible-world enumeration.
+    Oracle,
+}
+
+/// Options controlling [`dcsat`].
+#[derive(Clone, Copy, Debug)]
+pub struct DcSatOptions {
+    /// Algorithm selection.
+    pub algorithm: Algorithm,
+    /// Maximal-clique enumeration strategy.
+    pub clique_strategy: CliqueStrategy,
+    /// §6.3's monotone pre-check: evaluate `q` over `R ∪ ⋃T` first; if
+    /// false there, it is false in every world.
+    pub use_precheck: bool,
+    /// `OptDCSat`'s constant-covers pruning of components.
+    pub use_covers: bool,
+    /// Process `OptDCSat` components on multiple threads (extension).
+    pub parallel: bool,
+}
+
+impl Default for DcSatOptions {
+    fn default() -> Self {
+        DcSatOptions {
+            algorithm: Algorithm::Auto,
+            clique_strategy: CliqueStrategy::Pivot,
+            use_precheck: true,
+            use_covers: true,
+            parallel: false,
+        }
+    }
+}
+
+/// Counters describing what an algorithm did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DcSatStats {
+    /// Name of the algorithm that actually ran.
+    pub algorithm: &'static str,
+    /// Whether the `R ∪ ⋃T` pre-check short-circuited.
+    pub precheck_short_circuit: bool,
+    /// Maximal cliques enumerated.
+    pub cliques_enumerated: usize,
+    /// Possible worlds on which the constraint was evaluated.
+    pub worlds_evaluated: usize,
+    /// `Gq,ind` components in total (OptDCSat).
+    pub components_total: usize,
+    /// Components that survived the covers check (OptDCSat).
+    pub components_checked: usize,
+    /// Query matches examined (tractable deciders).
+    pub matches_examined: usize,
+}
+
+/// The result of a denial-constraint satisfaction check.
+#[derive(Clone, Debug)]
+pub struct DcSatOutcome {
+    /// `true` iff `D |= ¬q`: the constraint holds in every possible world.
+    pub satisfied: bool,
+    /// When unsatisfied: a possible world over which `q` evaluates to true
+    /// (useful for diagnosing which pending transactions are dangerous).
+    pub witness: Option<WorldMask>,
+    /// What the algorithm did.
+    pub stats: DcSatStats,
+}
+
+impl DcSatOutcome {
+    pub(crate) fn satisfied(stats: DcSatStats) -> Self {
+        DcSatOutcome {
+            satisfied: true,
+            witness: None,
+            stats,
+        }
+    }
+
+    pub(crate) fn unsatisfied(witness: WorldMask, stats: DcSatStats) -> Self {
+        DcSatOutcome {
+            satisfied: false,
+            witness: Some(witness),
+            stats,
+        }
+    }
+}
+
+/// A denial constraint compiled against the database (join order and probe
+/// indexes fixed). Reusable across many [`dcsat_with`] calls.
+#[derive(Clone, Debug)]
+pub enum PreparedConstraint {
+    /// A conjunctive constraint.
+    Conjunctive(PreparedQuery),
+    /// An aggregate constraint.
+    Aggregate(PreparedAggregate),
+}
+
+impl PreparedConstraint {
+    /// Compiles `dc` (building any indexes its plan probes).
+    pub fn prepare(db: &mut Database, dc: &DenialConstraint) -> Self {
+        match dc {
+            DenialConstraint::Conjunctive(q) => PreparedConstraint::Conjunctive(prepare(db, q)),
+            DenialConstraint::Aggregate(a) => {
+                PreparedConstraint::Aggregate(prepare_aggregate(db, a))
+            }
+        }
+    }
+
+    /// Whether the underlying query evaluates to true in the world `mask`.
+    pub fn holds(&self, db: &Database, mask: &WorldMask) -> bool {
+        match self {
+            PreparedConstraint::Conjunctive(pq) => evaluate_bool(db, pq, mask),
+            PreparedConstraint::Aggregate(pa) => evaluate_aggregate(db, pa, mask),
+        }
+    }
+
+    /// The conjunctive prepared query, if this is one.
+    pub fn as_conjunctive(&self) -> Option<&PreparedQuery> {
+        match self {
+            PreparedConstraint::Conjunctive(pq) => Some(pq),
+            PreparedConstraint::Aggregate(_) => None,
+        }
+    }
+}
+
+/// Decides `D |= ¬q`, building the precomputed structures internally.
+/// See [`dcsat_with`] to reuse structures across calls.
+pub fn dcsat(
+    bcdb: &mut BlockchainDb,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+) -> Result<DcSatOutcome, CoreError> {
+    dc.validate(bcdb.database().catalog())?;
+    let pre = Precomputed::build(bcdb);
+    dcsat_with(bcdb, &pre, dc, opts)
+}
+
+/// Decides `D |= ¬q` using already-built steady-state structures `pre`
+/// (which must reflect the current pending set).
+pub fn dcsat_with(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+) -> Result<DcSatOutcome, CoreError> {
+    dc.validate(bcdb.database().catalog())?;
+    let pc = PreparedConstraint::prepare(bcdb.database_mut(), dc);
+    let mono = monotonicity(dc);
+    let connected = match dc {
+        DenialConstraint::Conjunctive(q) => is_connected(q),
+        DenialConstraint::Aggregate(_) => false, // the paper's notion applies to CQs only
+    };
+
+    match opts.algorithm {
+        Algorithm::Auto => {
+            if let Some(case) = tractable::classify(bcdb, dc) {
+                return Ok(tractable::run(bcdb, pre, dc, &pc, case, opts));
+            }
+            match mono {
+                Monotonicity::Monotone => {
+                    // Auto picks OptDCSat only when Proposition 2's
+                    // decomposition is provably complete for this query
+                    // (see `atom_graph_complete`); forcing Algorithm::Opt
+                    // trusts the paper's proposition as stated.
+                    let prop2_safe = match dc {
+                        DenialConstraint::Conjunctive(q) => atom_graph_complete(q),
+                        DenialConstraint::Aggregate(_) => false,
+                    };
+                    if connected && prop2_safe {
+                        // Covers info needs &mut for index building — do it
+                        // before entering the read-only phase.
+                        let covers = opt::CoversInfo::build(bcdb, pc.as_conjunctive().unwrap());
+                        Ok(opt::run(bcdb, pre, &pc, &covers, opts))
+                    } else {
+                        Ok(naive::run(bcdb, pre, &pc, opts))
+                    }
+                }
+                Monotonicity::NonMonotone { .. } => Ok(oracle::run(bcdb, pre, &pc)),
+            }
+        }
+        Algorithm::Naive => {
+            if let Monotonicity::NonMonotone { reason } = mono {
+                return Err(CoreError::NotMonotonic { reason });
+            }
+            Ok(naive::run(bcdb, pre, &pc, opts))
+        }
+        Algorithm::Opt => {
+            if let Monotonicity::NonMonotone { reason } = mono {
+                return Err(CoreError::NotMonotonic { reason });
+            }
+            let Some(pq) = pc.as_conjunctive() else {
+                return Err(CoreError::NotConnected);
+            };
+            if !connected {
+                return Err(CoreError::NotConnected);
+            }
+            let covers = opt::CoversInfo::build(bcdb, pq);
+            Ok(opt::run(bcdb, pre, &pc, &covers, opts))
+        }
+        Algorithm::Tractable => match tractable::classify(bcdb, dc) {
+            Some(case) => Ok(tractable::run(bcdb, pre, dc, &pc, case, opts)),
+            None => Err(CoreError::NotTractable {
+                detail: "no PTIME case of Theorems 1-2 matches this query/constraint combination"
+                    .into(),
+            }),
+        },
+        Algorithm::Oracle => Ok(oracle::run(bcdb, pre, &pc)),
+    }
+}

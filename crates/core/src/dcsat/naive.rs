@@ -1,0 +1,52 @@
+//! `NaiveDCSat` (Figure 4 of the paper).
+//!
+//! For a monotonic denial constraint it suffices to examine maximal
+//! possible worlds. Every possible world's transaction set is a clique of
+//! `GfTd`; for each *maximal* clique there is a unique maximal world,
+//! produced by `getMaximal`. The constraint is unsatisfied iff the query
+//! holds over some such world.
+
+use crate::db::BlockchainDb;
+use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::precompute::Precomputed;
+use crate::worlds::get_maximal;
+use bcdb_graph::{maximal_cliques, Visit};
+use bcdb_storage::TxId;
+
+/// Runs `NaiveDCSat`. The caller must have established monotonicity.
+pub fn run(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    opts: &DcSatOptions,
+) -> DcSatOutcome {
+    let db = bcdb.database();
+    let mut stats = DcSatStats {
+        algorithm: "naive",
+        ..DcSatStats::default()
+    };
+
+    // §6.3 pre-check: q false over R ∪ ⋃T ⟹ false over every subset.
+    if opts.use_precheck && !pc.holds(db, &db.all_mask()) {
+        stats.precheck_short_circuit = true;
+        return DcSatOutcome::satisfied(stats);
+    }
+
+    let mut witness = None;
+    maximal_cliques(&pre.fd_graph, opts.clique_strategy, |clique| {
+        stats.cliques_enumerated += 1;
+        let txs: Vec<TxId> = clique.iter().map(|&i| TxId(i as u32)).collect();
+        let world = get_maximal(bcdb, pre, &txs);
+        stats.worlds_evaluated += 1;
+        if pc.holds(db, &world) {
+            witness = Some(world);
+            Visit::Stop
+        } else {
+            Visit::Continue
+        }
+    });
+    match witness {
+        Some(w) => DcSatOutcome::unsatisfied(w, stats),
+        None => DcSatOutcome::satisfied(stats),
+    }
+}

@@ -1,0 +1,233 @@
+//! `OptDCSat` (Figure 5 of the paper).
+//!
+//! For *connected* monotonic conjunctive constraints, Proposition 2 lets us
+//! partition the pending transactions into the connected components of the
+//! ind-q-transaction graph `Gq,ind` (equality constraints Θ = ΘI ∪ Θq) and
+//! solve each component independently — no satisfying assignment can span
+//! two components. Components that cannot cover the query's constants are
+//! pruned entirely. As an extension over the paper, components can be
+//! checked on multiple threads.
+
+use crate::db::BlockchainDb;
+use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::precompute::{union_by_equalities, Precomputed};
+use crate::worlds::get_maximal;
+use bcdb_graph::{maximal_cliques, BitSet, Visit};
+use bcdb_query::{constant_patterns, derive_query_equalities, ConstantPattern, PreparedQuery};
+use bcdb_storage::{Source, TxId, WorldMask};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Precomputed covers information for one query: per constant pattern,
+/// whether the current state covers it and which pending transactions do.
+#[derive(Clone, Debug)]
+pub struct CoversInfo {
+    per_pattern: Vec<PatternCover>,
+}
+
+#[derive(Clone, Debug)]
+struct PatternCover {
+    /// A base tuple matches the pattern.
+    base_covered: bool,
+    /// Pending transactions containing a matching tuple.
+    txs: BitSet,
+}
+
+impl CoversInfo {
+    /// Builds covers information for the query (requires `&mut` to ensure
+    /// the base-probe indexes exist).
+    pub fn build(bcdb: &mut BlockchainDb, pq: &PreparedQuery) -> CoversInfo {
+        let patterns = constant_patterns(pq.query());
+        let n = bcdb.pending_count();
+        let mut per_pattern = Vec::with_capacity(patterns.len());
+        for pattern in &patterns {
+            let idx = bcdb
+                .database_mut()
+                .relation_mut(pattern.relation)
+                .ensure_index(&pattern.positions);
+            let db = bcdb.database();
+            let key = pattern.values.iter().cloned().collect();
+            let mut base_covered = false;
+            let mut txs = BitSet::new(n);
+            for (_, row) in db.relation(pattern.relation).lookup_all(idx, &key) {
+                match row.source {
+                    Source::Base => base_covered = true,
+                    Source::Pending(t) => txs.insert(t.index()),
+                }
+            }
+            per_pattern.push(PatternCover { base_covered, txs });
+        }
+        CoversInfo { per_pattern }
+    }
+
+    /// The paper's `Covers(R, T', q)`: every constant pattern of `q` is
+    /// matched by some tuple of `R` or of a transaction in `component`.
+    fn covers(&self, component: &BitSet) -> bool {
+        self.per_pattern
+            .iter()
+            .all(|p| p.base_covered || !p.txs.is_disjoint(component))
+    }
+
+    /// Number of constant-bearing atoms tracked.
+    pub fn pattern_count(&self) -> usize {
+        self.per_pattern.len()
+    }
+}
+
+/// Extracts the constant patterns of a prepared conjunctive query (exposed
+/// for tests and diagnostics).
+pub fn patterns_of(pq: &PreparedQuery) -> Vec<ConstantPattern> {
+    constant_patterns(pq.query())
+}
+
+/// Runs `OptDCSat`. The caller must have established that the constraint
+/// is monotonic, conjunctive, and connected.
+pub fn run(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    covers: &CoversInfo,
+    opts: &DcSatOptions,
+) -> DcSatOutcome {
+    let db = bcdb.database();
+    let pq = pc
+        .as_conjunctive()
+        .expect("OptDCSat requires a conjunctive constraint");
+    let mut stats = DcSatStats {
+        algorithm: "opt",
+        ..DcSatStats::default()
+    };
+
+    if opts.use_precheck && !pc.holds(db, &db.all_mask()) {
+        stats.precheck_short_circuit = true;
+        return DcSatOutcome::satisfied(stats);
+    }
+
+    // The world `R` itself is always possible but belongs to no component
+    // (components partition pending transactions); check it explicitly so
+    // assignments living entirely in the current state are not missed when
+    // every component is pruned — or none exists.
+    let base = db.base_mask();
+    stats.worlds_evaluated += 1;
+    if pc.holds(db, &base) {
+        return DcSatOutcome::unsatisfied(base, stats);
+    }
+
+    // Components of Gq,ind = ΘI components refined with Θq edges.
+    let mut uf = pre.ind_uf.clone();
+    let thetas_q = derive_query_equalities(pq.query());
+    union_by_equalities(bcdb, &thetas_q, &mut uf);
+    let components = uf.into_components();
+    stats.components_total = components.len();
+
+    let n = bcdb.pending_count();
+    let candidates: Vec<&Vec<usize>> = components
+        .iter()
+        .filter(|comp| {
+            if !opts.use_covers {
+                return true;
+            }
+            let set = BitSet::from_iter(n, comp.iter().copied());
+            covers.covers(&set)
+        })
+        .collect();
+    stats.components_checked = candidates.len();
+
+    if opts.parallel && candidates.len() > 1 {
+        run_parallel(bcdb, pre, pc, &candidates, opts, stats)
+    } else {
+        let mut witness = None;
+        for comp in candidates {
+            if let Some(w) = check_component(bcdb, pre, pc, comp, opts, &mut stats) {
+                witness = Some(w);
+                break;
+            }
+        }
+        match witness {
+            Some(w) => DcSatOutcome::unsatisfied(w, stats),
+            None => DcSatOutcome::satisfied(stats),
+        }
+    }
+}
+
+/// Enumerates the maximal cliques of `GfTd` restricted to `component`,
+/// builds each maximal world, and evaluates the constraint. Returns a
+/// witness world if one satisfies the query.
+fn check_component(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    component: &[usize],
+    opts: &DcSatOptions,
+    stats: &mut DcSatStats,
+) -> Option<WorldMask> {
+    let db = bcdb.database();
+    let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
+    let mut witness = None;
+    maximal_cliques(&sub, opts.clique_strategy, |clique| {
+        stats.cliques_enumerated += 1;
+        let txs: Vec<TxId> = clique.iter().map(|&i| TxId(mapping[i] as u32)).collect();
+        let world = get_maximal(bcdb, pre, &txs);
+        stats.worlds_evaluated += 1;
+        if pc.holds(db, &world) {
+            witness = Some(world);
+            Visit::Stop
+        } else {
+            Visit::Continue
+        }
+    });
+    witness
+}
+
+/// Extension: check components concurrently with crossbeam scoped threads.
+/// First witness wins; other workers observe the stop flag and bail.
+fn run_parallel(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    candidates: &[&Vec<usize>],
+    opts: &DcSatOptions,
+    mut stats: DcSatStats,
+) -> DcSatOutcome {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .min(candidates.len());
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+    let witness: Mutex<Option<WorldMask>> = Mutex::new(None);
+    let cliques = AtomicUsize::new(0);
+    let worlds = AtomicUsize::new(0);
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= candidates.len() {
+                    return;
+                }
+                let mut local = DcSatStats::default();
+                let found = check_component(bcdb, pre, pc, candidates[i], opts, &mut local);
+                cliques.fetch_add(local.cliques_enumerated, Ordering::Relaxed);
+                worlds.fetch_add(local.worlds_evaluated, Ordering::Relaxed);
+                if let Some(w) = found {
+                    *witness.lock().unwrap() = Some(w);
+                    stop.store(true, Ordering::Relaxed);
+                    return;
+                }
+            });
+        }
+    })
+    .expect("worker panicked");
+
+    stats.cliques_enumerated = cliques.load(Ordering::Relaxed);
+    stats.worlds_evaluated = worlds.load(Ordering::Relaxed);
+    let w = witness.into_inner().unwrap();
+    match w {
+        Some(w) => DcSatOutcome::unsatisfied(w, stats),
+        None => DcSatOutcome::satisfied(stats),
+    }
+}

@@ -1,0 +1,35 @@
+//! Exhaustive denial-constraint checking over `Poss(D)`.
+//!
+//! Sound and complete for *every* denial constraint — including
+//! non-monotonic ones, which the maximal-world algorithms cannot handle —
+//! at exponential cost. This is the validation oracle for the property
+//! tests and the last-resort fallback of [`super::dcsat`].
+
+use crate::db::BlockchainDb;
+use crate::dcsat::{DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::precompute::Precomputed;
+use crate::worlds::for_each_possible_world;
+use std::ops::ControlFlow;
+
+/// Enumerates every possible world and evaluates the constraint on each.
+pub fn run(bcdb: &BlockchainDb, pre: &Precomputed, pc: &PreparedConstraint) -> DcSatOutcome {
+    let db = bcdb.database();
+    let mut stats = DcSatStats {
+        algorithm: "oracle",
+        ..DcSatStats::default()
+    };
+    let mut witness = None;
+    for_each_possible_world(bcdb, pre, |world| {
+        stats.worlds_evaluated += 1;
+        if pc.holds(db, world) {
+            witness = Some(world.clone());
+            ControlFlow::Break(())
+        } else {
+            ControlFlow::Continue(())
+        }
+    });
+    match witness {
+        Some(w) => DcSatOutcome::unsatisfied(w, stats),
+        None => DcSatOutcome::satisfied(stats),
+    }
+}

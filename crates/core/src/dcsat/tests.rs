@@ -1,0 +1,622 @@
+//! Cross-algorithm tests for denial-constraint satisfaction.
+
+use crate::db::BlockchainDb;
+use crate::dcsat::{dcsat, tractable, Algorithm, DcSatOptions, DcSatOutcome};
+use crate::precompute::Precomputed;
+use crate::worlds::is_possible_world;
+use bcdb_query::{parse_denial_constraint, DenialConstraint};
+use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, TxId, ValueType};
+
+/// Pay(id, payer, payee, amt) with key id; Ack(ref) with Ack[ref] ⊆ Pay[id].
+fn payments_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(
+        RelationSchema::new(
+            "Pay",
+            [
+                ("id", ValueType::Int),
+                ("payer", ValueType::Text),
+                ("payee", ValueType::Text),
+                ("amt", ValueType::Int),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    cat.add(RelationSchema::new("Ack", [("payRef", ValueType::Int)]).unwrap())
+        .unwrap();
+    cat.add(RelationSchema::new("Trusted", [("who", ValueType::Text)]).unwrap())
+        .unwrap();
+    cat
+}
+
+fn payments_db(with_key: bool, with_ind: bool) -> BlockchainDb {
+    let cat = payments_catalog();
+    let mut cs = ConstraintSet::new();
+    if with_key {
+        cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+    }
+    if with_ind {
+        cs.add_ind(Ind::named(&cat, "Ack", &["payRef"], "Pay", &["id"]).unwrap());
+    }
+    BlockchainDb::new(cat, cs)
+}
+
+fn opts(algorithm: Algorithm) -> DcSatOptions {
+    DcSatOptions {
+        algorithm,
+        ..DcSatOptions::default()
+    }
+}
+
+/// Runs every applicable algorithm and asserts they agree; returns the
+/// auto outcome.
+fn check_all(db: &mut BlockchainDb, dc: &DenialConstraint) -> DcSatOutcome {
+    let auto = dcsat(db, dc, &opts(Algorithm::Auto)).unwrap();
+    let oracle = dcsat(db, dc, &opts(Algorithm::Oracle)).unwrap();
+    assert_eq!(
+        auto.satisfied, oracle.satisfied,
+        "auto ({}) vs oracle disagree",
+        auto.stats.algorithm
+    );
+    for alg in [Algorithm::Naive, Algorithm::Opt, Algorithm::Tractable] {
+        // An Err means the algorithm is not applicable to this constraint.
+        if let Ok(out) = dcsat(db, dc, &opts(alg)) {
+            assert_eq!(
+                out.satisfied, oracle.satisfied,
+                "{alg:?} disagrees with oracle"
+            );
+        }
+    }
+    // A witness, when present, must be a genuine possible world satisfying q.
+    if let Some(w) = &oracle.witness {
+        let pre = Precomputed::build(db);
+        let txs: Vec<TxId> = w.txs().collect();
+        assert!(is_possible_world(db, &pre, &txs), "oracle witness invalid");
+    }
+    auto
+}
+
+#[test]
+fn double_payment_blocked_by_key() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "alice", "bob", 10i64])
+        .unwrap();
+    // Reissue with the SAME id — the key makes them mutually exclusive
+    // with the accepted one, so "bob paid twice" cannot happen.
+    db.add_transaction("reissue", [(pay, tuple![1i64, "alice", "bob", 10i64])])
+        .unwrap();
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'alice', 'bob', a), Pay(j, 'alice', 'bob', b), i != j",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(out.satisfied);
+}
+
+#[test]
+fn double_payment_possible_with_fresh_id() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "alice", "bob", 10i64])
+        .unwrap();
+    // Reissue with a DIFFERENT id — both can land.
+    db.add_transaction("reissue", [(pay, tuple![2i64, "alice", "bob", 10i64])])
+        .unwrap();
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'alice', 'bob', a), Pay(j, 'alice', 'bob', b), i != j",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    let w = out.witness.unwrap();
+    assert!(w.contains_tx(TxId(0)));
+}
+
+#[test]
+fn conflicting_reissues_cannot_both_land() {
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    // Two pending payments with the same id to different payees.
+    db.add_transaction("v1", [(pay, tuple![7i64, "alice", "bob", 10i64])])
+        .unwrap();
+    db.add_transaction("v2", [(pay, tuple![7i64, "alice", "carol", 10i64])])
+        .unwrap();
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'alice', 'bob', a), Pay(j, 'alice', 'carol', b)",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+    // But each individually can land.
+    let dc1 = parse_denial_constraint("q() <- Pay(i, 'alice', 'bob', a)", db.database().catalog())
+        .unwrap();
+    assert!(!check_all(&mut db, &dc1).satisfied);
+}
+
+#[test]
+fn ind_dependency_chains_gate_satisfaction() {
+    let mut db = payments_db(false, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    // Ack(5) requires Pay(5,..) first; both pending.
+    db.add_transaction("pay5", [(pay, tuple![5i64, "a", "b", 1i64])])
+        .unwrap();
+    db.add_transaction("ack5", [(ack, tuple![5i64])]).unwrap();
+    // Dangling ack (no payment 9 anywhere).
+    db.add_transaction("ack9", [(ack, tuple![9i64])]).unwrap();
+    let dc5 = parse_denial_constraint("q() <- Ack(5)", db.database().catalog()).unwrap();
+    assert!(!check_all(&mut db, &dc5).satisfied); // pay5 then ack5
+    let dc9 = parse_denial_constraint("q() <- Ack(9)", db.database().catalog()).unwrap();
+    assert!(check_all(&mut db, &dc9).satisfied); // ack9 can never enter
+}
+
+#[test]
+fn negation_needs_non_maximal_worlds() {
+    // The classic case where maximal-world reasoning fails: q asks for a
+    // payment with no acknowledgement. In the maximal world the ack is
+    // present, but a smaller world omits it.
+    let mut db = payments_db(false, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    db.add_transaction("pay5", [(pay, tuple![5i64, "a", "b", 1i64])])
+        .unwrap();
+    db.add_transaction("ack5", [(ack, tuple![5i64])]).unwrap();
+    let dc = parse_denial_constraint("q() <- Pay(i, p, q2, a), !Ack(i)", db.database().catalog())
+        .unwrap();
+    // World {pay5} satisfies the query (payment without ack) -> unsatisfied.
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    assert!(out.stats.algorithm.starts_with("tractable"));
+}
+
+#[test]
+fn negation_with_base_tuple_blocks() {
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let trusted = db.database().catalog().resolve("Trusted").unwrap();
+    db.insert_current(trusted, tuple!["bob"]).unwrap();
+    db.add_transaction("p", [(pay, tuple![1i64, "alice", "bob", 10i64])])
+        .unwrap();
+    // q: a payment to an untrusted payee. bob is trusted in R, so never.
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, p, who, a), !Trusted(who)",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+    // Add a pending payment to carol (untrusted) — now violable.
+    db.add_transaction("p2", [(pay, tuple![2i64, "alice", "carol", 10i64])])
+        .unwrap();
+    assert!(!check_all(&mut db, &dc).satisfied);
+}
+
+#[test]
+fn aggregate_sum_constraint() {
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "alice", "bob", 3i64])
+        .unwrap();
+    db.add_transaction("t2", [(pay, tuple![2i64, "alice", "bob", 3i64])])
+        .unwrap();
+    db.add_transaction("t3", [(pay, tuple![2i64, "alice", "bob", 4i64])])
+        .unwrap(); // conflicts with t2
+                   // "alice never pays more than 7 in total": worst consistent world is
+                   // {base, t3} = 3 + 4 = 7, not > 7 -> satisfied.
+    let dc = parse_denial_constraint(
+        "[q(sum(a)) <- Pay(i, 'alice', w, a)] > 7",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+    // "more than 6" is violable via {base, t3}.
+    let dc = parse_denial_constraint(
+        "[q(sum(a)) <- Pay(i, 'alice', w, a)] > 6",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    assert!(out.witness.unwrap().contains_tx(TxId(1)));
+}
+
+#[test]
+fn aggregate_count_lt_uses_subset_worlds() {
+    // count < c is non-monotone: true in small worlds, false in big ones.
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    for i in 0..4i64 {
+        db.add_transaction(format!("t{i}"), [(pay, tuple![i, "a", "b", 1i64])])
+            .unwrap();
+    }
+    // "there is a world with at least one payment but fewer than 3":
+    // e.g. R ∪ {t0}.
+    let dc = parse_denial_constraint(
+        "[q(count()) <- Pay(i, p, w, a)] < 3",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    assert!(out.stats.algorithm.starts_with("tractable"));
+    // With an always-present base payment and threshold 1, no world can
+    // have count < 1 while nonempty (empty bag is false): satisfied.
+    db.insert_current(pay, tuple![100i64, "x", "y", 1i64])
+        .unwrap();
+    let dc = parse_denial_constraint(
+        "[q(count()) <- Pay(i, p, w, a)] < 1",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+}
+
+#[test]
+fn aggregate_cntd_distinct_payees() {
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.add_transaction("t0", [(pay, tuple![1i64, "alice", "bob", 1i64])])
+        .unwrap();
+    db.add_transaction("t1", [(pay, tuple![2i64, "alice", "carol", 1i64])])
+        .unwrap();
+    db.add_transaction("t2", [(pay, tuple![2i64, "alice", "dave", 1i64])])
+        .unwrap(); // conflicts t1
+                   // At most 2 distinct payees ever (t1 and t2 exclusive): cntd > 2 never.
+    let dc = parse_denial_constraint(
+        "[q(cntd(w)) <- Pay(i, 'alice', w, a)] > 2",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+    let dc = parse_denial_constraint(
+        "[q(cntd(w)) <- Pay(i, 'alice', w, a)] > 1",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(!check_all(&mut db, &dc).satisfied);
+}
+
+#[test]
+fn aggregate_max_eq() {
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "a", "b", 5i64])
+        .unwrap();
+    db.add_transaction("t0", [(pay, tuple![2i64, "a", "b", 9i64])])
+        .unwrap();
+    // Is there a world where the maximum payment is exactly 9? Yes: add t0.
+    let dc = parse_denial_constraint(
+        "[q(max(a)) <- Pay(i, p, w, a)] = 9",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(!check_all(&mut db, &dc).satisfied);
+    // Exactly 7? No world produces it.
+    let dc = parse_denial_constraint(
+        "[q(max(a)) <- Pay(i, p, w, a)] = 7",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+}
+
+#[test]
+fn aggregate_over_ind_only_uses_max_world() {
+    // Positive monotone aggregate with only INDs: Thm 2.4's unique maximal
+    // world decides.
+    let mut db = payments_db(false, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    db.add_transaction("p1", [(pay, tuple![1i64, "a", "b", 4i64])])
+        .unwrap();
+    db.add_transaction("p2", [(pay, tuple![2i64, "a", "b", 5i64])])
+        .unwrap();
+    db.add_transaction("ack1", [(ack, tuple![1i64])]).unwrap();
+    // sum can reach 9 (both payments) but not 10.
+    let dc = parse_denial_constraint(
+        "[q(sum(a)) <- Pay(i, 'a', w, a)] >= 9",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    assert_eq!(out.stats.algorithm, "tractable/agg-maxworld");
+    assert_eq!(out.stats.worlds_evaluated, 1);
+    let dc = parse_denial_constraint(
+        "[q(sum(a)) <- Pay(i, 'a', w, a)] >= 10",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(check_all(&mut db, &dc).satisfied);
+}
+
+#[test]
+fn degeneracy_strategy_agrees_end_to_end() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    for i in 0..5i64 {
+        db.add_transaction(format!("p{i}"), [(pay, tuple![i, "a", "b", 1i64])])
+            .unwrap();
+    }
+    // One conflict pair and one dependency.
+    db.add_transaction("dup", [(pay, tuple![0i64, "a", "c", 1i64])])
+        .unwrap();
+    db.add_transaction("ack0", [(ack, tuple![0i64])]).unwrap();
+    let dc = parse_denial_constraint("q() <- Pay(i, p, 'c', a), Ack(i)", db.database().catalog())
+        .unwrap();
+    let mut results = Vec::new();
+    for strategy in [
+        bcdb_graph::CliqueStrategy::Plain,
+        bcdb_graph::CliqueStrategy::Pivot,
+        bcdb_graph::CliqueStrategy::Degeneracy,
+    ] {
+        let out = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Naive,
+                clique_strategy: strategy,
+                use_precheck: false,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        results.push(out.satisfied);
+    }
+    assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+    let oracle = dcsat(&mut db, &dc, &opts(Algorithm::Oracle)).unwrap();
+    assert_eq!(results[0], oracle.satisfied);
+}
+
+#[test]
+fn mixed_key_and_ind_uses_maximal_world_algorithms() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    db.add_transaction("pay1", [(pay, tuple![1i64, "a", "b", 1i64])])
+        .unwrap();
+    db.add_transaction("pay1b", [(pay, tuple![1i64, "a", "c", 1i64])])
+        .unwrap();
+    db.add_transaction("ack1", [(ack, tuple![1i64])]).unwrap();
+    let dc = parse_denial_constraint("q() <- Ack(1)", db.database().catalog()).unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    // Auto must route to a maximal-world algorithm (key+ind: CoNP case).
+    assert!(out.stats.algorithm == "opt" || out.stats.algorithm == "naive");
+    assert!(tractable::classify(&db, &dc).is_none());
+}
+
+#[test]
+fn precheck_short_circuits_satisfied_constraints() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.add_transaction("t", [(pay, tuple![1i64, "a", "b", 1i64])])
+        .unwrap();
+    let dc =
+        parse_denial_constraint("q() <- Pay(i, 'zelda', w, a)", db.database().catalog()).unwrap();
+    let out = dcsat(&mut db, &dc, &opts(Algorithm::Naive)).unwrap();
+    assert!(out.satisfied);
+    assert!(out.stats.precheck_short_circuit);
+    assert_eq!(out.stats.cliques_enumerated, 0);
+    // With the pre-check disabled the cliques are enumerated.
+    let out = dcsat(
+        &mut db,
+        &dc,
+        &DcSatOptions {
+            algorithm: Algorithm::Naive,
+            use_precheck: false,
+            ..DcSatOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(out.satisfied);
+    assert!(out.stats.cliques_enumerated > 0);
+}
+
+#[test]
+fn opt_covers_prunes_components() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    // Two independent chains: pay1<-ack1 and pay2<-ack2.
+    db.add_transaction("pay1", [(pay, tuple![1i64, "a", "bob", 1i64])])
+        .unwrap();
+    db.add_transaction("ack1", [(ack, tuple![1i64])]).unwrap();
+    db.add_transaction("pay2", [(pay, tuple![2i64, "a", "carol", 1i64])])
+        .unwrap();
+    db.add_transaction("ack2", [(ack, tuple![2i64])]).unwrap();
+    // Constant 'carol' appears only in the second chain.
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, p, 'carol', a), Ack(i)",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = dcsat(
+        &mut db,
+        &dc,
+        &DcSatOptions {
+            algorithm: Algorithm::Opt,
+            use_precheck: false, // force component machinery to run
+            ..DcSatOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!out.satisfied);
+    assert_eq!(out.stats.components_total, 2);
+    assert_eq!(out.stats.components_checked, 1);
+}
+
+#[test]
+fn parallel_opt_agrees_with_sequential() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    for i in 0..6i64 {
+        db.add_transaction(format!("pay{i}"), [(pay, tuple![i, "a", "b", 1i64])])
+            .unwrap();
+        db.add_transaction(format!("ack{i}"), [(ack, tuple![i])])
+            .unwrap();
+    }
+    let dc = parse_denial_constraint("q() <- Pay(i, p, 'b', a), Ack(i)", db.database().catalog())
+        .unwrap();
+    {
+        let unsat_expected = true;
+        let seq = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Opt,
+                use_precheck: false,
+                parallel: false,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        let par = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Opt,
+                use_precheck: false,
+                parallel: true,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.satisfied, par.satisfied);
+        assert_eq!(seq.satisfied, !unsat_expected);
+    }
+}
+
+#[test]
+fn forced_algorithm_errors() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.add_transaction("t", [(pay, tuple![1i64, "a", "b", 1i64])])
+        .unwrap();
+    // Non-monotone (negation) forced onto Naive -> error.
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, p, w, a), !Trusted(w)",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(matches!(
+        dcsat(&mut db, &dc, &opts(Algorithm::Naive)),
+        Err(crate::CoreError::NotMonotonic { .. })
+    ));
+    // Aggregate forced onto Opt -> NotConnected.
+    let dc = parse_denial_constraint(
+        "[q(count()) <- Pay(i, p, w, a)] > 1",
+        db.database().catalog(),
+    )
+    .unwrap();
+    assert!(matches!(
+        dcsat(&mut db, &dc, &opts(Algorithm::Opt)),
+        Err(crate::CoreError::NotConnected)
+    ));
+    // key+ind conjunctive forced onto Tractable -> NotTractable.
+    let dc = parse_denial_constraint("q() <- Ack(1)", db.database().catalog()).unwrap();
+    assert!(matches!(
+        dcsat(&mut db, &dc, &opts(Algorithm::Tractable)),
+        Err(crate::CoreError::NotTractable { .. })
+    ));
+}
+
+#[test]
+fn disconnected_query_routes_to_naive() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.add_transaction("t0", [(pay, tuple![1i64, "a", "b", 1i64])])
+        .unwrap();
+    db.add_transaction("t1", [(pay, tuple![2i64, "c", "d", 1i64])])
+        .unwrap();
+    // Two atoms sharing nothing: disconnected.
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'a', w, x), Pay(j, 'c', v, y)",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = dcsat(&mut db, &dc, &opts(Algorithm::Auto)).unwrap();
+    assert!(!out.satisfied);
+    assert_eq!(out.stats.algorithm, "naive");
+    // Forcing Opt errors on connectivity.
+    assert!(matches!(
+        dcsat(&mut db, &dc, &opts(Algorithm::Opt)),
+        Err(crate::CoreError::NotConnected)
+    ));
+}
+
+/// Documents the Proposition 2 corner case (see DESIGN.md): a base tuple
+/// can bridge two `Gq,ind` components invisibly, so the paper's `OptDCSat`
+/// (forced) misses a witness that the oracle finds. `Auto` detects that
+/// the query's atom graph is not complete and stays on the sound
+/// `NaiveDCSat`.
+#[test]
+fn prop2_counterexample_documented() {
+    let mut cat = Catalog::new();
+    for r in ["A", "B", "C"] {
+        cat.add(RelationSchema::new(r, [("l", ValueType::Int), ("r", ValueType::Int)]).unwrap())
+            .unwrap();
+    }
+    let mut cs = ConstraintSet::new();
+    // key + ind so no tractable decider applies and Opt is eligible.
+    cs.add_fd(Fd::named_key(&cat, "A", &["l"]).unwrap());
+    cs.add_ind(Ind::named(&cat, "C", &["l"], "B", &["r"]).unwrap());
+    let mut db = BlockchainDb::new(cat, cs);
+    let a = db.database().catalog().resolve("A").unwrap();
+    let b = db.database().catalog().resolve("B").unwrap();
+    let c = db.database().catalog().resolve("C").unwrap();
+    db.insert_current(b, tuple![5i64, 6i64]).unwrap(); // the invisible bridge
+    db.add_transaction("T1", [(a, tuple![1i64, 5i64])]).unwrap();
+    db.add_transaction("T2", [(c, tuple![6i64, 9i64])]).unwrap();
+    // Connected query whose middle atom the base tuple instantiates.
+    let dc = parse_denial_constraint("q() <- A(x, y), B(y, z), C(z, w)", db.database().catalog())
+        .unwrap();
+    let oracle = dcsat(&mut db, &dc, &opts(Algorithm::Oracle)).unwrap();
+    assert!(!oracle.satisfied, "R ∪ {{T1, T2}} satisfies q");
+    let naive = dcsat(&mut db, &dc, &opts(Algorithm::Naive)).unwrap();
+    assert!(!naive.satisfied, "NaiveDCSat is sound here");
+    let auto = dcsat(&mut db, &dc, &opts(Algorithm::Auto)).unwrap();
+    assert!(!auto.satisfied);
+    assert_eq!(auto.stats.algorithm, "naive", "Auto must avoid Opt here");
+    // The paper's OptDCSat, forced, exhibits the incompleteness: T1 and T2
+    // fall in different components and no single component has a witness.
+    let opt_forced = dcsat(&mut db, &dc, &opts(Algorithm::Opt)).unwrap();
+    assert!(
+        opt_forced.satisfied,
+        "documented divergence: forced OptDCSat misses the bridged witness"
+    );
+}
+
+#[test]
+fn auto_still_uses_opt_for_atom_complete_queries() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.add_transaction("t", [(pay, tuple![1i64, "a", "bob", 5i64])])
+        .unwrap();
+    // Two atoms sharing the payer constant: atom graph complete.
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'a', w, x), Pay(j, 'a', v, y), i != j",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = dcsat(&mut db, &dc, &opts(Algorithm::Auto)).unwrap();
+    assert_eq!(out.stats.algorithm, "opt");
+}
+
+#[test]
+fn empty_pending_set_reduces_to_plain_evaluation() {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "a", "bob", 1i64])
+        .unwrap();
+    let dc =
+        parse_denial_constraint("q() <- Pay(i, p, 'bob', a)", db.database().catalog()).unwrap();
+    let out = check_all(&mut db, &dc);
+    assert!(!out.satisfied);
+    assert_eq!(out.witness.unwrap().tx_count(), 0);
+}

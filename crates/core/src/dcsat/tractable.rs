@@ -1,0 +1,325 @@
+//! PTIME deciders for the tractable cases of Theorems 1 and 2.
+//!
+//! The paper proves several (query class, constraint kinds) combinations of
+//! DCSat polynomial; this module implements deciders for the cases whose
+//! algorithms follow from the structure of the problem:
+//!
+//! * **`Qc` over `{key, fd}`** (Thm 1.1): evaluate the positive part of the
+//!   query over `R ∪ ⋃T` with transaction provenance. An assignment is
+//!   *realisable* iff its support transactions are pairwise FD-consistent
+//!   (worlds need not be maximal, so `R ∪ support` itself is a world) and
+//!   no negated ground atom lies in `R` or in the support.
+//! * **`Qc` over `{ind}`** (Thm 1.1): per assignment, collect the
+//!   *forbidden* transactions (those containing a negated ground tuple);
+//!   the assignment is realisable iff its support is contained in
+//!   `getMaximal(R, I, T \ forbidden)`.
+//! * **Positive aggregates over `{key, fd}` with θ ∈ {<, ≤}, plus
+//!   max/min with θ = `=`** (Thm 2.1/2.2): for every assignment with
+//!   realisable support `S`, evaluate the aggregate over the *exact* world
+//!   `R ∪ S` and test θ. Completeness: any witness world `W` contains an
+//!   achiever assignment whose `R ∪ S` sub-world already satisfies θ
+//!   (sub-worlds only shrink count/cntd/sum/max and only grow min).
+//!   `sum` additionally assumes non-negative summands (documented in
+//!   DESIGN.md; monetary amounts always qualify).
+//! * **Positive monotone aggregates over `{ind}`** (Thm 2.4/2.7): worlds
+//!   under INDs alone form a lattice with a unique maximum
+//!   `getMaximal(R, I, T)`; a monotone constraint holds in some world iff
+//!   it holds there.
+//!
+//! Cases the paper proves CoNP-complete (anything mixing keys with INDs,
+//! aggregate `=`/`>` in the wrong combinations) are routed to
+//! `NaiveDCSat`/`OptDCSat`/oracle by [`super::dcsat`]. Aggregates with
+//! negated bodies are likewise routed to the general algorithms — the
+//! paper's Thm 2.2 covers them, but its proof (in the technical report) is
+//! not reconstructible from the paper alone; see DESIGN.md.
+
+use crate::db::BlockchainDb;
+use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::precompute::Precomputed;
+use crate::worlds::get_maximal;
+use bcdb_query::{for_each_match, AggFunc, CmpOp, DenialConstraint, EvalOptions, Term};
+use bcdb_storage::{Source, Tuple, TxId, Value, WorldMask};
+use rustc_hash::{FxHashMap, FxHashSet};
+use smallvec::SmallVec;
+use std::ops::ControlFlow;
+
+/// Which tractable decider applies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TractableCase {
+    /// Conjunctive query, constraints contain no INDs.
+    ConjunctiveFdOnly,
+    /// Conjunctive query, constraints contain no FDs/keys.
+    ConjunctiveIndOnly,
+    /// Positive aggregate, no INDs, θ ∈ {<, ≤} (any α) or θ = `=`
+    /// (max/min): decide via exact sub-worlds `R ∪ support`.
+    AggregateSubsetWorld,
+    /// Positive monotone aggregate, no FDs/keys: decide on the unique
+    /// maximal world.
+    AggregateMaxWorld,
+}
+
+/// Classifies `dc` against the database's constraint kinds; `None` when no
+/// tractable case applies (the CoNP-complete territory).
+pub fn classify(bcdb: &BlockchainDb, dc: &DenialConstraint) -> Option<TractableCase> {
+    let cs = bcdb.constraints();
+    let has_fd = !cs.fds().is_empty();
+    let has_ind = !cs.inds().is_empty();
+    match dc {
+        DenialConstraint::Conjunctive(_) => {
+            if !has_ind {
+                Some(TractableCase::ConjunctiveFdOnly)
+            } else if !has_fd {
+                Some(TractableCase::ConjunctiveIndOnly)
+            } else {
+                None
+            }
+        }
+        DenialConstraint::Aggregate(agg) => {
+            if !agg.body.is_positive() {
+                return None;
+            }
+            if !has_ind {
+                let subset_world_ok = matches!(agg.op, CmpOp::Lt | CmpOp::Le)
+                    || (agg.op == CmpOp::Eq && matches!(agg.func, AggFunc::Max | AggFunc::Min));
+                if subset_world_ok {
+                    return Some(TractableCase::AggregateSubsetWorld);
+                }
+            }
+            if !has_fd && bcdb_query::monotonicity(dc).is_monotone() {
+                return Some(TractableCase::AggregateMaxWorld);
+            }
+            None
+        }
+    }
+}
+
+/// Runs the classified tractable decider.
+pub fn run(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    pc: &PreparedConstraint,
+    case: TractableCase,
+    _opts: &DcSatOptions,
+) -> DcSatOutcome {
+    match case {
+        TractableCase::ConjunctiveFdOnly => conj_fd_only(bcdb, pre, dc, pc),
+        TractableCase::ConjunctiveIndOnly => conj_ind_only(bcdb, pre, dc, pc),
+        TractableCase::AggregateSubsetWorld => agg_subset_world(bcdb, pre, pc),
+        TractableCase::AggregateMaxWorld => agg_max_world(bcdb, pre, pc),
+    }
+}
+
+/// The distinct pending transactions supporting a match.
+fn support_of(sources: &[Source]) -> SmallVec<[TxId; 8]> {
+    let mut s: SmallVec<[TxId; 8]> = sources.iter().filter_map(|s| s.tx()).collect();
+    s.sort_unstable();
+    s.dedup();
+    s
+}
+
+/// Grounds the negated atoms of `dc` under `assignment`.
+fn ground_negated(
+    dc: &DenialConstraint,
+    assignment: &[Value],
+) -> Vec<(bcdb_storage::RelationId, Tuple)> {
+    dc.body()
+        .negated
+        .iter()
+        .map(|atom| {
+            let t: Tuple = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => c.clone(),
+                    Term::Var(v) => assignment[v.index()].clone(),
+                })
+                .collect();
+            (atom.relation, t)
+        })
+        .collect()
+}
+
+/// `Qc` over `{key, fd}`: provenance-checked assignment search.
+fn conj_fd_only(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    pc: &PreparedConstraint,
+) -> DcSatOutcome {
+    let db = bcdb.database();
+    let pq = pc.as_conjunctive().expect("conjunctive case");
+    let mut stats = DcSatStats {
+        algorithm: "tractable/fd-only",
+        ..DcSatStats::default()
+    };
+    let all = db.all_mask();
+    let mut witness: Option<WorldMask> = None;
+    for_each_match(
+        db,
+        pq,
+        &all,
+        EvalOptions {
+            check_negated: false,
+        },
+        |m| {
+            stats.matches_examined += 1;
+            let support = support_of(m.sources);
+            if !pre.fd_consistent_set(&support) {
+                return ControlFlow::Continue(());
+            }
+            // Negated atoms must miss R and the support transactions.
+            for (rel, tuple) in ground_negated(dc, m.assignment) {
+                for src in db.relation(rel).sources_of(&tuple) {
+                    match src {
+                        Source::Base => return ControlFlow::Continue(()),
+                        Source::Pending(t) if support.contains(&t) => {
+                            return ControlFlow::Continue(())
+                        }
+                        Source::Pending(_) => {}
+                    }
+                }
+            }
+            // R ∪ support is itself a possible world (no INDs to order).
+            witness = Some(db.mask_of(support.iter().copied()));
+            ControlFlow::Break(())
+        },
+    );
+    stats.worlds_evaluated = usize::from(witness.is_some());
+    match witness {
+        Some(w) => DcSatOutcome::unsatisfied(w, stats),
+        None => DcSatOutcome::satisfied(stats),
+    }
+}
+
+/// `Qc` over `{ind}`: forbidden-transaction closure search.
+fn conj_ind_only(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    pc: &PreparedConstraint,
+) -> DcSatOutcome {
+    let db = bcdb.database();
+    let pq = pc.as_conjunctive().expect("conjunctive case");
+    let mut stats = DcSatStats {
+        algorithm: "tractable/ind-only",
+        ..DcSatStats::default()
+    };
+    let all = db.all_mask();
+    let all_txs: Vec<TxId> = bcdb.tx_ids().collect();
+    // Cache closures per forbidden set (F = ∅ is by far the common case).
+    let mut closures: FxHashMap<Vec<TxId>, WorldMask> = FxHashMap::default();
+    let mut witness: Option<WorldMask> = None;
+    for_each_match(
+        db,
+        pq,
+        &all,
+        EvalOptions {
+            check_negated: false,
+        },
+        |m| {
+            stats.matches_examined += 1;
+            let support = support_of(m.sources);
+            // Forbidden transactions: any pending transaction containing a
+            // negated ground tuple. A negated tuple in R (or in the
+            // support itself) kills the assignment outright.
+            let mut forbidden: FxHashSet<TxId> = FxHashSet::default();
+            for (rel, tuple) in ground_negated(dc, m.assignment) {
+                for src in db.relation(rel).sources_of(&tuple) {
+                    match src {
+                        Source::Base => return ControlFlow::Continue(()),
+                        Source::Pending(t) => {
+                            if support.contains(&t) {
+                                return ControlFlow::Continue(());
+                            }
+                            forbidden.insert(t);
+                        }
+                    }
+                }
+            }
+            let mut key: Vec<TxId> = forbidden.iter().copied().collect();
+            key.sort_unstable();
+            let closure = closures.entry(key).or_insert_with(|| {
+                let allowed: Vec<TxId> = all_txs
+                    .iter()
+                    .copied()
+                    .filter(|t| !forbidden.contains(t))
+                    .collect();
+                get_maximal(bcdb, pre, &allowed)
+            });
+            if support.iter().all(|t| closure.contains_tx(*t)) {
+                witness = Some(closure.clone());
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        },
+    );
+    stats.worlds_evaluated = closures.len();
+    match witness {
+        Some(w) => DcSatOutcome::unsatisfied(w, stats),
+        None => DcSatOutcome::satisfied(stats),
+    }
+}
+
+/// Positive aggregates over `{key, fd}` with θ ∈ {<, ≤} (or max/min with
+/// `=`): test the aggregate over `R ∪ S` for every realisable support `S`.
+fn agg_subset_world(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+) -> DcSatOutcome {
+    let db = bcdb.database();
+    let PreparedConstraint::Aggregate(pa) = pc else {
+        unreachable!("classified as aggregate")
+    };
+    let mut stats = DcSatStats {
+        algorithm: "tractable/agg-subset",
+        ..DcSatStats::default()
+    };
+    let all = db.all_mask();
+    // Collect the distinct realisable supports.
+    let mut supports: FxHashSet<SmallVec<[TxId; 8]>> = FxHashSet::default();
+    for_each_match(
+        db,
+        pa.body(),
+        &all,
+        EvalOptions {
+            check_negated: false,
+        },
+        |m| {
+            stats.matches_examined += 1;
+            let support = support_of(m.sources);
+            if pre.fd_consistent_set(&support) {
+                supports.insert(support);
+            }
+            ControlFlow::Continue(())
+        },
+    );
+    for support in supports {
+        let mask = db.mask_of(support.iter().copied());
+        stats.worlds_evaluated += 1;
+        if bcdb_query::evaluate_aggregate(db, pa, &mask) {
+            return DcSatOutcome::unsatisfied(mask, stats);
+        }
+    }
+    DcSatOutcome::satisfied(stats)
+}
+
+/// Positive monotone aggregates over `{ind}`: evaluate on the unique
+/// maximal world.
+fn agg_max_world(bcdb: &BlockchainDb, pre: &Precomputed, pc: &PreparedConstraint) -> DcSatOutcome {
+    let db = bcdb.database();
+    let mut stats = DcSatStats {
+        algorithm: "tractable/agg-maxworld",
+        ..DcSatStats::default()
+    };
+    let all_txs: Vec<TxId> = bcdb.tx_ids().collect();
+    let max_world = get_maximal(bcdb, pre, &all_txs);
+    stats.worlds_evaluated = 1;
+    if pc.holds(db, &max_world) {
+        DcSatOutcome::unsatisfied(max_world, stats)
+    } else {
+        DcSatOutcome::satisfied(stats)
+    }
+}

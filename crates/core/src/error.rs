@@ -1,0 +1,92 @@
+//! Errors of the blockchain-database layer.
+
+use bcdb_query::QueryError;
+use bcdb_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by [`crate::BlockchainDb`] and the DCSat algorithms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CoreError {
+    /// A storage-level failure (typing, unknown relation, …).
+    Storage(StorageError),
+    /// A query-level failure (validation, parsing, …).
+    Query(QueryError),
+    /// The current state `R` violates the integrity constraints — the
+    /// definition of a blockchain database requires `R |= I`.
+    InconsistentCurrentState {
+        /// Human-readable description of the first violation.
+        detail: String,
+    },
+    /// A caller forced `NaiveDCSat`/`OptDCSat` on a non-monotonic denial
+    /// constraint; those algorithms only examine maximal worlds and would
+    /// be unsound.
+    NotMonotonic {
+        /// Why the constraint is not monotone.
+        reason: String,
+    },
+    /// A caller forced `OptDCSat` on a constraint that is not a connected
+    /// conjunctive query (Proposition 2's hypothesis).
+    NotConnected,
+    /// A forced tractable decider does not apply to this
+    /// (query class, constraint kinds) combination.
+    NotTractable {
+        /// Which hypothesis failed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Query(e) => write!(f, "{e}"),
+            CoreError::InconsistentCurrentState { detail } => {
+                write!(f, "current state violates integrity constraints: {detail}")
+            }
+            CoreError::NotMonotonic { reason } => write!(
+                f,
+                "denial constraint is not monotonic ({reason}); maximal-world algorithms are unsound"
+            ),
+            CoreError::NotConnected => {
+                write!(f, "denial constraint is not a connected conjunctive query")
+            }
+            CoreError::NotTractable { detail } => {
+                write!(f, "no tractable decider applies: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = StorageError::UnknownRelation {
+            relation: "R".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("'R'"));
+        let e: CoreError = QueryError::UnsafeVariable {
+            variable: "x".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("'x'"));
+        assert!(CoreError::NotConnected.to_string().contains("connected"));
+    }
+}

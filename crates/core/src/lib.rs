@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! Blockchain databases and denial-constraint satisfaction.
+//!
+//! A Rust implementation of *Reasoning about the Future in Blockchain
+//! Databases* (Cohen, Rosenthal, Zohar; ICDE 2020). A [`BlockchainDb`] is
+//! the paper's `D = (R, I, T)`: a consistent current state `R`, integrity
+//! constraints `I` (keys, functional dependencies, inclusion dependencies),
+//! and pending transactions `T` whose eventual acceptance is uncertain.
+//! The database therefore represents a set of **possible worlds**
+//! ([`worlds`]), and the central question is **denial-constraint
+//! satisfaction** ([`dcsat()`]): is a given Boolean query false in *every*
+//! possible world?
+//!
+//! ```
+//! use bcdb_core::{BlockchainDb, dcsat, DcSatOptions};
+//! use bcdb_query::parse_denial_constraint;
+//! use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, RelationSchema, ValueType};
+//!
+//! let mut cat = Catalog::new();
+//! cat.add(RelationSchema::new("Pay", [
+//!     ("id", ValueType::Int), ("to", ValueType::Text),
+//! ]).unwrap()).unwrap();
+//! let mut cs = ConstraintSet::new();
+//! cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+//!
+//! let mut db = BlockchainDb::new(cat, cs);
+//! let pay = db.database().catalog().resolve("Pay").unwrap();
+//! // Two pending payments reusing the same id — only one can ever land.
+//! db.add_transaction("first", [(pay, tuple![1i64, "bob"])]).unwrap();
+//! db.add_transaction("reissue", [(pay, tuple![1i64, "carol"])]).unwrap();
+//!
+//! // "Bob and Carol are never both paid."
+//! let dc = parse_denial_constraint(
+//!     "q() <- Pay(i, 'bob'), Pay(j, 'carol')", db.database().catalog()).unwrap();
+//! let outcome = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+//! assert!(outcome.satisfied);
+//! ```
+
+pub mod db;
+pub mod dcsat;
+pub mod error;
+pub mod likelihood;
+pub mod precompute;
+pub mod witness;
+pub mod worlds;
+
+pub use db::{BlockchainDb, PendingTransaction};
+pub use dcsat::{
+    dcsat, dcsat_with, Algorithm, DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint,
+};
+pub use error::CoreError;
+pub use likelihood::{
+    estimate_violation_risk, AcceptanceModel, PerTxAcceptance, RiskEstimate, UniformAcceptance,
+};
+pub use precompute::Precomputed;
+pub use witness::minimize_witness;
+pub use worlds::{
+    can_append, for_each_possible_world, get_maximal, is_possible_world, possible_worlds,
+};

@@ -1,0 +1,278 @@
+//! Likelihood-weighted possible worlds (the paper's future-work item:
+//! "denial constraint satisfaction when weighting possible worlds by
+//! learning an estimation of their actual likelihood").
+//!
+//! [`crate::dcsat()`] answers the *possibilistic* question — can the bad
+//! outcome happen at all? This module answers the *probabilistic* one —
+//! roughly how likely is it? Each pending transaction gets an acceptance
+//! probability (an [`AcceptanceModel`]; e.g. derived from fee rates, since
+//! miners prefer high-fee transactions), worlds are drawn from a simple
+//! generative consensus model, and the violation probability is estimated
+//! by Monte Carlo.
+//!
+//! The generative model: process the pending transactions in a uniformly
+//! random order (miners see and pick transactions in effectively arbitrary
+//! order); each transaction that is *appendable* to the world built so far
+//! is accepted with its model probability. This respects all integrity
+//! constraints by construction — every sample is a genuine possible world —
+//! and first-come-wins between conflicting transactions, like real mining.
+
+use crate::db::BlockchainDb;
+use crate::dcsat::PreparedConstraint;
+use crate::precompute::Precomputed;
+use crate::worlds::can_append;
+use bcdb_storage::{TxId, WorldMask};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Assigns each pending transaction an acceptance probability in `[0, 1]`.
+pub trait AcceptanceModel {
+    /// The probability that `tx` is accepted when a miner considers it.
+    fn probability(&self, tx: TxId) -> f64;
+}
+
+/// Every transaction accepted with the same probability.
+#[derive(Clone, Copy, Debug)]
+pub struct UniformAcceptance(pub f64);
+
+impl AcceptanceModel for UniformAcceptance {
+    fn probability(&self, _tx: TxId) -> f64 {
+        self.0.clamp(0.0, 1.0)
+    }
+}
+
+/// Explicit per-transaction probabilities (e.g. learned from fee rates —
+/// see `bcdb_chain::feerate_probabilities`).
+#[derive(Clone, Debug)]
+pub struct PerTxAcceptance(pub Vec<f64>);
+
+impl AcceptanceModel for PerTxAcceptance {
+    fn probability(&self, tx: TxId) -> f64 {
+        self.0
+            .get(tx.index())
+            .copied()
+            .unwrap_or(0.5)
+            .clamp(0.0, 1.0)
+    }
+}
+
+/// A Monte Carlo risk estimate.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RiskEstimate {
+    /// Fraction of sampled future worlds in which the query held.
+    pub violation_probability: f64,
+    /// Number of sampled worlds.
+    pub samples: usize,
+    /// Samples in which the query held.
+    pub violations: usize,
+    /// Binomial standard error of the estimate.
+    pub std_error: f64,
+    /// One violating sampled world, if any was seen.
+    pub example_violation: Option<WorldMask>,
+}
+
+/// Estimates the probability that the denial constraint's query holds in a
+/// future world drawn from the generative model. Deterministic given
+/// `seed`.
+///
+/// If [`crate::dcsat()`] says the constraint is satisfied, the true
+/// probability is exactly 0 (no possible world violates) — this estimator
+/// will agree. The converse does not hold: a violable constraint can still
+/// have negligible probability, which is precisely the refinement this
+/// analysis adds.
+pub fn estimate_violation_risk(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    model: &dyn AcceptanceModel,
+    samples: usize,
+    seed: u64,
+) -> RiskEstimate {
+    assert!(samples > 0, "at least one sample required");
+    let db = bcdb.database();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut order: Vec<TxId> = bcdb.tx_ids().collect();
+    let mut violations = 0usize;
+    let mut example = None;
+    for _ in 0..samples {
+        order.shuffle(&mut rng);
+        let mut world = db.base_mask();
+        for &tx in &order {
+            let p = model.probability(tx);
+            // Draw first so the rng stream is independent of appendability
+            // (keeps estimates comparable across models).
+            let accept = rng.random_bool(p.clamp(0.0, 1.0));
+            if accept && can_append(bcdb, pre, &world, tx) {
+                world.activate(tx);
+            }
+        }
+        if pc.holds(db, &world) {
+            violations += 1;
+            if example.is_none() {
+                example = Some(world);
+            }
+        }
+    }
+    let p_hat = violations as f64 / samples as f64;
+    RiskEstimate {
+        violation_probability: p_hat,
+        samples,
+        violations,
+        std_error: (p_hat * (1.0 - p_hat) / samples as f64).sqrt(),
+        example_violation: example,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcsat::{dcsat, DcSatOptions};
+    use bcdb_query::parse_denial_constraint;
+    use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, RelationSchema, ValueType};
+
+    fn setup() -> BlockchainDb {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Pay", [("id", ValueType::Int), ("to", ValueType::Text)]).unwrap(),
+        )
+        .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+        BlockchainDb::new(cat, cs)
+    }
+
+    fn constraint(db: &mut BlockchainDb, text: &str) -> PreparedConstraint {
+        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+        PreparedConstraint::prepare(db.database_mut(), &dc)
+    }
+
+    #[test]
+    fn zero_probability_means_base_world_only() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.insert_current(pay, tuple![1i64, "bob"]).unwrap();
+        db.add_transaction("t", [(pay, tuple![2i64, "carol"])])
+            .unwrap();
+        let pre = Precomputed::build(&db);
+        let q_bob = constraint(&mut db, "q() <- Pay(i, 'bob')");
+        let q_carol = constraint(&mut db, "q() <- Pay(i, 'carol')");
+        let r = estimate_violation_risk(&db, &pre, &q_bob, &UniformAcceptance(0.0), 50, 1);
+        assert_eq!(r.violation_probability, 1.0); // bob is already in R
+        let r = estimate_violation_risk(&db, &pre, &q_carol, &UniformAcceptance(0.0), 50, 1);
+        assert_eq!(r.violation_probability, 0.0);
+        assert_eq!(r.std_error, 0.0);
+    }
+
+    #[test]
+    fn certain_acceptance_without_conflicts_reaches_the_maximal_world() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.add_transaction("t0", [(pay, tuple![1i64, "bob"])])
+            .unwrap();
+        db.add_transaction("t1", [(pay, tuple![2i64, "carol"])])
+            .unwrap();
+        let pre = Precomputed::build(&db);
+        let q = constraint(&mut db, "q() <- Pay(i, 'bob'), Pay(j, 'carol')");
+        let r = estimate_violation_risk(&db, &pre, &q, &UniformAcceptance(1.0), 20, 2);
+        assert_eq!(r.violation_probability, 1.0);
+        assert!(r.example_violation.is_some());
+    }
+
+    #[test]
+    fn satisfied_constraints_have_zero_risk() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        // Conflicting pending payments: at most one of bob/carol.
+        db.add_transaction("t0", [(pay, tuple![1i64, "bob"])])
+            .unwrap();
+        db.add_transaction("t1", [(pay, tuple![1i64, "carol"])])
+            .unwrap();
+        let dc = parse_denial_constraint(
+            "q() <- Pay(i, 'bob'), Pay(j, 'carol')",
+            db.database().catalog(),
+        )
+        .unwrap();
+        assert!(
+            dcsat(&mut db, &dc, &DcSatOptions::default())
+                .unwrap()
+                .satisfied
+        );
+        let pre = Precomputed::build(&db);
+        let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
+        let r = estimate_violation_risk(&db, &pre, &pc, &UniformAcceptance(0.9), 200, 3);
+        assert_eq!(r.violation_probability, 0.0, "no possible world violates");
+    }
+
+    #[test]
+    fn risk_tracks_acceptance_probability() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.add_transaction("t", [(pay, tuple![1i64, "bob"])])
+            .unwrap();
+        let pre = Precomputed::build(&db);
+        let q = constraint(&mut db, "q() <- Pay(i, 'bob')");
+        // Violation iff the single tx is accepted: risk ≈ p.
+        for (p, lo, hi) in [(0.2, 0.1, 0.3), (0.8, 0.7, 0.9)] {
+            let r = estimate_violation_risk(&db, &pre, &q, &UniformAcceptance(p), 2_000, 4);
+            assert!(
+                (lo..=hi).contains(&r.violation_probability),
+                "p={p}: got {}",
+                r.violation_probability
+            );
+        }
+    }
+
+    #[test]
+    fn conflicting_transactions_split_the_probability() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.add_transaction("t0", [(pay, tuple![1i64, "bob"])])
+            .unwrap();
+        db.add_transaction("t1", [(pay, tuple![1i64, "carol"])])
+            .unwrap();
+        let pre = Precomputed::build(&db);
+        let q_bob = constraint(&mut db, "q() <- Pay(i, 'bob')");
+        // With p=1 and a uniformly random order, bob wins the conflict
+        // about half the time.
+        let r = estimate_violation_risk(&db, &pre, &q_bob, &UniformAcceptance(1.0), 2_000, 5);
+        assert!(
+            (0.4..=0.6).contains(&r.violation_probability),
+            "got {}",
+            r.violation_probability
+        );
+    }
+
+    #[test]
+    fn per_tx_model_biases_outcomes() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.add_transaction("t0", [(pay, tuple![1i64, "bob"])])
+            .unwrap();
+        db.add_transaction("t1", [(pay, tuple![1i64, "carol"])])
+            .unwrap();
+        let pre = Precomputed::build(&db);
+        let q_bob = constraint(&mut db, "q() <- Pay(i, 'bob')");
+        // carol's transaction is almost never accepted (dust fee, say).
+        let model = PerTxAcceptance(vec![0.9, 0.05]);
+        let r = estimate_violation_risk(&db, &pre, &q_bob, &model, 2_000, 6);
+        assert!(
+            r.violation_probability > 0.8,
+            "got {}",
+            r.violation_probability
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.add_transaction("t", [(pay, tuple![1i64, "bob"])])
+            .unwrap();
+        let pre = Precomputed::build(&db);
+        let q = constraint(&mut db, "q() <- Pay(i, 'bob')");
+        let a = estimate_violation_risk(&db, &pre, &q, &UniformAcceptance(0.5), 500, 7);
+        let b = estimate_violation_risk(&db, &pre, &q, &UniformAcceptance(0.5), 500, 7);
+        assert_eq!(a, b);
+    }
+}

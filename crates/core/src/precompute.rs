@@ -1,0 +1,563 @@
+//! Steady-state precomputed structures (§6.3 of the paper).
+//!
+//! The paper's implementation stores, as transactions arrive:
+//!
+//! * per-transaction *inclusion status* — whether `R ∪ {T} |= I`;
+//! * the fd-transaction graph `GfTd`;
+//! * the IND-derived part of the ind-q-transaction graph (`Gind`), to be
+//!   augmented with query-derived edges per denial constraint.
+//!
+//! [`Precomputed`] holds all three, plus the FD fingerprints that make
+//! pairwise consistency checks cheap. `GfTd` is built
+//! conflict-first: an FD violation needs two tuples sharing a determinant,
+//! so we group tuples by determinant and only materialise the (typically
+//! few) conflicting pairs, then take the complement.
+
+use crate::db::BlockchainDb;
+use bcdb_graph::{UndirectedGraph, UnionFind};
+use bcdb_query::EqualityConstraint;
+use bcdb_storage::{Source, SourceFingerprints, TxId, Value};
+use rustc_hash::{FxHashMap, FxHashSet};
+use smallvec::SmallVec;
+
+/// Projection of a tuple onto constraint attributes.
+type Projection = SmallVec<[Value; 4]>;
+/// FD grouping: determinant -> (dependent -> contributing sources).
+type FdGroups = FxHashMap<Projection, FxHashMap<Projection, SmallVec<[Source; 4]>>>;
+/// Equality-constraint grouping: projection value -> (left txs, right txs).
+type SideGroups = FxHashMap<Projection, (SmallVec<[u32; 4]>, SmallVec<[u32; 4]>)>;
+
+/// Precomputed reasoning structures for one blockchain database snapshot.
+#[derive(Clone, Debug)]
+pub struct Precomputed {
+    /// FD fingerprints of the current state.
+    pub base_fp: SourceFingerprints,
+    /// FD fingerprints of each pending transaction.
+    pub tx_fp: Vec<SourceFingerprints>,
+    /// `viable[t]`: transaction `t` is internally FD-consistent and
+    /// FD-consistent with the current state. A non-viable transaction can
+    /// never be appended.
+    pub viable: Vec<bool>,
+    /// The fd-transaction graph `GfTd`: nodes are pending transactions;
+    /// edges join *viable*, mutually FD-consistent pairs.
+    pub fd_graph: UndirectedGraph,
+    /// `includable[t]`: whether `R ∪ {T} |= I` — the paper's per-transaction
+    /// inclusion status (true iff `t` could be appended to `R` right now).
+    pub includable: Vec<bool>,
+    /// Connected components of the IND-derived equality-constraint graph
+    /// (`Gind`). Cloned and refined with query-derived edges (Θq) per
+    /// denial constraint.
+    pub ind_uf: UnionFind,
+    /// Per-IND handle of the index on the referenced-side attributes.
+    pub(crate) ind_to_index: Vec<usize>,
+    /// ΘI (cached from the constraint set).
+    thetas_ind: Vec<EqualityConstraint>,
+    /// Per-ΘI grouping of transactions by projection value, maintained
+    /// incrementally so newly issued transactions join `Gind` in O(|T|).
+    ind_groups: Vec<SideGroups>,
+}
+
+impl Precomputed {
+    /// Builds all structures for `bcdb`.
+    pub fn build(bcdb: &BlockchainDb) -> Self {
+        let db = bcdb.database();
+        let cs = bcdb.constraints();
+        let n = bcdb.pending_count();
+
+        let (base_fp, tx_fp) = bcdb_storage::collect_all_fingerprints(db, cs);
+
+        let mut viable: Vec<bool> = (0..n)
+            .map(|t| tx_fp[t].self_consistent() && base_fp.consistent_with(&tx_fp[t]))
+            .collect();
+
+        // Conflict-first construction of GfTd: group every stored tuple's
+        // FD determinant, then conflicting pairs are within-group pairs
+        // whose dependents differ.
+        let mut conflicts: FxHashSet<(u32, u32)> = FxHashSet::default();
+        for fd in cs.fds() {
+            let store = db.relation(fd.relation);
+            // determinant -> (dependent -> contributing sources)
+            let mut groups: FdGroups = FxHashMap::default();
+            for (_, row) in store.scan_all() {
+                groups
+                    .entry(row.tuple.project(&fd.lhs))
+                    .or_default()
+                    .entry(row.tuple.project(&fd.rhs))
+                    .or_default()
+                    .push(row.source);
+            }
+            for by_rhs in groups.values() {
+                if by_rhs.len() < 2 {
+                    continue;
+                }
+                let classes: Vec<&SmallVec<[Source; 4]>> = by_rhs.values().collect();
+                for (i, a) in classes.iter().enumerate() {
+                    for b in &classes[i + 1..] {
+                        for &sa in a.iter() {
+                            for &sb in b.iter() {
+                                match (sa, sb) {
+                                    (Source::Pending(x), Source::Pending(y)) if x != y => {
+                                        let (lo, hi) =
+                                            if x.0 < y.0 { (x.0, y.0) } else { (y.0, x.0) };
+                                        conflicts.insert((lo, hi));
+                                    }
+                                    (Source::Base, Source::Pending(t))
+                                    | (Source::Pending(t), Source::Base) => {
+                                        viable[t.index()] = false;
+                                    }
+                                    _ => {}
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let mut fd_graph = UndirectedGraph::new(n);
+        for (a, &va) in viable.iter().enumerate() {
+            if !va {
+                continue;
+            }
+            for (b, &vb) in viable.iter().enumerate().skip(a + 1) {
+                if vb && !conflicts.contains(&(a as u32, b as u32)) {
+                    fd_graph.add_edge(a, b);
+                }
+            }
+        }
+
+        // Resolve the per-IND referenced-side index handles (built eagerly
+        // by BlockchainDb::new).
+        let ind_to_index: Vec<usize> = cs
+            .inds()
+            .iter()
+            .map(|ind| {
+                db.relation(ind.to_relation)
+                    .find_index(&ind.to_attrs)
+                    .expect("IND indexes built at construction")
+            })
+            .collect();
+
+        // Inclusion status: viable (FD part) + every IND projection of the
+        // transaction's own tuples resolvable within R ∪ {T}.
+        let mut includable = Vec::with_capacity(n);
+        for (t, &v) in viable.iter().enumerate() {
+            let tx = TxId(t as u32);
+            if !v {
+                includable.push(false);
+                continue;
+            }
+            let mask = db.mask_of([tx]);
+            let ok = cs.inds().iter().enumerate().all(|(i, ind)| {
+                bcdb.transaction(tx)
+                    .tuples
+                    .iter()
+                    .filter(|(rel, _)| *rel == ind.from_relation)
+                    .all(|(_, tuple)| {
+                        db.relation(ind.to_relation).index_contains(
+                            ind_to_index[i],
+                            &tuple.project(&ind.from_attrs),
+                            &mask,
+                        )
+                    })
+            });
+            includable.push(ok);
+        }
+
+        // ΘI components, built through the same incremental insertion the
+        // steady state uses, so batch and incremental paths cannot diverge.
+        let thetas_ind = theta_from_inds(cs);
+        let mut ind_uf = UnionFind::new(n);
+        let mut ind_groups: Vec<SideGroups> = vec![FxHashMap::default(); thetas_ind.len()];
+        for tx in bcdb.tx_ids() {
+            ind_join_tx(bcdb, &thetas_ind, &mut ind_groups, &mut ind_uf, tx);
+        }
+
+        Precomputed {
+            base_fp,
+            tx_fp,
+            viable,
+            fd_graph,
+            includable,
+            ind_uf,
+            ind_to_index,
+            thetas_ind,
+            ind_groups,
+        }
+    }
+
+    /// Incrementally extends the steady-state structures for a transaction
+    /// just issued via [`BlockchainDb::add_transaction`] (§6.3's "as new
+    /// transactions are issued"). Must be called with consecutive
+    /// [`TxId`]s; `O(|T| + |tx|)` instead of a full rebuild.
+    pub fn note_transaction_added(&mut self, bcdb: &BlockchainDb, tx: TxId) {
+        assert_eq!(
+            tx.index(),
+            self.tx_fp.len(),
+            "transactions must be noted in issue order"
+        );
+        let db = bcdb.database();
+        let cs = bcdb.constraints();
+        let tuples = &bcdb.transaction(tx).tuples;
+
+        // Fingerprints and viability.
+        let fp = bcdb_storage::SourceFingerprints::from_tuples(
+            cs,
+            tuples.iter().map(|(rel, t)| (*rel, t)),
+        );
+        let viable = fp.self_consistent() && self.base_fp.consistent_with(&fp);
+
+        // GfTd: one new node, edges to every mutually consistent viable tx.
+        let node = self.fd_graph.add_node();
+        debug_assert_eq!(node, tx.index());
+        if viable {
+            for (other, other_viable) in self.viable.iter().enumerate() {
+                if *other_viable && fp.consistent_with(&self.tx_fp[other]) {
+                    self.fd_graph.add_edge(node, other);
+                }
+            }
+        }
+
+        // Inclusion status (R ∪ {tx} |= I).
+        let includable = viable && {
+            let mask = db.mask_of([tx]);
+            cs.inds().iter().enumerate().all(|(i, ind)| {
+                tuples
+                    .iter()
+                    .filter(|(rel, _)| *rel == ind.from_relation)
+                    .all(|(_, tuple)| {
+                        db.relation(ind.to_relation).index_contains(
+                            self.ind_to_index[i],
+                            &tuple.project(&ind.from_attrs),
+                            &mask,
+                        )
+                    })
+            })
+        };
+
+        // Gind components.
+        let id = self.ind_uf.push();
+        debug_assert_eq!(id, tx.index());
+        let thetas = std::mem::take(&mut self.thetas_ind);
+        ind_join_tx(bcdb, &thetas, &mut self.ind_groups, &mut self.ind_uf, tx);
+        self.thetas_ind = thetas;
+
+        self.tx_fp.push(fp);
+        self.viable.push(viable);
+        self.includable.push(includable);
+    }
+
+    /// Whether transactions `a` and `b` are mutually FD-consistent (and
+    /// each viable) — the edge relation of `GfTd`, extended so that
+    /// `a == b` reduces to viability.
+    pub fn fd_consistent_pair(&self, a: TxId, b: TxId) -> bool {
+        if a == b {
+            self.viable[a.index()]
+        } else {
+            self.fd_graph.has_edge(a.index(), b.index())
+        }
+    }
+
+    /// Whether every pair in `txs` is mutually FD-consistent and viable.
+    pub fn fd_consistent_set(&self, txs: &[TxId]) -> bool {
+        txs.iter().all(|t| self.viable[t.index()])
+            && txs.iter().enumerate().all(|(i, &a)| {
+                txs[i + 1..]
+                    .iter()
+                    .all(|&b| a == b || self.fd_graph.has_edge(a.index(), b.index()))
+            })
+    }
+}
+
+/// Joins one transaction into the ΘI groups, unioning components per the
+/// group-activation rule: a value group links every left-side transaction
+/// with every right-side transaction as soon as both sides are non-empty.
+fn ind_join_tx(
+    bcdb: &BlockchainDb,
+    thetas: &[EqualityConstraint],
+    groups: &mut [SideGroups],
+    uf: &mut UnionFind,
+    tx: TxId,
+) {
+    for (ti, theta) in thetas.iter().enumerate() {
+        for (rel, tuple) in &bcdb.transaction(tx).tuples {
+            for (is_left, my_rel, attrs) in [
+                (true, theta.left_relation, &theta.left_attrs),
+                (false, theta.right_relation, &theta.right_attrs),
+            ] {
+                if *rel != my_rel {
+                    continue;
+                }
+                let key = tuple.project(attrs);
+                let entry = groups[ti].entry(key).or_default();
+                let (mine, other) = if is_left {
+                    (&mut entry.0, &entry.1)
+                } else {
+                    (&mut entry.1, &entry.0)
+                };
+                if mine.contains(&tx.0) {
+                    continue; // several tuples of tx may share the key
+                }
+                let first_on_my_side = mine.is_empty();
+                mine.push(tx.0);
+                if !other.is_empty() {
+                    if first_on_my_side {
+                        // Group transitions inactive -> active: the other
+                        // side's members were not yet mutually connected.
+                        for &o in other.iter() {
+                            uf.union(tx.index(), o as usize);
+                        }
+                    } else {
+                        // Already active: everyone is transitively linked.
+                        uf.union(tx.index(), other[0] as usize);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// ΘI: the equality constraints implied by the inclusion dependencies
+/// (`R[X̄] ⊆ S[Ȳ]` gives `R[X̄] = S[Ȳ]`, §6.2).
+pub fn theta_from_inds(cs: &bcdb_storage::ConstraintSet) -> Vec<EqualityConstraint> {
+    cs.inds()
+        .iter()
+        .map(|ind| EqualityConstraint {
+            left_relation: ind.from_relation,
+            left_attrs: ind.from_attrs.clone(),
+            right_relation: ind.to_relation,
+            right_attrs: ind.to_attrs.clone(),
+        })
+        .collect()
+}
+
+/// Merges, in `uf`, every pair of pending transactions joined by some
+/// equality constraint in `thetas`: `T` and `T'` are joined when tuples
+/// `t ∈ T`, `t' ∈ T'` match on the constraint's projections.
+///
+/// Implemented by grouping projections: within one value group, every
+/// left-side transaction connects to every right-side transaction, which
+/// collapses the whole group into one component whenever both sides are
+/// non-empty.
+pub fn union_by_equalities(bcdb: &BlockchainDb, thetas: &[EqualityConstraint], uf: &mut UnionFind) {
+    for theta in thetas {
+        let mut groups: SideGroups = FxHashMap::default();
+        for tx in bcdb.tx_ids() {
+            for (rel, tuple) in &bcdb.transaction(tx).tuples {
+                if *rel == theta.left_relation {
+                    groups
+                        .entry(tuple.project(&theta.left_attrs))
+                        .or_default()
+                        .0
+                        .push(tx.0);
+                }
+                if *rel == theta.right_relation {
+                    groups
+                        .entry(tuple.project(&theta.right_attrs))
+                        .or_default()
+                        .1
+                        .push(tx.0);
+                }
+            }
+        }
+        for (lefts, rights) in groups.values() {
+            if lefts.is_empty() || rights.is_empty() {
+                continue;
+            }
+            let anchor = lefts[0] as usize;
+            for &x in lefts.iter().chain(rights.iter()) {
+                uf.union(anchor, x as usize);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, ValueType};
+
+    /// R(a,b) key a; S(x) with S[x] ⊆ R[a].
+    fn setup() -> BlockchainDb {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+            .unwrap();
+        cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["a"]).unwrap());
+        BlockchainDb::new(cat, cs)
+    }
+
+    #[test]
+    fn viability_and_fd_graph() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        // T0 fine; T1 conflicts with T0 (key 2); T2 conflicts with base
+        // (key 1); T3 internally inconsistent.
+        bc.add_transaction("T0", [(r, tuple![2i64, 20i64])])
+            .unwrap();
+        bc.add_transaction("T1", [(r, tuple![2i64, 99i64])])
+            .unwrap();
+        bc.add_transaction("T2", [(r, tuple![1i64, 99i64])])
+            .unwrap();
+        bc.add_transaction("T3", [(r, tuple![5i64, 1i64]), (r, tuple![5i64, 2i64])])
+            .unwrap();
+        let pre = Precomputed::build(&bc);
+        assert_eq!(pre.viable, vec![true, true, false, false]);
+        assert!(!pre.fd_graph.has_edge(0, 1)); // conflict
+        assert!(!pre.fd_graph.has_edge(0, 2)); // T2 not viable
+        assert!(!pre.fd_graph.has_edge(1, 3));
+        assert!(pre.fd_consistent_pair(TxId(0), TxId(0)));
+        assert!(!pre.fd_consistent_pair(TxId(0), TxId(1)));
+        assert!(pre.fd_consistent_set(&[TxId(0)]));
+        assert!(!pre.fd_consistent_set(&[TxId(0), TxId(1)]));
+    }
+
+    #[test]
+    fn identical_tuples_do_not_conflict() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        bc.add_transaction("T0", [(r, tuple![1i64, 10i64])])
+            .unwrap();
+        bc.add_transaction("T1", [(r, tuple![1i64, 10i64])])
+            .unwrap();
+        let pre = Precomputed::build(&bc);
+        assert!(pre.fd_graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn includable_requires_ind_support() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        // T0: S(1) supported by base. T1: S(7) dangling. T2: R(7,_) + S(7)
+        // self-supporting.
+        bc.add_transaction("T0", [(s, tuple![1i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![7i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![7i64, 70i64]), (s, tuple![7i64])])
+            .unwrap();
+        let pre = Precomputed::build(&bc);
+        assert_eq!(pre.includable, vec![true, false, true]);
+    }
+
+    #[test]
+    fn ind_components_group_dependent_transactions() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        // T0 creates R(5,_); T1 consumes via S(5); T2 unrelated R(9,_).
+        bc.add_transaction("T0", [(r, tuple![5i64, 50i64])])
+            .unwrap();
+        bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![9i64, 90i64])])
+            .unwrap();
+        let pre = Precomputed::build(&bc);
+        let mut uf = pre.ind_uf.clone();
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn empty_database_builds() {
+        let bc = setup();
+        let pre = Precomputed::build(&bc);
+        assert!(pre.viable.is_empty());
+        assert_eq!(pre.fd_graph.node_count(), 0);
+    }
+
+    /// Structural equality of two precomputations (components compared up
+    /// to renaming).
+    fn assert_equivalent(a: &Precomputed, b: &Precomputed) {
+        assert_eq!(a.viable, b.viable, "viable");
+        assert_eq!(a.includable, b.includable, "includable");
+        assert_eq!(a.fd_graph.node_count(), b.fd_graph.node_count());
+        assert_eq!(a.fd_graph.edge_count(), b.fd_graph.edge_count(), "edges");
+        for u in 0..a.fd_graph.node_count() {
+            for v in u + 1..a.fd_graph.node_count() {
+                assert_eq!(
+                    a.fd_graph.has_edge(u, v),
+                    b.fd_graph.has_edge(u, v),
+                    "edge {u}-{v}"
+                );
+            }
+        }
+        assert_eq!(
+            a.ind_uf.clone().into_components(),
+            b.ind_uf.clone().into_components(),
+            "Gind components"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_rebuild_on_running_shapes() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        let mut pre = Precomputed::build(&bc);
+        let additions: Vec<Vec<(bcdb_storage::RelationId, bcdb_storage::Tuple)>> = vec![
+            vec![(r, tuple![2i64, 20i64])],                         // fresh key
+            vec![(r, tuple![2i64, 99i64])],                         // conflicts prev
+            vec![(r, tuple![1i64, 99i64])],                         // conflicts base
+            vec![(s, tuple![2i64])],                                // depends on T0/T1
+            vec![(r, tuple![5i64, 1i64]), (r, tuple![5i64, 2i64])], // self-broken
+            vec![(r, tuple![7i64, 0i64]), (s, tuple![7i64])],       // self-supporting
+            vec![(s, tuple![7i64])],                                // same key as T5's S row
+        ];
+        for tuples in additions {
+            let tx = bc.add_transaction("t", tuples).unwrap();
+            pre.note_transaction_added(&bc, tx);
+            let rebuilt = Precomputed::build(&bc);
+            assert_equivalent(&pre, &rebuilt);
+        }
+    }
+
+    mod incremental_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+            /// Incrementally maintained structures equal a from-scratch
+            /// rebuild after every single addition.
+            #[test]
+            fn incremental_equals_rebuild(
+                base in prop::collection::vec((0..4i64, 0..4i64), 0..3),
+                txs in prop::collection::vec(
+                    (prop::collection::vec((0..4i64, 0..4i64), 0..3),
+                     prop::collection::vec(0..4i64, 0..2)),
+                    1..6),
+            ) {
+                let mut bc = setup();
+                let r = bc.database().catalog().resolve("R").unwrap();
+                let s = bc.database().catalog().resolve("S").unwrap();
+                let mut keys = std::collections::HashSet::new();
+                for (a, b) in base {
+                    if keys.insert(a) {
+                        bc.insert_current(r, tuple![a, b]).unwrap();
+                    }
+                }
+                let mut pre = Precomputed::build(&bc);
+                for (i, (rt, st)) in txs.into_iter().enumerate() {
+                    if rt.is_empty() && st.is_empty() {
+                        continue;
+                    }
+                    let tuples: Vec<_> = rt
+                        .into_iter()
+                        .map(|(a, b)| (r, tuple![a, b]))
+                        .chain(st.into_iter().map(|x| (s, tuple![x])))
+                        .collect();
+                    let tx = bc.add_transaction(format!("T{i}"), tuples).unwrap();
+                    pre.note_transaction_added(&bc, tx);
+                }
+                let rebuilt = Precomputed::build(&bc);
+                assert_equivalent(&pre, &rebuilt);
+            }
+        }
+    }
+}

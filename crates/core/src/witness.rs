@@ -1,0 +1,162 @@
+//! Witness minimization.
+//!
+//! When a denial constraint is *unsatisfied*, [`crate::dcsat()`] returns a
+//! witness world over which the query holds. The algorithms return whatever
+//! world they found first — usually a maximal one, containing many pending
+//! transactions irrelevant to the violation. Minimizing the witness
+//! isolates the transactions that actually cause the undesirable outcome,
+//! which is what a user needs in order to act (e.g. to craft a
+//! contradicting transaction — the paper's future-work item — against
+//! exactly the dangerous ones).
+
+use crate::db::BlockchainDb;
+use crate::dcsat::PreparedConstraint;
+use crate::precompute::Precomputed;
+use crate::worlds::is_possible_world;
+use bcdb_storage::{TxId, WorldMask};
+
+/// Greedily shrinks `witness` to a *minimal* world still satisfying the
+/// query: no single pending transaction can be removed without either
+/// breaking possibility (IND dependants would dangle) or losing the
+/// query's satisfaction.
+///
+/// The result is minimal, not minimum — finding a smallest witness is as
+/// hard as the satisfaction problem itself.
+pub fn minimize_witness(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    witness: &WorldMask,
+) -> WorldMask {
+    let db = bcdb.database();
+    debug_assert!(pc.holds(db, witness), "witness must satisfy the query");
+    let mut current: Vec<TxId> = witness.txs().collect();
+    loop {
+        let mut removed = None;
+        for (i, _) in current.iter().enumerate() {
+            let candidate: Vec<TxId> = current
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, &t)| t)
+                .collect();
+            if !is_possible_world(bcdb, pre, &candidate) {
+                continue;
+            }
+            let mask = db.mask_of(candidate.iter().copied());
+            if pc.holds(db, &mask) {
+                removed = Some(i);
+                break;
+            }
+        }
+        match removed {
+            Some(i) => {
+                current.remove(i);
+            }
+            None => break,
+        }
+    }
+    db.mask_of(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dcsat::{dcsat, Algorithm, DcSatOptions};
+    use bcdb_query::parse_denial_constraint;
+    use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, ValueType};
+
+    fn setup() -> BlockchainDb {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new(
+                "Pay",
+                [
+                    ("id", ValueType::Int),
+                    ("to", ValueType::Text),
+                    ("amt", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        cat.add(RelationSchema::new("Ack", [("payRef", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+        cs.add_ind(Ind::named(&cat, "Ack", &["payRef"], "Pay", &["id"]).unwrap());
+        BlockchainDb::new(cat, cs)
+    }
+
+    #[test]
+    fn minimization_isolates_the_culprits() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        let ack = db.database().catalog().resolve("Ack").unwrap();
+        // Many irrelevant payments plus one chain paying bob.
+        for i in 0..6i64 {
+            db.add_transaction(format!("noise{i}"), [(pay, tuple![i, "x", 1i64])])
+                .unwrap();
+        }
+        let pay_bob = db
+            .add_transaction("paybob", [(pay, tuple![100i64, "bob", 9i64])])
+            .unwrap();
+        let ack_bob = db
+            .add_transaction("ackbob", [(ack, tuple![100i64])])
+            .unwrap();
+        let dc =
+            parse_denial_constraint("q() <- Pay(i, 'bob', a), Ack(i)", db.database().catalog())
+                .unwrap();
+        let out = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Naive,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.satisfied);
+        let witness = out.witness.unwrap();
+        // Naive returns a maximal world: noise included.
+        assert!(witness.tx_count() > 2);
+        let pre = Precomputed::build(&db);
+        let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
+        let minimal = minimize_witness(&db, &pre, &pc, &witness);
+        let txs: Vec<TxId> = minimal.txs().collect();
+        assert_eq!(
+            txs,
+            vec![pay_bob, ack_bob],
+            "only the culprit chain remains"
+        );
+        // Minimality: dropping either breaks the witness.
+        assert!(!pc.holds(db.database(), &db.database().mask_of([pay_bob])));
+        assert!(!is_possible_world(&db, &pre, &[ack_bob]));
+    }
+
+    #[test]
+    fn base_only_witness_stays_empty() {
+        let mut db = setup();
+        let pay = db.database().catalog().resolve("Pay").unwrap();
+        db.insert_current(pay, tuple![1i64, "bob", 2i64]).unwrap();
+        db.add_transaction("noise", [(pay, tuple![2i64, "x", 1i64])])
+            .unwrap();
+        let dc =
+            parse_denial_constraint("q() <- Pay(i, 'bob', a)", db.database().catalog()).unwrap();
+        let out = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Naive,
+                use_precheck: false,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.satisfied);
+        let pre = Precomputed::build(&db);
+        let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
+        let minimal = minimize_witness(&db, &pre, &pc, &out.witness.unwrap());
+        assert_eq!(minimal.tx_count(), 0, "the violation lives in R alone");
+    }
+}

@@ -1,0 +1,335 @@
+//! Possible worlds: the can-append relation, `getMaximal`, possible-world
+//! recognition (Proposition 1), and exhaustive enumeration.
+
+use crate::db::BlockchainDb;
+use crate::precompute::Precomputed;
+use bcdb_storage::{TxId, WorldMask};
+use rustc_hash::FxHashSet;
+use std::ops::ControlFlow;
+
+/// Whether transaction `tx` can be appended to the (assumed consistent)
+/// world `mask`: `mask ∪ {tx} |= I`.
+///
+/// FD consistency is checked pairwise against the base state and every
+/// active transaction via precomputed fingerprints (an FD violation needs
+/// exactly two tuples, so pairwise suffices); IND obligations are checked
+/// only for the incoming transaction's own tuples (existing tuples cannot
+/// lose support — tuples are never removed).
+pub fn can_append(bcdb: &BlockchainDb, pre: &Precomputed, mask: &WorldMask, tx: TxId) -> bool {
+    if mask.contains_tx(tx) {
+        return true; // R' = R case: appending an already-active tx is a no-op
+    }
+    if !pre.viable[tx.index()] {
+        return false;
+    }
+    for active in mask.txs() {
+        if !pre.fd_graph.has_edge(tx.index(), active.index()) {
+            return false;
+        }
+    }
+    let db = bcdb.database();
+    let cs = bcdb.constraints();
+    if cs.inds().is_empty() {
+        return true;
+    }
+    let mut candidate = mask.clone();
+    candidate.activate(tx);
+    cs.inds().iter().enumerate().all(|(i, ind)| {
+        bcdb.transaction(tx)
+            .tuples
+            .iter()
+            .filter(|(rel, _)| *rel == ind.from_relation)
+            .all(|(_, tuple)| {
+                db.relation(ind.to_relation).index_contains(
+                    pre.ind_to_index[i],
+                    &tuple.project(&ind.from_attrs),
+                    &candidate,
+                )
+            })
+    })
+}
+
+/// The paper's `getMaximal(R, I, T')`: starting from `R`, repeatedly append
+/// any transaction from `candidates` that keeps the world consistent, until
+/// a fixpoint. Returns the resulting world mask.
+///
+/// When `candidates` is a clique of `GfTd` the result is *the* unique
+/// maximal possible world over `(R, I, candidates)`: FDs never block within
+/// a clique, and IND support only grows.
+pub fn get_maximal(bcdb: &BlockchainDb, pre: &Precomputed, candidates: &[TxId]) -> WorldMask {
+    let mut mask = bcdb.database().base_mask();
+    // FD feasibility is maintained incrementally: `allowed` holds the
+    // transactions still mutually consistent with everything activated so
+    // far (the running intersection of the active nodes' GfTd adjacency).
+    // This turns the per-candidate pairwise check into one bit test.
+    let n = bcdb.pending_count();
+    let mut allowed = bcdb_graph::BitSet::new(n);
+    for &tx in candidates {
+        if pre.viable[tx.index()] {
+            allowed.insert(tx.index());
+        }
+    }
+    let mut remaining: Vec<TxId> = candidates
+        .iter()
+        .copied()
+        .filter(|tx| pre.viable[tx.index()])
+        .collect();
+    loop {
+        let before = remaining.len();
+        remaining.retain(|&tx| {
+            if !allowed.contains(tx.index()) {
+                return false; // conflicts with an activated transaction
+            }
+            if ind_obligations_met(bcdb, pre, &mut mask, tx) {
+                mask.activate(tx);
+                allowed.intersect_with(pre.fd_graph.neighbors(tx.index()));
+                false
+            } else {
+                true
+            }
+        });
+        if remaining.is_empty() || remaining.len() == before {
+            return mask;
+        }
+    }
+}
+
+/// Whether `tx`'s own IND obligations are resolvable in `mask ∪ {tx}`.
+/// Restores `mask` to its input state before returning.
+fn ind_obligations_met(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    mask: &mut WorldMask,
+    tx: TxId,
+) -> bool {
+    let cs = bcdb.constraints();
+    if cs.inds().is_empty() {
+        return true;
+    }
+    let db = bcdb.database();
+    mask.activate(tx);
+    let ok = cs.inds().iter().enumerate().all(|(i, ind)| {
+        bcdb.transaction(tx)
+            .tuples
+            .iter()
+            .filter(|(rel, _)| *rel == ind.from_relation)
+            .all(|(_, tuple)| {
+                db.relation(ind.to_relation).index_contains(
+                    pre.ind_to_index[i],
+                    &tuple.project(&ind.from_attrs),
+                    mask,
+                )
+            })
+    });
+    mask.deactivate(tx);
+    ok
+}
+
+/// Proposition 1: decides in PTIME whether `R ∪ ⋃txs` is a possible world,
+/// i.e. whether some append order of exactly `txs` keeps every intermediate
+/// state consistent.
+///
+/// Greedy is complete here: FDs cannot block any order once the final set
+/// is pairwise consistent, and IND support is monotone, so if any order
+/// exists the greedy one does.
+pub fn is_possible_world(bcdb: &BlockchainDb, pre: &Precomputed, txs: &[TxId]) -> bool {
+    let mut mask = bcdb.database().base_mask();
+    let mut remaining: Vec<TxId> = txs.to_vec();
+    remaining.dedup();
+    loop {
+        let before = remaining.len();
+        remaining.retain(|&tx| {
+            if can_append(bcdb, pre, &mask, tx) {
+                mask.activate(tx);
+                false
+            } else {
+                true
+            }
+        });
+        if remaining.is_empty() {
+            return true;
+        }
+        if remaining.len() == before {
+            return false;
+        }
+    }
+}
+
+/// Streams every possible world of `D` (the set `Poss(D)`), starting from
+/// `R` itself, in breadth-first order. The callback may stop the
+/// enumeration early. Returns `true` if enumeration ran to completion.
+///
+/// `Poss(D)` can be exponential in `|T|`; this is the validation oracle and
+/// the last-resort algorithm for non-monotonic constraints, not the fast
+/// path.
+pub fn for_each_possible_world(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    mut cb: impl FnMut(&WorldMask) -> ControlFlow<()>,
+) -> bool {
+    let base = bcdb.database().base_mask();
+    let mut visited: FxHashSet<WorldMask> = FxHashSet::default();
+    let mut queue: Vec<WorldMask> = vec![base.clone()];
+    visited.insert(base);
+    let mut head = 0;
+    while head < queue.len() {
+        let world = queue[head].clone();
+        head += 1;
+        if cb(&world).is_break() {
+            return false;
+        }
+        for tx in bcdb.tx_ids() {
+            if world.contains_tx(tx) || !can_append(bcdb, pre, &world, tx) {
+                continue;
+            }
+            let mut next = world.clone();
+            next.activate(tx);
+            if visited.insert(next.clone()) {
+                queue.push(next);
+            }
+        }
+    }
+    true
+}
+
+/// Collects `Poss(D)` into a vector (small inputs only).
+pub fn possible_worlds(bcdb: &BlockchainDb, pre: &Precomputed) -> Vec<WorldMask> {
+    let mut out = Vec::new();
+    for_each_possible_world(bcdb, pre, |w| {
+        out.push(w.clone());
+        ControlFlow::Continue(())
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, ValueType};
+
+    /// R(a,b) key a; S(x) ⊆ R[a].
+    fn setup() -> BlockchainDb {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+            .unwrap();
+        cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["a"]).unwrap());
+        BlockchainDb::new(cat, cs)
+    }
+
+    #[test]
+    fn can_append_respects_order_dependencies() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        let t0 = bc
+            .add_transaction("T0", [(r, tuple![5i64, 50i64])])
+            .unwrap();
+        let t1 = bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        let pre = Precomputed::build(&bc);
+        let base = bc.database().base_mask();
+        assert!(can_append(&bc, &pre, &base, t0));
+        assert!(!can_append(&bc, &pre, &base, t1)); // needs T0 first
+        let mut with_t0 = base.clone();
+        with_t0.activate(t0);
+        assert!(can_append(&bc, &pre, &with_t0, t1));
+        // Appending an active tx is a no-op (the R' = R case).
+        assert!(can_append(&bc, &pre, &with_t0, t0));
+    }
+
+    #[test]
+    fn get_maximal_reaches_fixpoint_through_dependencies() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        // Chain: T0 creates R(5); T1 = S(5)+R(6); T2 = S(6).
+        let t0 = bc
+            .add_transaction("T0", [(r, tuple![5i64, 50i64])])
+            .unwrap();
+        let t1 = bc
+            .add_transaction("T1", [(s, tuple![5i64]), (r, tuple![6i64, 60i64])])
+            .unwrap();
+        let t2 = bc.add_transaction("T2", [(s, tuple![6i64])]).unwrap();
+        let pre = Precomputed::build(&bc);
+        // Listing them in worst-case order still converges.
+        let world = get_maximal(&bc, &pre, &[t2, t1, t0]);
+        assert_eq!(world.tx_count(), 3);
+        // Without T0, nothing can enter.
+        let world = get_maximal(&bc, &pre, &[t1, t2]);
+        assert_eq!(world.tx_count(), 0);
+    }
+
+    #[test]
+    fn possible_world_recognition() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        let t0 = bc
+            .add_transaction("T0", [(r, tuple![5i64, 50i64])])
+            .unwrap();
+        let t1 = bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        let t2 = bc
+            .add_transaction("T2", [(r, tuple![5i64, 99i64])])
+            .unwrap(); // conflicts T0
+        let pre = Precomputed::build(&bc);
+        assert!(is_possible_world(&bc, &pre, &[]));
+        assert!(is_possible_world(&bc, &pre, &[t0]));
+        assert!(is_possible_world(&bc, &pre, &[t0, t1]));
+        assert!(is_possible_world(&bc, &pre, &[t1, t0])); // order-insensitive
+        assert!(!is_possible_world(&bc, &pre, &[t1])); // dangling IND
+        assert!(is_possible_world(&bc, &pre, &[t2]));
+        assert!(!is_possible_world(&bc, &pre, &[t0, t2])); // FD conflict
+    }
+
+    #[test]
+    fn enumeration_matches_hand_count() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        let _t0 = bc
+            .add_transaction("T0", [(r, tuple![5i64, 50i64])])
+            .unwrap();
+        let _t1 = bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        let _t2 = bc
+            .add_transaction("T2", [(r, tuple![5i64, 99i64])])
+            .unwrap();
+        let pre = Precomputed::build(&bc);
+        let worlds = possible_worlds(&bc, &pre);
+        // {}, {T0}, {T2}, {T0,T1}, and {T2,T1} — T2's R(5,99) also supports
+        // T1's S(5): 5 worlds.
+        assert_eq!(worlds.len(), 5);
+        // Every enumerated world passes recognition.
+        for w in &worlds {
+            let txs: Vec<TxId> = w.txs().collect();
+            assert!(is_possible_world(&bc, &pre, &txs), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn enumeration_early_stop() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        for i in 0..5 {
+            bc.add_transaction(format!("T{i}"), [(r, tuple![i as i64, 0i64])])
+                .unwrap();
+        }
+        let pre = Precomputed::build(&bc);
+        let mut n = 0;
+        let completed = for_each_possible_world(&bc, &pre, |_| {
+            n += 1;
+            if n == 3 {
+                ControlFlow::Break(())
+            } else {
+                ControlFlow::Continue(())
+            }
+        });
+        assert!(!completed);
+        assert_eq!(n, 3);
+        // Full enumeration: 2^5 = 32 independent subsets.
+        let worlds = possible_worlds(&bc, &pre);
+        assert_eq!(worlds.len(), 32);
+    }
+}

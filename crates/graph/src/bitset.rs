@@ -1,0 +1,343 @@
+//! A fixed-capacity bitset tuned for clique enumeration.
+//!
+//! Clique enumeration spends nearly all of its time intersecting candidate
+//! sets with adjacency rows, so the set representation must support word-wise
+//! `AND`/`AND-NOT` and fast population counts. This is a small, dependency-free
+//! implementation specialised for those operations.
+
+/// A fixed-capacity set of `usize` elements in `0..capacity`, stored as a
+/// packed array of 64-bit words.
+///
+/// Unlike `std::collections::HashSet`, intersection and difference are
+/// word-parallel, and iteration is in increasing order.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+const BITS: usize = 64;
+
+#[inline]
+fn word_index(bit: usize) -> (usize, u64) {
+    (bit / BITS, 1u64 << (bit % BITS))
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold elements in `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(BITS)],
+            capacity,
+        }
+    }
+
+    /// Creates a set containing every element in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for (i, w) in s.words.iter_mut().enumerate() {
+            let lo = i * BITS;
+            if lo + BITS <= capacity {
+                *w = !0;
+            } else if lo < capacity {
+                *w = (1u64 << (capacity - lo)) - 1;
+            }
+        }
+        s
+    }
+
+    /// Creates a set from an iterator of elements; capacity must bound them all.
+    pub fn from_iter(capacity: usize, iter: impl IntoIterator<Item = usize>) -> Self {
+        let mut s = Self::new(capacity);
+        for x in iter {
+            s.insert(x);
+        }
+        s
+    }
+
+    /// Number of elements this set can hold (the universe size).
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `bit`. Panics in debug builds if out of range.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) {
+        debug_assert!(
+            bit < self.capacity,
+            "bit {bit} out of range {}",
+            self.capacity
+        );
+        let (w, m) = word_index(bit);
+        self.words[w] |= m;
+    }
+
+    /// Removes `bit` if present.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) {
+        let (w, m) = word_index(bit);
+        if w < self.words.len() {
+            self.words[w] &= !m;
+        }
+    }
+
+    /// Returns whether `bit` is in the set.
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        let (w, m) = word_index(bit);
+        w < self.words.len() && self.words[w] & m != 0
+    }
+
+    /// Grows the capacity to `new_capacity` (no-op if already that large).
+    /// Existing elements are preserved.
+    pub fn grow(&mut self, new_capacity: usize) {
+        if new_capacity > self.capacity {
+            self.capacity = new_capacity;
+            self.words.resize(new_capacity.div_ceil(BITS), 0);
+        }
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// Number of elements present.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// In-place intersection: `self &= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+        // If other is shorter (smaller capacity), the tail must vanish.
+        for a in self.words.iter_mut().skip(other.words.len()) {
+            *a = 0;
+        }
+    }
+
+    /// In-place union: `self |= other`. The capacities must agree.
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert!(other.words.len() <= self.words.len());
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place difference: `self &= !other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Returns a new set `self & other`.
+    pub fn intersection(&self, other: &BitSet) -> BitSet {
+        let mut out = self.clone();
+        out.intersect_with(other);
+        out
+    }
+
+    /// Size of `self & other` without allocating.
+    #[inline]
+    pub fn intersection_len(&self, other: &BitSet) -> usize {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+
+    /// Whether `self & other` is empty, without allocating.
+    #[inline]
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Whether every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(other.words.iter().chain(std::iter::repeat(&0)))
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// The smallest element, if any.
+    pub fn first(&self) -> Option<usize> {
+        for (i, &w) in self.words.iter().enumerate() {
+            if w != 0 {
+                return Some(i * BITS + w.trailing_zeros() as usize);
+            }
+        }
+        None
+    }
+
+    /// Iterates elements in increasing order.
+    pub fn iter(&self) -> BitSetIter<'_> {
+        BitSetIter {
+            words: &self.words,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Collects the elements into a `Vec`.
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set whose capacity is one past the largest element.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        BitSet::from_iter(cap, items)
+    }
+}
+
+/// Iterator over the elements of a [`BitSet`], in increasing order.
+pub struct BitSetIter<'a> {
+    words: &'a [u64],
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for BitSetIter<'_> {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.word_idx += 1;
+            if self.word_idx >= self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.word_idx];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.word_idx * BITS + bit)
+    }
+}
+
+impl<'a> IntoIterator for &'a BitSet {
+    type Item = usize;
+    type IntoIter = BitSetIter<'a>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(63);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(63) && s.contains(64) && s.contains(129));
+        assert_eq!(s.len(), 4);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn full_respects_capacity() {
+        for cap in [0usize, 1, 63, 64, 65, 128, 200] {
+            let s = BitSet::full(cap);
+            assert_eq!(s.len(), cap, "cap {cap}");
+            assert_eq!(s.to_vec(), (0..cap).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn iteration_order_is_increasing() {
+        let s = BitSet::from_iter(300, [250, 3, 97, 4, 190]);
+        assert_eq!(s.to_vec(), vec![3, 4, 97, 190, 250]);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = BitSet::from_iter(100, [1, 2, 3, 50, 99]);
+        let b = BitSet::from_iter(100, [2, 3, 4, 99]);
+        assert_eq!(a.intersection(&b).to_vec(), vec![2, 3, 99]);
+        assert_eq!(a.intersection_len(&b), 3);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1, 50]);
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 3, 4, 50, 99]);
+    }
+
+    #[test]
+    fn subset_and_disjoint() {
+        let a = BitSet::from_iter(100, [5, 6]);
+        let b = BitSet::from_iter(100, [5, 6, 7]);
+        let c = BitSet::from_iter(100, [8]);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.is_disjoint(&c));
+        assert!(!a.is_disjoint(&b));
+        assert!(BitSet::new(100).is_subset(&a));
+    }
+
+    #[test]
+    fn first_element() {
+        assert_eq!(BitSet::new(10).first(), None);
+        assert_eq!(BitSet::from_iter(100, [70, 3]).first(), Some(3));
+    }
+
+    #[test]
+    fn grow_preserves_and_extends() {
+        let mut s = BitSet::from_iter(10, [3, 9]);
+        s.grow(130);
+        assert_eq!(s.capacity(), 130);
+        assert!(s.contains(3) && s.contains(9));
+        s.insert(129);
+        assert!(s.contains(129));
+        s.grow(5); // shrinking is a no-op
+        assert_eq!(s.capacity(), 130);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut s = BitSet::from_iter(10, [1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.capacity(), 10);
+    }
+
+    #[test]
+    fn from_iterator_trait_sizes_capacity() {
+        let s: BitSet = [9usize, 2, 5].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,226 @@
+//! Connected components.
+//!
+//! `OptDCSat` (§6.2) partitions the pending transactions into the connected
+//! components of the ind-q-transaction graph `Gq,ind` and solves each
+//! independently (Proposition 2).
+
+use crate::graph::UndirectedGraph;
+
+/// The connected components of a graph: a label per node plus the member
+/// list of each component.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// `label[v]` is the component index of node `v`.
+    pub label: Vec<usize>,
+    /// `members[c]` lists the nodes of component `c`, in increasing order.
+    pub members: Vec<Vec<usize>>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Computes connected components with an iterative DFS.
+pub fn connected_components(g: &UndirectedGraph) -> Components {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut members: Vec<Vec<usize>> = Vec::new();
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if label[start] != usize::MAX {
+            continue;
+        }
+        let c = members.len();
+        members.push(Vec::new());
+        label[start] = c;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            members[c].push(u);
+            for v in g.neighbors(u).iter() {
+                if label[v] == usize::MAX {
+                    label[v] = c;
+                    stack.push(v);
+                }
+            }
+        }
+        members[c].sort_unstable();
+    }
+    Components { label, members }
+}
+
+/// A disjoint-set (union–find) structure with path halving and union by
+/// size. Used to maintain components incrementally as edges are discovered
+/// (e.g. while streaming equality-constraint matches between transactions).
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    size: Vec<usize>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Appends a new singleton element, returning its id.
+    pub fn push(&mut self) -> usize {
+        let id = self.parent.len();
+        self.parent.push(id);
+        self.size.push(1);
+        self.components += 1;
+        id
+    }
+
+    /// Finds the representative of `x` (with path halving).
+    pub fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: usize, b: usize) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra] < self.size[rb] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb] = ra;
+        self.size[ra] += self.size[rb];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: usize) -> usize {
+        let r = self.find(x);
+        self.size[r]
+    }
+
+    /// Extracts the member lists of each set, sorted, in a deterministic
+    /// order (by smallest member).
+    pub fn into_components(mut self) -> Vec<Vec<usize>> {
+        let n = self.len();
+        let mut by_root: rustc_hash::FxHashMap<usize, Vec<usize>> = Default::default();
+        for x in 0..n {
+            let r = self.find(x);
+            by_root.entry(r).or_default().push(x);
+        }
+        let mut out: Vec<Vec<usize>> = by_root.into_values().collect();
+        for c in &mut out {
+            c.sort_unstable();
+        }
+        out.sort_by_key(|c| c[0]);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_two_paths() {
+        let mut g = UndirectedGraph::new(6);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(4, 5);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 3);
+        assert_eq!(c.members[c.label[0]], vec![0, 1, 2]);
+        assert_eq!(c.members[c.label[3]], vec![3]);
+        assert_eq!(c.members[c.label[4]], vec![4, 5]);
+        assert_eq!(c.label[4], c.label[5]);
+        assert_ne!(c.label[0], c.label[4]);
+    }
+
+    #[test]
+    fn components_of_empty_graph() {
+        let g = UndirectedGraph::new(0);
+        let c = connected_components(&g);
+        assert_eq!(c.count(), 0);
+    }
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2)); // already merged
+        assert_eq!(uf.component_count(), 3);
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+        assert_eq!(uf.set_size(1), 3);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn union_find_push_extends() {
+        let mut uf = UnionFind::new(2);
+        uf.union(0, 1);
+        let c = uf.push();
+        assert_eq!(c, 2);
+        assert_eq!(uf.component_count(), 2);
+        assert!(!uf.connected(0, 2));
+        uf.union(1, 2);
+        assert!(uf.connected(0, 2));
+    }
+
+    #[test]
+    fn union_find_components_extraction() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 3);
+        uf.union(4, 5);
+        let comps = uf.into_components();
+        assert_eq!(comps, vec![vec![0, 3], vec![1], vec![2], vec![4, 5]]);
+    }
+
+    #[test]
+    fn union_find_agrees_with_graph_components() {
+        let edges = [(0, 1), (2, 3), (3, 4), (6, 7), (7, 0)];
+        let mut g = UndirectedGraph::new(8);
+        let mut uf = UnionFind::new(8);
+        for (u, v) in edges {
+            g.add_edge(u, v);
+            uf.union(u, v);
+        }
+        let c = connected_components(&g);
+        let mut sorted_members = c.members.clone();
+        sorted_members.sort_by_key(|m| m[0]);
+        assert_eq!(sorted_members, uf.into_components());
+    }
+}

@@ -1,0 +1,276 @@
+//! Undirected graphs over dense node ids `0..n`, with bitset adjacency rows.
+//!
+//! The transaction graphs of the paper (`GfTd`, `Gq,ind`) are graphs over the
+//! pending-transaction set, whose node ids we keep dense so adjacency can be
+//! a bitset row per node — the representation Bron–Kerbosch wants.
+
+use crate::bitset::BitSet;
+
+/// An undirected graph on nodes `0..n` with self-loop-free bitset adjacency.
+#[derive(Clone, Debug)]
+pub struct UndirectedGraph {
+    adj: Vec<BitSet>,
+    edge_count: usize,
+}
+
+impl UndirectedGraph {
+    /// Creates a graph with `n` isolated nodes.
+    pub fn new(n: usize) -> Self {
+        UndirectedGraph {
+            adj: (0..n).map(|_| BitSet::new(n)).collect(),
+            edge_count: 0,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Adds the undirected edge `{u, v}`. Self-loops are ignored; adding an
+    /// existing edge is a no-op.
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        if u == v || self.adj[u].contains(v) {
+            return;
+        }
+        self.adj[u].insert(v);
+        self.adj[v].insert(u);
+        self.edge_count += 1;
+    }
+
+    /// Whether `{u, v}` is an edge.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u].contains(v)
+    }
+
+    /// The adjacency row of `u` as a bitset.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> &BitSet {
+        &self.adj[u]
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Appends a new isolated node, returning its id. Existing adjacency
+    /// is preserved (rows grow lazily). Supports the incremental
+    /// steady-state maintenance of the transaction graphs: a newly issued
+    /// transaction becomes a new node.
+    pub fn add_node(&mut self) -> usize {
+        let id = self.adj.len();
+        let cap = id + 1;
+        for row in &mut self.adj {
+            row.grow(cap);
+        }
+        self.adj.push(BitSet::new(cap));
+        id
+    }
+
+    /// Whether `nodes` forms a clique (pairwise adjacent).
+    pub fn is_clique(&self, nodes: &[usize]) -> bool {
+        for (i, &u) in nodes.iter().enumerate() {
+            for &v in &nodes[i + 1..] {
+                if !self.has_edge(u, v) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the subgraph induced by `nodes`, together with the mapping from
+    /// new dense ids to the original node ids (`result.1[new] == old`).
+    pub fn induced_subgraph(&self, nodes: &[usize]) -> (UndirectedGraph, Vec<usize>) {
+        let mut sub = UndirectedGraph::new(nodes.len());
+        for (i, &u) in nodes.iter().enumerate() {
+            for (j, &v) in nodes.iter().enumerate().skip(i + 1) {
+                if self.has_edge(u, v) {
+                    sub.add_edge(i, j);
+                }
+            }
+        }
+        (sub, nodes.to_vec())
+    }
+
+    /// The complement graph (no self-loops).
+    pub fn complement(&self) -> UndirectedGraph {
+        let n = self.node_count();
+        let mut g = UndirectedGraph::new(n);
+        for u in 0..n {
+            for v in u + 1..n {
+                if !self.has_edge(u, v) {
+                    g.add_edge(u, v);
+                }
+            }
+        }
+        g
+    }
+
+    /// A degeneracy ordering of the nodes: repeatedly remove a minimum-degree
+    /// node. Returns the removal order. Used for the degeneracy-ordered
+    /// Bron–Kerbosch variant, which bounds the recursion width by the graph's
+    /// degeneracy rather than its maximum degree.
+    pub fn degeneracy_ordering(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut degree: Vec<usize> = (0..n).map(|u| self.degree(u)).collect();
+        let maxd = degree.iter().copied().max().unwrap_or(0);
+        // Bucket queue over current degrees.
+        let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); maxd + 1];
+        for u in 0..n {
+            buckets[degree[u]].push(u);
+        }
+        let mut removed = vec![false; n];
+        let mut order = Vec::with_capacity(n);
+        let mut cursor = 0usize;
+        while order.len() < n {
+            // Find the lowest non-empty bucket; degrees only ever decrease by
+            // one per removal, so the cursor may need to back up by one.
+            cursor = cursor.saturating_sub(1);
+            while buckets[cursor].is_empty() {
+                cursor += 1;
+            }
+            let u = buckets[cursor].pop().unwrap();
+            if removed[u] || degree[u] != cursor {
+                continue; // stale entry
+            }
+            removed[u] = true;
+            order.push(u);
+            for v in self.neighbors(u).iter() {
+                if !removed[v] {
+                    degree[v] -= 1;
+                    buckets[degree[v]].push(v);
+                }
+            }
+        }
+        order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> UndirectedGraph {
+        let mut g = UndirectedGraph::new(n);
+        for i in 0..n.saturating_sub(1) {
+            g.add_edge(i, i + 1);
+        }
+        g
+    }
+
+    #[test]
+    fn add_edge_is_idempotent_and_symmetric() {
+        let mut g = UndirectedGraph::new(3);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
+        g.add_edge(0, 0); // ignored self-loop
+        assert_eq!(g.edge_count(), 1);
+        assert!(g.has_edge(0, 1) && g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn degree_and_neighbors() {
+        let g = path(4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1).to_vec(), vec![0, 2]);
+    }
+
+    #[test]
+    fn clique_detection() {
+        let mut g = UndirectedGraph::new(4);
+        for (u, v) in [(0, 1), (0, 2), (1, 2)] {
+            g.add_edge(u, v);
+        }
+        assert!(g.is_clique(&[0, 1, 2]));
+        assert!(g.is_clique(&[0, 1]));
+        assert!(g.is_clique(&[3]));
+        assert!(g.is_clique(&[]));
+        assert!(!g.is_clique(&[0, 1, 3]));
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_edges() {
+        let g = path(5);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 4]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(map, vec![1, 2, 4]);
+        assert!(sub.has_edge(0, 1)); // 1-2
+        assert!(!sub.has_edge(1, 2)); // 2-4 not adjacent
+        assert_eq!(sub.edge_count(), 1);
+    }
+
+    #[test]
+    fn complement_of_path() {
+        let g = path(3);
+        let c = g.complement();
+        assert!(c.has_edge(0, 2));
+        assert!(!c.has_edge(0, 1));
+        assert_eq!(c.edge_count(), 1);
+    }
+
+    #[test]
+    fn degeneracy_ordering_of_path_is_valid() {
+        let g = path(6);
+        let order = g.degeneracy_ordering();
+        assert_eq!(order.len(), 6);
+        let mut seen = std::collections::HashSet::new();
+        for u in &order {
+            seen.insert(*u);
+        }
+        assert_eq!(seen.len(), 6);
+        // A path has degeneracy 1: each removed node has ≤1 remaining neighbor.
+        let mut removed = [false; 6];
+        for &u in &order {
+            let remaining = g.neighbors(u).iter().filter(|&v| !removed[v]).count();
+            assert!(
+                remaining <= 1,
+                "node {u} had {remaining} remaining neighbors"
+            );
+            removed[u] = true;
+        }
+    }
+
+    #[test]
+    fn degeneracy_ordering_of_complete_graph() {
+        let mut g = UndirectedGraph::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                g.add_edge(u, v);
+            }
+        }
+        assert_eq!(g.degeneracy_ordering().len(), 5);
+    }
+
+    #[test]
+    fn add_node_grows_graph() {
+        let mut g = path(2);
+        let id = g.add_node();
+        assert_eq!(id, 2);
+        assert_eq!(g.node_count(), 3);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        g.add_edge(2, 0);
+        assert!(g.has_edge(0, 2));
+        assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = UndirectedGraph::new(0);
+        assert_eq!(g.node_count(), 0);
+        assert!(g.degeneracy_ordering().is_empty());
+    }
+}

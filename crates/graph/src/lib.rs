@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for blockchain-database reasoning.
+//!
+//! The algorithms of *Reasoning about the Future in Blockchain Databases*
+//! reduce possible-world enumeration to graph problems over the pending
+//! transaction set:
+//!
+//! * FD-consistent transaction subsets are **cliques** of the fd-transaction
+//!   graph `GfTd`, and for monotonic denial constraints only the **maximal
+//!   cliques** matter — enumerated here by Bron–Kerbosch with Tomita
+//!   pivoting ([`bron_kerbosch`]).
+//! * `OptDCSat` decomposes the problem along the **connected components** of
+//!   the ind-q-transaction graph `Gq,ind` ([`components`]).
+//!
+//! The crate is deliberately generic — it knows nothing about transactions —
+//! and is reused by the core crate and by the benchmark harness.
+
+pub mod bitset;
+pub mod bron_kerbosch;
+pub mod components;
+pub mod graph;
+
+pub use bitset::BitSet;
+pub use bron_kerbosch::{
+    collect_maximal_cliques, count_maximal_cliques, maximal_cliques, CliqueStrategy, Visit,
+};
+pub use components::{connected_components, Components, UnionFind};
+pub use graph::UndirectedGraph;

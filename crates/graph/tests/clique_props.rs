@@ -1,0 +1,84 @@
+//! Property tests: Bron–Kerbosch (all strategies) against a brute-force
+//! maximal-clique reference on random graphs.
+
+use bcdb_graph::{collect_maximal_cliques, CliqueStrategy, UndirectedGraph};
+use proptest::prelude::*;
+
+/// Brute force: every subset, keep cliques, filter to maximal ones.
+fn reference_maximal_cliques(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    let mut cliques: Vec<Vec<usize>> = Vec::new();
+    for bits in 0u32..(1u32 << n) {
+        let set: Vec<usize> = (0..n).filter(|i| bits & (1 << i) != 0).collect();
+        if g.is_clique(&set) {
+            cliques.push(set);
+        }
+    }
+    let mut maximal: Vec<Vec<usize>> = cliques
+        .iter()
+        .filter(|c| {
+            !cliques
+                .iter()
+                .any(|d| d.len() > c.len() && c.iter().all(|x| d.contains(x)))
+        })
+        .cloned()
+        .collect();
+    maximal.sort();
+    maximal
+}
+
+fn graph_strategy(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (1..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(prop::bool::ANY, n * (n - 1) / 2).prop_map(move |edges| {
+            let mut g = UndirectedGraph::new(n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in u + 1..n {
+                    if edges[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn all_strategies_match_brute_force(g in graph_strategy(9)) {
+        let want = reference_maximal_cliques(&g);
+        for strategy in [
+            CliqueStrategy::Plain,
+            CliqueStrategy::Pivot,
+            CliqueStrategy::Degeneracy,
+        ] {
+            let mut got = collect_maximal_cliques(&g, strategy);
+            got.sort();
+            prop_assert_eq!(&got, &want, "{:?}", strategy);
+        }
+    }
+
+    #[test]
+    fn degeneracy_ordering_is_a_permutation(g in graph_strategy(12)) {
+        let order = g.degeneracy_ordering();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (0..g.node_count()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn complement_is_involutive(g in graph_strategy(10)) {
+        let cc = g.complement().complement();
+        for u in 0..g.node_count() {
+            for v in 0..g.node_count() {
+                if u != v {
+                    prop_assert_eq!(g.has_edge(u, v), cc.has_edge(u, v));
+                }
+            }
+        }
+    }
+}

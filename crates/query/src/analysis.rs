@@ -1,0 +1,632 @@
+//! Static analysis of denial constraints: monotonicity, Gaifman-graph
+//! connectivity, equality-constraint derivation (Θq, §6.2), and constant
+//! patterns for the covers optimization.
+
+use crate::ast::{
+    AggFunc, AggregateQuery, Atom, CmpOp, ConjunctiveQuery, DenialConstraint, Term, Var,
+};
+use bcdb_graph::UnionFind;
+use bcdb_storage::{RelationId, Value};
+use rustc_hash::FxHashMap;
+
+/// Whether a Boolean query is monotone: `R ⊆ R'` and `q(R)` imply `q(R')`.
+///
+/// `NaiveDCSat`/`OptDCSat` are sound only for monotonic denial constraints
+/// (§6.1): monotonicity is what lets them restrict attention to *maximal*
+/// possible worlds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Monotonicity {
+    /// The query is monotone.
+    Monotone,
+    /// The query is not (or cannot be proven) monotone; the reason is
+    /// human-readable.
+    NonMonotone {
+        /// Why monotonicity fails or cannot be established.
+        reason: String,
+    },
+}
+
+impl Monotonicity {
+    /// Whether this is the `Monotone` case.
+    pub fn is_monotone(&self) -> bool {
+        matches!(self, Monotonicity::Monotone)
+    }
+}
+
+/// Options for the monotonicity analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct MonotonicityOptions {
+    /// Treat `sum` as monotone under `>`/`≥`. Sound when the summed
+    /// attribute is non-negative in all data — true for monetary amounts,
+    /// and assumed by the paper's `qa` experiments. Default `true`.
+    pub assume_nonnegative_sums: bool,
+}
+
+impl Default for MonotonicityOptions {
+    fn default() -> Self {
+        MonotonicityOptions {
+            assume_nonnegative_sums: true,
+        }
+    }
+}
+
+/// Classifies the monotonicity of a denial constraint with default options.
+pub fn monotonicity(dc: &DenialConstraint) -> Monotonicity {
+    monotonicity_with(dc, MonotonicityOptions::default())
+}
+
+/// Classifies the monotonicity of a denial constraint.
+pub fn monotonicity_with(dc: &DenialConstraint, opts: MonotonicityOptions) -> Monotonicity {
+    let body = dc.body();
+    if !body.is_positive() {
+        return Monotonicity::NonMonotone {
+            reason: "body contains negated atoms".into(),
+        };
+    }
+    match dc {
+        DenialConstraint::Conjunctive(_) => Monotonicity::Monotone,
+        DenialConstraint::Aggregate(agg) => aggregate_monotonicity(agg, opts),
+    }
+}
+
+fn aggregate_monotonicity(agg: &AggregateQuery, opts: MonotonicityOptions) -> Monotonicity {
+    use AggFunc::*;
+    use CmpOp::*;
+    // With a positive body, the set of satisfying assignments only grows as
+    // tuples are added, so count/cntd/max never decrease and min never
+    // increases. (The empty bag evaluates to false, which is consistent
+    // with "never decreases".)
+    match (agg.func, agg.op) {
+        (Count | CountDistinct, Gt | Ge) => Monotonicity::Monotone,
+        (Sum, Gt | Ge) if opts.assume_nonnegative_sums => Monotonicity::Monotone,
+        (Sum, Gt | Ge) => Monotonicity::NonMonotone {
+            reason: "sum may decrease if negative values occur".into(),
+        },
+        (Max, Gt | Ge) => Monotonicity::Monotone,
+        (Min, Lt | Le) => Monotonicity::Monotone,
+        (f, op) => Monotonicity::NonMonotone {
+            reason: format!("{}(..) {} c is not monotone", f.name(), op.symbol()),
+        },
+    }
+}
+
+/// Computes the equivalence classes of variables implied by the query's
+/// equality comparisons (`x = y` chains). Returns, per variable, a
+/// representative id.
+fn variable_equality_classes(q: &ConjunctiveQuery) -> Vec<u32> {
+    let n = q.var_count();
+    let mut uf = UnionFind::new(n);
+    for cmp in &q.comparisons {
+        if cmp.op == CmpOp::Eq {
+            if let (Term::Var(a), Term::Var(b)) = (&cmp.lhs, &cmp.rhs) {
+                uf.union(a.index(), b.index());
+            }
+        }
+    }
+    (0..n).map(|i| uf.find(i) as u32).collect()
+}
+
+/// Whether the query's Gaifman graph is connected (§6.2).
+///
+/// Nodes are the terms appearing in relational atoms (variables, plus
+/// constants identified by value); two terms are adjacent when they occur
+/// in the same atom. Comparisons do **not** create edges (the paper's
+/// `q() ← R(x,y), S(w,v), y < v` is disconnected), but variables equated by
+/// `=` comparisons are merged into one node.
+///
+/// A query with no relational atoms is vacuously connected; so is a query
+/// whose atoms share no terms but number exactly one.
+pub fn is_connected(q: &ConjunctiveQuery) -> bool {
+    let classes = variable_equality_classes(q);
+    // Node numbering: variable classes first, then distinct constants.
+    let mut const_ids: FxHashMap<Value, usize> = FxHashMap::default();
+    let nvar = q.var_count();
+    let atoms: Vec<&Atom> = q.positive.iter().chain(&q.negated).collect();
+    for atom in &atoms {
+        for term in &atom.terms {
+            if let Term::Const(c) = term {
+                let next = nvar + const_ids.len();
+                const_ids.entry(c.clone()).or_insert(next);
+            }
+        }
+    }
+    let total = nvar + const_ids.len();
+    if total == 0 || atoms.is_empty() {
+        return true;
+    }
+    let mut uf = UnionFind::new(total);
+    let mut used = vec![false; total];
+    for atom in &atoms {
+        let mut prev: Option<usize> = None;
+        for term in &atom.terms {
+            let node = match term {
+                Term::Var(v) => classes[v.index()] as usize,
+                Term::Const(c) => const_ids[c],
+            };
+            used[node] = true;
+            if let Some(p) = prev {
+                uf.union(p, node);
+            }
+            prev = Some(node);
+        }
+    }
+    let used_nodes: Vec<usize> = (0..total).filter(|&i| used[i]).collect();
+    match used_nodes.split_first() {
+        None => true, // all atoms nullary
+        Some((&first, rest)) => rest.iter().all(|&n| uf.connected(first, n)),
+    }
+}
+
+/// Whether every pair of positive atoms directly shares a term (the "atom
+/// graph" is complete).
+///
+/// This is a *sufficient* condition for `OptDCSat`'s component
+/// decomposition (Proposition 2) to be complete regardless of the data:
+/// any two atoms matched by pending tuples then induce a direct Θq edge
+/// between their transactions. When atoms are only connected through
+/// intermediaries, an intermediate atom matched by a *current-state* tuple
+/// can bridge two components invisibly to `Gq,ind` — see DESIGN.md's
+/// "Proposition 2 corner case". [`crate::DenialConstraint`]-level routing
+/// uses this to decide when `OptDCSat` is safe to pick automatically.
+pub fn atom_graph_complete(q: &ConjunctiveQuery) -> bool {
+    let classes = variable_equality_classes(q);
+    let class_of = |t: &Term| -> TermClass {
+        match t {
+            Term::Var(v) => TermClass::Var(classes[v.index()]),
+            Term::Const(c) => TermClass::Const(c.clone()),
+        }
+    };
+    let atoms = &q.positive;
+    for i in 0..atoms.len() {
+        for j in i + 1..atoms.len() {
+            let a: Vec<TermClass> = atoms[i].terms.iter().map(&class_of).collect();
+            let shares = atoms[j].terms.iter().any(|t| a.contains(&class_of(t)));
+            if !shares {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[derive(PartialEq, Eq, Hash, Clone)]
+enum TermClass {
+    Var(u32),
+    Const(Value),
+}
+
+/// An equality constraint `R[X̄] = S[Ȳ]` (§6.2). Satisfied by a pair of
+/// tuples `t ∈ R`, `s ∈ S` when `t[X̄] = s[Ȳ]` componentwise, and by a pair
+/// of transactions when some pair of their tuples satisfies it.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct EqualityConstraint {
+    /// Left relation (`R`).
+    pub left_relation: RelationId,
+    /// Left attribute positions (`X̄`).
+    pub left_attrs: Vec<usize>,
+    /// Right relation (`S`).
+    pub right_relation: RelationId,
+    /// Right attribute positions (`Ȳ`).
+    pub right_attrs: Vec<usize>,
+}
+
+/// Derives Θq: the equality constraints implied by pairs of distinct
+/// positive atoms sharing terms — the same variable (directly or via `=`
+/// comparisons), or the same constant.
+///
+/// Constants must participate: the paper's star constraint `qr3` repeats a
+/// constant address across otherwise variable-disjoint atoms, and its
+/// `Gq,ind` components are meaningful only if transactions touching that
+/// address are linked. (The experiments run `OptDCSat` on `qr3`, so the
+/// paper's "identical variable" wording necessarily extends to terms.)
+///
+/// For atoms `R(x̄)`, `S(ȳ)` the constraint pairs each position of `x̄`
+/// with a position of `ȳ` holding an equal term — greedily, left to
+/// right, each position used at most once (the paper's "maximal sequence
+/// of distinct indices").
+pub fn derive_query_equalities(q: &ConjunctiveQuery) -> Vec<EqualityConstraint> {
+    let classes = variable_equality_classes(q);
+    // Classes for constants: by value, merged with variables equated to
+    // them through `x = c` comparisons.
+    let nvar = q.var_count();
+    let mut const_class: FxHashMap<Value, u32> = FxHashMap::default();
+    let mut var_to_const: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut next_class = nvar as u32;
+    for atom in &q.positive {
+        for term in &atom.terms {
+            if let Term::Const(c) = term {
+                const_class.entry(c.clone()).or_insert_with(|| {
+                    let id = next_class;
+                    next_class += 1;
+                    id
+                });
+            }
+        }
+    }
+    for cmp in &q.comparisons {
+        if cmp.op == CmpOp::Eq {
+            let pair = match (&cmp.lhs, &cmp.rhs) {
+                (Term::Var(v), Term::Const(c)) | (Term::Const(c), Term::Var(v)) => {
+                    Some((*v, c.clone()))
+                }
+                _ => None,
+            };
+            if let Some((v, c)) = pair {
+                if let Some(&cc) = const_class.get(&c) {
+                    var_to_const.insert(classes[v.index()], cc);
+                }
+            }
+        }
+    }
+    let class_of = |t: &Term| -> Option<u32> {
+        match t {
+            Term::Var(v) => {
+                let vc = classes[v.index()];
+                Some(var_to_const.get(&vc).copied().unwrap_or(vc))
+            }
+            Term::Const(c) => const_class.get(c).copied(),
+        }
+    };
+    let mut out = Vec::new();
+    let atoms = &q.positive;
+    for i in 0..atoms.len() {
+        for j in i + 1..atoms.len() {
+            let (a, b) = (&atoms[i], &atoms[j]);
+            let mut left = Vec::new();
+            let mut right = Vec::new();
+            let mut used_right = vec![false; b.terms.len()];
+            for (ai, at) in a.terms.iter().enumerate() {
+                let Some(ca) = class_of(at) else { continue };
+                let hit = b
+                    .terms
+                    .iter()
+                    .enumerate()
+                    .find(|(bi, bt)| !used_right[*bi] && class_of(bt) == Some(ca));
+                if let Some((bi, _)) = hit {
+                    used_right[bi] = true;
+                    left.push(ai);
+                    right.push(bi);
+                }
+            }
+            if !left.is_empty() {
+                out.push(EqualityConstraint {
+                    left_relation: a.relation,
+                    left_attrs: left,
+                    right_relation: b.relation,
+                    right_attrs: right,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// The constant pattern of one atom: the positions holding constants and
+/// their values. Used by the `Covers` check of `OptDCSat`: a component can
+/// only satisfy the query if, for every atom, some available tuple matches
+/// all of the atom's constants.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConstantPattern {
+    /// The atom's relation.
+    pub relation: RelationId,
+    /// Constant positions, ascending.
+    pub positions: Vec<usize>,
+    /// The constants at those positions.
+    pub values: Vec<Value>,
+}
+
+/// Extracts the constant patterns of every *positive* atom that has at
+/// least one constant. (Negated atoms do not constrain covers: their
+/// satisfaction requires *absence* of tuples.)
+pub fn constant_patterns(q: &ConjunctiveQuery) -> Vec<ConstantPattern> {
+    q.positive
+        .iter()
+        .filter_map(|atom| {
+            let (positions, values): (Vec<usize>, Vec<Value>) = atom
+                .constant_positions()
+                .map(|(i, c)| (i, c.clone()))
+                .unzip();
+            if positions.is_empty() {
+                None
+            } else {
+                Some(ConstantPattern {
+                    relation: atom.relation,
+                    positions,
+                    values,
+                })
+            }
+        })
+        .collect()
+}
+
+/// The variables aggregated over plus every body variable — helper used by
+/// evaluators that must deduplicate assignments.
+pub fn all_vars(q: &ConjunctiveQuery) -> Vec<Var> {
+    (0..q.var_count() as u32).map(Var).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryBuilder;
+    use bcdb_storage::{Catalog, RelationSchema, ValueType};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "R",
+                [
+                    ("a1", ValueType::Int),
+                    ("a2", ValueType::Int),
+                    ("a3", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationSchema::new(
+                "S",
+                [
+                    ("b1", ValueType::Int),
+                    ("b2", ValueType::Int),
+                    ("b3", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(RelationSchema::new("T", [("c1", ValueType::Int), ("c2", ValueType::Int)]).unwrap())
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn positive_conjunctive_is_monotone() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("z"))
+            .build_conjunctive()
+            .unwrap();
+        assert!(monotonicity(&DenialConstraint::Conjunctive(q)).is_monotone());
+    }
+
+    #[test]
+    fn negation_breaks_monotonicity() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("z"))
+            .not_atom("T", |a| a.var("x").var("y"))
+            .build_conjunctive()
+            .unwrap();
+        let m = monotonicity(&DenialConstraint::Conjunctive(q));
+        assert!(!m.is_monotone());
+    }
+
+    #[test]
+    fn aggregate_monotonicity_table() {
+        let cat = catalog();
+        let check = |func: AggFunc, op: CmpOp, want: bool| {
+            let agg = QueryBuilder::new(&cat)
+                .atom("R", |a| a.var("x").var("y").var("z"))
+                .build_aggregate(func, &["x"], op, 5i64)
+                .unwrap();
+            let got = monotonicity(&DenialConstraint::Aggregate(agg)).is_monotone();
+            assert_eq!(got, want, "{func:?} {op:?}");
+        };
+        check(AggFunc::Count, CmpOp::Gt, true);
+        check(AggFunc::Count, CmpOp::Ge, true);
+        check(AggFunc::Count, CmpOp::Lt, false);
+        check(AggFunc::Count, CmpOp::Eq, false);
+        check(AggFunc::CountDistinct, CmpOp::Gt, true);
+        check(AggFunc::Sum, CmpOp::Gt, true); // nonneg assumption (default)
+        check(AggFunc::Sum, CmpOp::Lt, false);
+        check(AggFunc::Max, CmpOp::Gt, true);
+        check(AggFunc::Max, CmpOp::Lt, false);
+        check(AggFunc::Min, CmpOp::Lt, true);
+        check(AggFunc::Min, CmpOp::Gt, false);
+    }
+
+    #[test]
+    fn sum_without_nonneg_assumption() {
+        let cat = catalog();
+        let agg = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("z"))
+            .build_aggregate(AggFunc::Sum, &["x"], CmpOp::Gt, 5i64)
+            .unwrap();
+        let m = monotonicity_with(
+            &DenialConstraint::Aggregate(agg),
+            MonotonicityOptions {
+                assume_nonnegative_sums: false,
+            },
+        );
+        assert!(!m.is_monotone());
+    }
+
+    #[test]
+    fn paper_connectivity_examples() {
+        let cat = catalog();
+        // q() ← R(x,y,u), S(x,w,z) shares x: connected.
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("u"))
+            .atom("S", |a| a.var("x").var("w").var("z"))
+            .build_conjunctive()
+            .unwrap();
+        assert!(is_connected(&q));
+        // q() ← R(x,y,u), S(w,v,z), y < v: NOT connected (comparison no edge).
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("u"))
+            .atom("S", |a| a.var("w").var("v").var("z"))
+            .cmp_vars("y", CmpOp::Lt, "v")
+            .build_conjunctive()
+            .unwrap();
+        assert!(!is_connected(&q));
+        // But with y = v the variables merge: connected.
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("u"))
+            .atom("S", |a| a.var("w").var("v").var("z"))
+            .cmp_vars("y", CmpOp::Eq, "v")
+            .build_conjunctive()
+            .unwrap();
+        assert!(is_connected(&q));
+    }
+
+    #[test]
+    fn single_atom_is_connected() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("T", |a| a.var("x").constant(5i64))
+            .build_conjunctive()
+            .unwrap();
+        assert!(is_connected(&q));
+    }
+
+    #[test]
+    fn shared_constant_connects() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("T", |a| a.var("x").constant(5i64))
+            .atom("T", |a| a.var("y").constant(5i64))
+            .build_conjunctive()
+            .unwrap();
+        assert!(is_connected(&q));
+        let q = QueryBuilder::new(&cat)
+            .atom("T", |a| a.var("x").constant(5i64))
+            .atom("T", |a| a.var("y").constant(6i64))
+            .build_conjunctive()
+            .unwrap();
+        assert!(!is_connected(&q));
+    }
+
+    #[test]
+    fn paper_example_7_equalities() {
+        // q() ← R(w,x,u), S(x,w,z), T(y,x):
+        // R[A1,A2]=S[B2,B1], R[A2]=T[C2], S[B1]=T[C2].
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("w").var("x").var("u"))
+            .atom("S", |a| a.var("x").var("w").var("z"))
+            .atom("T", |a| a.var("y").var("x"))
+            .build_conjunctive()
+            .unwrap();
+        let thetas = derive_query_equalities(&q);
+        assert_eq!(thetas.len(), 3);
+        let r = cat.resolve("R").unwrap();
+        let s = cat.resolve("S").unwrap();
+        let t = cat.resolve("T").unwrap();
+        assert!(thetas.contains(&EqualityConstraint {
+            left_relation: r,
+            left_attrs: vec![0, 1],
+            right_relation: s,
+            right_attrs: vec![1, 0],
+        }));
+        assert!(thetas.contains(&EqualityConstraint {
+            left_relation: r,
+            left_attrs: vec![1],
+            right_relation: t,
+            right_attrs: vec![1],
+        }));
+        assert!(thetas.contains(&EqualityConstraint {
+            left_relation: s,
+            left_attrs: vec![0],
+            right_relation: t,
+            right_attrs: vec![1],
+        }));
+    }
+
+    #[test]
+    fn equalities_respect_eq_comparisons() {
+        let cat = catalog();
+        // x and v linked by x = v.
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("u"))
+            .atom("S", |a| a.var("w").var("v").var("z"))
+            .cmp_vars("x", CmpOp::Eq, "v")
+            .build_conjunctive()
+            .unwrap();
+        let thetas = derive_query_equalities(&q);
+        assert_eq!(thetas.len(), 1);
+        assert_eq!(thetas[0].left_attrs, vec![0]);
+        assert_eq!(thetas[0].right_attrs, vec![1]);
+    }
+
+    #[test]
+    fn no_shared_variables_no_equalities() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("y").var("u"))
+            .atom("S", |a| a.var("w").var("v").var("z"))
+            .build_conjunctive()
+            .unwrap();
+        assert!(derive_query_equalities(&q).is_empty());
+    }
+
+    #[test]
+    fn repeated_variable_pairs_greedily() {
+        let cat = catalog();
+        // R(x,x,u) vs T(y,x): position 0 of R pairs with position 1 of T;
+        // position 1 of R has no unused partner left.
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("x").var("u"))
+            .atom("T", |a| a.var("y").var("x"))
+            .build_conjunctive()
+            .unwrap();
+        let thetas = derive_query_equalities(&q);
+        assert_eq!(thetas.len(), 1);
+        assert_eq!(thetas[0].left_attrs, vec![0]);
+        assert_eq!(thetas[0].right_attrs, vec![1]);
+    }
+
+    #[test]
+    fn shared_constants_derive_equalities() {
+        let cat = catalog();
+        // Two atoms sharing only the constant 5 (the qr-style pattern).
+        let q = QueryBuilder::new(&cat)
+            .atom("T", |a| a.var("x").constant(5i64))
+            .atom("T", |a| a.var("y").constant(5i64))
+            .build_conjunctive()
+            .unwrap();
+        let thetas = derive_query_equalities(&q);
+        assert_eq!(thetas.len(), 1);
+        assert_eq!(thetas[0].left_attrs, vec![1]);
+        assert_eq!(thetas[0].right_attrs, vec![1]);
+        // Different constants do not pair.
+        let q = QueryBuilder::new(&cat)
+            .atom("T", |a| a.var("x").constant(5i64))
+            .atom("T", |a| a.var("y").constant(6i64))
+            .build_conjunctive()
+            .unwrap();
+        assert!(derive_query_equalities(&q).is_empty());
+    }
+
+    #[test]
+    fn var_equals_const_merges_classes() {
+        let cat = catalog();
+        // x = 5 makes R's x-position pair with T's constant-5 position.
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").var("u").var("w"))
+            .atom("T", |a| a.var("y").constant(5i64))
+            .cmp_const("x", CmpOp::Eq, 5i64)
+            .build_conjunctive()
+            .unwrap();
+        let thetas = derive_query_equalities(&q);
+        assert_eq!(thetas.len(), 1);
+        assert_eq!(thetas[0].left_attrs, vec![0]);
+        assert_eq!(thetas[0].right_attrs, vec![1]);
+    }
+
+    #[test]
+    fn constant_patterns_extracted() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("R", |a| a.var("x").constant(5i64).constant(7i64))
+            .atom("T", |a| a.var("y").var("x"))
+            .build_conjunctive()
+            .unwrap();
+        let pats = constant_patterns(&q);
+        assert_eq!(pats.len(), 1);
+        assert_eq!(pats[0].positions, vec![1, 2]);
+        assert_eq!(pats[0].values, vec![Value::Int(5), Value::Int(7)]);
+    }
+}

@@ -1,0 +1,871 @@
+//! The denial-constraint language (§5 of the paper).
+//!
+//! A *conjunctive* denial constraint has the form `q() ← P, N, C`: positive
+//! relational atoms `P`, negated atoms `N`, and comparisons `C`. An
+//! *aggregate* denial constraint has the form `[q(α(x̄)) ← P, N, C] θ c`.
+//! A denial constraint is *satisfied* by a blockchain database when the
+//! underlying query is false in every possible world.
+
+use crate::error::QueryError;
+use bcdb_storage::{Catalog, RelationId, Value, ValueType};
+use std::fmt;
+
+/// A query variable (dense index into the query's variable table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A term: a variable or a ground constant.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Variable occurrence.
+    Var(Var),
+    /// Constant occurrence.
+    Const(Value),
+}
+
+impl Term {
+    /// The variable inside, if any.
+    pub fn as_var(&self) -> Option<Var> {
+        match self {
+            Term::Var(v) => Some(*v),
+            Term::Const(_) => None,
+        }
+    }
+
+    /// The constant inside, if any.
+    pub fn as_const(&self) -> Option<&Value> {
+        match self {
+            Term::Var(_) => None,
+            Term::Const(c) => Some(c),
+        }
+    }
+}
+
+/// A relational atom `R(t₁, …, tₙ)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Atom {
+    /// The relation.
+    pub relation: RelationId,
+    /// The terms, one per attribute.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Positions holding constants, with the constants.
+    pub fn constant_positions(&self) -> impl Iterator<Item = (usize, &Value)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_const().map(|c| (i, c)))
+    }
+
+    /// Positions holding variables, with the variables.
+    pub fn variable_positions(&self) -> impl Iterator<Item = (usize, Var)> + '_ {
+        self.terms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_var().map(|v| (i, v)))
+    }
+}
+
+/// Comparison operators. The paper's grammar uses `=, <, >, ≠`; `≤, ≥` are
+/// accepted as sugar.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `≠`
+    Ne,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `≤`
+    Le,
+    /// `≥`
+    Ge,
+}
+
+impl CmpOp {
+    /// Applies the operator to a same-type value pair. `None` when the
+    /// types differ (the comparison is then unsatisfied).
+    pub fn eval(self, a: &Value, b: &Value) -> Option<bool> {
+        let ord = a.partial_cmp_same_type(b)?;
+        Some(match self {
+            CmpOp::Eq => ord.is_eq(),
+            CmpOp::Ne => ord.is_ne(),
+            CmpOp::Lt => ord.is_lt(),
+            CmpOp::Gt => ord.is_gt(),
+            CmpOp::Le => ord.is_le(),
+            CmpOp::Ge => ord.is_ge(),
+        })
+    }
+
+    /// The symbol, e.g. `"!="`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// A comparison `t₁ θ t₂` between terms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comparison {
+    /// Left term.
+    pub lhs: Term,
+    /// Operator.
+    pub op: CmpOp,
+    /// Right term.
+    pub rhs: Term,
+}
+
+/// A Boolean conjunctive query `q() ← P, N, C`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConjunctiveQuery {
+    /// Positive relational atoms (`P`).
+    pub positive: Vec<Atom>,
+    /// Negated relational atoms (`N`).
+    pub negated: Vec<Atom>,
+    /// Comparisons (`C`).
+    pub comparisons: Vec<Comparison>,
+    /// Variable names, indexed by [`Var`].
+    pub var_names: Vec<String>,
+}
+
+impl ConjunctiveQuery {
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.var_names.len()
+    }
+
+    /// The name of `v`.
+    pub fn var_name(&self, v: Var) -> &str {
+        &self.var_names[v.index()]
+    }
+
+    /// Whether the query has no negated atoms (class `Q⁺c`).
+    pub fn is_positive(&self) -> bool {
+        self.negated.is_empty()
+    }
+
+    /// Validates the query against a catalog: known relations, correct
+    /// arities, safety (every variable in a positive atom), and consistent
+    /// typing of every variable and constant.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), QueryError> {
+        let mut var_types: Vec<Option<ValueType>> = vec![None; self.var_count()];
+        let mut in_positive = vec![false; self.var_count()];
+
+        let check_atom = |atom: &Atom,
+                          positive: bool,
+                          var_types: &mut Vec<Option<ValueType>>,
+                          in_positive: &mut Vec<bool>|
+         -> Result<(), QueryError> {
+            let schema = catalog.schema(atom.relation);
+            if atom.terms.len() != schema.arity() {
+                return Err(QueryError::ArityMismatch {
+                    relation: schema.name().to_string(),
+                    expected: schema.arity(),
+                    got: atom.terms.len(),
+                });
+            }
+            for (i, term) in atom.terms.iter().enumerate() {
+                let (attr, ty) = schema.attribute(i).expect("arity checked");
+                match term {
+                    Term::Const(c) => {
+                        if c.value_type() != ty {
+                            return Err(QueryError::TypeError {
+                                detail: format!(
+                                    "constant {c} at {}.{attr} has type {}, expected {ty}",
+                                    schema.name(),
+                                    c.value_type()
+                                ),
+                            });
+                        }
+                    }
+                    Term::Var(v) => {
+                        if positive {
+                            in_positive[v.index()] = true;
+                        }
+                        match var_types[v.index()] {
+                            None => var_types[v.index()] = Some(ty),
+                            Some(prev) if prev != ty => {
+                                return Err(QueryError::TypeError {
+                                    detail: format!(
+                                        "variable {} used at types {prev} and {ty}",
+                                        self.var_name(*v)
+                                    ),
+                                });
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        for atom in &self.positive {
+            check_atom(atom, true, &mut var_types, &mut in_positive)?;
+        }
+        for atom in &self.negated {
+            check_atom(atom, false, &mut var_types, &mut in_positive)?;
+        }
+
+        for (i, safe) in in_positive.iter().enumerate() {
+            if !safe {
+                return Err(QueryError::UnsafeVariable {
+                    variable: self.var_names[i].clone(),
+                });
+            }
+        }
+
+        for cmp in &self.comparisons {
+            let type_of = |t: &Term| -> Option<ValueType> {
+                match t {
+                    Term::Const(c) => Some(c.value_type()),
+                    Term::Var(v) => var_types[v.index()],
+                }
+            };
+            if let Some(v) = cmp.lhs.as_var().or(cmp.rhs.as_var()) {
+                if var_types[v.index()].is_none() {
+                    return Err(QueryError::UnsafeVariable {
+                        variable: self.var_name(v).to_string(),
+                    });
+                }
+            }
+            if let (Some(a), Some(b)) = (type_of(&cmp.lhs), type_of(&cmp.rhs)) {
+                if a != b {
+                    return Err(QueryError::TypeError {
+                        detail: format!(
+                            "comparison {} {} {} mixes types {a} and {b}",
+                            render_term(&cmp.lhs, &self.var_names),
+                            cmp.op.symbol(),
+                            render_term(&cmp.rhs, &self.var_names)
+                        ),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The inferred type of every variable (from positive-atom positions).
+    /// Call only after [`validate`](Self::validate) has succeeded.
+    pub fn var_types(&self, catalog: &Catalog) -> Vec<ValueType> {
+        let mut types = vec![ValueType::Int; self.var_count()];
+        for atom in self.positive.iter().chain(&self.negated) {
+            let schema = catalog.schema(atom.relation);
+            for (i, v) in atom.variable_positions() {
+                if let Some((_, ty)) = schema.attribute(i) {
+                    types[v.index()] = ty;
+                }
+            }
+        }
+        types
+    }
+
+    /// Renders the query in datalog-ish syntax.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> impl fmt::Display + 'a {
+        QueryDisplay { q: self, catalog }
+    }
+}
+
+fn render_term(t: &Term, names: &[String]) -> String {
+    match t {
+        Term::Var(v) => names[v.index()].clone(),
+        Term::Const(c) => c.to_string(),
+    }
+}
+
+struct QueryDisplay<'a> {
+    q: &'a ConjunctiveQuery,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for QueryDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q() <- ")?;
+        let mut first = true;
+        let sep = |f: &mut fmt::Formatter<'_>, first: &mut bool| -> fmt::Result {
+            if !*first {
+                write!(f, ", ")?;
+            }
+            *first = false;
+            Ok(())
+        };
+        for atom in &self.q.positive {
+            sep(f, &mut first)?;
+            write_atom(f, atom, self.catalog, &self.q.var_names, false)?;
+        }
+        for atom in &self.q.negated {
+            sep(f, &mut first)?;
+            write_atom(f, atom, self.catalog, &self.q.var_names, true)?;
+        }
+        for cmp in &self.q.comparisons {
+            sep(f, &mut first)?;
+            write!(
+                f,
+                "{} {} {}",
+                render_term(&cmp.lhs, &self.q.var_names),
+                cmp.op.symbol(),
+                render_term(&cmp.rhs, &self.q.var_names)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn write_atom(
+    f: &mut fmt::Formatter<'_>,
+    atom: &Atom,
+    catalog: &Catalog,
+    names: &[String],
+    negated: bool,
+) -> fmt::Result {
+    if negated {
+        write!(f, "!")?;
+    }
+    write!(f, "{}(", catalog.schema(atom.relation).name())?;
+    for (i, t) in atom.terms.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{}", render_term(t, names))?;
+    }
+    write!(f, ")")
+}
+
+/// Aggregate functions (§5). `min` is the paper's "results for max can
+/// easily be used to determine the complexity for min".
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `count` — size of the bag of satisfying assignments.
+    Count,
+    /// `cntd` — count of distinct projected values.
+    CountDistinct,
+    /// `sum` — sum of a unary integer projection.
+    Sum,
+    /// `max` — maximum of a unary projection.
+    Max,
+    /// `min` — minimum of a unary projection.
+    Min,
+}
+
+impl AggFunc {
+    /// The surface syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Count => "count",
+            AggFunc::CountDistinct => "cntd",
+            AggFunc::Sum => "sum",
+            AggFunc::Max => "max",
+            AggFunc::Min => "min",
+        }
+    }
+}
+
+/// An aggregate denial constraint `[q(α(x̄)) ← body] θ c`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AggregateQuery {
+    /// The query body.
+    pub body: ConjunctiveQuery,
+    /// The aggregate function α.
+    pub func: AggFunc,
+    /// The aggregated variables x̄ (empty only for `count`).
+    pub args: Vec<Var>,
+    /// The comparison θ.
+    pub op: CmpOp,
+    /// The constant c.
+    pub threshold: Value,
+}
+
+impl AggregateQuery {
+    /// Validates the body plus the aggregate shape: argument arities,
+    /// argument types, and threshold type.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), QueryError> {
+        self.body.validate(catalog)?;
+        let types = self.body.var_types(catalog);
+        for v in &self.args {
+            if v.index() >= types.len() {
+                return Err(QueryError::BadAggregate {
+                    detail: "aggregate argument is not a body variable".into(),
+                });
+            }
+        }
+        let result_type = match self.func {
+            AggFunc::Count | AggFunc::CountDistinct => ValueType::Int,
+            AggFunc::Sum => {
+                let [v] = self.args.as_slice() else {
+                    return Err(QueryError::BadAggregate {
+                        detail: "sum takes exactly one argument".into(),
+                    });
+                };
+                if types[v.index()] != ValueType::Int {
+                    return Err(QueryError::BadAggregate {
+                        detail: format!(
+                            "sum argument {} has type {}, expected int",
+                            self.body.var_name(*v),
+                            types[v.index()]
+                        ),
+                    });
+                }
+                ValueType::Int
+            }
+            AggFunc::Max | AggFunc::Min => {
+                let [v] = self.args.as_slice() else {
+                    return Err(QueryError::BadAggregate {
+                        detail: format!("{} takes exactly one argument", self.func.name()),
+                    });
+                };
+                types[v.index()]
+            }
+        };
+        if self.threshold.value_type() != result_type {
+            return Err(QueryError::BadThreshold {
+                expected: result_type,
+                got: self.threshold.value_type(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A denial constraint: the Boolean query the user wants to stay false in
+/// every possible world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DenialConstraint {
+    /// Class `Qc` (or `Q⁺c` when positive).
+    Conjunctive(ConjunctiveQuery),
+    /// Class `Qα,θ`.
+    Aggregate(AggregateQuery),
+}
+
+impl DenialConstraint {
+    /// The body common to both forms.
+    pub fn body(&self) -> &ConjunctiveQuery {
+        match self {
+            DenialConstraint::Conjunctive(q) => q,
+            DenialConstraint::Aggregate(a) => &a.body,
+        }
+    }
+
+    /// Validates against the catalog.
+    pub fn validate(&self, catalog: &Catalog) -> Result<(), QueryError> {
+        match self {
+            DenialConstraint::Conjunctive(q) => q.validate(catalog),
+            DenialConstraint::Aggregate(a) => a.validate(catalog),
+        }
+    }
+
+    /// Whether the constraint is an aggregate query.
+    pub fn is_aggregate(&self) -> bool {
+        matches!(self, DenialConstraint::Aggregate(_))
+    }
+}
+
+/// A fluent builder for denial constraints with *named* variables.
+///
+/// ```
+/// # use bcdb_storage::{Catalog, RelationSchema, ValueType, Value};
+/// # use bcdb_query::ast::QueryBuilder;
+/// let mut cat = Catalog::new();
+/// cat.add(RelationSchema::new("TxOut", [
+///     ("txId", ValueType::Text), ("ser", ValueType::Int),
+///     ("pk", ValueType::Text), ("amount", ValueType::Int),
+/// ]).unwrap()).unwrap();
+/// let q = QueryBuilder::new(&cat)
+///     .atom("TxOut", |a| a.var("ntx").var("s").constant("U8Pk").var("amt"))
+///     .build_conjunctive()
+///     .unwrap();
+/// assert!(q.validate(&cat).is_ok());
+/// ```
+pub struct QueryBuilder<'a> {
+    catalog: &'a Catalog,
+    positive: Vec<Atom>,
+    negated: Vec<Atom>,
+    comparisons: Vec<Comparison>,
+    var_names: Vec<String>,
+    error: Option<QueryError>,
+}
+
+/// Builder for one atom's term list (see [`QueryBuilder::atom`]).
+pub struct AtomBuilder<'b> {
+    terms: &'b mut Vec<Term>,
+    var_names: &'b mut Vec<String>,
+}
+
+impl AtomBuilder<'_> {
+    fn var_id(&mut self, name: &str) -> Var {
+        if let Some(i) = self.var_names.iter().position(|n| n == name) {
+            Var(i as u32)
+        } else {
+            self.var_names.push(name.to_string());
+            Var((self.var_names.len() - 1) as u32)
+        }
+    }
+
+    /// Appends a variable term (created on first use of the name).
+    pub fn var(mut self, name: &str) -> Self {
+        let v = self.var_id(name);
+        self.terms.push(Term::Var(v));
+        self
+    }
+
+    /// Appends a constant term.
+    pub fn constant(self, value: impl Into<Value>) -> Self {
+        self.terms.push(Term::Const(value.into()));
+        self
+    }
+}
+
+impl<'a> QueryBuilder<'a> {
+    /// Starts a builder over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        QueryBuilder {
+            catalog,
+            positive: Vec::new(),
+            negated: Vec::new(),
+            comparisons: Vec::new(),
+            var_names: Vec::new(),
+            error: None,
+        }
+    }
+
+    fn push_atom(
+        &mut self,
+        relation: &str,
+        negated: bool,
+        f: impl FnOnce(AtomBuilder<'_>) -> AtomBuilder<'_>,
+    ) {
+        let Some(rel) = self.catalog.resolve(relation) else {
+            self.error.get_or_insert(QueryError::UnknownRelation {
+                relation: relation.to_string(),
+            });
+            return;
+        };
+        let mut terms = Vec::new();
+        f(AtomBuilder {
+            terms: &mut terms,
+            var_names: &mut self.var_names,
+        });
+        let atom = Atom {
+            relation: rel,
+            terms,
+        };
+        if negated {
+            self.negated.push(atom);
+        } else {
+            self.positive.push(atom);
+        }
+    }
+
+    /// Adds a positive atom over `relation`; `f` fills in the terms.
+    pub fn atom(
+        mut self,
+        relation: &str,
+        f: impl FnOnce(AtomBuilder<'_>) -> AtomBuilder<'_>,
+    ) -> Self {
+        self.push_atom(relation, false, f);
+        self
+    }
+
+    /// Adds a negated atom.
+    pub fn not_atom(
+        mut self,
+        relation: &str,
+        f: impl FnOnce(AtomBuilder<'_>) -> AtomBuilder<'_>,
+    ) -> Self {
+        self.push_atom(relation, true, f);
+        self
+    }
+
+    fn var_term(&mut self, name: &str) -> Term {
+        let v = if let Some(i) = self.var_names.iter().position(|n| n == name) {
+            Var(i as u32)
+        } else {
+            self.var_names.push(name.to_string());
+            Var((self.var_names.len() - 1) as u32)
+        };
+        Term::Var(v)
+    }
+
+    /// Adds a comparison between two variables.
+    pub fn cmp_vars(mut self, lhs: &str, op: CmpOp, rhs: &str) -> Self {
+        let l = self.var_term(lhs);
+        let r = self.var_term(rhs);
+        self.comparisons.push(Comparison { lhs: l, op, rhs: r });
+        self
+    }
+
+    /// Adds a comparison between a variable and a constant.
+    pub fn cmp_const(mut self, lhs: &str, op: CmpOp, rhs: impl Into<Value>) -> Self {
+        let l = self.var_term(lhs);
+        self.comparisons.push(Comparison {
+            lhs: l,
+            op,
+            rhs: Term::Const(rhs.into()),
+        });
+        self
+    }
+
+    fn take_query(&mut self) -> ConjunctiveQuery {
+        ConjunctiveQuery {
+            positive: std::mem::take(&mut self.positive),
+            negated: std::mem::take(&mut self.negated),
+            comparisons: std::mem::take(&mut self.comparisons),
+            var_names: std::mem::take(&mut self.var_names),
+        }
+    }
+
+    /// Finishes as a conjunctive denial constraint, validating it.
+    pub fn build_conjunctive(mut self) -> Result<ConjunctiveQuery, QueryError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let q = self.take_query();
+        q.validate(self.catalog)?;
+        Ok(q)
+    }
+
+    /// Finishes as an aggregate denial constraint `[q(func(args)) ← …] op c`.
+    pub fn build_aggregate(
+        mut self,
+        func: AggFunc,
+        args: &[&str],
+        op: CmpOp,
+        threshold: impl Into<Value>,
+    ) -> Result<AggregateQuery, QueryError> {
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let body = self.take_query();
+        let arg_vars = args
+            .iter()
+            .map(|name| {
+                body.var_names
+                    .iter()
+                    .position(|n| n == name)
+                    .map(|i| Var(i as u32))
+                    .ok_or_else(|| QueryError::BadAggregate {
+                        detail: format!("aggregate argument '{name}' not used in the body"),
+                    })
+            })
+            .collect::<Result<Vec<Var>, _>>()?;
+        let agg = AggregateQuery {
+            body,
+            func,
+            args: arg_vars,
+            op,
+            threshold: threshold.into(),
+        };
+        agg.validate(self.catalog)?;
+        Ok(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_storage::RelationSchema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "TxOut",
+                [
+                    ("txId", ValueType::Text),
+                    ("ser", ValueType::Int),
+                    ("pk", ValueType::Text),
+                    ("amount", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(RelationSchema::new("Trusted", [("pk", ValueType::Text)]).unwrap())
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn builder_constructs_and_validates() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").constant("U8Pk").var("amt"))
+            .build_conjunctive()
+            .unwrap();
+        assert_eq!(q.positive.len(), 1);
+        assert_eq!(q.var_count(), 3);
+        assert!(q.is_positive());
+    }
+
+    #[test]
+    fn builder_shares_variables_across_atoms() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("a1"))
+            .atom("TxOut", |a| a.var("t2").var("s2").var("pk").var("a2"))
+            .cmp_vars("t", CmpOp::Ne, "t2")
+            .build_conjunctive()
+            .unwrap();
+        assert_eq!(q.var_count(), 7); // t, s, pk, a1, t2, s2, a2 — pk shared
+        let pk_occurrences: Vec<Var> = q
+            .positive
+            .iter()
+            .filter_map(|a| a.terms[2].as_var())
+            .collect();
+        assert_eq!(pk_occurrences[0], pk_occurrences[1]);
+    }
+
+    #[test]
+    fn unknown_relation_reported() {
+        let cat = catalog();
+        let err = QueryBuilder::new(&cat)
+            .atom("Nope", |a| a.var("x"))
+            .build_conjunctive()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnknownRelation { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_reported() {
+        let cat = catalog();
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("x"))
+            .build_conjunctive()
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            QueryError::ArityMismatch {
+                expected: 4,
+                got: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unsafe_variable_reported() {
+        let cat = catalog();
+        // x appears only in a negated atom.
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("amt"))
+            .not_atom("Trusted", |a| a.var("x"))
+            .build_conjunctive()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::UnsafeVariable { variable } if variable == "x"));
+    }
+
+    #[test]
+    fn type_conflicts_reported() {
+        let cat = catalog();
+        // `t` used at Text (txId) and Int (amount).
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("t"))
+            .build_conjunctive()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::TypeError { .. }));
+        // Constant of the wrong type.
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.constant(5i64).var("s").var("pk").var("amt"))
+            .build_conjunctive()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::TypeError { .. }));
+    }
+
+    #[test]
+    fn comparison_type_mismatch_reported() {
+        let cat = catalog();
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("amt"))
+            .cmp_vars("t", CmpOp::Lt, "amt")
+            .build_conjunctive()
+            .unwrap_err();
+        assert!(matches!(err, QueryError::TypeError { .. }));
+    }
+
+    #[test]
+    fn aggregate_validation() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| {
+                a.var("t").var("s").constant("Alice").var("amt")
+            })
+            .build_aggregate(AggFunc::Sum, &["amt"], CmpOp::Gt, 5i64)
+            .unwrap();
+        assert_eq!(q.func, AggFunc::Sum);
+        // sum over text is rejected.
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("amt"))
+            .build_aggregate(AggFunc::Sum, &["pk"], CmpOp::Gt, 5i64)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::BadAggregate { .. }));
+        // wrong threshold type for max over text.
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("amt"))
+            .build_aggregate(AggFunc::Max, &["pk"], CmpOp::Gt, 5i64)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::BadThreshold { .. }));
+        // unknown aggregate argument.
+        let err = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("amt"))
+            .build_aggregate(AggFunc::Sum, &["zzz"], CmpOp::Gt, 5i64)
+            .unwrap_err();
+        assert!(matches!(err, QueryError::BadAggregate { .. }));
+    }
+
+    #[test]
+    fn count_with_no_args_is_allowed() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").var("pk").var("amt"))
+            .build_aggregate(AggFunc::Count, &[], CmpOp::Gt, 10i64)
+            .unwrap();
+        assert!(q.args.is_empty());
+    }
+
+    #[test]
+    fn cmp_op_eval_table() {
+        use CmpOp::*;
+        let one = Value::Int(1);
+        let two = Value::Int(2);
+        assert_eq!(Lt.eval(&one, &two), Some(true));
+        assert_eq!(Gt.eval(&one, &two), Some(false));
+        assert_eq!(Eq.eval(&one, &one), Some(true));
+        assert_eq!(Ne.eval(&one, &two), Some(true));
+        assert_eq!(Le.eval(&one, &one), Some(true));
+        assert_eq!(Ge.eval(&one, &two), Some(false));
+        assert_eq!(Eq.eval(&one, &Value::text("1")), None);
+    }
+
+    #[test]
+    fn display_renders_datalog() {
+        let cat = catalog();
+        let q = QueryBuilder::new(&cat)
+            .atom("TxOut", |a| a.var("t").var("s").constant("U8").var("amt"))
+            .not_atom("Trusted", |a| a.var("pk2"))
+            .atom("Trusted", |a| a.var("pk2"))
+            .cmp_vars("t", CmpOp::Ne, "pk2")
+            .build_conjunctive()
+            .unwrap();
+        let s = q.display(&cat).to_string();
+        assert!(s.contains("TxOut(t, s, 'U8', amt)"), "{s}");
+        assert!(s.contains("!Trusted(pk2)"), "{s}");
+        assert!(s.contains("t != pk2"), "{s}");
+    }
+}

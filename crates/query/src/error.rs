@@ -1,0 +1,105 @@
+//! Errors raised while building, parsing, validating, or evaluating
+//! denial constraints.
+
+use bcdb_storage::ValueType;
+use std::fmt;
+
+/// Errors for the query layer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QueryError {
+    /// An atom referenced a relation not in the catalog.
+    UnknownRelation {
+        /// The unresolved name.
+        relation: String,
+    },
+    /// An atom had the wrong number of terms for its relation.
+    ArityMismatch {
+        /// The relation name.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Atom arity.
+        got: usize,
+    },
+    /// A variable occurred only in negated atoms or comparisons — the query
+    /// is unsafe.
+    UnsafeVariable {
+        /// The variable's name.
+        variable: String,
+    },
+    /// A term's type disagrees with the attribute or with another
+    /// occurrence of the same variable.
+    TypeError {
+        /// Human-readable description of the conflict.
+        detail: String,
+    },
+    /// The aggregate arguments are malformed (e.g. `sum` over a non-integer
+    /// variable, or a non-unary argument list).
+    BadAggregate {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A parse error, with position information.
+    Parse {
+        /// Byte offset in the input.
+        offset: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The paper's aggregate comparisons are {<, >, =}; we also accept
+    /// {≤, ≥, ≠} as sugar, but the threshold must be a constant of a
+    /// comparable type.
+    BadThreshold {
+        /// The aggregate's result type.
+        expected: ValueType,
+        /// The threshold's type.
+        got: ValueType,
+    },
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnknownRelation { relation } => {
+                write!(f, "unknown relation '{relation}'")
+            }
+            QueryError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "atom over '{relation}' has {got} terms, schema has {expected}"
+                )
+            }
+            QueryError::UnsafeVariable { variable } => write!(
+                f,
+                "variable '{variable}' does not occur in any positive relational atom"
+            ),
+            QueryError::TypeError { detail } => write!(f, "type error: {detail}"),
+            QueryError::BadAggregate { detail } => write!(f, "bad aggregate: {detail}"),
+            QueryError::Parse { offset, detail } => {
+                write!(f, "parse error at byte {offset}: {detail}")
+            }
+            QueryError::BadThreshold { expected, got } => {
+                write!(f, "aggregate threshold has type {got}, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_culprit() {
+        let e = QueryError::UnsafeVariable {
+            variable: "x".into(),
+        };
+        assert!(e.to_string().contains("'x'"));
+    }
+}

@@ -1,0 +1,941 @@
+//! World-masked query evaluation.
+//!
+//! Evaluates denial-constraint bodies over one possible world, selected by a
+//! [`WorldMask`] — no world is ever materialised. Evaluation is a
+//! backtracking join over the positive atoms, ordered greedily by
+//! boundness (constants + already-bound variables), probing hash indexes
+//! built at prepare time. Comparisons and negated atoms are checked as soon
+//! as their variables are ground.
+//!
+//! Matches are reported *per row combination*, carrying the [`Source`] of
+//! each matched row — the transaction provenance the tractable deciders of
+//! Theorem 1 need.
+
+use crate::ast::{AggFunc, AggregateQuery, CmpOp, ConjunctiveQuery, Term, Var};
+use bcdb_storage::{Database, RowId, Source, Tuple, Value, WorldMask};
+use rustc_hash::FxHashSet;
+use smallvec::SmallVec;
+use std::ops::ControlFlow;
+
+/// One evaluation step: which atom to match next and how to probe it.
+#[derive(Clone, Debug)]
+struct Step {
+    /// Index into `query.positive`.
+    atom: usize,
+    /// Positions whose value is known at probe time (constants or
+    /// previously-bound variables), ascending.
+    probe_positions: Vec<usize>,
+    /// Index handle on the atom's relation over `probe_positions`.
+    index: Option<usize>,
+    /// Comparisons fully ground after this step (indexes into
+    /// `query.comparisons`).
+    comparisons_after: Vec<usize>,
+    /// Negated atoms fully ground after this step (indexes into
+    /// `query.negated`).
+    negated_after: Vec<usize>,
+}
+
+/// A query compiled against a database: join order fixed, probe indexes
+/// built. Reusable across masks — the paper's steady state prepares once
+/// per denial constraint and re-checks as the mempool changes.
+#[derive(Clone, Debug)]
+pub struct PreparedQuery {
+    query: ConjunctiveQuery,
+    steps: Vec<Step>,
+    /// Comparisons with no variables (checked once, before any step).
+    pre_comparisons: Vec<usize>,
+    /// Negated atoms with no variables.
+    pre_negated: Vec<usize>,
+}
+
+impl PreparedQuery {
+    /// The underlying query.
+    pub fn query(&self) -> &ConjunctiveQuery {
+        &self.query
+    }
+
+    /// Renders the evaluation plan: join order, probe method per step, and
+    /// where comparisons/negations are checked. For diagnostics and the
+    /// CLI's `explain`.
+    pub fn explain(&self, catalog: &bcdb_storage::Catalog) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let q = &self.query;
+        if !self.pre_comparisons.is_empty() || !self.pre_negated.is_empty() {
+            writeln!(
+                out,
+                "pre: {} ground comparison(s), {} ground negated atom(s)",
+                self.pre_comparisons.len(),
+                self.pre_negated.len()
+            )
+            .unwrap();
+        }
+        for (i, step) in self.steps.iter().enumerate() {
+            let atom = &q.positive[step.atom];
+            let schema = catalog.schema(atom.relation);
+            let access = if step.probe_positions.is_empty() {
+                "scan".to_string()
+            } else {
+                let attrs: Vec<&str> = step
+                    .probe_positions
+                    .iter()
+                    .map(|&p| schema.attribute(p).map(|(n, _)| n).unwrap_or("?"))
+                    .collect();
+                format!("index probe on ({})", attrs.join(", "))
+            };
+            write!(out, "step {i}: {} via {access}", schema.name()).unwrap();
+            if !step.comparisons_after.is_empty() {
+                write!(
+                    out,
+                    "; check {} comparison(s)",
+                    step.comparisons_after.len()
+                )
+                .unwrap();
+            }
+            if !step.negated_after.is_empty() {
+                write!(out, "; check {} negated atom(s)", step.negated_after.len()).unwrap();
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Compiles `q` against `db`: chooses a join order and builds the hash
+/// indexes the probes need. The query must already be validated.
+pub fn prepare(db: &mut Database, q: &ConjunctiveQuery) -> PreparedQuery {
+    let n = q.positive.len();
+    let mut chosen = vec![false; n];
+    let mut bound: FxHashSet<Var> = FxHashSet::default();
+    let mut steps: Vec<Step> = Vec::with_capacity(n);
+
+    for _ in 0..n {
+        // Greedy: most bound positions; ties -> smaller relation.
+        let mut best: Option<(usize, usize, usize)> = None; // (atom, score, rows)
+        for (i, atom) in q.positive.iter().enumerate() {
+            if chosen[i] {
+                continue;
+            }
+            let score = atom
+                .terms
+                .iter()
+                .filter(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v),
+                })
+                .count();
+            let rows = db.relation(atom.relation).row_count();
+            let better = match best {
+                None => true,
+                Some((_, bs, br)) => score > bs || (score == bs && rows < br),
+            };
+            if better {
+                best = Some((i, score, rows));
+            }
+        }
+        let (i, _, _) = best.expect("an unchosen atom exists");
+        chosen[i] = true;
+        let atom = &q.positive[i];
+        let probe_positions: Vec<usize> = atom
+            .terms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| match t {
+                Term::Const(_) => true,
+                Term::Var(v) => bound.contains(v),
+            })
+            .map(|(p, _)| p)
+            .collect();
+        for v in atom.terms.iter().filter_map(|t| t.as_var()) {
+            bound.insert(v);
+        }
+        let index = if probe_positions.is_empty() {
+            None
+        } else {
+            Some(
+                db.relation_mut(atom.relation)
+                    .ensure_index(&probe_positions),
+            )
+        };
+        steps.push(Step {
+            atom: i,
+            probe_positions,
+            index,
+            comparisons_after: Vec::new(),
+            negated_after: Vec::new(),
+        });
+    }
+
+    // Schedule comparisons and negated atoms at the earliest step where all
+    // their variables are bound.
+    let mut bound_after: Vec<FxHashSet<Var>> = Vec::with_capacity(steps.len());
+    let mut acc: FxHashSet<Var> = FxHashSet::default();
+    for step in &steps {
+        for v in q.positive[step.atom]
+            .terms
+            .iter()
+            .filter_map(|t| t.as_var())
+        {
+            acc.insert(v);
+        }
+        bound_after.push(acc.clone());
+    }
+    let vars_of_terms = |terms: &mut dyn Iterator<Item = Var>| -> Vec<Var> { terms.collect() };
+
+    let mut pre_comparisons = Vec::new();
+    for (ci, cmp) in q.comparisons.iter().enumerate() {
+        let vars = vars_of_terms(&mut [&cmp.lhs, &cmp.rhs].into_iter().filter_map(|t| t.as_var()));
+        schedule(
+            ci,
+            &vars,
+            &bound_after,
+            &mut steps,
+            &mut pre_comparisons,
+            true,
+        );
+    }
+    let mut pre_negated = Vec::new();
+    for (ni, atom) in q.negated.iter().enumerate() {
+        let vars = vars_of_terms(&mut atom.terms.iter().filter_map(|t| t.as_var()));
+        schedule(ni, &vars, &bound_after, &mut steps, &mut pre_negated, false);
+    }
+
+    PreparedQuery {
+        query: q.clone(),
+        steps,
+        pre_comparisons,
+        pre_negated,
+    }
+}
+
+fn schedule(
+    item: usize,
+    vars: &[Var],
+    bound_after: &[FxHashSet<Var>],
+    steps: &mut [Step],
+    pre: &mut Vec<usize>,
+    is_comparison: bool,
+) {
+    if vars.is_empty() {
+        pre.push(item);
+        return;
+    }
+    for (si, bound) in bound_after.iter().enumerate() {
+        if vars.iter().all(|v| bound.contains(v)) {
+            if is_comparison {
+                steps[si].comparisons_after.push(item);
+            } else {
+                steps[si].negated_after.push(item);
+            }
+            return;
+        }
+    }
+    // Safety validation guarantees this is unreachable for valid queries.
+    unreachable!("variable not bound by any step");
+}
+
+/// A satisfying row combination.
+pub struct Match<'a> {
+    /// Value of each variable (indexed by [`Var`]).
+    pub assignment: &'a [Value],
+    /// Source of the row matched by each positive atom, in atom order.
+    pub sources: &'a [Source],
+    /// Row id matched by each positive atom, in atom order.
+    pub rows: &'a [RowId],
+}
+
+/// Evaluation options.
+#[derive(Clone, Copy, Debug)]
+pub struct EvalOptions {
+    /// Check negated atoms against the mask (default). The tractable
+    /// deciders disable this and reason about negation themselves.
+    pub check_negated: bool,
+}
+
+impl Default for EvalOptions {
+    fn default() -> Self {
+        EvalOptions {
+            check_negated: true,
+        }
+    }
+}
+
+/// Enumerates every matching row combination of the prepared query in the
+/// world `mask`, invoking `cb` per match. Returns `true` if enumeration ran
+/// to completion (`cb` never broke).
+///
+/// The same variable assignment may be reported multiple times if distinct
+/// row combinations produce it (e.g. the same tuple stored for both `R` and
+/// a pending transaction); aggregate evaluation deduplicates downstream.
+pub fn for_each_match(
+    db: &Database,
+    pq: &PreparedQuery,
+    mask: &WorldMask,
+    opts: EvalOptions,
+    mut cb: impl FnMut(&Match<'_>) -> ControlFlow<()>,
+) -> bool {
+    let q = &pq.query;
+    // Pre-checks with no variables.
+    let empty: Vec<Value> = Vec::new();
+    for &ci in &pq.pre_comparisons {
+        if !eval_comparison(&q.comparisons[ci], &empty) {
+            return true;
+        }
+    }
+    if opts.check_negated {
+        for &ni in &pq.pre_negated {
+            let atom = &q.negated[ni];
+            let t: Tuple = atom
+                .terms
+                .iter()
+                .map(|t| t.as_const().expect("ground").clone())
+                .collect();
+            if db.relation(atom.relation).contains(&t, mask) {
+                return true;
+            }
+        }
+    }
+    let mut binding: Vec<Option<Value>> = vec![None; q.var_count()];
+    let mut sources: Vec<Source> = vec![Source::Base; q.positive.len()];
+    let mut rows: Vec<RowId> = vec![RowId(0); q.positive.len()];
+    let mut assignment: Vec<Value> = Vec::new();
+    recurse(
+        db,
+        pq,
+        mask,
+        opts,
+        0,
+        &mut binding,
+        &mut sources,
+        &mut rows,
+        &mut assignment,
+        &mut cb,
+    )
+    .is_continue()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn recurse(
+    db: &Database,
+    pq: &PreparedQuery,
+    mask: &WorldMask,
+    opts: EvalOptions,
+    depth: usize,
+    binding: &mut Vec<Option<Value>>,
+    sources: &mut Vec<Source>,
+    rows: &mut Vec<RowId>,
+    assignment: &mut Vec<Value>,
+    cb: &mut impl FnMut(&Match<'_>) -> ControlFlow<()>,
+) -> ControlFlow<()> {
+    let q = &pq.query;
+    if depth == pq.steps.len() {
+        assignment.clear();
+        assignment.extend(binding.iter().map(|v| v.clone().expect("all vars bound")));
+        return cb(&Match {
+            assignment,
+            sources,
+            rows,
+        });
+    }
+    let step = &pq.steps[depth];
+    let atom = &q.positive[step.atom];
+    let store = db.relation(atom.relation);
+
+    // Assemble the probe key from constants and bound variables.
+    let probe_key: Option<SmallVec<[Value; 4]>> = step.index.map(|_| {
+        step.probe_positions
+            .iter()
+            .map(|&p| match &atom.terms[p] {
+                Term::Const(c) => c.clone(),
+                Term::Var(v) => binding[v.index()].clone().expect("bound at plan time"),
+            })
+            .collect()
+    });
+
+    let candidates: Box<dyn Iterator<Item = (RowId, &bcdb_storage::Row)>> =
+        match (step.index, &probe_key) {
+            (Some(idx), Some(key)) => Box::new(store.lookup(idx, key, mask)),
+            _ => Box::new(store.scan(mask)),
+        };
+
+    'cand: for (row_id, row) in candidates {
+        // Unify the atom against the row, binding fresh variables.
+        let mut newly_bound: SmallVec<[Var; 8]> = SmallVec::new();
+        for (p, term) in atom.terms.iter().enumerate() {
+            let rv = &row.tuple[p];
+            match term {
+                Term::Const(c) => {
+                    if c != rv {
+                        unbind(binding, &newly_bound);
+                        continue 'cand;
+                    }
+                }
+                Term::Var(v) => match &binding[v.index()] {
+                    Some(b) => {
+                        if b != rv {
+                            unbind(binding, &newly_bound);
+                            continue 'cand;
+                        }
+                    }
+                    None => {
+                        binding[v.index()] = Some(rv.clone());
+                        newly_bound.push(*v);
+                    }
+                },
+            }
+        }
+        // Ground checks now available.
+        let mut ok = true;
+        for &ci in &step.comparisons_after {
+            if !eval_comparison_b(&q.comparisons[ci], binding) {
+                ok = false;
+                break;
+            }
+        }
+        if ok && opts.check_negated {
+            for &ni in &step.negated_after {
+                let natom = &q.negated[ni];
+                let t: Tuple = natom
+                    .terms
+                    .iter()
+                    .map(|t| match t {
+                        Term::Const(c) => c.clone(),
+                        Term::Var(v) => binding[v.index()].clone().expect("scheduled when bound"),
+                    })
+                    .collect();
+                if db.relation(natom.relation).contains(&t, mask) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            sources[step.atom] = row.source;
+            rows[step.atom] = row_id;
+            if recurse(
+                db,
+                pq,
+                mask,
+                opts,
+                depth + 1,
+                binding,
+                sources,
+                rows,
+                assignment,
+                cb,
+            )
+            .is_break()
+            {
+                unbind(binding, &newly_bound);
+                return ControlFlow::Break(());
+            }
+        }
+        unbind(binding, &newly_bound);
+    }
+    ControlFlow::Continue(())
+}
+
+fn unbind(binding: &mut [Option<Value>], vars: &[Var]) {
+    for v in vars {
+        binding[v.index()] = None;
+    }
+}
+
+fn term_value<'a>(t: &'a Term, assignment: &'a [Value]) -> &'a Value {
+    match t {
+        Term::Const(c) => c,
+        Term::Var(v) => &assignment[v.index()],
+    }
+}
+
+fn eval_comparison(cmp: &crate::ast::Comparison, assignment: &[Value]) -> bool {
+    let a = term_value(&cmp.lhs, assignment);
+    let b = term_value(&cmp.rhs, assignment);
+    cmp.op.eval(a, b).unwrap_or(false)
+}
+
+fn eval_comparison_b(cmp: &crate::ast::Comparison, binding: &[Option<Value>]) -> bool {
+    let get = |t: &Term| -> Value {
+        match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => binding[v.index()].clone().expect("scheduled when bound"),
+        }
+    };
+    cmp.op.eval(&get(&cmp.lhs), &get(&cmp.rhs)).unwrap_or(false)
+}
+
+/// Whether the query has at least one satisfying assignment in the world
+/// `mask` (the Boolean semantics of §5).
+pub fn evaluate_bool(db: &Database, pq: &PreparedQuery, mask: &WorldMask) -> bool {
+    !for_each_match(db, pq, mask, EvalOptions::default(), |_| {
+        ControlFlow::Break(())
+    })
+}
+
+/// An aggregate query compiled against a database.
+#[derive(Clone, Debug)]
+pub struct PreparedAggregate {
+    body: PreparedQuery,
+    func: AggFunc,
+    args: Vec<Var>,
+    op: CmpOp,
+    threshold: Value,
+}
+
+impl PreparedAggregate {
+    /// The prepared body.
+    pub fn body(&self) -> &PreparedQuery {
+        &self.body
+    }
+}
+
+/// Compiles an aggregate query.
+pub fn prepare_aggregate(db: &mut Database, agg: &AggregateQuery) -> PreparedAggregate {
+    PreparedAggregate {
+        body: prepare(db, &agg.body),
+        func: agg.func,
+        args: agg.args.clone(),
+        op: agg.op,
+        threshold: agg.threshold.clone(),
+    }
+}
+
+/// The aggregate's value `α(B)` over the world `mask`; `None` when the bag
+/// `B` is empty.
+///
+/// `H` is the *set* of satisfying variable assignments (duplicate row
+/// combinations collapse), and `B = {{ h(x̄) | h ∈ H }}` is a bag — two
+/// distinct assignments projecting to the same value contribute twice to
+/// `count`/`sum` but once to `cntd`.
+pub fn aggregate_value(db: &Database, pa: &PreparedAggregate, mask: &WorldMask) -> Option<Value> {
+    let mut assignments: FxHashSet<Vec<Value>> = FxHashSet::default();
+    for_each_match(db, &pa.body, mask, EvalOptions::default(), |m| {
+        assignments.insert(m.assignment.to_vec());
+        ControlFlow::Continue(())
+    });
+    if assignments.is_empty() {
+        return None;
+    }
+    let project = |h: &Vec<Value>| -> SmallVec<[Value; 2]> {
+        pa.args.iter().map(|v| h[v.index()].clone()).collect()
+    };
+    Some(match pa.func {
+        AggFunc::Count => Value::Int(assignments.len() as i64),
+        AggFunc::CountDistinct => {
+            let distinct: FxHashSet<SmallVec<[Value; 2]>> =
+                assignments.iter().map(project).collect();
+            Value::Int(distinct.len() as i64)
+        }
+        AggFunc::Sum => {
+            let mut total: i64 = 0;
+            for h in &assignments {
+                let p = project(h);
+                total = total.saturating_add(p[0].as_int().expect("validated as int"));
+            }
+            Value::Int(total)
+        }
+        AggFunc::Max | AggFunc::Min => {
+            let mut best: Option<Value> = None;
+            for h in &assignments {
+                let v = project(h)[0].clone();
+                best = Some(match best {
+                    None => v,
+                    Some(b) => {
+                        let keep_new = match v.partial_cmp_same_type(&b) {
+                            Some(ord) => {
+                                if pa.func == AggFunc::Max {
+                                    ord.is_gt()
+                                } else {
+                                    ord.is_lt()
+                                }
+                            }
+                            None => false,
+                        };
+                        if keep_new {
+                            v
+                        } else {
+                            b
+                        }
+                    }
+                });
+            }
+            best.expect("nonempty")
+        }
+    })
+}
+
+/// Whether `[α(B) θ c]` holds in the world `mask`. The empty bag evaluates
+/// to `false` (the paper's SQL-like choice).
+pub fn evaluate_aggregate(db: &Database, pa: &PreparedAggregate, mask: &WorldMask) -> bool {
+    match aggregate_value(db, pa, mask) {
+        None => false,
+        Some(v) => pa.op.eval(&v, &pa.threshold).unwrap_or(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::QueryBuilder;
+    use bcdb_storage::{Catalog, RelationSchema, TxId, ValueType};
+
+    /// Edge(from, to) over base + two pending transactions; Label(node).
+    fn setup() -> Database {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Edge", [("src", ValueType::Text), ("dst", ValueType::Text)])
+                .unwrap(),
+        )
+        .unwrap();
+        cat.add(RelationSchema::new("Label", [("node", ValueType::Text)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(cat);
+        let edge = db.catalog().resolve("Edge").unwrap();
+        let label = db.catalog().resolve("Label").unwrap();
+        for (s, d) in [("a", "b"), ("b", "c")] {
+            db.insert_base(edge, bcdb_storage::tuple![s, d]).unwrap();
+        }
+        // T0 adds c->d; T1 adds d->a and Label(d).
+        db.insert(
+            edge,
+            bcdb_storage::tuple!["c", "d"],
+            Source::Pending(TxId(0)),
+        )
+        .unwrap();
+        db.insert(
+            edge,
+            bcdb_storage::tuple!["d", "a"],
+            Source::Pending(TxId(1)),
+        )
+        .unwrap();
+        db.insert(label, bcdb_storage::tuple!["d"], Source::Pending(TxId(1)))
+            .unwrap();
+        db.insert_base(label, bcdb_storage::tuple!["a"]).unwrap();
+        db
+    }
+
+    fn path2(db: &Database) -> ConjunctiveQuery {
+        QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .atom("Edge", |a| a.var("y").var("z"))
+            .build_conjunctive()
+            .unwrap()
+    }
+
+    #[test]
+    fn bool_eval_respects_mask() {
+        let mut db = setup();
+        // Path of length 2 ending in d exists only with T0.
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .atom("Edge", |a| a.var("y").constant("d"))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        assert!(!evaluate_bool(&db, &pq, &db.base_mask()));
+        assert!(evaluate_bool(&db, &pq, &db.mask_of([TxId(0)])));
+        assert!(!evaluate_bool(&db, &pq, &db.mask_of([TxId(1)])));
+    }
+
+    #[test]
+    fn join_enumerates_all_matches_with_sources() {
+        let mut db = setup();
+        let q = path2(&db);
+        let pq = prepare(&mut db, &q);
+        let mut matches = Vec::new();
+        for_each_match(&db, &pq, &db.all_mask(), EvalOptions::default(), |m| {
+            matches.push((m.assignment.to_vec(), m.sources.to_vec()));
+            ControlFlow::Continue(())
+        });
+        // Paths: a-b-c (base), b-c-d (base+T0), c-d-a (T0+T1), d-a-b (T1+base).
+        assert_eq!(matches.len(), 4);
+        let cda = matches
+            .iter()
+            .find(|(a, _)| {
+                a.contains(&Value::text("c"))
+                    && a.contains(&Value::text("d"))
+                    && a.contains(&Value::text("a"))
+            })
+            .filter(|(_, s)| {
+                s.contains(&Source::Pending(TxId(0))) && s.contains(&Source::Pending(TxId(1)))
+            });
+        assert!(cda.is_some(), "{matches:?}");
+    }
+
+    #[test]
+    fn repeated_variable_in_atom() {
+        let mut db = setup();
+        let edge = db.catalog().resolve("Edge").unwrap();
+        db.insert_base(edge, bcdb_storage::tuple!["z", "z"])
+            .unwrap();
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("x"))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        let mut count = 0;
+        for_each_match(&db, &pq, &db.base_mask(), EvalOptions::default(), |m| {
+            assert_eq!(m.assignment[0], Value::text("z"));
+            count += 1;
+            ControlFlow::Continue(())
+        });
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn comparisons_filter() {
+        let mut db = setup();
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .cmp_vars("x", CmpOp::Lt, "y")
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        let mut seen = Vec::new();
+        for_each_match(&db, &pq, &db.base_mask(), EvalOptions::default(), |m| {
+            seen.push(m.assignment.to_vec());
+            ControlFlow::Continue(())
+        });
+        // a<b and b<c hold.
+        assert_eq!(seen.len(), 2);
+    }
+
+    #[test]
+    fn negated_atom_checked_against_mask() {
+        let mut db = setup();
+        // Edge(x,y) with ¬Label(y): in base, edges a->b (Label b? no) and
+        // b->c (no label) qualify; in T1's world, Label(d) exists, so c->d
+        // would be excluded if T0, T1 both active.
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .not_atom("Label", |a| a.var("y"))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        let both = db.mask_of([TxId(0), TxId(1)]);
+        let mut seen = Vec::new();
+        for_each_match(&db, &pq, &both, EvalOptions::default(), |m| {
+            seen.push(m.assignment[1].clone());
+            ControlFlow::Continue(())
+        });
+        // Edges: a->b, b->c, c->d, d->a. Labels active: a (base), d (T1).
+        // Excluded: c->d (Label d), d->a (Label a). Remaining: a->b, b->c.
+        assert_eq!(seen.len(), 2);
+        assert!(!seen.contains(&Value::text("d")));
+        assert!(!seen.contains(&Value::text("a")));
+        // Disabling negation checks re-admits them.
+        let mut all = 0;
+        for_each_match(
+            &db,
+            &pq,
+            &both,
+            EvalOptions {
+                check_negated: false,
+            },
+            |_| {
+                all += 1;
+                ControlFlow::Continue(())
+            },
+        );
+        assert_eq!(all, 4);
+    }
+
+    #[test]
+    fn no_positive_atoms_ground_checks_only() {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("Flag", [("v", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(cat);
+        let flag = db.catalog().resolve("Flag").unwrap();
+        db.insert_base(flag, bcdb_storage::tuple![1i64]).unwrap();
+        // q() <- !Flag(2): true while Flag(2) absent.
+        let q = QueryBuilder::new(db.catalog())
+            .not_atom("Flag", |a| a.constant(2i64))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        assert!(evaluate_bool(&db, &pq, &db.base_mask()));
+        db.insert_base(flag, bcdb_storage::tuple![2i64]).unwrap();
+        let pq = prepare(&mut db, &q);
+        assert!(!evaluate_bool(&db, &pq, &db.base_mask()));
+    }
+
+    #[test]
+    fn aggregate_count_and_sum() {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Pay", [("to", ValueType::Text), ("amt", ValueType::Int)]).unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(cat);
+        let pay = db.catalog().resolve("Pay").unwrap();
+        db.insert_base(pay, bcdb_storage::tuple!["bob", 3i64])
+            .unwrap();
+        db.insert_base(pay, bcdb_storage::tuple!["bob", 4i64])
+            .unwrap();
+        db.insert(
+            pay,
+            bcdb_storage::tuple!["bob", 5i64],
+            Source::Pending(TxId(0)),
+        )
+        .unwrap();
+
+        let sum = QueryBuilder::new(db.catalog())
+            .atom("Pay", |a| a.constant("bob").var("amt"))
+            .build_aggregate(AggFunc::Sum, &["amt"], CmpOp::Gt, 5i64)
+            .unwrap();
+        let pa = prepare_aggregate(&mut db, &sum);
+        assert_eq!(
+            aggregate_value(&db, &pa, &db.base_mask()),
+            Some(Value::Int(7))
+        );
+        assert!(evaluate_aggregate(&db, &pa, &db.base_mask())); // 7 > 5
+        assert_eq!(
+            aggregate_value(&db, &pa, &db.all_mask()),
+            Some(Value::Int(12))
+        );
+
+        let count = QueryBuilder::new(db.catalog())
+            .atom("Pay", |a| a.constant("bob").var("amt"))
+            .build_aggregate(AggFunc::Count, &[], CmpOp::Ge, 3i64)
+            .unwrap();
+        let pc = prepare_aggregate(&mut db, &count);
+        assert!(!evaluate_aggregate(&db, &pc, &db.base_mask())); // 2 ≥ 3 false
+        assert!(evaluate_aggregate(&db, &pc, &db.all_mask())); // 3 ≥ 3
+    }
+
+    #[test]
+    fn aggregate_cntd_vs_count() {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new(
+                "Pay",
+                [
+                    ("id", ValueType::Int),
+                    ("to", ValueType::Text),
+                    ("amt", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(cat);
+        let pay = db.catalog().resolve("Pay").unwrap();
+        // Two payments to bob with same amount: count 2, cntd(amt) 1.
+        db.insert_base(pay, bcdb_storage::tuple![1i64, "bob", 5i64])
+            .unwrap();
+        db.insert_base(pay, bcdb_storage::tuple![2i64, "bob", 5i64])
+            .unwrap();
+
+        let count = QueryBuilder::new(db.catalog())
+            .atom("Pay", |a| a.var("id").constant("bob").var("amt"))
+            .build_aggregate(AggFunc::Count, &[], CmpOp::Eq, 2i64)
+            .unwrap();
+        let cntd = QueryBuilder::new(db.catalog())
+            .atom("Pay", |a| a.var("id").constant("bob").var("amt"))
+            .build_aggregate(AggFunc::CountDistinct, &["amt"], CmpOp::Eq, 1i64)
+            .unwrap();
+        let pc = prepare_aggregate(&mut db, &count);
+        let pd = prepare_aggregate(&mut db, &cntd);
+        assert!(evaluate_aggregate(&db, &pc, &db.base_mask()));
+        assert!(evaluate_aggregate(&db, &pd, &db.base_mask()));
+    }
+
+    #[test]
+    fn aggregate_max_min() {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("V", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(cat);
+        let v = db.catalog().resolve("V").unwrap();
+        for x in [3i64, 9, 1] {
+            db.insert_base(v, bcdb_storage::tuple![x]).unwrap();
+        }
+        let mx = QueryBuilder::new(db.catalog())
+            .atom("V", |a| a.var("x"))
+            .build_aggregate(AggFunc::Max, &["x"], CmpOp::Eq, 9i64)
+            .unwrap();
+        let mn = QueryBuilder::new(db.catalog())
+            .atom("V", |a| a.var("x"))
+            .build_aggregate(AggFunc::Min, &["x"], CmpOp::Eq, 1i64)
+            .unwrap();
+        let pmx = prepare_aggregate(&mut db, &mx);
+        let pmn = prepare_aggregate(&mut db, &mn);
+        assert!(evaluate_aggregate(&db, &pmx, &db.base_mask()));
+        assert!(evaluate_aggregate(&db, &pmn, &db.base_mask()));
+    }
+
+    #[test]
+    fn empty_bag_is_false() {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("V", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(cat);
+        let agg = QueryBuilder::new(db.catalog())
+            .atom("V", |a| a.var("x"))
+            .build_aggregate(AggFunc::Count, &[], CmpOp::Lt, 100i64)
+            .unwrap();
+        let pa = prepare_aggregate(&mut db, &agg);
+        // count over empty H would be 0 < 100, but the paper defines the
+        // empty bag as false.
+        assert!(!evaluate_aggregate(&db, &pa, &db.base_mask()));
+        assert_eq!(aggregate_value(&db, &pa, &db.base_mask()), None);
+    }
+
+    #[test]
+    fn duplicate_rows_across_sources_dedupe_in_aggregates() {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("V", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut db = Database::new(cat);
+        let v = db.catalog().resolve("V").unwrap();
+        db.insert_base(v, bcdb_storage::tuple![5i64]).unwrap();
+        db.insert(v, bcdb_storage::tuple![5i64], Source::Pending(TxId(0)))
+            .unwrap();
+        let agg = QueryBuilder::new(db.catalog())
+            .atom("V", |a| a.var("x"))
+            .build_aggregate(AggFunc::Count, &[], CmpOp::Eq, 1i64)
+            .unwrap();
+        let pa = prepare_aggregate(&mut db, &agg);
+        // Both copies active, but H is a set of assignments: count = 1.
+        assert!(evaluate_aggregate(&db, &pa, &db.all_mask()));
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let mut db = setup();
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .atom("Edge", |a| a.var("y").constant("c"))
+            .not_atom("Label", |a| a.var("x"))
+            .cmp_vars("x", CmpOp::Ne, "y")
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        let plan = pq.explain(db.catalog());
+        assert!(
+            plan.contains("step 0: Edge via index probe on (dst)"),
+            "{plan}"
+        );
+        assert!(plan.contains("step 1: Edge via index probe on"), "{plan}");
+        assert!(plan.contains("comparison"), "{plan}");
+        assert!(plan.contains("negated"), "{plan}");
+    }
+
+    #[test]
+    fn planner_prefers_constant_bound_atoms() {
+        let mut db = setup();
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .atom("Edge", |a| a.var("y").constant("c"))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        // The constant-bearing atom (index 1) should be evaluated first.
+        assert_eq!(pq.steps[0].atom, 1);
+        // And the second step probes on its bound variable.
+        assert_eq!(pq.steps[1].atom, 0);
+        assert!(!pq.steps[1].probe_positions.is_empty());
+        assert!(pq.steps[1].index.is_some());
+    }
+}

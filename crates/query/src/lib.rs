@@ -1,0 +1,36 @@
+#![warn(missing_docs)]
+
+//! Denial-constraint language, analysis, and world-masked evaluation.
+//!
+//! This crate implements §5's query classes — conjunctive queries with
+//! negation and comparisons (`Qc`, `Q⁺c`) and aggregate queries
+//! (`Qα,θ` for α ∈ {count, cntd, sum, max, min}) — together with:
+//!
+//! * a text [`parser`] mirroring the paper's notation;
+//! * static [`analysis`]: monotonicity (§6.1), Gaifman-graph connectivity
+//!   and the equality constraints Θq (§6.2), and constant patterns for the
+//!   covers optimization;
+//! * an [`eval`]uation engine that runs a prepared query over any possible
+//!   world selected by a [`bcdb_storage::WorldMask`], reporting per-match
+//!   transaction provenance.
+
+pub mod analysis;
+pub mod ast;
+pub mod error;
+pub mod eval;
+pub mod parser;
+
+pub use analysis::{
+    atom_graph_complete, constant_patterns, derive_query_equalities, is_connected, monotonicity,
+    monotonicity_with, ConstantPattern, EqualityConstraint, Monotonicity, MonotonicityOptions,
+};
+pub use ast::{
+    AggFunc, AggregateQuery, Atom, CmpOp, Comparison, ConjunctiveQuery, DenialConstraint,
+    QueryBuilder, Term, Var,
+};
+pub use error::QueryError;
+pub use eval::{
+    aggregate_value, evaluate_aggregate, evaluate_bool, for_each_match, prepare, prepare_aggregate,
+    EvalOptions, Match, PreparedAggregate, PreparedQuery,
+};
+pub use parser::parse_denial_constraint;

@@ -1,0 +1,212 @@
+//! Property tests: the planned, index-probing evaluator against a naive
+//! nested-loop reference interpreter.
+
+use bcdb_query::{
+    evaluate_bool, for_each_match, parse_denial_constraint, prepare, ConjunctiveQuery,
+    DenialConstraint, EvalOptions, Term,
+};
+use bcdb_storage::{
+    tuple, Catalog, Database, RelationSchema, Source, Tuple, TxId, Value, ValueType, WorldMask,
+};
+use proptest::prelude::*;
+use std::ops::ControlFlow;
+
+fn setup() -> Database {
+    let mut cat = Catalog::new();
+    cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+        .unwrap();
+    cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    Database::new(cat)
+}
+
+/// Reference evaluator: enumerate every assignment of variables to the
+/// active domain, check all atoms and comparisons by scanning.
+fn reference_eval(db: &Database, q: &ConjunctiveQuery, mask: &WorldMask) -> bool {
+    // Active domain: all values in active tuples (plus query constants).
+    let mut domain: Vec<Value> = Vec::new();
+    for (rel, _) in db.catalog().iter() {
+        for (_, row) in db.relation(rel).scan(mask) {
+            for v in row.tuple.values() {
+                if !domain.contains(v) {
+                    domain.push(v.clone());
+                }
+            }
+        }
+    }
+    for atom in q.positive.iter().chain(&q.negated) {
+        for (_, c) in atom.constant_positions() {
+            if !domain.contains(c) {
+                domain.push(c.clone());
+            }
+        }
+    }
+    if q.var_count() == 0 {
+        return check_assignment(db, q, mask, &[]);
+    }
+    if domain.is_empty() {
+        return false; // vars exist but nothing to bind them to
+    }
+    let mut assignment = vec![domain[0].clone(); q.var_count()];
+    search(db, q, mask, &domain, &mut assignment, 0)
+}
+
+fn search(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: &WorldMask,
+    domain: &[Value],
+    assignment: &mut [Value],
+    var: usize,
+) -> bool {
+    if var == assignment.len() {
+        return check_assignment(db, q, mask, assignment);
+    }
+    for v in domain {
+        assignment[var] = v.clone();
+        if search(db, q, mask, domain, assignment, var + 1) {
+            return true;
+        }
+    }
+    false
+}
+
+fn ground(atom: &bcdb_query::Atom, assignment: &[Value]) -> Tuple {
+    atom.terms
+        .iter()
+        .map(|t| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => assignment[v.index()].clone(),
+        })
+        .collect()
+}
+
+fn check_assignment(
+    db: &Database,
+    q: &ConjunctiveQuery,
+    mask: &WorldMask,
+    assignment: &[Value],
+) -> bool {
+    for atom in &q.positive {
+        if !db
+            .relation(atom.relation)
+            .contains(&ground(atom, assignment), mask)
+        {
+            return false;
+        }
+    }
+    for atom in &q.negated {
+        if db
+            .relation(atom.relation)
+            .contains(&ground(atom, assignment), mask)
+        {
+            return false;
+        }
+    }
+    for cmp in &q.comparisons {
+        let get = |t: &Term| match t {
+            Term::Const(c) => c.clone(),
+            Term::Var(v) => assignment[v.index()].clone(),
+        };
+        if !cmp.op.eval(&get(&cmp.lhs), &get(&cmp.rhs)).unwrap_or(false) {
+            return false;
+        }
+    }
+    true
+}
+
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "q() <- R(x, y)",
+        "q() <- R(x, x)",
+        "q() <- R(x, 1)",
+        "q() <- R(1, 0)",
+        "q() <- R(x, y), S(y)",
+        "q() <- R(x, y), S(x), x != y",
+        "q() <- R(x, y), R(y, z), x < z",
+        "q() <- R(x, y), !S(x)",
+        "q() <- S(x), !R(x, x), x >= 1",
+        "q() <- R(x, y), R(y2, x), y = y2",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 160, ..ProptestConfig::default() })]
+
+    #[test]
+    fn planner_matches_reference(
+        base_r in prop::collection::vec((0..3i64, 0..3i64), 0..4),
+        txs in prop::collection::vec(
+            (prop::collection::vec((0..3i64, 0..3i64), 0..2),
+             prop::collection::vec(0..3i64, 0..2)),
+            0..3),
+        query_idx in 0..10usize,
+        mask_bits in 0..8u32,
+    ) {
+        let mut db = setup();
+        let r = db.catalog().resolve("R").unwrap();
+        let s = db.catalog().resolve("S").unwrap();
+        for (a, b) in base_r {
+            db.insert_base(r, tuple![a, b]).unwrap();
+        }
+        for (i, (rt, st)) in txs.iter().enumerate() {
+            let src = Source::Pending(TxId(i as u32));
+            for &(a, b) in rt {
+                db.insert(r, tuple![a, b], src).unwrap();
+            }
+            for &x in st {
+                db.insert(s, tuple![x], src).unwrap();
+            }
+        }
+        let text = query_pool()[query_idx];
+        let DenialConstraint::Conjunctive(q) =
+            parse_denial_constraint(text, db.catalog()).unwrap()
+        else { unreachable!() };
+        let pq = prepare(&mut db, &q);
+        let n = db.tx_count();
+        let mask = WorldMask::from_txs(
+            n,
+            (0..n).filter(|i| mask_bits & (1 << i) != 0).map(|i| TxId(i as u32)),
+        );
+        prop_assert_eq!(
+            evaluate_bool(&db, &pq, &mask),
+            reference_eval(&db, &q, &mask),
+            "query {} mask {:?}", text, mask
+        );
+    }
+
+    /// Every reported match is genuinely satisfying, with correct sources.
+    #[test]
+    fn matches_are_sound(
+        base_r in prop::collection::vec((0..3i64, 0..3i64), 0..4),
+        tx_r in prop::collection::vec((0..3i64, 0..3i64), 0..3),
+        query_idx in 0..10usize,
+    ) {
+        let mut db = setup();
+        let r = db.catalog().resolve("R").unwrap();
+        for (a, b) in base_r {
+            db.insert_base(r, tuple![a, b]).unwrap();
+        }
+        for (a, b) in tx_r {
+            db.insert(r, tuple![a, b], Source::Pending(TxId(0))).unwrap();
+        }
+        let text = query_pool()[query_idx];
+        let DenialConstraint::Conjunctive(q) =
+            parse_denial_constraint(text, db.catalog()).unwrap()
+        else { unreachable!() };
+        let pq = prepare(&mut db, &q);
+        let mask = db.all_mask();
+        let mut checked = 0usize;
+        for_each_match(&db, &pq, &mask, EvalOptions::default(), |m| {
+            assert!(check_assignment(&db, &q, &mask, m.assignment));
+            // The reported row for each atom really holds the ground tuple.
+            for (i, atom) in q.positive.iter().enumerate() {
+                let row = db.relation(atom.relation).row(m.rows[i]);
+                assert_eq!(row.tuple, ground(atom, m.assignment));
+                assert_eq!(row.source, m.sources[i]);
+            }
+            checked += 1;
+            if checked > 500 { ControlFlow::Break(()) } else { ControlFlow::Continue(()) }
+        });
+    }
+}

@@ -1,0 +1,12 @@
+//! Small helpers for rendering schema-resolved names.
+
+use crate::schema::RelationSchema;
+
+/// Joins the attribute names at `positions` with `", "`, e.g. `txId, ser`.
+pub(crate) fn attrs_to_names(schema: &RelationSchema, positions: &[usize]) -> String {
+    positions
+        .iter()
+        .map(|&i| schema.attribute(i).map(|(n, _)| n).unwrap_or("?"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}

@@ -1,0 +1,531 @@
+//! Constraint satisfaction checking (`R |= I`) over masked worlds.
+//!
+//! The core algorithms need two flavours of check:
+//!
+//! 1. **Whole-world satisfaction** — does the world selected by a
+//!    [`WorldMask`] satisfy every FD and IND? Used by `getMaximal` and by
+//!    possible-world recognition (Prop. 1).
+//! 2. **Pairwise FD consistency** — are two pending transactions mutually
+//!    consistent w.r.t. `I_fd` (the edge relation of `GfTd`, §6.1)? Because
+//!    an FD violation is witnessed by exactly two tuples, worlds satisfy
+//!    `I_fd` iff all pairs of active sources are mutually consistent; the
+//!    [`FdFingerprint`] precomputation makes the pairwise check cheap.
+
+use crate::constraints::{ConstraintSet, Fd, Ind};
+use crate::instance::Database;
+use crate::relation::RowId;
+use crate::schema::RelationId;
+use crate::source::{Source, WorldMask};
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
+
+/// Projection of a tuple onto constraint attributes.
+type Projection = SmallVec<[Value; 4]>;
+/// FD scan state: determinant -> (first witness row, its dependent values).
+type FdSeen = FxHashMap<Projection, (RowId, Projection)>;
+
+/// A violation found while checking a world.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// Two active tuples agree on an FD's determinant but differ on a
+    /// dependent attribute.
+    Fd {
+        /// Index of the FD in the [`ConstraintSet`].
+        fd_index: usize,
+        /// Relation the FD constrains.
+        relation: RelationId,
+        /// First witness row.
+        row_a: RowId,
+        /// Second witness row.
+        row_b: RowId,
+    },
+    /// An active tuple's IND projection has no active match in the
+    /// referenced relation.
+    Ind {
+        /// Index of the IND in the [`ConstraintSet`].
+        ind_index: usize,
+        /// Referencing relation.
+        relation: RelationId,
+        /// The dangling row.
+        row: RowId,
+    },
+}
+
+/// Checks whether the world `mask` satisfies `fd`; returns the first
+/// violation found.
+pub fn check_fd(db: &Database, fd: &Fd, fd_index: usize, mask: &WorldMask) -> Option<Violation> {
+    let store = db.relation(fd.relation);
+    let mut seen: FdSeen = FxHashMap::default();
+    for (id, row) in store.scan(mask) {
+        let lhs = row.tuple.project(&fd.lhs);
+        let rhs = row.tuple.project(&fd.rhs);
+        match seen.entry(lhs) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                let (prev_id, prev_rhs) = e.get();
+                if *prev_rhs != rhs {
+                    return Some(Violation::Fd {
+                        fd_index,
+                        relation: fd.relation,
+                        row_a: *prev_id,
+                        row_b: id,
+                    });
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((id, rhs));
+            }
+        }
+    }
+    None
+}
+
+/// Checks whether the world `mask` satisfies `ind`; returns the first
+/// violation found. Builds (or reuses) an index on the referenced side.
+pub fn check_ind(
+    db: &Database,
+    ind: &Ind,
+    ind_index: usize,
+    mask: &WorldMask,
+) -> Option<Violation> {
+    let from = db.relation(ind.from_relation);
+    let to = db.relation(ind.to_relation);
+    let to_index = to.find_index(&ind.to_attrs);
+    for (id, row) in from.scan(mask) {
+        let key = row.tuple.project(&ind.from_attrs);
+        let found = match to_index {
+            Some(idx) => to.index_contains(idx, &key, mask),
+            None => to
+                .scan(mask)
+                .any(|(_, r)| r.tuple.project(&ind.to_attrs) == key),
+        };
+        if !found {
+            return Some(Violation::Ind {
+                ind_index,
+                relation: ind.from_relation,
+                row: id,
+            });
+        }
+    }
+    None
+}
+
+/// Whether the world `mask` satisfies every constraint in `cs`.
+pub fn world_satisfies(db: &Database, cs: &ConstraintSet, mask: &WorldMask) -> bool {
+    first_violation(db, cs, mask).is_none()
+}
+
+/// The first violation of any constraint in `cs` in the world `mask`.
+pub fn first_violation(db: &Database, cs: &ConstraintSet, mask: &WorldMask) -> Option<Violation> {
+    for (i, fd) in cs.fds().iter().enumerate() {
+        if let Some(v) = check_fd(db, fd, i, mask) {
+            return Some(v);
+        }
+    }
+    for (i, ind) in cs.inds().iter().enumerate() {
+        if let Some(v) = check_ind(db, ind, i, mask) {
+            return Some(v);
+        }
+    }
+    None
+}
+
+/// All violations in the world `mask` (one per (constraint, witness) found;
+/// FD checks report each conflicting pair against the first representative).
+pub fn all_violations(db: &Database, cs: &ConstraintSet, mask: &WorldMask) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (i, fd) in cs.fds().iter().enumerate() {
+        // Re-scan collecting every conflicting pair with the representative.
+        let store = db.relation(fd.relation);
+        let mut seen: FdSeen = FxHashMap::default();
+        for (id, row) in store.scan(mask) {
+            let lhs = row.tuple.project(&fd.lhs);
+            let rhs = row.tuple.project(&fd.rhs);
+            match seen.entry(lhs) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    let (prev_id, prev_rhs) = e.get();
+                    if *prev_rhs != rhs {
+                        out.push(Violation::Fd {
+                            fd_index: i,
+                            relation: fd.relation,
+                            row_a: *prev_id,
+                            row_b: id,
+                        });
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert((id, rhs));
+                }
+            }
+        }
+    }
+    for (i, ind) in cs.inds().iter().enumerate() {
+        let from = db.relation(ind.from_relation);
+        let to = db.relation(ind.to_relation);
+        let to_index = to.find_index(&ind.to_attrs);
+        for (id, row) in from.scan(mask) {
+            let key = row.tuple.project(&ind.from_attrs);
+            let found = match to_index {
+                Some(idx) => to.index_contains(idx, &key, mask),
+                None => to
+                    .scan(mask)
+                    .any(|(_, r)| r.tuple.project(&ind.to_attrs) == key),
+            };
+            if !found {
+                out.push(Violation::Ind {
+                    ind_index: i,
+                    relation: ind.from_relation,
+                    row: id,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Builds the referenced-side indexes every IND in `cs` needs, so that
+/// subsequent [`check_ind`] calls use hash lookups instead of scans.
+pub fn build_ind_indexes(db: &mut Database, cs: &ConstraintSet) {
+    for ind in cs.inds() {
+        db.relation_mut(ind.to_relation).ensure_index(&ind.to_attrs);
+    }
+}
+
+/// Per-source FD fingerprints: for one FD, the map from determinant values
+/// to dependent values over the tuples of one source.
+///
+/// Two sources are mutually FD-consistent iff their fingerprint maps agree
+/// on every shared determinant. This is the edge test of `GfTd` without
+/// rescanning tuples.
+#[derive(Clone, Debug, Default)]
+pub struct FdFingerprint {
+    /// determinant projection -> dependent projection. `None` marks a
+    /// determinant that is *internally* inconsistent within the source
+    /// itself (the source alone violates the FD).
+    map: FxHashMap<SmallVec<[Value; 4]>, Option<SmallVec<[Value; 4]>>>,
+}
+
+impl FdFingerprint {
+    /// Collects the fingerprint of `source` for `fd`.
+    pub fn collect(db: &Database, fd: &Fd, source: Source) -> Self {
+        let store = db.relation(fd.relation);
+        let mut map: FxHashMap<SmallVec<[Value; 4]>, Option<SmallVec<[Value; 4]>>> =
+            FxHashMap::default();
+        for (_, row) in store.scan_all() {
+            if row.source != source {
+                continue;
+            }
+            let lhs = row.tuple.project(&fd.lhs);
+            let rhs = row.tuple.project(&fd.rhs);
+            match map.entry(lhs) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if e.get().as_ref() != Some(&rhs) {
+                        e.insert(None);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Some(rhs));
+                }
+            }
+        }
+        FdFingerprint { map }
+    }
+
+    /// Whether the source is internally consistent for the FD.
+    pub fn self_consistent(&self) -> bool {
+        self.map.values().all(|v| v.is_some())
+    }
+
+    /// Whether two fingerprints are mutually consistent: no shared
+    /// determinant maps to different dependents.
+    pub fn consistent_with(&self, other: &FdFingerprint) -> bool {
+        // Iterate the smaller map.
+        let (small, large) = if self.map.len() <= other.map.len() {
+            (&self.map, &other.map)
+        } else {
+            (&other.map, &self.map)
+        };
+        for (lhs, rhs) in small {
+            match large.get(lhs) {
+                None => {}
+                Some(other_rhs) if rhs.is_none() || other_rhs.is_none() || rhs != other_rhs => {
+                    return false;
+                }
+                Some(_) => {}
+            }
+        }
+        true
+    }
+
+    /// Number of distinct determinants in the fingerprint.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the fingerprint covers no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Fingerprints for every FD of a constraint set, for one source.
+#[derive(Clone, Debug, Default)]
+pub struct SourceFingerprints {
+    per_fd: Vec<FdFingerprint>,
+}
+
+impl SourceFingerprints {
+    /// Builds fingerprints directly from a transaction's own tuples —
+    /// O(|transaction|), used by incremental steady-state maintenance
+    /// (no database scan).
+    pub fn from_tuples<'a>(
+        cs: &ConstraintSet,
+        tuples: impl IntoIterator<Item = (RelationId, &'a crate::tuple::Tuple)> + Clone,
+    ) -> Self {
+        let mut per_fd: Vec<FdFingerprint> = vec![FdFingerprint::default(); cs.fds().len()];
+        for (fd_idx, fd) in cs.fds().iter().enumerate() {
+            for (rel, tuple) in tuples.clone() {
+                if rel != fd.relation {
+                    continue;
+                }
+                let lhs = tuple.project(&fd.lhs);
+                let rhs = tuple.project(&fd.rhs);
+                match per_fd[fd_idx].map.entry(lhs) {
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        if e.get().as_ref() != Some(&rhs) {
+                            e.insert(None);
+                        }
+                    }
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(Some(rhs));
+                    }
+                }
+            }
+        }
+        SourceFingerprints { per_fd }
+    }
+
+    /// Collects all FD fingerprints of `source`.
+    pub fn collect(db: &Database, cs: &ConstraintSet, source: Source) -> Self {
+        SourceFingerprints {
+            per_fd: cs
+                .fds()
+                .iter()
+                .map(|fd| FdFingerprint::collect(db, fd, source))
+                .collect(),
+        }
+    }
+
+    /// Whether the source alone satisfies every FD.
+    pub fn self_consistent(&self) -> bool {
+        self.per_fd.iter().all(|f| f.self_consistent())
+    }
+
+    /// Whether two sources are mutually consistent w.r.t. every FD.
+    pub fn consistent_with(&self, other: &SourceFingerprints) -> bool {
+        self.per_fd
+            .iter()
+            .zip(&other.per_fd)
+            .all(|(a, b)| a.consistent_with(b))
+    }
+}
+
+/// Convenience: whether transactions `a` and `b` (together with the base
+/// state) are mutually FD-consistent — the edge relation of `GfTd`.
+pub fn txs_fd_consistent(
+    base: &SourceFingerprints,
+    a: &SourceFingerprints,
+    b: &SourceFingerprints,
+) -> bool {
+    a.consistent_with(b) && base.consistent_with(a) && base.consistent_with(b)
+}
+
+/// Collects fingerprints for the base source and each pending transaction
+/// in a single scan per relation (calling [`SourceFingerprints::collect`]
+/// per transaction would be O(rows × transactions)).
+/// Returns `(base, per_tx)` where `per_tx[t]` is the fingerprint of `TxId(t)`.
+pub fn collect_all_fingerprints(
+    db: &Database,
+    cs: &ConstraintSet,
+) -> (SourceFingerprints, Vec<SourceFingerprints>) {
+    let n = db.tx_count();
+    let mut base = SourceFingerprints {
+        per_fd: vec![FdFingerprint::default(); cs.fds().len()],
+    };
+    let mut per_tx = vec![
+        SourceFingerprints {
+            per_fd: vec![FdFingerprint::default(); cs.fds().len()],
+        };
+        n
+    ];
+    for (fd_idx, fd) in cs.fds().iter().enumerate() {
+        let store = db.relation(fd.relation);
+        for (_, row) in store.scan_all() {
+            let target = match row.source {
+                Source::Base => &mut base.per_fd[fd_idx],
+                Source::Pending(t) => &mut per_tx[t.index()].per_fd[fd_idx],
+            };
+            let lhs = row.tuple.project(&fd.lhs);
+            let rhs = row.tuple.project(&fd.rhs);
+            match target.map.entry(lhs) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    if e.get().as_ref() != Some(&rhs) {
+                        e.insert(None);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(Some(rhs));
+                }
+            }
+        }
+    }
+    (base, per_tx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Catalog, RelationSchema};
+    use crate::source::TxId;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    /// R(a, b) with key a; S(x) with IND S[x] ⊆ R[a].
+    fn setup() -> (Database, ConstraintSet, RelationId, RelationId) {
+        let mut cat = Catalog::new();
+        let r = cat
+            .add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+            .unwrap();
+        let s = cat
+            .add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let db = Database::new(cat);
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(db.catalog(), "R", &["a"]).unwrap());
+        cs.add_ind(Ind::named(db.catalog(), "S", &["x"], "R", &["a"]).unwrap());
+        (db, cs, r, s)
+    }
+
+    #[test]
+    fn fd_violation_detected() {
+        let (mut db, cs, r, _) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        db.insert(r, tuple![1i64, 20i64], Source::Pending(TxId(0)))
+            .unwrap();
+        let base = db.base_mask();
+        assert!(world_satisfies(&db, &cs, &base));
+        let w = db.mask_of([TxId(0)]);
+        let v = first_violation(&db, &cs, &w);
+        assert!(
+            matches!(v, Some(Violation::Fd { fd_index: 0, .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn duplicate_tuple_is_not_fd_violation() {
+        let (mut db, cs, r, _) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        db.insert(r, tuple![1i64, 10i64], Source::Pending(TxId(0)))
+            .unwrap();
+        assert!(world_satisfies(&db, &cs, &db.mask_of([TxId(0)])));
+    }
+
+    #[test]
+    fn ind_violation_detected_and_satisfied() {
+        let (mut db, cs, r, s) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        db.insert(s, tuple![2i64], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(r, tuple![2i64, 30i64], Source::Pending(TxId(1)))
+            .unwrap();
+        // T0 alone dangles; T0+T1 is fine.
+        assert!(matches!(
+            first_violation(&db, &cs, &db.mask_of([TxId(0)])),
+            Some(Violation::Ind { ind_index: 0, .. })
+        ));
+        assert!(world_satisfies(&db, &cs, &db.mask_of([TxId(0), TxId(1)])));
+        // Base world fine (S empty in base).
+        assert!(world_satisfies(&db, &cs, &db.base_mask()));
+    }
+
+    #[test]
+    fn ind_check_uses_index_when_built() {
+        let (mut db, cs, r, s) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        db.insert_base(s, tuple![1i64]).unwrap();
+        build_ind_indexes(&mut db, &cs);
+        assert!(db.relation(r).find_index(&[0]).is_some());
+        assert!(world_satisfies(&db, &cs, &db.base_mask()));
+    }
+
+    #[test]
+    fn all_violations_reports_each() {
+        let (mut db, cs, r, s) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        db.insert(r, tuple![1i64, 20i64], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(s, tuple![9i64], Source::Pending(TxId(0)))
+            .unwrap();
+        let vs = all_violations(&db, &cs, &db.mask_of([TxId(0)]));
+        assert_eq!(vs.len(), 2);
+        assert!(vs.iter().any(|v| matches!(v, Violation::Fd { .. })));
+        assert!(vs.iter().any(|v| matches!(v, Violation::Ind { .. })));
+    }
+
+    #[test]
+    fn fingerprints_pairwise_consistency() {
+        let (mut db, cs, r, _) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        // T0: agrees with base on key 1, new key 2.
+        db.insert(r, tuple![1i64, 10i64], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(r, tuple![2i64, 20i64], Source::Pending(TxId(0)))
+            .unwrap();
+        // T1: conflicts with T0 on key 2.
+        db.insert(r, tuple![2i64, 99i64], Source::Pending(TxId(1)))
+            .unwrap();
+        // T2: conflicts with base on key 1.
+        db.insert(r, tuple![1i64, 77i64], Source::Pending(TxId(2)))
+            .unwrap();
+        let (base, txs) = collect_all_fingerprints(&db, &cs);
+        assert!(base.self_consistent());
+        assert!(txs.iter().all(|t| t.self_consistent()));
+        assert!(base.consistent_with(&txs[0]));
+        assert!(!txs[0].consistent_with(&txs[1]));
+        assert!(!base.consistent_with(&txs[2]));
+        assert!(txs_fd_consistent(&base, &txs[0], &txs[0]));
+        assert!(!txs_fd_consistent(&base, &txs[0], &txs[1]));
+        assert!(!txs_fd_consistent(&base, &txs[0], &txs[2]));
+        // T1 and T2 are mutually fine, but T2 clashes with base.
+        assert!(txs[1].consistent_with(&txs[2]));
+        assert!(!txs_fd_consistent(&base, &txs[1], &txs[2]));
+    }
+
+    #[test]
+    fn internally_inconsistent_transaction() {
+        let (mut db, cs, r, _) = setup();
+        db.insert(r, tuple![5i64, 1i64], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(r, tuple![5i64, 2i64], Source::Pending(TxId(0)))
+            .unwrap();
+        let (_, txs) = collect_all_fingerprints(&db, &cs);
+        assert!(!txs[0].self_consistent());
+        // An internally broken source is inconsistent with everything,
+        // including an empty partner that shares the determinant.
+        let mut other = db.clone();
+        other
+            .insert(r, tuple![5i64, 1i64], Source::Pending(TxId(1)))
+            .unwrap();
+        let (_, txs2) = collect_all_fingerprints(&other, &cs);
+        assert!(!txs2[0].consistent_with(&txs2[1]));
+    }
+
+    #[test]
+    fn fingerprint_len_and_empty() {
+        let (db, cs, _, _) = setup();
+        let fp = FdFingerprint::collect(&db, &cs.fds()[0], Source::Base);
+        assert!(fp.is_empty());
+        assert_eq!(fp.len(), 0);
+    }
+}

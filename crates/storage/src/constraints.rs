@@ -1,0 +1,451 @@
+//! Integrity constraints: keys, functional dependencies, inclusion
+//! dependencies (§4 of the paper).
+
+use crate::catalog_display::attrs_to_names;
+use crate::error::StorageError;
+use crate::schema::{Catalog, RelationId};
+use std::fmt;
+
+/// The three constraint types the paper's complexity results range over
+/// (the set ∆ ⊆ {key, fd, ind} of §5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ConstraintKind {
+    /// Key constraint (an FD whose right side is the full attribute set).
+    Key,
+    /// Functional dependency.
+    Fd,
+    /// Inclusion dependency.
+    Ind,
+}
+
+/// A functional dependency `X → Y` over one relation, with `X`/`Y` given as
+/// attribute positions. Key constraints are FDs with `Y` = all attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fd {
+    /// Relation the dependency constrains.
+    pub relation: RelationId,
+    /// Determinant attribute positions (`X`).
+    pub lhs: Vec<usize>,
+    /// Dependent attribute positions (`Y`).
+    pub rhs: Vec<usize>,
+}
+
+impl Fd {
+    /// Creates an FD, validating attribute indexes against the catalog.
+    pub fn new(
+        catalog: &Catalog,
+        relation: RelationId,
+        lhs: Vec<usize>,
+        rhs: Vec<usize>,
+    ) -> Result<Self, StorageError> {
+        let schema = catalog.schema(relation);
+        for &i in lhs.iter().chain(&rhs) {
+            if i >= schema.arity() {
+                return Err(StorageError::BadAttributeIndex {
+                    relation: schema.name().to_string(),
+                    index: i,
+                    arity: schema.arity(),
+                });
+            }
+        }
+        if lhs.is_empty() {
+            return Err(StorageError::MalformedConstraint {
+                detail: format!("FD on '{}' has empty determinant", schema.name()),
+            });
+        }
+        Ok(Fd { relation, lhs, rhs })
+    }
+
+    /// Creates a key constraint: `key → all attributes`.
+    pub fn key(
+        catalog: &Catalog,
+        relation: RelationId,
+        key: Vec<usize>,
+    ) -> Result<Self, StorageError> {
+        let arity = catalog.schema(relation).arity();
+        Fd::new(catalog, relation, key, (0..arity).collect())
+    }
+
+    /// Convenience: builds an FD from attribute *names*.
+    pub fn named(
+        catalog: &Catalog,
+        relation: &str,
+        lhs: &[&str],
+        rhs: &[&str],
+    ) -> Result<Self, StorageError> {
+        let id = catalog
+            .resolve(relation)
+            .ok_or_else(|| StorageError::UnknownRelation {
+                relation: relation.to_string(),
+            })?;
+        let schema = catalog.schema(id);
+        let resolve = |names: &[&str]| -> Result<Vec<usize>, StorageError> {
+            names
+                .iter()
+                .map(|n| {
+                    schema
+                        .attribute_index(n)
+                        .ok_or_else(|| StorageError::MalformedConstraint {
+                            detail: format!("unknown attribute '{n}' on '{relation}'"),
+                        })
+                })
+                .collect()
+        };
+        Fd::new(catalog, id, resolve(lhs)?, resolve(rhs)?)
+    }
+
+    /// Convenience: builds a key constraint from attribute names.
+    pub fn named_key(
+        catalog: &Catalog,
+        relation: &str,
+        key: &[&str],
+    ) -> Result<Self, StorageError> {
+        let id = catalog
+            .resolve(relation)
+            .ok_or_else(|| StorageError::UnknownRelation {
+                relation: relation.to_string(),
+            })?;
+        let schema = catalog.schema(id);
+        let key_idx = key
+            .iter()
+            .map(|n| {
+                schema
+                    .attribute_index(n)
+                    .ok_or_else(|| StorageError::MalformedConstraint {
+                        detail: format!("unknown attribute '{n}' on '{relation}'"),
+                    })
+            })
+            .collect::<Result<Vec<usize>, _>>()?;
+        Fd::key(catalog, id, key_idx)
+    }
+
+    /// Whether this FD is a key constraint for `catalog` (rhs covers every
+    /// attribute).
+    pub fn is_key(&self, catalog: &Catalog) -> bool {
+        let arity = catalog.schema(self.relation).arity();
+        let mut covered = vec![false; arity];
+        for &i in self.lhs.iter().chain(&self.rhs) {
+            covered[i] = true;
+        }
+        covered.into_iter().all(|c| c)
+    }
+
+    /// [`ConstraintKind::Key`] or [`ConstraintKind::Fd`].
+    pub fn kind(&self, catalog: &Catalog) -> ConstraintKind {
+        if self.is_key(catalog) {
+            ConstraintKind::Key
+        } else {
+            ConstraintKind::Fd
+        }
+    }
+
+    /// Renders the FD with attribute names, e.g. `TxIn: [prevTxId] -> [pk]`.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Fd, &'a Catalog);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let schema = self.1.schema(self.0.relation);
+                write!(
+                    f,
+                    "{}: [{}] -> [{}]",
+                    schema.name(),
+                    attrs_to_names(schema, &self.0.lhs),
+                    attrs_to_names(schema, &self.0.rhs),
+                )
+            }
+        }
+        D(self, catalog)
+    }
+}
+
+/// An inclusion dependency `R[X] ⊆ S[Y]`, positions componentwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Ind {
+    /// Referencing relation (`R`).
+    pub from_relation: RelationId,
+    /// Referencing attribute positions (`X`).
+    pub from_attrs: Vec<usize>,
+    /// Referenced relation (`S`).
+    pub to_relation: RelationId,
+    /// Referenced attribute positions (`Y`).
+    pub to_attrs: Vec<usize>,
+}
+
+impl Ind {
+    /// Creates an IND, validating shape and attribute indexes.
+    pub fn new(
+        catalog: &Catalog,
+        from_relation: RelationId,
+        from_attrs: Vec<usize>,
+        to_relation: RelationId,
+        to_attrs: Vec<usize>,
+    ) -> Result<Self, StorageError> {
+        if from_attrs.len() != to_attrs.len() || from_attrs.is_empty() {
+            return Err(StorageError::MalformedConstraint {
+                detail: format!(
+                    "inclusion dependency sides have lengths {} and {}",
+                    from_attrs.len(),
+                    to_attrs.len()
+                ),
+            });
+        }
+        for (&i, rel) in from_attrs
+            .iter()
+            .map(|i| (i, from_relation))
+            .chain(to_attrs.iter().map(|i| (i, to_relation)))
+        {
+            let schema = catalog.schema(rel);
+            if i >= schema.arity() {
+                return Err(StorageError::BadAttributeIndex {
+                    relation: schema.name().to_string(),
+                    index: i,
+                    arity: schema.arity(),
+                });
+            }
+        }
+        Ok(Ind {
+            from_relation,
+            from_attrs,
+            to_relation,
+            to_attrs,
+        })
+    }
+
+    /// Convenience: builds an IND from relation/attribute names.
+    pub fn named(
+        catalog: &Catalog,
+        from_relation: &str,
+        from_attrs: &[&str],
+        to_relation: &str,
+        to_attrs: &[&str],
+    ) -> Result<Self, StorageError> {
+        let resolve_rel = |name: &str| {
+            catalog
+                .resolve(name)
+                .ok_or_else(|| StorageError::UnknownRelation {
+                    relation: name.to_string(),
+                })
+        };
+        let from = resolve_rel(from_relation)?;
+        let to = resolve_rel(to_relation)?;
+        let resolve_attrs = |rel: RelationId, names: &[&str]| -> Result<Vec<usize>, StorageError> {
+            let schema = catalog.schema(rel);
+            names
+                .iter()
+                .map(|n| {
+                    schema
+                        .attribute_index(n)
+                        .ok_or_else(|| StorageError::MalformedConstraint {
+                            detail: format!("unknown attribute '{n}' on '{}'", schema.name()),
+                        })
+                })
+                .collect()
+        };
+        Ind::new(
+            catalog,
+            from,
+            resolve_attrs(from, from_attrs)?,
+            to,
+            resolve_attrs(to, to_attrs)?,
+        )
+    }
+
+    /// Renders the IND with names, e.g. `TxIn[newTxId] ⊆ TxOut[txId]`.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> impl fmt::Display + 'a {
+        struct D<'a>(&'a Ind, &'a Catalog);
+        impl fmt::Display for D<'_> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                let from = self.1.schema(self.0.from_relation);
+                let to = self.1.schema(self.0.to_relation);
+                write!(
+                    f,
+                    "{}[{}] ⊆ {}[{}]",
+                    from.name(),
+                    attrs_to_names(from, &self.0.from_attrs),
+                    to.name(),
+                    attrs_to_names(to, &self.0.to_attrs),
+                )
+            }
+        }
+        D(self, catalog)
+    }
+}
+
+/// A set of integrity constraints `I = I_fd ∪ I_ind`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    fds: Vec<Fd>,
+    inds: Vec<Ind>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty constraint set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a functional dependency (or key).
+    pub fn add_fd(&mut self, fd: Fd) {
+        self.fds.push(fd);
+    }
+
+    /// Adds an inclusion dependency.
+    pub fn add_ind(&mut self, ind: Ind) {
+        self.inds.push(ind);
+    }
+
+    /// The functional dependencies (`I_fd`), keys included.
+    pub fn fds(&self) -> &[Fd] {
+        &self.fds
+    }
+
+    /// The inclusion dependencies (`I_ind`).
+    pub fn inds(&self) -> &[Ind] {
+        &self.inds
+    }
+
+    /// Whether there are no constraints at all.
+    pub fn is_empty(&self) -> bool {
+        self.fds.is_empty() && self.inds.is_empty()
+    }
+
+    /// The set ∆ of constraint kinds present — drives the complexity
+    /// classification of Theorems 1 and 2.
+    pub fn kinds(&self, catalog: &Catalog) -> Vec<ConstraintKind> {
+        let mut kinds: Vec<ConstraintKind> = self.fds.iter().map(|fd| fd.kind(catalog)).collect();
+        if !self.inds.is_empty() {
+            kinds.push(ConstraintKind::Ind);
+        }
+        kinds.sort_unstable();
+        kinds.dedup();
+        kinds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::value::ValueType;
+
+    fn bitcoin_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add(
+            RelationSchema::new(
+                "TxOut",
+                [
+                    ("txId", ValueType::Text),
+                    ("ser", ValueType::Int),
+                    ("pk", ValueType::Text),
+                    ("amount", ValueType::Int),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.add(
+            RelationSchema::new(
+                "TxIn",
+                [
+                    ("prevTxId", ValueType::Text),
+                    ("prevSer", ValueType::Int),
+                    ("pk", ValueType::Text),
+                    ("amount", ValueType::Int),
+                    ("newTxId", ValueType::Text),
+                    ("sig", ValueType::Text),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn key_is_recognised_as_key() {
+        let c = bitcoin_catalog();
+        let key = Fd::named_key(&c, "TxOut", &["txId", "ser"]).unwrap();
+        assert!(key.is_key(&c));
+        assert_eq!(key.kind(&c), ConstraintKind::Key);
+        let fd = Fd::named(&c, "TxOut", &["txId"], &["pk"]).unwrap();
+        assert!(!fd.is_key(&c));
+        assert_eq!(fd.kind(&c), ConstraintKind::Fd);
+    }
+
+    #[test]
+    fn fd_rejects_bad_attributes() {
+        let c = bitcoin_catalog();
+        let id = c.resolve("TxOut").unwrap();
+        assert!(matches!(
+            Fd::new(&c, id, vec![9], vec![0]),
+            Err(StorageError::BadAttributeIndex { .. })
+        ));
+        assert!(matches!(
+            Fd::new(&c, id, vec![], vec![0]),
+            Err(StorageError::MalformedConstraint { .. })
+        ));
+        assert!(Fd::named(&c, "TxOut", &["nope"], &["pk"]).is_err());
+        assert!(Fd::named(&c, "Nope", &["txId"], &["pk"]).is_err());
+    }
+
+    #[test]
+    fn ind_shape_validation() {
+        let c = bitcoin_catalog();
+        let ind = Ind::named(&c, "TxIn", &["newTxId"], "TxOut", &["txId"]).unwrap();
+        assert_eq!(ind.from_attrs, vec![4]);
+        assert_eq!(ind.to_attrs, vec![0]);
+        assert!(matches!(
+            Ind::named(&c, "TxIn", &["newTxId", "pk"], "TxOut", &["txId"]),
+            Err(StorageError::MalformedConstraint { .. })
+        ));
+        assert!(Ind::named(&c, "TxIn", &[], "TxOut", &[]).is_err());
+    }
+
+    #[test]
+    fn kinds_classification() {
+        let c = bitcoin_catalog();
+        let mut cs = ConstraintSet::new();
+        assert!(cs.kinds(&c).is_empty());
+        cs.add_fd(Fd::named(&c, "TxOut", &["txId"], &["pk"]).unwrap());
+        assert_eq!(cs.kinds(&c), vec![ConstraintKind::Fd]);
+        cs.add_fd(Fd::named_key(&c, "TxOut", &["txId", "ser"]).unwrap());
+        assert_eq!(cs.kinds(&c), vec![ConstraintKind::Key, ConstraintKind::Fd]);
+        cs.add_ind(Ind::named(&c, "TxIn", &["newTxId"], "TxOut", &["txId"]).unwrap());
+        assert_eq!(
+            cs.kinds(&c),
+            vec![ConstraintKind::Key, ConstraintKind::Fd, ConstraintKind::Ind]
+        );
+    }
+
+    #[test]
+    fn display_forms() {
+        let c = bitcoin_catalog();
+        let fd = Fd::named(&c, "TxOut", &["txId"], &["pk"]).unwrap();
+        assert_eq!(fd.display(&c).to_string(), "TxOut: [txId] -> [pk]");
+        let ind = Ind::named(&c, "TxIn", &["newTxId"], "TxOut", &["txId"]).unwrap();
+        assert_eq!(ind.display(&c).to_string(), "TxIn[newTxId] ⊆ TxOut[txId]");
+    }
+
+    #[test]
+    fn paper_example_1_constraints_build() {
+        // The two INDs plus both keys from Example 1.
+        let c = bitcoin_catalog();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&c, "TxOut", &["txId", "ser"]).unwrap());
+        cs.add_fd(Fd::named_key(&c, "TxIn", &["prevTxId", "prevSer"]).unwrap());
+        cs.add_ind(
+            Ind::named(
+                &c,
+                "TxIn",
+                &["prevTxId", "prevSer", "pk", "amount"],
+                "TxOut",
+                &["txId", "ser", "pk", "amount"],
+            )
+            .unwrap(),
+        );
+        cs.add_ind(Ind::named(&c, "TxIn", &["newTxId"], "TxOut", &["txId"]).unwrap());
+        assert_eq!(cs.fds().len(), 2);
+        assert_eq!(cs.inds().len(), 2);
+        assert_eq!(cs.kinds(&c), vec![ConstraintKind::Key, ConstraintKind::Ind]);
+    }
+}

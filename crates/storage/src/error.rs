@@ -1,0 +1,139 @@
+//! Error types for the relational substrate.
+
+use crate::value::ValueType;
+use std::fmt;
+
+/// Errors raised by schema construction, typechecking, and store operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StorageError {
+    /// A relation name was declared twice in a catalog.
+    DuplicateRelation {
+        /// The offending relation name.
+        relation: String,
+    },
+    /// An attribute name appeared twice in one schema.
+    DuplicateAttribute {
+        /// Relation being declared.
+        relation: String,
+        /// The offending attribute name.
+        attribute: String,
+    },
+    /// A tuple had the wrong number of values for its relation.
+    ArityMismatch {
+        /// Target relation.
+        relation: String,
+        /// Schema arity.
+        expected: usize,
+        /// Tuple arity.
+        got: usize,
+    },
+    /// A tuple value had the wrong type for its attribute.
+    TypeMismatch {
+        /// Target relation.
+        relation: String,
+        /// Attribute at fault.
+        attribute: String,
+        /// Declared type.
+        expected: ValueType,
+        /// Provided type.
+        got: ValueType,
+    },
+    /// A relation name could not be resolved in the catalog.
+    UnknownRelation {
+        /// The unresolved name.
+        relation: String,
+    },
+    /// A constraint referenced an attribute index out of range.
+    BadAttributeIndex {
+        /// Relation the constraint targets.
+        relation: String,
+        /// Offending index.
+        index: usize,
+        /// Relation arity.
+        arity: usize,
+    },
+    /// An inclusion dependency's attribute lists have different lengths, or
+    /// an FD's sides are empty where not allowed.
+    MalformedConstraint {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateRelation { relation } => {
+                write!(f, "relation '{relation}' already declared")
+            }
+            StorageError::DuplicateAttribute {
+                relation,
+                attribute,
+            } => {
+                write!(
+                    f,
+                    "attribute '{attribute}' declared twice in relation '{relation}'"
+                )
+            }
+            StorageError::ArityMismatch {
+                relation,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "relation '{relation}' expects arity {expected}, tuple has {got}"
+                )
+            }
+            StorageError::TypeMismatch {
+                relation,
+                attribute,
+                expected,
+                got,
+            } => write!(
+                f,
+                "attribute '{relation}.{attribute}' has type {expected}, value has type {got}"
+            ),
+            StorageError::UnknownRelation { relation } => {
+                write!(f, "unknown relation '{relation}'")
+            }
+            StorageError::BadAttributeIndex {
+                relation,
+                index,
+                arity,
+            } => write!(
+                f,
+                "attribute index {index} out of range for relation '{relation}' (arity {arity})"
+            ),
+            StorageError::MalformedConstraint { detail } => {
+                write!(f, "malformed constraint: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = StorageError::ArityMismatch {
+            relation: "TxIn".into(),
+            expected: 6,
+            got: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("TxIn") && msg.contains('6') && msg.contains('5'));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn takes_error(_: &dyn std::error::Error) {}
+        takes_error(&StorageError::UnknownRelation {
+            relation: "R".into(),
+        });
+    }
+}

@@ -1,0 +1,177 @@
+//! A database instance: a catalog plus one [`RelationStore`] per relation.
+
+use crate::error::StorageError;
+use crate::relation::{RelationStore, RowId};
+use crate::schema::{Catalog, RelationId};
+use crate::source::{Source, TxId, WorldMask};
+use crate::tuple::Tuple;
+
+/// A typed, multi-source database instance.
+///
+/// Tuples are inserted with a [`Source`] tag — `Base` for the accepted state
+/// `R`, `Pending(t)` for tuples of pending transaction `t` — and all reads
+/// are filtered through a [`WorldMask`]. The instance also tracks how many
+/// distinct pending transactions it has seen so masks can be sized.
+#[derive(Clone, Debug)]
+pub struct Database {
+    catalog: Catalog,
+    stores: Vec<RelationStore>,
+    tx_count: u32,
+}
+
+impl Database {
+    /// Creates an empty instance over `catalog`.
+    pub fn new(catalog: Catalog) -> Self {
+        let stores = (0..catalog.relation_count())
+            .map(|_| RelationStore::new())
+            .collect();
+        Database {
+            catalog,
+            stores,
+            tx_count: 0,
+        }
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The store of relation `rel`.
+    pub fn relation(&self, rel: RelationId) -> &RelationStore {
+        &self.stores[rel.index()]
+    }
+
+    /// Mutable access to the store of relation `rel` (e.g. to build indexes).
+    pub fn relation_mut(&mut self, rel: RelationId) -> &mut RelationStore {
+        &mut self.stores[rel.index()]
+    }
+
+    /// Number of distinct pending transactions inserted so far. Masks must
+    /// be created with at least this capacity.
+    pub fn tx_count(&self) -> usize {
+        self.tx_count as usize
+    }
+
+    /// Typechecks and inserts `tuple` into `rel` from `source`.
+    /// Returns the new row id, or `None` if the (tuple, source) pair was
+    /// already present.
+    pub fn insert(
+        &mut self,
+        rel: RelationId,
+        tuple: Tuple,
+        source: Source,
+    ) -> Result<Option<RowId>, StorageError> {
+        self.catalog.schema(rel).typecheck(&tuple)?;
+        if let Source::Pending(TxId(t)) = source {
+            self.tx_count = self.tx_count.max(t + 1);
+        }
+        Ok(self.stores[rel.index()].insert(tuple, source))
+    }
+
+    /// Inserts into the base state (`R`).
+    pub fn insert_base(
+        &mut self,
+        rel: RelationId,
+        tuple: Tuple,
+    ) -> Result<Option<RowId>, StorageError> {
+        self.insert(rel, tuple, Source::Base)
+    }
+
+    /// A mask for the world `R` (no pending transactions).
+    pub fn base_mask(&self) -> WorldMask {
+        WorldMask::base_only(self.tx_count())
+    }
+
+    /// A mask for `R ∪ ⋃T` (all pending transactions — usually not itself a
+    /// possible world, but the superset used by the monotone pre-check).
+    pub fn all_mask(&self) -> WorldMask {
+        WorldMask::all(self.tx_count())
+    }
+
+    /// A mask with exactly `txs` active.
+    pub fn mask_of(&self, txs: impl IntoIterator<Item = TxId>) -> WorldMask {
+        WorldMask::from_txs(self.tx_count(), txs)
+    }
+
+    /// Total rows across all relations (all sources).
+    pub fn total_rows(&self) -> usize {
+        self.stores.iter().map(|s| s.row_count()).sum()
+    }
+
+    /// Rows contributed by pending transaction `tx`, as `(relation, tuple)`.
+    pub fn rows_of_tx(&self, tx: TxId) -> Vec<(RelationId, Tuple)> {
+        let mut out = Vec::new();
+        for (rel, _) in self.catalog.iter() {
+            for (_, row) in self.stores[rel.index()].scan_all() {
+                if row.source == Source::Pending(tx) {
+                    out.push((rel, row.tuple.clone()));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::RelationSchema;
+    use crate::tuple;
+    use crate::value::ValueType;
+
+    fn db() -> (Database, RelationId) {
+        let mut cat = Catalog::new();
+        let r = cat
+            .add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Text)]).unwrap())
+            .unwrap();
+        (Database::new(cat), r)
+    }
+
+    #[test]
+    fn typed_insert_ok_and_err() {
+        let (mut db, r) = db();
+        assert!(db.insert_base(r, tuple![1i64, "x"]).unwrap().is_some());
+        assert!(db.insert_base(r, tuple![1i64, "x"]).unwrap().is_none());
+        assert!(db.insert_base(r, tuple!["bad", "x"]).is_err());
+        assert_eq!(db.total_rows(), 1);
+    }
+
+    #[test]
+    fn tx_count_tracks_max_tx_id() {
+        let (mut db, r) = db();
+        assert_eq!(db.tx_count(), 0);
+        db.insert(r, tuple![1i64, "x"], Source::Pending(TxId(4)))
+            .unwrap();
+        assert_eq!(db.tx_count(), 5);
+        db.insert(r, tuple![2i64, "y"], Source::Pending(TxId(1)))
+            .unwrap();
+        assert_eq!(db.tx_count(), 5);
+        assert_eq!(db.base_mask().capacity(), 5);
+        assert_eq!(db.all_mask().tx_count(), 5);
+    }
+
+    #[test]
+    fn rows_of_tx_collects_only_that_tx() {
+        let (mut db, r) = db();
+        db.insert(r, tuple![1i64, "x"], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(r, tuple![2i64, "y"], Source::Pending(TxId(1)))
+            .unwrap();
+        db.insert_base(r, tuple![3i64, "z"]).unwrap();
+        let rows = db.rows_of_tx(TxId(1));
+        assert_eq!(rows, vec![(r, tuple![2i64, "y"])]);
+    }
+
+    #[test]
+    fn mask_of_builds_world() {
+        let (mut db, r) = db();
+        db.insert(r, tuple![1i64, "x"], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(r, tuple![2i64, "y"], Source::Pending(TxId(1)))
+            .unwrap();
+        let m = db.mask_of([TxId(1)]);
+        assert!(db.relation(r).contains(&tuple![2i64, "y"], &m));
+        assert!(!db.relation(r).contains(&tuple![1i64, "x"], &m));
+    }
+}

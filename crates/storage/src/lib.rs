@@ -1,0 +1,42 @@
+#![warn(missing_docs)]
+
+//! Relational substrate for blockchain databases.
+//!
+//! This crate provides the storage layer beneath the possible-worlds
+//! reasoning of *Reasoning about the Future in Blockchain Databases*:
+//!
+//! * typed [`Value`]s, [`Tuple`]s, [`RelationSchema`]s and a [`Catalog`];
+//! * a mask-aware [`RelationStore`] where every tuple is tagged with its
+//!   [`Source`] — the accepted state `R` or a pending transaction — and all
+//!   reads are filtered by a [`WorldMask`], so possible worlds are never
+//!   materialised (the in-memory analogue of the paper's Postgres
+//!   `current`-column trick, §6.3);
+//! * integrity constraints — keys, functional dependencies, inclusion
+//!   dependencies (§4) — with whole-world checking and the pairwise
+//!   FD-fingerprint machinery behind the `GfTd` transaction graph (§6.1).
+
+pub mod checker;
+pub mod constraints;
+pub mod error;
+pub mod instance;
+pub mod relation;
+pub mod schema;
+pub mod source;
+pub mod tuple;
+pub mod value;
+
+mod catalog_display;
+
+pub use checker::{
+    all_violations, build_ind_indexes, check_fd, check_ind, collect_all_fingerprints,
+    first_violation, txs_fd_consistent, world_satisfies, FdFingerprint, SourceFingerprints,
+    Violation,
+};
+pub use constraints::{ConstraintKind, ConstraintSet, Fd, Ind};
+pub use error::StorageError;
+pub use instance::Database;
+pub use relation::{RelationStore, Row, RowId};
+pub use schema::{Catalog, RelationId, RelationSchema};
+pub use source::{Source, TxId, WorldMask};
+pub use tuple::Tuple;
+pub use value::{Value, ValueType};

@@ -1,0 +1,317 @@
+//! The mask-aware relation store.
+//!
+//! One [`RelationStore`] holds every tuple of a relation across *all*
+//! sources — the accepted state and every pending transaction. Point
+//! membership, scans, and index lookups are filtered through a
+//! [`WorldMask`], so a possible world is never materialised.
+
+use crate::source::{Source, WorldMask};
+use crate::tuple::Tuple;
+use crate::value::Value;
+use rustc_hash::FxHashMap;
+use smallvec::SmallVec;
+
+/// Identifier of a stored row within one relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A stored row: a tuple plus its provenance.
+#[derive(Clone, Debug)]
+pub struct Row {
+    /// The tuple content.
+    pub tuple: Tuple,
+    /// Where it came from.
+    pub source: Source,
+}
+
+/// A secondary hash index over a projection of the relation.
+#[derive(Clone, Debug, Default)]
+struct SecondaryIndex {
+    attrs: Vec<usize>,
+    map: FxHashMap<SmallVec<[Value; 4]>, SmallVec<[u32; 4]>>,
+}
+
+impl SecondaryIndex {
+    fn insert(&mut self, row_id: u32, tuple: &Tuple) {
+        self.map
+            .entry(tuple.project(&self.attrs))
+            .or_default()
+            .push(row_id);
+    }
+}
+
+/// All stored tuples of one relation, with source tags, a content index for
+/// O(1) membership, and optional secondary indexes.
+///
+/// Set semantics are per source: inserting the same tuple twice *from the
+/// same source* is a no-op, but the same tuple may be stored once for `R`
+/// and once per pending transaction that also contains it (the paper's model
+/// is a set union, so membership under a mask asks "is some copy active?").
+#[derive(Clone, Debug, Default)]
+pub struct RelationStore {
+    rows: Vec<Row>,
+    /// tuple content -> ids of all rows with that content.
+    by_tuple: FxHashMap<Tuple, SmallVec<[u32; 2]>>,
+    indexes: Vec<SecondaryIndex>,
+}
+
+impl RelationStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a tuple from `source`. Returns the row id, or `None` if that
+    /// exact tuple from that exact source was already present.
+    ///
+    /// The caller ([`Database::insert`](crate::instance::Database::insert))
+    /// is responsible for typechecking against the schema.
+    pub fn insert(&mut self, tuple: Tuple, source: Source) -> Option<RowId> {
+        let ids = self.by_tuple.entry(tuple.clone()).or_default();
+        if ids
+            .iter()
+            .any(|&id| self.rows[id as usize].source == source)
+        {
+            return None;
+        }
+        let id = self.rows.len() as u32;
+        ids.push(id);
+        for idx in &mut self.indexes {
+            idx.insert(id, &tuple);
+        }
+        self.rows.push(Row { tuple, source });
+        Some(RowId(id))
+    }
+
+    /// Total stored rows (across all sources).
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The row with id `id`.
+    pub fn row(&self, id: RowId) -> &Row {
+        &self.rows[id.index()]
+    }
+
+    /// Whether `tuple` is in the relation in the world `mask`.
+    pub fn contains(&self, tuple: &Tuple, mask: &WorldMask) -> bool {
+        self.by_tuple.get(tuple).is_some_and(|ids| {
+            ids.iter()
+                .any(|&id| mask.is_active(self.rows[id as usize].source))
+        })
+    }
+
+    /// All sources that contribute `tuple` (regardless of mask).
+    pub fn sources_of(&self, tuple: &Tuple) -> impl Iterator<Item = Source> + '_ {
+        self.by_tuple
+            .get(tuple)
+            .into_iter()
+            .flatten()
+            .map(|&id| self.rows[id as usize].source)
+    }
+
+    /// Iterates the rows active in `mask`.
+    pub fn scan<'a>(&'a self, mask: &'a WorldMask) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        self.rows
+            .iter()
+            .enumerate()
+            .filter(move |(_, r)| mask.is_active(r.source))
+            .map(|(i, r)| (RowId(i as u32), r))
+    }
+
+    /// Iterates every stored row with its id, regardless of mask.
+    pub fn scan_all(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RowId(i as u32), r))
+    }
+
+    /// Ensures a secondary index on the projection `attrs` exists; returns
+    /// its handle. Building is idempotent per attribute list.
+    pub fn ensure_index(&mut self, attrs: &[usize]) -> usize {
+        if let Some(pos) = self.indexes.iter().position(|i| i.attrs == attrs) {
+            return pos;
+        }
+        let mut idx = SecondaryIndex {
+            attrs: attrs.to_vec(),
+            map: FxHashMap::default(),
+        };
+        for (i, row) in self.rows.iter().enumerate() {
+            idx.insert(i as u32, &row.tuple);
+        }
+        self.indexes.push(idx);
+        self.indexes.len() - 1
+    }
+
+    /// The handle of an existing index on `attrs`, if built.
+    pub fn find_index(&self, attrs: &[usize]) -> Option<usize> {
+        self.indexes.iter().position(|i| i.attrs == attrs)
+    }
+
+    /// Rows whose projection onto the index's attributes equals `key`,
+    /// filtered by `mask`.
+    pub fn lookup<'a>(
+        &'a self,
+        index: usize,
+        key: &SmallVec<[Value; 4]>,
+        mask: &'a WorldMask,
+    ) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        self.indexes[index]
+            .map
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(move |&id| (RowId(id), &self.rows[id as usize]))
+            .filter(move |(_, r)| mask.is_active(r.source))
+    }
+
+    /// Like [`lookup`](Self::lookup) but ignoring the mask (all sources).
+    pub fn lookup_all<'a>(
+        &'a self,
+        index: usize,
+        key: &SmallVec<[Value; 4]>,
+    ) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        self.indexes[index]
+            .map
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(move |&id| (RowId(id), &self.rows[id as usize]))
+    }
+
+    /// Whether any row active in `mask` matches `key` on the index.
+    pub fn index_contains(
+        &self,
+        index: usize,
+        key: &SmallVec<[Value; 4]>,
+        mask: &WorldMask,
+    ) -> bool {
+        self.lookup(index, key, mask).next().is_some()
+    }
+
+    /// Number of rows from the base source.
+    pub fn base_row_count(&self) -> usize {
+        self.rows
+            .iter()
+            .filter(|r| r.source == Source::Base)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::TxId;
+    use crate::tuple;
+
+    fn mask_with(txs: &[u32]) -> WorldMask {
+        WorldMask::from_txs(8, txs.iter().map(|&t| TxId(t)))
+    }
+
+    #[test]
+    fn insert_dedupes_per_source() {
+        let mut s = RelationStore::new();
+        assert!(s.insert(tuple![1i64, "a"], Source::Base).is_some());
+        assert!(s.insert(tuple![1i64, "a"], Source::Base).is_none());
+        assert!(s
+            .insert(tuple![1i64, "a"], Source::Pending(TxId(0)))
+            .is_some());
+        assert_eq!(s.row_count(), 2);
+    }
+
+    #[test]
+    fn contains_respects_mask() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![2i64], Source::Pending(TxId(0)));
+        s.insert(tuple![3i64], Source::Pending(TxId(1)));
+
+        let base = WorldMask::base_only(8);
+        assert!(s.contains(&tuple![1i64], &base));
+        assert!(!s.contains(&tuple![2i64], &base));
+
+        let w = mask_with(&[0]);
+        assert!(s.contains(&tuple![2i64], &w));
+        assert!(!s.contains(&tuple![3i64], &w));
+        assert!(!s.contains(&tuple![4i64], &WorldMask::all(8)));
+    }
+
+    #[test]
+    fn duplicate_content_across_sources_is_membership_union() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![7i64], Source::Pending(TxId(0)));
+        s.insert(tuple![7i64], Source::Pending(TxId(1)));
+        assert!(!s.contains(&tuple![7i64], &WorldMask::base_only(8)));
+        assert!(s.contains(&tuple![7i64], &mask_with(&[0])));
+        assert!(s.contains(&tuple![7i64], &mask_with(&[1])));
+        let sources: Vec<Source> = s.sources_of(&tuple![7i64]).collect();
+        assert_eq!(sources.len(), 2);
+    }
+
+    #[test]
+    fn scan_filters_by_mask() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![2i64], Source::Pending(TxId(3)));
+        s.insert(tuple![3i64], Source::Pending(TxId(5)));
+        let w = mask_with(&[5]);
+        let seen: Vec<i64> = s
+            .scan(&w)
+            .map(|(_, r)| r.tuple[0].as_int().unwrap())
+            .collect();
+        assert_eq!(seen, vec![1, 3]);
+        assert_eq!(s.scan_all().count(), 3);
+    }
+
+    #[test]
+    fn index_lookup() {
+        let mut s = RelationStore::new();
+        s.insert(tuple!["a", 1i64], Source::Base);
+        s.insert(tuple!["a", 2i64], Source::Pending(TxId(0)));
+        s.insert(tuple!["b", 3i64], Source::Base);
+        let idx = s.ensure_index(&[0]);
+        // Index built after the fact covers existing rows.
+        let key: SmallVec<[Value; 4]> = [Value::text("a")].into_iter().collect();
+        let base = WorldMask::base_only(8);
+        assert_eq!(s.lookup(idx, &key, &base).count(), 1);
+        assert_eq!(s.lookup(idx, &key, &mask_with(&[0])).count(), 2);
+        assert_eq!(s.lookup_all(idx, &key).count(), 2);
+        // Inserts after building keep the index fresh.
+        s.insert(tuple!["a", 9i64], Source::Base);
+        assert_eq!(s.lookup(idx, &key, &base).count(), 2);
+        assert!(s.index_contains(idx, &key, &base));
+        let missing: SmallVec<[Value; 4]> = [Value::text("zzz")].into_iter().collect();
+        assert!(!s.index_contains(idx, &missing, &base));
+    }
+
+    #[test]
+    fn ensure_index_is_idempotent() {
+        let mut s = RelationStore::new();
+        s.insert(tuple!["a", 1i64], Source::Base);
+        let i1 = s.ensure_index(&[0]);
+        let i2 = s.ensure_index(&[0]);
+        assert_eq!(i1, i2);
+        assert_eq!(s.find_index(&[0]), Some(i1));
+        assert_eq!(s.find_index(&[1]), None);
+        let i3 = s.ensure_index(&[0, 1]);
+        assert_ne!(i1, i3);
+    }
+
+    #[test]
+    fn base_row_count() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![2i64], Source::Base);
+        s.insert(tuple![3i64], Source::Pending(TxId(0)));
+        assert_eq!(s.base_row_count(), 2);
+    }
+}

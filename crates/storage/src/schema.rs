@@ -1,0 +1,239 @@
+//! Relation schemas and the catalog.
+
+use crate::error::StorageError;
+use crate::tuple::Tuple;
+use crate::value::ValueType;
+use rustc_hash::FxHashMap;
+use std::fmt;
+
+/// Identifier of a relation within a [`Catalog`] (dense, assigned in
+/// declaration order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RelationId(pub u32);
+
+impl RelationId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for RelationId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rel#{}", self.0)
+    }
+}
+
+/// The schema of a single relation: a name and typed, named attributes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationSchema {
+    name: String,
+    attributes: Vec<(String, ValueType)>,
+}
+
+impl RelationSchema {
+    /// Creates a schema. Attribute names must be distinct.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: impl IntoIterator<Item = (impl Into<String>, ValueType)>,
+    ) -> Result<Self, StorageError> {
+        let name = name.into();
+        let attributes: Vec<(String, ValueType)> =
+            attributes.into_iter().map(|(n, t)| (n.into(), t)).collect();
+        let mut seen = std::collections::HashSet::new();
+        for (a, _) in &attributes {
+            if !seen.insert(a.clone()) {
+                return Err(StorageError::DuplicateAttribute {
+                    relation: name,
+                    attribute: a.clone(),
+                });
+            }
+        }
+        Ok(RelationSchema { name, attributes })
+    }
+
+    /// Relation name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute name and type at position `i`.
+    pub fn attribute(&self, i: usize) -> Option<(&str, ValueType)> {
+        self.attributes.get(i).map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// All attributes.
+    pub fn attributes(&self) -> impl Iterator<Item = (&str, ValueType)> {
+        self.attributes.iter().map(|(n, t)| (n.as_str(), *t))
+    }
+
+    /// Position of the attribute named `name`.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|(n, _)| n == name)
+    }
+
+    /// Checks that `t` has the right arity and value types for this schema.
+    pub fn typecheck(&self, t: &Tuple) -> Result<(), StorageError> {
+        if t.arity() != self.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity(),
+                got: t.arity(),
+            });
+        }
+        for (i, (attr, ty)) in self.attributes.iter().enumerate() {
+            let vt = t[i].value_type();
+            if vt != *ty {
+                return Err(StorageError::TypeMismatch {
+                    relation: self.name.clone(),
+                    attribute: attr.clone(),
+                    expected: *ty,
+                    got: vt,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The set of relation schemas in a database.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    schemas: Vec<RelationSchema>,
+    by_name: FxHashMap<String, RelationId>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a relation schema, returning its id. Names must be unique.
+    pub fn add(&mut self, schema: RelationSchema) -> Result<RelationId, StorageError> {
+        if self.by_name.contains_key(schema.name()) {
+            return Err(StorageError::DuplicateRelation {
+                relation: schema.name().to_string(),
+            });
+        }
+        let id = RelationId(self.schemas.len() as u32);
+        self.by_name.insert(schema.name().to_string(), id);
+        self.schemas.push(schema);
+        Ok(id)
+    }
+
+    /// Looks up a relation by name.
+    pub fn resolve(&self, name: &str) -> Option<RelationId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The schema of `id`. Panics if the id is foreign to this catalog.
+    pub fn schema(&self, id: RelationId) -> &RelationSchema {
+        &self.schemas[id.index()]
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Iterates `(id, schema)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (RelationId, &RelationSchema)> {
+        self.schemas
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (RelationId(i as u32), s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    fn txout_schema() -> RelationSchema {
+        RelationSchema::new(
+            "TxOut",
+            [
+                ("txId", ValueType::Text),
+                ("ser", ValueType::Int),
+                ("pk", ValueType::Text),
+                ("amount", ValueType::Int),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn schema_lookup() {
+        let s = txout_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attribute_index("pk"), Some(2));
+        assert_eq!(s.attribute_index("nope"), None);
+        assert_eq!(s.attribute(1), Some(("ser", ValueType::Int)));
+        assert_eq!(s.attribute(9), None);
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let err = RelationSchema::new("R", [("a", ValueType::Int), ("a", ValueType::Text)]);
+        assert!(matches!(err, Err(StorageError::DuplicateAttribute { .. })));
+    }
+
+    #[test]
+    fn typecheck_accepts_and_rejects() {
+        let s = txout_schema();
+        assert!(s.typecheck(&tuple!["t1", 1i64, "pk", 100i64]).is_ok());
+        assert!(matches!(
+            s.typecheck(&tuple!["t1", 1i64, "pk"]),
+            Err(StorageError::ArityMismatch {
+                expected: 4,
+                got: 3,
+                ..
+            })
+        ));
+        assert!(matches!(
+            s.typecheck(&tuple!["t1", "oops", "pk", 100i64]),
+            Err(StorageError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn catalog_add_resolve() {
+        let mut c = Catalog::new();
+        let id = c.add(txout_schema()).unwrap();
+        assert_eq!(c.resolve("TxOut"), Some(id));
+        assert_eq!(c.resolve("TxIn"), None);
+        assert_eq!(c.schema(id).name(), "TxOut");
+        assert_eq!(c.relation_count(), 1);
+    }
+
+    #[test]
+    fn catalog_rejects_duplicate_names() {
+        let mut c = Catalog::new();
+        c.add(txout_schema()).unwrap();
+        assert!(matches!(
+            c.add(txout_schema()),
+            Err(StorageError::DuplicateRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn catalog_iteration_order() {
+        let mut c = Catalog::new();
+        let a = c
+            .add(RelationSchema::new("A", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let b = c
+            .add(RelationSchema::new("B", [("y", ValueType::Int)]).unwrap())
+            .unwrap();
+        let ids: Vec<RelationId> = c.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![a, b]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Tuple provenance and world masks.
+//!
+//! A blockchain database holds tuples from the accepted state `R` *and* from
+//! every pending transaction in `T`. Rather than materialising each possible
+//! world `R ∪ ⋃T'` (the paper implements this as updating a Boolean
+//! `current` column in Postgres, which it reports as a dominant cost), every
+//! stored tuple carries its [`Source`], and readers pass a [`WorldMask`]
+//! selecting which pending transactions are "in" the world being examined.
+
+use bcdb_graph::BitSet;
+use std::fmt;
+
+/// Identifier of a pending transaction (dense index into `T`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxId(pub u32);
+
+impl TxId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for TxId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Where a stored tuple comes from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Source {
+    /// The accepted current state `R` (already on chain).
+    Base,
+    /// A pending (issued but unaccepted) transaction.
+    Pending(TxId),
+}
+
+impl Source {
+    /// The pending transaction id, if any.
+    #[inline]
+    pub fn tx(self) -> Option<TxId> {
+        match self {
+            Source::Base => None,
+            Source::Pending(t) => Some(t),
+        }
+    }
+}
+
+/// A possible world, described intensionally: the set of pending
+/// transactions considered appended. Base tuples are always active.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct WorldMask {
+    active: BitSet,
+}
+
+impl WorldMask {
+    /// The world `R` itself: no pending transaction active. `tx_capacity`
+    /// is the total number of pending transactions.
+    pub fn base_only(tx_capacity: usize) -> Self {
+        WorldMask {
+            active: BitSet::new(tx_capacity),
+        }
+    }
+
+    /// The (usually hypothetical) world `R ∪ ⋃T`: every pending transaction
+    /// active. Used by the monotone pre-check of §6.3.
+    pub fn all(tx_capacity: usize) -> Self {
+        WorldMask {
+            active: BitSet::full(tx_capacity),
+        }
+    }
+
+    /// A world with exactly the given pending transactions active.
+    pub fn from_txs(tx_capacity: usize, txs: impl IntoIterator<Item = TxId>) -> Self {
+        WorldMask {
+            active: BitSet::from_iter(tx_capacity, txs.into_iter().map(TxId::index)),
+        }
+    }
+
+    /// Activates a pending transaction.
+    #[inline]
+    pub fn activate(&mut self, tx: TxId) {
+        self.active.insert(tx.index());
+    }
+
+    /// Deactivates a pending transaction.
+    #[inline]
+    pub fn deactivate(&mut self, tx: TxId) {
+        self.active.remove(tx.index());
+    }
+
+    /// Whether a tuple from `source` is part of this world.
+    #[inline]
+    pub fn is_active(&self, source: Source) -> bool {
+        match source {
+            Source::Base => true,
+            Source::Pending(t) => self.active.contains(t.index()),
+        }
+    }
+
+    /// Whether the pending transaction `tx` is active.
+    #[inline]
+    pub fn contains_tx(&self, tx: TxId) -> bool {
+        self.active.contains(tx.index())
+    }
+
+    /// The active pending transactions, ascending.
+    pub fn txs(&self) -> impl Iterator<Item = TxId> + '_ {
+        self.active.iter().map(|i| TxId(i as u32))
+    }
+
+    /// Number of active pending transactions.
+    pub fn tx_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Total pending-transaction capacity the mask was built for.
+    pub fn capacity(&self) -> usize {
+        self.active.capacity()
+    }
+}
+
+impl fmt::Debug for WorldMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R")?;
+        for t in self.txs() {
+            write!(f, " ∪ {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_rows_always_active() {
+        let m = WorldMask::base_only(4);
+        assert!(m.is_active(Source::Base));
+        assert!(!m.is_active(Source::Pending(TxId(0))));
+        assert_eq!(m.tx_count(), 0);
+    }
+
+    #[test]
+    fn all_mask_activates_everything() {
+        let m = WorldMask::all(3);
+        for i in 0..3 {
+            assert!(m.is_active(Source::Pending(TxId(i))));
+        }
+        assert_eq!(m.tx_count(), 3);
+    }
+
+    #[test]
+    fn activate_deactivate() {
+        let mut m = WorldMask::base_only(5);
+        m.activate(TxId(2));
+        m.activate(TxId(4));
+        assert!(m.contains_tx(TxId(2)));
+        assert_eq!(m.txs().collect::<Vec<_>>(), vec![TxId(2), TxId(4)]);
+        m.deactivate(TxId(2));
+        assert!(!m.contains_tx(TxId(2)));
+        assert_eq!(m.tx_count(), 1);
+    }
+
+    #[test]
+    fn from_txs_constructor() {
+        let m = WorldMask::from_txs(10, [TxId(7), TxId(1)]);
+        assert_eq!(m.txs().collect::<Vec<_>>(), vec![TxId(1), TxId(7)]);
+        assert_eq!(m.capacity(), 10);
+    }
+
+    #[test]
+    fn debug_rendering() {
+        let m = WorldMask::from_txs(4, [TxId(0), TxId(3)]);
+        assert_eq!(format!("{m:?}"), "R ∪ T0 ∪ T3");
+        assert_eq!(format!("{:?}", WorldMask::base_only(4)), "R");
+    }
+
+    #[test]
+    fn source_tx_accessor() {
+        assert_eq!(Source::Base.tx(), None);
+        assert_eq!(Source::Pending(TxId(3)).tx(), Some(TxId(3)));
+    }
+}

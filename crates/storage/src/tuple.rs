@@ -1,0 +1,150 @@
+//! Ground tuples.
+
+use crate::value::Value;
+use smallvec::SmallVec;
+use std::fmt;
+use std::ops::Index;
+
+/// Inline capacity for tuple storage. Every schema in the paper has at most
+/// six attributes, so eight inline slots avoid a heap allocation per tuple.
+const INLINE: usize = 8;
+
+/// A ground tuple: an ordered sequence of [`Value`]s.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Tuple {
+    values: SmallVec<[Value; INLINE]>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: impl IntoIterator<Item = Value>) -> Self {
+        Tuple {
+            values: values.into_iter().collect(),
+        }
+    }
+
+    /// Arity of the tuple.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The value at position `i`, if in range.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&Value> {
+        self.values.get(i)
+    }
+
+    /// All values as a slice.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The projection of the tuple onto `attrs` (paper notation `t[X]`).
+    pub fn project(&self, attrs: &[usize]) -> SmallVec<[Value; 4]> {
+        attrs.iter().map(|&i| self.values[i].clone()).collect()
+    }
+
+    /// Whether `self[xs] == other[ys]` componentwise. Used by equality
+    /// constraints `R[X̄] = S[Ȳ]` (§6.2); `xs` and `ys` must have equal length.
+    pub fn projections_equal(&self, xs: &[usize], other: &Tuple, ys: &[usize]) -> bool {
+        debug_assert_eq!(xs.len(), ys.len());
+        xs.iter()
+            .zip(ys)
+            .all(|(&i, &j)| self.values[i] == other.values[j])
+    }
+}
+
+impl Index<usize> for Tuple {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl FromIterator<Value> for Tuple {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+/// Builds a [`Tuple`] from heterogeneous literals:
+/// `tuple![1, "abc", true]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::tuple::Tuple::new([$($crate::value::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn macro_builds_mixed_tuple() {
+        let t = tuple![1i64, "tx", true];
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t[0], Value::Int(1));
+        assert_eq!(t[1], Value::text("tx"));
+        assert_eq!(t[2], Value::Bool(true));
+    }
+
+    #[test]
+    fn projection() {
+        let t = tuple![10i64, "a", 30i64];
+        assert_eq!(
+            t.project(&[2, 0]).to_vec(),
+            vec![Value::Int(30), Value::Int(10)]
+        );
+        assert!(t.project(&[]).is_empty());
+    }
+
+    #[test]
+    fn projections_equal_cross_tuple() {
+        let t = tuple![1i64, "k", 7i64];
+        let s = tuple!["k", 1i64];
+        assert!(t.projections_equal(&[0, 1], &s, &[1, 0]));
+        assert!(!t.projections_equal(&[0, 1], &s, &[0, 1]));
+        assert!(t.projections_equal(&[], &s, &[]));
+    }
+
+    #[test]
+    fn equality_and_hash_by_content() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(tuple![1i64, "x"]);
+        assert!(set.contains(&tuple![1i64, "x"]));
+        assert!(!set.contains(&tuple![1i64, "y"]));
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(tuple![1i64, "a"].to_string(), "(1, 'a')");
+    }
+
+    #[test]
+    fn get_out_of_range() {
+        assert_eq!(tuple![1i64].get(1), None);
+    }
+}

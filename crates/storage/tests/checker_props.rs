@@ -1,0 +1,130 @@
+//! Property tests: the optimized constraint checkers (indexed IND checks,
+//! FD fingerprints) against quadratic brute-force references.
+
+use bcdb_storage::{
+    build_ind_indexes, collect_all_fingerprints, tuple, world_satisfies, Catalog, ConstraintSet,
+    Database, Fd, Ind, RelationSchema, Source, Tuple, TxId, ValueType, WorldMask,
+};
+use proptest::prelude::*;
+
+fn setup() -> (Database, ConstraintSet) {
+    let mut cat = Catalog::new();
+    cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+        .unwrap();
+    cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+    cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["a"]).unwrap());
+    let mut db = Database::new(cat);
+    build_ind_indexes(&mut db, &cs);
+    (db, cs)
+}
+
+/// Brute force: materialise the world's tuples and check definitions
+/// directly.
+fn reference_satisfies(db: &Database, mask: &WorldMask) -> bool {
+    let r = db.catalog().resolve("R").unwrap();
+    let s = db.catalog().resolve("S").unwrap();
+    let r_rows: Vec<Tuple> = db
+        .relation(r)
+        .scan(mask)
+        .map(|(_, row)| row.tuple.clone())
+        .collect();
+    let s_rows: Vec<Tuple> = db
+        .relation(s)
+        .scan(mask)
+        .map(|(_, row)| row.tuple.clone())
+        .collect();
+    // Key on R[a]: no two distinct tuples agree on a.
+    for (i, t) in r_rows.iter().enumerate() {
+        for u in &r_rows[i + 1..] {
+            if t[0] == u[0] && t != u {
+                return false;
+            }
+        }
+    }
+    // IND S[x] ⊆ R[a].
+    for t in &s_rows {
+        if !r_rows.iter().any(|u| u[0] == t[0]) {
+            return false;
+        }
+    }
+    true
+}
+
+type TxSpec = (Vec<(i64, i64)>, Vec<i64>);
+
+fn populate(db: &mut Database, base_r: &[(i64, i64)], txs: &[TxSpec]) {
+    let r = db.catalog().resolve("R").unwrap();
+    let s = db.catalog().resolve("S").unwrap();
+    for &(a, b) in base_r {
+        db.insert_base(r, tuple![a, b]).unwrap();
+    }
+    for (i, (rt, st)) in txs.iter().enumerate() {
+        let src = Source::Pending(TxId(i as u32));
+        for &(a, b) in rt {
+            db.insert(r, tuple![a, b], src).unwrap();
+        }
+        for &x in st {
+            db.insert(s, tuple![x], src).unwrap();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The indexed checker agrees with brute force over every mask.
+    #[test]
+    fn checker_matches_reference(
+        base_r in prop::collection::vec((0..4i64, 0..3i64), 0..4),
+        txs in prop::collection::vec(
+            (prop::collection::vec((0..4i64, 0..3i64), 0..3),
+             prop::collection::vec(0..4i64, 0..2)),
+            0..4),
+    ) {
+        let (mut db, cs) = setup();
+        populate(&mut db, &base_r, &txs);
+        let n = db.tx_count();
+        for bits in 0u32..(1 << n) {
+            let mask = WorldMask::from_txs(
+                n,
+                (0..n).filter(|i| bits & (1 << i) != 0).map(|i| TxId(i as u32)),
+            );
+            prop_assert_eq!(
+                world_satisfies(&db, &cs, &mask),
+                reference_satisfies(&db, &mask),
+                "mask {:?}", mask
+            );
+        }
+    }
+
+    /// Pairwise fingerprint consistency equals checking the two-transaction
+    /// world directly (FDs only: drop the IND by checking just key safety).
+    #[test]
+    fn fingerprints_match_pairwise_worlds(
+        txs in prop::collection::vec(
+            prop::collection::vec((0..3i64, 0..3i64), 1..3),
+            2..5),
+    ) {
+        let (mut db, cs) = setup();
+        let specs: Vec<TxSpec> = txs.into_iter().map(|rt| (rt, vec![])).collect();
+        populate(&mut db, &[], &specs);
+        let (base, per_tx) = collect_all_fingerprints(&db, &cs);
+        let n = db.tx_count();
+        for i in 0..n {
+            for j in i + 1..n {
+                let mask = WorldMask::from_txs(n, [TxId(i as u32), TxId(j as u32)]);
+                // No S tuples and empty base: only the key matters.
+                let direct = reference_satisfies(&db, &mask);
+                let via_fp = per_tx[i].self_consistent()
+                    && per_tx[j].self_consistent()
+                    && base.consistent_with(&per_tx[i])
+                    && base.consistent_with(&per_tx[j])
+                    && per_tx[i].consistent_with(&per_tx[j]);
+                prop_assert_eq!(via_fp, direct, "pair {} {}", i, j);
+            }
+        }
+    }
+}

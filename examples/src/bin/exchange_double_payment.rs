@@ -1,0 +1,162 @@
+//! The exchange's double-payment problem (the paper's motivating example
+//! and Example 4), played out on the simulated chain.
+//!
+//! Alice (an exchange) pays Bob one bitcoin. The transaction lingers
+//! unconfirmed, Bob complains, and Alice must reissue. She dry-runs the
+//! denial constraint `q1` — "there exist two distinct transactions paying
+//! Bob" — before broadcasting, under two strategies:
+//!
+//! * **careless**: reissue from a *different* coin — both payments can
+//!   land, `q1` is unsatisfiable-proof fails, Alice holds off;
+//! * **careful**: reissue spending the *same* coin (higher fee) — the key
+//!   constraint on `TxIn` makes the two payments mutually exclusive, `q1`
+//!   is satisfied, and the reissue is safe.
+//!
+//! Run with: `cargo run -p bcdb-examples --bin exchange_double_payment`
+
+use bcdb_chain::{
+    export, Block, Blockchain, ChainParams, KeyPair, Keyring, Mempool, Scenario, ScenarioConfig,
+    ScriptPubKey, ScriptSig, Transaction, TxInput, TxOutput,
+};
+use bcdb_core::{dcsat, BlockchainDb, DcSatOptions};
+use bcdb_query::parse_denial_constraint;
+
+const BTC: u64 = 100_000_000;
+
+fn p2pk(kp: &KeyPair, value: u64) -> TxOutput {
+    TxOutput {
+        value,
+        script: ScriptPubKey::P2pk(kp.public().clone()),
+    }
+}
+
+fn pay(from: &KeyPair, prev: bcdb_chain::OutPoint, outs: Vec<TxOutput>) -> Transaction {
+    let msg = Transaction::signing_digest(&[prev], &outs);
+    Transaction::new(
+        vec![TxInput {
+            prev,
+            script_sig: ScriptSig::Sig(from.sign(&msg)),
+            spender: from.public().clone(),
+        }],
+        outs,
+    )
+}
+
+fn load(scenario: &Scenario) -> BlockchainDb {
+    let e = export(scenario).expect("consistent scenario");
+    let mut db = BlockchainDb::new(e.catalog, e.constraints);
+    for (rel, t) in e.base {
+        db.insert_current(rel, t).unwrap();
+    }
+    for (name, tuples) in e.pending {
+        db.add_transaction(name, tuples).unwrap();
+    }
+    db
+}
+
+fn q1_text(alice: &KeyPair, bob: &KeyPair) -> String {
+    // Example 4's q1: two different transactions in which Alice pays Bob.
+    format!(
+        "q() <- TxIn(pt1, ps1, '{a}', am1, ntx1, sg1), TxOut(ntx1, ns1, '{b}', {v}), \
+                TxIn(pt2, ps2, '{a}', am2, ntx2, sg2), TxOut(ntx2, ns2, '{b}', {v}), \
+                ntx1 != ntx2",
+        a = alice.public().as_str(),
+        b = bob.public().as_str(),
+        v = BTC
+    )
+}
+
+fn main() {
+    let alice = KeyPair::from_secret(1001);
+    let bob = KeyPair::from_secret(1002);
+    let miner = KeyPair::from_secret(1003);
+    let keys = vec![alice.clone(), bob.clone(), miner.clone()];
+    let ring = Keyring::new(&keys);
+
+    // Fund Alice with two 2-BTC coins.
+    let mut chain = Blockchain::new(ChainParams::default());
+    let funding = Transaction::new(vec![], vec![p2pk(&alice, 2 * BTC), p2pk(&alice, 2 * BTC)]);
+    chain
+        .append(
+            Block::new(1, chain.tip().hash(), vec![funding.clone()]),
+            &ring,
+        )
+        .unwrap();
+
+    // The original (stuck) payment: 1 BTC to Bob from coin #1, low fee.
+    let stuck = pay(
+        &alice,
+        funding.outpoint(1),
+        vec![p2pk(&bob, BTC), p2pk(&alice, BTC - 1_000)],
+    );
+    let mut mempool = Mempool::new();
+    mempool.insert(&chain, stuck.clone()).unwrap();
+    println!(
+        "original payment {} is stuck in the mempool",
+        stuck.txid().short()
+    );
+
+    let q1 = q1_text(&alice, &bob);
+
+    // --- Careless reissue: a fresh coin. Both payments may confirm. ---
+    {
+        let mut pool = mempool.clone();
+        let reissue = pay(
+            &alice,
+            funding.outpoint(2),
+            vec![p2pk(&bob, BTC), p2pk(&alice, BTC - 50_000)],
+        );
+        pool.insert(&chain, reissue).unwrap();
+        let scenario = Scenario {
+            chain: chain.clone(),
+            mempool: pool,
+            keys: keys.clone(),
+            config: ScenarioConfig::default(),
+        };
+        let mut db = load(&scenario);
+        let dc = parse_denial_constraint(&q1, db.database().catalog()).unwrap();
+        let outcome = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        println!(
+            "careless reissue: q1 satisfied = {} -> {}",
+            outcome.satisfied,
+            if outcome.satisfied {
+                "safe"
+            } else {
+                "DANGER: Bob can be paid twice; do not broadcast"
+            }
+        );
+        assert!(!outcome.satisfied);
+        let w = outcome.witness.unwrap();
+        println!(
+            "  witness world appends {} pending transaction(s) — both payments",
+            w.tx_count()
+        );
+    }
+
+    // --- Careful reissue: the SAME coin, higher fee. Mutually exclusive. ---
+    {
+        let mut pool = mempool.clone();
+        let reissue = pay(
+            &alice,
+            funding.outpoint(1), // same input as the stuck payment
+            vec![p2pk(&bob, BTC), p2pk(&alice, BTC - 50_000)],
+        );
+        pool.insert(&chain, reissue.clone()).unwrap();
+        let scenario = Scenario {
+            chain: chain.clone(),
+            mempool: pool,
+            keys: keys.clone(),
+            config: ScenarioConfig::default(),
+        };
+        let mut db = load(&scenario);
+        let dc = parse_denial_constraint(&q1, db.database().catalog()).unwrap();
+        let outcome = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        println!(
+            "careful reissue ({}): q1 satisfied = {} -> safe to broadcast",
+            reissue.txid().short(),
+            outcome.satisfied
+        );
+        assert!(outcome.satisfied);
+    }
+    println!("exchange_double_payment: done");
+}

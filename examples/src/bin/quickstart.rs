@@ -1,0 +1,170 @@
+//! Quickstart: the paper's running example (Figure 2), end to end.
+//!
+//! Builds the exact blockchain database of the paper — the simplified
+//! Bitcoin schema of Example 1, the current state and five pending
+//! transactions of Figure 2 — then:
+//!
+//! 1. enumerates `Poss(D)` and checks it matches Example 3's nine worlds;
+//! 2. runs the denial constraint `qs() ← TxOut(t, s, 'U8Pk', a)` of
+//!    Example 6 with `NaiveDCSat` and `OptDCSat`.
+//!
+//! Run with: `cargo run -p bcdb-examples --bin quickstart`
+
+use bcdb_chain::bitcoin_catalog;
+use bcdb_core::{dcsat, possible_worlds, Algorithm, BlockchainDb, DcSatOptions, Precomputed};
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::{tuple, RelationId, Tuple};
+
+/// 1 bitcoin in satoshis (Figure 2's fractional amounts stay exact).
+const BTC: i64 = 100_000_000;
+
+fn btc(x: f64) -> i64 {
+    (x * BTC as f64).round() as i64
+}
+
+fn txout(txid: &str, ser: i64, pk: &str, amount: i64) -> Tuple {
+    tuple![txid, ser, pk, amount]
+}
+
+#[allow(clippy::too_many_arguments)]
+fn txin(prev: &str, pser: i64, pk: &str, amount: i64, new: &str, sig: &str) -> Tuple {
+    tuple![prev, pser, pk, amount, new, sig]
+}
+
+fn build_figure2() -> (BlockchainDb, RelationId, RelationId) {
+    let (catalog, constraints) = bitcoin_catalog();
+    let out = catalog.resolve("TxOut").unwrap();
+    let inp = catalog.resolve("TxIn").unwrap();
+    let mut db = BlockchainDb::new(catalog, constraints);
+
+    // Current state R (Figure 2, rows labelled R).
+    for t in [
+        txout("1", 1, "U1Pk", btc(1.0)),
+        txout("2", 1, "U1Pk", btc(1.0)),
+        txout("2", 2, "U2Pk", btc(4.0)),
+        txout("3", 1, "U3Pk", btc(1.0)),
+        txout("3", 2, "U4Pk", btc(0.5)),
+        txout("3", 3, "U1Pk", btc(0.5)),
+    ] {
+        db.insert_current(out, t).unwrap();
+    }
+    for t in [
+        txin("1", 1, "U1Pk", btc(1.0), "3", "U1Sig"),
+        txin("2", 1, "U1Pk", btc(1.0), "3", "U1Sig"),
+    ] {
+        db.insert_current(inp, t).unwrap();
+    }
+    db.check_current_state()
+        .expect("R |= I, as the paper requires");
+
+    // Pending transactions T1..T5 (dotted boxes in Figure 1).
+    db.add_transaction(
+        "T1",
+        [
+            (inp, txin("2", 2, "U2Pk", btc(4.0), "4", "U2Sig")),
+            (out, txout("4", 1, "U5Pk", btc(1.0))),
+            (out, txout("4", 2, "U2Pk", btc(3.0))),
+        ],
+    )
+    .unwrap();
+    db.add_transaction(
+        "T2",
+        [
+            (inp, txin("4", 2, "U2Pk", btc(3.0), "5", "U2Sig")),
+            (out, txout("5", 1, "U4Pk", btc(3.0))),
+        ],
+    )
+    .unwrap();
+    db.add_transaction(
+        "T3",
+        [
+            (inp, txin("3", 3, "U1Pk", btc(0.5), "6", "U1Sig")),
+            (out, txout("6", 1, "U4Pk", btc(0.5))),
+        ],
+    )
+    .unwrap();
+    db.add_transaction(
+        "T4",
+        [
+            (inp, txin("6", 1, "U4Pk", btc(0.5), "7", "U4Sig")),
+            (inp, txin("5", 1, "U4Pk", btc(3.0), "7", "U4Sig")),
+            (out, txout("7", 1, "U7Pk", btc(2.5))),
+            (out, txout("7", 2, "U8Pk", btc(1.0))),
+        ],
+    )
+    .unwrap();
+    // T5 double-spends T1's input (2,2) — the reissued transaction.
+    db.add_transaction(
+        "T5",
+        [
+            (inp, txin("2", 2, "U2Pk", btc(4.0), "8", "U2Sig")),
+            (out, txout("8", 1, "U7Pk", btc(4.0))),
+        ],
+    )
+    .unwrap();
+    (db, out, inp)
+}
+
+fn main() {
+    let (mut db, _, _) = build_figure2();
+
+    // Example 3: Poss(D) has exactly nine worlds.
+    let pre = Precomputed::build(&db);
+    let worlds = possible_worlds(&db, &pre);
+    println!("Poss(D) contains {} possible worlds:", worlds.len());
+    for w in &worlds {
+        let names: Vec<&str> = w.txs().map(|t| db.transaction(t).name.as_str()).collect();
+        if names.is_empty() {
+            println!("  R");
+        } else {
+            println!("  R ∪ {{{}}}", names.join(", "));
+        }
+    }
+    assert_eq!(worlds.len(), 9, "Example 3 lists nine possible worlds");
+
+    // Example 6 / 8: can U8Pk ever receive bitcoins?
+    let qs =
+        parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", db.database().catalog()).unwrap();
+    for (label, algorithm) in [
+        ("NaiveDCSat", Algorithm::Naive),
+        ("OptDCSat", Algorithm::Opt),
+    ] {
+        let outcome = dcsat(
+            &mut db,
+            &qs,
+            &DcSatOptions {
+                algorithm,
+                use_precheck: false, // run the full algorithm, as in Example 6
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        println!(
+            "{label}: qs satisfied = {} (cliques enumerated: {}, worlds evaluated: {})",
+            outcome.satisfied, outcome.stats.cliques_enumerated, outcome.stats.worlds_evaluated
+        );
+        assert!(!outcome.satisfied, "Example 6: qs is NOT satisfied");
+        let witness = outcome.witness.unwrap();
+        let names: Vec<&str> = witness
+            .txs()
+            .map(|t| db.transaction(t).name.as_str())
+            .collect();
+        println!("  witness world: R ∪ {{{}}}", names.join(", "));
+    }
+
+    // And a constraint that IS satisfied: U2Pk's four bitcoins are spent
+    // by T1 or T5 but never both, so 'two distinct spends of (2,2)' is
+    // impossible.
+    let no_double = parse_denial_constraint(
+        "q() <- TxIn('2', 2, pk, a, n1, g1), TxIn('2', 2, pk2, a2, n2, g2), n1 != n2",
+        db.database().catalog(),
+    )
+    .unwrap();
+    let outcome = dcsat(&mut db, &no_double, &DcSatOptions::default()).unwrap();
+    println!(
+        "double-spend constraint satisfied = {} (algorithm: {})",
+        outcome.satisfied, outcome.stats.algorithm
+    );
+    assert!(outcome.satisfied);
+    println!("quickstart: all paper-example checks passed");
+}

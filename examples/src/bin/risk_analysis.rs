@@ -1,0 +1,146 @@
+//! Likelihood-weighted reasoning (the paper's future-work item).
+//!
+//! `dcsat` answers "can the bad outcome happen at all?". This example goes
+//! one step further: given acceptance probabilities learned from fee rates
+//! (miners prefer high-fee transactions), how *likely* is the bad outcome?
+//!
+//! Scenario: a merchant ships goods once a payment is "sure enough". A
+//! pending payment to the merchant conflicts with a same-coin double spend
+//! the buyer also broadcast. `dcsat` says the merchant *might* be paid
+//! (and might not); the risk analysis quantifies both futures under
+//! different fee choices.
+//!
+//! Run with: `cargo run -p bcdb-examples --bin risk_analysis --release`
+
+use bcdb_chain::{
+    export, feerate_probabilities, Block, Blockchain, ChainParams, KeyPair, Keyring, Mempool,
+    OutPoint, Scenario, ScenarioConfig, ScriptPubKey, ScriptSig, Transaction, TxInput, TxOutput,
+};
+use bcdb_core::{
+    dcsat, estimate_violation_risk, BlockchainDb, DcSatOptions, PerTxAcceptance, Precomputed,
+    PreparedConstraint, UniformAcceptance,
+};
+use bcdb_query::parse_denial_constraint;
+
+const BTC: u64 = 100_000_000;
+
+fn p2pk(kp: &KeyPair, value: u64) -> TxOutput {
+    TxOutput {
+        value,
+        script: ScriptPubKey::P2pk(kp.public().clone()),
+    }
+}
+
+fn pay(from: &KeyPair, prev: OutPoint, outs: Vec<TxOutput>) -> Transaction {
+    let msg = Transaction::signing_digest(&[prev], &outs);
+    Transaction::new(
+        vec![TxInput {
+            prev,
+            script_sig: ScriptSig::Sig(from.sign(&msg)),
+            spender: from.public().clone(),
+        }],
+        outs,
+    )
+}
+
+fn load(scenario: &Scenario) -> BlockchainDb {
+    let e = export(scenario).expect("consistent scenario");
+    let mut db = BlockchainDb::new(e.catalog, e.constraints);
+    for (rel, t) in e.base {
+        db.insert_current(rel, t).unwrap();
+    }
+    for (name, tuples) in e.pending {
+        db.add_transaction(name, tuples).unwrap();
+    }
+    db
+}
+
+fn main() {
+    let buyer = KeyPair::from_secret(31);
+    let merchant = KeyPair::from_secret(32);
+    let keys = vec![buyer.clone(), merchant.clone()];
+    let ring = Keyring::new(&keys);
+
+    let mut chain = Blockchain::new(ChainParams::default());
+    let funding = Transaction::new(vec![], vec![p2pk(&buyer, 2 * BTC)]);
+    chain
+        .append(
+            Block::new(1, chain.tip().hash(), vec![funding.clone()]),
+            &ring,
+        )
+        .unwrap();
+
+    // Two fee scenarios for the honest payment vs the double spend.
+    for (label, merchant_fee, doublespend_fee) in [
+        (
+            "merchant payment carries the higher fee",
+            80_000u64,
+            2_000u64,
+        ),
+        ("double spend carries the higher fee", 2_000u64, 80_000u64),
+    ] {
+        let mut mempool = Mempool::new();
+        // Honest payment: 1 BTC to the merchant.
+        let honest = pay(
+            &buyer,
+            funding.outpoint(1),
+            vec![p2pk(&merchant, BTC), p2pk(&buyer, BTC - merchant_fee)],
+        );
+        mempool.insert(&chain, honest).unwrap();
+        // Double spend: everything back to the buyer.
+        let dspend = pay(
+            &buyer,
+            funding.outpoint(1),
+            vec![p2pk(&buyer, 2 * BTC - doublespend_fee)],
+        );
+        mempool.insert(&chain, dspend).unwrap();
+
+        let scenario = Scenario {
+            chain: chain.clone(),
+            mempool,
+            keys: keys.clone(),
+            config: ScenarioConfig::default(),
+        };
+        let mut db = load(&scenario);
+
+        // "The merchant is paid 1 BTC" — as a denial constraint this is the
+        // *negated* outcome; here we use it as the event whose probability
+        // we want.
+        let paid = parse_denial_constraint(
+            &format!(
+                "q() <- TxOut(t, s, '{}', {})",
+                merchant.public().as_str(),
+                BTC
+            ),
+            db.database().catalog(),
+        )
+        .unwrap();
+
+        let outcome = dcsat(&mut db, &paid, &DcSatOptions::default()).unwrap();
+        let pre = Precomputed::build(&db);
+        let pc = PreparedConstraint::prepare(db.database_mut(), &paid);
+
+        // Fee-rate model: probabilities follow fee-rate rank.
+        let probs = feerate_probabilities(&scenario, 0.25, 0.95);
+        let feerate =
+            estimate_violation_risk(&db, &pre, &pc, &PerTxAcceptance(probs.clone()), 5_000, 7);
+        // Indifferent model for contrast.
+        let uniform = estimate_violation_risk(&db, &pre, &pc, &UniformAcceptance(0.6), 5_000, 7);
+
+        println!("--- {label} ---");
+        println!(
+            "  dcsat: payment possible = {} (and so is its absence: conflicting double spend)",
+            !outcome.satisfied
+        );
+        println!(
+            "  P(merchant paid) ≈ {:.3} under the fee-rate model (fees: honest {}, double spend {})",
+            feerate.violation_probability, merchant_fee, doublespend_fee
+        );
+        println!(
+            "  P(merchant paid) ≈ {:.3} under a uniform 0.6 model",
+            uniform.violation_probability
+        );
+        assert!(!outcome.satisfied);
+    }
+    println!("risk_analysis: higher relative fee should raise the payment's probability");
+}

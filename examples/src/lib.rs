@@ -1,0 +1,1 @@
+//! Examples live in `src/bin`.

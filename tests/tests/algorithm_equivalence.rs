@@ -1,0 +1,243 @@
+//! Property tests: every DCSat algorithm agrees with the exhaustive
+//! possible-worlds oracle on randomized blockchain databases.
+
+use bcdb_core::{
+    dcsat, is_possible_world, Algorithm, BlockchainDb, DcSatOptions, Precomputed,
+    PreparedConstraint,
+};
+use bcdb_query::{
+    atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
+};
+use bcdb_storage::{
+    tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, Tuple, TxId, ValueType,
+};
+use proptest::prelude::*;
+
+/// Constraint regimes swept by the generator.
+#[derive(Clone, Copy, Debug)]
+enum Regime {
+    None,
+    KeyOnly,
+    IndOnly,
+    KeyAndInd,
+}
+
+/// One random transaction: tuples for R and for S.
+type TxSpec = (Vec<(i64, i64)>, Vec<i64>);
+
+/// R(a, b) and S(x); key R[a] -> all; IND S[x] ⊆ R[a].
+fn build_db(
+    regime: Regime,
+    base_r: &[(i64, i64)],
+    base_s: &[i64],
+    txs: &[TxSpec],
+) -> Option<BlockchainDb> {
+    let mut cat = Catalog::new();
+    cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+        .unwrap();
+    cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    let (key, ind) = match regime {
+        Regime::None => (false, false),
+        Regime::KeyOnly => (true, false),
+        Regime::IndOnly => (false, true),
+        Regime::KeyAndInd => (true, true),
+    };
+    if key {
+        cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+    }
+    if ind {
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["a"]).unwrap());
+    }
+    let mut db = BlockchainDb::new(cat, cs);
+    let r = db.database().catalog().resolve("R").unwrap();
+    let s = db.database().catalog().resolve("S").unwrap();
+    // Repair the random base so R |= I holds (the definition of a
+    // blockchain database): keep the first tuple per key, and drop S rows
+    // dangling under the IND.
+    let mut seen_keys = std::collections::HashSet::new();
+    let mut kept_keys = std::collections::HashSet::new();
+    for &(a, b) in base_r {
+        if key && !seen_keys.insert(a) {
+            continue;
+        }
+        kept_keys.insert(a);
+        db.insert_current(r, tuple![a, b]).unwrap();
+    }
+    for &x in base_s {
+        if ind && !kept_keys.contains(&x) {
+            continue;
+        }
+        db.insert_current(s, tuple![x]).unwrap();
+    }
+    db.check_current_state()
+        .expect("repaired base is consistent");
+    for (i, (rt, st)) in txs.iter().enumerate() {
+        let tuples: Vec<(bcdb_storage::RelationId, Tuple)> = rt
+            .iter()
+            .map(|&(a, b)| (r, tuple![a, b]))
+            .chain(st.iter().map(|&x| (s, tuple![x])))
+            .collect();
+        if tuples.is_empty() {
+            return None; // empty transactions are uninteresting
+        }
+        db.add_transaction(format!("T{i}"), tuples).unwrap();
+    }
+    Some(db)
+}
+
+/// A fixed pool of denial constraints spanning the query classes.
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "q() <- R(x, y)",
+        "q() <- R(x, 1)",
+        "q() <- R(x, y), S(x)",
+        "q() <- R(x, y), R(y, z)",
+        "q() <- R(x, y), x != y",
+        "q() <- R(x, y), !S(y)",
+        "q() <- S(x), !R(x, x)",
+        "q() <- R(x, y), R(x2, y), x != x2",
+        "[q(count()) <- R(x, y)] > 2",
+        "[q(count()) <- R(x, y)] < 2",
+        "[q(sum(y)) <- R(x, y)] > 3",
+        "[q(sum(y)) <- R(x, y)] <= 2",
+        "[q(max(y)) <- R(x, y)] = 2",
+        "[q(cntd(x)) <- R(x, y)] > 1",
+        "[q(min(y)) <- R(x, y)] < 1",
+    ]
+}
+
+fn regime_strategy() -> impl Strategy<Value = Regime> {
+    prop_oneof![
+        Just(Regime::None),
+        Just(Regime::KeyOnly),
+        Just(Regime::IndOnly),
+        Just(Regime::KeyAndInd),
+    ]
+}
+
+fn value() -> impl Strategy<Value = i64> {
+    0..4i64
+}
+
+fn tx_strategy() -> impl Strategy<Value = TxSpec> {
+    (
+        prop::collection::vec((value(), value()), 0..3),
+        prop::collection::vec(value(), 0..2),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    /// Every algorithm that accepts the instance agrees with the oracle,
+    /// and every witness is a genuine possible world satisfying the query.
+    #[test]
+    fn algorithms_agree_with_oracle(
+        regime in regime_strategy(),
+        base_r in prop::collection::vec((value(), value()), 0..4),
+        base_s in prop::collection::vec(value(), 0..2),
+        txs in prop::collection::vec(tx_strategy(), 1..5),
+        query_idx in 0..15usize,
+    ) {
+        let Some(mut db) = build_db(regime, &base_r, &base_s, &txs) else {
+            return Ok(()); // inconsistent base: not a blockchain database
+        };
+        let text = query_pool()[query_idx];
+        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+
+        let oracle = dcsat(&mut db, &dc, &DcSatOptions {
+            algorithm: Algorithm::Oracle, ..DcSatOptions::default()
+        }).unwrap();
+
+        // Auto must always agree.
+        let auto = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        prop_assert_eq!(auto.satisfied, oracle.satisfied,
+            "auto ({}) vs oracle on {} / {:?}", auto.stats.algorithm, text, regime);
+
+        // Naive: sound for monotonic constraints.
+        if monotonicity(&dc).is_monotone() {
+            let naive = dcsat(&mut db, &dc, &DcSatOptions {
+                algorithm: Algorithm::Naive, use_precheck: false,
+                ..DcSatOptions::default()
+            }).unwrap();
+            prop_assert_eq!(naive.satisfied, oracle.satisfied,
+                "naive vs oracle on {} / {:?}", text, regime);
+            // With the pre-check too.
+            let naive_pc = dcsat(&mut db, &dc, &DcSatOptions {
+                algorithm: Algorithm::Naive, ..DcSatOptions::default()
+            }).unwrap();
+            prop_assert_eq!(naive_pc.satisfied, oracle.satisfied);
+        }
+
+        // Opt: sound for monotonic + connected + atom-graph-complete
+        // (Proposition 2's data-independent safety condition).
+        if let DenialConstraint::Conjunctive(q) = &dc {
+            if monotonicity(&dc).is_monotone() && is_connected(q) && atom_graph_complete(q) {
+                for (covers, parallel) in [(true, false), (false, false), (true, true)] {
+                    let opt = dcsat(&mut db, &dc, &DcSatOptions {
+                        algorithm: Algorithm::Opt, use_precheck: false,
+                        use_covers: covers, parallel,
+                        ..DcSatOptions::default()
+                    }).unwrap();
+                    prop_assert_eq!(opt.satisfied, oracle.satisfied,
+                        "opt(covers={},par={}) vs oracle on {} / {:?}",
+                        covers, parallel, text, regime);
+                }
+            }
+        }
+
+        // Tractable: whenever the router claims applicability.
+        let tract = dcsat(&mut db, &dc, &DcSatOptions {
+            algorithm: Algorithm::Tractable, ..DcSatOptions::default()
+        });
+        if let Ok(t) = tract {
+            prop_assert_eq!(t.satisfied, oracle.satisfied,
+                "tractable ({}) vs oracle on {} / {:?}", t.stats.algorithm, text, regime);
+        }
+
+        // Witness validity.
+        if let Some(w) = &oracle.witness {
+            let pre = Precomputed::build(&db);
+            let txids: Vec<TxId> = w.txs().collect();
+            prop_assert!(is_possible_world(&db, &pre, &txids));
+            let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
+            prop_assert!(pc.holds(db.database(), w));
+        }
+    }
+
+    /// Poss(D) membership: every enumerated world passes Proposition 1
+    /// recognition, and recognition rejects any superset that the
+    /// enumeration did not produce.
+    #[test]
+    fn possible_world_recognition_matches_enumeration(
+        regime in regime_strategy(),
+        base_r in prop::collection::vec((value(), value()), 0..3),
+        txs in prop::collection::vec(tx_strategy(), 1..5),
+    ) {
+        let Some(db) = build_db(regime, &base_r, &[], &txs) else { return Ok(()) };
+        let pre = Precomputed::build(&db);
+        let worlds = bcdb_core::possible_worlds(&db, &pre);
+        let world_sets: std::collections::HashSet<Vec<TxId>> =
+            worlds.iter().map(|w| w.txs().collect()).collect();
+        // Enumerated ⇒ recognized.
+        for set in &world_sets {
+            prop_assert!(is_possible_world(&db, &pre, set));
+        }
+        // Recognized ⇒ enumerated, over all subsets (≤ 2^4).
+        let n = db.pending_count();
+        for bits in 0u32..(1 << n) {
+            let set: Vec<TxId> = (0..n)
+                .filter(|i| bits & (1 << i) != 0)
+                .map(|i| TxId(i as u32))
+                .collect();
+            let recognized = is_possible_world(&db, &pre, &set);
+            prop_assert_eq!(recognized, world_sets.contains(&set),
+                "subset {:?} under {:?}", set, regime);
+        }
+    }
+}

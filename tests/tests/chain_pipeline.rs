@@ -1,0 +1,169 @@
+//! End-to-end pipeline tests: simulate a chain, export it to the paper's
+//! relational schema, load a blockchain database, and reason over it.
+
+use bcdb_chain::{export, generate, Dataset, ScenarioConfig};
+use bcdb_core::{dcsat, Algorithm, BlockchainDb, DcSatOptions, Precomputed};
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::TxId;
+
+fn small_cfg(seed: u64) -> ScenarioConfig {
+    ScenarioConfig {
+        seed,
+        wallets: 15,
+        blocks: 12,
+        txs_per_block: 6,
+        pending_txs: 50,
+        contradictions: 4,
+        chain_dependency_pct: 35,
+        ..ScenarioConfig::default()
+    }
+}
+
+fn load(seed: u64) -> BlockchainDb {
+    let scenario = generate(&small_cfg(seed));
+    let e = export(&scenario).unwrap();
+    let mut db = BlockchainDb::new(e.catalog, e.constraints);
+    for (rel, t) in e.base {
+        db.insert_current(rel, t).unwrap();
+    }
+    for (name, tuples) in e.pending {
+        db.add_transaction(name, tuples).unwrap();
+    }
+    db
+}
+
+/// The exported current state must satisfy Example 1's constraints — the
+/// defining property of a blockchain database.
+#[test]
+fn exported_base_is_consistent() {
+    for seed in [1, 2, 3] {
+        load(seed)
+            .check_current_state()
+            .unwrap_or_else(|e| panic!("seed {seed}: exported chain violates constraints: {e}"));
+    }
+}
+
+/// Injected double spends must surface as missing `GfTd` edges, and the
+/// number of FD-conflicting pairs must be at least the injected count.
+#[test]
+fn contradictions_become_fd_conflicts() {
+    let scenario = generate(&small_cfg(7));
+    let conflicts = scenario.mempool.conflict_pairs();
+    assert!(conflicts.len() >= 4);
+    let e = export(&scenario).unwrap();
+    let mut db = BlockchainDb::new(e.catalog, e.constraints);
+    for (rel, t) in e.base {
+        db.insert_current(rel, t).unwrap();
+    }
+    // Map txid -> TxId as we add.
+    let mut ids = std::collections::HashMap::new();
+    for (name, tuples) in e.pending {
+        let id = db.add_transaction(name.clone(), tuples).unwrap();
+        ids.insert(name, id);
+    }
+    let pre = Precomputed::build(&db);
+    for (a, b) in &conflicts {
+        let ta = ids[&a.short()];
+        let tb = ids[&b.short()];
+        assert!(
+            !pre.fd_graph.has_edge(ta.index(), tb.index()),
+            "double-spend pair {a}/{b} must conflict in GfTd"
+        );
+    }
+    // And at least one non-conflicting pair has an edge.
+    assert!(pre.fd_graph.edge_count() > 0);
+}
+
+/// Every pending transaction exported from the mempool is individually
+/// appendable after its dependencies — getMaximal over everything should
+/// absorb every *viable* transaction whose ancestry is intact.
+#[test]
+fn get_maximal_absorbs_dependency_chains() {
+    let db = load(11);
+    let pre = Precomputed::build(&db);
+    let all: Vec<TxId> = db.tx_ids().collect();
+    let world = bcdb_core::get_maximal(&db, &pre, &all);
+    // The maximal world is a possible world...
+    let txs: Vec<TxId> = world.txs().collect();
+    assert!(bcdb_core::is_possible_world(&db, &pre, &txs));
+    // ...and it is genuinely maximal: no remaining tx can be appended.
+    for tx in db.tx_ids() {
+        if !world.contains_tx(tx) {
+            assert!(
+                !bcdb_core::can_append(&db, &pre, &world, tx),
+                "{tx} should not be appendable to the maximal world"
+            );
+        }
+    }
+    // Most of the mempool should be absorbable (conflicts lose one side).
+    assert!(txs.len() + 10 >= db.pending_count());
+}
+
+/// The fundamental safety property on real-shaped data: no outpoint can be
+/// spent twice in any possible world (the TxIn key forbids it).
+#[test]
+fn no_double_spend_in_any_world() {
+    let mut db = load(13);
+    let dc = parse_denial_constraint(
+        "q() <- TxIn(pt, ps, pk1, a1, n1, s1), TxIn(pt, ps, pk2, a2, n2, s2), n1 != n2",
+        db.database().catalog(),
+    )
+    .unwrap();
+    for algorithm in [Algorithm::Naive, Algorithm::Auto] {
+        let out = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.satisfied, "{algorithm:?}");
+    }
+}
+
+/// Accepting a block's worth of transactions folds them into `R` and the
+/// result is still a consistent blockchain database.
+#[test]
+fn accept_transactions_preserves_consistency() {
+    let db = load(17);
+    let pre = Precomputed::build(&db);
+    let all: Vec<TxId> = db.tx_ids().collect();
+    let world = bcdb_core::get_maximal(&db, &pre, &all);
+    let accepted: Vec<TxId> = world.txs().take(10).collect();
+    // Accept a prefix of the maximal world in dependency order: the world
+    // was built greedily, so earlier txs never depend on later ones.
+    let (next, mapping) = db.accept_transactions(&accepted).unwrap();
+    next.check_current_state().unwrap();
+    assert_eq!(next.pending_count(), db.pending_count() - accepted.len());
+    assert_eq!(mapping.len(), next.pending_count());
+    // Surviving transactions keep their names.
+    for (old, new) in mapping {
+        assert_eq!(db.transaction(old).name, next.transaction(new).name);
+    }
+}
+
+/// Dataset presets generate the paper's pending-set sizes.
+#[test]
+fn presets_hit_paper_pending_sizes() {
+    let cfg = Dataset::Small.config(3);
+    let s = generate(&cfg);
+    assert!(s.mempool.len() >= cfg.pending_txs);
+    let e = export(&s).unwrap();
+    assert_eq!(e.pending_counts.transactions, s.mempool.len());
+    assert!(e.base_counts.transactions > 0);
+    assert!(e.base_counts.blocks as usize >= 20);
+}
+
+/// Determinism across the whole pipeline: same seed, same database.
+#[test]
+fn pipeline_is_deterministic() {
+    let a = load(23);
+    let b = load(23);
+    assert_eq!(a.pending_count(), b.pending_count());
+    assert_eq!(a.database().total_rows(), b.database().total_rows());
+    for (ta, tb) in a.tx_ids().zip(b.tx_ids()) {
+        assert_eq!(a.transaction(ta), b.transaction(tb));
+    }
+}

@@ -1,0 +1,218 @@
+//! The paper's running example (Figure 2), verified end to end against
+//! every worked example in the text.
+
+mod common;
+
+use bcdb_core::{
+    can_append, dcsat, is_possible_world, possible_worlds, Algorithm, DcSatOptions, Precomputed,
+};
+use bcdb_graph::collect_maximal_cliques;
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::TxId;
+use common::figure2;
+
+const T1: TxId = TxId(0);
+const T2: TxId = TxId(1);
+const T3: TxId = TxId(2);
+const T4: TxId = TxId(3);
+const T5: TxId = TxId(4);
+
+#[test]
+fn current_state_satisfies_constraints() {
+    let (db, _, _) = figure2();
+    db.check_current_state().unwrap();
+}
+
+/// Example 3: Poss(D) = { R, R∪T1, R∪T3, R∪T1∪T3, R∪T1∪T2,
+/// R∪T1∪T2∪T3, R∪T1∪T2∪T3∪T4, R∪T5, R∪T3∪T5 }.
+#[test]
+fn example_3_possible_worlds() {
+    let (db, _, _) = figure2();
+    let pre = Precomputed::build(&db);
+    let worlds = possible_worlds(&db, &pre);
+    let mut sets: Vec<Vec<TxId>> = worlds.iter().map(|w| w.txs().collect()).collect();
+    sets.sort();
+    let mut expected = vec![
+        vec![],
+        vec![T1],
+        vec![T3],
+        vec![T1, T3],
+        vec![T1, T2],
+        vec![T1, T2, T3],
+        vec![T1, T2, T3, T4],
+        vec![T5],
+        vec![T3, T5],
+    ];
+    expected.sort();
+    assert_eq!(sets, expected);
+}
+
+/// Example 3's side observations: T1/T5 are mutually inconsistent
+/// (double spend of (2,2)); T4 depends on T2 and T3; T2 depends on T1.
+#[test]
+fn example_3_dependencies() {
+    let (db, _, _) = figure2();
+    let pre = Precomputed::build(&db);
+    assert!(!is_possible_world(&db, &pre, &[T1, T5]));
+    assert!(!is_possible_world(&db, &pre, &[T2])); // needs T1
+    assert!(!is_possible_world(&db, &pre, &[T4, T2, T1])); // needs T3 too
+    assert!(is_possible_world(&db, &pre, &[T4, T3, T2, T1]));
+    // can-append stepping: T2 only after T1.
+    let base = db.database().base_mask();
+    assert!(!can_append(&db, &pre, &base, T2));
+    let mut with_t1 = base.clone();
+    with_t1.activate(T1);
+    assert!(can_append(&db, &pre, &with_t1, T2));
+}
+
+/// Figure 3 (left): GfTd has every edge except T1–T5.
+#[test]
+fn figure_3_fd_graph() {
+    let (db, _, _) = figure2();
+    let pre = Precomputed::build(&db);
+    for a in 0..5usize {
+        for b in a + 1..5 {
+            let expect = !(a == T1.index() && b == T5.index());
+            assert_eq!(
+                pre.fd_graph.has_edge(a, b),
+                expect,
+                "edge T{}-T{}",
+                a + 1,
+                b + 1
+            );
+        }
+    }
+    // Example 6: the two maximal cliques are {T2,T3,T4,T5} and {T1,T2,T3,T4}.
+    let mut cliques = collect_maximal_cliques(&pre.fd_graph, bcdb_graph::CliqueStrategy::Pivot);
+    cliques.sort();
+    assert_eq!(
+        cliques,
+        vec![
+            vec![T1.index(), T2.index(), T3.index(), T4.index()],
+            vec![T2.index(), T3.index(), T4.index(), T5.index()],
+        ]
+    );
+}
+
+/// Example 6: `qs() ← TxOut(t, s, 'U8Pk', a)` is NOT satisfied —
+/// the maximal world of clique {T1,T2,T3,T4} pays U8Pk.
+#[test]
+fn example_6_qs_not_satisfied() {
+    let (mut db, _, _) = figure2();
+    let qs =
+        parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", db.database().catalog()).unwrap();
+    for algorithm in [
+        Algorithm::Naive,
+        Algorithm::Opt,
+        Algorithm::Oracle,
+        Algorithm::Auto,
+    ] {
+        let out = dcsat(
+            &mut db,
+            &qs,
+            &DcSatOptions {
+                algorithm,
+                use_precheck: false,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.satisfied, "{algorithm:?}");
+        let w = out.witness.unwrap();
+        assert!(w.contains_tx(T4), "{algorithm:?}: U8Pk is paid by T4");
+    }
+}
+
+/// Example 8: qs implies no query equalities, so Gq,ind is the IND-derived
+/// graph; it has two connected components and only {T1,T2,T3,T4} covers
+/// the constant U8Pk.
+#[test]
+fn example_8_components_and_covers() {
+    let (mut db, _, _) = figure2();
+    let qs =
+        parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", db.database().catalog()).unwrap();
+    let out = dcsat(
+        &mut db,
+        &qs,
+        &DcSatOptions {
+            algorithm: Algorithm::Opt,
+            use_precheck: false,
+            ..DcSatOptions::default()
+        },
+    )
+    .unwrap();
+    assert!(!out.satisfied);
+    assert_eq!(
+        out.stats.components_total, 2,
+        "Figure 3 right: two components"
+    );
+    assert_eq!(out.stats.components_checked, 1, "only one covers 'U8Pk'");
+
+    // And the IND components themselves match Figure 3 (right):
+    // {T1, T2, T3, T4} and {T5}.
+    let pre = Precomputed::build(&db);
+    let mut uf = pre.ind_uf.clone();
+    assert!(uf.connected(T1.index(), T2.index()));
+    assert!(uf.connected(T2.index(), T4.index()));
+    assert!(uf.connected(T3.index(), T4.index()));
+    assert!(!uf.connected(T1.index(), T5.index()));
+}
+
+/// The denial constraint of Example 4's pattern, instantiated for the
+/// double spend of (2,2): "the 4-BTC output is never spent twice".
+#[test]
+fn double_spend_constraint_satisfied() {
+    let (mut db, _, _) = figure2();
+    let dc = parse_denial_constraint(
+        "q() <- TxIn('2', 2, p1, a1, n1, s1), TxIn('2', 2, p2, a2, n2, s2), n1 != n2",
+        db.database().catalog(),
+    )
+    .unwrap();
+    for algorithm in [
+        Algorithm::Naive,
+        Algorithm::Opt,
+        Algorithm::Oracle,
+        Algorithm::Auto,
+    ] {
+        let out = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            out.satisfied,
+            "{algorithm:?}: key constraint forbids both spends"
+        );
+    }
+}
+
+/// Aggregate over the running example: U4Pk can receive at most
+/// 0.5 + 3 + 0.5 = 4 BTC across all worlds.
+#[test]
+fn aggregate_receipts_bound() {
+    let (mut db, _, _) = figure2();
+    let over = parse_denial_constraint(
+        &format!(
+            "[q(sum(a)) <- TxOut(t, s, 'U4Pk', a)] > {}",
+            common::btc(4.0)
+        ),
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = dcsat(&mut db, &over, &DcSatOptions::default()).unwrap();
+    assert!(out.satisfied);
+    let reachable = parse_denial_constraint(
+        &format!(
+            "[q(sum(a)) <- TxOut(t, s, 'U4Pk', a)] >= {}",
+            common::btc(4.0)
+        ),
+        db.database().catalog(),
+    )
+    .unwrap();
+    let out = dcsat(&mut db, &reachable, &DcSatOptions::default()).unwrap();
+    assert!(!out.satisfied, "world R∪T1∪T2∪T3 pays U4Pk exactly 4 BTC");
+}

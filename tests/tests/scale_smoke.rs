@@ -1,0 +1,169 @@
+//! Smoke tests at the experiment harness's own scale: the §7 query
+//! families over a generated dataset, both regimes, both paper algorithms.
+
+use bcdb_bench_shims::*;
+
+/// Minimal local reimplementation of the bench helpers (the bench crate is
+/// not a dependency of the test crate; these shims keep the test
+/// self-contained and also cross-check the harness logic independently).
+mod bcdb_bench_shims {
+    use bcdb_chain::{export, generate, Scenario, ScenarioConfig};
+    use bcdb_core::BlockchainDb;
+
+    pub fn scenario() -> Scenario {
+        generate(&ScenarioConfig {
+            seed: 99,
+            wallets: 20,
+            blocks: 25,
+            txs_per_block: 10,
+            pending_txs: 120,
+            contradictions: 8,
+            chain_dependency_pct: 30,
+            ..ScenarioConfig::default()
+        })
+    }
+
+    pub fn load(s: &Scenario) -> BlockchainDb {
+        let e = export(s).unwrap();
+        let mut db = BlockchainDb::new(e.catalog, e.constraints);
+        for (rel, t) in e.base {
+            db.insert_current(rel, t).unwrap();
+        }
+        for (name, tuples) in e.pending {
+            db.add_transaction(name, tuples).unwrap();
+        }
+        db
+    }
+
+    pub fn qs(x: &str) -> String {
+        format!("q() <- TxOut(ntx, s, '{x}', a)")
+    }
+
+    pub fn qp3(x: &str, y: &str) -> String {
+        format!(
+            "q() <- TxOut(ntx1, s1, '{x}', a1), TxIn(ntx1, s1, pk2, a2, ntx2, sig2), \
+             TxOut(ntx2, s2, pk3, a3), TxIn(ntx2, s2, '{y}', a3, ntx4, sig3)"
+        )
+    }
+
+    pub fn qr2(x: &str) -> String {
+        format!(
+            "q() <- TxIn(p1, s1, '{x}', a1, n1, g1), TxOut(n1, o1, k1, b1), \
+             TxIn(p2, s2, '{x}', a2, n2, g2), TxOut(n2, o2, k2, b2), n1 != n2"
+        )
+    }
+}
+
+use bcdb_core::{dcsat, Algorithm, DcSatOptions};
+use bcdb_query::parse_denial_constraint;
+
+const ABSENT: &str = "pkNOSUCHADDRESS00";
+
+#[test]
+fn satisfied_families_across_algorithms() {
+    let s = scenario();
+    let mut db = load(&s);
+    for text in [
+        qs(ABSENT),
+        qp3(ABSENT, ABSENT),
+        qr2(ABSENT),
+        format!("[q(sum(a)) <- TxOut(n, s, '{ABSENT}', a)] >= 100"),
+    ] {
+        let dc = parse_denial_constraint(&text, db.database().catalog()).unwrap();
+        for algorithm in [Algorithm::Naive, Algorithm::Auto] {
+            let out = dcsat(
+                &mut db,
+                &dc,
+                &DcSatOptions {
+                    algorithm,
+                    ..DcSatOptions::default()
+                },
+            )
+            .unwrap();
+            assert!(out.satisfied, "{algorithm:?} on {text}");
+            assert!(
+                out.stats.precheck_short_circuit || out.stats.worlds_evaluated <= 1,
+                "satisfied constraints should short-circuit"
+            );
+        }
+    }
+}
+
+#[test]
+fn unsatisfied_qs_with_witness() {
+    let s = scenario();
+    let mut db = load(&s);
+    // An address that certainly receives coins in a pending transaction.
+    let recv = s.mempool.entries()[0].tx.outputs()[0]
+        .script
+        .display_owner();
+    let dc = parse_denial_constraint(&qs(&recv), db.database().catalog()).unwrap();
+    for algorithm in [Algorithm::Naive, Algorithm::Opt, Algorithm::Auto] {
+        let out = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(!out.satisfied, "{algorithm:?}");
+        // The witness world must actually pay `recv`... which dcsat already
+        // verified by evaluation; sanity-check the mask is nonempty OR the
+        // address was already paid on chain.
+        assert!(out.witness.is_some());
+    }
+}
+
+#[test]
+fn naive_and_opt_agree_on_families() {
+    let s = scenario();
+    let mut db = load(&s);
+    let recv = s.mempool.entries()[0].tx.outputs()[0]
+        .script
+        .display_owner();
+    let spender = {
+        // Any address that spends in the mempool.
+        let e = &s.mempool.entries()[0];
+        let prev = e.tx.inputs()[0].prev;
+        // Resolve the owner through the export invariants: the TxIn row
+        // carries the consumed output's pk, which equals the spender's key
+        // for P2PK outputs.
+        let _ = prev;
+        e.tx.inputs()[0].spender.as_str().to_string()
+    };
+    for text in [qs(&recv), qr2(&spender), qp3(&spender, &spender)] {
+        let dc = parse_denial_constraint(&text, db.database().catalog()).unwrap();
+        let naive = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Naive,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        let opt = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Opt,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(naive.satisfied, opt.satisfied, "on {text}");
+        let par = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Opt,
+                parallel: true,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(naive.satisfied, par.satisfied, "parallel on {text}");
+    }
+}
