@@ -11,9 +11,11 @@
 use bcdb_bench::datasets::{load_config, load_dataset, LoadedDataset};
 use bcdb_bench::picker::ConstantPicker;
 use bcdb_bench::queries::{qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
-use bcdb_bench::report::{secs, time_avg, Table};
+use bcdb_bench::report::{governed_record, secs, time_avg, Table};
 use bcdb_chain::Dataset;
-use bcdb_core::{dcsat_with, Algorithm, BlockchainDb, DcSatOptions, Precomputed};
+use bcdb_core::{
+    dcsat_governed, dcsat_with, Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Precomputed,
+};
 use bcdb_query::parse_denial_constraint;
 use std::time::Duration;
 
@@ -357,6 +359,55 @@ fn ablation(seed: u64) {
     println!("{}", t.render());
 }
 
+/// Governed runs: qp3 over Small under a ladder of budgets, one JSON
+/// record per run (budget, verdict, degradation, stats) so downstream
+/// tooling can diff resource/answer trade-offs across revisions.
+fn governed(seed: u64) {
+    println!("== Governed runs: qp3 over Small, JSON records ==");
+    let mut d = load_dataset(Dataset::Small, seed);
+    let sat_text = qp_text(3, SAT_ADDRESS, SAT_ADDRESS);
+    let unsat_text = ConstantPicker::new(&d.scenario)
+        .path_unsat(3)
+        .map(|(x, y)| qp_text(3, &x, &y));
+    let budgets: [(&str, BudgetSpec); 3] = [
+        ("unlimited", BudgetSpec::UNLIMITED),
+        (
+            "timeout-50ms",
+            BudgetSpec {
+                timeout: Some(Duration::from_millis(50)),
+                ..BudgetSpec::UNLIMITED
+            },
+        ),
+        (
+            "tight",
+            BudgetSpec {
+                max_cliques: Some(64),
+                max_worlds: Some(64),
+                ..BudgetSpec::UNLIMITED
+            },
+        ),
+    ];
+    let mut texts = vec![("sat", sat_text)];
+    match unsat_text {
+        Some(t) => texts.push(("unsat", t)),
+        None => println!("  (no unsatisfied constants for this seed — sat only)"),
+    }
+    for (kind, text) in &texts {
+        let dc = parse_denial_constraint(text, d.db.database().catalog()).expect("harness query");
+        for (name, budget) in &budgets {
+            let options = DcSatOptions {
+                budget: *budget,
+                ..DcSatOptions::default()
+            };
+            let outcome = dcsat_governed(&mut d.db, &dc, &options).expect("harness query applies");
+            println!(
+                "{}",
+                governed_record(&format!("qp3-{kind}/{name}"), budget, &outcome)
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
@@ -385,6 +436,7 @@ fn main() {
         "fig6g" => fig6g(seed),
         "fig6h" => fig6h(seed),
         "ablation" => ablation(seed),
+        "governed" => governed(seed),
         "all" => {
             table1(seed);
             fig6_query_types(seed, true);
@@ -396,11 +448,12 @@ fn main() {
             fig6g(seed);
             fig6h(seed);
             ablation(seed);
+            governed(seed);
         }
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation all"
+                "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed all"
             );
             std::process::exit(2);
         }

@@ -11,4 +11,4 @@ pub mod report;
 pub use datasets::{load_dataset, load_export, LoadedDataset};
 pub use picker::ConstantPicker;
 pub use queries::{pick_unsat_constants, qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
-pub use report::{time_avg, Table};
+pub use report::{budget_json, governed_record, time_avg, JsonObject, Table};

@@ -1,5 +1,8 @@
-//! Timing and plain-text table rendering for the experiment harness.
+//! Timing, plain-text table rendering, and machine-readable JSON records
+//! for the experiment harness.
 
+use bcdb_core::{BudgetSpec, GovernedOutcome, Verdict};
+use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
 /// Runs `f` `runs` times and returns the mean wall-clock duration (the
@@ -71,6 +74,135 @@ pub fn secs(d: Duration) -> String {
     format!("{:.4}", d.as_secs_f64())
 }
 
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Builder for one flat JSON object. The workspace is vendored and carries
+/// no serde, so bench reports hand-roll their (small, flat) records.
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: "{".into() }
+    }
+
+    fn key(&mut self, key: &str) {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        write!(self.buf, "\"{}\":", json_escape(key)).unwrap();
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        write!(self.buf, "\"{}\"", json_escape(value)).unwrap();
+        self
+    }
+
+    /// Adds a numeric field.
+    pub fn num(mut self, key: &str, value: impl std::fmt::Display) -> Self {
+        self.key(key);
+        write!(self.buf, "{value}").unwrap();
+        self
+    }
+
+    /// Adds a numeric-or-null field (`None` renders as `null`).
+    pub fn opt_num(mut self, key: &str, value: Option<impl std::fmt::Display>) -> Self {
+        self.key(key);
+        match value {
+            Some(v) => write!(self.buf, "{v}").unwrap(),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (e.g. a nested object).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        JsonObject::new()
+    }
+}
+
+/// Renders a [`BudgetSpec`] as a JSON object (absent limits are `null`).
+pub fn budget_json(budget: &BudgetSpec) -> String {
+    JsonObject::new()
+        .opt_num("timeout_ms", budget.timeout.map(|d| d.as_millis()))
+        .opt_num("max_cliques", budget.max_cliques)
+        .opt_num("max_worlds", budget.max_worlds)
+        .opt_num("max_tuples", budget.max_tuples)
+        .finish()
+}
+
+/// Renders one governed DCSat run as a single-line JSON record: the budget
+/// that governed it, the verdict it reached, and the solver statistics.
+pub fn governed_record(label: &str, budget: &BudgetSpec, outcome: &GovernedOutcome) -> String {
+    let (verdict, reason, witness_txs) = match &outcome.verdict {
+        Verdict::Holds => ("holds", None, None),
+        Verdict::Violated(w) => ("violated", None, Some(w.txs().count())),
+        Verdict::Unknown(r) => ("unknown", Some(r.to_string()), None),
+    };
+    let stats = JsonObject::new()
+        .str("algorithm", outcome.stats.algorithm)
+        .num("worlds_evaluated", outcome.stats.worlds_evaluated)
+        .num("cliques_enumerated", outcome.stats.cliques_enumerated)
+        .num("poisoned_workers", outcome.stats.poisoned_workers)
+        .finish();
+    let mut o = JsonObject::new()
+        .str("label", label)
+        .raw("budget", &budget_json(budget))
+        .str("verdict", verdict);
+    if let Some(r) = &reason {
+        o = o.str("reason", r);
+    }
+    o = o.opt_num("witness_txs", witness_txs);
+    if let Some(d) = outcome.degraded_to {
+        o = o.str("degraded_to", d);
+    }
+    o.num("elapsed_ms", format!("{:.3}", outcome.elapsed.as_secs_f64() * 1e3))
+        .raw("stats", &stats)
+        .finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -98,5 +230,31 @@ mod tests {
     #[test]
     fn secs_formatting() {
         assert_eq!(secs(Duration::from_millis(1500)), "1.5000");
+    }
+
+    #[test]
+    fn json_object_renders() {
+        let s = JsonObject::new()
+            .str("name", "a\"b\\c\nd")
+            .num("n", 3)
+            .opt_num("absent", None::<u64>)
+            .bool("flag", true)
+            .raw("inner", "{\"x\":1}")
+            .finish();
+        assert_eq!(
+            s,
+            "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":3,\"absent\":null,\"flag\":true,\"inner\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn budget_json_renders_limits_and_nulls() {
+        let mut b = BudgetSpec::UNLIMITED;
+        b.timeout = Some(Duration::from_millis(50));
+        b.max_worlds = Some(64);
+        assert_eq!(
+            budget_json(&b),
+            "{\"timeout_ms\":50,\"max_cliques\":null,\"max_worlds\":64,\"max_tuples\":null}"
+        );
     }
 }

@@ -193,11 +193,11 @@ mod tests {
     use crate::script::{ScriptPubKey, ScriptSig};
     use crate::tx::{TxInput, TxOutput};
 
-    fn coinbase(kp: &KeyPair, value: u64, tag: u64) -> Transaction {
+    fn coinbase(kp: &KeyPair, value: u64, _tag: u64) -> Transaction {
         Transaction::new(
             vec![],
             vec![TxOutput {
-                value: value + tag * 0, // tag reserved for future use
+                value,
                 script: ScriptPubKey::P2pk(kp.public().clone()),
             }],
         )

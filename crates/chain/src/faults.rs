@@ -1,0 +1,381 @@
+//! Chain-layer fault injection for robustness testing.
+//!
+//! The governed solver must stay sound when the substrate misbehaves. This
+//! module perturbs a generated [`Scenario`] with the faults a node sees in
+//! the wild — reorgs, mempool eviction storms, conflict floods, and
+//! duplicate/orphan replays — deterministically, so property tests can
+//! assert that a faulted database never makes the solver contradict the
+//! unbudgeted oracle.
+
+use crate::block::{Block, Blockchain};
+use crate::generator::Scenario;
+use crate::hash::hash_bytes;
+use crate::mempool::MempoolError;
+use crate::script::{Keyring, ScriptPubKey, ScriptSig};
+use crate::tx::{OutPoint, Transaction, TxInput, TxOutput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fault to inject into a scenario.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fault {
+    /// Disconnect the top `depth` blocks, return their transactions to the
+    /// mempool, and mine `depth` divergent replacement blocks.
+    Reorg {
+        /// Blocks to disconnect (clamped to the chain height).
+        depth: u64,
+    },
+    /// Evict the `count` lowest-fee-rate pending transactions (plus their
+    /// descendants), as a node shedding load would.
+    EvictionStorm {
+        /// Seed transactions to evict.
+        count: usize,
+    },
+    /// Flood the mempool with double spends of outpoints that pending
+    /// transactions already consume.
+    ConflictFlood {
+        /// Conflicting transactions to attempt.
+        count: usize,
+    },
+    /// Replay transactions already in the pool; every one must be refused
+    /// as a duplicate.
+    DuplicateReplay {
+        /// Transactions to replay.
+        count: usize,
+    },
+    /// Replay transactions whose inputs do not exist anywhere; every one
+    /// must be refused as unresolvable.
+    OrphanReplay {
+        /// Orphans to attempt.
+        count: usize,
+    },
+}
+
+/// What a fault injection did to the scenario.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Blocks disconnected from the chain tip.
+    pub blocks_disconnected: u64,
+    /// Replacement blocks mined onto the truncated chain.
+    pub blocks_mined: u64,
+    /// Transactions newly admitted to the mempool.
+    pub txs_admitted: usize,
+    /// Transactions the mempool refused (duplicates, orphans, dust, …).
+    pub txs_rejected: usize,
+    /// Transactions removed from the mempool.
+    pub txs_removed: usize,
+}
+
+/// Injects `fault` into `scenario` in place, deterministically for a given
+/// `(fault, seed)` pair. The scenario's chain and mempool stay internally
+/// consistent afterwards ([`crate::Mempool::check_invariants`] holds).
+pub fn inject(scenario: &mut Scenario, fault: Fault, seed: u64) -> FaultReport {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6661756c74); // "fault"
+    match fault {
+        Fault::Reorg { depth } => reorg(scenario, depth),
+        Fault::EvictionStorm { count } => eviction_storm(scenario, count),
+        Fault::ConflictFlood { count } => conflict_flood(scenario, count, &mut rng),
+        Fault::DuplicateReplay { count } => duplicate_replay(scenario, count),
+        Fault::OrphanReplay { count } => orphan_replay(scenario, count),
+    }
+}
+
+/// Builds a signed single-input payment for fault transactions.
+fn signed_payment(
+    scenario: &Scenario,
+    owner: usize,
+    prev: OutPoint,
+    payee: usize,
+    value: u64,
+) -> Transaction {
+    let outs = vec![TxOutput {
+        value,
+        script: ScriptPubKey::P2pk(scenario.keys[payee].public().clone()),
+    }];
+    let msg = Transaction::signing_digest(&[prev], &outs);
+    Transaction::new(
+        vec![TxInput {
+            prev,
+            script_sig: ScriptSig::Sig(scenario.keys[owner].sign(&msg)),
+            spender: scenario.keys[owner].public().clone(),
+        }],
+        outs,
+    )
+}
+
+fn reorg(scenario: &mut Scenario, depth: u64) -> FaultReport {
+    let mut report = FaultReport::default();
+    let depth = depth.min(scenario.chain.height());
+    if depth == 0 {
+        return report;
+    }
+    let keys = scenario.keys.clone();
+    let ring = Keyring::new(&keys);
+    let keep = (scenario.chain.height() - depth) as usize;
+    // The chain is append-only, so "disconnect" = replay the kept prefix
+    // onto a fresh chain.
+    let mut chain = Blockchain::new(*scenario.chain.params());
+    let mut disconnected: Vec<Transaction> = Vec::new();
+    for (i, block) in scenario.chain.blocks()[1..].iter().enumerate() {
+        if i < keep {
+            chain
+                .append(block.clone(), &ring)
+                .expect("kept prefix already validated on the original chain");
+        } else {
+            report.blocks_disconnected += 1;
+            disconnected.extend(block.transactions[1..].iter().cloned());
+        }
+    }
+    // Mine divergent replacements: empty blocks whose coinbase value is
+    // salted by height so every replacement has a fresh txid and the new
+    // tip hash cannot collide with the disconnected branch.
+    for _ in 0..depth {
+        let height = chain.height() + 1;
+        let miner = (height as usize) % scenario.keys.len();
+        let coinbase = Transaction::new(
+            vec![],
+            vec![TxOutput {
+                value: chain.params().subsidy - (height % 997),
+                script: ScriptPubKey::P2pk(scenario.keys[miner].public().clone()),
+            }],
+        );
+        let block = Block::new(height, chain.tip().hash(), vec![coinbase]);
+        chain
+            .append(block, &ring)
+            .expect("empty replacement blocks always validate");
+        report.blocks_mined += 1;
+    }
+    // Return disconnected transactions to the pool (as a node does after a
+    // reorg), then re-admit the old pending set against the new chain.
+    // Disconnected txs go first: they are in block order, so parents
+    // precede children, and old pending entries may depend on them.
+    let old_pool = std::mem::take(&mut scenario.mempool);
+    let before: usize = old_pool.len();
+    scenario.chain = chain;
+    for tx in disconnected
+        .into_iter()
+        .chain(old_pool.entries().iter().map(|e| e.tx.clone()))
+    {
+        match scenario.mempool.insert(&scenario.chain, tx) {
+            Ok(_) => report.txs_admitted += 1,
+            Err(_) => report.txs_rejected += 1,
+        }
+    }
+    report.txs_removed = before.saturating_sub(scenario.mempool.len());
+    report
+}
+
+fn eviction_storm(scenario: &mut Scenario, count: usize) -> FaultReport {
+    let removed = scenario
+        .mempool
+        .evict_lowest_feerate(&scenario.chain, count);
+    FaultReport {
+        txs_removed: removed.len(),
+        ..FaultReport::default()
+    }
+}
+
+fn conflict_flood(scenario: &mut Scenario, count: usize, rng: &mut StdRng) -> FaultReport {
+    let mut report = FaultReport::default();
+    let owner_of = |script: &ScriptPubKey| -> Option<usize> {
+        match script {
+            ScriptPubKey::P2pk(pk) => scenario.keys.iter().position(|k| k.public() == pk),
+            _ => None,
+        }
+    };
+    // Outpoints already consumed by pending transactions but still live in
+    // the chain UTXO set — re-spending one creates a contradiction.
+    let candidates: Vec<(OutPoint, u64, usize)> = scenario
+        .mempool
+        .entries()
+        .iter()
+        .flat_map(|e| e.tx.inputs())
+        .filter_map(|i| {
+            let out = scenario.chain.utxo().get(&i.prev)?;
+            let owner = owner_of(&out.script)?;
+            Some((i.prev, out.value, owner))
+        })
+        .collect();
+    if candidates.is_empty() {
+        return report;
+    }
+    for n in 0..count {
+        let (point, value, owner) = candidates[rng.random_range(0..candidates.len())];
+        if value < 1000 {
+            report.txs_rejected += 1;
+            continue;
+        }
+        // Pay a rotating payee a varying amount so each flood transaction
+        // is distinct even when it re-spends the same outpoint.
+        let payee = (owner + 1 + n) % scenario.keys.len();
+        let fee = value / 10 + n as u64 % 97;
+        let tx = signed_payment(scenario, owner, point, payee, value.saturating_sub(fee).max(1));
+        match scenario.mempool.insert(&scenario.chain, tx) {
+            Ok(_) => report.txs_admitted += 1,
+            Err(_) => report.txs_rejected += 1,
+        }
+    }
+    report
+}
+
+fn duplicate_replay(scenario: &mut Scenario, count: usize) -> FaultReport {
+    let mut report = FaultReport::default();
+    let replay: Vec<Transaction> = scenario
+        .mempool
+        .entries()
+        .iter()
+        .take(count)
+        .map(|e| e.tx.clone())
+        .collect();
+    for tx in replay {
+        match scenario.mempool.insert(&scenario.chain, tx) {
+            Err(MempoolError::Duplicate) => report.txs_rejected += 1,
+            Ok(_) => report.txs_admitted += 1, // should not happen
+            Err(_) => report.txs_rejected += 1,
+        }
+    }
+    report
+}
+
+fn orphan_replay(scenario: &mut Scenario, count: usize) -> FaultReport {
+    let mut report = FaultReport::default();
+    for n in 0..count {
+        let ghost = OutPoint {
+            txid: hash_bytes(format!("orphan-{n}").as_bytes()),
+            vout: 1,
+        };
+        let tx = signed_payment(scenario, 0, ghost, n % scenario.keys.len(), 1);
+        match scenario.mempool.insert(&scenario.chain, tx) {
+            Err(MempoolError::UnresolvableInput(_)) => report.txs_rejected += 1,
+            Ok(_) => report.txs_admitted += 1, // should not happen
+            Err(_) => report.txs_rejected += 1,
+        }
+    }
+    report
+}
+
+/// Applies a whole storm of faults in sequence (the order given), merging
+/// the reports. Convenience for property tests that want "a chaotic run".
+pub fn inject_all(scenario: &mut Scenario, faults: &[Fault], seed: u64) -> FaultReport {
+    let mut total = FaultReport::default();
+    for (i, fault) in faults.iter().enumerate() {
+        let r = inject(scenario, *fault, seed.wrapping_add(i as u64));
+        total.blocks_disconnected += r.blocks_disconnected;
+        total.blocks_mined += r.blocks_mined;
+        total.txs_admitted += r.txs_admitted;
+        total.txs_rejected += r.txs_rejected;
+        total.txs_removed += r.txs_removed;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{generate, ScenarioConfig};
+
+    fn small() -> Scenario {
+        generate(&ScenarioConfig {
+            seed: 7,
+            wallets: 10,
+            blocks: 10,
+            txs_per_block: 5,
+            pending_txs: 30,
+            contradictions: 3,
+            ..ScenarioConfig::default()
+        })
+    }
+
+    #[test]
+    fn reorg_truncates_and_diverges() {
+        let mut s = small();
+        let original_tip = s.chain.tip().hash();
+        let original_height = s.chain.height();
+        let r = inject(&mut s, Fault::Reorg { depth: 2 }, 1);
+        assert_eq!(r.blocks_disconnected, 2);
+        assert_eq!(r.blocks_mined, 2);
+        assert_eq!(s.chain.height(), original_height);
+        assert_ne!(s.chain.tip().hash(), original_tip);
+        // Disconnected transactions flowed back into the pool.
+        assert!(r.txs_admitted > 0, "{r:?}");
+        s.mempool.check_invariants(&s.chain).unwrap();
+    }
+
+    #[test]
+    fn reorg_depth_zero_is_noop() {
+        let mut s = small();
+        let tip = s.chain.tip().hash();
+        let len = s.mempool.len();
+        let r = inject(&mut s, Fault::Reorg { depth: 0 }, 1);
+        assert_eq!(r, FaultReport::default());
+        assert_eq!(s.chain.tip().hash(), tip);
+        assert_eq!(s.mempool.len(), len);
+    }
+
+    #[test]
+    fn eviction_storm_shrinks_pool_consistently() {
+        let mut s = small();
+        let before = s.mempool.len();
+        let r = inject(&mut s, Fault::EvictionStorm { count: 5 }, 1);
+        assert!(r.txs_removed >= 5, "{r:?}");
+        assert_eq!(s.mempool.len(), before - r.txs_removed);
+        s.mempool.check_invariants(&s.chain).unwrap();
+    }
+
+    #[test]
+    fn conflict_flood_adds_double_spends() {
+        let mut s = small();
+        let conflicts_before = s.mempool.conflict_pairs().len();
+        let r = inject(&mut s, Fault::ConflictFlood { count: 10 }, 1);
+        assert!(r.txs_admitted > 0, "{r:?}");
+        assert!(s.mempool.conflict_pairs().len() > conflicts_before);
+        s.mempool.check_invariants(&s.chain).unwrap();
+    }
+
+    #[test]
+    fn replays_are_refused() {
+        let mut s = small();
+        let before = s.mempool.len();
+        let r = inject(&mut s, Fault::DuplicateReplay { count: 10 }, 1);
+        assert_eq!(r.txs_admitted, 0, "{r:?}");
+        assert_eq!(r.txs_rejected, 10);
+        let r = inject(&mut s, Fault::OrphanReplay { count: 10 }, 1);
+        assert_eq!(r.txs_admitted, 0, "{r:?}");
+        assert_eq!(r.txs_rejected, 10);
+        assert_eq!(s.mempool.len(), before);
+        s.mempool.check_invariants(&s.chain).unwrap();
+    }
+
+    #[test]
+    fn chaotic_storm_keeps_scenario_consistent() {
+        let mut s = small();
+        let faults = [
+            Fault::ConflictFlood { count: 8 },
+            Fault::Reorg { depth: 1 },
+            Fault::DuplicateReplay { count: 5 },
+            Fault::EvictionStorm { count: 4 },
+            Fault::OrphanReplay { count: 5 },
+            Fault::Reorg { depth: 3 },
+        ];
+        inject_all(&mut s, &faults, 99);
+        s.mempool.check_invariants(&s.chain).unwrap();
+        // The export pipeline still works on a faulted scenario.
+        let e = crate::export(&s).unwrap();
+        assert!(!e.base.is_empty());
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let mut a = small();
+        let mut b = small();
+        let faults = [
+            Fault::ConflictFlood { count: 6 },
+            Fault::EvictionStorm { count: 3 },
+        ];
+        inject_all(&mut a, &faults, 5);
+        inject_all(&mut b, &faults, 5);
+        let ta: Vec<_> = a.mempool.entries().iter().map(|e| e.tx.txid()).collect();
+        let tb: Vec<_> = b.mempool.entries().iter().map(|e| e.tx.txid()).collect();
+        assert_eq!(ta, tb);
+    }
+}

@@ -20,6 +20,7 @@ pub mod block;
 pub mod conflict;
 pub mod export;
 pub mod export_io;
+pub mod faults;
 pub mod generator;
 pub mod hash;
 pub mod keys;
@@ -36,6 +37,7 @@ pub use export::{bitcoin_catalog, export, feerate_probabilities, ExportCounts, R
 pub use export_io::{
     read_export, read_export_file, write_export, write_export_file, ExportIoError,
 };
+pub use faults::{inject, inject_all, Fault, FaultReport};
 pub use generator::{generate, Scenario, ScenarioConfig};
 pub use hash::{hash_bytes, Digest, Hasher};
 pub use keys::{KeyPair, PublicKey, Signature};

@@ -141,6 +141,122 @@ impl Mempool {
         }
     }
 
+    /// Rebuilds the pool without the transactions in `doomed`, returning
+    /// the txids actually removed (in insertion order). Also drops any
+    /// survivor whose ancestry became unresolvable, keeping `by_txid` and
+    /// the outputs index consistent with the entry list.
+    fn rebuild_without(
+        &mut self,
+        chain: &Blockchain,
+        doomed: &rustc_hash::FxHashSet<Digest>,
+    ) -> Vec<Digest> {
+        let old = std::mem::take(&mut self.entries);
+        self.by_txid.clear();
+        self.outputs.clear();
+        let mut removed = Vec::new();
+        for entry in old {
+            let id = entry.tx.txid();
+            if doomed.contains(&id) || self.insert(chain, entry.tx).is_err() {
+                removed.push(id);
+            }
+        }
+        removed
+    }
+
+    /// Removes the transaction with `txid` and every pending transaction
+    /// that (transitively) spends one of its outputs. Returns the removed
+    /// txids in insertion order; empty if `txid` is not in the pool.
+    pub fn remove_descendants(&mut self, chain: &Blockchain, txid: &Digest) -> Vec<Digest> {
+        if !self.by_txid.contains_key(txid) {
+            return Vec::new();
+        }
+        let mut doomed = rustc_hash::FxHashSet::default();
+        doomed.insert(*txid);
+        // Admission requires parents to already be present (in the pool or
+        // on chain), so insertion order is topological and one forward pass
+        // closes the descendant set.
+        for e in &self.entries {
+            if e.tx.inputs().iter().any(|i| doomed.contains(&i.prev.txid)) {
+                doomed.insert(e.tx.txid());
+            }
+        }
+        self.rebuild_without(chain, &doomed)
+    }
+
+    /// Evicts the `count` lowest-fee-rate transactions (ties broken toward
+    /// the earliest-inserted) together with their descendants, mirroring a
+    /// node shedding load when the mempool is full. Returns the removed
+    /// txids in insertion order; the total may exceed `count` because
+    /// descendants of an evicted transaction cannot stay.
+    pub fn evict_lowest_feerate(&mut self, chain: &Blockchain, count: usize) -> Vec<Digest> {
+        if count == 0 || self.entries.is_empty() {
+            return Vec::new();
+        }
+        let mut order: Vec<usize> = (0..self.entries.len()).collect();
+        order.sort_by_key(|&i| (self.entries[i].feerate_millisats, i));
+        let mut doomed = rustc_hash::FxHashSet::default();
+        for &i in order.iter().take(count) {
+            doomed.insert(self.entries[i].tx.txid());
+        }
+        for e in &self.entries {
+            if e.tx.inputs().iter().any(|i| doomed.contains(&i.prev.txid)) {
+                doomed.insert(e.tx.txid());
+            }
+        }
+        self.rebuild_without(chain, &doomed)
+    }
+
+    /// Verifies the internal indexes against the entry list: `by_txid` must
+    /// be a bijection onto entry positions, the outputs index must point at
+    /// the creating entry with an in-range vout, and every entry's inputs
+    /// must resolve against the chain or earlier pool entries. Used by
+    /// fault-injection tests; cheap enough to call after every mutation.
+    pub fn check_invariants(&self, chain: &Blockchain) -> Result<(), String> {
+        if self.by_txid.len() != self.entries.len() {
+            return Err(format!(
+                "by_txid has {} entries for {} transactions",
+                self.by_txid.len(),
+                self.entries.len()
+            ));
+        }
+        for (i, e) in self.entries.iter().enumerate() {
+            let id = e.tx.txid();
+            if self.by_txid.get(&id) != Some(&i) {
+                return Err(format!("by_txid[{id:?}] does not map to position {i}"));
+            }
+            for (j, _) in e.tx.outputs().iter().enumerate() {
+                let point = e.tx.outpoint(j as u32 + 1);
+                if self.outputs.get(&point) != Some(&i) {
+                    return Err(format!("outputs index misses outpoint {point:?} of entry {i}"));
+                }
+            }
+            for input in e.tx.inputs() {
+                if self.resolve_output(chain, &input.prev).is_none() {
+                    return Err(format!("entry {i} has unresolvable input {:?}", input.prev));
+                }
+                // Pool-created parents must precede their spenders.
+                if let Some(&p) = self.outputs.get(&input.prev) {
+                    if chain.utxo().get(&input.prev).is_none() && p >= i {
+                        return Err(format!("entry {i} spends output of later entry {p}"));
+                    }
+                }
+            }
+        }
+        for (point, &i) in &self.outputs {
+            let outs = self
+                .entries
+                .get(i)
+                .ok_or_else(|| format!("outputs index points past the entry list ({i})"))?;
+            if outs.tx.txid() != point.txid
+                || point.vout == 0
+                || (point.vout as usize) > outs.tx.outputs().len()
+            {
+                return Err(format!("outputs index entry {point:?} -> {i} is stale"));
+            }
+        }
+        Ok(())
+    }
+
     /// Pending transactions whose inputs collide — the double-spend pairs.
     pub fn conflict_pairs(&self) -> Vec<(Digest, Digest)> {
         let mut by_input: FxHashMap<OutPoint, Vec<Digest>> = FxHashMap::default();
@@ -280,5 +396,89 @@ mod tests {
         pool.purge_after_block(&chain, &[t1.txid()]);
         // t2 conflicted with the mined t1 -> dropped.
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn remove_descendants_takes_whole_chain() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let carol = KeyPair::from_secret(3);
+        let (chain, cb) = funded_chain(&alice);
+        let mut pool = Mempool::new();
+        let t1 = pay(&alice, cb.outpoint(1), &bob, 90_000);
+        let t2 = pay(&bob, t1.outpoint(1), &carol, 85_000);
+        let t3 = pay(&carol, t2.outpoint(1), &alice, 80_000);
+        for t in [&t1, &t2, &t3] {
+            pool.insert(&chain, t.clone()).unwrap();
+        }
+        // Removing the middle of the chain takes its child but not its parent.
+        let removed = pool.remove_descendants(&chain, &t2.txid());
+        assert_eq!(removed, vec![t2.txid(), t3.txid()]);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.get(&t1.txid()).is_some());
+        pool.check_invariants(&chain).unwrap();
+        // Unknown txid is a no-op.
+        assert!(pool.remove_descendants(&chain, &t2.txid()).is_empty());
+        pool.check_invariants(&chain).unwrap();
+    }
+
+    #[test]
+    fn evict_lowest_feerate_takes_descendants_and_keeps_indexes() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let carol = KeyPair::from_secret(3);
+        let keys = vec![alice.clone(), bob.clone(), carol.clone()];
+        let ring = Keyring::new(&keys);
+        let mut chain = Blockchain::new(ChainParams::default());
+        // Two independent coins for alice.
+        let cb = Transaction::new(
+            vec![],
+            vec![
+                TxOutput {
+                    value: 100_000,
+                    script: ScriptPubKey::P2pk(alice.public().clone()),
+                },
+                TxOutput {
+                    value: 100_000,
+                    script: ScriptPubKey::P2pk(alice.public().clone()),
+                },
+            ],
+        );
+        let b = Block::new(1, chain.tip().hash(), vec![cb.clone()]);
+        chain.append(b, &ring).unwrap();
+        let mut pool = Mempool::new();
+        // Low-fee parent (fee 1k) with a high-fee child, plus an unrelated
+        // high-fee payment (fee 20k).
+        let parent = pay(&alice, cb.outpoint(1), &bob, 99_000);
+        let child = pay(&bob, parent.outpoint(1), &carol, 50_000);
+        let rich = pay(&alice, cb.outpoint(2), &carol, 80_000);
+        for t in [&parent, &child, &rich] {
+            pool.insert(&chain, t.clone()).unwrap();
+        }
+        let removed = pool.evict_lowest_feerate(&chain, 1);
+        // The lowest fee rate is the parent; its child must go with it.
+        assert_eq!(removed, vec![parent.txid(), child.txid()]);
+        assert_eq!(pool.len(), 1);
+        assert!(pool.get(&rich.txid()).is_some());
+        pool.check_invariants(&chain).unwrap();
+        // Evicting more than remains empties the pool without panicking.
+        let removed = pool.evict_lowest_feerate(&chain, 10);
+        assert_eq!(removed, vec![rich.txid()]);
+        assert!(pool.is_empty());
+        pool.check_invariants(&chain).unwrap();
+    }
+
+    #[test]
+    fn check_invariants_accepts_normal_pools() {
+        let alice = KeyPair::from_secret(1);
+        let bob = KeyPair::from_secret(2);
+        let (chain, cb) = funded_chain(&alice);
+        let mut pool = Mempool::new();
+        pool.check_invariants(&chain).unwrap();
+        let t1 = pay(&alice, cb.outpoint(1), &bob, 90_000);
+        let t2 = pay(&bob, t1.outpoint(1), &alice, 85_000);
+        pool.insert(&chain, t1).unwrap();
+        pool.insert(&chain, t2).unwrap();
+        pool.check_invariants(&chain).unwrap();
     }
 }

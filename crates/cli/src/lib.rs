@@ -15,8 +15,9 @@
 use bcdb_bench::datasets::{load_dataset, load_export, LoadedDataset};
 use bcdb_chain::Dataset;
 use bcdb_core::{
-    dcsat, estimate_violation_risk, for_each_possible_world, minimize_witness, Algorithm,
-    DcSatOptions, PerTxAcceptance, Precomputed, PreparedConstraint, UniformAcceptance,
+    dcsat, dcsat_governed, estimate_violation_risk, for_each_possible_world, minimize_witness,
+    Algorithm, BudgetSpec, DcSatOptions, PerTxAcceptance, Precomputed, PreparedConstraint,
+    UniformAcceptance, Verdict,
 };
 use bcdb_query::{
     atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
@@ -47,6 +48,9 @@ pub enum Command {
         algorithm: Algorithm,
         /// Minimize the witness on violation.
         minimize: bool,
+        /// Resource limits (`--timeout-ms`, `--max-cliques`, `--max-worlds`,
+        /// `--max-tuples`); any limit switches to the governed solver.
+        budget: BudgetSpec,
         /// The constraint text.
         constraint: String,
     },
@@ -151,6 +155,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut prob: Option<f64> = None;
     let mut out_path: Option<PathBuf> = None;
     let mut file: Option<PathBuf> = None;
+    let mut budget = BudgetSpec::UNLIMITED;
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -189,6 +194,27 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 }
                 prob = Some(p);
             }
+            "--timeout-ms" => {
+                let ms: u64 = flag_value("--timeout-ms")?
+                    .parse()
+                    .map_err(|_| CliError("--timeout-ms requires an integer".into()))?;
+                budget.timeout = Some(std::time::Duration::from_millis(ms));
+            }
+            "--max-cliques" => {
+                budget.max_cliques = Some(flag_value("--max-cliques")?.parse().map_err(|_| {
+                    CliError("--max-cliques requires an integer".into())
+                })?);
+            }
+            "--max-worlds" => {
+                budget.max_worlds = Some(flag_value("--max-worlds")?.parse().map_err(|_| {
+                    CliError("--max-worlds requires an integer".into())
+                })?);
+            }
+            "--max-tuples" => {
+                budget.max_tuples = Some(flag_value("--max-tuples")?.parse().map_err(|_| {
+                    CliError("--max-tuples requires an integer".into())
+                })?);
+            }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag '{other}'")));
             }
@@ -212,6 +238,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             file,
             algorithm,
             minimize,
+            budget,
             constraint: constraint()?,
         }),
         "explain" => Ok(Command::Explain {
@@ -247,16 +274,28 @@ bcdb — reasoning about the future in blockchain databases
 
 USAGE:
   bcdb stats   [--dataset d200]  [--seed 42]
-  bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize] '<constraint>'
+  bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize]
+               [--timeout-ms N] [--max-cliques N] [--max-worlds N] [--max-tuples N]
+               '<constraint>'
   bcdb explain [--dataset small] '<constraint>'
   bcdb risk    [--dataset small] [--seed 42] [--samples 1000] [--prob P] '<constraint>'
   bcdb worlds  [--dataset small] [--seed 42] [--limit 50]
   bcdb dump    [--dataset d100]  [--seed 42] --out <path>
 
+`check` with any resource limit runs the governed solver: it degrades
+gracefully when the budget runs out and may answer `unknown` (exit code 3)
+instead of guessing. Without limits it runs to completion.
+
 `risk` estimates the probability that the constraint is ever violated,
 drawing future worlds from an acceptance model: --prob P accepts every
 pending transaction with probability P; without it, acceptance follows the
 fee-rate rank (miners prefer high fee rates).
+
+EXIT CODES:
+  0  success (constraint holds, or command completed)
+  1  constraint violated (a witness world exists)
+  2  usage or input error
+  3  unknown: the budget was exhausted before a definite answer
 
 Constraints use the paper's syntax over TxOut(txId, ser, pk, amount) and
 TxIn(prevTxId, prevSer, pk, amount, newTxId, sig), e.g.:
@@ -268,8 +307,19 @@ fn load(dataset: Dataset, seed: u64) -> LoadedDataset {
     load_dataset(dataset, seed)
 }
 
-/// Executes a command, returning the text to print.
-pub fn run(cmd: Command) -> Result<String, CliError> {
+/// What a command produced: text to print plus the process exit code
+/// (see `EXIT CODES` in [`USAGE`]).
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Text for stdout.
+    pub text: String,
+    /// Process exit code: 0 holds/ok, 1 violated, 3 unknown.
+    pub exit_code: i32,
+}
+
+/// Executes a command, returning the text to print and the exit code.
+pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
+    let mut exit_code = 0;
     let mut out = String::new();
     match cmd {
         Command::Help => out.push_str(USAGE),
@@ -298,6 +348,7 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             file,
             algorithm,
             minimize,
+            budget,
             constraint,
         } => {
             let mut db = match file {
@@ -306,25 +357,53 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             };
             let dc = parse_denial_constraint(&constraint, db.database().catalog())
                 .map_err(|e| CliError(e.to_string()))?;
-            let outcome = dcsat(
-                &mut db,
-                &dc,
-                &DcSatOptions {
-                    algorithm,
-                    ..DcSatOptions::default()
-                },
-            )
-            .map_err(|e| CliError(e.to_string()))?;
+            let dc_opts = DcSatOptions {
+                algorithm,
+                budget,
+                ..DcSatOptions::default()
+            };
+            let (satisfied, witness, stats, extra) = if budget.is_unlimited() {
+                let outcome =
+                    dcsat(&mut db, &dc, &dc_opts).map_err(|e| CliError(e.to_string()))?;
+                (
+                    Some(outcome.satisfied),
+                    outcome.witness,
+                    outcome.stats,
+                    String::new(),
+                )
+            } else {
+                let outcome =
+                    dcsat_governed(&mut db, &dc, &dc_opts).map_err(|e| CliError(e.to_string()))?;
+                let mut extra = format!(", elapsed: {:?}", outcome.elapsed);
+                if let Some(d) = outcome.degraded_to {
+                    write!(extra, ", {d}").unwrap();
+                }
+                match outcome.verdict {
+                    Verdict::Holds => (Some(true), None, outcome.stats, extra),
+                    Verdict::Violated(w) => (Some(false), Some(w), outcome.stats, extra),
+                    Verdict::Unknown(reason) => {
+                        write!(extra, "; {reason}").unwrap();
+                        (None, None, outcome.stats, extra)
+                    }
+                }
+            };
+            let verdict_text = match satisfied {
+                Some(true) => "satisfied: true",
+                Some(false) => "satisfied: false",
+                None => "satisfied: unknown",
+            };
             writeln!(
                 out,
-                "satisfied: {} (algorithm: {}, worlds evaluated: {}, cliques: {})",
-                outcome.satisfied,
-                outcome.stats.algorithm,
-                outcome.stats.worlds_evaluated,
-                outcome.stats.cliques_enumerated
+                "{verdict_text} (algorithm: {}, worlds evaluated: {}, cliques: {}{extra})",
+                stats.algorithm, stats.worlds_evaluated, stats.cliques_enumerated
             )
             .unwrap();
-            if let Some(w) = outcome.witness {
+            exit_code = match satisfied {
+                Some(true) => 0,
+                Some(false) => 1,
+                None => 3,
+            };
+            if let Some(w) = witness {
                 let w = if minimize {
                     let pre = Precomputed::build(&db);
                     let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
@@ -495,7 +574,10 @@ pub fn run(cmd: Command) -> Result<String, CliError> {
             }
         }
     }
-    Ok(out)
+    Ok(RunOutput {
+        text: out,
+        exit_code,
+    })
 }
 
 #[cfg(test)]
@@ -531,9 +613,28 @@ mod tests {
                 file: None,
                 algorithm: Algorithm::Naive,
                 minimize: true,
+                budget: BudgetSpec::UNLIMITED,
                 constraint: "q() <- TxOut(t, s, 'x', a)".into(),
             }
         );
+    }
+
+    #[test]
+    fn parses_budget_flags() {
+        let mut args = argv("check --timeout-ms 50 --max-cliques 10 --max-worlds 20 --max-tuples 30");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        let cmd = parse_args(&args).unwrap();
+        let Command::Check { budget, .. } = cmd else {
+            panic!("expected Check, got {cmd:?}");
+        };
+        assert!(!budget.is_unlimited());
+        assert_eq!(budget.timeout, Some(std::time::Duration::from_millis(50)));
+        assert_eq!(budget.max_cliques, Some(10));
+        assert_eq!(budget.max_worlds, Some(20));
+        assert_eq!(budget.max_tuples, Some(30));
+        // Bad values rejected.
+        assert!(parse_args(&argv("check --timeout-ms soon x")).is_err());
+        assert!(parse_args(&argv("check --max-cliques")).is_err());
     }
 
     #[test]
@@ -555,10 +656,12 @@ mod tests {
             file: None,
             algorithm: Algorithm::Auto,
             minimize: true,
+            budget: BudgetSpec::UNLIMITED,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
-        assert!(out.contains("satisfied: true"), "{out}");
+        assert!(out.text.contains("satisfied: true"), "{}", out.text);
+        assert_eq!(out.exit_code, 0);
 
         let out = run(Command::Explain {
             dataset: Dataset::Small,
@@ -566,8 +669,8 @@ mod tests {
             constraint: "[q(sum(a)) <- TxOut(t, s, 'pkNOSUCH', a)] > 5".into(),
         })
         .unwrap();
-        assert!(out.contains("form:        aggregate"), "{out}");
-        assert!(out.contains("auto route:"), "{out}");
+        assert!(out.text.contains("form:        aggregate"), "{}", out.text);
+        assert!(out.text.contains("auto route:"), "{}", out.text);
 
         let err = run(Command::Check {
             dataset: Dataset::Small,
@@ -575,10 +678,68 @@ mod tests {
             file: None,
             algorithm: Algorithm::Auto,
             minimize: false,
+            budget: BudgetSpec::UNLIMITED,
             constraint: "q() <- Nope(x)".into(),
         })
         .unwrap_err();
         assert!(err.0.contains("Nope"));
+    }
+
+    #[test]
+    fn violated_check_exits_one() {
+        // Every generated dataset pays someone, so this monotone constraint
+        // ("no output at all exists") is violated already in the base world.
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            budget: BudgetSpec::UNLIMITED,
+            constraint: "q() <- TxOut(t, s, p, a)".into(),
+        })
+        .unwrap();
+        assert!(out.text.contains("satisfied: false"), "{}", out.text);
+        assert_eq!(out.exit_code, 1);
+    }
+
+    #[test]
+    fn governed_check_reports_verdict_and_exit_code() {
+        // A zero tuple budget exhausts immediately; the monotone-precheck
+        // fallback still proves this monotone, unsatisfiable constraint holds.
+        let mut budget = BudgetSpec::UNLIMITED;
+        budget.max_tuples = Some(0);
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            budget,
+            constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
+        })
+        .unwrap();
+        assert!(out.text.contains("satisfied: true"), "{}", out.text);
+        assert!(out.text.contains("elapsed:"), "{}", out.text);
+        assert_eq!(out.exit_code, 0);
+
+        // Non-monotone constraint: the oracle runs out of worlds and no
+        // fallback rung applies, so the answer is unknown and the exit code 3.
+        let mut budget = BudgetSpec::UNLIMITED;
+        budget.max_worlds = Some(4);
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            budget,
+            constraint:
+                "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
+        })
+        .unwrap();
+        assert!(out.text.contains("satisfied: unknown"), "{}", out.text);
+        assert_eq!(out.exit_code, 3);
     }
 
     #[test]
@@ -591,12 +752,16 @@ mod tests {
             Command::Risk { samples: 200, prob: Some(p), .. } if *p == 0.5
         ));
         let out = run(cmd).unwrap();
-        assert!(out.contains("violation probability ≈ 0.0000"), "{out}");
+        assert!(
+            out.text.contains("violation probability ≈ 0.0000"),
+            "{}",
+            out.text
+        );
         // Fee-rate model path.
         let mut args = argv("risk --samples 50");
         args.push("q() <- TxOut(t, s, 'pkNOSUCH', a)".into());
         let out = run(parse_args(&args).unwrap()).unwrap();
-        assert!(out.contains("fee-rate rank"), "{out}");
+        assert!(out.text.contains("fee-rate rank"), "{}", out.text);
         // Bad probability rejected.
         let mut args = argv("risk --prob 1.5");
         args.push("q() <- TxOut(t, s, 'x', a)".into());
@@ -620,10 +785,11 @@ mod tests {
             file: Some(path.clone()),
             algorithm: Algorithm::Auto,
             minimize: false,
+            budget: BudgetSpec::UNLIMITED,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
-        assert!(out.contains("satisfied: true"), "{out}");
+        assert!(out.text.contains("satisfied: true"), "{}", out.text);
         std::fs::remove_file(&path).ok();
     }
 
@@ -635,8 +801,8 @@ mod tests {
             limit: 3,
         })
         .unwrap();
-        let lines: Vec<&str> = out.lines().collect();
-        assert!(lines.len() <= 5, "{out}");
-        assert!(lines[0] == "R", "{out}");
+        let lines: Vec<&str> = out.text.lines().collect();
+        assert!(lines.len() <= 5, "{}", out.text);
+        assert!(lines[0] == "R", "{}", out.text);
     }
 }

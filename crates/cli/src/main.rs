@@ -4,7 +4,12 @@
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match bcdb_cli::parse_args(&args).and_then(bcdb_cli::run) {
-        Ok(out) => print!("{out}"),
+        Ok(out) => {
+            print!("{}", out.text);
+            if out.exit_code != 0 {
+                std::process::exit(out.exit_code);
+            }
+        }
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!("{}", bcdb_cli::USAGE);

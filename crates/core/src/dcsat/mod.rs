@@ -32,10 +32,12 @@ mod tests;
 use crate::db::BlockchainDb;
 use crate::error::CoreError;
 use crate::precompute::Precomputed;
+use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason, UNGOVERNED};
 use bcdb_graph::CliqueStrategy;
 use bcdb_query::{
-    atom_graph_complete, evaluate_aggregate, evaluate_bool, is_connected, monotonicity, prepare,
-    prepare_aggregate, DenialConstraint, Monotonicity, PreparedAggregate, PreparedQuery,
+    atom_graph_complete, evaluate_aggregate, evaluate_aggregate_governed, evaluate_bool,
+    evaluate_bool_governed, is_connected, monotonicity, prepare, prepare_aggregate,
+    DenialConstraint, Monotonicity, PreparedAggregate, PreparedQuery,
 };
 use bcdb_storage::{Database, WorldMask};
 
@@ -72,6 +74,10 @@ pub struct DcSatOptions {
     pub use_covers: bool,
     /// Process `OptDCSat` components on multiple threads (extension).
     pub parallel: bool,
+    /// Resource limits for governed entry points ([`dcsat_governed`] and
+    /// friends). Ignored by the ungoverned [`dcsat`]/[`dcsat_with`], which
+    /// always run to completion.
+    pub budget: BudgetSpec,
 }
 
 impl Default for DcSatOptions {
@@ -82,6 +88,7 @@ impl Default for DcSatOptions {
             use_precheck: true,
             use_covers: true,
             parallel: false,
+            budget: BudgetSpec::UNLIMITED,
         }
     }
 }
@@ -103,6 +110,21 @@ pub struct DcSatStats {
     pub components_checked: usize,
     /// Query matches examined (tractable deciders).
     pub matches_examined: usize,
+    /// Parallel workers isolated after a panic (always 0 unless a bug in a
+    /// worker was contained by the panic guard).
+    pub poisoned_workers: usize,
+}
+
+/// An algorithm stopped before reaching a definite answer. Internal result
+/// type of the budget-aware algorithm drivers; governed entry points
+/// convert it into [`Verdict::Unknown`], ungoverned ones into
+/// [`CoreError::Exhausted`].
+#[derive(Clone, Debug)]
+pub struct Exhausted {
+    /// What ran out (or went wrong).
+    pub reason: ExhaustionReason,
+    /// Work done before stopping — partial, but accurate.
+    pub stats: DcSatStats,
 }
 
 /// The result of a denial-constraint satisfaction check.
@@ -135,6 +157,65 @@ impl DcSatOutcome {
     }
 }
 
+/// The answer of a *governed* denial-constraint satisfaction check.
+///
+/// Soundness invariant: `Holds` and `Violated` are only ever returned when
+/// fully proven — `Holds` means every possible world was covered by a sound
+/// argument (complete enumeration, or monotonicity from the `R ∪ ⋃T`
+/// pre-check), and `Violated`'s witness is a genuine possible world over
+/// which the query evaluates to true. A run that exhausts its budget
+/// returns `Unknown`, never a guess.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// `D |= ¬q`: the constraint holds in every possible world.
+    Holds,
+    /// The constraint can be violated; the witness world proves it.
+    Violated(WorldMask),
+    /// The budget ran out (or a worker was lost) before either could be
+    /// proven.
+    Unknown(ExhaustionReason),
+}
+
+impl Verdict {
+    /// `Some(satisfied)` for definite verdicts, `None` for `Unknown`.
+    pub fn satisfied(&self) -> Option<bool> {
+        match self {
+            Verdict::Holds => Some(true),
+            Verdict::Violated(_) => Some(false),
+            Verdict::Unknown(_) => None,
+        }
+    }
+
+    /// Whether this is a definite (proven) answer.
+    pub fn is_definite(&self) -> bool {
+        !matches!(self, Verdict::Unknown(_))
+    }
+
+    /// The witness world, if the constraint was proven violated.
+    pub fn witness(&self) -> Option<&WorldMask> {
+        match self {
+            Verdict::Violated(w) => Some(w),
+            _ => None,
+        }
+    }
+}
+
+/// The result of a governed denial-constraint satisfaction check.
+#[derive(Clone, Debug)]
+pub struct GovernedOutcome {
+    /// The (possibly indefinite) answer. See [`Verdict`].
+    pub verdict: Verdict,
+    /// What the algorithms did, including work done before any exhaustion.
+    pub stats: DcSatStats,
+    /// When the primary algorithm exhausted its budget but a cheaper sound
+    /// fallback still produced a definite answer, the fallback's name
+    /// (e.g. `"degraded/naive"`, `"degraded/monotone-precheck"`,
+    /// `"degraded/base-world"`). `None` when the primary answer stood.
+    pub degraded_to: Option<&'static str>,
+    /// Wall-clock time consumed by the check (primary + any fallbacks).
+    pub elapsed: std::time::Duration,
+}
+
 /// A denial constraint compiled against the database (join order and probe
 /// indexes fixed). Reusable across many [`dcsat_with`] calls.
 #[derive(Clone, Debug)]
@@ -161,6 +242,22 @@ impl PreparedConstraint {
         match self {
             PreparedConstraint::Conjunctive(pq) => evaluate_bool(db, pq, mask),
             PreparedConstraint::Aggregate(pa) => evaluate_aggregate(db, pa, mask),
+        }
+    }
+
+    /// Budget-aware variant of [`PreparedConstraint::holds`]: `Ok` answers
+    /// are definite, `Err` means the budget ran out mid-evaluation.
+    pub fn holds_governed(
+        &self,
+        db: &Database,
+        mask: &WorldMask,
+        budget: &Budget,
+    ) -> Result<bool, ExhaustionReason> {
+        match self {
+            PreparedConstraint::Conjunctive(pq) => evaluate_bool_governed(db, pq, mask, budget),
+            PreparedConstraint::Aggregate(pa) => {
+                evaluate_aggregate_governed(db, pa, mask, budget)
+            }
         }
     }
 
@@ -193,6 +290,78 @@ pub fn dcsat_with(
     dc: &DenialConstraint,
     opts: &DcSatOptions,
 ) -> Result<DcSatOutcome, CoreError> {
+    // The static unlimited budget never exhausts; a worker panic is the
+    // only way `route` can report exhaustion here.
+    match route(bcdb, pre, dc, opts, &UNGOVERNED)? {
+        Ok(outcome) => Ok(outcome),
+        Err(ex) => Err(CoreError::Exhausted { reason: ex.reason }),
+    }
+}
+
+/// Decides `D |= ¬q` under the resource limits in `opts.budget`, building
+/// the precomputed structures internally. Never guesses: when the budget
+/// runs out, cheap *sound* fallbacks are tried (see [`GovernedOutcome`]),
+/// and failing those the verdict is [`Verdict::Unknown`].
+pub fn dcsat_governed(
+    bcdb: &mut BlockchainDb,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+) -> Result<GovernedOutcome, CoreError> {
+    dc.validate(bcdb.database().catalog())?;
+    let pre = Precomputed::build(bcdb);
+    dcsat_governed_with(bcdb, &pre, dc, opts)
+}
+
+/// [`dcsat_governed`] over already-built steady-state structures.
+pub fn dcsat_governed_with(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+) -> Result<GovernedOutcome, CoreError> {
+    let budget = opts.budget.start();
+    dcsat_governed_with_budget(bcdb, pre, dc, opts, &budget)
+}
+
+/// [`dcsat_governed`] drawing from an externally-started [`Budget`] — the
+/// caller keeps a handle and can [`Budget::cancel`] from another thread
+/// (`opts.budget` is ignored; the supplied budget rules).
+pub fn dcsat_governed_with_budget(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+    budget: &Budget,
+) -> Result<GovernedOutcome, CoreError> {
+    let outcome = match route(bcdb, pre, dc, opts, budget)? {
+        Ok(outcome) => {
+            let verdict = match outcome.witness {
+                Some(w) => Verdict::Violated(w),
+                None => Verdict::Holds,
+            };
+            GovernedOutcome {
+                verdict,
+                stats: outcome.stats,
+                degraded_to: None,
+                elapsed: budget.elapsed(),
+            }
+        }
+        Err(ex) => degrade(bcdb, pre, dc, opts, budget, ex),
+    };
+    Ok(outcome)
+}
+
+/// Validates, prepares, and dispatches to the selected algorithm. The outer
+/// error is a configuration problem (invalid constraint, forced algorithm
+/// that does not apply); the inner `Err` is budget exhaustion.
+#[allow(clippy::type_complexity)]
+fn route(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+    budget: &Budget,
+) -> Result<Result<DcSatOutcome, Exhausted>, CoreError> {
     dc.validate(bcdb.database().catalog())?;
     let pc = PreparedConstraint::prepare(bcdb.database_mut(), dc);
     let mono = monotonicity(dc);
@@ -204,7 +373,7 @@ pub fn dcsat_with(
     match opts.algorithm {
         Algorithm::Auto => {
             if let Some(case) = tractable::classify(bcdb, dc) {
-                return Ok(tractable::run(bcdb, pre, dc, &pc, case, opts));
+                return Ok(tractable::run(bcdb, pre, dc, &pc, case, opts, budget));
             }
             match mono {
                 Monotonicity::Monotone => {
@@ -220,19 +389,19 @@ pub fn dcsat_with(
                         // Covers info needs &mut for index building — do it
                         // before entering the read-only phase.
                         let covers = opt::CoversInfo::build(bcdb, pc.as_conjunctive().unwrap());
-                        Ok(opt::run(bcdb, pre, &pc, &covers, opts))
+                        Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget))
                     } else {
-                        Ok(naive::run(bcdb, pre, &pc, opts))
+                        Ok(naive::run(bcdb, pre, &pc, opts, budget))
                     }
                 }
-                Monotonicity::NonMonotone { .. } => Ok(oracle::run(bcdb, pre, &pc)),
+                Monotonicity::NonMonotone { .. } => Ok(oracle::run(bcdb, pre, &pc, budget)),
             }
         }
         Algorithm::Naive => {
             if let Monotonicity::NonMonotone { reason } = mono {
                 return Err(CoreError::NotMonotonic { reason });
             }
-            Ok(naive::run(bcdb, pre, &pc, opts))
+            Ok(naive::run(bcdb, pre, &pc, opts, budget))
         }
         Algorithm::Opt => {
             if let Monotonicity::NonMonotone { reason } = mono {
@@ -245,15 +414,113 @@ pub fn dcsat_with(
                 return Err(CoreError::NotConnected);
             }
             let covers = opt::CoversInfo::build(bcdb, pq);
-            Ok(opt::run(bcdb, pre, &pc, &covers, opts))
+            Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget))
         }
         Algorithm::Tractable => match tractable::classify(bcdb, dc) {
-            Some(case) => Ok(tractable::run(bcdb, pre, dc, &pc, case, opts)),
+            Some(case) => Ok(tractable::run(bcdb, pre, dc, &pc, case, opts, budget)),
             None => Err(CoreError::NotTractable {
                 detail: "no PTIME case of Theorems 1-2 matches this query/constraint combination"
                     .into(),
             }),
         },
-        Algorithm::Oracle => Ok(oracle::run(bcdb, pre, &pc)),
+        Algorithm::Oracle => Ok(oracle::run(bcdb, pre, &pc, budget)),
     }
+}
+
+/// Tuple allowance for each post-exhaustion fallback evaluation. Generous
+/// enough for realistic prechecks, small enough that the whole ladder stays
+/// within one extra deadline window even without a timeout set.
+const GRACE_TUPLES: u64 = 1 << 20;
+
+/// The graceful-degradation ladder, entered after the primary algorithm
+/// exhausted its budget. Every rung is *sound*:
+///
+/// 1. **Base world** — `R` is always a possible world; if the query holds
+///    over it, the constraint is definitely [`Verdict::Violated`].
+/// 2. **Monotone pre-check** — for a monotone constraint, the query being
+///    false over `R ∪ ⋃T` proves it false over every world:
+///    [`Verdict::Holds`].
+/// 3. **NaiveDCSat retry** — when the *oracle* ran out on a monotone
+///    constraint, the far smaller maximal-world search may still fit in a
+///    grace budget.
+///
+/// The rungs share one grace budget whose wall-clock allowance equals the
+/// original timeout, so a deadline-bound caller waits at most ~2× the
+/// deadline in total. A *cancelled* run skips the ladder entirely —
+/// cancellation means stop, not "try harder".
+fn degrade(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+    budget: &Budget,
+    ex: Exhausted,
+) -> GovernedOutcome {
+    let mut stats = ex.stats;
+    let unknown = |stats: DcSatStats, degraded_to, budget: &Budget| GovernedOutcome {
+        verdict: Verdict::Unknown(ex.reason.clone()),
+        stats,
+        degraded_to,
+        elapsed: budget.elapsed(),
+    };
+    if matches!(ex.reason, ExhaustionReason::Cancelled) {
+        return unknown(stats, None, budget);
+    }
+    let grace = BudgetSpec {
+        timeout: opts.budget.timeout,
+        max_cliques: Some(1 << 16),
+        max_worlds: Some(1 << 16),
+        max_tuples: Some(GRACE_TUPLES),
+    }
+    .start();
+    let pc = PreparedConstraint::prepare(bcdb.database_mut(), dc);
+    let db = bcdb.database();
+
+    // Rung 1: the base world is always possible.
+    if let Ok(true) = pc.holds_governed(db, &db.base_mask(), &grace) {
+        stats.worlds_evaluated += 1;
+        return GovernedOutcome {
+            verdict: Verdict::Violated(db.base_mask()),
+            stats,
+            degraded_to: Some("degraded/base-world"),
+            elapsed: budget.elapsed() + grace.elapsed(),
+        };
+    }
+
+    let mono = monotonicity(dc);
+    if !mono.is_monotone() {
+        return unknown(stats, None, budget);
+    }
+
+    // Rung 2: monotone pre-check over R ∪ ⋃T.
+    if let Ok(false) = pc.holds_governed(db, &db.all_mask(), &grace) {
+        stats.precheck_short_circuit = true;
+        return GovernedOutcome {
+            verdict: Verdict::Holds,
+            stats,
+            degraded_to: Some("degraded/monotone-precheck"),
+            elapsed: budget.elapsed() + grace.elapsed(),
+        };
+    }
+
+    // Rung 3: the maximal-world search is exponentially smaller than the
+    // oracle's full Poss(D) sweep; worth one bounded retry.
+    if stats.algorithm == "oracle" {
+        if let Ok(outcome) = naive::run(bcdb, pre, &pc, opts, &grace) {
+            stats.cliques_enumerated += outcome.stats.cliques_enumerated;
+            stats.worlds_evaluated += outcome.stats.worlds_evaluated;
+            let verdict = match outcome.witness {
+                Some(w) => Verdict::Violated(w),
+                None => Verdict::Holds,
+            };
+            return GovernedOutcome {
+                verdict,
+                stats,
+                degraded_to: Some("degraded/naive"),
+                elapsed: budget.elapsed() + grace.elapsed(),
+            };
+        }
+    }
+
+    unknown(stats, None, budget)
 }

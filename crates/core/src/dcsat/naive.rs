@@ -7,46 +7,77 @@
 //! holds over some such world.
 
 use crate::db::BlockchainDb;
-use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
 use crate::precompute::Precomputed;
 use crate::worlds::get_maximal;
-use bcdb_graph::{maximal_cliques, Visit};
+use bcdb_governor::{Budget, ExhaustionReason};
+use bcdb_graph::{maximal_cliques_governed, Visit};
 use bcdb_storage::TxId;
 
-/// Runs `NaiveDCSat`. The caller must have established monotonicity.
+/// Runs `NaiveDCSat` under `budget`. The caller must have established
+/// monotonicity. `Err` carries the partial stats accumulated before the
+/// budget ran out.
 pub fn run(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
     opts: &DcSatOptions,
-) -> DcSatOutcome {
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let mut stats = DcSatStats {
         algorithm: "naive",
         ..DcSatStats::default()
     };
+    let exhausted = |reason: ExhaustionReason, stats: DcSatStats| Exhausted { reason, stats };
 
     // §6.3 pre-check: q false over R ∪ ⋃T ⟹ false over every subset.
-    if opts.use_precheck && !pc.holds(db, &db.all_mask()) {
-        stats.precheck_short_circuit = true;
-        return DcSatOutcome::satisfied(stats);
+    if opts.use_precheck {
+        match pc.holds_governed(db, &db.all_mask(), budget) {
+            Ok(false) => {
+                stats.precheck_short_circuit = true;
+                return Ok(DcSatOutcome::satisfied(stats));
+            }
+            Ok(true) => {}
+            Err(reason) => return Err(exhausted(reason, stats)),
+        }
     }
 
     let mut witness = None;
-    maximal_cliques(&pre.fd_graph, opts.clique_strategy, |clique| {
-        stats.cliques_enumerated += 1;
-        let txs: Vec<TxId> = clique.iter().map(|&i| TxId(i as u32)).collect();
-        let world = get_maximal(bcdb, pre, &txs);
-        stats.worlds_evaluated += 1;
-        if pc.holds(db, &world) {
-            witness = Some(world);
-            Visit::Stop
-        } else {
-            Visit::Continue
-        }
-    });
-    match witness {
+    // Budget exhaustion inside the visitor (world materialisation or query
+    // evaluation) is smuggled out through `broke`, using `Visit::Stop` to
+    // unwind the clique enumeration.
+    let mut broke: Option<ExhaustionReason> = None;
+    let enumeration =
+        maximal_cliques_governed(&pre.fd_graph, opts.clique_strategy, budget, |clique| {
+            stats.cliques_enumerated += 1;
+            if let Err(reason) = budget.charge_world() {
+                broke = Some(reason);
+                return Visit::Stop;
+            }
+            let txs: Vec<TxId> = clique.iter().map(|&i| TxId(i as u32)).collect();
+            let world = get_maximal(bcdb, pre, &txs);
+            stats.worlds_evaluated += 1;
+            match pc.holds_governed(db, &world, budget) {
+                Ok(true) => {
+                    witness = Some(world);
+                    Visit::Stop
+                }
+                Ok(false) => Visit::Continue,
+                Err(reason) => {
+                    broke = Some(reason);
+                    Visit::Stop
+                }
+            }
+        });
+    if let Some(reason) = broke {
+        return Err(exhausted(reason, stats));
+    }
+    if let Err(reason) = enumeration {
+        return Err(exhausted(reason, stats));
+    }
+    Ok(match witness {
         Some(w) => DcSatOutcome::unsatisfied(w, stats),
         None => DcSatOutcome::satisfied(stats),
-    }
+    })
 }

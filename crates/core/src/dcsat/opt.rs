@@ -9,10 +9,11 @@
 //! checked on multiple threads.
 
 use crate::db::BlockchainDb;
-use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
 use crate::precompute::{union_by_equalities, Precomputed};
 use crate::worlds::get_maximal;
-use bcdb_graph::{maximal_cliques, BitSet, Visit};
+use bcdb_governor::{Budget, ExhaustionReason};
+use bcdb_graph::{maximal_cliques_governed, BitSet, Visit};
 use bcdb_query::{constant_patterns, derive_query_equalities, ConstantPattern, PreparedQuery};
 use bcdb_storage::{Source, TxId, WorldMask};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -80,15 +81,22 @@ pub fn patterns_of(pq: &PreparedQuery) -> Vec<ConstantPattern> {
     constant_patterns(pq.query())
 }
 
-/// Runs `OptDCSat`. The caller must have established that the constraint
-/// is monotonic, conjunctive, and connected.
+/// Test-only fault injection: a worker processing a component that contains
+/// this pending-transaction index panics, exercising the panic-isolation
+/// path of [`run_parallel`]. `usize::MAX` (the default) never matches.
+#[cfg(test)]
+pub(crate) static PANIC_ON_TX: AtomicUsize = AtomicUsize::new(usize::MAX);
+
+/// Runs `OptDCSat` under `budget`. The caller must have established that
+/// the constraint is monotonic, conjunctive, and connected.
 pub fn run(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
     covers: &CoversInfo,
     opts: &DcSatOptions,
-) -> DcSatOutcome {
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let pq = pc
         .as_conjunctive()
@@ -98,9 +106,15 @@ pub fn run(
         ..DcSatStats::default()
     };
 
-    if opts.use_precheck && !pc.holds(db, &db.all_mask()) {
-        stats.precheck_short_circuit = true;
-        return DcSatOutcome::satisfied(stats);
+    if opts.use_precheck {
+        match pc.holds_governed(db, &db.all_mask(), budget) {
+            Ok(false) => {
+                stats.precheck_short_circuit = true;
+                return Ok(DcSatOutcome::satisfied(stats));
+            }
+            Ok(true) => {}
+            Err(reason) => return Err(Exhausted { reason, stats }),
+        }
     }
 
     // The world `R` itself is always possible but belongs to no component
@@ -109,8 +123,10 @@ pub fn run(
     // every component is pruned — or none exists.
     let base = db.base_mask();
     stats.worlds_evaluated += 1;
-    if pc.holds(db, &base) {
-        return DcSatOutcome::unsatisfied(base, stats);
+    match pc.holds_governed(db, &base, budget) {
+        Ok(true) => return Ok(DcSatOutcome::unsatisfied(base, stats)),
+        Ok(false) => {}
+        Err(reason) => return Err(Exhausted { reason, stats }),
     }
 
     // Components of Gq,ind = ΘI components refined with Θq edges.
@@ -134,61 +150,106 @@ pub fn run(
     stats.components_checked = candidates.len();
 
     if opts.parallel && candidates.len() > 1 {
-        run_parallel(bcdb, pre, pc, &candidates, opts, stats)
+        run_parallel(bcdb, pre, pc, &candidates, opts, budget, stats)
     } else {
         let mut witness = None;
         for comp in candidates {
-            if let Some(w) = check_component(bcdb, pre, pc, comp, opts, &mut stats) {
-                witness = Some(w);
-                break;
+            match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats) {
+                Ok(Some(w)) => {
+                    witness = Some(w);
+                    break;
+                }
+                Ok(None) => {}
+                Err(reason) => return Err(Exhausted { reason, stats }),
             }
         }
-        match witness {
+        Ok(match witness {
             Some(w) => DcSatOutcome::unsatisfied(w, stats),
             None => DcSatOutcome::satisfied(stats),
-        }
+        })
     }
 }
 
 /// Enumerates the maximal cliques of `GfTd` restricted to `component`,
 /// builds each maximal world, and evaluates the constraint. Returns a
-/// witness world if one satisfies the query.
+/// witness world if one satisfies the query, `Err` if the budget ran out
+/// mid-component.
 fn check_component(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
     component: &[usize],
     opts: &DcSatOptions,
+    budget: &Budget,
     stats: &mut DcSatStats,
-) -> Option<WorldMask> {
+) -> Result<Option<WorldMask>, ExhaustionReason> {
+    #[cfg(test)]
+    {
+        let poison = PANIC_ON_TX.load(Ordering::Relaxed);
+        if component.contains(&poison) {
+            panic!("injected fault: component contains tx {poison}");
+        }
+    }
     let db = bcdb.database();
     let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
     let mut witness = None;
-    maximal_cliques(&sub, opts.clique_strategy, |clique| {
+    // Exhaustion inside the visitor unwinds the enumeration via
+    // `Visit::Stop` and is re-raised from `broke`.
+    let mut broke: Option<ExhaustionReason> = None;
+    let enumeration = maximal_cliques_governed(&sub, opts.clique_strategy, budget, |clique| {
         stats.cliques_enumerated += 1;
+        if let Err(reason) = budget.charge_world() {
+            broke = Some(reason);
+            return Visit::Stop;
+        }
         let txs: Vec<TxId> = clique.iter().map(|&i| TxId(mapping[i] as u32)).collect();
         let world = get_maximal(bcdb, pre, &txs);
         stats.worlds_evaluated += 1;
-        if pc.holds(db, &world) {
-            witness = Some(world);
-            Visit::Stop
-        } else {
-            Visit::Continue
+        match pc.holds_governed(db, &world, budget) {
+            Ok(true) => {
+                witness = Some(world);
+                Visit::Stop
+            }
+            Ok(false) => Visit::Continue,
+            Err(reason) => {
+                broke = Some(reason);
+                Visit::Stop
+            }
         }
     });
-    witness
+    if witness.is_some() {
+        return Ok(witness);
+    }
+    if let Some(reason) = broke {
+        return Err(reason);
+    }
+    enumeration?;
+    Ok(None)
 }
 
-/// Extension: check components concurrently with crossbeam scoped threads.
+/// Extension: check components concurrently with std scoped threads.
 /// First witness wins; other workers observe the stop flag and bail.
+///
+/// Robustness guarantees (deterministic regardless of scheduling):
+/// - every worker is joined before this function returns, even when a
+///   worker panics, exhausts the budget, or errs early;
+/// - a panicking worker is isolated with `catch_unwind` and surfaces as
+///   the *lowest-indexed* poisoned component, so repeated runs report the
+///   same failure rather than whichever thread lost the race;
+/// - likewise the lowest-indexed exhausted component's reason is the one
+///   propagated.
+///
+/// Result preference after joining: a concrete witness (definite even if
+/// another worker failed) > a worker panic > budget exhaustion > satisfied.
 fn run_parallel(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
     candidates: &[&Vec<usize>],
     opts: &DcSatOptions,
+    budget: &Budget,
     mut stats: DcSatStats,
-) -> DcSatOutcome {
+) -> Result<DcSatOutcome, Exhausted> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(2)
@@ -196,12 +257,17 @@ fn run_parallel(
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let witness: Mutex<Option<WorldMask>> = Mutex::new(None);
+    // First panicked component index + payload message; the lowest index
+    // wins so the propagated error is deterministic.
+    let poisoned: Mutex<Option<(usize, String)>> = Mutex::new(None);
+    // First exhausted component index + reason, same lowest-index rule.
+    let exhausted: Mutex<Option<(usize, ExhaustionReason)>> = Mutex::new(None);
     let cliques = AtomicUsize::new(0);
     let worlds = AtomicUsize::new(0);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
@@ -210,24 +276,81 @@ fn run_parallel(
                     return;
                 }
                 let mut local = DcSatStats::default();
-                let found = check_component(bcdb, pre, pc, candidates[i], opts, &mut local);
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    check_component(bcdb, pre, pc, candidates[i], opts, budget, &mut local)
+                }));
                 cliques.fetch_add(local.cliques_enumerated, Ordering::Relaxed);
                 worlds.fetch_add(local.worlds_evaluated, Ordering::Relaxed);
-                if let Some(w) = found {
-                    *witness.lock().unwrap() = Some(w);
-                    stop.store(true, Ordering::Relaxed);
-                    return;
+                match result {
+                    Ok(Ok(Some(w))) => {
+                        *witness.lock().unwrap() = Some(w);
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    Ok(Ok(None)) => {}
+                    Ok(Err(reason)) => {
+                        let mut slot = exhausted.lock().unwrap();
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, reason));
+                        }
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
+                    Err(payload) => {
+                        // `as_ref` reaches the inner `dyn Any` — a plain
+                        // `&payload` would downcast against `Box<dyn Any>`
+                        // itself and always miss.
+                        let msg = payload_message(payload.as_ref());
+                        let mut slot = poisoned.lock().unwrap();
+                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                            *slot = Some((i, msg));
+                        }
+                        stop.store(true, Ordering::Relaxed);
+                        return;
+                    }
                 }
             });
         }
-    })
-    .expect("worker panicked");
+    });
 
-    stats.cliques_enumerated = cliques.load(Ordering::Relaxed);
-    stats.worlds_evaluated = worlds.load(Ordering::Relaxed);
-    let w = witness.into_inner().unwrap();
-    match w {
+    stats.cliques_enumerated += cliques.load(Ordering::Relaxed);
+    stats.worlds_evaluated += worlds.load(Ordering::Relaxed);
+    // Scheduling may have let another worker find a witness before the
+    // stop flag propagated; a concrete witness is still sound and takes
+    // precedence over any concurrent failure.
+    let found = witness.into_inner().unwrap();
+    if let Some((comp, msg)) = poisoned.into_inner().unwrap() {
+        stats.poisoned_workers += 1;
+        if let Some(w) = found {
+            return Ok(DcSatOutcome::unsatisfied(w, stats));
+        }
+        return Err(Exhausted {
+            reason: ExhaustionReason::WorkerPanicked {
+                component: comp,
+                message: msg,
+            },
+            stats,
+        });
+    }
+    if let Some((_, reason)) = exhausted.into_inner().unwrap() {
+        if let Some(w) = found {
+            return Ok(DcSatOutcome::unsatisfied(w, stats));
+        }
+        return Err(Exhausted { reason, stats });
+    }
+    Ok(match found {
         Some(w) => DcSatOutcome::unsatisfied(w, stats),
         None => DcSatOutcome::satisfied(stats),
+    })
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }

@@ -6,30 +6,51 @@
 //! tests and the last-resort fallback of [`super::dcsat`].
 
 use crate::db::BlockchainDb;
-use crate::dcsat::{DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::dcsat::{DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
 use crate::precompute::Precomputed;
-use crate::worlds::for_each_possible_world;
+use crate::worlds::for_each_possible_world_governed;
+use bcdb_governor::{Budget, ExhaustionReason};
 use std::ops::ControlFlow;
 
-/// Enumerates every possible world and evaluates the constraint on each.
-pub fn run(bcdb: &BlockchainDb, pre: &Precomputed, pc: &PreparedConstraint) -> DcSatOutcome {
+/// Enumerates every possible world and evaluates the constraint on each,
+/// stopping (with partial stats) if `budget` runs out.
+pub fn run(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let mut stats = DcSatStats {
         algorithm: "oracle",
         ..DcSatStats::default()
     };
     let mut witness = None;
-    for_each_possible_world(bcdb, pre, |world| {
+    // Exhaustion during query evaluation is smuggled out through `broke`,
+    // using `Break` to unwind the world enumeration.
+    let mut broke: Option<ExhaustionReason> = None;
+    let enumeration = for_each_possible_world_governed(bcdb, pre, budget, |world| {
         stats.worlds_evaluated += 1;
-        if pc.holds(db, world) {
-            witness = Some(world.clone());
-            ControlFlow::Break(())
-        } else {
-            ControlFlow::Continue(())
+        match pc.holds_governed(db, world, budget) {
+            Ok(true) => {
+                witness = Some(world.clone());
+                ControlFlow::Break(())
+            }
+            Ok(false) => ControlFlow::Continue(()),
+            Err(reason) => {
+                broke = Some(reason);
+                ControlFlow::Break(())
+            }
         }
     });
-    match witness {
+    if let Some(reason) = broke {
+        return Err(Exhausted { reason, stats });
+    }
+    if let Err(reason) = enumeration {
+        return Err(Exhausted { reason, stats });
+    }
+    Ok(match witness {
         Some(w) => DcSatOutcome::unsatisfied(w, stats),
         None => DcSatOutcome::satisfied(stats),
-    }
+    })
 }

@@ -34,10 +34,13 @@
 //! not reconstructible from the paper alone; see DESIGN.md.
 
 use crate::db::BlockchainDb;
-use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint};
+use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
 use crate::precompute::Precomputed;
 use crate::worlds::get_maximal;
-use bcdb_query::{for_each_match, AggFunc, CmpOp, DenialConstraint, EvalOptions, Term};
+use bcdb_governor::{Budget, ExhaustionReason};
+use bcdb_query::{
+    for_each_match_governed, AggFunc, CmpOp, DenialConstraint, EvalOptions, Term,
+};
 use bcdb_storage::{Source, Tuple, TxId, Value, WorldMask};
 use rustc_hash::{FxHashMap, FxHashSet};
 use smallvec::SmallVec;
@@ -93,7 +96,7 @@ pub fn classify(bcdb: &BlockchainDb, dc: &DenialConstraint) -> Option<TractableC
     }
 }
 
-/// Runs the classified tractable decider.
+/// Runs the classified tractable decider under `budget`.
 pub fn run(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
@@ -101,12 +104,13 @@ pub fn run(
     pc: &PreparedConstraint,
     case: TractableCase,
     _opts: &DcSatOptions,
-) -> DcSatOutcome {
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     match case {
-        TractableCase::ConjunctiveFdOnly => conj_fd_only(bcdb, pre, dc, pc),
-        TractableCase::ConjunctiveIndOnly => conj_ind_only(bcdb, pre, dc, pc),
-        TractableCase::AggregateSubsetWorld => agg_subset_world(bcdb, pre, pc),
-        TractableCase::AggregateMaxWorld => agg_max_world(bcdb, pre, pc),
+        TractableCase::ConjunctiveFdOnly => conj_fd_only(bcdb, pre, dc, pc, budget),
+        TractableCase::ConjunctiveIndOnly => conj_ind_only(bcdb, pre, dc, pc, budget),
+        TractableCase::AggregateSubsetWorld => agg_subset_world(bcdb, pre, pc, budget),
+        TractableCase::AggregateMaxWorld => agg_max_world(bcdb, pre, pc, budget),
     }
 }
 
@@ -146,7 +150,8 @@ fn conj_fd_only(
     pre: &Precomputed,
     dc: &DenialConstraint,
     pc: &PreparedConstraint,
-) -> DcSatOutcome {
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let pq = pc.as_conjunctive().expect("conjunctive case");
     let mut stats = DcSatStats {
@@ -155,13 +160,14 @@ fn conj_fd_only(
     };
     let all = db.all_mask();
     let mut witness: Option<WorldMask> = None;
-    for_each_match(
+    let search = for_each_match_governed(
         db,
         pq,
         &all,
         EvalOptions {
             check_negated: false,
         },
+        budget,
         |m| {
             stats.matches_examined += 1;
             let support = support_of(m.sources);
@@ -185,11 +191,18 @@ fn conj_fd_only(
             ControlFlow::Break(())
         },
     );
+    // A found witness is a definite answer even if the enumeration was cut
+    // short; `Holds` requires the search to have been complete.
+    if witness.is_none() {
+        if let Err(reason) = search {
+            return Err(Exhausted { reason, stats });
+        }
+    }
     stats.worlds_evaluated = usize::from(witness.is_some());
-    match witness {
+    Ok(match witness {
         Some(w) => DcSatOutcome::unsatisfied(w, stats),
         None => DcSatOutcome::satisfied(stats),
-    }
+    })
 }
 
 /// `Qc` over `{ind}`: forbidden-transaction closure search.
@@ -198,7 +211,8 @@ fn conj_ind_only(
     pre: &Precomputed,
     dc: &DenialConstraint,
     pc: &PreparedConstraint,
-) -> DcSatOutcome {
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let pq = pc.as_conjunctive().expect("conjunctive case");
     let mut stats = DcSatStats {
@@ -210,13 +224,15 @@ fn conj_ind_only(
     // Cache closures per forbidden set (F = ∅ is by far the common case).
     let mut closures: FxHashMap<Vec<TxId>, WorldMask> = FxHashMap::default();
     let mut witness: Option<WorldMask> = None;
-    for_each_match(
+    let mut broke: Option<ExhaustionReason> = None;
+    let search = for_each_match_governed(
         db,
         pq,
         &all,
         EvalOptions {
             check_negated: false,
         },
+        budget,
         |m| {
             stats.matches_examined += 1;
             let support = support_of(m.sources);
@@ -239,14 +255,19 @@ fn conj_ind_only(
             }
             let mut key: Vec<TxId> = forbidden.iter().copied().collect();
             key.sort_unstable();
-            let closure = closures.entry(key).or_insert_with(|| {
+            if !closures.contains_key(&key) {
+                if let Err(reason) = budget.charge_world() {
+                    broke = Some(reason);
+                    return ControlFlow::Break(());
+                }
                 let allowed: Vec<TxId> = all_txs
                     .iter()
                     .copied()
                     .filter(|t| !forbidden.contains(t))
                     .collect();
-                get_maximal(bcdb, pre, &allowed)
-            });
+                closures.insert(key.clone(), get_maximal(bcdb, pre, &allowed));
+            }
+            let closure = &closures[&key];
             if support.iter().all(|t| closure.contains_tx(*t)) {
                 witness = Some(closure.clone());
                 ControlFlow::Break(())
@@ -256,10 +277,18 @@ fn conj_ind_only(
         },
     );
     stats.worlds_evaluated = closures.len();
-    match witness {
+    if witness.is_none() {
+        if let Some(reason) = broke {
+            return Err(Exhausted { reason, stats });
+        }
+        if let Err(reason) = search {
+            return Err(Exhausted { reason, stats });
+        }
+    }
+    Ok(match witness {
         Some(w) => DcSatOutcome::unsatisfied(w, stats),
         None => DcSatOutcome::satisfied(stats),
-    }
+    })
 }
 
 /// Positive aggregates over `{key, fd}` with θ ∈ {<, ≤} (or max/min with
@@ -268,7 +297,8 @@ fn agg_subset_world(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
-) -> DcSatOutcome {
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let PreparedConstraint::Aggregate(pa) = pc else {
         unreachable!("classified as aggregate")
@@ -278,15 +308,17 @@ fn agg_subset_world(
         ..DcSatStats::default()
     };
     let all = db.all_mask();
-    // Collect the distinct realisable supports.
+    // Collect the distinct realisable supports. `Holds` needs all of them,
+    // so exhaustion here is terminal.
     let mut supports: FxHashSet<SmallVec<[TxId; 8]>> = FxHashSet::default();
-    for_each_match(
+    let collection = for_each_match_governed(
         db,
         pa.body(),
         &all,
         EvalOptions {
             check_negated: false,
         },
+        budget,
         |m| {
             stats.matches_examined += 1;
             let support = support_of(m.sources);
@@ -296,19 +328,32 @@ fn agg_subset_world(
             ControlFlow::Continue(())
         },
     );
+    if let Err(reason) = collection {
+        return Err(Exhausted { reason, stats });
+    }
     for support in supports {
         let mask = db.mask_of(support.iter().copied());
+        if let Err(reason) = budget.charge_world() {
+            return Err(Exhausted { reason, stats });
+        }
         stats.worlds_evaluated += 1;
-        if bcdb_query::evaluate_aggregate(db, pa, &mask) {
-            return DcSatOutcome::unsatisfied(mask, stats);
+        match bcdb_query::evaluate_aggregate_governed(db, pa, &mask, budget) {
+            Ok(true) => return Ok(DcSatOutcome::unsatisfied(mask, stats)),
+            Ok(false) => {}
+            Err(reason) => return Err(Exhausted { reason, stats }),
         }
     }
-    DcSatOutcome::satisfied(stats)
+    Ok(DcSatOutcome::satisfied(stats))
 }
 
 /// Positive monotone aggregates over `{ind}`: evaluate on the unique
 /// maximal world.
-fn agg_max_world(bcdb: &BlockchainDb, pre: &Precomputed, pc: &PreparedConstraint) -> DcSatOutcome {
+fn agg_max_world(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    budget: &Budget,
+) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let mut stats = DcSatStats {
         algorithm: "tractable/agg-maxworld",
@@ -317,9 +362,9 @@ fn agg_max_world(bcdb: &BlockchainDb, pre: &Precomputed, pc: &PreparedConstraint
     let all_txs: Vec<TxId> = bcdb.tx_ids().collect();
     let max_world = get_maximal(bcdb, pre, &all_txs);
     stats.worlds_evaluated = 1;
-    if pc.holds(db, &max_world) {
-        DcSatOutcome::unsatisfied(max_world, stats)
-    } else {
-        DcSatOutcome::satisfied(stats)
+    match pc.holds_governed(db, &max_world, budget) {
+        Ok(true) => Ok(DcSatOutcome::unsatisfied(max_world, stats)),
+        Ok(false) => Ok(DcSatOutcome::satisfied(stats)),
+        Err(reason) => Err(Exhausted { reason, stats }),
     }
 }

@@ -1,5 +1,6 @@
 //! Errors of the blockchain-database layer.
 
+use bcdb_governor::ExhaustionReason;
 use bcdb_query::QueryError;
 use bcdb_storage::StorageError;
 use std::fmt;
@@ -33,6 +34,14 @@ pub enum CoreError {
         /// Which hypothesis failed.
         detail: String,
     },
+    /// An *ungoverned* entry point ([`crate::dcsat`]/[`crate::dcsat_with`])
+    /// could not complete — with an unlimited budget this only happens when
+    /// a parallel worker panics. Governed callers receive
+    /// `Verdict::Unknown` instead of this error.
+    Exhausted {
+        /// Why the computation stopped.
+        reason: ExhaustionReason,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -52,6 +61,9 @@ impl fmt::Display for CoreError {
             }
             CoreError::NotTractable { detail } => {
                 write!(f, "no tractable decider applies: {detail}")
+            }
+            CoreError::Exhausted { reason } => {
+                write!(f, "computation did not complete: {reason}")
             }
         }
     }

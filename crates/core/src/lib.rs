@@ -45,9 +45,12 @@ pub mod precompute;
 pub mod witness;
 pub mod worlds;
 
+pub use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason};
 pub use db::{BlockchainDb, PendingTransaction};
 pub use dcsat::{
-    dcsat, dcsat_with, Algorithm, DcSatOptions, DcSatOutcome, DcSatStats, PreparedConstraint,
+    dcsat, dcsat_governed, dcsat_governed_with, dcsat_governed_with_budget, dcsat_with, Algorithm,
+    DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, GovernedOutcome, PreparedConstraint,
+    Verdict,
 };
 pub use error::CoreError;
 pub use likelihood::{
@@ -56,5 +59,6 @@ pub use likelihood::{
 pub use precompute::Precomputed;
 pub use witness::minimize_witness;
 pub use worlds::{
-    can_append, for_each_possible_world, get_maximal, is_possible_world, possible_worlds,
+    can_append, for_each_possible_world, for_each_possible_world_governed, get_maximal,
+    is_possible_world, possible_worlds,
 };

@@ -3,6 +3,7 @@
 
 use crate::db::BlockchainDb;
 use crate::precompute::Precomputed;
+use bcdb_governor::{Budget, ExhaustionReason, UNGOVERNED};
 use bcdb_storage::{TxId, WorldMask};
 use rustc_hash::FxHashSet;
 use std::ops::ControlFlow;
@@ -165,8 +166,24 @@ pub fn is_possible_world(bcdb: &BlockchainDb, pre: &Precomputed, txs: &[TxId]) -
 pub fn for_each_possible_world(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
-    mut cb: impl FnMut(&WorldMask) -> ControlFlow<()>,
+    cb: impl FnMut(&WorldMask) -> ControlFlow<()>,
 ) -> bool {
+    // The static unlimited budget never exhausts (and nothing cancels it).
+    for_each_possible_world_governed(bcdb, pre, &UNGOVERNED, cb)
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-aware variant of [`for_each_possible_world`]: charges the budget
+/// one world per visited member of `Poss(D)` and ticks it per frontier
+/// expansion. Returns `Ok(true)` on complete enumeration, `Ok(false)` if
+/// the callback stopped it, `Err(reason)` on exhaustion — the worlds
+/// already visited are genuine possible worlds either way.
+pub fn for_each_possible_world_governed(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    budget: &Budget,
+    mut cb: impl FnMut(&WorldMask) -> ControlFlow<()>,
+) -> Result<bool, ExhaustionReason> {
     let base = bcdb.database().base_mask();
     let mut visited: FxHashSet<WorldMask> = FxHashSet::default();
     let mut queue: Vec<WorldMask> = vec![base.clone()];
@@ -175,10 +192,12 @@ pub fn for_each_possible_world(
     while head < queue.len() {
         let world = queue[head].clone();
         head += 1;
+        budget.charge_world()?;
         if cb(&world).is_break() {
-            return false;
+            return Ok(false);
         }
         for tx in bcdb.tx_ids() {
+            budget.tick()?;
             if world.contains_tx(tx) || !can_append(bcdb, pre, &world, tx) {
                 continue;
             }
@@ -189,7 +208,7 @@ pub fn for_each_possible_world(
             }
         }
     }
-    true
+    Ok(true)
 }
 
 /// Collects `Poss(D)` into a vector (small inputs only).
@@ -305,6 +324,35 @@ mod tests {
         for w in &worlds {
             let txs: Vec<TxId> = w.txs().collect();
             assert!(is_possible_world(&bc, &pre, &txs), "{w:?}");
+        }
+    }
+
+    #[test]
+    fn world_budget_stops_enumeration() {
+        use bcdb_governor::BudgetSpec;
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        for i in 0..5 {
+            bc.add_transaction(format!("T{i}"), [(r, tuple![i as i64, 0i64])])
+                .unwrap();
+        }
+        let pre = Precomputed::build(&bc);
+        let budget = BudgetSpec {
+            max_worlds: Some(10),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        let mut seen = Vec::new();
+        let result = for_each_possible_world_governed(&bc, &pre, &budget, |w| {
+            seen.push(w.clone());
+            ControlFlow::Continue(())
+        });
+        assert_eq!(result, Err(ExhaustionReason::WorldLimit(10)));
+        assert_eq!(seen.len(), 10, "worlds before exhaustion are reported");
+        // Everything visited before exhaustion is a genuine possible world.
+        for w in &seen {
+            let txs: Vec<TxId> = w.txs().collect();
+            assert!(is_possible_world(&bc, &pre, &txs));
         }
     }
 

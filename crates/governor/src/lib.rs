@@ -1,0 +1,393 @@
+//! Resource governance for the DCSat solver stack.
+//!
+//! DCSat is Σ₂ᵖ-hard in general (Cohen, Rosenthal, Zohar; ICDE 2020), so a
+//! production deployment cannot promise an answer within any fixed time:
+//! clique enumeration over the conflict graph and possible-world
+//! materialization are both worst-case exponential. This crate provides the
+//! shared [`Budget`] that every hot loop in the stack checks — clique
+//! enumeration in `bcdb-graph`, world-masked evaluation in `bcdb-query`,
+//! world enumeration and the DCSat drivers in `bcdb-core` — so that a
+//! caller can bound wall-clock time and work, cancel cooperatively from
+//! another thread, and still receive a *sound* partial answer
+//! (`Unknown(reason)` rather than a guess) when the budget runs out.
+//!
+//! Design notes:
+//! - A [`Budget`] is shared by reference across worker threads; all
+//!   counters are atomics, so parallel workers draw from one pool.
+//! - Deadline checks are amortized: [`Budget::tick`] reads the clock only
+//!   every [`DEADLINE_CHECK_INTERVAL`] calls, keeping the per-iteration
+//!   cost of governance to one relaxed atomic increment.
+//! - [`Budget::unlimited`] is `const` and check-free on every limit, so
+//!   ungoverned callers pay (almost) nothing.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Why a governed computation stopped early.
+///
+/// Carried inside `Verdict::Unknown` (in `bcdb-core`) together with the
+/// partial statistics accumulated before exhaustion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExhaustionReason {
+    /// The wall-clock deadline passed.
+    DeadlineExceeded {
+        /// Time actually elapsed when the deadline check fired.
+        elapsed: Duration,
+    },
+    /// More maximal cliques were enumerated than the budget allows.
+    CliqueLimit(u64),
+    /// More candidate worlds were materialized than the budget allows.
+    WorldLimit(u64),
+    /// More tuples were examined during evaluation than the budget allows.
+    TupleLimit(u64),
+    /// [`Budget::cancel`] was called (e.g. by a supervising thread).
+    Cancelled,
+    /// A parallel worker panicked; its component is unresolved.
+    WorkerPanicked {
+        /// Index of the poisoned component (deterministic: lowest wins).
+        component: usize,
+        /// Best-effort panic message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExhaustionReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustionReason::DeadlineExceeded { elapsed } => {
+                write!(f, "deadline exceeded after {elapsed:?}")
+            }
+            ExhaustionReason::CliqueLimit(n) => write!(f, "clique budget exhausted ({n})"),
+            ExhaustionReason::WorldLimit(n) => write!(f, "world budget exhausted ({n})"),
+            ExhaustionReason::TupleLimit(n) => write!(f, "tuple budget exhausted ({n})"),
+            ExhaustionReason::Cancelled => write!(f, "cancelled"),
+            ExhaustionReason::WorkerPanicked { component, message } => {
+                write!(f, "worker panicked on component {component}: {message}")
+            }
+        }
+    }
+}
+
+/// How often [`Budget::tick`] actually reads the clock. Power of two so the
+/// amortization test is a mask.
+pub const DEADLINE_CHECK_INTERVAL: u64 = 256;
+
+/// Declarative limits from which a live [`Budget`] is started.
+///
+/// This is the `Copy` value that travels through option structs, CLI flags,
+/// and bench configs; `Budget::start` captures the wall clock.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BudgetSpec {
+    /// Wall-clock limit for the whole computation.
+    pub timeout: Option<Duration>,
+    /// Maximum maximal cliques enumerated across all components/threads.
+    pub max_cliques: Option<u64>,
+    /// Maximum candidate worlds materialized.
+    pub max_worlds: Option<u64>,
+    /// Maximum tuples examined during query evaluation.
+    pub max_tuples: Option<u64>,
+}
+
+impl BudgetSpec {
+    /// No limits at all.
+    pub const UNLIMITED: BudgetSpec = BudgetSpec {
+        timeout: None,
+        max_cliques: None,
+        max_worlds: None,
+        max_tuples: None,
+    };
+
+    /// True if every limit is absent (a started budget can never exhaust,
+    /// though it can still be cancelled).
+    pub fn is_unlimited(&self) -> bool {
+        self.timeout.is_none()
+            && self.max_cliques.is_none()
+            && self.max_worlds.is_none()
+            && self.max_tuples.is_none()
+    }
+
+    /// Starts the clock and returns a live budget.
+    pub fn start(self) -> Budget {
+        Budget {
+            deadline: self.timeout.map(|t| Instant::now() + t),
+            started: Some(Instant::now()),
+            max_cliques: self.max_cliques.unwrap_or(u64::MAX),
+            max_worlds: self.max_worlds.unwrap_or(u64::MAX),
+            max_tuples: self.max_tuples.unwrap_or(u64::MAX),
+            cliques: AtomicU64::new(0),
+            worlds: AtomicU64::new(0),
+            tuples: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+}
+
+/// A live, shared resource budget. See the crate docs.
+///
+/// All mutation is interior and atomic: hand `&Budget` to as many threads
+/// as needed and they draw from the same pool.
+#[derive(Debug)]
+pub struct Budget {
+    deadline: Option<Instant>,
+    started: Option<Instant>,
+    max_cliques: u64,
+    max_worlds: u64,
+    max_tuples: u64,
+    cliques: AtomicU64,
+    worlds: AtomicU64,
+    tuples: AtomicU64,
+    ticks: AtomicU64,
+    cancelled: AtomicBool,
+}
+
+impl Budget {
+    /// A check-free budget: every charge succeeds, `tick` never reads the
+    /// clock. `const` so it can back a `static` for ungoverned call paths.
+    pub const fn unlimited() -> Budget {
+        Budget {
+            deadline: None,
+            started: None,
+            max_cliques: u64::MAX,
+            max_worlds: u64::MAX,
+            max_tuples: u64::MAX,
+            cliques: AtomicU64::new(0),
+            worlds: AtomicU64::new(0),
+            tuples: AtomicU64::new(0),
+            ticks: AtomicU64::new(0),
+            cancelled: AtomicBool::new(false),
+        }
+    }
+
+    /// True when no limit is set and cancellation is impossible to observe
+    /// cheaply wrong: used by callers to skip governed code paths.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none()
+            && self.max_cliques == u64::MAX
+            && self.max_worlds == u64::MAX
+            && self.max_tuples == u64::MAX
+    }
+
+    /// Requests cooperative cancellation; hot loops observe it at their
+    /// next `tick`/charge.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether `cancel` has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Time elapsed since the budget was started (zero for `unlimited`).
+    pub fn elapsed(&self) -> Duration {
+        self.started.map(|s| s.elapsed()).unwrap_or(Duration::ZERO)
+    }
+
+    /// The cheap per-iteration check: cancellation always, deadline every
+    /// [`DEADLINE_CHECK_INTERVAL`] calls. Call from the innermost loops
+    /// (clique recursion, per-tuple scans).
+    #[inline]
+    pub fn tick(&self) -> Result<(), ExhaustionReason> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(ExhaustionReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            let t = self.ticks.fetch_add(1, Ordering::Relaxed);
+            if t & (DEADLINE_CHECK_INTERVAL - 1) == 0 {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(ExhaustionReason::DeadlineExceeded {
+                        elapsed: self.elapsed(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Forces a clock read (used at coarse boundaries like "before the
+    /// next component" where amortization would be too lazy).
+    pub fn check_deadline(&self) -> Result<(), ExhaustionReason> {
+        if self.cancelled.load(Ordering::Relaxed) {
+            return Err(ExhaustionReason::Cancelled);
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(ExhaustionReason::DeadlineExceeded {
+                    elapsed: self.elapsed(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges one enumerated maximal clique.
+    #[inline]
+    pub fn charge_clique(&self) -> Result<(), ExhaustionReason> {
+        let n = self.cliques.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.max_cliques {
+            return Err(ExhaustionReason::CliqueLimit(self.max_cliques));
+        }
+        self.tick()
+    }
+
+    /// Charges one materialized candidate world.
+    #[inline]
+    pub fn charge_world(&self) -> Result<(), ExhaustionReason> {
+        let n = self.worlds.fetch_add(1, Ordering::Relaxed) + 1;
+        if n > self.max_worlds {
+            return Err(ExhaustionReason::WorldLimit(self.max_worlds));
+        }
+        self.tick()
+    }
+
+    /// Charges `n` examined tuples (batched so per-tuple scans can charge
+    /// per-row-group rather than per row).
+    #[inline]
+    pub fn charge_tuples(&self, n: u64) -> Result<(), ExhaustionReason> {
+        let total = self.tuples.fetch_add(n, Ordering::Relaxed) + n;
+        if total > self.max_tuples {
+            return Err(ExhaustionReason::TupleLimit(self.max_tuples));
+        }
+        self.tick()
+    }
+
+    /// Cliques charged so far.
+    pub fn cliques_used(&self) -> u64 {
+        self.cliques.load(Ordering::Relaxed)
+    }
+
+    /// Worlds charged so far.
+    pub fn worlds_used(&self) -> u64 {
+        self.worlds.load(Ordering::Relaxed)
+    }
+
+    /// Tuples charged so far.
+    pub fn tuples_used(&self) -> u64 {
+        self.tuples.load(Ordering::Relaxed)
+    }
+}
+
+/// A static unlimited budget for ungoverned call paths, so legacy entry
+/// points can pass `&UNGOVERNED` without allocating.
+pub static UNGOVERNED: Budget = Budget::unlimited();
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let b = Budget::unlimited();
+        assert!(b.is_unlimited());
+        for _ in 0..10_000 {
+            b.tick().unwrap();
+            b.charge_clique().unwrap();
+            b.charge_world().unwrap();
+            b.charge_tuples(1_000).unwrap();
+        }
+    }
+
+    #[test]
+    fn clique_limit_fires_exactly() {
+        let b = BudgetSpec {
+            max_cliques: Some(3),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        assert!(!b.is_unlimited());
+        for _ in 0..3 {
+            b.charge_clique().unwrap();
+        }
+        assert_eq!(b.charge_clique(), Err(ExhaustionReason::CliqueLimit(3)));
+        assert_eq!(b.cliques_used(), 4);
+    }
+
+    #[test]
+    fn world_and_tuple_limits() {
+        let b = BudgetSpec {
+            max_worlds: Some(1),
+            max_tuples: Some(10),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        b.charge_world().unwrap();
+        assert_eq!(b.charge_world(), Err(ExhaustionReason::WorldLimit(1)));
+        b.charge_tuples(10).unwrap();
+        assert_eq!(b.charge_tuples(1), Err(ExhaustionReason::TupleLimit(10)));
+    }
+
+    #[test]
+    fn cancellation_observed_by_tick_and_charges() {
+        let b = BudgetSpec::UNLIMITED.start();
+        b.tick().unwrap();
+        b.cancel();
+        assert!(b.is_cancelled());
+        assert_eq!(b.tick(), Err(ExhaustionReason::Cancelled));
+        assert_eq!(b.charge_clique(), Err(ExhaustionReason::Cancelled));
+        assert_eq!(b.check_deadline(), Err(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn deadline_fires_within_interval() {
+        let b = BudgetSpec {
+            timeout: Some(Duration::from_millis(5)),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        std::thread::sleep(Duration::from_millis(10));
+        // check_deadline is immediate.
+        assert!(matches!(
+            b.check_deadline(),
+            Err(ExhaustionReason::DeadlineExceeded { .. })
+        ));
+        // tick fires within one amortization interval.
+        let mut fired = false;
+        for _ in 0..=DEADLINE_CHECK_INTERVAL {
+            if b.tick().is_err() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "tick never observed an expired deadline");
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let b = BudgetSpec {
+            max_cliques: Some(1_000),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        let exhausted = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..500 {
+                        if b.charge_clique().is_err() {
+                            exhausted.fetch_add(1, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        // 4×500 = 2000 attempted charges against a pool of 1000: at least
+        // one worker must hit the limit, and the pool is globally bounded.
+        assert!(exhausted.load(Ordering::Relaxed) >= 1);
+        assert!(b.cliques_used() >= 1_000);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let r = ExhaustionReason::CliqueLimit(7);
+        assert_eq!(r.to_string(), "clique budget exhausted (7)");
+        let r = ExhaustionReason::WorkerPanicked {
+            component: 2,
+            message: "boom".into(),
+        };
+        assert!(r.to_string().contains("component 2"));
+    }
+}

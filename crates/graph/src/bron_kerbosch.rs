@@ -11,6 +11,7 @@
 
 use crate::bitset::BitSet;
 use crate::graph::UndirectedGraph;
+use bcdb_governor::{Budget, ExhaustionReason, UNGOVERNED};
 
 /// Which enumeration strategy to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -48,20 +49,42 @@ pub enum Visit {
 pub fn maximal_cliques(
     g: &UndirectedGraph,
     strategy: CliqueStrategy,
-    mut visit: impl FnMut(&[usize]) -> Visit,
+    visit: impl FnMut(&[usize]) -> Visit,
 ) -> bool {
+    // The static unlimited budget never exhausts (and nothing cancels it),
+    // so the governed variant cannot err on this path.
+    maximal_cliques_governed(g, strategy, &UNGOVERNED, visit)
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-aware variant of [`maximal_cliques`].
+///
+/// Charges the budget one clique per reported maximal clique and ticks it
+/// (cancellation + amortized deadline) once per recursive expansion, so
+/// even clique-free stretches of a pathological search tree observe an
+/// expired deadline promptly. Returns `Ok(true)` if enumeration ran to
+/// completion, `Ok(false)` if the visitor stopped it, and
+/// `Err(reason)` if the budget was exhausted mid-enumeration (any cliques
+/// already reported remain valid — enumeration is sound, just incomplete).
+pub fn maximal_cliques_governed(
+    g: &UndirectedGraph,
+    strategy: CliqueStrategy,
+    budget: &Budget,
+    mut visit: impl FnMut(&[usize]) -> Visit,
+) -> Result<bool, ExhaustionReason> {
     let n = g.node_count();
     let mut r: Vec<usize> = Vec::new();
     let p = BitSet::full(n);
     let x = BitSet::new(n);
     match strategy {
-        CliqueStrategy::Plain => expand_plain(g, &mut r, p, x, &mut visit),
-        CliqueStrategy::Pivot => expand_pivot(g, &mut r, p, x, &mut visit),
+        CliqueStrategy::Plain => expand_plain(g, &mut r, p, x, budget, &mut visit),
+        CliqueStrategy::Pivot => expand_pivot(g, &mut r, p, x, budget, &mut visit),
         CliqueStrategy::Degeneracy => {
             if n == 0 {
                 // The empty clique is the unique maximal clique of the
                 // zero-node graph; the outer loop below would never emit it.
-                return visit(&[]) == Visit::Continue;
+                budget.charge_clique()?;
+                return Ok(visit(&[]) == Visit::Continue);
             }
             let order = g.degeneracy_ordering();
             let mut p = BitSet::full(n);
@@ -76,16 +99,17 @@ pub fn maximal_cliques(
                     &mut r,
                     std::mem::take(&mut pv),
                     std::mem::take(&mut xv),
+                    budget,
                     &mut visit,
                 );
                 r.pop();
-                if !cont {
-                    return false;
+                if !cont? {
+                    return Ok(false);
                 }
                 p.remove(v);
                 x.insert(v);
             }
-            true
+            Ok(true)
         }
     }
 }
@@ -112,9 +136,14 @@ pub fn count_maximal_cliques(g: &UndirectedGraph, strategy: CliqueStrategy) -> u
     n
 }
 
-fn report(r: &mut [usize], visit: &mut impl FnMut(&[usize]) -> Visit) -> bool {
+fn report(
+    r: &mut [usize],
+    budget: &Budget,
+    visit: &mut impl FnMut(&[usize]) -> Visit,
+) -> Result<bool, ExhaustionReason> {
+    budget.charge_clique()?;
     r.sort_unstable();
-    visit(r) == Visit::Continue
+    Ok(visit(r) == Visit::Continue)
 }
 
 fn expand_plain(
@@ -122,25 +151,27 @@ fn expand_plain(
     r: &mut Vec<usize>,
     mut p: BitSet,
     mut x: BitSet,
+    budget: &Budget,
     visit: &mut impl FnMut(&[usize]) -> Visit,
-) -> bool {
+) -> Result<bool, ExhaustionReason> {
+    budget.tick()?;
     if p.is_empty() && x.is_empty() {
         let mut clique = r.clone();
-        return report(&mut clique, visit);
+        return report(&mut clique, budget, visit);
     }
     while let Some(v) = p.first() {
         let pv = p.intersection(g.neighbors(v));
         let xv = x.intersection(g.neighbors(v));
         r.push(v);
-        let cont = expand_plain(g, r, pv, xv, visit);
+        let cont = expand_plain(g, r, pv, xv, budget, visit);
         r.pop();
-        if !cont {
-            return false;
+        if !cont? {
+            return Ok(false);
         }
         p.remove(v);
         x.insert(v);
     }
-    true
+    Ok(true)
 }
 
 /// Picks the pivot `u ∈ P ∪ X` maximising `|P ∩ N(u)|` (Tomita's rule),
@@ -163,14 +194,16 @@ fn expand_pivot(
     r: &mut Vec<usize>,
     mut p: BitSet,
     mut x: BitSet,
+    budget: &Budget,
     visit: &mut impl FnMut(&[usize]) -> Visit,
-) -> bool {
+) -> Result<bool, ExhaustionReason> {
+    budget.tick()?;
     if p.is_empty() && x.is_empty() {
         let mut clique = r.clone();
-        return report(&mut clique, visit);
+        return report(&mut clique, budget, visit);
     }
     if p.is_empty() {
-        return true; // X non-empty: not maximal, prune
+        return Ok(true); // X non-empty: not maximal, prune
     }
     let pivot = choose_pivot(g, &p, &x);
     let mut branch = p.clone();
@@ -182,15 +215,15 @@ fn expand_pivot(
         let pv = p.intersection(g.neighbors(v));
         let xv = x.intersection(g.neighbors(v));
         r.push(v);
-        let cont = expand_pivot(g, r, pv, xv, visit);
+        let cont = expand_pivot(g, r, pv, xv, budget, visit);
         r.pop();
-        if !cont {
-            return false;
+        if !cont? {
+            return Ok(false);
         }
         p.remove(v);
         x.insert(v);
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -332,6 +365,57 @@ mod tests {
                 "{s:?}"
             );
         }
+    }
+
+    #[test]
+    fn clique_budget_stops_enumeration() {
+        use bcdb_governor::BudgetSpec;
+        let g = moon_moser(4); // 81 cliques
+        for s in ALL {
+            let budget = BudgetSpec {
+                max_cliques: Some(5),
+                ..BudgetSpec::UNLIMITED
+            }
+            .start();
+            let mut seen = 0usize;
+            let result = maximal_cliques_governed(&g, s, &budget, |c| {
+                assert!(g.is_clique(c), "budgeted enumeration emitted non-clique");
+                seen += 1;
+                Visit::Continue
+            });
+            assert_eq!(result, Err(ExhaustionReason::CliqueLimit(5)), "{s:?}");
+            assert_eq!(seen, 5, "{s:?}: cliques before exhaustion are reported");
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_stops_before_first_clique() {
+        use bcdb_governor::BudgetSpec;
+        let g = moon_moser(3);
+        let budget = BudgetSpec::UNLIMITED.start();
+        budget.cancel();
+        let result = maximal_cliques_governed(&g, CliqueStrategy::Pivot, &budget, |_| {
+            panic!("no clique should be visited after cancellation")
+        });
+        assert_eq!(result, Err(ExhaustionReason::Cancelled));
+    }
+
+    #[test]
+    fn governed_with_unlimited_budget_matches_ungoverned() {
+        use bcdb_governor::Budget;
+        let g = moon_moser(3);
+        let budget = Budget::unlimited();
+        let mut governed = Vec::new();
+        let completed = maximal_cliques_governed(&g, CliqueStrategy::Pivot, &budget, |c| {
+            governed.push(c.to_vec());
+            Visit::Continue
+        })
+        .unwrap();
+        assert!(completed);
+        assert_eq!(
+            sorted(governed),
+            sorted(collect_maximal_cliques(&g, CliqueStrategy::Pivot))
+        );
     }
 
     #[test]

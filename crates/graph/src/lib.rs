@@ -23,7 +23,8 @@ pub mod graph;
 
 pub use bitset::BitSet;
 pub use bron_kerbosch::{
-    collect_maximal_cliques, count_maximal_cliques, maximal_cliques, CliqueStrategy, Visit,
+    collect_maximal_cliques, count_maximal_cliques, maximal_cliques, maximal_cliques_governed,
+    CliqueStrategy, Visit,
 };
 pub use components::{connected_components, Components, UnionFind};
 pub use graph::UndirectedGraph;

@@ -12,10 +12,19 @@
 //! Theorem 1 need.
 
 use crate::ast::{AggFunc, AggregateQuery, CmpOp, ConjunctiveQuery, Term, Var};
+use bcdb_governor::{Budget, ExhaustionReason, UNGOVERNED};
 use bcdb_storage::{Database, RowId, Source, Tuple, Value, WorldMask};
 use rustc_hash::FxHashSet;
 use smallvec::SmallVec;
 use std::ops::ControlFlow;
+
+/// Why the backtracking join stopped before exhausting all combinations.
+enum EvalBreak {
+    /// The visitor returned `Break` (e.g. one match suffices).
+    Visitor,
+    /// The resource budget ran out mid-evaluation.
+    Exhausted(ExhaustionReason),
+}
 
 /// One evaluation step: which atom to match next and how to probe it.
 #[derive(Clone, Debug)]
@@ -272,14 +281,31 @@ pub fn for_each_match(
     pq: &PreparedQuery,
     mask: &WorldMask,
     opts: EvalOptions,
-    mut cb: impl FnMut(&Match<'_>) -> ControlFlow<()>,
+    cb: impl FnMut(&Match<'_>) -> ControlFlow<()>,
 ) -> bool {
+    // The static unlimited budget never exhausts (and nothing cancels it).
+    for_each_match_governed(db, pq, mask, opts, &UNGOVERNED, cb)
+        .expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-aware variant of [`for_each_match`]: charges the budget one tuple
+/// per candidate row examined by the backtracking join. Returns `Ok(true)`
+/// if enumeration ran to completion, `Ok(false)` if the visitor broke, and
+/// `Err(reason)` on exhaustion — matches already reported remain valid.
+pub fn for_each_match_governed(
+    db: &Database,
+    pq: &PreparedQuery,
+    mask: &WorldMask,
+    opts: EvalOptions,
+    budget: &Budget,
+    mut cb: impl FnMut(&Match<'_>) -> ControlFlow<()>,
+) -> Result<bool, ExhaustionReason> {
     let q = &pq.query;
     // Pre-checks with no variables.
     let empty: Vec<Value> = Vec::new();
     for &ci in &pq.pre_comparisons {
         if !eval_comparison(&q.comparisons[ci], &empty) {
-            return true;
+            return Ok(true);
         }
     }
     if opts.check_negated {
@@ -291,7 +317,7 @@ pub fn for_each_match(
                 .map(|t| t.as_const().expect("ground").clone())
                 .collect();
             if db.relation(atom.relation).contains(&t, mask) {
-                return true;
+                return Ok(true);
             }
         }
     }
@@ -299,19 +325,23 @@ pub fn for_each_match(
     let mut sources: Vec<Source> = vec![Source::Base; q.positive.len()];
     let mut rows: Vec<RowId> = vec![RowId(0); q.positive.len()];
     let mut assignment: Vec<Value> = Vec::new();
-    recurse(
+    match recurse(
         db,
         pq,
         mask,
         opts,
+        budget,
         0,
         &mut binding,
         &mut sources,
         &mut rows,
         &mut assignment,
         &mut cb,
-    )
-    .is_continue()
+    ) {
+        ControlFlow::Continue(()) => Ok(true),
+        ControlFlow::Break(EvalBreak::Visitor) => Ok(false),
+        ControlFlow::Break(EvalBreak::Exhausted(reason)) => Err(reason),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -320,22 +350,26 @@ fn recurse(
     pq: &PreparedQuery,
     mask: &WorldMask,
     opts: EvalOptions,
+    budget: &Budget,
     depth: usize,
     binding: &mut Vec<Option<Value>>,
     sources: &mut Vec<Source>,
     rows: &mut Vec<RowId>,
     assignment: &mut Vec<Value>,
     cb: &mut impl FnMut(&Match<'_>) -> ControlFlow<()>,
-) -> ControlFlow<()> {
+) -> ControlFlow<EvalBreak> {
     let q = &pq.query;
     if depth == pq.steps.len() {
         assignment.clear();
         assignment.extend(binding.iter().map(|v| v.clone().expect("all vars bound")));
-        return cb(&Match {
+        return match cb(&Match {
             assignment,
             sources,
             rows,
-        });
+        }) {
+            ControlFlow::Continue(()) => ControlFlow::Continue(()),
+            ControlFlow::Break(()) => ControlFlow::Break(EvalBreak::Visitor),
+        };
     }
     let step = &pq.steps[depth];
     let atom = &q.positive[step.atom];
@@ -359,6 +393,9 @@ fn recurse(
         };
 
     'cand: for (row_id, row) in candidates {
+        if let Err(reason) = budget.charge_tuples(1) {
+            return ControlFlow::Break(EvalBreak::Exhausted(reason));
+        }
         // Unify the atom against the row, binding fresh variables.
         let mut newly_bound: SmallVec<[Var; 8]> = SmallVec::new();
         for (p, term) in atom.terms.iter().enumerate() {
@@ -412,22 +449,21 @@ fn recurse(
         if ok {
             sources[step.atom] = row.source;
             rows[step.atom] = row_id;
-            if recurse(
+            if let ControlFlow::Break(why) = recurse(
                 db,
                 pq,
                 mask,
                 opts,
+                budget,
                 depth + 1,
                 binding,
                 sources,
                 rows,
                 assignment,
                 cb,
-            )
-            .is_break()
-            {
+            ) {
                 unbind(binding, &newly_bound);
-                return ControlFlow::Break(());
+                return ControlFlow::Break(why);
             }
         }
         unbind(binding, &newly_bound);
@@ -472,6 +508,24 @@ pub fn evaluate_bool(db: &Database, pq: &PreparedQuery, mask: &WorldMask) -> boo
     })
 }
 
+/// Budget-aware variant of [`evaluate_bool`].
+///
+/// `Ok(true)` means a satisfying assignment was found (definite even under
+/// a partial evaluation); `Ok(false)` means the full space was searched and
+/// none exists; `Err(reason)` means the budget ran out before either could
+/// be established.
+pub fn evaluate_bool_governed(
+    db: &Database,
+    pq: &PreparedQuery,
+    mask: &WorldMask,
+    budget: &Budget,
+) -> Result<bool, ExhaustionReason> {
+    for_each_match_governed(db, pq, mask, EvalOptions::default(), budget, |_| {
+        ControlFlow::Break(())
+    })
+    .map(|completed| !completed)
+}
+
 /// An aggregate query compiled against a database.
 #[derive(Clone, Debug)]
 pub struct PreparedAggregate {
@@ -508,18 +562,31 @@ pub fn prepare_aggregate(db: &mut Database, agg: &AggregateQuery) -> PreparedAgg
 /// distinct assignments projecting to the same value contribute twice to
 /// `count`/`sum` but once to `cntd`.
 pub fn aggregate_value(db: &Database, pa: &PreparedAggregate, mask: &WorldMask) -> Option<Value> {
+    aggregate_value_governed(db, pa, mask, &UNGOVERNED).expect("unlimited budget cannot exhaust")
+}
+
+/// Budget-aware variant of [`aggregate_value`]. Aggregates require the
+/// complete match set, so exhaustion mid-enumeration yields `Err` rather
+/// than an aggregate over a partial bag (which would be unsound in both
+/// directions).
+pub fn aggregate_value_governed(
+    db: &Database,
+    pa: &PreparedAggregate,
+    mask: &WorldMask,
+    budget: &Budget,
+) -> Result<Option<Value>, ExhaustionReason> {
     let mut assignments: FxHashSet<Vec<Value>> = FxHashSet::default();
-    for_each_match(db, &pa.body, mask, EvalOptions::default(), |m| {
+    for_each_match_governed(db, &pa.body, mask, EvalOptions::default(), budget, |m| {
         assignments.insert(m.assignment.to_vec());
         ControlFlow::Continue(())
-    });
+    })?;
     if assignments.is_empty() {
-        return None;
+        return Ok(None);
     }
     let project = |h: &Vec<Value>| -> SmallVec<[Value; 2]> {
         pa.args.iter().map(|v| h[v.index()].clone()).collect()
     };
-    Some(match pa.func {
+    Ok(Some(match pa.func {
         AggFunc::Count => Value::Int(assignments.len() as i64),
         AggFunc::CountDistinct => {
             let distinct: FxHashSet<SmallVec<[Value; 2]>> =
@@ -561,7 +628,7 @@ pub fn aggregate_value(db: &Database, pa: &PreparedAggregate, mask: &WorldMask) 
             }
             best.expect("nonempty")
         }
-    })
+    }))
 }
 
 /// Whether `[α(B) θ c]` holds in the world `mask`. The empty bag evaluates
@@ -571,6 +638,19 @@ pub fn evaluate_aggregate(db: &Database, pa: &PreparedAggregate, mask: &WorldMas
         None => false,
         Some(v) => pa.op.eval(&v, &pa.threshold).unwrap_or(false),
     }
+}
+
+/// Budget-aware variant of [`evaluate_aggregate`].
+pub fn evaluate_aggregate_governed(
+    db: &Database,
+    pa: &PreparedAggregate,
+    mask: &WorldMask,
+    budget: &Budget,
+) -> Result<bool, ExhaustionReason> {
+    Ok(match aggregate_value_governed(db, pa, mask, budget)? {
+        None => false,
+        Some(v) => pa.op.eval(&v, &pa.threshold).unwrap_or(false),
+    })
 }
 
 #[cfg(test)]
@@ -899,6 +979,88 @@ mod tests {
         let pa = prepare_aggregate(&mut db, &agg);
         // Both copies active, but H is a set of assignments: count = 1.
         assert!(evaluate_aggregate(&db, &pa, &db.all_mask()));
+    }
+
+    #[test]
+    fn tuple_budget_stops_evaluation() {
+        use bcdb_governor::BudgetSpec;
+        let mut db = setup();
+        let q = path2(&db);
+        let pq = prepare(&mut db, &q);
+        // One examined row is not enough to complete any 2-atom match.
+        let budget = BudgetSpec {
+            max_tuples: Some(1),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        assert_eq!(
+            evaluate_bool_governed(&db, &pq, &db.all_mask(), &budget),
+            Err(ExhaustionReason::TupleLimit(1))
+        );
+        // An unlimited budget reproduces the ungoverned answer.
+        let unlimited = Budget::unlimited();
+        assert_eq!(
+            evaluate_bool_governed(&db, &pq, &db.all_mask(), &unlimited),
+            Ok(evaluate_bool(&db, &pq, &db.all_mask()))
+        );
+    }
+
+    #[test]
+    fn definite_true_can_precede_exhaustion() {
+        use bcdb_governor::BudgetSpec;
+        let mut db = setup();
+        let q = path2(&db);
+        let pq = prepare(&mut db, &q);
+        // Two rows suffice for the first match: a found assignment is
+        // definite even though the budget would exhaust soon after.
+        let budget = BudgetSpec {
+            max_tuples: Some(2),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        assert_eq!(
+            evaluate_bool_governed(&db, &pq, &db.all_mask(), &budget),
+            Ok(true)
+        );
+    }
+
+    #[test]
+    fn aggregate_exhaustion_is_an_error_not_a_partial_value() {
+        use bcdb_governor::BudgetSpec;
+        let mut db = setup();
+        let agg = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .build_aggregate(AggFunc::Count, &[], CmpOp::Ge, 1i64)
+            .unwrap();
+        let pa = prepare_aggregate(&mut db, &agg);
+        let budget = BudgetSpec {
+            max_tuples: Some(2),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        // 4 active edges > 2 tuples: the bag is incomplete, so no value.
+        assert_eq!(
+            aggregate_value_governed(&db, &pa, &db.all_mask(), &budget),
+            Err(ExhaustionReason::TupleLimit(2))
+        );
+        let unlimited = Budget::unlimited();
+        assert_eq!(
+            aggregate_value_governed(&db, &pa, &db.all_mask(), &unlimited),
+            Ok(Some(Value::Int(4)))
+        );
+    }
+
+    #[test]
+    fn cancelled_budget_stops_evaluation() {
+        let mut db = setup();
+        let q = path2(&db);
+        let pq = prepare(&mut db, &q);
+        let budget = bcdb_governor::BudgetSpec::UNLIMITED.start();
+        budget.cancel();
+        assert_eq!(
+            evaluate_bool_governed(&db, &pq, &db.all_mask(), &budget),
+            Err(ExhaustionReason::Cancelled)
+        );
     }
 
     #[test]

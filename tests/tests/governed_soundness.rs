@@ -1,0 +1,228 @@
+//! Soundness of the governed solver: a *definite* verdict produced under
+//! any resource budget must agree with the unbudgeted oracle, on random
+//! instances and on chain-level fault-injected databases. `Unknown` is
+//! always an acceptable answer; a wrong `Holds`/`Violated` never is.
+
+use bcdb_chain::{export, generate, Fault, ScenarioConfig};
+use bcdb_core::{
+    dcsat, Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Verdict, dcsat_governed,
+};
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, RelationSchema, ValueType};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Builds a small R(a, b) blockchain database with key R[a]: `base` seeds
+/// the current state (first tuple per key wins), each entry of `txs` is one
+/// pending transaction.
+fn build_db(base: &[(i64, i64)], txs: &[Vec<(i64, i64)>]) -> Option<BlockchainDb> {
+    let mut cat = Catalog::new();
+    cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+    let mut db = BlockchainDb::new(cat, cs);
+    let r = db.database().catalog().resolve("R").unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in base {
+        if seen.insert(a) {
+            db.insert_current(r, tuple![a, b]).unwrap();
+        }
+    }
+    for (i, rows) in txs.iter().enumerate() {
+        if rows.is_empty() {
+            return None;
+        }
+        let tuples: Vec<_> = rows.iter().map(|&(a, b)| (r, tuple![a, b])).collect();
+        db.add_transaction(format!("T{i}"), tuples).unwrap();
+    }
+    Some(db)
+}
+
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        "q() <- R(x, y)",
+        "q() <- R(x, 1)",
+        "q() <- R(x, y), R(y, z)",
+        "q() <- R(x, y), x != y",
+        "q() <- R(x, y), !R(y, x)",
+        "[q(count()) <- R(x, y)] > 2",
+        "[q(sum(y)) <- R(x, y)] > 3",
+        "[q(max(y)) <- R(x, y)] = 2",
+    ]
+}
+
+/// Budget ladder the property sweeps: from crippling to generous. `None`
+/// components are unlimited.
+fn budget_pool() -> Vec<BudgetSpec> {
+    vec![
+        BudgetSpec {
+            max_tuples: Some(0),
+            ..BudgetSpec::UNLIMITED
+        },
+        BudgetSpec {
+            max_worlds: Some(1),
+            ..BudgetSpec::UNLIMITED
+        },
+        BudgetSpec {
+            max_cliques: Some(1),
+            ..BudgetSpec::UNLIMITED
+        },
+        BudgetSpec {
+            max_worlds: Some(4),
+            max_cliques: Some(4),
+            ..BudgetSpec::UNLIMITED
+        },
+        BudgetSpec {
+            max_tuples: Some(200),
+            ..BudgetSpec::UNLIMITED
+        },
+        BudgetSpec {
+            timeout: Some(Duration::from_millis(5)),
+            ..BudgetSpec::UNLIMITED
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 64,
+        ..ProptestConfig::default()
+    })]
+
+    /// Definite verdicts under any budget agree with the unbudgeted
+    /// oracle; witnesses really violate the constraint.
+    #[test]
+    fn budgeted_definite_answers_agree_with_oracle(
+        base in prop::collection::vec((0..4i64, 0..4i64), 0..4),
+        txs in prop::collection::vec(prop::collection::vec((0..4i64, 0..4i64), 0..3), 1..5),
+        query_idx in 0..8usize,
+        budget_idx in 0..6usize,
+        algorithm in prop_oneof![
+            Just(Algorithm::Auto),
+            Just(Algorithm::Naive),
+            Just(Algorithm::Oracle),
+        ],
+    ) {
+        let Some(mut db) = build_db(&base, &txs) else { return Ok(()) };
+        let text = query_pool()[query_idx];
+        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+
+        let oracle = dcsat(&mut db, &dc, &DcSatOptions {
+            algorithm: Algorithm::Oracle,
+            ..DcSatOptions::default()
+        }).unwrap();
+
+        let budget = budget_pool()[budget_idx];
+        let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
+            algorithm,
+            budget,
+            ..DcSatOptions::default()
+        }).unwrap();
+
+        match &governed.verdict {
+            Verdict::Holds => prop_assert!(
+                oracle.satisfied,
+                "budget {budget:?} made {algorithm:?} claim Holds but the oracle found a \
+                 violation of {text} (degraded_to {:?})", governed.degraded_to),
+            Verdict::Violated(w) => {
+                prop_assert!(
+                    !oracle.satisfied,
+                    "budget {budget:?} made {algorithm:?} claim Violated but {text} holds \
+                     (degraded_to {:?})", governed.degraded_to);
+                // The witness itself must violate the constraint.
+                let pre = bcdb_core::Precomputed::build(&db);
+                let txids: Vec<_> = w.txs().collect();
+                prop_assert!(bcdb_core::is_possible_world(&db, &pre, &txids));
+                let pc = bcdb_core::PreparedConstraint::prepare(db.database_mut(), &dc);
+                prop_assert!(pc.holds(db.database(), w));
+            }
+            Verdict::Unknown(_) => {} // always sound
+        }
+    }
+}
+
+fn faulted_db(seed: u64, faults: &[Fault]) -> BlockchainDb {
+    let mut scenario = generate(&ScenarioConfig {
+        seed,
+        wallets: 10,
+        blocks: 8,
+        txs_per_block: 5,
+        pending_txs: 25,
+        contradictions: 3,
+        chain_dependency_pct: 35,
+        ..ScenarioConfig::default()
+    });
+    bcdb_chain::inject_all(&mut scenario, faults, seed);
+    scenario
+        .mempool
+        .check_invariants(&scenario.chain)
+        .expect("faulted scenario stays consistent");
+    let e = export(&scenario).unwrap();
+    let mut db = BlockchainDb::new(e.catalog, e.constraints);
+    for (rel, t) in e.base {
+        db.insert_current(rel, t).unwrap();
+    }
+    for (name, tuples) in e.pending {
+        db.add_transaction(name, tuples).unwrap();
+    }
+    db
+}
+
+/// Budgeted runs over fault-injected chains never contradict the
+/// unbudgeted answer, across reorgs, eviction storms, conflict floods, and
+/// replay storms.
+#[test]
+fn faulted_chains_never_contradict_unbudgeted_answer() {
+    let storms: [&[Fault]; 4] = [
+        &[Fault::Reorg { depth: 2 }],
+        &[
+            Fault::ConflictFlood { count: 8 },
+            Fault::EvictionStorm { count: 5 },
+        ],
+        &[
+            Fault::DuplicateReplay { count: 10 },
+            Fault::OrphanReplay { count: 10 },
+        ],
+        &[
+            Fault::Reorg { depth: 1 },
+            Fault::ConflictFlood { count: 5 },
+            Fault::Reorg { depth: 3 },
+            Fault::EvictionStorm { count: 3 },
+        ],
+    ];
+    let queries = [
+        // Double-spend safety: no outpoint spent twice in any world.
+        "q() <- TxIn(pt, ps, pk1, a1, n1, s1), TxIn(pt, ps, pk2, a2, n2, s2), n1 != n2",
+        // Monotone reachability-style query.
+        "q() <- TxOut(t, s, p, a), TxIn(t, s, p, a2, n, g)",
+        // Unsatisfiable address query.
+        "q() <- TxOut(t, s, 'pkNOSUCH', a)",
+    ];
+    for (i, faults) in storms.iter().enumerate() {
+        let seed = 31 + i as u64;
+        let mut db = faulted_db(seed, faults);
+        for text in queries {
+            let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+            let unbudgeted = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+            for budget in budget_pool() {
+                let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
+                    budget,
+                    ..DcSatOptions::default()
+                })
+                .unwrap();
+                match governed.verdict {
+                    Verdict::Holds => assert!(
+                        unbudgeted.satisfied,
+                        "storm {i}, budget {budget:?}: false Holds on {text}"
+                    ),
+                    Verdict::Violated(_) => assert!(
+                        !unbudgeted.satisfied,
+                        "storm {i}, budget {budget:?}: false Violated on {text}"
+                    ),
+                    Verdict::Unknown(_) => {}
+                }
+            }
+        }
+    }
+}

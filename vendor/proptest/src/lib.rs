@@ -1,0 +1,189 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of the proptest 1.x API this workspace uses:
+//! the [`Strategy`] trait over integer ranges, tuples, `Just`, mapped /
+//! flat-mapped strategies, `prop::collection::vec`, `prop::bool::ANY`,
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
+//! macros, and a deterministic case runner. **No shrinking**: a failing
+//! case reports its generated input verbatim instead of minimizing it.
+//! Vendored because the build environment has no registry access; see
+//! `vendor/README.md`.
+//!
+//! Determinism: each test derives its RNG seed from the test name (FNV)
+//! and the case index, so failures reproduce across runs. Set
+//! `PROPTEST_CASES` to override the per-test case count globally.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, mirroring `proptest::prelude::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        pub use crate::strategy::BoolAny as BoolStrategy;
+
+        /// Generates `true` or `false` with equal probability.
+        pub const ANY: crate::strategy::BoolAny = crate::strategy::BoolAny;
+    }
+}
+
+/// The glob-import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. See the crate docs; mirrors `proptest::proptest!`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_inner! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_inner! {
+            config = $crate::test_runner::Config::default(); $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_inner {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $config;
+                $crate::test_runner::run_cases(
+                    stringify!($name),
+                    &config,
+                    |__rng| ( $( $crate::strategy::Strategy::new_value(&($strat), __rng) ),+ , ),
+                    |( $($pat),+ , )| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Fails the current case with a message unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`",
+            lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `(left == right)`\n  left: `{:?}`\n right: `{:?}`\n{}",
+            lhs, rhs, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `(left != right)`\n  both: `{:?}`",
+            lhs
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed_gen($arm) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn ranges_and_tuples(x in 0..10i64, (a, b) in (0..5usize, 1..=3u64)) {
+            prop_assert!((0..10).contains(&x));
+            prop_assert!(a < 5);
+            prop_assert!((1..=3).contains(&b));
+        }
+
+        #[test]
+        fn vec_and_map(v in prop::collection::vec(prop::bool::ANY, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+        }
+
+        #[test]
+        fn flat_map_scales(v in (1..=4usize).prop_flat_map(|n|
+            prop::collection::vec(0..100i64, n).prop_map(move |xs| (n, xs))))
+        {
+            let (n, xs) = v;
+            prop_assert_eq!(xs.len(), n);
+        }
+
+        #[test]
+        fn oneof_and_just(x in prop_oneof![Just(1i64), Just(2), 10..20i64]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "left")]
+    fn failing_property_panics_with_input() {
+        crate::test_runner::run_cases(
+            "failing_property_panics_with_input",
+            &crate::test_runner::Config {
+                cases: 8,
+                ..Default::default()
+            },
+            |rng| (crate::strategy::Strategy::new_value(&(0..100i64), rng),),
+            |(x,)| {
+                prop_assert_eq!(x, -1i64);
+                Ok(())
+            },
+        );
+    }
+}

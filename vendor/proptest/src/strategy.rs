@@ -1,0 +1,319 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike the real proptest, a strategy here is just a generator: there is
+/// no value tree and no shrinking. `new_value` draws one value.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Discards generated values failing the predicate (up to a retry cap).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Erases the strategy into a boxed generator function (used by
+    /// `prop_oneof!`).
+    fn boxed_gen(self) -> BoxedGen<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(move |rng| self.new_value(rng))
+    }
+}
+
+/// A type-erased generator function.
+pub type BoxedGen<T> = Box<dyn Fn(&mut TestRng) -> T>;
+
+/// Always generates a clone of the wrapped value.
+#[derive(Clone, Copy, Debug)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone, Debug)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+#[derive(Clone, Debug)]
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.new_value(rng)).new_value(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+
+    fn new_value(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.new_value(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter '{}' rejected 1000 consecutive values", self.whence);
+    }
+}
+
+/// Uniform choice among same-typed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<BoxedGen<T>>,
+}
+
+impl<T> Union<T> {
+    /// Wraps the given generator arms (must be non-empty).
+    pub fn new(arms: Vec<BoxedGen<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        (self.arms[i])(rng)
+    }
+}
+
+/// `prop::bool::ANY`.
+#[derive(Clone, Copy, Debug)]
+pub struct BoolAny;
+
+impl Strategy for BoolAny {
+    type Value = bool;
+
+    fn new_value(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $to:ident / $from:ident),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let lo = $to(self.start);
+                let hi = $to(self.end) - 1;
+                $from(lo + rng.below(hi - lo + 1))
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start() <= self.end(), "empty range strategy");
+                let lo = $to(*self.start());
+                let hi = $to(*self.end());
+                if lo == 0 && hi == u64::MAX {
+                    return $from(rng.next_u64());
+                }
+                $from(lo + rng.below(hi - lo + 1))
+            }
+        }
+    )*};
+}
+
+fn unsigned_to_u64<T: Into<u64>>(x: T) -> u64 {
+    x.into()
+}
+
+fn u64_to_usize(x: u64) -> usize {
+    x as usize
+}
+
+fn usize_to_u64(x: usize) -> u64 {
+    x as u64
+}
+
+fn u64_to_u64(x: u64) -> u64 {
+    x
+}
+
+fn u64_to_u32(x: u64) -> u32 {
+    x as u32
+}
+
+fn u64_to_u16(x: u64) -> u16 {
+    x as u16
+}
+
+fn u64_to_u8(x: u64) -> u8 {
+    x as u8
+}
+
+fn signed_to_u64(x: i64) -> u64 {
+    x.wrapping_sub(i64::MIN) as u64
+}
+
+fn u64_to_i64(x: u64) -> i64 {
+    (x as i64).wrapping_add(i64::MIN)
+}
+
+fn i32_to_u64(x: i32) -> u64 {
+    signed_to_u64(x as i64)
+}
+
+fn u64_to_i32(x: u64) -> i32 {
+    u64_to_i64(x) as i32
+}
+
+impl_range_strategy! {
+    u8 => unsigned_to_u64 / u64_to_u8,
+    u16 => unsigned_to_u64 / u64_to_u16,
+    u32 => unsigned_to_u64 / u64_to_u32,
+    u64 => u64_to_u64 / u64_to_u64,
+    usize => usize_to_u64 / u64_to_usize,
+    i32 => i32_to_u64 / u64_to_i32,
+    i64 => signed_to_u64 / u64_to_i64,
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),* $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+}
+
+/// An inclusive-exclusive size band for collection strategies.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Generates `Vec`s whose length falls in `size` (see
+/// `prop::collection::vec`).
+#[derive(Clone, Debug)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+/// A strategy for vectors of `element` values with length in `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.lo + rng.below((self.size.hi - self.size.lo) as u64) as usize;
+        (0..len).map(|_| self.element.new_value(rng)).collect()
+    }
+}

@@ -1,0 +1,128 @@
+//! The deterministic case runner and its configuration.
+
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Runner configuration (the prelude re-exports this as `ProptestConfig`).
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for API compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Accepted for API compatibility; rejection is only used by
+    /// `prop_filter`, which retries internally.
+    pub max_global_rejects: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        let cases = std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(256);
+        Config {
+            cases,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A failed (or, for API compatibility, rejected) test case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// A failure carrying the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+
+    /// Alias of [`TestCaseError::fail`] for API compatibility.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// The runner's RNG: SplitMix64, seeded per (test name, case index).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator with the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform sample in `0..n` (panics if `n == 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        // Multiply-shift with one debiasing retry band (Lemire).
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let wide = (x as u128) * (n as u128);
+            if (wide as u64) >= threshold {
+                return (wide >> 64) as u64;
+            }
+        }
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `cases` random cases of a property: generate an input tuple with
+/// `generate`, check it with `check`, and panic with the offending input
+/// on the first failure. Called by the `proptest!` macro expansion.
+pub fn run_cases<V, G, F>(name: &str, config: &Config, generate: G, check: F)
+where
+    V: fmt::Debug,
+    G: Fn(&mut TestRng) -> V,
+    F: Fn(V) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..config.cases {
+        let mut rng = TestRng::new(base ^ (0x517c_c1b7_2722_0a95u64.wrapping_mul(case as u64 + 1)));
+        let value = generate(&mut rng);
+        let described = format!("{value:?}");
+        match catch_unwind(AssertUnwindSafe(|| check(value))) {
+            Ok(Ok(())) => {}
+            Ok(Err(e)) => panic!(
+                "proptest: property '{name}' failed at case {case}/{}:\n{e}\ninput: {described}",
+                config.cases
+            ),
+            Err(payload) => {
+                eprintln!(
+                    "proptest: property '{name}' panicked at case {case}/{} on input: {described}",
+                    config.cases
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}

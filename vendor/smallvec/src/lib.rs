@@ -1,0 +1,255 @@
+//! Offline stand-in for the `smallvec` crate.
+//!
+//! `SmallVec<[T; N]>` here is a thin wrapper over `Vec<T>` — it keeps the
+//! type-level API (the `Array` bound, `smallvec!`) without the inline
+//! storage optimization. Vendored because the build environment has no
+//! registry access; see `vendor/README.md`. Swap back to the real crate
+//! when a registry is available to regain the small-size optimization.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Types usable as the backing-array parameter of [`SmallVec`].
+pub trait Array {
+    /// The element type.
+    type Item;
+    /// The inline capacity the real crate would reserve.
+    fn size() -> usize;
+}
+
+impl<T, const N: usize> Array for [T; N] {
+    type Item = T;
+
+    fn size() -> usize {
+        N
+    }
+}
+
+/// A growable vector; inline-storage-free stand-in for `smallvec::SmallVec`.
+pub struct SmallVec<A: Array> {
+    inner: Vec<A::Item>,
+}
+
+impl<A: Array> SmallVec<A> {
+    /// An empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        SmallVec { inner: Vec::new() }
+    }
+
+    /// An empty vector with at least `cap` capacity.
+    #[inline]
+    pub fn with_capacity(cap: usize) -> Self {
+        SmallVec {
+            inner: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Appends an element.
+    #[inline]
+    pub fn push(&mut self, value: A::Item) {
+        self.inner.push(value);
+    }
+
+    /// Removes and returns the last element.
+    #[inline]
+    pub fn pop(&mut self) -> Option<A::Item> {
+        self.inner.pop()
+    }
+
+    /// Clears the vector.
+    #[inline]
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Removes consecutive repeated elements.
+    #[inline]
+    pub fn dedup(&mut self)
+    where
+        A::Item: PartialEq,
+    {
+        self.inner.dedup();
+    }
+
+    /// Keeps only the elements the predicate accepts.
+    #[inline]
+    pub fn retain(&mut self, f: impl FnMut(&mut A::Item) -> bool) {
+        self.inner.retain_mut(f);
+    }
+
+    /// Converts into a plain `Vec`.
+    #[inline]
+    pub fn into_vec(self) -> Vec<A::Item> {
+        self.inner
+    }
+
+    /// Borrows the elements as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> Default for SmallVec<A> {
+    fn default() -> Self {
+        SmallVec::new()
+    }
+}
+
+impl<A: Array> std::ops::Deref for SmallVec<A> {
+    type Target = [A::Item];
+
+    #[inline]
+    fn deref(&self) -> &[A::Item] {
+        &self.inner
+    }
+}
+
+impl<A: Array> std::ops::DerefMut for SmallVec<A> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [A::Item] {
+        &mut self.inner
+    }
+}
+
+impl<A: Array> Clone for SmallVec<A>
+where
+    A::Item: Clone,
+{
+    fn clone(&self) -> Self {
+        SmallVec {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<A: Array> fmt::Debug for SmallVec<A>
+where
+    A::Item: fmt::Debug,
+{
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<A: Array> PartialEq for SmallVec<A>
+where
+    A::Item: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        self.inner == other.inner
+    }
+}
+
+impl<A: Array> Eq for SmallVec<A> where A::Item: Eq {}
+
+impl<A: Array> PartialOrd for SmallVec<A>
+where
+    A::Item: PartialOrd,
+{
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.inner.partial_cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Ord for SmallVec<A>
+where
+    A::Item: Ord,
+{
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.inner.cmp(&other.inner)
+    }
+}
+
+impl<A: Array> Hash for SmallVec<A>
+where
+    A::Item: Hash,
+{
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.inner.hash(state);
+    }
+}
+
+impl<A: Array> FromIterator<A::Item> for SmallVec<A> {
+    fn from_iter<I: IntoIterator<Item = A::Item>>(iter: I) -> Self {
+        SmallVec {
+            inner: Vec::from_iter(iter),
+        }
+    }
+}
+
+impl<A: Array> Extend<A::Item> for SmallVec<A> {
+    fn extend<I: IntoIterator<Item = A::Item>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<A: Array> IntoIterator for SmallVec<A> {
+    type Item = A::Item;
+    type IntoIter = std::vec::IntoIter<A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a SmallVec<A> {
+    type Item = &'a A::Item;
+    type IntoIter = std::slice::Iter<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<'a, A: Array> IntoIterator for &'a mut SmallVec<A> {
+    type Item = &'a mut A::Item;
+    type IntoIter = std::slice::IterMut<'a, A::Item>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter_mut()
+    }
+}
+
+impl<A: Array> From<Vec<A::Item>> for SmallVec<A> {
+    fn from(inner: Vec<A::Item>) -> Self {
+        SmallVec { inner }
+    }
+}
+
+/// Constructs a [`SmallVec`], mirroring `vec!` syntax.
+#[macro_export]
+macro_rules! smallvec {
+    () => { $crate::SmallVec::new() };
+    ($($x:expr),+ $(,)?) => {
+        $crate::SmallVec::from(vec![$($x),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_ops() {
+        let mut v: SmallVec<[i32; 4]> = SmallVec::new();
+        v.push(1);
+        v.push(2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[0], 1);
+        assert_eq!(v.pop(), Some(2));
+        let w: SmallVec<[i32; 4]> = (0..3).collect();
+        assert_eq!(w.as_slice(), &[0, 1, 2]);
+        let m: SmallVec<[i32; 2]> = smallvec![7, 8, 9];
+        assert_eq!(m.into_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn usable_as_map_key() {
+        let mut m = std::collections::HashMap::new();
+        let k: SmallVec<[u8; 4]> = smallvec![1, 2];
+        m.insert(k.clone(), "x");
+        assert_eq!(m.get(&k), Some(&"x"));
+    }
+}
