@@ -7,14 +7,20 @@
 //! Experiments: `table1`, `fig6a`–`fig6h`, or `all` (default). Each prints
 //! a plain-text table with the same rows/series the paper reports;
 //! EXPERIMENTS.md records paper-vs-measured shapes.
+//!
+//! `bench [--smoke] [--out PATH]` runs the two-level-scheduler /
+//! delta-seeding micro-benchmark (not part of `all`) and writes a JSON
+//! report (default `BENCH_dcsat.json`).
 
 use bcdb_bench::datasets::{load_config, load_dataset, LoadedDataset};
 use bcdb_bench::picker::ConstantPicker;
 use bcdb_bench::queries::{qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
-use bcdb_bench::report::{governed_record, secs, time_avg, Table};
+use bcdb_bench::report::{governed_record, secs, stats_json, time_avg, JsonObject, Table};
+use bcdb_bench::workload::giant_component;
 use bcdb_chain::Dataset;
 use bcdb_core::{
-    dcsat_governed, dcsat_with, Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Precomputed,
+    dcsat_governed, dcsat_governed_with_budget, dcsat_with, delta_row_count, possible_worlds,
+    Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Precomputed,
 };
 use bcdb_query::parse_denial_constraint;
 use std::time::Duration;
@@ -408,9 +414,163 @@ fn governed(seed: u64) {
     }
 }
 
+/// `bench`: two-level scheduler + delta-seeding micro-benchmark over a
+/// single giant independence component (`2^pairs` maximal cliques, no
+/// component-level parallelism available), written as machine-readable
+/// JSON to `out` for CI artifact diffing. `--smoke` shrinks the workload
+/// for a fast correctness-of-the-harness pass.
+fn bench(smoke: bool, out: &str) {
+    let (pairs, inert) = if smoke { (8usize, 200usize) } else { (12, 1000) };
+    println!("== bench: two-level DCSat over a single giant component ==");
+    let threads_avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut w = giant_component(pairs, inert);
+    let pre = Precomputed::build(&w.db);
+    // Average pending (delta) rows per possible world — context for the
+    // delta-seeding counters: a full evaluation probes every matching base
+    // row per world, a seeded one starts from only these.
+    let worlds = possible_worlds(&w.db, &pre);
+    let delta_rows: usize = worlds
+        .iter()
+        .map(|m| delta_row_count(w.db.database(), m))
+        .sum();
+    let delta_rows_avg = delta_rows as f64 / worlds.len().max(1) as f64;
+    println!(
+        "pairs={pairs} worlds={} inert_base_rows={inert} threads={threads_avail} \
+         avg_delta_rows_per_world={delta_rows_avg:.1}",
+        worlds.len()
+    );
+
+    let configs: [(&str, DcSatOptions); 4] = [
+        (
+            "naive",
+            DcSatOptions {
+                algorithm: Algorithm::Naive,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt-serial",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                parallel: false,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt-component-parallel",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                parallel: true,
+                parallel_intra: false,
+                ..DcSatOptions::default()
+            },
+        ),
+        (
+            "opt-two-level",
+            DcSatOptions {
+                algorithm: Algorithm::Opt,
+                parallel: true,
+                parallel_intra: true,
+                ..DcSatOptions::default()
+            },
+        ),
+    ];
+    let mut t = Table::new(&["config", "wall (s)", "cliques", "subproblems", "delta evals"]);
+    let mut records = Vec::new();
+    let mut walls: Vec<(String, Duration)> = Vec::new();
+    for (name, options) in &configs {
+        eprintln!("[bench] {name}");
+        let outcome = dcsat_with(&mut w.db, &pre, &w.dc, options).expect("bench query applies");
+        check(outcome.satisfied, true, name);
+        let wall = time_avg(RUNS, || {
+            dcsat_with(&mut w.db, &pre, &w.dc, options).expect("bench query applies");
+        });
+        t.row(&[
+            name.to_string(),
+            secs(wall),
+            outcome.stats.cliques_enumerated.to_string(),
+            outcome.stats.subproblems_spawned.to_string(),
+            outcome.stats.delta_seeded_evals.to_string(),
+        ]);
+        records.push(
+            JsonObject::new()
+                .str("config", name)
+                .num("wall_ms", format!("{:.3}", wall.as_secs_f64() * 1e3))
+                .bool("satisfied", outcome.satisfied)
+                .raw("stats", &stats_json(&outcome.stats))
+                .finish(),
+        );
+        walls.push((name.to_string(), wall));
+    }
+    println!("{}", t.render());
+    let wall_of = |name: &str| {
+        walls
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, d)| d.as_secs_f64())
+            .unwrap_or(f64::NAN)
+    };
+    println!(
+        "[bench] two-level vs component-parallel: {:.2}x on {threads_avail} thread(s)",
+        wall_of("opt-component-parallel") / wall_of("opt-two-level")
+    );
+
+    // Delta-seeding ablation on the serial path (deterministic work totals):
+    // a fresh unlimited budget per run exposes the tuples actually charged.
+    let mut ablation = Vec::new();
+    let mut tuples: Vec<u64> = Vec::new();
+    for (name, use_delta) in [("delta-on", true), ("delta-off", false)] {
+        let options = DcSatOptions {
+            algorithm: Algorithm::Opt,
+            parallel: false,
+            use_delta,
+            ..DcSatOptions::default()
+        };
+        let budget = BudgetSpec::UNLIMITED.start();
+        let outcome = dcsat_governed_with_budget(&mut w.db, &pre, &w.dc, &options, &budget)
+            .expect("bench query applies");
+        let wall = time_avg(RUNS, || {
+            dcsat_with(&mut w.db, &pre, &w.dc, &options).expect("bench query applies");
+        });
+        tuples.push(budget.tuples_used());
+        ablation.push(
+            JsonObject::new()
+                .str("config", name)
+                .bool("use_delta", use_delta)
+                .num("wall_ms", format!("{:.3}", wall.as_secs_f64() * 1e3))
+                .num("tuples_charged", budget.tuples_used())
+                .raw("stats", &stats_json(&outcome.stats))
+                .finish(),
+        );
+    }
+    println!(
+        "[bench] delta-seeding tuples charged: {} (on) vs {} (off)",
+        tuples[0], tuples[1]
+    );
+
+    let json = JsonObject::new()
+        .str("bench", "dcsat-giant-component")
+        .bool("smoke", smoke)
+        .num("pairs", pairs)
+        .num("worlds", worlds.len())
+        .num("inert_base_rows", inert)
+        .num("threads", threads_avail)
+        .num("runs", RUNS)
+        .num("delta_rows_avg", format!("{delta_rows_avg:.2}"))
+        .raw("records", &format!("[{}]", records.join(",")))
+        .raw("delta_ablation", &format!("[{}]", ablation.join(",")))
+        .finish();
+    std::fs::write(out, format!("{json}\n")).expect("write bench report");
+    println!("[bench] wrote {out}");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
+    let mut smoke = false;
+    let mut out = "BENCH_dcsat.json".to_string();
     let mut which = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -420,6 +580,10 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--seed takes an integer");
+            }
+            "--smoke" => smoke = true,
+            "--out" => {
+                out = it.next().expect("--out takes a path").clone();
             }
             other => which = other.to_string(),
         }
@@ -437,6 +601,7 @@ fn main() {
         "fig6h" => fig6h(seed),
         "ablation" => ablation(seed),
         "governed" => governed(seed),
+        "bench" => bench(smoke, &out),
         "all" => {
             table1(seed);
             fig6_query_types(seed, true);
@@ -453,7 +618,8 @@ fn main() {
         other => {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
-                "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed all"
+                "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed \
+                 bench [--smoke] [--out PATH] all"
             );
             std::process::exit(2);
         }

@@ -7,8 +7,10 @@ pub mod datasets;
 pub mod picker;
 pub mod queries;
 pub mod report;
+pub mod workload;
 
 pub use datasets::{load_dataset, load_export, LoadedDataset};
 pub use picker::ConstantPicker;
 pub use queries::{pick_unsat_constants, qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
-pub use report::{budget_json, governed_record, time_avg, JsonObject, Table};
+pub use report::{budget_json, governed_record, stats_json, time_avg, JsonObject, Table};
+pub use workload::{giant_component, GiantComponent};

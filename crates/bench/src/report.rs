@@ -1,7 +1,7 @@
 //! Timing, plain-text table rendering, and machine-readable JSON records
 //! for the experiment harness.
 
-use bcdb_core::{BudgetSpec, GovernedOutcome, Verdict};
+use bcdb_core::{BudgetSpec, DcSatStats, GovernedOutcome, Verdict};
 use std::fmt::Write as _;
 use std::time::{Duration, Instant};
 
@@ -173,6 +173,20 @@ pub fn budget_json(budget: &BudgetSpec) -> String {
         .finish()
 }
 
+/// Renders [`DcSatStats`] as a JSON object (the solver-work counters shared
+/// by governed records and the `repro bench` report).
+pub fn stats_json(stats: &DcSatStats) -> String {
+    JsonObject::new()
+        .str("algorithm", stats.algorithm)
+        .num("worlds_evaluated", stats.worlds_evaluated)
+        .num("cliques_enumerated", stats.cliques_enumerated)
+        .num("subproblems_spawned", stats.subproblems_spawned)
+        .num("delta_seeded_evals", stats.delta_seeded_evals)
+        .num("base_cache_hits", stats.base_cache_hits)
+        .num("poisoned_workers", stats.poisoned_workers)
+        .finish()
+}
+
 /// Renders one governed DCSat run as a single-line JSON record: the budget
 /// that governed it, the verdict it reached, and the solver statistics.
 pub fn governed_record(label: &str, budget: &BudgetSpec, outcome: &GovernedOutcome) -> String {
@@ -181,12 +195,7 @@ pub fn governed_record(label: &str, budget: &BudgetSpec, outcome: &GovernedOutco
         Verdict::Violated(w) => ("violated", None, Some(w.txs().count())),
         Verdict::Unknown(r) => ("unknown", Some(r.to_string()), None),
     };
-    let stats = JsonObject::new()
-        .str("algorithm", outcome.stats.algorithm)
-        .num("worlds_evaluated", outcome.stats.worlds_evaluated)
-        .num("cliques_enumerated", outcome.stats.cliques_enumerated)
-        .num("poisoned_workers", outcome.stats.poisoned_workers)
-        .finish();
+    let stats = stats_json(&outcome.stats);
     let mut o = JsonObject::new()
         .str("label", label)
         .raw("budget", &budget_json(budget))

@@ -1,0 +1,122 @@
+//! Synthetic single-giant-component workload for the `repro bench`
+//! subcommand.
+//!
+//! `pairs` contradiction pairs over a keyed `Pay` relation: transaction
+//! `a_j` writes `Pay(j, ..)` plus `Ack((j+1) mod pairs)`, while its rival
+//! `b_j` writes only `Pay(j, ..)` with a different payee. The shared key
+//! makes `a_j`/`b_j` mutually exclusive, so GfTd is the complete
+//! multipartite graph K_{2×pairs} with `2^pairs` maximal cliques, while
+//! the `Ack → Pay` inclusion dependency chains every pair to the next and
+//! fuses all `2·pairs` transactions into ONE independence component.
+//! OptDCSat therefore gets no component-level parallelism at all — only
+//! the intra-component subproblem split can spread the clique enumeration
+//! over cores, which is exactly the regime this workload benchmarks.
+//!
+//! `inert_base_rows` pre-existing `Pay` ledger rows match the first query
+//! atom's payee but can never complete a violation, so a full per-world
+//! evaluation re-probes all of them in every world while the delta-seeded
+//! evaluator only touches each world's pending tuples.
+//!
+//! One corner is intentional: the all-`a` clique is a *cyclic*
+//! acknowledgment chain that no append order can bootstrap, so `getMaximal`
+//! collapses it to the base world and the delta evaluator answers it from
+//! the cached base verdict with no join work (`base_cache_hits` exceeds
+//! `delta_seeded_evals` by exactly one).
+
+use bcdb_core::BlockchainDb;
+use bcdb_query::{parse_denial_constraint, DenialConstraint};
+use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, ValueType};
+
+/// A built giant-component scenario plus the constraint to check over it.
+pub struct GiantComponent {
+    /// The blockchain database (base ledger + pending transactions).
+    pub db: BlockchainDb,
+    /// "No id is ever paid to both payees" — false in the base world, true
+    /// in `R ∪ ⋃T`, and false in every possible world, so every algorithm
+    /// must enumerate all `2^pairs` maximal cliques to prove it holds.
+    pub dc: DenialConstraint,
+    /// Number of contradiction pairs (`2^pairs` possible worlds).
+    pub pairs: usize,
+    /// Number of inert base ledger rows.
+    pub inert_base_rows: usize,
+}
+
+/// Builds the workload; see the module docs for the construction.
+pub fn giant_component(pairs: usize, inert_base_rows: usize) -> GiantComponent {
+    assert!(pairs >= 2, "need at least two contradiction pairs");
+    let mut cat = Catalog::new();
+    cat.add(
+        RelationSchema::new(
+            "Pay",
+            [
+                ("id", ValueType::Int),
+                ("payer", ValueType::Text),
+                ("payee", ValueType::Text),
+                ("amt", ValueType::Int),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    cat.add(RelationSchema::new("Ack", [("payRef", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+    cs.add_ind(Ind::named(&cat, "Ack", &["payRef"], "Pay", &["id"]).unwrap());
+    let mut db = BlockchainDb::new(cat, cs);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    for i in 0..inert_base_rows {
+        // Ledger history matching the first query atom's payee; its ids
+        // never gain a 'carol' payment, so each row only costs probe work.
+        db.insert_current(pay, tuple![-(1 + i as i64), "ledger", "bob", 0i64])
+            .unwrap();
+    }
+    let k = pairs as i64;
+    for j in 0..k {
+        db.add_transaction(
+            format!("a{j}"),
+            [
+                (pay, tuple![j, "alice", "bob", 1i64]),
+                (ack, tuple![(j + 1) % k]),
+            ],
+        )
+        .unwrap();
+        db.add_transaction(format!("b{j}"), [(pay, tuple![j, "alice", "carol", 1i64])])
+            .unwrap();
+    }
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, p, 'bob', a), Pay(i, p2, 'carol', a2)",
+        db.database().catalog(),
+    )
+    .unwrap();
+    GiantComponent {
+        db,
+        dc,
+        pairs,
+        inert_base_rows,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_core::{dcsat, Algorithm, DcSatOptions};
+
+    #[test]
+    fn giant_component_shape_and_verdict() {
+        let mut w = giant_component(5, 20);
+        let out = dcsat(
+            &mut w.db,
+            &w.dc,
+            &DcSatOptions {
+                algorithm: Algorithm::Opt,
+                ..DcSatOptions::default()
+            },
+        )
+        .unwrap();
+        assert!(out.satisfied, "constraint holds in every world");
+        assert_eq!(out.stats.components_total, 1, "one fused component");
+        assert_eq!(out.stats.cliques_enumerated, 1 << 5, "2^pairs cliques");
+    }
+}

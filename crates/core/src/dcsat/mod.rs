@@ -21,9 +21,16 @@
 //! The top-level [`dcsat`] routes automatically; [`DcSatOptions`] can force
 //! an algorithm and toggle each optimization (for the ablation benchmarks).
 
+// The internal algorithm drivers return `Result<DcSatOutcome, Exhausted>`
+// where the error deliberately carries the partial `DcSatStats` accumulated
+// before the budget ran out — the stats are the point, not payload bloat.
+#[allow(clippy::result_large_err)]
 pub mod naive;
+#[allow(clippy::result_large_err)]
 pub mod opt;
+#[allow(clippy::result_large_err)]
 pub mod oracle;
+#[allow(clippy::result_large_err)]
 pub mod tractable;
 
 #[cfg(test)]
@@ -36,8 +43,8 @@ use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason, UNGOVERNED};
 use bcdb_graph::CliqueStrategy;
 use bcdb_query::{
     atom_graph_complete, evaluate_aggregate, evaluate_aggregate_governed, evaluate_bool,
-    evaluate_bool_governed, is_connected, monotonicity, prepare, prepare_aggregate,
-    DenialConstraint, Monotonicity, PreparedAggregate, PreparedQuery,
+    evaluate_bool_delta_governed, evaluate_bool_governed, is_connected, monotonicity, prepare,
+    prepare_aggregate, DenialConstraint, Monotonicity, PreparedAggregate, PreparedQuery,
 };
 use bcdb_storage::{Database, WorldMask};
 
@@ -74,6 +81,28 @@ pub struct DcSatOptions {
     pub use_covers: bool,
     /// Process `OptDCSat` components on multiple threads (extension).
     pub parallel: bool,
+    /// Second level of parallelism (extension): when [`parallel`] is on,
+    /// split large components into independent Bron–Kerbosch subproblems so
+    /// a single giant component still saturates the thread pool. Has no
+    /// effect on the serial path.
+    ///
+    /// [`parallel`]: DcSatOptions::parallel
+    pub parallel_intra: bool,
+    /// Delta-seeded world evaluation (extension): for negation-free
+    /// conjunctive constraints whose base verdict is known false, evaluate
+    /// each world with plans seeded from its pending (delta) tuples instead
+    /// of re-joining from scratch. Sound by monotonicity — any new
+    /// satisfying assignment must touch at least one delta tuple.
+    pub use_delta: bool,
+    /// Worker-thread count for the parallel paths. `None` asks the OS via
+    /// `available_parallelism`. Mostly useful to tests and benchmarks that
+    /// must exercise multi-threaded scheduling regardless of the machine.
+    pub threads: Option<usize>,
+    /// Fault injection for robustness tests: a worker whose component
+    /// contains this pending-transaction index panics mid-check. `None`
+    /// (the default) injects nothing. Not part of the stable API.
+    #[doc(hidden)]
+    pub fault_inject_panic_tx: Option<usize>,
     /// Resource limits for governed entry points ([`dcsat_governed`] and
     /// friends). Ignored by the ungoverned [`dcsat`]/[`dcsat_with`], which
     /// always run to completion.
@@ -88,6 +117,10 @@ impl Default for DcSatOptions {
             use_precheck: true,
             use_covers: true,
             parallel: false,
+            parallel_intra: true,
+            use_delta: true,
+            threads: None,
+            fault_inject_panic_tx: None,
             budget: BudgetSpec::UNLIMITED,
         }
     }
@@ -113,6 +146,15 @@ pub struct DcSatStats {
     /// Parallel workers isolated after a panic (always 0 unless a bug in a
     /// worker was contained by the panic guard).
     pub poisoned_workers: usize,
+    /// Intra-component Bron–Kerbosch subproblems spawned by the two-level
+    /// parallel scheduler (0 on the serial path and for unsplit components).
+    pub subproblems_spawned: usize,
+    /// World evaluations answered by a delta-seeded plan instead of a full
+    /// re-join (see [`DcSatOptions::use_delta`]).
+    pub delta_seeded_evals: usize,
+    /// World evaluations that reused the cached base-world verdict — every
+    /// delta-seeded evaluation, plus empty-delta worlds answered outright.
+    pub base_cache_hits: usize,
 }
 
 /// An algorithm stopped before reaching a definite answer. Internal result
@@ -268,6 +310,49 @@ impl PreparedConstraint {
             PreparedConstraint::Aggregate(_) => None,
         }
     }
+
+    /// Whether [`eval_world`] may take the delta-seeded path for this
+    /// constraint: conjunctive and negation-free (monotone in the delta).
+    pub(crate) fn delta_capable(&self) -> bool {
+        matches!(self, PreparedConstraint::Conjunctive(pq) if pq.seedable())
+    }
+}
+
+/// Evaluates the constraint over one maximal world, preferring a
+/// delta-seeded plan when sound. Increments `worlds_evaluated` and the
+/// delta counters.
+///
+/// Soundness precondition for the delta path: the caller has already
+/// established that the query is **false over the base world** `R` (both
+/// `NaiveDCSat` and `OptDCSat` check `R` before enumerating worlds when
+/// `use_delta` applies). Every world is `R` plus its active pending tuples,
+/// and the query is negation-free, hence monotone in the added tuples: a
+/// satisfying assignment either exists in `R` alone (excluded by the cached
+/// base verdict) or touches at least one delta tuple — exactly what the
+/// delta-seeded plans enumerate. An empty-delta world *is* `R` and is
+/// answered from the cache without any evaluation.
+pub(crate) fn eval_world(
+    db: &Database,
+    pc: &PreparedConstraint,
+    world: &WorldMask,
+    opts: &DcSatOptions,
+    budget: &Budget,
+    stats: &mut DcSatStats,
+) -> Result<bool, ExhaustionReason> {
+    stats.worlds_evaluated += 1;
+    if opts.use_delta {
+        if let PreparedConstraint::Conjunctive(pq) = pc {
+            if pq.seedable() {
+                stats.base_cache_hits += 1;
+                if world.txs().next().is_none() {
+                    return Ok(false);
+                }
+                stats.delta_seeded_evals += 1;
+                return evaluate_bool_delta_governed(db, pq, world, budget);
+            }
+        }
+    }
+    pc.holds_governed(db, world, budget)
 }
 
 /// Decides `D |= ¬q`, building the precomputed structures internally.

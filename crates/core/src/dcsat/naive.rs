@@ -7,7 +7,7 @@
 //! holds over some such world.
 
 use crate::db::BlockchainDb;
-use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
+use crate::dcsat::{eval_world, DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
 use crate::precompute::Precomputed;
 use crate::worlds::get_maximal;
 use bcdb_governor::{Budget, ExhaustionReason};
@@ -43,6 +43,19 @@ pub fn run(
         }
     }
 
+    // Delta-seeded world evaluation needs the base verdict cached: `R` is
+    // always a possible world, so if the query holds there the constraint
+    // is already violated, and otherwise every maximal world below can be
+    // answered from its delta tuples alone (see `eval_world`).
+    if opts.use_delta && pc.delta_capable() {
+        stats.worlds_evaluated += 1;
+        match pc.holds_governed(db, &db.base_mask(), budget) {
+            Ok(true) => return Ok(DcSatOutcome::unsatisfied(db.base_mask(), stats)),
+            Ok(false) => {}
+            Err(reason) => return Err(exhausted(reason, stats)),
+        }
+    }
+
     let mut witness = None;
     // Budget exhaustion inside the visitor (world materialisation or query
     // evaluation) is smuggled out through `broke`, using `Visit::Stop` to
@@ -57,8 +70,7 @@ pub fn run(
             }
             let txs: Vec<TxId> = clique.iter().map(|&i| TxId(i as u32)).collect();
             let world = get_maximal(bcdb, pre, &txs);
-            stats.worlds_evaluated += 1;
-            match pc.holds_governed(db, &world, budget) {
+            match eval_world(db, pc, &world, opts, budget, &mut stats) {
                 Ok(true) => {
                     witness = Some(world);
                     Visit::Stop

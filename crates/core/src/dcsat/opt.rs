@@ -5,16 +5,24 @@
 //! ind-q-transaction graph `Gq,ind` (equality constraints Θ = ΘI ∪ Θq) and
 //! solve each component independently — no satisfying assignment can span
 //! two components. Components that cannot cover the query's constants are
-//! pruned entirely. As an extension over the paper, components can be
-//! checked on multiple threads.
+//! pruned entirely. As an extension over the paper, the work is checked on
+//! multiple threads at two levels: across components, and *within* a large
+//! component by splitting its Bron–Kerbosch search tree into independent
+//! subproblems (see [`bcdb_graph::split_subproblems`]) so a single giant
+//! component still saturates the pool.
 
 use crate::db::BlockchainDb;
-use crate::dcsat::{DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint};
-use crate::precompute::{union_by_equalities, Precomputed};
+use crate::dcsat::{
+    eval_world, DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint,
+};
+use crate::precompute::{query_components, Precomputed};
 use crate::worlds::get_maximal;
 use bcdb_governor::{Budget, ExhaustionReason};
-use bcdb_graph::{maximal_cliques_governed, BitSet, Visit};
-use bcdb_query::{constant_patterns, derive_query_equalities, ConstantPattern, PreparedQuery};
+use bcdb_graph::{
+    expand_subproblem_governed, maximal_cliques_governed, split_subproblems, BitSet,
+    CliqueSubproblem, UndirectedGraph, Visit,
+};
+use bcdb_query::{constant_patterns, ConstantPattern, PreparedQuery};
 use bcdb_storage::{Source, TxId, WorldMask};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -81,11 +89,85 @@ pub fn patterns_of(pq: &PreparedQuery) -> Vec<ConstantPattern> {
     constant_patterns(pq.query())
 }
 
-/// Test-only fault injection: a worker processing a component that contains
-/// this pending-transaction index panics, exercising the panic-isolation
-/// path of [`run_parallel`]. `usize::MAX` (the default) never matches.
-#[cfg(test)]
-pub(crate) static PANIC_ON_TX: AtomicUsize = AtomicUsize::new(usize::MAX);
+/// Components with at least this many transactions are split into
+/// intra-component Bron–Kerbosch subproblems when
+/// [`DcSatOptions::parallel_intra`] is on. Below it the whole component is
+/// cheaper to check as a single unit of work.
+const SPLIT_THRESHOLD: usize = 16;
+
+/// Robustness-test fault injection (see
+/// [`DcSatOptions::fault_inject_panic_tx`]): panics when the component
+/// being checked contains the poisoned transaction index.
+fn inject_fault(opts: &DcSatOptions, component: &[usize]) {
+    if let Some(poison) = opts.fault_inject_panic_tx {
+        if component.contains(&poison) {
+            panic!("injected fault: component contains tx {poison}");
+        }
+    }
+}
+
+/// Worker threads for the parallel paths.
+fn worker_threads(opts: &DcSatOptions) -> usize {
+    opts.threads
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(2)
+        })
+        .max(1)
+}
+
+/// One surviving component with its induced `GfTd` subgraph built once and
+/// shared by every work item derived from it.
+struct ComponentPlan<'a> {
+    component: &'a [usize],
+    graph: UndirectedGraph,
+    /// Subgraph node index → pending-transaction index.
+    mapping: Vec<usize>,
+    /// `Some` when the component was split for intra-component parallelism;
+    /// `None` → the whole component is one work item.
+    subproblems: Option<Vec<CliqueSubproblem>>,
+}
+
+/// A unit of parallel work: a whole component, or one Bron–Kerbosch
+/// subproblem of a split component. The flattened work list preserves
+/// sequential order (components in candidate order, a split component's
+/// subproblems in branch order), so "lowest work index" below is a
+/// deterministic, schedule-independent tiebreak.
+struct WorkItem {
+    plan: usize,
+    sub: Option<usize>,
+}
+
+/// Builds one [`ComponentPlan`] per candidate, splitting components that
+/// are large enough to be worth sharing among threads.
+fn build_plans<'a>(
+    pre: &Precomputed,
+    candidates: &[&'a Vec<usize>],
+    opts: &DcSatOptions,
+    threads: usize,
+) -> Vec<ComponentPlan<'a>> {
+    // Oversubscribe so uneven subproblem sizes still balance.
+    let target = (4 * threads).max(2);
+    candidates
+        .iter()
+        .map(|comp| {
+            let (graph, mapping) = pre.fd_graph.induced_subgraph(comp);
+            let subproblems = if opts.parallel_intra && comp.len() >= SPLIT_THRESHOLD {
+                let subs = split_subproblems(&graph, opts.clique_strategy, target);
+                (subs.len() > 1).then_some(subs)
+            } else {
+                None
+            };
+            ComponentPlan {
+                component: comp,
+                graph,
+                mapping,
+                subproblems,
+            }
+        })
+        .collect()
+}
 
 /// Runs `OptDCSat` under `budget`. The caller must have established that
 /// the constraint is monotonic, conjunctive, and connected.
@@ -130,10 +212,7 @@ pub fn run(
     }
 
     // Components of Gq,ind = ΘI components refined with Θq edges.
-    let mut uf = pre.ind_uf.clone();
-    let thetas_q = derive_query_equalities(pq.query());
-    union_by_equalities(bcdb, &thetas_q, &mut uf);
-    let components = uf.into_components();
+    let components = query_components(bcdb, pre, pq.query());
     stats.components_total = components.len();
 
     let n = bcdb.pending_count();
@@ -149,54 +228,70 @@ pub fn run(
         .collect();
     stats.components_checked = candidates.len();
 
-    if opts.parallel && candidates.len() > 1 {
-        run_parallel(bcdb, pre, pc, &candidates, opts, budget, stats)
-    } else {
-        let mut witness = None;
-        for comp in candidates {
-            match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats) {
-                Ok(Some(w)) => {
-                    witness = Some(w);
-                    break;
-                }
-                Ok(None) => {}
-                Err(reason) => return Err(Exhausted { reason, stats }),
+    if opts.parallel {
+        let threads = worker_threads(opts);
+        let plans = build_plans(pre, &candidates, opts, threads);
+        let mut work = Vec::new();
+        for (pi, plan) in plans.iter().enumerate() {
+            match &plan.subproblems {
+                Some(subs) => work.extend((0..subs.len()).map(|si| WorkItem {
+                    plan: pi,
+                    sub: Some(si),
+                })),
+                None => work.push(WorkItem { plan: pi, sub: None }),
             }
         }
-        Ok(match witness {
-            Some(w) => DcSatOutcome::unsatisfied(w, stats),
-            None => DcSatOutcome::satisfied(stats),
-        })
+        stats.subproblems_spawned = plans
+            .iter()
+            .filter_map(|p| p.subproblems.as_ref().map(Vec::len))
+            .sum();
+        if work.len() > 1 {
+            return run_parallel(bcdb, pre, pc, &plans, &work, opts, budget, stats, threads);
+        }
     }
+
+    let mut witness = None;
+    for comp in candidates {
+        match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats) {
+            Ok(Some(w)) => {
+                witness = Some(w);
+                break;
+            }
+            Ok(None) => {}
+            Err(reason) => return Err(Exhausted { reason, stats }),
+        }
+    }
+    Ok(match witness {
+        Some(w) => DcSatOutcome::unsatisfied(w, stats),
+        None => DcSatOutcome::satisfied(stats),
+    })
 }
 
-/// Enumerates the maximal cliques of `GfTd` restricted to `component`,
-/// builds each maximal world, and evaluates the constraint. Returns a
-/// witness world if one satisfies the query, `Err` if the budget ran out
-/// mid-component.
-fn check_component(
+/// Shared clique-visitor driver: `enumerate` yields maximal cliques (of a
+/// whole component or of one of its subproblems, as subgraph node indexes),
+/// each becomes a maximal world via `getMaximal` and is evaluated with
+/// [`eval_world`]. Returns a witness world if the query holds over one,
+/// `Err` if the budget ran out mid-enumeration.
+#[allow(clippy::too_many_arguments)]
+fn drive<F>(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
-    component: &[usize],
+    mapping: &[usize],
     opts: &DcSatOptions,
     budget: &Budget,
     stats: &mut DcSatStats,
-) -> Result<Option<WorldMask>, ExhaustionReason> {
-    #[cfg(test)]
-    {
-        let poison = PANIC_ON_TX.load(Ordering::Relaxed);
-        if component.contains(&poison) {
-            panic!("injected fault: component contains tx {poison}");
-        }
-    }
+    enumerate: F,
+) -> Result<Option<WorldMask>, ExhaustionReason>
+where
+    F: FnOnce(&mut dyn FnMut(&[usize]) -> Visit) -> Result<bool, ExhaustionReason>,
+{
     let db = bcdb.database();
-    let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
     let mut witness = None;
     // Exhaustion inside the visitor unwinds the enumeration via
     // `Visit::Stop` and is re-raised from `broke`.
     let mut broke: Option<ExhaustionReason> = None;
-    let enumeration = maximal_cliques_governed(&sub, opts.clique_strategy, budget, |clique| {
+    let enumeration = enumerate(&mut |clique| {
         stats.cliques_enumerated += 1;
         if let Err(reason) = budget.charge_world() {
             broke = Some(reason);
@@ -204,8 +299,7 @@ fn check_component(
         }
         let txs: Vec<TxId> = clique.iter().map(|&i| TxId(mapping[i] as u32)).collect();
         let world = get_maximal(bcdb, pre, &txs);
-        stats.worlds_evaluated += 1;
-        match pc.holds_governed(db, &world, budget) {
+        match eval_world(db, pc, &world, opts, budget, stats) {
             Ok(true) => {
                 witness = Some(world);
                 Visit::Stop
@@ -227,43 +321,103 @@ fn check_component(
     Ok(None)
 }
 
-/// Extension: check components concurrently with std scoped threads.
-/// First witness wins; other workers observe the stop flag and bail.
+/// Enumerates the maximal cliques of `GfTd` restricted to `component`,
+/// builds each maximal world, and evaluates the constraint (serial path —
+/// builds the induced subgraph itself).
+fn check_component(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    component: &[usize],
+    opts: &DcSatOptions,
+    budget: &Budget,
+    stats: &mut DcSatStats,
+) -> Result<Option<WorldMask>, ExhaustionReason> {
+    inject_fault(opts, component);
+    let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
+    drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
+        maximal_cliques_governed(&sub, opts.clique_strategy, budget, visit)
+    })
+}
+
+/// Checks a whole (unsplit) component from its prepared plan.
+fn check_plan_component(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    plan: &ComponentPlan<'_>,
+    opts: &DcSatOptions,
+    budget: &Budget,
+    stats: &mut DcSatStats,
+) -> Result<Option<WorldMask>, ExhaustionReason> {
+    inject_fault(opts, plan.component);
+    drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+        maximal_cliques_governed(&plan.graph, opts.clique_strategy, budget, visit)
+    })
+}
+
+/// Checks one Bron–Kerbosch subproblem of a split component. The
+/// subproblems of a component are independent and their maximal cliques
+/// partition the component's, so checking them on different workers is
+/// sound and enumerates nothing twice.
+#[allow(clippy::too_many_arguments)]
+fn check_subproblem(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    pc: &PreparedConstraint,
+    plan: &ComponentPlan<'_>,
+    sub: &CliqueSubproblem,
+    opts: &DcSatOptions,
+    budget: &Budget,
+    stats: &mut DcSatStats,
+) -> Result<Option<WorldMask>, ExhaustionReason> {
+    inject_fault(opts, plan.component);
+    drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+        expand_subproblem_governed(&plan.graph, opts.clique_strategy, sub, budget, visit)
+    })
+}
+
+/// Extension: drain the flattened work list (whole components and
+/// intra-component subproblems) with std scoped threads. First witness
+/// wins; other workers observe the stop flag and bail.
 ///
 /// Robustness guarantees (deterministic regardless of scheduling):
 /// - every worker is joined before this function returns, even when a
 ///   worker panics, exhausts the budget, or errs early;
 /// - a panicking worker is isolated with `catch_unwind` and surfaces as
-///   the *lowest-indexed* poisoned component, so repeated runs report the
-///   same failure rather than whichever thread lost the race;
-/// - likewise the lowest-indexed exhausted component's reason is the one
+///   the *lowest-indexed* poisoned work item (reported under its component
+///   index), so repeated runs report the same failure rather than
+///   whichever thread lost the race;
+/// - likewise the lowest-indexed exhausted item's reason is the one
 ///   propagated.
 ///
 /// Result preference after joining: a concrete witness (definite even if
 /// another worker failed) > a worker panic > budget exhaustion > satisfied.
+#[allow(clippy::too_many_arguments)]
 fn run_parallel(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
-    candidates: &[&Vec<usize>],
+    plans: &[ComponentPlan<'_>],
+    work: &[WorkItem],
     opts: &DcSatOptions,
     budget: &Budget,
     mut stats: DcSatStats,
+    threads: usize,
 ) -> Result<DcSatOutcome, Exhausted> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
-        .min(candidates.len());
+    let threads = threads.min(work.len());
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);
     let witness: Mutex<Option<WorldMask>> = Mutex::new(None);
-    // First panicked component index + payload message; the lowest index
-    // wins so the propagated error is deterministic.
-    let poisoned: Mutex<Option<(usize, String)>> = Mutex::new(None);
-    // First exhausted component index + reason, same lowest-index rule.
+    // First panicked item: (work index, component index, payload message);
+    // the lowest work index wins so the propagated error is deterministic.
+    let poisoned: Mutex<Option<(usize, usize, String)>> = Mutex::new(None);
+    // First exhausted work index + reason, same lowest-index rule.
     let exhausted: Mutex<Option<(usize, ExhaustionReason)>> = Mutex::new(None);
     let cliques = AtomicUsize::new(0);
     let worlds = AtomicUsize::new(0);
+    let delta_evals = AtomicUsize::new(0);
+    let cache_hits = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -272,15 +426,25 @@ fn run_parallel(
                     return;
                 }
                 let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= candidates.len() {
+                if i >= work.len() {
                     return;
                 }
+                let item = &work[i];
+                let plan = &plans[item.plan];
                 let mut local = DcSatStats::default();
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    check_component(bcdb, pre, pc, candidates[i], opts, budget, &mut local)
-                }));
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                    || match item.sub {
+                        None => check_plan_component(bcdb, pre, pc, plan, opts, budget, &mut local),
+                        Some(si) => {
+                            let sub = &plan.subproblems.as_ref().expect("split plan")[si];
+                            check_subproblem(bcdb, pre, pc, plan, sub, opts, budget, &mut local)
+                        }
+                    },
+                ));
                 cliques.fetch_add(local.cliques_enumerated, Ordering::Relaxed);
                 worlds.fetch_add(local.worlds_evaluated, Ordering::Relaxed);
+                delta_evals.fetch_add(local.delta_seeded_evals, Ordering::Relaxed);
+                cache_hits.fetch_add(local.base_cache_hits, Ordering::Relaxed);
                 match result {
                     Ok(Ok(Some(w))) => {
                         *witness.lock().unwrap() = Some(w);
@@ -302,8 +466,8 @@ fn run_parallel(
                         // itself and always miss.
                         let msg = payload_message(payload.as_ref());
                         let mut slot = poisoned.lock().unwrap();
-                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                            *slot = Some((i, msg));
+                        if slot.as_ref().is_none_or(|(j, _, _)| i < *j) {
+                            *slot = Some((i, item.plan, msg));
                         }
                         stop.store(true, Ordering::Relaxed);
                         return;
@@ -315,11 +479,13 @@ fn run_parallel(
 
     stats.cliques_enumerated += cliques.load(Ordering::Relaxed);
     stats.worlds_evaluated += worlds.load(Ordering::Relaxed);
+    stats.delta_seeded_evals += delta_evals.load(Ordering::Relaxed);
+    stats.base_cache_hits += cache_hits.load(Ordering::Relaxed);
     // Scheduling may have let another worker find a witness before the
     // stop flag propagated; a concrete witness is still sound and takes
     // precedence over any concurrent failure.
     let found = witness.into_inner().unwrap();
-    if let Some((comp, msg)) = poisoned.into_inner().unwrap() {
+    if let Some((_, comp, msg)) = poisoned.into_inner().unwrap() {
         stats.poisoned_workers += 1;
         if let Some(w) = found {
             return Ok(DcSatOutcome::unsatisfied(w, stats));

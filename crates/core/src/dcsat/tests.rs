@@ -725,19 +725,24 @@ fn governed_base_world_fallback_proves_violation() {
     db.add_transaction("t", [(pay, tuple![2i64, "alice", "bob", 10i64])])
         .unwrap();
     // A zero-clique budget kills NaiveDCSat immediately, but the *base
-    // world already violates* — rung 1 of the ladder proves it.
+    // world already violates* — rung 1 of the ladder proves it. Delta
+    // seeding is disabled because its own up-front base check would answer
+    // before the budget bites, bypassing the ladder under test.
     let dc =
         parse_denial_constraint("q() <- Pay(i, p, 'bob', a)", db.database().catalog()).unwrap();
     let out = dcsat_governed(
         &mut db,
         &dc,
-        &governed_opts(
-            Algorithm::Naive,
-            BudgetSpec {
-                max_cliques: Some(0),
-                ..BudgetSpec::UNLIMITED
-            },
-        ),
+        &DcSatOptions {
+            use_delta: false,
+            ..governed_opts(
+                Algorithm::Naive,
+                BudgetSpec {
+                    max_cliques: Some(0),
+                    ..BudgetSpec::UNLIMITED
+                },
+            )
+        },
     )
     .unwrap();
     assert_eq!(out.degraded_to, Some("degraded/base-world"));
@@ -880,11 +885,107 @@ fn governed_budget_shared_across_parallel_workers() {
     assert_eq!(out.degraded_to, Some("degraded/monotone-precheck"));
 }
 
+/// A single `Gq,ind` component of 20 transactions. Pairs `a_j`/`b_j`
+/// conflict on Pay key `j` (so `GfTd` is `K_{2×10}` with 2^10 maximal
+/// cliques), and `a_j` also acks the *next* pair's key, chaining every pair
+/// into one component via Θq = (Pay[id] = Ack[payRef]). The query pays
+/// nobody named 'z', so every world evaluates false and the enumeration
+/// runs to completion — identical work on every schedule.
+fn giant_component_db() -> (BlockchainDb, DenialConstraint) {
+    let mut db = payments_db(true, true);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    let ack = db.database().catalog().resolve("Ack").unwrap();
+    for j in 0..10i64 {
+        db.add_transaction(
+            format!("a{j}"),
+            [(pay, tuple![j, "a", "b", 1i64]), (ack, tuple![(j + 1) % 10])],
+        )
+        .unwrap();
+        db.add_transaction(format!("b{j}"), [(pay, tuple![j, "a", "c", 1i64])])
+            .unwrap();
+    }
+    let dc = parse_denial_constraint("q() <- Pay(i, p, 'z', a), Ack(i)", db.database().catalog())
+        .unwrap();
+    (db, dc)
+}
+
+#[test]
+fn two_level_parallel_agrees_with_serial_on_giant_component() {
+    let (mut db, dc) = giant_component_db();
+    let base = DcSatOptions {
+        algorithm: Algorithm::Opt,
+        use_precheck: false,
+        use_covers: false,
+        ..DcSatOptions::default()
+    };
+    let serial = dcsat(&mut db, &dc, &base).unwrap();
+    assert_eq!(serial.stats.components_total, 1, "one giant component");
+    // Component-level parallelism alone cannot split the single component.
+    let comp_only = dcsat(
+        &mut db,
+        &dc,
+        &DcSatOptions {
+            parallel: true,
+            parallel_intra: false,
+            threads: Some(4),
+            ..base
+        },
+    )
+    .unwrap();
+    assert_eq!(comp_only.stats.subproblems_spawned, 0);
+    // Two-level splits it and still agrees exactly: the subproblems
+    // partition the clique set, so the work counters match the serial run.
+    let two_level = dcsat(
+        &mut db,
+        &dc,
+        &DcSatOptions {
+            parallel: true,
+            parallel_intra: true,
+            threads: Some(4),
+            ..base
+        },
+    )
+    .unwrap();
+    assert!(two_level.stats.subproblems_spawned > 1);
+    for out in [&comp_only, &two_level] {
+        assert_eq!(out.satisfied, serial.satisfied);
+        assert_eq!(out.stats.cliques_enumerated, serial.stats.cliques_enumerated);
+        assert_eq!(out.stats.worlds_evaluated, serial.stats.worlds_evaluated);
+    }
+}
+
+#[test]
+fn delta_seeding_counters_and_ablation_agree() {
+    let (mut db, dc) = giant_component_db();
+    let base = DcSatOptions {
+        algorithm: Algorithm::Opt,
+        use_precheck: false,
+        use_covers: false,
+        ..DcSatOptions::default()
+    };
+    let with_delta = dcsat(&mut db, &dc, &base).unwrap();
+    assert!(with_delta.stats.delta_seeded_evals > 0);
+    assert!(with_delta.stats.base_cache_hits >= with_delta.stats.delta_seeded_evals);
+    let without = dcsat(
+        &mut db,
+        &dc,
+        &DcSatOptions {
+            use_delta: false,
+            ..base
+        },
+    )
+    .unwrap();
+    assert_eq!(without.stats.delta_seeded_evals, 0);
+    assert_eq!(without.stats.base_cache_hits, 0);
+    assert_eq!(with_delta.satisfied, without.satisfied);
+    assert_eq!(
+        with_delta.stats.worlds_evaluated,
+        without.stats.worlds_evaluated
+    );
+}
+
 #[test]
 fn governed_worker_panic_is_isolated_and_deterministic() {
-    use super::opt::PANIC_ON_TX;
-    use std::sync::atomic::Ordering;
-
     let mut db = payments_db(true, true);
     let pay = db.database().catalog().resolve("Pay").unwrap();
     let ack = db.database().catalog().resolve("Ack").unwrap();
@@ -904,11 +1005,10 @@ fn governed_worker_panic_is_isolated_and_deterministic() {
         use_precheck: false,
         use_covers: false,
         parallel: true,
+        fault_inject_panic_tx: Some(4), // poison the component with pay2/ack2
         ..DcSatOptions::default()
     };
-    PANIC_ON_TX.store(4, Ordering::Relaxed); // poison the component with pay2/ack2
     let result = dcsat(&mut db, &dc, &popts);
-    PANIC_ON_TX.store(usize::MAX, Ordering::Relaxed);
     // The panic must be contained (no abort, all workers joined) and
     // surfaced as a deterministic error on the ungoverned path.
     match result {
@@ -921,7 +1021,6 @@ fn governed_worker_panic_is_isolated_and_deterministic() {
     // The governed path turns the same failure into Unknown (the query
     // holds nowhere, but the lost component means rung 2 must decide; it
     // proves Holds — so check the fallback fires rather than Unknown).
-    PANIC_ON_TX.store(4, Ordering::Relaxed);
     let gov = dcsat_governed(
         &mut db,
         &dc,
@@ -931,7 +1030,6 @@ fn governed_worker_panic_is_isolated_and_deterministic() {
         },
     )
     .unwrap();
-    PANIC_ON_TX.store(usize::MAX, Ordering::Relaxed);
     assert_eq!(gov.verdict, Verdict::Holds);
     assert_eq!(gov.degraded_to, Some("degraded/monotone-precheck"));
     assert!(gov.stats.poisoned_workers >= 1);

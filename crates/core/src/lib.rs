@@ -56,9 +56,9 @@ pub use error::CoreError;
 pub use likelihood::{
     estimate_violation_risk, AcceptanceModel, PerTxAcceptance, RiskEstimate, UniformAcceptance,
 };
-pub use precompute::Precomputed;
+pub use precompute::{query_components, Precomputed};
 pub use witness::minimize_witness;
 pub use worlds::{
-    can_append, for_each_possible_world, for_each_possible_world_governed, get_maximal,
-    is_possible_world, possible_worlds,
+    can_append, delta_row_count, for_each_possible_world, for_each_possible_world_governed,
+    get_maximal, is_possible_world, possible_worlds,
 };

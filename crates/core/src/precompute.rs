@@ -331,6 +331,22 @@ pub fn theta_from_inds(cs: &bcdb_storage::ConstraintSet) -> Vec<EqualityConstrai
         .collect()
 }
 
+/// The connected components of `Gq,ind` for one conjunctive query: the ΘI
+/// components of [`Precomputed::ind_uf`] refined with the query-derived
+/// equality constraints Θq. Proposition 2 lets `OptDCSat` solve each
+/// component independently; benchmarks use this to report the component
+/// structure a workload induces.
+pub fn query_components(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    q: &bcdb_query::ConjunctiveQuery,
+) -> Vec<Vec<usize>> {
+    let mut uf = pre.ind_uf.clone();
+    let thetas_q = bcdb_query::derive_query_equalities(q);
+    union_by_equalities(bcdb, &thetas_q, &mut uf);
+    uf.into_components()
+}
+
 /// Merges, in `uf`, every pair of pending transactions joined by some
 /// equality constraint in `thetas`: `T` and `T'` are joined when tuples
 /// `t ∈ T`, `t' ∈ T'` match on the constraint's projections.

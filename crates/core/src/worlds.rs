@@ -4,9 +4,20 @@
 use crate::db::BlockchainDb;
 use crate::precompute::Precomputed;
 use bcdb_governor::{Budget, ExhaustionReason, UNGOVERNED};
-use bcdb_storage::{TxId, WorldMask};
+use bcdb_storage::{Database, TxId, WorldMask};
 use rustc_hash::FxHashSet;
 use std::ops::ControlFlow;
+
+/// Total pending-tuple (delta) rows active in `mask` across all relations —
+/// exactly the rows a delta-seeded evaluation may seed a join from (see
+/// `bcdb_query::evaluate_bool_delta_governed`). Diagnostic used by
+/// benchmarks and tests; `0` iff the world is the base state `R`.
+pub fn delta_row_count(db: &Database, mask: &WorldMask) -> usize {
+    db.catalog()
+        .iter()
+        .map(|(rel, _)| db.relation(rel).scan_delta(mask).count())
+        .sum()
+}
 
 /// Whether transaction `tx` can be appended to the (assumed consistent)
 /// world `mask`: `mask ∪ {tx} |= I`.

@@ -226,6 +226,175 @@ fn expand_pivot(
     Ok(true)
 }
 
+/// An independent Bron–Kerbosch subproblem `(R, P, X)`.
+///
+/// Produced by [`split_subproblems`]: the cliques reachable from distinct
+/// subproblems are disjoint, and concatenating the enumerations of all
+/// subproblems **in vector order** yields exactly the cliques of
+/// [`maximal_cliques_governed`] on the same graph, in the same order. This
+/// is what lets `OptDCSat` fan the inside of one giant component out across
+/// worker threads while keeping deterministic lowest-index semantics.
+#[derive(Clone, Debug)]
+pub struct CliqueSubproblem {
+    r: Vec<usize>,
+    p: BitSet,
+    x: BitSet,
+}
+
+impl CliqueSubproblem {
+    /// The partial clique `R` shared by every clique of this subproblem.
+    pub fn partial(&self) -> &[usize] {
+        &self.r
+    }
+
+    /// Number of candidate vertices still in `P` (a rough size estimate).
+    pub fn candidate_count(&self) -> usize {
+        self.p.len()
+    }
+}
+
+/// Expands one subproblem into the child subproblems the sequential
+/// expansion would branch into, in the same order. May return fewer
+/// children than branch vertices (children dominated by `X` are pruned) or
+/// none at all (the whole subtree is prunable).
+fn branch_once(
+    g: &UndirectedGraph,
+    strategy: CliqueStrategy,
+    sub: &CliqueSubproblem,
+) -> Vec<CliqueSubproblem> {
+    let branch: Vec<usize> = match strategy {
+        CliqueStrategy::Plain => sub.p.iter().collect(),
+        CliqueStrategy::Pivot | CliqueStrategy::Degeneracy => {
+            let pivot = choose_pivot(g, &sub.p, &sub.x);
+            let mut b = sub.p.clone();
+            b.difference_with(g.neighbors(pivot));
+            b.iter().collect()
+        }
+    };
+    let mut p = sub.p.clone();
+    let mut x = sub.x.clone();
+    let mut out = Vec::with_capacity(branch.len());
+    for v in branch {
+        let pv = p.intersection(g.neighbors(v));
+        let xv = x.intersection(g.neighbors(v));
+        // A child with empty P and non-empty X can never reach a maximal
+        // clique; drop it here instead of shipping it to a worker.
+        if !pv.is_empty() || xv.is_empty() {
+            let mut r = sub.r.clone();
+            r.push(v);
+            out.push(CliqueSubproblem { r, p: pv, x: xv });
+        }
+        p.remove(v);
+        x.insert(v);
+    }
+    out
+}
+
+/// Splits the maximal-clique enumeration of `g` into at least `target`
+/// independent subproblems where possible.
+///
+/// Starting from the root `(∅, V, ∅)` — or, for
+/// [`CliqueStrategy::Degeneracy`], from the degeneracy-ordered top level —
+/// the subproblem with the largest candidate set is repeatedly replaced by
+/// its branch children (the sets `(R∪{v}, P∩N(v), X∩N(v))` the sequential
+/// expansion would recurse into) until the frontier reaches `target` or no
+/// subproblem has more than one candidate left. Order is preserved:
+/// enumerating the returned subproblems front to back with
+/// [`expand_subproblem_governed`] reproduces the sequential clique order
+/// exactly.
+///
+/// A subproblem with no candidates and no excluded vertices is a *leaf*
+/// whose `R` is itself a maximal clique; [`expand_subproblem_governed`]
+/// reports it. The zero-node graph yields a single such leaf (the empty
+/// clique).
+pub fn split_subproblems(
+    g: &UndirectedGraph,
+    strategy: CliqueStrategy,
+    target: usize,
+) -> Vec<CliqueSubproblem> {
+    let n = g.node_count();
+    let root = CliqueSubproblem {
+        r: Vec::new(),
+        p: BitSet::full(n),
+        x: BitSet::new(n),
+    };
+    let mut frontier = if strategy == CliqueStrategy::Degeneracy && n > 0 {
+        // Mirror the degeneracy-ordered outer loop of
+        // `maximal_cliques_governed` so subproblem order matches it.
+        branch_degeneracy(g, &root)
+    } else {
+        vec![root]
+    };
+    while frontier.len() < target {
+        let Some(idx) = frontier
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.p.len() > 1)
+            .max_by_key(|(_, s)| s.p.len())
+            .map(|(i, _)| i)
+        else {
+            break; // nothing left worth splitting
+        };
+        let sub = frontier.remove(idx);
+        // Sub-splits below the top level always branch with pivoting, which
+        // is exactly what the sequential Degeneracy strategy does too.
+        let inner = match strategy {
+            CliqueStrategy::Plain => CliqueStrategy::Plain,
+            _ => CliqueStrategy::Pivot,
+        };
+        let children = branch_once(g, inner, &sub);
+        frontier.splice(idx..idx, children);
+    }
+    frontier
+}
+
+/// The top-level children in degeneracy order, with the same running
+/// `P`/`X` semantics as the outer loop of [`maximal_cliques_governed`].
+fn branch_degeneracy(g: &UndirectedGraph, root: &CliqueSubproblem) -> Vec<CliqueSubproblem> {
+    let order = g.degeneracy_ordering();
+    let mut p = root.p.clone();
+    let mut x = root.x.clone();
+    let mut out = Vec::with_capacity(order.len());
+    for v in order {
+        let pv = p.intersection(g.neighbors(v));
+        let xv = x.intersection(g.neighbors(v));
+        if !pv.is_empty() || xv.is_empty() {
+            let mut r = root.r.clone();
+            r.push(v);
+            out.push(CliqueSubproblem { r, p: pv, x: xv });
+        }
+        p.remove(v);
+        x.insert(v);
+    }
+    out
+}
+
+/// Enumerates the maximal cliques of one subproblem, with the same budget
+/// charging, visitor contract, and return convention as
+/// [`maximal_cliques_governed`].
+///
+/// Leaf subproblems (empty `P` and `X`) report their `R` as a maximal
+/// clique; subproblems whose `P` is empty but `X` is not report nothing.
+pub fn expand_subproblem_governed(
+    g: &UndirectedGraph,
+    strategy: CliqueStrategy,
+    sub: &CliqueSubproblem,
+    budget: &Budget,
+    mut visit: impl FnMut(&[usize]) -> Visit,
+) -> Result<bool, ExhaustionReason> {
+    let mut r = sub.r.clone();
+    let p = sub.p.clone();
+    let x = sub.x.clone();
+    match strategy {
+        CliqueStrategy::Plain => expand_plain(g, &mut r, p, x, budget, &mut visit),
+        // Below the top level Degeneracy branches with pivoting, so both
+        // strategies expand identically here.
+        CliqueStrategy::Pivot | CliqueStrategy::Degeneracy => {
+            expand_pivot(g, &mut r, p, x, budget, &mut visit)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -458,5 +627,167 @@ mod tests {
         let c = sorted(collect_maximal_cliques(&g, CliqueStrategy::Degeneracy));
         assert_eq!(a, b);
         assert_eq!(b, c);
+    }
+
+    /// Enumerates `g` via split_subproblems + expand_subproblem_governed,
+    /// concatenating in frontier order.
+    fn collect_via_subproblems(
+        g: &UndirectedGraph,
+        strategy: CliqueStrategy,
+        target: usize,
+    ) -> Vec<Vec<usize>> {
+        let subs = split_subproblems(g, strategy, target);
+        let mut out = Vec::new();
+        for sub in &subs {
+            expand_subproblem_governed(g, strategy, sub, &UNGOVERNED, |c| {
+                out.push(c.to_vec());
+                Visit::Continue
+            })
+            .unwrap();
+        }
+        out
+    }
+
+    fn test_graphs() -> Vec<UndirectedGraph> {
+        let mut graphs = vec![
+            UndirectedGraph::new(0),
+            UndirectedGraph::new(3),
+            moon_moser(1),
+            moon_moser(3),
+            moon_moser(4),
+        ];
+        let mut complete = UndirectedGraph::new(6);
+        for u in 0..6 {
+            for v in u + 1..6 {
+                complete.add_edge(u, v);
+            }
+        }
+        graphs.push(complete);
+        let mut ring = UndirectedGraph::new(10);
+        for (u, v) in [
+            (0, 1),
+            (0, 2),
+            (1, 2),
+            (2, 3),
+            (3, 4),
+            (4, 5),
+            (5, 6),
+            (6, 7),
+            (7, 8),
+            (8, 9),
+            (9, 0),
+            (1, 5),
+            (2, 6),
+            (3, 7),
+            (4, 8),
+        ] {
+            ring.add_edge(u, v);
+        }
+        graphs.push(ring);
+        graphs
+    }
+
+    /// The ordered concatenation of subproblem enumerations must equal the
+    /// sequential enumeration exactly (same cliques, same order), for every
+    /// strategy and a sweep of split targets.
+    #[test]
+    fn subproblem_union_preserves_sequential_order() {
+        for (gi, g) in test_graphs().iter().enumerate() {
+            for s in ALL {
+                let mut sequential = Vec::new();
+                maximal_cliques(g, s, |c| {
+                    sequential.push(c.to_vec());
+                    Visit::Continue
+                });
+                for target in [1, 2, 4, 8, 64] {
+                    // Degeneracy always expands its top level, so skip the
+                    // degenerate target only where order is undefined.
+                    let got = collect_via_subproblems(g, s, target);
+                    assert_eq!(
+                        got, sequential,
+                        "graph {gi}, {s:?}, target {target}: subproblem union diverges"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn split_reaches_target_on_moon_moser() {
+        let g = moon_moser(5); // 243 cliques: plenty to split
+        for s in ALL {
+            let subs = split_subproblems(&g, s, 16);
+            assert!(
+                subs.len() >= 16,
+                "{s:?}: wanted ≥16 subproblems, got {}",
+                subs.len()
+            );
+        }
+    }
+
+    #[test]
+    fn zero_node_graph_splits_to_single_leaf() {
+        let g = UndirectedGraph::new(0);
+        for s in ALL {
+            let subs = split_subproblems(&g, s, 8);
+            assert_eq!(subs.len(), 1, "{s:?}");
+            assert_eq!(subs[0].partial(), &[] as &[usize]);
+            assert_eq!(subs[0].candidate_count(), 0);
+            let got = collect_via_subproblems(&g, s, 8);
+            assert_eq!(got, vec![Vec::<usize>::new()], "{s:?}");
+        }
+    }
+
+    /// A shared budget across subproblems charges exactly as many cliques
+    /// as the sequential run, and exhausts at the same count.
+    #[test]
+    fn shared_budget_across_subproblems_matches_sequential_charging() {
+        use bcdb_governor::BudgetSpec;
+        let g = moon_moser(4); // 81 cliques
+        let subs = split_subproblems(&g, CliqueStrategy::Pivot, 8);
+        let budget = BudgetSpec {
+            max_cliques: Some(10),
+            ..BudgetSpec::UNLIMITED
+        }
+        .start();
+        let mut seen = 0usize;
+        let mut exhausted = None;
+        for sub in &subs {
+            match expand_subproblem_governed(&g, CliqueStrategy::Pivot, sub, &budget, |c| {
+                assert!(g.is_clique(c));
+                seen += 1;
+                Visit::Continue
+            }) {
+                Ok(_) => {}
+                Err(reason) => {
+                    exhausted = Some(reason);
+                    break;
+                }
+            }
+        }
+        assert_eq!(exhausted, Some(ExhaustionReason::CliqueLimit(10)));
+        assert_eq!(seen, 10);
+    }
+
+    #[test]
+    fn subproblem_early_stop_is_honoured() {
+        let g = moon_moser(4);
+        let subs = split_subproblems(&g, CliqueStrategy::Pivot, 4);
+        let sub = subs
+            .iter()
+            .max_by_key(|s| s.candidate_count())
+            .expect("non-empty frontier");
+        let mut seen = 0usize;
+        let completed = expand_subproblem_governed(&g, CliqueStrategy::Pivot, sub, &UNGOVERNED, |_| {
+            seen += 1;
+            if seen == 2 {
+                Visit::Stop
+            } else {
+                Visit::Continue
+            }
+        })
+        .unwrap();
+        assert!(!completed);
+        assert_eq!(seen, 2);
     }
 }

@@ -23,8 +23,8 @@ pub mod graph;
 
 pub use bitset::BitSet;
 pub use bron_kerbosch::{
-    collect_maximal_cliques, count_maximal_cliques, maximal_cliques, maximal_cliques_governed,
-    CliqueStrategy, Visit,
+    collect_maximal_cliques, count_maximal_cliques, expand_subproblem_governed, maximal_cliques,
+    maximal_cliques_governed, split_subproblems, CliqueStrategy, CliqueSubproblem, Visit,
 };
 pub use components::{connected_components, Components, UnionFind};
 pub use graph::UndirectedGraph;

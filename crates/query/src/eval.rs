@@ -36,6 +36,10 @@ struct Step {
     probe_positions: Vec<usize>,
     /// Index handle on the atom's relation over `probe_positions`.
     index: Option<usize>,
+    /// Candidate rows come from the world's *delta* (pending rows active in
+    /// the mask) instead of the full masked relation. Used by the seed step
+    /// of each semi-naive delta plan.
+    delta_only: bool,
     /// Comparisons fully ground after this step (indexes into
     /// `query.comparisons`).
     comparisons_after: Vec<usize>,
@@ -51,6 +55,10 @@ struct Step {
 pub struct PreparedQuery {
     query: ConjunctiveQuery,
     steps: Vec<Step>,
+    /// One semi-naive plan per positive atom position `j`: atom `j` is
+    /// matched first against only the world's delta, the remaining atoms
+    /// against the full world. Empty for unseedable queries.
+    delta_plans: Vec<Vec<Step>>,
     /// Comparisons with no variables (checked once, before any step).
     pre_comparisons: Vec<usize>,
     /// Negated atoms with no variables.
@@ -61,6 +69,18 @@ impl PreparedQuery {
     /// The underlying query.
     pub fn query(&self) -> &ConjunctiveQuery {
         &self.query
+    }
+
+    /// Whether the query can be evaluated incrementally from world deltas.
+    ///
+    /// True exactly when the query has no negated atoms: positive
+    /// conjunctive queries (with comparisons) are monotone in the world, so
+    /// when `q(base)` is false, any satisfying assignment in a world `W ⊇
+    /// base` must use at least one delta row. Negation breaks monotonicity —
+    /// adding delta rows can *kill* an all-base assignment — so negated
+    /// queries fall back to full evaluation.
+    pub fn seedable(&self) -> bool {
+        self.query.negated.is_empty()
     }
 
     /// Renders the evaluation plan: join order, probe method per step, and
@@ -112,13 +132,82 @@ impl PreparedQuery {
 
 /// Compiles `q` against `db`: chooses a join order and builds the hash
 /// indexes the probes need. The query must already be validated.
+///
+/// Constants are interned through `db` so the evaluator's unify/compare
+/// loop can resolve text equality against stored (also interned) rows with
+/// a pointer check. For seedable queries (no negation) one semi-naive delta
+/// plan per atom position is compiled alongside the main plan, powering
+/// [`evaluate_bool_incremental_governed`].
 pub fn prepare(db: &mut Database, q: &ConjunctiveQuery) -> PreparedQuery {
+    let mut q = q.clone();
+    intern_query_constants(db, &mut q);
+    let mut steps = build_steps(db, &q, None);
+    let (pre_comparisons, pre_negated) = schedule_checks(&q, &mut steps);
+    let seedable = q.negated.is_empty();
+    let delta_plans = if seedable {
+        (0..q.positive.len())
+            .map(|seed| {
+                let mut plan = build_steps(db, &q, Some(seed));
+                schedule_checks(&q, &mut plan);
+                plan
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    PreparedQuery {
+        query: q,
+        steps,
+        delta_plans,
+        pre_comparisons,
+        pre_negated,
+    }
+}
+
+/// Rewrites every text constant in `q` to the database's canonical
+/// allocation, enabling the `Arc::ptr_eq` fast path during unification.
+fn intern_query_constants(db: &mut Database, q: &mut ConjunctiveQuery) {
+    let intern_term = |db: &mut Database, t: &mut Term| {
+        if let Term::Const(c) = t {
+            *c = db.intern_value(c.clone());
+        }
+    };
+    for atom in q.positive.iter_mut().chain(q.negated.iter_mut()) {
+        for t in &mut atom.terms {
+            intern_term(db, t);
+        }
+    }
+    for cmp in &mut q.comparisons {
+        intern_term(db, &mut cmp.lhs);
+        intern_term(db, &mut cmp.rhs);
+    }
+}
+
+/// Chooses a join order over the positive atoms and builds probe indexes.
+/// With `delta_seed = Some(j)`, atom `j` goes first and draws its
+/// candidates from the world's delta (no probe — deltas are small).
+fn build_steps(db: &mut Database, q: &ConjunctiveQuery, delta_seed: Option<usize>) -> Vec<Step> {
     let n = q.positive.len();
     let mut chosen = vec![false; n];
     let mut bound: FxHashSet<Var> = FxHashSet::default();
     let mut steps: Vec<Step> = Vec::with_capacity(n);
 
-    for _ in 0..n {
+    if let Some(seed) = delta_seed {
+        chosen[seed] = true;
+        for v in q.positive[seed].terms.iter().filter_map(|t| t.as_var()) {
+            bound.insert(v);
+        }
+        steps.push(Step {
+            atom: seed,
+            probe_positions: Vec::new(),
+            index: None,
+            delta_only: true,
+            comparisons_after: Vec::new(),
+            negated_after: Vec::new(),
+        });
+    }
+
+    while steps.len() < n {
         // Greedy: most bound positions; ties -> smaller relation.
         let mut best: Option<(usize, usize, usize)> = None; // (atom, score, rows)
         for (i, atom) in q.positive.iter().enumerate() {
@@ -170,16 +259,20 @@ pub fn prepare(db: &mut Database, q: &ConjunctiveQuery) -> PreparedQuery {
             atom: i,
             probe_positions,
             index,
+            delta_only: false,
             comparisons_after: Vec::new(),
             negated_after: Vec::new(),
         });
     }
+    steps
+}
 
-    // Schedule comparisons and negated atoms at the earliest step where all
-    // their variables are bound.
+/// Schedules comparisons and negated atoms at the earliest step where all
+/// their variables are bound; ground checks go to the returned `pre` lists.
+fn schedule_checks(q: &ConjunctiveQuery, steps: &mut [Step]) -> (Vec<usize>, Vec<usize>) {
     let mut bound_after: Vec<FxHashSet<Var>> = Vec::with_capacity(steps.len());
     let mut acc: FxHashSet<Var> = FxHashSet::default();
-    for step in &steps {
+    for step in steps.iter() {
         for v in q.positive[step.atom]
             .terms
             .iter()
@@ -194,27 +287,14 @@ pub fn prepare(db: &mut Database, q: &ConjunctiveQuery) -> PreparedQuery {
     let mut pre_comparisons = Vec::new();
     for (ci, cmp) in q.comparisons.iter().enumerate() {
         let vars = vars_of_terms(&mut [&cmp.lhs, &cmp.rhs].into_iter().filter_map(|t| t.as_var()));
-        schedule(
-            ci,
-            &vars,
-            &bound_after,
-            &mut steps,
-            &mut pre_comparisons,
-            true,
-        );
+        schedule(ci, &vars, &bound_after, steps, &mut pre_comparisons, true);
     }
     let mut pre_negated = Vec::new();
     for (ni, atom) in q.negated.iter().enumerate() {
         let vars = vars_of_terms(&mut atom.terms.iter().filter_map(|t| t.as_var()));
-        schedule(ni, &vars, &bound_after, &mut steps, &mut pre_negated, false);
+        schedule(ni, &vars, &bound_after, steps, &mut pre_negated, false);
     }
-
-    PreparedQuery {
-        query: q.clone(),
-        steps,
-        pre_comparisons,
-        pre_negated,
-    }
+    (pre_comparisons, pre_negated)
 }
 
 fn schedule(
@@ -300,6 +380,21 @@ pub fn for_each_match_governed(
     budget: &Budget,
     mut cb: impl FnMut(&Match<'_>) -> ControlFlow<()>,
 ) -> Result<bool, ExhaustionReason> {
+    match_steps(db, pq, &pq.steps, mask, opts, budget, &mut cb)
+}
+
+/// Runs the pre-checks and the backtracking join over one step plan (the
+/// main plan or a delta plan). Same contract as
+/// [`for_each_match_governed`].
+fn match_steps(
+    db: &Database,
+    pq: &PreparedQuery,
+    steps: &[Step],
+    mask: &WorldMask,
+    opts: EvalOptions,
+    budget: &Budget,
+    cb: &mut impl FnMut(&Match<'_>) -> ControlFlow<()>,
+) -> Result<bool, ExhaustionReason> {
     let q = &pq.query;
     // Pre-checks with no variables.
     let empty: Vec<Value> = Vec::new();
@@ -321,13 +416,14 @@ pub fn for_each_match_governed(
             }
         }
     }
-    let mut binding: Vec<Option<Value>> = vec![None; q.var_count()];
+    let mut binding: Vec<Option<&Value>> = vec![None; q.var_count()];
     let mut sources: Vec<Source> = vec![Source::Base; q.positive.len()];
     let mut rows: Vec<RowId> = vec![RowId(0); q.positive.len()];
     let mut assignment: Vec<Value> = Vec::new();
     match recurse(
         db,
         pq,
+        steps,
         mask,
         opts,
         budget,
@@ -336,7 +432,7 @@ pub fn for_each_match_governed(
         &mut sources,
         &mut rows,
         &mut assignment,
-        &mut cb,
+        cb,
     ) {
         ControlFlow::Continue(()) => Ok(true),
         ControlFlow::Break(EvalBreak::Visitor) => Ok(false),
@@ -345,23 +441,25 @@ pub fn for_each_match_governed(
 }
 
 #[allow(clippy::too_many_arguments)]
-fn recurse(
-    db: &Database,
-    pq: &PreparedQuery,
-    mask: &WorldMask,
+fn recurse<'a>(
+    db: &'a Database,
+    pq: &'a PreparedQuery,
+    steps: &'a [Step],
+    mask: &'a WorldMask,
     opts: EvalOptions,
     budget: &Budget,
     depth: usize,
-    binding: &mut Vec<Option<Value>>,
+    binding: &mut Vec<Option<&'a Value>>,
     sources: &mut Vec<Source>,
     rows: &mut Vec<RowId>,
     assignment: &mut Vec<Value>,
     cb: &mut impl FnMut(&Match<'_>) -> ControlFlow<()>,
 ) -> ControlFlow<EvalBreak> {
     let q = &pq.query;
-    if depth == pq.steps.len() {
+    if depth == steps.len() {
+        // Values are cloned once per reported match, not per candidate row.
         assignment.clear();
-        assignment.extend(binding.iter().map(|v| v.clone().expect("all vars bound")));
+        assignment.extend(binding.iter().map(|v| v.expect("all vars bound").clone()));
         return match cb(&Match {
             assignment,
             sources,
@@ -371,7 +469,7 @@ fn recurse(
             ControlFlow::Break(()) => ControlFlow::Break(EvalBreak::Visitor),
         };
     }
-    let step = &pq.steps[depth];
+    let step = &steps[depth];
     let atom = &q.positive[step.atom];
     let store = db.relation(atom.relation);
 
@@ -381,14 +479,15 @@ fn recurse(
             .iter()
             .map(|&p| match &atom.terms[p] {
                 Term::Const(c) => c.clone(),
-                Term::Var(v) => binding[v.index()].clone().expect("bound at plan time"),
+                Term::Var(v) => binding[v.index()].expect("bound at plan time").clone(),
             })
             .collect()
     });
 
     let candidates: Box<dyn Iterator<Item = (RowId, &bcdb_storage::Row)>> =
-        match (step.index, &probe_key) {
-            (Some(idx), Some(key)) => Box::new(store.lookup(idx, key, mask)),
+        match (step.index, &probe_key, step.delta_only) {
+            (_, _, true) => Box::new(store.scan_delta(mask)),
+            (Some(idx), Some(key), false) => Box::new(store.lookup(idx, key, mask)),
             _ => Box::new(store.scan(mask)),
         };
 
@@ -396,7 +495,8 @@ fn recurse(
         if let Err(reason) = budget.charge_tuples(1) {
             return ControlFlow::Break(EvalBreak::Exhausted(reason));
         }
-        // Unify the atom against the row, binding fresh variables.
+        // Unify the atom against the row, binding fresh variables by
+        // reference — no Value clones on this innermost loop.
         let mut newly_bound: SmallVec<[Var; 8]> = SmallVec::new();
         for (p, term) in atom.terms.iter().enumerate() {
             let rv = &row.tuple[p];
@@ -407,7 +507,7 @@ fn recurse(
                         continue 'cand;
                     }
                 }
-                Term::Var(v) => match &binding[v.index()] {
+                Term::Var(v) => match binding[v.index()] {
                     Some(b) => {
                         if b != rv {
                             unbind(binding, &newly_bound);
@@ -415,7 +515,7 @@ fn recurse(
                         }
                     }
                     None => {
-                        binding[v.index()] = Some(rv.clone());
+                        binding[v.index()] = Some(rv);
                         newly_bound.push(*v);
                     }
                 },
@@ -437,7 +537,7 @@ fn recurse(
                     .iter()
                     .map(|t| match t {
                         Term::Const(c) => c.clone(),
-                        Term::Var(v) => binding[v.index()].clone().expect("scheduled when bound"),
+                        Term::Var(v) => binding[v.index()].expect("scheduled when bound").clone(),
                     })
                     .collect();
                 if db.relation(natom.relation).contains(&t, mask) {
@@ -452,6 +552,7 @@ fn recurse(
             if let ControlFlow::Break(why) = recurse(
                 db,
                 pq,
+                steps,
                 mask,
                 opts,
                 budget,
@@ -471,7 +572,7 @@ fn recurse(
     ControlFlow::Continue(())
 }
 
-fn unbind(binding: &mut [Option<Value>], vars: &[Var]) {
+fn unbind(binding: &mut [Option<&Value>], vars: &[Var]) {
     for v in vars {
         binding[v.index()] = None;
     }
@@ -490,14 +591,18 @@ fn eval_comparison(cmp: &crate::ast::Comparison, assignment: &[Value]) -> bool {
     cmp.op.eval(a, b).unwrap_or(false)
 }
 
-fn eval_comparison_b(cmp: &crate::ast::Comparison, binding: &[Option<Value>]) -> bool {
-    let get = |t: &Term| -> Value {
+fn eval_comparison_b(cmp: &crate::ast::Comparison, binding: &[Option<&Value>]) -> bool {
+    // Borrows both sides — the previous version cloned two Values per
+    // candidate row on the innermost loop.
+    fn get<'b>(t: &'b Term, binding: &[Option<&'b Value>]) -> &'b Value {
         match t {
-            Term::Const(c) => c.clone(),
-            Term::Var(v) => binding[v.index()].clone().expect("scheduled when bound"),
+            Term::Const(c) => c,
+            Term::Var(v) => binding[v.index()].expect("scheduled when bound"),
         }
-    };
-    cmp.op.eval(&get(&cmp.lhs), &get(&cmp.rhs)).unwrap_or(false)
+    }
+    cmp.op
+        .eval(get(&cmp.lhs, binding), get(&cmp.rhs, binding))
+        .unwrap_or(false)
 }
 
 /// Whether the query has at least one satisfying assignment in the world
@@ -524,6 +629,67 @@ pub fn evaluate_bool_governed(
         ControlFlow::Break(())
     })
     .map(|completed| !completed)
+}
+
+/// Delta-seeded existence check: whether the query has a satisfying
+/// assignment *using at least one delta row* in the world `mask`.
+///
+/// Runs one semi-naive pass per atom position — atom `j` matched against
+/// only the delta, the rest against the full world — and ORs the results
+/// with early exit. **Only sound as a full answer when combined with a
+/// cached `q(base) = false`** (see [`evaluate_bool_incremental_governed`]):
+/// for seedable (negation-free, hence monotone) queries, every assignment
+/// absent from the base world touches ≥ 1 delta row at some position.
+///
+/// Panics if the query is not [`seedable`](PreparedQuery::seedable).
+pub fn evaluate_bool_delta_governed(
+    db: &Database,
+    pq: &PreparedQuery,
+    mask: &WorldMask,
+    budget: &Budget,
+) -> Result<bool, ExhaustionReason> {
+    assert!(pq.seedable(), "delta seeding requires a negation-free query");
+    for plan in &pq.delta_plans {
+        let completed = match_steps(
+            db,
+            pq,
+            plan,
+            mask,
+            EvalOptions::default(),
+            budget,
+            &mut |_| ControlFlow::Break(()),
+        )?;
+        if !completed {
+            return Ok(true); // a match broke the enumeration
+        }
+    }
+    // A query with no positive atoms has no delta plans: its truth value is
+    // mask-independent, so with q(base) = false it is false here too.
+    Ok(false)
+}
+
+/// Whether the query holds in the world `mask`, reusing the cached
+/// base-world verdict `base_holds`.
+///
+/// For seedable queries this is the incremental fast path: `base_holds`
+/// answers immediately when true (monotonicity), and otherwise only the
+/// delta-seeded passes run — never a full re-scan of the base relations.
+/// Negation-bearing queries fall back to full evaluation, where adding
+/// delta rows can both create and destroy satisfying assignments.
+pub fn evaluate_bool_incremental_governed(
+    db: &Database,
+    pq: &PreparedQuery,
+    mask: &WorldMask,
+    base_holds: bool,
+    budget: &Budget,
+) -> Result<bool, ExhaustionReason> {
+    if !pq.seedable() {
+        return evaluate_bool_governed(db, pq, mask, budget);
+    }
+    if base_holds {
+        return Ok(true);
+    }
+    evaluate_bool_delta_governed(db, pq, mask, budget)
 }
 
 /// An aggregate query compiled against a database.
@@ -1082,6 +1248,125 @@ mod tests {
         assert!(plan.contains("step 1: Edge via index probe on"), "{plan}");
         assert!(plan.contains("comparison"), "{plan}");
         assert!(plan.contains("negated"), "{plan}");
+    }
+
+    #[test]
+    fn delta_eval_agrees_with_full_eval_across_masks() {
+        let mut db = setup();
+        let q = path2(&db);
+        let pq = prepare(&mut db, &q);
+        assert!(pq.seedable());
+        let base_holds = evaluate_bool(&db, &pq, &db.base_mask());
+        let masks = [
+            db.base_mask(),
+            db.mask_of([TxId(0)]),
+            db.mask_of([TxId(1)]),
+            db.mask_of([TxId(0), TxId(1)]),
+        ];
+        for mask in &masks {
+            let full = evaluate_bool(&db, &pq, mask);
+            let inc =
+                evaluate_bool_incremental_governed(&db, &pq, mask, base_holds, &UNGOVERNED)
+                    .unwrap();
+            assert_eq!(inc, full, "mask {mask:?}");
+        }
+    }
+
+    #[test]
+    fn delta_eval_finds_matches_seeded_at_any_atom_position() {
+        // A path a->b->c where the base holds only a->b; the pending tx
+        // supplies b->c, so the match's delta row sits at the *second* atom
+        // in text order. Both seed positions must be tried.
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Edge", [("src", ValueType::Text), ("dst", ValueType::Text)])
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(cat);
+        let edge = db.catalog().resolve("Edge").unwrap();
+        db.insert_base(edge, bcdb_storage::tuple!["a", "b"]).unwrap();
+        db.insert(
+            edge,
+            bcdb_storage::tuple!["b", "c"],
+            Source::Pending(TxId(0)),
+        )
+        .unwrap();
+        let q = path2(&db);
+        let pq = prepare(&mut db, &q);
+        assert!(!evaluate_bool(&db, &pq, &db.base_mask()));
+        let w = db.mask_of([TxId(0)]);
+        assert!(evaluate_bool_delta_governed(&db, &pq, &w, &UNGOVERNED).unwrap());
+        // Empty delta: no match can be new.
+        assert!(!evaluate_bool_delta_governed(&db, &pq, &db.base_mask(), &UNGOVERNED).unwrap());
+    }
+
+    #[test]
+    fn delta_eval_charges_fewer_tuples_than_full_eval() {
+        use bcdb_governor::BudgetSpec;
+        // Large base, one-tuple delta that completes no match: full eval
+        // must scan the base, delta eval only touches the delta plus probes.
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Edge", [("src", ValueType::Int), ("dst", ValueType::Int)])
+                .unwrap(),
+        )
+        .unwrap();
+        let mut db = Database::new(cat);
+        let edge = db.catalog().resolve("Edge").unwrap();
+        for i in 0..200i64 {
+            // Inert base rows: no two chain (dst never equals any src).
+            db.insert_base(edge, bcdb_storage::tuple![2 * i, -2 * i - 1])
+                .unwrap();
+        }
+        db.insert(
+            edge,
+            bcdb_storage::tuple![100_000i64, 100_001i64],
+            Source::Pending(TxId(0)),
+        )
+        .unwrap();
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .atom("Edge", |a| a.var("y").var("z"))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        let w = db.mask_of([TxId(0)]);
+
+        let full_budget = BudgetSpec::UNLIMITED.start();
+        assert!(!evaluate_bool_governed(&db, &pq, &w, &full_budget).unwrap());
+        let delta_budget = BudgetSpec::UNLIMITED.start();
+        assert!(!evaluate_bool_delta_governed(&db, &pq, &w, &delta_budget).unwrap());
+        assert!(
+            delta_budget.tuples_used() * 10 <= full_budget.tuples_used(),
+            "delta pass should charge far fewer tuples: {} vs {}",
+            delta_budget.tuples_used(),
+            full_budget.tuples_used()
+        );
+    }
+
+    #[test]
+    fn negated_queries_are_not_seedable_and_fall_back() {
+        let mut db = setup();
+        let q = QueryBuilder::new(db.catalog())
+            .atom("Edge", |a| a.var("x").var("y"))
+            .not_atom("Label", |a| a.var("y"))
+            .build_conjunctive()
+            .unwrap();
+        let pq = prepare(&mut db, &q);
+        assert!(!pq.seedable());
+        // The incremental wrapper must still produce the full-eval answer,
+        // whatever base verdict is passed in.
+        for mask in [db.base_mask(), db.mask_of([TxId(0), TxId(1)])] {
+            let full = evaluate_bool(&db, &pq, &mask);
+            for base_holds in [false, true] {
+                let inc = evaluate_bool_incremental_governed(
+                    &db, &pq, &mask, base_holds, &UNGOVERNED,
+                )
+                .unwrap();
+                assert_eq!(inc, full);
+            }
+        }
     }
 
     #[test]

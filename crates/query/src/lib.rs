@@ -31,7 +31,8 @@ pub use ast::{
 pub use error::QueryError;
 pub use eval::{
     aggregate_value, aggregate_value_governed, evaluate_aggregate, evaluate_aggregate_governed,
-    evaluate_bool, evaluate_bool_governed, for_each_match, for_each_match_governed, prepare,
+    evaluate_bool, evaluate_bool_delta_governed, evaluate_bool_governed,
+    evaluate_bool_incremental_governed, for_each_match, for_each_match_governed, prepare,
     prepare_aggregate, EvalOptions, Match, PreparedAggregate, PreparedQuery,
 };
 pub use parser::parse_denial_constraint;

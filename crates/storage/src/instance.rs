@@ -5,6 +5,9 @@ use crate::relation::{RelationStore, RowId};
 use crate::schema::{Catalog, RelationId};
 use crate::source::{Source, TxId, WorldMask};
 use crate::tuple::Tuple;
+use crate::value::Value;
+use rustc_hash::FxHashSet;
+use std::sync::Arc;
 
 /// A typed, multi-source database instance.
 ///
@@ -17,6 +20,10 @@ pub struct Database {
     catalog: Catalog,
     stores: Vec<RelationStore>,
     tx_count: u32,
+    /// Canonical allocation per distinct text value, so equal strings stored
+    /// through this instance share one `Arc` and compare by pointer on the
+    /// evaluator's innermost loop.
+    interned: FxHashSet<Arc<str>>,
 }
 
 impl Database {
@@ -29,6 +36,37 @@ impl Database {
             catalog,
             stores,
             tx_count: 0,
+            interned: FxHashSet::default(),
+        }
+    }
+
+    /// Replaces a text value with the instance's canonical allocation for
+    /// that content (first sighting wins). Non-text values pass through
+    /// unchanged. Every insert interns its tuple; query preparation interns
+    /// constants, so unify/compare in the evaluator usually resolves text
+    /// equality with a pointer check.
+    pub fn intern_value(&mut self, value: Value) -> Value {
+        match value {
+            Value::Text(s) => Value::Text(match self.interned.get(&s) {
+                Some(canonical) => Arc::clone(canonical),
+                None => {
+                    self.interned.insert(Arc::clone(&s));
+                    s
+                }
+            }),
+            other => other,
+        }
+    }
+
+    fn intern_tuple(&mut self, tuple: Tuple) -> Tuple {
+        if tuple.values().iter().any(|v| matches!(v, Value::Text(_))) {
+            tuple
+                .values()
+                .iter()
+                .map(|v| self.intern_value(v.clone()))
+                .collect()
+        } else {
+            tuple
         }
     }
 
@@ -66,6 +104,7 @@ impl Database {
         if let Source::Pending(TxId(t)) = source {
             self.tx_count = self.tx_count.max(t + 1);
         }
+        let tuple = self.intern_tuple(tuple);
         Ok(self.stores[rel.index()].insert(tuple, source))
     }
 
@@ -161,6 +200,28 @@ mod tests {
         db.insert_base(r, tuple![3i64, "z"]).unwrap();
         let rows = db.rows_of_tx(TxId(1));
         assert_eq!(rows, vec![(r, tuple![2i64, "y"])]);
+    }
+
+    #[test]
+    fn interning_unifies_text_allocations() {
+        let (mut db, r) = db();
+        db.insert_base(r, tuple![1i64, "addr"]).unwrap();
+        db.insert(r, tuple![2i64, "addr"], Source::Pending(TxId(0)))
+            .unwrap();
+        let texts: Vec<Value> = db
+            .relation(r)
+            .scan_all()
+            .map(|(_, row)| row.tuple[1].clone())
+            .collect();
+        let (Value::Text(a), Value::Text(b)) = (&texts[0], &texts[1]) else {
+            panic!("expected text values");
+        };
+        assert!(Arc::ptr_eq(a, b), "equal strings share one allocation");
+        // And intern_value hands back the same canonical Arc.
+        let Value::Text(c) = db.intern_value(Value::text("addr")) else {
+            panic!("expected text value");
+        };
+        assert!(Arc::ptr_eq(a, &c));
     }
 
     #[test]

@@ -60,6 +60,9 @@ pub struct RelationStore {
     rows: Vec<Row>,
     /// tuple content -> ids of all rows with that content.
     by_tuple: FxHashMap<Tuple, SmallVec<[u32; 2]>>,
+    /// Ids of rows from pending sources, in insertion order — the superset
+    /// of every world's delta, used to seed incremental evaluation.
+    pending_rows: Vec<u32>,
     indexes: Vec<SecondaryIndex>,
 }
 
@@ -86,6 +89,9 @@ impl RelationStore {
         ids.push(id);
         for idx in &mut self.indexes {
             idx.insert(id, &tuple);
+        }
+        if matches!(source, Source::Pending(_)) {
+            self.pending_rows.push(id);
         }
         self.rows.push(Row { tuple, source });
         Some(RowId(id))
@@ -125,6 +131,20 @@ impl RelationStore {
             .enumerate()
             .filter(move |(_, r)| mask.is_active(r.source))
             .map(|(i, r)| (RowId(i as u32), r))
+    }
+
+    /// Iterates only the rows of the world's *delta* — pending-source rows
+    /// active in `mask`. Since base rows are never pending, this is exactly
+    /// `W \ R` for the world selected by `mask`, without touching the
+    /// (typically much larger) base state.
+    pub fn scan_delta<'a>(
+        &'a self,
+        mask: &'a WorldMask,
+    ) -> impl Iterator<Item = (RowId, &'a Row)> + 'a {
+        self.pending_rows
+            .iter()
+            .map(|&id| (RowId(id), &self.rows[id as usize]))
+            .filter(move |(_, r)| mask.is_active(r.source))
     }
 
     /// Iterates every stored row with its id, regardless of mask.
@@ -270,6 +290,29 @@ mod tests {
             .collect();
         assert_eq!(seen, vec![1, 3]);
         assert_eq!(s.scan_all().count(), 3);
+    }
+
+    #[test]
+    fn scan_delta_yields_only_active_pending_rows() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![2i64], Source::Pending(TxId(0)));
+        s.insert(tuple![3i64], Source::Pending(TxId(1)));
+        s.insert(tuple![4i64], Source::Base);
+        let w = mask_with(&[1]);
+        let delta: Vec<i64> = s
+            .scan_delta(&w)
+            .map(|(_, r)| r.tuple[0].as_int().unwrap())
+            .collect();
+        assert_eq!(delta, vec![3]);
+        // The base world has an empty delta.
+        assert_eq!(s.scan_delta(&WorldMask::base_only(8)).count(), 0);
+        // All pending txs active: the full pending set, never base rows.
+        let all: Vec<i64> = s
+            .scan_delta(&WorldMask::all(8))
+            .map(|(_, r)| r.tuple[0].as_int().unwrap())
+            .collect();
+        assert_eq!(all, vec![2, 3]);
     }
 
     #[test]

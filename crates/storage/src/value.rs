@@ -34,8 +34,12 @@ impl fmt::Display for ValueType {
 /// A ground (constant) value.
 ///
 /// `Text` is an `Arc<str>`: tuples are cloned heavily while materialising
-/// possible worlds, and a refcount bump beats a string copy.
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+/// possible worlds, and a refcount bump beats a string copy. Equality has a
+/// pointer fast path for interned text (see
+/// [`Database::intern_value`](crate::instance::Database::intern_value)) —
+/// two values interned by the same database compare with one pointer check
+/// on the join's innermost loop instead of a string compare.
+#[derive(Clone, Debug)]
 pub enum Value {
     /// Integer value.
     Int(i64),
@@ -88,6 +92,35 @@ impl Value {
             (Value::Text(a), Value::Text(b)) => Some(a.as_ref().cmp(b.as_ref())),
             (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
             _ => None,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            // Interned strings share the allocation, so the common case is
+            // settled by the pointer check alone.
+            (Value::Text(a), Value::Text(b)) => Arc::ptr_eq(a, b) || a == b,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Value {}
+
+// Content-based, so it stays consistent with the pointer-accelerated
+// equality above: `Arc::ptr_eq` implies content equality implies equal
+// hashes.
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Value::Int(i) => i.hash(state),
+            Value::Text(s) => s.hash(state),
+            Value::Bool(b) => b.hash(state),
         }
     }
 }

@@ -1,0 +1,141 @@
+//! Delta-seeded incremental evaluation agrees with full re-evaluation on
+//! every possible world.
+//!
+//! The invariant under test (see DESIGN.md): for a seedable (negation-free)
+//! conjunctive query `q` and any world `W ⊇ base`,
+//!
+//! ```text
+//! q(W)  ==  q(base) || delta(q, W)
+//! ```
+//!
+//! where `delta` only explores assignments touching at least one pending
+//! tuple of `W`. Negation-bearing queries must *fall back* to full
+//! evaluation instead — adding delta rows can destroy their matches.
+
+use bcdb_core::{
+    dcsat, delta_row_count, possible_worlds, BlockchainDb, BudgetSpec, DcSatOptions, Precomputed,
+};
+use bcdb_query::{
+    evaluate_bool, evaluate_bool_delta_governed, evaluate_bool_incremental_governed,
+    parse_denial_constraint, prepare,
+};
+use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, RelationSchema, ValueType};
+use proptest::prelude::*;
+
+/// Same generator as `governed_soundness`: a small R(a, b) database with
+/// key R[a]; first base tuple per key wins, every pending transaction
+/// needs at least one row.
+fn build_db(base: &[(i64, i64)], txs: &[Vec<(i64, i64)>]) -> Option<BlockchainDb> {
+    let mut cat = Catalog::new();
+    cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+    let mut db = BlockchainDb::new(cat, cs);
+    let r = db.database().catalog().resolve("R").unwrap();
+    let mut seen = std::collections::HashSet::new();
+    for &(a, b) in base {
+        if seen.insert(a) {
+            db.insert_current(r, tuple![a, b]).unwrap();
+        }
+    }
+    for (i, rows) in txs.iter().enumerate() {
+        if rows.is_empty() {
+            return None;
+        }
+        let tuples: Vec<_> = rows.iter().map(|&(a, b)| (r, tuple![a, b])).collect();
+        db.add_transaction(format!("T{i}"), tuples).unwrap();
+    }
+    Some(db)
+}
+
+/// Negation-free conjunctive queries — all seedable.
+fn seedable_queries() -> Vec<&'static str> {
+    vec![
+        "q() <- R(x, y)",
+        "q() <- R(x, 1)",
+        "q() <- R(x, y), R(y, z)",
+        "q() <- R(x, y), x != y",
+        "q() <- R(1, y), R(y, 2)",
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    /// Per-world delta-seeded evaluation equals full re-evaluation on every
+    /// possible world, worlds with an empty delta included.
+    #[test]
+    fn delta_matches_full_on_every_world(
+        base in prop::collection::vec((0..4i64, 0..4i64), 0..4),
+        txs in prop::collection::vec(prop::collection::vec((0..4i64, 0..4i64), 1..3), 1..5),
+        query_idx in 0..5usize,
+    ) {
+        let Some(mut db) = build_db(&base, &txs) else { return Ok(()) };
+        let text = seedable_queries()[query_idx];
+        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+        let pq = prepare(db.database_mut(), dc.body());
+        prop_assert!(pq.seedable(), "{text} must be seedable");
+        let pre = Precomputed::build(&db);
+        let budget = BudgetSpec::UNLIMITED.start();
+        let base_mask = db.database().base_mask();
+        let base_holds = evaluate_bool(db.database(), &pq, &base_mask);
+
+        // The base world is the canonical empty-delta world: incremental
+        // evaluation must answer it from the cached verdict alone.
+        prop_assert_eq!(delta_row_count(db.database(), &base_mask), 0);
+        prop_assert_eq!(
+            evaluate_bool_incremental_governed(
+                db.database(), &pq, &base_mask, base_holds, &budget).unwrap(),
+            base_holds
+        );
+
+        for world in possible_worlds(&db, &pre) {
+            let full = evaluate_bool(db.database(), &pq, &world);
+            let incremental = evaluate_bool_incremental_governed(
+                db.database(), &pq, &world, base_holds, &budget).unwrap();
+            prop_assert_eq!(
+                incremental, full,
+                "incremental disagrees on {} over world {:?}",
+                text, world.txs().collect::<Vec<_>>());
+            if !base_holds {
+                // With a false base verdict the delta passes alone must
+                // reconstruct the full answer (the dcsat fast path).
+                let delta = evaluate_bool_delta_governed(
+                    db.database(), &pq, &world, &budget).unwrap();
+                prop_assert_eq!(
+                    delta, full,
+                    "delta-only disagrees on {} over world {:?}",
+                    text, world.txs().collect::<Vec<_>>());
+            }
+        }
+    }
+
+    /// Negation-bearing constraints are not seedable: `use_delta` must be a
+    /// no-op for them — identical verdict, zero delta counters.
+    #[test]
+    fn negated_constraints_fall_back_to_full_eval(
+        base in prop::collection::vec((0..4i64, 0..4i64), 0..4),
+        txs in prop::collection::vec(prop::collection::vec((0..4i64, 0..4i64), 1..3), 1..5),
+    ) {
+        let Some(mut db) = build_db(&base, &txs) else { return Ok(()) };
+        let dc = parse_denial_constraint("q() <- R(x, y), !R(y, x)", db.database().catalog())
+            .unwrap();
+        let pq = prepare(db.database_mut(), dc.body());
+        prop_assert!(!pq.seedable(), "negation must disable seeding");
+        let with = dcsat(&mut db, &dc, &DcSatOptions {
+            use_delta: true,
+            ..DcSatOptions::default()
+        }).unwrap();
+        let without = dcsat(&mut db, &dc, &DcSatOptions {
+            use_delta: false,
+            ..DcSatOptions::default()
+        }).unwrap();
+        prop_assert_eq!(with.satisfied, without.satisfied);
+        prop_assert_eq!(with.stats.delta_seeded_evals, 0);
+        prop_assert_eq!(with.stats.base_cache_hits, 0);
+    }
+}
