@@ -15,7 +15,7 @@
 use bcdb_bench::datasets::{load_config, load_dataset, LoadedDataset};
 use bcdb_bench::picker::ConstantPicker;
 use bcdb_bench::queries::{qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
-use bcdb_bench::report::{governed_record, secs, stats_json, time_avg, JsonObject, Table};
+use bcdb_bench::report::{governed_record, json_escape, secs, stats_json, time_avg, JsonObject, Table};
 use bcdb_bench::workload::giant_component;
 use bcdb_chain::Dataset;
 use bcdb_core::{
@@ -566,11 +566,86 @@ fn bench(smoke: bool, out: &str) {
     println!("[bench] wrote {out}");
 }
 
+/// Runs the reorg/fault soak (`bcdb_monitor::run_soak`) and writes its
+/// report as JSON. Exits nonzero if any epoch diverged from a cold rebuild.
+fn soak(epochs: u64, seed: u64, out: &str) {
+    let journal = format!("{out}.journal");
+    let cfg = bcdb_monitor::SoakConfig::new(epochs, seed, &journal);
+    println!("[soak] {epochs} epochs, seed {seed}, journal {journal}");
+    let report = match bcdb_monitor::run_soak(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[soak] aborted: {e}");
+            std::process::exit(2);
+        }
+    };
+    let divergences = format!(
+        "[{}]",
+        report
+            .divergences
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let json = JsonObject::new()
+        .str("bench", "monitor-soak")
+        .num("epochs", report.epochs)
+        .num("seed", seed)
+        .num("events_applied", report.events_applied)
+        .num("faults_injected", report.faults_injected)
+        .num("blocks_mined", report.blocks_mined)
+        .num("reorgs", report.reorgs)
+        .num("verdict_checks", report.verdict_checks)
+        .num("holds", report.holds)
+        .num("violated", report.violated)
+        .num("unknown", report.unknown)
+        .num("crash_drills", report.crash_drills)
+        .num("recoveries", report.recoveries)
+        .num("journal_lines_dropped", report.journal_lines_dropped)
+        .num("journal_bytes_dropped", report.journal_bytes_dropped)
+        .num("final_epoch", report.final_epoch)
+        .num("elapsed_ms", report.elapsed_ms)
+        .num("divergence_count", report.divergences.len())
+        .raw("divergences", &divergences)
+        .finish();
+    std::fs::write(out, format!("{json}\n")).expect("write soak report");
+    println!(
+        "[soak] {} epochs: {} events, {} faults, {} blocks mined, {} reorgs, \
+         {} crash drills ({} recoveries)",
+        report.epochs,
+        report.events_applied,
+        report.faults_injected,
+        report.blocks_mined,
+        report.reorgs,
+        report.crash_drills,
+        report.recoveries
+    );
+    println!(
+        "[soak] verdicts: {} checks ({} holds / {} violated / {} unknown)",
+        report.verdict_checks, report.holds, report.violated, report.unknown
+    );
+    println!("[soak] wrote {out}");
+    if report.divergences.is_empty() {
+        println!("[soak] PASS: incremental state matched cold rebuild every epoch");
+    } else {
+        eprintln!(
+            "[soak] FAIL: {} divergence(s) from cold rebuild:",
+            report.divergences.len()
+        );
+        for d in &report.divergences {
+            eprintln!("[soak]   {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut smoke = false;
-    let mut out = "BENCH_dcsat.json".to_string();
+    let mut epochs = 50u64;
+    let mut out: Option<String> = None;
     let mut which = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -582,8 +657,14 @@ fn main() {
                     .expect("--seed takes an integer");
             }
             "--smoke" => smoke = true,
+            "--epochs" => {
+                epochs = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--epochs takes an integer");
+            }
             "--out" => {
-                out = it.next().expect("--out takes a path").clone();
+                out = Some(it.next().expect("--out takes a path").clone());
             }
             other => which = other.to_string(),
         }
@@ -601,7 +682,8 @@ fn main() {
         "fig6h" => fig6h(seed),
         "ablation" => ablation(seed),
         "governed" => governed(seed),
-        "bench" => bench(smoke, &out),
+        "bench" => bench(smoke, out.as_deref().unwrap_or("BENCH_dcsat.json")),
+        "soak" => soak(epochs, seed, out.as_deref().unwrap_or("SOAK_report.json")),
         "all" => {
             table1(seed);
             fig6_query_types(seed, true);
@@ -619,7 +701,7 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed \
-                 bench [--smoke] [--out PATH] all"
+                 bench [--smoke] [--out PATH] soak [--epochs N] [--seed S] [--out PATH] all"
             );
             std::process::exit(2);
         }

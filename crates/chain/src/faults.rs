@@ -49,6 +49,33 @@ pub enum Fault {
         /// Orphans to attempt.
         count: usize,
     },
+    /// Corrupt the tail of a monitor journal mid-record, as a crash during
+    /// an unflushed write would. A no-op at the chain layer ([`inject`]
+    /// returns an empty report); the monitor's soak harness interprets it
+    /// against the journal file.
+    JournalTornWrite {
+        /// Bytes of the final record to keep (the rest is torn off).
+        bytes: usize,
+    },
+    /// Drop whole records from the end of a monitor journal, as a crash
+    /// between fsyncs would. A no-op at the chain layer, interpreted by the
+    /// monitor's soak harness.
+    JournalTruncatedTail {
+        /// Complete records to drop from the tail.
+        records: usize,
+    },
+}
+
+impl Fault {
+    /// Whether this fault targets the monitor journal rather than the
+    /// chain/mempool substrate. Journal faults pass through [`inject`]
+    /// unchanged so storms can mix both kinds in one list.
+    pub fn is_journal(self) -> bool {
+        matches!(
+            self,
+            Fault::JournalTornWrite { .. } | Fault::JournalTruncatedTail { .. }
+        )
+    }
 }
 
 /// What a fault injection did to the scenario.
@@ -72,11 +99,14 @@ pub struct FaultReport {
 pub fn inject(scenario: &mut Scenario, fault: Fault, seed: u64) -> FaultReport {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x6661756c74); // "fault"
     match fault {
-        Fault::Reorg { depth } => reorg(scenario, depth),
+        Fault::Reorg { depth } => reorg(scenario, depth, &mut rng),
         Fault::EvictionStorm { count } => eviction_storm(scenario, count),
         Fault::ConflictFlood { count } => conflict_flood(scenario, count, &mut rng),
         Fault::DuplicateReplay { count } => duplicate_replay(scenario, count),
         Fault::OrphanReplay { count } => orphan_replay(scenario, count),
+        Fault::JournalTornWrite { .. } | Fault::JournalTruncatedTail { .. } => {
+            FaultReport::default()
+        }
     }
 }
 
@@ -103,7 +133,7 @@ fn signed_payment(
     )
 }
 
-fn reorg(scenario: &mut Scenario, depth: u64) -> FaultReport {
+fn reorg(scenario: &mut Scenario, depth: u64, rng: &mut StdRng) -> FaultReport {
     let mut report = FaultReport::default();
     let depth = depth.min(scenario.chain.height());
     if depth == 0 {
@@ -127,15 +157,18 @@ fn reorg(scenario: &mut Scenario, depth: u64) -> FaultReport {
         }
     }
     // Mine divergent replacements: empty blocks whose coinbase value is
-    // salted by height so every replacement has a fresh txid and the new
-    // tip hash cannot collide with the disconnected branch.
+    // salted by height *and* by the injection's rng, so every replacement
+    // has a fresh txid. Height alone is not enough — a second same-depth
+    // reorg would rebuild byte-identical blocks and land on the exact tip
+    // it was supposed to diverge from.
     for _ in 0..depth {
         let height = chain.height() + 1;
         let miner = (height as usize) % scenario.keys.len();
+        let salt: u64 = rng.random_range(0..100_000);
         let coinbase = Transaction::new(
             vec![],
             vec![TxOutput {
-                value: chain.params().subsidy - (height % 997),
+                value: (chain.params().subsidy - (height % 997)).saturating_sub(salt),
                 script: ScriptPubKey::P2pk(scenario.keys[miner].public().clone()),
             }],
         );
@@ -256,10 +289,26 @@ fn orphan_replay(scenario: &mut Scenario, count: usize) -> FaultReport {
 
 /// Applies a whole storm of faults in sequence (the order given), merging
 /// the reports. Convenience for property tests that want "a chaotic run".
+///
+/// Each injection derives its own seed by mixing the fault's *position*
+/// into `seed` (golden-ratio multiply, so neighbouring indices decorrelate
+/// completely — a plain `seed + i` made two same-kind faults in one storm
+/// near-identical). The mempool's invariants are re-checked after **every**
+/// injection, not just at the end, so the first fault that corrupts the
+/// scenario is the one reported.
+///
+/// # Panics
+///
+/// If any injection leaves the scenario violating
+/// [`crate::Mempool::check_invariants`].
 pub fn inject_all(scenario: &mut Scenario, faults: &[Fault], seed: u64) -> FaultReport {
     let mut total = FaultReport::default();
     for (i, fault) in faults.iter().enumerate() {
-        let r = inject(scenario, *fault, seed.wrapping_add(i as u64));
+        let derived = seed ^ (i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = inject(scenario, *fault, derived);
+        if let Err(detail) = scenario.mempool.check_invariants(&scenario.chain) {
+            panic!("fault #{i} ({fault:?}) broke the scenario: {detail}");
+        }
         total.blocks_disconnected += r.blocks_disconnected;
         total.blocks_mined += r.blocks_mined;
         total.txs_admitted += r.txs_admitted;
@@ -362,6 +411,45 @@ mod tests {
         // The export pipeline still works on a faulted scenario.
         let e = crate::export(&s).unwrap();
         assert!(!e.base.is_empty());
+    }
+
+    /// Satellite regression: with index-blind seed derivation, a second
+    /// same-depth reorg rebuilt byte-identical replacement blocks and the
+    /// chain never actually diverged a second time.
+    #[test]
+    fn repeated_reorgs_in_one_storm_diverge() {
+        let mut once = small();
+        inject_all(&mut once, &[Fault::Reorg { depth: 2 }], 5);
+        let mut twice = small();
+        inject_all(
+            &mut twice,
+            &[Fault::Reorg { depth: 2 }, Fault::Reorg { depth: 2 }],
+            5,
+        );
+        assert_ne!(
+            once.chain.tip().hash(),
+            twice.chain.tip().hash(),
+            "second reorg must move the tip again"
+        );
+        twice.mempool.check_invariants(&twice.chain).unwrap();
+    }
+
+    #[test]
+    fn journal_faults_are_chain_level_noops() {
+        let mut s = small();
+        let tip = s.chain.tip().hash();
+        let len = s.mempool.len();
+        for fault in [
+            Fault::JournalTornWrite { bytes: 3 },
+            Fault::JournalTruncatedTail { records: 2 },
+        ] {
+            assert!(fault.is_journal());
+            let r = inject(&mut s, fault, 1);
+            assert_eq!(r, FaultReport::default());
+        }
+        assert!(!Fault::Reorg { depth: 1 }.is_journal());
+        assert_eq!(s.chain.tip().hash(), tip);
+        assert_eq!(s.mempool.len(), len);
     }
 
     #[test]

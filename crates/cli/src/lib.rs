@@ -16,8 +16,8 @@ use bcdb_bench::datasets::{load_dataset, load_export, LoadedDataset};
 use bcdb_chain::Dataset;
 use bcdb_core::{
     dcsat, dcsat_governed, estimate_violation_risk, for_each_possible_world, minimize_witness,
-    Algorithm, BudgetSpec, DcSatOptions, PerTxAcceptance, Precomputed, PreparedConstraint,
-    UniformAcceptance, Verdict,
+    Algorithm, BudgetSpec, DcSatOptions, ExhaustionReason, PerTxAcceptance, Precomputed,
+    PreparedConstraint, RetryPolicy, UniformAcceptance, Verdict,
 };
 use bcdb_query::{
     atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
@@ -51,6 +51,10 @@ pub enum Command {
         /// Resource limits (`--timeout-ms`, `--max-cliques`, `--max-worlds`,
         /// `--max-tuples`); any limit switches to the governed solver.
         budget: BudgetSpec,
+        /// Retry schedule for *transient* `unknown` verdicts — deadline
+        /// exhaustion, cancellation, worker panics (`--retries`,
+        /// `--retry-backoff-ms`). Deterministic limits are never retried.
+        retry: RetryPolicy,
         /// The constraint text.
         constraint: String,
     },
@@ -156,6 +160,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut out_path: Option<PathBuf> = None;
     let mut file: Option<PathBuf> = None;
     let mut budget = BudgetSpec::UNLIMITED;
+    let mut retries = 0u32;
+    let mut retry_backoff = std::time::Duration::from_millis(50);
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -215,6 +221,17 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                     CliError("--max-tuples requires an integer".into())
                 })?);
             }
+            "--retries" => {
+                retries = flag_value("--retries")?
+                    .parse()
+                    .map_err(|_| CliError("--retries requires an integer".into()))?;
+            }
+            "--retry-backoff-ms" => {
+                let ms: u64 = flag_value("--retry-backoff-ms")?.parse().map_err(|_| {
+                    CliError("--retry-backoff-ms requires an integer".into())
+                })?;
+                retry_backoff = std::time::Duration::from_millis(ms);
+            }
             other if other.starts_with("--") => {
                 return Err(CliError(format!("unknown flag '{other}'")));
             }
@@ -239,6 +256,11 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             algorithm,
             minimize,
             budget,
+            retry: if retries == 0 {
+                RetryPolicy::NONE
+            } else {
+                RetryPolicy::new(retries, retry_backoff, seed)
+            },
             constraint: constraint()?,
         }),
         "explain" => Ok(Command::Explain {
@@ -276,6 +298,7 @@ USAGE:
   bcdb stats   [--dataset d200]  [--seed 42]
   bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize]
                [--timeout-ms N] [--max-cliques N] [--max-worlds N] [--max-tuples N]
+               [--retries N] [--retry-backoff-ms MS]
                '<constraint>'
   bcdb explain [--dataset small] '<constraint>'
   bcdb risk    [--dataset small] [--seed 42] [--samples 1000] [--prob P] '<constraint>'
@@ -284,7 +307,11 @@ USAGE:
 
 `check` with any resource limit runs the governed solver: it degrades
 gracefully when the budget runs out and may answer `unknown` (exit code 3)
-instead of guessing. Without limits it runs to completion.
+instead of guessing. Without limits it runs to completion. --retries N
+re-runs a *transient* unknown (deadline, cancellation, worker panic) up to
+N times with jittered exponential backoff starting at --retry-backoff-ms
+(default 50); deterministic limits are never retried, and total wall time
+stays bounded by timeout-ms × (1 + N).
 
 `risk` estimates the probability that the constraint is ever violated,
 drawing future worlds from an acceptance model: --prob P accepts every
@@ -349,6 +376,7 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
             algorithm,
             minimize,
             budget,
+            retry,
             constraint,
         } => {
             let mut db = match file {
@@ -372,9 +400,35 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
                     String::new(),
                 )
             } else {
-                let outcome =
-                    dcsat_governed(&mut db, &dc, &dc_opts).map_err(|e| CliError(e.to_string()))?;
+                // Transient exhaustion (deadline, cancellation, a worker
+                // panic) may clear on a later attempt; deterministic limits
+                // (cliques/worlds/tuples) never will, so they break out
+                // immediately. The overall wall-clock stays bounded by
+                // timeout × (1 + max_retries).
+                let mut attempts = 0u32;
+                let deadline = budget
+                    .timeout
+                    .map(|t| std::time::Instant::now() + t.saturating_mul(retry.max_retries + 1));
+                let outcome = retry
+                    .run(deadline, |_| {
+                        attempts += 1;
+                        match dcsat_governed(&mut db, &dc, &dc_opts) {
+                            Ok(outcome) => match &outcome.verdict {
+                                Verdict::Unknown(
+                                    ExhaustionReason::DeadlineExceeded { .. }
+                                    | ExhaustionReason::Cancelled
+                                    | ExhaustionReason::WorkerPanicked { .. },
+                                ) => ControlFlow::Continue(Ok(outcome)),
+                                _ => ControlFlow::Break(Ok(outcome)),
+                            },
+                            Err(e) => ControlFlow::Break(Err(e)),
+                        }
+                    })
+                    .map_err(|e| CliError(e.to_string()))?;
                 let mut extra = format!(", elapsed: {:?}", outcome.elapsed);
+                if attempts > 1 {
+                    write!(extra, ", attempts: {attempts}").unwrap();
+                }
                 if let Some(d) = outcome.degraded_to {
                     write!(extra, ", {d}").unwrap();
                 }
@@ -614,6 +668,7 @@ mod tests {
                 algorithm: Algorithm::Naive,
                 minimize: true,
                 budget: BudgetSpec::UNLIMITED,
+                retry: RetryPolicy::NONE,
                 constraint: "q() <- TxOut(t, s, 'x', a)".into(),
             }
         );
@@ -638,6 +693,30 @@ mod tests {
     }
 
     #[test]
+    fn parses_retry_flags() {
+        let mut args = argv("check --seed 9 --retries 3 --retry-backoff-ms 20");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        let cmd = parse_args(&args).unwrap();
+        let Command::Check { retry, .. } = cmd else {
+            panic!("expected Check, got {cmd:?}");
+        };
+        assert_eq!(
+            retry,
+            RetryPolicy::new(3, std::time::Duration::from_millis(20), 9)
+        );
+        // No --retries means no retrying at all.
+        let mut args = argv("check");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        let Command::Check { retry, .. } = parse_args(&args).unwrap() else {
+            panic!("expected Check");
+        };
+        assert_eq!(retry, RetryPolicy::NONE);
+        // Bad values rejected.
+        assert!(parse_args(&argv("check --retries many x")).is_err());
+        assert!(parse_args(&argv("check --retry-backoff-ms")).is_err());
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&argv("frobnicate")).is_err());
         assert!(parse_args(&argv("check")).is_err()); // missing constraint
@@ -657,6 +736,7 @@ mod tests {
             algorithm: Algorithm::Auto,
             minimize: true,
             budget: BudgetSpec::UNLIMITED,
+            retry: RetryPolicy::NONE,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
@@ -679,6 +759,7 @@ mod tests {
             algorithm: Algorithm::Auto,
             minimize: false,
             budget: BudgetSpec::UNLIMITED,
+            retry: RetryPolicy::NONE,
             constraint: "q() <- Nope(x)".into(),
         })
         .unwrap_err();
@@ -696,6 +777,7 @@ mod tests {
             algorithm: Algorithm::Auto,
             minimize: false,
             budget: BudgetSpec::UNLIMITED,
+            retry: RetryPolicy::NONE,
             constraint: "q() <- TxOut(t, s, p, a)".into(),
         })
         .unwrap();
@@ -716,6 +798,7 @@ mod tests {
             algorithm: Algorithm::Auto,
             minimize: false,
             budget,
+            retry: RetryPolicy::NONE,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
@@ -734,12 +817,58 @@ mod tests {
             algorithm: Algorithm::Auto,
             minimize: false,
             budget,
+            retry: RetryPolicy::NONE,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
         .unwrap();
         assert!(out.text.contains("satisfied: unknown"), "{}", out.text);
         assert_eq!(out.exit_code, 3);
+    }
+
+    #[test]
+    fn retries_skip_deterministic_limits_and_respect_deadlines() {
+        // A worlds limit is deterministic: retrying cannot help, so the
+        // governed solver answers unknown after a single attempt even with
+        // retries configured.
+        let mut budget = BudgetSpec::UNLIMITED;
+        budget.max_worlds = Some(4);
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            budget,
+            retry: RetryPolicy::new(5, std::time::Duration::from_millis(1), 42),
+            constraint:
+                "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
+        })
+        .unwrap();
+        assert!(out.text.contains("satisfied: unknown"), "{}", out.text);
+        assert!(!out.text.contains("attempts:"), "{}", out.text);
+        assert_eq!(out.exit_code, 3);
+
+        // A zero deadline is transient in principle, but the overall retry
+        // deadline (timeout × (1 + retries)) is already spent, so the run
+        // returns promptly instead of sleeping through five backoffs.
+        let mut budget = BudgetSpec::UNLIMITED;
+        budget.timeout = Some(std::time::Duration::ZERO);
+        let started = std::time::Instant::now();
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            budget,
+            retry: RetryPolicy::new(5, std::time::Duration::from_secs(10), 42),
+            constraint:
+                "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
+        })
+        .unwrap();
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
+        assert_eq!(out.exit_code, 3, "{}", out.text);
     }
 
     #[test]
@@ -786,6 +915,7 @@ mod tests {
             algorithm: Algorithm::Auto,
             minimize: false,
             budget: BudgetSpec::UNLIMITED,
+            retry: RetryPolicy::NONE,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();

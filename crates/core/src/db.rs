@@ -92,6 +92,29 @@ impl BlockchainDb {
         Ok(id)
     }
 
+    /// Removes the pending transaction `tx` (it was evicted or superseded)
+    /// and renumbers the remaining pending transactions with larger ids down
+    /// by one, keeping [`TxId`]s dense. Returns the removed transaction.
+    ///
+    /// The result is indistinguishable from a database where the survivors
+    /// were issued in their original relative order and `tx` never existed —
+    /// the invariant the incremental
+    /// [`Precomputed::note_transaction_removed`](crate::Precomputed::note_transaction_removed)
+    /// maintenance relies on.
+    pub fn remove_transaction(&mut self, tx: TxId) -> PendingTransaction {
+        assert!(
+            tx.index() < self.pending.len(),
+            "remove_transaction: {tx} out of range ({} pending)",
+            self.pending.len()
+        );
+        // A transaction with no tuples never bumped the store's tx counter;
+        // only touch the stores when `tx` is within their id space.
+        if tx.index() < self.db.tx_count() {
+            self.db.remove_pending_tx(tx);
+        }
+        self.pending.remove(tx.index())
+    }
+
     /// The underlying multi-source database.
     pub fn database(&self) -> &Database {
         &self.db
@@ -229,6 +252,52 @@ mod tests {
         // Nothing staged.
         assert_eq!(bc.pending_count(), 0);
         assert_eq!(bc.database().total_rows(), 0);
+    }
+
+    #[test]
+    fn remove_transaction_matches_fresh_issue_order() {
+        let (mut bc, r, s) = simple_setup();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.add_transaction("T0", [(r, tuple![2i64, 20i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![2i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![3i64, 30i64])]).unwrap();
+
+        let removed = bc.remove_transaction(TxId(1));
+        assert_eq!(removed.name, "T1");
+        assert_eq!(bc.pending_count(), 2);
+        assert_eq!(bc.database().tx_count(), 2);
+        assert_eq!(bc.transaction(TxId(1)).name, "T2");
+
+        // Byte-for-byte the same stores as issuing only the survivors.
+        let (mut fresh, r2, _) = simple_setup();
+        fresh.insert_current(r2, tuple![1i64, 10i64]).unwrap();
+        fresh
+            .add_transaction("T0", [(r2, tuple![2i64, 20i64])])
+            .unwrap();
+        fresh
+            .add_transaction("T2", [(r2, tuple![3i64, 30i64])])
+            .unwrap();
+        for (rel, _) in bc.database().catalog().iter() {
+            let a: Vec<_> = bc.database().relation(rel).scan_all().collect();
+            let b: Vec<_> = fresh.database().relation(rel).scan_all().collect();
+            assert_eq!(a.len(), b.len());
+            for ((_, ra), (_, rb)) in a.iter().zip(&b) {
+                assert_eq!(ra.tuple, rb.tuple);
+                assert_eq!(ra.source, rb.source);
+            }
+        }
+    }
+
+    #[test]
+    fn remove_transaction_with_empty_tuple_set() {
+        let (mut bc, r, _) = simple_setup();
+        bc.add_transaction("T0", [(r, tuple![1i64, 1i64])]).unwrap();
+        bc.add_transaction("empty", std::iter::empty()).unwrap();
+        assert_eq!(bc.database().tx_count(), 1);
+        let removed = bc.remove_transaction(TxId(1));
+        assert_eq!(removed.name, "empty");
+        assert_eq!(bc.pending_count(), 1);
+        assert_eq!(bc.database().tx_count(), 1);
     }
 
     #[test]

@@ -107,6 +107,17 @@ pub struct DcSatOptions {
     /// friends). Ignored by the ungoverned [`dcsat`]/[`dcsat_with`], which
     /// always run to completion.
     pub budget: BudgetSpec,
+    /// Caller-supplied verdict of the constraint over the base world `R`
+    /// alone, from an external cache (the monitor layer caches it per
+    /// epoch). `Some(false)` lets the algorithms skip re-evaluating `R`
+    /// before enumerating worlds; `Some(true)` short-circuits to a base
+    /// witness outright.
+    ///
+    /// **Soundness contract**: the hint must describe the *current* `R`.
+    /// Any mutation of the base state (a mined block, a reorg) invalidates
+    /// it; the caller is responsible for epoch-tagging its cache. A wrong
+    /// hint produces wrong verdicts, not errors.
+    pub base_verdict_hint: Option<bool>,
 }
 
 impl Default for DcSatOptions {
@@ -122,6 +133,7 @@ impl Default for DcSatOptions {
             threads: None,
             fault_inject_panic_tx: None,
             budget: BudgetSpec::UNLIMITED,
+            base_verdict_hint: None,
         }
     }
 }

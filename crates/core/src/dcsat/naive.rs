@@ -48,11 +48,21 @@ pub fn run(
     // is already violated, and otherwise every maximal world below can be
     // answered from its delta tuples alone (see `eval_world`).
     if opts.use_delta && pc.delta_capable() {
-        stats.worlds_evaluated += 1;
-        match pc.holds_governed(db, &db.base_mask(), budget) {
-            Ok(true) => return Ok(DcSatOutcome::unsatisfied(db.base_mask(), stats)),
-            Ok(false) => {}
-            Err(reason) => return Err(exhausted(reason, stats)),
+        match opts.base_verdict_hint {
+            // An epoch-valid external cache already knows R's verdict.
+            Some(true) => {
+                stats.base_cache_hits += 1;
+                return Ok(DcSatOutcome::unsatisfied(db.base_mask(), stats));
+            }
+            Some(false) => stats.base_cache_hits += 1,
+            None => {
+                stats.worlds_evaluated += 1;
+                match pc.holds_governed(db, &db.base_mask(), budget) {
+                    Ok(true) => return Ok(DcSatOutcome::unsatisfied(db.base_mask(), stats)),
+                    Ok(false) => {}
+                    Err(reason) => return Err(exhausted(reason, stats)),
+                }
+            }
         }
     }
 

@@ -204,11 +204,21 @@ pub fn run(
     // assignments living entirely in the current state are not missed when
     // every component is pruned — or none exists.
     let base = db.base_mask();
-    stats.worlds_evaluated += 1;
-    match pc.holds_governed(db, &base, budget) {
-        Ok(true) => return Ok(DcSatOutcome::unsatisfied(base, stats)),
-        Ok(false) => {}
-        Err(reason) => return Err(Exhausted { reason, stats }),
+    match opts.base_verdict_hint {
+        // An epoch-valid external cache already knows R's verdict.
+        Some(true) => {
+            stats.base_cache_hits += 1;
+            return Ok(DcSatOutcome::unsatisfied(base, stats));
+        }
+        Some(false) => stats.base_cache_hits += 1,
+        None => {
+            stats.worlds_evaluated += 1;
+            match pc.holds_governed(db, &base, budget) {
+                Ok(true) => return Ok(DcSatOutcome::unsatisfied(base, stats)),
+                Ok(false) => {}
+                Err(reason) => return Err(Exhausted { reason, stats }),
+            }
+        }
     }
 
     // Components of Gq,ind = ΘI components refined with Θq edges.

@@ -1034,3 +1034,76 @@ fn governed_worker_panic_is_isolated_and_deterministic() {
     assert_eq!(gov.degraded_to, Some("degraded/monotone-precheck"));
     assert!(gov.stats.poisoned_workers >= 1);
 }
+
+#[test]
+fn base_verdict_hint_skips_base_eval_and_agrees() {
+    // Base has one bob payment; the pending reissue (fresh id) makes a
+    // second possible. q is false over R alone, so Some(false) is truthful.
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "alice", "bob", 10i64])
+        .unwrap();
+    db.add_transaction("reissue", [(pay, tuple![2i64, "alice", "bob", 10i64])])
+        .unwrap();
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'alice', 'bob', a), Pay(j, 'alice', 'bob', b), i != j",
+        db.database().catalog(),
+    )
+    .unwrap();
+    for alg in [Algorithm::Naive, Algorithm::Opt] {
+        let plain = dcsat(&mut db, &dc, &opts(alg)).unwrap();
+        let hinted = dcsat(
+            &mut db,
+            &dc,
+            &DcSatOptions {
+                base_verdict_hint: Some(false),
+                ..opts(alg)
+            },
+        )
+        .unwrap();
+        assert_eq!(plain.satisfied, hinted.satisfied, "{alg:?}");
+        assert!(!hinted.satisfied);
+        // One base-world evaluation traded for one cache hit.
+        assert_eq!(
+            hinted.stats.worlds_evaluated + 1,
+            plain.stats.worlds_evaluated,
+            "{alg:?}"
+        );
+        assert_eq!(
+            hinted.stats.base_cache_hits,
+            plain.stats.base_cache_hits + 1,
+            "{alg:?}"
+        );
+    }
+}
+
+#[test]
+fn base_verdict_hint_true_short_circuits_to_base_witness() {
+    // Two bob payments already in R: q holds over the base world itself.
+    let mut db = payments_db(true, false);
+    let pay = db.database().catalog().resolve("Pay").unwrap();
+    db.insert_current(pay, tuple![1i64, "alice", "bob", 10i64])
+        .unwrap();
+    db.insert_current(pay, tuple![2i64, "alice", "bob", 10i64])
+        .unwrap();
+    db.add_transaction("noise", [(pay, tuple![3i64, "carol", "dan", 5i64])])
+        .unwrap();
+    let dc = parse_denial_constraint(
+        "q() <- Pay(i, 'alice', 'bob', a), Pay(j, 'alice', 'bob', b), i != j",
+        db.database().catalog(),
+    )
+    .unwrap();
+    for alg in [Algorithm::Naive, Algorithm::Opt] {
+        let o = DcSatOptions {
+            base_verdict_hint: Some(true),
+            use_precheck: false, // isolate the hint path
+            ..opts(alg)
+        };
+        let out = dcsat(&mut db, &dc, &o).unwrap();
+        assert!(!out.satisfied, "{alg:?}");
+        let w = out.witness.expect("base witness");
+        assert_eq!(w.tx_count(), 0, "witness must be R itself");
+        assert_eq!(out.stats.worlds_evaluated, 0, "{alg:?}: no eval at all");
+        assert_eq!(out.stats.base_cache_hits, 1, "{alg:?}");
+    }
+}

@@ -45,7 +45,7 @@ pub mod precompute;
 pub mod witness;
 pub mod worlds;
 
-pub use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason};
+pub use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason, RetryPolicy};
 pub use db::{BlockchainDb, PendingTransaction};
 pub use dcsat::{
     dcsat, dcsat_governed, dcsat_governed_with, dcsat_governed_with_budget, dcsat_with, Algorithm,

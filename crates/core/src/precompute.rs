@@ -247,6 +247,65 @@ impl Precomputed {
         self.includable.push(includable);
     }
 
+    /// Incrementally shrinks the steady-state structures after `tx` was
+    /// evicted via [`BlockchainDb::remove_transaction`] — the inverse of
+    /// [`note_transaction_added`](Self::note_transaction_added). All ids
+    /// above `tx` shift down by one, mirroring the database's renumbering.
+    ///
+    /// Viability, inclusion status, and `GfTd` edges of the surviving
+    /// transactions are unaffected by the eviction: each depends only on
+    /// the current state `R` and the survivors' own tuples, both untouched
+    /// here (a change to `R` itself — mining, reorg — requires a full
+    /// rebuild, which the monitor layer performs at epoch boundaries). The
+    /// per-tx rows are therefore removed *and shifted*, never left in
+    /// place, so a transaction issued later that reuses the evicted
+    /// transaction's keys is fingerprinted against the correct rows. `Gind`
+    /// components are rebuilt from the remapped ΘI value groups: an active
+    /// group (both sides non-empty) is exactly one component, so the
+    /// rebuild is `O(|groups|)` and cannot diverge from the incremental
+    /// insertion path.
+    pub fn note_transaction_removed(&mut self, tx: TxId) {
+        let n = self.tx_fp.len();
+        assert!(
+            tx.index() < n,
+            "note_transaction_removed: {tx} out of range ({n} noted)"
+        );
+        self.tx_fp.remove(tx.index());
+        self.viable.remove(tx.index());
+        self.includable.remove(tx.index());
+        self.fd_graph.remove_node(tx.index());
+
+        // Remap the ΘI value groups: drop tx, shift larger ids down, and
+        // forget emptied value groups entirely.
+        for groups in &mut self.ind_groups {
+            for entry in groups.values_mut() {
+                for side in [&mut entry.0, &mut entry.1] {
+                    side.retain(|t| *t != tx.0);
+                    for t in side.iter_mut() {
+                        if *t > tx.0 {
+                            *t -= 1;
+                        }
+                    }
+                }
+            }
+            groups.retain(|_, (lefts, rights)| !lefts.is_empty() || !rights.is_empty());
+        }
+
+        let mut uf = UnionFind::new(n - 1);
+        for groups in &self.ind_groups {
+            for (lefts, rights) in groups.values() {
+                if lefts.is_empty() || rights.is_empty() {
+                    continue;
+                }
+                let anchor = lefts[0] as usize;
+                for &x in lefts.iter().chain(rights.iter()) {
+                    uf.union(anchor, x as usize);
+                }
+            }
+        }
+        self.ind_uf = uf;
+    }
+
     /// Whether transactions `a` and `b` are mutually FD-consistent (and
     /// each viable) — the edge relation of `GfTd`, extended so that
     /// `a == b` reduces to viability.
@@ -532,6 +591,54 @@ mod tests {
         }
     }
 
+    #[test]
+    fn removal_matches_rebuild_and_splits_components() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        // T0 creates R(5,_); T1 consumes via S(5); T2 unrelated.
+        bc.add_transaction("T0", [(r, tuple![5i64, 50i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![9i64, 90i64])]).unwrap();
+        let mut pre = Precomputed::build(&bc);
+        assert!(pre.ind_uf.clone().connected(0, 1));
+
+        // Evicting T0 severs the IND link: S(5) loses its producer.
+        bc.remove_transaction(TxId(0));
+        pre.note_transaction_removed(TxId(0));
+        assert_equivalent(&pre, &Precomputed::build(&bc));
+        assert!(!pre.ind_uf.clone().connected(0, 1));
+        assert_eq!(pre.viable.len(), 2);
+    }
+
+    /// Satellite regression: a transaction issued *after* an eviction that
+    /// reuses the evicted transaction's key must be checked against the
+    /// shifted fingerprint rows, not the stale pre-eviction layout.
+    #[test]
+    fn add_after_removal_sees_fresh_fd_rows() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        // T0 and T1 fight over key 2; T2 is independent.
+        bc.add_transaction("T0", [(r, tuple![2i64, 20i64])]).unwrap();
+        bc.add_transaction("T1", [(r, tuple![2i64, 99i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![3i64, 30i64])]).unwrap();
+        let mut pre = Precomputed::build(&bc);
+
+        // Evict T0; survivors renumber to T1->0, T2->1.
+        bc.remove_transaction(TxId(0));
+        pre.note_transaction_removed(TxId(0));
+
+        // T3 reuses the evicted key 2: it must conflict with old-T1 (now
+        // TxId(0)) and stay consistent with old-T2 (now TxId(1)).
+        let t3 = bc.add_transaction("T3", [(r, tuple![2i64, 55i64])]).unwrap();
+        pre.note_transaction_added(&bc, t3);
+        assert_eq!(t3, TxId(2));
+        assert!(!pre.fd_consistent_pair(TxId(0), TxId(2)), "key-2 conflict");
+        assert!(pre.fd_consistent_pair(TxId(1), TxId(2)));
+        assert!(pre.fd_consistent_set(&[TxId(1), TxId(2)]));
+        assert_equivalent(&pre, &Precomputed::build(&bc));
+    }
+
     mod incremental_props {
         use super::*;
         use proptest::prelude::*;
@@ -573,6 +680,48 @@ mod tests {
                 }
                 let rebuilt = Precomputed::build(&bc);
                 assert_equivalent(&pre, &rebuilt);
+            }
+
+            /// Random interleavings of additions and removals stay equal to
+            /// a from-scratch rebuild after every step.
+            #[test]
+            fn interleaved_adds_and_removals_equal_rebuild(
+                base in prop::collection::vec((0..4i64, 0..4i64), 0..3),
+                ops in prop::collection::vec(
+                    (prop::bool::ANY, 0..8usize,
+                     prop::collection::vec((0..4i64, 0..4i64), 0..3),
+                     prop::collection::vec(0..4i64, 0..2)),
+                    1..10),
+            ) {
+                let mut bc = setup();
+                let r = bc.database().catalog().resolve("R").unwrap();
+                let s = bc.database().catalog().resolve("S").unwrap();
+                let mut keys = std::collections::HashSet::new();
+                for (a, b) in base {
+                    if keys.insert(a) {
+                        bc.insert_current(r, tuple![a, b]).unwrap();
+                    }
+                }
+                let mut pre = Precomputed::build(&bc);
+                for (i, (remove, pick, rt, st)) in ops.into_iter().enumerate() {
+                    if remove && bc.pending_count() > 0 {
+                        let tx = TxId((pick % bc.pending_count()) as u32);
+                        bc.remove_transaction(tx);
+                        pre.note_transaction_removed(tx);
+                    } else {
+                        if rt.is_empty() && st.is_empty() {
+                            continue;
+                        }
+                        let tuples: Vec<_> = rt
+                            .into_iter()
+                            .map(|(a, b)| (r, tuple![a, b]))
+                            .chain(st.into_iter().map(|x| (s, tuple![x])))
+                            .collect();
+                        let tx = bc.add_transaction(format!("T{i}"), tuples).unwrap();
+                        pre.note_transaction_added(&bc, tx);
+                    }
+                    assert_equivalent(&pre, &Precomputed::build(&bc));
+                }
             }
         }
     }

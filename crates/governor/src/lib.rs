@@ -20,6 +20,10 @@
 //! - [`Budget::unlimited`] is `const` and check-free on every limit, so
 //!   ungoverned callers pay (almost) nothing.
 
+pub mod retry;
+
+pub use retry::RetryPolicy;
+
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 

@@ -1,0 +1,195 @@
+//! Bounded exponential retry with deterministic jitter.
+//!
+//! A monitor that re-checks constraints while the chain mutates will race
+//! its own event stream: a check can exhaust its [`Budget`](crate::Budget)
+//! because a reorg landed mid-evaluation, and retrying immediately just
+//! loses the same race again. [`RetryPolicy`] spaces the attempts out —
+//! exponentially, with deterministic jitter so two monitors started from
+//! the same seed behave identically, and bounded both by an attempt count
+//! and by the caller's deadline.
+
+use std::ops::ControlFlow;
+use std::time::{Duration, Instant};
+
+/// splitmix64: the jitter source. Fully determined by its input, so retry
+/// schedules are reproducible.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A bounded, jittered exponential backoff schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries *after* the first attempt (0 = never retry).
+    pub max_retries: u32,
+    /// Delay before the first retry; doubles on each subsequent one.
+    pub base_delay: Duration,
+    /// Ceiling on any single delay.
+    pub max_delay: Duration,
+    /// Seed for the deterministic jitter.
+    pub seed: u64,
+}
+
+impl RetryPolicy {
+    /// No retries at all: every failure is final.
+    pub const NONE: RetryPolicy = RetryPolicy {
+        max_retries: 0,
+        base_delay: Duration::ZERO,
+        max_delay: Duration::ZERO,
+        seed: 0,
+    };
+
+    /// A policy with `max_retries` attempts starting at `base_delay`,
+    /// capped at 32 × `base_delay`.
+    pub fn new(max_retries: u32, base_delay: Duration, seed: u64) -> RetryPolicy {
+        RetryPolicy {
+            max_retries,
+            base_delay,
+            max_delay: base_delay.saturating_mul(32),
+            seed,
+        }
+    }
+
+    /// The delay before retry number `retry` (0-based): `base · 2^retry`,
+    /// capped at `max_delay`, then scaled by a deterministic jitter factor
+    /// in `[½, 1]`. Jittered *down* rather than up so the cap is a real
+    /// upper bound a deadline calculation can rely on.
+    pub fn delay(&self, retry: u32) -> Duration {
+        let exp = self.base_delay.saturating_mul(1u32 << retry.min(31));
+        let capped = exp.min(self.max_delay);
+        let r = splitmix64(self.seed ^ u64::from(retry));
+        let scale = 512 + (r % 512); // in [512, 1024)
+        capped.mul_f64(scale as f64 / 1024.0)
+    }
+
+    /// The full schedule of delays, one per allowed retry.
+    pub fn schedule(&self) -> impl Iterator<Item = Duration> + '_ {
+        (0..self.max_retries).map(|i| self.delay(i))
+    }
+
+    /// Runs `attempt` up to `1 + max_retries` times, sleeping the
+    /// scheduled delay between attempts.
+    ///
+    /// `attempt` receives the 0-based attempt number and steers the loop
+    /// through [`ControlFlow`]: `Break(value)` is final (success, or a
+    /// failure not worth retrying); `Continue(value)` requests a retry,
+    /// with `value` kept as the result in case this was the last allowed
+    /// attempt. A retry is abandoned — returning the last `Continue` value
+    /// — when its delay would overrun `deadline`.
+    pub fn run<T>(
+        &self,
+        deadline: Option<Instant>,
+        mut attempt: impl FnMut(u32) -> ControlFlow<T, T>,
+    ) -> T {
+        let mut last = match attempt(0) {
+            ControlFlow::Break(v) => return v,
+            ControlFlow::Continue(v) => v,
+        };
+        for retry in 0..self.max_retries {
+            let delay = self.delay(retry);
+            if let Some(d) = deadline {
+                if Instant::now() + delay >= d {
+                    return last; // sleeping would eat the caller's deadline
+                }
+            }
+            std::thread::sleep(delay);
+            last = match attempt(retry + 1) {
+                ControlFlow::Break(v) => return v,
+                ControlFlow::Continue(v) => v,
+            };
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy::new(4, Duration::from_millis(8), 42)
+    }
+
+    #[test]
+    fn delays_grow_exponentially_within_bounds() {
+        let p = policy();
+        let delays: Vec<Duration> = p.schedule().collect();
+        assert_eq!(delays.len(), 4);
+        for (i, d) in delays.iter().enumerate() {
+            let cap = p.base_delay.saturating_mul(1 << i).min(p.max_delay);
+            assert!(*d <= cap, "retry {i}: {d:?} > cap {cap:?}");
+            assert!(*d >= cap / 2, "retry {i}: {d:?} < half of {cap:?}");
+        }
+        // The cap binds eventually.
+        let p_long = RetryPolicy::new(10, Duration::from_millis(8), 42);
+        assert!(p_long.delay(9) <= p_long.max_delay);
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_seed_sensitive() {
+        let a = policy();
+        let b = policy();
+        assert_eq!(a.schedule().collect::<Vec<_>>(), b.schedule().collect::<Vec<_>>());
+        let c = RetryPolicy { seed: 43, ..policy() };
+        assert_ne!(a.schedule().collect::<Vec<_>>(), c.schedule().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_stops_on_break() {
+        let p = RetryPolicy::new(5, Duration::from_micros(10), 1);
+        let mut calls = 0;
+        let out = p.run(None, |attempt| {
+            calls += 1;
+            if attempt == 2 {
+                ControlFlow::Break(format!("ok at {attempt}"))
+            } else {
+                ControlFlow::Continue(format!("try {attempt}"))
+            }
+        });
+        assert_eq!(out, "ok at 2");
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn run_exhausts_retries_keeping_last_value() {
+        let p = RetryPolicy::new(3, Duration::from_micros(10), 1);
+        let mut calls = 0;
+        let out: String = p.run(None, |attempt| {
+            calls += 1;
+            ControlFlow::Continue(format!("try {attempt}"))
+        });
+        assert_eq!(out, "try 3");
+        assert_eq!(calls, 4); // first attempt + 3 retries
+    }
+
+    #[test]
+    fn run_respects_deadline() {
+        let p = RetryPolicy::new(10, Duration::from_millis(50), 1);
+        let deadline = Instant::now() + Duration::from_millis(5);
+        let started = Instant::now();
+        let mut calls = 0;
+        let out: u32 = p.run(Some(deadline), |attempt| {
+            calls += 1;
+            ControlFlow::Continue(attempt)
+        });
+        // First delay (≥25 ms after jitter) overruns the 5 ms deadline, so
+        // no retry happens at all.
+        assert_eq!(out, 0);
+        assert_eq!(calls, 1);
+        assert!(started.elapsed() < Duration::from_millis(50));
+    }
+
+    #[test]
+    fn none_policy_never_retries() {
+        let mut calls = 0;
+        let out: u32 = RetryPolicy::NONE.run(None, |a| {
+            calls += 1;
+            ControlFlow::Continue(a)
+        });
+        assert_eq!((out, calls), (0, 1));
+    }
+}

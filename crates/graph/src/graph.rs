@@ -77,6 +77,35 @@ impl UndirectedGraph {
         id
     }
 
+    /// Removes node `u`, shifting every node id greater than `u` down by
+    /// one so ids stay dense `0..n-1`. The inverse of [`add_node`] for the
+    /// incremental steady state: when a pending transaction is evicted its
+    /// node disappears and the remaining transactions are renumbered, which
+    /// matches how `TxId`s compact after a mempool eviction.
+    ///
+    /// Runs in `O(n + m)` — it rebuilds the adjacency rows once.
+    ///
+    /// [`add_node`]: UndirectedGraph::add_node
+    pub fn remove_node(&mut self, u: usize) {
+        let n = self.adj.len();
+        assert!(u < n, "remove_node: node {u} out of range ({n} nodes)");
+        let mut next = UndirectedGraph::new(n - 1);
+        for a in 0..n {
+            if a == u {
+                continue;
+            }
+            let na = a - usize::from(a > u);
+            for b in self.adj[a].iter() {
+                if b == u || b < a {
+                    continue; // each undirected edge visited once, from its lower end
+                }
+                let nb = b - usize::from(b > u);
+                next.add_edge(na, nb);
+            }
+        }
+        *self = next;
+    }
+
     /// Whether `nodes` forms a clique (pairwise adjacent).
     pub fn is_clique(&self, nodes: &[usize]) -> bool {
         for (i, &u) in nodes.iter().enumerate() {
@@ -265,6 +294,49 @@ mod tests {
         g.add_edge(2, 0);
         assert!(g.has_edge(0, 2));
         assert_eq!(g.degree(2), 1);
+    }
+
+    #[test]
+    fn remove_node_shifts_ids_down() {
+        // Path 0-1-2-3 plus chord 0-3; remove node 1.
+        let mut g = path(4);
+        g.add_edge(0, 3);
+        g.remove_node(1);
+        // Old nodes 2,3 become 1,2; the 0-1 and 1-2 edges die with node 1.
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(1, 2)); // old 2-3
+        assert!(g.has_edge(0, 2)); // old 0-3
+        assert!(!g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn remove_node_endpoints_and_isolated() {
+        let mut g = path(3);
+        g.remove_node(2);
+        assert_eq!((g.node_count(), g.edge_count()), (2, 1));
+        assert!(g.has_edge(0, 1));
+        g.remove_node(0);
+        assert_eq!((g.node_count(), g.edge_count()), (1, 0));
+        g.remove_node(0);
+        assert_eq!(g.node_count(), 0);
+    }
+
+    #[test]
+    fn remove_then_add_node_round_trips() {
+        let mut g = UndirectedGraph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+            g.add_edge(u, v);
+        }
+        g.remove_node(3);
+        let id = g.add_node();
+        assert_eq!(id, 3);
+        g.add_edge(2, 3);
+        g.add_edge(0, 3);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+            assert!(g.has_edge(u, v));
+        }
+        assert_eq!(g.edge_count(), 4);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Synthesizing [`ChainEvent`]s from relational exports.
+//!
+//! The chain substrate reports state as whole [`RelationalExport`]s; the
+//! monitor consumes granular events. This module bridges the two:
+//! intra-epoch mempool churn becomes eviction/arrival events by diffing
+//! the pending sets of two exports, and base mutations become snapshot
+//! events carrying the *after* export verbatim.
+//!
+//! Ordering contract: the mempool preserves survivor order on eviction
+//! and appends on admission, so applying "evictions in before-order,
+//! then arrivals in after-order" to the monitor's pending list yields
+//! exactly the after-export's pending order. The soak harness re-checks
+//! this equivalence every epoch.
+
+use crate::event::{ChainEvent, NamedPending, NamedTuples};
+use bcdb_chain::RelationalExport;
+use bcdb_storage::{Catalog, RelationId, Tuple};
+use rustc_hash::FxHashSet;
+
+/// Re-keys id-addressed rows by relation name.
+pub fn named_tuples(catalog: &Catalog, rows: &[(RelationId, Tuple)]) -> NamedTuples {
+    rows.iter()
+        .map(|(rel, t)| (catalog.schema(*rel).name().to_string(), t.clone()))
+        .collect()
+}
+
+fn named_pending(export: &RelationalExport) -> NamedPending {
+    export
+        .pending
+        .iter()
+        .map(|(name, rows)| (name.clone(), named_tuples(&export.catalog, rows)))
+        .collect()
+}
+
+/// Diffs two pending sets from the same epoch into eviction events (in
+/// `before` order) followed by arrival events (in `after` order).
+pub fn pending_diff_events(
+    before: &RelationalExport,
+    after: &RelationalExport,
+) -> Vec<ChainEvent> {
+    let before_names: FxHashSet<&str> =
+        before.pending.iter().map(|(n, _)| n.as_str()).collect();
+    let after_names: FxHashSet<&str> = after.pending.iter().map(|(n, _)| n.as_str()).collect();
+    let mut events = Vec::new();
+    for (name, _) in &before.pending {
+        if !after_names.contains(name.as_str()) {
+            events.push(ChainEvent::TxEvicted { name: name.clone() });
+        }
+    }
+    for (name, rows) in &after.pending {
+        if !before_names.contains(name.as_str()) {
+            events.push(ChainEvent::TxArrived {
+                name: name.clone(),
+                tuples: named_tuples(&after.catalog, rows),
+            });
+        }
+    }
+    events
+}
+
+/// A mined-block snapshot event from the post-block export.
+pub fn mined_event(after: &RelationalExport, mined: Vec<String>) -> ChainEvent {
+    ChainEvent::TxMined {
+        mined,
+        base: named_tuples(&after.catalog, &after.base),
+        pending: named_pending(after),
+    }
+}
+
+/// A reorg snapshot event from the post-reorg export. `depth` 0 marks a
+/// resync (e.g. after journal recovery).
+pub fn reorg_event(after: &RelationalExport, depth: u64) -> ChainEvent {
+    ChainEvent::Reorg {
+        depth,
+        base: named_tuples(&after.catalog, &after.base),
+        pending: named_pending(after),
+    }
+}

@@ -1,0 +1,388 @@
+//! Chain events and their journal line encoding.
+//!
+//! A [`ChainEvent`] is the unit of change the monitor observes. The two
+//! intra-epoch events ([`TxArrived`](ChainEvent::TxArrived) and
+//! [`TxEvicted`](ChainEvent::TxEvicted)) leave the base state `R` alone
+//! and are applied incrementally; the two epoch-advancing events
+//! ([`TxMined`](ChainEvent::TxMined) and [`Reorg`](ChainEvent::Reorg))
+//! mutate `R` and therefore carry a full relational snapshot, from which
+//! the monitor rebuilds.
+//!
+//! Events serialize to single text lines so the journal can be recovered
+//! line-by-line after a torn write. Relations are referenced **by name**
+//! (not by [`RelationId`](bcdb_storage::RelationId)) so a journal is
+//! self-contained: replaying it needs only a catalog with the same
+//! relation names, not identical id assignment.
+
+use bcdb_storage::{Tuple, Value};
+use std::fmt;
+
+/// Tuples grouped under the relation *name* they belong to.
+pub type NamedTuples = Vec<(String, Tuple)>;
+
+/// A pending set: transaction name plus its named tuples, in issue order.
+pub type NamedPending = Vec<(String, NamedTuples)>;
+
+/// One observed change to the chain or its mempool.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChainEvent {
+    /// A transaction entered the mempool. Intra-epoch: applied
+    /// incrementally via `note_transaction_added`.
+    TxArrived {
+        /// Transaction display name (txid).
+        name: String,
+        /// The tuples it would append, keyed by relation name.
+        tuples: NamedTuples,
+    },
+    /// A pending transaction left the mempool without being mined
+    /// (eviction, replacement). Intra-epoch: applied incrementally via
+    /// `note_transaction_removed`.
+    TxEvicted {
+        /// Name of the departed transaction.
+        name: String,
+    },
+    /// A block was mined: some pending transactions joined `R`. Advances
+    /// the epoch; carries the post-block snapshot.
+    TxMined {
+        /// Names of the transactions accepted into the block.
+        mined: Vec<String>,
+        /// Full base state after the block.
+        base: NamedTuples,
+        /// Full pending set after the block.
+        pending: NamedPending,
+    },
+    /// The chain reorganized: `depth` blocks were disconnected and
+    /// replaced. Advances the epoch; carries the post-reorg snapshot.
+    Reorg {
+        /// Number of blocks disconnected (0 marks a pure resync).
+        depth: u64,
+        /// Full base state after the reorg.
+        base: NamedTuples,
+        /// Full pending set after the reorg.
+        pending: NamedPending,
+    },
+}
+
+/// Why a journal line could not be decoded into a [`ChainEvent`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecodeError(pub String);
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed event: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Percent-encodes `s` so it survives space-delimited line framing:
+/// alphanumerics and `_ . : -` pass through, everything else (including
+/// `%`, spaces, and newlines) becomes `%XX`.
+pub fn encode_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for &b in s.as_bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_' | b'.' | b':' | b'-' => {
+                out.push(b as char);
+            }
+            _ => {
+                out.push('%');
+                out.push_str(&format!("{b:02X}"));
+            }
+        }
+    }
+    out
+}
+
+/// Inverse of [`encode_text`].
+pub fn decode_text(s: &str) -> Result<String, DecodeError> {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| DecodeError(format!("truncated %-escape in {s:?}")))?;
+            let hex = std::str::from_utf8(hex)
+                .map_err(|_| DecodeError(format!("non-utf8 %-escape in {s:?}")))?;
+            let v = u8::from_str_radix(hex, 16)
+                .map_err(|_| DecodeError(format!("bad %-escape {hex:?} in {s:?}")))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| DecodeError(format!("decoded text not utf8: {s:?}")))
+}
+
+fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Int(i) => {
+            out.push('I');
+            out.push_str(&i.to_string());
+        }
+        Value::Text(t) => {
+            out.push('T');
+            out.push_str(&encode_text(t));
+        }
+        Value::Bool(b) => out.push_str(if *b { "B1" } else { "B0" }),
+    }
+}
+
+/// A strict token cursor over one payload line.
+struct Tokens<'a> {
+    it: std::str::SplitAsciiWhitespace<'a>,
+}
+
+impl<'a> Tokens<'a> {
+    fn new(s: &'a str) -> Self {
+        Tokens {
+            it: s.split_ascii_whitespace(),
+        }
+    }
+
+    fn next(&mut self, what: &str) -> Result<&'a str, DecodeError> {
+        self.it
+            .next()
+            .ok_or_else(|| DecodeError(format!("missing {what}")))
+    }
+
+    fn next_u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        let tok = self.next(what)?;
+        tok.parse()
+            .map_err(|_| DecodeError(format!("bad {what}: {tok:?}")))
+    }
+
+    fn next_text(&mut self, what: &str) -> Result<String, DecodeError> {
+        decode_text(self.next(what)?)
+    }
+
+    fn next_value(&mut self) -> Result<Value, DecodeError> {
+        let tok = self.next("value")?;
+        let rest = &tok[1..];
+        match tok.as_bytes().first() {
+            Some(b'I') => rest
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| DecodeError(format!("bad int value {tok:?}"))),
+            Some(b'T') => Ok(Value::text(decode_text(rest)?)),
+            Some(b'B') => match rest {
+                "0" => Ok(Value::Bool(false)),
+                "1" => Ok(Value::Bool(true)),
+                _ => Err(DecodeError(format!("bad bool value {tok:?}"))),
+            },
+            _ => Err(DecodeError(format!("unknown value tag {tok:?}"))),
+        }
+    }
+
+    fn finish(mut self) -> Result<(), DecodeError> {
+        match self.it.next() {
+            Some(extra) => Err(DecodeError(format!("trailing token {extra:?}"))),
+            None => Ok(()),
+        }
+    }
+}
+
+fn encode_tuples(tuples: &NamedTuples, out: &mut String) {
+    out.push(' ');
+    out.push_str(&tuples.len().to_string());
+    for (rel, tuple) in tuples {
+        out.push(' ');
+        out.push_str(&encode_text(rel));
+        out.push(' ');
+        out.push_str(&tuple.arity().to_string());
+        for v in tuple.values() {
+            out.push(' ');
+            encode_value(v, out);
+        }
+    }
+}
+
+fn decode_tuples(toks: &mut Tokens<'_>) -> Result<NamedTuples, DecodeError> {
+    let count = toks.next_u64("tuple count")? as usize;
+    let mut tuples = Vec::with_capacity(count);
+    for _ in 0..count {
+        let rel = toks.next_text("relation name")?;
+        let arity = toks.next_u64("arity")? as usize;
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(toks.next_value()?);
+        }
+        tuples.push((rel, Tuple::new(values)));
+    }
+    Ok(tuples)
+}
+
+fn encode_pending(pending: &NamedPending, out: &mut String) {
+    out.push(' ');
+    out.push_str(&pending.len().to_string());
+    for (name, tuples) in pending {
+        out.push(' ');
+        out.push_str(&encode_text(name));
+        encode_tuples(tuples, out);
+    }
+}
+
+fn decode_pending(toks: &mut Tokens<'_>) -> Result<NamedPending, DecodeError> {
+    let count = toks.next_u64("pending count")? as usize;
+    let mut pending = Vec::with_capacity(count);
+    for _ in 0..count {
+        let name = toks.next_text("transaction name")?;
+        pending.push((name, decode_tuples(toks)?));
+    }
+    Ok(pending)
+}
+
+impl ChainEvent {
+    /// Serializes the event payload to one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        match self {
+            ChainEvent::TxArrived { name, tuples } => {
+                out.push_str("A ");
+                out.push_str(&encode_text(name));
+                encode_tuples(tuples, &mut out);
+            }
+            ChainEvent::TxEvicted { name } => {
+                out.push_str("V ");
+                out.push_str(&encode_text(name));
+            }
+            ChainEvent::TxMined {
+                mined,
+                base,
+                pending,
+            } => {
+                out.push_str("M ");
+                out.push_str(&mined.len().to_string());
+                for name in mined {
+                    out.push(' ');
+                    out.push_str(&encode_text(name));
+                }
+                encode_tuples(base, &mut out);
+                encode_pending(pending, &mut out);
+            }
+            ChainEvent::Reorg {
+                depth,
+                base,
+                pending,
+            } => {
+                out.push_str("R ");
+                out.push_str(&depth.to_string());
+                encode_tuples(base, &mut out);
+                encode_pending(pending, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`encode`](ChainEvent::encode).
+    pub fn decode(line: &str) -> Result<ChainEvent, DecodeError> {
+        let mut toks = Tokens::new(line);
+        let event = match toks.next("event tag")? {
+            "A" => ChainEvent::TxArrived {
+                name: toks.next_text("transaction name")?,
+                tuples: decode_tuples(&mut toks)?,
+            },
+            "V" => ChainEvent::TxEvicted {
+                name: toks.next_text("transaction name")?,
+            },
+            "M" => {
+                let n = toks.next_u64("mined count")? as usize;
+                let mut mined = Vec::with_capacity(n);
+                for _ in 0..n {
+                    mined.push(toks.next_text("mined name")?);
+                }
+                ChainEvent::TxMined {
+                    mined,
+                    base: decode_tuples(&mut toks)?,
+                    pending: decode_pending(&mut toks)?,
+                }
+            }
+            "R" => ChainEvent::Reorg {
+                depth: toks.next_u64("reorg depth")?,
+                base: decode_tuples(&mut toks)?,
+                pending: decode_pending(&mut toks)?,
+            },
+            tag => return Err(DecodeError(format!("unknown event tag {tag:?}"))),
+        };
+        toks.finish()?;
+        Ok(event)
+    }
+
+    /// Whether this event advances the epoch (mutates the base state `R`).
+    pub fn advances_epoch(&self) -> bool {
+        matches!(self, ChainEvent::TxMined { .. } | ChainEvent::Reorg { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_storage::tuple;
+
+    fn roundtrip(e: &ChainEvent) {
+        let line = e.encode();
+        assert!(!line.contains('\n'), "encoded event must be one line");
+        let back = ChainEvent::decode(&line).expect("decode what we encoded");
+        assert_eq!(&back, e);
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let tuples = vec![
+            ("TxOut".to_string(), tuple!["ab c%", 1_i64, "pk 1", -7_i64]),
+            ("TxIn".to_string(), tuple![0_i64, true, false]),
+        ];
+        roundtrip(&ChainEvent::TxArrived {
+            name: "odd name %20\n".to_string(),
+            tuples: tuples.clone(),
+        });
+        roundtrip(&ChainEvent::TxEvicted {
+            name: "plain".to_string(),
+        });
+        roundtrip(&ChainEvent::TxMined {
+            mined: vec!["t1".to_string(), "t 2".to_string()],
+            base: tuples.clone(),
+            pending: vec![
+                ("p1".to_string(), tuples.clone()),
+                ("p2".to_string(), vec![]),
+            ],
+        });
+        roundtrip(&ChainEvent::Reorg {
+            depth: 3,
+            base: vec![],
+            pending: vec![("solo".to_string(), tuples)],
+        });
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        for bad in [
+            "",
+            "X 1",
+            "A",
+            "A name 1 Rel 2 I1",       // arity promises 2 values, 1 given
+            "A name 1 Rel 1 Qx",       // unknown value tag
+            "V name extra",            // trailing token
+            "M 1 t1 0 0 junk",         // trailing token after counts
+            "A name 1 Rel 1 I1 extra", // trailing token
+            "A na%GGme 0",             // bad escape
+        ] {
+            assert!(
+                ChainEvent::decode(bad).is_err(),
+                "should reject {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn text_encoding_is_line_safe() {
+        let nasty = "a b\nc%d\te\u{00e9}";
+        let enc = encode_text(nasty);
+        assert!(!enc.contains(' ') && !enc.contains('\n') && !enc.contains('\t'));
+        assert_eq!(decode_text(&enc).unwrap(), nasty);
+    }
+}

@@ -1,0 +1,36 @@
+//! # bcdb-monitor — a reorg-resilient DCSat monitor
+//!
+//! The paper's algorithms answer "can this denial constraint be violated
+//! by some future of the chain?" for one database snapshot. A deployed
+//! checker does not see snapshots — it sees a *stream*: transactions
+//! arrive and get evicted, blocks are mined, the chain reorganizes, and
+//! the process itself can crash mid-write. This crate turns the snapshot
+//! machinery of `bcdb-core` into a long-running monitor:
+//!
+//! * [`ChainEvent`] — the observed changes, with a single-line text
+//!   encoding ([`event`]);
+//! * [`Journal`] — an append-only, CRC-checksummed write-ahead log of
+//!   events, recoverable to its longest valid prefix after torn writes
+//!   or truncated tails ([`journal`]);
+//! * [`MonitorSession`] — epoch-versioned incremental maintenance of the
+//!   database and its [`Precomputed`](bcdb_core::Precomputed) steady
+//!   state, with an epoch-tagged base-verdict cache feeding
+//!   `DcSatOptions::base_verdict_hint`, panic containment, and
+//!   retry/backoff for transient exhaustion ([`session`]);
+//! * [`run_soak`] — seeded fault storms asserting, every epoch, that the
+//!   incremental state and all verdicts equal a cold rebuild ([`soak`]).
+
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod event;
+pub mod journal;
+pub mod session;
+pub mod soak;
+#[cfg(test)]
+mod testutil;
+
+pub use event::{ChainEvent, DecodeError};
+pub use journal::{crc32, drop_tail_records, tear_last_record, Journal, JournalRecord, Recovery};
+pub use session::{ConstraintVerdict, MonitorConfig, MonitorError, MonitorSession, MonitorStats};
+pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -1,0 +1,691 @@
+//! The long-running monitor session.
+//!
+//! A [`MonitorSession`] holds a [`BlockchainDb`] plus its
+//! [`Precomputed`] steady state and keeps both true under a stream of
+//! [`ChainEvent`]s:
+//!
+//! * **Intra-epoch** events (arrival, eviction) are applied
+//!   *incrementally* — `note_transaction_added` /
+//!   `note_transaction_removed` — never rebuilding from scratch.
+//! * **Epoch-advancing** events (mined block, reorg) mutate the base
+//!   state `R`, so the session rebuilds from the event's snapshot and
+//!   bumps its epoch counter.
+//!
+//! The epoch counter versions everything derived from `R`: the per-
+//! constraint base-verdict cache is tagged with the epoch at which it was
+//! computed and consulted only while the tag matches, which is exactly
+//! the soundness contract of
+//! [`DcSatOptions::base_verdict_hint`](bcdb_core::DcSatOptions).
+//!
+//! Re-checks never take the monitor down: a panicking check is caught
+//! and reported as [`Verdict::Unknown`], and transient exhaustion
+//! (deadline, cancellation, lost worker) is retried under the session's
+//! [`RetryPolicy`].
+
+use crate::event::ChainEvent;
+use crate::journal::{Journal, JournalRecord};
+use bcdb_core::{
+    dcsat_governed_with_budget, BlockchainDb, CoreError, DcSatOptions, DcSatStats, GovernedOutcome,
+    Precomputed, Verdict,
+};
+use bcdb_governor::{BudgetSpec, ExhaustionReason, RetryPolicy};
+use bcdb_query::DenialConstraint;
+use bcdb_storage::{Catalog, ConstraintSet, RelationId, Tuple, TxId};
+use std::fmt;
+use std::ops::ControlFlow;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Instant;
+
+/// What went wrong while applying an event or journaling it.
+#[derive(Debug)]
+pub enum MonitorError {
+    /// An event referenced a relation name absent from the catalog.
+    UnknownRelation(String),
+    /// An eviction named a transaction that is not pending.
+    UnknownTransaction(String),
+    /// The underlying database rejected the change.
+    Core(CoreError),
+    /// The journal could not be written or read.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MonitorError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
+            MonitorError::UnknownTransaction(n) => write!(f, "unknown transaction {n:?}"),
+            MonitorError::Core(e) => write!(f, "core error: {e}"),
+            MonitorError::Io(e) => write!(f, "journal i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+impl From<CoreError> for MonitorError {
+    fn from(e: CoreError) -> Self {
+        MonitorError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for MonitorError {
+    fn from(e: std::io::Error) -> Self {
+        MonitorError::Io(e)
+    }
+}
+
+impl From<bcdb_storage::StorageError> for MonitorError {
+    fn from(e: bcdb_storage::StorageError) -> Self {
+        MonitorError::Core(e.into())
+    }
+}
+
+/// Tunables for a session's re-checks.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// DCSat options used for every check (`base_verdict_hint` is
+    /// overwritten per check from the session's epoch-tagged cache).
+    pub opts: DcSatOptions,
+    /// Budget for each individual check attempt (and for the base-verdict
+    /// probe that fills the cache).
+    pub budget: BudgetSpec,
+    /// Retry schedule for *transient* failures: deadline exhaustion,
+    /// cancellation, and lost or panicked workers. Deterministic limits
+    /// (clique/world/tuple) are never retried — the same budget would die
+    /// the same way.
+    pub retry: RetryPolicy,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            opts: DcSatOptions::default(),
+            budget: BudgetSpec::UNLIMITED,
+            retry: RetryPolicy::NONE,
+        }
+    }
+}
+
+/// Counters describing a session's life so far.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MonitorStats {
+    /// Events applied, of any kind.
+    pub events_applied: u64,
+    /// Intra-epoch events applied incrementally.
+    pub incremental_applies: u64,
+    /// Epoch-advancing events (each one full rebuild from snapshot).
+    pub rebuilds: u64,
+    /// Individual constraint re-checks performed.
+    pub rechecks: u64,
+    /// Retry attempts beyond each check's first try.
+    pub retries: u64,
+    /// Checks whose panic was contained into `Verdict::Unknown`.
+    pub panics_contained: u64,
+    /// Checks that ran with a cached base verdict supplied as a hint.
+    pub base_hints_supplied: u64,
+    /// Base-verdict probes that filled the cache.
+    pub base_probes: u64,
+    /// Final verdicts that were `Unknown` after retries.
+    pub unknown_verdicts: u64,
+}
+
+/// Outcome of re-checking one registered constraint.
+#[derive(Clone, Debug)]
+pub struct ConstraintVerdict {
+    /// The label given at registration.
+    pub name: String,
+    /// The (possibly indefinite) answer.
+    pub verdict: Verdict,
+    /// Degraded-mode algorithm that produced the answer, if any.
+    pub degraded_to: Option<&'static str>,
+    /// Attempts made (1 = no retries needed).
+    pub attempts: u32,
+    /// Whether an epoch-valid cached base verdict was supplied.
+    pub base_hint_used: bool,
+}
+
+/// A registered denial constraint and its epoch-tagged base verdict.
+struct Registered {
+    name: String,
+    dc: DenialConstraint,
+    /// `(epoch, verdict_over_R)` — trusted only while `epoch` matches the
+    /// session's.
+    base_verdict: Option<(u64, bool)>,
+}
+
+/// A monitor over one evolving blockchain database. See the module docs.
+pub struct MonitorSession {
+    bcdb: BlockchainDb,
+    pre: Precomputed,
+    epoch: u64,
+    constraints: Vec<Registered>,
+    journal: Option<Journal>,
+    config: MonitorConfig,
+    stats: MonitorStats,
+}
+
+impl MonitorSession {
+    /// A session over an empty database with the given schema.
+    pub fn new(catalog: Catalog, constraints: ConstraintSet) -> MonitorSession {
+        let bcdb = BlockchainDb::new(catalog, constraints);
+        let pre = Precomputed::build(&bcdb);
+        MonitorSession {
+            bcdb,
+            pre,
+            epoch: 0,
+            constraints: Vec::new(),
+            journal: None,
+            config: MonitorConfig::default(),
+            stats: MonitorStats::default(),
+        }
+    }
+
+    /// A session seeded from a full snapshot (base rows by id, pending
+    /// transactions in issue order).
+    pub fn from_snapshot(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        base: &[(RelationId, Tuple)],
+        pending: &[(String, Vec<(RelationId, Tuple)>)],
+    ) -> Result<MonitorSession, MonitorError> {
+        let mut s = MonitorSession::new(catalog, constraints);
+        for (rel, tuple) in base {
+            s.bcdb.insert_current(*rel, tuple.clone())?;
+        }
+        for (name, tuples) in pending {
+            s.bcdb.add_transaction(name.clone(), tuples.iter().cloned())?;
+        }
+        s.pre = Precomputed::build(&s.bcdb);
+        Ok(s)
+    }
+
+    /// Rebuilds a session by replaying journal `records` (e.g. from
+    /// [`Journal::recover`](crate::Journal)). No journaling happens
+    /// during the replay; attach the recovered journal afterwards with
+    /// [`attach_journal`](MonitorSession::attach_journal).
+    pub fn replay(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        records: &[JournalRecord],
+    ) -> Result<MonitorSession, MonitorError> {
+        let mut s = MonitorSession::new(catalog, constraints);
+        for rec in records {
+            s.apply(&rec.event)?;
+        }
+        Ok(s)
+    }
+
+    /// Journals every subsequent event to `journal` (write-ahead: the
+    /// record is durable before the state changes).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    /// Replaces the re-check configuration.
+    pub fn set_config(&mut self, config: MonitorConfig) {
+        self.config = config;
+    }
+
+    /// Registers a denial constraint for re-checking; returns its index.
+    pub fn register(&mut self, name: impl Into<String>, dc: DenialConstraint) -> usize {
+        self.constraints.push(Registered {
+            name: name.into(),
+            dc,
+            base_verdict: None,
+        });
+        self.constraints.len() - 1
+    }
+
+    /// The current epoch (bumped by every mined block or reorg).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> MonitorStats {
+        self.stats
+    }
+
+    /// The monitored database.
+    pub fn bcdb(&self) -> &BlockchainDb {
+        &self.bcdb
+    }
+
+    /// The incrementally maintained steady state.
+    pub fn precomputed(&self) -> &Precomputed {
+        &self.pre
+    }
+
+    /// Names of the pending transactions, in issue order.
+    pub fn pending_names(&self) -> Vec<&str> {
+        self.bcdb.pending().iter().map(|t| t.name.as_str()).collect()
+    }
+
+    fn resolve(&self, tuples: &[(String, Tuple)]) -> Result<Vec<(RelationId, Tuple)>, MonitorError> {
+        let cat = self.bcdb.database().catalog();
+        tuples
+            .iter()
+            .map(|(name, tuple)| {
+                cat.resolve(name)
+                    .map(|rel| (rel, tuple.clone()))
+                    .ok_or_else(|| MonitorError::UnknownRelation(name.clone()))
+            })
+            .collect()
+    }
+
+    /// Applies one event: journals it (write-ahead), then updates the
+    /// database and the steady state — incrementally for intra-epoch
+    /// events, by snapshot rebuild for epoch-advancing ones.
+    pub fn apply(&mut self, event: &ChainEvent) -> Result<(), MonitorError> {
+        if let Some(journal) = &mut self.journal {
+            journal.append(self.epoch, event)?;
+        }
+        match event {
+            ChainEvent::TxArrived { name, tuples } => {
+                let tuples = self.resolve(tuples)?;
+                let tx = self.bcdb.add_transaction(name.clone(), tuples)?;
+                self.pre.note_transaction_added(&self.bcdb, tx);
+                self.stats.incremental_applies += 1;
+            }
+            ChainEvent::TxEvicted { name } => {
+                let idx = self
+                    .bcdb
+                    .pending()
+                    .iter()
+                    .position(|t| &t.name == name)
+                    .ok_or_else(|| MonitorError::UnknownTransaction(name.clone()))?;
+                self.bcdb.remove_transaction(TxId(idx as u32));
+                self.pre.note_transaction_removed(TxId(idx as u32));
+                self.stats.incremental_applies += 1;
+            }
+            ChainEvent::TxMined { base, pending, .. } | ChainEvent::Reorg { base, pending, .. } => {
+                let catalog = self.bcdb.database().catalog().clone();
+                let cs = self.bcdb.constraints().clone();
+                let mut next = BlockchainDb::new(catalog, cs);
+                for (rel_name, tuple) in base {
+                    let rel = next
+                        .database()
+                        .catalog()
+                        .resolve(rel_name)
+                        .ok_or_else(|| MonitorError::UnknownRelation(rel_name.clone()))?;
+                    next.insert_current(rel, tuple.clone())?;
+                }
+                for (name, tuples) in pending {
+                    let resolved: Result<Vec<_>, MonitorError> = tuples
+                        .iter()
+                        .map(|(rn, t)| {
+                            next.database()
+                                .catalog()
+                                .resolve(rn)
+                                .map(|rel| (rel, t.clone()))
+                                .ok_or_else(|| MonitorError::UnknownRelation(rn.clone()))
+                        })
+                        .collect();
+                    next.add_transaction(name.clone(), resolved?)?;
+                }
+                self.pre = Precomputed::build(&next);
+                self.bcdb = next;
+                // Advancing the epoch is what invalidates every cached
+                // base verdict — the tags simply stop matching.
+                self.epoch += 1;
+                self.stats.rebuilds += 1;
+            }
+        }
+        self.stats.events_applied += 1;
+        Ok(())
+    }
+
+    /// Returns the constraint's verdict over the base world `R`, probing
+    /// and caching it if the cached value is from an older epoch.
+    fn base_verdict(&mut self, idx: usize) -> Option<bool> {
+        let epoch = self.epoch;
+        if let Some((tag, v)) = self.constraints[idx].base_verdict {
+            if tag == epoch {
+                return Some(v);
+            }
+        }
+        let dc = self.constraints[idx].dc.clone();
+        let budget = self.config.budget.start();
+        let db = self.bcdb.database_mut();
+        let pc = bcdb_core::PreparedConstraint::prepare(db, &dc);
+        let probe = catch_unwind(AssertUnwindSafe(|| {
+            pc.holds_governed(db, &db.base_mask(), &budget)
+        }));
+        match probe {
+            Ok(Ok(holds_over_base)) => {
+                self.stats.base_probes += 1;
+                self.constraints[idx].base_verdict = Some((epoch, holds_over_base));
+                Some(holds_over_base)
+            }
+            // Probe exhausted or panicked: leave the cache empty; the
+            // main check simply runs unhinted.
+            Ok(Err(_)) | Err(_) => None,
+        }
+    }
+
+    /// Re-checks one registered constraint, retrying transient failures
+    /// and containing panics. Never panics itself.
+    pub fn recheck(&mut self, idx: usize) -> ConstraintVerdict {
+        let hint = self.base_verdict(idx);
+        let dc = self.constraints[idx].dc.clone();
+        let name = self.constraints[idx].name.clone();
+        let mut opts = self.config.opts;
+        opts.base_verdict_hint = hint;
+        let retry = self.config.retry;
+        let spec = self.config.budget;
+        // The retry loop gets its own overall deadline: enough for every
+        // allowed attempt to spend its full per-attempt budget, so the
+        // schedule is bounded even if each attempt runs to exhaustion.
+        let deadline = spec
+            .timeout
+            .map(|t| Instant::now() + t.saturating_mul(retry.max_retries + 1));
+        let mut attempts = 0u32;
+        let outcome = retry.run(deadline, |attempt| {
+            attempts = attempt + 1;
+            let budget = spec.start();
+            let checked = catch_unwind(AssertUnwindSafe(|| {
+                dcsat_governed_with_budget(&mut self.bcdb, &self.pre, &dc, &opts, &budget)
+            }));
+            let elapsed = budget.elapsed();
+            match checked {
+                Ok(Ok(out)) => match &out.verdict {
+                    // Transient exhaustion: the next attempt may win the
+                    // race (or the backoff may let an event batch drain).
+                    Verdict::Unknown(
+                        ExhaustionReason::DeadlineExceeded { .. }
+                        | ExhaustionReason::Cancelled
+                        | ExhaustionReason::WorkerPanicked { .. },
+                    ) => ControlFlow::Continue(out),
+                    // Definite verdicts and deterministic limits are final.
+                    _ => ControlFlow::Break(out),
+                },
+                // A configuration error (invalid constraint) will not
+                // improve with retries.
+                Ok(Err(err)) => ControlFlow::Break(unknown_outcome(err.to_string(), elapsed)),
+                Err(panic) => {
+                    self.stats.panics_contained += 1;
+                    let message = panic_message(panic.as_ref());
+                    ControlFlow::Continue(unknown_outcome(message, elapsed))
+                }
+            }
+        });
+        self.stats.rechecks += 1;
+        self.stats.retries += u64::from(attempts.saturating_sub(1));
+        if hint.is_some() {
+            self.stats.base_hints_supplied += 1;
+        }
+        if !outcome.verdict.is_definite() {
+            self.stats.unknown_verdicts += 1;
+        }
+        ConstraintVerdict {
+            name,
+            verdict: outcome.verdict,
+            degraded_to: outcome.degraded_to,
+            attempts,
+            base_hint_used: hint.is_some(),
+        }
+    }
+
+    /// Re-checks every registered constraint, in registration order.
+    pub fn recheck_all(&mut self) -> Vec<ConstraintVerdict> {
+        (0..self.constraints.len()).map(|i| self.recheck(i)).collect()
+    }
+}
+
+fn unknown_outcome(message: String, elapsed: std::time::Duration) -> GovernedOutcome {
+    GovernedOutcome {
+        verdict: Verdict::Unknown(ExhaustionReason::WorkerPanicked {
+            component: 0,
+            message,
+        }),
+        stats: DcSatStats::default(),
+        degraded_to: None,
+        elapsed,
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_path;
+    use bcdb_core::Algorithm;
+    use bcdb_query::parse_denial_constraint;
+    use bcdb_storage::{tuple, Fd, RelationSchema, ValueType};
+
+    fn setup() -> (Catalog, ConstraintSet) {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Pay", [("id", ValueType::Int), ("to", ValueType::Text)]).unwrap(),
+        )
+        .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+        (cat, cs)
+    }
+
+    fn arrival(name: &str, id: i64, to: &str) -> ChainEvent {
+        ChainEvent::TxArrived {
+            name: name.to_string(),
+            tuples: vec![("Pay".to_string(), tuple![id, to])],
+        }
+    }
+
+    fn evict(name: &str) -> ChainEvent {
+        ChainEvent::TxEvicted {
+            name: name.to_string(),
+        }
+    }
+
+    /// Asserts the incrementally maintained steady state equals a cold
+    /// rebuild of the session's own database.
+    fn assert_self_consistent(s: &MonitorSession) {
+        let rebuilt = Precomputed::build(s.bcdb());
+        let live = s.precomputed();
+        assert_eq!(live.viable, rebuilt.viable, "viable");
+        assert_eq!(live.includable, rebuilt.includable, "includable");
+        let n = rebuilt.fd_graph.node_count();
+        assert_eq!(live.fd_graph.node_count(), n, "GfTd node count");
+        let mut live_uf = live.ind_uf.clone();
+        let mut cold_uf = rebuilt.ind_uf.clone();
+        for a in 0..n {
+            for b in a + 1..n {
+                assert_eq!(
+                    live.fd_graph.has_edge(a, b),
+                    rebuilt.fd_graph.has_edge(a, b),
+                    "GfTd edge ({a},{b})"
+                );
+                assert_eq!(
+                    live_uf.connected(a, b),
+                    cold_uf.connected(a, b),
+                    "IND component ({a},{b})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_stream_matches_cold_rebuild() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        for (name, id, to) in [
+            ("t0", 1, "ann"),
+            ("t1", 1, "bob"), // conflicts with t0 on the key
+            ("t2", 2, "bob"),
+            ("t3", 3, "cam"),
+        ] {
+            s.apply(&arrival(name, id, to)).unwrap();
+            assert_self_consistent(&s);
+        }
+        s.apply(&evict("t1")).unwrap();
+        assert_self_consistent(&s);
+        s.apply(&arrival("t4", 4, "ann")).unwrap();
+        s.apply(&evict("t0")).unwrap();
+        assert_self_consistent(&s);
+        assert_eq!(s.pending_names(), ["t2", "t3", "t4"]);
+        assert_eq!(s.epoch(), 0, "intra-epoch events never advance the epoch");
+        assert_eq!(s.stats().incremental_applies, 7);
+        assert_eq!(s.stats().rebuilds, 0);
+    }
+
+    #[test]
+    fn mined_event_rebuilds_and_advances_epoch() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 2, "bob")).unwrap();
+        // t0 gets mined: its tuple moves to the base snapshot.
+        s.apply(&ChainEvent::TxMined {
+            mined: vec!["t0".to_string()],
+            base: vec![("Pay".to_string(), tuple![1i64, "ann"])],
+            pending: vec![("t1".to_string(), vec![("Pay".to_string(), tuple![2i64, "bob"])])],
+        })
+        .unwrap();
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.pending_names(), ["t1"]);
+        assert_self_consistent(&s);
+        let pay = s.bcdb().database().catalog().resolve("Pay").unwrap();
+        let base_rows: Vec<_> = s
+            .bcdb()
+            .database()
+            .relation(pay)
+            .scan_all()
+            .filter(|(_, row)| row.source == bcdb_storage::Source::Base)
+            .collect();
+        assert_eq!(base_rows.len(), 1);
+        assert_eq!(s.stats().rebuilds, 1);
+    }
+
+    #[test]
+    fn base_verdict_cache_is_epoch_tagged() {
+        let (cat, cs) = setup();
+        let dc = parse_denial_constraint(
+            "q() <- Pay(i, x), Pay(j, x), i != j",
+            &cat,
+        )
+        .unwrap();
+        let mut s = MonitorSession::new(cat, cs);
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 2, "ann")).unwrap();
+        s.register("dup-payee", dc);
+
+        let v1 = s.recheck(0);
+        assert!(v1.base_hint_used);
+        assert_eq!(s.stats().base_probes, 1);
+        // Same epoch: the cache answers, no second probe.
+        let _ = s.recheck(0);
+        assert_eq!(s.stats().base_probes, 1);
+        assert_eq!(s.stats().base_hints_supplied, 2);
+        // Two pending payments to ann can coexist -> violable.
+        assert_eq!(v1.verdict.satisfied(), Some(false));
+
+        // An epoch advance invalidates the cache.
+        s.apply(&ChainEvent::Reorg {
+            depth: 1,
+            base: vec![("Pay".to_string(), tuple![7i64, "zed"])],
+            pending: vec![],
+        })
+        .unwrap();
+        let v2 = s.recheck(0);
+        assert_eq!(s.stats().base_probes, 2, "new epoch needs a fresh probe");
+        assert_eq!(v2.verdict.satisfied(), Some(true));
+    }
+
+    #[test]
+    fn journal_replay_reproduces_session() {
+        let (cat, cs) = setup();
+        let path = scratch_path("session_replay");
+        let mut s = MonitorSession::new(cat.clone(), cs.clone());
+        s.attach_journal(Journal::create(&path).unwrap());
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 1, "bob")).unwrap();
+        s.apply(&evict("t0")).unwrap();
+        s.apply(&ChainEvent::TxMined {
+            mined: vec!["t1".to_string()],
+            base: vec![("Pay".to_string(), tuple![1i64, "bob"])],
+            pending: vec![],
+        })
+        .unwrap();
+        s.apply(&arrival("t2", 2, "cam")).unwrap();
+
+        let recovery = Journal::recover(&path).unwrap();
+        assert_eq!(recovery.records.len(), 5);
+        assert_eq!(recovery.dropped_bytes, 0);
+        let replayed = MonitorSession::replay(cat, cs, &recovery.records).unwrap();
+        assert_eq!(replayed.epoch(), s.epoch());
+        assert_eq!(replayed.pending_names(), s.pending_names());
+        assert_self_consistent(&replayed);
+        // The recovered journal continues the sequence.
+        assert_eq!(recovery.journal.next_seq(), 5);
+    }
+
+    #[test]
+    fn config_errors_become_unknown_not_panics() {
+        let (cat, cs) = setup();
+        // An aggregate constraint forced onto OptDCSat is a configuration
+        // error; the monitor must absorb it as Unknown.
+        let dc = parse_denial_constraint("[q(sum(i)) <- Pay(i, 'bob')] >= 1", &cat).unwrap();
+        let mut s = MonitorSession::new(cat, cs);
+        s.apply(&arrival("t0", 1, "bob")).unwrap();
+        s.register("forced-opt-aggregate", dc);
+        s.set_config(MonitorConfig {
+            opts: DcSatOptions {
+                algorithm: Algorithm::Opt,
+                ..DcSatOptions::default()
+            },
+            ..MonitorConfig::default()
+        });
+        let v = s.recheck(0);
+        assert!(!v.verdict.is_definite());
+        assert_eq!(v.attempts, 1, "configuration errors are not retried");
+        assert_eq!(s.stats().unknown_verdicts, 1);
+    }
+
+    #[test]
+    fn deterministic_budget_limits_are_not_retried() {
+        let (cat, cs) = setup();
+        let dc = parse_denial_constraint("q() <- Pay(i, x), Pay(j, x), i != j", &cat).unwrap();
+        let mut s = MonitorSession::new(cat, cs);
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 2, "ann")).unwrap();
+        s.register("dup-payee", dc);
+        s.set_config(MonitorConfig {
+            budget: BudgetSpec {
+                max_tuples: Some(0),
+                ..BudgetSpec::UNLIMITED
+            },
+            retry: RetryPolicy::new(3, std::time::Duration::ZERO, 1),
+            ..MonitorConfig::default()
+        });
+        let v = s.recheck(0);
+        assert_eq!(v.attempts, 1, "tuple-limit exhaustion is deterministic");
+        assert_eq!(s.stats().retries, 0);
+    }
+
+    #[test]
+    fn bad_event_references_are_reported() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        let bad_rel = ChainEvent::TxArrived {
+            name: "t0".to_string(),
+            tuples: vec![("NoSuch".to_string(), tuple![1i64])],
+        };
+        assert!(matches!(
+            s.apply(&bad_rel),
+            Err(MonitorError::UnknownRelation(_))
+        ));
+        assert!(matches!(
+            s.apply(&evict("ghost")),
+            Err(MonitorError::UnknownTransaction(_))
+        ));
+    }
+}

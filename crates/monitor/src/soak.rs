@@ -1,0 +1,513 @@
+//! Fault-storm soak testing.
+//!
+//! [`run_soak`] drives a [`MonitorSession`] through `epochs` rounds of
+//! seeded chain faults — conflict floods, eviction storms, replays,
+//! reorgs, mined blocks, and journal corruption drills — and after every
+//! round asserts that the incrementally maintained state and the verdicts
+//! of every registered constraint are **identical** to a cold rebuild
+//! from the chain's relational export. Any mismatch is recorded as a
+//! divergence; the run is considered failed if there are any.
+//!
+//! Journal drills corrupt the live journal exactly the way the
+//! [`Fault::JournalTornWrite`]/[`Fault::JournalTruncatedTail`] variants
+//! describe, then recover it, replay the surviving prefix into a fresh
+//! session, verify the replayed steady state is self-consistent, and
+//! resync the recovered session to the live chain with a depth-0 reorg
+//! snapshot — the same protocol a crashed monitor process would follow.
+
+use crate::diff::{mined_event, pending_diff_events, reorg_event};
+use crate::journal::{drop_tail_records, tear_last_record, Journal};
+use crate::session::{ConstraintVerdict, MonitorConfig, MonitorSession};
+use bcdb_chain::{
+    build_block_template, export, generate, inject, Digest, Fault, Keyring, RelationalExport,
+    Scenario, ScenarioConfig,
+};
+use bcdb_core::{dcsat_governed_with, BlockchainDb, Precomputed, Verdict};
+use bcdb_query::{parse_denial_constraint, DenialConstraint};
+use bcdb_storage::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::PathBuf;
+
+/// Configuration for one soak run.
+#[derive(Clone, Debug)]
+pub struct SoakConfig {
+    /// Fault-storm rounds to run.
+    pub epochs: u64,
+    /// Master seed; every storm, fault, and jitter derives from it.
+    pub seed: u64,
+    /// Where the live journal lives (created, corrupted, recovered).
+    pub journal_path: PathBuf,
+    /// The generated chain scenario the storms mutate.
+    pub scenario: ScenarioConfig,
+    /// Session re-check configuration.
+    pub monitor: MonitorConfig,
+}
+
+impl SoakConfig {
+    /// A small, fast scenario suitable for hundreds of epochs.
+    pub fn new(epochs: u64, seed: u64, journal_path: impl Into<PathBuf>) -> SoakConfig {
+        SoakConfig {
+            epochs,
+            seed,
+            journal_path: journal_path.into(),
+            scenario: ScenarioConfig {
+                seed,
+                wallets: 12,
+                blocks: 10,
+                txs_per_block: 6,
+                pending_txs: 24,
+                contradictions: 4,
+                chain_dependency_pct: 30,
+                ..ScenarioConfig::default()
+            },
+            monitor: MonitorConfig::default(),
+        }
+    }
+}
+
+/// What a soak run did and found.
+#[derive(Clone, Debug, Default)]
+pub struct SoakReport {
+    /// Epochs completed.
+    pub epochs: u64,
+    /// Events applied to the live session (including resyncs).
+    pub events_applied: u64,
+    /// Chain faults injected.
+    pub faults_injected: u64,
+    /// Blocks mined by the harness.
+    pub blocks_mined: u64,
+    /// Reorg faults injected.
+    pub reorgs: u64,
+    /// Constraint re-checks performed (live session side).
+    pub verdict_checks: u64,
+    /// Verdicts that were `Holds`.
+    pub holds: u64,
+    /// Verdicts that were `Violated`.
+    pub violated: u64,
+    /// Verdicts that were `Unknown`.
+    pub unknown: u64,
+    /// Journal corruption drills performed.
+    pub crash_drills: u64,
+    /// Successful recoveries (always equals `crash_drills` on a pass).
+    pub recoveries: u64,
+    /// Journal lines lost to corruption across all drills.
+    pub journal_lines_dropped: u64,
+    /// Journal bytes lost to corruption across all drills.
+    pub journal_bytes_dropped: u64,
+    /// Final monitor epoch.
+    pub final_epoch: u64,
+    /// Wall-clock duration of the run, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Every incremental-vs-cold-rebuild mismatch, described. Empty on a
+    /// passing run.
+    pub divergences: Vec<String>,
+}
+
+fn mix(seed: u64, salt: u64) -> u64 {
+    let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One storm step: a chain fault, or an explicit block template mined.
+#[derive(Clone, Copy, Debug)]
+enum Action {
+    Fault(Fault),
+    Mine,
+}
+
+fn storm(rng: &mut StdRng) -> Vec<Action> {
+    let steps = rng.random_range(1..=3usize);
+    (0..steps)
+        .map(|_| match rng.random_range(0..100u32) {
+            0..=29 => Action::Fault(Fault::ConflictFlood {
+                count: rng.random_range(2..=5),
+            }),
+            30..=49 => Action::Fault(Fault::EvictionStorm {
+                count: rng.random_range(1..=3),
+            }),
+            50..=59 => Action::Fault(Fault::DuplicateReplay { count: 3 }),
+            60..=69 => Action::Fault(Fault::OrphanReplay { count: 2 }),
+            70..=79 => Action::Fault(Fault::Reorg {
+                depth: rng.random_range(1..=2),
+            }),
+            80..=89 => Action::Mine,
+            90..=94 => Action::Fault(Fault::JournalTornWrite {
+                bytes: rng.random_range(0..=6),
+            }),
+            _ => Action::Fault(Fault::JournalTruncatedTail {
+                records: rng.random_range(1..=2),
+            }),
+        })
+        .collect()
+}
+
+/// The denial constraints every soak run watches, parsed against the
+/// bitcoin export catalog. The `whale` aggregate is anchored to an
+/// address drawn from the scenario so it actually fires.
+fn soak_constraints(ex: &RelationalExport) -> Vec<(String, DenialConstraint)> {
+    let mut texts = vec![
+        (
+            "double-spend".to_string(),
+            // One address funds two distinct new transactions — satisfiable
+            // across worlds whenever non-conflicting pending spends coexist.
+            "q() <- TxIn(p1, s1, k, a1, n1, g1), TxIn(p2, s2, k, a2, n2, g2), n1 != n2"
+                .to_string(),
+        ),
+        (
+            "chained-spend".to_string(),
+            // A pending output consumed by a later transaction.
+            "q() <- TxOut(n1, s1, k, a), TxIn(n1, s1, k, a, n2, g)".to_string(),
+        ),
+    ];
+    // Aggregate: some concrete address accumulated at least one satoshi.
+    let txout = ex.catalog.resolve("TxOut").expect("bitcoin catalog has TxOut");
+    let addr = ex
+        .base
+        .iter()
+        .filter(|(rel, _)| *rel == txout)
+        .filter_map(|(_, t)| match t.get(2) {
+            Some(Value::Text(s)) => Some(s.to_string()),
+            _ => None,
+        })
+        .next_back();
+    if let Some(addr) = addr {
+        texts.push((
+            "whale".to_string(),
+            format!("[q(sum(a)) <- TxOut(ntx, s, '{addr}', a)] >= 1"),
+        ));
+    }
+    texts
+        .into_iter()
+        .map(|(name, text)| {
+            let dc = parse_denial_constraint(&text, &ex.catalog)
+                .expect("soak constraints are well-formed");
+            (name, dc)
+        })
+        .collect()
+}
+
+/// Builds a cold database + steady state from an export — the reference
+/// the incremental session is compared against.
+fn cold_rebuild(ex: &RelationalExport) -> Result<(BlockchainDb, Precomputed), crate::MonitorError> {
+    let mut cold = BlockchainDb::new(ex.catalog.clone(), ex.constraints.clone());
+    for (rel, tuple) in &ex.base {
+        cold.insert_current(*rel, tuple.clone())?;
+    }
+    for (name, tuples) in &ex.pending {
+        cold.add_transaction(name.clone(), tuples.iter().cloned())?;
+    }
+    let pre = Precomputed::build(&cold);
+    Ok((cold, pre))
+}
+
+/// Compares the session's incrementally maintained state against a cold
+/// rebuild, field by field. Returns human-readable divergences.
+fn compare_states(
+    epoch: u64,
+    session: &MonitorSession,
+    cold: &BlockchainDb,
+    cold_pre: &Precomputed,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut diverge = |what: String| out.push(format!("epoch {epoch}: {what}"));
+
+    let live_names: Vec<&str> = session.pending_names();
+    let cold_names: Vec<&str> = cold.pending().iter().map(|t| t.name.as_str()).collect();
+    if live_names != cold_names {
+        diverge(format!(
+            "pending order differs: live {live_names:?} vs cold {cold_names:?}"
+        ));
+        return out; // everything downstream is index-shifted noise
+    }
+
+    let live_db = session.bcdb().database();
+    let cold_db = cold.database();
+    for (rel, schema) in live_db.catalog().iter() {
+        let rows = |db: &bcdb_storage::Database| -> Vec<_> {
+            db.relation(rel)
+                .scan_all()
+                .map(|(_, row)| (row.tuple.clone(), row.source))
+                .collect()
+        };
+        if rows(live_db) != rows(cold_db) {
+            diverge(format!("relation {} rows differ", schema.name()));
+        }
+    }
+
+    let live_pre = session.precomputed();
+    if live_pre.viable != cold_pre.viable {
+        diverge(format!(
+            "viable differs: live {:?} vs cold {:?}",
+            live_pre.viable, cold_pre.viable
+        ));
+    }
+    if live_pre.includable != cold_pre.includable {
+        diverge(format!(
+            "includable differs: live {:?} vs cold {:?}",
+            live_pre.includable, cold_pre.includable
+        ));
+    }
+    let n = live_pre.fd_graph.node_count();
+    if n != cold_pre.fd_graph.node_count() {
+        diverge(format!(
+            "GfTd node count differs: live {n} vs cold {}",
+            cold_pre.fd_graph.node_count()
+        ));
+    } else {
+        let mut live_uf = live_pre.ind_uf.clone();
+        let mut cold_uf = cold_pre.ind_uf.clone();
+        for a in 0..n {
+            for b in a + 1..n {
+                if live_pre.fd_graph.has_edge(a, b) != cold_pre.fd_graph.has_edge(a, b) {
+                    diverge(format!(
+                        "GfTd edge ({a},{b}) differs: live {} vs cold {}",
+                        live_pre.fd_graph.has_edge(a, b),
+                        cold_pre.fd_graph.has_edge(a, b)
+                    ));
+                }
+                if live_uf.connected(a, b) != cold_uf.connected(a, b) {
+                    diverge(format!("IND component for ({a},{b}) differs"));
+                }
+            }
+        }
+    }
+    out
+}
+
+fn verdict_label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Holds => "holds",
+        Verdict::Violated(_) => "violated",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+/// Compares the live (hinted, retried) verdicts against cold unhinted
+/// ones. Two `Unknown`s agree regardless of reason.
+fn compare_verdicts(
+    epoch: u64,
+    live: &[ConstraintVerdict],
+    cold: &mut BlockchainDb,
+    cold_pre: &Precomputed,
+    dcs: &[(String, DenialConstraint)],
+    config: &MonitorConfig,
+    report: &mut SoakReport,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    for (cv, (name, dc)) in live.iter().zip(dcs) {
+        report.verdict_checks += 1;
+        match &cv.verdict {
+            Verdict::Holds => report.holds += 1,
+            Verdict::Violated(_) => report.violated += 1,
+            Verdict::Unknown(_) => report.unknown += 1,
+        }
+        let mut opts = config.opts;
+        opts.base_verdict_hint = None;
+        opts.budget = config.budget;
+        let cold_outcome = match dcsat_governed_with(cold, cold_pre, dc, &opts) {
+            Ok(o) => o,
+            Err(e) => {
+                out.push(format!("epoch {epoch}: cold check of {name} errored: {e}"));
+                continue;
+            }
+        };
+        let agree = match (&cv.verdict, &cold_outcome.verdict) {
+            (Verdict::Holds, Verdict::Holds) => true,
+            (Verdict::Violated(a), Verdict::Violated(b)) => a == b,
+            (Verdict::Unknown(_), Verdict::Unknown(_)) => true,
+            _ => false,
+        };
+        if !agree {
+            out.push(format!(
+                "epoch {epoch}: verdict for {name} diverged: live {} vs cold {}",
+                verdict_label(&cv.verdict),
+                verdict_label(&cold_outcome.verdict)
+            ));
+        }
+    }
+    out
+}
+
+/// Corrupts the live journal per `fault`, recovers it, replays the
+/// surviving prefix into a fresh session, checks the replayed steady
+/// state against a cold build of its own database, resyncs to the live
+/// chain, and returns the recovered session.
+#[allow(clippy::too_many_arguments)]
+fn journal_drill(
+    epoch: u64,
+    fault: Fault,
+    cfg: &SoakConfig,
+    scenario: &Scenario,
+    dcs: &[(String, DenialConstraint)],
+    ex_catalog: &RelationalExport,
+    report: &mut SoakReport,
+) -> Result<MonitorSession, crate::MonitorError> {
+    report.crash_drills += 1;
+    match fault {
+        Fault::JournalTornWrite { bytes } => {
+            report.journal_bytes_dropped += tear_last_record(&cfg.journal_path, bytes as u64)?;
+        }
+        Fault::JournalTruncatedTail { records } => {
+            drop_tail_records(&cfg.journal_path, records)?;
+        }
+        _ => unreachable!("journal_drill only handles journal faults"),
+    }
+    let recovery = Journal::recover(&cfg.journal_path)?;
+    report.journal_lines_dropped += recovery.dropped_lines as u64;
+    report.journal_bytes_dropped += recovery.dropped_bytes;
+
+    let mut recovered = MonitorSession::replay(
+        ex_catalog.catalog.clone(),
+        ex_catalog.constraints.clone(),
+        &recovery.records,
+    )?;
+    // The replayed steady state must equal a cold build of the replayed
+    // database — recovery must not corrupt incremental maintenance.
+    let rebuilt = Precomputed::build(recovered.bcdb());
+    let live_pre = recovered.precomputed();
+    if live_pre.viable != rebuilt.viable
+        || live_pre.includable != rebuilt.includable
+        || live_pre.fd_graph.edge_count() != rebuilt.fd_graph.edge_count()
+    {
+        report.divergences.push(format!(
+            "epoch {epoch}: replayed steady state differs from cold build after recovery"
+        ));
+    }
+    recovered.set_config(cfg.monitor);
+    for (name, dc) in dcs {
+        recovered.register(name.clone(), dc.clone());
+    }
+    recovered.attach_journal(recovery.journal);
+    // Resync to the live chain: a depth-0 reorg snapshot, journaled like
+    // any other event, so the journal stays contiguous past the scar.
+    let now = export(scenario)?;
+    recovered.apply(&reorg_event(&now, 0))?;
+    report.recoveries += 1;
+    Ok(recovered)
+}
+
+/// Runs the soak. Returns the report; the run passed iff
+/// `report.divergences` is empty.
+pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, crate::MonitorError> {
+    let started = std::time::Instant::now();
+    let mut report = SoakReport::default();
+    let mut scenario = generate(&cfg.scenario);
+    let ex0 = export(&scenario)?;
+    let dcs = soak_constraints(&ex0);
+
+    let mut session = MonitorSession::from_snapshot(
+        ex0.catalog.clone(),
+        ex0.constraints.clone(),
+        &ex0.base,
+        &ex0.pending,
+    )?;
+    session.set_config(cfg.monitor);
+    for (name, dc) in &dcs {
+        session.register(name.clone(), dc.clone());
+    }
+    session.attach_journal(Journal::create(&cfg.journal_path)?);
+
+    for epoch in 0..cfg.epochs {
+        let mut rng = StdRng::seed_from_u64(mix(cfg.seed, epoch));
+        for (i, action) in storm(&mut rng).into_iter().enumerate() {
+            let derived = mix(cfg.seed, epoch * 131 + i as u64 + 1);
+            match action {
+                Action::Fault(fault) if fault.is_journal() => {
+                    session = journal_drill(
+                        epoch, fault, cfg, &scenario, &dcs, &ex0, &mut report,
+                    )?;
+                }
+                Action::Fault(fault) => {
+                    let before = export(&scenario)?;
+                    inject(&mut scenario, fault, derived);
+                    report.faults_injected += 1;
+                    let after = export(&scenario)?;
+                    if let Fault::Reorg { depth } = fault {
+                        report.reorgs += 1;
+                        session.apply(&reorg_event(&after, depth))?;
+                    } else {
+                        for event in pending_diff_events(&before, &after) {
+                            session.apply(&event)?;
+                        }
+                    }
+                }
+                Action::Mine => {
+                    let keys = scenario.keys.clone();
+                    let ring = Keyring::new(&keys);
+                    let miner = &keys[(scenario.chain.height() as usize + 1) % keys.len()];
+                    let block =
+                        build_block_template(&scenario.chain, &scenario.mempool, &ring, miner);
+                    let mined: Vec<Digest> =
+                        block.transactions[1..].iter().map(|t| t.txid()).collect();
+                    scenario
+                        .chain
+                        .append(block, &ring)
+                        .expect("template blocks validate against their own chain");
+                    scenario.mempool.purge_after_block(&scenario.chain, &mined);
+                    report.blocks_mined += 1;
+                    let after = export(&scenario)?;
+                    let names = mined.iter().map(|d| d.short()).collect();
+                    session.apply(&mined_event(&after, names))?;
+                }
+            }
+        }
+
+        // Epoch-end audit: state and verdicts vs a cold rebuild.
+        let ex = export(&scenario)?;
+        let (mut cold, cold_pre) = cold_rebuild(&ex)?;
+        report
+            .divergences
+            .extend(compare_states(epoch, &session, &cold, &cold_pre));
+        let live_verdicts = session.recheck_all();
+        let verdict_divergences = compare_verdicts(
+            epoch,
+            &live_verdicts,
+            &mut cold,
+            &cold_pre,
+            &dcs,
+            &cfg.monitor,
+            &mut report,
+        );
+        report.divergences.extend(verdict_divergences);
+        report.epochs = epoch + 1;
+    }
+
+    report.events_applied = session.stats().events_applied;
+    report.final_epoch = session.epoch();
+    report.elapsed_ms = started.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_path;
+
+    #[test]
+    fn soak_smoke_runs_clean() {
+        let cfg = SoakConfig::new(8, 3, scratch_path("soak_smoke"));
+        let report = run_soak(&cfg).expect("soak runs");
+        assert_eq!(report.epochs, 8);
+        assert!(report.faults_injected + report.blocks_mined + report.crash_drills > 0);
+        assert_eq!(report.crash_drills, report.recoveries);
+        assert!(
+            report.divergences.is_empty(),
+            "divergences: {:#?}",
+            report.divergences
+        );
+        assert!(report.verdict_checks >= 8 * 2);
+    }
+
+    #[test]
+    fn soak_is_deterministic_per_seed() {
+        let a = run_soak(&SoakConfig::new(4, 9, scratch_path("soak_det_a"))).unwrap();
+        let b = run_soak(&SoakConfig::new(4, 9, scratch_path("soak_det_b"))).unwrap();
+        assert_eq!(a.events_applied, b.events_applied);
+        assert_eq!(a.faults_injected, b.faults_injected);
+        assert_eq!(a.final_epoch, b.final_epoch);
+        assert_eq!((a.holds, a.violated, a.unknown), (b.holds, b.violated, b.unknown));
+    }
+}

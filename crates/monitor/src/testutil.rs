@@ -1,0 +1,15 @@
+//! Test-only helpers.
+
+use std::path::PathBuf;
+
+/// A scratch file path under the workspace `target/` directory (kept
+/// inside the repository tree), unique per `name`. The parent directory
+/// is created; any stale file from a previous run is removed.
+pub fn scratch_path(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/monitor-scratch");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join(format!("{name}.journal"));
+    let _ = std::fs::remove_file(&path);
+    path
+}

@@ -133,6 +133,24 @@ impl Database {
         WorldMask::from_txs(self.tx_count(), txs)
     }
 
+    /// Removes pending transaction `tx` from every relation and renumbers
+    /// the remaining pending transactions with larger ids down by one, so
+    /// transaction ids stay dense. `tx` must be below [`tx_count`]; the
+    /// count shrinks by one.
+    ///
+    /// [`tx_count`]: Database::tx_count
+    pub fn remove_pending_tx(&mut self, tx: TxId) {
+        assert!(
+            tx.0 < self.tx_count,
+            "remove_pending_tx: {tx} out of range ({} pending)",
+            self.tx_count
+        );
+        for store in &mut self.stores {
+            store.remove_pending_tx(tx);
+        }
+        self.tx_count -= 1;
+    }
+
     /// Total rows across all relations (all sources).
     pub fn total_rows(&self) -> usize {
         self.stores.iter().map(|s| s.row_count()).sum()
@@ -222,6 +240,25 @@ mod tests {
             panic!("expected text value");
         };
         assert!(Arc::ptr_eq(a, &c));
+    }
+
+    #[test]
+    fn remove_pending_tx_shrinks_and_renumbers() {
+        let (mut db, r) = db();
+        db.insert(r, tuple![1i64, "x"], Source::Pending(TxId(0)))
+            .unwrap();
+        db.insert(r, tuple![2i64, "y"], Source::Pending(TxId(1)))
+            .unwrap();
+        db.insert(r, tuple![3i64, "z"], Source::Pending(TxId(2)))
+            .unwrap();
+        db.remove_pending_tx(TxId(1));
+        assert_eq!(db.tx_count(), 2);
+        assert_eq!(db.rows_of_tx(TxId(0)), vec![(r, tuple![1i64, "x"])]);
+        // Old TxId(2) renumbered to TxId(1).
+        assert_eq!(db.rows_of_tx(TxId(1)), vec![(r, tuple![3i64, "z"])]);
+        assert!(!db
+            .relation(r)
+            .contains(&tuple![2i64, "y"], &db.all_mask()));
     }
 
     #[test]

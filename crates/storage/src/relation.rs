@@ -218,6 +218,53 @@ impl RelationStore {
         self.lookup(index, key, mask).next().is_some()
     }
 
+    /// Removes every row contributed by the pending transaction `tx` and
+    /// renumbers the sources of transactions with larger ids down by one, so
+    /// pending ids stay dense `0..k-1` after an eviction. Row ids are
+    /// compacted too; any previously returned [`RowId`] is invalidated.
+    ///
+    /// Secondary indexes keep their attribute lists and are rebuilt over the
+    /// surviving rows. Survivors keep their relative insertion order, so the
+    /// store remains byte-identical to one built by inserting only the
+    /// survivors in the first place.
+    pub fn remove_pending_tx(&mut self, tx: crate::source::TxId) {
+        let untouched = self.rows.iter().all(|r| match r.source {
+            Source::Pending(t) => t < tx,
+            Source::Base => true,
+        });
+        if untouched {
+            // Nothing from `tx` and nothing to renumber: keep ids stable.
+            return;
+        }
+        let old_rows = std::mem::take(&mut self.rows);
+        self.by_tuple.clear();
+        self.pending_rows.clear();
+        for idx in &mut self.indexes {
+            idx.map.clear();
+        }
+        for row in old_rows {
+            if row.source == Source::Pending(tx) {
+                continue;
+            }
+            let source = match row.source {
+                Source::Pending(t) if t > tx => Source::Pending(crate::source::TxId(t.0 - 1)),
+                s => s,
+            };
+            let id = self.rows.len() as u32;
+            self.by_tuple.entry(row.tuple.clone()).or_default().push(id);
+            for idx in &mut self.indexes {
+                idx.insert(id, &row.tuple);
+            }
+            if matches!(source, Source::Pending(_)) {
+                self.pending_rows.push(id);
+            }
+            self.rows.push(Row {
+                tuple: row.tuple,
+                source,
+            });
+        }
+    }
+
     /// Number of rows from the base source.
     pub fn base_row_count(&self) -> usize {
         self.rows
@@ -347,6 +394,58 @@ mod tests {
         assert_eq!(s.find_index(&[1]), None);
         let i3 = s.ensure_index(&[0, 1]);
         assert_ne!(i1, i3);
+    }
+
+    #[test]
+    fn remove_pending_tx_renumbers_and_rebuilds() {
+        let mut s = RelationStore::new();
+        s.insert(tuple!["a", 1i64], Source::Base);
+        s.insert(tuple!["a", 2i64], Source::Pending(TxId(0)));
+        s.insert(tuple!["b", 3i64], Source::Pending(TxId(1)));
+        s.insert(tuple!["a", 4i64], Source::Pending(TxId(2)));
+        let idx = s.ensure_index(&[0]);
+
+        s.remove_pending_tx(TxId(1));
+        assert_eq!(s.row_count(), 3);
+        // Old TxId(2) is now TxId(1); TxId(0) unchanged.
+        assert!(s.contains(&tuple!["a", 2i64], &mask_with(&[0])));
+        assert!(s.contains(&tuple!["a", 4i64], &mask_with(&[1])));
+        assert!(!s.contains(&tuple!["b", 3i64], &WorldMask::all(8)));
+        // The secondary index was rebuilt over the survivors.
+        let key: SmallVec<[Value; 4]> = [Value::text("a")].into_iter().collect();
+        assert_eq!(s.lookup_all(idx, &key).count(), 3);
+        let gone: SmallVec<[Value; 4]> = [Value::text("b")].into_iter().collect();
+        assert_eq!(s.lookup_all(idx, &gone).count(), 0);
+        // Delta scan sees survivors in insertion order with renumbered ids.
+        let delta: Vec<i64> = s
+            .scan_delta(&WorldMask::all(8))
+            .map(|(_, r)| r.tuple[1].as_int().unwrap())
+            .collect();
+        assert_eq!(delta, vec![2, 4]);
+        // Equivalent to a store built from only the survivors.
+        let mut fresh = RelationStore::new();
+        fresh.insert(tuple!["a", 1i64], Source::Base);
+        fresh.insert(tuple!["a", 2i64], Source::Pending(TxId(0)));
+        fresh.insert(tuple!["a", 4i64], Source::Pending(TxId(1)));
+        for ((_, a), (_, b)) in s.scan_all().zip(fresh.scan_all()) {
+            assert_eq!(a.tuple, b.tuple);
+            assert_eq!(a.source, b.source);
+        }
+    }
+
+    #[test]
+    fn remove_pending_tx_without_rows_still_renumbers_later_txs() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Pending(TxId(0)));
+        s.insert(tuple![2i64], Source::Pending(TxId(2)));
+        // TxId(1) contributed nothing to this relation, but later ids shift.
+        s.remove_pending_tx(TxId(1));
+        assert_eq!(s.row_count(), 2);
+        assert!(s.contains(&tuple![2i64], &mask_with(&[1])));
+        assert!(!s.contains(&tuple![2i64], &mask_with(&[2])));
+        // Removing a tx beyond every stored id is a no-op.
+        s.remove_pending_tx(TxId(9));
+        assert_eq!(s.row_count(), 2);
     }
 
     #[test]
