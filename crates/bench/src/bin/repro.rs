@@ -422,6 +422,10 @@ fn governed(seed: u64) {
 fn bench(smoke: bool, out: &str) {
     let (pairs, inert) = if smoke { (8usize, 200usize) } else { (12, 1000) };
     println!("== bench: two-level DCSat over a single giant component ==");
+    // Per-phase telemetry for the whole bench run: reset first so the
+    // snapshot covers exactly this workload.
+    bcdb_telemetry::reset();
+    bcdb_telemetry::set_enabled(true);
     let threads_avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
@@ -550,6 +554,11 @@ fn bench(smoke: bool, out: &str) {
         tuples[0], tuples[1]
     );
 
+    bcdb_telemetry::set_enabled(false);
+    let telemetry = bcdb_telemetry::snapshot();
+    println!("[bench] telemetry phase breakdown:");
+    println!("{}", telemetry.render_table());
+
     let json = JsonObject::new()
         .str("bench", "dcsat-giant-component")
         .bool("smoke", smoke)
@@ -561,6 +570,7 @@ fn bench(smoke: bool, out: &str) {
         .num("delta_rows_avg", format!("{delta_rows_avg:.2}"))
         .raw("records", &format!("[{}]", records.join(",")))
         .raw("delta_ablation", &format!("[{}]", ablation.join(",")))
+        .raw("telemetry", &telemetry.to_json())
         .finish();
     std::fs::write(out, format!("{json}\n")).expect("write bench report");
     println!("[bench] wrote {out}");
@@ -572,6 +582,8 @@ fn soak(epochs: u64, seed: u64, out: &str) {
     let journal = format!("{out}.journal");
     let cfg = bcdb_monitor::SoakConfig::new(epochs, seed, &journal);
     println!("[soak] {epochs} epochs, seed {seed}, journal {journal}");
+    bcdb_telemetry::reset();
+    bcdb_telemetry::set_enabled(true);
     let report = match bcdb_monitor::run_soak(&cfg) {
         Ok(r) => r,
         Err(e) => {
@@ -579,6 +591,10 @@ fn soak(epochs: u64, seed: u64, out: &str) {
             std::process::exit(2);
         }
     };
+    bcdb_telemetry::set_enabled(false);
+    let telemetry = bcdb_telemetry::snapshot();
+    println!("[soak] telemetry phase breakdown:");
+    println!("{}", telemetry.render_table());
     let divergences = format!(
         "[{}]",
         report
@@ -608,6 +624,7 @@ fn soak(epochs: u64, seed: u64, out: &str) {
         .num("elapsed_ms", report.elapsed_ms)
         .num("divergence_count", report.divergences.len())
         .raw("divergences", &divergences)
+        .raw("telemetry", &telemetry.to_json())
         .finish();
     std::fs::write(out, format!("{json}\n")).expect("write soak report");
     println!(

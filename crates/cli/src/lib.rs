@@ -55,6 +55,9 @@ pub enum Command {
         /// exhaustion, cancellation, worker panics (`--retries`,
         /// `--retry-backoff-ms`). Deterministic limits are never retried.
         retry: RetryPolicy,
+        /// Record per-phase telemetry during the check and print the
+        /// phase table plus a JSON snapshot (`--telemetry`).
+        telemetry: bool,
         /// The constraint text.
         constraint: String,
     },
@@ -162,6 +165,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut budget = BudgetSpec::UNLIMITED;
     let mut retries = 0u32;
     let mut retry_backoff = std::time::Duration::from_millis(50);
+    let mut telemetry = false;
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -179,6 +183,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             }
             "--algorithm" => algorithm = parse_algorithm(&flag_value("--algorithm")?)?,
             "--minimize" => minimize = true,
+            "--telemetry" => telemetry = true,
             "--out" => out_path = Some(PathBuf::from(flag_value("--out")?)),
             "--file" => file = Some(PathBuf::from(flag_value("--file")?)),
             "--limit" => {
@@ -261,6 +266,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             } else {
                 RetryPolicy::new(retries, retry_backoff, seed)
             },
+            telemetry,
             constraint: constraint()?,
         }),
         "explain" => Ok(Command::Explain {
@@ -298,7 +304,7 @@ USAGE:
   bcdb stats   [--dataset d200]  [--seed 42]
   bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize]
                [--timeout-ms N] [--max-cliques N] [--max-worlds N] [--max-tuples N]
-               [--retries N] [--retry-backoff-ms MS]
+               [--retries N] [--retry-backoff-ms MS] [--telemetry]
                '<constraint>'
   bcdb explain [--dataset small] '<constraint>'
   bcdb risk    [--dataset small] [--seed 42] [--samples 1000] [--prob P] '<constraint>'
@@ -312,6 +318,10 @@ re-runs a *transient* unknown (deadline, cancellation, worker panic) up to
 N times with jittered exponential backoff starting at --retry-backoff-ms
 (default 50); deterministic limits are never retried, and total wall time
 stays bounded by timeout-ms × (1 + N).
+
+`check --telemetry` records per-phase telemetry (precompute, Θq, covers,
+enumeration, world checks, …) during the run and prints the phase table
+followed by a machine-readable JSON snapshot.
 
 `risk` estimates the probability that the constraint is ever violated,
 drawing future worlds from an acceptance model: --prob P accepts every
@@ -377,6 +387,7 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
             minimize,
             budget,
             retry,
+            telemetry,
             constraint,
         } => {
             let mut db = match file {
@@ -385,6 +396,10 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
             };
             let dc = parse_denial_constraint(&constraint, db.database().catalog())
                 .map_err(|e| CliError(e.to_string()))?;
+            if telemetry {
+                bcdb_telemetry::reset();
+                bcdb_telemetry::set_enabled(true);
+            }
             let dc_opts = DcSatOptions {
                 algorithm,
                 budget,
@@ -474,6 +489,13 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
                     names.join(", ")
                 )
                 .unwrap();
+            }
+            if telemetry {
+                bcdb_telemetry::set_enabled(false);
+                let snap = bcdb_telemetry::snapshot();
+                writeln!(out, "\ntelemetry ({} probes fired):", snap.active_probes()).unwrap();
+                out.push_str(&snap.render_table());
+                writeln!(out, "\ntelemetry json: {}", snap.to_json()).unwrap();
             }
         }
         Command::Explain {
@@ -669,6 +691,7 @@ mod tests {
                 minimize: true,
                 budget: BudgetSpec::UNLIMITED,
                 retry: RetryPolicy::NONE,
+            telemetry: false,
                 constraint: "q() <- TxOut(t, s, 'x', a)".into(),
             }
         );
@@ -737,6 +760,7 @@ mod tests {
             minimize: true,
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
+            telemetry: false,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
@@ -760,6 +784,7 @@ mod tests {
             minimize: false,
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
+            telemetry: false,
             constraint: "q() <- Nope(x)".into(),
         })
         .unwrap_err();
@@ -778,6 +803,7 @@ mod tests {
             minimize: false,
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
+            telemetry: false,
             constraint: "q() <- TxOut(t, s, p, a)".into(),
         })
         .unwrap();
@@ -799,6 +825,7 @@ mod tests {
             minimize: false,
             budget,
             retry: RetryPolicy::NONE,
+            telemetry: false,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
@@ -818,6 +845,7 @@ mod tests {
             minimize: false,
             budget,
             retry: RetryPolicy::NONE,
+            telemetry: false,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
@@ -841,6 +869,7 @@ mod tests {
             minimize: false,
             budget,
             retry: RetryPolicy::new(5, std::time::Duration::from_millis(1), 42),
+            telemetry: false,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
@@ -863,6 +892,7 @@ mod tests {
             minimize: false,
             budget,
             retry: RetryPolicy::new(5, std::time::Duration::from_secs(10), 42),
+            telemetry: false,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
@@ -916,6 +946,7 @@ mod tests {
             minimize: false,
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
+            telemetry: false,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();

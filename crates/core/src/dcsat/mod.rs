@@ -47,6 +47,7 @@ use bcdb_query::{
     prepare_aggregate, DenialConstraint, Monotonicity, PreparedAggregate, PreparedQuery,
 };
 use bcdb_storage::{Database, WorldMask};
+use bcdb_telemetry::probes;
 
 /// Which algorithm to run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -351,11 +352,13 @@ pub(crate) fn eval_world(
     budget: &Budget,
     stats: &mut DcSatStats,
 ) -> Result<bool, ExhaustionReason> {
+    let _wc_span = probes::CORE_PHASE_WORLD_CHECKS_NS.span();
     stats.worlds_evaluated += 1;
     if opts.use_delta {
         if let PreparedConstraint::Conjunctive(pq) = pc {
             if pq.seedable() {
                 stats.base_cache_hits += 1;
+                probes::CORE_BASE_CACHE_HITS.incr();
                 if world.txs().next().is_none() {
                     return Ok(false);
                 }
@@ -485,7 +488,10 @@ fn route(
                     if connected && prop2_safe {
                         // Covers info needs &mut for index building — do it
                         // before entering the read-only phase.
-                        let covers = opt::CoversInfo::build(bcdb, pc.as_conjunctive().unwrap());
+                        let covers = {
+                            let _span = probes::CORE_PHASE_COVERS_NS.span();
+                            opt::CoversInfo::build(bcdb, pc.as_conjunctive().unwrap())
+                        };
                         Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget))
                     } else {
                         Ok(naive::run(bcdb, pre, &pc, opts, budget))
@@ -510,7 +516,10 @@ fn route(
             if !connected {
                 return Err(CoreError::NotConnected);
             }
-            let covers = opt::CoversInfo::build(bcdb, pq);
+            let covers = {
+                let _span = probes::CORE_PHASE_COVERS_NS.span();
+                opt::CoversInfo::build(bcdb, pq)
+            };
             Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget))
         }
         Algorithm::Tractable => match tractable::classify(bcdb, dc) {
@@ -574,6 +583,8 @@ fn degrade(
     let db = bcdb.database();
 
     // Rung 1: the base world is always possible.
+    probes::GOVERNOR_DEGRADATION_TRANSITIONS.incr();
+    probes::GOVERNOR_DEGRADATION_RUNG.fetch_max(1);
     if let Ok(true) = pc.holds_governed(db, &db.base_mask(), &grace) {
         stats.worlds_evaluated += 1;
         return GovernedOutcome {
@@ -590,8 +601,11 @@ fn degrade(
     }
 
     // Rung 2: monotone pre-check over R ∪ ⋃T.
+    probes::GOVERNOR_DEGRADATION_TRANSITIONS.incr();
+    probes::GOVERNOR_DEGRADATION_RUNG.fetch_max(2);
     if let Ok(false) = pc.holds_governed(db, &db.all_mask(), &grace) {
         stats.precheck_short_circuit = true;
+        probes::CORE_PRECHECK_SHORT_CIRCUITS.incr();
         return GovernedOutcome {
             verdict: Verdict::Holds,
             stats,
@@ -603,6 +617,8 @@ fn degrade(
     // Rung 3: the maximal-world search is exponentially smaller than the
     // oracle's full Poss(D) sweep; worth one bounded retry.
     if stats.algorithm == "oracle" {
+        probes::GOVERNOR_DEGRADATION_TRANSITIONS.incr();
+        probes::GOVERNOR_DEGRADATION_RUNG.fetch_max(3);
         if let Ok(outcome) = naive::run(bcdb, pre, &pc, opts, &grace) {
             stats.cliques_enumerated += outcome.stats.cliques_enumerated;
             stats.worlds_evaluated += outcome.stats.worlds_evaluated;

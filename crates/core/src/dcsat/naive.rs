@@ -13,6 +13,7 @@ use crate::worlds::get_maximal;
 use bcdb_governor::{Budget, ExhaustionReason};
 use bcdb_graph::{maximal_cliques_governed, Visit};
 use bcdb_storage::TxId;
+use bcdb_telemetry::probes;
 
 /// Runs `NaiveDCSat` under `budget`. The caller must have established
 /// monotonicity. `Err` carries the partial stats accumulated before the
@@ -36,6 +37,7 @@ pub fn run(
         match pc.holds_governed(db, &db.all_mask(), budget) {
             Ok(false) => {
                 stats.precheck_short_circuit = true;
+                probes::CORE_PRECHECK_SHORT_CIRCUITS.incr();
                 return Ok(DcSatOutcome::satisfied(stats));
             }
             Ok(true) => {}
@@ -52,9 +54,13 @@ pub fn run(
             // An epoch-valid external cache already knows R's verdict.
             Some(true) => {
                 stats.base_cache_hits += 1;
+                probes::CORE_BASE_CACHE_HITS.incr();
                 return Ok(DcSatOutcome::unsatisfied(db.base_mask(), stats));
             }
-            Some(false) => stats.base_cache_hits += 1,
+            Some(false) => {
+                stats.base_cache_hits += 1;
+                probes::CORE_BASE_CACHE_HITS.incr();
+            }
             None => {
                 stats.worlds_evaluated += 1;
                 match pc.holds_governed(db, &db.base_mask(), budget) {
@@ -66,6 +72,7 @@ pub fn run(
         }
     }
 
+    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
     let mut witness = None;
     // Budget exhaustion inside the visitor (world materialisation or query
     // evaluation) is smuggled out through `broke`, using `Visit::Stop` to

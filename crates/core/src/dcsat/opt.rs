@@ -24,6 +24,7 @@ use bcdb_graph::{
 };
 use bcdb_query::{constant_patterns, ConstantPattern, PreparedQuery};
 use bcdb_storage::{Source, TxId, WorldMask};
+use bcdb_telemetry::probes;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -192,6 +193,7 @@ pub fn run(
         match pc.holds_governed(db, &db.all_mask(), budget) {
             Ok(false) => {
                 stats.precheck_short_circuit = true;
+                probes::CORE_PRECHECK_SHORT_CIRCUITS.incr();
                 return Ok(DcSatOutcome::satisfied(stats));
             }
             Ok(true) => {}
@@ -208,9 +210,13 @@ pub fn run(
         // An epoch-valid external cache already knows R's verdict.
         Some(true) => {
             stats.base_cache_hits += 1;
+            probes::CORE_BASE_CACHE_HITS.incr();
             return Ok(DcSatOutcome::unsatisfied(base, stats));
         }
-        Some(false) => stats.base_cache_hits += 1,
+        Some(false) => {
+            stats.base_cache_hits += 1;
+            probes::CORE_BASE_CACHE_HITS.incr();
+        }
         None => {
             stats.worlds_evaluated += 1;
             match pc.holds_governed(db, &base, budget) {
@@ -222,7 +228,10 @@ pub fn run(
     }
 
     // Components of Gq,ind = ΘI components refined with Θq edges.
-    let components = query_components(bcdb, pre, pq.query());
+    let components = {
+        let _span = probes::CORE_PHASE_THETA_NS.span();
+        query_components(bcdb, pre, pq.query())
+    };
     stats.components_total = components.len();
 
     let n = bcdb.pending_count();
@@ -260,6 +269,7 @@ pub fn run(
         }
     }
 
+    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
     let mut witness = None;
     for comp in candidates {
         match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats) {
@@ -415,6 +425,7 @@ fn run_parallel(
     mut stats: DcSatStats,
     threads: usize,
 ) -> Result<DcSatOutcome, Exhausted> {
+    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
     let threads = threads.min(work.len());
     let next = AtomicUsize::new(0);
     let stop = AtomicBool::new(false);

@@ -60,6 +60,7 @@ pub struct Precomputed {
 impl Precomputed {
     /// Builds all structures for `bcdb`.
     pub fn build(bcdb: &BlockchainDb) -> Self {
+        let _span = bcdb_telemetry::probes::CORE_PHASE_PRECOMPUTE_NS.span();
         let db = bcdb.database();
         let cs = bcdb.constraints();
         let n = bcdb.pending_count();

@@ -193,6 +193,7 @@ impl Budget {
     /// (clique recursion, per-tuple scans).
     #[inline]
     pub fn tick(&self) -> Result<(), ExhaustionReason> {
+        bcdb_telemetry::probes::GOVERNOR_TICKS.incr();
         if self.cancelled.load(Ordering::Relaxed) {
             return Err(ExhaustionReason::Cancelled);
         }
@@ -250,6 +251,7 @@ impl Budget {
     /// per-row-group rather than per row).
     #[inline]
     pub fn charge_tuples(&self, n: u64) -> Result<(), ExhaustionReason> {
+        bcdb_telemetry::probes::GOVERNOR_TUPLES_CHARGED.add(n);
         let total = self.tuples.fetch_add(n, Ordering::Relaxed) + n;
         if total > self.max_tuples {
             return Err(ExhaustionReason::TupleLimit(self.max_tuples));

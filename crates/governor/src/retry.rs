@@ -97,6 +97,7 @@ impl RetryPolicy {
                 }
             }
             std::thread::sleep(delay);
+            bcdb_telemetry::probes::GOVERNOR_RETRY_ATTEMPTS.incr();
             last = match attempt(retry + 1) {
                 ControlFlow::Break(v) => return v,
                 ControlFlow::Continue(v) => v,

@@ -12,6 +12,7 @@
 use crate::bitset::BitSet;
 use crate::graph::UndirectedGraph;
 use bcdb_governor::{Budget, ExhaustionReason, UNGOVERNED};
+use bcdb_telemetry::probes;
 
 /// Which enumeration strategy to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -72,6 +73,7 @@ pub fn maximal_cliques_governed(
     budget: &Budget,
     mut visit: impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
+    let _bk_span = probes::GRAPH_COMPONENT_BK_NS.span();
     let n = g.node_count();
     let mut r: Vec<usize> = Vec::new();
     let p = BitSet::full(n);
@@ -142,6 +144,7 @@ fn report(
     visit: &mut impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
     budget.charge_clique()?;
+    probes::GRAPH_CLIQUES_EMITTED.incr();
     r.sort_unstable();
     Ok(visit(r) == Visit::Continue)
 }
@@ -208,6 +211,9 @@ fn expand_pivot(
     let pivot = choose_pivot(g, &p, &x);
     let mut branch = p.clone();
     branch.difference_with(g.neighbors(pivot));
+    if bcdb_telemetry::enabled() {
+        probes::GRAPH_PIVOT_CANDIDATES_PRUNED.add((p.len() - branch.len()) as u64);
+    }
     for v in branch.iter() {
         if !p.contains(v) {
             continue; // removed by an earlier branch iteration
@@ -345,6 +351,7 @@ pub fn split_subproblems(
         let children = branch_once(g, inner, &sub);
         frontier.splice(idx..idx, children);
     }
+    probes::GRAPH_SUBPROBLEMS_SPAWNED.add(frontier.len() as u64);
     frontier
 }
 
@@ -382,6 +389,7 @@ pub fn expand_subproblem_governed(
     budget: &Budget,
     mut visit: impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
+    let _bk_span = probes::GRAPH_COMPONENT_BK_NS.span();
     let mut r = sub.r.clone();
     let p = sub.p.clone();
     let x = sub.x.clone();

@@ -128,6 +128,7 @@ impl Journal {
     /// number. The line is flushed to the OS before returning, so a
     /// process crash (as opposed to a machine crash) cannot lose it.
     pub fn append(&mut self, epoch: u64, event: &ChainEvent) -> std::io::Result<u64> {
+        let _span = bcdb_telemetry::probes::MONITOR_JOURNAL_APPEND_NS.span();
         let seq = self.next_seq;
         let line = format_record(seq, epoch, event);
         self.file.write_all(line.as_bytes())?;
@@ -140,6 +141,7 @@ impl Journal {
     /// the file to its longest valid prefix, and returns the prefix's
     /// records. A missing or empty file recovers to a fresh journal.
     pub fn recover(path: impl Into<PathBuf>) -> std::io::Result<Recovery> {
+        let _span = bcdb_telemetry::probes::MONITOR_JOURNAL_REPLAY_NS.span();
         let path = path.into();
         let bytes = match std::fs::read(&path) {
             Ok(b) => b,

@@ -31,6 +31,7 @@ use bcdb_core::{
 use bcdb_governor::{BudgetSpec, ExhaustionReason, RetryPolicy};
 use bcdb_query::DenialConstraint;
 use bcdb_storage::{Catalog, ConstraintSet, RelationId, Tuple, TxId};
+use bcdb_telemetry::probes;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -282,12 +283,14 @@ impl MonitorSession {
         }
         match event {
             ChainEvent::TxArrived { name, tuples } => {
+                let _span = probes::MONITOR_APPLY_NS.span();
                 let tuples = self.resolve(tuples)?;
                 let tx = self.bcdb.add_transaction(name.clone(), tuples)?;
                 self.pre.note_transaction_added(&self.bcdb, tx);
                 self.stats.incremental_applies += 1;
             }
             ChainEvent::TxEvicted { name } => {
+                let _span = probes::MONITOR_APPLY_NS.span();
                 let idx = self
                     .bcdb
                     .pending()
@@ -299,6 +302,7 @@ impl MonitorSession {
                 self.stats.incremental_applies += 1;
             }
             ChainEvent::TxMined { base, pending, .. } | ChainEvent::Reorg { base, pending, .. } => {
+                let _span = probes::MONITOR_REBUILD_NS.span();
                 let catalog = self.bcdb.database().catalog().clone();
                 let cs = self.bcdb.constraints().clone();
                 let mut next = BlockchainDb::new(catalog, cs);
@@ -331,6 +335,7 @@ impl MonitorSession {
                 self.stats.rebuilds += 1;
             }
         }
+        probes::MONITOR_EPOCH.set(self.epoch);
         self.stats.events_applied += 1;
         Ok(())
     }

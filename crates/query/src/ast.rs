@@ -299,34 +299,42 @@ struct QueryDisplay<'a> {
 impl fmt::Display for QueryDisplay<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "q() <- ")?;
-        let mut first = true;
-        let sep = |f: &mut fmt::Formatter<'_>, first: &mut bool| -> fmt::Result {
-            if !*first {
-                write!(f, ", ")?;
-            }
-            *first = false;
-            Ok(())
-        };
-        for atom in &self.q.positive {
-            sep(f, &mut first)?;
-            write_atom(f, atom, self.catalog, &self.q.var_names, false)?;
-        }
-        for atom in &self.q.negated {
-            sep(f, &mut first)?;
-            write_atom(f, atom, self.catalog, &self.q.var_names, true)?;
-        }
-        for cmp in &self.q.comparisons {
-            sep(f, &mut first)?;
-            write!(
-                f,
-                "{} {} {}",
-                render_term(&cmp.lhs, &self.q.var_names),
-                cmp.op.symbol(),
-                render_term(&cmp.rhs, &self.q.var_names)
-            )?;
-        }
-        Ok(())
+        write_body(f, self.q, self.catalog)
     }
+}
+
+/// Writes the body `P, N, C` (shared by the conjunctive and aggregate
+/// renderers). The output reparses to the same AST: safety guarantees every
+/// variable occurs in a positive atom, so printing positives first
+/// preserves first-occurrence order and therefore [`Var`] numbering.
+fn write_body(f: &mut fmt::Formatter<'_>, q: &ConjunctiveQuery, catalog: &Catalog) -> fmt::Result {
+    let mut first = true;
+    let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+        if !first {
+            write!(f, ", ")?;
+        }
+        first = false;
+        Ok(())
+    };
+    for atom in &q.positive {
+        sep(f)?;
+        write_atom(f, atom, catalog, &q.var_names, false)?;
+    }
+    for atom in &q.negated {
+        sep(f)?;
+        write_atom(f, atom, catalog, &q.var_names, true)?;
+    }
+    for cmp in &q.comparisons {
+        sep(f)?;
+        write!(
+            f,
+            "{} {} {}",
+            render_term(&cmp.lhs, &q.var_names),
+            cmp.op.symbol(),
+            render_term(&cmp.rhs, &q.var_names)
+        )?;
+    }
+    Ok(())
 }
 
 fn write_atom(
@@ -393,7 +401,35 @@ pub struct AggregateQuery {
     pub threshold: Value,
 }
 
+struct AggregateDisplay<'a> {
+    a: &'a AggregateQuery,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for AggregateDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[q({}(", self.a.func.name())?;
+        for (i, v) in self.a.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            f.write_str(&self.a.body.var_names[v.index()])?;
+        }
+        write!(f, ")) <- ")?;
+        write_body(f, &self.a.body, self.catalog)?;
+        write!(f, "] {} {}", self.a.op.symbol(), self.a.threshold)
+    }
+}
+
 impl AggregateQuery {
+    /// Renders the constraint in the parser's `[q(α(x̄)) <- body] θ c`
+    /// syntax. Aggregate arguments print before the body, matching the
+    /// parser's variable-numbering order, so the output reparses to an
+    /// equal AST.
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> impl fmt::Display + 'a {
+        AggregateDisplay { a: self, catalog }
+    }
+
     /// Validates the body plus the aggregate shape: argument arities,
     /// argument types, and threshold type.
     pub fn validate(&self, catalog: &Catalog) -> Result<(), QueryError> {
@@ -474,6 +510,27 @@ impl DenialConstraint {
     /// Whether the constraint is an aggregate query.
     pub fn is_aggregate(&self) -> bool {
         matches!(self, DenialConstraint::Aggregate(_))
+    }
+
+    /// Renders the constraint in the parser's surface syntax; the output
+    /// reparses to an equal AST (see `parser::tests` for the round-trip
+    /// property).
+    pub fn display<'a>(&'a self, catalog: &'a Catalog) -> impl fmt::Display + 'a {
+        ConstraintDisplay { dc: self, catalog }
+    }
+}
+
+struct ConstraintDisplay<'a> {
+    dc: &'a DenialConstraint,
+    catalog: &'a Catalog,
+}
+
+impl fmt::Display for ConstraintDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.dc {
+            DenialConstraint::Conjunctive(q) => q.display(self.catalog).fmt(f),
+            DenialConstraint::Aggregate(a) => a.display(self.catalog).fmt(f),
+        }
     }
 }
 

@@ -14,6 +14,7 @@
 use crate::ast::{AggFunc, AggregateQuery, CmpOp, ConjunctiveQuery, Term, Var};
 use bcdb_governor::{Budget, ExhaustionReason, UNGOVERNED};
 use bcdb_storage::{Database, RowId, Source, Tuple, Value, WorldMask};
+use bcdb_telemetry::probes;
 use rustc_hash::FxHashSet;
 use smallvec::SmallVec;
 use std::ops::ControlFlow;
@@ -495,6 +496,7 @@ fn recurse<'a>(
         if let Err(reason) = budget.charge_tuples(1) {
             return ControlFlow::Break(EvalBreak::Exhausted(reason));
         }
+        probes::QUERY_TUPLES_SCANNED.incr();
         // Unify the atom against the row, binding fresh variables by
         // reference — no Value clones on this innermost loop.
         let mut newly_bound: SmallVec<[Var; 8]> = SmallVec::new();
@@ -525,6 +527,7 @@ fn recurse<'a>(
         let mut ok = true;
         for &ci in &step.comparisons_after {
             if !eval_comparison_b(&q.comparisons[ci], binding) {
+                probes::QUERY_CMP_SHORT_CIRCUITS.incr();
                 ok = false;
                 break;
             }
@@ -608,6 +611,8 @@ fn eval_comparison_b(cmp: &crate::ast::Comparison, binding: &[Option<&Value>]) -
 /// Whether the query has at least one satisfying assignment in the world
 /// `mask` (the Boolean semantics of §5).
 pub fn evaluate_bool(db: &Database, pq: &PreparedQuery, mask: &WorldMask) -> bool {
+    probes::QUERY_WORLDS_EVALUATED.incr();
+    probes::QUERY_COLD_EVALS.incr();
     !for_each_match(db, pq, mask, EvalOptions::default(), |_| {
         ControlFlow::Break(())
     })
@@ -625,6 +630,8 @@ pub fn evaluate_bool_governed(
     mask: &WorldMask,
     budget: &Budget,
 ) -> Result<bool, ExhaustionReason> {
+    probes::QUERY_WORLDS_EVALUATED.incr();
+    probes::QUERY_COLD_EVALS.incr();
     for_each_match_governed(db, pq, mask, EvalOptions::default(), budget, |_| {
         ControlFlow::Break(())
     })
@@ -649,6 +656,8 @@ pub fn evaluate_bool_delta_governed(
     budget: &Budget,
 ) -> Result<bool, ExhaustionReason> {
     assert!(pq.seedable(), "delta seeding requires a negation-free query");
+    probes::QUERY_WORLDS_EVALUATED.incr();
+    probes::QUERY_DELTA_SEEDED_EVALS.incr();
     for plan in &pq.delta_plans {
         let completed = match_steps(
             db,
@@ -741,6 +750,8 @@ pub fn aggregate_value_governed(
     mask: &WorldMask,
     budget: &Budget,
 ) -> Result<Option<Value>, ExhaustionReason> {
+    probes::QUERY_WORLDS_EVALUATED.incr();
+    probes::QUERY_COLD_EVALS.incr();
     let mut assignments: FxHashSet<Vec<Value>> = FxHashSet::default();
     for_each_match_governed(db, &pa.body, mask, EvalOptions::default(), budget, |m| {
         assignments.insert(m.assignment.to_vec());

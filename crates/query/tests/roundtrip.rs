@@ -1,0 +1,201 @@
+//! Parser ↔ pretty-printer round-trip: for any constraint the parser
+//! accepts, `parse(display(parse(text)))` equals `parse(text)`, and the
+//! printed form is a fixpoint of printing. Randomized coverage spans
+//! conjunctive and aggregate constraints, negation, text constants, and
+//! all six θ comparators; a deterministic sweep pins every
+//! (aggregate function × comparator) pair.
+
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::{Catalog, RelationSchema, ValueType};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.add(
+        RelationSchema::new(
+            "R",
+            [
+                ("a", ValueType::Int),
+                ("t", ValueType::Text),
+                ("b", ValueType::Int),
+            ],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    cat
+}
+
+const INT_VARS: [&str; 4] = ["x", "y", "z", "w"];
+const TEXT_VARS: [&str; 2] = ["u", "v"];
+const TEXT_CONSTS: [&str; 3] = ["P1", "P2", "P3"];
+const OPS: [&str; 6] = ["=", "!=", "<", ">", "<=", ">="];
+
+/// A random, valid-by-construction denial constraint over R(a, t, b) / S(x):
+/// positive atoms bind variables (typed by position), negated atoms and
+/// comparisons use only bound variables or constants, and aggregate
+/// thresholds match the aggregate's result type.
+fn gen_constraint(seed: u64) -> String {
+    let mut g = TestRng::new(seed);
+    let mut int_bound: Vec<&str> = Vec::new();
+    let mut text_bound: Vec<&str> = Vec::new();
+    let mut parts: Vec<String> = Vec::new();
+
+    let n_atoms = 1 + g.below(2) as usize;
+    for _ in 0..n_atoms {
+        let int_term = |g: &mut TestRng, bound: &mut Vec<&str>| -> String {
+            if g.below(10) < 7 {
+                let v = INT_VARS[g.below(INT_VARS.len() as u64) as usize];
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+                v.to_string()
+            } else {
+                g.below(5).to_string()
+            }
+        };
+        if g.below(3) == 0 {
+            let a = int_term(&mut g, &mut int_bound);
+            parts.push(format!("S({a})"));
+        } else {
+            let a = int_term(&mut g, &mut int_bound);
+            let b = int_term(&mut g, &mut int_bound);
+            let t = if g.below(2) == 0 {
+                let v = TEXT_VARS[g.below(TEXT_VARS.len() as u64) as usize];
+                if !text_bound.contains(&v) {
+                    text_bound.push(v);
+                }
+                v.to_string()
+            } else {
+                format!("'{}'", TEXT_CONSTS[g.below(3) as usize])
+            };
+            parts.push(format!("R({a}, {t}, {b})"));
+        }
+    }
+    let aggregate = g.below(3) == 0;
+
+    let guarded_int = |g: &mut TestRng, bound: &[&str]| -> String {
+        if !bound.is_empty() && g.below(10) < 6 {
+            bound[g.below(bound.len() as u64) as usize].to_string()
+        } else {
+            g.below(5).to_string()
+        }
+    };
+
+    // Negated atoms only in boolean constraints (aggregate bodies stay
+    // positive, matching the paper's aggregate fragment).
+    if !aggregate && g.below(4) == 0 {
+        if g.below(2) == 0 || text_bound.is_empty() {
+            let a = guarded_int(&mut g, &int_bound);
+            parts.push(format!("!S({a})"));
+        } else {
+            let a = guarded_int(&mut g, &int_bound);
+            let b = guarded_int(&mut g, &int_bound);
+            let t = text_bound[g.below(text_bound.len() as u64) as usize];
+            parts.push(format!("!R({a}, {t}, {b})"));
+        }
+    }
+
+    if !int_bound.is_empty() && g.below(3) == 0 {
+        let v = int_bound[g.below(int_bound.len() as u64) as usize];
+        let rhs = guarded_int(&mut g, &int_bound);
+        let op = OPS[g.below(6) as usize];
+        parts.push(format!("{v} {op} {rhs}"));
+    }
+
+    let body = parts.join(", ");
+    if aggregate {
+        let op = OPS[g.below(6) as usize];
+        // Pick a function whose threshold type we can satisfy.
+        let choice = g.below(5);
+        let (func, threshold) = match choice {
+            1 if !int_bound.is_empty() => {
+                let v = int_bound[g.below(int_bound.len() as u64) as usize];
+                (format!("sum({v})"), g.below(5).to_string())
+            }
+            2 if !int_bound.is_empty() => {
+                let f = if g.below(2) == 0 { "max" } else { "min" };
+                let v = int_bound[g.below(int_bound.len() as u64) as usize];
+                (format!("{f}({v})"), g.below(5).to_string())
+            }
+            3 if !text_bound.is_empty() => {
+                // max/min over a text variable takes a text threshold.
+                let f = if g.below(2) == 0 { "max" } else { "min" };
+                let v = text_bound[g.below(text_bound.len() as u64) as usize];
+                let c = TEXT_CONSTS[g.below(3) as usize];
+                (format!("{f}({v})"), format!("'{c}'"))
+            }
+            4 if !int_bound.is_empty() || !text_bound.is_empty() => {
+                let v = if !int_bound.is_empty() && (text_bound.is_empty() || g.below(2) == 0) {
+                    int_bound[g.below(int_bound.len() as u64) as usize]
+                } else {
+                    text_bound[g.below(text_bound.len() as u64) as usize]
+                };
+                (format!("cntd({v})"), g.below(5).to_string())
+            }
+            _ => ("count()".to_string(), g.below(5).to_string()),
+        };
+        format!("[q({func}) <- {body}] {op} {threshold}")
+    } else {
+        format!("q() <- {body}")
+    }
+}
+
+#[track_caller]
+fn round_trip(text: &str, cat: &Catalog) {
+    let d1 = parse_denial_constraint(text, cat)
+        .unwrap_or_else(|e| panic!("unparseable '{text}': {e}"));
+    let printed = d1.display(cat).to_string();
+    let d2 = parse_denial_constraint(&printed, cat)
+        .unwrap_or_else(|e| panic!("printed form '{printed}' (from '{text}') unparseable: {e}"));
+    assert_eq!(d1, d2, "round-trip changed the AST: '{text}' -> '{printed}'");
+    assert_eq!(
+        printed,
+        d2.display(cat).to_string(),
+        "printing is not a fixpoint for '{text}'"
+    );
+}
+
+proptest! {
+    /// parse → display → parse yields an equal AST on random constraints.
+    #[test]
+    fn parse_display_parse_is_identity(seed in 0..u64::MAX) {
+        let cat = catalog();
+        round_trip(&gen_constraint(seed), &cat);
+    }
+}
+
+/// Every (aggregate function × comparator) pair and every comparator in a
+/// body comparison survives the round-trip.
+#[test]
+fn every_aggregate_function_and_comparator_round_trips() {
+    let cat = catalog();
+    for func in ["count()", "cntd(x)", "sum(x)", "max(x)", "min(x)"] {
+        for op in OPS {
+            round_trip(&format!("[q({func}) <- R(x, t, y), S(x)] {op} 3"), &cat);
+        }
+    }
+    for op in OPS {
+        round_trip(&format!("q() <- R(x, t, y), x {op} 2"), &cat);
+    }
+}
+
+/// Edge syntax: negation, text constants and thresholds, anonymous
+/// variables (which print under their generated `_anonN` names), and a
+/// body whose comparison precedes a positive atom in the source text.
+#[test]
+fn edge_syntax_round_trips() {
+    let cat = catalog();
+    for text in [
+        "q() <- R(x, 'P1', y), !S(x), y != 0",
+        "q() <- R(_, u, x), S(x)",
+        "q() <- S(x), x < 2, R(x, 'P2', y)",
+        "[q(max(u)) <- R(x, u, y)] = 'P1'",
+        "[q(count()) <- R(0, 'P3', 1)] >= 1",
+    ] {
+        round_trip(text, &cat);
+    }
+}

@@ -1,0 +1,514 @@
+//! Zero-dependency telemetry for the DCSat pipeline.
+//!
+//! The registry is a fixed, centrally declared probe table (see
+//! [`probes`]): counters, gauges, and log-scale latency histograms, each a
+//! `static` built from atomics so hot loops never take a lock. Telemetry is
+//! **off by default**; every probe starts with a single relaxed atomic load
+//! of the global enable flag and returns immediately when disabled. With the
+//! `off` cargo feature the flag check becomes a constant `false` and the
+//! optimizer deletes the probes outright.
+//!
+//! Reading happens through [`snapshot`], which walks the probe table in
+//! declaration order (deterministic, including under parallel solvers — the
+//! counters are plain atomic adds, so any interleaving sums to the same
+//! totals). The snapshot renders to JSON ([`TelemetrySnapshot::to_json`])
+//! for BENCH_dcsat.json and friends, and to an aligned phase table
+//! ([`TelemetrySnapshot::render_table`]) for `--telemetry` runs.
+//!
+//! Probe naming: `<crate>.<metric>` for counters and gauges
+//! (`graph.cliques_emitted`), `<crate>.phase.<phase>_ns` for phase timers
+//! (`core.phase.enumeration_ns`), plain `<crate>.<metric>_ns` for other
+//! latency histograms. To add a probe: declare the static in [`probes`],
+//! append it to the matching registry slice (`COUNTERS`, `GAUGES`, or
+//! `HISTOGRAMS`), and call it from the instrumented site.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+pub mod probes;
+
+/// The global enable flag. All probes consult this first.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is telemetry currently recording?
+///
+/// This is the entire disabled-path cost of a probe: one relaxed atomic
+/// load. With the `off` feature it is a constant `false`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    if cfg!(feature = "off") {
+        false
+    } else {
+        ENABLED.load(Ordering::Relaxed)
+    }
+}
+
+/// Turns recording on or off. Has no effect under the `off` feature.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// A monotonically increasing event count.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A new counter; declare these as `static`s in [`probes`].
+    pub const fn new(name: &'static str) -> Counter {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The probe name (`<crate>.<metric>`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` events if telemetry is enabled.
+    #[inline(always)]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds one event if telemetry is enabled.
+    #[inline(always)]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// The current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-write-wins level (e.g. the current degradation rung).
+pub struct Gauge {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A new gauge; declare these as `static`s in [`probes`].
+    pub const fn new(name: &'static str) -> Gauge {
+        Gauge {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The probe name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records the current level if telemetry is enabled.
+    #[inline(always)]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if it is below it (enabled only).
+    #[inline(always)]
+    pub fn fetch_max(&self, v: u64) {
+        if enabled() {
+            self.value.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// The last recorded level.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Bucket count: slot 0 holds exact zeros, slot `i >= 1` holds values in
+/// `[2^(i-1), 2^i)`, so every `u64` has a home (`u64::MAX` lands in 64).
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in nanoseconds by
+/// convention for probes named `*_ns`).
+pub struct Histogram {
+    name: &'static str,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// The bucket a sample falls into: 0 for 0, else `ilog2 + 1`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        (64 - v.leading_zeros()) as usize
+    }
+}
+
+/// The half-open `[lo, hi)` range bucket `i` covers (`hi = None` means the
+/// bucket is unbounded above, which only happens for the last one).
+pub fn bucket_bounds(i: usize) -> (u64, Option<u64>) {
+    if i == 0 {
+        (0, Some(1))
+    } else {
+        let lo = 1u64 << (i - 1);
+        let hi = if i >= 64 { None } else { Some(1u64 << i) };
+        (lo, hi)
+    }
+}
+
+impl Histogram {
+    /// A new histogram; declare these as `static`s in [`probes`].
+    pub const fn new(name: &'static str) -> Histogram {
+        Histogram {
+            name,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }
+    }
+
+    /// The probe name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Records one sample if telemetry is enabled.
+    #[inline(always)]
+    pub fn record(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.record_always(v);
+    }
+
+    fn record_always(&self, v: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Starts a span whose elapsed nanoseconds land in this histogram when
+    /// the guard drops. Disabled telemetry pays one atomic load and takes
+    /// no clock reading.
+    #[inline(always)]
+    pub fn span(&'static self) -> Span {
+        Span {
+            hist: self,
+            start: if enabled() { Some(Instant::now()) } else { None },
+        }
+    }
+
+    fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// A live timing guard from [`Histogram::span`].
+pub struct Span {
+    hist: &'static Histogram,
+    start: Option<Instant>,
+}
+
+impl Span {
+    /// Stops the span early (otherwise it stops when dropped).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            // The flag may have flipped mid-span; record anyway so spans
+            // opened while enabled are never lost.
+            self.hist
+                .record_always(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+/// Zeroes every probe in the registry. Call before a measured run so the
+/// snapshot covers exactly that run.
+pub fn reset() {
+    for c in probes::COUNTERS {
+        c.reset();
+    }
+    for g in probes::GAUGES {
+        g.reset();
+    }
+    for h in probes::HISTOGRAMS {
+        h.reset();
+    }
+}
+
+/// A point-in-time copy of one counter or gauge.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScalarSnapshot {
+    /// Probe name.
+    pub name: &'static str,
+    /// Current value.
+    pub value: u64,
+}
+
+/// A point-in-time copy of one histogram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Probe name.
+    pub name: &'static str,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// `(bucket_index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(usize, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Upper bound of the bucket holding the `q`-quantile sample
+    /// (`q` in 0..=100); 0 when empty. Log-bucketed, so this is an
+    /// order-of-magnitude estimate, which is what phase tables need.
+    pub fn quantile(&self, q: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (self.count * q).div_ceil(100).max(1);
+        let mut seen = 0;
+        for &(i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return hi.map(|h| h - 1).unwrap_or(lo);
+            }
+        }
+        self.max
+    }
+}
+
+/// Everything the registry held at one instant, in declaration order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    /// All counters, including zero ones.
+    pub counters: Vec<ScalarSnapshot>,
+    /// All gauges, including zero ones.
+    pub gauges: Vec<ScalarSnapshot>,
+    /// All histograms, including empty ones.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+/// Reads the whole probe table.
+pub fn snapshot() -> TelemetrySnapshot {
+    TelemetrySnapshot {
+        counters: probes::COUNTERS
+            .iter()
+            .map(|c| ScalarSnapshot {
+                name: c.name(),
+                value: c.get(),
+            })
+            .collect(),
+        gauges: probes::GAUGES
+            .iter()
+            .map(|g| ScalarSnapshot {
+                name: g.name(),
+                value: g.get(),
+            })
+            .collect(),
+        histograms: probes::HISTOGRAMS
+            .iter()
+            .map(|h| {
+                let count = h.count.load(Ordering::Relaxed);
+                HistogramSnapshot {
+                    name: h.name(),
+                    count,
+                    sum: h.sum.load(Ordering::Relaxed),
+                    min: if count == 0 {
+                        0
+                    } else {
+                        h.min.load(Ordering::Relaxed)
+                    },
+                    max: h.max.load(Ordering::Relaxed),
+                    buckets: h
+                        .buckets
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, b)| {
+                            let n = b.load(Ordering::Relaxed);
+                            (n > 0).then_some((i, n))
+                        })
+                        .collect(),
+                }
+            })
+            .collect(),
+    }
+}
+
+impl TelemetrySnapshot {
+    /// Named probes that actually fired (non-zero counters and gauges,
+    /// non-empty histograms).
+    pub fn active_probes(&self) -> usize {
+        self.counters.iter().filter(|c| c.value > 0).count()
+            + self.gauges.iter().filter(|g| g.value > 0).count()
+            + self.histograms.iter().filter(|h| h.count > 0).count()
+    }
+
+    /// Renders the snapshot as one JSON object (probe names are static
+    /// identifiers, so no escaping is needed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\"counters\":{");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", c.name, c.value));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, g) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", g.name, g.value));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p99\":{},\"buckets\":[",
+                h.name,
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(50),
+                h.quantile(99),
+            ));
+            for (j, &(b, n)) in h.buckets.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let (lo, _) = bucket_bounds(b);
+                out.push_str(&format!("[{lo},{n}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders a human-readable table: phase timings first, then event
+    /// counters, skipping probes that never fired.
+    pub fn render_table(&self) -> String {
+        fn ns(v: u64) -> String {
+            if v >= 1_000_000_000 {
+                format!("{:.2}s", v as f64 / 1e9)
+            } else if v >= 1_000_000 {
+                format!("{:.2}ms", v as f64 / 1e6)
+            } else if v >= 1_000 {
+                format!("{:.1}us", v as f64 / 1e3)
+            } else {
+                format!("{v}ns")
+            }
+        }
+        let mut out = String::new();
+        let hists: Vec<_> = self.histograms.iter().filter(|h| h.count > 0).collect();
+        if !hists.is_empty() {
+            out.push_str(&format!(
+                "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                "phase", "count", "total", "mean", "p50", "p99"
+            ));
+            for h in hists {
+                out.push_str(&format!(
+                    "{:<32} {:>8} {:>10} {:>10} {:>10} {:>10}\n",
+                    h.name,
+                    h.count,
+                    ns(h.sum),
+                    ns(h.mean()),
+                    ns(h.quantile(50)),
+                    ns(h.quantile(99)),
+                ));
+            }
+        }
+        let scalars: Vec<_> = self
+            .counters
+            .iter()
+            .filter(|c| c.value > 0)
+            .chain(self.gauges.iter().filter(|g| g.value > 0))
+            .collect();
+        if !scalars.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&format!("{:<32} {:>12}\n", "counter", "value"));
+            for s in scalars {
+                out.push_str(&format!("{:<32} {:>12}\n", s.name, s.value));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no probes fired)\n");
+        }
+        out
+    }
+}
+
+/// RAII guard: enables telemetry on creation, restores the previous state
+/// on drop. Lets tests and CLI runs scope recording without global leaks.
+pub struct EnabledGuard {
+    was: bool,
+}
+
+impl EnabledGuard {
+    /// Enables telemetry until the guard drops.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> EnabledGuard {
+        let was = enabled();
+        set_enabled(true);
+        EnabledGuard { was }
+    }
+}
+
+impl Drop for EnabledGuard {
+    fn drop(&mut self) {
+        set_enabled(self.was);
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,112 @@
+//! The central probe table.
+//!
+//! Every probe in the workspace is declared here so snapshots are complete
+//! and deterministically ordered, and so call sites across crates never
+//! race on registration. To add a probe: declare the static, add it to the
+//! matching registry slice below, then call it from the instrumented site
+//! (see the DESIGN.md telemetry section for the naming scheme).
+
+use crate::{Counter, Gauge, Histogram};
+
+// ---- bcdb-graph: Bron–Kerbosch clique enumeration ----
+
+/// Maximal cliques emitted by the governed enumerator.
+pub static GRAPH_CLIQUES_EMITTED: Counter = Counter::new("graph.cliques_emitted");
+/// Intra-component subproblems split off for the two-level scheduler.
+pub static GRAPH_SUBPROBLEMS_SPAWNED: Counter = Counter::new("graph.subproblems_spawned");
+/// Candidate vertices skipped because they neighbour the Tomita pivot.
+pub static GRAPH_PIVOT_CANDIDATES_PRUNED: Counter = Counter::new("graph.pivot_candidates_pruned");
+/// Wall time of one component's (or subproblem's) clique enumeration.
+pub static GRAPH_COMPONENT_BK_NS: Histogram = Histogram::new("graph.component_bk_ns");
+
+// ---- bcdb-query: world evaluation ----
+
+/// Boolean query evaluations (one per candidate world checked).
+pub static QUERY_WORLDS_EVALUATED: Counter = Counter::new("query.worlds_evaluated");
+/// World evaluations answered through a delta-seeded plan.
+pub static QUERY_DELTA_SEEDED_EVALS: Counter = Counter::new("query.delta_seeded_evals");
+/// World evaluations that had to scan from scratch.
+pub static QUERY_COLD_EVALS: Counter = Counter::new("query.cold_evals");
+/// Tuples inspected by the join recursion.
+pub static QUERY_TUPLES_SCANNED: Counter = Counter::new("query.tuples_scanned");
+/// θ-comparisons that failed and cut a join branch.
+pub static QUERY_CMP_SHORT_CIRCUITS: Counter = Counter::new("query.cmp_short_circuits");
+
+// ---- bcdb-core: DCSat phases ----
+
+/// GfTd precompute (conflict graph + FD caches) wall time.
+pub static CORE_PHASE_PRECOMPUTE_NS: Histogram = Histogram::new("core.phase.precompute_ns");
+/// Θq equality derivation + Gq,ind component split wall time.
+pub static CORE_PHASE_THETA_NS: Histogram = Histogram::new("core.phase.theta_ns");
+/// Constant-cover construction wall time.
+pub static CORE_PHASE_COVERS_NS: Histogram = Histogram::new("core.phase.covers_ns");
+/// Clique/world enumeration wall time (drive loop).
+pub static CORE_PHASE_ENUMERATION_NS: Histogram = Histogram::new("core.phase.enumeration_ns");
+/// Per-world constraint check wall time.
+pub static CORE_PHASE_WORLD_CHECKS_NS: Histogram = Histogram::new("core.phase.world_checks_ns");
+/// Base-verdict cache hits (epoch-tagged hint supplied by the monitor).
+pub static CORE_BASE_CACHE_HITS: Counter = Counter::new("core.base_cache_hits");
+/// Monotone prechecks that settled the verdict without enumeration.
+pub static CORE_PRECHECK_SHORT_CIRCUITS: Counter = Counter::new("core.precheck_short_circuits");
+
+// ---- bcdb-governor: budgets and degradation ----
+
+/// Deadline-check ticks consumed across all governed loops.
+pub static GOVERNOR_TICKS: Counter = Counter::new("governor.ticks");
+/// Tuples charged against budgets.
+pub static GOVERNOR_TUPLES_CHARGED: Counter = Counter::new("governor.tuples_charged");
+/// Degradation-ladder rung transitions taken after exhaustion.
+pub static GOVERNOR_DEGRADATION_TRANSITIONS: Counter =
+    Counter::new("governor.degradation_transitions");
+/// Deepest degradation rung reached (1-based; 0 = never degraded).
+pub static GOVERNOR_DEGRADATION_RUNG: Gauge = Gauge::new("governor.degradation_rung");
+/// Retry attempts issued by `RetryPolicy::run`.
+pub static GOVERNOR_RETRY_ATTEMPTS: Counter = Counter::new("governor.retry_attempts");
+
+// ---- bcdb-monitor: epochs and the journal ----
+
+/// Incremental event-apply wall time (TxArrived/TxEvicted).
+pub static MONITOR_APPLY_NS: Histogram = Histogram::new("monitor.apply_ns");
+/// Snapshot-rebuild wall time (TxMined/Reorg).
+pub static MONITOR_REBUILD_NS: Histogram = Histogram::new("monitor.rebuild_ns");
+/// Journal record append (write + flush) wall time.
+pub static MONITOR_JOURNAL_APPEND_NS: Histogram = Histogram::new("monitor.journal_append_ns");
+/// Journal recovery (full replay scan) wall time.
+pub static MONITOR_JOURNAL_REPLAY_NS: Histogram = Histogram::new("monitor.journal_replay_ns");
+/// Latest chain epoch observed by the monitor.
+pub static MONITOR_EPOCH: Gauge = Gauge::new("monitor.epoch");
+
+/// Every counter, in snapshot order.
+pub static COUNTERS: &[&Counter] = &[
+    &GRAPH_CLIQUES_EMITTED,
+    &GRAPH_SUBPROBLEMS_SPAWNED,
+    &GRAPH_PIVOT_CANDIDATES_PRUNED,
+    &QUERY_WORLDS_EVALUATED,
+    &QUERY_DELTA_SEEDED_EVALS,
+    &QUERY_COLD_EVALS,
+    &QUERY_TUPLES_SCANNED,
+    &QUERY_CMP_SHORT_CIRCUITS,
+    &CORE_BASE_CACHE_HITS,
+    &CORE_PRECHECK_SHORT_CIRCUITS,
+    &GOVERNOR_TICKS,
+    &GOVERNOR_TUPLES_CHARGED,
+    &GOVERNOR_DEGRADATION_TRANSITIONS,
+    &GOVERNOR_RETRY_ATTEMPTS,
+];
+
+/// Every gauge, in snapshot order.
+pub static GAUGES: &[&Gauge] = &[&GOVERNOR_DEGRADATION_RUNG, &MONITOR_EPOCH];
+
+/// Every histogram, in snapshot order.
+pub static HISTOGRAMS: &[&Histogram] = &[
+    &GRAPH_COMPONENT_BK_NS,
+    &CORE_PHASE_PRECOMPUTE_NS,
+    &CORE_PHASE_THETA_NS,
+    &CORE_PHASE_COVERS_NS,
+    &CORE_PHASE_ENUMERATION_NS,
+    &CORE_PHASE_WORLD_CHECKS_NS,
+    &MONITOR_APPLY_NS,
+    &MONITOR_REBUILD_NS,
+    &MONITOR_JOURNAL_APPEND_NS,
+    &MONITOR_JOURNAL_REPLAY_NS,
+];

@@ -1,0 +1,236 @@
+//! Unit tests: bucket edges, quantiles, snapshot shape, and the
+//! enabled/disabled contract. Tests that flip the global flag or touch the
+//! shared probe table serialize on [`LOCK`].
+
+use super::*;
+use std::sync::Mutex;
+
+/// Serializes tests that mutate global telemetry state.
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[test]
+fn bucket_index_edges() {
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(2), 2);
+    assert_eq!(bucket_index(3), 2);
+    assert_eq!(bucket_index(4), 3);
+    // Every power of two starts its own bucket; its predecessor closes the
+    // previous one.
+    for k in 1..64u32 {
+        let p = 1u64 << k;
+        assert_eq!(bucket_index(p), k as usize + 1, "2^{k}");
+        assert_eq!(bucket_index(p - 1), k as usize, "2^{k}-1");
+    }
+    assert_eq!(bucket_index(u64::MAX), 64);
+    assert!(bucket_index(u64::MAX) < HISTOGRAM_BUCKETS);
+}
+
+#[test]
+fn bucket_bounds_partition_u64() {
+    assert_eq!(bucket_bounds(0), (0, Some(1)));
+    assert_eq!(bucket_bounds(1), (1, Some(2)));
+    assert_eq!(bucket_bounds(64), (1u64 << 63, None));
+    // Consecutive buckets tile the line with no gap or overlap.
+    for i in 0..HISTOGRAM_BUCKETS - 1 {
+        let (_, hi) = bucket_bounds(i);
+        let (lo_next, _) = bucket_bounds(i + 1);
+        assert_eq!(hi, Some(lo_next), "bucket {i}");
+    }
+    // Values land inside their own bucket's bounds.
+    for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+        let (lo, hi) = bucket_bounds(bucket_index(v));
+        assert!(v >= lo, "{v} >= {lo}");
+        if let Some(hi) = hi {
+            assert!(v < hi, "{v} < {hi}");
+        }
+    }
+}
+
+#[test]
+fn histogram_records_edges_and_stats() {
+    let _g = lock();
+    reset();
+    let _e = EnabledGuard::new();
+    let h = &probes::GRAPH_COMPONENT_BK_NS;
+    for v in [0u64, 1, 1, 2, 1023, 1024, u64::MAX] {
+        h.record(v);
+    }
+    let snap = snapshot();
+    let hs = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "graph.component_bk_ns")
+        .unwrap();
+    assert_eq!(hs.count, 7);
+    assert_eq!(hs.min, 0);
+    assert_eq!(hs.max, u64::MAX);
+    let by_bucket: std::collections::HashMap<usize, u64> = hs.buckets.iter().copied().collect();
+    assert_eq!(by_bucket[&bucket_index(0)], 1);
+    assert_eq!(by_bucket[&bucket_index(1)], 2);
+    assert_eq!(by_bucket[&bucket_index(1023)], 1, "1023 in bucket 10");
+    assert_eq!(by_bucket[&bucket_index(1024)], 1, "1024 in bucket 11");
+    assert_eq!(by_bucket[&bucket_index(u64::MAX)], 1);
+    reset();
+}
+
+#[test]
+fn quantiles_come_from_bucket_upper_bounds() {
+    let snap = HistogramSnapshot {
+        name: "t",
+        count: 100,
+        sum: 0,
+        min: 1,
+        max: 700,
+        // 50 samples in [1,2), 49 in [512,1024), 1 in [1024, 2048).
+        buckets: vec![(1, 50), (10, 49), (11, 1)],
+    };
+    assert_eq!(snap.quantile(50), 1); // 50th sample closes bucket 1
+    assert_eq!(snap.quantile(51), 1023);
+    assert_eq!(snap.quantile(99), 1023);
+    assert_eq!(snap.quantile(100), 2047);
+    let empty = HistogramSnapshot {
+        name: "e",
+        count: 0,
+        sum: 0,
+        min: 0,
+        max: 0,
+        buckets: vec![],
+    };
+    assert_eq!(empty.quantile(50), 0);
+    assert_eq!(empty.mean(), 0);
+}
+
+#[test]
+fn disabled_probes_record_nothing() {
+    let _g = lock();
+    reset();
+    set_enabled(false);
+    probes::GRAPH_CLIQUES_EMITTED.add(7);
+    probes::MONITOR_EPOCH.set(9);
+    probes::CORE_PHASE_ENUMERATION_NS.record(123);
+    let s = probes::CORE_PHASE_ENUMERATION_NS.span();
+    drop(s);
+    assert_eq!(probes::GRAPH_CLIQUES_EMITTED.get(), 0);
+    assert_eq!(probes::MONITOR_EPOCH.get(), 0);
+    assert_eq!(snapshot().active_probes(), 0);
+}
+
+#[test]
+fn enabled_guard_scopes_recording() {
+    let _g = lock();
+    reset();
+    set_enabled(false);
+    {
+        let _e = EnabledGuard::new();
+        assert!(enabled());
+        probes::GRAPH_CLIQUES_EMITTED.incr();
+        probes::GOVERNOR_DEGRADATION_RUNG.fetch_max(2);
+        probes::GOVERNOR_DEGRADATION_RUNG.fetch_max(1);
+    }
+    assert!(!enabled());
+    assert_eq!(probes::GRAPH_CLIQUES_EMITTED.get(), 1);
+    assert_eq!(probes::GOVERNOR_DEGRADATION_RUNG.get(), 2);
+    reset();
+}
+
+#[test]
+fn span_measures_elapsed_time() {
+    let _g = lock();
+    reset();
+    let _e = EnabledGuard::new();
+    {
+        let s = probes::MONITOR_APPLY_NS.span();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        s.finish();
+    }
+    let snap = snapshot();
+    let hs = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "monitor.apply_ns")
+        .unwrap();
+    assert_eq!(hs.count, 1);
+    assert!(hs.sum >= 2_000_000, "slept 2ms, recorded {}ns", hs.sum);
+    reset();
+}
+
+#[test]
+fn snapshot_json_and_table_render() {
+    let _g = lock();
+    reset();
+    let _e = EnabledGuard::new();
+    probes::QUERY_TUPLES_SCANNED.add(41);
+    probes::CORE_PHASE_WORLD_CHECKS_NS.record(1500);
+    let snap = snapshot();
+    let json = snap.to_json();
+    assert!(json.starts_with('{') && json.ends_with('}'));
+    assert!(json.contains("\"query.tuples_scanned\":41"));
+    assert!(json.contains("\"core.phase.world_checks_ns\":{\"count\":1"));
+    // Every registered probe appears, fired or not.
+    for c in probes::COUNTERS {
+        assert!(json.contains(&format!("\"{}\":", c.name())), "{}", c.name());
+    }
+    let table = snap.render_table();
+    assert!(table.contains("core.phase.world_checks_ns"));
+    assert!(table.contains("query.tuples_scanned"));
+    assert!(!table.contains("graph.cliques_emitted"), "zero probes hidden");
+    reset();
+}
+
+#[test]
+fn registry_names_are_unique_and_follow_the_scheme() {
+    let mut names: Vec<&str> = probes::COUNTERS
+        .iter()
+        .map(|c| c.name())
+        .chain(probes::GAUGES.iter().map(|g| g.name()))
+        .chain(probes::HISTOGRAMS.iter().map(|h| h.name()))
+        .collect();
+    assert!(names.len() >= 12, "probe floor: {}", names.len());
+    for n in &names {
+        let crate_prefix = n.split('.').next().unwrap();
+        assert!(
+            ["graph", "query", "core", "governor", "monitor"].contains(&crate_prefix),
+            "probe {n} must be <crate>.<metric>"
+        );
+    }
+    for h in probes::HISTOGRAMS {
+        assert!(h.name().ends_with("_ns"), "{} is a latency probe", h.name());
+    }
+    let total = names.len();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), total, "duplicate probe names");
+}
+
+#[test]
+fn counters_sum_identically_across_thread_interleavings() {
+    let _g = lock();
+    reset();
+    let _e = EnabledGuard::new();
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..10_000 {
+                    probes::GRAPH_CLIQUES_EMITTED.incr();
+                    probes::GRAPH_COMPONENT_BK_NS.record(8);
+                }
+            });
+        }
+    });
+    assert_eq!(probes::GRAPH_CLIQUES_EMITTED.get(), 40_000);
+    let snap = snapshot();
+    let hs = snap
+        .histograms
+        .iter()
+        .find(|h| h.name == "graph.component_bk_ns")
+        .unwrap();
+    assert_eq!(hs.count, 40_000);
+    assert_eq!(hs.sum, 320_000);
+    assert_eq!(hs.buckets, vec![(4, 40_000)]);
+    reset();
+}

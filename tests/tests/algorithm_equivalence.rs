@@ -1,13 +1,8 @@
-//! Property tests: every DCSat algorithm agrees with the exhaustive
-//! possible-worlds oracle on randomized blockchain databases.
+//! Property tests: Poss(D) membership recognition agrees with exhaustive
+//! enumeration on randomized blockchain databases. (Cross-algorithm
+//! agreement lives in the N-way differential harness, `solver_matrix.rs`.)
 
-use bcdb_core::{
-    dcsat, is_possible_world, Algorithm, BlockchainDb, DcSatOptions, Precomputed,
-    PreparedConstraint,
-};
-use bcdb_query::{
-    atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
-};
+use bcdb_core::{is_possible_world, BlockchainDb, Precomputed};
 use bcdb_storage::{
     tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, Tuple, TxId, ValueType,
 };
@@ -87,27 +82,6 @@ fn build_db(
     Some(db)
 }
 
-/// A fixed pool of denial constraints spanning the query classes.
-fn query_pool() -> Vec<&'static str> {
-    vec![
-        "q() <- R(x, y)",
-        "q() <- R(x, 1)",
-        "q() <- R(x, y), S(x)",
-        "q() <- R(x, y), R(y, z)",
-        "q() <- R(x, y), x != y",
-        "q() <- R(x, y), !S(y)",
-        "q() <- S(x), !R(x, x)",
-        "q() <- R(x, y), R(x2, y), x != x2",
-        "[q(count()) <- R(x, y)] > 2",
-        "[q(count()) <- R(x, y)] < 2",
-        "[q(sum(y)) <- R(x, y)] > 3",
-        "[q(sum(y)) <- R(x, y)] <= 2",
-        "[q(max(y)) <- R(x, y)] = 2",
-        "[q(cntd(x)) <- R(x, y)] > 1",
-        "[q(min(y)) <- R(x, y)] < 1",
-    ]
-}
-
 fn regime_strategy() -> impl Strategy<Value = Regime> {
     prop_oneof![
         Just(Regime::None),
@@ -133,82 +107,6 @@ proptest! {
         cases: 96,
         ..ProptestConfig::default()
     })]
-
-    /// Every algorithm that accepts the instance agrees with the oracle,
-    /// and every witness is a genuine possible world satisfying the query.
-    #[test]
-    fn algorithms_agree_with_oracle(
-        regime in regime_strategy(),
-        base_r in prop::collection::vec((value(), value()), 0..4),
-        base_s in prop::collection::vec(value(), 0..2),
-        txs in prop::collection::vec(tx_strategy(), 1..5),
-        query_idx in 0..15usize,
-    ) {
-        let Some(mut db) = build_db(regime, &base_r, &base_s, &txs) else {
-            return Ok(()); // inconsistent base: not a blockchain database
-        };
-        let text = query_pool()[query_idx];
-        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
-
-        let oracle = dcsat(&mut db, &dc, &DcSatOptions {
-            algorithm: Algorithm::Oracle, ..DcSatOptions::default()
-        }).unwrap();
-
-        // Auto must always agree.
-        let auto = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
-        prop_assert_eq!(auto.satisfied, oracle.satisfied,
-            "auto ({}) vs oracle on {} / {:?}", auto.stats.algorithm, text, regime);
-
-        // Naive: sound for monotonic constraints.
-        if monotonicity(&dc).is_monotone() {
-            let naive = dcsat(&mut db, &dc, &DcSatOptions {
-                algorithm: Algorithm::Naive, use_precheck: false,
-                ..DcSatOptions::default()
-            }).unwrap();
-            prop_assert_eq!(naive.satisfied, oracle.satisfied,
-                "naive vs oracle on {} / {:?}", text, regime);
-            // With the pre-check too.
-            let naive_pc = dcsat(&mut db, &dc, &DcSatOptions {
-                algorithm: Algorithm::Naive, ..DcSatOptions::default()
-            }).unwrap();
-            prop_assert_eq!(naive_pc.satisfied, oracle.satisfied);
-        }
-
-        // Opt: sound for monotonic + connected + atom-graph-complete
-        // (Proposition 2's data-independent safety condition).
-        if let DenialConstraint::Conjunctive(q) = &dc {
-            if monotonicity(&dc).is_monotone() && is_connected(q) && atom_graph_complete(q) {
-                for (covers, parallel) in [(true, false), (false, false), (true, true)] {
-                    let opt = dcsat(&mut db, &dc, &DcSatOptions {
-                        algorithm: Algorithm::Opt, use_precheck: false,
-                        use_covers: covers, parallel,
-                        ..DcSatOptions::default()
-                    }).unwrap();
-                    prop_assert_eq!(opt.satisfied, oracle.satisfied,
-                        "opt(covers={},par={}) vs oracle on {} / {:?}",
-                        covers, parallel, text, regime);
-                }
-            }
-        }
-
-        // Tractable: whenever the router claims applicability.
-        let tract = dcsat(&mut db, &dc, &DcSatOptions {
-            algorithm: Algorithm::Tractable, ..DcSatOptions::default()
-        });
-        if let Ok(t) = tract {
-            prop_assert_eq!(t.satisfied, oracle.satisfied,
-                "tractable ({}) vs oracle on {} / {:?}", t.stats.algorithm, text, regime);
-        }
-
-        // Witness validity.
-        if let Some(w) = &oracle.witness {
-            let pre = Precomputed::build(&db);
-            let txids: Vec<TxId> = w.txs().collect();
-            prop_assert!(is_possible_world(&db, &pre, &txids));
-            let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
-            prop_assert!(pc.holds(db.database(), w));
-        }
-    }
 
     /// Poss(D) membership: every enumerated world passes Proposition 1
     /// recognition, and recognition rejects any superset that the

@@ -1,0 +1,204 @@
+//! Shared random-instance machinery for the differential and metamorphic
+//! suites: a generated schema/constraint/mempool/denial-constraint tuple
+//! plus its blockchain-database builder.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use bcdb_core::{BlockchainDb, BudgetSpec};
+use bcdb_storage::{
+    tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, Tuple, Value, ValueType,
+};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+/// One generated differential-test instance: a random schema (R of arity 2
+/// or 3, plus S), random integrity constraints, a random repaired base,
+/// random pending transactions, and a random denial constraint.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    pub arity: usize,
+    pub key: bool,
+    pub ind: bool,
+    pub base_r: Vec<Vec<i64>>,
+    pub base_s: Vec<i64>,
+    pub txs: Vec<(Vec<Vec<i64>>, Vec<i64>)>,
+    pub query: String,
+}
+
+pub const VARS: [&str; 4] = ["x", "y", "z", "w"];
+pub const OPS: [&str; 6] = ["=", "!=", "<", ">", "<=", ">="];
+
+/// A random, safe-by-construction denial constraint over R/S: positive
+/// atoms bind variables; negated atoms and θ-comparisons only use bound
+/// variables or constants; aggregates (all five functions, all six
+/// comparators) aggregate a bound variable.
+pub fn gen_query(arity: usize, seed: u64) -> String {
+    let mut g = TestRng::new(seed);
+    let mut bound: Vec<&str> = Vec::new();
+    let mut parts: Vec<String> = Vec::new();
+
+    // Positive atoms, introducing variables.
+    let n_atoms = 1 + g.below(2) as usize;
+    for _ in 0..n_atoms {
+        let term = |g: &mut TestRng, bound: &mut Vec<&str>| -> String {
+            if g.below(10) < 7 {
+                let v = VARS[g.below(VARS.len() as u64) as usize];
+                if !bound.contains(&v) {
+                    bound.push(v);
+                }
+                v.to_string()
+            } else {
+                g.below(4).to_string()
+            }
+        };
+        if g.below(3) == 0 {
+            let a = term(&mut g, &mut bound);
+            parts.push(format!("S({a})"));
+        } else {
+            let args: Vec<String> = (0..arity).map(|_| term(&mut g, &mut bound)).collect();
+            parts.push(format!("R({})", args.join(", ")));
+        }
+    }
+    let aggregate = g.below(3) == 0;
+
+    // A guarded term: only already-bound variables or constants.
+    let guarded = |g: &mut TestRng, bound: &[&str]| -> String {
+        if !bound.is_empty() && g.below(10) < 6 {
+            bound[g.below(bound.len() as u64) as usize].to_string()
+        } else {
+            g.below(4).to_string()
+        }
+    };
+
+    // Optionally one negated atom (boolean queries only — aggregate bodies
+    // stay positive, matching the paper's aggregate fragment).
+    if !aggregate && g.below(4) == 0 {
+        if g.below(2) == 0 {
+            let a = guarded(&mut g, &bound);
+            parts.push(format!("!S({a})"));
+        } else {
+            let args: Vec<String> = (0..arity).map(|_| guarded(&mut g, &bound)).collect();
+            parts.push(format!("!R({})", args.join(", ")));
+        }
+    }
+
+    // Optionally one θ-comparison over a bound variable.
+    if !bound.is_empty() && g.below(3) == 0 {
+        let v = bound[g.below(bound.len() as u64) as usize];
+        let rhs = guarded(&mut g, &bound);
+        let op = OPS[g.below(6) as usize];
+        parts.push(format!("{v} {op} {rhs}"));
+    }
+
+    let body = parts.join(", ");
+    if aggregate {
+        let func = if bound.is_empty() || g.below(5) == 0 {
+            "count()".to_string()
+        } else {
+            let f = ["sum", "max", "min", "cntd"][g.below(4) as usize];
+            let v = bound[g.below(bound.len() as u64) as usize];
+            format!("{f}({v})")
+        };
+        let op = OPS[g.below(6) as usize];
+        let c = g.below(5);
+        format!("[q({func}) <- {body}] {op} {c}")
+    } else {
+        format!("q() <- {body}")
+    }
+}
+
+pub fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (2..=3usize).prop_flat_map(|arity| {
+        let row = move || prop::collection::vec(0..4i64, arity..=arity);
+        (
+            prop::bool::ANY,
+            prop::bool::ANY,
+            prop::collection::vec(row(), 0..4),
+            prop::collection::vec(0..4i64, 0..2),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(row(), 0..3),
+                    prop::collection::vec(0..4i64, 0..2),
+                )
+                    .prop_filter("transactions must be non-empty", |(r, s)| {
+                        !r.is_empty() || !s.is_empty()
+                    }),
+                1..5,
+            ),
+            0..u64::MAX,
+        )
+            .prop_map(move |(key, ind, base_r, base_s, txs, qseed)| Instance {
+                arity,
+                key,
+                ind,
+                base_r,
+                base_s,
+                txs,
+                query: gen_query(arity, qseed),
+            })
+    })
+}
+
+/// Builds the blockchain database for an instance: R of the given arity
+/// with an optional key on its first column, S(x) with an optional IND
+/// S[x] ⊆ R[first]. The random base is repaired so R |= I holds (first
+/// tuple per key wins; dangling S rows are dropped).
+pub fn build_db(inst: &Instance) -> Option<BlockchainDb> {
+    let mut cat = Catalog::new();
+    let cols: Vec<(String, ValueType)> = (0..inst.arity)
+        .map(|i| (format!("c{i}"), ValueType::Int))
+        .collect();
+    cat.add(RelationSchema::new("R", cols).unwrap()).unwrap();
+    cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    if inst.key {
+        cs.add_fd(Fd::named_key(&cat, "R", &["c0"]).unwrap());
+    }
+    if inst.ind {
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["c0"]).unwrap());
+    }
+    let mut db = BlockchainDb::new(cat, cs);
+    let r = db.database().catalog().resolve("R").unwrap();
+    let s = db.database().catalog().resolve("S").unwrap();
+    let mut seen_keys = std::collections::HashSet::new();
+    let mut kept_keys = std::collections::HashSet::new();
+    for row in &inst.base_r {
+        if inst.key && !seen_keys.insert(row[0]) {
+            continue;
+        }
+        kept_keys.insert(row[0]);
+        db.insert_current(r, Tuple::new(row.iter().map(|&v| Value::Int(v)))).unwrap();
+    }
+    for &x in &inst.base_s {
+        if inst.ind && !kept_keys.contains(&x) {
+            continue;
+        }
+        db.insert_current(s, tuple![x]).unwrap();
+    }
+    db.check_current_state()
+        .expect("repaired base is consistent");
+    for (i, (rt, st)) in inst.txs.iter().enumerate() {
+        let tuples: Vec<(bcdb_storage::RelationId, Tuple)> = rt
+            .iter()
+            .map(|row| (r, Tuple::new(row.iter().map(|&v| Value::Int(v)))))
+            .chain(st.iter().map(|&x| (s, tuple![x])))
+            .collect();
+        if tuples.is_empty() {
+            return None; // empty transactions are uninteresting
+        }
+        db.add_transaction(format!("T{i}"), tuples).unwrap();
+    }
+    Some(db)
+}
+
+/// Large-but-finite limits: the governed path must never exhaust them on
+/// these tiny instances, so a definite verdict is mandatory.
+pub fn generous_budget() -> BudgetSpec {
+    BudgetSpec {
+        max_worlds: Some(1 << 20),
+        max_cliques: Some(1 << 20),
+        max_tuples: Some(1 << 30),
+        ..BudgetSpec::UNLIMITED
+    }
+}
+

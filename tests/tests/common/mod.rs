@@ -1,4 +1,7 @@
 //! Shared fixtures for the integration tests.
+#![allow(dead_code)] // each test binary uses a different subset
+
+pub mod instances;
 
 use bcdb_chain::bitcoin_catalog;
 use bcdb_core::BlockchainDb;

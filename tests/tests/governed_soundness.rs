@@ -142,101 +142,6 @@ proptest! {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        ..ProptestConfig::default()
-    })]
-
-    /// The two-level parallel OptDCSat scheduler agrees with serial
-    /// OptDCSat and NaiveDCSat on Opt-complete queries (connected,
-    /// monotone, complete atom graph: `query_pool()[0..4]`), under worker
-    /// fault injection and tight budgets alike. Verdicts must match;
-    /// witnesses need not be identical but must be valid violating
-    /// possible worlds.
-    #[test]
-    fn two_level_parallel_agrees_with_serial_and_naive(
-        base in prop::collection::vec((0..4i64, 0..4i64), 0..4),
-        txs in prop::collection::vec(prop::collection::vec((0..4i64, 0..4i64), 1..3), 1..20),
-        query_idx in 0..4usize,
-        // One-past-the-end acts as "no budget" / "no fault" (the vendored
-        // proptest has no Option strategy).
-        budget_sel in 0..7usize,
-        poison_sel in 0..21usize,
-        use_delta in 0..2usize,
-    ) {
-        let budget_idx = (budget_sel < 6).then_some(budget_sel);
-        let poison = (poison_sel < 20).then_some(poison_sel);
-        let use_delta = use_delta == 1;
-        let Some(mut db) = build_db(&base, &txs) else { return Ok(()) };
-        let text = query_pool()[query_idx];
-        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
-
-        let Ok(serial) = dcsat(&mut db, &dc, &DcSatOptions {
-            algorithm: Algorithm::Opt,
-            parallel: false,
-            use_delta,
-            ..DcSatOptions::default()
-        }) else { return Ok(()) };
-        let naive = dcsat(&mut db, &dc, &DcSatOptions {
-            algorithm: Algorithm::Naive,
-            use_delta,
-            ..DcSatOptions::default()
-        }).unwrap();
-        prop_assert_eq!(
-            serial.satisfied, naive.satisfied,
-            "serial Opt vs Naive disagree on Opt-complete query {}", text);
-
-        let budget = match budget_idx {
-            Some(i) => budget_pool()[i],
-            None => BudgetSpec::UNLIMITED,
-        };
-        let two_level = DcSatOptions {
-            algorithm: Algorithm::Opt,
-            parallel: true,
-            parallel_intra: true,
-            threads: Some(4),
-            use_delta,
-            fault_inject_panic_tx: poison,
-            budget,
-            ..DcSatOptions::default()
-        };
-        let governed = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            dcsat_governed(&mut db, &dc, &two_level)
-        })) {
-            Ok(r) => r.unwrap(),
-            Err(_) => {
-                // The injected fault fired outside the worker pool (e.g. on
-                // the single-work-item serial fallback): a crash, never an
-                // unsound answer.
-                prop_assert!(poison.is_some(), "panic without an injected fault");
-                return Ok(());
-            }
-        };
-        match &governed.verdict {
-            Verdict::Holds => prop_assert!(
-                serial.satisfied,
-                "two-level claims Holds but serial Opt found a violation of {} \
-                 (budget {:?}, poison {:?})", text, budget, poison),
-            Verdict::Violated(w) => {
-                prop_assert!(
-                    !serial.satisfied,
-                    "two-level claims Violated but {} holds (budget {:?}, poison {:?})",
-                    text, budget, poison);
-                let pre = bcdb_core::Precomputed::build(&db);
-                let txids: Vec<_> = w.txs().collect();
-                prop_assert!(bcdb_core::is_possible_world(&db, &pre, &txids));
-                let pc = bcdb_core::PreparedConstraint::prepare(db.database_mut(), &dc);
-                prop_assert!(pc.holds(db.database(), w));
-            }
-            Verdict::Unknown(_) => prop_assert!(
-                budget_idx.is_some() || poison.is_some(),
-                "unlimited fault-free two-level run must reach a definite verdict on {}",
-                text),
-        }
-    }
-}
-
 fn faulted_db(seed: u64, faults: &[Fault]) -> BlockchainDb {
     let mut scenario = generate(&ScenarioConfig {
         seed,

@@ -1,0 +1,281 @@
+//! Metamorphic properties of DCSat: transformations of the input that must
+//! not change — or may only tighten — the verdict.
+//!
+//! 1. Reordering: permuting the (repaired) base rows, the tuples inside a
+//!    pending transaction, and the transactions themselves never changes
+//!    the verdict — Poss(D) is a set, not a sequence.
+//! 2. Variable renaming: consistently renaming query variables yields an
+//!    α-equivalent constraint with an identical verdict.
+//! 3. Union-then-split: merging two pending transactions into one shrinks
+//!    Poss(D) (worlds must now take both or neither), so `Holds` is
+//!    preserved one way; splitting back to the original transactions
+//!    restores the exact verdict.
+//! 4. Witness replay: every `Violated` verdict carries a witness world that
+//!    is a genuine possible world and genuinely satisfies the query.
+
+mod common;
+
+use bcdb_core::{
+    dcsat, dcsat_governed, is_possible_world, BlockchainDb, DcSatOptions, Precomputed,
+    PreparedConstraint, Verdict,
+};
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::TxId;
+use common::instances::{build_db, generous_budget, instance_strategy, Instance};
+use proptest::prelude::*;
+use proptest::test_runner::TestRng;
+
+fn shuffle<T>(v: &mut [T], g: &mut TestRng) {
+    for i in (1..v.len()).rev() {
+        v.swap(i, g.below(i as u64 + 1) as usize);
+    }
+}
+
+/// The base rows that survive `build_db`'s repair, in insertion order.
+fn repaired_base(inst: &Instance) -> (Vec<Vec<i64>>, Vec<i64>) {
+    let mut seen = std::collections::HashSet::new();
+    let mut kept = std::collections::HashSet::new();
+    let mut base_r = Vec::new();
+    for row in &inst.base_r {
+        if inst.key && !seen.insert(row[0]) {
+            continue;
+        }
+        kept.insert(row[0]);
+        base_r.push(row.clone());
+    }
+    let base_s = inst
+        .base_s
+        .iter()
+        .copied()
+        .filter(|x| !inst.ind || kept.contains(x))
+        .collect();
+    (base_r, base_s)
+}
+
+/// Builds the instance's database with every ordering degree of freedom
+/// shuffled: base rows, tuples within each transaction, transaction order.
+/// The repaired base is computed first so the shuffle cannot change which
+/// duplicate-key row survives.
+fn build_reordered(inst: &Instance, seed: u64) -> Option<BlockchainDb> {
+    let mut g = TestRng::new(seed);
+    let (mut base_r, mut base_s) = repaired_base(inst);
+    shuffle(&mut base_r, &mut g);
+    shuffle(&mut base_s, &mut g);
+    let mut reordered = Instance {
+        base_r,
+        base_s,
+        key: false, // base is already repaired; a reordered insert must not re-repair
+        ind: false,
+        ..inst.clone()
+    };
+    for (rt, st) in &mut reordered.txs {
+        shuffle(rt, &mut g);
+        shuffle(st, &mut g);
+    }
+    shuffle(&mut reordered.txs, &mut g);
+    // Restore the integrity constraints themselves (only the repair had to
+    // be disabled, and it is a no-op on an already-repaired base).
+    let db = build_db(&Instance {
+        key: inst.key,
+        ind: inst.ind,
+        ..reordered
+    })?;
+    Some(db)
+}
+
+/// Token-aware renaming of the generator's variable names; leaves relation
+/// and aggregate-function names untouched.
+fn rename_vars(query: &str) -> String {
+    let mut out = String::with_capacity(query.len() + 16);
+    let mut chars = query.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c.is_ascii_alphabetic() || c == '_' {
+            let mut ident = String::new();
+            ident.push(c);
+            while let Some(&n) = chars.peek() {
+                if n.is_ascii_alphanumeric() || n == '_' {
+                    ident.push(n);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            out.push_str(match ident.as_str() {
+                "x" => "alpha",
+                "y" => "beta",
+                "z" => "gamma",
+                "w" => "delta",
+                other => other,
+            });
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The instance's transactions with pending transactions `i` and `j`
+/// merged into one.
+fn union_txs(inst: &Instance, i: usize, j: usize) -> Vec<(Vec<Vec<i64>>, Vec<i64>)> {
+    let mut txs = Vec::new();
+    let (lo, hi) = (i.min(j), i.max(j));
+    for (k, tx) in inst.txs.iter().enumerate() {
+        if k == hi {
+            continue;
+        }
+        let mut tx = tx.clone();
+        if k == lo {
+            tx.0.extend(inst.txs[hi].0.iter().cloned());
+            tx.1.extend(inst.txs[hi].1.iter().cloned());
+        }
+        txs.push(tx);
+    }
+    txs
+}
+
+macro_rules! assert_valid_witness {
+    ($db:expr, $dc:expr, $w:expr, $path:expr) => {{
+        let pre = Precomputed::build($db);
+        let txids: Vec<TxId> = $w.txs().collect();
+        prop_assert!(
+            is_possible_world($db, &pre, &txids),
+            "{} produced a witness that is not a possible world",
+            $path
+        );
+        let pc = PreparedConstraint::prepare($db.database_mut(), $dc);
+        prop_assert!(
+            pc.holds($db.database(), $w),
+            "{} produced a witness world that does not satisfy the query",
+            $path
+        );
+    }};
+}
+
+proptest! {
+    /// Poss(D) is order-independent: shuffling base rows, tuples within a
+    /// transaction, and the transactions themselves preserves the verdict.
+    #[test]
+    fn verdict_is_invariant_under_reordering(
+        inst in instance_strategy(),
+        shuffle_seed in 0..u64::MAX,
+    ) {
+        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let Some(mut db2) = build_reordered(&inst, shuffle_seed) else {
+            panic!("reordering must not invalidate an instance");
+        };
+        let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
+        let a = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let b = dcsat(&mut db2, &dc, &DcSatOptions::default()).unwrap();
+        prop_assert_eq!(a.satisfied, b.satisfied,
+            "verdict changed under reordering (seed {}) on {}", shuffle_seed, &inst.query);
+    }
+
+    /// α-equivalence: a consistent variable renaming yields the same
+    /// verdict on the same database.
+    #[test]
+    fn verdict_is_invariant_under_variable_renaming(inst in instance_strategy()) {
+        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let renamed = rename_vars(&inst.query);
+        let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
+        let dc_renamed = match parse_denial_constraint(&renamed, db.database().catalog()) {
+            Ok(dc) => dc,
+            Err(e) => panic!("renamed query '{renamed}' must stay parseable: {e}"),
+        };
+        let a = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let b = dcsat(&mut db, &dc_renamed, &DcSatOptions::default()).unwrap();
+        prop_assert_eq!(a.satisfied, b.satisfied,
+            "verdict changed under renaming: {} vs {}", &inst.query, &renamed);
+    }
+
+    /// Merging two pending transactions restricts Poss(D), so a constraint
+    /// that holds keeps holding; splitting them apart again restores the
+    /// original verdict exactly.
+    #[test]
+    fn union_preserves_holds_and_split_restores_the_verdict(
+        inst in instance_strategy(),
+        pick in (0..64u64, 0..64u64),
+    ) {
+        if inst.txs.len() < 2 {
+            return Ok(());
+        }
+        let i = (pick.0 as usize) % inst.txs.len();
+        let mut j = (pick.1 as usize) % inst.txs.len();
+        if i == j {
+            j = (j + 1) % inst.txs.len();
+        }
+        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
+        let original = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+
+        let merged_inst = Instance { txs: union_txs(&inst, i, j), ..inst.clone() };
+        let mut merged_db = build_db(&merged_inst).expect("merged transactions stay non-empty");
+        let merged = dcsat(&mut merged_db, &dc, &DcSatOptions::default()).unwrap();
+        if original.satisfied {
+            prop_assert!(merged.satisfied,
+                "unioning T{} and T{} manufactured a violation of {}", i, j, &inst.query);
+        }
+
+        // Split back apart: the exact original verdict returns.
+        let mut split_db = build_db(&inst).unwrap();
+        let split = dcsat(&mut split_db, &dc, &DcSatOptions::default()).unwrap();
+        prop_assert_eq!(split.satisfied, original.satisfied,
+            "union-then-split failed to round-trip on {}", &inst.query);
+    }
+
+    /// Every `Violated` verdict replays: its witness is a possible world on
+    /// which the query genuinely fires.
+    #[test]
+    fn violated_verdicts_carry_replayable_witnesses(inst in instance_strategy()) {
+        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
+        let plain = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        if !plain.satisfied {
+            let w = plain.witness.as_ref()
+                .expect("a violation found by the router carries a witness");
+            assert_valid_witness!(&mut db, &dc, w, "auto");
+        }
+        let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
+            budget: generous_budget(), ..DcSatOptions::default()
+        }).unwrap();
+        if let Verdict::Violated(w) = &governed.verdict {
+            assert_valid_witness!(&mut db, &dc, w, "governed");
+        }
+    }
+}
+
+/// A deterministic anchor on the paper's Figure 2 running example. The
+/// double-spend constraint holds (T1 and T5 conflict, so no possible world
+/// takes both) and stays held under α-renaming; a payment-to-U5Pk query is
+/// violated in any world taking T1, and its witness replays.
+#[test]
+fn figure2_verdicts_are_stable_under_renaming_and_witnesses_replay() {
+    let (mut db, _out, _inp) = common::figure2();
+    // Double-spend safety: invariant under renaming, and it holds.
+    for text in [
+        "q() <- TxIn(pt, ps, pk1, a1, n1, s1), TxIn(pt, ps, pk2, a2, n2, s2), n1 != n2",
+        "q() <- TxIn(x, y, pkx, ax, nx, sx), TxIn(x, y, pky, ay, ny, sy), nx != ny",
+    ] {
+        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+        let out = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        assert!(
+            out.satisfied,
+            "conflicting spends never coexist in a possible world, so the \
+             double-spend constraint must hold"
+        );
+    }
+    // A violated query: some world applies T1, paying U5Pk.
+    for text in [
+        "q() <- TxOut(t, s, 'U5Pk', a)",
+        "q() <- TxOut(renamed_t, renamed_s, 'U5Pk', renamed_a)",
+    ] {
+        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+        let out = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        assert!(!out.satisfied, "T1 pays U5Pk in some possible world");
+        let w = out.witness.as_ref().expect("violations carry a witness");
+        let pre = Precomputed::build(&db);
+        let txids: Vec<TxId> = w.txs().collect();
+        assert!(is_possible_world(&db, &pre, &txids));
+        let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
+        assert!(pc.holds(db.database(), w));
+    }
+}

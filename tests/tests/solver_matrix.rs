@@ -1,0 +1,165 @@
+//! The N-way differential solver matrix: every DCSat path — Naive, Opt
+//! (serial, with and without constant covers), the governed solver under a
+//! generous budget, and the two-level parallel scheduler — must agree with
+//! the exhaustive possible-worlds oracle on randomized blockchain
+//! databases, randomized integrity constraints, and randomized denial
+//! constraints.
+//!
+//! This replaces the two scattered pairwise agreement tests
+//! (`algorithms_agree_with_oracle`, `two_level_parallel_agrees_with_serial_
+//! and_naive`) with one harness: a single generated instance is pushed
+//! through every applicable path, so a disagreement pinpoints the deviating
+//! solver immediately. Failing seeds persist to
+//! `proptest-regressions/` and are replayed before fresh random cases.
+
+mod common;
+
+use bcdb_core::{
+    dcsat, dcsat_governed, is_possible_world, Algorithm, DcSatOptions, Precomputed,
+    PreparedConstraint, Verdict,
+};
+use bcdb_query::{
+    atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
+};
+use bcdb_storage::TxId;
+use common::instances::{build_db, generous_budget, instance_strategy};
+use proptest::prelude::*;
+
+macro_rules! assert_valid_witness {
+    ($db:expr, $dc:expr, $w:expr, $path:expr) => {{
+        let pre = Precomputed::build($db);
+        let txids: Vec<TxId> = $w.txs().collect();
+        prop_assert!(
+            is_possible_world($db, &pre, &txids),
+            "{} produced a witness that is not a possible world",
+            $path
+        );
+        let pc = PreparedConstraint::prepare($db.database_mut(), $dc);
+        prop_assert!(
+            pc.holds($db.database(), $w),
+            "{} produced a witness world that does not satisfy the query",
+            $path
+        );
+    }};
+}
+
+proptest! {
+    /// Every solver path that accepts the instance agrees with the
+    /// exhaustive oracle; every `Violated` verdict carries a genuine
+    /// violating possible world.
+    #[test]
+    fn four_solver_paths_agree_with_the_oracle(inst in instance_strategy()) {
+        let trace = std::env::var("SOLVER_MATRIX_TRACE").is_ok();
+        let Some(mut db) = build_db(&inst) else {
+            if trace {
+                eprintln!("[solver_matrix] skip (empty transaction): {}", inst.query);
+            }
+            return Ok(()); // inconsistent base: not a blockchain database
+        };
+        let dc = match parse_denial_constraint(&inst.query, db.database().catalog()) {
+            Ok(dc) => dc,
+            Err(e) => panic!("generator produced an unparseable query '{}': {e}", inst.query),
+        };
+        let text = &inst.query;
+
+        // Ground truth: exhaustive enumeration of Poss(D).
+        let oracle = dcsat(&mut db, &dc, &DcSatOptions {
+            algorithm: Algorithm::Oracle, ..DcSatOptions::default()
+        }).unwrap();
+        if let Some(w) = &oracle.witness {
+            assert_valid_witness!(&mut db, &dc, w, "oracle");
+        }
+
+        // Path 0: the router must always agree, whatever it picks.
+        let auto = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        prop_assert_eq!(auto.satisfied, oracle.satisfied,
+            "auto ({}) vs oracle on {}", auto.stats.algorithm, text);
+
+        // Path 1: NaiveDCSat — sound for monotone constraints, with and
+        // without the base-world pre-check.
+        if monotonicity(&dc).is_monotone() {
+            for precheck in [false, true] {
+                let naive = dcsat(&mut db, &dc, &DcSatOptions {
+                    algorithm: Algorithm::Naive, use_precheck: precheck,
+                    ..DcSatOptions::default()
+                }).unwrap();
+                prop_assert_eq!(naive.satisfied, oracle.satisfied,
+                    "naive(precheck={}) vs oracle on {}", precheck, text);
+                if let Some(w) = &naive.witness {
+                    assert_valid_witness!(&mut db, &dc, w, "naive");
+                }
+            }
+        }
+
+        // Paths 2 and 4 share Proposition 2's applicability condition:
+        // monotone + connected + complete atom graph, conjunctive only.
+        let opt_applicable = match &dc {
+            DenialConstraint::Conjunctive(q) => {
+                monotonicity(&dc).is_monotone() && is_connected(q) && atom_graph_complete(q)
+            }
+            _ => false,
+        };
+
+        if trace {
+            eprintln!(
+                "[solver_matrix] {} | naive={} opt={} | oracle satisfied={}",
+                text, monotonicity(&dc).is_monotone(), opt_applicable, oracle.satisfied
+            );
+        }
+
+        // Path 2: serial OptDCSat, with and without constant covers.
+        if opt_applicable {
+            for covers in [true, false] {
+                let opt = dcsat(&mut db, &dc, &DcSatOptions {
+                    algorithm: Algorithm::Opt, use_precheck: false, use_covers: covers,
+                    ..DcSatOptions::default()
+                }).unwrap();
+                prop_assert_eq!(opt.satisfied, oracle.satisfied,
+                    "opt(covers={}) vs oracle on {}", covers, text);
+                if let Some(w) = &opt.witness {
+                    assert_valid_witness!(&mut db, &dc, w, "opt");
+                }
+            }
+        }
+
+        // Path 3: the governed solver under a generous budget must reach a
+        // definite verdict and agree.
+        let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
+            budget: generous_budget(), ..DcSatOptions::default()
+        }).unwrap();
+        match &governed.verdict {
+            Verdict::Holds => prop_assert!(oracle.satisfied,
+                "governed claims Holds but the oracle found a violation of {}", text),
+            Verdict::Violated(w) => {
+                prop_assert!(!oracle.satisfied,
+                    "governed claims Violated but {} holds", text);
+                assert_valid_witness!(&mut db, &dc, w, "governed");
+            }
+            Verdict::Unknown(r) => prop_assert!(false,
+                "generous budget exhausted on a tiny instance ({:?}) for {}", r, text),
+        }
+
+        // Path 4: the two-level parallel scheduler (component-parallel plus
+        // intra-component subproblem splitting) must also be definite.
+        if opt_applicable {
+            let two_level = dcsat_governed(&mut db, &dc, &DcSatOptions {
+                algorithm: Algorithm::Opt,
+                parallel: true,
+                parallel_intra: true,
+                threads: Some(4),
+                ..DcSatOptions::default()
+            }).unwrap();
+            match &two_level.verdict {
+                Verdict::Holds => prop_assert!(oracle.satisfied,
+                    "two-level claims Holds but the oracle found a violation of {}", text),
+                Verdict::Violated(w) => {
+                    prop_assert!(!oracle.satisfied,
+                        "two-level claims Violated but {} holds", text);
+                    assert_valid_witness!(&mut db, &dc, w, "two-level");
+                }
+                Verdict::Unknown(r) => prop_assert!(false,
+                    "unbudgeted fault-free two-level run must be definite on {} ({:?})", text, r),
+            }
+        }
+    }
+}

@@ -11,7 +11,15 @@
 //!
 //! Determinism: each test derives its RNG seed from the test name (FNV)
 //! and the case index, so failures reproduce across runs. Set
-//! `PROPTEST_CASES` to override the per-test case count globally.
+//! `PROPTEST_CASES` to override the per-test case count globally, and
+//! `PROPTEST_SEED` to pin the base seed (it is mixed with the test name,
+//! so distinct properties still explore distinct inputs).
+//!
+//! Regression persistence: the seed of a failing case is appended to
+//! `proptest-regressions/<test_name>.txt` (override the directory with
+//! `PROPTEST_REGRESSIONS_DIR`) and replayed before fresh random cases on
+//! every subsequent run — check these files in so a found bug stays
+//! covered until fixed.
 
 pub mod strategy;
 pub mod test_runner;
@@ -170,20 +178,122 @@ mod tests {
         }
     }
 
+    /// Serializes the tests that touch `PROPTEST_REGRESSIONS_DIR`, and
+    /// points it at a scratch directory so failing cases in this module
+    /// never pollute the repository's real regression files.
+    fn scratch_regressions_dir() -> (std::sync::MutexGuard<'static, ()>, std::path::PathBuf) {
+        static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join(format!("proptest-regr-{}", std::process::id()));
+        std::env::set_var("PROPTEST_REGRESSIONS_DIR", &dir);
+        (guard, dir)
+    }
+
     #[test]
-    #[should_panic(expected = "left")]
     fn failing_property_panics_with_input() {
-        crate::test_runner::run_cases(
-            "failing_property_panics_with_input",
-            &crate::test_runner::Config {
-                cases: 8,
-                ..Default::default()
-            },
-            |rng| (crate::strategy::Strategy::new_value(&(0..100i64), rng),),
-            |(x,)| {
-                prop_assert_eq!(x, -1i64);
+        let (_guard, dir) = scratch_regressions_dir();
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(
+                "failing_property_panics_with_input",
+                &crate::test_runner::Config {
+                    cases: 8,
+                    ..Default::default()
+                },
+                |rng| (crate::strategy::Strategy::new_value(&(0..100i64), rng),),
+                |(x,)| {
+                    prop_assert_eq!(x, -1i64);
+                    Ok(())
+                },
+            );
+        });
+        std::env::remove_var("PROPTEST_REGRESSIONS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+        let msg = *result.expect_err("property must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("left"), "panic message shows the input: {msg}");
+    }
+
+    #[test]
+    fn failing_seed_is_persisted_and_replayed_first() {
+        let (_guard, dir) = scratch_regressions_dir();
+        let name = "persist_and_replay_demo";
+        let config = crate::test_runner::Config {
+            cases: 4,
+            ..Default::default()
+        };
+        let gen = |rng: &mut crate::test_runner::TestRng| rng.next_u64() % 1000;
+        // First run: every case fails; the first failing seed is recorded.
+        let failed = std::panic::catch_unwind(|| {
+            crate::test_runner::run_cases(name, &config, gen, |_| {
+                Err(TestCaseError::fail("always fails"))
+            });
+        })
+        .is_err();
+        assert!(failed);
+        let path = dir.join(format!("{name}.txt"));
+        let text = std::fs::read_to_string(&path).expect("regression file written");
+        let seeds: Vec<&str> = text
+            .lines()
+            .filter(|l| !l.trim().is_empty() && !l.starts_with('#'))
+            .collect();
+        assert_eq!(seeds.len(), 1, "one failing seed recorded: {text}");
+
+        // Second run: the recorded seed replays before the fresh cases, and
+        // a duplicate failure does not grow the file.
+        let mut inputs = Vec::new();
+        let failed_again = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::test_runner::run_cases(name, &config, gen, |v| {
+                inputs.push(v);
+                Err(TestCaseError::fail("still fails"))
+            });
+        }))
+        .is_err();
+        assert!(failed_again);
+        assert_eq!(inputs.len(), 1, "replayed regression fails before fresh cases");
+        let text2 = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, text2, "duplicate seed is not appended");
+
+        // A passing property replays the regression and then runs all the
+        // fresh cases: cases + 1 executions in total.
+        let mut count = 0usize;
+        crate::test_runner::run_cases(name, &config, gen, |_| {
+            count += 1;
+            Ok(())
+        });
+        assert_eq!(count, config.cases as usize + 1);
+
+        std::env::remove_var("PROPTEST_REGRESSIONS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn pinned_seed_changes_inputs_and_reproduces() {
+        let config = crate::test_runner::Config {
+            cases: 6,
+            ..Default::default()
+        };
+        let gen = |rng: &mut crate::test_runner::TestRng| rng.next_u64();
+        let collect = |name: &str| {
+            let mut v = Vec::new();
+            crate::test_runner::run_cases(name, &config, gen, |x| {
+                v.push(x);
                 Ok(())
-            },
-        );
+            });
+            v
+        };
+        // run_cases reads PROPTEST_SEED per call; pin it, sample, re-pin.
+        static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        let _guard = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        std::env::set_var("PROPTEST_SEED", "12345");
+        let a = collect("pinned_seed_demo");
+        let b = collect("pinned_seed_demo");
+        let other = collect("pinned_seed_demo_other_name");
+        std::env::set_var("PROPTEST_SEED", "0xdeadbeef");
+        let c = collect("pinned_seed_demo");
+        std::env::remove_var("PROPTEST_SEED");
+        let unpinned = collect("pinned_seed_demo");
+        assert_eq!(a, b, "same pinned seed reproduces");
+        assert_ne!(a, other, "name still differentiates pinned runs");
+        assert_ne!(a, c, "different pinned seed explores different inputs");
+        assert_ne!(a, unpinned, "pinned run differs from the name-derived default");
     }
 }

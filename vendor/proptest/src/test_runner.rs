@@ -96,33 +96,120 @@ fn fnv1a(s: &str) -> u64 {
     h
 }
 
+/// The base seed for a property: `PROPTEST_SEED` (decimal or `0x`-hex) when
+/// set — so CI can pin a whole run — mixed with the property name so two
+/// properties pinned to the same seed still explore different inputs.
+fn base_seed(name: &str) -> u64 {
+    match std::env::var("PROPTEST_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            };
+            let pinned =
+                parsed.unwrap_or_else(|| panic!("PROPTEST_SEED must be a u64, got '{s}'"));
+            pinned ^ fnv1a(name)
+        }
+        Err(_) => fnv1a(name),
+    }
+}
+
+fn seed_for(base: u64, case: u64) -> u64 {
+    base ^ (0x517c_c1b7_2722_0a95u64.wrapping_mul(case + 1))
+}
+
+/// Where regression seeds for `name` are persisted. Overridable with
+/// `PROPTEST_REGRESSIONS_DIR`; defaults to `proptest-regressions/` under the
+/// test binary's working directory (the crate root under `cargo test`).
+fn regression_path(name: &str) -> std::path::PathBuf {
+    let dir = std::env::var("PROPTEST_REGRESSIONS_DIR")
+        .unwrap_or_else(|_| "proptest-regressions".to_string());
+    let file: String = name
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect();
+    std::path::Path::new(&dir).join(format!("{file}.txt"))
+}
+
+fn load_regression_seeds(name: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(name)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                return None;
+            }
+            let line = line.strip_prefix("0x").unwrap_or(line);
+            u64::from_str_radix(line, 16).ok()
+        })
+        .collect()
+}
+
+fn persist_regression_seed(name: &str, seed: u64) {
+    let path = regression_path(name);
+    if load_regression_seeds(name).contains(&seed) {
+        return;
+    }
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let mut text = std::fs::read_to_string(&path).unwrap_or_else(|_| {
+        format!(
+            "# Seeds of failing cases for proptest property '{name}'.\n\
+             # Replayed before fresh random cases on every run; safe to delete\n\
+             # once the underlying bug is fixed.\n"
+        )
+    });
+    text.push_str(&format!("0x{seed:016x}\n"));
+    let _ = std::fs::write(&path, text);
+}
+
 /// Runs `cases` random cases of a property: generate an input tuple with
 /// `generate`, check it with `check`, and panic with the offending input
 /// on the first failure. Called by the `proptest!` macro expansion.
-pub fn run_cases<V, G, F>(name: &str, config: &Config, generate: G, check: F)
+///
+/// Before the random cases, any seeds recorded in
+/// `proptest-regressions/<name>.txt` are replayed; a fresh failure appends
+/// its seed there so the case is pinned on subsequent runs.
+pub fn run_cases<V, G, F>(name: &str, config: &Config, mut generate: G, mut check: F)
 where
     V: fmt::Debug,
-    G: Fn(&mut TestRng) -> V,
-    F: Fn(V) -> Result<(), TestCaseError>,
+    G: FnMut(&mut TestRng) -> V,
+    F: FnMut(V) -> Result<(), TestCaseError>,
 {
-    let base = fnv1a(name);
-    for case in 0..config.cases {
-        let mut rng = TestRng::new(base ^ (0x517c_c1b7_2722_0a95u64.wrapping_mul(case as u64 + 1)));
+    let mut run_one = |seed: u64, label: &str| {
+        let mut rng = TestRng::new(seed);
         let value = generate(&mut rng);
         let described = format!("{value:?}");
         match catch_unwind(AssertUnwindSafe(|| check(value))) {
             Ok(Ok(())) => {}
-            Ok(Err(e)) => panic!(
-                "proptest: property '{name}' failed at case {case}/{}:\n{e}\ninput: {described}",
-                config.cases
-            ),
+            Ok(Err(e)) => {
+                persist_regression_seed(name, seed);
+                panic!(
+                    "proptest: property '{name}' failed at {label} (seed 0x{seed:016x}):\n{e}\ninput: {described}",
+                )
+            }
             Err(payload) => {
+                persist_regression_seed(name, seed);
                 eprintln!(
-                    "proptest: property '{name}' panicked at case {case}/{} on input: {described}",
-                    config.cases
+                    "proptest: property '{name}' panicked at {label} (seed 0x{seed:016x}) on input: {described}",
                 );
                 resume_unwind(payload);
             }
         }
+    };
+    for (i, seed) in load_regression_seeds(name).into_iter().enumerate() {
+        run_one(seed, &format!("regression replay {i}"));
+    }
+    let base = base_seed(name);
+    for case in 0..config.cases {
+        run_one(
+            seed_for(base, case as u64),
+            &format!("case {case}/{}", config.cases),
+        );
     }
 }
