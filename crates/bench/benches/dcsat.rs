@@ -5,22 +5,25 @@
 //! * covers on/off (`OptDCSat`'s constant pruning);
 //! * clique pivoting on/off;
 //! * parallel component checking on/off (extension).
+//!
+//! All runs go through the [`Solver`] session facade: one session per
+//! benchmark group owns the steady-state `Precomputed` structures, and
+//! variants swap options on it via `set_options`.
 
 use bcdb_bench::datasets::load_dataset;
 use bcdb_bench::picker::ConstantPicker;
 use bcdb_bench::queries::{qp_text, qs_text, SAT_ADDRESS};
 use bcdb_chain::Dataset;
-use bcdb_core::{dcsat_with, Algorithm, DcSatOptions, Precomputed};
+use bcdb_core::{Algorithm, DcSatOptions, Solver};
 use bcdb_graph::CliqueStrategy;
 use bcdb_query::parse_denial_constraint;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_end_to_end(c: &mut Criterion) {
-    let mut d = load_dataset(Dataset::Small, 42);
+    let d = load_dataset(Dataset::Small, 42);
     let scenario = d.scenario.clone();
     let picker = ConstantPicker::new(&scenario);
     let (px, py) = picker.path_unsat(3).expect("constants");
-    let pre = Precomputed::build(&d.db);
 
     let sat = parse_denial_constraint(
         &qp_text(3, SAT_ADDRESS, SAT_ADDRESS),
@@ -28,24 +31,15 @@ fn bench_end_to_end(c: &mut Criterion) {
     )
     .unwrap();
     let unsat = parse_denial_constraint(&qp_text(3, &px, &py), d.db.database().catalog()).unwrap();
+    let mut solver = Solver::builder(d.db).build();
 
     let mut group = c.benchmark_group("dcsat/qp3");
     group.sample_size(10);
     for (regime, dc) in [("satisfied", &sat), ("unsatisfied", &unsat)] {
         for (name, algorithm) in [("naive", Algorithm::Naive), ("opt", Algorithm::Opt)] {
+            solver.set_options(DcSatOptions::default().with_algorithm(algorithm));
             group.bench_function(format!("{name}/{regime}"), |b| {
-                b.iter(|| {
-                    dcsat_with(
-                        &mut d.db,
-                        &pre,
-                        dc,
-                        &DcSatOptions {
-                            algorithm,
-                            ..DcSatOptions::default()
-                        },
-                    )
-                    .unwrap()
-                })
+                b.iter(|| solver.check_ungoverned(dc).unwrap())
             });
         }
     }
@@ -53,64 +47,54 @@ fn bench_end_to_end(c: &mut Criterion) {
 }
 
 fn bench_ablations(c: &mut Criterion) {
-    let mut d = load_dataset(Dataset::Small, 42);
+    let d = load_dataset(Dataset::Small, 42);
     let scenario = d.scenario.clone();
     let picker = ConstantPicker::new(&scenario);
     let recv = picker.receiver_unsat().expect("constants");
-    let pre = Precomputed::build(&d.db);
     let sat = parse_denial_constraint(&qs_text(SAT_ADDRESS), d.db.database().catalog()).unwrap();
     let unsat = parse_denial_constraint(&qs_text(&recv), d.db.database().catalog()).unwrap();
+    let mut solver = Solver::builder(d.db).build();
 
     let mut group = c.benchmark_group("dcsat/ablations");
     group.sample_size(10);
     let variants: [(&str, DcSatOptions); 5] = [
         (
             "opt/full",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default().with_algorithm(Algorithm::Opt),
         ),
         (
             "opt/no_precheck",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false),
         ),
         (
             "opt/no_covers",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                use_covers: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false)
+                .with_covers(false),
         ),
         (
             "opt/plain_bk",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                clique_strategy: CliqueStrategy::Plain,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false)
+                .with_clique_strategy(CliqueStrategy::Plain),
         ),
         (
             "opt/parallel",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                parallel: true,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false)
+                .with_parallel(true),
         ),
     ];
     for (name, options) in &variants {
         for (regime, dc) in [("satisfied", &sat), ("unsatisfied", &unsat)] {
+            solver.set_options(options.clone());
             group.bench_function(format!("{name}/{regime}"), |b| {
-                b.iter(|| dcsat_with(&mut d.db, &pre, dc, options).unwrap())
+                b.iter(|| solver.check_ungoverned(dc).unwrap())
             });
         }
     }

@@ -8,19 +8,19 @@
 //! a plain-text table with the same rows/series the paper reports;
 //! EXPERIMENTS.md records paper-vs-measured shapes.
 //!
-//! `bench [--smoke] [--out PATH]` runs the two-level-scheduler /
-//! delta-seeding micro-benchmark (not part of `all`) and writes a JSON
-//! report (default `BENCH_dcsat.json`).
+//! `bench [--smoke] [--constraints N] [--out PATH]` runs the
+//! two-level-scheduler / delta-seeding / shared-precompute-batch
+//! micro-benchmark (not part of `all`) and writes a JSON report
+//! (default `BENCH_dcsat.json`).
 
 use bcdb_bench::datasets::{load_config, load_dataset, LoadedDataset};
 use bcdb_bench::picker::ConstantPicker;
 use bcdb_bench::queries::{qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
 use bcdb_bench::report::{governed_record, json_escape, secs, stats_json, time_avg, JsonObject, Table};
-use bcdb_bench::workload::giant_component;
+use bcdb_bench::workload::{constraint_variants, giant_component};
 use bcdb_chain::Dataset;
 use bcdb_core::{
-    dcsat_governed, dcsat_governed_with_budget, dcsat_with, delta_row_count, possible_worlds,
-    Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Precomputed,
+    delta_row_count, possible_worlds, Algorithm, BudgetSpec, DcSatOptions, Solver, Verdict,
 };
 use bcdb_query::parse_denial_constraint;
 use std::time::Duration;
@@ -28,27 +28,22 @@ use std::time::Duration;
 const RUNS: usize = 3;
 
 fn opts(algorithm: Algorithm) -> DcSatOptions {
-    DcSatOptions {
-        algorithm,
-        ..DcSatOptions::default()
-    }
+    DcSatOptions::default().with_algorithm(algorithm)
 }
 
-/// Times `dcsat_with` over `RUNS` executions against prebuilt steady-state
-/// structures (the paper maintains these as transactions arrive, §6.3, so
-/// per-query timings exclude them); also reports satisfaction.
-fn run_query(
-    db: &mut BlockchainDb,
-    pre: &Precomputed,
-    text: &str,
-    algorithm: Algorithm,
-) -> (Duration, bool) {
-    let dc = parse_denial_constraint(text, db.database().catalog()).expect("harness query");
+/// Times an ungoverned solver check over `RUNS` executions; the solver
+/// session owns the steady-state structures (the paper maintains these as
+/// transactions arrive, §6.3, so per-query timings exclude them); also
+/// reports satisfaction.
+fn run_query(solver: &mut Solver, text: &str, algorithm: Algorithm) -> (Duration, bool) {
+    let dc =
+        parse_denial_constraint(text, solver.db().database().catalog()).expect("harness query");
+    solver.set_options(opts(algorithm));
     // Warm-up run also builds any missing indexes so the timed runs
     // measure the algorithm, not one-time preparation.
-    let outcome = dcsat_with(db, pre, &dc, &opts(algorithm)).expect("harness query applies");
+    let outcome = solver.check_ungoverned(&dc).expect("harness query applies");
     let d = time_avg(RUNS, || {
-        dcsat_with(db, pre, &dc, &opts(algorithm)).expect("harness query applies");
+        solver.check_ungoverned(&dc).expect("harness query applies");
     });
     (d, outcome.satisfied)
 }
@@ -130,7 +125,7 @@ fn fig6_query_types(seed: u64, satisfied: bool) {
         "6b (unsatisfied)"
     };
     println!("== Figure {tag}: query types over D200 ==");
-    let mut d = load_dataset(Dataset::D200, seed);
+    let d = load_dataset(Dataset::D200, seed);
     let qs = if satisfied {
         Some(satisfied_queries())
     } else {
@@ -140,7 +135,7 @@ fn fig6_query_types(seed: u64, satisfied: bool) {
         println!("  (data offered no unsatisfied constants — rerun with another seed)");
         return;
     };
-    let pre = Precomputed::build(&d.db);
+    let mut solver = Solver::builder(d.db).build();
     let mut t = Table::new(&["query", "NaiveDCSat (s)", "OptDCSat (s)", "satisfied"]);
     for (name, text, opt_applicable) in [
         ("qs", q.qs.as_str(), true),
@@ -148,10 +143,10 @@ fn fig6_query_types(seed: u64, satisfied: bool) {
         ("qr3", q.qr3.as_str(), true),
         ("qa100", q.qa.as_str(), false), // aggregate: not connected -> Naive only
     ] {
-        let (naive, sat) = run_query(&mut d.db, &pre, text, Algorithm::Naive);
+        let (naive, sat) = run_query(&mut solver, text, Algorithm::Naive);
         check(sat, satisfied, name);
         let opt = if opt_applicable {
-            let (o, _) = run_query(&mut d.db, &pre, text, Algorithm::Opt);
+            let (o, _) = run_query(&mut solver, text, Algorithm::Opt);
             secs(o)
         } else {
             "n/a".to_string()
@@ -175,7 +170,7 @@ fn fig6_pending(seed: u64, satisfied: bool) {
     for n in pending_sizes {
         let mut cfg = Dataset::D200.config(seed);
         cfg.pending_txs = n;
-        let mut d = load_config("D200", &cfg);
+        let d = load_config("D200", &cfg);
         let text = if satisfied {
             Some(qp_text(3, SAT_ADDRESS, SAT_ADDRESS))
         } else {
@@ -187,9 +182,9 @@ fn fig6_pending(seed: u64, satisfied: bool) {
             t.row(&[n.to_string(), "n/a".into(), "n/a".into()]);
             continue;
         };
-        let pre = Precomputed::build(&d.db);
-        let (naive, sat) = run_query(&mut d.db, &pre, &text, Algorithm::Naive);
-        let (opt, _) = run_query(&mut d.db, &pre, &text, Algorithm::Opt);
+        let mut solver = Solver::builder(d.db).build();
+        let (naive, sat) = run_query(&mut solver, &text, Algorithm::Naive);
+        let (opt, _) = run_query(&mut solver, &text, Algorithm::Opt);
         check(sat, satisfied, &format!("pending={n}"));
         t.row(&[n.to_string(), secs(naive), secs(opt)]);
     }
@@ -208,7 +203,7 @@ fn fig6_contradictions(seed: u64, satisfied: bool) {
     for c in [10usize, 20, 30, 40, 50] {
         let mut cfg = Dataset::D200.config(seed);
         cfg.contradictions = c;
-        let mut d = load_config("D200", &cfg);
+        let d = load_config("D200", &cfg);
         let text = if satisfied {
             Some(qp_text(3, SAT_ADDRESS, SAT_ADDRESS))
         } else {
@@ -220,9 +215,9 @@ fn fig6_contradictions(seed: u64, satisfied: bool) {
             t.row(&[c.to_string(), "n/a".into(), "n/a".into()]);
             continue;
         };
-        let pre = Precomputed::build(&d.db);
-        let (naive, sat) = run_query(&mut d.db, &pre, &text, Algorithm::Naive);
-        let (opt, _) = run_query(&mut d.db, &pre, &text, Algorithm::Opt);
+        let mut solver = Solver::builder(d.db).build();
+        let (naive, sat) = run_query(&mut solver, &text, Algorithm::Naive);
+        let (opt, _) = run_query(&mut solver, &text, Algorithm::Opt);
         check(sat, satisfied, &format!("contradictions={c}"));
         t.row(&[c.to_string(), secs(naive), secs(opt)]);
     }
@@ -232,17 +227,17 @@ fn fig6_contradictions(seed: u64, satisfied: bool) {
 /// Fig 6g: path-query size sweep (unsatisfied, D200).
 fn fig6g(seed: u64) {
     println!("== Figure 6g: query-size sweep (unsatisfied), D200 ==");
-    let mut d = load_dataset(Dataset::D200, seed);
+    let d = load_dataset(Dataset::D200, seed);
     let picker_scenario = d.scenario.clone();
     let p = ConstantPicker::new(&picker_scenario);
-    let pre = Precomputed::build(&d.db);
+    let mut solver = Solver::builder(d.db).build();
     let mut t = Table::new(&["path size", "NaiveDCSat (s)", "OptDCSat (s)"]);
     for i in 2..=5 {
         match p.path_unsat(i) {
             Some((x, y)) => {
                 let text = qp_text(i, &x, &y);
-                let (naive, sat) = run_query(&mut d.db, &pre, &text, Algorithm::Naive);
-                let (opt, _) = run_query(&mut d.db, &pre, &text, Algorithm::Opt);
+                let (naive, sat) = run_query(&mut solver, &text, Algorithm::Naive);
+                let (opt, _) = run_query(&mut solver, &text, Algorithm::Opt);
                 check(sat, false, &format!("qp{i}"));
                 t.row(&[i.to_string(), secs(naive), secs(opt)]);
             }
@@ -259,13 +254,13 @@ fn fig6h(seed: u64) {
     for ds in Dataset::paper_presets() {
         let mut cfg = ds.config(seed);
         cfg.pending_txs = 3000; // the paper holds pending ≈ 3000 here
-        let mut d = load_config(ds.name(), &cfg);
+        let d = load_config(ds.name(), &cfg);
         match ConstantPicker::new(&d.scenario).path_unsat(3) {
             Some((x, y)) => {
                 let text = qp_text(3, &x, &y);
-                let pre = Precomputed::build(&d.db);
-                let (naive, sat) = run_query(&mut d.db, &pre, &text, Algorithm::Naive);
-                let (opt, _) = run_query(&mut d.db, &pre, &text, Algorithm::Opt);
+                let mut solver = Solver::builder(d.db).build();
+                let (naive, sat) = run_query(&mut solver, &text, Algorithm::Naive);
+                let (opt, _) = run_query(&mut solver, &text, Algorithm::Opt);
                 check(sat, false, ds.name());
                 t.row(&[ds.name().into(), secs(naive), secs(opt)]);
             }
@@ -288,8 +283,7 @@ fn ablation(seed: u64) {
     println!("== Ablation: optimizations, qp3 over Small ==");
     println!("(no-pre-check / no-covers variants are exponential at D200 scale;");
     println!(" see EXPERIMENTS.md — this table uses the Small dataset)");
-    let mut d = load_dataset(Dataset::Small, seed);
-    let pre = Precomputed::build(&d.db);
+    let d = load_dataset(Dataset::Small, seed);
     let sat_text = qp_text(3, SAT_ADDRESS, SAT_ADDRESS);
     let unsat_text = match ConstantPicker::new(&d.scenario).path_unsat(3) {
         Some((x, y)) => qp_text(3, &x, &y),
@@ -298,68 +292,56 @@ fn ablation(seed: u64) {
             return;
         }
     };
+    let mut solver = Solver::builder(d.db).build();
     let variants: [(&str, DcSatOptions); 6] = [
         (
             "opt (full)",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default().with_algorithm(Algorithm::Opt),
         ),
         (
             "opt, no pre-check",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false),
         ),
         (
             "opt, no covers",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                use_covers: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false)
+                .with_covers(false),
         ),
         (
             "opt, parallel",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                use_precheck: false,
-                parallel: true,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false)
+                .with_parallel(true),
         ),
         (
             "naive (full)",
-            DcSatOptions {
-                algorithm: Algorithm::Naive,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default().with_algorithm(Algorithm::Naive),
         ),
         (
             "naive, no pre-check",
-            DcSatOptions {
-                algorithm: Algorithm::Naive,
-                use_precheck: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Naive)
+                .with_precheck(false),
         ),
     ];
     let mut t = Table::new(&["variant", "satisfied (s)", "unsatisfied (s)"]);
     for (name, options) in &variants {
         eprintln!("[ablation] {name}");
-        let time = |db: &mut bcdb_core::BlockchainDb, text: &str| {
-            let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
-            dcsat_with(db, &pre, &dc, options).unwrap();
+        solver.set_options(options.clone());
+        let mut time = |text: &str| {
+            let dc = parse_denial_constraint(text, solver.db().database().catalog()).unwrap();
+            solver.check_ungoverned(&dc).unwrap();
             time_avg(RUNS, || {
-                dcsat_with(db, &pre, &dc, options).unwrap();
+                solver.check_ungoverned(&dc).unwrap();
             })
         };
-        let sat = time(&mut d.db, &sat_text);
-        let unsat = time(&mut d.db, &unsat_text);
+        let sat = time(&sat_text);
+        let unsat = time(&unsat_text);
         t.row(&[name.to_string(), secs(sat), secs(unsat)]);
     }
     println!("{}", t.render());
@@ -370,11 +352,12 @@ fn ablation(seed: u64) {
 /// tooling can diff resource/answer trade-offs across revisions.
 fn governed(seed: u64) {
     println!("== Governed runs: qp3 over Small, JSON records ==");
-    let mut d = load_dataset(Dataset::Small, seed);
+    let d = load_dataset(Dataset::Small, seed);
     let sat_text = qp_text(3, SAT_ADDRESS, SAT_ADDRESS);
     let unsat_text = ConstantPicker::new(&d.scenario)
         .path_unsat(3)
         .map(|(x, y)| qp_text(3, &x, &y));
+    let mut solver = Solver::builder(d.db).build();
     let budgets: [(&str, BudgetSpec); 3] = [
         ("unlimited", BudgetSpec::UNLIMITED),
         (
@@ -399,13 +382,11 @@ fn governed(seed: u64) {
         None => println!("  (no unsatisfied constants for this seed — sat only)"),
     }
     for (kind, text) in &texts {
-        let dc = parse_denial_constraint(text, d.db.database().catalog()).expect("harness query");
+        let dc = parse_denial_constraint(text, solver.db().database().catalog())
+            .expect("harness query");
         for (name, budget) in &budgets {
-            let options = DcSatOptions {
-                budget: *budget,
-                ..DcSatOptions::default()
-            };
-            let outcome = dcsat_governed(&mut d.db, &dc, &options).expect("harness query applies");
+            solver.set_options(DcSatOptions::default().with_budget(*budget));
+            let outcome = solver.check(&dc).expect("harness query applies");
             println!(
                 "{}",
                 governed_record(&format!("qp3-{kind}/{name}"), budget, &outcome)
@@ -418,8 +399,9 @@ fn governed(seed: u64) {
 /// single giant independence component (`2^pairs` maximal cliques, no
 /// component-level parallelism available), written as machine-readable
 /// JSON to `out` for CI artifact diffing. `--smoke` shrinks the workload
-/// for a fast correctness-of-the-harness pass.
-fn bench(smoke: bool, out: &str) {
+/// for a fast correctness-of-the-harness pass; `--constraints N` sizes the
+/// shared-precompute batch section.
+fn bench(smoke: bool, out: &str, constraints: usize) {
     let (pairs, inert) = if smoke { (8usize, 200usize) } else { (12, 1000) };
     println!("== bench: two-level DCSat over a single giant component ==");
     // Per-phase telemetry for the whole bench run: reset first so the
@@ -429,15 +411,17 @@ fn bench(smoke: bool, out: &str) {
     let threads_avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let mut w = giant_component(pairs, inert);
-    let pre = Precomputed::build(&w.db);
+    let w = giant_component(pairs, inert);
+    let dcs = constraint_variants(&w, constraints);
+    let dc = w.dc.clone();
+    let mut solver = Solver::builder(w.db).build();
     // Average pending (delta) rows per possible world — context for the
     // delta-seeding counters: a full evaluation probes every matching base
     // row per world, a seeded one starts from only these.
-    let worlds = possible_worlds(&w.db, &pre);
+    let worlds = possible_worlds(solver.db(), solver.precomputed_ref());
     let delta_rows: usize = worlds
         .iter()
-        .map(|m| delta_row_count(w.db.database(), m))
+        .map(|m| delta_row_count(solver.db().database(), m))
         .sum();
     let delta_rows_avg = delta_rows as f64 / worlds.len().max(1) as f64;
     println!(
@@ -449,36 +433,27 @@ fn bench(smoke: bool, out: &str) {
     let configs: [(&str, DcSatOptions); 4] = [
         (
             "naive",
-            DcSatOptions {
-                algorithm: Algorithm::Naive,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default().with_algorithm(Algorithm::Naive),
         ),
         (
             "opt-serial",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                parallel: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_parallel(false),
         ),
         (
             "opt-component-parallel",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                parallel: true,
-                parallel_intra: false,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_parallel(true)
+                .with_parallel_intra(false),
         ),
         (
             "opt-two-level",
-            DcSatOptions {
-                algorithm: Algorithm::Opt,
-                parallel: true,
-                parallel_intra: true,
-                ..DcSatOptions::default()
-            },
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_parallel(true)
+                .with_parallel_intra(true),
         ),
     ];
     let mut t = Table::new(&["config", "wall (s)", "cliques", "subproblems", "delta evals"]);
@@ -486,10 +461,11 @@ fn bench(smoke: bool, out: &str) {
     let mut walls: Vec<(String, Duration)> = Vec::new();
     for (name, options) in &configs {
         eprintln!("[bench] {name}");
-        let outcome = dcsat_with(&mut w.db, &pre, &w.dc, options).expect("bench query applies");
+        solver.set_options(options.clone());
+        let outcome = solver.check_ungoverned(&dc).expect("bench query applies");
         check(outcome.satisfied, true, name);
         let wall = time_avg(RUNS, || {
-            dcsat_with(&mut w.db, &pre, &w.dc, options).expect("bench query applies");
+            solver.check_ungoverned(&dc).expect("bench query applies");
         });
         t.row(&[
             name.to_string(),
@@ -526,17 +502,17 @@ fn bench(smoke: bool, out: &str) {
     let mut ablation = Vec::new();
     let mut tuples: Vec<u64> = Vec::new();
     for (name, use_delta) in [("delta-on", true), ("delta-off", false)] {
-        let options = DcSatOptions {
-            algorithm: Algorithm::Opt,
-            parallel: false,
-            use_delta,
-            ..DcSatOptions::default()
-        };
+        let options = DcSatOptions::default()
+            .with_algorithm(Algorithm::Opt)
+            .with_parallel(false)
+            .with_delta(use_delta);
+        solver.set_options(options);
         let budget = BudgetSpec::UNLIMITED.start();
-        let outcome = dcsat_governed_with_budget(&mut w.db, &pre, &w.dc, &options, &budget)
+        let outcome = solver
+            .check_with_budget(&dc, &budget)
             .expect("bench query applies");
         let wall = time_avg(RUNS, || {
-            dcsat_with(&mut w.db, &pre, &w.dc, &options).expect("bench query applies");
+            solver.check_ungoverned(&dc).expect("bench query applies");
         });
         tuples.push(budget.tuples_used());
         ablation.push(
@@ -554,6 +530,47 @@ fn bench(smoke: bool, out: &str) {
         tuples[0], tuples[1]
     );
 
+    // Multi-constraint batch: `constraints` alpha-renamed variants of the
+    // giant-component constraint share one refined partition, so the single
+    // fused component is enumerated once and replayed for the rest. The
+    // clique-reuse ratio is the headline number (>1 means sharing worked).
+    eprintln!("[bench] batch x{constraints}");
+    solver.set_options(
+        DcSatOptions::default()
+            .with_algorithm(Algorithm::Opt)
+            .with_parallel(true)
+            .with_parallel_intra(true),
+    );
+    let batch = solver.check_batch(&dcs);
+    let all_hold = batch
+        .verdicts()
+        .iter()
+        .all(|v| matches!(v, Ok(Verdict::Holds)));
+    check(all_hold, true, "batch");
+    println!(
+        "[bench] batch: {} constraints in {:.3}ms — {} component enumeration(s), \
+         {} replay(s), clique-reuse ratio {:.2}",
+        constraints,
+        batch.elapsed.as_secs_f64() * 1e3,
+        batch.components_enumerated,
+        batch.components_reused,
+        batch.clique_reuse_ratio()
+    );
+    let batch_json = JsonObject::new()
+        .num("constraints", constraints)
+        .num(
+            "wall_ms",
+            format!("{:.3}", batch.elapsed.as_secs_f64() * 1e3),
+        )
+        .bool("all_hold", all_hold)
+        .num("components_enumerated", batch.components_enumerated)
+        .num("components_reused", batch.components_reused)
+        .num(
+            "clique_reuse_ratio",
+            format!("{:.4}", batch.clique_reuse_ratio()),
+        )
+        .finish();
+
     bcdb_telemetry::set_enabled(false);
     let telemetry = bcdb_telemetry::snapshot();
     println!("[bench] telemetry phase breakdown:");
@@ -570,6 +587,7 @@ fn bench(smoke: bool, out: &str) {
         .num("delta_rows_avg", format!("{delta_rows_avg:.2}"))
         .raw("records", &format!("[{}]", records.join(",")))
         .raw("delta_ablation", &format!("[{}]", ablation.join(",")))
+        .raw("batch", &batch_json)
         .raw("telemetry", &telemetry.to_json())
         .finish();
     std::fs::write(out, format!("{json}\n")).expect("write bench report");
@@ -662,6 +680,7 @@ fn main() {
     let mut seed = 42u64;
     let mut smoke = false;
     let mut epochs = 50u64;
+    let mut constraints = 8usize;
     let mut out: Option<String> = None;
     let mut which = "all".to_string();
     let mut it = args.iter();
@@ -679,6 +698,12 @@ fn main() {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .expect("--epochs takes an integer");
+            }
+            "--constraints" => {
+                constraints = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--constraints takes an integer");
             }
             "--out" => {
                 out = Some(it.next().expect("--out takes a path").clone());
@@ -699,7 +724,11 @@ fn main() {
         "fig6h" => fig6h(seed),
         "ablation" => ablation(seed),
         "governed" => governed(seed),
-        "bench" => bench(smoke, out.as_deref().unwrap_or("BENCH_dcsat.json")),
+        "bench" => bench(
+            smoke,
+            out.as_deref().unwrap_or("BENCH_dcsat.json"),
+            constraints,
+        ),
         "soak" => soak(epochs, seed, out.as_deref().unwrap_or("SOAK_report.json")),
         "all" => {
             table1(seed);
@@ -718,7 +747,8 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed \
-                 bench [--smoke] [--out PATH] soak [--epochs N] [--seed S] [--out PATH] all"
+                 bench [--smoke] [--constraints N] [--out PATH] \
+                 soak [--epochs N] [--seed S] [--out PATH] all"
             );
             std::process::exit(2);
         }

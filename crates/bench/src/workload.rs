@@ -98,25 +98,57 @@ pub fn giant_component(pairs: usize, inert_base_rows: usize) -> GiantComponent {
     }
 }
 
+/// `n` distinct-but-structurally-identical variants of
+/// [`GiantComponent::dc`] for the multi-constraint batch benchmark: each
+/// renames the variables and alternates the atom order, leaving Θq, the
+/// covers constants, and the Gaifman shape untouched. A batch of these
+/// shares one refined partition, so the single giant component's clique
+/// enumeration is re-used by every constraint after the first.
+pub fn constraint_variants(w: &GiantComponent, n: usize) -> Vec<DenialConstraint> {
+    (0..n)
+        .map(|j| {
+            let text = if j % 2 == 0 {
+                format!("q() <- Pay(i{j}, p{j}, 'bob', a{j}), Pay(i{j}, q{j}, 'carol', b{j})")
+            } else {
+                format!("q() <- Pay(i{j}, p{j}, 'carol', a{j}), Pay(i{j}, q{j}, 'bob', b{j})")
+            };
+            parse_denial_constraint(&text, w.db.database().catalog()).expect("variant parses")
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bcdb_core::{dcsat, Algorithm, DcSatOptions};
+    use bcdb_core::{Algorithm, DcSatOptions, Solver, Verdict};
 
     #[test]
     fn giant_component_shape_and_verdict() {
-        let mut w = giant_component(5, 20);
-        let out = dcsat(
-            &mut w.db,
-            &w.dc,
-            &DcSatOptions {
-                algorithm: Algorithm::Opt,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        let w = giant_component(5, 20);
+        let dc = w.dc.clone();
+        let mut solver = Solver::builder(w.db)
+            .algorithm(Algorithm::Opt)
+            .build();
+        let out = solver.check_ungoverned(&dc).unwrap();
         assert!(out.satisfied, "constraint holds in every world");
         assert_eq!(out.stats.components_total, 1, "one fused component");
         assert_eq!(out.stats.cliques_enumerated, 1 << 5, "2^pairs cliques");
+    }
+
+    #[test]
+    fn batch_variants_reuse_the_giant_component() {
+        let w = giant_component(4, 10);
+        let dcs = constraint_variants(&w, 4);
+        let mut solver = Solver::builder(w.db)
+            .options(DcSatOptions::default().with_algorithm(Algorithm::Opt))
+            .build();
+        let batch = solver.check_batch(&dcs);
+        for outcome in &batch.outcomes {
+            let out = outcome.as_ref().expect("variants are well-formed");
+            assert!(matches!(out.verdict, Verdict::Holds));
+        }
+        assert_eq!(batch.components_enumerated, 1, "one fresh enumeration");
+        assert_eq!(batch.components_reused, 3, "replayed for the other three");
+        assert!(batch.clique_reuse_ratio() > 1.0);
     }
 }

@@ -15,9 +15,9 @@
 use bcdb_bench::datasets::{load_dataset, load_export, LoadedDataset};
 use bcdb_chain::Dataset;
 use bcdb_core::{
-    dcsat, dcsat_governed, estimate_violation_risk, for_each_possible_world, minimize_witness,
-    Algorithm, BudgetSpec, DcSatOptions, ExhaustionReason, PerTxAcceptance, Precomputed,
-    PreparedConstraint, RetryPolicy, UniformAcceptance, Verdict,
+    estimate_violation_risk, for_each_possible_world, Algorithm, BudgetSpec, ExhaustionReason,
+    PerTxAcceptance, Precomputed, PreparedConstraint, RetryPolicy, Solver, UniformAcceptance,
+    Verdict,
 };
 use bcdb_query::{
     atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
@@ -390,7 +390,7 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
             telemetry,
             constraint,
         } => {
-            let mut db = match file {
+            let db = match file {
                 Some(path) => load_file(&path)?,
                 None => load(dataset, seed).db,
             };
@@ -400,14 +400,14 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
                 bcdb_telemetry::reset();
                 bcdb_telemetry::set_enabled(true);
             }
-            let dc_opts = DcSatOptions {
-                algorithm,
-                budget,
-                ..DcSatOptions::default()
-            };
+            let mut solver = Solver::builder(db)
+                .algorithm(algorithm)
+                .budget(budget)
+                .build();
             let (satisfied, witness, stats, extra) = if budget.is_unlimited() {
-                let outcome =
-                    dcsat(&mut db, &dc, &dc_opts).map_err(|e| CliError(e.to_string()))?;
+                let outcome = solver
+                    .check_ungoverned(&dc)
+                    .map_err(|e| CliError(e.to_string()))?;
                 (
                     Some(outcome.satisfied),
                     outcome.witness,
@@ -427,7 +427,7 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
                 let outcome = retry
                     .run(deadline, |_| {
                         attempts += 1;
-                        match dcsat_governed(&mut db, &dc, &dc_opts) {
+                        match solver.check(&dc) {
                             Ok(outcome) => match &outcome.verdict {
                                 Verdict::Unknown(
                                     ExhaustionReason::DeadlineExceeded { .. }
@@ -473,13 +473,8 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
                 None => 3,
             };
             if let Some(w) = witness {
-                let w = if minimize {
-                    let pre = Precomputed::build(&db);
-                    let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
-                    minimize_witness(&db, &pre, &pc, &w)
-                } else {
-                    w
-                };
+                let w = if minimize { solver.minimize(&dc, &w) } else { w };
+                let db = solver.db();
                 let names: Vec<&str> = w.txs().map(|t| db.transaction(t).name.as_str()).collect();
                 writeln!(
                     out,

@@ -33,14 +33,21 @@ pub mod oracle;
 #[allow(clippy::result_large_err)]
 pub mod tractable;
 
+// The in-crate tests intentionally exercise the deprecated free-function
+// wrappers alongside the `Solver` facade.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests;
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 use crate::db::BlockchainDb;
 use crate::error::CoreError;
-use crate::precompute::Precomputed;
+use crate::precompute::{query_components, Precomputed};
 use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason, UNGOVERNED};
-use bcdb_graph::CliqueStrategy;
+use bcdb_graph::{CliqueCache, CliqueStrategy};
+use bcdb_query::{canonical_equalities, ConjunctiveQuery, EqualityConstraint};
 use bcdb_query::{
     atom_graph_complete, evaluate_aggregate, evaluate_aggregate_governed, evaluate_bool,
     evaluate_bool_delta_governed, evaluate_bool_governed, is_connected, monotonicity, prepare,
@@ -68,8 +75,14 @@ pub enum Algorithm {
     Oracle,
 }
 
-/// Options controlling [`dcsat`].
-#[derive(Clone, Copy, Debug)]
+/// Options controlling a DCSat check.
+///
+/// The struct is `#[non_exhaustive]`: construct it with
+/// [`DcSatOptions::default`] and the chainable `with_*` setters (or absorb
+/// it into a [`Solver`](crate::Solver) builder, which adds the
+/// soundness-sensitive knobs the plain options no longer expose).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
 pub struct DcSatOptions {
     /// Algorithm selection.
     pub algorithm: Algorithm,
@@ -101,9 +114,9 @@ pub struct DcSatOptions {
     pub threads: Option<usize>,
     /// Fault injection for robustness tests: a worker whose component
     /// contains this pending-transaction index panics mid-check. `None`
-    /// (the default) injects nothing. Not part of the stable API.
-    #[doc(hidden)]
-    pub fault_inject_panic_tx: Option<usize>,
+    /// (the default) injects nothing. Builder-only: set through the hidden
+    /// [`SolverBuilder::fault_inject_panic_tx`](crate::SolverBuilder) hook.
+    pub(crate) fault_inject_panic_tx: Option<usize>,
     /// Resource limits for governed entry points ([`dcsat_governed`] and
     /// friends). Ignored by the ungoverned [`dcsat`]/[`dcsat_with`], which
     /// always run to completion.
@@ -117,8 +130,69 @@ pub struct DcSatOptions {
     /// **Soundness contract**: the hint must describe the *current* `R`.
     /// Any mutation of the base state (a mined block, a reorg) invalidates
     /// it; the caller is responsible for epoch-tagging its cache. A wrong
-    /// hint produces wrong verdicts, not errors.
-    pub base_verdict_hint: Option<bool>,
+    /// hint produces wrong verdicts, not errors. Builder-only: set through
+    /// [`SolverBuilder::base_verdict_hint`](crate::SolverBuilder); the
+    /// [`Solver`](crate::Solver) otherwise manages the hint itself from its
+    /// epoch-tagged base-verdict cache.
+    pub(crate) base_verdict_hint: Option<bool>,
+}
+
+impl DcSatOptions {
+    /// Returns the options with [`algorithm`](Self::algorithm) replaced.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Returns the options with [`clique_strategy`](Self::clique_strategy)
+    /// replaced.
+    pub fn with_clique_strategy(mut self, strategy: CliqueStrategy) -> Self {
+        self.clique_strategy = strategy;
+        self
+    }
+
+    /// Returns the options with [`use_precheck`](Self::use_precheck) set.
+    pub fn with_precheck(mut self, on: bool) -> Self {
+        self.use_precheck = on;
+        self
+    }
+
+    /// Returns the options with [`use_covers`](Self::use_covers) set.
+    pub fn with_covers(mut self, on: bool) -> Self {
+        self.use_covers = on;
+        self
+    }
+
+    /// Returns the options with [`parallel`](Self::parallel) set.
+    pub fn with_parallel(mut self, on: bool) -> Self {
+        self.parallel = on;
+        self
+    }
+
+    /// Returns the options with [`parallel_intra`](Self::parallel_intra)
+    /// set.
+    pub fn with_parallel_intra(mut self, on: bool) -> Self {
+        self.parallel_intra = on;
+        self
+    }
+
+    /// Returns the options with [`use_delta`](Self::use_delta) set.
+    pub fn with_delta(mut self, on: bool) -> Self {
+        self.use_delta = on;
+        self
+    }
+
+    /// Returns the options with [`threads`](Self::threads) replaced.
+    pub fn with_threads(mut self, threads: Option<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns the options with [`budget`](Self::budget) replaced.
+    pub fn with_budget(mut self, budget: BudgetSpec) -> Self {
+        self.budget = budget;
+        self
+    }
 }
 
 impl Default for DcSatOptions {
@@ -370,8 +444,58 @@ pub(crate) fn eval_world(
     pc.holds_governed(db, world, budget)
 }
 
+/// A refined `Gq,ind` partition (component member lists), shared across
+/// the constraints of a batch.
+type SharedPartition = Arc<Vec<Vec<usize>>>;
+
+/// Shared-precompute reuse state for one [`Solver::check_batch`] run
+/// (see `crate::solver`): the refined `Gq,ind` partition per canonical Θq
+/// list, and the component-keyed clique cache.
+///
+/// Both caches are only sound while the pending set is frozen, so a context
+/// lives exactly as long as one batch over one chain snapshot.
+pub(crate) struct ReuseCtx {
+    /// Refined partitions keyed by the *exact* canonical Θq list — a hash
+    /// signature alone could collide two different refinements, which would
+    /// be silently unsound.
+    partitions: Mutex<HashMap<Vec<EqualityConstraint>, SharedPartition>>,
+    /// Complete per-component clique enumerations, in local induced-subgraph
+    /// indices (the component member list is the local→global mapping).
+    pub(crate) cliques: CliqueCache,
+}
+
+impl ReuseCtx {
+    pub(crate) fn new() -> Self {
+        ReuseCtx {
+            partitions: Mutex::new(HashMap::new()),
+            cliques: CliqueCache::new(),
+        }
+    }
+
+    /// The refined `Gq,ind` partition for `q`, computed at most once per
+    /// distinct canonical Θq list.
+    pub(crate) fn partition(
+        &self,
+        bcdb: &BlockchainDb,
+        pre: &Precomputed,
+        q: &ConjunctiveQuery,
+    ) -> Arc<Vec<Vec<usize>>> {
+        let key = canonical_equalities(q);
+        if let Some(p) = self.partitions.lock().unwrap().get(&key) {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(query_components(bcdb, pre, q));
+        self.partitions
+            .lock()
+            .unwrap()
+            .entry(key)
+            .or_insert_with(|| Arc::clone(&p))
+            .clone()
+    }
+}
+
 /// Decides `D |= ¬q`, building the precomputed structures internally.
-/// See [`dcsat_with`] to reuse structures across calls.
+#[deprecated(note = "use Solver")]
 pub fn dcsat(
     bcdb: &mut BlockchainDb,
     dc: &DenialConstraint,
@@ -379,29 +503,26 @@ pub fn dcsat(
 ) -> Result<DcSatOutcome, CoreError> {
     dc.validate(bcdb.database().catalog())?;
     let pre = Precomputed::build(bcdb);
-    dcsat_with(bcdb, &pre, dc, opts)
+    check_ungoverned(bcdb, &pre, dc, opts)
 }
 
 /// Decides `D |= ¬q` using already-built steady-state structures `pre`
 /// (which must reflect the current pending set).
+#[deprecated(note = "use Solver")]
 pub fn dcsat_with(
     bcdb: &mut BlockchainDb,
     pre: &Precomputed,
     dc: &DenialConstraint,
     opts: &DcSatOptions,
 ) -> Result<DcSatOutcome, CoreError> {
-    // The static unlimited budget never exhausts; a worker panic is the
-    // only way `route` can report exhaustion here.
-    match route(bcdb, pre, dc, opts, &UNGOVERNED)? {
-        Ok(outcome) => Ok(outcome),
-        Err(ex) => Err(CoreError::Exhausted { reason: ex.reason }),
-    }
+    check_ungoverned(bcdb, pre, dc, opts)
 }
 
 /// Decides `D |= ¬q` under the resource limits in `opts.budget`, building
 /// the precomputed structures internally. Never guesses: when the budget
 /// runs out, cheap *sound* fallbacks are tried (see [`GovernedOutcome`]),
 /// and failing those the verdict is [`Verdict::Unknown`].
+#[deprecated(note = "use Solver")]
 pub fn dcsat_governed(
     bcdb: &mut BlockchainDb,
     dc: &DenialConstraint,
@@ -409,10 +530,12 @@ pub fn dcsat_governed(
 ) -> Result<GovernedOutcome, CoreError> {
     dc.validate(bcdb.database().catalog())?;
     let pre = Precomputed::build(bcdb);
-    dcsat_governed_with(bcdb, &pre, dc, opts)
+    let budget = opts.budget.start();
+    check_governed(bcdb, &pre, dc, opts, &budget, None)
 }
 
 /// [`dcsat_governed`] over already-built steady-state structures.
+#[deprecated(note = "use Solver")]
 pub fn dcsat_governed_with(
     bcdb: &mut BlockchainDb,
     pre: &Precomputed,
@@ -420,12 +543,13 @@ pub fn dcsat_governed_with(
     opts: &DcSatOptions,
 ) -> Result<GovernedOutcome, CoreError> {
     let budget = opts.budget.start();
-    dcsat_governed_with_budget(bcdb, pre, dc, opts, &budget)
+    check_governed(bcdb, pre, dc, opts, &budget, None)
 }
 
 /// [`dcsat_governed`] drawing from an externally-started [`Budget`] — the
 /// caller keeps a handle and can [`Budget::cancel`] from another thread
 /// (`opts.budget` is ignored; the supplied budget rules).
+#[deprecated(note = "use Solver")]
 pub fn dcsat_governed_with_budget(
     bcdb: &mut BlockchainDb,
     pre: &Precomputed,
@@ -433,7 +557,35 @@ pub fn dcsat_governed_with_budget(
     opts: &DcSatOptions,
     budget: &Budget,
 ) -> Result<GovernedOutcome, CoreError> {
-    let outcome = match route(bcdb, pre, dc, opts, budget)? {
+    check_governed(bcdb, pre, dc, opts, budget, None)
+}
+
+/// Ungoverned check: runs to completion under the static unlimited budget;
+/// a worker panic is the only way it can report exhaustion.
+pub(crate) fn check_ungoverned(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+) -> Result<DcSatOutcome, CoreError> {
+    match route(bcdb, pre, dc, opts, &UNGOVERNED, None)? {
+        Ok(outcome) => Ok(outcome),
+        Err(ex) => Err(CoreError::Exhausted { reason: ex.reason }),
+    }
+}
+
+/// Governed check over an externally-started budget, optionally drawing on
+/// a batch [`ReuseCtx`]. The single implementation behind the deprecated
+/// free functions and the [`Solver`](crate::Solver) facade.
+pub(crate) fn check_governed(
+    bcdb: &mut BlockchainDb,
+    pre: &Precomputed,
+    dc: &DenialConstraint,
+    opts: &DcSatOptions,
+    budget: &Budget,
+    reuse: Option<&ReuseCtx>,
+) -> Result<GovernedOutcome, CoreError> {
+    let outcome = match route(bcdb, pre, dc, opts, budget, reuse)? {
         Ok(outcome) => {
             let verdict = match outcome.witness {
                 Some(w) => Verdict::Violated(w),
@@ -461,6 +613,7 @@ fn route(
     dc: &DenialConstraint,
     opts: &DcSatOptions,
     budget: &Budget,
+    reuse: Option<&ReuseCtx>,
 ) -> Result<Result<DcSatOutcome, Exhausted>, CoreError> {
     dc.validate(bcdb.database().catalog())?;
     let pc = PreparedConstraint::prepare(bcdb.database_mut(), dc);
@@ -492,7 +645,7 @@ fn route(
                             let _span = probes::CORE_PHASE_COVERS_NS.span();
                             opt::CoversInfo::build(bcdb, pc.as_conjunctive().unwrap())
                         };
-                        Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget))
+                        Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget, reuse))
                     } else {
                         Ok(naive::run(bcdb, pre, &pc, opts, budget))
                     }
@@ -520,7 +673,7 @@ fn route(
                 let _span = probes::CORE_PHASE_COVERS_NS.span();
                 opt::CoversInfo::build(bcdb, pq)
             };
-            Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget))
+            Ok(opt::run(bcdb, pre, &pc, &covers, opts, budget, reuse))
         }
         Algorithm::Tractable => match tractable::classify(bcdb, dc) {
             Some(case) => Ok(tractable::run(bcdb, pre, dc, &pc, case, opts, budget)),

@@ -13,10 +13,11 @@
 
 use crate::db::BlockchainDb;
 use crate::dcsat::{
-    eval_world, DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint,
+    eval_world, DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint, ReuseCtx,
 };
 use crate::precompute::{query_components, Precomputed};
 use crate::worlds::get_maximal;
+use std::sync::Arc;
 use bcdb_governor::{Budget, ExhaustionReason};
 use bcdb_graph::{
     expand_subproblem_governed, maximal_cliques_governed, split_subproblems, BitSet,
@@ -27,6 +28,11 @@ use bcdb_storage::{Source, TxId, WorldMask};
 use bcdb_telemetry::probes;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A per-work-item collection slot for a complete clique enumeration,
+/// filled by the worker that enumerated it and harvested into the batch
+/// [`ReuseCtx`] cache afterwards.
+type CliqueSlot = Mutex<Option<Vec<Vec<usize>>>>;
 
 /// Precomputed covers information for one query: per constant pattern,
 /// whether the current state covers it and which pending transactions do.
@@ -128,6 +134,10 @@ struct ComponentPlan<'a> {
     /// `Some` when the component was split for intra-component parallelism;
     /// `None` → the whole component is one work item.
     subproblems: Option<Vec<CliqueSubproblem>>,
+    /// `Some` when a batch [`ReuseCtx`] already holds this component's
+    /// complete clique enumeration: the single work item replays the cached
+    /// cliques instead of re-running Bron–Kerbosch (never split).
+    cached: Option<Arc<Vec<Vec<usize>>>>,
 }
 
 /// A unit of parallel work: a whole component, or one Bron–Kerbosch
@@ -147,12 +157,25 @@ fn build_plans<'a>(
     candidates: &[&'a Vec<usize>],
     opts: &DcSatOptions,
     threads: usize,
+    reuse: Option<&ReuseCtx>,
 ) -> Vec<ComponentPlan<'a>> {
     // Oversubscribe so uneven subproblem sizes still balance.
     let target = (4 * threads).max(2);
     candidates
         .iter()
         .map(|comp| {
+            // An uncharged peek: the hit/miss counters are charged exactly
+            // once per component, either by `run`'s parallel branch or by
+            // the serial `check_component` fallback.
+            if let Some(cached) = reuse.and_then(|ctx| ctx.cliques.peek(comp)) {
+                return ComponentPlan {
+                    component: comp,
+                    graph: UndirectedGraph::new(0),
+                    mapping: comp.to_vec(),
+                    subproblems: None,
+                    cached: Some(cached),
+                };
+            }
             let (graph, mapping) = pre.fd_graph.induced_subgraph(comp);
             let subproblems = if opts.parallel_intra && comp.len() >= SPLIT_THRESHOLD {
                 let subs = split_subproblems(&graph, opts.clique_strategy, target);
@@ -165,20 +188,25 @@ fn build_plans<'a>(
                 graph,
                 mapping,
                 subproblems,
+                cached: None,
             }
         })
         .collect()
 }
 
 /// Runs `OptDCSat` under `budget`. The caller must have established that
-/// the constraint is monotonic, conjunctive, and connected.
-pub fn run(
+/// the constraint is monotonic, conjunctive, and connected. A batch
+/// [`ReuseCtx`] shares refined partitions and complete per-component clique
+/// enumerations across the constraints of one `Solver::check_batch`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
     pc: &PreparedConstraint,
     covers: &CoversInfo,
     opts: &DcSatOptions,
     budget: &Budget,
+    reuse: Option<&ReuseCtx>,
 ) -> Result<DcSatOutcome, Exhausted> {
     let db = bcdb.database();
     let pq = pc
@@ -227,10 +255,14 @@ pub fn run(
         }
     }
 
-    // Components of Gq,ind = ΘI components refined with Θq edges.
-    let components = {
+    // Components of Gq,ind = ΘI components refined with Θq edges. In a
+    // batch, constraints with the same canonical Θq share one partition.
+    let components: Arc<Vec<Vec<usize>>> = {
         let _span = probes::CORE_PHASE_THETA_NS.span();
-        query_components(bcdb, pre, pq.query())
+        match reuse {
+            Some(ctx) => ctx.partition(bcdb, pre, pq.query()),
+            None => Arc::new(query_components(bcdb, pre, pq.query())),
+        }
     };
     stats.components_total = components.len();
 
@@ -249,7 +281,7 @@ pub fn run(
 
     if opts.parallel {
         let threads = worker_threads(opts);
-        let plans = build_plans(pre, &candidates, opts, threads);
+        let plans = build_plans(pre, &candidates, opts, threads, reuse);
         let mut work = Vec::new();
         for (pi, plan) in plans.iter().enumerate() {
             match &plan.subproblems {
@@ -265,14 +297,41 @@ pub fn run(
             .filter_map(|p| p.subproblems.as_ref().map(Vec::len))
             .sum();
         if work.len() > 1 {
-            return run_parallel(bcdb, pre, pc, &plans, &work, opts, budget, stats, threads);
+            // Charge the reuse counters (one lookup per component) and set
+            // up per-item collection slots for the uncached plans, so their
+            // complete enumerations can seed the cache for the rest of the
+            // batch.
+            let collect: Option<Vec<CliqueSlot>> = reuse.map(|ctx| {
+                for plan in &plans {
+                    if ctx.cliques.lookup(plan.component).is_some() {
+                        probes::CORE_SOLVER_CLIQUE_REUSE.incr();
+                    }
+                }
+                work.iter().map(|_| Mutex::new(None)).collect()
+            });
+            let result = run_parallel(
+                bcdb,
+                pre,
+                pc,
+                &plans,
+                &work,
+                opts,
+                budget,
+                stats,
+                threads,
+                collect.as_deref(),
+            );
+            if let (Some(ctx), Some(slots)) = (reuse, collect) {
+                harvest_completed_plans(ctx, &plans, &work, &slots);
+            }
+            return result;
         }
     }
 
     let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
     let mut witness = None;
     for comp in candidates {
-        match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats) {
+        match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats, reuse) {
             Ok(Some(w)) => {
                 witness = Some(w);
                 break;
@@ -285,6 +344,42 @@ pub fn run(
         Some(w) => DcSatOutcome::unsatisfied(w, stats),
         None => DcSatOutcome::satisfied(stats),
     })
+}
+
+/// Inserts into the batch cache every uncached plan whose work items *all*
+/// ran their enumeration to completion (concatenating subproblem clique
+/// lists in work order reproduces the sequential enumeration exactly). A
+/// plan cut short by a witness, exhaustion, or a panic leaves at least one
+/// empty slot and is skipped — caching a partial enumeration would be
+/// unsound.
+fn harvest_completed_plans(
+    ctx: &ReuseCtx,
+    plans: &[ComponentPlan<'_>],
+    work: &[WorkItem],
+    slots: &[Mutex<Option<Vec<Vec<usize>>>>],
+) {
+    for (pi, plan) in plans.iter().enumerate() {
+        if plan.cached.is_some() {
+            continue;
+        }
+        let mut cliques = Vec::new();
+        let mut complete = true;
+        for (wi, item) in work.iter().enumerate() {
+            if item.plan != pi {
+                continue;
+            }
+            match slots[wi].lock().unwrap().take() {
+                Some(part) => cliques.extend(part),
+                None => {
+                    complete = false;
+                    break;
+                }
+            }
+        }
+        if complete {
+            ctx.cliques.insert(plan.component.to_vec(), cliques);
+        }
+    }
 }
 
 /// Shared clique-visitor driver: `enumerate` yields maximal cliques (of a
@@ -341,9 +436,31 @@ where
     Ok(None)
 }
 
+/// Replays a cached complete enumeration through the visitor, charging the
+/// clique budget exactly as the live enumerator's `report` would (the
+/// per-expansion deadline ticks and pivot probes of a live run are skipped;
+/// replays may therefore exhaust slightly later, never earlier with respect
+/// to cliques).
+fn replay_cliques(
+    cliques: &[Vec<usize>],
+    budget: &Budget,
+    visit: &mut dyn FnMut(&[usize]) -> Visit,
+) -> Result<bool, ExhaustionReason> {
+    for clique in cliques {
+        budget.charge_clique()?;
+        if matches!(visit(clique), Visit::Stop) {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
 /// Enumerates the maximal cliques of `GfTd` restricted to `component`,
 /// builds each maximal world, and evaluates the constraint (serial path —
-/// builds the induced subgraph itself).
+/// builds the induced subgraph itself). With a batch [`ReuseCtx`], a cached
+/// component is replayed without touching `GfTd`, and a fresh complete
+/// enumeration is recorded for the rest of the batch.
+#[allow(clippy::too_many_arguments)]
 fn check_component(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
@@ -352,15 +469,43 @@ fn check_component(
     opts: &DcSatOptions,
     budget: &Budget,
     stats: &mut DcSatStats,
+    reuse: Option<&ReuseCtx>,
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, component);
+    if let Some(ctx) = reuse {
+        if let Some(cached) = ctx.cliques.lookup(component) {
+            probes::CORE_SOLVER_CLIQUE_REUSE.incr();
+            // Cached cliques are local indices of the induced subgraph,
+            // whose mapping is the component member list itself.
+            return drive(bcdb, pre, pc, component, opts, budget, stats, |visit| {
+                replay_cliques(&cached, budget, visit)
+            });
+        }
+        let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
+        let mut collected = Vec::new();
+        let out = drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
+            maximal_cliques_governed(&sub, opts.clique_strategy, budget, |c: &[usize]| {
+                collected.push(c.to_vec());
+                visit(c)
+            })
+        });
+        // `Ok(None)` is the only complete-enumeration outcome: a witness or
+        // an exhaustion stopped early and must not seed the cache.
+        if matches!(out, Ok(None)) {
+            ctx.cliques.insert(component.to_vec(), collected);
+        }
+        return out;
+    }
     let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
     drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
         maximal_cliques_governed(&sub, opts.clique_strategy, budget, visit)
     })
 }
 
-/// Checks a whole (unsplit) component from its prepared plan.
+/// Checks a whole (unsplit) component from its prepared plan, replaying the
+/// cached enumeration when the batch already has one, and streaming fresh
+/// cliques into `sink` so a completed run can seed the batch cache.
+#[allow(clippy::too_many_arguments)]
 fn check_plan_component(
     bcdb: &BlockchainDb,
     pre: &Precomputed,
@@ -369,11 +514,25 @@ fn check_plan_component(
     opts: &DcSatOptions,
     budget: &Budget,
     stats: &mut DcSatStats,
+    sink: Option<&mut Vec<Vec<usize>>>,
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, plan.component);
-    drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
-        maximal_cliques_governed(&plan.graph, opts.clique_strategy, budget, visit)
-    })
+    if let Some(cached) = &plan.cached {
+        return drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+            replay_cliques(cached, budget, visit)
+        });
+    }
+    match sink {
+        Some(out) => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+            maximal_cliques_governed(&plan.graph, opts.clique_strategy, budget, |c: &[usize]| {
+                out.push(c.to_vec());
+                visit(c)
+            })
+        }),
+        None => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+            maximal_cliques_governed(&plan.graph, opts.clique_strategy, budget, visit)
+        }),
+    }
 }
 
 /// Checks one Bron–Kerbosch subproblem of a split component. The
@@ -390,11 +549,21 @@ fn check_subproblem(
     opts: &DcSatOptions,
     budget: &Budget,
     stats: &mut DcSatStats,
+    sink: Option<&mut Vec<Vec<usize>>>,
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, plan.component);
-    drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
-        expand_subproblem_governed(&plan.graph, opts.clique_strategy, sub, budget, visit)
-    })
+    match sink {
+        Some(out) => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+            let collect = |c: &[usize]| {
+                out.push(c.to_vec());
+                visit(c)
+            };
+            expand_subproblem_governed(&plan.graph, opts.clique_strategy, sub, budget, collect)
+        }),
+        None => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
+            expand_subproblem_governed(&plan.graph, opts.clique_strategy, sub, budget, visit)
+        }),
+    }
 }
 
 /// Extension: drain the flattened work list (whole components and
@@ -424,6 +593,7 @@ fn run_parallel(
     budget: &Budget,
     mut stats: DcSatStats,
     threads: usize,
+    collect: Option<&[CliqueSlot]>,
 ) -> Result<DcSatOutcome, Exhausted> {
     let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
     let threads = threads.min(work.len());
@@ -453,15 +623,44 @@ fn run_parallel(
                 let item = &work[i];
                 let plan = &plans[item.plan];
                 let mut local = DcSatStats::default();
+                // Collection feeds the batch clique cache: only uncached
+                // plans collect, and only items that run to completion
+                // publish their slot (see `harvest_completed_plans`).
+                let mut sink_store: Option<Vec<Vec<usize>>> =
+                    (collect.is_some() && plan.cached.is_none()).then(Vec::new);
                 let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
                     || match item.sub {
-                        None => check_plan_component(bcdb, pre, pc, plan, opts, budget, &mut local),
+                        None => check_plan_component(
+                            bcdb,
+                            pre,
+                            pc,
+                            plan,
+                            opts,
+                            budget,
+                            &mut local,
+                            sink_store.as_mut(),
+                        ),
                         Some(si) => {
                             let sub = &plan.subproblems.as_ref().expect("split plan")[si];
-                            check_subproblem(bcdb, pre, pc, plan, sub, opts, budget, &mut local)
+                            check_subproblem(
+                                bcdb,
+                                pre,
+                                pc,
+                                plan,
+                                sub,
+                                opts,
+                                budget,
+                                &mut local,
+                                sink_store.as_mut(),
+                            )
                         }
                     },
                 ));
+                if let (Some(slots), Some(done)) = (collect, sink_store) {
+                    if matches!(&result, Ok(Ok(None))) {
+                        *slots[i].lock().unwrap() = Some(done);
+                    }
+                }
                 cliques.fetch_add(local.cliques_enumerated, Ordering::Relaxed);
                 worlds.fetch_add(local.worlds_evaluated, Ordering::Relaxed);
                 delta_evals.fetch_add(local.delta_seeded_evals, Ordering::Relaxed);
@@ -532,7 +731,7 @@ fn run_parallel(
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -34,7 +34,8 @@ pub enum CoreError {
         /// Which hypothesis failed.
         detail: String,
     },
-    /// An *ungoverned* entry point ([`crate::dcsat`]/[`crate::dcsat_with`])
+    /// An *ungoverned* entry point ([`crate::Solver::check_ungoverned`]
+    /// and the deprecated free functions)
     /// could not complete — with an unlimited budget this only happens when
     /// a parallel worker panics. Governed callers receive
     /// `Verdict::Unknown` instead of this error.

@@ -9,11 +9,14 @@
 //! and pending transactions `T` whose eventual acceptance is uncertain.
 //! The database therefore represents a set of **possible worlds**
 //! ([`worlds`]), and the central question is **denial-constraint
-//! satisfaction** ([`dcsat()`]): is a given Boolean query false in *every*
-//! possible world?
+//! satisfaction**: is a given Boolean query false in *every* possible
+//! world? Checks run through a [`Solver`] session, which owns the database
+//! plus the steady-state precomputed structures and amortizes them across
+//! single checks ([`Solver::check`]) and shared-precompute batches
+//! ([`Solver::check_batch`]).
 //!
 //! ```
-//! use bcdb_core::{BlockchainDb, dcsat, DcSatOptions};
+//! use bcdb_core::{BlockchainDb, Solver};
 //! use bcdb_query::parse_denial_constraint;
 //! use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, RelationSchema, ValueType};
 //!
@@ -33,8 +36,9 @@
 //! // "Bob and Carol are never both paid."
 //! let dc = parse_denial_constraint(
 //!     "q() <- Pay(i, 'bob'), Pay(j, 'carol')", db.database().catalog()).unwrap();
-//! let outcome = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
-//! assert!(outcome.satisfied);
+//! let mut solver = Solver::builder(db).build();
+//! let outcome = solver.check(&dc).unwrap();
+//! assert_eq!(outcome.verdict.satisfied(), Some(true));
 //! ```
 
 pub mod db;
@@ -42,16 +46,19 @@ pub mod dcsat;
 pub mod error;
 pub mod likelihood;
 pub mod precompute;
+pub mod solver;
 pub mod witness;
 pub mod worlds;
 
 pub use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason, RetryPolicy};
 pub use db::{BlockchainDb, PendingTransaction};
+#[allow(deprecated)]
 pub use dcsat::{
     dcsat, dcsat_governed, dcsat_governed_with, dcsat_governed_with_budget, dcsat_with, Algorithm,
     DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, GovernedOutcome, PreparedConstraint,
     Verdict,
 };
+pub use solver::{BatchOutcome, Solver, SolverBuilder, SolverStats};
 pub use error::CoreError;
 pub use likelihood::{
     estimate_violation_risk, AcceptanceModel, PerTxAcceptance, RiskEstimate, UniformAcceptance,

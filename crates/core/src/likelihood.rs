@@ -125,6 +125,9 @@ pub fn estimate_violation_risk(
 }
 
 #[cfg(test)]
+// In-crate tests exercise the low-level entry point directly; the public
+// session facade is covered by the integration suite.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::dcsat::{dcsat, DcSatOptions};

@@ -1,0 +1,488 @@
+//! Session-oriented DCSat solving: one handle, many constraints.
+//!
+//! The paper's steady-state design (§6.3) builds the precomputed structures
+//! — inclusion status, `GfTd`, `Gind` — once per chain snapshot and reuses
+//! them across denial constraints. The [`Solver`] is that design as an API:
+//! it owns the [`BlockchainDb`], the epoch-tagged [`Precomputed`], a
+//! base-verdict cache over `R`, and the check options, and exposes
+//!
+//! * [`Solver::check`] — one governed constraint check amortizing the
+//!   session state, and
+//! * [`Solver::check_batch`] — the multi-constraint engine: one shared
+//!   governor budget, refined `Gq,ind` partitions computed once per
+//!   distinct Θq, and complete per-component clique enumerations cached and
+//!   replayed across every constraint whose partition touches the same
+//!   component members.
+//!
+//! # Lifecycle and epoch invalidation
+//!
+//! The solver tracks the chain through its own mutators:
+//! [`add_transaction`](Solver::add_transaction) and
+//! [`remove_transaction`](Solver::remove_transaction) update `Precomputed`
+//! incrementally and keep the base-verdict cache (the base state `R` did
+//! not change); [`replace_db`](Solver::replace_db) — a mined block, a reorg
+//! — rebuilds everything and advances the epoch, dropping the base cache.
+//! Direct mutation through [`db_mut`](Solver::db_mut) marks the session
+//! stale, and the next check transparently rebuilds. Batch reuse state
+//! (partitions, cliques) never outlives a single `check_batch` call, so it
+//! needs no invalidation at all.
+
+#![deny(missing_docs)]
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::Duration;
+
+use crate::db::{BlockchainDb, PendingTransaction};
+use crate::dcsat::{
+    check_governed, check_ungoverned, Algorithm, DcSatOptions, DcSatOutcome, DcSatStats,
+    GovernedOutcome, PreparedConstraint, ReuseCtx, Verdict,
+};
+use crate::error::CoreError;
+use crate::precompute::Precomputed;
+use crate::witness::minimize_witness;
+use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason};
+use bcdb_graph::CliqueStrategy;
+use bcdb_query::DenialConstraint;
+use bcdb_storage::{RelationId, Tuple, TxId, WorldMask};
+use bcdb_telemetry::probes;
+
+/// Builds a [`Solver`], absorbing [`DcSatOptions`] and the soundness-
+/// sensitive knobs that the plain options struct no longer exposes.
+#[derive(Debug)]
+pub struct SolverBuilder {
+    db: BlockchainDb,
+    opts: DcSatOptions,
+}
+
+impl SolverBuilder {
+    /// Replaces the whole option set (including the budget). Call before
+    /// the targeted setters below: it overwrites everything, including the
+    /// builder-only hint and fault-injection knobs.
+    pub fn options(mut self, opts: DcSatOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Forces an algorithm (default: [`Algorithm::Auto`]).
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.opts.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the maximal-clique enumeration strategy.
+    pub fn clique_strategy(mut self, strategy: CliqueStrategy) -> Self {
+        self.opts.clique_strategy = strategy;
+        self
+    }
+
+    /// Toggles §6.3's monotone pre-check.
+    pub fn precheck(mut self, on: bool) -> Self {
+        self.opts.use_precheck = on;
+        self
+    }
+
+    /// Toggles `OptDCSat`'s constant-covers pruning.
+    pub fn covers(mut self, on: bool) -> Self {
+        self.opts.use_covers = on;
+        self
+    }
+
+    /// Toggles cross-component parallelism.
+    pub fn parallel(mut self, on: bool) -> Self {
+        self.opts.parallel = on;
+        self
+    }
+
+    /// Toggles intra-component Bron–Kerbosch splitting (two-level
+    /// scheduler).
+    pub fn parallel_intra(mut self, on: bool) -> Self {
+        self.opts.parallel_intra = on;
+        self
+    }
+
+    /// Toggles delta-seeded world evaluation.
+    pub fn delta(mut self, on: bool) -> Self {
+        self.opts.use_delta = on;
+        self
+    }
+
+    /// Worker-thread count for the parallel paths (`None` asks the OS).
+    pub fn threads(mut self, threads: Option<usize>) -> Self {
+        self.opts.threads = threads;
+        self
+    }
+
+    /// Resource limits for every check started by the solver.
+    pub fn budget(mut self, budget: BudgetSpec) -> Self {
+        self.opts.budget = budget;
+        self
+    }
+
+    /// Supplies a fixed external verdict of the constraint over the base
+    /// world `R` alone, overriding the solver's own epoch-tagged cache.
+    ///
+    /// **Soundness contract**: the hint must describe the *current* `R`
+    /// for **every** constraint this solver will check, and every mutation
+    /// of the base state invalidates it. A wrong hint produces wrong
+    /// verdicts, not errors. Prefer letting the solver manage hints itself
+    /// — this hook exists for callers with a pre-existing external cache
+    /// and for tests.
+    pub fn base_verdict_hint(mut self, hint: Option<bool>) -> Self {
+        self.opts.base_verdict_hint = hint;
+        self
+    }
+
+    /// Fault injection for robustness tests: any check whose component
+    /// contains this pending-transaction index panics mid-enumeration.
+    /// Not part of the stable API.
+    #[doc(hidden)]
+    pub fn fault_inject_panic_tx(mut self, tx: Option<usize>) -> Self {
+        self.opts.fault_inject_panic_tx = tx;
+        self
+    }
+
+    /// Builds the solver, constructing the steady-state [`Precomputed`]
+    /// structures for the current pending set.
+    pub fn build(self) -> Solver {
+        let pre = Precomputed::build(&self.db);
+        Solver {
+            db: self.db,
+            pre,
+            opts: self.opts,
+            epoch: 0,
+            stale: false,
+            base_cache: HashMap::new(),
+            stats: SolverStats::default(),
+        }
+    }
+}
+
+/// Session counters, cumulative since [`SolverBuilder::build`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Single-constraint checks issued ([`Solver::check`] and
+    /// [`Solver::check_with_budget`]).
+    pub checks: u64,
+    /// [`Solver::check_batch`] calls.
+    pub batches: u64,
+    /// Constraints submitted across all batches.
+    pub batch_constraints: u64,
+    /// Base-world evaluations actually performed for the hint cache.
+    pub base_probes: u64,
+    /// Hint-cache lookups answered without re-evaluating `R`.
+    pub base_cache_hits: u64,
+    /// Checks that ran with a base-verdict hint supplied.
+    pub base_hints_supplied: u64,
+    /// Components whose cliques were enumerated fresh during batches.
+    pub components_enumerated: u64,
+    /// Component checks answered by replaying a cached enumeration.
+    pub components_reused: u64,
+    /// Epoch advances (rebuilds) since the session started.
+    pub epoch_invalidations: u64,
+}
+
+/// The result of one [`Solver::check_batch`] call.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// Per-constraint results, in submission order. A constraint whose
+    /// check panicked is reported as [`Verdict::Unknown`] with
+    /// [`ExhaustionReason::WorkerPanicked`]; the rest of the batch is
+    /// unaffected.
+    pub outcomes: Vec<Result<GovernedOutcome, CoreError>>,
+    /// Components whose cliques were enumerated fresh in this batch.
+    pub components_enumerated: u64,
+    /// Component checks answered by replaying a cached enumeration.
+    pub components_reused: u64,
+    /// Wall-clock time for the whole batch.
+    pub elapsed: Duration,
+}
+
+impl BatchOutcome {
+    /// Clique-enumeration work sharing: total component checks divided by
+    /// fresh enumerations. `1.0` means no sharing happened (every component
+    /// was enumerated exactly once — including the degenerate empty batch);
+    /// `N` means each enumeration served `N` constraints on average.
+    pub fn clique_reuse_ratio(&self) -> f64 {
+        let total = self.components_enumerated + self.components_reused;
+        if total == 0 {
+            return 1.0;
+        }
+        total as f64 / self.components_enumerated.max(1) as f64
+    }
+
+    /// The verdicts, in submission order; configuration errors surface as
+    /// `Err`.
+    pub fn verdicts(&self) -> Vec<Result<&Verdict, &CoreError>> {
+        self.outcomes
+            .iter()
+            .map(|r| r.as_ref().map(|o| &o.verdict))
+            .collect()
+    }
+}
+
+/// A DCSat session over one blockchain database (see the module docs).
+///
+/// The solver **owns** its [`BlockchainDb`]; clone the database first if the
+/// caller needs an independent copy, or take it back with
+/// [`into_db`](Solver::into_db).
+#[derive(Debug)]
+pub struct Solver {
+    db: BlockchainDb,
+    pre: Precomputed,
+    opts: DcSatOptions,
+    epoch: u64,
+    stale: bool,
+    /// Verdict of each constraint (keyed by its display form) over the base
+    /// world `R` alone. Valid for the current epoch only: cleared on every
+    /// rebuild.
+    base_cache: HashMap<String, bool>,
+    stats: SolverStats,
+}
+
+impl Solver {
+    /// Starts building a solver session over `db`.
+    pub fn builder(db: BlockchainDb) -> SolverBuilder {
+        SolverBuilder {
+            db,
+            opts: DcSatOptions::default(),
+        }
+    }
+
+    /// Checks one constraint under a fresh budget from the session options.
+    pub fn check(&mut self, dc: &DenialConstraint) -> Result<GovernedOutcome, CoreError> {
+        let budget = self.opts.budget.start();
+        self.check_with_budget(dc, &budget)
+    }
+
+    /// Checks one constraint drawing from an externally-started [`Budget`]
+    /// — the caller keeps a handle and can [`Budget::cancel`] from another
+    /// thread (the session's own budget spec is ignored for this call).
+    pub fn check_with_budget(
+        &mut self,
+        dc: &DenialConstraint,
+        budget: &Budget,
+    ) -> Result<GovernedOutcome, CoreError> {
+        self.refresh();
+        self.stats.checks += 1;
+        let opts = self.opts_with_hint(dc);
+        check_governed(&mut self.db, &self.pre, dc, &opts, budget, None)
+    }
+
+    /// Checks one constraint to completion, ignoring the session budget
+    /// (the classic ungoverned semantics: a definite outcome or an error).
+    pub fn check_ungoverned(&mut self, dc: &DenialConstraint) -> Result<DcSatOutcome, CoreError> {
+        self.refresh();
+        self.stats.checks += 1;
+        let opts = self.opts_with_hint(dc);
+        check_ungoverned(&mut self.db, &self.pre, dc, &opts)
+    }
+
+    /// Checks a set of constraints against the current snapshot, sharing
+    /// one governor budget, the refined `Gq,ind` partitions, and complete
+    /// per-component clique enumerations across the whole batch.
+    ///
+    /// Verdict agreement: every definite verdict equals what a sequential
+    /// [`check`](Solver::check) of the same constraint would produce. Under
+    /// a tight shared budget, later constraints may come back
+    /// [`Verdict::Unknown`] where fresh-budget sequential checks would have
+    /// finished — never the reverse flip of a definite answer. A panic
+    /// while checking one constraint is contained to that constraint.
+    pub fn check_batch(&mut self, dcs: &[DenialConstraint]) -> BatchOutcome {
+        self.refresh();
+        self.stats.batches += 1;
+        self.stats.batch_constraints += dcs.len() as u64;
+        probes::CORE_SOLVER_BATCH_CONSTRAINTS.add(dcs.len() as u64);
+        let budget = self.opts.budget.start();
+        let reuse = ReuseCtx::new();
+        let mut outcomes = Vec::with_capacity(dcs.len());
+        for dc in dcs {
+            let opts = self.opts_with_hint(dc);
+            let db = &mut self.db;
+            let pre = &self.pre;
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                check_governed(db, pre, dc, &opts, &budget, Some(&reuse))
+            }));
+            outcomes.push(match result {
+                Ok(outcome) => outcome,
+                Err(payload) => Ok(GovernedOutcome {
+                    verdict: Verdict::Unknown(ExhaustionReason::WorkerPanicked {
+                        component: 0,
+                        message: crate::dcsat::opt::payload_message(payload.as_ref()),
+                    }),
+                    stats: DcSatStats {
+                        algorithm: "solver/panicked",
+                        ..DcSatStats::default()
+                    },
+                    degraded_to: None,
+                    elapsed: budget.elapsed(),
+                }),
+            });
+        }
+        let (reused, enumerated) = (reuse.cliques.hits(), reuse.cliques.misses());
+        self.stats.components_enumerated += enumerated;
+        self.stats.components_reused += reused;
+        BatchOutcome {
+            outcomes,
+            components_enumerated: enumerated,
+            components_reused: reused,
+            elapsed: budget.elapsed(),
+        }
+    }
+
+    /// Shrinks a violation witness to an inclusion-minimal possible world
+    /// still satisfying the query (see [`minimize_witness`]).
+    pub fn minimize(&mut self, dc: &DenialConstraint, witness: &WorldMask) -> WorldMask {
+        self.refresh();
+        let pc = PreparedConstraint::prepare(self.db.database_mut(), dc);
+        minimize_witness(&self.db, &self.pre, &pc, witness)
+    }
+
+    /// Adds a pending transaction, updating the steady-state structures
+    /// incrementally. The base state is untouched, so the base-verdict
+    /// cache stays valid and the epoch does not advance.
+    pub fn add_transaction(
+        &mut self,
+        name: impl Into<String>,
+        tuples: impl IntoIterator<Item = (RelationId, Tuple)>,
+    ) -> Result<TxId, CoreError> {
+        self.refresh();
+        let tx = self.db.add_transaction(name, tuples)?;
+        self.pre.note_transaction_added(&self.db, tx);
+        Ok(tx)
+    }
+
+    /// Removes a pending transaction (eviction), updating the steady-state
+    /// structures incrementally. Like
+    /// [`add_transaction`](Solver::add_transaction), this keeps the epoch
+    /// and base cache.
+    pub fn remove_transaction(&mut self, tx: TxId) -> PendingTransaction {
+        self.refresh();
+        let removed = self.db.remove_transaction(tx);
+        self.pre.note_transaction_removed(tx);
+        removed
+    }
+
+    /// Replaces the database wholesale — a mined block, a reorg, any base-
+    /// state change. Rebuilds the precomputed structures, advances the
+    /// epoch, and drops the base-verdict cache.
+    pub fn replace_db(&mut self, db: BlockchainDb) {
+        self.db = db;
+        self.rebuild();
+    }
+
+    /// Read access to the underlying database.
+    pub fn db(&self) -> &BlockchainDb {
+        &self.db
+    }
+
+    /// Mutable access to the underlying database. Marks the session stale:
+    /// the next check rebuilds the precomputed structures and advances the
+    /// epoch (the solver cannot see *what* changed, so it assumes the base
+    /// state did).
+    pub fn db_mut(&mut self) -> &mut BlockchainDb {
+        self.stale = true;
+        &mut self.db
+    }
+
+    /// Consumes the session, returning the database.
+    pub fn into_db(self) -> BlockchainDb {
+        self.db
+    }
+
+    /// The steady-state structures for the current snapshot (rebuilding
+    /// first if the session is stale).
+    pub fn precomputed(&mut self) -> &Precomputed {
+        self.refresh();
+        &self.pre
+    }
+
+    /// The steady-state structures as of the last rebuild, without the
+    /// staleness check. The session mutators keep them current; only
+    /// [`db_mut`](Solver::db_mut) can leave them stale until the next
+    /// check or [`refresh`](Solver::refresh).
+    pub fn precomputed_ref(&self) -> &Precomputed {
+        &self.pre
+    }
+
+    /// The session's invalidation epoch: how many times the precomputed
+    /// structures were rebuilt from scratch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The session's current options.
+    pub fn options(&self) -> &DcSatOptions {
+        &self.opts
+    }
+
+    /// Replaces the session options (budget included). The builder-only
+    /// hint and fault-injection knobs come along with the new options —
+    /// values constructed outside the core crate always carry the safe
+    /// defaults.
+    pub fn set_options(&mut self, opts: DcSatOptions) {
+        self.opts = opts;
+    }
+
+    /// Cumulative session counters.
+    pub fn session_stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    /// Forces a rebuild now if the session is stale (normally implicit in
+    /// every check).
+    pub fn refresh(&mut self) {
+        if self.stale {
+            self.rebuild();
+        }
+    }
+
+    fn rebuild(&mut self) {
+        self.pre = Precomputed::build(&self.db);
+        self.epoch += 1;
+        self.stats.epoch_invalidations += 1;
+        self.base_cache.clear();
+        self.stale = false;
+    }
+
+    /// The session options with a base-verdict hint filled in from the
+    /// epoch-tagged cache (conjunctive constraints only — the aggregate
+    /// paths never consult the hint). A builder-supplied hint wins.
+    fn opts_with_hint(&mut self, dc: &DenialConstraint) -> DcSatOptions {
+        let mut opts = self.opts.clone();
+        if opts.base_verdict_hint.is_none() {
+            opts.base_verdict_hint = self.base_hint(dc);
+        } else {
+            self.stats.base_hints_supplied += 1;
+        }
+        opts
+    }
+
+    /// The constraint's verdict over the base world `R` alone, from the
+    /// epoch-tagged cache, evaluating (under the session budget) at most
+    /// once per constraint per epoch. `None` when the constraint is not
+    /// conjunctive or the probe itself ran out of budget or panicked.
+    fn base_hint(&mut self, dc: &DenialConstraint) -> Option<bool> {
+        if !matches!(dc, DenialConstraint::Conjunctive(_)) {
+            return None;
+        }
+        let key = dc.display(self.db.database().catalog()).to_string();
+        if let Some(&verdict) = self.base_cache.get(&key) {
+            self.stats.base_cache_hits += 1;
+            self.stats.base_hints_supplied += 1;
+            return Some(verdict);
+        }
+        let pc = PreparedConstraint::prepare(self.db.database_mut(), dc);
+        let budget = self.opts.budget.start();
+        let db = self.db.database();
+        let verdict = catch_unwind(AssertUnwindSafe(|| {
+            pc.holds_governed(db, &db.base_mask(), &budget)
+        }))
+        .ok()?
+        .ok()?;
+        self.stats.base_probes += 1;
+        self.stats.base_hints_supplied += 1;
+        self.base_cache.insert(key, verdict);
+        Some(verdict)
+    }
+}

@@ -60,6 +60,9 @@ pub fn minimize_witness(
 }
 
 #[cfg(test)]
+// In-crate tests exercise the low-level entry point directly; the public
+// session facade is covered by the integration suite.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::dcsat::{dcsat, Algorithm, DcSatOptions};

@@ -1,0 +1,147 @@
+//! Component-keyed cache of complete maximal-clique enumerations.
+//!
+//! A batch of denial constraints checked against one chain snapshot keeps
+//! re-deriving the same conflict structure: the refined `Gq,ind` partitions
+//! differ per constraint, but the *members* of a component determine its
+//! induced `GfTd` subgraph — and therefore its maximal cliques — exactly.
+//! The cache maps a component's (sorted) global member list to the full
+//! clique list of its induced subgraph, expressed in **local** indices of
+//! [`UndirectedGraph::induced_subgraph`](crate::UndirectedGraph::induced_subgraph)
+//! (whose mapping is the member list itself, in order), so a replay through
+//! the same mapping reproduces the original enumeration verbatim.
+//!
+//! Soundness rule: an entry may only be inserted after a *complete*
+//! enumeration of the component — a run cut short by a witness, a budget,
+//! or a panic must not populate the cache, because a later replay would
+//! silently miss cliques. Callers enforce this; the cache itself only
+//! stores what it is given.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A complete maximal-clique enumeration in local induced-subgraph
+/// indices, shared between the cache and its consumers.
+pub type CachedCliques = Arc<Vec<Vec<usize>>>;
+
+/// A concurrency-safe map from component member lists to the complete
+/// maximal-clique enumeration of the component's induced subgraph.
+///
+/// Hit/miss counters are monotone and race-free (relaxed atomics): the
+/// reuse ratio they imply is exact for a quiesced batch.
+#[derive(Debug, Default)]
+pub struct CliqueCache {
+    inner: Mutex<HashMap<Vec<usize>, CachedCliques>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CliqueCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Looks up a component's cached clique list, counting a hit or miss.
+    ///
+    /// The returned cliques are in local indices of the component's induced
+    /// subgraph; replay them through the component member list as the
+    /// local→global mapping.
+    pub fn lookup(&self, component: &[usize]) -> Option<Arc<Vec<Vec<usize>>>> {
+        let found = self.inner.lock().unwrap().get(component).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Peeks without touching the hit/miss counters (used when deciding how
+    /// to shape work items before the charged lookup happens).
+    pub fn peek(&self, component: &[usize]) -> Option<Arc<Vec<Vec<usize>>>> {
+        self.inner.lock().unwrap().get(component).cloned()
+    }
+
+    /// Inserts a component's **complete** clique enumeration.
+    ///
+    /// The caller must guarantee the list covers every maximal clique of
+    /// the induced subgraph in enumeration order; partial lists are unsound
+    /// to insert (see the module docs).
+    pub fn insert(&self, component: Vec<usize>, cliques: Vec<Vec<usize>>) {
+        self.inner
+            .lock()
+            .unwrap()
+            .entry(component)
+            .or_insert_with(|| Arc::new(cliques));
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that required a fresh enumeration.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached components.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().unwrap().is_empty()
+    }
+
+    /// Drops every entry and zeroes the counters.
+    pub fn clear(&self) {
+        self.inner.lock().unwrap().clear();
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_counts_hits_and_misses() {
+        let cache = CliqueCache::new();
+        assert!(cache.lookup(&[0, 2, 5]).is_none());
+        cache.insert(vec![0, 2, 5], vec![vec![0, 1], vec![2]]);
+        let got = cache.lookup(&[0, 2, 5]).expect("cached");
+        assert_eq!(*got, vec![vec![0, 1], vec![2]]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn peek_does_not_charge_counters() {
+        let cache = CliqueCache::new();
+        cache.insert(vec![1, 3], vec![vec![0, 1]]);
+        assert!(cache.peek(&[1, 3]).is_some());
+        assert!(cache.peek(&[9]).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn first_insert_wins() {
+        let cache = CliqueCache::new();
+        cache.insert(vec![4, 7], vec![vec![0]]);
+        cache.insert(vec![4, 7], vec![vec![0, 1]]);
+        assert_eq!(*cache.peek(&[4, 7]).unwrap(), vec![vec![0]]);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = CliqueCache::new();
+        cache.insert(vec![0], vec![]);
+        cache.lookup(&[0]);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+}

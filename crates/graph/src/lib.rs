@@ -18,10 +18,12 @@
 
 pub mod bitset;
 pub mod bron_kerbosch;
+pub mod clique_cache;
 pub mod components;
 pub mod graph;
 
 pub use bitset::BitSet;
+pub use clique_cache::CliqueCache;
 pub use bron_kerbosch::{
     collect_maximal_cliques, count_maximal_cliques, expand_subproblem_governed, maximal_cliques,
     maximal_cliques_governed, split_subproblems, CliqueStrategy, CliqueSubproblem, Visit,

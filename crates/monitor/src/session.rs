@@ -1,21 +1,32 @@
 //! The long-running monitor session.
 //!
-//! A [`MonitorSession`] holds a [`BlockchainDb`] plus its
-//! [`Precomputed`] steady state and keeps both true under a stream of
-//! [`ChainEvent`]s:
+//! A [`MonitorSession`] holds a [`Solver`] session over a
+//! [`BlockchainDb`] and keeps it true under a stream of [`ChainEvent`]s:
 //!
 //! * **Intra-epoch** events (arrival, eviction) are applied
-//!   *incrementally* — `note_transaction_added` /
-//!   `note_transaction_removed` — never rebuilding from scratch.
+//!   *incrementally* — [`Solver::add_transaction`] /
+//!   [`Solver::remove_transaction`] — never rebuilding from scratch.
 //! * **Epoch-advancing** events (mined block, reorg) mutate the base
-//!   state `R`, so the session rebuilds from the event's snapshot and
-//!   bumps its epoch counter.
+//!   state `R`, so the session rebuilds from the event's snapshot via
+//!   [`Solver::replace_db`], which advances the solver epoch and drops
+//!   its base-verdict cache — exactly the soundness contract of the
+//!   solver's epoch-tagged hints.
 //!
-//! The epoch counter versions everything derived from `R`: the per-
-//! constraint base-verdict cache is tagged with the epoch at which it was
-//! computed and consulted only while the tag matches, which is exactly
-//! the soundness contract of
-//! [`DcSatOptions::base_verdict_hint`](bcdb_core::DcSatOptions).
+//! The monitor *watches* its registered constraints: each event marks
+//! dirty only the constraints whose verdict may actually have changed,
+//! so [`recheck_dirty`](MonitorSession::recheck_dirty) skips the rest.
+//! The dirty rules are conservative and rest on two facts: possible
+//! worlds are *consistent subsets* of the pending set (arrival only adds
+//! worlds, eviction only removes them), and a constraint's matches can
+//! only involve interactions inside the delta transaction's refined
+//! `Gq,ind` component. Concretely:
+//!
+//! * **Arrival**: a cached definite verdict stays clean unless the new
+//!   transaction's component contains a transaction writing a relation
+//!   the constraint mentions.
+//! * **Eviction**: `Holds` stays clean (worlds only disappear); a cached
+//!   violation's witness may have vanished, so `Violated` goes dirty.
+//! * **Mined / reorg**: the base state changed — everything goes dirty.
 //!
 //! Re-checks never take the monitor down: a panicking check is caught
 //! and reported as [`Verdict::Unknown`], and transient exhaustion
@@ -25,8 +36,8 @@
 use crate::event::ChainEvent;
 use crate::journal::{Journal, JournalRecord};
 use bcdb_core::{
-    dcsat_governed_with_budget, BlockchainDb, CoreError, DcSatOptions, DcSatStats, GovernedOutcome,
-    Precomputed, Verdict,
+    query_components, BlockchainDb, CoreError, DcSatOptions, DcSatStats, GovernedOutcome,
+    Precomputed, Solver, SolverStats, Verdict,
 };
 use bcdb_governor::{BudgetSpec, ExhaustionReason, RetryPolicy};
 use bcdb_query::DenialConstraint;
@@ -82,10 +93,10 @@ impl From<bcdb_storage::StorageError> for MonitorError {
 }
 
 /// Tunables for a session's re-checks.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MonitorConfig {
-    /// DCSat options used for every check (`base_verdict_hint` is
-    /// overwritten per check from the session's epoch-tagged cache).
+    /// DCSat options used for every check (the solver supplies its own
+    /// epoch-tagged base-verdict hint per check).
     pub opts: DcSatOptions,
     /// Budget for each individual check attempt (and for the base-verdict
     /// probe that fills the cache).
@@ -128,6 +139,10 @@ pub struct MonitorStats {
     pub base_probes: u64,
     /// Final verdicts that were `Unknown` after retries.
     pub unknown_verdicts: u64,
+    /// Constraints left alone by [`MonitorSession::recheck_dirty`]
+    /// because no event since their last check could have changed their
+    /// verdict.
+    pub rechecks_skipped: u64,
 }
 
 /// Outcome of re-checking one registered constraint.
@@ -145,20 +160,23 @@ pub struct ConstraintVerdict {
     pub base_hint_used: bool,
 }
 
-/// A registered denial constraint and its epoch-tagged base verdict.
+/// A registered denial constraint under watch.
 struct Registered {
     name: String,
     dc: DenialConstraint,
-    /// `(epoch, verdict_over_R)` — trusted only while `epoch` matches the
-    /// session's.
-    base_verdict: Option<(u64, bool)>,
+    /// Relations the constraint mentions (positive and negated atoms of
+    /// its body) — the footprint used by the arrival dirty rule.
+    relations: Vec<RelationId>,
+    /// The verdict from the last re-check, if any.
+    last: Option<Verdict>,
+    /// Whether an event since the last re-check may have changed the
+    /// verdict. Freshly registered constraints start dirty.
+    dirty: bool,
 }
 
 /// A monitor over one evolving blockchain database. See the module docs.
 pub struct MonitorSession {
-    bcdb: BlockchainDb,
-    pre: Precomputed,
-    epoch: u64,
+    solver: Solver,
     constraints: Vec<Registered>,
     journal: Option<Journal>,
     config: MonitorConfig,
@@ -169,11 +187,8 @@ impl MonitorSession {
     /// A session over an empty database with the given schema.
     pub fn new(catalog: Catalog, constraints: ConstraintSet) -> MonitorSession {
         let bcdb = BlockchainDb::new(catalog, constraints);
-        let pre = Precomputed::build(&bcdb);
         MonitorSession {
-            bcdb,
-            pre,
-            epoch: 0,
+            solver: Solver::builder(bcdb).build(),
             constraints: Vec::new(),
             journal: None,
             config: MonitorConfig::default(),
@@ -189,15 +204,20 @@ impl MonitorSession {
         base: &[(RelationId, Tuple)],
         pending: &[(String, Vec<(RelationId, Tuple)>)],
     ) -> Result<MonitorSession, MonitorError> {
-        let mut s = MonitorSession::new(catalog, constraints);
+        let mut bcdb = BlockchainDb::new(catalog, constraints);
         for (rel, tuple) in base {
-            s.bcdb.insert_current(*rel, tuple.clone())?;
+            bcdb.insert_current(*rel, tuple.clone())?;
         }
         for (name, tuples) in pending {
-            s.bcdb.add_transaction(name.clone(), tuples.iter().cloned())?;
+            bcdb.add_transaction(name.clone(), tuples.iter().cloned())?;
         }
-        s.pre = Precomputed::build(&s.bcdb);
-        Ok(s)
+        Ok(MonitorSession {
+            solver: Solver::builder(bcdb).build(),
+            constraints: Vec::new(),
+            journal: None,
+            config: MonitorConfig::default(),
+            stats: MonitorStats::default(),
+        })
     }
 
     /// Rebuilds a session by replaying journal `records` (e.g. from
@@ -222,24 +242,41 @@ impl MonitorSession {
         self.journal = Some(journal);
     }
 
-    /// Replaces the re-check configuration.
+    /// Replaces the re-check configuration and syncs it into the solver
+    /// session (the per-check budget doubles as the solver's base-probe
+    /// budget).
     pub fn set_config(&mut self, config: MonitorConfig) {
+        let mut opts = config.opts.clone();
+        opts.budget = config.budget;
+        self.solver.set_options(opts);
         self.config = config;
     }
 
     /// Registers a denial constraint for re-checking; returns its index.
+    /// New constraints start dirty — they have never been checked.
     pub fn register(&mut self, name: impl Into<String>, dc: DenialConstraint) -> usize {
+        let mut relations: Vec<RelationId> = dc
+            .body()
+            .positive
+            .iter()
+            .chain(dc.body().negated.iter())
+            .map(|a| a.relation)
+            .collect();
+        relations.sort();
+        relations.dedup();
         self.constraints.push(Registered {
             name: name.into(),
             dc,
-            base_verdict: None,
+            relations,
+            last: None,
+            dirty: true,
         });
         self.constraints.len() - 1
     }
 
     /// The current epoch (bumped by every mined block or reorg).
     pub fn epoch(&self) -> u64 {
-        self.epoch
+        self.solver.epoch()
     }
 
     /// Counters so far.
@@ -247,23 +284,43 @@ impl MonitorSession {
         self.stats
     }
 
+    /// The underlying solver session's counters.
+    pub fn solver_stats(&self) -> SolverStats {
+        self.solver.session_stats()
+    }
+
     /// The monitored database.
     pub fn bcdb(&self) -> &BlockchainDb {
-        &self.bcdb
+        self.solver.db()
     }
 
     /// The incrementally maintained steady state.
     pub fn precomputed(&self) -> &Precomputed {
-        &self.pre
+        self.solver.precomputed_ref()
     }
 
     /// Names of the pending transactions, in issue order.
     pub fn pending_names(&self) -> Vec<&str> {
-        self.bcdb.pending().iter().map(|t| t.name.as_str()).collect()
+        self.solver
+            .db()
+            .pending()
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect()
+    }
+
+    /// Indices of the constraints currently marked dirty.
+    pub fn dirty_indices(&self) -> Vec<usize> {
+        self.constraints
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.dirty)
+            .map(|(i, _)| i)
+            .collect()
     }
 
     fn resolve(&self, tuples: &[(String, Tuple)]) -> Result<Vec<(RelationId, Tuple)>, MonitorError> {
-        let cat = self.bcdb.database().catalog();
+        let cat = self.solver.db().database().catalog();
         tuples
             .iter()
             .map(|(name, tuple)| {
@@ -279,32 +336,39 @@ impl MonitorSession {
     /// events, by snapshot rebuild for epoch-advancing ones.
     pub fn apply(&mut self, event: &ChainEvent) -> Result<(), MonitorError> {
         if let Some(journal) = &mut self.journal {
-            journal.append(self.epoch, event)?;
+            journal.append(self.solver.epoch(), event)?;
         }
         match event {
             ChainEvent::TxArrived { name, tuples } => {
                 let _span = probes::MONITOR_APPLY_NS.span();
                 let tuples = self.resolve(tuples)?;
-                let tx = self.bcdb.add_transaction(name.clone(), tuples)?;
-                self.pre.note_transaction_added(&self.bcdb, tx);
+                let tx = self.solver.add_transaction(name.clone(), tuples)?;
+                self.mark_dirty_after_arrival(tx);
                 self.stats.incremental_applies += 1;
             }
             ChainEvent::TxEvicted { name } => {
                 let _span = probes::MONITOR_APPLY_NS.span();
                 let idx = self
-                    .bcdb
+                    .solver
+                    .db()
                     .pending()
                     .iter()
                     .position(|t| &t.name == name)
                     .ok_or_else(|| MonitorError::UnknownTransaction(name.clone()))?;
-                self.bcdb.remove_transaction(TxId(idx as u32));
-                self.pre.note_transaction_removed(TxId(idx as u32));
+                self.solver.remove_transaction(TxId(idx as u32));
+                // Worlds only disappear: a universally-quantified `Holds`
+                // survives, but a cached violation's witness might be gone.
+                for c in &mut self.constraints {
+                    if !matches!(c.last, Some(Verdict::Holds)) {
+                        c.dirty = true;
+                    }
+                }
                 self.stats.incremental_applies += 1;
             }
             ChainEvent::TxMined { base, pending, .. } | ChainEvent::Reorg { base, pending, .. } => {
                 let _span = probes::MONITOR_REBUILD_NS.span();
-                let catalog = self.bcdb.database().catalog().clone();
-                let cs = self.bcdb.constraints().clone();
+                let catalog = self.solver.db().database().catalog().clone();
+                let cs = self.solver.db().constraints().clone();
                 let mut next = BlockchainDb::new(catalog, cs);
                 for (rel_name, tuple) in base {
                     let rel = next
@@ -327,57 +391,67 @@ impl MonitorSession {
                         .collect();
                     next.add_transaction(name.clone(), resolved?)?;
                 }
-                self.pre = Precomputed::build(&next);
-                self.bcdb = next;
-                // Advancing the epoch is what invalidates every cached
-                // base verdict — the tags simply stop matching.
-                self.epoch += 1;
+                // `replace_db` rebuilds the steady state, advances the
+                // solver epoch, and drops its base-verdict cache — and the
+                // base state changed, so every watched constraint is dirty.
+                self.solver.replace_db(next);
+                for c in &mut self.constraints {
+                    c.dirty = true;
+                }
                 self.stats.rebuilds += 1;
             }
         }
-        probes::MONITOR_EPOCH.set(self.epoch);
+        probes::MONITOR_EPOCH.set(self.solver.epoch());
         self.stats.events_applied += 1;
         Ok(())
     }
 
-    /// Returns the constraint's verdict over the base world `R`, probing
-    /// and caching it if the cached value is from an older epoch.
-    fn base_verdict(&mut self, idx: usize) -> Option<bool> {
-        let epoch = self.epoch;
-        if let Some((tag, v)) = self.constraints[idx].base_verdict {
-            if tag == epoch {
-                return Some(v);
+    /// Arrival dirty rule: worlds only *appear*, and every new world
+    /// contains the new transaction, so a cached definite verdict can only
+    /// change through matches interacting with `tx`. Those interactions
+    /// stay inside `tx`'s refined `Gq,ind` component, so the constraint
+    /// stays clean unless that component contains a transaction writing
+    /// one of the constraint's relations. (Cached `Unknown` and
+    /// never-checked constraints are always dirty.)
+    fn mark_dirty_after_arrival(&mut self, tx: TxId) {
+        let db = self.solver.db();
+        let pre = self.solver.precomputed_ref();
+        for c in &mut self.constraints {
+            if c.dirty {
+                continue;
             }
-        }
-        let dc = self.constraints[idx].dc.clone();
-        let budget = self.config.budget.start();
-        let db = self.bcdb.database_mut();
-        let pc = bcdb_core::PreparedConstraint::prepare(db, &dc);
-        let probe = catch_unwind(AssertUnwindSafe(|| {
-            pc.holds_governed(db, &db.base_mask(), &budget)
-        }));
-        match probe {
-            Ok(Ok(holds_over_base)) => {
-                self.stats.base_probes += 1;
-                self.constraints[idx].base_verdict = Some((epoch, holds_over_base));
-                Some(holds_over_base)
+            match &c.last {
+                Some(Verdict::Holds) | Some(Verdict::Violated(_)) => {
+                    let components = query_components(db, pre, c.dc.body());
+                    let touched = components
+                        .iter()
+                        .find(|comp| comp.contains(&(tx.0 as usize)))
+                        .map(|comp| {
+                            comp.iter().any(|&i| {
+                                db.pending()[i]
+                                    .tuples
+                                    .iter()
+                                    .any(|(rel, _)| c.relations.contains(rel))
+                            })
+                        })
+                        .unwrap_or(true);
+                    if touched {
+                        c.dirty = true;
+                    }
+                }
+                _ => c.dirty = true,
             }
-            // Probe exhausted or panicked: leave the cache empty; the
-            // main check simply runs unhinted.
-            Ok(Err(_)) | Err(_) => None,
         }
     }
 
     /// Re-checks one registered constraint, retrying transient failures
     /// and containing panics. Never panics itself.
     pub fn recheck(&mut self, idx: usize) -> ConstraintVerdict {
-        let hint = self.base_verdict(idx);
         let dc = self.constraints[idx].dc.clone();
         let name = self.constraints[idx].name.clone();
-        let mut opts = self.config.opts;
-        opts.base_verdict_hint = hint;
         let retry = self.config.retry;
         let spec = self.config.budget;
+        let before = self.solver.session_stats();
         // The retry loop gets its own overall deadline: enough for every
         // allowed attempt to spend its full per-attempt budget, so the
         // schedule is bounded even if each attempt runs to exhaustion.
@@ -388,9 +462,9 @@ impl MonitorSession {
         let outcome = retry.run(deadline, |attempt| {
             attempts = attempt + 1;
             let budget = spec.start();
-            let checked = catch_unwind(AssertUnwindSafe(|| {
-                dcsat_governed_with_budget(&mut self.bcdb, &self.pre, &dc, &opts, &budget)
-            }));
+            let solver = &mut self.solver;
+            let checked =
+                catch_unwind(AssertUnwindSafe(|| solver.check_with_budget(&dc, &budget)));
             let elapsed = budget.elapsed();
             match checked {
                 Ok(Ok(out)) => match &out.verdict {
@@ -414,26 +488,45 @@ impl MonitorSession {
                 }
             }
         });
+        // Mirror the solver's base-hint accounting for this check.
+        let after = self.solver.session_stats();
+        self.stats.base_probes += after.base_probes - before.base_probes;
+        self.stats.base_hints_supplied += after.base_hints_supplied - before.base_hints_supplied;
+        let hint_used = after.base_hints_supplied > before.base_hints_supplied;
         self.stats.rechecks += 1;
         self.stats.retries += u64::from(attempts.saturating_sub(1));
-        if hint.is_some() {
-            self.stats.base_hints_supplied += 1;
-        }
         if !outcome.verdict.is_definite() {
             self.stats.unknown_verdicts += 1;
         }
+        self.constraints[idx].last = Some(outcome.verdict.clone());
+        self.constraints[idx].dirty = false;
         ConstraintVerdict {
             name,
             verdict: outcome.verdict,
             degraded_to: outcome.degraded_to,
             attempts,
-            base_hint_used: hint.is_some(),
+            base_hint_used: hint_used,
         }
     }
 
     /// Re-checks every registered constraint, in registration order.
     pub fn recheck_all(&mut self) -> Vec<ConstraintVerdict> {
         (0..self.constraints.len()).map(|i| self.recheck(i)).collect()
+    }
+
+    /// Re-checks only the constraints marked dirty (in registration
+    /// order), skipping — and counting as skipped — every constraint whose
+    /// cached verdict is still known to be current.
+    pub fn recheck_dirty(&mut self) -> Vec<ConstraintVerdict> {
+        let mut out = Vec::new();
+        for i in 0..self.constraints.len() {
+            if self.constraints[i].dirty {
+                out.push(self.recheck(i));
+            } else {
+                self.stats.rechecks_skipped += 1;
+            }
+        }
+        out
     }
 }
 
@@ -643,10 +736,7 @@ mod tests {
         s.apply(&arrival("t0", 1, "bob")).unwrap();
         s.register("forced-opt-aggregate", dc);
         s.set_config(MonitorConfig {
-            opts: DcSatOptions {
-                algorithm: Algorithm::Opt,
-                ..DcSatOptions::default()
-            },
+            opts: DcSatOptions::default().with_algorithm(Algorithm::Opt),
             ..MonitorConfig::default()
         });
         let v = s.recheck(0);
@@ -674,6 +764,77 @@ mod tests {
         let v = s.recheck(0);
         assert_eq!(v.attempts, 1, "tuple-limit exhaustion is deterministic");
         assert_eq!(s.stats().retries, 0);
+    }
+
+    #[test]
+    fn dirty_tracking_skips_unaffected_constraints() {
+        let mut cat = Catalog::new();
+        cat.add(
+            RelationSchema::new("Pay", [("id", ValueType::Int), ("to", ValueType::Text)]).unwrap(),
+        )
+        .unwrap();
+        cat.add(RelationSchema::new("Audit", [("id", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "Pay", &["id"]).unwrap());
+        let dc = parse_denial_constraint("q() <- Pay(i, x), Pay(j, x), i != j", &cat).unwrap();
+        let mut s = MonitorSession::new(cat, cs);
+        s.register("dup-payee", dc);
+        assert_eq!(s.dirty_indices(), [0], "fresh registrations start dirty");
+
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        let v = s.recheck_dirty();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict.satisfied(), Some(true), "one payment cannot dup");
+        assert!(s.dirty_indices().is_empty());
+
+        // An arrival touching only Audit cannot change the Pay constraint:
+        // its component contains no transaction writing Pay.
+        s.apply(&ChainEvent::TxArrived {
+            name: "a0".to_string(),
+            tuples: vec![("Audit".to_string(), tuple![9i64])],
+        })
+        .unwrap();
+        assert!(s.dirty_indices().is_empty());
+        assert!(s.recheck_dirty().is_empty());
+        assert_eq!(s.stats().rechecks_skipped, 1);
+
+        // A second payment to ann can flip the verdict -> dirty, re-checked.
+        s.apply(&arrival("t1", 2, "ann")).unwrap();
+        assert_eq!(s.dirty_indices(), [0]);
+        let v = s.recheck_dirty();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].verdict.satisfied(), Some(false));
+
+        // Eviction can erase a violation witness: Violated goes dirty even
+        // for an unrelated eviction, and the re-check restores Holds.
+        s.apply(&evict("t1")).unwrap();
+        assert_eq!(s.dirty_indices(), [0]);
+        let v = s.recheck_dirty();
+        assert_eq!(v[0].verdict.satisfied(), Some(true));
+
+        // `Holds` survives evictions — worlds only disappear.
+        s.apply(&evict("a0")).unwrap();
+        assert!(s.dirty_indices().is_empty());
+        assert_eq!(s.stats().rechecks_skipped, 1);
+    }
+
+    #[test]
+    fn mined_blocks_dirty_everything() {
+        let (cat, cs) = setup();
+        let dc = parse_denial_constraint("q() <- Pay(i, x), Pay(j, x), i != j", &cat).unwrap();
+        let mut s = MonitorSession::new(cat, cs);
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.register("dup-payee", dc);
+        let _ = s.recheck_dirty();
+        assert!(s.dirty_indices().is_empty());
+        s.apply(&ChainEvent::TxMined {
+            mined: vec!["t0".to_string()],
+            base: vec![("Pay".to_string(), tuple![1i64, "ann"])],
+            pending: vec![],
+        })
+        .unwrap();
+        assert_eq!(s.dirty_indices(), [0], "base-state changes dirty everything");
     }
 
     #[test]

@@ -22,7 +22,7 @@ use bcdb_chain::{
     build_block_template, export, generate, inject, Digest, Fault, Keyring, RelationalExport,
     Scenario, ScenarioConfig,
 };
-use bcdb_core::{dcsat_governed_with, BlockchainDb, Precomputed, Verdict};
+use bcdb_core::{BlockchainDb, Precomputed, Solver, Verdict};
 use bcdb_query::{parse_denial_constraint, DenialConstraint};
 use bcdb_storage::Value;
 use rand::rngs::StdRng;
@@ -189,9 +189,14 @@ fn soak_constraints(ex: &RelationalExport) -> Vec<(String, DenialConstraint)> {
         .collect()
 }
 
-/// Builds a cold database + steady state from an export — the reference
-/// the incremental session is compared against.
-fn cold_rebuild(ex: &RelationalExport) -> Result<(BlockchainDb, Precomputed), crate::MonitorError> {
+/// Builds a cold solver session from an export — the reference the
+/// incremental session is compared against. It runs the same options and
+/// budget as the live monitor, but starts with an empty base-verdict
+/// cache (the "unhinted" side of the comparison).
+fn cold_rebuild(
+    ex: &RelationalExport,
+    config: &MonitorConfig,
+) -> Result<Solver, crate::MonitorError> {
     let mut cold = BlockchainDb::new(ex.catalog.clone(), ex.constraints.clone());
     for (rel, tuple) in &ex.base {
         cold.insert_current(*rel, tuple.clone())?;
@@ -199,8 +204,10 @@ fn cold_rebuild(ex: &RelationalExport) -> Result<(BlockchainDb, Precomputed), cr
     for (name, tuples) in &ex.pending {
         cold.add_transaction(name.clone(), tuples.iter().cloned())?;
     }
-    let pre = Precomputed::build(&cold);
-    Ok((cold, pre))
+    Ok(Solver::builder(cold)
+        .options(config.opts.clone())
+        .budget(config.budget)
+        .build())
 }
 
 /// Compares the session's incrementally maintained state against a cold
@@ -290,10 +297,8 @@ fn verdict_label(v: &Verdict) -> &'static str {
 fn compare_verdicts(
     epoch: u64,
     live: &[ConstraintVerdict],
-    cold: &mut BlockchainDb,
-    cold_pre: &Precomputed,
+    cold: &mut Solver,
     dcs: &[(String, DenialConstraint)],
-    config: &MonitorConfig,
     report: &mut SoakReport,
 ) -> Vec<String> {
     let mut out = Vec::new();
@@ -304,10 +309,7 @@ fn compare_verdicts(
             Verdict::Violated(_) => report.violated += 1,
             Verdict::Unknown(_) => report.unknown += 1,
         }
-        let mut opts = config.opts;
-        opts.base_verdict_hint = None;
-        opts.budget = config.budget;
-        let cold_outcome = match dcsat_governed_with(cold, cold_pre, dc, &opts) {
+        let cold_outcome = match cold.check(dc) {
             Ok(o) => o,
             Err(e) => {
                 out.push(format!("epoch {epoch}: cold check of {name} errored: {e}"));
@@ -376,7 +378,7 @@ fn journal_drill(
             "epoch {epoch}: replayed steady state differs from cold build after recovery"
         ));
     }
-    recovered.set_config(cfg.monitor);
+    recovered.set_config(cfg.monitor.clone());
     for (name, dc) in dcs {
         recovered.register(name.clone(), dc.clone());
     }
@@ -404,7 +406,7 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, crate::MonitorError> {
         &ex0.base,
         &ex0.pending,
     )?;
-    session.set_config(cfg.monitor);
+    session.set_config(cfg.monitor.clone());
     for (name, dc) in &dcs {
         session.register(name.clone(), dc.clone());
     }
@@ -457,20 +459,16 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, crate::MonitorError> {
 
         // Epoch-end audit: state and verdicts vs a cold rebuild.
         let ex = export(&scenario)?;
-        let (mut cold, cold_pre) = cold_rebuild(&ex)?;
-        report
-            .divergences
-            .extend(compare_states(epoch, &session, &cold, &cold_pre));
-        let live_verdicts = session.recheck_all();
-        let verdict_divergences = compare_verdicts(
+        let mut cold = cold_rebuild(&ex, &cfg.monitor)?;
+        report.divergences.extend(compare_states(
             epoch,
-            &live_verdicts,
-            &mut cold,
-            &cold_pre,
-            &dcs,
-            &cfg.monitor,
-            &mut report,
-        );
+            &session,
+            cold.db(),
+            cold.precomputed_ref(),
+        ));
+        let live_verdicts = session.recheck_all();
+        let verdict_divergences =
+            compare_verdicts(epoch, &live_verdicts, &mut cold, &dcs, &mut report);
         report.divergences.extend(verdict_divergences);
         report.epochs = epoch + 1;
     }

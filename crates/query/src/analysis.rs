@@ -345,6 +345,51 @@ pub fn all_vars(q: &ConjunctiveQuery) -> Vec<Var> {
     (0..q.var_count() as u32).map(Var).collect()
 }
 
+/// Θq in canonical (sorted, deduplicated) order.
+///
+/// Two queries with equal canonical lists refine `Gind` into the *same*
+/// partition over any transaction set, so the list is usable as an exact
+/// cache key for component partitions — unlike [`equality_signature`],
+/// which compresses it to a hash for grouping and display only.
+pub fn canonical_equalities(q: &ConjunctiveQuery) -> Vec<EqualityConstraint> {
+    let mut eqs = derive_query_equalities(q);
+    eqs.sort_by(|a, b| {
+        (a.left_relation, &a.left_attrs, a.right_relation, &a.right_attrs).cmp(&(
+            b.left_relation,
+            &b.left_attrs,
+            b.right_relation,
+            &b.right_attrs,
+        ))
+    });
+    eqs.dedup();
+    eqs
+}
+
+/// FNV-1a digest of [`canonical_equalities`] — a compact component-structure
+/// signature for grouping constraints that induce the same `Gq,ind`
+/// refinement. Collisions are possible, so soundness-critical caching must
+/// key on the canonical list itself; the signature is for stats and logs.
+pub fn equality_signature(q: &ConjunctiveQuery) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    let mut mix = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    };
+    for eq in canonical_equalities(q) {
+        mix(eq.left_relation.index() as u64);
+        mix(eq.right_relation.index() as u64);
+        mix(eq.left_attrs.len() as u64);
+        for &a in eq.left_attrs.iter().chain(&eq.right_attrs) {
+            mix(a as u64);
+        }
+    }
+    h
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

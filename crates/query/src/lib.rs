@@ -21,8 +21,9 @@ pub mod eval;
 pub mod parser;
 
 pub use analysis::{
-    atom_graph_complete, constant_patterns, derive_query_equalities, is_connected, monotonicity,
-    monotonicity_with, ConstantPattern, EqualityConstraint, Monotonicity, MonotonicityOptions,
+    atom_graph_complete, canonical_equalities, constant_patterns, derive_query_equalities,
+    equality_signature, is_connected, monotonicity, monotonicity_with, ConstantPattern,
+    EqualityConstraint, Monotonicity, MonotonicityOptions,
 };
 pub use ast::{
     AggFunc, AggregateQuery, Atom, CmpOp, Comparison, ConjunctiveQuery, DenialConstraint,

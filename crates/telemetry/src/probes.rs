@@ -48,6 +48,11 @@ pub static CORE_PHASE_WORLD_CHECKS_NS: Histogram = Histogram::new("core.phase.wo
 pub static CORE_BASE_CACHE_HITS: Counter = Counter::new("core.base_cache_hits");
 /// Monotone prechecks that settled the verdict without enumeration.
 pub static CORE_PRECHECK_SHORT_CIRCUITS: Counter = Counter::new("core.precheck_short_circuits");
+/// Component clique enumerations answered from the batch solver's
+/// component-keyed clique cache instead of a fresh Bron–Kerbosch run.
+pub static CORE_SOLVER_CLIQUE_REUSE: Counter = Counter::new("core.solver.clique_reuse");
+/// Denial constraints submitted through `Solver::check_batch`.
+pub static CORE_SOLVER_BATCH_CONSTRAINTS: Counter = Counter::new("core.solver.batch_constraints");
 
 // ---- bcdb-governor: budgets and degradation ----
 
@@ -88,6 +93,8 @@ pub static COUNTERS: &[&Counter] = &[
     &QUERY_CMP_SHORT_CIRCUITS,
     &CORE_BASE_CACHE_HITS,
     &CORE_PRECHECK_SHORT_CIRCUITS,
+    &CORE_SOLVER_CLIQUE_REUSE,
+    &CORE_SOLVER_BATCH_CONSTRAINTS,
     &GOVERNOR_TICKS,
     &GOVERNOR_TUPLES_CHARGED,
     &GOVERNOR_DEGRADATION_TRANSITIONS,

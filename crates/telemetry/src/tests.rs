@@ -175,6 +175,11 @@ fn snapshot_json_and_table_render() {
     for c in probes::COUNTERS {
         assert!(json.contains(&format!("\"{}\":", c.name())), "{}", c.name());
     }
+    // The solver-session probes must be registered and serialized so
+    // `bcdb check --telemetry` and the bench report always carry them.
+    for name in ["core.solver.clique_reuse", "core.solver.batch_constraints"] {
+        assert!(json.contains(&format!("\"{name}\":")), "{name} missing");
+    }
     let table = snap.render_table();
     assert!(table.contains("core.phase.world_checks_ns"));
     assert!(table.contains("query.tuples_scanned"));

@@ -18,7 +18,7 @@ use bcdb_chain::{
     export, Block, Blockchain, ChainParams, KeyPair, Keyring, Mempool, Scenario, ScenarioConfig,
     ScriptPubKey, ScriptSig, Transaction, TxInput, TxOutput,
 };
-use bcdb_core::{dcsat, BlockchainDb, DcSatOptions};
+use bcdb_core::{BlockchainDb, Solver};
 use bcdb_query::parse_denial_constraint;
 
 const BTC: u64 = 100_000_000;
@@ -113,9 +113,9 @@ fn main() {
             keys: keys.clone(),
             config: ScenarioConfig::default(),
         };
-        let mut db = load(&scenario);
+        let db = load(&scenario);
         let dc = parse_denial_constraint(&q1, db.database().catalog()).unwrap();
-        let outcome = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let outcome = Solver::builder(db).build().check_ungoverned(&dc).unwrap();
         println!(
             "careless reissue: q1 satisfied = {} -> {}",
             outcome.satisfied,
@@ -148,9 +148,9 @@ fn main() {
             keys: keys.clone(),
             config: ScenarioConfig::default(),
         };
-        let mut db = load(&scenario);
+        let db = load(&scenario);
         let dc = parse_denial_constraint(&q1, db.database().catalog()).unwrap();
-        let outcome = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let outcome = Solver::builder(db).build().check_ungoverned(&dc).unwrap();
         println!(
             "careful reissue ({}): q1 satisfied = {} -> safe to broadcast",
             reissue.txid().short(),

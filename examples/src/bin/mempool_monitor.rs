@@ -4,15 +4,16 @@
 //! Simulates several rounds of network activity with `bcdb-chain`. Each
 //! round: new payments (and an occasional double spend) enter the mempool,
 //! the monitor exports the chain+mempool into a blockchain database,
-//! rebuilds the steady-state structures (§6.3), and evaluates a watch-list
-//! of denial constraints; then a block is mined and the mempool purged.
-//! Within a round, a late-arriving transaction is absorbed through the
-//! *incremental* steady-state update rather than a rebuild.
+//! opens a [`Solver`] session (which builds the steady-state structures of
+//! §6.3 once), and evaluates a watch-list of denial constraints; then a
+//! block is mined and the mempool purged. Within a round, a late-arriving
+//! transaction is absorbed through the session's *incremental* update
+//! rather than a rebuild.
 //!
 //! Run with: `cargo run -p bcdb-examples --bin mempool_monitor --release`
 
 use bcdb_chain::{build_block_template, export, generate, Keyring, Scenario, ScenarioConfig};
-use bcdb_core::{dcsat_with, BlockchainDb, DcSatOptions, Precomputed};
+use bcdb_core::{BlockchainDb, Solver};
 use bcdb_query::parse_denial_constraint;
 use std::time::Instant;
 
@@ -50,9 +51,9 @@ fn main() {
     );
 
     for round in 1..=5 {
-        let mut db = load(&scenario);
+        let db = load(&scenario);
         let t0 = Instant::now();
-        let pre = Precomputed::build(&db);
+        let mut solver = Solver::builder(db).build();
         let build_ms = t0.elapsed().as_millis();
 
         // Watch list: a canary address must never receive coins, and no
@@ -69,9 +70,9 @@ fn main() {
             ),
         ];
         for (label, text) in &watch {
-            let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+            let dc = parse_denial_constraint(text, solver.db().database().catalog()).unwrap();
             let t1 = Instant::now();
-            let outcome = dcsat_with(&mut db, &pre, &dc, &DcSatOptions::default()).unwrap();
+            let outcome = solver.check_ungoverned(&dc).unwrap();
             println!(
                 "round {round}: [{}] {label}: satisfied = {} ({} ms, via {})",
                 if outcome.satisfied { "OK " } else { "ALRT" },
@@ -87,11 +88,12 @@ fn main() {
             scenario.mempool.conflict_pairs().len()
         );
 
-        // A transaction arrives mid-round: absorb it incrementally (§6.3
-        // dynamics) instead of rebuilding, then re-check the watch list.
-        let mut pre = pre;
-        let txout = db.database().catalog().resolve("TxOut").unwrap();
-        let late = db
+        // A transaction arrives mid-round: the session absorbs it through
+        // the incremental steady-state update (§6.3 dynamics) instead of a
+        // rebuild, then re-checks the watch list.
+        let txout = solver.db().database().catalog().resolve("TxOut").unwrap();
+        let t2 = Instant::now();
+        solver
             .add_transaction(
                 format!("late-{round}"),
                 [(
@@ -100,10 +102,8 @@ fn main() {
                 )],
             )
             .unwrap();
-        let t2 = Instant::now();
-        pre.note_transaction_added(&db, late);
-        let dc = parse_denial_constraint(&watch[0].1, db.database().catalog()).unwrap();
-        let outcome = dcsat_with(&mut db, &pre, &dc, &DcSatOptions::default()).unwrap();
+        let dc = parse_denial_constraint(&watch[0].1, solver.db().database().catalog()).unwrap();
+        let outcome = solver.check_ungoverned(&dc).unwrap();
         println!(
             "round {round}: late arrival absorbed incrementally in {} µs; watch[0] still {}",
             t2.elapsed().as_micros(),

@@ -11,7 +11,7 @@
 //! Run with: `cargo run -p bcdb-examples --bin quickstart`
 
 use bcdb_chain::bitcoin_catalog;
-use bcdb_core::{dcsat, possible_worlds, Algorithm, BlockchainDb, DcSatOptions, Precomputed};
+use bcdb_core::{possible_worlds, Algorithm, BlockchainDb, DcSatOptions, Solver};
 use bcdb_query::parse_denial_constraint;
 use bcdb_storage::{tuple, RelationId, Tuple};
 
@@ -106,14 +106,18 @@ fn build_figure2() -> (BlockchainDb, RelationId, RelationId) {
 }
 
 fn main() {
-    let (mut db, _, _) = build_figure2();
+    let (db, _, _) = build_figure2();
+    let mut solver = Solver::builder(db).build();
 
-    // Example 3: Poss(D) has exactly nine worlds.
-    let pre = Precomputed::build(&db);
-    let worlds = possible_worlds(&db, &pre);
+    // Example 3: Poss(D) has exactly nine worlds (the session already built
+    // the steady-state structures the enumeration needs).
+    let worlds = possible_worlds(solver.db(), solver.precomputed_ref());
     println!("Poss(D) contains {} possible worlds:", worlds.len());
     for w in &worlds {
-        let names: Vec<&str> = w.txs().map(|t| db.transaction(t).name.as_str()).collect();
+        let names: Vec<&str> = w
+            .txs()
+            .map(|t| solver.db().transaction(t).name.as_str())
+            .collect();
         if names.is_empty() {
             println!("  R");
         } else {
@@ -123,22 +127,18 @@ fn main() {
     assert_eq!(worlds.len(), 9, "Example 3 lists nine possible worlds");
 
     // Example 6 / 8: can U8Pk ever receive bitcoins?
-    let qs =
-        parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", db.database().catalog()).unwrap();
+    let qs = parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", solver.db().database().catalog())
+        .unwrap();
     for (label, algorithm) in [
         ("NaiveDCSat", Algorithm::Naive),
         ("OptDCSat", Algorithm::Opt),
     ] {
-        let outcome = dcsat(
-            &mut db,
-            &qs,
-            &DcSatOptions {
-                algorithm,
-                use_precheck: false, // run the full algorithm, as in Example 6
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        solver.set_options(
+            DcSatOptions::default()
+                .with_algorithm(algorithm)
+                .with_precheck(false), // run the full algorithm, as in Example 6
+        );
+        let outcome = solver.check_ungoverned(&qs).unwrap();
         println!(
             "{label}: qs satisfied = {} (cliques enumerated: {}, worlds evaluated: {})",
             outcome.satisfied, outcome.stats.cliques_enumerated, outcome.stats.worlds_evaluated
@@ -147,7 +147,7 @@ fn main() {
         let witness = outcome.witness.unwrap();
         let names: Vec<&str> = witness
             .txs()
-            .map(|t| db.transaction(t).name.as_str())
+            .map(|t| solver.db().transaction(t).name.as_str())
             .collect();
         println!("  witness world: R ∪ {{{}}}", names.join(", "));
     }
@@ -157,10 +157,11 @@ fn main() {
     // impossible.
     let no_double = parse_denial_constraint(
         "q() <- TxIn('2', 2, pk, a, n1, g1), TxIn('2', 2, pk2, a2, n2, g2), n1 != n2",
-        db.database().catalog(),
+        solver.db().database().catalog(),
     )
     .unwrap();
-    let outcome = dcsat(&mut db, &no_double, &DcSatOptions::default()).unwrap();
+    solver.set_options(DcSatOptions::default());
+    let outcome = solver.check_ungoverned(&no_double).unwrap();
     println!(
         "double-spend constraint satisfied = {} (algorithm: {})",
         outcome.satisfied, outcome.stats.algorithm

@@ -1,12 +1,12 @@
 //! Likelihood-weighted reasoning (the paper's future-work item).
 //!
-//! `dcsat` answers "can the bad outcome happen at all?". This example goes
-//! one step further: given acceptance probabilities learned from fee rates
+//! A [`Solver`] check answers "can the bad outcome happen at all?". This
+//! example goes one step further: given acceptance probabilities learned from fee rates
 //! (miners prefer high-fee transactions), how *likely* is the bad outcome?
 //!
 //! Scenario: a merchant ships goods once a payment is "sure enough". A
 //! pending payment to the merchant conflicts with a same-coin double spend
-//! the buyer also broadcast. `dcsat` says the merchant *might* be paid
+//! the buyer also broadcast. The solver says the merchant *might* be paid
 //! (and might not); the risk analysis quantifies both futures under
 //! different fee choices.
 //!
@@ -17,8 +17,8 @@ use bcdb_chain::{
     OutPoint, Scenario, ScenarioConfig, ScriptPubKey, ScriptSig, Transaction, TxInput, TxOutput,
 };
 use bcdb_core::{
-    dcsat, estimate_violation_risk, BlockchainDb, DcSatOptions, PerTxAcceptance, Precomputed,
-    PreparedConstraint, UniformAcceptance,
+    estimate_violation_risk, BlockchainDb, PerTxAcceptance, Precomputed, PreparedConstraint,
+    Solver, UniformAcceptance,
 };
 use bcdb_query::parse_denial_constraint;
 
@@ -101,7 +101,7 @@ fn main() {
             keys: keys.clone(),
             config: ScenarioConfig::default(),
         };
-        let mut db = load(&scenario);
+        let db = load(&scenario);
 
         // "The merchant is paid 1 BTC" — as a denial constraint this is the
         // *negated* outcome; here we use it as the event whose probability
@@ -116,7 +116,9 @@ fn main() {
         )
         .unwrap();
 
-        let outcome = dcsat(&mut db, &paid, &DcSatOptions::default()).unwrap();
+        let mut solver = Solver::builder(db).build();
+        let outcome = solver.check_ungoverned(&paid).unwrap();
+        let mut db = solver.into_db();
         let pre = Precomputed::build(&db);
         let pc = PreparedConstraint::prepare(db.database_mut(), &paid);
 
@@ -129,7 +131,7 @@ fn main() {
 
         println!("--- {label} ---");
         println!(
-            "  dcsat: payment possible = {} (and so is its absence: conflicting double spend)",
+            "  solver: payment possible = {} (and so is its absence: conflicting double spend)",
             !outcome.satisfied
         );
         println!(

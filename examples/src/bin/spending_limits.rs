@@ -10,7 +10,7 @@
 //!
 //! Run with: `cargo run -p bcdb-examples --bin spending_limits`
 
-use bcdb_core::{dcsat, Algorithm, BlockchainDb, DcSatOptions};
+use bcdb_core::{Algorithm, BlockchainDb, DcSatOptions, Solver};
 use bcdb_query::parse_denial_constraint;
 use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, ValueType};
 
@@ -108,7 +108,10 @@ fn main() {
         db.database().catalog(),
     )
     .unwrap();
-    let out = dcsat(&mut db, &q2, &DcSatOptions::default()).unwrap();
+    // One solver session owns the database from here on: drafts are added
+    // through it so the precomputed structures update incrementally.
+    let mut solver = Solver::builder(db).build();
+    let out = solver.check_ungoverned(&q2).unwrap();
     println!(
         "q2 (only trusted payees):  satisfied = {} via {}",
         out.satisfied, out.stats.algorithm
@@ -122,10 +125,10 @@ fn main() {
             "[q(sum(a)) <- TxIn(t, s, 'AlcPK', a, nt, 'AlcSig')] > {}",
             5 * BTC
         ),
-        db.database().catalog(),
+        solver.db().database().catalog(),
     )
     .unwrap();
-    let out = dcsat(&mut db, &q3, &DcSatOptions::default()).unwrap();
+    let out = solver.check_ungoverned(&q3).unwrap();
     println!(
         "q3 (spend <= 5 BTC):       satisfied = {} via {}",
         out.satisfied, out.stats.algorithm
@@ -134,22 +137,23 @@ fn main() {
 
     // Now Alice drafts a third payment, to Mallory, from her last coin.
     // Dry-run before broadcasting (the paper's recommended workflow).
-    db.add_transaction(
-        "t3-draft",
-        [
-            (txin, tuple!["c3", 1i64, "AlcPK", 2 * BTC, "t3", "AlcSig"]),
-            (txout, tuple!["t3", 1i64, "MalloryPK", 2 * BTC]),
-        ],
-    )
-    .unwrap();
+    solver
+        .add_transaction(
+            "t3-draft",
+            [
+                (txin, tuple!["c3", 1i64, "AlcPK", 2 * BTC, "t3", "AlcSig"]),
+                (txout, tuple!["t3", 1i64, "MalloryPK", 2 * BTC]),
+            ],
+        )
+        .unwrap();
 
-    let out = dcsat(&mut db, &q2, &DcSatOptions::default()).unwrap();
+    let out = solver.check_ungoverned(&q2).unwrap();
     println!(
         "q2 after drafting t3:      satisfied = {} (Mallory is untrusted!)",
         out.satisfied
     );
     assert!(!out.satisfied);
-    let out = dcsat(&mut db, &q3, &DcSatOptions::default()).unwrap();
+    let out = solver.check_ungoverned(&q3).unwrap();
     println!(
         "q3 after drafting t3:      satisfied = {} (6 BTC > 5 BTC now possible)",
         out.satisfied
@@ -160,19 +164,12 @@ fn main() {
     // satisfied; checked with the forced Naive algorithm too.
     let q4 = parse_denial_constraint(
         "[q(cntd(ntx)) <- TxIn(pt, ps, 'AlcPK', a, ntx, 'AlcSig'), TxOut(ntx, s, 'BobPK', a2)] > 10",
-        db.database().catalog(),
+        solver.db().database().catalog(),
     )
     .unwrap();
-    let auto = dcsat(&mut db, &q4, &DcSatOptions::default()).unwrap();
-    let naive = dcsat(
-        &mut db,
-        &q4,
-        &DcSatOptions {
-            algorithm: Algorithm::Naive,
-            ..DcSatOptions::default()
-        },
-    )
-    .unwrap();
+    let auto = solver.check_ungoverned(&q4).unwrap();
+    solver.set_options(DcSatOptions::default().with_algorithm(Algorithm::Naive));
+    let naive = solver.check_ungoverned(&q4).unwrap();
     println!(
         "q4 (<= 10 txs pay Bob):    satisfied = {} (auto via {}, naive agrees: {})",
         auto.satisfied,

@@ -2,7 +2,7 @@
 //! relational schema, load a blockchain database, and reason over it.
 
 use bcdb_chain::{export, generate, Dataset, ScenarioConfig};
-use bcdb_core::{dcsat, Algorithm, BlockchainDb, DcSatOptions, Precomputed};
+use bcdb_core::{Algorithm, BlockchainDb, DcSatOptions, Precomputed, Solver};
 use bcdb_query::parse_denial_constraint;
 use bcdb_storage::TxId;
 
@@ -103,22 +103,16 @@ fn get_maximal_absorbs_dependency_chains() {
 /// spent twice in any possible world (the TxIn key forbids it).
 #[test]
 fn no_double_spend_in_any_world() {
-    let mut db = load(13);
+    let db = load(13);
     let dc = parse_denial_constraint(
         "q() <- TxIn(pt, ps, pk1, a1, n1, s1), TxIn(pt, ps, pk2, a2, n2, s2), n1 != n2",
         db.database().catalog(),
     )
     .unwrap();
+    let mut solver = Solver::builder(db).build();
     for algorithm in [Algorithm::Naive, Algorithm::Auto] {
-        let out = dcsat(
-            &mut db,
-            &dc,
-            &DcSatOptions {
-                algorithm,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(algorithm));
+        let out = solver.check_ungoverned(&dc).unwrap();
         assert!(out.satisfied, "{algorithm:?}");
     }
 }

@@ -4,9 +4,7 @@
 //! always an acceptable answer; a wrong `Holds`/`Violated` never is.
 
 use bcdb_chain::{export, generate, Fault, ScenarioConfig};
-use bcdb_core::{
-    dcsat, Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Verdict, dcsat_governed,
-};
+use bcdb_core::{Algorithm, BlockchainDb, BudgetSpec, DcSatOptions, Solver, Verdict};
 use bcdb_query::parse_denial_constraint;
 use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, RelationSchema, ValueType};
 use proptest::prelude::*;
@@ -104,21 +102,21 @@ proptest! {
             Just(Algorithm::Oracle),
         ],
     ) {
-        let Some(mut db) = build_db(&base, &txs) else { return Ok(()) };
+        let Some(db) = build_db(&base, &txs) else { return Ok(()) };
         let text = query_pool()[query_idx];
         let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
+        let mut solver = Solver::builder(db).build();
 
-        let oracle = dcsat(&mut db, &dc, &DcSatOptions {
-            algorithm: Algorithm::Oracle,
-            ..DcSatOptions::default()
-        }).unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(Algorithm::Oracle));
+        let oracle = solver.check_ungoverned(&dc).unwrap();
 
         let budget = budget_pool()[budget_idx];
-        let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
-            algorithm,
-            budget,
-            ..DcSatOptions::default()
-        }).unwrap();
+        solver.set_options(
+            DcSatOptions::default()
+                .with_algorithm(algorithm)
+                .with_budget(budget),
+        );
+        let governed = solver.check(&dc).unwrap();
 
         match &governed.verdict {
             Verdict::Holds => prop_assert!(
@@ -131,9 +129,10 @@ proptest! {
                     "budget {budget:?} made {algorithm:?} claim Violated but {text} holds \
                      (degraded_to {:?})", governed.degraded_to);
                 // The witness itself must violate the constraint.
-                let pre = bcdb_core::Precomputed::build(&db);
+                let db = solver.db_mut();
+                let pre = bcdb_core::Precomputed::build(db);
                 let txids: Vec<_> = w.txs().collect();
-                prop_assert!(bcdb_core::is_possible_world(&db, &pre, &txids));
+                prop_assert!(bcdb_core::is_possible_world(db, &pre, &txids));
                 let pc = bcdb_core::PreparedConstraint::prepare(db.database_mut(), &dc);
                 prop_assert!(pc.holds(db.database(), w));
             }
@@ -201,16 +200,14 @@ fn faulted_chains_never_contradict_unbudgeted_answer() {
     ];
     for (i, faults) in storms.iter().enumerate() {
         let seed = 31 + i as u64;
-        let mut db = faulted_db(seed, faults);
+        let mut solver = Solver::builder(faulted_db(seed, faults)).build();
         for text in queries {
-            let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
-            let unbudgeted = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+            let dc = parse_denial_constraint(text, solver.db().database().catalog()).unwrap();
+            solver.set_options(DcSatOptions::default());
+            let unbudgeted = solver.check_ungoverned(&dc).unwrap();
             for budget in budget_pool() {
-                let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
-                    budget,
-                    ..DcSatOptions::default()
-                })
-                .unwrap();
+                solver.set_options(DcSatOptions::default().with_budget(budget));
+                let governed = solver.check(&dc).unwrap();
                 match governed.verdict {
                     Verdict::Holds => assert!(
                         unbudgeted.satisfied,

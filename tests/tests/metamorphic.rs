@@ -16,8 +16,8 @@
 mod common;
 
 use bcdb_core::{
-    dcsat, dcsat_governed, is_possible_world, BlockchainDb, DcSatOptions, Precomputed,
-    PreparedConstraint, Verdict,
+    is_possible_world, BlockchainDb, DcSatOptions, Precomputed, PreparedConstraint, Solver,
+    Verdict,
 };
 use bcdb_query::parse_denial_constraint;
 use bcdb_storage::TxId;
@@ -134,21 +134,29 @@ fn union_txs(inst: &Instance, i: usize, j: usize) -> Vec<(Vec<Vec<i64>>, Vec<i64
 }
 
 macro_rules! assert_valid_witness {
-    ($db:expr, $dc:expr, $w:expr, $path:expr) => {{
-        let pre = Precomputed::build($db);
+    ($solver:expr, $dc:expr, $w:expr, $path:expr) => {{
+        let db = $solver.db_mut();
+        let pre = Precomputed::build(db);
         let txids: Vec<TxId> = $w.txs().collect();
         prop_assert!(
-            is_possible_world($db, &pre, &txids),
+            is_possible_world(db, &pre, &txids),
             "{} produced a witness that is not a possible world",
             $path
         );
-        let pc = PreparedConstraint::prepare($db.database_mut(), $dc);
+        let pc = PreparedConstraint::prepare(db.database_mut(), $dc);
         prop_assert!(
-            pc.holds($db.database(), $w),
+            pc.holds(db.database(), $w),
             "{} produced a witness world that does not satisfy the query",
             $path
         );
     }};
+}
+
+/// One ungoverned auto-routed check on a throwaway session (the
+/// metamorphic properties compare verdicts across *different* databases,
+/// so each gets its own session).
+fn check_auto(db: BlockchainDb, dc: &bcdb_query::DenialConstraint) -> bcdb_core::DcSatOutcome {
+    Solver::builder(db).build().check_ungoverned(dc).unwrap()
 }
 
 proptest! {
@@ -159,13 +167,13 @@ proptest! {
         inst in instance_strategy(),
         shuffle_seed in 0..u64::MAX,
     ) {
-        let Some(mut db) = build_db(&inst) else { return Ok(()) };
-        let Some(mut db2) = build_reordered(&inst, shuffle_seed) else {
+        let Some(db) = build_db(&inst) else { return Ok(()) };
+        let Some(db2) = build_reordered(&inst, shuffle_seed) else {
             panic!("reordering must not invalidate an instance");
         };
         let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
-        let a = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
-        let b = dcsat(&mut db2, &dc, &DcSatOptions::default()).unwrap();
+        let a = check_auto(db, &dc);
+        let b = check_auto(db2, &dc);
         prop_assert_eq!(a.satisfied, b.satisfied,
             "verdict changed under reordering (seed {}) on {}", shuffle_seed, &inst.query);
     }
@@ -174,15 +182,16 @@ proptest! {
     /// verdict on the same database.
     #[test]
     fn verdict_is_invariant_under_variable_renaming(inst in instance_strategy()) {
-        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let Some(db) = build_db(&inst) else { return Ok(()) };
         let renamed = rename_vars(&inst.query);
         let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
         let dc_renamed = match parse_denial_constraint(&renamed, db.database().catalog()) {
             Ok(dc) => dc,
             Err(e) => panic!("renamed query '{renamed}' must stay parseable: {e}"),
         };
-        let a = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
-        let b = dcsat(&mut db, &dc_renamed, &DcSatOptions::default()).unwrap();
+        let mut solver = Solver::builder(db).build();
+        let a = solver.check_ungoverned(&dc).unwrap();
+        let b = solver.check_ungoverned(&dc_renamed).unwrap();
         prop_assert_eq!(a.satisfied, b.satisfied,
             "verdict changed under renaming: {} vs {}", &inst.query, &renamed);
     }
@@ -203,21 +212,21 @@ proptest! {
         if i == j {
             j = (j + 1) % inst.txs.len();
         }
-        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let Some(db) = build_db(&inst) else { return Ok(()) };
         let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
-        let original = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let original = check_auto(db, &dc);
 
         let merged_inst = Instance { txs: union_txs(&inst, i, j), ..inst.clone() };
-        let mut merged_db = build_db(&merged_inst).expect("merged transactions stay non-empty");
-        let merged = dcsat(&mut merged_db, &dc, &DcSatOptions::default()).unwrap();
+        let merged_db = build_db(&merged_inst).expect("merged transactions stay non-empty");
+        let merged = check_auto(merged_db, &dc);
         if original.satisfied {
             prop_assert!(merged.satisfied,
                 "unioning T{} and T{} manufactured a violation of {}", i, j, &inst.query);
         }
 
         // Split back apart: the exact original verdict returns.
-        let mut split_db = build_db(&inst).unwrap();
-        let split = dcsat(&mut split_db, &dc, &DcSatOptions::default()).unwrap();
+        let split_db = build_db(&inst).unwrap();
+        let split = check_auto(split_db, &dc);
         prop_assert_eq!(split.satisfied, original.satisfied,
             "union-then-split failed to round-trip on {}", &inst.query);
     }
@@ -226,19 +235,19 @@ proptest! {
     /// which the query genuinely fires.
     #[test]
     fn violated_verdicts_carry_replayable_witnesses(inst in instance_strategy()) {
-        let Some(mut db) = build_db(&inst) else { return Ok(()) };
+        let Some(db) = build_db(&inst) else { return Ok(()) };
         let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
-        let plain = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let mut solver = Solver::builder(db).build();
+        let plain = solver.check_ungoverned(&dc).unwrap();
         if !plain.satisfied {
             let w = plain.witness.as_ref()
                 .expect("a violation found by the router carries a witness");
-            assert_valid_witness!(&mut db, &dc, w, "auto");
+            assert_valid_witness!(&mut solver, &dc, w, "auto");
         }
-        let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
-            budget: generous_budget(), ..DcSatOptions::default()
-        }).unwrap();
+        solver.set_options(DcSatOptions::default().with_budget(generous_budget()));
+        let governed = solver.check(&dc).unwrap();
         if let Verdict::Violated(w) = &governed.verdict {
-            assert_valid_witness!(&mut db, &dc, w, "governed");
+            assert_valid_witness!(&mut solver, &dc, w, "governed");
         }
     }
 }
@@ -249,14 +258,15 @@ proptest! {
 /// violated in any world taking T1, and its witness replays.
 #[test]
 fn figure2_verdicts_are_stable_under_renaming_and_witnesses_replay() {
-    let (mut db, _out, _inp) = common::figure2();
+    let (db, _out, _inp) = common::figure2();
+    let mut solver = Solver::builder(db).build();
     // Double-spend safety: invariant under renaming, and it holds.
     for text in [
         "q() <- TxIn(pt, ps, pk1, a1, n1, s1), TxIn(pt, ps, pk2, a2, n2, s2), n1 != n2",
         "q() <- TxIn(x, y, pkx, ax, nx, sx), TxIn(x, y, pky, ay, ny, sy), nx != ny",
     ] {
-        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
-        let out = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let dc = parse_denial_constraint(text, solver.db().database().catalog()).unwrap();
+        let out = solver.check_ungoverned(&dc).unwrap();
         assert!(
             out.satisfied,
             "conflicting spends never coexist in a possible world, so the \
@@ -268,14 +278,15 @@ fn figure2_verdicts_are_stable_under_renaming_and_witnesses_replay() {
         "q() <- TxOut(t, s, 'U5Pk', a)",
         "q() <- TxOut(renamed_t, renamed_s, 'U5Pk', renamed_a)",
     ] {
-        let dc = parse_denial_constraint(text, db.database().catalog()).unwrap();
-        let out = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        let dc = parse_denial_constraint(text, solver.db().database().catalog()).unwrap();
+        let out = solver.check_ungoverned(&dc).unwrap();
         assert!(!out.satisfied, "T1 pays U5Pk in some possible world");
-        let w = out.witness.as_ref().expect("violations carry a witness");
-        let pre = Precomputed::build(&db);
+        let w = out.witness.as_ref().expect("violations carry a witness").clone();
+        let db = solver.db_mut();
+        let pre = Precomputed::build(db);
         let txids: Vec<TxId> = w.txs().collect();
-        assert!(is_possible_world(&db, &pre, &txids));
+        assert!(is_possible_world(db, &pre, &txids));
         let pc = PreparedConstraint::prepare(db.database_mut(), &dc);
-        assert!(pc.holds(db.database(), w));
+        assert!(pc.holds(db.database(), &w));
     }
 }

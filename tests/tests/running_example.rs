@@ -4,7 +4,7 @@
 mod common;
 
 use bcdb_core::{
-    can_append, dcsat, is_possible_world, possible_worlds, Algorithm, DcSatOptions, Precomputed,
+    can_append, is_possible_world, possible_worlds, Algorithm, DcSatOptions, Precomputed, Solver,
 };
 use bcdb_graph::collect_maximal_cliques;
 use bcdb_query::parse_denial_constraint;
@@ -98,25 +98,22 @@ fn figure_3_fd_graph() {
 /// the maximal world of clique {T1,T2,T3,T4} pays U8Pk.
 #[test]
 fn example_6_qs_not_satisfied() {
-    let (mut db, _, _) = figure2();
+    let (db, _, _) = figure2();
     let qs =
         parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", db.database().catalog()).unwrap();
+    let mut solver = Solver::builder(db).build();
     for algorithm in [
         Algorithm::Naive,
         Algorithm::Opt,
         Algorithm::Oracle,
         Algorithm::Auto,
     ] {
-        let out = dcsat(
-            &mut db,
-            &qs,
-            &DcSatOptions {
-                algorithm,
-                use_precheck: false,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        solver.set_options(
+            DcSatOptions::default()
+                .with_algorithm(algorithm)
+                .with_precheck(false),
+        );
+        let out = solver.check_ungoverned(&qs).unwrap();
         assert!(!out.satisfied, "{algorithm:?}");
         let w = out.witness.unwrap();
         assert!(w.contains_tx(T4), "{algorithm:?}: U8Pk is paid by T4");
@@ -128,19 +125,14 @@ fn example_6_qs_not_satisfied() {
 /// the constant U8Pk.
 #[test]
 fn example_8_components_and_covers() {
-    let (mut db, _, _) = figure2();
+    let (db, _, _) = figure2();
     let qs =
         parse_denial_constraint("q() <- TxOut(t, s, 'U8Pk', a)", db.database().catalog()).unwrap();
-    let out = dcsat(
-        &mut db,
-        &qs,
-        &DcSatOptions {
-            algorithm: Algorithm::Opt,
-            use_precheck: false,
-            ..DcSatOptions::default()
-        },
-    )
-    .unwrap();
+    let mut solver = Solver::builder(db)
+        .algorithm(Algorithm::Opt)
+        .precheck(false)
+        .build();
+    let out = solver.check_ungoverned(&qs).unwrap();
     assert!(!out.satisfied);
     assert_eq!(
         out.stats.components_total, 2,
@@ -150,7 +142,7 @@ fn example_8_components_and_covers() {
 
     // And the IND components themselves match Figure 3 (right):
     // {T1, T2, T3, T4} and {T5}.
-    let pre = Precomputed::build(&db);
+    let pre = Precomputed::build(solver.db());
     let mut uf = pre.ind_uf.clone();
     assert!(uf.connected(T1.index(), T2.index()));
     assert!(uf.connected(T2.index(), T4.index()));
@@ -162,27 +154,21 @@ fn example_8_components_and_covers() {
 /// double spend of (2,2): "the 4-BTC output is never spent twice".
 #[test]
 fn double_spend_constraint_satisfied() {
-    let (mut db, _, _) = figure2();
+    let (db, _, _) = figure2();
     let dc = parse_denial_constraint(
         "q() <- TxIn('2', 2, p1, a1, n1, s1), TxIn('2', 2, p2, a2, n2, s2), n1 != n2",
         db.database().catalog(),
     )
     .unwrap();
+    let mut solver = Solver::builder(db).build();
     for algorithm in [
         Algorithm::Naive,
         Algorithm::Opt,
         Algorithm::Oracle,
         Algorithm::Auto,
     ] {
-        let out = dcsat(
-            &mut db,
-            &dc,
-            &DcSatOptions {
-                algorithm,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(algorithm));
+        let out = solver.check_ungoverned(&dc).unwrap();
         assert!(
             out.satisfied,
             "{algorithm:?}: key constraint forbids both spends"
@@ -194,7 +180,7 @@ fn double_spend_constraint_satisfied() {
 /// 0.5 + 3 + 0.5 = 4 BTC across all worlds.
 #[test]
 fn aggregate_receipts_bound() {
-    let (mut db, _, _) = figure2();
+    let (db, _, _) = figure2();
     let over = parse_denial_constraint(
         &format!(
             "[q(sum(a)) <- TxOut(t, s, 'U4Pk', a)] > {}",
@@ -203,8 +189,6 @@ fn aggregate_receipts_bound() {
         db.database().catalog(),
     )
     .unwrap();
-    let out = dcsat(&mut db, &over, &DcSatOptions::default()).unwrap();
-    assert!(out.satisfied);
     let reachable = parse_denial_constraint(
         &format!(
             "[q(sum(a)) <- TxOut(t, s, 'U4Pk', a)] >= {}",
@@ -213,6 +197,9 @@ fn aggregate_receipts_bound() {
         db.database().catalog(),
     )
     .unwrap();
-    let out = dcsat(&mut db, &reachable, &DcSatOptions::default()).unwrap();
+    let mut solver = Solver::builder(db).build();
+    let out = solver.check_ungoverned(&over).unwrap();
+    assert!(out.satisfied);
+    let out = solver.check_ungoverned(&reachable).unwrap();
     assert!(!out.satisfied, "world R∪T1∪T2∪T3 pays U4Pk exactly 4 BTC");
 }

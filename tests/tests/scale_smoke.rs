@@ -54,7 +54,7 @@ mod bcdb_bench_shims {
     }
 }
 
-use bcdb_core::{dcsat, Algorithm, DcSatOptions};
+use bcdb_core::{Algorithm, DcSatOptions, Solver};
 use bcdb_query::parse_denial_constraint;
 
 const ABSENT: &str = "pkNOSUCHADDRESS00";
@@ -62,24 +62,17 @@ const ABSENT: &str = "pkNOSUCHADDRESS00";
 #[test]
 fn satisfied_families_across_algorithms() {
     let s = scenario();
-    let mut db = load(&s);
+    let mut solver = Solver::builder(load(&s)).build();
     for text in [
         qs(ABSENT),
         qp3(ABSENT, ABSENT),
         qr2(ABSENT),
         format!("[q(sum(a)) <- TxOut(n, s, '{ABSENT}', a)] >= 100"),
     ] {
-        let dc = parse_denial_constraint(&text, db.database().catalog()).unwrap();
+        let dc = parse_denial_constraint(&text, solver.db().database().catalog()).unwrap();
         for algorithm in [Algorithm::Naive, Algorithm::Auto] {
-            let out = dcsat(
-                &mut db,
-                &dc,
-                &DcSatOptions {
-                    algorithm,
-                    ..DcSatOptions::default()
-                },
-            )
-            .unwrap();
+            solver.set_options(DcSatOptions::default().with_algorithm(algorithm));
+            let out = solver.check_ungoverned(&dc).unwrap();
             assert!(out.satisfied, "{algorithm:?} on {text}");
             assert!(
                 out.stats.precheck_short_circuit || out.stats.worlds_evaluated <= 1,
@@ -92,26 +85,19 @@ fn satisfied_families_across_algorithms() {
 #[test]
 fn unsatisfied_qs_with_witness() {
     let s = scenario();
-    let mut db = load(&s);
+    let mut solver = Solver::builder(load(&s)).build();
     // An address that certainly receives coins in a pending transaction.
     let recv = s.mempool.entries()[0].tx.outputs()[0]
         .script
         .display_owner();
-    let dc = parse_denial_constraint(&qs(&recv), db.database().catalog()).unwrap();
+    let dc = parse_denial_constraint(&qs(&recv), solver.db().database().catalog()).unwrap();
     for algorithm in [Algorithm::Naive, Algorithm::Opt, Algorithm::Auto] {
-        let out = dcsat(
-            &mut db,
-            &dc,
-            &DcSatOptions {
-                algorithm,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(algorithm));
+        let out = solver.check_ungoverned(&dc).unwrap();
         assert!(!out.satisfied, "{algorithm:?}");
-        // The witness world must actually pay `recv`... which dcsat already
-        // verified by evaluation; sanity-check the mask is nonempty OR the
-        // address was already paid on chain.
+        // The witness world must actually pay `recv`... which the check
+        // already verified by evaluation; sanity-check the mask is nonempty
+        // OR the address was already paid on chain.
         assert!(out.witness.is_some());
     }
 }
@@ -119,7 +105,7 @@ fn unsatisfied_qs_with_witness() {
 #[test]
 fn naive_and_opt_agree_on_families() {
     let s = scenario();
-    let mut db = load(&s);
+    let mut solver = Solver::builder(load(&s)).build();
     let recv = s.mempool.entries()[0].tx.outputs()[0]
         .script
         .display_owner();
@@ -134,36 +120,18 @@ fn naive_and_opt_agree_on_families() {
         e.tx.inputs()[0].spender.as_str().to_string()
     };
     for text in [qs(&recv), qr2(&spender), qp3(&spender, &spender)] {
-        let dc = parse_denial_constraint(&text, db.database().catalog()).unwrap();
-        let naive = dcsat(
-            &mut db,
-            &dc,
-            &DcSatOptions {
-                algorithm: Algorithm::Naive,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
-        let opt = dcsat(
-            &mut db,
-            &dc,
-            &DcSatOptions {
-                algorithm: Algorithm::Opt,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        let dc = parse_denial_constraint(&text, solver.db().database().catalog()).unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(Algorithm::Naive));
+        let naive = solver.check_ungoverned(&dc).unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(Algorithm::Opt));
+        let opt = solver.check_ungoverned(&dc).unwrap();
         assert_eq!(naive.satisfied, opt.satisfied, "on {text}");
-        let par = dcsat(
-            &mut db,
-            &dc,
-            &DcSatOptions {
-                algorithm: Algorithm::Opt,
-                parallel: true,
-                ..DcSatOptions::default()
-            },
-        )
-        .unwrap();
+        solver.set_options(
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_parallel(true),
+        );
+        let par = solver.check_ungoverned(&dc).unwrap();
         assert_eq!(naive.satisfied, par.satisfied, "parallel on {text}");
     }
 }

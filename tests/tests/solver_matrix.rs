@@ -3,40 +3,44 @@
 //! generous budget, and the two-level parallel scheduler — must agree with
 //! the exhaustive possible-worlds oracle on randomized blockchain
 //! databases, randomized integrity constraints, and randomized denial
-//! constraints.
+//! constraints. All paths run through the [`Solver`] session facade, so
+//! the matrix also exercises session option swaps, the base-verdict hint
+//! cache, and epoch handling.
 //!
-//! This replaces the two scattered pairwise agreement tests
-//! (`algorithms_agree_with_oracle`, `two_level_parallel_agrees_with_serial_
-//! and_naive`) with one harness: a single generated instance is pushed
-//! through every applicable path, so a disagreement pinpoints the deviating
-//! solver immediately. Failing seeds persist to
-//! `proptest-regressions/` and are replayed before fresh random cases.
+//! A second property pins the batch engine's contract: `check_batch(qs)`
+//! agrees with checking each constraint sequentially on a fresh session —
+//! definite verdicts never flip, and indefinite outcomes (shared-budget
+//! exhaustion, injected mid-batch panics) may only widen to `Unknown`.
+//!
+//! Failing seeds persist to `proptest-regressions/` and are replayed
+//! before fresh random cases.
 
 mod common;
 
 use bcdb_core::{
-    dcsat, dcsat_governed, is_possible_world, Algorithm, DcSatOptions, Precomputed,
-    PreparedConstraint, Verdict,
+    is_possible_world, Algorithm, BudgetSpec, DcSatOptions, Precomputed, PreparedConstraint,
+    Solver, Verdict,
 };
 use bcdb_query::{
     atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
 };
 use bcdb_storage::TxId;
-use common::instances::{build_db, generous_budget, instance_strategy};
+use common::instances::{build_db, gen_query, generous_budget, instance_strategy};
 use proptest::prelude::*;
 
 macro_rules! assert_valid_witness {
-    ($db:expr, $dc:expr, $w:expr, $path:expr) => {{
-        let pre = Precomputed::build($db);
+    ($solver:expr, $dc:expr, $w:expr, $path:expr) => {{
+        let db = $solver.db_mut();
+        let pre = Precomputed::build(db);
         let txids: Vec<TxId> = $w.txs().collect();
         prop_assert!(
-            is_possible_world($db, &pre, &txids),
+            is_possible_world(db, &pre, &txids),
             "{} produced a witness that is not a possible world",
             $path
         );
-        let pc = PreparedConstraint::prepare($db.database_mut(), $dc);
+        let pc = PreparedConstraint::prepare(db.database_mut(), $dc);
         prop_assert!(
-            pc.holds($db.database(), $w),
+            pc.holds(db.database(), $w),
             "{} produced a witness world that does not satisfy the query",
             $path
         );
@@ -50,7 +54,7 @@ proptest! {
     #[test]
     fn four_solver_paths_agree_with_the_oracle(inst in instance_strategy()) {
         let trace = std::env::var("SOLVER_MATRIX_TRACE").is_ok();
-        let Some(mut db) = build_db(&inst) else {
+        let Some(db) = build_db(&inst) else {
             if trace {
                 eprintln!("[solver_matrix] skip (empty transaction): {}", inst.query);
             }
@@ -61,17 +65,18 @@ proptest! {
             Err(e) => panic!("generator produced an unparseable query '{}': {e}", inst.query),
         };
         let text = &inst.query;
+        let mut solver = Solver::builder(db).build();
 
         // Ground truth: exhaustive enumeration of Poss(D).
-        let oracle = dcsat(&mut db, &dc, &DcSatOptions {
-            algorithm: Algorithm::Oracle, ..DcSatOptions::default()
-        }).unwrap();
+        solver.set_options(DcSatOptions::default().with_algorithm(Algorithm::Oracle));
+        let oracle = solver.check_ungoverned(&dc).unwrap();
         if let Some(w) = &oracle.witness {
-            assert_valid_witness!(&mut db, &dc, w, "oracle");
+            assert_valid_witness!(&mut solver, &dc, w, "oracle");
         }
 
         // Path 0: the router must always agree, whatever it picks.
-        let auto = dcsat(&mut db, &dc, &DcSatOptions::default()).unwrap();
+        solver.set_options(DcSatOptions::default());
+        let auto = solver.check_ungoverned(&dc).unwrap();
         prop_assert_eq!(auto.satisfied, oracle.satisfied,
             "auto ({}) vs oracle on {}", auto.stats.algorithm, text);
 
@@ -79,14 +84,16 @@ proptest! {
         // without the base-world pre-check.
         if monotonicity(&dc).is_monotone() {
             for precheck in [false, true] {
-                let naive = dcsat(&mut db, &dc, &DcSatOptions {
-                    algorithm: Algorithm::Naive, use_precheck: precheck,
-                    ..DcSatOptions::default()
-                }).unwrap();
+                solver.set_options(
+                    DcSatOptions::default()
+                        .with_algorithm(Algorithm::Naive)
+                        .with_precheck(precheck),
+                );
+                let naive = solver.check_ungoverned(&dc).unwrap();
                 prop_assert_eq!(naive.satisfied, oracle.satisfied,
                     "naive(precheck={}) vs oracle on {}", precheck, text);
                 if let Some(w) = &naive.witness {
-                    assert_valid_witness!(&mut db, &dc, w, "naive");
+                    assert_valid_witness!(&mut solver, &dc, w, "naive");
                 }
             }
         }
@@ -110,30 +117,32 @@ proptest! {
         // Path 2: serial OptDCSat, with and without constant covers.
         if opt_applicable {
             for covers in [true, false] {
-                let opt = dcsat(&mut db, &dc, &DcSatOptions {
-                    algorithm: Algorithm::Opt, use_precheck: false, use_covers: covers,
-                    ..DcSatOptions::default()
-                }).unwrap();
+                solver.set_options(
+                    DcSatOptions::default()
+                        .with_algorithm(Algorithm::Opt)
+                        .with_precheck(false)
+                        .with_covers(covers),
+                );
+                let opt = solver.check_ungoverned(&dc).unwrap();
                 prop_assert_eq!(opt.satisfied, oracle.satisfied,
                     "opt(covers={}) vs oracle on {}", covers, text);
                 if let Some(w) = &opt.witness {
-                    assert_valid_witness!(&mut db, &dc, w, "opt");
+                    assert_valid_witness!(&mut solver, &dc, w, "opt");
                 }
             }
         }
 
         // Path 3: the governed solver under a generous budget must reach a
         // definite verdict and agree.
-        let governed = dcsat_governed(&mut db, &dc, &DcSatOptions {
-            budget: generous_budget(), ..DcSatOptions::default()
-        }).unwrap();
+        solver.set_options(DcSatOptions::default().with_budget(generous_budget()));
+        let governed = solver.check(&dc).unwrap();
         match &governed.verdict {
             Verdict::Holds => prop_assert!(oracle.satisfied,
                 "governed claims Holds but the oracle found a violation of {}", text),
             Verdict::Violated(w) => {
                 prop_assert!(!oracle.satisfied,
                     "governed claims Violated but {} holds", text);
-                assert_valid_witness!(&mut db, &dc, w, "governed");
+                assert_valid_witness!(&mut solver, &dc, w, "governed");
             }
             Verdict::Unknown(r) => prop_assert!(false,
                 "generous budget exhausted on a tiny instance ({:?}) for {}", r, text),
@@ -142,23 +151,121 @@ proptest! {
         // Path 4: the two-level parallel scheduler (component-parallel plus
         // intra-component subproblem splitting) must also be definite.
         if opt_applicable {
-            let two_level = dcsat_governed(&mut db, &dc, &DcSatOptions {
-                algorithm: Algorithm::Opt,
-                parallel: true,
-                parallel_intra: true,
-                threads: Some(4),
-                ..DcSatOptions::default()
-            }).unwrap();
+            solver.set_options(
+                DcSatOptions::default()
+                    .with_algorithm(Algorithm::Opt)
+                    .with_parallel(true)
+                    .with_parallel_intra(true)
+                    .with_threads(Some(4)),
+            );
+            let two_level = solver.check(&dc).unwrap();
             match &two_level.verdict {
                 Verdict::Holds => prop_assert!(oracle.satisfied,
                     "two-level claims Holds but the oracle found a violation of {}", text),
                 Verdict::Violated(w) => {
                     prop_assert!(!oracle.satisfied,
                         "two-level claims Violated but {} holds", text);
-                    assert_valid_witness!(&mut db, &dc, w, "two-level");
+                    assert_valid_witness!(&mut solver, &dc, w, "two-level");
                 }
                 Verdict::Unknown(r) => prop_assert!(false,
                     "unbudgeted fault-free two-level run must be definite on {} ({:?})", text, r),
+            }
+        }
+    }
+
+    /// Batch-vs-sequential agreement: `check_batch(qs)` over one session
+    /// matches checking each constraint on a fresh session. Definite
+    /// verdicts must be identical; a tight shared budget or an injected
+    /// mid-batch panic may only turn answers `Unknown` — never flip a
+    /// definite verdict. Config errors must match variant-for-variant.
+    #[test]
+    fn batch_agrees_with_sequential(
+        inst in instance_strategy(),
+        extra_seeds in prop::collection::vec(0..u64::MAX, 0..3),
+        tight_budget in prop::bool::ANY,
+        panic_sel in 0usize..8,
+    ) {
+        // The vendored proptest has no `prop::option`: selector values past
+        // the pending-set bound mean "no injected fault".
+        let panic_tx = (panic_sel < 4).then_some(panic_sel);
+        let Some(db) = build_db(&inst) else { return Ok(()); };
+        let mut texts = vec![inst.query.clone()];
+        texts.extend(extra_seeds.iter().map(|&s| gen_query(inst.arity, s)));
+        let dcs: Vec<_> = texts
+            .iter()
+            .map(|t| parse_denial_constraint(t, db.database().catalog())
+                .expect("generator produces parseable queries"))
+            .collect();
+
+        // Reference run: each constraint on its own fresh session with a
+        // fresh generous budget and no faults.
+        let sequential: Vec<_> = dcs
+            .iter()
+            .map(|dc| {
+                let mut one = Solver::builder(build_db(&inst).unwrap())
+                    .budget(generous_budget())
+                    .build();
+                one.check(dc)
+            })
+            .collect();
+
+        // Batch run: one session, one shared budget, optionally starved
+        // and/or poisoned with a mid-batch panic.
+        let budget = if tight_budget {
+            BudgetSpec {
+                max_worlds: Some(2),
+                max_cliques: Some(2),
+                max_tuples: Some(64),
+                ..BudgetSpec::UNLIMITED
+            }
+        } else {
+            generous_budget()
+        };
+        let mut batch_solver = Solver::builder(db)
+            .budget(budget)
+            .fault_inject_panic_tx(panic_tx)
+            .build();
+        let batch = batch_solver.check_batch(&dcs);
+        prop_assert_eq!(batch.outcomes.len(), dcs.len());
+
+        for (i, (seq, bat)) in sequential.iter().zip(batch.outcomes.iter()).enumerate() {
+            match (seq, bat) {
+                (Ok(s), Ok(b)) => match (&s.verdict, &b.verdict) {
+                    // Both definite: must agree exactly (witness worlds may
+                    // differ, satisfaction may not).
+                    (Verdict::Holds, Verdict::Violated(_)) | (Verdict::Violated(_), Verdict::Holds) => {
+                        prop_assert!(false,
+                            "definite verdict flipped for '{}': sequential {:?} vs batch {:?}",
+                            texts[i], s.verdict, b.verdict);
+                    }
+                    // Batch may degrade to Unknown under the shared budget
+                    // or an injected panic — but only if starved/poisoned.
+                    (_, Verdict::Unknown(r)) => {
+                        prop_assert!(tight_budget || panic_tx.is_some(),
+                            "unstarved fault-free batch returned Unknown({:?}) for '{}'",
+                            r, texts[i]);
+                    }
+                    // The reference run uses a generous budget: it must be
+                    // definite (asserted by the oracle property above), so
+                    // a definite batch answer pairs with a definite
+                    // sequential one and the equality holds.
+                    _ => prop_assert_eq!(
+                        s.verdict.satisfied(), b.verdict.satisfied(),
+                        "verdict mismatch for '{}'", texts[i]),
+                },
+                // Configuration errors are deterministic per constraint and
+                // unaffected by batching.
+                (Err(se), Err(be)) => {
+                    prop_assert_eq!(
+                        std::mem::discriminant(se), std::mem::discriminant(be),
+                        "error variant mismatch for '{}': {se} vs {be}", texts[i]);
+                }
+                (Ok(s), Err(be)) => prop_assert!(false,
+                    "sequential succeeded ({:?}) but batch errored ({be}) for '{}'",
+                    s.verdict, texts[i]),
+                (Err(se), Ok(b)) => prop_assert!(false,
+                    "sequential errored ({se}) but batch succeeded ({:?}) for '{}'",
+                    b.verdict, texts[i]),
             }
         }
     }

@@ -13,7 +13,7 @@ mod common;
 use std::sync::{Mutex, MutexGuard};
 use std::time::Instant;
 
-use bcdb_core::{dcsat, dcsat_governed, Algorithm, DcSatOptions, Verdict};
+use bcdb_core::{Algorithm, DcSatOptions, Solver, Verdict};
 use bcdb_query::parse_denial_constraint;
 use bcdb_telemetry as telemetry;
 use common::instances::{build_db, Instance};
@@ -53,21 +53,20 @@ fn parallel_run_snapshots_are_deterministic() {
     // x > 9 never holds (domain is 0..=4): the constraint Holds and every
     // candidate world is visited.
     let inst = fixed_instance("q() <- R(x, y), S(x), x > 9");
-    let opts = DcSatOptions {
-        algorithm: Algorithm::Opt,
-        parallel: true,
-        parallel_intra: true,
-        threads: Some(4),
-        ..DcSatOptions::default()
-    };
+    let opts = DcSatOptions::default()
+        .with_algorithm(Algorithm::Opt)
+        .with_parallel(true)
+        .with_parallel_intra(true)
+        .with_threads(Some(4));
     type ProbeValues = Vec<(&'static str, u64)>;
     let mut reference: Option<(ProbeValues, ProbeValues)> = None;
     for round in 0..6 {
-        let mut db = build_db(&inst).expect("fixed instance builds");
+        let db = build_db(&inst).expect("fixed instance builds");
         let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
+        let mut solver = Solver::builder(db).options(opts.clone()).build();
         let _guard = telemetry::EnabledGuard::new();
         telemetry::reset();
-        let out = dcsat_governed(&mut db, &dc, &opts).unwrap();
+        let out = solver.check(&dc).unwrap();
         assert!(
             matches!(out.verdict, Verdict::Holds),
             "the fixture constraint must hold"
@@ -94,6 +93,45 @@ fn parallel_run_snapshots_are_deterministic() {
     }
 }
 
+/// The batch-engine probes are registered in the fixed table (so every
+/// snapshot — including `bcdb check --telemetry` output — carries them)
+/// and fire under a `check_batch` workload: one `batch_constraints` event
+/// per submitted constraint, and a `clique_reuse` event for every
+/// component check answered by replaying a cached enumeration.
+#[test]
+fn solver_batch_probes_are_registered_and_fire() {
+    let _lock = telemetry_lock();
+    let inst = fixed_instance("q() <- R(x, y), S(x), x > 9");
+    let db = build_db(&inst).expect("fixed instance builds");
+    // The same constraint three times over: identical Θq, identical
+    // refined partition, so every component after the first replays.
+    let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
+    let dcs = vec![dc.clone(), dc.clone(), dc];
+    let mut solver = Solver::builder(db)
+        .options(
+            DcSatOptions::default()
+                .with_algorithm(Algorithm::Opt)
+                .with_precheck(false),
+        )
+        .build();
+    let _guard = telemetry::EnabledGuard::new();
+    telemetry::reset();
+    let batch = solver.check_batch(&dcs);
+    assert!(batch.outcomes.iter().all(|o| o.is_ok()));
+    assert!(batch.components_reused > 0, "duplicates must replay cliques");
+
+    let snap = telemetry::snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("probe {name} missing from the registry"))
+            .value
+    };
+    assert_eq!(counter("core.solver.batch_constraints"), dcs.len() as u64);
+    assert_eq!(counter("core.solver.clique_reuse"), batch.components_reused);
+}
+
 /// With telemetry disabled, the probes a workload would fire cost less
 /// than 5% of the workload itself. Measured structurally rather than by
 /// differencing two noisy end-to-end timings: count the events one enabled
@@ -104,11 +142,11 @@ fn disabled_probe_overhead_is_under_five_percent() {
     let _lock = telemetry_lock();
     telemetry::set_enabled(false);
     let inst = fixed_instance("q() <- R(x, y), S(x)");
-    let opts = DcSatOptions::default();
     let run = |inst: &Instance| {
-        let mut db = build_db(inst).unwrap();
+        let db = build_db(inst).unwrap();
         let dc = parse_denial_constraint(&inst.query, db.database().catalog()).unwrap();
-        std::hint::black_box(dcsat(&mut db, &dc, &opts).unwrap());
+        let mut solver = Solver::builder(db).build();
+        std::hint::black_box(solver.check_ungoverned(&dc).unwrap());
     };
 
     // Warm up, then time the disabled workload over enough repetitions to

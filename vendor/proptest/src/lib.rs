@@ -1,7 +1,7 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Implements the subset of the proptest 1.x API this workspace uses:
-//! the [`Strategy`] trait over integer ranges, tuples, `Just`, mapped /
+//! the [`Strategy`](crate::strategy::Strategy) trait over integer ranges, tuples, `Just`, mapped /
 //! flat-mapped strategies, `prop::collection::vec`, `prop::bool::ANY`,
 //! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_oneof!`
 //! macros, and a deterministic case runner. **No shrinking**: a failing
