@@ -12,6 +12,13 @@
 //! two-level-scheduler / delta-seeding / shared-precompute-batch
 //! micro-benchmark (not part of `all`) and writes a JSON report
 //! (default `BENCH_dcsat.json`).
+//!
+//! `soak [--epochs N] [--storage memory|disk:<dir>]` runs the reorg/fault
+//! soak; with disk storage, journal drills recover through the unified
+//! snapshot + WAL-tail path. `crashstorm [--smoke] [--epochs N]` kills the
+//! durable store at every write boundary (or a ≤48-point stride with
+//! `--smoke`) and demands byte-identical recovery (default
+//! `CRASH_report.json`).
 
 use bcdb_bench::datasets::{load_config, load_dataset, LoadedDataset};
 use bcdb_bench::picker::ConstantPicker;
@@ -594,12 +601,35 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
     println!("[bench] wrote {out}");
 }
 
+/// Parses a `--storage` argument: `memory` (the default in-memory store,
+/// no durable snapshots) or `disk:<dir>` (epoch snapshots + unified
+/// recovery under `<dir>`).
+fn parse_storage(arg: &str) -> Option<std::path::PathBuf> {
+    match arg {
+        "memory" => None,
+        _ => match arg.strip_prefix("disk:") {
+            Some(dir) if !dir.is_empty() => Some(std::path::PathBuf::from(dir)),
+            _ => {
+                eprintln!("--storage takes 'memory' or 'disk:<dir>', got '{arg}'");
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
 /// Runs the reorg/fault soak (`bcdb_monitor::run_soak`) and writes its
 /// report as JSON. Exits nonzero if any epoch diverged from a cold rebuild.
-fn soak(epochs: u64, seed: u64, out: &str) {
+fn soak(epochs: u64, seed: u64, out: &str, storage_dir: Option<std::path::PathBuf>) {
     let journal = format!("{out}.journal");
-    let cfg = bcdb_monitor::SoakConfig::new(epochs, seed, &journal);
-    println!("[soak] {epochs} epochs, seed {seed}, journal {journal}");
+    let mut cfg = bcdb_monitor::SoakConfig::new(epochs, seed, &journal);
+    cfg.storage_dir = storage_dir;
+    match &cfg.storage_dir {
+        Some(dir) => println!(
+            "[soak] {epochs} epochs, seed {seed}, journal {journal}, snapshots under {}",
+            dir.display()
+        ),
+        None => println!("[soak] {epochs} epochs, seed {seed}, journal {journal}"),
+    }
     bcdb_telemetry::reset();
     bcdb_telemetry::set_enabled(true);
     let report = match bcdb_monitor::run_soak(&cfg) {
@@ -636,6 +666,8 @@ fn soak(epochs: u64, seed: u64, out: &str) {
         .num("unknown", report.unknown)
         .num("crash_drills", report.crash_drills)
         .num("recoveries", report.recoveries)
+        .num("snapshot_recoveries", report.snapshot_recoveries)
+        .num("snapshots_persisted", report.snapshots_persisted)
         .num("journal_lines_dropped", report.journal_lines_dropped)
         .num("journal_bytes_dropped", report.journal_bytes_dropped)
         .num("final_epoch", report.final_epoch)
@@ -675,13 +707,135 @@ fn soak(epochs: u64, seed: u64, out: &str) {
     }
 }
 
+/// Runs the crash-point injection matrix (`bcdb_monitor::run_crashstorm`):
+/// kill the durable store at (every, or a strided subset of) write
+/// boundaries, recover, resume, and demand byte-identical final state.
+/// Writes a JSON report; exits 1 on any divergence.
+fn crashstorm(smoke: bool, epochs: u64, seed: u64, out: &str) {
+    let workdir = format!("{out}.workdir");
+    let mut cfg = bcdb_monitor::CrashStormConfig::new(epochs, seed, &workdir);
+    if smoke {
+        cfg.max_crash_points = 48;
+    }
+    println!(
+        "[crashstorm] {epochs} epochs, seed {seed}, workdir {workdir}{}",
+        if smoke { ", smoke (≤48 crash points)" } else { ", every write boundary" }
+    );
+    bcdb_telemetry::reset();
+    bcdb_telemetry::set_enabled(true);
+    let report = match bcdb_monitor::run_crashstorm(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[crashstorm] aborted: {e}");
+            std::process::exit(2);
+        }
+    };
+    bcdb_telemetry::set_enabled(false);
+    let telemetry = bcdb_telemetry::snapshot();
+    let scale_json = |s: &bcdb_monitor::ScaleStats| {
+        JsonObject::new()
+            .num("base_rows", s.base_rows)
+            .num("total_records", s.total_records)
+            .num("wal_tail_records", s.wal_tail_records)
+            .num("recovery_ns", s.recovery_ns)
+            .num("full_replay_ns", s.full_replay_ns)
+            .finish()
+    };
+    let tail_scaling = report
+        .tail_scaling
+        .as_ref()
+        .map(|ts| {
+            JsonObject::new()
+                .raw("small", &scale_json(&ts.small))
+                .raw("large", &scale_json(&ts.large))
+                .finish()
+        })
+        .unwrap_or_else(|| "null".to_string());
+    let divergences = format!(
+        "[{}]",
+        report
+            .divergences
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let json = JsonObject::new()
+        .str("bench", "storage-crashstorm")
+        .bool("smoke", smoke)
+        .num("epochs", report.epochs)
+        .num("seed", seed)
+        .num("events", report.events)
+        .num("write_boundaries", report.write_boundaries)
+        .num("crash_points_tested", report.crash_points_tested)
+        .num("crashes_fired", report.crashes_fired)
+        .num("recoveries", report.recoveries)
+        .num("snapshot_recoveries", report.snapshot_recoveries)
+        .num("full_replays", report.full_replays)
+        .num("snapshots_rejected", report.snapshots_rejected)
+        .num("wal_tail_max", report.wal_tail_max)
+        .num("recovery_ns_total", report.recovery_ns_total)
+        .num("recovery_ns_max", report.recovery_ns_max)
+        .num("elapsed_ms", report.elapsed_ms)
+        .num("divergence_count", report.divergences.len())
+        .raw("tail_scaling", &tail_scaling)
+        .raw("divergences", &divergences)
+        .raw("telemetry", &telemetry.to_json())
+        .finish();
+    std::fs::write(out, format!("{json}\n")).expect("write crashstorm report");
+    println!(
+        "[crashstorm] {} events, {} write boundaries, {} crash points tested \
+         ({} fired), {} recoveries ({} from snapshots, {} full replays)",
+        report.events,
+        report.write_boundaries,
+        report.crash_points_tested,
+        report.crashes_fired,
+        report.recoveries,
+        report.snapshot_recoveries,
+        report.full_replays
+    );
+    if let Some(ts) = &report.tail_scaling {
+        println!(
+            "[crashstorm] tail scaling: small {} base rows -> tail {}/{} records, \
+             recovery {:.2}ms (full replay {:.2}ms); large {} base rows -> tail {}/{} \
+             records, recovery {:.2}ms (full replay {:.2}ms)",
+            ts.small.base_rows,
+            ts.small.wal_tail_records,
+            ts.small.total_records,
+            ts.small.recovery_ns as f64 / 1e6,
+            ts.small.full_replay_ns as f64 / 1e6,
+            ts.large.base_rows,
+            ts.large.wal_tail_records,
+            ts.large.total_records,
+            ts.large.recovery_ns as f64 / 1e6,
+            ts.large.full_replay_ns as f64 / 1e6,
+        );
+    }
+    println!("[crashstorm] wrote {out}");
+    if report.divergences.is_empty() {
+        println!(
+            "[crashstorm] PASS: byte-identical recovery at every tested crash point"
+        );
+    } else {
+        eprintln!(
+            "[crashstorm] FAIL: {} divergence(s):",
+            report.divergences.len()
+        );
+        for d in &report.divergences {
+            eprintln!("[crashstorm]   {d}");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
     let mut smoke = false;
-    let mut epochs = 50u64;
+    let mut epochs: Option<u64> = None;
     let mut constraints = 8usize;
     let mut out: Option<String> = None;
+    let mut storage: Option<String> = None;
     let mut which = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -694,10 +848,11 @@ fn main() {
             }
             "--smoke" => smoke = true,
             "--epochs" => {
-                epochs = it
-                    .next()
-                    .and_then(|s| s.parse().ok())
-                    .expect("--epochs takes an integer");
+                epochs = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--epochs takes an integer"),
+                );
             }
             "--constraints" => {
                 constraints = it
@@ -707,6 +862,9 @@ fn main() {
             }
             "--out" => {
                 out = Some(it.next().expect("--out takes a path").clone());
+            }
+            "--storage" => {
+                storage = Some(it.next().expect("--storage takes a value").clone());
             }
             other => which = other.to_string(),
         }
@@ -729,7 +887,18 @@ fn main() {
             out.as_deref().unwrap_or("BENCH_dcsat.json"),
             constraints,
         ),
-        "soak" => soak(epochs, seed, out.as_deref().unwrap_or("SOAK_report.json")),
+        "soak" => soak(
+            epochs.unwrap_or(50),
+            seed,
+            out.as_deref().unwrap_or("SOAK_report.json"),
+            storage.as_deref().and_then(parse_storage),
+        ),
+        "crashstorm" => crashstorm(
+            smoke,
+            epochs.unwrap_or(if smoke { 10 } else { 100 }),
+            seed,
+            out.as_deref().unwrap_or("CRASH_report.json"),
+        ),
         "all" => {
             table1(seed);
             fig6_query_types(seed, true);
@@ -748,7 +917,8 @@ fn main() {
             eprintln!(
                 "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed \
                  bench [--smoke] [--constraints N] [--out PATH] \
-                 soak [--epochs N] [--seed S] [--out PATH] all"
+                 soak [--epochs N] [--seed S] [--out PATH] [--storage memory|disk:<dir>] \
+                 crashstorm [--smoke] [--epochs N] [--seed S] [--out PATH] all"
             );
             std::process::exit(2);
         }

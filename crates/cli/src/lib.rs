@@ -15,10 +15,11 @@
 use bcdb_bench::datasets::{load_dataset, load_export, LoadedDataset};
 use bcdb_chain::Dataset;
 use bcdb_core::{
-    estimate_violation_risk, for_each_possible_world, Algorithm, BudgetSpec, ExhaustionReason,
-    PerTxAcceptance, Precomputed, PreparedConstraint, RetryPolicy, Solver, UniformAcceptance,
-    Verdict,
+    estimate_violation_risk, for_each_possible_world, Algorithm, BlockchainDb, BudgetSpec,
+    ExhaustionReason, PerTxAcceptance, Precomputed, PreparedConstraint, RetryPolicy, Solver,
+    UniformAcceptance, Verdict,
 };
+use bcdb_storage::{encode_snapshot, DiskBackend, StorageBackend};
 use bcdb_query::{
     atom_graph_complete, is_connected, monotonicity, parse_denial_constraint, DenialConstraint,
 };
@@ -58,6 +59,11 @@ pub enum Command {
         /// Record per-phase telemetry during the check and print the
         /// phase table plus a JSON snapshot (`--telemetry`).
         telemetry: bool,
+        /// Storage backend: `None` checks in memory; `Some(dir)` persists
+        /// the loaded database as an epoch snapshot under `dir`, reloads
+        /// it, verifies the round trip byte-for-byte, and checks the
+        /// reloaded state (`--storage {memory,disk:<dir>}`).
+        storage: Option<PathBuf>,
         /// The constraint text.
         constraint: String,
     },
@@ -135,6 +141,18 @@ pub fn load_file(path: &std::path::Path) -> Result<bcdb_core::BlockchainDb, CliE
     Ok(load_export(&e))
 }
 
+fn parse_storage(s: &str) -> Result<Option<PathBuf>, CliError> {
+    if s.eq_ignore_ascii_case("memory") {
+        return Ok(None);
+    }
+    match s.strip_prefix("disk:") {
+        Some(dir) if !dir.trim().is_empty() => Ok(Some(PathBuf::from(dir))),
+        _ => Err(CliError(format!(
+            "unknown storage '{s}' (choose memory or disk:<dir>)"
+        ))),
+    }
+}
+
 fn parse_algorithm(s: &str) -> Result<Algorithm, CliError> {
     match s.to_ascii_lowercase().as_str() {
         "auto" => Ok(Algorithm::Auto),
@@ -166,6 +184,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut retries = 0u32;
     let mut retry_backoff = std::time::Duration::from_millis(50);
     let mut telemetry = false;
+    let mut storage: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -184,6 +203,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--algorithm" => algorithm = parse_algorithm(&flag_value("--algorithm")?)?,
             "--minimize" => minimize = true,
             "--telemetry" => telemetry = true,
+            "--storage" => storage = parse_storage(&flag_value("--storage")?)?,
             "--out" => out_path = Some(PathBuf::from(flag_value("--out")?)),
             "--file" => file = Some(PathBuf::from(flag_value("--file")?)),
             "--limit" => {
@@ -267,6 +287,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 RetryPolicy::new(retries, retry_backoff, seed)
             },
             telemetry,
+            storage,
             constraint: constraint()?,
         }),
         "explain" => Ok(Command::Explain {
@@ -305,6 +326,7 @@ USAGE:
   bcdb check   [--dataset small] [--seed 42] [--algorithm auto] [--minimize]
                [--timeout-ms N] [--max-cliques N] [--max-worlds N] [--max-tuples N]
                [--retries N] [--retry-backoff-ms MS] [--telemetry]
+               [--storage memory|disk:<dir>]
                '<constraint>'
   bcdb explain [--dataset small] '<constraint>'
   bcdb risk    [--dataset small] [--seed 42] [--samples 1000] [--prob P] '<constraint>'
@@ -322,6 +344,12 @@ stays bounded by timeout-ms × (1 + N).
 `check --telemetry` records per-phase telemetry (precompute, Θq, covers,
 enumeration, world checks, …) during the run and prints the phase table
 followed by a machine-readable JSON snapshot.
+
+`check --storage disk:<dir>` exercises the durable storage path before
+checking: the loaded database is persisted as a CRC-checksummed epoch
+snapshot under <dir>, reloaded, verified byte-identical, and the check
+runs against the reloaded state. The default (--storage memory) checks
+in memory and touches no files.
 
 `risk` estimates the probability that the constraint is ever violated,
 drawing future worlds from an acceptance model: --prob P accepts every
@@ -388,11 +416,51 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
             budget,
             retry,
             telemetry,
+            storage,
             constraint,
         } => {
             let db = match file {
                 Some(path) => load_file(&path)?,
                 None => load(dataset, seed).db,
+            };
+            // `--storage disk:<dir>` proves the durable path end to end:
+            // persist the loaded state as an epoch snapshot, reload it,
+            // insist the round trip is byte-identical, and run the check
+            // against the *reloaded* database.
+            let db = match &storage {
+                None => db,
+                Some(dir) => {
+                    let mut backend =
+                        DiskBackend::new(dir).map_err(|e| CliError(e.to_string()))?;
+                    let snap = db.to_db_snapshot(0);
+                    let id = backend
+                        .persist_snapshot(&snap)
+                        .map_err(|e| CliError(e.to_string()))?;
+                    let reloaded = backend
+                        .load_snapshot(&id)
+                        .map_err(|e| CliError(e.to_string()))?;
+                    if encode_snapshot(&reloaded) != encode_snapshot(&snap) {
+                        return Err(CliError(format!(
+                            "storage round-trip mismatch for snapshot {id} under {}",
+                            dir.display()
+                        )));
+                    }
+                    writeln!(
+                        out,
+                        "storage: disk:{} — snapshot {id} ({} base rows, {} pending) \
+                         persisted, reloaded, byte-identical",
+                        dir.display(),
+                        snap.base_rows(),
+                        snap.pending.len()
+                    )
+                    .unwrap();
+                    BlockchainDb::from_db_snapshot(
+                        db.database().catalog().clone(),
+                        db.constraints().clone(),
+                        &reloaded,
+                    )
+                    .map_err(|e| CliError(e.to_string()))?
+                }
             };
             let dc = parse_denial_constraint(&constraint, db.database().catalog())
                 .map_err(|e| CliError(e.to_string()))?;
@@ -686,7 +754,8 @@ mod tests {
                 minimize: true,
                 budget: BudgetSpec::UNLIMITED,
                 retry: RetryPolicy::NONE,
-            telemetry: false,
+                telemetry: false,
+                storage: None,
                 constraint: "q() <- TxOut(t, s, 'x', a)".into(),
             }
         );
@@ -735,6 +804,53 @@ mod tests {
     }
 
     #[test]
+    fn parses_storage_flag() {
+        let mut args = argv("check --storage disk:/tmp/bcdb-snaps");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        let Command::Check { storage, .. } = parse_args(&args).unwrap() else {
+            panic!("expected Check");
+        };
+        assert_eq!(storage, Some(PathBuf::from("/tmp/bcdb-snaps")));
+        // `memory` is the explicit spelling of the default.
+        let mut args = argv("check --storage memory");
+        args.push("q() <- TxOut(t, s, 'x', a)".into());
+        let Command::Check { storage, .. } = parse_args(&args).unwrap() else {
+            panic!("expected Check");
+        };
+        assert_eq!(storage, None);
+        // Bad values rejected.
+        assert!(parse_args(&argv("check --storage floppy x")).is_err());
+        assert!(parse_args(&argv("check --storage disk: x")).is_err());
+        assert!(parse_args(&argv("check --storage")).is_err());
+    }
+
+    #[test]
+    fn check_with_disk_storage_round_trips() {
+        let dir = std::env::temp_dir().join("bcdb_cli_storage_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let out = run(Command::Check {
+            dataset: Dataset::Small,
+            seed: 42,
+            file: None,
+            algorithm: Algorithm::Auto,
+            minimize: false,
+            budget: BudgetSpec::UNLIMITED,
+            retry: RetryPolicy::NONE,
+            telemetry: false,
+            storage: Some(dir.clone()),
+            constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
+        })
+        .unwrap();
+        assert!(out.text.contains("byte-identical"), "{}", out.text);
+        assert!(out.text.contains("satisfied: true"), "{}", out.text);
+        assert_eq!(out.exit_code, 0);
+        // The snapshot really landed on disk.
+        let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert_eq!(files.len(), 1, "expected exactly one snapshot file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn rejects_bad_input() {
         assert!(parse_args(&argv("frobnicate")).is_err());
         assert!(parse_args(&argv("check")).is_err()); // missing constraint
@@ -756,6 +872,7 @@ mod tests {
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
             telemetry: false,
+            storage: None,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
@@ -780,6 +897,7 @@ mod tests {
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
             telemetry: false,
+            storage: None,
             constraint: "q() <- Nope(x)".into(),
         })
         .unwrap_err();
@@ -799,6 +917,7 @@ mod tests {
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
             telemetry: false,
+            storage: None,
             constraint: "q() <- TxOut(t, s, p, a)".into(),
         })
         .unwrap();
@@ -821,6 +940,7 @@ mod tests {
             budget,
             retry: RetryPolicy::NONE,
             telemetry: false,
+            storage: None,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();
@@ -841,6 +961,7 @@ mod tests {
             budget,
             retry: RetryPolicy::NONE,
             telemetry: false,
+            storage: None,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
@@ -865,6 +986,7 @@ mod tests {
             budget,
             retry: RetryPolicy::new(5, std::time::Duration::from_millis(1), 42),
             telemetry: false,
+            storage: None,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
@@ -888,6 +1010,7 @@ mod tests {
             budget,
             retry: RetryPolicy::new(5, std::time::Duration::from_secs(10), 42),
             telemetry: false,
+            storage: None,
             constraint:
                 "q() <- TxOut(t, s, 'pkNOSUCH', a), !TxIn(t, s, 'pkNOSUCH', a, t, 'sig')".into(),
         })
@@ -942,6 +1065,7 @@ mod tests {
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
             telemetry: false,
+            storage: None,
             constraint: "q() <- TxOut(t, s, 'pkNOSUCH', a)".into(),
         })
         .unwrap();

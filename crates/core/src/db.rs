@@ -2,7 +2,8 @@
 
 use crate::error::CoreError;
 use bcdb_storage::{
-    build_ind_indexes, first_violation, ConstraintSet, Database, RelationId, Source, Tuple, TxId,
+    build_ind_indexes, first_violation, ConstraintSet, Database, DbSnapshot, RelationId, Source,
+    Tuple, TxId,
 };
 
 /// A pending (issued but unaccepted) insert transaction: a named set of
@@ -148,6 +149,91 @@ impl BlockchainDb {
     /// All pending transaction ids.
     pub fn tx_ids(&self) -> impl Iterator<Item = TxId> {
         (0..self.pending.len() as u32).map(TxId)
+    }
+
+    /// Captures the full state as a self-describing [`DbSnapshot`] at
+    /// `epoch`: every relation of the catalog (in catalog order, base
+    /// rows in store order) plus the pending transactions in issue order.
+    /// The inverse of [`from_db_snapshot`](Self::from_db_snapshot): a
+    /// round trip produces byte-identical stores.
+    pub fn to_db_snapshot(&self, epoch: u64) -> DbSnapshot {
+        let base = self
+            .db
+            .catalog()
+            .iter()
+            .map(|(rel, schema)| {
+                let rows = self
+                    .db
+                    .relation(rel)
+                    .scan_all()
+                    .filter(|(_, row)| row.source == Source::Base)
+                    .map(|(_, row)| row.tuple.clone())
+                    .collect();
+                (schema.name().to_string(), rows)
+            })
+            .collect();
+        let pending = self
+            .pending
+            .iter()
+            .map(|pt| {
+                let rows = pt
+                    .tuples
+                    .iter()
+                    .map(|(rel, tuple)| {
+                        (
+                            self.db.catalog().schema(*rel).name().to_string(),
+                            tuple.clone(),
+                        )
+                    })
+                    .collect();
+                (pt.name.clone(), rows)
+            })
+            .collect();
+        DbSnapshot {
+            epoch,
+            base,
+            pending,
+        }
+    }
+
+    /// Reconstructs a database from a snapshot: base rows first (per
+    /// relation, in snapshot order), then pending transactions in issue
+    /// order. Relation names are resolved against `catalog`; an
+    /// unresolvable name is an error.
+    pub fn from_db_snapshot(
+        catalog: bcdb_storage::Catalog,
+        constraints: ConstraintSet,
+        snap: &DbSnapshot,
+    ) -> Result<BlockchainDb, CoreError> {
+        let mut bc = BlockchainDb::new(catalog, constraints);
+        for (rel_name, rows) in &snap.base {
+            let rel = bc.db.catalog().resolve(rel_name).ok_or_else(|| {
+                CoreError::Storage(bcdb_storage::StorageError::UnknownRelation {
+                    relation: rel_name.clone(),
+                })
+            })?;
+            for tuple in rows {
+                bc.insert_current(rel, tuple.clone())?;
+            }
+        }
+        for (tx_name, rows) in &snap.pending {
+            let resolved: Result<Vec<_>, CoreError> = rows
+                .iter()
+                .map(|(rel_name, tuple)| {
+                    bc.db
+                        .catalog()
+                        .resolve(rel_name)
+                        .map(|rel| (rel, tuple.clone()))
+                        .ok_or_else(|| {
+                            CoreError::Storage(bcdb_storage::StorageError::UnknownRelation {
+                                relation: rel_name.clone(),
+                            })
+                        })
+                })
+                .collect();
+            bc.add_transaction(tx_name.clone(), resolved?)?;
+        }
+        Ok(bc)
     }
 
     /// Rebuilds the database with `accepted` folded into the current state

@@ -44,7 +44,7 @@ use crate::witness::minimize_witness;
 use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason};
 use bcdb_graph::CliqueStrategy;
 use bcdb_query::DenialConstraint;
-use bcdb_storage::{RelationId, Tuple, TxId, WorldMask};
+use bcdb_storage::{DbSnapshot, RelationId, StorageBackend, Tuple, TxId, WorldMask};
 use bcdb_telemetry::probes;
 
 /// Builds a [`Solver`], absorbing [`DcSatOptions`] and the soundness-
@@ -53,6 +53,8 @@ use bcdb_telemetry::probes;
 pub struct SolverBuilder {
     db: BlockchainDb,
     opts: DcSatOptions,
+    backend: Option<Box<dyn StorageBackend>>,
+    starting_epoch: u64,
 }
 
 impl SolverBuilder {
@@ -142,6 +144,22 @@ impl SolverBuilder {
         self
     }
 
+    /// Attaches a [`StorageBackend`]: [`Solver::persist_snapshot`] writes
+    /// epoch snapshots through it (without a backend the call is a no-op).
+    pub fn backend(mut self, backend: Box<dyn StorageBackend>) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Seeds the session epoch (default 0). Recovery uses this to resume
+    /// a session from a persisted snapshot at the epoch it captured, so
+    /// replayed epoch-advancing events land on the same epoch numbers a
+    /// never-crashed session would have.
+    pub fn starting_epoch(mut self, epoch: u64) -> Self {
+        self.starting_epoch = epoch;
+        self
+    }
+
     /// Builds the solver, constructing the steady-state [`Precomputed`]
     /// structures for the current pending set.
     pub fn build(self) -> Solver {
@@ -150,10 +168,11 @@ impl SolverBuilder {
             db: self.db,
             pre,
             opts: self.opts,
-            epoch: 0,
+            epoch: self.starting_epoch,
             stale: false,
             base_cache: HashMap::new(),
             stats: SolverStats::default(),
+            backend: self.backend,
         }
     }
 }
@@ -238,6 +257,8 @@ pub struct Solver {
     /// rebuild.
     base_cache: HashMap<String, bool>,
     stats: SolverStats,
+    /// Destination for epoch snapshots, if persistence is wanted.
+    backend: Option<Box<dyn StorageBackend>>,
 }
 
 impl Solver {
@@ -246,6 +267,8 @@ impl Solver {
         SolverBuilder {
             db,
             opts: DcSatOptions::default(),
+            backend: None,
+            starting_epoch: 0,
         }
     }
 
@@ -406,9 +429,38 @@ impl Solver {
     }
 
     /// The session's invalidation epoch: how many times the precomputed
-    /// structures were rebuilt from scratch.
+    /// structures were rebuilt from scratch (plus the builder's
+    /// [`starting_epoch`](SolverBuilder::starting_epoch)).
     pub fn epoch(&self) -> u64 {
         self.epoch
+    }
+
+    /// Attaches (or replaces) the storage backend after construction.
+    pub fn attach_backend(&mut self, backend: Box<dyn StorageBackend>) {
+        self.backend = Some(backend);
+    }
+
+    /// The attached backend's kind tag, if one is attached.
+    pub fn backend_kind(&self) -> Option<&'static str> {
+        self.backend.as_deref().map(|b| b.kind())
+    }
+
+    /// Captures the session's full state as a [`DbSnapshot`] tagged with
+    /// the current epoch.
+    pub fn snapshot(&self) -> DbSnapshot {
+        self.db.to_db_snapshot(self.epoch)
+    }
+
+    /// Persists the current state through the attached backend; returns
+    /// the new snapshot id, or `None` if no backend is attached. The
+    /// snapshot is fully durable before the id is returned, so callers
+    /// can safely journal a boundary record naming it.
+    pub fn persist_snapshot(&mut self) -> Result<Option<String>, CoreError> {
+        let Some(backend) = self.backend.as_deref_mut() else {
+            return Ok(None);
+        };
+        let snap = self.db.to_db_snapshot(self.epoch);
+        Ok(Some(backend.persist_snapshot(&snap)?))
     }
 
     /// The session's current options.

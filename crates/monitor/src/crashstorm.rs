@@ -1,0 +1,517 @@
+//! The crash-point injection harness.
+//!
+//! [`run_crashstorm`] proves the durable storage stack crash-consistent
+//! the brute-force way: it generates a deterministic chain-event script,
+//! runs it once on a plain in-memory session (the **control**), once on a
+//! durable session to count every [`DurableFile`](bcdb_storage::DurableFile)
+//! write boundary, and
+//! then — for every write boundary — runs a fresh durable session that is
+//! *killed at exactly that boundary* (cycling through the three crash
+//! styles: dropped unsynced tail, torn write, reordered flush), recovers
+//! it with [`MonitorSession::recover`], resumes the script from what the
+//! recovered journal proves was durably applied, and asserts the final
+//! state is **byte-identical** to the control's encoded snapshot. Any
+//! mismatch — or a crash point that fails to fire, or a recovery error —
+//! is a divergence; the storm passed iff there are none.
+//!
+//! [`tail_scaling`] is the companion cost probe: it runs the same script
+//! at two dataset scales and measures unified recovery (snapshot + WAL
+//! tail) against full journal replay, asserting that recovery work is
+//! bounded by the WAL tail, not by the dataset or the journal length.
+
+use crate::diff::{mined_event, pending_diff_events, reorg_event};
+use crate::event::ChainEvent;
+use crate::journal::Journal;
+use crate::session::{MonitorConfig, MonitorError, MonitorSession, RecoveryReport};
+use crate::soak::mix;
+use bcdb_chain::{
+    build_block_template, export, generate, inject, Digest, Fault, Keyring, RelationalExport,
+    ScenarioConfig,
+};
+use bcdb_storage::durable::{CrashController, CrashPoint, CrashStyle, SyncPolicy};
+use bcdb_storage::{encode_snapshot, Catalog, ConstraintSet, DiskBackend};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::path::{Path, PathBuf};
+
+/// Configuration for one crash storm.
+#[derive(Clone, Debug)]
+pub struct CrashStormConfig {
+    /// Storm rounds in the event script (each 1–3 chain actions).
+    pub epochs: u64,
+    /// Master seed for the scenario and the storm.
+    pub seed: u64,
+    /// Working directory; wiped at the start of the run. Each crash point
+    /// gets a subdirectory, removed again when it passes.
+    pub dir: PathBuf,
+    /// Cap on crash points actually tested (evenly strided across all
+    /// write boundaries). 0 = test **every** write boundary.
+    pub max_crash_points: usize,
+    /// The generated chain scenario the script mutates.
+    pub scenario: ScenarioConfig,
+    /// Session configuration (snapshot cadence matters most here).
+    pub monitor: MonitorConfig,
+}
+
+impl CrashStormConfig {
+    /// A compact scenario sized so the full every-boundary matrix stays
+    /// tractable even at 100 epochs.
+    pub fn new(epochs: u64, seed: u64, dir: impl Into<PathBuf>) -> CrashStormConfig {
+        CrashStormConfig {
+            epochs,
+            seed,
+            dir: dir.into(),
+            max_crash_points: 0,
+            scenario: ScenarioConfig {
+                seed,
+                wallets: 8,
+                blocks: 6,
+                txs_per_block: 4,
+                pending_txs: 12,
+                contradictions: 3,
+                chain_dependency_pct: 30,
+                ..ScenarioConfig::default()
+            },
+            monitor: MonitorConfig::default(),
+        }
+    }
+}
+
+/// Recovery-cost measurements at one dataset scale.
+#[derive(Clone, Debug, Default)]
+pub struct ScaleStats {
+    /// Base rows in the final state (the dataset-size axis).
+    pub base_rows: usize,
+    /// Records in the journal's valid prefix.
+    pub total_records: usize,
+    /// WAL tail replayed by unified (snapshot-seeded) recovery.
+    pub wal_tail_records: usize,
+    /// Unified recovery wall time.
+    pub recovery_ns: u64,
+    /// Full journal replay wall time (no snapshot available).
+    pub full_replay_ns: u64,
+}
+
+/// The two-scale cost probe's result (see [`tail_scaling`]).
+#[derive(Clone, Debug, Default)]
+pub struct TailScaling {
+    /// The base scenario.
+    pub small: ScaleStats,
+    /// The same script over a several-times-larger scenario.
+    pub large: ScaleStats,
+}
+
+/// What a crash storm did and found.
+#[derive(Clone, Debug, Default)]
+pub struct CrashStormReport {
+    /// Storm rounds in the script.
+    pub epochs: u64,
+    /// Chain events in the script.
+    pub events: usize,
+    /// Write boundaries one clean durable run crosses.
+    pub write_boundaries: u64,
+    /// Crash points actually tested (== `write_boundaries` unless capped).
+    pub crash_points_tested: u64,
+    /// Tested points whose injected crash actually fired.
+    pub crashes_fired: u64,
+    /// Recoveries performed (one per tested point, plus the clean run's).
+    pub recoveries: u64,
+    /// Recoveries seeded from a snapshot.
+    pub snapshot_recoveries: u64,
+    /// Recoveries that fell back to full journal replay.
+    pub full_replays: u64,
+    /// Snapshot boundaries skipped because their snapshot would not load.
+    pub snapshots_rejected: u64,
+    /// Longest WAL tail any recovery replayed.
+    pub wal_tail_max: usize,
+    /// Summed recovery wall time.
+    pub recovery_ns_total: u64,
+    /// Slowest single recovery.
+    pub recovery_ns_max: u64,
+    /// The two-scale cost probe, when run.
+    pub tail_scaling: Option<TailScaling>,
+    /// Wall-clock duration of the whole storm, in milliseconds.
+    pub elapsed_ms: u64,
+    /// Every byte-identity or protocol violation found. Empty on a pass.
+    pub divergences: Vec<String>,
+}
+
+/// The canonical state fingerprint: the encoded epoch snapshot of the
+/// session's database. Two sessions with equal bytes hold equal base
+/// rows (in store order), equal pending sets (in issue order), and equal
+/// epochs.
+fn state_bytes(s: &MonitorSession) -> Vec<u8> {
+    encode_snapshot(&s.bcdb().to_db_snapshot(s.epoch()))
+}
+
+/// Generates the deterministic event script: an initial depth-0 reorg
+/// carrying the scenario's full starting state (so sessions start empty
+/// and the journal alone can always rebuild everything), followed by
+/// `epochs` rounds of seeded chain faults and mined blocks. Journal
+/// corruption is *not* scripted — the crash injector supplies the damage.
+fn event_script(
+    cfg: &CrashStormConfig,
+) -> Result<(RelationalExport, Vec<ChainEvent>), MonitorError> {
+    let mut scenario = generate(&cfg.scenario);
+    let ex0 = export(&scenario)?;
+    let mut events = vec![reorg_event(&ex0, 0)];
+    for epoch in 0..cfg.epochs {
+        let mut rng = StdRng::seed_from_u64(mix(cfg.seed, epoch));
+        let steps = rng.random_range(1..=3usize);
+        for i in 0..steps {
+            let derived = mix(cfg.seed, epoch * 131 + i as u64 + 1);
+            let fault = match rng.random_range(0..100u32) {
+                0..=29 => Some(Fault::ConflictFlood {
+                    count: rng.random_range(2..=5),
+                }),
+                30..=49 => Some(Fault::EvictionStorm {
+                    count: rng.random_range(1..=3),
+                }),
+                50..=59 => Some(Fault::DuplicateReplay { count: 3 }),
+                60..=69 => Some(Fault::OrphanReplay { count: 2 }),
+                70..=79 => Some(Fault::Reorg {
+                    depth: rng.random_range(1..=2),
+                }),
+                _ => None, // mine a block
+            };
+            match fault {
+                Some(fault) => {
+                    let before = export(&scenario)?;
+                    inject(&mut scenario, fault, derived);
+                    let after = export(&scenario)?;
+                    if let Fault::Reorg { depth } = fault {
+                        events.push(reorg_event(&after, depth));
+                    } else {
+                        events.extend(pending_diff_events(&before, &after));
+                    }
+                }
+                None => {
+                    let keys = scenario.keys.clone();
+                    let ring = Keyring::new(&keys);
+                    let miner = &keys[(scenario.chain.height() as usize + 1) % keys.len()];
+                    let block =
+                        build_block_template(&scenario.chain, &scenario.mempool, &ring, miner);
+                    let mined: Vec<Digest> =
+                        block.transactions[1..].iter().map(|t| t.txid()).collect();
+                    scenario
+                        .chain
+                        .append(block, &ring)
+                        .expect("template blocks validate against their own chain");
+                    scenario.mempool.purge_after_block(&scenario.chain, &mined);
+                    let after = export(&scenario)?;
+                    let names = mined.iter().map(|d| d.short()).collect();
+                    events.push(mined_event(&after, names));
+                }
+            }
+        }
+    }
+    Ok((ex0, events))
+}
+
+/// An empty session writing through the durable stack in `dir`: a v2
+/// journal at `wal.journal` and a [`DiskBackend`](bcdb_storage::DiskBackend) under `snapshots/`,
+/// both routed through `ctl` when crash injection is on.
+fn durable_session(
+    catalog: &Catalog,
+    constraints: &ConstraintSet,
+    dir: &Path,
+    ctl: Option<CrashController>,
+    monitor: &MonitorConfig,
+) -> Result<MonitorSession, MonitorError> {
+    let mut s = MonitorSession::new(catalog.clone(), constraints.clone());
+    s.set_config(monitor.clone());
+    s.attach_journal(Journal::create_with(
+        dir.join("wal.journal"),
+        SyncPolicy::Always,
+        ctl.clone(),
+    )?)
+    ;
+    let mut backend = DiskBackend::new(dir.join("snapshots"))?;
+    if let Some(ctl) = ctl {
+        backend = backend.with_crash_controller(ctl);
+    }
+    s.attach_backend(Box::new(backend));
+    Ok(s)
+}
+
+fn recover_from(
+    catalog: &Catalog,
+    constraints: &ConstraintSet,
+    dir: &Path,
+) -> Result<(MonitorSession, RecoveryReport), MonitorError> {
+    let backend = DiskBackend::new(dir.join("snapshots"))?;
+    MonitorSession::recover(
+        catalog.clone(),
+        constraints.clone(),
+        dir.join("wal.journal"),
+        Box::new(backend),
+    )
+}
+
+fn fold_recovery(report: &mut CrashStormReport, rep: &RecoveryReport) {
+    report.recoveries += 1;
+    if rep.snapshot_loaded.is_some() {
+        report.snapshot_recoveries += 1;
+    } else {
+        report.full_replays += 1;
+    }
+    report.snapshots_rejected += rep.snapshots_rejected;
+    report.wal_tail_max = report.wal_tail_max.max(rep.wal_tail_records);
+    report.recovery_ns_total += rep.recovery_ns;
+    report.recovery_ns_max = report.recovery_ns_max.max(rep.recovery_ns);
+}
+
+/// Runs the crash-point matrix. Returns the report; the storm passed iff
+/// `report.divergences` is empty.
+pub fn run_crashstorm(cfg: &CrashStormConfig) -> Result<CrashStormReport, MonitorError> {
+    let started = std::time::Instant::now();
+    let mut report = CrashStormReport {
+        epochs: cfg.epochs,
+        ..CrashStormReport::default()
+    };
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    std::fs::create_dir_all(&cfg.dir)?;
+
+    let (ex0, events) = event_script(cfg)?;
+    report.events = events.len();
+    let catalog = &ex0.catalog;
+    let constraints = &ex0.constraints;
+
+    // Control: the never-crashed, purely in-memory run.
+    let mut control = MonitorSession::new(catalog.clone(), constraints.clone());
+    control.set_config(cfg.monitor.clone());
+    for ev in &events {
+        control.apply(ev)?;
+    }
+    let want = state_bytes(&control);
+    let want_epoch = control.epoch();
+    drop(control);
+
+    // Dry durable run: learns the write-boundary count and proves the
+    // durable stack itself changes nothing when no crash fires.
+    let dry_dir = cfg.dir.join("dry");
+    std::fs::create_dir_all(&dry_dir)?;
+    let ctl = CrashController::new();
+    let mut dry = durable_session(catalog, constraints, &dry_dir, Some(ctl.clone()), &cfg.monitor)?;
+    for ev in &events {
+        dry.apply(ev)?;
+    }
+    if state_bytes(&dry) != want {
+        report
+            .divergences
+            .push("dry durable run diverged from the in-memory control".to_string());
+    }
+    drop(dry);
+    report.write_boundaries = ctl.boundaries();
+    // A crash-free journal + snapshot store must also recover identically.
+    let (dry_recovered, dry_rep) = recover_from(catalog, constraints, &dry_dir)?;
+    fold_recovery(&mut report, &dry_rep);
+    if state_bytes(&dry_recovered) != want {
+        report
+            .divergences
+            .push("clean recovery of the dry run diverged from control".to_string());
+    }
+    drop(dry_recovered);
+
+    // The crash matrix: kill at boundary p, recover, resume, compare.
+    let styles = [
+        CrashStyle::DropUnsynced,
+        CrashStyle::TornWrite,
+        CrashStyle::Reorder,
+    ];
+    let total = report.write_boundaries as usize;
+    let stride = if cfg.max_crash_points == 0 || total <= cfg.max_crash_points {
+        1
+    } else {
+        total.div_ceil(cfg.max_crash_points)
+    } as u64;
+    let mut p = 1u64;
+    while p <= report.write_boundaries {
+        let style = styles[(p as usize) % styles.len()];
+        let cp_dir = cfg.dir.join(format!("cp-{p:06}"));
+        std::fs::create_dir_all(&cp_dir)?;
+        let ctl = CrashController::new();
+        ctl.arm(CrashPoint {
+            boundary: p,
+            style,
+        });
+        // Even creating the journal can be the crash point (boundary 1 is
+        // the header write), so session construction may itself "die".
+        let mut crashed = false;
+        match durable_session(catalog, constraints, &cp_dir, Some(ctl.clone()), &cfg.monitor) {
+            Ok(mut session) => {
+                for ev in &events {
+                    match session.apply(ev) {
+                        Ok(()) => {}
+                        Err(e) if e.is_injected_crash() => {
+                            crashed = true;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+            Err(e) if e.is_injected_crash() => crashed = true,
+            Err(e) => return Err(e),
+        }
+        report.crash_points_tested += 1;
+        if crashed {
+            report.crashes_fired += 1;
+        } else {
+            report
+                .divergences
+                .push(format!("crash point {p} ({style:?}) never fired"));
+        }
+        ctl.disarm();
+
+        let (mut recovered, rep) = recover_from(catalog, constraints, &cp_dir)?;
+        fold_recovery(&mut report, &rep);
+        // Resume exactly the events the journal proves were NOT durably
+        // applied. (A crash can land *after* a record reached disk but
+        // before `apply` returned — e.g. a reordered flush — so progress
+        // must come from the recovered journal, never from which apply
+        // call happened to error.)
+        for ev in &events[rep.total_events..] {
+            recovered.apply(ev)?;
+        }
+        if state_bytes(&recovered) != want {
+            report.divergences.push(format!(
+                "crash point {p} ({style:?}): resumed state diverges from control \
+                 (epoch {} vs {want_epoch}, recovered {} of {} events)",
+                recovered.epoch(),
+                rep.total_events,
+                events.len(),
+            ));
+        } else {
+            // Keep failing crash points on disk for the post-mortem.
+            let _ = std::fs::remove_dir_all(&cp_dir);
+        }
+        p += stride;
+    }
+
+    report.tail_scaling = Some(tail_scaling(cfg, &mut report.divergences)?);
+    report.elapsed_ms = started.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+fn scale_run(
+    cfg: &CrashStormConfig,
+    subdir: &str,
+    divergences: &mut Vec<String>,
+) -> Result<ScaleStats, MonitorError> {
+    let dir = cfg.dir.join(subdir);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir)?;
+    let (ex0, events) = event_script(cfg)?;
+    let mut s = durable_session(&ex0.catalog, &ex0.constraints, &dir, None, &cfg.monitor)?;
+    for ev in &events {
+        s.apply(ev)?;
+    }
+    let base_rows = s.bcdb().to_db_snapshot(s.epoch()).base_rows();
+    let want = state_bytes(&s);
+    drop(s);
+
+    // Full replay first: a backend over an empty directory can load no
+    // snapshot, forcing the journal-only path over the same file.
+    let empty = DiskBackend::new(dir.join("no-snapshots"))?;
+    let (full_session, full_rep) = MonitorSession::recover(
+        ex0.catalog.clone(),
+        ex0.constraints.clone(),
+        dir.join("wal.journal"),
+        Box::new(empty),
+    )?;
+    if state_bytes(&full_session) != want {
+        divergences.push(format!("{subdir}: full-replay recovery diverged"));
+    }
+    drop(full_session);
+    let (snap_session, rep) = recover_from(&ex0.catalog, &ex0.constraints, &dir)?;
+    if state_bytes(&snap_session) != want {
+        divergences.push(format!("{subdir}: snapshot recovery diverged"));
+    }
+    if rep.snapshot_loaded.is_none() {
+        divergences.push(format!("{subdir}: no snapshot loadable after a clean run"));
+    }
+    if rep.wal_tail_records >= rep.total_records && rep.total_records > 0 {
+        divergences.push(format!(
+            "{subdir}: WAL tail ({}) did not shrink below the full journal ({})",
+            rep.wal_tail_records, rep.total_records
+        ));
+    }
+    Ok(ScaleStats {
+        base_rows,
+        total_records: rep.total_records,
+        wal_tail_records: rep.wal_tail_records,
+        recovery_ns: rep.recovery_ns,
+        full_replay_ns: full_rep.recovery_ns,
+    })
+}
+
+/// Runs the script at two dataset scales and measures unified recovery
+/// against full journal replay. Hard gates (recorded as divergences):
+/// each scale must recover from a snapshot with a WAL tail strictly
+/// shorter than the journal, and on the large dataset snapshot-seeded
+/// recovery must beat full replay outright — cold-start cost tracks the
+/// tail, not the dataset.
+pub fn tail_scaling(
+    cfg: &CrashStormConfig,
+    divergences: &mut Vec<String>,
+) -> Result<TailScaling, MonitorError> {
+    let small = scale_run(cfg, "scale-small", divergences)?;
+    let mut large_cfg = cfg.clone();
+    large_cfg.scenario = ScenarioConfig {
+        wallets: cfg.scenario.wallets * 3,
+        blocks: cfg.scenario.blocks * 2,
+        txs_per_block: cfg.scenario.txs_per_block * 2,
+        pending_txs: cfg.scenario.pending_txs * 2,
+        ..cfg.scenario.clone()
+    };
+    let large = scale_run(&large_cfg, "scale-large", divergences)?;
+    if large.base_rows <= small.base_rows {
+        divergences.push(format!(
+            "scale probe is not probing: large base ({}) <= small base ({})",
+            large.base_rows, small.base_rows
+        ));
+    }
+    if large.recovery_ns >= large.full_replay_ns {
+        divergences.push(format!(
+            "large-scale snapshot recovery ({} ns) not faster than full replay ({} ns)",
+            large.recovery_ns, large.full_replay_ns
+        ));
+    }
+    Ok(TailScaling { small, large })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::scratch_dir;
+
+    #[test]
+    fn crashstorm_smoke_runs_clean() {
+        let mut cfg = CrashStormConfig::new(3, 11, scratch_dir("crashstorm_smoke"));
+        cfg.max_crash_points = 12;
+        let report = run_crashstorm(&cfg).expect("storm runs");
+        assert!(report.write_boundaries > 0);
+        assert!(report.crash_points_tested > 0 && report.crash_points_tested <= 12);
+        assert_eq!(report.crashes_fired, report.crash_points_tested);
+        assert!(report.snapshot_recoveries > 0, "some recoveries use snapshots");
+        let ts = report.tail_scaling.as_ref().expect("scaling probe ran");
+        assert!(ts.large.base_rows > ts.small.base_rows);
+        assert!(
+            report.divergences.is_empty(),
+            "divergences: {:#?}",
+            report.divergences
+        );
+    }
+
+    #[test]
+    fn event_script_is_deterministic() {
+        let cfg = CrashStormConfig::new(4, 7, scratch_dir("crashstorm_det"));
+        let (_, a) = event_script(&cfg).unwrap();
+        let (_, b) = event_script(&cfg).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.encode(), y.encode());
+        }
+    }
+}

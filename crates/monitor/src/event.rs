@@ -77,8 +77,13 @@ impl std::error::Error for DecodeError {}
 
 /// Percent-encodes `s` so it survives space-delimited line framing:
 /// alphanumerics and `_ . : -` pass through, everything else (including
-/// `%`, spaces, and newlines) becomes `%XX`.
+/// `%`, spaces, and newlines) becomes `%XX`. The empty string encodes as
+/// a bare `%` — a token no non-empty input can produce, since a literal
+/// `%` is always escaped — so it cannot vanish between two separators.
 pub fn encode_text(s: &str) -> String {
+    if s.is_empty() {
+        return "%".to_string();
+    }
     let mut out = String::with_capacity(s.len());
     for &b in s.as_bytes() {
         match b {
@@ -96,6 +101,9 @@ pub fn encode_text(s: &str) -> String {
 
 /// Inverse of [`encode_text`].
 pub fn decode_text(s: &str) -> Result<String, DecodeError> {
+    if s == "%" {
+        return Ok(String::new());
+    }
     let bytes = s.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;

@@ -1,41 +1,56 @@
 //! The append-only, checksummed chain-event journal.
 //!
-//! Format: a header line `bcdb-journal v1`, then one record per line:
+//! Format v2: a header line `bcdb-journal v2`, then one record per line:
 //!
 //! ```text
-//! E <seq> <epoch> <payload> <crc32-hex>
+//! E <seq> <epoch> <payload> <crc32-hex>     — a chain event
+//! S <seq> <epoch> <snapshot-id> <crc32-hex> — a snapshot boundary
 //! ```
 //!
 //! `seq` is dense from 0, `epoch` is non-decreasing, and the CRC covers
-//! everything before its own token. Recovery ([`Journal::recover`]) reads
-//! the longest valid prefix — stopping at the first torn line, checksum
-//! mismatch, sequence gap, or epoch regression — truncates the file to
-//! that prefix, and returns the decoded records so a
-//! [`MonitorSession`](crate::MonitorSession) can be rebuilt by replay.
-//! A record is only trusted whole: a partially flushed tail is dropped,
-//! never patched.
+//! everything before its own token. A snapshot-boundary record (`S`) is
+//! appended only *after* the named epoch snapshot is fully durable in the
+//! session's [`StorageBackend`](bcdb_storage::StorageBackend), so the
+//! journal is the single recovery log: load the newest loadable snapshot
+//! named by an `S` record, then replay only the records after it — the
+//! WAL tail. The reader is backward-compatible with `bcdb-journal v1`
+//! files (which simply contain no `S` records).
+//!
+//! Recovery ([`Journal::recover`]) reads the longest valid prefix —
+//! stopping at the first torn line, checksum mismatch, sequence gap, or
+//! epoch regression — truncates the file to that prefix, and returns the
+//! decoded records. A record is only trusted whole: a partially flushed
+//! tail is dropped, never patched.
+//!
+//! Writes go through a [`DurableFile`], so the crash-point harness can
+//! kill the journal mid-line, and a [`SyncPolicy`] decides when the
+//! unsynced tail becomes durable: every record, only on epoch-advancing
+//! records, or only on explicit [`Journal::sync`] calls.
 
 use crate::event::ChainEvent;
-use std::fs::{File, OpenOptions};
-use std::io::{Seek, Write};
+use bcdb_storage::durable::{CrashController, DurableFile, SyncPolicy};
+use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
 
-/// First line of every journal file.
+pub use bcdb_storage::codec::crc32;
+
+/// First line of a v1 journal file (still accepted by the reader).
 pub const JOURNAL_HEADER: &str = "bcdb-journal v1";
 
-/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), bitwise — no
-/// table, no external crate. Journal lines are short; speed is irrelevant
-/// next to the `fsync`-free append itself.
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
+/// First line of every journal file this crate writes.
+pub const JOURNAL_HEADER_V2: &str = "bcdb-journal v2";
+
+/// What one journal record carries.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEntry {
+    /// An observed chain event (an `E` line).
+    Event(ChainEvent),
+    /// A snapshot boundary (an `S` line): the state *after* the preceding
+    /// records equals the named, fully-durable snapshot.
+    SnapshotBoundary {
+        /// The backend snapshot id.
+        snapshot: String,
+    },
 }
 
 /// One validated journal record.
@@ -43,19 +58,31 @@ pub fn crc32(data: &[u8]) -> u32 {
 pub struct JournalRecord {
     /// Dense sequence number, starting at 0.
     pub seq: u64,
-    /// The monitor epoch *at which the event was observed* (before any
-    /// epoch advance the event itself causes).
+    /// The monitor epoch at which the record was written (for events:
+    /// *before* any epoch advance the event itself causes; for snapshot
+    /// boundaries: the epoch the snapshot captures).
     pub epoch: u64,
-    /// The event.
-    pub event: ChainEvent,
+    /// The record payload.
+    pub entry: JournalEntry,
+}
+
+impl JournalRecord {
+    /// The chain event, if this is an `E` record.
+    pub fn event(&self) -> Option<&ChainEvent> {
+        match &self.entry {
+            JournalEntry::Event(ev) => Some(ev),
+            JournalEntry::SnapshotBoundary { .. } => None,
+        }
+    }
 }
 
 /// An open journal, positioned for appending.
 #[derive(Debug)]
 pub struct Journal {
     path: PathBuf,
-    file: File,
+    file: DurableFile,
     next_seq: u64,
+    policy: SyncPolicy,
 }
 
 /// The result of [`Journal::recover`]: the valid prefix, what was lost,
@@ -73,8 +100,22 @@ pub struct Recovery {
     pub dropped_lines: usize,
 }
 
-fn format_record(seq: u64, epoch: u64, event: &ChainEvent) -> String {
-    let body = format!("E {seq} {epoch} {}", event.encode());
+impl Recovery {
+    /// Snapshot-boundary records in the valid prefix, oldest first, as
+    /// `(record index, snapshot id)`.
+    pub fn snapshot_boundaries(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.records.iter().enumerate().filter_map(|(i, r)| match &r.entry {
+            JournalEntry::SnapshotBoundary { snapshot } => Some((i, snapshot.as_str())),
+            JournalEntry::Event(_) => None,
+        })
+    }
+}
+
+fn format_entry(seq: u64, epoch: u64, entry: &JournalEntry) -> String {
+    let body = match entry {
+        JournalEntry::Event(event) => format!("E {seq} {epoch} {}", event.encode()),
+        JournalEntry::SnapshotBoundary { snapshot } => format!("S {seq} {epoch} {snapshot}"),
+    };
     let crc = crc32(body.as_bytes());
     format!("{body} {crc:08x}\n")
 }
@@ -87,7 +128,7 @@ fn parse_record(line: &str, expected_seq: u64, min_epoch: u64) -> Option<Journal
     if crc_tok.len() != 8 || crc32(body.as_bytes()) != crc {
         return None;
     }
-    let rest = body.strip_prefix("E ")?;
+    let (kind, rest) = body.split_once(' ')?;
     let (seq_tok, rest) = rest.split_once(' ')?;
     let (epoch_tok, payload) = rest.split_once(' ')?;
     let seq: u64 = seq_tok.parse().ok()?;
@@ -95,22 +136,49 @@ fn parse_record(line: &str, expected_seq: u64, min_epoch: u64) -> Option<Journal
     if seq != expected_seq || epoch < min_epoch {
         return None;
     }
-    let event = ChainEvent::decode(payload).ok()?;
-    Some(JournalRecord { seq, epoch, event })
+    let entry = match kind {
+        "E" => JournalEntry::Event(ChainEvent::decode(payload).ok()?),
+        "S" if !payload.is_empty() && !payload.contains(char::is_whitespace) => {
+            JournalEntry::SnapshotBoundary {
+                snapshot: payload.to_string(),
+            }
+        }
+        _ => return None,
+    };
+    Some(JournalRecord { seq, epoch, entry })
+}
+
+/// Byte offset just past the header line, if `bytes` starts with a valid
+/// v1 or v2 header terminated by a newline.
+fn header_end(bytes: &[u8]) -> Option<usize> {
+    let nl = bytes.iter().position(|&b| b == b'\n')?;
+    let first = &bytes[..nl];
+    (first == JOURNAL_HEADER.as_bytes() || first == JOURNAL_HEADER_V2.as_bytes()).then_some(nl + 1)
 }
 
 impl Journal {
-    /// Creates (or truncates) a journal at `path` and writes the header.
+    /// Creates (or truncates) a journal at `path` with the default
+    /// [`SyncPolicy::Always`] and no crash injection.
     pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Journal> {
+        Journal::create_with(path, SyncPolicy::Always, None)
+    }
+
+    /// Creates (or truncates) a journal at `path`, writing through `ctl`
+    /// (if given) for crash-point injection, flushing per `policy`.
+    pub fn create_with(
+        path: impl Into<PathBuf>,
+        policy: SyncPolicy,
+        ctl: Option<CrashController>,
+    ) -> std::io::Result<Journal> {
         let path = path.into();
-        let mut file = File::create(&path)?;
-        file.write_all(JOURNAL_HEADER.as_bytes())?;
-        file.write_all(b"\n")?;
-        file.flush()?;
+        let mut file = DurableFile::create(&path, ctl)?;
+        file.write_chunk(format!("{JOURNAL_HEADER_V2}\n").as_bytes())?;
+        file.sync()?;
         Ok(Journal {
             path,
             file,
             next_seq: 0,
+            policy,
         })
     }
 
@@ -124,23 +192,82 @@ impl Journal {
         &self.path
     }
 
-    /// Appends one record observed at `epoch`; returns its sequence
-    /// number. The line is flushed to the OS before returning, so a
-    /// process crash (as opposed to a machine crash) cannot lose it.
-    pub fn append(&mut self, epoch: u64, event: &ChainEvent) -> std::io::Result<u64> {
+    /// The journal's flush policy.
+    pub fn policy(&self) -> SyncPolicy {
+        self.policy
+    }
+
+    fn append_entry(&mut self, epoch: u64, entry: &JournalEntry) -> std::io::Result<u64> {
         let _span = bcdb_telemetry::probes::MONITOR_JOURNAL_APPEND_NS.span();
         let seq = self.next_seq;
-        let line = format_record(seq, epoch, event);
-        self.file.write_all(line.as_bytes())?;
-        self.file.flush()?;
+        let line = format_entry(seq, epoch, entry);
+        self.file.write_chunk(line.as_bytes())?;
+        let advances = match entry {
+            JournalEntry::Event(ev) => ev.advances_epoch(),
+            JournalEntry::SnapshotBoundary { .. } => true,
+        };
+        match self.policy {
+            SyncPolicy::Always => self.file.sync()?,
+            SyncPolicy::EpochBoundary if advances => self.file.sync()?,
+            SyncPolicy::EpochBoundary | SyncPolicy::Never => {}
+        }
         self.next_seq += 1;
         Ok(seq)
     }
 
-    /// Opens the journal at `path`, validates it line by line, truncates
-    /// the file to its longest valid prefix, and returns the prefix's
-    /// records. A missing or empty file recovers to a fresh journal.
+    /// Appends one event record observed at `epoch`; returns its sequence
+    /// number. The line reaches the OS before returning (a process crash
+    /// cannot lose it); whether it is *machine-crash* durable is governed
+    /// by the [`SyncPolicy`].
+    pub fn append(&mut self, epoch: u64, event: &ChainEvent) -> std::io::Result<u64> {
+        self.append_entry(epoch, &JournalEntry::Event(event.clone()))
+    }
+
+    /// Appends a snapshot-boundary record naming an (already durable)
+    /// backend snapshot of the state at `epoch`. Always synced — a
+    /// boundary the recovery path cannot trust is worthless.
+    pub fn append_snapshot_boundary(
+        &mut self,
+        epoch: u64,
+        snapshot: &str,
+    ) -> std::io::Result<u64> {
+        if snapshot.is_empty() || snapshot.contains(char::is_whitespace) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("snapshot id {snapshot:?} must be non-empty and whitespace-free"),
+            ));
+        }
+        let seq = self.append_entry(
+            epoch,
+            &JournalEntry::SnapshotBoundary {
+                snapshot: snapshot.to_string(),
+            },
+        )?;
+        self.file.sync()?;
+        Ok(seq)
+    }
+
+    /// Makes every appended record durable now, regardless of policy.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.sync()
+    }
+
+    /// Opens the journal at `path` with default policy and no crash
+    /// injection; see [`recover_with`](Journal::recover_with).
     pub fn recover(path: impl Into<PathBuf>) -> std::io::Result<Recovery> {
+        Journal::recover_with(path, SyncPolicy::Always, None)
+    }
+
+    /// Opens the journal at `path`, validates it line by line (v1 and v2
+    /// headers both accepted), truncates the file to its longest valid
+    /// prefix, and returns the prefix's records. A missing or empty file
+    /// recovers to a fresh (v2) journal. The reopened journal appends
+    /// under `policy` and `ctl`.
+    pub fn recover_with(
+        path: impl Into<PathBuf>,
+        policy: SyncPolicy,
+        ctl: Option<CrashController>,
+    ) -> std::io::Result<Recovery> {
         let _span = bcdb_telemetry::probes::MONITOR_JOURNAL_REPLAY_NS.span();
         let path = path.into();
         let bytes = match std::fs::read(&path) {
@@ -148,34 +275,34 @@ impl Journal {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
             Err(e) => return Err(e),
         };
-        let text = String::from_utf8_lossy(&bytes);
-
         // The header must be intact; a corrupt header forfeits the file.
-        let header_ok = text
-            .split_once('\n')
-            .is_some_and(|(first, _)| first == JOURNAL_HEADER);
-        if !header_ok {
+        let Some(hdr_end) = header_end(&bytes) else {
             let dropped_bytes = bytes.len() as u64;
-            let dropped_lines = text.lines().count();
+            let dropped_lines = String::from_utf8_lossy(&bytes).lines().count();
             return Ok(Recovery {
-                journal: Journal::create(path)?,
+                journal: Journal::create_with(path, policy, ctl)?,
                 records: Vec::new(),
                 dropped_bytes,
                 dropped_lines,
             });
-        }
+        };
 
         let mut records = Vec::new();
         // Byte offset of the end of the valid prefix (starts after the
         // header line and grows per validated record).
-        let mut valid_end = JOURNAL_HEADER.len() + 1;
+        let mut valid_end = hdr_end;
         let mut cursor = valid_end;
         while cursor < bytes.len() {
             // A record is only complete if its newline made it to disk.
             let Some(nl) = bytes[cursor..].iter().position(|&b| b == b'\n') else {
                 break; // torn final line
             };
-            let line = &text[cursor..cursor + nl];
+            // Slice the raw bytes, not the lossy text: corruption can
+            // inject arbitrary bytes, and lossy replacement shifts byte
+            // offsets. A non-UTF-8 line is simply an invalid record.
+            let Ok(line) = std::str::from_utf8(&bytes[cursor..cursor + nl]) else {
+                break;
+            };
             let min_epoch = records.last().map_or(0, |r: &JournalRecord| r.epoch);
             match parse_record(line, records.len() as u64, min_epoch) {
                 Some(rec) => {
@@ -188,18 +315,18 @@ impl Journal {
         }
 
         let dropped_bytes = (bytes.len() - valid_end) as u64;
-        let dropped_lines = text[valid_end..].lines().count();
+        let dropped_lines = String::from_utf8_lossy(&bytes[valid_end..]).lines().count();
         if dropped_bytes > 0 {
             let f = OpenOptions::new().write(true).open(&path)?;
             f.set_len(valid_end as u64)?;
         }
-        let mut file = OpenOptions::new().append(true).open(&path)?;
-        file.seek(std::io::SeekFrom::End(0))?;
+        let file = DurableFile::open_append(&path, ctl)?;
         Ok(Recovery {
             journal: Journal {
                 path,
                 file,
                 next_seq: records.len() as u64,
+                policy,
             },
             records,
             dropped_bytes,
@@ -208,22 +335,30 @@ impl Journal {
     }
 }
 
-/// Simulates a torn write: the final record keeps only its first
+/// Simulates a torn write: the final line keeps only its first
 /// `keep_bytes` bytes (and loses its newline). Returns the number of
-/// bytes removed; a journal with no records is left untouched.
+/// bytes removed. Header-only journals (with or without their trailing
+/// newline), headerless files, and empty files are left untouched; a
+/// file whose final line is already torn tears it further.
 pub fn tear_last_record(path: &Path, keep_bytes: u64) -> std::io::Result<u64> {
     let bytes = std::fs::read(path)?;
-    let header_end = JOURNAL_HEADER.len() + 1;
-    if bytes.len() <= header_end {
+    let Some(hdr_end) = header_end(&bytes) else {
+        return Ok(0);
+    };
+    if bytes.len() <= hdr_end {
         return Ok(0);
     }
-    // Start of the last record: after the second-to-last newline.
-    let body = &bytes[header_end..bytes.len() - 1]; // drop trailing newline
-    let last_start = header_end
-        + body
-            .iter()
-            .rposition(|&b| b == b'\n')
-            .map_or(0, |p| p + 1);
+    // Start of the last line: after the last newline that isn't the
+    // file-final byte (the final line may already lack its newline).
+    let search_end = if bytes[bytes.len() - 1] == b'\n' {
+        bytes.len() - 1
+    } else {
+        bytes.len()
+    };
+    let last_start = bytes[hdr_end..search_end]
+        .iter()
+        .rposition(|&b| b == b'\n')
+        .map_or(hdr_end, |p| hdr_end + p + 1);
     let line_len = (bytes.len() - last_start) as u64;
     let new_len = last_start as u64 + keep_bytes.min(line_len.saturating_sub(1));
     let f = OpenOptions::new().write(true).open(path)?;
@@ -232,20 +367,33 @@ pub fn tear_last_record(path: &Path, keep_bytes: u64) -> std::io::Result<u64> {
 }
 
 /// Simulates a truncated tail: removes the last `records` complete
-/// records. Returns the number actually removed (bounded by how many the
-/// journal has).
+/// (newline-terminated) records. A torn trailing fragment is removed
+/// first without counting. Returns the number of complete records
+/// actually removed (bounded by how many the journal has); header-only
+/// and headerless files are left untouched.
 pub fn drop_tail_records(path: &Path, records: usize) -> std::io::Result<usize> {
     let bytes = std::fs::read(path)?;
-    let header_end = JOURNAL_HEADER.len() + 1;
+    let Some(hdr_end) = header_end(&bytes) else {
+        return Ok(0);
+    };
     let mut end = bytes.len();
+    // Shed a torn final fragment (no trailing newline) first.
+    if end > hdr_end && bytes[end - 1] != b'\n' {
+        end = bytes[hdr_end..end]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(hdr_end, |p| hdr_end + p + 1);
+    }
     let mut removed = 0;
-    while removed < records && end > header_end {
-        let body = &bytes[header_end..end - 1];
-        let start = header_end + body.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+    while removed < records && end > hdr_end {
+        let start = bytes[hdr_end..end - 1]
+            .iter()
+            .rposition(|&b| b == b'\n')
+            .map_or(hdr_end, |p| hdr_end + p + 1);
         end = start;
         removed += 1;
     }
-    if removed > 0 {
+    if end < bytes.len() {
         let f = OpenOptions::new().write(true).open(path)?;
         f.set_len(end as u64)?;
     }
@@ -256,6 +404,7 @@ pub fn drop_tail_records(path: &Path, records: usize) -> std::io::Result<usize> 
 mod tests {
     use super::*;
     use crate::testutil::scratch_path;
+    use std::io::Write;
 
     fn ev(name: &str) -> ChainEvent {
         ChainEvent::TxEvicted {
@@ -290,8 +439,55 @@ mod tests {
         assert_eq!(rec.journal.next_seq(), 5);
         for (i, r) in rec.records.iter().enumerate() {
             assert_eq!(r.seq, i as u64);
-            assert_eq!(r.event, ev(&format!("t{i}")));
+            assert_eq!(r.event(), Some(&ev(&format!("t{i}"))));
         }
+    }
+
+    #[test]
+    fn v1_headers_are_still_readable() {
+        let path = scratch_path("journal_v1_compat");
+        // Hand-write a v1 file: old header, E records only.
+        let mut body = format!("{JOURNAL_HEADER}\n");
+        for i in 0..3 {
+            body.push_str(&format_entry(i, 0, &JournalEntry::Event(ev(&format!("t{i}")))));
+        }
+        std::fs::write(&path, body).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.dropped_bytes, 0);
+        // Appending to the recovered v1 file keeps it readable.
+        let mut j = rec.journal;
+        j.append(1, &ev("late")).unwrap();
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_boundaries_roundtrip() {
+        let path = scratch_path("journal_boundaries");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(0, &ev("t0")).unwrap();
+        j.append_snapshot_boundary(1, "snap-00000000-e1.bcs").unwrap();
+        j.append(1, &ev("t1")).unwrap();
+        j.append_snapshot_boundary(2, "snap-00000001-e2.bcs").unwrap();
+        j.append(2, &ev("t2")).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        assert_eq!(rec.records.len(), 5);
+        let boundaries: Vec<_> = rec.snapshot_boundaries().collect();
+        assert_eq!(
+            boundaries,
+            vec![(1, "snap-00000000-e1.bcs"), (3, "snap-00000001-e2.bcs")]
+        );
+        assert_eq!(rec.records[1].epoch, 1);
+        assert!(rec.records[1].event().is_none());
+    }
+
+    #[test]
+    fn bad_snapshot_ids_are_rejected_at_append() {
+        let path = scratch_path("journal_bad_snap_id");
+        let mut j = Journal::create(&path).unwrap();
+        assert!(j.append_snapshot_boundary(0, "").is_err());
+        assert!(j.append_snapshot_boundary(0, "two words").is_err());
+        assert_eq!(j.next_seq(), 0, "rejected appends consume no seq");
     }
 
     #[test]
@@ -324,6 +520,43 @@ mod tests {
     }
 
     #[test]
+    fn tear_is_sane_on_degenerate_journals() {
+        // Header-only (fresh journal): nothing to tear.
+        let path = scratch_path("journal_tear_headeronly");
+        Journal::create(&path).unwrap();
+        assert_eq!(tear_last_record(&path, 0).unwrap(), 0);
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 0);
+
+        // Header missing its trailing newline: untouched.
+        let path = scratch_path("journal_tear_noheadernl");
+        std::fs::write(&path, JOURNAL_HEADER_V2.as_bytes()).unwrap();
+        assert_eq!(tear_last_record(&path, 0).unwrap(), 0);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            JOURNAL_HEADER_V2.as_bytes(),
+            "degenerate file untouched"
+        );
+
+        // Headerless and empty files: untouched.
+        let path = scratch_path("journal_tear_headerless");
+        std::fs::write(&path, b"not a journal\nE 0 0 x y\n").unwrap();
+        assert_eq!(tear_last_record(&path, 0).unwrap(), 0);
+        let path = scratch_path("journal_tear_empty");
+        std::fs::write(&path, b"").unwrap();
+        assert_eq!(tear_last_record(&path, 0).unwrap(), 0);
+
+        // An already-torn final line is torn further, not mis-indexed.
+        let path = scratch_path("journal_tear_again");
+        filled(&path, 2);
+        tear_last_record(&path, 5).unwrap();
+        let len_after_first = std::fs::read(&path).unwrap().len();
+        tear_last_record(&path, 2).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.len() < len_after_first);
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 1);
+    }
+
+    #[test]
     fn truncated_tail_drops_whole_records() {
         let path = scratch_path("journal_trunc");
         filled(&path, 5);
@@ -334,6 +567,92 @@ mod tests {
         // Dropping more records than exist is bounded.
         assert_eq!(drop_tail_records(&path, 10).unwrap(), 3);
         assert_eq!(Journal::recover(&path).unwrap().records.len(), 0);
+    }
+
+    #[test]
+    fn drop_tail_is_sane_on_degenerate_journals() {
+        // Header-only: nothing to drop.
+        let path = scratch_path("journal_drop_headeronly");
+        Journal::create(&path).unwrap();
+        assert_eq!(drop_tail_records(&path, 3).unwrap(), 0);
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 0);
+
+        // Headerless: untouched.
+        let path = scratch_path("journal_drop_headerless");
+        std::fs::write(&path, b"garbage\nmore\n").unwrap();
+        assert_eq!(drop_tail_records(&path, 1).unwrap(), 0);
+        assert_eq!(std::fs::read(&path).unwrap(), b"garbage\nmore\n");
+
+        // A torn final fragment is shed without counting.
+        let path = scratch_path("journal_drop_torn");
+        filled(&path, 3);
+        tear_last_record(&path, 4).unwrap();
+        assert_eq!(drop_tail_records(&path, 1).unwrap(), 1);
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 1);
+    }
+
+    #[test]
+    fn sync_policies_govern_crash_durability() {
+        use bcdb_storage::durable::{CrashPoint, CrashStyle};
+        // Never: records ride in the unsynced tail; a crash loses them.
+        let path = scratch_path("journal_policy_never");
+        let ctl = CrashController::new();
+        let mut j =
+            Journal::create_with(&path, SyncPolicy::Never, Some(ctl.clone())).unwrap();
+        j.append(0, &ev("a")).unwrap();
+        j.append(0, &ev("b")).unwrap();
+        ctl.arm(CrashPoint {
+            boundary: ctl.boundaries() + 1,
+            style: CrashStyle::DropUnsynced,
+        });
+        assert!(j.append(0, &ev("c")).is_err());
+        ctl.disarm();
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 0);
+
+        // Always: every record survives any later crash.
+        let path = scratch_path("journal_policy_always");
+        let ctl = CrashController::new();
+        let mut j =
+            Journal::create_with(&path, SyncPolicy::Always, Some(ctl.clone())).unwrap();
+        j.append(0, &ev("a")).unwrap();
+        j.append(0, &ev("b")).unwrap();
+        ctl.arm(CrashPoint {
+            boundary: ctl.boundaries() + 1,
+            style: CrashStyle::DropUnsynced,
+        });
+        assert!(j.append(0, &ev("c")).is_err());
+        ctl.disarm();
+        assert_eq!(Journal::recover(&path).unwrap().records.len(), 2);
+
+        // EpochBoundary: the advancing record syncs everything before it.
+        let path = scratch_path("journal_policy_epoch");
+        let ctl = CrashController::new();
+        let mut j =
+            Journal::create_with(&path, SyncPolicy::EpochBoundary, Some(ctl.clone())).unwrap();
+        j.append(0, &ev("a")).unwrap();
+        j.append(0, &ev("b")).unwrap();
+        // A mined block advances the epoch -> synced through here.
+        j.append(
+            0,
+            &ChainEvent::TxMined {
+                mined: vec![],
+                base: vec![],
+                pending: vec![],
+            },
+        )
+        .unwrap();
+        j.append(1, &ev("d")).unwrap(); // unsynced tail
+        ctl.arm(CrashPoint {
+            boundary: ctl.boundaries() + 1,
+            style: CrashStyle::DropUnsynced,
+        });
+        assert!(j.append(1, &ev("e")).is_err());
+        ctl.disarm();
+        assert_eq!(
+            Journal::recover(&path).unwrap().records.len(),
+            3,
+            "everything up to the epoch boundary survives; the tail is lost"
+        );
     }
 
     #[test]
@@ -385,7 +704,7 @@ mod tests {
         let path = scratch_path("journal_seqgap");
         filled(&path, 2);
         // Append a record with a gapped seq (3 instead of 2) — valid CRC.
-        let line = format_record(3, 1, &ev("gap"));
+        let line = format_entry(3, 1, &JournalEntry::Event(ev("gap")));
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(line.as_bytes()).unwrap();
         drop(f);
@@ -394,7 +713,7 @@ mod tests {
         let path = scratch_path("journal_epochback");
         let mut j = Journal::create(&path).unwrap();
         j.append(5, &ev("a")).unwrap();
-        let line = format_record(1, 4, &ev("back")); // epoch regressed
+        let line = format_entry(1, 4, &JournalEntry::Event(ev("back"))); // epoch regressed
         let mut f = OpenOptions::new().append(true).open(&path).unwrap();
         f.write_all(line.as_bytes()).unwrap();
         drop(f);

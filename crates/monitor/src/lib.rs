@@ -22,6 +22,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crashstorm;
 pub mod diff;
 pub mod event;
 pub mod journal;
@@ -30,7 +31,12 @@ pub mod soak;
 #[cfg(test)]
 mod testutil;
 
+pub use crashstorm::{run_crashstorm, CrashStormConfig, CrashStormReport, ScaleStats, TailScaling};
 pub use event::{ChainEvent, DecodeError};
-pub use journal::{crc32, drop_tail_records, tear_last_record, Journal, JournalRecord, Recovery};
-pub use session::{ConstraintVerdict, MonitorConfig, MonitorError, MonitorSession, MonitorStats};
+pub use journal::{
+    crc32, drop_tail_records, tear_last_record, Journal, JournalEntry, JournalRecord, Recovery,
+};
+pub use session::{
+    ConstraintVerdict, MonitorConfig, MonitorError, MonitorSession, MonitorStats, RecoveryReport,
+};
 pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -41,7 +41,7 @@ use bcdb_core::{
 };
 use bcdb_governor::{BudgetSpec, ExhaustionReason, RetryPolicy};
 use bcdb_query::DenialConstraint;
-use bcdb_storage::{Catalog, ConstraintSet, RelationId, Tuple, TxId};
+use bcdb_storage::{Catalog, ConstraintSet, RelationId, StorageBackend, Tuple, TxId};
 use bcdb_telemetry::probes;
 use std::fmt;
 use std::ops::ControlFlow;
@@ -92,6 +92,19 @@ impl From<bcdb_storage::StorageError> for MonitorError {
     }
 }
 
+impl MonitorError {
+    /// Whether this error is a crash injected by the crash-point harness
+    /// (see [`bcdb_storage::CrashController`]). A session that hits one
+    /// is "dead": discard it and run [`MonitorSession::recover`].
+    pub fn is_injected_crash(&self) -> bool {
+        match self {
+            MonitorError::Io(e) => bcdb_storage::is_injected_crash(e),
+            MonitorError::Core(CoreError::Storage(e)) => e.is_injected_crash(),
+            _ => false,
+        }
+    }
+}
+
 /// Tunables for a session's re-checks.
 #[derive(Clone, Debug)]
 pub struct MonitorConfig {
@@ -106,6 +119,10 @@ pub struct MonitorConfig {
     /// (clique/world/tuple) are never retried — the same budget would die
     /// the same way.
     pub retry: RetryPolicy,
+    /// Persist an epoch snapshot (and journal its boundary) every N
+    /// epoch-advancing events, when a storage backend is attached.
+    /// 1 = every advance (the default); 0 = never snapshot.
+    pub snapshot_every: u64,
 }
 
 impl Default for MonitorConfig {
@@ -114,6 +131,7 @@ impl Default for MonitorConfig {
             opts: DcSatOptions::default(),
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
+            snapshot_every: 1,
         }
     }
 }
@@ -143,6 +161,35 @@ pub struct MonitorStats {
     /// because no event since their last check could have changed their
     /// verdict.
     pub rechecks_skipped: u64,
+    /// Epoch snapshots persisted to the attached storage backend.
+    pub snapshots_persisted: u64,
+}
+
+/// What unified recovery ([`MonitorSession::recover`]) found and did.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The snapshot the session was seeded from, if any loaded.
+    pub snapshot_loaded: Option<String>,
+    /// Epoch captured by the loaded snapshot (0 on full replay).
+    pub snapshot_epoch: u64,
+    /// Snapshot boundaries whose snapshot failed to load (corrupt,
+    /// missing, or torn by a crash) and were skipped.
+    pub snapshots_rejected: u64,
+    /// Records in the journal's valid prefix.
+    pub total_records: usize,
+    /// Event (`E`) records in the valid prefix — how many events the
+    /// crashed session had durably applied.
+    pub total_events: usize,
+    /// Records replayed after the snapshot boundary: the WAL tail. This —
+    /// not `total_records` and not the dataset size — bounds recovery work
+    /// beyond the single snapshot load.
+    pub wal_tail_records: usize,
+    /// Bytes the journal scan discarded from a torn/corrupt tail.
+    pub dropped_bytes: u64,
+    /// Lines the journal scan discarded.
+    pub dropped_lines: usize,
+    /// Wall time of the whole recovery: scan + snapshot load + replay.
+    pub recovery_ns: u64,
 }
 
 /// Outcome of re-checking one registered constraint.
@@ -181,19 +228,27 @@ pub struct MonitorSession {
     journal: Option<Journal>,
     config: MonitorConfig,
     stats: MonitorStats,
+    /// Epoch advances since the last persisted snapshot (see
+    /// [`MonitorConfig::snapshot_every`]).
+    advances_since_snapshot: u64,
 }
 
 impl MonitorSession {
-    /// A session over an empty database with the given schema.
-    pub fn new(catalog: Catalog, constraints: ConstraintSet) -> MonitorSession {
-        let bcdb = BlockchainDb::new(catalog, constraints);
+    fn with_solver(solver: Solver) -> MonitorSession {
         MonitorSession {
-            solver: Solver::builder(bcdb).build(),
+            solver,
             constraints: Vec::new(),
             journal: None,
             config: MonitorConfig::default(),
             stats: MonitorStats::default(),
+            advances_since_snapshot: 0,
         }
+    }
+
+    /// A session over an empty database with the given schema.
+    pub fn new(catalog: Catalog, constraints: ConstraintSet) -> MonitorSession {
+        let bcdb = BlockchainDb::new(catalog, constraints);
+        MonitorSession::with_solver(Solver::builder(bcdb).build())
     }
 
     /// A session seeded from a full snapshot (base rows by id, pending
@@ -211,13 +266,7 @@ impl MonitorSession {
         for (name, tuples) in pending {
             bcdb.add_transaction(name.clone(), tuples.iter().cloned())?;
         }
-        Ok(MonitorSession {
-            solver: Solver::builder(bcdb).build(),
-            constraints: Vec::new(),
-            journal: None,
-            config: MonitorConfig::default(),
-            stats: MonitorStats::default(),
-        })
+        Ok(MonitorSession::with_solver(Solver::builder(bcdb).build()))
     }
 
     /// Rebuilds a session by replaying journal `records` (e.g. from
@@ -231,15 +280,94 @@ impl MonitorSession {
     ) -> Result<MonitorSession, MonitorError> {
         let mut s = MonitorSession::new(catalog, constraints);
         for rec in records {
-            s.apply(&rec.event)?;
+            if let Some(ev) = rec.event() {
+                s.apply(ev)?;
+            }
         }
         Ok(s)
+    }
+
+    /// Unified crash recovery: scans the journal at `journal_path`
+    /// (truncating any torn tail), walks its snapshot boundaries newest
+    /// first, seeds the session from the first snapshot `backend` can
+    /// still load, and replays only the records after that boundary — the
+    /// WAL tail. If no boundary survives (or none loads), falls back to a
+    /// full replay from the journal alone. The recovered journal and the
+    /// backend are attached to the returned session, so it resumes
+    /// journaling and snapshotting where the crashed one stopped.
+    pub fn recover(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        journal_path: impl Into<std::path::PathBuf>,
+        backend: Box<dyn StorageBackend>,
+    ) -> Result<(MonitorSession, RecoveryReport), MonitorError> {
+        let t0 = Instant::now();
+        let recovery = Journal::recover(journal_path)?;
+        let boundaries: Vec<(usize, String)> = recovery
+            .snapshot_boundaries()
+            .map(|(i, id)| (i, id.to_string()))
+            .collect();
+        let mut snapshots_rejected = 0u64;
+        let mut seed = None;
+        for (idx, id) in boundaries.into_iter().rev() {
+            match backend.load_snapshot(&id) {
+                Ok(snap) => {
+                    seed = Some((idx, id, snap));
+                    break;
+                }
+                Err(_) => snapshots_rejected += 1,
+            }
+        }
+        let (mut session, tail_start, snapshot_loaded, snapshot_epoch) = match seed {
+            Some((idx, id, snap)) => {
+                let epoch = snap.epoch;
+                let bcdb = BlockchainDb::from_db_snapshot(catalog, constraints, &snap)?;
+                let solver = Solver::builder(bcdb).starting_epoch(epoch).build();
+                (MonitorSession::with_solver(solver), idx + 1, Some(id), epoch)
+            }
+            None => (MonitorSession::new(catalog, constraints), 0, None, 0),
+        };
+        let mut wal_tail_records = 0usize;
+        for rec in &recovery.records[tail_start..] {
+            wal_tail_records += 1;
+            if let Some(ev) = rec.event() {
+                session.apply(ev)?;
+            }
+        }
+        let report = RecoveryReport {
+            snapshot_loaded,
+            snapshot_epoch,
+            snapshots_rejected,
+            total_records: recovery.records.len(),
+            total_events: recovery.records.iter().filter(|r| r.event().is_some()).count(),
+            wal_tail_records,
+            dropped_bytes: recovery.dropped_bytes,
+            dropped_lines: recovery.dropped_lines,
+            recovery_ns: t0.elapsed().as_nanos() as u64,
+        };
+        probes::STORAGE_RECOVERY_NS.record(report.recovery_ns);
+        probes::STORAGE_WAL_TAIL_RECORDS.set(report.wal_tail_records as u64);
+        session.attach_journal(recovery.journal);
+        session.attach_backend(backend);
+        Ok((session, report))
     }
 
     /// Journals every subsequent event to `journal` (write-ahead: the
     /// record is durable before the state changes).
     pub fn attach_journal(&mut self, journal: Journal) {
         self.journal = Some(journal);
+    }
+
+    /// Persists epoch snapshots through `backend` on epoch-advancing
+    /// events (per [`MonitorConfig::snapshot_every`]), journaling each
+    /// snapshot boundary after the snapshot is durable.
+    pub fn attach_backend(&mut self, backend: Box<dyn StorageBackend>) {
+        self.solver.attach_backend(backend);
+    }
+
+    /// The attached storage backend's kind, if any.
+    pub fn backend_kind(&self) -> Option<&'static str> {
+        self.solver.backend_kind()
     }
 
     /// Replaces the re-check configuration and syncs it into the solver
@@ -399,10 +527,33 @@ impl MonitorSession {
                     c.dirty = true;
                 }
                 self.stats.rebuilds += 1;
+                self.maybe_persist_snapshot()?;
             }
         }
         probes::MONITOR_EPOCH.set(self.solver.epoch());
         self.stats.events_applied += 1;
+        Ok(())
+    }
+
+    /// After an epoch advance: persist a snapshot of the new state and
+    /// journal its boundary, if a backend is attached and the cadence is
+    /// due. The `S` record is appended only once the snapshot is fully
+    /// durable, so recovery can trust every boundary it reads.
+    fn maybe_persist_snapshot(&mut self) -> Result<(), MonitorError> {
+        if self.solver.backend_kind().is_none() || self.config.snapshot_every == 0 {
+            return Ok(());
+        }
+        self.advances_since_snapshot += 1;
+        if self.advances_since_snapshot < self.config.snapshot_every {
+            return Ok(());
+        }
+        if let Some(id) = self.solver.persist_snapshot()? {
+            self.advances_since_snapshot = 0;
+            self.stats.snapshots_persisted += 1;
+            if let Some(journal) = &mut self.journal {
+                journal.append_snapshot_boundary(self.solver.epoch(), &id)?;
+            }
+        }
         Ok(())
     }
 
@@ -835,6 +986,166 @@ mod tests {
         })
         .unwrap();
         assert_eq!(s.dirty_indices(), [0], "base-state changes dirty everything");
+    }
+
+    /// Encoded state snapshot — the byte-identity yardstick used by the
+    /// recovery tests (and, at scale, by `repro crashstorm`).
+    fn state_bytes(s: &MonitorSession) -> Vec<u8> {
+        bcdb_storage::encode_snapshot(&s.bcdb().to_db_snapshot(s.epoch()))
+    }
+
+    fn mined(name: &str, base: Vec<(String, Tuple)>) -> ChainEvent {
+        mined_with(name, base, vec![])
+    }
+
+    fn mined_with(
+        name: &str,
+        base: Vec<(String, Tuple)>,
+        pending: Vec<(String, Vec<(String, Tuple)>)>,
+    ) -> ChainEvent {
+        ChainEvent::TxMined {
+            mined: vec![name.to_string()],
+            base,
+            pending,
+        }
+    }
+
+    #[test]
+    fn unified_recovery_seeds_from_snapshot_and_replays_tail() {
+        use bcdb_storage::DiskBackend;
+        let (cat, cs) = setup();
+        let dir = crate::testutil::scratch_dir("session_recover");
+        let journal_path = dir.join("wal.journal");
+
+        let mut s = MonitorSession::new(cat.clone(), cs.clone());
+        s.attach_journal(Journal::create(&journal_path).unwrap());
+        s.attach_backend(Box::new(DiskBackend::new(dir.join("snaps")).unwrap()));
+        assert_eq!(s.backend_kind(), Some("disk"));
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 2, "bob")).unwrap();
+        // Epoch advance -> snapshot persisted + S record journaled. The
+        // event carries the full post-block state: t1 stays pending.
+        s.apply(&mined_with(
+            "t0",
+            vec![("Pay".to_string(), tuple![1i64, "ann"])],
+            vec![(
+                "t1".to_string(),
+                vec![("Pay".to_string(), tuple![2i64, "bob"])],
+            )],
+        ))
+        .unwrap();
+        assert_eq!(s.stats().snapshots_persisted, 1);
+        // Post-snapshot tail: two more events.
+        s.apply(&arrival("t2", 3, "cam")).unwrap();
+        s.apply(&evict("t1")).unwrap();
+        let want = state_bytes(&s);
+        let want_epoch = s.epoch();
+        drop(s);
+
+        let backend = Box::new(DiskBackend::new(dir.join("snaps")).unwrap());
+        let (recovered, report) =
+            MonitorSession::recover(cat.clone(), cs.clone(), &journal_path, backend).unwrap();
+        assert!(report.snapshot_loaded.is_some());
+        assert_eq!(report.snapshot_epoch, 1);
+        assert_eq!(report.snapshots_rejected, 0);
+        assert_eq!(report.total_records, 6, "5 events + 1 boundary");
+        assert_eq!(report.total_events, 5);
+        assert_eq!(report.wal_tail_records, 2, "only the tail is replayed");
+        assert_eq!(recovered.epoch(), want_epoch);
+        assert_eq!(state_bytes(&recovered), want, "byte-identical state");
+        assert_self_consistent(&recovered);
+
+        // And the recovered session keeps journaling + snapshotting.
+        let mut recovered = recovered;
+        recovered
+            .apply(&mined("t2", vec![("Pay".to_string(), tuple![3i64, "cam"])]))
+            .unwrap();
+        assert_eq!(recovered.stats().snapshots_persisted, 1);
+        let rec = Journal::recover(&journal_path).unwrap();
+        assert_eq!(rec.records.len(), 8, "tail event + its boundary appended");
+    }
+
+    #[test]
+    fn recovery_skips_corrupt_snapshots_and_can_fall_back_to_full_replay() {
+        use bcdb_storage::DiskBackend;
+        let (cat, cs) = setup();
+        let dir = crate::testutil::scratch_dir("session_recover_corrupt");
+        let journal_path = dir.join("wal.journal");
+
+        let mut s = MonitorSession::new(cat.clone(), cs.clone());
+        s.attach_journal(Journal::create(&journal_path).unwrap());
+        s.attach_backend(Box::new(DiskBackend::new(dir.join("snaps")).unwrap()));
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&mined("t0", vec![("Pay".to_string(), tuple![1i64, "ann"])]))
+            .unwrap();
+        s.apply(&arrival("t1", 2, "bob")).unwrap();
+        s.apply(&mined("t1", vec![("Pay".to_string(), tuple![2i64, "bob"])]))
+            .unwrap();
+        let want = state_bytes(&s);
+        drop(s);
+
+        // Corrupt the newest snapshot: recovery must fall back to the
+        // older one and replay a longer tail.
+        let mut snaps: Vec<_> = std::fs::read_dir(dir.join("snaps"))
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        snaps.sort();
+        let newest = snaps.last().unwrap().clone();
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let backend = Box::new(DiskBackend::new(dir.join("snaps")).unwrap());
+        let (recovered, report) =
+            MonitorSession::recover(cat.clone(), cs.clone(), &journal_path, backend).unwrap();
+        assert_eq!(report.snapshots_rejected, 1);
+        assert_eq!(report.snapshot_epoch, 1, "fell back to the older snapshot");
+        assert_eq!(state_bytes(&recovered), want);
+
+        // All snapshots gone -> full replay from the journal alone.
+        std::fs::remove_dir_all(dir.join("snaps")).unwrap();
+        let backend = Box::new(DiskBackend::new(dir.join("snaps")).unwrap());
+        let (recovered, report) =
+            MonitorSession::recover(cat, cs, &journal_path, backend).unwrap();
+        assert!(report.snapshot_loaded.is_none());
+        assert_eq!(report.snapshots_rejected, 2);
+        assert_eq!(report.wal_tail_records, report.total_records);
+        assert_eq!(state_bytes(&recovered), want);
+    }
+
+    #[test]
+    fn snapshot_cadence_is_configurable() {
+        use bcdb_storage::DiskBackend;
+        let (cat, cs) = setup();
+        let dir = crate::testutil::scratch_dir("session_cadence");
+        let mut s = MonitorSession::new(cat, cs);
+        s.attach_backend(Box::new(DiskBackend::new(dir.join("snaps")).unwrap()));
+        s.set_config(MonitorConfig {
+            snapshot_every: 2,
+            ..MonitorConfig::default()
+        });
+        for i in 0..4 {
+            s.apply(&mined(
+                &format!("t{i}"),
+                vec![("Pay".to_string(), tuple![i as i64, "ann"])],
+            ))
+            .unwrap();
+        }
+        assert_eq!(s.stats().snapshots_persisted, 2, "every 2nd advance");
+
+        // snapshot_every = 0 disables persistence entirely.
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        s.attach_backend(Box::new(DiskBackend::new(dir.join("snaps2")).unwrap()));
+        s.set_config(MonitorConfig {
+            snapshot_every: 0,
+            ..MonitorConfig::default()
+        });
+        s.apply(&mined("t0", vec![("Pay".to_string(), tuple![1i64, "ann"])]))
+            .unwrap();
+        assert_eq!(s.stats().snapshots_persisted, 0);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct SoakConfig {
     pub seed: u64,
     /// Where the live journal lives (created, corrupted, recovered).
     pub journal_path: PathBuf,
+    /// When set, the session persists epoch snapshots to a
+    /// [`DiskBackend`](bcdb_storage::DiskBackend) in this directory and every journal drill recovers
+    /// through the unified snapshot + WAL-tail path
+    /// ([`MonitorSession::recover`]) instead of a full journal replay.
+    pub storage_dir: Option<PathBuf>,
     /// The generated chain scenario the storms mutate.
     pub scenario: ScenarioConfig,
     /// Session re-check configuration.
@@ -51,6 +56,7 @@ impl SoakConfig {
             epochs,
             seed,
             journal_path: journal_path.into(),
+            storage_dir: None,
             scenario: ScenarioConfig {
                 seed,
                 wallets: 12,
@@ -91,6 +97,10 @@ pub struct SoakReport {
     pub crash_drills: u64,
     /// Successful recoveries (always equals `crash_drills` on a pass).
     pub recoveries: u64,
+    /// Drill recoveries seeded from a durable snapshot (storage mode).
+    pub snapshot_recoveries: u64,
+    /// Epoch snapshots persisted by the session (storage mode).
+    pub snapshots_persisted: u64,
     /// Journal lines lost to corruption across all drills.
     pub journal_lines_dropped: u64,
     /// Journal bytes lost to corruption across all drills.
@@ -104,7 +114,7 @@ pub struct SoakReport {
     pub divergences: Vec<String>,
 }
 
-fn mix(seed: u64, salt: u64) -> u64 {
+pub(crate) fn mix(seed: u64, salt: u64) -> u64 {
     let mut z = seed ^ salt.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -357,15 +367,35 @@ fn journal_drill(
         }
         _ => unreachable!("journal_drill only handles journal faults"),
     }
-    let recovery = Journal::recover(&cfg.journal_path)?;
-    report.journal_lines_dropped += recovery.dropped_lines as u64;
-    report.journal_bytes_dropped += recovery.dropped_bytes;
-
-    let mut recovered = MonitorSession::replay(
-        ex_catalog.catalog.clone(),
-        ex_catalog.constraints.clone(),
-        &recovery.records,
-    )?;
+    let (mut recovered, recovered_journal) = if let Some(storage_dir) = &cfg.storage_dir {
+        // Unified recovery: newest loadable snapshot + WAL tail. The
+        // drill's corruption may have destroyed `S` records (or their
+        // snapshots may be ahead of the surviving prefix and thus
+        // unreachable); recovery transparently falls back as needed.
+        let backend = bcdb_storage::DiskBackend::new(storage_dir.join("snapshots"))?;
+        let (recovered, rep) = MonitorSession::recover(
+            ex_catalog.catalog.clone(),
+            ex_catalog.constraints.clone(),
+            &cfg.journal_path,
+            Box::new(backend),
+        )?;
+        report.journal_lines_dropped += rep.dropped_lines as u64;
+        report.journal_bytes_dropped += rep.dropped_bytes;
+        if rep.snapshot_loaded.is_some() {
+            report.snapshot_recoveries += 1;
+        }
+        (recovered, None)
+    } else {
+        let recovery = Journal::recover(&cfg.journal_path)?;
+        report.journal_lines_dropped += recovery.dropped_lines as u64;
+        report.journal_bytes_dropped += recovery.dropped_bytes;
+        let recovered = MonitorSession::replay(
+            ex_catalog.catalog.clone(),
+            ex_catalog.constraints.clone(),
+            &recovery.records,
+        )?;
+        (recovered, Some(recovery.journal))
+    };
     // The replayed steady state must equal a cold build of the replayed
     // database — recovery must not corrupt incremental maintenance.
     let rebuilt = Precomputed::build(recovered.bcdb());
@@ -382,7 +412,11 @@ fn journal_drill(
     for (name, dc) in dcs {
         recovered.register(name.clone(), dc.clone());
     }
-    recovered.attach_journal(recovery.journal);
+    // Unified recovery re-attached its own journal (and backend); the
+    // replay path hands the recovered journal back here.
+    if let Some(journal) = recovered_journal {
+        recovered.attach_journal(journal);
+    }
     // Resync to the live chain: a depth-0 reorg snapshot, journaled like
     // any other event, so the journal stays contiguous past the scar.
     let now = export(scenario)?;
@@ -411,6 +445,13 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, crate::MonitorError> {
         session.register(name.clone(), dc.clone());
     }
     session.attach_journal(Journal::create(&cfg.journal_path)?);
+    if let Some(storage_dir) = &cfg.storage_dir {
+        // A stale snapshot store would confuse recovery drills.
+        let _ = std::fs::remove_dir_all(storage_dir.join("snapshots"));
+        session.attach_backend(Box::new(bcdb_storage::DiskBackend::new(
+            storage_dir.join("snapshots"),
+        )?));
+    }
 
     for epoch in 0..cfg.epochs {
         let mut rng = StdRng::seed_from_u64(mix(cfg.seed, epoch));
@@ -475,6 +516,11 @@ pub fn run_soak(cfg: &SoakConfig) -> Result<SoakReport, crate::MonitorError> {
 
     report.events_applied = session.stats().events_applied;
     report.final_epoch = session.epoch();
+    if let Some(storage_dir) = &cfg.storage_dir {
+        report.snapshots_persisted = std::fs::read_dir(storage_dir.join("snapshots"))
+            .map(|d| d.count() as u64)
+            .unwrap_or(0);
+    }
     report.elapsed_ms = started.elapsed().as_millis() as u64;
     Ok(report)
 }
@@ -497,6 +543,25 @@ mod tests {
             report.divergences
         );
         assert!(report.verdict_checks >= 8 * 2);
+    }
+
+    #[test]
+    fn soak_with_storage_recovers_through_snapshots() {
+        let dir = crate::testutil::scratch_dir("soak_storage");
+        let mut cfg = SoakConfig::new(8, 3, dir.join("wal.journal"));
+        cfg.storage_dir = Some(dir);
+        let report = run_soak(&cfg).expect("soak runs");
+        assert_eq!(report.epochs, 8);
+        assert_eq!(report.crash_drills, report.recoveries);
+        assert!(
+            report.snapshots_persisted > 0,
+            "epoch advances persist snapshots"
+        );
+        assert!(
+            report.divergences.is_empty(),
+            "divergences: {:#?}",
+            report.divergences
+        );
     }
 
     #[test]

@@ -13,3 +13,14 @@ pub fn scratch_path(name: &str) -> PathBuf {
     let _ = std::fs::remove_file(&path);
     path
 }
+
+/// A scratch *directory* under `target/`, unique per `name`, wiped of any
+/// contents from a previous run.
+pub fn scratch_dir(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/monitor-scratch")
+        .join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}

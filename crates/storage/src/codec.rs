@@ -1,0 +1,586 @@
+//! The epoch-snapshot file codec.
+//!
+//! A snapshot file is the durable form of a [`DbSnapshot`]:
+//! an 8-byte magic followed by length-prefixed, CRC-checksummed sections
+//! in a fixed order:
+//!
+//! ```text
+//! magic  "BCDBSNP\x01"                                     (8 bytes)
+//! META   epoch, relation count, pending-tx count
+//! REL ×n relation name + base rows (one section per relation)
+//! PEND   pending transactions (name + rows, relations by table index)
+//! INDEX  per-relation row-hash table (FxHash64 of each encoded row)
+//! END    empty terminator section
+//! ```
+//!
+//! Every section is `tag(u8) · len(u64 LE) · payload · crc32(u32 LE)`,
+//! with the CRC covering tag, length, and payload. The layout is
+//! mmap-friendly: sections can be located by walking the fixed-size
+//! headers without decoding payloads, and the `INDEX` section gives a
+//! per-row content hash for point lookups without materialising tuples.
+//! Decoding is strict — any flipped byte, truncation, out-of-order or
+//! trailing section is rejected with a typed [`SnapshotCodecError`];
+//! a clean decode is the identity on the encoded snapshot.
+
+use crate::backend::DbSnapshot;
+use crate::error::StorageError;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+use std::hash::Hasher;
+
+/// First 8 bytes of every snapshot file (version byte included).
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"BCDBSNP\x01";
+
+const TAG_META: u8 = 0x01;
+const TAG_RELATION: u8 = 0x02;
+const TAG_PENDING: u8 = 0x03;
+const TAG_INDEX: u8 = 0x04;
+const TAG_END: u8 = 0xFF;
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), bitwise — no
+/// table, no external crate. Shared by the snapshot sections here and the
+/// journal lines in `bcdb-monitor`.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Why a snapshot file failed to decode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotCodecError {
+    /// The file does not start with [`SNAPSHOT_MAGIC`].
+    BadMagic,
+    /// The file ended inside the named structure.
+    Truncated(&'static str),
+    /// A section's CRC does not match its contents.
+    ChecksumMismatch {
+        /// The section's tag byte.
+        tag: u8,
+    },
+    /// A section appeared out of order, duplicated, or with an unknown tag.
+    UnexpectedSection {
+        /// The tag byte actually found.
+        got: u8,
+        /// What the decoder was expecting at this position.
+        expected: &'static str,
+    },
+    /// A payload field was structurally invalid (bad value tag, non-UTF-8
+    /// string, count mismatch against the META section, …).
+    Malformed(String),
+    /// The INDEX section's hash for a row disagrees with the row content.
+    HashMismatch {
+        /// Relation whose index entry failed.
+        relation: String,
+        /// Row position within that relation's section.
+        row: usize,
+    },
+    /// Bytes remained after the END section.
+    TrailingBytes {
+        /// How many bytes were left over.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SnapshotCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotCodecError::BadMagic => write!(f, "bad snapshot magic"),
+            SnapshotCodecError::Truncated(what) => write!(f, "truncated snapshot: {what}"),
+            SnapshotCodecError::ChecksumMismatch { tag } => {
+                write!(f, "checksum mismatch in section 0x{tag:02x}")
+            }
+            SnapshotCodecError::UnexpectedSection { got, expected } => {
+                write!(f, "unexpected section 0x{got:02x} (expected {expected})")
+            }
+            SnapshotCodecError::Malformed(detail) => write!(f, "malformed snapshot: {detail}"),
+            SnapshotCodecError::HashMismatch { relation, row } => {
+                write!(f, "row-hash mismatch in relation '{relation}' row {row}")
+            }
+            SnapshotCodecError::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after END section")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotCodecError {}
+
+impl From<SnapshotCodecError> for StorageError {
+    fn from(e: SnapshotCodecError) -> Self {
+        StorageError::CorruptSnapshot {
+            detail: e.to_string(),
+        }
+    }
+}
+
+/// FxHash64 of a row's canonical encoding — the content hash stored per
+/// row in the INDEX section.
+pub fn row_hash(tuple: &Tuple) -> u64 {
+    let mut buf = Vec::new();
+    put_tuple(&mut buf, tuple);
+    let mut h = rustc_hash::FxHasher::default();
+    h.write(&buf);
+    h.finish()
+}
+
+// ---- encoding primitives ----
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Text(s) => {
+            out.push(1);
+            put_str(out, s);
+        }
+        Value::Bool(b) => {
+            out.push(2);
+            out.push(u8::from(*b));
+        }
+    }
+}
+
+fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_u32(out, t.arity() as u32);
+    for v in t.values() {
+        put_value(out, v);
+    }
+}
+
+fn section(tag: u8, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 13);
+    out.push(tag);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend_from_slice(payload);
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Encodes a snapshot as the chunk sequence a durable writer should emit:
+/// the magic, then one chunk per section. Concatenating the chunks gives
+/// exactly [`encode_snapshot`]'s output; writing them through a
+/// [`DurableFile`](crate::durable::DurableFile) makes each section a
+/// crash-injectable write boundary.
+pub fn encode_snapshot_chunks(snap: &DbSnapshot) -> Vec<Vec<u8>> {
+    let mut chunks = Vec::with_capacity(snap.base.len() + 5);
+    chunks.push(SNAPSHOT_MAGIC.to_vec());
+
+    let mut meta = Vec::new();
+    put_u64(&mut meta, snap.epoch);
+    put_u32(&mut meta, snap.base.len() as u32);
+    put_u32(&mut meta, snap.pending.len() as u32);
+    chunks.push(section(TAG_META, &meta));
+
+    for (name, rows) in &snap.base {
+        let mut p = Vec::new();
+        put_str(&mut p, name);
+        put_u32(&mut p, rows.len() as u32);
+        for row in rows {
+            put_tuple(&mut p, row);
+        }
+        chunks.push(section(TAG_RELATION, &p));
+    }
+
+    let mut pend = Vec::new();
+    put_u32(&mut pend, snap.pending.len() as u32);
+    for (tx_name, rows) in &snap.pending {
+        put_str(&mut pend, tx_name);
+        put_u32(&mut pend, rows.len() as u32);
+        for (rel_name, tuple) in rows {
+            let idx = snap
+                .base
+                .iter()
+                .position(|(n, _)| n == rel_name)
+                .expect("pending rows reference relations present in the base table");
+            put_u32(&mut pend, idx as u32);
+            put_tuple(&mut pend, tuple);
+        }
+    }
+    chunks.push(section(TAG_PENDING, &pend));
+
+    let mut index = Vec::new();
+    put_u32(&mut index, snap.base.len() as u32);
+    for (_, rows) in &snap.base {
+        put_u32(&mut index, rows.len() as u32);
+        for row in rows {
+            put_u64(&mut index, row_hash(row));
+        }
+    }
+    chunks.push(section(TAG_INDEX, &index));
+
+    chunks.push(section(TAG_END, &[]));
+    chunks
+}
+
+/// Encodes a snapshot into one contiguous byte string.
+pub fn encode_snapshot(snap: &DbSnapshot) -> Vec<u8> {
+    encode_snapshot_chunks(snap).concat()
+}
+
+// ---- decoding ----
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], SnapshotCodecError> {
+        if self.bytes.len() - self.pos < n {
+            return Err(SnapshotCodecError::Truncated(what));
+        }
+        let out = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, SnapshotCodecError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, SnapshotCodecError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, SnapshotCodecError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, SnapshotCodecError> {
+        let len = self.u32(what)? as usize;
+        let bytes = self.take(len, what)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| SnapshotCodecError::Malformed(format!("{what}: non-UTF-8 string")))
+    }
+
+    fn value(&mut self, what: &'static str) -> Result<Value, SnapshotCodecError> {
+        match self.u8(what)? {
+            0 => Ok(Value::Int(i64::from_le_bytes(
+                self.take(8, what)?.try_into().unwrap(),
+            ))),
+            1 => Ok(Value::Text(self.str(what)?.into())),
+            2 => match self.u8(what)? {
+                0 => Ok(Value::Bool(false)),
+                1 => Ok(Value::Bool(true)),
+                b => Err(SnapshotCodecError::Malformed(format!(
+                    "{what}: bool byte 0x{b:02x}"
+                ))),
+            },
+            t => Err(SnapshotCodecError::Malformed(format!(
+                "{what}: unknown value tag 0x{t:02x}"
+            ))),
+        }
+    }
+
+    fn tuple(&mut self, what: &'static str) -> Result<Tuple, SnapshotCodecError> {
+        let arity = self.u32(what)? as usize;
+        if arity > 1 << 16 {
+            return Err(SnapshotCodecError::Malformed(format!(
+                "{what}: implausible arity {arity}"
+            )));
+        }
+        let mut values = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            values.push(self.value(what)?);
+        }
+        Ok(Tuple::new(values))
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+/// One validated section: its tag and payload, CRC already checked.
+fn next_section<'a>(
+    r: &mut Reader<'a>,
+    expected: &'static str,
+) -> Result<(u8, &'a [u8]), SnapshotCodecError> {
+    let start = r.pos;
+    let tag = r.u8("section tag")?;
+    let len = r.u64("section length")? as usize;
+    // Guard the length before allocating or slicing: a flipped length byte
+    // must fail as truncation, not wrap or OOM.
+    if r.bytes.len() - r.pos < len + 4 {
+        return Err(SnapshotCodecError::Truncated(expected));
+    }
+    let payload = r.take(len, expected)?;
+    let stored = u32::from_le_bytes(r.take(4, "section crc")?.try_into().unwrap());
+    let computed = crc32(&r.bytes[start..start + 9 + len]);
+    if stored != computed {
+        return Err(SnapshotCodecError::ChecksumMismatch { tag });
+    }
+    Ok((tag, payload))
+}
+
+fn expect_tag(tag: u8, want: u8, expected: &'static str) -> Result<(), SnapshotCodecError> {
+    if tag != want {
+        return Err(SnapshotCodecError::UnexpectedSection { got: tag, expected });
+    }
+    Ok(())
+}
+
+/// Decodes a snapshot file, validating magic, section order, every CRC,
+/// and the INDEX section's row hashes. Strict: trailing bytes after the
+/// END section are an error.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<DbSnapshot, SnapshotCodecError> {
+    let mut r = Reader { bytes, pos: 0 };
+    if r.take(8, "magic").map(|m| m != SNAPSHOT_MAGIC).unwrap_or(true) {
+        return Err(SnapshotCodecError::BadMagic);
+    }
+
+    let (tag, meta) = next_section(&mut r, "META section")?;
+    expect_tag(tag, TAG_META, "META")?;
+    let mut m = Reader { bytes: meta, pos: 0 };
+    let epoch = m.u64("meta epoch")?;
+    let relation_count = m.u32("meta relation count")? as usize;
+    let pending_count = m.u32("meta pending count")? as usize;
+    if !m.done() {
+        return Err(SnapshotCodecError::Malformed("META has trailing bytes".into()));
+    }
+
+    let mut base = Vec::with_capacity(relation_count);
+    for _ in 0..relation_count {
+        let (tag, payload) = next_section(&mut r, "RELATION section")?;
+        expect_tag(tag, TAG_RELATION, "RELATION")?;
+        let mut p = Reader { bytes: payload, pos: 0 };
+        let name = p.str("relation name")?;
+        let rows = p.u32("relation row count")? as usize;
+        let mut tuples = Vec::with_capacity(rows.min(1 << 20));
+        for _ in 0..rows {
+            tuples.push(p.tuple("relation row")?);
+        }
+        if !p.done() {
+            return Err(SnapshotCodecError::Malformed(format!(
+                "relation '{name}' section has trailing bytes"
+            )));
+        }
+        if base.iter().any(|(n, _): &(String, _)| *n == name) {
+            return Err(SnapshotCodecError::Malformed(format!(
+                "relation '{name}' appears twice"
+            )));
+        }
+        base.push((name, tuples));
+    }
+
+    let (tag, payload) = next_section(&mut r, "PENDING section")?;
+    expect_tag(tag, TAG_PENDING, "PENDING")?;
+    let mut p = Reader { bytes: payload, pos: 0 };
+    let txs = p.u32("pending tx count")? as usize;
+    if txs != pending_count {
+        return Err(SnapshotCodecError::Malformed(format!(
+            "PENDING holds {txs} txs, META declared {pending_count}"
+        )));
+    }
+    let mut pending = Vec::with_capacity(txs.min(1 << 20));
+    for _ in 0..txs {
+        let tx_name = p.str("pending tx name")?;
+        let rows = p.u32("pending row count")? as usize;
+        let mut tuples = Vec::with_capacity(rows.min(1 << 20));
+        for _ in 0..rows {
+            let rel_idx = p.u32("pending relation index")? as usize;
+            let rel_name = base
+                .get(rel_idx)
+                .map(|(n, _)| n.clone())
+                .ok_or_else(|| {
+                    SnapshotCodecError::Malformed(format!(
+                        "pending row references relation index {rel_idx} of {relation_count}"
+                    ))
+                })?;
+            tuples.push((rel_name, p.tuple("pending row")?));
+        }
+        pending.push((tx_name, tuples));
+    }
+    if !p.done() {
+        return Err(SnapshotCodecError::Malformed("PENDING has trailing bytes".into()));
+    }
+
+    let (tag, payload) = next_section(&mut r, "INDEX section")?;
+    expect_tag(tag, TAG_INDEX, "INDEX")?;
+    let mut p = Reader { bytes: payload, pos: 0 };
+    let idx_relations = p.u32("index relation count")? as usize;
+    if idx_relations != relation_count {
+        return Err(SnapshotCodecError::Malformed(format!(
+            "INDEX covers {idx_relations} relations, META declared {relation_count}"
+        )));
+    }
+    for (name, rows) in &base {
+        let idx_rows = p.u32("index row count")? as usize;
+        if idx_rows != rows.len() {
+            return Err(SnapshotCodecError::Malformed(format!(
+                "INDEX has {idx_rows} hashes for relation '{name}' with {} rows",
+                rows.len()
+            )));
+        }
+        for (i, row) in rows.iter().enumerate() {
+            let stored = p.u64("index row hash")?;
+            if stored != row_hash(row) {
+                return Err(SnapshotCodecError::HashMismatch {
+                    relation: name.clone(),
+                    row: i,
+                });
+            }
+        }
+    }
+    if !p.done() {
+        return Err(SnapshotCodecError::Malformed("INDEX has trailing bytes".into()));
+    }
+
+    let (tag, payload) = next_section(&mut r, "END section")?;
+    expect_tag(tag, TAG_END, "END")?;
+    if !payload.is_empty() {
+        return Err(SnapshotCodecError::Malformed("END has a payload".into()));
+    }
+    if !r.done() {
+        return Err(SnapshotCodecError::TrailingBytes {
+            count: bytes.len() - r.pos,
+        });
+    }
+
+    Ok(DbSnapshot {
+        epoch,
+        base,
+        pending,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DbSnapshot {
+        DbSnapshot {
+            epoch: 7,
+            base: vec![
+                (
+                    "Pay".to_string(),
+                    vec![
+                        Tuple::new([Value::Int(1), Value::text("ann")]),
+                        Tuple::new([Value::Int(2), Value::text("bob")]),
+                    ],
+                ),
+                ("Audit".to_string(), vec![Tuple::new([Value::Bool(true)])]),
+                ("Empty".to_string(), vec![]),
+            ],
+            pending: vec![
+                (
+                    "t0".to_string(),
+                    vec![("Pay".to_string(), Tuple::new([Value::Int(3), Value::text("cam")]))],
+                ),
+                ("empty-tx".to_string(), vec![]),
+            ],
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn clean_roundtrip_is_identity() {
+        let snap = sample();
+        let bytes = encode_snapshot(&snap);
+        let back = decode_snapshot(&bytes).unwrap();
+        assert_eq!(back.epoch, snap.epoch);
+        assert_eq!(back.base, snap.base);
+        assert_eq!(back.pending, snap.pending);
+    }
+
+    #[test]
+    fn chunks_concat_to_the_contiguous_encoding() {
+        let snap = sample();
+        assert_eq!(encode_snapshot_chunks(&snap).concat(), encode_snapshot(&snap));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected() {
+        let bytes = encode_snapshot(&sample());
+        for i in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x01;
+            assert!(
+                decode_snapshot(&corrupt).is_err(),
+                "flip at offset {i} of {} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_snapshot(&sample());
+        for end in 0..bytes.len() {
+            assert!(
+                decode_snapshot(&bytes[..end]).is_err(),
+                "truncation to {end} of {} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes.push(0);
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotCodecError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let mut bytes = encode_snapshot(&sample());
+        bytes[0] = b'X';
+        assert_eq!(decode_snapshot(&bytes), Err(SnapshotCodecError::BadMagic));
+    }
+
+    #[test]
+    fn index_hash_mismatch_is_named() {
+        // Corrupt one INDEX hash *and* patch that section's CRC so the
+        // failure surfaces as a hash mismatch, not a checksum mismatch.
+        let snap = sample();
+        let chunks = encode_snapshot_chunks(&snap);
+        let index_chunk_pos = chunks.len() - 2;
+        let mut index = chunks[index_chunk_pos].clone();
+        let body_len = index.len() - 4;
+        // First hash lives after tag(1)+len(8)+rel_count(4)+row_count(4).
+        index[17] ^= 0xFF;
+        let crc = crc32(&index[..body_len]).to_le_bytes();
+        index[body_len..].copy_from_slice(&crc);
+        let mut bytes = Vec::new();
+        for (i, c) in chunks.iter().enumerate() {
+            bytes.extend_from_slice(if i == index_chunk_pos { &index } else { c });
+        }
+        assert!(matches!(
+            decode_snapshot(&bytes),
+            Err(SnapshotCodecError::HashMismatch { row: 0, .. })
+        ));
+    }
+}

@@ -1,0 +1,410 @@
+//! Crash-injectable durable writes.
+//!
+//! Durable backends and the journal write through a [`DurableFile`]: an
+//! append-only file handle that tracks which bytes have been made durable
+//! ([`DurableFile::sync`]) and which are still an *unsynced tail*. Every
+//! [`write_chunk`](DurableFile::write_chunk) call is one **write
+//! boundary** — the granularity at which a [`CrashController`] can inject
+//! a simulated machine crash. When the armed boundary is reached, the
+//! on-disk file is rewritten to what a real crash could have left behind
+//! (per [`CrashStyle`]: the unsynced tail dropped, torn mid-chunk, or
+//! reordered so an early write is lost while later ones survived), the
+//! write fails with a marker error ([`is_injected_crash`]), and every
+//! subsequent operation on any file sharing the controller fails too —
+//! the process is "dead" until the controller is
+//! [`disarm`](CrashController::disarm)ed for recovery.
+//!
+//! In the spirit of `bcdb_chain::faults` and the journal's
+//! `tear_last_record`, but at the file layer: the same wrapper serves the
+//! journal and the snapshot files, so one crash point can land inside
+//! either.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+/// When a writer flushes its buffered records to durable storage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Sync after every record — maximum durability, one sync per append.
+    Always,
+    /// Sync only when a record advances the epoch (and on explicit
+    /// `sync()` calls): intra-epoch churn rides in the unsynced tail and
+    /// a crash can lose it, but accepted state never regresses.
+    EpochBoundary,
+    /// Never sync implicitly; only explicit `sync()` calls flush.
+    Never,
+}
+
+/// How an injected crash mangles the unsynced tail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashStyle {
+    /// The whole unsynced tail (and the in-flight chunk) is lost.
+    DropUnsynced,
+    /// Earlier unsynced chunks survive; the in-flight chunk is torn in
+    /// half mid-write.
+    TornWrite,
+    /// The first unsynced chunk is lost while *later* ones (and the
+    /// in-flight chunk) reached the platter — the reordering a volatile
+    /// write cache permits.
+    Reorder,
+}
+
+/// A crash armed at a specific write boundary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashPoint {
+    /// 1-based boundary index: the crash fires on the `boundary`-th
+    /// `write_chunk` call counted across every file sharing the
+    /// controller.
+    pub boundary: u64,
+    /// How the unsynced tail is mangled.
+    pub style: CrashStyle,
+}
+
+#[derive(Debug, Default)]
+struct CrashState {
+    boundaries: u64,
+    armed: Option<CrashPoint>,
+    fired: Option<CrashPoint>,
+}
+
+/// Shared crash-injection state, cloned into every [`DurableFile`] that
+/// should count against (and die with) the same simulated process.
+#[derive(Clone, Debug, Default)]
+pub struct CrashController {
+    inner: Arc<Mutex<CrashState>>,
+}
+
+enum BoundaryOutcome {
+    Proceed,
+    CrashNow(CrashStyle),
+    Dead,
+}
+
+impl CrashController {
+    /// A controller with nothing armed: it only counts boundaries.
+    pub fn new() -> CrashController {
+        CrashController::default()
+    }
+
+    /// Arms a crash. Replaces any previously armed point.
+    pub fn arm(&self, point: CrashPoint) {
+        let mut st = self.inner.lock().unwrap();
+        st.armed = Some(point);
+    }
+
+    /// Clears the armed point *and* the fired state, so recovery code can
+    /// reuse files attached to this controller.
+    pub fn disarm(&self) {
+        let mut st = self.inner.lock().unwrap();
+        st.armed = None;
+        st.fired = None;
+    }
+
+    /// Write boundaries observed so far (crash-killed calls included).
+    pub fn boundaries(&self) -> u64 {
+        self.inner.lock().unwrap().boundaries
+    }
+
+    /// The crash point that fired, if any.
+    pub fn fired(&self) -> Option<CrashPoint> {
+        self.inner.lock().unwrap().fired
+    }
+
+    fn on_boundary(&self) -> BoundaryOutcome {
+        let mut st = self.inner.lock().unwrap();
+        if st.fired.is_some() {
+            return BoundaryOutcome::Dead;
+        }
+        st.boundaries += 1;
+        match st.armed {
+            Some(p) if p.boundary == st.boundaries => {
+                st.fired = Some(p);
+                BoundaryOutcome::CrashNow(p.style)
+            }
+            _ => BoundaryOutcome::Proceed,
+        }
+    }
+
+    fn dead(&self) -> bool {
+        self.inner.lock().unwrap().fired.is_some()
+    }
+}
+
+/// Marker payload for errors produced by an injected crash.
+#[derive(Debug)]
+struct InjectedCrash {
+    boundary: u64,
+    style: CrashStyle,
+}
+
+impl fmt::Display for InjectedCrash {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "injected crash at write boundary {} ({:?})",
+            self.boundary, self.style
+        )
+    }
+}
+
+impl std::error::Error for InjectedCrash {}
+
+/// The stable prefix of every injected-crash error message; survives
+/// stringification through `StorageError::Io`.
+pub const INJECTED_CRASH_PREFIX: &str = "injected crash at write boundary";
+
+fn injected_error(boundary: u64, style: CrashStyle) -> io::Error {
+    io::Error::other(InjectedCrash { boundary, style })
+}
+
+/// Whether an I/O error came from an injected crash (directly or through
+/// one level of stringification).
+pub fn is_injected_crash(e: &io::Error) -> bool {
+    e.get_ref().is_some_and(|inner| inner.is::<InjectedCrash>())
+        || e.to_string().contains(INJECTED_CRASH_PREFIX)
+}
+
+/// An append-only file with tracked durability and crash injection. See
+/// the module docs for the model.
+#[derive(Debug)]
+pub struct DurableFile {
+    path: PathBuf,
+    file: File,
+    /// Bytes considered durable: everything before this offset survives
+    /// any injected crash.
+    synced_len: u64,
+    /// Chunks written (and visible in the file) but not yet synced, in
+    /// write order.
+    unsynced: Vec<Vec<u8>>,
+    ctl: Option<CrashController>,
+}
+
+impl DurableFile {
+    /// Creates (truncating) a durable file at `path`.
+    pub fn create(
+        path: impl Into<PathBuf>,
+        ctl: Option<CrashController>,
+    ) -> io::Result<DurableFile> {
+        let path = path.into();
+        let file = File::create(&path)?;
+        Ok(DurableFile {
+            path,
+            file,
+            synced_len: 0,
+            unsynced: Vec::new(),
+            ctl,
+        })
+    }
+
+    /// Opens an existing file for appending; its current contents count
+    /// as durable.
+    pub fn open_append(
+        path: impl Into<PathBuf>,
+        ctl: Option<CrashController>,
+    ) -> io::Result<DurableFile> {
+        let path = path.into();
+        let file = OpenOptions::new().append(true).open(&path)?;
+        let synced_len = file.metadata()?.len();
+        Ok(DurableFile {
+            path,
+            file,
+            synced_len,
+            unsynced: Vec::new(),
+            ctl,
+        })
+    }
+
+    /// Where the file lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Chunks written since the last [`sync`](DurableFile::sync).
+    pub fn unsynced_chunks(&self) -> usize {
+        self.unsynced.len()
+    }
+
+    /// Appends one chunk. This is a **write boundary**: if the attached
+    /// controller's armed crash point is reached, the on-disk state is
+    /// rewritten per the crash style and the call fails with an
+    /// [`is_injected_crash`] error.
+    pub fn write_chunk(&mut self, chunk: &[u8]) -> io::Result<()> {
+        if let Some(ctl) = self.ctl.clone() {
+            match ctl.on_boundary() {
+                BoundaryOutcome::Proceed => {}
+                BoundaryOutcome::Dead => {
+                    return Err(injected_error(ctl.boundaries(), CrashStyle::DropUnsynced))
+                }
+                BoundaryOutcome::CrashNow(style) => {
+                    let boundary = ctl.boundaries();
+                    self.crash(style, chunk)?;
+                    return Err(injected_error(boundary, style));
+                }
+            }
+        }
+        self.file.write_all(chunk)?;
+        self.file.flush()?;
+        self.unsynced.push(chunk.to_vec());
+        Ok(())
+    }
+
+    /// Marks everything written so far durable. (The simulation treats a
+    /// flushed-and-synced prefix as crash-proof; there is no real `fsync`
+    /// here — tests exercise *logical* durability, not the platter.)
+    pub fn sync(&mut self) -> io::Result<()> {
+        if let Some(ctl) = &self.ctl {
+            if ctl.dead() {
+                return Err(injected_error(ctl.boundaries(), CrashStyle::DropUnsynced));
+            }
+        }
+        self.file.flush()?;
+        self.synced_len += self.unsynced.iter().map(|c| c.len() as u64).sum::<u64>();
+        self.unsynced.clear();
+        Ok(())
+    }
+
+    /// Rewrites the on-disk file to a post-crash state: the synced prefix
+    /// plus whatever the crash style says survived of the unsynced tail
+    /// and the in-flight chunk.
+    fn crash(&mut self, style: CrashStyle, in_flight: &[u8]) -> io::Result<()> {
+        let f = OpenOptions::new().write(true).open(&self.path)?;
+        f.set_len(self.synced_len)?;
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        match style {
+            CrashStyle::DropUnsynced => {}
+            CrashStyle::TornWrite => {
+                for c in &self.unsynced {
+                    f.write_all(c)?;
+                }
+                f.write_all(&in_flight[..in_flight.len() / 2])?;
+            }
+            CrashStyle::Reorder => {
+                for c in self.unsynced.iter().skip(1) {
+                    f.write_all(c)?;
+                }
+                f.write_all(in_flight)?;
+            }
+        }
+        f.flush()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../target/storage-scratch")
+            .join("durable");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn boundaries_count_across_files() {
+        let ctl = CrashController::new();
+        let mut a = DurableFile::create(scratch("count_a"), Some(ctl.clone())).unwrap();
+        let mut b = DurableFile::create(scratch("count_b"), Some(ctl.clone())).unwrap();
+        a.write_chunk(b"one").unwrap();
+        b.write_chunk(b"two").unwrap();
+        a.write_chunk(b"three").unwrap();
+        assert_eq!(ctl.boundaries(), 3);
+    }
+
+    #[test]
+    fn drop_style_loses_exactly_the_unsynced_tail() {
+        let ctl = CrashController::new();
+        let path = scratch("drop");
+        let mut f = DurableFile::create(&path, Some(ctl.clone())).unwrap();
+        f.write_chunk(b"synced.").unwrap();
+        f.sync().unwrap();
+        f.write_chunk(b"tail1.").unwrap();
+        ctl.arm(CrashPoint {
+            boundary: 3,
+            style: CrashStyle::DropUnsynced,
+        });
+        let err = f.write_chunk(b"tail2.").unwrap_err();
+        assert!(is_injected_crash(&err));
+        assert_eq!(std::fs::read(&path).unwrap(), b"synced.");
+    }
+
+    #[test]
+    fn torn_style_keeps_half_the_in_flight_chunk() {
+        let ctl = CrashController::new();
+        let path = scratch("torn");
+        let mut f = DurableFile::create(&path, Some(ctl.clone())).unwrap();
+        f.write_chunk(b"synced.").unwrap();
+        f.sync().unwrap();
+        f.write_chunk(b"kept.").unwrap();
+        ctl.arm(CrashPoint {
+            boundary: 3,
+            style: CrashStyle::TornWrite,
+        });
+        assert!(f.write_chunk(b"abcdef").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"synced.kept.abc");
+    }
+
+    #[test]
+    fn reorder_style_loses_an_early_unsynced_chunk() {
+        let ctl = CrashController::new();
+        let path = scratch("reorder");
+        let mut f = DurableFile::create(&path, Some(ctl.clone())).unwrap();
+        f.write_chunk(b"synced.").unwrap();
+        f.sync().unwrap();
+        f.write_chunk(b"lost.").unwrap();
+        f.write_chunk(b"kept.").unwrap();
+        ctl.arm(CrashPoint {
+            boundary: 4,
+            style: CrashStyle::Reorder,
+        });
+        assert!(f.write_chunk(b"flight.").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"synced.kept.flight.");
+    }
+
+    #[test]
+    fn everything_dies_after_the_crash_until_disarm() {
+        let ctl = CrashController::new();
+        let mut a = DurableFile::create(scratch("dead_a"), Some(ctl.clone())).unwrap();
+        let mut b = DurableFile::create(scratch("dead_b"), Some(ctl.clone())).unwrap();
+        ctl.arm(CrashPoint {
+            boundary: 1,
+            style: CrashStyle::DropUnsynced,
+        });
+        assert!(a.write_chunk(b"x").is_err());
+        assert!(b.write_chunk(b"y").is_err(), "sibling files die too");
+        assert!(a.sync().is_err());
+        assert!(ctl.fired().is_some());
+        ctl.disarm();
+        assert!(b.write_chunk(b"y").is_ok(), "disarm revives the controller");
+    }
+
+    #[test]
+    fn unarmed_controller_is_transparent() {
+        let path = scratch("transparent");
+        let mut f = DurableFile::create(&path, Some(CrashController::new())).unwrap();
+        f.write_chunk(b"hello ").unwrap();
+        f.write_chunk(b"world").unwrap();
+        f.sync().unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello world");
+        assert_eq!(f.unsynced_chunks(), 0);
+    }
+
+    #[test]
+    fn open_append_counts_existing_bytes_as_durable() {
+        let path = scratch("reopen");
+        std::fs::write(&path, b"existing.").unwrap();
+        let ctl = CrashController::new();
+        let mut f = DurableFile::open_append(&path, Some(ctl.clone())).unwrap();
+        ctl.arm(CrashPoint {
+            boundary: 1,
+            style: CrashStyle::DropUnsynced,
+        });
+        assert!(f.write_chunk(b"gone").is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), b"existing.");
+    }
+}

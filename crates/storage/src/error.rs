@@ -58,6 +58,34 @@ pub enum StorageError {
         /// Human-readable description.
         detail: String,
     },
+    /// An I/O failure in a durable backend. Carries the rendered error so
+    /// `StorageError` stays `Clone + PartialEq`.
+    Io {
+        /// Context plus the underlying `std::io::Error`, rendered.
+        detail: String,
+    },
+    /// A snapshot file failed validation (bad magic, checksum mismatch,
+    /// truncation, malformed payload — see
+    /// [`SnapshotCodecError`](crate::codec::SnapshotCodecError)).
+    CorruptSnapshot {
+        /// The codec error, rendered.
+        detail: String,
+    },
+    /// A snapshot id not present in the backend.
+    UnknownSnapshot {
+        /// The unresolved id.
+        id: String,
+    },
+}
+
+impl StorageError {
+    /// Whether this error came from an injected crash point (see
+    /// [`is_injected_crash`](crate::durable::is_injected_crash)) rather
+    /// than a real I/O failure.
+    pub fn is_injected_crash(&self) -> bool {
+        matches!(self, StorageError::Io { detail }
+            if detail.contains(crate::durable::INJECTED_CRASH_PREFIX))
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -108,6 +136,11 @@ impl fmt::Display for StorageError {
             StorageError::MalformedConstraint { detail } => {
                 write!(f, "malformed constraint: {detail}")
             }
+            StorageError::Io { detail } => write!(f, "storage i/o error: {detail}"),
+            StorageError::CorruptSnapshot { detail } => {
+                write!(f, "corrupt snapshot: {detail}")
+            }
+            StorageError::UnknownSnapshot { id } => write!(f, "unknown snapshot '{id}'"),
         }
     }
 }

@@ -13,10 +13,18 @@
 //!   `current`-column trick, §6.3);
 //! * integrity constraints — keys, functional dependencies, inclusion
 //!   dependencies (§4) — with whole-world checking and the pairwise
-//!   FD-fingerprint machinery behind the `GfTd` transaction graph (§6.1).
+//!   FD-fingerprint machinery behind the `GfTd` transaction graph (§6.1);
+//! * pluggable snapshot persistence behind the in-memory store: the
+//!   [`StorageBackend`] trait with [`MemoryBackend`] and a durable
+//!   [`DiskBackend`] of immutable, CRC-checksummed epoch-snapshot files
+//!   ([`codec`]), plus the crash-point-injectable [`DurableFile`] write
+//!   layer ([`durable`]) that the recovery tests drive.
 
+pub mod backend;
 pub mod checker;
+pub mod codec;
 pub mod constraints;
+pub mod durable;
 pub mod error;
 pub mod instance;
 pub mod relation;
@@ -26,6 +34,12 @@ pub mod tuple;
 pub mod value;
 
 mod catalog_display;
+
+pub use backend::{DbSnapshot, DiskBackend, MemoryBackend, StorageBackend};
+pub use codec::{decode_snapshot, encode_snapshot, SnapshotCodecError, SNAPSHOT_MAGIC};
+pub use durable::{
+    is_injected_crash, CrashController, CrashPoint, CrashStyle, DurableFile, SyncPolicy,
+};
 
 pub use checker::{
     all_violations, build_ind_indexes, check_fd, check_ind, collect_all_fingerprints,

@@ -68,6 +68,21 @@ pub static GOVERNOR_DEGRADATION_RUNG: Gauge = Gauge::new("governor.degradation_r
 /// Retry attempts issued by `RetryPolicy::run`.
 pub static GOVERNOR_RETRY_ATTEMPTS: Counter = Counter::new("governor.retry_attempts");
 
+// ---- bcdb-storage: durable snapshots and recovery ----
+
+/// One epoch-snapshot file write (encode + section writes + sync).
+pub static STORAGE_SNAPSHOT_WRITE_NS: Histogram = Histogram::new("storage.snapshot_write_ns");
+/// Snapshot files persisted.
+pub static STORAGE_SNAPSHOTS_PERSISTED: Counter = Counter::new("storage.snapshots_persisted");
+/// Bytes written into snapshot files.
+pub static STORAGE_SNAPSHOT_BYTES_WRITTEN: Counter =
+    Counter::new("storage.snapshot_bytes_written");
+/// Unified recovery wall time: journal scan + snapshot load + tail replay.
+pub static STORAGE_RECOVERY_NS: Histogram = Histogram::new("storage.recovery_ns");
+/// Journal records replayed after the newest loadable snapshot boundary —
+/// the WAL tail that bounds cold-start cost.
+pub static STORAGE_WAL_TAIL_RECORDS: Gauge = Gauge::new("storage.wal_tail_records");
+
 // ---- bcdb-monitor: epochs and the journal ----
 
 /// Incremental event-apply wall time (TxArrived/TxEvicted).
@@ -99,10 +114,16 @@ pub static COUNTERS: &[&Counter] = &[
     &GOVERNOR_TUPLES_CHARGED,
     &GOVERNOR_DEGRADATION_TRANSITIONS,
     &GOVERNOR_RETRY_ATTEMPTS,
+    &STORAGE_SNAPSHOTS_PERSISTED,
+    &STORAGE_SNAPSHOT_BYTES_WRITTEN,
 ];
 
 /// Every gauge, in snapshot order.
-pub static GAUGES: &[&Gauge] = &[&GOVERNOR_DEGRADATION_RUNG, &MONITOR_EPOCH];
+pub static GAUGES: &[&Gauge] = &[
+    &GOVERNOR_DEGRADATION_RUNG,
+    &STORAGE_WAL_TAIL_RECORDS,
+    &MONITOR_EPOCH,
+];
 
 /// Every histogram, in snapshot order.
 pub static HISTOGRAMS: &[&Histogram] = &[
@@ -112,6 +133,8 @@ pub static HISTOGRAMS: &[&Histogram] = &[
     &CORE_PHASE_COVERS_NS,
     &CORE_PHASE_ENUMERATION_NS,
     &CORE_PHASE_WORLD_CHECKS_NS,
+    &STORAGE_SNAPSHOT_WRITE_NS,
+    &STORAGE_RECOVERY_NS,
     &MONITOR_APPLY_NS,
     &MONITOR_REBUILD_NS,
     &MONITOR_JOURNAL_APPEND_NS,
