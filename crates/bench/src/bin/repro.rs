@@ -8,10 +8,17 @@
 //! a plain-text table with the same rows/series the paper reports;
 //! EXPERIMENTS.md records paper-vs-measured shapes.
 //!
-//! `bench [--smoke] [--constraints N] [--out PATH]` runs the
+//! `bench [--smoke] [--constraints N] [--components N] [--giant-size N]
+//! [--profile] [--profile-out PATH] [--compare PATH] [--out PATH]` runs the
 //! two-level-scheduler / delta-seeding / shared-precompute-batch
 //! micro-benchmark (not part of `all`) and writes a JSON report
-//! (default `BENCH_dcsat.json`).
+//! (default `BENCH_dcsat.json`). `--components N` checks N disjoint giant
+//! components (component-level parallelism becomes available),
+//! `--giant-size N` overrides the per-component contradiction-pair count,
+//! `--profile` prints a per-phase wall-clock table from the `core.phase.*`
+//! probes (`--profile-out` also writes it as JSON), and `--compare PATH`
+//! gates the run against a previous report: >20% wall-clock regression on
+//! any config exits nonzero.
 //!
 //! `soak [--epochs N] [--storage memory|disk:<dir>]` runs the reorg/fault
 //! soak; with disk storage, journal drills recover through the unified
@@ -23,8 +30,11 @@
 use bcdb_bench::datasets::{load_config, load_dataset, LoadedDataset};
 use bcdb_bench::picker::ConstantPicker;
 use bcdb_bench::queries::{qa_text, qp_text, qr_text, qs_text, SAT_ADDRESS};
-use bcdb_bench::report::{governed_record, json_escape, secs, stats_json, time_avg, JsonObject, Table};
-use bcdb_bench::workload::{constraint_variants, giant_component};
+use bcdb_bench::report::{
+    config_walls, governed_record, json_escape, json_find_bool, json_find_num, secs, stats_json,
+    time_avg, time_runs, JsonObject, Table,
+};
+use bcdb_bench::workload::{constraint_variants, multi_component};
 use bcdb_chain::Dataset;
 use bcdb_core::{
     delta_row_count, possible_worlds, Algorithm, BudgetSpec, DcSatOptions, Solver, Verdict,
@@ -402,15 +412,36 @@ fn governed(seed: u64) {
     }
 }
 
-/// `bench`: two-level scheduler + delta-seeding micro-benchmark over a
-/// single giant independence component (`2^pairs` maximal cliques, no
-/// component-level parallelism available), written as machine-readable
-/// JSON to `out` for CI artifact diffing. `--smoke` shrinks the workload
-/// for a fast correctness-of-the-harness pass; `--constraints N` sizes the
+/// Options for the `bench` subcommand (see the module docs).
+struct BenchArgs<'a> {
+    smoke: bool,
+    out: &'a str,
+    constraints: usize,
+    components: usize,
+    giant_size: Option<usize>,
+    profile: bool,
+    profile_out: Option<&'a str>,
+    compare: Option<&'a str>,
+}
+
+/// `bench`: two-level scheduler + delta-seeding micro-benchmark over
+/// `components` giant independence components (`2^pairs` maximal cliques
+/// each; with one component no component-level parallelism is available,
+/// with several it is), written as machine-readable JSON to `out` for CI
+/// artifact diffing. `--smoke` shrinks the workload for a fast
+/// correctness-of-the-harness pass; `--constraints N` sizes the
 /// shared-precompute batch section.
-fn bench(smoke: bool, out: &str, constraints: usize) {
-    let (pairs, inert) = if smoke { (8usize, 200usize) } else { (12, 1000) };
-    println!("== bench: two-level DCSat over a single giant component ==");
+fn bench(args: &BenchArgs<'_>) {
+    let BenchArgs {
+        smoke,
+        out,
+        constraints,
+        components,
+        ..
+    } = *args;
+    let (default_pairs, inert) = if smoke { (8usize, 200usize) } else { (12, 1000) };
+    let pairs = args.giant_size.unwrap_or(default_pairs);
+    println!("== bench: two-level DCSat over {components} giant component(s) ==");
     // Per-phase telemetry for the whole bench run: reset first so the
     // snapshot covers exactly this workload.
     bcdb_telemetry::reset();
@@ -418,24 +449,36 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
     let threads_avail = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    let w = giant_component(pairs, inert);
+    let w = multi_component(components, pairs, inert);
     let dcs = constraint_variants(&w, constraints);
     let dc = w.dc.clone();
     let mut solver = Solver::builder(w.db).build();
     // Average pending (delta) rows per possible world — context for the
     // delta-seeding counters: a full evaluation probes every matching base
-    // row per world, a seeded one starts from only these.
-    let worlds = possible_worlds(solver.db(), solver.precomputed_ref());
-    let delta_rows: usize = worlds
-        .iter()
-        .map(|m| delta_row_count(solver.db().database(), m))
-        .sum();
-    let delta_rows_avg = delta_rows as f64 / worlds.len().max(1) as f64;
-    println!(
-        "pairs={pairs} worlds={} inert_base_rows={inert} threads={threads_avail} \
-         avg_delta_rows_per_world={delta_rows_avg:.1}",
-        worlds.len()
-    );
+    // row per world, a seeded one starts from only these. Worlds multiply
+    // across components (~2^(pairs·components)), so the exhaustive
+    // diagnostic is only affordable on the single-component workload.
+    let (worlds_len, delta_rows_avg) = if components == 1 {
+        let worlds = possible_worlds(solver.db(), solver.precomputed_ref());
+        let delta_rows: usize = worlds
+            .iter()
+            .map(|m| delta_row_count(solver.db().database(), m))
+            .sum();
+        let avg = delta_rows as f64 / worlds.len().max(1) as f64;
+        (Some(worlds.len()), Some(avg))
+    } else {
+        (None, None)
+    };
+    match (worlds_len, delta_rows_avg) {
+        (Some(n), Some(avg)) => println!(
+            "pairs={pairs} worlds={n} inert_base_rows={inert} threads={threads_avail} \
+             avg_delta_rows_per_world={avg:.1}"
+        ),
+        _ => println!(
+            "pairs={pairs} components={components} inert_base_rows={inert} \
+             threads={threads_avail} (world diagnostics skipped: multi-component)"
+        ),
+    }
 
     let configs: [(&str, DcSatOptions); 4] = [
         (
@@ -471,7 +514,7 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
         solver.set_options(options.clone());
         let outcome = solver.check_ungoverned(&dc).expect("bench query applies");
         check(outcome.satisfied, true, name);
-        let wall = time_avg(RUNS, || {
+        let (wall, wall_min) = time_runs(RUNS, || {
             solver.check_ungoverned(&dc).expect("bench query applies");
         });
         t.row(&[
@@ -485,6 +528,10 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
             JsonObject::new()
                 .str("config", name)
                 .num("wall_ms", format!("{:.3}", wall.as_secs_f64() * 1e3))
+                .num(
+                    "wall_min_ms",
+                    format!("{:.3}", wall_min.as_secs_f64() * 1e3),
+                )
                 .bool("satisfied", outcome.satisfied)
                 .raw("stats", &stats_json(&outcome.stats))
                 .finish(),
@@ -503,6 +550,17 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
         "[bench] two-level vs component-parallel: {:.2}x on {threads_avail} thread(s)",
         wall_of("opt-component-parallel") / wall_of("opt-two-level")
     );
+    // With several disjoint components the parallel configs are genuinely
+    // distinguishable from the serial one: report the headline speedup.
+    let parallel_speedup = (components > 1).then(|| {
+        let best_parallel = wall_of("opt-component-parallel").min(wall_of("opt-two-level"));
+        let speedup = wall_of("opt-serial") / best_parallel;
+        println!(
+            "[bench] best parallel vs opt-serial: {speedup:.2}x over {components} components \
+             on {threads_avail} thread(s)"
+        );
+        speedup
+    });
 
     // Delta-seeding ablation on the serial path (deterministic work totals):
     // a fresh unlimited budget per run exposes the tuples actually charged.
@@ -518,7 +576,7 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
         let outcome = solver
             .check_with_budget(&dc, &budget)
             .expect("bench query applies");
-        let wall = time_avg(RUNS, || {
+        let (wall, wall_min) = time_runs(RUNS, || {
             solver.check_ungoverned(&dc).expect("bench query applies");
         });
         tuples.push(budget.tuples_used());
@@ -527,6 +585,10 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
                 .str("config", name)
                 .bool("use_delta", use_delta)
                 .num("wall_ms", format!("{:.3}", wall.as_secs_f64() * 1e3))
+                .num(
+                    "wall_min_ms",
+                    format!("{:.3}", wall_min.as_secs_f64() * 1e3),
+                )
                 .num("tuples_charged", budget.tuples_used())
                 .raw("stats", &stats_json(&outcome.stats))
                 .finish(),
@@ -582,16 +644,27 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
     let telemetry = bcdb_telemetry::snapshot();
     println!("[bench] telemetry phase breakdown:");
     println!("{}", telemetry.render_table());
+    if args.profile || args.profile_out.is_some() {
+        profile_phases(&telemetry, args.profile_out);
+    }
 
     let json = JsonObject::new()
         .str("bench", "dcsat-giant-component")
         .bool("smoke", smoke)
         .num("pairs", pairs)
-        .num("worlds", worlds.len())
+        .num("components", components)
+        .opt_num("worlds", worlds_len)
         .num("inert_base_rows", inert)
         .num("threads", threads_avail)
         .num("runs", RUNS)
-        .num("delta_rows_avg", format!("{delta_rows_avg:.2}"))
+        .opt_num(
+            "delta_rows_avg",
+            delta_rows_avg.map(|avg| format!("{avg:.2}")),
+        )
+        .opt_num(
+            "parallel_speedup",
+            parallel_speedup.map(|s| format!("{s:.4}")),
+        )
         .raw("records", &format!("[{}]", records.join(",")))
         .raw("delta_ablation", &format!("[{}]", ablation.join(",")))
         .raw("batch", &batch_json)
@@ -599,6 +672,133 @@ fn bench(smoke: bool, out: &str, constraints: usize) {
         .finish();
     std::fs::write(out, format!("{json}\n")).expect("write bench report");
     println!("[bench] wrote {out}");
+    if let Some(baseline) = args.compare {
+        compare_reports(&json, baseline);
+    }
+}
+
+/// `--profile`: per-phase wall-clock table distilled from the
+/// `core.phase.*` span histograms of the snapshot — where a check's time
+/// actually went (Θ-partitioning, covers, clique enumeration, world
+/// checks), with call counts and order-of-magnitude p95s. `--profile-out`
+/// also writes the same rows as a JSON array.
+fn profile_phases(telemetry: &bcdb_telemetry::TelemetrySnapshot, out: Option<&str>) {
+    let phases: Vec<_> = telemetry
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("core.phase."))
+        .collect();
+    let total_ns: u64 = phases.iter().map(|h| h.sum).sum();
+    let mut t = Table::new(&["phase", "calls", "total (ms)", "share", "mean (µs)", "p95 (µs)"]);
+    let mut rows = Vec::new();
+    for h in &phases {
+        let share = if total_ns == 0 {
+            0.0
+        } else {
+            h.sum as f64 / total_ns as f64 * 100.0
+        };
+        t.row(&[
+            h.name.trim_start_matches("core.phase.").to_string(),
+            h.count.to_string(),
+            format!("{:.3}", h.sum as f64 / 1e6),
+            format!("{share:.1}%"),
+            format!("{:.1}", h.mean() as f64 / 1e3),
+            format!("{:.1}", h.quantile(95) as f64 / 1e3),
+        ]);
+        rows.push(
+            JsonObject::new()
+                .str("phase", h.name)
+                .num("calls", h.count)
+                .num("total_ns", h.sum)
+                .num("mean_ns", h.mean())
+                .num("p95_ns", h.quantile(95))
+                .num("max_ns", h.max)
+                .finish(),
+        );
+    }
+    println!("[bench] per-phase profile (core.phase.* spans):");
+    println!("{}", t.render());
+    if let Some(path) = out {
+        let json = JsonObject::new()
+            .num("total_ns", total_ns)
+            .raw("phases", &format!("[{}]", rows.join(",")))
+            .finish();
+        std::fs::write(path, format!("{json}\n")).expect("write profile report");
+        println!("[bench] wrote {path}");
+    }
+}
+
+/// `--compare`: gates the current run against a previous report. A shape
+/// mismatch (different smoke flag, pairs, components, or config set) is
+/// reported and tolerated — the baseline is from another workload, so
+/// there is nothing sound to gate on. With matching shapes, any config
+/// whose wall clock regressed by more than 20% *and* by more than 5 ms
+/// (sub-5 ms smoke timings are dominated by noise) fails the gate.
+///
+/// When both reports carry `wall_min_ms` (min over the `RUNS` repetitions,
+/// the noise-robust estimator) the gate diffs that; otherwise it falls back
+/// to the mean `wall_ms` so pre-existing baselines still gate.
+fn compare_reports(current: &str, baseline_path: &str) {
+    let baseline = match std::fs::read_to_string(baseline_path) {
+        Ok(s) => s,
+        Err(e) => {
+            println!("[bench] compare: cannot read {baseline_path} ({e}) — skipping gate");
+            return;
+        }
+    };
+    for key in ["smoke", "pairs", "components"] {
+        let (cur, base) = if key == "smoke" {
+            (
+                json_find_bool(current, key).map(|b| b as u8 as f64),
+                json_find_bool(&baseline, key).map(|b| b as u8 as f64),
+            )
+        } else {
+            (json_find_num(current, key), json_find_num(&baseline, key))
+        };
+        if cur != base {
+            println!(
+                "[bench] compare: baseline shape differs ({key}: {base:?} vs {cur:?}) — \
+                 skipping gate"
+            );
+            return;
+        }
+    }
+    let mut key = "wall_min_ms";
+    let mut base_walls = config_walls(&baseline, key);
+    if base_walls.is_empty() {
+        key = "wall_ms";
+        base_walls = config_walls(&baseline, key);
+    }
+    let cur_walls = config_walls(current, key);
+    let mut regressions = Vec::new();
+    let mut worst: f64 = 0.0;
+    for (name, cur_ms) in &cur_walls {
+        let Some((_, base_ms)) = base_walls.iter().find(|(n, _)| n == name) else {
+            println!("[bench] compare: baseline lacks config '{name}' — skipping gate");
+            return;
+        };
+        let ratio = cur_ms / base_ms;
+        worst = worst.max(ratio);
+        if ratio > 1.20 && cur_ms - base_ms > 5.0 {
+            regressions.push(format!(
+                "{name}: {base_ms:.3}ms -> {cur_ms:.3}ms ({:.0}% slower)",
+                (ratio - 1.0) * 100.0
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        println!(
+            "[bench] compare vs {baseline_path}: PASS ({} configs on {key}, \
+             worst ratio {worst:.2}x)",
+            cur_walls.len()
+        );
+    } else {
+        eprintln!("[bench] compare vs {baseline_path}: FAIL — {key} regression >20%:");
+        for r in &regressions {
+            eprintln!("[bench]   {r}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Parses a `--storage` argument: `memory` (the default in-memory store,
@@ -834,6 +1034,11 @@ fn main() {
     let mut smoke = false;
     let mut epochs: Option<u64> = None;
     let mut constraints = 8usize;
+    let mut components = 1usize;
+    let mut giant_size: Option<usize> = None;
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
+    let mut compare: Option<String> = None;
     let mut out: Option<String> = None;
     let mut storage: Option<String> = None;
     let mut which = "all".to_string();
@@ -860,6 +1065,26 @@ fn main() {
                     .and_then(|s| s.parse().ok())
                     .expect("--constraints takes an integer");
             }
+            "--components" => {
+                components = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--components takes an integer >= 1");
+            }
+            "--giant-size" => {
+                giant_size = Some(
+                    it.next()
+                        .and_then(|s| s.parse().ok())
+                        .expect("--giant-size takes an integer >= 2"),
+                );
+            }
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = Some(it.next().expect("--profile-out takes a path").clone());
+            }
+            "--compare" => {
+                compare = Some(it.next().expect("--compare takes a path").clone());
+            }
             "--out" => {
                 out = Some(it.next().expect("--out takes a path").clone());
             }
@@ -882,11 +1107,16 @@ fn main() {
         "fig6h" => fig6h(seed),
         "ablation" => ablation(seed),
         "governed" => governed(seed),
-        "bench" => bench(
+        "bench" => bench(&BenchArgs {
             smoke,
-            out.as_deref().unwrap_or("BENCH_dcsat.json"),
+            out: out.as_deref().unwrap_or("BENCH_dcsat.json"),
             constraints,
-        ),
+            components,
+            giant_size,
+            profile,
+            profile_out: profile_out.as_deref(),
+            compare: compare.as_deref(),
+        }),
         "soak" => soak(
             epochs.unwrap_or(50),
             seed,
@@ -916,7 +1146,8 @@ fn main() {
             eprintln!("unknown experiment '{other}'");
             eprintln!(
                 "choose: table1 fig6a fig6b fig6c fig6d fig6e fig6f fig6g fig6h ablation governed \
-                 bench [--smoke] [--constraints N] [--out PATH] \
+                 bench [--smoke] [--constraints N] [--components N] [--giant-size N] \
+                 [--profile] [--profile-out PATH] [--compare PATH] [--out PATH] \
                  soak [--epochs N] [--seed S] [--out PATH] [--storage memory|disk:<dir>] \
                  crashstorm [--smoke] [--epochs N] [--seed S] [--out PATH] all"
             );

@@ -7,14 +7,25 @@ use std::time::{Duration, Instant};
 
 /// Runs `f` `runs` times and returns the mean wall-clock duration (the
 /// paper reports the average of three executions).
-pub fn time_avg(runs: usize, mut f: impl FnMut()) -> Duration {
+pub fn time_avg(runs: usize, f: impl FnMut()) -> Duration {
+    time_runs(runs, f).0
+}
+
+/// Runs `f` `runs` times and returns `(mean, min)` wall-clock durations.
+/// The mean matches the paper's reporting; the min is the noise-robust
+/// estimator (least interference from the rest of the machine) that the
+/// `--compare` trajectory gate diffs against.
+pub fn time_runs(runs: usize, mut f: impl FnMut()) -> (Duration, Duration) {
     let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
     for _ in 0..runs {
         let start = Instant::now();
         f();
-        total += start.elapsed();
+        let d = start.elapsed();
+        total += d;
+        min = min.min(d);
     }
-    total / runs as u32
+    (total / runs as u32, min)
 }
 
 /// A plain-text table with aligned columns.
@@ -163,6 +174,59 @@ impl Default for JsonObject {
     }
 }
 
+/// Finds the first `"key":` anywhere in `json` and parses the number that
+/// follows. Hand-rolled (the vendored workspace carries no serde) and only
+/// meant for the bench harness's own flat reports, where the first
+/// occurrence of a top-level key precedes any nested shadow.
+pub fn json_find_num(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Finds the first `"key":` and parses the boolean that follows.
+pub fn json_find_bool(json: &str, key: &str) -> Option<bool> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// Extracts every `"config":"NAME" … "<key>":N` pair from a bench report,
+/// in document order (`key` is `wall_ms` or `wall_min_ms`). Matches the
+/// records and delta-ablation entries the harness itself writes (the batch
+/// object carries `wall_ms` without a `config` and is skipped by
+/// construction). The search for `key` is bounded by the next `"config"`
+/// so a record missing the key is skipped rather than mispaired.
+pub fn config_walls(json: &str, key: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(at) = rest.find("\"config\":\"") {
+        rest = &rest[at + "\"config\":\"".len()..];
+        let Some(name_end) = rest.find('"') else { break };
+        let name = rest[..name_end].to_string();
+        rest = &rest[name_end..];
+        let window = match rest.find("\"config\":\"") {
+            Some(next) => &rest[..next],
+            None => rest,
+        };
+        if let Some(w) = json_find_num(window, key) {
+            out.push((name, w));
+        }
+    }
+    out
+}
+
 /// Renders a [`BudgetSpec`] as a JSON object (absent limits are `null`).
 pub fn budget_json(budget: &BudgetSpec) -> String {
     JsonObject::new()
@@ -253,6 +317,37 @@ mod tests {
         assert_eq!(
             s,
             "{\"name\":\"a\\\"b\\\\c\\nd\",\"n\":3,\"absent\":null,\"flag\":true,\"inner\":{\"x\":1}}"
+        );
+    }
+
+    #[test]
+    fn json_extractors_round_trip_a_bench_report() {
+        let report = JsonObject::new()
+            .bool("smoke", true)
+            .num("pairs", 8)
+            .num("components", 1)
+            .raw(
+                "records",
+                "[{\"config\":\"naive\",\"wall_ms\":12.5,\"wall_min_ms\":11.0,\
+                   \"stats\":{\"x\":1}},\
+                 {\"config\":\"opt-serial\",\"wall_ms\":3.25}]",
+            )
+            .raw("batch", "{\"constraints\":8,\"wall_ms\":99.0}")
+            .finish();
+        assert_eq!(json_find_bool(&report, "smoke"), Some(true));
+        assert_eq!(json_find_num(&report, "pairs"), Some(8.0));
+        assert_eq!(json_find_num(&report, "absent"), None);
+        let walls = config_walls(&report, "wall_ms");
+        assert_eq!(
+            walls,
+            vec![("naive".to_string(), 12.5), ("opt-serial".to_string(), 3.25)],
+            "batch wall_ms (no config) must not be picked up"
+        );
+        let mins = config_walls(&report, "wall_min_ms");
+        assert_eq!(
+            mins,
+            vec![("naive".to_string(), 11.0)],
+            "a record lacking the key is skipped, not mispaired with the next"
         );
     }
 

@@ -35,14 +35,34 @@ pub struct GiantComponent {
     /// in `R ∪ ⋃T`, and false in every possible world, so every algorithm
     /// must enumerate all `2^pairs` maximal cliques to prove it holds.
     pub dc: DenialConstraint,
-    /// Number of contradiction pairs (`2^pairs` possible worlds).
+    /// Number of contradiction pairs *per component* (`2^pairs` maximal
+    /// cliques each).
     pub pairs: usize,
+    /// Number of disjoint giant components (1 for the classic workload).
+    pub components: usize,
     /// Number of inert base ledger rows.
     pub inert_base_rows: usize,
 }
 
 /// Builds the workload; see the module docs for the construction.
 pub fn giant_component(pairs: usize, inert_base_rows: usize) -> GiantComponent {
+    multi_component(1, pairs, inert_base_rows)
+}
+
+/// `components` disjoint copies of the [`giant_component`] gadget: copy `c`
+/// uses `Pay` ids `c·pairs ..< (c+1)·pairs` and its `Ack` chain stays inside
+/// the copy, so `Gq,ind` has exactly `components` independence components of
+/// `2·pairs` transactions each. Every copy reuses the same two payees, so
+/// the covers check prunes nothing and OptDCSat gets *component-level*
+/// parallelism (each component still splits further when large enough) —
+/// the regime where `opt-component-parallel` and `opt-serial` become
+/// distinguishable.
+pub fn multi_component(
+    components: usize,
+    pairs: usize,
+    inert_base_rows: usize,
+) -> GiantComponent {
+    assert!(components >= 1, "need at least one component");
     assert!(pairs >= 2, "need at least two contradiction pairs");
     let mut cat = Catalog::new();
     cat.add(
@@ -73,17 +93,23 @@ pub fn giant_component(pairs: usize, inert_base_rows: usize) -> GiantComponent {
             .unwrap();
     }
     let k = pairs as i64;
-    for j in 0..k {
-        db.add_transaction(
-            format!("a{j}"),
-            [
-                (pay, tuple![j, "alice", "bob", 1i64]),
-                (ack, tuple![(j + 1) % k]),
-            ],
-        )
-        .unwrap();
-        db.add_transaction(format!("b{j}"), [(pay, tuple![j, "alice", "carol", 1i64])])
+    for c in 0..components as i64 {
+        let base = c * k;
+        for j in 0..k {
+            db.add_transaction(
+                format!("a{c}_{j}"),
+                [
+                    (pay, tuple![base + j, "alice", "bob", 1i64]),
+                    (ack, tuple![base + (j + 1) % k]),
+                ],
+            )
             .unwrap();
+            db.add_transaction(
+                format!("b{c}_{j}"),
+                [(pay, tuple![base + j, "alice", "carol", 1i64])],
+            )
+            .unwrap();
+        }
     }
     let dc = parse_denial_constraint(
         "q() <- Pay(i, p, 'bob', a), Pay(i, p2, 'carol', a2)",
@@ -94,6 +120,7 @@ pub fn giant_component(pairs: usize, inert_base_rows: usize) -> GiantComponent {
         db,
         dc,
         pairs,
+        components,
         inert_base_rows,
     }
 }
@@ -133,6 +160,44 @@ mod tests {
         assert!(out.satisfied, "constraint holds in every world");
         assert_eq!(out.stats.components_total, 1, "one fused component");
         assert_eq!(out.stats.cliques_enumerated, 1 << 5, "2^pairs cliques");
+    }
+
+    #[test]
+    fn multi_component_shape_and_verdict() {
+        let w = multi_component(3, 4, 10);
+        let dc = w.dc.clone();
+        let mut solver = Solver::builder(w.db)
+            .algorithm(Algorithm::Opt)
+            .build();
+        let out = solver.check_ungoverned(&dc).unwrap();
+        assert!(out.satisfied, "constraint holds in every world");
+        assert_eq!(out.stats.components_total, 3, "one component per copy");
+        assert_eq!(
+            out.stats.components_checked,
+            3,
+            "shared payees keep covers from pruning any copy"
+        );
+        assert_eq!(
+            out.stats.cliques_enumerated,
+            3 * (1 << 4),
+            "2^pairs cliques per component"
+        );
+    }
+
+    #[test]
+    fn multi_component_parallel_configs_agree_with_serial() {
+        let w = multi_component(4, 3, 5);
+        let dc = w.dc.clone();
+        let mut solver = Solver::builder(w.db)
+            .options(
+                DcSatOptions::default()
+                    .with_algorithm(Algorithm::Opt)
+                    .with_parallel(true),
+            )
+            .build();
+        let out = solver.check_ungoverned(&dc).unwrap();
+        assert!(out.satisfied);
+        assert_eq!(out.stats.cliques_enumerated, 4 * (1 << 3));
     }
 
     #[test]

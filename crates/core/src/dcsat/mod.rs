@@ -242,6 +242,10 @@ pub struct DcSatStats {
     /// World evaluations that reused the cached base-world verdict — every
     /// delta-seeded evaluation, plus empty-delta worlds answered outright.
     pub base_cache_hits: usize,
+    /// Work units claimed from another worker's deque by the stealing
+    /// scheduler (0 on the serial path; see
+    /// [`bcdb_graph::StealScheduler`]).
+    pub work_steals: usize,
 }
 
 /// An algorithm stopped before reaching a definite answer. Internal result
@@ -462,6 +466,10 @@ pub(crate) struct ReuseCtx {
     /// Complete per-component clique enumerations, in local induced-subgraph
     /// indices (the component member list is the local→global mapping).
     pub(crate) cliques: CliqueCache,
+    /// Sequence number of the batch constraint currently being checked;
+    /// labels the work-stealing scheduler's (constraint × component ×
+    /// subproblem) units. Purely diagnostic — results never depend on it.
+    constraint_seq: std::sync::atomic::AtomicUsize,
 }
 
 impl ReuseCtx {
@@ -469,7 +477,23 @@ impl ReuseCtx {
         ReuseCtx {
             partitions: Mutex::new(HashMap::new()),
             cliques: CliqueCache::new(),
+            constraint_seq: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// Advances to the next batch constraint (called once per constraint
+    /// by `Solver::check_batch`), returning its sequence number.
+    pub(crate) fn begin_constraint(&self) -> usize {
+        self.constraint_seq
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The current constraint's sequence number (0 before any
+    /// `begin_constraint`, i.e. outside a batch).
+    pub(crate) fn constraint_tag(&self) -> usize {
+        self.constraint_seq
+            .load(std::sync::atomic::Ordering::Relaxed)
+            .saturating_sub(1)
     }
 
     /// The refined `Gq,ind` partition for `q`, computed at most once per

@@ -72,7 +72,8 @@ pub fn run(
         }
     }
 
-    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
+    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS
+        .span_excluding(&probes::CORE_PHASE_WORLD_CHECKS_NS);
     let mut witness = None;
     // Budget exhaustion inside the visitor (world materialisation or query
     // evaluation) is smuggled out through `broke`, using `Visit::Stop` to

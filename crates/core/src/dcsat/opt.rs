@@ -16,12 +16,12 @@ use crate::dcsat::{
     eval_world, DcSatOptions, DcSatOutcome, DcSatStats, Exhausted, PreparedConstraint, ReuseCtx,
 };
 use crate::precompute::{query_components, Precomputed};
-use crate::worlds::get_maximal;
+use crate::worlds::{get_maximal_into, MaximalScratch};
 use std::sync::Arc;
 use bcdb_governor::{Budget, ExhaustionReason};
 use bcdb_graph::{
-    expand_subproblem_governed, maximal_cliques_governed, split_subproblems, BitSet,
-    CliqueSubproblem, UndirectedGraph, Visit,
+    expand_subproblem_governed_in, maximal_cliques_governed_in, split_subproblems, BitSet,
+    CliqueSubproblem, ExpandArena, StealScheduler, UndirectedGraph, Visit, WorkUnit,
 };
 use bcdb_query::{constant_patterns, ConstantPattern, PreparedQuery};
 use bcdb_storage::{Source, TxId, WorldMask};
@@ -140,15 +140,13 @@ struct ComponentPlan<'a> {
     cached: Option<Arc<Vec<Vec<usize>>>>,
 }
 
-/// A unit of parallel work: a whole component, or one Bron–Kerbosch
-/// subproblem of a split component. The flattened work list preserves
-/// sequential order (components in candidate order, a split component's
-/// subproblems in branch order), so "lowest work index" below is a
-/// deterministic, schedule-independent tiebreak.
-struct WorkItem {
-    plan: usize,
-    sub: Option<usize>,
-}
+// A unit of parallel work is a [`WorkUnit`]: a whole component, or one
+// Bron–Kerbosch subproblem of a split component, labelled with the batch
+// constraint it belongs to. The flattened work list preserves sequential
+// order (components in candidate order, a split component's subproblems in
+// branch order), so "lowest work index" below is a deterministic,
+// schedule-independent tiebreak — regardless of which worker's deque a
+// unit was stolen from.
 
 /// Builds one [`ComponentPlan`] per candidate, splitting components that
 /// are large enough to be worth sharing among threads.
@@ -282,14 +280,16 @@ pub(crate) fn run(
     if opts.parallel {
         let threads = worker_threads(opts);
         let plans = build_plans(pre, &candidates, opts, threads, reuse);
+        // Label every unit with the position of its constraint within the
+        // batch (0 outside one) so stolen units remain attributable.
+        let ctag = reuse.map_or(0, |ctx| ctx.constraint_tag());
         let mut work = Vec::new();
         for (pi, plan) in plans.iter().enumerate() {
             match &plan.subproblems {
-                Some(subs) => work.extend((0..subs.len()).map(|si| WorkItem {
-                    plan: pi,
-                    sub: Some(si),
-                })),
-                None => work.push(WorkItem { plan: pi, sub: None }),
+                Some(subs) => {
+                    work.extend((0..subs.len()).map(|si| WorkUnit::subproblem(ctag, pi, si)))
+                }
+                None => work.push(WorkUnit::component(ctag, pi)),
             }
         }
         stats.subproblems_spawned = plans
@@ -328,10 +328,12 @@ pub(crate) fn run(
         }
     }
 
-    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
+    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS
+        .span_excluding(&probes::CORE_PHASE_WORLD_CHECKS_NS);
     let mut witness = None;
+    let mut arena = ExpandArena::new();
     for comp in candidates {
-        match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats, reuse) {
+        match check_component(bcdb, pre, pc, comp, opts, budget, &mut stats, reuse, &mut arena) {
             Ok(Some(w)) => {
                 witness = Some(w);
                 break;
@@ -355,7 +357,7 @@ pub(crate) fn run(
 fn harvest_completed_plans(
     ctx: &ReuseCtx,
     plans: &[ComponentPlan<'_>],
-    work: &[WorkItem],
+    work: &[WorkUnit],
     slots: &[Mutex<Option<Vec<Vec<usize>>>>],
 ) {
     for (pi, plan) in plans.iter().enumerate() {
@@ -365,7 +367,7 @@ fn harvest_completed_plans(
         let mut cliques = Vec::new();
         let mut complete = true;
         for (wi, item) in work.iter().enumerate() {
-            if item.plan != pi {
+            if item.component != pi {
                 continue;
             }
             match slots[wi].lock().unwrap().take() {
@@ -406,17 +408,24 @@ where
     // Exhaustion inside the visitor unwinds the enumeration via
     // `Visit::Stop` and is re-raised from `broke`.
     let mut broke: Option<ExhaustionReason> = None;
+    // One world/tx/fixpoint scratch set per drive, reset per clique: the
+    // visitor runs once per maximal clique, so per-clique allocation is the
+    // hot path. The world is cloned only when it becomes the witness.
+    let mut txs: Vec<TxId> = Vec::new();
+    let mut world = db.base_mask();
+    let mut scratch = MaximalScratch::default();
     let enumeration = enumerate(&mut |clique| {
         stats.cliques_enumerated += 1;
         if let Err(reason) = budget.charge_world() {
             broke = Some(reason);
             return Visit::Stop;
         }
-        let txs: Vec<TxId> = clique.iter().map(|&i| TxId(mapping[i] as u32)).collect();
-        let world = get_maximal(bcdb, pre, &txs);
+        txs.clear();
+        txs.extend(clique.iter().map(|&i| TxId(mapping[i] as u32)));
+        get_maximal_into(bcdb, pre, &txs, &mut world, &mut scratch);
         match eval_world(db, pc, &world, opts, budget, stats) {
             Ok(true) => {
-                witness = Some(world);
+                witness = Some(world.clone());
                 Visit::Stop
             }
             Ok(false) => Visit::Continue,
@@ -470,6 +479,7 @@ fn check_component(
     budget: &Budget,
     stats: &mut DcSatStats,
     reuse: Option<&ReuseCtx>,
+    arena: &mut ExpandArena,
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, component);
     if let Some(ctx) = reuse {
@@ -484,7 +494,7 @@ fn check_component(
         let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
         let mut collected = Vec::new();
         let out = drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
-            maximal_cliques_governed(&sub, opts.clique_strategy, budget, |c: &[usize]| {
+            maximal_cliques_governed_in(&sub, opts.clique_strategy, budget, arena, |c: &[usize]| {
                 collected.push(c.to_vec());
                 visit(c)
             })
@@ -498,7 +508,7 @@ fn check_component(
     }
     let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
     drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
-        maximal_cliques_governed(&sub, opts.clique_strategy, budget, visit)
+        maximal_cliques_governed_in(&sub, opts.clique_strategy, budget, arena, visit)
     })
 }
 
@@ -515,6 +525,7 @@ fn check_plan_component(
     budget: &Budget,
     stats: &mut DcSatStats,
     sink: Option<&mut Vec<Vec<usize>>>,
+    arena: &mut ExpandArena,
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, plan.component);
     if let Some(cached) = &plan.cached {
@@ -524,13 +535,19 @@ fn check_plan_component(
     }
     match sink {
         Some(out) => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
-            maximal_cliques_governed(&plan.graph, opts.clique_strategy, budget, |c: &[usize]| {
-                out.push(c.to_vec());
-                visit(c)
-            })
+            maximal_cliques_governed_in(
+                &plan.graph,
+                opts.clique_strategy,
+                budget,
+                arena,
+                |c: &[usize]| {
+                    out.push(c.to_vec());
+                    visit(c)
+                },
+            )
         }),
         None => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
-            maximal_cliques_governed(&plan.graph, opts.clique_strategy, budget, visit)
+            maximal_cliques_governed_in(&plan.graph, opts.clique_strategy, budget, arena, visit)
         }),
     }
 }
@@ -550,6 +567,7 @@ fn check_subproblem(
     budget: &Budget,
     stats: &mut DcSatStats,
     sink: Option<&mut Vec<Vec<usize>>>,
+    arena: &mut ExpandArena,
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, plan.component);
     match sink {
@@ -558,17 +576,29 @@ fn check_subproblem(
                 out.push(c.to_vec());
                 visit(c)
             };
-            expand_subproblem_governed(&plan.graph, opts.clique_strategy, sub, budget, collect)
+            expand_subproblem_governed_in(
+                &plan.graph,
+                opts.clique_strategy,
+                sub,
+                budget,
+                arena,
+                collect,
+            )
         }),
         None => drive(bcdb, pre, pc, &plan.mapping, opts, budget, stats, |visit| {
-            expand_subproblem_governed(&plan.graph, opts.clique_strategy, sub, budget, visit)
+            expand_subproblem_governed_in(&plan.graph, opts.clique_strategy, sub, budget, arena, visit)
         }),
     }
 }
 
-/// Extension: drain the flattened work list (whole components and
-/// intra-component subproblems) with std scoped threads. First witness
-/// wins; other workers observe the stop flag and bail.
+/// Extension: drain the work list (whole components and intra-component
+/// subproblems) with std scoped threads over a work-stealing scheduler:
+/// each worker owns a contiguous block of the flattened list and steals
+/// from the back of a neighbour's deque when its own runs dry (see
+/// [`StealScheduler`]). First witness wins; other workers observe the stop
+/// flag and bail. Every worker reuses one [`ExpandArena`] across all the
+/// units it claims, so R/P/X stacks are allocated once per worker rather
+/// than once per recursion frame.
 ///
 /// Robustness guarantees (deterministic regardless of scheduling):
 /// - every worker is joined before this function returns, even when a
@@ -576,7 +606,7 @@ fn check_subproblem(
 /// - a panicking worker is isolated with `catch_unwind` and surfaces as
 ///   the *lowest-indexed* poisoned work item (reported under its component
 ///   index), so repeated runs report the same failure rather than
-///   whichever thread lost the race;
+///   whichever thread lost the race — including when the item was stolen;
 /// - likewise the lowest-indexed exhausted item's reason is the one
 ///   propagated.
 ///
@@ -588,16 +618,21 @@ fn run_parallel(
     pre: &Precomputed,
     pc: &PreparedConstraint,
     plans: &[ComponentPlan<'_>],
-    work: &[WorkItem],
+    work: &[WorkUnit],
     opts: &DcSatOptions,
     budget: &Budget,
     mut stats: DcSatStats,
     threads: usize,
     collect: Option<&[CliqueSlot]>,
 ) -> Result<DcSatOutcome, Exhausted> {
-    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS.span();
+    let _enum_span = probes::CORE_PHASE_ENUMERATION_NS
+        .span_excluding(&probes::CORE_PHASE_WORLD_CHECKS_NS);
     let threads = threads.min(work.len());
-    let next = AtomicUsize::new(0);
+    // The scheduler distributes *global work indexes*: the units themselves
+    // stay in `work`, and every cross-worker decision below (lowest-index
+    // error, slot harvest, budget attribution) keys on the index, never on
+    // which deque the unit was claimed from.
+    let sched = StealScheduler::new(threads, 0..work.len());
     let stop = AtomicBool::new(false);
     let witness: Mutex<Option<WorldMask>> = Mutex::new(None);
     // First panicked item: (work index, component index, payload message);
@@ -611,91 +646,103 @@ fn run_parallel(
     let cache_hits = AtomicUsize::new(0);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                if stop.load(Ordering::Relaxed) {
-                    return;
-                }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= work.len() {
-                    return;
-                }
-                let item = &work[i];
-                let plan = &plans[item.plan];
-                let mut local = DcSatStats::default();
-                // Collection feeds the batch clique cache: only uncached
-                // plans collect, and only items that run to completion
-                // publish their slot (see `harvest_completed_plans`).
-                let mut sink_store: Option<Vec<Vec<usize>>> =
-                    (collect.is_some() && plan.cached.is_none()).then(Vec::new);
-                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
-                    || match item.sub {
-                        None => check_plan_component(
-                            bcdb,
-                            pre,
-                            pc,
-                            plan,
-                            opts,
-                            budget,
-                            &mut local,
-                            sink_store.as_mut(),
-                        ),
-                        Some(si) => {
-                            let sub = &plan.subproblems.as_ref().expect("split plan")[si];
-                            check_subproblem(
+        for wid in 0..threads {
+            let sched = &sched;
+            let stop = &stop;
+            let witness = &witness;
+            let poisoned = &poisoned;
+            let exhausted = &exhausted;
+            let cliques = &cliques;
+            let worlds = &worlds;
+            let delta_evals = &delta_evals;
+            let cache_hits = &cache_hits;
+            scope.spawn(move || {
+                let mut arena = ExpandArena::new();
+                loop {
+                    if stop.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let Some(i) = sched.pop(wid) else { return };
+                    let item = &work[i];
+                    let plan = &plans[item.component];
+                    let mut local = DcSatStats::default();
+                    // Collection feeds the batch clique cache: only uncached
+                    // plans collect, and only items that run to completion
+                    // publish their slot (see `harvest_completed_plans`).
+                    let mut sink_store: Option<Vec<Vec<usize>>> =
+                        (collect.is_some() && plan.cached.is_none()).then(Vec::new);
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                        || match item.subproblem {
+                            None => check_plan_component(
                                 bcdb,
                                 pre,
                                 pc,
                                 plan,
-                                sub,
                                 opts,
                                 budget,
                                 &mut local,
                                 sink_store.as_mut(),
-                            )
+                                &mut arena,
+                            ),
+                            Some(si) => {
+                                let sub = &plan.subproblems.as_ref().expect("split plan")[si];
+                                check_subproblem(
+                                    bcdb,
+                                    pre,
+                                    pc,
+                                    plan,
+                                    sub,
+                                    opts,
+                                    budget,
+                                    &mut local,
+                                    sink_store.as_mut(),
+                                    &mut arena,
+                                )
+                            }
+                        },
+                    ));
+                    if let (Some(slots), Some(done)) = (collect, sink_store) {
+                        if matches!(&result, Ok(Ok(None))) {
+                            *slots[i].lock().unwrap() = Some(done);
                         }
-                    },
-                ));
-                if let (Some(slots), Some(done)) = (collect, sink_store) {
-                    if matches!(&result, Ok(Ok(None))) {
-                        *slots[i].lock().unwrap() = Some(done);
                     }
-                }
-                cliques.fetch_add(local.cliques_enumerated, Ordering::Relaxed);
-                worlds.fetch_add(local.worlds_evaluated, Ordering::Relaxed);
-                delta_evals.fetch_add(local.delta_seeded_evals, Ordering::Relaxed);
-                cache_hits.fetch_add(local.base_cache_hits, Ordering::Relaxed);
-                match result {
-                    Ok(Ok(Some(w))) => {
-                        *witness.lock().unwrap() = Some(w);
-                        stop.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                    Ok(Ok(None)) => {}
-                    Ok(Err(reason)) => {
-                        let mut slot = exhausted.lock().unwrap();
-                        if slot.as_ref().is_none_or(|(j, _)| i < *j) {
-                            *slot = Some((i, reason));
+                    cliques.fetch_add(local.cliques_enumerated, Ordering::Relaxed);
+                    worlds.fetch_add(local.worlds_evaluated, Ordering::Relaxed);
+                    delta_evals.fetch_add(local.delta_seeded_evals, Ordering::Relaxed);
+                    cache_hits.fetch_add(local.base_cache_hits, Ordering::Relaxed);
+                    match result {
+                        Ok(Ok(Some(w))) => {
+                            *witness.lock().unwrap() = Some(w);
+                            stop.store(true, Ordering::Relaxed);
+                            return;
                         }
-                        stop.store(true, Ordering::Relaxed);
-                        return;
-                    }
-                    Err(payload) => {
-                        // `as_ref` reaches the inner `dyn Any` — a plain
-                        // `&payload` would downcast against `Box<dyn Any>`
-                        // itself and always miss.
-                        let msg = payload_message(payload.as_ref());
-                        let mut slot = poisoned.lock().unwrap();
-                        if slot.as_ref().is_none_or(|(j, _, _)| i < *j) {
-                            *slot = Some((i, item.plan, msg));
+                        Ok(Ok(None)) => {}
+                        Ok(Err(reason)) => {
+                            let mut slot = exhausted.lock().unwrap();
+                            if slot.as_ref().is_none_or(|(j, _)| i < *j) {
+                                *slot = Some((i, reason));
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                            return;
                         }
-                        stop.store(true, Ordering::Relaxed);
-                        return;
+                        Err(payload) => {
+                            // `as_ref` reaches the inner `dyn Any` — a plain
+                            // `&payload` would downcast against `Box<dyn Any>`
+                            // itself and always miss.
+                            let msg = payload_message(payload.as_ref());
+                            let mut slot = poisoned.lock().unwrap();
+                            if slot.as_ref().is_none_or(|(j, _, _)| i < *j) {
+                                *slot = Some((i, item.component, msg));
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                            return;
+                        }
                     }
                 }
             });
         }
     });
+    stats.work_steals += sched.steal_count() as usize;
 
     stats.cliques_enumerated += cliques.load(Ordering::Relaxed);
     stats.worlds_evaluated += worlds.load(Ordering::Relaxed);

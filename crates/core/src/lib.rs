@@ -67,5 +67,5 @@ pub use precompute::{query_components, Precomputed};
 pub use witness::minimize_witness;
 pub use worlds::{
     can_append, delta_row_count, for_each_possible_world, for_each_possible_world_governed,
-    get_maximal, is_possible_world, possible_worlds,
+    get_maximal, get_maximal_into, is_possible_world, possible_worlds, MaximalScratch,
 };

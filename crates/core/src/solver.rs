@@ -320,6 +320,9 @@ impl Solver {
         let reuse = ReuseCtx::new();
         let mut outcomes = Vec::with_capacity(dcs.len());
         for dc in dcs {
+            // Tags the work units scheduled for this constraint so stolen
+            // units stay attributable to their batch position.
+            reuse.begin_constraint();
             let opts = self.opts_with_hint(dc);
             let db = &mut self.db;
             let pre = &self.pre;

@@ -69,31 +69,58 @@ pub fn can_append(bcdb: &BlockchainDb, pre: &Precomputed, mask: &WorldMask, tx: 
 /// maximal possible world over `(R, I, candidates)`: FDs never block within
 /// a clique, and IND support only grows.
 pub fn get_maximal(bcdb: &BlockchainDb, pre: &Precomputed, candidates: &[TxId]) -> WorldMask {
-    let mut mask = bcdb.database().base_mask();
+    let mut world = bcdb.database().base_mask();
+    get_maximal_into(bcdb, pre, candidates, &mut world, &mut MaximalScratch::default());
+    world
+}
+
+/// Reusable buffers for [`get_maximal_into`], so the per-clique maximal
+/// world construction in `OptDCSat`'s drive loop reaches a steady state of
+/// zero allocations.
+#[derive(Default)]
+pub struct MaximalScratch {
+    allowed: bcdb_graph::BitSet,
+    remaining: Vec<TxId>,
+}
+
+/// Allocation-reusing variant of [`get_maximal`]: resets `world` to the
+/// base-only world (reusing its backing storage) and runs the same fixpoint,
+/// keeping the working sets in `scratch`. Semantics are identical.
+pub fn get_maximal_into(
+    bcdb: &BlockchainDb,
+    pre: &Precomputed,
+    candidates: &[TxId],
+    world: &mut WorldMask,
+    scratch: &mut MaximalScratch,
+) {
+    let n = bcdb.pending_count();
+    world.reset_to_base(n);
     // FD feasibility is maintained incrementally: `allowed` holds the
     // transactions still mutually consistent with everything activated so
     // far (the running intersection of the active nodes' GfTd adjacency).
     // This turns the per-candidate pairwise check into one bit test.
-    let n = bcdb.pending_count();
-    let mut allowed = bcdb_graph::BitSet::new(n);
+    let MaximalScratch { allowed, remaining } = scratch;
+    allowed.reset(n);
     for &tx in candidates {
         if pre.viable[tx.index()] {
             allowed.insert(tx.index());
         }
     }
-    let mut remaining: Vec<TxId> = candidates
-        .iter()
-        .copied()
-        .filter(|tx| pre.viable[tx.index()])
-        .collect();
+    remaining.clear();
+    remaining.extend(
+        candidates
+            .iter()
+            .copied()
+            .filter(|tx| pre.viable[tx.index()]),
+    );
     loop {
         let before = remaining.len();
         remaining.retain(|&tx| {
             if !allowed.contains(tx.index()) {
                 return false; // conflicts with an activated transaction
             }
-            if ind_obligations_met(bcdb, pre, &mut mask, tx) {
-                mask.activate(tx);
+            if ind_obligations_met(bcdb, pre, world, tx) {
+                world.activate(tx);
                 allowed.intersect_with(pre.fd_graph.neighbors(tx.index()));
                 false
             } else {
@@ -101,7 +128,7 @@ pub fn get_maximal(bcdb: &BlockchainDb, pre: &Precomputed, candidates: &[TxId]) 
             }
         });
         if remaining.is_empty() || remaining.len() == before {
-            return mask;
+            return;
         }
     }
 }

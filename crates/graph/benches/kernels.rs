@@ -1,0 +1,123 @@
+//! Criterion microbenchmarks for the word-parallel bitset kernels and the
+//! degeneracy ordering.
+//!
+//! Run with `cargo bench -p bcdb-graph`. The kernel benches compare the
+//! scalar and wide flavours directly (both are always compiled), so the
+//! report shows what the `simd` feature buys on this machine; the
+//! `degeneracy_order` benches cover the sparse and dense extremes that
+//! bracket the fd-transaction graphs.
+
+use bcdb_graph::bitset::{kernels, BitSet};
+use bcdb_graph::UndirectedGraph;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+fn random_words(len: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.next_u64()).collect()
+}
+
+fn bench_and_count(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/and_count");
+    for words in [16usize, 64, 256, 1024] {
+        let a = random_words(words, 1);
+        let b = random_words(words, 2);
+        group.bench_with_input(BenchmarkId::new("scalar", words), &words, |bench, _| {
+            bench.iter(|| kernels::and_count_scalar(&a, &b))
+        });
+        group.bench_with_input(BenchmarkId::new("wide", words), &words, |bench, _| {
+            bench.iter(|| kernels::and_count_wide(&a, &b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_and_count_into(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels/and_count_into");
+    for words in [16usize, 64, 256, 1024] {
+        let a = random_words(words, 3);
+        let b = random_words(words, 4);
+        let mut out = vec![0u64; words];
+        group.bench_with_input(BenchmarkId::new("scalar", words), &words, |bench, _| {
+            bench.iter(|| kernels::and_count_into_scalar(&a, &b, &mut out))
+        });
+        group.bench_with_input(BenchmarkId::new("wide", words), &words, |bench, _| {
+            bench.iter(|| kernels::and_count_into_wide(&a, &b, &mut out))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fused_vs_two_step(c: &mut Criterion) {
+    // The win the enumeration rewrite banks on: intersect + count in one
+    // pass into a reused set, versus allocate-intersect-then-popcount.
+    let mut group = c.benchmark_group("bitset/intersect");
+    let n = 4096;
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = BitSet::from_iter(n, (0..n).filter(|_| rng.random_bool(0.5)));
+    let b = BitSet::from_iter(n, (0..n).filter(|_| rng.random_bool(0.5)));
+    let mut out = BitSet::new(n);
+    group.bench_function("fused_into_reused", |bench| {
+        bench.iter(|| a.intersect_count_into(&b, &mut out))
+    });
+    group.bench_function("alloc_then_len", |bench| {
+        bench.iter(|| a.intersection(&b).len())
+    });
+    group.finish();
+}
+
+/// A Moon–Moser graph K_{3,3,...,3}: the dense extreme.
+fn moon_moser(groups: usize) -> UndirectedGraph {
+    let n = groups * 3;
+    let mut g = UndirectedGraph::new(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if u / 3 != v / 3 {
+                g.add_edge(u, v);
+            }
+        }
+    }
+    g
+}
+
+/// A sparse random graph at average degree ~8: the sparse extreme.
+fn sparse_random(n: usize, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::new(n);
+    for _ in 0..n * 4 {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        g.add_edge(u, v);
+    }
+    g
+}
+
+fn bench_degeneracy_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph/degeneracy_order");
+    group.sample_size(20);
+    for groups in [16usize, 64] {
+        let g = moon_moser(groups);
+        group.bench_with_input(
+            BenchmarkId::new("moon_moser", groups * 3),
+            &groups,
+            |bench, _| bench.iter(|| g.degeneracy_order()),
+        );
+    }
+    for n in [512usize, 4096] {
+        let g = sparse_random(n, 9);
+        group.bench_with_input(BenchmarkId::new("sparse", n), &n, |bench, _| {
+            bench.iter(|| g.degeneracy_order())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_and_count,
+    bench_and_count_into,
+    bench_fused_vs_two_step,
+    bench_degeneracy_order
+);
+criterion_main!(benches);

@@ -151,14 +151,10 @@ impl BitSet {
         out
     }
 
-    /// Size of `self & other` without allocating.
+    /// Size of `self & other` without allocating (fused AND+popcount).
     #[inline]
     pub fn intersection_len(&self, other: &BitSet) -> usize {
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        kernels::and_count(&self.words, &other.words)
     }
 
     /// Whether `self & other` is empty, without allocating.
@@ -197,6 +193,221 @@ impl BitSet {
     /// Collects the elements into a `Vec`.
     pub fn to_vec(&self) -> Vec<usize> {
         self.iter().collect()
+    }
+
+    /// Number of backing 64-bit words — what one kernel pass scans.
+    #[inline]
+    pub fn word_len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Resets to an empty set of exactly `capacity`, reusing the backing
+    /// allocation when it is large enough. The workhorse of
+    /// [`ExpandArena`](crate::ExpandArena) pooling: a pooled set from any
+    /// previous recursion depth becomes a clean set for the next one
+    /// without touching the allocator.
+    #[inline]
+    pub fn reset(&mut self, capacity: usize) {
+        self.capacity = capacity;
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(BITS), 0);
+    }
+
+    /// Copies `other` into `self`, reusing `self`'s allocation.
+    #[inline]
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.capacity = other.capacity;
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+    }
+
+    /// Fused intersection into a reusable target: sets `out = self & other`
+    /// and returns `|out|` from the same word-level AND+popcount pass.
+    /// `out` is reset to `self`'s capacity first, so its previous contents
+    /// and capacity are irrelevant (only its allocation is reused).
+    #[inline]
+    pub fn intersect_count_into(&self, other: &BitSet, out: &mut BitSet) -> usize {
+        out.reset(self.capacity);
+        kernels::and_count_into(&self.words, &other.words, &mut out.words)
+    }
+
+    /// Fused difference into a reusable target: sets `out = self & !other`
+    /// and returns `|out|` from the same pass. `out` is reset to `self`'s
+    /// capacity first; `other` is treated as zero-extended if shorter.
+    #[inline]
+    pub fn difference_count_into(&self, other: &BitSet, out: &mut BitSet) -> usize {
+        out.reset(self.capacity);
+        kernels::andnot_count_into(&self.words, &other.words, &mut out.words)
+    }
+}
+
+/// Word-parallel fused kernels behind the hot [`BitSet`] operations.
+///
+/// Each kernel comes in two always-compiled flavours: a plain scalar loop
+/// and a wide variant that processes four words per iteration through
+/// independent accumulator lanes — the shape LLVM auto-vectorizes to
+/// SIMD AND+POPCNT on stable Rust (no nightly `std::simd` required). The
+/// `simd` cargo feature selects which flavour the un-suffixed dispatch
+/// functions use; both stay available so the kernel-equivalence proptests
+/// can validate them against each other regardless of the build's default.
+pub mod kernels {
+    /// Words per wide-loop iteration (accumulator lanes).
+    const LANES: usize = 4;
+
+    /// `|a & b|`, scalar loop. Slices may differ in length; the shorter
+    /// one is treated as zero-extended.
+    #[inline]
+    pub fn and_count_scalar(a: &[u64], b: &[u64]) -> usize {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x & y).count_ones() as usize)
+            .sum()
+    }
+
+    /// `|a & b|`, four-lane wide loop.
+    #[inline]
+    pub fn and_count_wide(a: &[u64], b: &[u64]) -> usize {
+        let n = a.len().min(b.len());
+        let mut ca = a[..n].chunks_exact(LANES);
+        let mut cb = b[..n].chunks_exact(LANES);
+        let mut acc = [0u64; LANES];
+        for (wa, wb) in ca.by_ref().zip(cb.by_ref()) {
+            for l in 0..LANES {
+                acc[l] += u64::from((wa[l] & wb[l]).count_ones());
+            }
+        }
+        let mut total: u64 = acc.iter().sum();
+        for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+            total += u64::from((x & y).count_ones());
+        }
+        total as usize
+    }
+
+    /// `out = a & b` returning `|out|`, scalar loop. Any tail of `out`
+    /// beyond the shorter input is zeroed.
+    #[inline]
+    pub fn and_count_into_scalar(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        let n = a.len().min(b.len()).min(out.len());
+        let mut total = 0usize;
+        for i in 0..n {
+            let w = a[i] & b[i];
+            out[i] = w;
+            total += w.count_ones() as usize;
+        }
+        out[n..].fill(0);
+        total
+    }
+
+    /// `out = a & b` returning `|out|`, four-lane wide loop.
+    #[inline]
+    pub fn and_count_into_wide(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        let n = a.len().min(b.len()).min(out.len());
+        let mut acc = [0u64; LANES];
+        let chunks = n / LANES;
+        for c in 0..chunks {
+            let base = c * LANES;
+            for l in 0..LANES {
+                let w = a[base + l] & b[base + l];
+                out[base + l] = w;
+                acc[l] += u64::from(w.count_ones());
+            }
+        }
+        let mut total: u64 = acc.iter().sum();
+        for i in chunks * LANES..n {
+            let w = a[i] & b[i];
+            out[i] = w;
+            total += u64::from(w.count_ones());
+        }
+        out[n..].fill(0);
+        total as usize
+    }
+
+    /// `out = a & !b` returning `|out|`, scalar loop. `b` is treated as
+    /// zero-extended if shorter than `a`; any tail of `out` beyond `a` is
+    /// zeroed.
+    #[inline]
+    pub fn andnot_count_into_scalar(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        let n = a.len().min(out.len());
+        let mut total = 0usize;
+        for i in 0..n {
+            let w = a[i] & !b.get(i).copied().unwrap_or(0);
+            out[i] = w;
+            total += w.count_ones() as usize;
+        }
+        out[n..].fill(0);
+        total
+    }
+
+    /// `out = a & !b` returning `|out|`, four-lane wide loop.
+    #[inline]
+    pub fn andnot_count_into_wide(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        let n = a.len().min(out.len());
+        let m = b.len().min(n);
+        let mut acc = [0u64; LANES];
+        let chunks = m / LANES;
+        for c in 0..chunks {
+            let base = c * LANES;
+            for l in 0..LANES {
+                let w = a[base + l] & !b[base + l];
+                out[base + l] = w;
+                acc[l] += u64::from(w.count_ones());
+            }
+        }
+        let mut total: u64 = acc.iter().sum();
+        for i in chunks * LANES..m {
+            let w = a[i] & !b[i];
+            out[i] = w;
+            total += u64::from(w.count_ones());
+        }
+        // b exhausted: the rest of a survives unmasked.
+        for i in m..n {
+            out[i] = a[i];
+            total += u64::from(a[i].count_ones());
+        }
+        out[n..].fill(0);
+        total as usize
+    }
+
+    /// `|a & b|` with the build's selected flavour.
+    #[cfg(feature = "simd")]
+    #[inline]
+    pub fn and_count(a: &[u64], b: &[u64]) -> usize {
+        and_count_wide(a, b)
+    }
+
+    /// `|a & b|` with the build's selected flavour.
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    pub fn and_count(a: &[u64], b: &[u64]) -> usize {
+        and_count_scalar(a, b)
+    }
+
+    /// `out = a & b` returning `|out|` with the build's selected flavour.
+    #[cfg(feature = "simd")]
+    #[inline]
+    pub fn and_count_into(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        and_count_into_wide(a, b, out)
+    }
+
+    /// `out = a & b` returning `|out|` with the build's selected flavour.
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    pub fn and_count_into(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        and_count_into_scalar(a, b, out)
+    }
+
+    /// `out = a & !b` returning `|out|` with the build's selected flavour.
+    #[cfg(feature = "simd")]
+    #[inline]
+    pub fn andnot_count_into(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        andnot_count_into_wide(a, b, out)
+    }
+
+    /// `out = a & !b` returning `|out|` with the build's selected flavour.
+    #[cfg(not(feature = "simd"))]
+    #[inline]
+    pub fn andnot_count_into(a: &[u64], b: &[u64], out: &mut [u64]) -> usize {
+        andnot_count_into_scalar(a, b, out)
     }
 }
 
@@ -339,5 +550,68 @@ mod tests {
         let s: BitSet = [9usize, 2, 5].into_iter().collect();
         assert_eq!(s.capacity(), 10);
         assert_eq!(s.to_vec(), vec![2, 5, 9]);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_copy_from_round_trips() {
+        let mut s = BitSet::from_iter(300, [3, 250]);
+        s.reset(40);
+        assert_eq!(s.capacity(), 40);
+        assert!(s.is_empty());
+        s.insert(39);
+        let mut t = BitSet::new(5);
+        t.copy_from(&s);
+        assert_eq!(t.capacity(), 40);
+        assert_eq!(t.to_vec(), vec![39]);
+    }
+
+    #[test]
+    fn fused_intersect_and_difference_match_two_step() {
+        let a = BitSet::from_iter(200, [1, 2, 3, 64, 65, 130, 199]);
+        let b = BitSet::from_iter(200, [2, 3, 65, 131, 199]);
+        let mut out = BitSet::from_iter(10, [7]); // stale contents must not leak
+        let n = a.intersect_count_into(&b, &mut out);
+        assert_eq!(out, a.intersection(&b));
+        assert_eq!(n, out.len());
+        let n = a.difference_count_into(&b, &mut out);
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(out, d);
+        assert_eq!(n, out.len());
+    }
+
+    #[test]
+    fn kernel_flavours_agree_on_fixed_vectors() {
+        let a: Vec<u64> = (0..13u64)
+            .map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+            .collect();
+        let b: Vec<u64> = (0..13).map(|i| !(i as u64) ^ 0x0123_4567_89ab_cdef).collect();
+        assert_eq!(
+            kernels::and_count_scalar(&a, &b),
+            kernels::and_count_wide(&a, &b)
+        );
+        let mut o1 = vec![0u64; 13];
+        let mut o2 = vec![0u64; 13];
+        assert_eq!(
+            kernels::and_count_into_scalar(&a, &b, &mut o1),
+            kernels::and_count_into_wide(&a, &b, &mut o2)
+        );
+        assert_eq!(o1, o2);
+        assert_eq!(
+            kernels::andnot_count_into_scalar(&a, &b, &mut o1),
+            kernels::andnot_count_into_wide(&a, &b, &mut o2)
+        );
+        assert_eq!(o1, o2);
+        // Mismatched lengths: b zero-extended for AND-NOT, truncated for AND.
+        let short = &b[..5];
+        assert_eq!(
+            kernels::and_count_scalar(&a, short),
+            kernels::and_count_wide(&a, short)
+        );
+        assert_eq!(
+            kernels::andnot_count_into_scalar(&a, short, &mut o1),
+            kernels::andnot_count_into_wide(&a, short, &mut o2)
+        );
+        assert_eq!(o1, o2);
     }
 }

@@ -71,49 +71,84 @@ pub fn maximal_cliques_governed(
     g: &UndirectedGraph,
     strategy: CliqueStrategy,
     budget: &Budget,
+    visit: impl FnMut(&[usize]) -> Visit,
+) -> Result<bool, ExhaustionReason> {
+    maximal_cliques_governed_in(g, strategy, budget, &mut ExpandArena::new(), visit)
+}
+
+/// Arena-reusing variant of [`maximal_cliques_governed`]: all `P`/`X`
+/// recursion sets come from (and return to) `arena`, so a worker that
+/// enumerates many components or subproblems touches the allocator only
+/// while the arena warms up. Semantics are identical.
+pub fn maximal_cliques_governed_in(
+    g: &UndirectedGraph,
+    strategy: CliqueStrategy,
+    budget: &Budget,
+    arena: &mut ExpandArena,
     mut visit: impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
     let _bk_span = probes::GRAPH_COMPONENT_BK_NS.span();
     let n = g.node_count();
     let mut r: Vec<usize> = Vec::new();
-    let p = BitSet::full(n);
-    let x = BitSet::new(n);
-    match strategy {
-        CliqueStrategy::Plain => expand_plain(g, &mut r, p, x, budget, &mut visit),
-        CliqueStrategy::Pivot => expand_pivot(g, &mut r, p, x, budget, &mut visit),
-        CliqueStrategy::Degeneracy => {
+    let result = match strategy {
+        CliqueStrategy::Plain | CliqueStrategy::Pivot => {
+            let mut p = arena.take(n);
+            for v in 0..n {
+                p.insert(v);
+            }
+            let mut x = arena.take(n);
+            let out = if strategy == CliqueStrategy::Plain {
+                expand_plain(g, &mut r, &mut p, &mut x, arena, budget, &mut visit)
+            } else {
+                expand_pivot(g, &mut r, &mut p, &mut x, arena, budget, &mut visit)
+            };
+            arena.put(p);
+            arena.put(x);
+            out
+        }
+        CliqueStrategy::Degeneracy => 'deg: {
             if n == 0 {
                 // The empty clique is the unique maximal clique of the
                 // zero-node graph; the outer loop below would never emit it.
-                budget.charge_clique()?;
-                return Ok(visit(&[]) == Visit::Continue);
+                let out = budget.charge_clique().map(|()| visit(&[]) == Visit::Continue);
+                break 'deg out;
             }
             let order = g.degeneracy_ordering();
-            let mut p = BitSet::full(n);
-            let mut x = BitSet::new(n);
+            let mut p = arena.take(n);
+            for v in 0..n {
+                p.insert(v);
+            }
+            let mut x = arena.take(n);
+            let mut out = Ok(true);
             for &v in &order {
-                let mut pv = p.intersection(g.neighbors(v));
-                let mut xv = x.intersection(g.neighbors(v));
                 // Shrink to the still-candidate neighborhood of v.
+                let mut pv = arena.take(n);
+                let mut xv = arena.take(n);
+                p.intersect_count_into(g.neighbors(v), &mut pv);
+                x.intersect_count_into(g.neighbors(v), &mut xv);
+                arena.words += 2 * p.word_len() as u64;
                 r.push(v);
-                let cont = expand_pivot(
-                    g,
-                    &mut r,
-                    std::mem::take(&mut pv),
-                    std::mem::take(&mut xv),
-                    budget,
-                    &mut visit,
-                );
+                let cont = expand_pivot(g, &mut r, &mut pv, &mut xv, arena, budget, &mut visit);
                 r.pop();
-                if !cont? {
-                    return Ok(false);
+                arena.put(pv);
+                arena.put(xv);
+                match cont {
+                    Ok(true) => {}
+                    stop_or_err => {
+                        out = stop_or_err;
+                        break;
+                    }
                 }
                 p.remove(v);
                 x.insert(v);
             }
-            Ok(true)
+            arena.put(p);
+            arena.put(x);
+            out
         }
-    }
+    };
+    arena.flush_words();
+    result
 }
 
 /// Collects all maximal cliques into a vector (each sorted ascending).
@@ -138,36 +173,99 @@ pub fn count_maximal_cliques(g: &UndirectedGraph, strategy: CliqueStrategy) -> u
     n
 }
 
+/// A reusable per-worker allocation arena for the `(R, P, X)` recursion.
+///
+/// Every recursion level needs two fresh candidate sets (`P ∩ N(v)`,
+/// `X ∩ N(v)`) plus a branching set and a sorted copy of each reported
+/// clique. Allocating those on the heap per level is the dominant
+/// non-kernel cost of enumeration; the arena keeps a free list of retired
+/// [`BitSet`]s (reset in place, allocation reused) and one clique scratch
+/// buffer, so a long-lived worker reaches a steady state of zero
+/// allocator traffic. It also accumulates the kernel words-scanned count,
+/// flushed to the `graph.kernel_words_scanned` probe once per governed
+/// enumeration call rather than per kernel invocation.
+#[derive(Default)]
+pub struct ExpandArena {
+    pool: Vec<BitSet>,
+    clique: Vec<usize>,
+    words: u64,
+    flushed: u64,
+}
+
+impl ExpandArena {
+    /// Creates an empty arena; it warms up as the first enumeration runs.
+    pub fn new() -> Self {
+        ExpandArena::default()
+    }
+
+    /// Total 64-bit words scanned by fused kernels through this arena.
+    pub fn words_scanned(&self) -> u64 {
+        self.words
+    }
+
+    /// A clean set of exactly `capacity`, reusing a retired allocation
+    /// when one is pooled.
+    #[inline]
+    fn take(&mut self, capacity: usize) -> BitSet {
+        let mut s = self.pool.pop().unwrap_or_default();
+        s.reset(capacity);
+        s
+    }
+
+    /// Retires a set back into the pool.
+    #[inline]
+    fn put(&mut self, s: BitSet) {
+        self.pool.push(s);
+    }
+
+    /// Flushes words scanned since the last flush to the telemetry probe.
+    fn flush_words(&mut self) {
+        let delta = self.words - self.flushed;
+        if delta > 0 {
+            probes::GRAPH_KERNEL_WORDS_SCANNED.add(delta);
+            self.flushed = self.words;
+        }
+    }
+}
+
 fn report(
-    r: &mut [usize],
+    r: &[usize],
+    scratch: &mut Vec<usize>,
     budget: &Budget,
     visit: &mut impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
     budget.charge_clique()?;
     probes::GRAPH_CLIQUES_EMITTED.incr();
-    r.sort_unstable();
-    Ok(visit(r) == Visit::Continue)
+    scratch.clear();
+    scratch.extend_from_slice(r);
+    scratch.sort_unstable();
+    Ok(visit(scratch) == Visit::Continue)
 }
 
 fn expand_plain(
     g: &UndirectedGraph,
     r: &mut Vec<usize>,
-    mut p: BitSet,
-    mut x: BitSet,
+    p: &mut BitSet,
+    x: &mut BitSet,
+    arena: &mut ExpandArena,
     budget: &Budget,
     visit: &mut impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
     budget.tick()?;
     if p.is_empty() && x.is_empty() {
-        let mut clique = r.clone();
-        return report(&mut clique, budget, visit);
+        return report(r, &mut arena.clique, budget, visit);
     }
     while let Some(v) = p.first() {
-        let pv = p.intersection(g.neighbors(v));
-        let xv = x.intersection(g.neighbors(v));
+        let mut pv = arena.take(p.capacity());
+        let mut xv = arena.take(p.capacity());
+        p.intersect_count_into(g.neighbors(v), &mut pv);
+        x.intersect_count_into(g.neighbors(v), &mut xv);
+        arena.words += 2 * p.word_len() as u64;
         r.push(v);
-        let cont = expand_plain(g, r, pv, xv, budget, visit);
+        let cont = expand_plain(g, r, &mut pv, &mut xv, arena, budget, visit);
         r.pop();
+        arena.put(pv);
+        arena.put(xv);
         if !cont? {
             return Ok(false);
         }
@@ -175,61 +273,63 @@ fn expand_plain(
         x.insert(v);
     }
     Ok(true)
-}
-
-/// Picks the pivot `u ∈ P ∪ X` maximising `|P ∩ N(u)|` (Tomita's rule),
-/// so that the branching set `P \ N(u)` is as small as possible.
-fn choose_pivot(g: &UndirectedGraph, p: &BitSet, x: &BitSet) -> usize {
-    let mut best = usize::MAX;
-    let mut best_score = usize::MAX; // sentinel: "none chosen yet"
-    for u in p.iter().chain(x.iter()) {
-        let score = p.intersection_len(g.neighbors(u));
-        if best_score == usize::MAX || score > best_score {
-            best_score = score;
-            best = u;
-        }
-    }
-    best
 }
 
 fn expand_pivot(
     g: &UndirectedGraph,
     r: &mut Vec<usize>,
-    mut p: BitSet,
-    mut x: BitSet,
+    p: &mut BitSet,
+    x: &mut BitSet,
+    arena: &mut ExpandArena,
     budget: &Budget,
     visit: &mut impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
     budget.tick()?;
-    if p.is_empty() && x.is_empty() {
-        let mut clique = r.clone();
-        return report(&mut clique, budget, visit);
-    }
-    if p.is_empty() {
+    let p_len = p.len();
+    if p_len == 0 {
+        if x.is_empty() {
+            return report(r, &mut arena.clique, budget, visit);
+        }
         return Ok(true); // X non-empty: not maximal, prune
     }
-    let pivot = choose_pivot(g, &p, &x);
-    let mut branch = p.clone();
-    branch.difference_with(g.neighbors(pivot));
+    // Tomita pivot: one fused AND+popcount sweep per u ∈ P ∪ X.
+    arena.words += ((p_len + x.len()) * p.word_len()) as u64;
+    let pivot = g
+        .pivot_max_intersection(p, x)
+        .expect("P is non-empty, a pivot exists");
+    let mut branch = arena.take(p.capacity());
+    let branch_len = p.difference_count_into(g.neighbors(pivot), &mut branch);
+    arena.words += p.word_len() as u64;
     if bcdb_telemetry::enabled() {
-        probes::GRAPH_PIVOT_CANDIDATES_PRUNED.add((p.len() - branch.len()) as u64);
+        probes::GRAPH_PIVOT_CANDIDATES_PRUNED.add((p_len - branch_len) as u64);
     }
+    let mut result = Ok(true);
     for v in branch.iter() {
         if !p.contains(v) {
             continue; // removed by an earlier branch iteration
         }
-        let pv = p.intersection(g.neighbors(v));
-        let xv = x.intersection(g.neighbors(v));
+        let mut pv = arena.take(p.capacity());
+        let mut xv = arena.take(p.capacity());
+        p.intersect_count_into(g.neighbors(v), &mut pv);
+        x.intersect_count_into(g.neighbors(v), &mut xv);
+        arena.words += 2 * p.word_len() as u64;
         r.push(v);
-        let cont = expand_pivot(g, r, pv, xv, budget, visit);
+        let cont = expand_pivot(g, r, &mut pv, &mut xv, arena, budget, visit);
         r.pop();
-        if !cont? {
-            return Ok(false);
+        arena.put(pv);
+        arena.put(xv);
+        match cont {
+            Ok(true) => {}
+            stop_or_err => {
+                result = stop_or_err;
+                break;
+            }
         }
         p.remove(v);
         x.insert(v);
     }
-    Ok(true)
+    arena.put(branch);
+    result
 }
 
 /// An independent Bron–Kerbosch subproblem `(R, P, X)`.
@@ -271,7 +371,9 @@ fn branch_once(
     let branch: Vec<usize> = match strategy {
         CliqueStrategy::Plain => sub.p.iter().collect(),
         CliqueStrategy::Pivot | CliqueStrategy::Degeneracy => {
-            let pivot = choose_pivot(g, &sub.p, &sub.x);
+            let pivot = g
+                .pivot_max_intersection(&sub.p, &sub.x)
+                .expect("split only branches subproblems with candidates");
             let mut b = sub.p.clone();
             b.difference_with(g.neighbors(pivot));
             b.iter().collect()
@@ -387,20 +489,40 @@ pub fn expand_subproblem_governed(
     strategy: CliqueStrategy,
     sub: &CliqueSubproblem,
     budget: &Budget,
+    visit: impl FnMut(&[usize]) -> Visit,
+) -> Result<bool, ExhaustionReason> {
+    expand_subproblem_governed_in(g, strategy, sub, budget, &mut ExpandArena::new(), visit)
+}
+
+/// Arena-reusing variant of [`expand_subproblem_governed`] for workers
+/// that drain many subproblems: `P`/`X` recursion sets are pooled in
+/// `arena` across calls. Semantics are identical.
+pub fn expand_subproblem_governed_in(
+    g: &UndirectedGraph,
+    strategy: CliqueStrategy,
+    sub: &CliqueSubproblem,
+    budget: &Budget,
+    arena: &mut ExpandArena,
     mut visit: impl FnMut(&[usize]) -> Visit,
 ) -> Result<bool, ExhaustionReason> {
     let _bk_span = probes::GRAPH_COMPONENT_BK_NS.span();
     let mut r = sub.r.clone();
-    let p = sub.p.clone();
-    let x = sub.x.clone();
-    match strategy {
-        CliqueStrategy::Plain => expand_plain(g, &mut r, p, x, budget, &mut visit),
+    let mut p = arena.take(sub.p.capacity());
+    p.copy_from(&sub.p);
+    let mut x = arena.take(sub.x.capacity());
+    x.copy_from(&sub.x);
+    let result = match strategy {
+        CliqueStrategy::Plain => expand_plain(g, &mut r, &mut p, &mut x, arena, budget, &mut visit),
         // Below the top level Degeneracy branches with pivoting, so both
         // strategies expand identically here.
         CliqueStrategy::Pivot | CliqueStrategy::Degeneracy => {
-            expand_pivot(g, &mut r, p, x, budget, &mut visit)
+            expand_pivot(g, &mut r, &mut p, &mut x, arena, budget, &mut visit)
         }
-    }
+    };
+    arena.put(p);
+    arena.put(x);
+    arena.flush_words();
+    result
 }
 
 #[cfg(test)]

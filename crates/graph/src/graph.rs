@@ -151,6 +151,16 @@ impl UndirectedGraph {
     /// Bron–Kerbosch variant, which bounds the recursion width by the graph's
     /// degeneracy rather than its maximum degree.
     pub fn degeneracy_ordering(&self) -> Vec<usize> {
+        self.degeneracy_order().0
+    }
+
+    /// A degeneracy ordering together with the degeneracy itself — the
+    /// largest minimum-degree seen while peeling (every node has at most
+    /// this many neighbors later in the order). The degeneracy bounds the
+    /// candidate-set width of the enumeration's first recursion level, so
+    /// callers can use it to size arenas or decide whether the
+    /// degeneracy-ordered outer loop is worthwhile.
+    pub fn degeneracy_order(&self) -> (Vec<usize>, usize) {
         let n = self.node_count();
         let mut degree: Vec<usize> = (0..n).map(|u| self.degree(u)).collect();
         let maxd = degree.iter().copied().max().unwrap_or(0);
@@ -162,6 +172,7 @@ impl UndirectedGraph {
         let mut removed = vec![false; n];
         let mut order = Vec::with_capacity(n);
         let mut cursor = 0usize;
+        let mut degeneracy = 0usize;
         while order.len() < n {
             // Find the lowest non-empty bucket; degrees only ever decrease by
             // one per removal, so the cursor may need to back up by one.
@@ -174,6 +185,7 @@ impl UndirectedGraph {
                 continue; // stale entry
             }
             removed[u] = true;
+            degeneracy = degeneracy.max(cursor);
             order.push(u);
             for v in self.neighbors(u).iter() {
                 if !removed[v] {
@@ -182,7 +194,26 @@ impl UndirectedGraph {
                 }
             }
         }
-        order
+        (order, degeneracy)
+    }
+
+    /// Tomita pivot selection as fused kernel sweeps: the vertex
+    /// `u ∈ P ∪ X` maximising `|P ∩ N(u)|`, each score a single word-level
+    /// AND+popcount pass over `P` and `u`'s adjacency row. Ties break
+    /// toward the earlier vertex in `P`-then-`X` iteration order, matching
+    /// the enumeration's historical pivot choice. Returns `None` when both
+    /// sets are empty.
+    pub fn pivot_max_intersection(&self, p: &BitSet, x: &BitSet) -> Option<usize> {
+        let mut best = None;
+        let mut best_score = 0usize;
+        for u in p.iter().chain(x.iter()) {
+            let score = p.intersection_len(self.neighbors(u));
+            if best.is_none() || score > best_score {
+                best = Some(u);
+                best_score = score;
+            }
+        }
+        best
     }
 }
 
@@ -344,5 +375,42 @@ mod tests {
         let g = UndirectedGraph::new(0);
         assert_eq!(g.node_count(), 0);
         assert!(g.degeneracy_ordering().is_empty());
+        assert_eq!(g.degeneracy_order().1, 0);
+    }
+
+    #[test]
+    fn degeneracy_number_of_known_graphs() {
+        assert_eq!(path(6).degeneracy_order().1, 1);
+        let mut k5 = UndirectedGraph::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                k5.add_edge(u, v);
+            }
+        }
+        assert_eq!(k5.degeneracy_order().1, 4);
+        // A 4-cycle is 2-regular: degeneracy 2.
+        let mut c4 = path(4);
+        c4.add_edge(3, 0);
+        assert_eq!(c4.degeneracy_order().1, 2);
+    }
+
+    #[test]
+    fn pivot_maximises_candidate_coverage() {
+        // Star: center 0 adjacent to 1..4. With P = {1..4} ∪ {0}, the
+        // center covers all of P ∩ N(0) = 4 candidates.
+        let mut g = UndirectedGraph::new(5);
+        for v in 1..5 {
+            g.add_edge(0, v);
+        }
+        let p = BitSet::full(5);
+        let x = BitSet::new(5);
+        assert_eq!(g.pivot_max_intersection(&p, &x), Some(0));
+        assert_eq!(g.pivot_max_intersection(&BitSet::new(5), &x), None);
+        // X-only still yields a pivot.
+        let xonly = BitSet::from_iter(5, [2]);
+        assert_eq!(
+            g.pivot_max_intersection(&BitSet::new(5), &xonly),
+            Some(2)
+        );
     }
 }

@@ -21,12 +21,16 @@ pub mod bron_kerbosch;
 pub mod clique_cache;
 pub mod components;
 pub mod graph;
+pub mod scheduler;
 
 pub use bitset::BitSet;
-pub use clique_cache::CliqueCache;
 pub use bron_kerbosch::{
-    collect_maximal_cliques, count_maximal_cliques, expand_subproblem_governed, maximal_cliques,
-    maximal_cliques_governed, split_subproblems, CliqueStrategy, CliqueSubproblem, Visit,
+    collect_maximal_cliques, count_maximal_cliques, expand_subproblem_governed,
+    expand_subproblem_governed_in, maximal_cliques, maximal_cliques_governed,
+    maximal_cliques_governed_in, split_subproblems, CliqueStrategy, CliqueSubproblem, ExpandArena,
+    Visit,
 };
+pub use clique_cache::CliqueCache;
 pub use components::{connected_components, Components, UnionFind};
 pub use graph::UndirectedGraph;
+pub use scheduler::{StealScheduler, WorkUnit};

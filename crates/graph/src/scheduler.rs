@@ -1,0 +1,204 @@
+//! A hand-rolled work-stealing scheduler for clique enumeration.
+//!
+//! The two-level parallel `OptDCSat` flattens its work into a static list
+//! of units — one per (constraint × component × subproblem) — before any
+//! worker starts. A central shared counter over that list serialises every
+//! claim through one contended cache line; the crossbeam-style alternative
+//! used here gives each worker its own double-ended queue seeded with a
+//! contiguous block of the list, so the common case (pop from your own
+//! front) is uncontended, and an idle worker *steals* from the back of a
+//! victim's queue — the unit farthest from where the owner is working.
+//!
+//! The work list is static (no unit ever spawns another unit), which keeps
+//! the protocol tiny: a `Mutex<VecDeque>` per worker instead of the lock-free
+//! Chase–Lev deque, with no ABA or shrink hazards, and an empty sweep over
+//! all victims is a definitive "everything has been claimed" signal.
+//! Determinism of *results* is preserved not by the schedule (steals are
+//! timing-dependent) but by the units themselves carrying their global list
+//! index: budget charging is shared and exact, error aggregation picks the
+//! lowest-index loser, and clique harvesting concatenates in list order.
+
+use bcdb_telemetry::probes;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Labels one unit of enumeration work in the global order.
+///
+/// The scheduler itself is generic over the queued item type; this label
+/// is what `OptDCSat` queues (alongside the unit's global index) so a
+/// debugger or telemetry consumer can see *what* was stolen, not just that
+/// a steal happened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WorkUnit {
+    /// Batch constraint sequence number (0 outside `check_batch`).
+    pub constraint: usize,
+    /// Component index within the constraint's candidate set.
+    pub component: usize,
+    /// Subproblem index within a split component; `None` means the unit
+    /// enumerates the whole component.
+    pub subproblem: Option<usize>,
+}
+
+impl WorkUnit {
+    /// A unit covering a whole component (no intra-component split).
+    pub fn component(constraint: usize, component: usize) -> Self {
+        WorkUnit {
+            constraint,
+            component,
+            subproblem: None,
+        }
+    }
+
+    /// A unit covering one [`CliqueSubproblem`](crate::CliqueSubproblem)
+    /// of a split component.
+    pub fn subproblem(constraint: usize, component: usize, subproblem: usize) -> Self {
+        WorkUnit {
+            constraint,
+            component,
+            subproblem: Some(subproblem),
+        }
+    }
+}
+
+/// Per-worker deques plus the stealing protocol over a static work list.
+pub struct StealScheduler<T> {
+    deques: Vec<Mutex<VecDeque<T>>>,
+    steals: AtomicU64,
+}
+
+impl<T> StealScheduler<T> {
+    /// Distributes `items` across `workers` deques in contiguous blocks:
+    /// worker 0 owns the lowest-indexed block, the last worker the
+    /// highest. Block distribution keeps each worker's uncontended path
+    /// walking the global order, so a steal-free run visits units in
+    /// nearly the same order as the old central counter.
+    pub fn new(workers: usize, items: impl IntoIterator<Item = T>) -> Self {
+        let items: Vec<T> = items.into_iter().collect();
+        let workers = workers.max(1);
+        let per = items.len().div_ceil(workers).max(1);
+        let mut deques: Vec<VecDeque<T>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, item) in items.into_iter().enumerate() {
+            deques[(i / per).min(workers - 1)].push_back(item);
+        }
+        StealScheduler {
+            deques: deques.into_iter().map(Mutex::new).collect(),
+            steals: AtomicU64::new(0),
+        }
+    }
+
+    /// Claims the next unit for `worker`: the front of its own deque when
+    /// non-empty, otherwise a unit stolen from the *back* of the first
+    /// non-empty victim, scanning ringwise from `worker + 1`. Returns
+    /// `None` only when every deque is empty — since the work list is
+    /// static, that means all units have been claimed and the worker can
+    /// exit.
+    pub fn pop(&self, worker: usize) -> Option<T> {
+        if let Some(item) = self.deques[worker].lock().unwrap().pop_front() {
+            return Some(item);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(item) = self.deques[victim].lock().unwrap().pop_back() {
+                self.steals.fetch_add(1, Ordering::Relaxed);
+                probes::GRAPH_STEAL_COUNT.incr();
+                return Some(item);
+            }
+        }
+        None
+    }
+
+    /// Number of worker deques.
+    pub fn worker_count(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// Units claimed through a steal (any worker, so far).
+    pub fn steal_count(&self) -> u64 {
+        self.steals.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_worker_drains_in_order() {
+        let s = StealScheduler::new(1, 0..5);
+        let drained: Vec<usize> = std::iter::from_fn(|| s.pop(0)).collect();
+        assert_eq!(drained, vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.steal_count(), 0);
+    }
+
+    #[test]
+    fn blocks_are_contiguous_and_ordered() {
+        let s = StealScheduler::new(3, 0..7);
+        // ceil(7/3) = 3: blocks [0,1,2], [3,4,5], [6].
+        let mine: Vec<usize> = std::iter::from_fn(|| s.deques[0].lock().unwrap().pop_front())
+            .collect();
+        assert_eq!(mine, vec![0, 1, 2]);
+        let last: Vec<usize> = std::iter::from_fn(|| s.deques[2].lock().unwrap().pop_front())
+            .collect();
+        assert_eq!(last, vec![6]);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_the_back() {
+        let s = StealScheduler::new(2, 0..4); // worker 0: [0,1], worker 1: [2,3]
+        // Worker 1 drains its own block, then steals worker 0's back unit.
+        assert_eq!(s.pop(1), Some(2));
+        assert_eq!(s.pop(1), Some(3));
+        assert_eq!(s.pop(1), Some(1)); // stolen from the back
+        assert_eq!(s.steal_count(), 1);
+        assert_eq!(s.pop(0), Some(0)); // owner still gets its front
+        assert_eq!(s.pop(0), None);
+        assert_eq!(s.pop(1), None);
+    }
+
+    #[test]
+    fn more_workers_than_items() {
+        let s: StealScheduler<usize> = StealScheduler::new(8, 0..3);
+        let mut got: Vec<usize> = (0..8).filter_map(|w| s.pop(w)).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 2]);
+        for w in 0..8 {
+            assert_eq!(s.pop(w), None);
+        }
+    }
+
+    #[test]
+    fn concurrent_drain_claims_each_unit_exactly_once() {
+        use std::sync::atomic::AtomicUsize;
+        const UNITS: usize = 10_000;
+        const WORKERS: usize = 4;
+        let s = StealScheduler::new(WORKERS, 0..UNITS);
+        let claimed: Vec<AtomicUsize> = (0..UNITS).map(|_| AtomicUsize::new(0)).collect();
+        std::thread::scope(|scope| {
+            for w in 0..WORKERS {
+                let s = &s;
+                let claimed = &claimed;
+                scope.spawn(move || {
+                    while let Some(i) = s.pop(w) {
+                        claimed[i].fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert!(claimed.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn work_unit_ordering_matches_global_order() {
+        let a = WorkUnit::component(0, 0);
+        let b = WorkUnit::subproblem(0, 0, 0);
+        let c = WorkUnit::subproblem(0, 1, 2);
+        let d = WorkUnit::component(1, 0);
+        // None sorts before Some: whole-component units precede split ones
+        // of the same component, and constraints dominate.
+        let mut v = vec![d, c, b, a];
+        v.sort();
+        assert_eq!(v, vec![a, b, c, d]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Kernel and ordering equivalence properties.
+//!
+//! Two families of properties protect the enumeration rewrite:
+//!
+//! 1. The scalar and wide (SIMD-shaped) flavours of every bitset kernel
+//!    agree bit-for-bit on random word slices, including mismatched
+//!    lengths — so the `simd` cargo feature can never change results.
+//! 2. Degeneracy-ordered enumeration emits exactly the same maximal-clique
+//!    *set* (sorted-canonical comparison) as the Tomita-pivot and plain
+//!    orderings on random graphs, and the fused arena-based expansion
+//!    matches a brute-force maximal-clique oracle.
+
+use bcdb_graph::bitset::{kernels, BitSet};
+use bcdb_graph::{collect_maximal_cliques, CliqueStrategy, UndirectedGraph};
+use proptest::prelude::*;
+
+fn sorted(mut cliques: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    cliques.sort();
+    cliques
+}
+
+/// Brute-force oracle: every subset-maximal clique, by subset enumeration.
+/// Only callable for small `n`.
+fn oracle_maximal_cliques(g: &UndirectedGraph) -> Vec<Vec<usize>> {
+    let n = g.node_count();
+    assert!(n <= 16, "oracle is exponential");
+    let is_clique = |mask: u32| {
+        let nodes: Vec<usize> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+        g.is_clique(&nodes)
+    };
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << n) {
+        if !is_clique(mask) {
+            continue;
+        }
+        let maximal = (0..n)
+            .filter(|&v| mask & (1 << v) == 0)
+            .all(|v| !is_clique(mask | (1 << v)));
+        if maximal {
+            out.push((0..n).filter(|&v| mask & (1 << v) != 0).collect());
+        }
+    }
+    out
+}
+
+fn arb_words() -> impl Strategy<Value = Vec<u64>> {
+    prop::collection::vec(0u64..=u64::MAX, 0..40)
+}
+
+/// A random graph as (node count, edge bits over the upper triangle).
+fn arb_graph(max_n: usize) -> impl Strategy<Value = UndirectedGraph> {
+    (2..=max_n).prop_flat_map(|n| {
+        prop::collection::vec(prop::bool::ANY, n * (n - 1) / 2).prop_map(move |edges| {
+            let mut g = UndirectedGraph::new(n);
+            let mut k = 0;
+            for u in 0..n {
+                for v in u + 1..n {
+                    if edges[k] {
+                        g.add_edge(u, v);
+                    }
+                    k += 1;
+                }
+            }
+            g
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn and_count_flavours_agree(a in arb_words(), b in arb_words()) {
+        prop_assert_eq!(
+            kernels::and_count_scalar(&a, &b),
+            kernels::and_count_wide(&a, &b)
+        );
+    }
+
+    #[test]
+    fn and_count_into_flavours_agree(a in arb_words(), b in arb_words()) {
+        let len = a.len().max(b.len());
+        let mut out_scalar = vec![u64::MAX; len];
+        let mut out_wide = vec![u64::MAX; len];
+        let ns = kernels::and_count_into_scalar(&a, &b, &mut out_scalar);
+        let nw = kernels::and_count_into_wide(&a, &b, &mut out_wide);
+        prop_assert_eq!(ns, nw);
+        prop_assert_eq!(&out_scalar, &out_wide);
+        // And against the obvious reference.
+        let reference: Vec<u64> = (0..len)
+            .map(|i| a.get(i).copied().unwrap_or(0) & b.get(i).copied().unwrap_or(0))
+            .collect();
+        prop_assert_eq!(&out_scalar[..a.len().min(b.len())], &reference[..a.len().min(b.len())]);
+        prop_assert_eq!(ns, reference.iter().map(|w| w.count_ones() as usize).sum::<usize>());
+    }
+
+    #[test]
+    fn andnot_count_into_flavours_agree(a in arb_words(), b in arb_words()) {
+        let mut out_scalar = vec![u64::MAX; a.len()];
+        let mut out_wide = vec![u64::MAX; a.len()];
+        let ns = kernels::andnot_count_into_scalar(&a, &b, &mut out_scalar);
+        let nw = kernels::andnot_count_into_wide(&a, &b, &mut out_wide);
+        prop_assert_eq!(ns, nw);
+        prop_assert_eq!(&out_scalar, &out_wide);
+        let reference: Vec<u64> = (0..a.len())
+            .map(|i| a[i] & !b.get(i).copied().unwrap_or(0))
+            .collect();
+        prop_assert_eq!(&out_scalar, &reference);
+    }
+
+    #[test]
+    fn fused_bitset_ops_match_two_step(
+        xs in prop::collection::vec(0usize..200, 0..40),
+        ys in prop::collection::vec(0usize..200, 0..40),
+    ) {
+        let a = BitSet::from_iter(200, xs);
+        let b = BitSet::from_iter(200, ys);
+        let mut out = BitSet::new(1); // wrong capacity on purpose; reset inside
+        let n = a.intersect_count_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.intersection(&b));
+        prop_assert_eq!(n, out.len());
+        prop_assert_eq!(n, a.intersection_len(&b));
+        let n = a.difference_count_into(&b, &mut out);
+        let mut reference = a.clone();
+        reference.difference_with(&b);
+        prop_assert_eq!(&out, &reference);
+        prop_assert_eq!(n, out.len());
+    }
+
+    /// Degeneracy-ordered enumeration yields the exact same maximal-clique
+    /// set as pivot and plain orderings, and all three match the
+    /// subset-enumeration oracle.
+    #[test]
+    fn orderings_agree_with_oracle(g in arb_graph(9)) {
+        let oracle = sorted(oracle_maximal_cliques(&g));
+        let plain = sorted(collect_maximal_cliques(&g, CliqueStrategy::Plain));
+        let pivot = sorted(collect_maximal_cliques(&g, CliqueStrategy::Pivot));
+        let degeneracy = sorted(collect_maximal_cliques(&g, CliqueStrategy::Degeneracy));
+        prop_assert_eq!(&plain, &oracle);
+        prop_assert_eq!(&pivot, &oracle);
+        prop_assert_eq!(&degeneracy, &oracle);
+    }
+
+    /// The degeneracy number really bounds later-neighbor counts.
+    #[test]
+    fn degeneracy_order_is_a_valid_peeling(g in arb_graph(12)) {
+        let (order, degeneracy) = g.degeneracy_order();
+        prop_assert_eq!(order.len(), g.node_count());
+        let mut removed = vec![false; g.node_count()];
+        for &u in &order {
+            let remaining = g.neighbors(u).iter().filter(|&v| !removed[v]).count();
+            prop_assert!(remaining <= degeneracy,
+                "node {} had {} remaining neighbors > degeneracy {}", u, remaining, degeneracy);
+            removed[u] = true;
+        }
+    }
+}

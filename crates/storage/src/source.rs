@@ -79,6 +79,14 @@ impl WorldMask {
         }
     }
 
+    /// Resets to the base-only world of `tx_capacity`, reusing the mask's
+    /// allocation: [`WorldMask::base_only`] without the heap traffic, for
+    /// callers that build one world per enumerated clique.
+    #[inline]
+    pub fn reset_to_base(&mut self, tx_capacity: usize) {
+        self.active.reset(tx_capacity);
+    }
+
     /// Activates a pending transaction.
     #[inline]
     pub fn activate(&mut self, tx: TxId) {

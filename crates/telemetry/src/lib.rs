@@ -221,6 +221,25 @@ impl Histogram {
         }
     }
 
+    /// Like [`Histogram::span`], but the recorded duration *excludes* any
+    /// nanoseconds that accrue to `inner` while the guard is live. Phase
+    /// tables want disjoint phases that sum to the run's wall clock; a
+    /// plain span around a loop whose body opens `inner` spans would count
+    /// that nested time twice. With concurrent workers feeding `inner` the
+    /// subtraction is an approximation (it saturates at zero).
+    #[inline(always)]
+    pub fn span_excluding(&'static self, inner: &'static Histogram) -> ExclusiveSpan {
+        ExclusiveSpan {
+            hist: self,
+            inner,
+            start: if enabled() {
+                Some((Instant::now(), inner.sum.load(Ordering::Relaxed)))
+            } else {
+                None
+            },
+        }
+    }
+
     fn reset(&self) {
         self.count.store(0, Ordering::Relaxed);
         self.sum.store(0, Ordering::Relaxed);
@@ -250,6 +269,28 @@ impl Drop for Span {
             // opened while enabled are never lost.
             self.hist
                 .record_always(start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+    }
+}
+
+/// A live timing guard from [`Histogram::span_excluding`].
+pub struct ExclusiveSpan {
+    hist: &'static Histogram,
+    inner: &'static Histogram,
+    start: Option<(Instant, u64)>,
+}
+
+impl ExclusiveSpan {
+    /// Stops the span early (otherwise it stops when dropped).
+    pub fn finish(self) {}
+}
+
+impl Drop for ExclusiveSpan {
+    fn drop(&mut self) {
+        if let Some((start, inner0)) = self.start {
+            let elapsed = start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+            let nested = self.inner.sum.load(Ordering::Relaxed).saturating_sub(inner0);
+            self.hist.record_always(elapsed.saturating_sub(nested));
         }
     }
 }

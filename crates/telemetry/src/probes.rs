@@ -16,6 +16,10 @@ pub static GRAPH_CLIQUES_EMITTED: Counter = Counter::new("graph.cliques_emitted"
 pub static GRAPH_SUBPROBLEMS_SPAWNED: Counter = Counter::new("graph.subproblems_spawned");
 /// Candidate vertices skipped because they neighbour the Tomita pivot.
 pub static GRAPH_PIVOT_CANDIDATES_PRUNED: Counter = Counter::new("graph.pivot_candidates_pruned");
+/// Work units claimed from another worker's deque by the stealing scheduler.
+pub static GRAPH_STEAL_COUNT: Counter = Counter::new("graph.steal_count");
+/// 64-bit words scanned by the fused AND+popcount enumeration kernels.
+pub static GRAPH_KERNEL_WORDS_SCANNED: Counter = Counter::new("graph.kernel_words_scanned");
 /// Wall time of one component's (or subproblem's) clique enumeration.
 pub static GRAPH_COMPONENT_BK_NS: Histogram = Histogram::new("graph.component_bk_ns");
 
@@ -101,6 +105,8 @@ pub static COUNTERS: &[&Counter] = &[
     &GRAPH_CLIQUES_EMITTED,
     &GRAPH_SUBPROBLEMS_SPAWNED,
     &GRAPH_PIVOT_CANDIDATES_PRUNED,
+    &GRAPH_STEAL_COUNT,
+    &GRAPH_KERNEL_WORDS_SCANNED,
     &QUERY_WORLDS_EVALUATED,
     &QUERY_DELTA_SEEDED_EVALS,
     &QUERY_COLD_EVALS,

@@ -1,0 +1,78 @@
+//! Cross-crate equivalence of the enumeration kernels: over the
+//! solver-matrix instance generator, the degeneracy-ordered Bron–Kerbosch
+//! outer loop must produce the *exact same* maximal-clique set as the
+//! pivoting and plain orderings on the real `GfTd` contradiction graphs a
+//! solver sees — and the solver itself must reach identical verdicts under
+//! either strategy. The word-parallel kernel flavours themselves are
+//! proptested inside `bcdb-graph`; this suite pins the end-to-end story.
+//!
+//! Failing seeds persist to `proptest-regressions/` and are replayed
+//! before fresh random cases.
+
+mod common;
+
+use bcdb_core::{DcSatOptions, Precomputed, Solver, Verdict};
+use bcdb_graph::{collect_maximal_cliques, CliqueStrategy};
+use bcdb_query::parse_denial_constraint;
+use common::instances::{build_db, generous_budget, instance_strategy};
+use proptest::prelude::*;
+
+/// Canonical form of an enumeration: each clique sorted (the enumerator
+/// already reports them sorted), the set of cliques sorted.
+fn canonical(mut cliques: Vec<Vec<usize>>) -> Vec<Vec<usize>> {
+    for c in &mut cliques {
+        c.sort_unstable();
+    }
+    cliques.sort();
+    cliques
+}
+
+proptest! {
+    /// All three clique strategies enumerate the same maximal-clique set
+    /// on the instance's real contradiction graph `GfTd`.
+    #[test]
+    fn strategies_agree_on_gftd(inst in instance_strategy()) {
+        let Some(db) = build_db(&inst) else { return Ok(()) };
+        let pre = Precomputed::build(&db);
+        let pivot = canonical(collect_maximal_cliques(&pre.fd_graph, CliqueStrategy::Pivot));
+        let plain = canonical(collect_maximal_cliques(&pre.fd_graph, CliqueStrategy::Plain));
+        let degen = canonical(collect_maximal_cliques(&pre.fd_graph, CliqueStrategy::Degeneracy));
+        prop_assert_eq!(&plain, &pivot, "plain vs pivot on GfTd");
+        prop_assert_eq!(&degen, &pivot, "degeneracy vs pivot on GfTd");
+    }
+
+    /// The solver reaches the same verdict whichever clique strategy
+    /// drives the enumeration (witness worlds may differ; the
+    /// holds/violated split may not).
+    #[test]
+    fn solver_verdicts_agree_across_strategies(inst in instance_strategy()) {
+        let Some(db) = build_db(&inst) else { return Ok(()) };
+        let Ok(dc) = parse_denial_constraint(&inst.query, db.database().catalog()) else {
+            return Ok(());
+        };
+        let budget = generous_budget();
+        let mut solver = Solver::builder(db)
+            .options(DcSatOptions::default().with_budget(budget))
+            .build();
+        let base = match solver.check(&dc) {
+            Ok(out) => out.verdict,
+            Err(_) => return Ok(()), // constraint outside the solvable fragment
+        };
+        for strategy in [CliqueStrategy::Plain, CliqueStrategy::Degeneracy] {
+            solver.set_options(
+                DcSatOptions::default()
+                    .with_budget(budget)
+                    .with_clique_strategy(strategy),
+            );
+            let got = solver.check(&dc).expect("same fragment as base run").verdict;
+            match (&base, &got) {
+                (Verdict::Holds, Verdict::Holds) => {}
+                (Verdict::Violated(_), Verdict::Violated(_)) => {}
+                (b, g) => prop_assert!(
+                    false,
+                    "strategy {strategy:?} flipped the verdict: {b:?} vs {g:?}"
+                ),
+            }
+        }
+    }
+}
