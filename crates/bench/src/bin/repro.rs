@@ -729,11 +729,13 @@ fn profile_phases(telemetry: &bcdb_telemetry::TelemetrySnapshot, out: Option<&st
 }
 
 /// `--compare`: gates the current run against a previous report. A shape
-/// mismatch (different smoke flag, pairs, components, or config set) is
-/// reported and tolerated — the baseline is from another workload, so
-/// there is nothing sound to gate on. With matching shapes, any config
-/// whose wall clock regressed by more than 20% *and* by more than 5 ms
-/// (sub-5 ms smoke timings are dominated by noise) fails the gate.
+/// mismatch (different smoke flag, pairs, components, or config set) or
+/// an unreadable baseline exits with the distinct code 4 — the baseline
+/// is from another workload (or is broken), so there is nothing sound to
+/// gate on, and callers retrying a noisy timing failure must *not* retry
+/// this: it fails identically every time. With matching shapes, any
+/// config whose wall clock regressed by more than 20% *and* by more than
+/// 5 ms (sub-5 ms smoke timings are dominated by noise) exits 1.
 ///
 /// When both reports carry `wall_min_ms` (min over the `RUNS` repetitions,
 /// the noise-robust estimator) the gate diffs that; otherwise it falls back
@@ -742,8 +744,8 @@ fn compare_reports(current: &str, baseline_path: &str) {
     let baseline = match std::fs::read_to_string(baseline_path) {
         Ok(s) => s,
         Err(e) => {
-            println!("[bench] compare: cannot read {baseline_path} ({e}) — skipping gate");
-            return;
+            eprintln!("[bench] compare: cannot read baseline {baseline_path} ({e})");
+            std::process::exit(4);
         }
     };
     for key in ["smoke", "pairs", "components"] {
@@ -756,11 +758,11 @@ fn compare_reports(current: &str, baseline_path: &str) {
             (json_find_num(current, key), json_find_num(&baseline, key))
         };
         if cur != base {
-            println!(
+            eprintln!(
                 "[bench] compare: baseline shape differs ({key}: {base:?} vs {cur:?}) — \
-                 skipping gate"
+                 nothing sound to gate on"
             );
-            return;
+            std::process::exit(4);
         }
     }
     let mut key = "wall_min_ms";
@@ -774,8 +776,8 @@ fn compare_reports(current: &str, baseline_path: &str) {
     let mut worst: f64 = 0.0;
     for (name, cur_ms) in &cur_walls {
         let Some((_, base_ms)) = base_walls.iter().find(|(n, _)| n == name) else {
-            println!("[bench] compare: baseline lacks config '{name}' — skipping gate");
-            return;
+            eprintln!("[bench] compare: baseline lacks config '{name}' — shape mismatch");
+            std::process::exit(4);
         };
         let ratio = cur_ms / base_ms;
         worst = worst.max(ratio);
@@ -1028,6 +1030,138 @@ fn crashstorm(smoke: bool, epochs: u64, seed: u64, out: &str) {
     }
 }
 
+fn serve_storm(smoke: bool, seed: u64, out: &str) {
+    let workdir = format!("{out}.workdir");
+    let cfg = if smoke {
+        bcdb_server::ServeStormConfig::smoke(seed, &workdir)
+    } else {
+        bcdb_server::ServeStormConfig::full(seed, &workdir)
+    };
+    println!(
+        "[serve-storm] {} subscriptions, {} tenants, {} rounds, seed {seed}, store {workdir}",
+        cfg.subscriptions, cfg.tenants, cfg.rounds
+    );
+    bcdb_telemetry::reset();
+    bcdb_telemetry::set_enabled(true);
+    let report = match bcdb_server::run_serve_storm(&cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("[serve-storm] aborted: {e}");
+            std::process::exit(2);
+        }
+    };
+    bcdb_telemetry::set_enabled(false);
+    let telemetry = bcdb_telemetry::snapshot();
+    let divergences = format!(
+        "[{}]",
+        report
+            .divergences
+            .iter()
+            .map(|d| format!("\"{}\"", json_escape(d)))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    let (p50, p95, p99) = report.flip_latency_ns;
+    let json = JsonObject::new()
+        .str("bench", "serve-storm")
+        .bool("smoke", smoke)
+        .num("seed", seed)
+        .num("rounds", report.rounds)
+        .num("subscriptions", report.subscriptions)
+        .num("tenants", report.tenants)
+        .num("events", report.events)
+        .num("faults_injected", report.faults_injected)
+        .num("blocks_mined", report.blocks_mined)
+        .num("reorgs", report.reorgs)
+        .num("checks", report.checks)
+        .num("refusals", report.refusals)
+        .num("sheds", report.sheds)
+        .num("flips", report.flips)
+        .num("coalesced", report.coalesced)
+        .num("panics_contained", report.panics_contained)
+        .num("adversary_exhausted_rounds", report.adversary_exhausted_rounds)
+        .bool("kill_recover", report.kill_recover)
+        .num("recovered_subs", report.recovered_subs)
+        .num("recovery_wal_tail", report.recovery_wal_tail)
+        .num("oracle_checks", report.oracle_checks)
+        .raw("definite_fraction", &format!("{:.6}", report.definite_fraction))
+        .bool("adversary_all_unknown", report.adversary_all_unknown)
+        .num("flip_latency_ns_p50", p50)
+        .num("flip_latency_ns_p95", p95)
+        .num("flip_latency_ns_p99", p99)
+        .num("elapsed_ms", report.elapsed_ms)
+        .num("divergence_count", report.divergences.len())
+        .raw("divergences", &divergences)
+        .bool("passed", report.passed())
+        .raw("telemetry", &telemetry.to_json())
+        .finish();
+    std::fs::write(out, format!("{json}\n")).expect("write serve-storm report");
+    println!(
+        "[serve-storm] {} rounds, {} events, {} checks ({} refusals, {} shed-tightened), \
+         {} flips ({} coalesced), {} panics contained, {} oracle cross-checks",
+        report.rounds,
+        report.events,
+        report.checks,
+        report.refusals,
+        report.sheds,
+        report.flips,
+        report.coalesced,
+        report.panics_contained,
+        report.oracle_checks
+    );
+    println!(
+        "[serve-storm] kill/recover: {} ({} subscriptions restored, {} WAL-tail records); \
+         honest definite fraction {:.4}; adversary Unknown: {} (envelope dry {} rounds); \
+         flip latency p50/p95/p99 = {:.2}/{:.2}/{:.2} ms",
+        if report.kill_recover { "ran" } else { "SKIPPED" },
+        report.recovered_subs,
+        report.recovery_wal_tail,
+        report.definite_fraction,
+        report.adversary_all_unknown,
+        report.adversary_exhausted_rounds,
+        p50 as f64 / 1e6,
+        p95 as f64 / 1e6,
+        p99 as f64 / 1e6,
+    );
+    println!("[serve-storm] wrote {out}");
+    if report.passed() {
+        println!("[serve-storm] PASS: fault isolation held across every tenant");
+    } else {
+        eprintln!("[serve-storm] FAIL:");
+        if !report.divergences.is_empty() {
+            eprintln!(
+                "[serve-storm]   {} cross-tenant divergence(s) vs the single-tenant oracle:",
+                report.divergences.len()
+            );
+            for d in &report.divergences {
+                eprintln!("[serve-storm]     {d}");
+            }
+        }
+        if !report.adversary_all_unknown {
+            eprintln!("[serve-storm]   adversarial tenant obtained a definite verdict");
+        }
+        if report.definite_fraction < 0.99 {
+            eprintln!(
+                "[serve-storm]   honest tenants degraded: definite fraction {:.4} < 0.99",
+                report.definite_fraction
+            );
+        }
+        if report.panics_contained == 0 {
+            eprintln!("[serve-storm]   the panic window never fired");
+        }
+        if report.coalesced == 0 {
+            eprintln!("[serve-storm]   stalled clients never coalesced a notification");
+        }
+        if report.adversary_exhausted_rounds == 0 {
+            eprintln!("[serve-storm]   the adversary's envelope never ran dry");
+        }
+        if !report.kill_recover {
+            eprintln!("[serve-storm]   the kill/recover drill did not run");
+        }
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut seed = 42u64;
@@ -1129,6 +1263,11 @@ fn main() {
             seed,
             out.as_deref().unwrap_or("CRASH_report.json"),
         ),
+        "serve-storm" => serve_storm(
+            smoke,
+            seed,
+            out.as_deref().unwrap_or("SERVE_report.json"),
+        ),
         "all" => {
             table1(seed);
             fig6_query_types(seed, true);
@@ -1149,7 +1288,8 @@ fn main() {
                  bench [--smoke] [--constraints N] [--components N] [--giant-size N] \
                  [--profile] [--profile-out PATH] [--compare PATH] [--out PATH] \
                  soak [--epochs N] [--seed S] [--out PATH] [--storage memory|disk:<dir>] \
-                 crashstorm [--smoke] [--epochs N] [--seed S] [--out PATH] all"
+                 crashstorm [--smoke] [--epochs N] [--seed S] [--out PATH] \
+                 serve-storm [--smoke] [--seed S] [--out PATH] all"
             );
             std::process::exit(2);
         }

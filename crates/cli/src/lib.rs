@@ -107,6 +107,14 @@ pub enum Command {
         /// Output path.
         out: PathBuf,
     },
+    /// `serve`: run the multi-tenant solver service over TCP.
+    Serve {
+        /// Listen address, e.g. `127.0.0.1:7450`.
+        addr: String,
+        /// Durable store directory. Recovers from it when it already
+        /// holds a journal; otherwise starts fresh.
+        store: PathBuf,
+    },
     /// `help`.
     Help,
 }
@@ -185,6 +193,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
     let mut retry_backoff = std::time::Duration::from_millis(50);
     let mut telemetry = false;
     let mut storage: Option<PathBuf> = None;
+    let mut addr = "127.0.0.1:7450".to_string();
+    let mut store: Option<PathBuf> = None;
     let mut positional: Vec<String> = Vec::new();
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -205,6 +215,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             "--telemetry" => telemetry = true,
             "--storage" => storage = parse_storage(&flag_value("--storage")?)?,
             "--out" => out_path = Some(PathBuf::from(flag_value("--out")?)),
+            "--addr" => addr = flag_value("--addr")?,
+            "--store" => store = Some(PathBuf::from(flag_value("--store")?)),
             "--file" => file = Some(PathBuf::from(flag_value("--file")?)),
             "--limit" => {
                 limit = flag_value("--limit")?
@@ -312,6 +324,10 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             seed,
             out: out_path.ok_or_else(|| CliError("dump requires --out <path>".into()))?,
         }),
+        "serve" => Ok(Command::Serve {
+            addr,
+            store: store.ok_or_else(|| CliError("serve requires --store <dir>".into()))?,
+        }),
         "help" | "--help" | "-h" => Ok(Command::Help),
         other => Err(CliError(format!("unknown subcommand '{other}'"))),
     }
@@ -332,6 +348,7 @@ USAGE:
   bcdb risk    [--dataset small] [--seed 42] [--samples 1000] [--prob P] '<constraint>'
   bcdb worlds  [--dataset small] [--seed 42] [--limit 50]
   bcdb dump    [--dataset d100]  [--seed 42] --out <path>
+  bcdb serve   [--addr 127.0.0.1:7450] --store <dir>
 
 `check` with any resource limit runs the governed solver: it degrades
 gracefully when the budget runs out and may answer `unknown` (exit code 3)
@@ -355,6 +372,17 @@ in memory and touches no files.
 drawing future worlds from an acceptance model: --prob P accepts every
 pending transaction with probability P; without it, acceptance follows the
 fee-rate rank (miners prefer high fee rates).
+
+`serve` runs the fault-isolated multi-tenant solver service: a
+line-delimited JSON protocol over TCP (subscribe / unsubscribe / poll /
+event / stats / shutdown — one flat object per line). Verdict re-checks
+are scheduled by weighted fair queueing with per-tenant budget
+envelopes, so one pathological constraint degrades only its own tenant.
+--store <dir> is the durable root: the event journal, epoch snapshots,
+and the subscription registry live there, and a restart with the same
+directory recovers every subscription before accepting connections.
+SIGINT/SIGTERM trigger a graceful shutdown that flushes the journal and
+persists a snapshot.
 
 EXIT CODES:
   0  success (constraint holds, or command completed)
@@ -674,6 +702,60 @@ pub fn run(cmd: Command) -> Result<RunOutput, CliError> {
                 path.display(),
                 e.base.len(),
                 e.pending.len()
+            )
+            .unwrap();
+        }
+        Command::Serve { addr, store } => {
+            let (catalog, constraints) = bcdb_chain::bitcoin_catalog();
+            let cfg = bcdb_server::ServeConfig::default();
+            // A registry on disk means a previous daemon ran here:
+            // recover every subscription before accepting connections.
+            let had_store = store.join("subs.registry").exists();
+            let core = if had_store {
+                let (core, recovery) = bcdb_server::ServerCore::recover(
+                    catalog,
+                    constraints,
+                    &store,
+                    cfg,
+                )
+                .map_err(|err| CliError(err.to_string()))?;
+                eprintln!(
+                    "recovered {} subscription(s) from {} ({} WAL-tail records replayed)",
+                    recovery.subscriptions_restored,
+                    store.display(),
+                    recovery.monitor.wal_tail_records,
+                );
+                core
+            } else {
+                bcdb_server::ServerCore::open(catalog, constraints, &store, cfg)
+                    .map_err(|err| CliError(err.to_string()))?
+            };
+            let listener = std::net::TcpListener::bind(&addr)
+                .map_err(|err| CliError(format!("bind {addr}: {err}")))?;
+            let shutdown = bcdb_server::ShutdownFlag::new();
+            bcdb_server::install_signal_handlers(&shutdown);
+            eprintln!("serving on {addr}, store {} (SIGINT/SIGTERM to stop)", store.display());
+            let summary = bcdb_server::serve(
+                std::sync::Arc::new(std::sync::Mutex::new(core)),
+                listener,
+                shutdown,
+                bcdb_server::NetConfig::default(),
+            )
+            .map_err(|err| CliError(err.to_string()))?;
+            writeln!(
+                out,
+                "served {} connection(s) ({} refused at the admission limit)",
+                summary.connections, summary.refused
+            )
+            .unwrap();
+            writeln!(
+                out,
+                "shutdown: {} subscription(s) durable{}",
+                summary.shutdown.subscriptions,
+                match &summary.shutdown.snapshot {
+                    Some(id) => format!(", snapshot {id}"),
+                    None => String::new(),
+                }
             )
             .unwrap();
         }

@@ -193,6 +193,17 @@ impl DcSatOptions {
         self.budget = budget;
         self
     }
+
+    /// Fault-injection hook for robustness harnesses that reach the solver
+    /// only through a config struct (e.g. the monitor's `MonitorConfig`):
+    /// a worker whose component contains pending-transaction index `tx`
+    /// panics mid-check. Mirrors the hidden
+    /// [`SolverBuilder::fault_inject_panic_tx`](crate::SolverBuilder) hook.
+    #[doc(hidden)]
+    pub fn with_fault_inject_panic_tx(mut self, tx: Option<usize>) -> Self {
+        self.fault_inject_panic_tx = tx;
+        self
+    }
 }
 
 impl Default for DcSatOptions {

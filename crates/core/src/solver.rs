@@ -312,11 +312,25 @@ impl Solver {
     /// finished — never the reverse flip of a definite answer. A panic
     /// while checking one constraint is contained to that constraint.
     pub fn check_batch(&mut self, dcs: &[DenialConstraint]) -> BatchOutcome {
+        self.check_batch_with_budget(dcs, self.opts.budget)
+    }
+
+    /// [`check_batch`](Solver::check_batch) under an explicit budget
+    /// envelope instead of the session's own spec. This is the serving
+    /// layer's entry point: a multi-tenant caller runs each tenant's
+    /// constraint set as one batch governed by that tenant's fair-share
+    /// envelope, so exhaustion degrades only that batch to
+    /// [`Verdict::Unknown`] and never touches another tenant's budget.
+    pub fn check_batch_with_budget(
+        &mut self,
+        dcs: &[DenialConstraint],
+        spec: BudgetSpec,
+    ) -> BatchOutcome {
         self.refresh();
         self.stats.batches += 1;
         self.stats.batch_constraints += dcs.len() as u64;
         probes::CORE_SOLVER_BATCH_CONSTRAINTS.add(dcs.len() as u64);
-        let budget = self.opts.budget.start();
+        let budget = spec.start();
         let reuse = ReuseCtx::new();
         let mut outcomes = Vec::with_capacity(dcs.len());
         for dc in dcs {

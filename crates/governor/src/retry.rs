@@ -32,6 +32,10 @@ pub struct RetryPolicy {
     pub max_delay: Duration,
     /// Seed for the deterministic jitter.
     pub seed: u64,
+    /// Attempt-site discriminator mixed into the jitter (see
+    /// [`for_site`](RetryPolicy::for_site)). Site 0 is the anonymous
+    /// default and leaves the legacy seed-only schedule unchanged.
+    pub site: u64,
 }
 
 impl RetryPolicy {
@@ -41,6 +45,7 @@ impl RetryPolicy {
         base_delay: Duration::ZERO,
         max_delay: Duration::ZERO,
         seed: 0,
+        site: 0,
     };
 
     /// A policy with `max_retries` attempts starting at `base_delay`,
@@ -51,17 +56,32 @@ impl RetryPolicy {
             base_delay,
             max_delay: base_delay.saturating_mul(32),
             seed,
+            site: 0,
         }
+    }
+
+    /// The same policy bound to one attempt *site* — a constraint index, a
+    /// subscription id, a connection number. Two sites sharing a seed get
+    /// decorrelated jitter, so a fleet of sessions configured identically
+    /// does not retry in lockstep and re-collide on every backoff step.
+    pub fn for_site(self, site: u64) -> RetryPolicy {
+        RetryPolicy { site, ..self }
     }
 
     /// The delay before retry number `retry` (0-based): `base · 2^retry`,
     /// capped at `max_delay`, then scaled by a deterministic jitter factor
     /// in `[½, 1]`. Jittered *down* rather than up so the cap is a real
     /// upper bound a deadline calculation can rely on.
+    ///
+    /// The jitter input mixes the policy seed, the retry number, and the
+    /// attempt site. The site contribution is a golden-ratio multiply so
+    /// neighbouring sites decorrelate completely (and site 0 contributes
+    /// nothing, preserving seed-only schedules).
     pub fn delay(&self, retry: u32) -> Duration {
         let exp = self.base_delay.saturating_mul(1u32 << retry.min(31));
         let capped = exp.min(self.max_delay);
-        let r = splitmix64(self.seed ^ u64::from(retry));
+        let site_mix = self.site.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let r = splitmix64(self.seed ^ site_mix ^ u64::from(retry));
         let scale = 512 + (r % 512); // in [512, 1024)
         capped.mul_f64(scale as f64 / 1024.0)
     }
@@ -137,6 +157,65 @@ mod tests {
         assert_eq!(a.schedule().collect::<Vec<_>>(), b.schedule().collect::<Vec<_>>());
         let c = RetryPolicy { seed: 43, ..policy() };
         assert_ne!(a.schedule().collect::<Vec<_>>(), c.schedule().collect::<Vec<_>>());
+    }
+
+    /// Pins the site-discriminated jitter: same seed + different sites ⇒
+    /// different schedules (no cross-site lockstep), same site ⇒ identical
+    /// schedule, and site 0 ⇒ exactly the legacy seed-only schedule. The
+    /// exact scale factors are pinned so the mixing function cannot drift
+    /// silently.
+    #[test]
+    fn site_discriminator_decorrelates_same_seed_schedules() {
+        let base = policy();
+        assert_eq!(
+            base.for_site(0).schedule().collect::<Vec<_>>(),
+            base.schedule().collect::<Vec<_>>(),
+            "site 0 must preserve the legacy schedule"
+        );
+        let s1 = base.for_site(1);
+        let s2 = base.for_site(2);
+        assert_eq!(
+            s1.schedule().collect::<Vec<_>>(),
+            base.for_site(1).schedule().collect::<Vec<_>>(),
+            "per-site schedules are deterministic"
+        );
+        assert_ne!(
+            s1.schedule().collect::<Vec<_>>(),
+            s2.schedule().collect::<Vec<_>>(),
+            "two sites with one seed must not correlate"
+        );
+        assert_ne!(
+            s1.schedule().collect::<Vec<_>>(),
+            base.schedule().collect::<Vec<_>>(),
+            "a named site must not shadow the anonymous schedule"
+        );
+        // Pin the jitter scale (units of 1/1024 of the capped delay) for
+        // the first three retries at each site. Recompute only if the
+        // mixing function changes deliberately.
+        let scales = |p: &RetryPolicy| -> Vec<u64> {
+            (0..3)
+                .map(|i| {
+                    let cap = p.base_delay.saturating_mul(1 << i).min(p.max_delay);
+                    (p.delay(i).as_nanos() * 1024 / cap.as_nanos()) as u64
+                })
+                .collect()
+        };
+        assert_eq!(scales(&base), vec![661, 904, 786]);
+        assert_eq!(scales(&s1), vec![771, 844, 795]);
+        assert_eq!(scales(&s2), vec![994, 1004, 938]);
+    }
+
+    /// Neighbouring sites must decorrelate: across many sites with one
+    /// seed, first-retry delays should not collapse to a few values.
+    #[test]
+    fn sites_spread_across_the_jitter_range() {
+        let p = policy();
+        let mut distinct: Vec<u128> = (0..64u64)
+            .map(|s| p.for_site(s).delay(0).as_nanos())
+            .collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert!(distinct.len() > 32, "only {} distinct delays", distinct.len());
     }
 
     #[test]

@@ -592,6 +592,86 @@ mod tests {
     }
 
     #[test]
+    fn never_policy_crash_recovers_a_valid_strict_prefix() {
+        use bcdb_storage::durable::{CrashPoint, CrashStyle};
+        // Under `SyncPolicy::Never` every record rides in the unsynced
+        // tail, so a crash may lose any suffix of the stream — including
+        // torn and reordered tails from a volatile write cache. Whatever
+        // survives must still parse as a *strict prefix* of what was
+        // appended, in order, with nothing corrupt and nothing invented.
+        for style in [
+            CrashStyle::DropUnsynced,
+            CrashStyle::TornWrite,
+            CrashStyle::Reorder,
+        ] {
+            for crash_after in [0usize, 1, 3, 7] {
+                let path = scratch_path(&format!(
+                    "journal_never_prefix_{style:?}_{crash_after}"
+                ));
+                let ctl = CrashController::new();
+                let mut j =
+                    Journal::create_with(&path, SyncPolicy::Never, Some(ctl.clone()))
+                        .unwrap();
+                // A mid-stream explicit sync pins a prefix: everything
+                // through it must survive any later crash.
+                let synced = crash_after.min(2);
+                for i in 0..synced {
+                    j.append((i / 2) as u64, &ev(&format!("t{i}"))).unwrap();
+                }
+                j.sync().unwrap();
+                for i in synced..crash_after {
+                    j.append((i / 2) as u64, &ev(&format!("t{i}"))).unwrap();
+                }
+                ctl.arm(CrashPoint {
+                    boundary: ctl.boundaries() + 1,
+                    style,
+                });
+                let err = j
+                    .append((crash_after / 2) as u64, &ev(&format!("t{crash_after}")))
+                    .unwrap_err();
+                assert!(
+                    bcdb_storage::durable::is_injected_crash(&err),
+                    "{style:?}/{crash_after}: {err}"
+                );
+                ctl.disarm();
+                drop(j);
+
+                let rec = Journal::recover(&path).unwrap();
+                let n = rec.records.len();
+                assert!(
+                    n <= crash_after + 1,
+                    "{style:?}/{crash_after}: recovered {n} of {crash_after} appends"
+                );
+                assert!(
+                    n >= synced,
+                    "{style:?}/{crash_after}: lost explicitly synced records \
+                     ({n} < {synced})"
+                );
+                for (i, r) in rec.records.iter().enumerate() {
+                    assert_eq!(r.seq, i as u64, "{style:?}/{crash_after}");
+                    assert_eq!(r.epoch, (i / 2) as u64, "{style:?}/{crash_after}");
+                    let event = r.event().expect("event record");
+                    assert_eq!(
+                        event,
+                        &ev(&format!("t{i}")),
+                        "{style:?}/{crash_after}: record {i} corrupt"
+                    );
+                }
+
+                // Recovery truncated the file to that prefix: a second
+                // recovery sees exactly the same records, and appending
+                // continues the sequence cleanly.
+                let mut j = rec.journal;
+                j.append(5, &ev("post-crash")).unwrap();
+                let rec2 = Journal::recover(&path).unwrap();
+                assert_eq!(rec2.records.len(), n + 1, "{style:?}/{crash_after}");
+                assert_eq!(rec2.records[n].seq, n as u64);
+                assert_eq!(rec2.records[n].event(), Some(&ev("post-crash")));
+            }
+        }
+    }
+
+    #[test]
     fn sync_policies_govern_crash_durability() {
         use bcdb_storage::durable::{CrashPoint, CrashStyle};
         // Never: records ride in the unsynced tail; a crash loses them.

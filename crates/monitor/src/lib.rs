@@ -32,7 +32,7 @@ pub mod soak;
 mod testutil;
 
 pub use crashstorm::{run_crashstorm, CrashStormConfig, CrashStormReport, ScaleStats, TailScaling};
-pub use event::{ChainEvent, DecodeError};
+pub use event::{decode_text, encode_text, ChainEvent, DecodeError};
 pub use journal::{
     crc32, drop_tail_records, tear_last_record, Journal, JournalEntry, JournalRecord, Recovery,
 };

@@ -219,6 +219,11 @@ struct Registered {
     /// Whether an event since the last re-check may have changed the
     /// verdict. Freshly registered constraints start dirty.
     dirty: bool,
+    /// Unregistered slots stay in place (indices handed out by
+    /// [`MonitorSession::register`] must remain stable) but are skipped
+    /// by every dirty walk and re-check sweep, and reused by the next
+    /// registration.
+    retired: bool,
 }
 
 /// A monitor over one evolving blockchain database. See the module docs.
@@ -381,7 +386,9 @@ impl MonitorSession {
     }
 
     /// Registers a denial constraint for re-checking; returns its index.
-    /// New constraints start dirty — they have never been checked.
+    /// New constraints start dirty — they have never been checked. A slot
+    /// freed by [`unregister`](MonitorSession::unregister) is reused, so
+    /// long-running subscription churn does not grow the table.
     pub fn register(&mut self, name: impl Into<String>, dc: DenialConstraint) -> usize {
         let mut relations: Vec<RelationId> = dc
             .body()
@@ -392,14 +399,31 @@ impl MonitorSession {
             .collect();
         relations.sort();
         relations.dedup();
-        self.constraints.push(Registered {
+        let slot = Registered {
             name: name.into(),
             dc,
             relations,
             last: None,
             dirty: true,
-        });
-        self.constraints.len() - 1
+            retired: false,
+        };
+        if let Some(idx) = self.constraints.iter().position(|c| c.retired) {
+            self.constraints[idx] = slot;
+            idx
+        } else {
+            self.constraints.push(slot);
+            self.constraints.len() - 1
+        }
+    }
+
+    /// Retires a registered constraint. Its index is excluded from every
+    /// subsequent sweep and will be handed out again by the next
+    /// [`register`](MonitorSession::register).
+    pub fn unregister(&mut self, idx: usize) {
+        let c = &mut self.constraints[idx];
+        c.retired = true;
+        c.dirty = false;
+        c.last = None;
     }
 
     /// The current epoch (bumped by every mined block or reorg).
@@ -442,9 +466,42 @@ impl MonitorSession {
         self.constraints
             .iter()
             .enumerate()
-            .filter(|(_, c)| c.dirty)
+            .filter(|(_, c)| c.dirty && !c.retired)
             .map(|(i, _)| i)
             .collect()
+    }
+
+    /// Live (non-retired) registered constraints.
+    pub fn registered_count(&self) -> usize {
+        self.constraints.iter().filter(|c| !c.retired).count()
+    }
+
+    /// Flushes the attached journal to durable storage (a no-op without
+    /// one). Graceful shutdown calls this before persisting the final
+    /// snapshot so the WAL tail is complete on disk.
+    pub fn sync_journal(&mut self) -> Result<(), MonitorError> {
+        if let Some(journal) = &mut self.journal {
+            journal.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Persists a snapshot of the current state immediately, regardless of
+    /// the [`MonitorConfig::snapshot_every`] cadence, and journals its
+    /// boundary. Returns the snapshot id, or `None` without a backend.
+    pub fn persist_snapshot_now(&mut self) -> Result<Option<String>, MonitorError> {
+        if self.solver.backend_kind().is_none() {
+            return Ok(None);
+        }
+        let id = self.solver.persist_snapshot()?;
+        if let Some(id) = &id {
+            self.advances_since_snapshot = 0;
+            self.stats.snapshots_persisted += 1;
+            if let Some(journal) = &mut self.journal {
+                journal.append_snapshot_boundary(self.solver.epoch(), id)?;
+            }
+        }
+        Ok(id)
     }
 
     fn resolve(&self, tuples: &[(String, Tuple)]) -> Result<Vec<(RelationId, Tuple)>, MonitorError> {
@@ -487,7 +544,7 @@ impl MonitorSession {
                 // Worlds only disappear: a universally-quantified `Holds`
                 // survives, but a cached violation's witness might be gone.
                 for c in &mut self.constraints {
-                    if !matches!(c.last, Some(Verdict::Holds)) {
+                    if !c.retired && !matches!(c.last, Some(Verdict::Holds)) {
                         c.dirty = true;
                     }
                 }
@@ -524,7 +581,9 @@ impl MonitorSession {
                 // base state changed, so every watched constraint is dirty.
                 self.solver.replace_db(next);
                 for c in &mut self.constraints {
-                    c.dirty = true;
+                    if !c.retired {
+                        c.dirty = true;
+                    }
                 }
                 self.stats.rebuilds += 1;
                 self.maybe_persist_snapshot()?;
@@ -568,7 +627,7 @@ impl MonitorSession {
         let db = self.solver.db();
         let pre = self.solver.precomputed_ref();
         for c in &mut self.constraints {
-            if c.dirty {
+            if c.dirty || c.retired {
                 continue;
             }
             match &c.last {
@@ -596,12 +655,27 @@ impl MonitorSession {
     }
 
     /// Re-checks one registered constraint, retrying transient failures
-    /// and containing panics. Never panics itself.
+    /// and containing panics. Never panics itself. The retry schedule is
+    /// bound to the constraint's slot as its attempt site, so constraints
+    /// sharing one configured seed still back off decorrelated.
     pub fn recheck(&mut self, idx: usize) -> ConstraintVerdict {
+        let retry = self.config.retry.for_site(idx as u64);
+        self.recheck_with(idx, self.config.budget, retry)
+    }
+
+    /// [`recheck`](MonitorSession::recheck) under an explicit per-attempt
+    /// budget and retry schedule instead of the session config — the
+    /// serving layer's entry point, where each check runs under its
+    /// tenant's fair-share envelope.
+    pub fn recheck_with(
+        &mut self,
+        idx: usize,
+        spec: BudgetSpec,
+        retry: RetryPolicy,
+    ) -> ConstraintVerdict {
+        debug_assert!(!self.constraints[idx].retired, "recheck of a retired slot");
         let dc = self.constraints[idx].dc.clone();
         let name = self.constraints[idx].name.clone();
-        let retry = self.config.retry;
-        let spec = self.config.budget;
         let before = self.solver.session_stats();
         // The retry loop gets its own overall deadline: enough for every
         // allowed attempt to spend its full per-attempt budget, so the
@@ -660,9 +734,14 @@ impl MonitorSession {
         }
     }
 
-    /// Re-checks every registered constraint, in registration order.
+    /// Re-checks every live registered constraint, in registration order.
     pub fn recheck_all(&mut self) -> Vec<ConstraintVerdict> {
-        (0..self.constraints.len()).map(|i| self.recheck(i)).collect()
+        (0..self.constraints.len())
+            .filter(|&i| !self.constraints[i].retired)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|i| self.recheck(i))
+            .collect()
     }
 
     /// Re-checks only the constraints marked dirty (in registration
@@ -671,6 +750,9 @@ impl MonitorSession {
     pub fn recheck_dirty(&mut self) -> Vec<ConstraintVerdict> {
         let mut out = Vec::new();
         for i in 0..self.constraints.len() {
+            if self.constraints[i].retired {
+                continue;
+            }
             if self.constraints[i].dirty {
                 out.push(self.recheck(i));
             } else {

@@ -1,0 +1,78 @@
+//! Typed errors for the serving layer.
+//!
+//! Overload is a *first-class answer*, not an I/O failure: admission
+//! refusals and queue overflow carry the limit that was hit so clients
+//! can tell "the service is full" apart from "my request was malformed"
+//! and back off instead of retrying hot.
+
+use bcdb_monitor::MonitorError;
+use std::fmt;
+
+/// What the service refused and why.
+#[derive(Debug)]
+pub enum ServerError {
+    /// Admission control: the configured subscription limit is reached.
+    /// Carries the limit so the client can report it.
+    AdmissionLimit(usize),
+    /// Admission control: the configured tenant limit is reached.
+    TenantLimit(usize),
+    /// The subscription id is unknown (or already unsubscribed).
+    UnknownSubscription(u64),
+    /// The constraint text failed to parse or validate.
+    BadConstraint(String),
+    /// A malformed wire request (missing field, wrong type, unknown op).
+    BadRequest(String),
+    /// The underlying monitor session failed to apply an event or
+    /// touch durable state.
+    Monitor(MonitorError),
+    /// The service is draining for shutdown and takes no new work.
+    ShuttingDown,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::AdmissionLimit(n) => {
+                write!(f, "admission limit reached ({n} subscriptions)")
+            }
+            ServerError::TenantLimit(n) => write!(f, "tenant limit reached ({n} tenants)"),
+            ServerError::UnknownSubscription(id) => write!(f, "unknown subscription {id}"),
+            ServerError::BadConstraint(msg) => write!(f, "bad constraint: {msg}"),
+            ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServerError::Monitor(e) => write!(f, "monitor error: {e}"),
+            ServerError::ShuttingDown => write!(f, "service is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl From<MonitorError> for ServerError {
+    fn from(e: MonitorError) -> Self {
+        ServerError::Monitor(e)
+    }
+}
+
+impl ServerError {
+    /// A stable machine-readable code for the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServerError::AdmissionLimit(_) => "admission_limit",
+            ServerError::TenantLimit(_) => "tenant_limit",
+            ServerError::UnknownSubscription(_) => "unknown_subscription",
+            ServerError::BadConstraint(_) => "bad_constraint",
+            ServerError::BadRequest(_) => "bad_request",
+            ServerError::Monitor(_) => "monitor",
+            ServerError::ShuttingDown => "shutting_down",
+        }
+    }
+
+    /// Whether the client should back off and retry later (overload)
+    /// rather than treat the refusal as final.
+    pub fn is_overload(&self) -> bool {
+        matches!(
+            self,
+            ServerError::AdmissionLimit(_) | ServerError::TenantLimit(_)
+        )
+    }
+}

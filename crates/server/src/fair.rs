@@ -1,0 +1,175 @@
+//! Weighted-fair scheduling of re-check work across tenants.
+//!
+//! Every tenant carries a *virtual time*: its cumulative re-check cost
+//! divided by its weight. Each scheduling step picks the backlogged
+//! tenant with the least virtual time, runs one unit of its work, and
+//! charges the measured cost. Over any interval, tenants with equal
+//! weights receive equal solver time and a tenant with weight `w`
+//! receives `w×` a weight-1 tenant's share — regardless of how expensive
+//! any single tenant's constraints are. A pathological constraint can
+//! only inflate its own tenant's virtual time, pushing that tenant to
+//! the back of the queue; it cannot starve anyone else.
+//!
+//! On top of the long-run fairness, each round hands every tenant a
+//! budget *envelope* proportional to its weight. Work beyond the
+//! envelope is refused for the rest of the round (the refusal is typed,
+//! counted, and surfaces as `Verdict::Unknown` for the refused
+//! subscriptions only).
+
+use std::time::Duration;
+
+/// Fixed-point scale for virtual time (cost is nanoseconds).
+const VTIME_SCALE: u128 = 1 << 16;
+
+/// Per-tenant fair-share accounting.
+#[derive(Clone, Debug)]
+pub struct TenantClock {
+    /// Scheduling weight (≥ 1). A weight-2 tenant gets twice the solver
+    /// time of a weight-1 tenant under contention.
+    pub weight: u32,
+    /// Cumulative weighted cost, in scaled units.
+    vtime: u128,
+    /// Nanoseconds spent inside the current round's envelope.
+    round_spent_ns: u64,
+    /// Nanoseconds granted for the current round.
+    round_grant_ns: u64,
+}
+
+impl TenantClock {
+    /// A fresh clock with the given weight (clamped to ≥ 1).
+    pub fn new(weight: u32) -> TenantClock {
+        TenantClock {
+            weight: weight.max(1),
+            vtime: 0,
+            round_spent_ns: 0,
+            round_grant_ns: 0,
+        }
+    }
+
+    /// Starts a new round: grants `envelope × weight` nanoseconds.
+    pub fn start_round(&mut self, envelope: Duration) {
+        self.round_spent_ns = 0;
+        self.round_grant_ns =
+            (envelope.as_nanos() as u64).saturating_mul(u64::from(self.weight));
+    }
+
+    /// Remaining envelope this round.
+    pub fn remaining(&self) -> Duration {
+        Duration::from_nanos(self.round_grant_ns.saturating_sub(self.round_spent_ns))
+    }
+
+    /// Whether the round envelope has at least `floor` left. Refusing
+    /// below a floor avoids scheduling a check whose budget is too small
+    /// to produce anything but an instant `Unknown`.
+    pub fn can_afford(&self, floor: Duration) -> bool {
+        self.remaining() >= floor
+    }
+
+    /// Charges one unit of work against both the round envelope and the
+    /// long-run virtual clock.
+    pub fn charge(&mut self, cost: Duration) {
+        let ns = cost.as_nanos() as u64;
+        self.round_spent_ns = self.round_spent_ns.saturating_add(ns);
+        self.vtime += u128::from(ns) * VTIME_SCALE / u128::from(self.weight);
+    }
+
+    /// The long-run virtual time (scaled weighted cost).
+    pub fn vtime(&self) -> u128 {
+        self.vtime
+    }
+
+    /// Brings a newly active tenant up to the current minimum virtual
+    /// time so it cannot replay an idle period as a burst of priority
+    /// (the classic start-time fairness rule).
+    pub fn join_at(&mut self, floor: u128) {
+        self.vtime = self.vtime.max(floor);
+    }
+}
+
+/// Picks the index of the backlogged tenant with the least virtual time.
+/// `candidates` yields `(index, &clock)` pairs for tenants that still
+/// have work and envelope this round.
+pub fn pick_min_vtime<'a, I>(candidates: I) -> Option<usize>
+where
+    I: Iterator<Item = (usize, &'a TenantClock)>,
+{
+    candidates
+        .min_by_key(|(_, c)| c.vtime())
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_weights_share_equally() {
+        let mut a = TenantClock::new(1);
+        let mut b = TenantClock::new(1);
+        // a's work units are 10× more expensive.
+        let mut picks = (0, 0);
+        for _ in 0..110 {
+            let clocks = [&a, &b];
+            let i = pick_min_vtime(clocks.iter().map(|c| (0, *c)).enumerate().map(|(i, (_, c))| (i, c)))
+                .unwrap();
+            if i == 0 {
+                a.charge(Duration::from_millis(10));
+                picks.0 += 1;
+            } else {
+                b.charge(Duration::from_millis(1));
+                picks.1 += 1;
+            }
+        }
+        // b gets ~10× the turns; total *time* is near-equal.
+        assert!(picks.1 > picks.0 * 8, "picks: {picks:?}");
+        let (ta, tb) = (a.vtime(), b.vtime());
+        let ratio = ta.max(tb) as f64 / ta.min(tb).max(1) as f64;
+        assert!(ratio < 1.25, "virtual times diverged: {ta} vs {tb}");
+    }
+
+    #[test]
+    fn weight_scales_share() {
+        let mut heavy = TenantClock::new(4);
+        let mut light = TenantClock::new(1);
+        let mut time = (Duration::ZERO, Duration::ZERO);
+        for _ in 0..200 {
+            let clocks = [&heavy, &light];
+            let i = pick_min_vtime(clocks.iter().enumerate().map(|(i, c)| (i, *c))).unwrap();
+            let cost = Duration::from_millis(2);
+            if i == 0 {
+                heavy.charge(cost);
+                time.0 += cost;
+            } else {
+                light.charge(cost);
+                time.1 += cost;
+            }
+        }
+        let ratio = time.0.as_nanos() as f64 / time.1.as_nanos() as f64;
+        assert!((3.0..5.0).contains(&ratio), "share ratio {ratio}");
+    }
+
+    #[test]
+    fn envelope_bounds_a_round() {
+        let mut t = TenantClock::new(2);
+        t.start_round(Duration::from_millis(10)); // grant = 20 ms
+        assert!(t.can_afford(Duration::from_millis(1)));
+        t.charge(Duration::from_millis(19));
+        assert!(t.can_afford(Duration::from_millis(1)));
+        t.charge(Duration::from_millis(1));
+        assert!(!t.can_afford(Duration::from_micros(100)));
+        // A new round restores the grant; the virtual clock keeps running.
+        let v = t.vtime();
+        t.start_round(Duration::from_millis(10));
+        assert!(t.can_afford(Duration::from_millis(1)));
+        assert_eq!(t.vtime(), v);
+    }
+
+    #[test]
+    fn late_joiner_cannot_burst() {
+        let mut old = TenantClock::new(1);
+        old.charge(Duration::from_secs(1));
+        let mut newcomer = TenantClock::new(1);
+        newcomer.join_at(old.vtime());
+        assert!(newcomer.vtime() >= old.vtime());
+    }
+}

@@ -1,0 +1,52 @@
+//! # bcdb-server — a fault-isolated multi-tenant solver service
+//!
+//! One long-running daemon ingests a single chain-event stream and
+//! multiplexes it to many *subscriptions*, each a tenant id plus a
+//! denial constraint plus an optional verdict-flip notification flag.
+//! The hard part is not the multiplexing — it is keeping tenants from
+//! hurting each other on a shared solver:
+//!
+//! * [`fair`] — weighted fair queueing over re-check work plus
+//!   per-round budget envelopes. A pathological constraint degrades its
+//!   own tenant's verdicts to `Unknown`; every other tenant keeps its
+//!   share.
+//! * [`shed`] — overload walks the degradation ladder (tighter budgets
+//!   for the most expensive work first) instead of dropping work or
+//!   stalling ingest.
+//! * [`service`] — the single-threaded core: admission control with
+//!   typed refusals, bounded per-subscription notification queues with
+//!   coalescing, panic containment and transient retry per re-check
+//!   (inherited from the monitor), graceful shutdown that flushes the
+//!   journal and persists a snapshot, and unified recovery that
+//!   restores every subscription from durable state.
+//! * [`registry`] — the durable subscription log (CRC'd append-only
+//!   lines, longest-valid-prefix recovery), the missing half of restart
+//!   recovery next to the monitor's event journal.
+//! * [`wire`] + [`net`] — a minimal line-delimited JSON protocol over
+//!   TCP; std-only, one flat object per line, deadline-aware waits
+//!   everywhere (no `std::thread::sleep` in this crate — CI greps).
+//! * [`storm`] — the `serve-storm` chaos harness: thousands of
+//!   subscriptions under fault storms, injected panics, client stalls,
+//!   and a kill/recover drill, cross-checked against a single-tenant
+//!   oracle.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fair;
+pub mod net;
+pub mod registry;
+pub mod service;
+pub mod shed;
+pub mod storm;
+pub mod wire;
+
+pub use error::ServerError;
+pub use net::{install_signal_handlers, serve, NetConfig, NetSummary, ShutdownFlag};
+pub use registry::{Registry, RegistryRecovery, SubRecord};
+pub use service::{
+    Notification, PollSnapshot, RoundReport, ServeConfig, ServeLimits, ServeStats, ServerCore,
+    ServerRecovery, ShutdownReport,
+};
+pub use shed::{ShedConfig, ShedLevel};
+pub use storm::{run_serve_storm, ServeStormConfig, ServeStormReport};

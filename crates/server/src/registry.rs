@@ -1,0 +1,295 @@
+//! Durable subscription registry.
+//!
+//! The monitor journal makes the *database* recoverable; this file makes
+//! the *subscriptions* recoverable, so a restarted server resumes
+//! watching exactly what the killed one watched. Same durability recipe
+//! as the journal: append-only single-line records, CRC-32 per line,
+//! percent-escaped text fields, recovery to the longest valid prefix —
+//! a torn tail costs the last registration, never the file.
+//!
+//! ```text
+//! bcdb-subs v1
+//! + <id> <tenant> <name> <weight> <notify> <constraint-text> <crc32-hex>
+//! - <id> <crc32-hex>
+//! ```
+
+use bcdb_monitor::{crc32, decode_text, encode_text};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+
+const HEADER: &str = "bcdb-subs v1";
+
+/// One durable subscription record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SubRecord {
+    /// Stable subscription id (assigned at admission, survives restart).
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Client-chosen label.
+    pub name: String,
+    /// Fair-share weight of the owning tenant as of this subscription.
+    pub weight: u32,
+    /// Whether the client asked for verdict-flip notifications.
+    pub notify: bool,
+    /// The denial constraint, in the parser's text syntax.
+    pub text: String,
+}
+
+/// What a registry scan recovered.
+#[derive(Debug, Default)]
+pub struct RegistryRecovery {
+    /// Live subscriptions (adds minus removes), by id.
+    pub live: BTreeMap<u64, SubRecord>,
+    /// The next id to hand out (max seen + 1).
+    pub next_id: u64,
+    /// Lines dropped from a torn or corrupt tail.
+    pub dropped_lines: usize,
+}
+
+/// Append-only registry file, flushed per record, fsynced on demand.
+pub struct Registry {
+    file: File,
+    path: PathBuf,
+}
+
+fn with_crc(body: String) -> String {
+    let crc = crc32(body.as_bytes());
+    format!("{body} {crc:08X}")
+}
+
+fn check_crc(line: &str) -> Option<&str> {
+    let (body, crc_tok) = line.rsplit_once(' ')?;
+    if crc_tok.len() != 8 {
+        return None;
+    }
+    let crc = u32::from_str_radix(crc_tok, 16).ok()?;
+    (crc32(body.as_bytes()) == crc).then_some(body)
+}
+
+fn parse_add(body: &str) -> Option<SubRecord> {
+    let mut it = body.split(' ');
+    if it.next()? != "+" {
+        return None;
+    }
+    let id = it.next()?.parse().ok()?;
+    let tenant = decode_text(it.next()?).ok()?;
+    let name = decode_text(it.next()?).ok()?;
+    let weight = it.next()?.parse().ok()?;
+    let notify = match it.next()? {
+        "1" => true,
+        "0" => false,
+        _ => return None,
+    };
+    let text = decode_text(it.next()?).ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    Some(SubRecord {
+        id,
+        tenant,
+        name,
+        weight,
+        notify,
+        text,
+    })
+}
+
+fn parse_remove(body: &str) -> Option<u64> {
+    let mut it = body.split(' ');
+    if it.next()? != "-" {
+        return None;
+    }
+    let id = it.next()?.parse().ok()?;
+    it.next().is_none().then_some(id)
+}
+
+impl Registry {
+    /// Creates a fresh registry file (truncating any existing one) and
+    /// writes the header.
+    pub fn create(path: impl Into<PathBuf>) -> std::io::Result<Registry> {
+        let path = path.into();
+        let mut file = File::create(&path)?;
+        writeln!(file, "{HEADER}")?;
+        file.flush()?;
+        Ok(Registry { file, path })
+    }
+
+    /// Scans an existing registry to its longest valid prefix and reopens
+    /// it for appending. A missing file recovers to an empty registry.
+    pub fn recover(path: impl Into<PathBuf>) -> std::io::Result<(Registry, RegistryRecovery)> {
+        let path = path.into();
+        let mut rec = RegistryRecovery::default();
+        if path.exists() {
+            let reader = BufReader::new(File::open(&path)?);
+            let mut lines = reader.lines();
+            match lines.next() {
+                Some(Ok(h)) if h == HEADER => {
+                    for line in lines {
+                        let line = match line {
+                            Ok(l) => l,
+                            Err(_) => {
+                                rec.dropped_lines += 1;
+                                break;
+                            }
+                        };
+                        let Some(body) = check_crc(&line) else {
+                            // Torn or corrupt: everything from here on is
+                            // untrusted. Count the rest and stop.
+                            rec.dropped_lines += 1;
+                            break;
+                        };
+                        if let Some(sub) = parse_add(body) {
+                            rec.next_id = rec.next_id.max(sub.id + 1);
+                            rec.live.insert(sub.id, sub);
+                        } else if let Some(id) = parse_remove(body) {
+                            rec.live.remove(&id);
+                            rec.next_id = rec.next_id.max(id + 1);
+                        } else {
+                            rec.dropped_lines += 1;
+                            break;
+                        }
+                    }
+                }
+                _ => rec.dropped_lines += 1,
+            }
+        }
+        // Reopen for appends. A recovered torn tail is left in place; the
+        // next append lands after it but a strict prefix scan will stop at
+        // the tear, so rewrite the file from the recovered state instead.
+        let mut file = File::create(&path)?;
+        writeln!(file, "{HEADER}")?;
+        for sub in rec.live.values() {
+            writeln!(file, "{}", with_crc(add_body(sub)))?;
+        }
+        file.flush()?;
+        file.sync_all()?;
+        drop(file);
+        let file = OpenOptions::new().append(true).open(&path)?;
+        Ok((Registry { file, path }, rec))
+    }
+
+    /// Appends an add record. Flushed to the OS before returning, so a
+    /// process kill (not machine crash) cannot lose an admitted
+    /// subscription.
+    pub fn record_add(&mut self, sub: &SubRecord) -> std::io::Result<()> {
+        writeln!(self.file, "{}", with_crc(add_body(sub)))?;
+        self.file.flush()
+    }
+
+    /// Appends a remove record.
+    pub fn record_remove(&mut self, id: u64) -> std::io::Result<()> {
+        writeln!(self.file, "{}", with_crc(format!("- {id}")))?;
+        self.file.flush()
+    }
+
+    /// Forces the registry to stable storage (shutdown path).
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.file.flush()?;
+        self.file.sync_all()
+    }
+
+    /// The registry's path on disk.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+fn add_body(sub: &SubRecord) -> String {
+    format!(
+        "+ {} {} {} {} {} {}",
+        sub.id,
+        encode_text(&sub.tenant),
+        encode_text(&sub.name),
+        sub.weight,
+        u8::from(sub.notify),
+        encode_text(&sub.text),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sub(id: u64, tenant: &str, text: &str) -> SubRecord {
+        SubRecord {
+            id,
+            tenant: tenant.to_string(),
+            name: format!("watch-{id}"),
+            weight: 2,
+            notify: id.is_multiple_of(2),
+            text: text.to_string(),
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "bcdb-registry-{name}-{}",
+            std::process::id()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("subs.registry")
+    }
+
+    #[test]
+    fn round_trips_adds_and_removes() {
+        let path = tmp("roundtrip");
+        let mut reg = Registry::create(&path).unwrap();
+        let a = sub(0, "t-alpha", "q() <- TxOut(n, s, 'addr one', a)");
+        let b = sub(1, "t-beta", "q() <- TxIn(p, s, k, a, n, g), TxIn(p2, s2, k, a2, n2, g2), n != n2");
+        reg.record_add(&a).unwrap();
+        reg.record_add(&b).unwrap();
+        reg.record_remove(0).unwrap();
+        drop(reg);
+        let (_, rec) = Registry::recover(&path).unwrap();
+        assert_eq!(rec.dropped_lines, 0);
+        assert_eq!(rec.next_id, 2);
+        assert_eq!(rec.live.len(), 1);
+        assert_eq!(rec.live[&1], b);
+    }
+
+    #[test]
+    fn torn_tail_recovers_to_valid_prefix() {
+        let path = tmp("torn");
+        let mut reg = Registry::create(&path).unwrap();
+        reg.record_add(&sub(0, "t", "q() <- TxOut(n, s, k, a)")).unwrap();
+        reg.record_add(&sub(1, "t", "q() <- TxOut(n, s, k, a)")).unwrap();
+        drop(reg);
+        // Tear the last line mid-record.
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 7]).unwrap();
+        let (mut reg, rec) = Registry::recover(&path).unwrap();
+        assert_eq!(rec.dropped_lines, 1);
+        assert_eq!(rec.live.len(), 1, "torn add must not survive");
+        assert!(rec.live.contains_key(&0));
+        // The rewritten file is clean: append and recover again.
+        reg.record_add(&sub(5, "t2", "q() <- TxIn(p, s, k, a, n, g)")).unwrap();
+        drop(reg);
+        let (_, rec2) = Registry::recover(&path).unwrap();
+        assert_eq!(rec2.dropped_lines, 0);
+        assert_eq!(rec2.live.len(), 2);
+        assert_eq!(rec2.next_id, 6);
+    }
+
+    #[test]
+    fn missing_file_is_an_empty_registry() {
+        let path = tmp("missing").with_extension("nothere");
+        let _ = std::fs::remove_file(&path);
+        let (_, rec) = Registry::recover(&path).unwrap();
+        assert!(rec.live.is_empty());
+        assert_eq!(rec.next_id, 0);
+    }
+
+    #[test]
+    fn escapes_hostile_text_fields() {
+        let path = tmp("hostile");
+        let mut reg = Registry::create(&path).unwrap();
+        let s = sub(3, "tenant with spaces\nand newlines", "q() <- TxOut(n, s, '%2F weird', a)");
+        reg.record_add(&s).unwrap();
+        drop(reg);
+        let (_, rec) = Registry::recover(&path).unwrap();
+        assert_eq!(rec.live[&3], s);
+    }
+}

@@ -1,0 +1,800 @@
+//! The multi-tenant serving core.
+//!
+//! One [`MonitorSession`] ingests the chain-event stream; many
+//! subscriptions — each a `(tenant, denial constraint)` pair — share its
+//! solver. The service's job is to make that sharing safe:
+//!
+//! * **fair isolation** — re-check work is scheduled by weighted fair
+//!   queueing over tenants ([`crate::fair`]), and each tenant gets a
+//!   per-round budget envelope. A pathological constraint exhausts its
+//!   own tenant's envelope and degrades *that tenant's* verdicts to
+//!   `Unknown`; everyone else's share is untouched.
+//! * **overload shedding** — when the dirty backlog grows, budgets are
+//!   tightened down the degradation ladder ([`crate::shed`]) instead of
+//!   dropping work or stalling ingest.
+//! * **fault containment** — each re-check runs under the monitor's
+//!   panic containment and transient-retry policy; a panicking
+//!   constraint yields `Unknown` for its own subscription only.
+//! * **durability** — events are journaled write-ahead by the session,
+//!   subscriptions by the [`crate::registry::Registry`];
+//!   [`ServerCore::shutdown`] flushes both and persists a snapshot, and
+//!   [`ServerCore::recover`] rebuilds every subscription from durable
+//!   state alone.
+
+use crate::error::ServerError;
+use crate::fair::{pick_min_vtime, TenantClock};
+use crate::registry::{Registry, SubRecord};
+use crate::shed::{median_cost, shed_budget, ShedConfig, ShedLevel};
+use bcdb_core::Verdict;
+use bcdb_governor::ExhaustionReason;
+use bcdb_monitor::{ChainEvent, MonitorConfig, MonitorSession, MonitorStats, RecoveryReport};
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::{Catalog, ConstraintSet, DiskBackend};
+use bcdb_telemetry::probes;
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+/// Admission limits.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeLimits {
+    /// Maximum live subscriptions; admission refuses beyond this.
+    pub max_subscriptions: usize,
+    /// Maximum distinct tenants.
+    pub max_tenants: usize,
+    /// Per-subscription notification queue bound. Overflow coalesces:
+    /// the oldest undelivered flip is dropped (and counted) so a stalled
+    /// client sees the *latest* state when it returns, and its queue
+    /// cannot grow without bound.
+    pub queue_capacity: usize,
+}
+
+impl Default for ServeLimits {
+    fn default() -> Self {
+        ServeLimits {
+            max_subscriptions: 100_000,
+            max_tenants: 10_000,
+            queue_capacity: 64,
+        }
+    }
+}
+
+/// Full serving configuration.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Session config: per-check budget, retry policy, snapshot cadence.
+    pub monitor: MonitorConfig,
+    /// Admission and queue limits.
+    pub limits: ServeLimits,
+    /// Per-round time envelope granted to a weight-1 tenant. A tenant of
+    /// weight `w` gets `w ×` this much solver time per round.
+    pub envelope: Duration,
+    /// Smallest per-check budget worth scheduling; a tenant whose
+    /// envelope remainder is below this floor is refused for the round.
+    pub min_check: Duration,
+    /// Overload thresholds.
+    pub shed: ShedConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            monitor: MonitorConfig::default(),
+            limits: ServeLimits::default(),
+            envelope: Duration::from_millis(250),
+            min_check: Duration::from_micros(200),
+            shed: ShedConfig::default(),
+        }
+    }
+}
+
+/// A verdict-flip notification queued for delivery.
+#[derive(Clone, Debug)]
+pub struct Notification {
+    /// The subscription whose verdict flipped.
+    pub sub: u64,
+    /// Its tenant.
+    pub tenant: String,
+    /// Its label.
+    pub name: String,
+    /// The new verdict label (`holds` / `violated` / `unknown`).
+    pub verdict: &'static str,
+    /// Exhaustion detail when the verdict is `unknown`.
+    pub reason: Option<String>,
+    /// Epoch at which the flip was observed.
+    pub epoch: u64,
+}
+
+/// A subscription's current state, as returned by [`ServerCore::poll`].
+#[derive(Clone, Debug)]
+pub struct PollSnapshot {
+    /// Subscription id.
+    pub sub: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Label.
+    pub name: String,
+    /// The constraint text, exactly as subscribed.
+    pub constraint: String,
+    /// Current verdict label (`pending` before the first check).
+    pub verdict: &'static str,
+    /// Exhaustion detail when `unknown`.
+    pub reason: Option<String>,
+    /// Degraded-mode algorithm that produced the verdict, if any.
+    pub degraded_to: Option<&'static str>,
+    /// Verdict flips observed so far.
+    pub flips: u64,
+    /// Epoch of the last re-check.
+    pub checked_epoch: u64,
+}
+
+/// Counters for one processing round.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RoundReport {
+    /// Subscriptions that were dirty at round start.
+    pub backlog: usize,
+    /// Re-checks actually run.
+    pub checks: usize,
+    /// Subscriptions refused because their tenant's envelope ran dry
+    /// (each surfaced as `Unknown`, not skipped silently).
+    pub refusals: usize,
+    /// Checks run under a shed-tightened budget.
+    pub shed: usize,
+    /// Verdict flips observed.
+    pub flips: usize,
+    /// The shed level this round ran at.
+    pub level: ShedLevel,
+}
+
+/// Cumulative service counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServeStats {
+    /// Live subscriptions.
+    pub subscriptions: usize,
+    /// Distinct tenants with live subscriptions.
+    pub tenants: usize,
+    /// Current epoch.
+    pub epoch: u64,
+    /// Events ingested.
+    pub events: u64,
+    /// Processing rounds run.
+    pub rounds: u64,
+    /// Re-checks run.
+    pub checks: u64,
+    /// Envelope refusals.
+    pub refusals: u64,
+    /// Shed-tightened checks.
+    pub sheds: u64,
+    /// Verdict flips.
+    pub flips: u64,
+    /// Notifications dropped by queue coalescing.
+    pub coalesced: u64,
+    /// The monitor session's own counters.
+    pub monitor: MonitorStats,
+}
+
+/// What [`ServerCore::recover`] rebuilt.
+#[derive(Debug)]
+pub struct ServerRecovery {
+    /// The monitor's unified recovery report (snapshot + WAL tail).
+    pub monitor: RecoveryReport,
+    /// Subscriptions restored from the registry.
+    pub subscriptions_restored: usize,
+    /// Registry records whose constraint no longer parses (catalog
+    /// drift); they are dropped, not resurrected wrong.
+    pub subscriptions_rejected: usize,
+    /// Registry lines lost to a torn tail.
+    pub registry_dropped_lines: usize,
+}
+
+/// What [`ServerCore::shutdown`] persisted.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// Snapshot id persisted at shutdown, if a backend is attached.
+    pub snapshot: Option<String>,
+    /// Live subscriptions at shutdown (all recoverable).
+    pub subscriptions: usize,
+}
+
+struct Subscription {
+    id: u64,
+    tenant: String,
+    name: String,
+    text: String,
+    /// Slot index inside the monitor session.
+    slot: usize,
+    notify: bool,
+    verdict: Option<Verdict>,
+    degraded_to: Option<&'static str>,
+    checked_epoch: u64,
+    flips: u64,
+    /// Nanoseconds the last re-check cost — the shed ladder's signal.
+    last_cost_ns: u64,
+    queue: VecDeque<Notification>,
+    coalesced: u64,
+}
+
+struct Tenant {
+    clock: TenantClock,
+    subs: usize,
+    /// Rounds in which this tenant's envelope ran dry.
+    exhausted_rounds: u64,
+}
+
+/// The serving core. Single-threaded by design: the network front wraps
+/// it in a mutex, so every state transition is serial and the fairness
+/// accounting is exact.
+pub struct ServerCore {
+    session: MonitorSession,
+    catalog: Catalog,
+    config: ServeConfig,
+    subs: FxHashMap<u64, Subscription>,
+    slot_to_sub: FxHashMap<usize, u64>,
+    tenants: FxHashMap<String, Tenant>,
+    registry: Option<Registry>,
+    next_id: u64,
+    stats: ServeStats,
+    /// When the current dirty backlog was ingested — flip latency is
+    /// measured from here.
+    last_ingest: Option<Instant>,
+    draining: bool,
+}
+
+/// Files inside a server store directory.
+fn journal_path(dir: &Path) -> PathBuf {
+    dir.join("journal.log")
+}
+fn registry_path(dir: &Path) -> PathBuf {
+    dir.join("subs.registry")
+}
+
+/// The verdict label used on the wire and in reports.
+pub fn verdict_label(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::Holds => "holds",
+        Verdict::Violated(_) => "violated",
+        Verdict::Unknown(_) => "unknown",
+    }
+}
+
+fn verdict_reason(v: &Verdict) -> Option<String> {
+    match v {
+        Verdict::Unknown(r) => Some(r.to_string()),
+        _ => None,
+    }
+}
+
+impl ServerCore {
+    /// A fresh in-memory service (no durability). Tests and the storm
+    /// harness's oracle use this; production goes through
+    /// [`open`](ServerCore::open).
+    pub fn new_in_memory(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        config: ServeConfig,
+    ) -> ServerCore {
+        let mut session = MonitorSession::new(catalog.clone(), constraints);
+        session.set_config(config.monitor.clone());
+        ServerCore {
+            session,
+            catalog,
+            config,
+            subs: FxHashMap::default(),
+            slot_to_sub: FxHashMap::default(),
+            tenants: FxHashMap::default(),
+            registry: None,
+            next_id: 0,
+            stats: ServeStats::default(),
+            last_ingest: None,
+            draining: false,
+        }
+    }
+
+    /// A fresh durable service rooted at `dir`: disk-backed snapshots, a
+    /// write-ahead event journal, and a subscription registry.
+    pub fn open(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        dir: impl Into<PathBuf>,
+        config: ServeConfig,
+    ) -> Result<ServerCore, ServerError> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir).map_err(bcdb_monitor::MonitorError::from)?;
+        let mut core = ServerCore::new_in_memory(catalog, constraints, config);
+        let journal = bcdb_monitor::Journal::create(journal_path(&dir))
+            .map_err(bcdb_monitor::MonitorError::from)?;
+        core.session.attach_journal(journal);
+        let backend = DiskBackend::new(&dir).map_err(bcdb_monitor::MonitorError::from)?;
+        core.session.attach_backend(Box::new(backend));
+        core.registry = Some(
+            Registry::create(registry_path(&dir)).map_err(bcdb_monitor::MonitorError::from)?,
+        );
+        Ok(core)
+    }
+
+    /// Rebuilds a service from its store directory: unified monitor
+    /// recovery (latest loadable snapshot + WAL tail) plus a registry
+    /// scan re-registering every live subscription. Verdicts start
+    /// dirty — the first round after recovery recomputes them.
+    pub fn recover(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        dir: impl Into<PathBuf>,
+        config: ServeConfig,
+    ) -> Result<(ServerCore, ServerRecovery), ServerError> {
+        let dir = dir.into();
+        let backend = DiskBackend::new(&dir).map_err(bcdb_monitor::MonitorError::from)?;
+        let (mut session, monitor_report) = MonitorSession::recover(
+            catalog.clone(),
+            constraints,
+            journal_path(&dir),
+            Box::new(backend),
+        )?;
+        session.set_config(config.monitor.clone());
+        let (registry, reg_rec) =
+            Registry::recover(registry_path(&dir)).map_err(bcdb_monitor::MonitorError::from)?;
+        let mut core = ServerCore {
+            session,
+            catalog,
+            config,
+            subs: FxHashMap::default(),
+            slot_to_sub: FxHashMap::default(),
+            tenants: FxHashMap::default(),
+            registry: Some(registry),
+            next_id: reg_rec.next_id,
+            stats: ServeStats::default(),
+            last_ingest: None,
+            draining: false,
+        };
+        let mut restored = 0usize;
+        let mut rejected = 0usize;
+        for sub in reg_rec.live.values() {
+            match parse_denial_constraint(&sub.text, &core.catalog) {
+                Ok(dc) => {
+                    core.install(sub.clone(), dc);
+                    restored += 1;
+                }
+                Err(_) => rejected += 1,
+            }
+        }
+        probes::SERVER_SUBSCRIPTIONS_ACTIVE.set(core.subs.len() as u64);
+        Ok((
+            core,
+            ServerRecovery {
+                monitor: monitor_report,
+                subscriptions_restored: restored,
+                subscriptions_rejected: rejected,
+                registry_dropped_lines: reg_rec.dropped_lines,
+            },
+        ))
+    }
+
+    /// Registers a parsed record into the session and the in-memory maps
+    /// (no admission checks, no registry write — both callers have
+    /// already done their half).
+    fn install(&mut self, rec: SubRecord, dc: bcdb_query::DenialConstraint) {
+        let slot = self.session.register(rec.name.clone(), dc);
+        self.slot_to_sub.insert(slot, rec.id);
+        let floor = self
+            .tenants
+            .values()
+            .map(|t| t.clock.vtime())
+            .min()
+            .unwrap_or(0);
+        let tenant = self
+            .tenants
+            .entry(rec.tenant.clone())
+            .or_insert_with(|| Tenant {
+                clock: TenantClock::new(rec.weight),
+                subs: 0,
+                exhausted_rounds: 0,
+            });
+        tenant.clock.join_at(floor);
+        tenant.subs += 1;
+        self.subs.insert(
+            rec.id,
+            Subscription {
+                id: rec.id,
+                tenant: rec.tenant,
+                name: rec.name,
+                text: rec.text,
+                slot,
+                notify: rec.notify,
+                verdict: None,
+                degraded_to: None,
+                checked_epoch: 0,
+                flips: 0,
+                last_cost_ns: 0,
+                queue: VecDeque::new(),
+                coalesced: 0,
+            },
+        );
+    }
+
+    /// Admits a subscription: parses and validates the constraint,
+    /// enforces admission limits, journals it to the registry, and
+    /// registers it dirty (first verdict arrives next round). Returns
+    /// the stable subscription id.
+    pub fn subscribe(
+        &mut self,
+        tenant: &str,
+        name: &str,
+        constraint: &str,
+        weight: u32,
+        notify: bool,
+    ) -> Result<u64, ServerError> {
+        if self.draining {
+            return Err(ServerError::ShuttingDown);
+        }
+        if self.subs.len() >= self.config.limits.max_subscriptions {
+            return Err(ServerError::AdmissionLimit(
+                self.config.limits.max_subscriptions,
+            ));
+        }
+        if !self.tenants.contains_key(tenant)
+            && self.tenants.len() >= self.config.limits.max_tenants
+        {
+            return Err(ServerError::TenantLimit(self.config.limits.max_tenants));
+        }
+        let dc = parse_denial_constraint(constraint, &self.catalog)
+            .map_err(|e| ServerError::BadConstraint(e.to_string()))?;
+        let id = self.next_id;
+        self.next_id += 1;
+        let rec = SubRecord {
+            id,
+            tenant: tenant.to_string(),
+            name: name.to_string(),
+            weight,
+            notify,
+            text: constraint.to_string(),
+        };
+        if let Some(reg) = &mut self.registry {
+            reg.record_add(&rec).map_err(bcdb_monitor::MonitorError::from)?;
+        }
+        self.install(rec, dc);
+        probes::SERVER_SUBSCRIPTIONS_ACTIVE.set(self.subs.len() as u64);
+        Ok(id)
+    }
+
+    /// Removes a subscription; its session slot is retired and will be
+    /// reused by the next admission.
+    pub fn unsubscribe(&mut self, id: u64) -> Result<(), ServerError> {
+        let sub = self
+            .subs
+            .remove(&id)
+            .ok_or(ServerError::UnknownSubscription(id))?;
+        self.slot_to_sub.remove(&sub.slot);
+        self.session.unregister(sub.slot);
+        if let Some(t) = self.tenants.get_mut(&sub.tenant) {
+            t.subs -= 1;
+            if t.subs == 0 {
+                self.tenants.remove(&sub.tenant);
+            }
+        }
+        if let Some(reg) = &mut self.registry {
+            reg.record_remove(id).map_err(bcdb_monitor::MonitorError::from)?;
+        }
+        probes::SERVER_SUBSCRIPTIONS_ACTIVE.set(self.subs.len() as u64);
+        Ok(())
+    }
+
+    /// Applies one chain event to the shared session (journaled
+    /// write-ahead). Dirty marking is the session's arrival rule; the
+    /// verdicts refresh on the next [`run_round`](ServerCore::run_round).
+    pub fn ingest(&mut self, event: &ChainEvent) -> Result<(), ServerError> {
+        self.session.apply(event)?;
+        self.stats.events += 1;
+        self.last_ingest = Some(Instant::now());
+        Ok(())
+    }
+
+    /// Runs one fair processing round over the dirty backlog. Each pick
+    /// is the minimum-virtual-time tenant with envelope left; its next dirty
+    /// subscription runs under a (possibly shed-tightened) budget clamped
+    /// to the envelope remainder. Tenants whose envelope runs dry have
+    /// their remaining dirty subscriptions refused — surfaced as
+    /// `Unknown`, counted, never silently skipped.
+    pub fn run_round(&mut self) -> RoundReport {
+        let ingest_t = self.last_ingest.take();
+        let epoch = self.session.epoch();
+        let mut report = RoundReport::default();
+
+        // Snapshot the dirty backlog, grouped per tenant.
+        let dirty_slots = self.session.dirty_indices();
+        let mut queues: Vec<(String, VecDeque<u64>)> = Vec::new();
+        {
+            let mut by_tenant: FxHashMap<&str, VecDeque<u64>> = FxHashMap::default();
+            for slot in dirty_slots {
+                if let Some(&id) = self.slot_to_sub.get(&slot) {
+                    let tenant = self.subs[&id].tenant.as_str();
+                    by_tenant.entry(tenant).or_default().push_back(id);
+                }
+            }
+            for (t, q) in by_tenant {
+                queues.push((t.to_string(), q));
+            }
+            // Deterministic scheduling order for ties.
+            queues.sort_by(|a, b| a.0.cmp(&b.0));
+        }
+        report.backlog = queues.iter().map(|(_, q)| q.len()).sum();
+        if report.backlog == 0 {
+            return report;
+        }
+
+        // Decide the shed level and the expensive/cheap split.
+        report.level = self.config.shed.level(report.backlog);
+        let mut costs: Vec<u64> = queues
+            .iter()
+            .flat_map(|(_, q)| q.iter().map(|id| self.subs[id].last_cost_ns))
+            .collect();
+        let median = median_cost(&mut costs);
+
+        // Open each involved tenant's round envelope.
+        for (name, _) in &queues {
+            if let Some(t) = self.tenants.get_mut(name) {
+                t.clock.start_round(self.config.envelope);
+            }
+        }
+
+        let mut exhausted: Vec<String> = Vec::new();
+        loop {
+            let pick = pick_min_vtime(queues.iter().enumerate().filter_map(|(i, (name, q))| {
+                if q.is_empty() {
+                    return None;
+                }
+                let t = self.tenants.get(name)?;
+                Some((i, &t.clock))
+            }));
+            let Some(i) = pick else { break };
+            let (tenant_name, queue) = &mut queues[i];
+            let tenant = self.tenants.get_mut(tenant_name).expect("picked tenant");
+
+            if !tenant.clock.can_afford(self.config.min_check) {
+                // Envelope dry: refuse the tenant's remaining work for
+                // this round, honestly.
+                tenant.exhausted_rounds += 1;
+                probes::SERVER_TENANT_BUDGET_EXHAUSTED.incr();
+                let refused: Vec<u64> = queue.drain(..).collect();
+                exhausted.push(tenant_name.clone());
+                for id in refused {
+                    report.refusals += 1;
+                    self.stats.refusals += 1;
+                    let spent = self.config.envelope;
+                    self.refuse(id, epoch, spent, ingest_t, &mut report);
+                }
+                continue;
+            }
+
+            let id = queue.pop_front().expect("non-empty queue");
+            let sub = self.subs.get(&id).expect("queued sub");
+            let slot = sub.slot;
+            let expensive = sub.last_cost_ns > median;
+            let (mut budget, was_shed) =
+                shed_budget(self.config.monitor.budget, report.level, expensive);
+            if was_shed {
+                report.shed += 1;
+                self.stats.sheds += 1;
+                probes::SERVER_SHED_TOTAL.incr();
+            }
+            // Clamp the per-check budget to the envelope remainder so a
+            // single check cannot overdraw the tenant's round share.
+            let remaining = tenant.clock.remaining();
+            budget.timeout = Some(budget.timeout.map_or(remaining, |t| t.min(remaining)));
+
+            let retry = self.config.monitor.retry.for_site(id);
+            let t0 = Instant::now();
+            let cv = self.session.recheck_with(slot, budget, retry);
+            let cost = t0.elapsed();
+            report.checks += 1;
+            self.stats.checks += 1;
+
+            let tenant = self.tenants.get_mut(tenant_name).expect("picked tenant");
+            tenant.clock.charge(cost);
+            let sub = self.subs.get_mut(&id).expect("queued sub");
+            sub.last_cost_ns = cost.as_nanos() as u64;
+            let flipped = sub.record_verdict(cv.verdict, cv.degraded_to, epoch);
+            if flipped {
+                report.flips += 1;
+                self.stats.flips += 1;
+                Self::enqueue_flip(
+                    sub,
+                    epoch,
+                    ingest_t,
+                    self.config.limits.queue_capacity,
+                    &mut self.stats,
+                );
+            }
+        }
+
+        self.stats.rounds += 1;
+        report
+    }
+
+    /// Marks a refused subscription `Unknown` without running it. The
+    /// refusal is indistinguishable *in kind* from any other exhaustion —
+    /// deliberately, so clients handle one degradation story.
+    fn refuse(
+        &mut self,
+        id: u64,
+        epoch: u64,
+        spent: Duration,
+        ingest_t: Option<Instant>,
+        report: &mut RoundReport,
+    ) {
+        let cap = self.config.limits.queue_capacity;
+        let sub = self.subs.get_mut(&id).expect("refused sub");
+        let verdict = Verdict::Unknown(ExhaustionReason::DeadlineExceeded { elapsed: spent });
+        let flipped = sub.record_verdict(verdict, None, epoch);
+        if flipped {
+            report.flips += 1;
+            self.stats.flips += 1;
+            Self::enqueue_flip(sub, epoch, ingest_t, cap, &mut self.stats);
+        }
+    }
+
+    fn enqueue_flip(
+        sub: &mut Subscription,
+        epoch: u64,
+        ingest_t: Option<Instant>,
+        cap: usize,
+        stats: &mut ServeStats,
+    ) {
+        if let Some(t) = ingest_t {
+            probes::SERVER_FLIP_LATENCY_NS.record(t.elapsed().as_nanos() as u64);
+        }
+        if !sub.notify {
+            return;
+        }
+        let verdict = sub.verdict.as_ref().expect("just recorded");
+        let note = Notification {
+            sub: sub.id,
+            tenant: sub.tenant.clone(),
+            name: sub.name.clone(),
+            verdict: verdict_label(verdict),
+            reason: verdict_reason(verdict),
+            epoch,
+        };
+        if sub.queue.len() >= cap.max(1) {
+            // Coalesce: drop the oldest undelivered flip. The queue then
+            // always ends at the latest state, which is what a client
+            // returning from a stall actually needs.
+            sub.queue.pop_front();
+            sub.coalesced += 1;
+            stats.coalesced += 1;
+        }
+        sub.queue.push_back(note);
+    }
+
+    /// The current verdict (and flip count) of one subscription.
+    pub fn poll(&self, id: u64) -> Result<PollSnapshot, ServerError> {
+        let sub = self
+            .subs
+            .get(&id)
+            .ok_or(ServerError::UnknownSubscription(id))?;
+        Ok(PollSnapshot {
+            sub: id,
+            tenant: sub.tenant.clone(),
+            name: sub.name.clone(),
+            constraint: sub.text.clone(),
+            verdict: sub.verdict.as_ref().map_or("pending", verdict_label),
+            reason: sub.verdict.as_ref().and_then(verdict_reason),
+            degraded_to: sub.degraded_to,
+            flips: sub.flips,
+            checked_epoch: sub.checked_epoch,
+        })
+    }
+
+    /// Drains up to `max` queued notifications for the given
+    /// subscriptions (a connection's own subs). Unknown ids are skipped —
+    /// the caller may hold ids that were unsubscribed concurrently.
+    pub fn take_notifications(&mut self, ids: &[u64], max: usize) -> Vec<Notification> {
+        let mut out = Vec::new();
+        for id in ids {
+            let Some(sub) = self.subs.get_mut(id) else {
+                continue;
+            };
+            while out.len() < max {
+                match sub.queue.pop_front() {
+                    Some(n) => out.push(n),
+                    None => break,
+                }
+            }
+            if out.len() >= max {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Ids of every live subscription (deterministic order).
+    pub fn subscription_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.subs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Rounds in which `tenant`'s envelope ran dry.
+    pub fn tenant_exhausted_rounds(&self, tenant: &str) -> u64 {
+        self.tenants.get(tenant).map_or(0, |t| t.exhausted_rounds)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            subscriptions: self.subs.len(),
+            tenants: self.tenants.len(),
+            epoch: self.session.epoch(),
+            monitor: self.session.stats(),
+            ..self.stats
+        }
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.session.epoch()
+    }
+
+    /// Chaos-harness hook: re-applies the monitor config with a poisoned
+    /// pending-transaction index (or clears it). A check whose component
+    /// contains the poisoned transaction panics mid-solve; the per-check
+    /// containment turns that into `Unknown` for the affected
+    /// subscription only.
+    #[doc(hidden)]
+    pub fn set_fault_inject_panic_tx(&mut self, tx: Option<usize>) {
+        let mut monitor = self.config.monitor.clone();
+        monitor.opts = monitor.opts.with_fault_inject_panic_tx(tx);
+        self.session.set_config(monitor);
+    }
+
+    /// Marks the service draining: admission refuses, existing
+    /// subscriptions keep serving until [`shutdown`](ServerCore::shutdown).
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Whether [`drain`](ServerCore::drain) was called.
+    pub fn is_draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Graceful shutdown: fsync the journal, persist a final epoch
+    /// snapshot (when a backend is attached), and fsync the registry.
+    /// After this returns, [`recover`](ServerCore::recover) on the same
+    /// directory restores every subscription and replays at most the WAL
+    /// tail since the final snapshot.
+    pub fn shutdown(&mut self) -> Result<ShutdownReport, ServerError> {
+        self.draining = true;
+        self.session.sync_journal()?;
+        let snapshot = self.session.persist_snapshot_now()?;
+        if let Some(reg) = &mut self.registry {
+            reg.sync().map_err(bcdb_monitor::MonitorError::from)?;
+        }
+        Ok(ShutdownReport {
+            snapshot,
+            subscriptions: self.subs.len(),
+        })
+    }
+}
+
+impl Subscription {
+    /// Records a fresh verdict; returns whether the label flipped.
+    fn record_verdict(
+        &mut self,
+        verdict: Verdict,
+        degraded_to: Option<&'static str>,
+        epoch: u64,
+    ) -> bool {
+        let flipped = match &self.verdict {
+            Some(old) => verdict_label(old) != verdict_label(&verdict),
+            None => true, // first verdict is a flip from `pending`
+        };
+        if flipped {
+            self.flips += 1;
+        }
+        self.verdict = Some(verdict);
+        self.degraded_to = degraded_to;
+        self.checked_epoch = epoch;
+        flipped
+    }
+}

@@ -1,0 +1,187 @@
+//! Load shedding: degrade, don't drop.
+//!
+//! When the dirty backlog outruns the solver, the service must not stall
+//! the event stream (that corrupts *everyone's* view of the chain) and
+//! must not silently discard re-checks (that turns "overloaded" into
+//! "wrong"). Instead it walks the same ladder the governor's degradation
+//! modes define: every queued re-check still runs, but under a tighter
+//! budget, so the expensive ones resolve to an honest `Unknown` faster
+//! and the cheap ones still come back definite.
+//!
+//! The cheapest work to refuse is the most expensive work to run: a
+//! constraint that cost 80 ms last round buys 80× more relief than an
+//! 1 ms one when squeezed. So `Yellow` tightens only subscriptions whose
+//! last observed cost is above the round's median, and `Red` tightens
+//! everything — expensive subscriptions hardest.
+
+use bcdb_governor::BudgetSpec;
+use std::time::Duration;
+
+/// Overload level, decided per round from the dirty backlog.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ShedLevel {
+    /// Backlog is comfortable; budgets pass through untouched.
+    #[default]
+    Green,
+    /// Backlog above the yellow threshold: halve the budget of
+    /// above-median-cost subscriptions.
+    Yellow,
+    /// Backlog above the red threshold: quarter everyone, eighth the
+    /// above-median-cost subscriptions.
+    Red,
+}
+
+impl ShedLevel {
+    /// A stable label for reports and the wire protocol.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedLevel::Green => "green",
+            ShedLevel::Yellow => "yellow",
+            ShedLevel::Red => "red",
+        }
+    }
+}
+
+/// Backlog thresholds for the shed ladder.
+#[derive(Clone, Copy, Debug)]
+pub struct ShedConfig {
+    /// Dirty-subscription count at which `Yellow` engages.
+    pub yellow_backlog: usize,
+    /// Dirty-subscription count at which `Red` engages.
+    pub red_backlog: usize,
+}
+
+impl Default for ShedConfig {
+    fn default() -> Self {
+        ShedConfig {
+            yellow_backlog: 2_048,
+            red_backlog: 16_384,
+        }
+    }
+}
+
+impl ShedConfig {
+    /// The level for a round with `backlog` dirty subscriptions.
+    pub fn level(&self, backlog: usize) -> ShedLevel {
+        if backlog >= self.red_backlog {
+            ShedLevel::Red
+        } else if backlog >= self.yellow_backlog {
+            ShedLevel::Yellow
+        } else {
+            ShedLevel::Green
+        }
+    }
+}
+
+/// Divides every limit in `spec` by `div` (floor 1 for counts; the
+/// timeout keeps sub-millisecond resolution).
+fn squeeze(spec: BudgetSpec, div: u32) -> BudgetSpec {
+    BudgetSpec {
+        timeout: spec.timeout.map(|t| (t / div).max(Duration::from_micros(50))),
+        max_cliques: spec.max_cliques.map(|c| (c / u64::from(div)).max(1)),
+        max_worlds: spec.max_worlds.map(|w| (w / u64::from(div)).max(1)),
+        max_tuples: spec.max_tuples.map(|t| (t / u64::from(div)).max(1)),
+    }
+}
+
+/// The budget a subscription gets this round. `expensive` marks a
+/// subscription whose last observed cost is above the round's median.
+/// Returns the (possibly tightened) budget and whether it was shed —
+/// callers count sheds into `server.shed_total`.
+pub fn shed_budget(spec: BudgetSpec, level: ShedLevel, expensive: bool) -> (BudgetSpec, bool) {
+    match (level, expensive) {
+        (ShedLevel::Green, _) => (spec, false),
+        (ShedLevel::Yellow, false) => (spec, false),
+        (ShedLevel::Yellow, true) => (squeeze(spec, 2), true),
+        (ShedLevel::Red, false) => (squeeze(spec, 4), true),
+        (ShedLevel::Red, true) => (squeeze(spec, 8), true),
+    }
+}
+
+/// The median of the last observed per-check costs (0 when empty). Used
+/// to split "expensive" from "cheap" for the shed ladder.
+pub fn median_cost(costs: &mut [u64]) -> u64 {
+    if costs.is_empty() {
+        return 0;
+    }
+    let mid = costs.len() / 2;
+    *costs.select_nth_unstable(mid).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> BudgetSpec {
+        BudgetSpec {
+            timeout: Some(Duration::from_millis(80)),
+            max_cliques: Some(1_000),
+            max_worlds: Some(10_000),
+            max_tuples: None,
+        }
+    }
+
+    #[test]
+    fn ladder_engages_by_backlog() {
+        let cfg = ShedConfig {
+            yellow_backlog: 10,
+            red_backlog: 100,
+        };
+        assert_eq!(cfg.level(0), ShedLevel::Green);
+        assert_eq!(cfg.level(9), ShedLevel::Green);
+        assert_eq!(cfg.level(10), ShedLevel::Yellow);
+        assert_eq!(cfg.level(99), ShedLevel::Yellow);
+        assert_eq!(cfg.level(100), ShedLevel::Red);
+    }
+
+    #[test]
+    fn green_passes_through() {
+        let (b, shed) = shed_budget(spec(), ShedLevel::Green, true);
+        assert!(!shed);
+        assert_eq!(b.timeout, spec().timeout);
+        assert_eq!(b.max_worlds, spec().max_worlds);
+    }
+
+    #[test]
+    fn yellow_targets_expensive_work_only() {
+        let (cheap, shed_cheap) = shed_budget(spec(), ShedLevel::Yellow, false);
+        assert!(!shed_cheap);
+        assert_eq!(cheap.timeout, spec().timeout);
+        let (dear, shed_dear) = shed_budget(spec(), ShedLevel::Yellow, true);
+        assert!(shed_dear);
+        assert_eq!(dear.timeout, Some(Duration::from_millis(40)));
+        assert_eq!(dear.max_cliques, Some(500));
+    }
+
+    #[test]
+    fn red_squeezes_everyone_expensive_hardest() {
+        let (cheap, s1) = shed_budget(spec(), ShedLevel::Red, false);
+        let (dear, s2) = shed_budget(spec(), ShedLevel::Red, true);
+        assert!(s1 && s2);
+        assert_eq!(cheap.timeout, Some(Duration::from_millis(20)));
+        assert_eq!(dear.timeout, Some(Duration::from_millis(10)));
+        assert_eq!(dear.max_worlds, Some(1_250));
+    }
+
+    #[test]
+    fn squeeze_never_zeroes_a_limit() {
+        let tiny = BudgetSpec {
+            timeout: Some(Duration::from_micros(100)),
+            max_cliques: Some(3),
+            max_worlds: Some(1),
+            max_tuples: Some(2),
+        };
+        let (b, _) = shed_budget(tiny, ShedLevel::Red, true);
+        assert!(b.timeout.unwrap() >= Duration::from_micros(50));
+        assert_eq!(b.max_cliques, Some(1));
+        assert_eq!(b.max_worlds, Some(1));
+        assert_eq!(b.max_tuples, Some(1));
+    }
+
+    #[test]
+    fn median_splits_costs() {
+        let mut costs = [5, 1, 9, 3, 7];
+        assert_eq!(median_cost(&mut costs), 5);
+        assert_eq!(median_cost(&mut []), 0);
+    }
+}

@@ -1,0 +1,463 @@
+//! Line-delimited JSON wire protocol.
+//!
+//! One request per line, one response per line, flat JSON objects only
+//! (strings, integers, booleans — no nesting). Minimal by design: it is
+//! implementable from any language's standard library, mirrors the
+//! journal's "one record per line" discipline, and needs no external
+//! parser crate. Notifications are pushed as lines with `"op":"notify"`
+//! to clients that subscribed with `notify:true`.
+//!
+//! ```text
+//! → {"op":"subscribe","tenant":"acme","name":"double-spend","constraint":"q() <- ...","weight":2,"notify":true}
+//! ← {"ok":true,"sub":17}
+//! → {"op":"poll","sub":17}
+//! ← {"ok":true,"sub":17,"verdict":"holds","flips":3,"epoch":42}
+//! → {"op":"event","payload":"mined <block> ..."}
+//! ← {"ok":true,"epoch":43}
+//! ← {"op":"notify","sub":17,"verdict":"violated","epoch":43}
+//! ```
+
+use crate::error::ServerError;
+use crate::service::{Notification, PollSnapshot, ServeStats};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A flat JSON scalar.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scalar {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (integers only on this wire).
+    Num(i64),
+    /// A JSON boolean.
+    Bool(bool),
+}
+
+/// Parses one flat JSON object line into key → scalar. Rejects nesting,
+/// floats, nulls, and trailing garbage — the wire has no use for them,
+/// and refusing keeps the parser small enough to audit.
+pub fn parse_flat(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let val = p.scalar()?;
+            out.insert(key, val);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                _ => return Err("expected ',' or '}'".to_string()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err("trailing bytes after object".to_string());
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next().ok_or("unterminated string")? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next().ok_or("unterminated escape")? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("short \\u escape")?;
+                            code = code * 16
+                                + (d as char).to_digit(16).ok_or("bad \\u digit")?;
+                        }
+                        out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                    }
+                    other => return Err(format!("bad escape \\{}", other as char)),
+                },
+                // Multi-byte UTF-8: pass raw bytes through; the final
+                // String::from_utf8 below validates. Collect them here.
+                b if b < 0x80 => out.push(b as char),
+                b => {
+                    // Re-assemble the UTF-8 sequence starting at b.
+                    let start = self.pos - 1;
+                    let len = match b {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        0xF0..=0xF7 => 4,
+                        _ => return Err("bad UTF-8 lead byte".to_string()),
+                    };
+                    let end = start + len;
+                    let slice = self.bytes.get(start..end).ok_or("truncated UTF-8")?;
+                    let s = std::str::from_utf8(slice).map_err(|e| e.to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+    fn scalar(&mut self) -> Result<Scalar, String> {
+        match self.peek().ok_or("expected value")? {
+            b'"' => Ok(Scalar::Str(self.string()?)),
+            b't' => self.literal("true", Scalar::Bool(true)),
+            b'f' => self.literal("false", Scalar::Bool(false)),
+            b'-' | b'0'..=b'9' => {
+                let start = self.pos;
+                if self.peek() == Some(b'-') {
+                    self.pos += 1;
+                }
+                while matches!(self.peek(), Some(b'0'..=b'9')) {
+                    self.pos += 1;
+                }
+                if matches!(self.peek(), Some(b'.' | b'e' | b'E')) {
+                    return Err("floats are not part of this wire".to_string());
+                }
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Scalar::Num)
+                    .ok_or_else(|| "bad number".to_string())
+            }
+            other => Err(format!("unexpected value byte {:?}", other as char)),
+        }
+    }
+    fn literal(&mut self, lit: &str, val: Scalar) -> Result<Scalar, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(val)
+        } else {
+            Err(format!("expected {lit}"))
+        }
+    }
+}
+
+/// A parsed client request.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Admit a subscription.
+    Subscribe {
+        /// Tenant id (fair-share identity).
+        tenant: String,
+        /// Client label.
+        name: String,
+        /// Denial constraint text.
+        constraint: String,
+        /// Tenant weight (defaults to 1).
+        weight: u32,
+        /// Push verdict-flip notifications on this connection.
+        notify: bool,
+    },
+    /// Retire a subscription.
+    Unsubscribe {
+        /// Subscription id.
+        sub: u64,
+    },
+    /// Read a subscription's current verdict.
+    Poll {
+        /// Subscription id.
+        sub: u64,
+    },
+    /// Ingest one chain event (single-line [`bcdb_monitor::ChainEvent`] encoding).
+    Event {
+        /// `ChainEvent::encode()` payload.
+        payload: String,
+    },
+    /// Read service counters.
+    Stats,
+    /// Begin graceful shutdown.
+    Shutdown,
+}
+
+fn get_str(map: &BTreeMap<String, Scalar>, key: &str) -> Result<String, ServerError> {
+    match map.get(key) {
+        Some(Scalar::Str(s)) => Ok(s.clone()),
+        _ => Err(ServerError::BadRequest(format!("missing string {key:?}"))),
+    }
+}
+
+fn get_u64(map: &BTreeMap<String, Scalar>, key: &str) -> Result<u64, ServerError> {
+    match map.get(key) {
+        Some(Scalar::Num(n)) if *n >= 0 => Ok(*n as u64),
+        _ => Err(ServerError::BadRequest(format!(
+            "missing non-negative integer {key:?}"
+        ))),
+    }
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request, ServerError> {
+    let map = parse_flat(line).map_err(ServerError::BadRequest)?;
+    let op = get_str(&map, "op")?;
+    match op.as_str() {
+        "subscribe" => Ok(Request::Subscribe {
+            tenant: get_str(&map, "tenant")?,
+            name: get_str(&map, "name")?,
+            constraint: get_str(&map, "constraint")?,
+            weight: match map.get("weight") {
+                Some(Scalar::Num(n)) if *n >= 1 => *n as u32,
+                None => 1,
+                _ => return Err(ServerError::BadRequest("weight must be ≥ 1".into())),
+            },
+            notify: matches!(map.get("notify"), Some(Scalar::Bool(true))),
+        }),
+        "unsubscribe" => Ok(Request::Unsubscribe {
+            sub: get_u64(&map, "sub")?,
+        }),
+        "poll" => Ok(Request::Poll {
+            sub: get_u64(&map, "sub")?,
+        }),
+        "event" => Ok(Request::Event {
+            payload: get_str(&map, "payload")?,
+        }),
+        "stats" => Ok(Request::Stats),
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(ServerError::BadRequest(format!("unknown op {other:?}"))),
+    }
+}
+
+/// Tiny single-line JSON object builder (the response side).
+pub struct Line {
+    buf: String,
+    first: bool,
+}
+
+impl Line {
+    /// Opens an object.
+    pub fn new() -> Line {
+        Line {
+            buf: "{".to_string(),
+            first: true,
+        }
+    }
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+    /// Adds a string field.
+    pub fn str(mut self, key: &str, val: &str) -> Line {
+        self.key(key);
+        self.buf.push('"');
+        escape_into(val, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+    /// Adds an integer field.
+    pub fn num(mut self, key: &str, val: u64) -> Line {
+        self.key(key);
+        let _ = write!(self.buf, "{val}");
+        self
+    }
+    /// Adds a boolean field.
+    pub fn bool(mut self, key: &str, val: bool) -> Line {
+        self.key(key);
+        self.buf.push_str(if val { "true" } else { "false" });
+        self
+    }
+    /// Adds an optional string field (skipped when `None`).
+    pub fn opt_str(self, key: &str, val: Option<&str>) -> Line {
+        match val {
+            Some(v) => self.str(key, v),
+            None => self,
+        }
+    }
+    /// Closes the object.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for Line {
+    fn default() -> Self {
+        Line::new()
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders an error response.
+pub fn error_line(err: &ServerError) -> String {
+    Line::new()
+        .bool("ok", false)
+        .str("error", err.code())
+        .str("detail", &err.to_string())
+        .bool("retry_later", err.is_overload())
+        .finish()
+}
+
+/// Renders a poll response.
+pub fn poll_line(snap: &PollSnapshot) -> String {
+    Line::new()
+        .bool("ok", true)
+        .num("sub", snap.sub)
+        .str("tenant", &snap.tenant)
+        .str("name", &snap.name)
+        .str("verdict", snap.verdict)
+        .opt_str("reason", snap.reason.as_deref())
+        .opt_str("degraded_to", snap.degraded_to)
+        .num("flips", snap.flips)
+        .num("epoch", snap.checked_epoch)
+        .finish()
+}
+
+/// Renders a pushed notification.
+pub fn notify_line(n: &Notification) -> String {
+    Line::new()
+        .str("op", "notify")
+        .num("sub", n.sub)
+        .str("tenant", &n.tenant)
+        .str("name", &n.name)
+        .str("verdict", n.verdict)
+        .opt_str("reason", n.reason.as_deref())
+        .num("epoch", n.epoch)
+        .finish()
+}
+
+/// Renders a stats response.
+pub fn stats_line(s: &ServeStats) -> String {
+    Line::new()
+        .bool("ok", true)
+        .num("subscriptions", s.subscriptions as u64)
+        .num("tenants", s.tenants as u64)
+        .num("epoch", s.epoch)
+        .num("events", s.events)
+        .num("rounds", s.rounds)
+        .num("checks", s.checks)
+        .num("refusals", s.refusals)
+        .num("sheds", s.sheds)
+        .num("flips", s.flips)
+        .num("coalesced", s.coalesced)
+        .num("panics_contained", s.monitor.panics_contained)
+        .num("retries", s.monitor.retries)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_subscribe_round_trip() {
+        let line = r#"{"op":"subscribe","tenant":"acme","name":"ds","constraint":"q() <- TxOut(n, s, k, a)","weight":3,"notify":true}"#;
+        let req = parse_request(line).unwrap();
+        assert_eq!(
+            req,
+            Request::Subscribe {
+                tenant: "acme".into(),
+                name: "ds".into(),
+                constraint: "q() <- TxOut(n, s, k, a)".into(),
+                weight: 3,
+                notify: true,
+            }
+        );
+    }
+
+    #[test]
+    fn weight_defaults_and_validates() {
+        let ok = parse_request(r#"{"op":"subscribe","tenant":"t","name":"n","constraint":"c"}"#)
+            .unwrap();
+        assert!(matches!(ok, Request::Subscribe { weight: 1, notify: false, .. }));
+        let err = parse_request(
+            r#"{"op":"subscribe","tenant":"t","name":"n","constraint":"c","weight":0}"#,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_nesting_floats_and_garbage() {
+        assert!(parse_flat(r#"{"a":{"b":1}}"#).is_err());
+        assert!(parse_flat(r#"{"a":1.5}"#).is_err());
+        assert!(parse_flat(r#"{"a":1} extra"#).is_err());
+        assert!(parse_flat(r#"{"a":null}"#).is_err());
+        assert!(parse_flat("{}").is_ok());
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let s = "tab\there \"quoted\" back\\slash ünïcode \u{1F600}";
+        let line = Line::new().str("v", s).finish();
+        let parsed = parse_flat(&line).unwrap();
+        assert_eq!(parsed["v"], Scalar::Str(s.to_string()));
+    }
+
+    #[test]
+    fn unicode_escape_parses() {
+        let parsed = parse_flat("{\"v\":\"\\u0041é\\n\"}").unwrap();
+        assert_eq!(parsed["v"], Scalar::Str("Aé\n".to_string()));
+    }
+
+    #[test]
+    fn error_lines_carry_typed_codes() {
+        let line = error_line(&ServerError::AdmissionLimit(10));
+        let parsed = parse_flat(&line).unwrap();
+        assert_eq!(parsed["error"], Scalar::Str("admission_limit".into()));
+        assert_eq!(parsed["retry_later"], Scalar::Bool(true));
+        let line = error_line(&ServerError::BadRequest("nope".into()));
+        let parsed = parse_flat(&line).unwrap();
+        assert_eq!(parsed["retry_later"], Scalar::Bool(false));
+    }
+}

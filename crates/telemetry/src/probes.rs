@@ -87,6 +87,22 @@ pub static STORAGE_RECOVERY_NS: Histogram = Histogram::new("storage.recovery_ns"
 /// the WAL tail that bounds cold-start cost.
 pub static STORAGE_WAL_TAIL_RECORDS: Gauge = Gauge::new("storage.wal_tail_records");
 
+// ---- bcdb-server: the multi-tenant serving layer ----
+
+/// Live subscriptions across all tenants (admission-controlled).
+pub static SERVER_SUBSCRIPTIONS_ACTIVE: Gauge = Gauge::new("server.subscriptions_active");
+/// Ingest-to-flip latency: time from a chain event entering the server to
+/// a subscription's verdict flip being enqueued for notification.
+pub static SERVER_FLIP_LATENCY_NS: Histogram = Histogram::new("server.flip_latency_ns");
+/// Work units downgraded by overload shedding (budget reduced along the
+/// degradation ladder) plus notifications coalesced by full queues.
+pub static SERVER_SHED_TOTAL: Counter = Counter::new("server.shed_total");
+/// Re-checks refused because the owning tenant's fair-share budget
+/// envelope for the round was already spent (the refusal is per-tenant:
+/// other tenants' checks proceed untouched).
+pub static SERVER_TENANT_BUDGET_EXHAUSTED: Counter =
+    Counter::new("server.tenant_budget_exhausted");
+
 // ---- bcdb-monitor: epochs and the journal ----
 
 /// Incremental event-apply wall time (TxArrived/TxEvicted).
@@ -122,6 +138,8 @@ pub static COUNTERS: &[&Counter] = &[
     &GOVERNOR_RETRY_ATTEMPTS,
     &STORAGE_SNAPSHOTS_PERSISTED,
     &STORAGE_SNAPSHOT_BYTES_WRITTEN,
+    &SERVER_SHED_TOTAL,
+    &SERVER_TENANT_BUDGET_EXHAUSTED,
 ];
 
 /// Every gauge, in snapshot order.
@@ -129,6 +147,7 @@ pub static GAUGES: &[&Gauge] = &[
     &GOVERNOR_DEGRADATION_RUNG,
     &STORAGE_WAL_TAIL_RECORDS,
     &MONITOR_EPOCH,
+    &SERVER_SUBSCRIPTIONS_ACTIVE,
 ];
 
 /// Every histogram, in snapshot order.
@@ -145,4 +164,5 @@ pub static HISTOGRAMS: &[&Histogram] = &[
     &MONITOR_REBUILD_NS,
     &MONITOR_JOURNAL_APPEND_NS,
     &MONITOR_JOURNAL_REPLAY_NS,
+    &SERVER_FLIP_LATENCY_NS,
 ];

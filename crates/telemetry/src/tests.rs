@@ -199,7 +199,8 @@ fn registry_names_are_unique_and_follow_the_scheme() {
     for n in &names {
         let crate_prefix = n.split('.').next().unwrap();
         assert!(
-            ["graph", "query", "core", "governor", "monitor", "storage"].contains(&crate_prefix),
+            ["graph", "query", "core", "governor", "monitor", "storage", "server"]
+                .contains(&crate_prefix),
             "probe {n} must be <crate>.<metric>"
         );
     }
