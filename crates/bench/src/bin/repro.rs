@@ -819,18 +819,65 @@ fn parse_storage(arg: &str) -> Option<std::path::PathBuf> {
     }
 }
 
+/// Parses an `--apply-mode` argument: how the monitor handles
+/// epoch-advancing events. `incremental` (in-place delta apply, the
+/// default), `rebuild` (the full-snapshot oracle), or `verified`
+/// (incremental plus a timed shadow rebuild compared against it).
+fn parse_apply_mode(arg: &str) -> bcdb_monitor::EpochApply {
+    match arg {
+        "incremental" => bcdb_monitor::EpochApply::Incremental,
+        "rebuild" => bcdb_monitor::EpochApply::Rebuild,
+        "verified" => bcdb_monitor::EpochApply::IncrementalVerified,
+        _ => {
+            eprintln!("--apply-mode takes 'incremental', 'rebuild', or 'verified', got '{arg}'");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn apply_mode_label(mode: bcdb_monitor::EpochApply) -> &'static str {
+    match mode {
+        bcdb_monitor::EpochApply::Incremental => "incremental",
+        bcdb_monitor::EpochApply::Rebuild => "rebuild",
+        bcdb_monitor::EpochApply::IncrementalVerified => "verified",
+    }
+}
+
 /// Runs the reorg/fault soak (`bcdb_monitor::run_soak`) and writes its
-/// report as JSON. Exits nonzero if any epoch diverged from a cold rebuild.
-fn soak(epochs: u64, seed: u64, out: &str, storage_dir: Option<std::path::PathBuf>) {
+/// report as JSON. Exits nonzero if any epoch diverged from a cold
+/// rebuild, or (in verified mode) if any shadow-oracle apply diverged.
+fn soak(
+    epochs: u64,
+    seed: u64,
+    out: &str,
+    storage_dir: Option<std::path::PathBuf>,
+    apply_mode: bcdb_monitor::EpochApply,
+) {
     let journal = format!("{out}.journal");
     let mut cfg = bcdb_monitor::SoakConfig::new(epochs, seed, &journal);
+    // The library default scenario is sized for sub-second unit tests;
+    // the CLI soaks at a scale where the apply-vs-rebuild asymmetry is
+    // measurable (rebuild cost grows with chain + mempool size, delta
+    // apply with block size). Block size is capped so a mined block
+    // carries ~a dozen transactions instead of draining the pool — the
+    // paper's regime, where the per-block delta is small relative to
+    // the accumulated state.
+    cfg.scenario.wallets = 40;
+    cfg.scenario.blocks = 300;
+    cfg.scenario.txs_per_block = 8;
+    cfg.scenario.pending_txs = 150;
+    cfg.scenario.contradictions = 8;
+    cfg.scenario.chain.max_block_vsize = 1_400;
     cfg.storage_dir = storage_dir;
+    cfg.monitor.epoch_apply = apply_mode;
+    let mode = apply_mode_label(apply_mode);
     match &cfg.storage_dir {
         Some(dir) => println!(
-            "[soak] {epochs} epochs, seed {seed}, journal {journal}, snapshots under {}",
+            "[soak] {epochs} epochs, seed {seed}, {mode} apply, journal {journal}, \
+             snapshots under {}",
             dir.display()
         ),
-        None => println!("[soak] {epochs} epochs, seed {seed}, journal {journal}"),
+        None => println!("[soak] {epochs} epochs, seed {seed}, {mode} apply, journal {journal}"),
     }
     bcdb_telemetry::reset();
     bcdb_telemetry::set_enabled(true);
@@ -854,6 +901,38 @@ fn soak(epochs: u64, seed: u64, out: &str, storage_dir: Option<std::path::PathBu
             .collect::<Vec<_>>()
             .join(",")
     );
+    // Per-event averages: journal drills re-count replayed prefixes, so
+    // raw nanosecond totals across modes are only comparable per event.
+    let apply_per_event = if report.applies > 0 {
+        report.block_apply_ns as f64 / report.applies as f64
+    } else {
+        0.0
+    };
+    let delta_per_event = if report.delta_applies > 0 {
+        report.delta_apply_ns as f64 / report.delta_applies as f64
+    } else {
+        0.0
+    };
+    let rebuild_events = report.rebuilds + report.shadow_builds;
+    let rebuild_per_event = if rebuild_events > 0 {
+        report.block_rebuild_ns as f64 / rebuild_events as f64
+    } else {
+        0.0
+    };
+    // The headline claim — a mined block handled as an O(block) wire
+    // delta vs what rebuilding from a snapshot costs. (Snapshot-form
+    // events still resolve and reconcile O(state) input, so the
+    // aggregate `apply_speedup` is the conservative overall figure.)
+    let delta_speedup = if delta_per_event > 0.0 && rebuild_per_event > 0.0 {
+        rebuild_per_event / delta_per_event
+    } else {
+        0.0
+    };
+    let apply_speedup = if apply_per_event > 0.0 && rebuild_per_event > 0.0 {
+        rebuild_per_event / apply_per_event
+    } else {
+        0.0
+    };
     let json = JsonObject::new()
         .str("bench", "monitor-soak")
         .num("epochs", report.epochs)
@@ -873,6 +952,21 @@ fn soak(epochs: u64, seed: u64, out: &str, storage_dir: Option<std::path::PathBu
         .num("journal_lines_dropped", report.journal_lines_dropped)
         .num("journal_bytes_dropped", report.journal_bytes_dropped)
         .num("final_epoch", report.final_epoch)
+        .str("apply_mode", mode)
+        .num("applies", report.applies)
+        .num("rebuilds", report.rebuilds)
+        .num("apply_fallbacks", report.apply_fallbacks)
+        .num("apply_divergences", report.apply_divergences)
+        .num("shadow_builds", report.shadow_builds)
+        .num("apply_ns", report.block_apply_ns)
+        .num("rebuild_ns", report.block_rebuild_ns)
+        .num("delta_applies", report.delta_applies)
+        .num("delta_apply_ns", report.delta_apply_ns)
+        .raw("apply_ns_per_event", &format!("{:.1}", apply_per_event))
+        .raw("delta_apply_ns_per_event", &format!("{:.1}", delta_per_event))
+        .raw("rebuild_ns_per_event", &format!("{:.1}", rebuild_per_event))
+        .raw("apply_speedup", &format!("{:.2}", apply_speedup))
+        .raw("delta_apply_speedup", &format!("{:.2}", delta_speedup))
         .num("elapsed_ms", report.elapsed_ms)
         .num("divergence_count", report.divergences.len())
         .raw("divergences", &divergences)
@@ -894,7 +988,26 @@ fn soak(epochs: u64, seed: u64, out: &str, storage_dir: Option<std::path::PathBu
         "[soak] verdicts: {} checks ({} holds / {} violated / {} unknown)",
         report.verdict_checks, report.holds, report.violated, report.unknown
     );
+    println!(
+        "[soak] epoch apply: {} incremental ({:.0} ns/event; {} wire deltas at {:.0} ns/event), \
+         {} rebuilds + {} shadow builds ({:.0} ns/event), {} fallbacks",
+        report.applies,
+        apply_per_event,
+        report.delta_applies,
+        delta_per_event,
+        report.rebuilds,
+        report.shadow_builds,
+        rebuild_per_event,
+        report.apply_fallbacks
+    );
+    if apply_speedup > 0.0 {
+        println!("[soak] incremental apply speedup over rebuild: {apply_speedup:.1}x");
+    }
+    if delta_speedup > 0.0 {
+        println!("[soak] mined-block delta apply speedup over rebuild: {delta_speedup:.1}x");
+    }
     println!("[soak] wrote {out}");
+    let mut failed = false;
     if report.divergences.is_empty() {
         println!("[soak] PASS: incremental state matched cold rebuild every epoch");
     } else {
@@ -905,6 +1018,16 @@ fn soak(epochs: u64, seed: u64, out: &str, storage_dir: Option<std::path::PathBu
         for d in &report.divergences {
             eprintln!("[soak]   {d}");
         }
+        failed = true;
+    }
+    if report.apply_divergences > 0 {
+        eprintln!(
+            "[soak] FAIL: {} shadow-oracle apply divergence(s)",
+            report.apply_divergences
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }
@@ -1175,6 +1298,7 @@ fn main() {
     let mut compare: Option<String> = None;
     let mut out: Option<String> = None;
     let mut storage: Option<String> = None;
+    let mut apply_mode = bcdb_monitor::EpochApply::Incremental;
     let mut which = "all".to_string();
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -1225,6 +1349,9 @@ fn main() {
             "--storage" => {
                 storage = Some(it.next().expect("--storage takes a value").clone());
             }
+            "--apply-mode" => {
+                apply_mode = parse_apply_mode(it.next().expect("--apply-mode takes a value"));
+            }
             other => which = other.to_string(),
         }
     }
@@ -1256,6 +1383,7 @@ fn main() {
             seed,
             out.as_deref().unwrap_or("SOAK_report.json"),
             storage.as_deref().and_then(parse_storage),
+            apply_mode,
         ),
         "crashstorm" => crashstorm(
             smoke,
@@ -1288,6 +1416,7 @@ fn main() {
                  bench [--smoke] [--constraints N] [--components N] [--giant-size N] \
                  [--profile] [--profile-out PATH] [--compare PATH] [--out PATH] \
                  soak [--epochs N] [--seed S] [--out PATH] [--storage memory|disk:<dir>] \
+                 [--apply-mode incremental|rebuild|verified] \
                  crashstorm [--smoke] [--epochs N] [--seed S] [--out PATH] \
                  serve-storm [--smoke] [--seed S] [--out PATH] all"
             );

@@ -116,6 +116,126 @@ impl BlockchainDb {
         self.pending.remove(tx.index())
     }
 
+    /// Removes several pending transactions in one store pass. Equivalent
+    /// to calling [`remove_transaction`](Self::remove_transaction) on each
+    /// id in descending order, but renumbers survivors once instead of once
+    /// per removal. Returns the removed transactions in ascending-id order.
+    pub fn remove_transactions(&mut self, txs: &[TxId]) -> Vec<PendingTransaction> {
+        let mut sorted = txs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        for &tx in &sorted {
+            assert!(
+                tx.index() < self.pending.len(),
+                "remove_transactions: {tx} out of range ({} pending)",
+                self.pending.len()
+            );
+        }
+        // Trailing empty transactions never bumped the store's tx counter;
+        // only hand the stores ids within their id space.
+        let store_txs: Vec<TxId> = sorted
+            .iter()
+            .copied()
+            .filter(|t| t.index() < self.db.tx_count())
+            .collect();
+        self.db.remove_pending_txs(&store_txs);
+        let mut removed = Vec::with_capacity(sorted.len());
+        for &tx in sorted.iter().rev() {
+            removed.push(self.pending.remove(tx.index()));
+        }
+        removed.reverse();
+        removed
+    }
+
+    /// Folds the pending transactions `txs` into the current state `R` (in
+    /// the order given) and removes them from `T`, renumbering survivors
+    /// down. The in-place equivalent of
+    /// [`accept_transactions`](Self::accept_transactions): the resulting
+    /// stores are byte-identical to a database rebuilt with `txs` accepted,
+    /// but no row outside the promoted set is rehashed or re-interned.
+    /// Returns the base rows actually added (duplicates of existing base
+    /// tuples are skipped, exactly as a cold bulk load would skip them).
+    pub fn promote_transactions(
+        &mut self,
+        txs: &[TxId],
+    ) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
+        let mut rows: Vec<(RelationId, Tuple)> = Vec::new();
+        for &tx in txs {
+            assert!(
+                tx.index() < self.pending.len(),
+                "promote_transactions: {tx} out of range ({} pending)",
+                self.pending.len()
+            );
+            rows.extend(self.pending[tx.index()].tuples.iter().cloned());
+        }
+        let added = self.db.append_base_rows(&rows)?;
+        self.remove_transactions(txs);
+        Ok(added)
+    }
+
+    /// Promotes a single pending transaction into the current state.
+    /// See [`promote_transactions`](Self::promote_transactions).
+    pub fn promote_transaction(&mut self, tx: TxId) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
+        self.promote_transactions(&[tx])
+    }
+
+    /// Issues a pending transaction at position `at` (shifting ids `>= at`
+    /// up by one), producing stores byte-identical to a database where the
+    /// transaction had been issued in that relative order all along. The
+    /// inverse of [`remove_transaction`](Self::remove_transaction) — reorg
+    /// undo uses it to put a de-mined transaction back at its original slot.
+    pub fn insert_transaction_at(
+        &mut self,
+        at: TxId,
+        name: impl Into<String>,
+        tuples: impl IntoIterator<Item = (RelationId, Tuple)>,
+    ) -> Result<(), CoreError> {
+        assert!(
+            at.index() <= self.pending.len(),
+            "insert_transaction_at: {at} out of range ({} pending)",
+            self.pending.len()
+        );
+        let tuples: Vec<(RelationId, Tuple)> = tuples.into_iter().collect();
+        for (rel, tuple) in &tuples {
+            self.db.catalog().schema(*rel).typecheck(tuple)?;
+        }
+        if at.index() >= self.db.tx_count() {
+            // Every transaction at or above `at` is empty (none bumped the
+            // store counter), so there is nothing to shift: plain inserts
+            // reproduce the cold build.
+            for (rel, tuple) in &tuples {
+                self.db.insert(*rel, tuple.clone(), Source::Pending(at))?;
+            }
+        } else {
+            self.db.insert_pending_tx_at(at, &tuples)?;
+        }
+        self.pending.insert(
+            at.index(),
+            PendingTransaction {
+                name: name.into(),
+                tuples,
+            },
+        );
+        Ok(())
+    }
+
+    /// Appends `rows` to the current state `R` in one batch, skipping
+    /// tuples already present as base rows (the dedup a cold bulk load
+    /// performs). Returns the rows actually added, in append order.
+    pub fn append_base_rows(
+        &mut self,
+        rows: &[(RelationId, Tuple)],
+    ) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
+        Ok(self.db.append_base_rows(rows)?)
+    }
+
+    /// Removes the base copies of `rows` from the current state `R`
+    /// (pending copies of the same tuples survive). Returns how many rows
+    /// were dropped. Reorg undo uses this to retract a block's appends.
+    pub fn remove_base_rows(&mut self, rows: &[(RelationId, Tuple)]) -> usize {
+        self.db.remove_base_rows(rows)
+    }
+
     /// The underlying multi-source database.
     pub fn database(&self) -> &Database {
         &self.db
@@ -384,6 +504,119 @@ mod tests {
         assert_eq!(removed.name, "empty");
         assert_eq!(bc.pending_count(), 1);
         assert_eq!(bc.database().tx_count(), 1);
+    }
+
+    fn assert_same_stores(a: &BlockchainDb, b: &BlockchainDb) {
+        assert_eq!(a.pending_count(), b.pending_count());
+        for (pa, pb) in a.pending().iter().zip(b.pending()) {
+            assert_eq!(pa.name, pb.name);
+            assert_eq!(pa.tuples, pb.tuples);
+        }
+        assert_eq!(a.database().tx_count(), b.database().tx_count());
+        for (rel, _) in a.database().catalog().iter() {
+            let ra: Vec<_> = a.database().relation(rel).scan_all().collect();
+            let rb: Vec<_> = b.database().relation(rel).scan_all().collect();
+            assert_eq!(ra.len(), rb.len(), "{rel:?} row counts differ");
+            for ((_, x), (_, y)) in ra.iter().zip(&rb) {
+                assert_eq!(x.tuple, y.tuple);
+                assert_eq!(x.source, y.source);
+            }
+        }
+    }
+
+    #[test]
+    fn promote_transactions_matches_accept_transactions() {
+        let (mut bc, r, s) = simple_setup();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        let t0 = bc.add_transaction("T0", [(r, tuple![2i64, 20i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![2i64])]).unwrap();
+        let t2 = bc
+            .add_transaction("T2", [(r, tuple![3i64, 30i64]), (s, tuple![3i64])])
+            .unwrap();
+
+        let (oracle, _) = bc.accept_transactions(&[t0, t2]).unwrap();
+        let added = bc.promote_transactions(&[t0, t2]).unwrap();
+        assert_eq!(
+            added,
+            vec![
+                (r, tuple![2i64, 20i64]),
+                (r, tuple![3i64, 30i64]),
+                (s, tuple![3i64]),
+            ]
+        );
+        assert_same_stores(&bc, &oracle);
+        bc.check_current_state().unwrap();
+    }
+
+    #[test]
+    fn promote_skips_tuples_already_in_base() {
+        let (mut bc, r, _) = simple_setup();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        let t0 = bc.add_transaction("T0", [(r, tuple![1i64, 10i64])]).unwrap();
+        let added = bc.promote_transaction(t0).unwrap();
+        assert!(added.is_empty());
+        assert_eq!(bc.database().relation(r).base_row_count(), 1);
+        assert_eq!(bc.pending_count(), 0);
+    }
+
+    #[test]
+    fn remove_transactions_batch_matches_sequential() {
+        let build = |setup: &mut BlockchainDb, r: RelationId, s: RelationId| {
+            setup.insert_current(r, tuple![1i64, 10i64]).unwrap();
+            for i in 0..5i64 {
+                setup
+                    .add_transaction(format!("T{i}"), [(r, tuple![i + 2, i]), (s, tuple![1i64])])
+                    .unwrap();
+            }
+        };
+        let (mut batch, r, s) = simple_setup();
+        build(&mut batch, r, s);
+        let (mut seq, r2, s2) = simple_setup();
+        build(&mut seq, r2, s2);
+
+        let removed = batch.remove_transactions(&[TxId(3), TxId(1)]);
+        assert_eq!(removed.len(), 2);
+        assert_eq!(removed[0].name, "T1");
+        assert_eq!(removed[1].name, "T3");
+        // Sequential removal must go high-to-low to keep ids stable.
+        seq.remove_transaction(TxId(3));
+        seq.remove_transaction(TxId(1));
+        assert_same_stores(&batch, &seq);
+    }
+
+    #[test]
+    fn insert_transaction_at_matches_cold_build() {
+        let (mut bc, r, s) = simple_setup();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.add_transaction("T0", [(r, tuple![2i64, 20i64])]).unwrap();
+        bc.add_transaction("T2", [(s, tuple![2i64])]).unwrap();
+        bc.insert_transaction_at(TxId(1), "T1", [(r, tuple![3i64, 30i64])])
+            .unwrap();
+
+        let (mut cold, rc, sc) = simple_setup();
+        cold.insert_current(rc, tuple![1i64, 10i64]).unwrap();
+        cold.add_transaction("T0", [(rc, tuple![2i64, 20i64])]).unwrap();
+        cold.add_transaction("T1", [(rc, tuple![3i64, 30i64])]).unwrap();
+        cold.add_transaction("T2", [(sc, tuple![2i64])]).unwrap();
+        assert_same_stores(&bc, &cold);
+    }
+
+    #[test]
+    fn insert_transaction_at_past_store_counter() {
+        // Trailing empty transaction: the store counter lags the pending
+        // list, and an insert at the tail must still match a cold build.
+        let (mut bc, r, _) = simple_setup();
+        bc.add_transaction("T0", [(r, tuple![1i64, 1i64])]).unwrap();
+        bc.add_transaction("empty", std::iter::empty()).unwrap();
+        assert_eq!(bc.database().tx_count(), 1);
+        bc.insert_transaction_at(TxId(2), "T2", [(r, tuple![2i64, 2i64])])
+            .unwrap();
+
+        let (mut cold, rc, _) = simple_setup();
+        cold.add_transaction("T0", [(rc, tuple![1i64, 1i64])]).unwrap();
+        cold.add_transaction("empty", std::iter::empty()).unwrap();
+        cold.add_transaction("T2", [(rc, tuple![2i64, 2i64])]).unwrap();
+        assert_same_stores(&bc, &cold);
     }
 
     #[test]

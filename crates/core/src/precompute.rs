@@ -57,6 +57,17 @@ pub struct Precomputed {
     ind_groups: Vec<SideGroups>,
 }
 
+/// Direction of a base-state delta, used by the post-change refresh to
+/// exploit monotonicity: a grow-only change can never create new IND
+/// support gaps, so already-includable transactions skip the index probe.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BaseChange {
+    /// Rows were only appended to `R`.
+    Grew,
+    /// Rows were only retracted from `R`.
+    Shrank,
+}
+
 impl Precomputed {
     /// Builds all structures for `bcdb`.
     pub fn build(bcdb: &BlockchainDb) -> Self {
@@ -256,8 +267,9 @@ impl Precomputed {
     /// Viability, inclusion status, and `GfTd` edges of the surviving
     /// transactions are unaffected by the eviction: each depends only on
     /// the current state `R` and the survivors' own tuples, both untouched
-    /// here (a change to `R` itself — mining, reorg — requires a full
-    /// rebuild, which the monitor layer performs at epoch boundaries). The
+    /// here (a change to `R` itself — mining, reorg — is a separate batch
+    /// delta, handled by [`note_base_rows_added`](Self::note_base_rows_added)
+    /// / [`note_base_rows_removed`](Self::note_base_rows_removed)). The
     /// per-tx rows are therefore removed *and shifted*, never left in
     /// place, so a transaction issued later that reuses the evicted
     /// transaction's keys is fingerprinted against the correct rows. `Gind`
@@ -266,33 +278,262 @@ impl Precomputed {
     /// rebuild is `O(|groups|)` and cannot diverge from the incremental
     /// insertion path.
     pub fn note_transaction_removed(&mut self, tx: TxId) {
-        let n = self.tx_fp.len();
-        assert!(
-            tx.index() < n,
-            "note_transaction_removed: {tx} out of range ({n} noted)"
-        );
-        self.tx_fp.remove(tx.index());
-        self.viable.remove(tx.index());
-        self.includable.remove(tx.index());
-        self.fd_graph.remove_node(tx.index());
+        self.note_transactions_removed(&[tx]);
+    }
 
-        // Remap the ΘI value groups: drop tx, shift larger ids down, and
-        // forget emptied value groups entirely.
+    /// The batch counterpart of
+    /// [`note_transaction_removed`](Self::note_transaction_removed): shrinks
+    /// the steady state after every transaction in `txs` (sorted ascending,
+    /// duplicate-free, in *pre-removal* ids) was removed at once via
+    /// [`BlockchainDb::remove_transactions`]. One graph rebuild, one ΘI
+    /// group remap, and one `Gind` component reconstruction cover all `k`
+    /// departures, instead of `k` full rebuilds — the difference between
+    /// O(k·(n+m)) and O(n+m) when a mined block flushes a large conflict
+    /// set out of the pool.
+    pub fn note_transactions_removed(&mut self, txs: &[TxId]) {
+        debug_assert!(
+            txs.windows(2).all(|w| w[0] < w[1]),
+            "note_transactions_removed: txs must be sorted and distinct"
+        );
+        if txs.is_empty() {
+            return;
+        }
+        let n = self.tx_fp.len();
+        let last = txs[txs.len() - 1];
+        assert!(
+            last.index() < n,
+            "note_transactions_removed: {last} out of range ({n} noted)"
+        );
+
+        let removed: Vec<u32> = txs.iter().map(|t| t.0).collect();
+        let keep = |id: u32| removed.binary_search(&id).is_err();
+        let mut i = 0u32;
+        self.tx_fp.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
+        let mut i = 0u32;
+        self.viable.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
+        let mut i = 0u32;
+        self.includable.retain(|_| {
+            let k = keep(i);
+            i += 1;
+            k
+        });
+        let idxs: Vec<usize> = txs.iter().map(|t| t.index()).collect();
+        self.fd_graph.remove_nodes(&idxs);
+
+        // Remap the ΘI value groups: drop the departed ids, shift each
+        // survivor down by the number of departures below it, and forget
+        // emptied value groups entirely.
         for groups in &mut self.ind_groups {
             for entry in groups.values_mut() {
                 for side in [&mut entry.0, &mut entry.1] {
-                    side.retain(|t| *t != tx.0);
+                    side.retain(|t| keep(*t));
                     for t in side.iter_mut() {
-                        if *t > tx.0 {
-                            *t -= 1;
-                        }
+                        *t -= removed.partition_point(|&r| r < *t) as u32;
                     }
                 }
             }
             groups.retain(|_, (lefts, rights)| !lefts.is_empty() || !rights.is_empty());
         }
 
-        let mut uf = UnionFind::new(n - 1);
+        let mut uf = UnionFind::new(n - txs.len());
+        for groups in &self.ind_groups {
+            for (lefts, rights) in groups.values() {
+                if lefts.is_empty() || rights.is_empty() {
+                    continue;
+                }
+                let anchor = lefts[0] as usize;
+                for &x in lefts.iter().chain(rights.iter()) {
+                    uf.union(anchor, x as usize);
+                }
+            }
+        }
+        self.ind_uf = uf;
+    }
+
+    /// Incrementally absorbs a batch of rows just appended to the current
+    /// state `R` (a mined block's tuples, via
+    /// [`BlockchainDb::append_base_rows`] or
+    /// [`BlockchainDb::promote_transactions`]). Base fingerprints gain the
+    /// rows' FD projections; viability, `GfTd`, and inclusion status are
+    /// re-derived against the new `R` without rehashing any stored row.
+    /// `Gind` is untouched: ΘI groups range over pending transactions only.
+    pub fn note_base_rows_added(
+        &mut self,
+        bcdb: &BlockchainDb,
+        rows: &[(bcdb_storage::RelationId, bcdb_storage::Tuple)],
+    ) {
+        let cs = bcdb.constraints();
+        for (rel, tuple) in rows {
+            self.base_fp.add_tuple(cs, *rel, tuple);
+        }
+        self.refresh_after_base_change(bcdb, BaseChange::Grew);
+    }
+
+    /// The inverse of [`note_base_rows_added`](Self::note_base_rows_added):
+    /// absorbs a batch of rows just retracted from `R` (a reorged-out
+    /// block's tuples, via [`BlockchainDb::remove_base_rows`]). The rows
+    /// must actually have been base rows — fingerprint counts underflow
+    /// otherwise (checked in debug builds).
+    pub fn note_base_rows_removed(
+        &mut self,
+        bcdb: &BlockchainDb,
+        rows: &[(bcdb_storage::RelationId, bcdb_storage::Tuple)],
+    ) {
+        let cs = bcdb.constraints();
+        for (rel, tuple) in rows {
+            self.base_fp.remove_tuple(cs, *rel, tuple);
+        }
+        self.refresh_after_base_change(bcdb, BaseChange::Shrank);
+    }
+
+    /// Re-derives every per-transaction judgement that depends on `R` after
+    /// [`base_fp`](Self::base_fp) changed. Viability flips are repaired in
+    /// the graph locally (`isolate` on an off-flip, edge scan on an
+    /// on-flip); inclusion status is re-probed through the IND indexes,
+    /// since a base change can create or destroy IND support.
+    ///
+    /// The `change` direction prunes the IND probe. When `R` only grew,
+    /// both judgements are monotone: viability can only flip off (the base
+    /// fingerprints gained projections, so a new FD clash can appear but an
+    /// old one cannot vanish) and IND support can only grow. A transaction
+    /// that was includable and is still viable therefore stays includable
+    /// without a probe — only viable, not-yet-includable transactions need
+    /// re-probing. When `R` shrank the direction reverses for support, so
+    /// every viable transaction is re-probed.
+    fn refresh_after_base_change(&mut self, bcdb: &BlockchainDb, change: BaseChange) {
+        let db = bcdb.database();
+        let cs = bcdb.constraints();
+        let n = self.tx_fp.len();
+
+        for t in 0..n {
+            let now =
+                self.tx_fp[t].self_consistent() && self.base_fp.consistent_with(&self.tx_fp[t]);
+            if self.viable[t] && !now {
+                self.fd_graph.isolate(t);
+                self.viable[t] = false;
+            } else if !self.viable[t] && now {
+                // Peers processed later still carry their pre-change
+                // viability bit here; an edge added against a peer that
+                // flips off afterwards is removed by that peer's `isolate`,
+                // and a peer that flips on afterwards adds its own edges.
+                self.viable[t] = true;
+                for other in 0..n {
+                    if other != t
+                        && self.viable[other]
+                        && self.tx_fp[t].consistent_with(&self.tx_fp[other])
+                    {
+                        self.fd_graph.add_edge(t, other);
+                    }
+                }
+            }
+        }
+
+        for t in 0..n {
+            if change == BaseChange::Grew && self.includable[t] {
+                // Monotone fast path: support only grew, so includability
+                // survives as long as viability did.
+                self.includable[t] = self.viable[t];
+                continue;
+            }
+            let tx = TxId(t as u32);
+            self.includable[t] = self.viable[t] && {
+                let mask = db.mask_of([tx]);
+                cs.inds().iter().enumerate().all(|(i, ind)| {
+                    bcdb.transaction(tx)
+                        .tuples
+                        .iter()
+                        .filter(|(rel, _)| *rel == ind.from_relation)
+                        .all(|(_, tuple)| {
+                            db.relation(ind.to_relation).index_contains(
+                                self.ind_to_index[i],
+                                &tuple.project(&ind.from_attrs),
+                                &mask,
+                            )
+                        })
+                })
+            };
+        }
+    }
+
+    /// Incrementally extends the structures for a transaction just placed
+    /// at position `at` via [`BlockchainDb::insert_transaction_at`] — the
+    /// inverse of [`note_transaction_removed`](Self::note_transaction_removed),
+    /// used by reorg undo to put a de-mined transaction back at its
+    /// original slot. All ids `>= at` shift up by one, mirroring the
+    /// database's renumbering.
+    pub fn note_transaction_inserted(&mut self, bcdb: &BlockchainDb, at: TxId) {
+        let n = self.tx_fp.len();
+        assert!(
+            at.index() <= n,
+            "note_transaction_inserted: {at} out of range ({n} noted)"
+        );
+        let cs = bcdb.constraints();
+        let db = bcdb.database();
+        let tuples = &bcdb.transaction(at).tuples;
+
+        let fp = bcdb_storage::SourceFingerprints::from_tuples(
+            cs,
+            tuples.iter().map(|(rel, t)| (*rel, t)),
+        );
+        let viable = fp.self_consistent() && self.base_fp.consistent_with(&fp);
+        let includable = viable && {
+            let mask = db.mask_of([at]);
+            cs.inds().iter().enumerate().all(|(i, ind)| {
+                tuples
+                    .iter()
+                    .filter(|(rel, _)| *rel == ind.from_relation)
+                    .all(|(_, tuple)| {
+                        db.relation(ind.to_relation).index_contains(
+                            self.ind_to_index[i],
+                            &tuple.project(&ind.from_attrs),
+                            &mask,
+                        )
+                    })
+            })
+        };
+
+        self.fd_graph.insert_node_at(at.index());
+        self.tx_fp.insert(at.index(), fp);
+        self.viable.insert(at.index(), viable);
+        self.includable.insert(at.index(), includable);
+        if viable {
+            for other in 0..n + 1 {
+                if other != at.index()
+                    && self.viable[other]
+                    && self.tx_fp[at.index()].consistent_with(&self.tx_fp[other])
+                {
+                    self.fd_graph.add_edge(at.index(), other);
+                }
+            }
+        }
+
+        // Remap the ΘI value groups for the shift, join the new
+        // transaction, and rebuild components from the groups (the same
+        // O(|groups|) reconstruction the removal path uses).
+        for groups in &mut self.ind_groups {
+            for entry in groups.values_mut() {
+                for side in [&mut entry.0, &mut entry.1] {
+                    for t in side.iter_mut() {
+                        if *t >= at.0 {
+                            *t += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let mut uf = UnionFind::new(n + 1);
+        let thetas = std::mem::take(&mut self.thetas_ind);
+        ind_join_tx(bcdb, &thetas, &mut self.ind_groups, &mut uf, at);
+        self.thetas_ind = thetas;
+        let mut uf = UnionFind::new(n + 1);
         for groups in &self.ind_groups {
             for (lefts, rights) in groups.values() {
                 if lefts.is_empty() || rights.is_empty() {
@@ -640,6 +881,82 @@ mod tests {
         assert_equivalent(&pre, &Precomputed::build(&bc));
     }
 
+    /// Promoting a mined block = per-tx removal (descending) + base-row
+    /// absorption; the result must match a cold rebuild, including the
+    /// inclusion-status flip of a transaction whose IND support got mined.
+    #[test]
+    fn promotion_matches_rebuild_and_flips_includable() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        // T0 creates R(5,_); T1 consumes via S(5) — not includable until
+        // T0's row is base; T2 conflicts with T0 on key 5.
+        bc.add_transaction("T0", [(r, tuple![5i64, 50i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![5i64, 99i64])]).unwrap();
+        let mut pre = Precomputed::build(&bc);
+        assert_eq!(pre.includable, vec![true, false, true]);
+
+        let added = bc.promote_transactions(&[TxId(0)]).unwrap();
+        pre.note_transaction_removed(TxId(0));
+        pre.note_base_rows_added(&bc, &added);
+
+        assert_equivalent(&pre, &Precomputed::build(&bc));
+        // Old T1 (now 0) gained IND support; old T2 (now 1) now fights the
+        // base over key 5.
+        assert_eq!(pre.includable, vec![true, false]);
+        assert_eq!(pre.viable, vec![true, false]);
+    }
+
+    /// Retracting base rows (a reorged-out block) restores viability and
+    /// severs inclusion support, matching a cold rebuild.
+    #[test]
+    fn base_removal_matches_rebuild() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.insert_current(r, tuple![5i64, 50i64]).unwrap();
+        // T0 conflicts with base key 5; T1 leans on base row 5 for its IND.
+        bc.add_transaction("T0", [(r, tuple![5i64, 99i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        let mut pre = Precomputed::build(&bc);
+        assert_eq!(pre.viable, vec![false, true]);
+        assert_eq!(pre.includable, vec![false, true]);
+
+        let rows = vec![(r, tuple![5i64, 50i64])];
+        assert_eq!(bc.remove_base_rows(&rows), 1);
+        pre.note_base_rows_removed(&bc, &rows);
+
+        assert_equivalent(&pre, &Precomputed::build(&bc));
+        assert_eq!(pre.viable, vec![true, true]);
+        assert_eq!(pre.includable, vec![true, false]);
+    }
+
+    /// Inserting a transaction at its original slot (reorg undo) matches a
+    /// cold rebuild of the same issue order.
+    #[test]
+    fn insertion_matches_rebuild() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.add_transaction("T0", [(r, tuple![5i64, 50i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![5i64, 99i64])]).unwrap();
+        let mut pre = Precomputed::build(&bc);
+
+        // Put T1 between them: consumes T0's key via the IND and is
+        // FD-consistent with both.
+        bc.insert_transaction_at(TxId(1), "T1", [(s, tuple![5i64])])
+            .unwrap();
+        pre.note_transaction_inserted(&bc, TxId(1));
+
+        assert_equivalent(&pre, &Precomputed::build(&bc));
+        let mut uf = pre.ind_uf.clone();
+        assert!(uf.connected(0, 1), "S(5) joins R(5,_) producer");
+    }
+
     mod incremental_props {
         use super::*;
         use proptest::prelude::*;
@@ -720,6 +1037,71 @@ mod tests {
                             .collect();
                         let tx = bc.add_transaction(format!("T{i}"), tuples).unwrap();
                         pre.note_transaction_added(&bc, tx);
+                    }
+                    assert_equivalent(&pre, &Precomputed::build(&bc));
+                }
+            }
+
+            /// Mining (promotion), reorg undo (base retraction + re-insert),
+            /// and arrivals interleaved: incremental maintenance equals a
+            /// from-scratch rebuild after every step.
+            #[test]
+            fn promotions_and_insertions_equal_rebuild(
+                base in prop::collection::vec((0..4i64, 0..4i64), 0..3),
+                ops in prop::collection::vec(
+                    (0..4u8, 0..8usize,
+                     prop::collection::vec((0..4i64, 0..4i64), 0..3),
+                     prop::collection::vec(0..4i64, 0..2)),
+                    1..10),
+            ) {
+                let mut bc = setup();
+                let r = bc.database().catalog().resolve("R").unwrap();
+                let s = bc.database().catalog().resolve("S").unwrap();
+                let mut keys = std::collections::HashSet::new();
+                for (a, b) in base {
+                    if keys.insert(a) {
+                        bc.insert_current(r, tuple![a, b]).unwrap();
+                    }
+                }
+                let mut pre = Precomputed::build(&bc);
+                let mut mined: Vec<Vec<(bcdb_storage::RelationId, bcdb_storage::Tuple)>> =
+                    Vec::new();
+                for (i, (op, pick, rt, st)) in ops.into_iter().enumerate() {
+                    let tuples: Vec<_> = rt
+                        .into_iter()
+                        .map(|(a, b)| (r, tuple![a, b]))
+                        .chain(st.into_iter().map(|x| (s, tuple![x])))
+                        .collect();
+                    match op {
+                        // Promote a pending transaction into the base.
+                        0 if bc.pending_count() > 0 => {
+                            let tx = TxId((pick % bc.pending_count()) as u32);
+                            let added = bc.promote_transaction(tx).unwrap();
+                            pre.note_transaction_removed(tx);
+                            pre.note_base_rows_added(&bc, &added);
+                            mined.push(added);
+                        }
+                        // Retract the rows of an earlier promotion.
+                        1 if !mined.is_empty() => {
+                            let rows = mined.remove(pick % mined.len());
+                            bc.remove_base_rows(&rows);
+                            pre.note_base_rows_removed(&bc, &rows);
+                        }
+                        // Insert at an arbitrary slot.
+                        2 if !tuples.is_empty() => {
+                            let at = TxId((pick % (bc.pending_count() + 1)) as u32);
+                            bc.insert_transaction_at(at, format!("I{i}"), tuples)
+                                .unwrap();
+                            pre.note_transaction_inserted(&bc, at);
+                        }
+                        // Plain arrival.
+                        _ => {
+                            if tuples.is_empty() {
+                                continue;
+                            }
+                            let tx = bc.add_transaction(format!("T{i}"), tuples).unwrap();
+                            pre.note_transaction_added(&bc, tx);
+                        }
                     }
                     assert_equivalent(&pre, &Precomputed::build(&bc));
                 }

@@ -20,8 +20,16 @@
 //! [`add_transaction`](Solver::add_transaction) and
 //! [`remove_transaction`](Solver::remove_transaction) update `Precomputed`
 //! incrementally and keep the base-verdict cache (the base state `R` did
-//! not change); [`replace_db`](Solver::replace_db) — a mined block, a reorg
-//! — rebuilds everything and advances the epoch, dropping the base cache.
+//! not change). Base-state changes come in two flavours: the **batch
+//! delta mutators** ([`promote_transactions`](Solver::promote_transactions),
+//! [`append_base_rows`](Solver::append_base_rows),
+//! [`remove_base_rows`](Solver::remove_base_rows),
+//! [`insert_transaction_at`](Solver::insert_transaction_at)) apply a mined
+//! block or reorg step in place — state reuse, no rebuild — dropping the
+//! base-verdict cache, with the caller advancing the epoch once per chain
+//! event via [`advance_epoch`](Solver::advance_epoch); and
+//! [`replace_db`](Solver::replace_db) — the rebuild oracle — reconstructs
+//! everything from scratch and advances the epoch itself.
 //! Direct mutation through [`db_mut`](Solver::db_mut) marks the session
 //! stale, and the next check transparently rebuilds. Batch reuse state
 //! (partitions, cliques) never outlives a single `check_batch` call, so it
@@ -197,7 +205,10 @@ pub struct SolverStats {
     pub components_enumerated: u64,
     /// Component checks answered by replaying a cached enumeration.
     pub components_reused: u64,
-    /// Epoch advances (rebuilds) since the session started.
+    /// Epoch advances since the session started — full rebuilds
+    /// ([`Solver::replace_db`], staleness) plus incremental
+    /// [`Solver::advance_epoch`] calls. Each one dropped the base-verdict
+    /// cache.
     pub epoch_invalidations: u64,
 }
 
@@ -403,9 +414,111 @@ impl Solver {
         removed
     }
 
+    /// Batch eviction: removes several pending transactions in one store
+    /// pass, updating the steady-state structures in one batch shrink
+    /// (one graph rebuild and one `Gind` reconstruction for all of them).
+    /// Keeps the epoch and base cache, like
+    /// [`remove_transaction`](Solver::remove_transaction). Returns the
+    /// removed transactions in ascending-id order.
+    pub fn remove_transactions(&mut self, txs: &[TxId]) -> Vec<PendingTransaction> {
+        self.refresh();
+        let mut sorted = txs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let removed = self.db.remove_transactions(&sorted);
+        self.pre.note_transactions_removed(&sorted);
+        removed
+    }
+
+    /// Promotes pending transactions into the current state in place — a
+    /// mined block as a batch delta. Their tuples become base rows (in the
+    /// order given), survivors renumber down, and the steady-state
+    /// structures absorb both deltas without a rebuild. `R` changed, so
+    /// the base-verdict cache is dropped; the caller advances the epoch
+    /// once per chain event via [`advance_epoch`](Solver::advance_epoch).
+    /// Returns the base rows actually added.
+    pub fn promote_transactions(
+        &mut self,
+        txs: &[TxId],
+    ) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
+        self.refresh();
+        let added = self.db.promote_transactions(txs)?;
+        let mut sorted = txs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        self.pre.note_transactions_removed(&sorted);
+        self.pre.note_base_rows_added(&self.db, &added);
+        self.base_cache.clear();
+        Ok(added)
+    }
+
+    /// Promotes a single pending transaction; see
+    /// [`promote_transactions`](Solver::promote_transactions).
+    pub fn promote_transaction(&mut self, tx: TxId) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
+        self.promote_transactions(&[tx])
+    }
+
+    /// Appends rows to the current state `R` as one batch delta (the
+    /// non-promoted part of a mined block, e.g. coinbase rows), updating
+    /// the steady-state structures in place and dropping the base-verdict
+    /// cache. Returns the rows actually added (existing base duplicates
+    /// are skipped).
+    pub fn append_base_rows(
+        &mut self,
+        rows: &[(RelationId, Tuple)],
+    ) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
+        self.refresh();
+        let added = self.db.append_base_rows(rows)?;
+        self.pre.note_base_rows_added(&self.db, &added);
+        self.base_cache.clear();
+        Ok(added)
+    }
+
+    /// Retracts previously-appended base rows (reorg undo) as one batch
+    /// delta, updating the steady-state structures in place and dropping
+    /// the base-verdict cache. Every row must currently be a base row —
+    /// pass back exactly what an earlier append reported as added.
+    pub fn remove_base_rows(&mut self, rows: &[(RelationId, Tuple)]) -> usize {
+        self.refresh();
+        let removed = self.db.remove_base_rows(rows);
+        self.pre.note_base_rows_removed(&self.db, rows);
+        self.base_cache.clear();
+        removed
+    }
+
+    /// Re-issues a pending transaction at slot `at` (reorg undo putting a
+    /// de-mined transaction back at its original position), updating the
+    /// steady-state structures incrementally. Pending-only, so the base
+    /// cache survives; the surrounding chain event owns the epoch.
+    pub fn insert_transaction_at(
+        &mut self,
+        at: TxId,
+        name: impl Into<String>,
+        tuples: impl IntoIterator<Item = (RelationId, Tuple)>,
+    ) -> Result<(), CoreError> {
+        self.refresh();
+        self.db.insert_transaction_at(at, name, tuples)?;
+        self.pre.note_transaction_inserted(&self.db, at);
+        Ok(())
+    }
+
+    /// Advances the session epoch without rebuilding: the incremental
+    /// mutators already left the steady-state structures current, so only
+    /// the epoch tag and the base-verdict cache move. Callers applying an
+    /// epoch-advancing chain event (mined block, reorg) as batch deltas
+    /// call this exactly once per event, keeping epoch numbers aligned
+    /// with what the [`replace_db`](Solver::replace_db) oracle would
+    /// produce.
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
+        self.stats.epoch_invalidations += 1;
+        self.base_cache.clear();
+    }
+
     /// Replaces the database wholesale — a mined block, a reorg, any base-
     /// state change. Rebuilds the precomputed structures, advances the
-    /// epoch, and drops the base-verdict cache.
+    /// epoch, and drops the base-verdict cache. This is the oracle path
+    /// the batch delta mutators are checked against.
     pub fn replace_db(&mut self, db: BlockchainDb) {
         self.db = db;
         self.rebuild();
@@ -553,5 +666,99 @@ impl Solver {
         self.stats.base_hints_supplied += 1;
         self.base_cache.insert(key, verdict);
         Some(verdict)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcdb_storage::{tuple, Catalog, ConstraintSet, Fd, Ind, RelationSchema, ValueType};
+
+    fn setup() -> BlockchainDb {
+        let mut cat = Catalog::new();
+        cat.add(RelationSchema::new("R", [("a", ValueType::Int), ("b", ValueType::Int)]).unwrap())
+            .unwrap();
+        cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+            .unwrap();
+        let mut cs = ConstraintSet::new();
+        cs.add_fd(Fd::named_key(&cat, "R", &["a"]).unwrap());
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["a"]).unwrap());
+        BlockchainDb::new(cat, cs)
+    }
+
+    /// A mined block applied as batch deltas leaves the solver with the
+    /// same database, precomputed judgements, and epoch as the
+    /// `replace_db` rebuild oracle.
+    #[test]
+    fn delta_mined_block_matches_replace_db_oracle() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.add_transaction("T0", [(r, tuple![5i64, 50i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+        bc.add_transaction("T2", [(r, tuple![5i64, 99i64])]).unwrap();
+
+        let mut incr = Solver::builder(bc.clone()).build();
+        let mut oracle = Solver::builder(bc.clone()).build();
+
+        // Mine T0: incremental promote + epoch advance vs. full rebuild of
+        // the equivalent accepted database.
+        incr.promote_transactions(&[TxId(0)]).unwrap();
+        incr.advance_epoch();
+        let (next, _) = bc.accept_transactions(&[TxId(0)]).unwrap();
+        oracle.replace_db(next);
+
+        assert_eq!(incr.epoch(), oracle.epoch());
+        assert_eq!(
+            incr.precomputed_ref().viable,
+            oracle.precomputed_ref().viable
+        );
+        assert_eq!(
+            incr.precomputed_ref().includable,
+            oracle.precomputed_ref().includable
+        );
+        assert_eq!(incr.db().pending_count(), oracle.db().pending_count());
+        for (rel, _) in incr.db().database().catalog().iter() {
+            let a: Vec<_> = incr.db().database().relation(rel).scan_all().collect();
+            let b: Vec<_> = oracle.db().database().relation(rel).scan_all().collect();
+            assert_eq!(a.len(), b.len());
+            for ((_, x), (_, y)) in a.iter().zip(&b) {
+                assert_eq!(x.tuple, y.tuple);
+                assert_eq!(x.source, y.source);
+            }
+        }
+    }
+
+    /// Undoing a mined block with the retraction mutators restores the
+    /// pre-block state exactly.
+    #[test]
+    fn delta_undo_restores_pre_block_state() {
+        let mut bc = setup();
+        let r = bc.database().catalog().resolve("R").unwrap();
+        let s = bc.database().catalog().resolve("S").unwrap();
+        bc.insert_current(r, tuple![1i64, 10i64]).unwrap();
+        bc.add_transaction("T0", [(r, tuple![5i64, 50i64])]).unwrap();
+        bc.add_transaction("T1", [(s, tuple![5i64])]).unwrap();
+
+        let mut solver = Solver::builder(bc).build();
+        let before_viable = solver.precomputed_ref().viable.clone();
+        let before_incl = solver.precomputed_ref().includable.clone();
+        let mined = solver.db().transaction(TxId(0)).clone();
+        let added = solver.promote_transactions(&[TxId(0)]).unwrap();
+        solver.advance_epoch();
+
+        // Reorg the block out: retract its rows, re-issue the transaction
+        // at its original slot.
+        solver.remove_base_rows(&added);
+        solver
+            .insert_transaction_at(TxId(0), mined.name.clone(), mined.tuples.clone())
+            .unwrap();
+        solver.advance_epoch();
+
+        assert_eq!(solver.precomputed_ref().viable, before_viable);
+        assert_eq!(solver.precomputed_ref().includable, before_incl);
+        assert_eq!(solver.db().transaction(TxId(0)).name, "T0");
+        assert_eq!(solver.epoch(), 2);
     }
 }

@@ -106,6 +106,101 @@ impl UndirectedGraph {
         *self = next;
     }
 
+    /// Removes every node in `sorted` (which must be sorted ascending and
+    /// duplicate-free), shifting each surviving id down by the number of
+    /// removed ids below it — the batch counterpart of [`remove_node`],
+    /// one `O(n + m)` rebuild regardless of how many nodes leave.
+    ///
+    /// [`remove_node`]: UndirectedGraph::remove_node
+    pub fn remove_nodes(&mut self, sorted: &[usize]) {
+        debug_assert!(
+            sorted.windows(2).all(|w| w[0] < w[1]),
+            "remove_nodes: ids must be sorted and distinct"
+        );
+        if sorted.is_empty() {
+            return;
+        }
+        let n = self.adj.len();
+        if let Some(&last) = sorted.last() {
+            assert!(last < n, "remove_nodes: node {last} out of range ({n} nodes)");
+        }
+        // new_id[a] = a's id after removal, or usize::MAX if a is removed.
+        let mut new_id = vec![usize::MAX; n];
+        let mut cursor = 0;
+        let mut next_free = 0;
+        for (a, slot) in new_id.iter_mut().enumerate() {
+            if cursor < sorted.len() && sorted[cursor] == a {
+                cursor += 1;
+            } else {
+                *slot = next_free;
+                next_free += 1;
+            }
+        }
+        let mut next = UndirectedGraph::new(n - sorted.len());
+        for a in 0..n {
+            let na = new_id[a];
+            if na == usize::MAX {
+                continue;
+            }
+            for b in self.adj[a].iter() {
+                if b < a {
+                    continue; // each undirected edge visited once, from its lower end
+                }
+                let nb = new_id[b];
+                if nb != usize::MAX {
+                    next.add_edge(na, nb);
+                }
+            }
+        }
+        *self = next;
+    }
+
+    /// Removes the undirected edge `{u, v}` if present. The inverse of
+    /// [`add_edge`](UndirectedGraph::add_edge): a transaction whose
+    /// viability flips off under a base-state delta keeps its node but
+    /// sheds its edges.
+    pub fn remove_edge(&mut self, u: usize, v: usize) {
+        if u == v || !self.adj[u].contains(v) {
+            return;
+        }
+        self.adj[u].remove(v);
+        self.adj[v].remove(u);
+        self.edge_count -= 1;
+    }
+
+    /// Removes every edge incident to `u`, keeping the node. O(deg(u)).
+    pub fn isolate(&mut self, u: usize) {
+        let neighbors = self.adj[u].to_vec();
+        for v in neighbors {
+            self.adj[v].remove(u);
+            self.edge_count -= 1;
+        }
+        self.adj[u].clear();
+    }
+
+    /// Inserts a new isolated node *at* id `at`, shifting every node id
+    /// `>= at` up by one — the inverse of [`remove_node`] and the graph
+    /// half of re-inserting a pending transaction at its original id
+    /// during reorg undo. Runs in `O(n + m)`.
+    ///
+    /// [`remove_node`]: UndirectedGraph::remove_node
+    pub fn insert_node_at(&mut self, at: usize) {
+        let n = self.adj.len();
+        assert!(at <= n, "insert_node_at: {at} past the end ({n} nodes)");
+        let mut next = UndirectedGraph::new(n + 1);
+        for a in 0..n {
+            let na = a + usize::from(a >= at);
+            for b in self.adj[a].iter() {
+                if b < a {
+                    continue; // each undirected edge visited once, from its lower end
+                }
+                let nb = b + usize::from(b >= at);
+                next.add_edge(na, nb);
+            }
+        }
+        *self = next;
+    }
+
     /// Whether `nodes` forms a clique (pairwise adjacent).
     pub fn is_clique(&self, nodes: &[usize]) -> bool {
         for (i, &u) in nodes.iter().enumerate() {
@@ -342,6 +437,33 @@ mod tests {
     }
 
     #[test]
+    fn remove_nodes_matches_sequential_removals() {
+        // Random-ish dense graph on 8 nodes; remove {1, 4, 6} both ways.
+        let mut g = UndirectedGraph::new(8);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7), (0, 7), (2, 6), (1, 5), (0, 4)] {
+            g.add_edge(u, v);
+        }
+        let mut batch = g.clone();
+        batch.remove_nodes(&[1, 4, 6]);
+        // Sequential removal in descending order leaves lower ids stable.
+        let mut seq = g;
+        for u in [6, 4, 1] {
+            seq.remove_node(u);
+        }
+        assert_eq!(batch.node_count(), seq.node_count());
+        assert_eq!(batch.edge_count(), seq.edge_count());
+        for u in 0..batch.node_count() {
+            for v in 0..batch.node_count() {
+                assert_eq!(batch.has_edge(u, v), seq.has_edge(u, v), "edge {u}-{v}");
+            }
+        }
+        // Empty batch is a no-op.
+        let before = batch.edge_count();
+        batch.remove_nodes(&[]);
+        assert_eq!(batch.edge_count(), before);
+    }
+
+    #[test]
     fn remove_node_endpoints_and_isolated() {
         let mut g = path(3);
         g.remove_node(2);
@@ -368,6 +490,50 @@ mod tests {
             assert!(g.has_edge(u, v));
         }
         assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn remove_edge_and_isolate() {
+        let mut g = path(4);
+        g.add_edge(0, 3);
+        g.remove_edge(1, 2);
+        g.remove_edge(1, 2); // absent: no-op
+        g.remove_edge(2, 2); // self-loop: no-op
+        assert_eq!(g.edge_count(), 3); // 0-1, 2-3, 0-3 remain
+        assert!(!g.has_edge(1, 2) && !g.has_edge(2, 1));
+        g.isolate(0);
+        assert_eq!(g.edge_count(), 1); // only 2-3 remains
+        assert_eq!(g.degree(0), 0);
+        assert!(!g.has_edge(3, 0));
+        assert!(g.has_edge(2, 3));
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    fn insert_node_at_inverts_remove_node() {
+        let mut g = UndirectedGraph::new(4);
+        for (u, v) in [(0, 1), (1, 2), (2, 3), (0, 3)] {
+            g.add_edge(u, v);
+        }
+        let mut h = g.clone();
+        h.remove_node(1);
+        h.insert_node_at(1);
+        assert_eq!(h.node_count(), 4);
+        assert_eq!(h.degree(1), 0);
+        // Restoring node 1's edges recovers the original graph.
+        h.add_edge(0, 1);
+        h.add_edge(1, 2);
+        for u in 0..4 {
+            for v in 0..4 {
+                assert_eq!(g.has_edge(u, v), h.has_edge(u, v), "edge {u}-{v}");
+            }
+        }
+        // Insert at the end behaves like add_node.
+        let mut tail = path(2);
+        tail.insert_node_at(2);
+        assert_eq!(tail.node_count(), 3);
+        assert!(tail.has_edge(0, 1));
+        assert_eq!(tail.degree(2), 0);
     }
 
     #[test]

@@ -67,6 +67,38 @@ pub fn mined_event(after: &RelationalExport, mined: Vec<String>) -> ChainEvent {
     }
 }
 
+/// A mined-block *delta* event: the block's appended base rows plus the
+/// names of every pending transaction the block flushed out of the pool
+/// — the mined ones and any conflict the purge dropped with them. This
+/// is O(block) on the wire and in the monitor, instead of the O(chain)
+/// snapshot. Blocks only append, so the after export's base must extend
+/// the before export's; if it does not (the exports span more than one
+/// block boundary, or the chain was mutated out from under us), this
+/// falls back to the full snapshot event.
+pub fn mined_delta_event(
+    before: &RelationalExport,
+    after: &RelationalExport,
+    mined: Vec<String>,
+) -> ChainEvent {
+    let p = before.base.len();
+    if after.base.len() >= p && after.base[..p] == before.base[..] {
+        let after_names: FxHashSet<&str> = after.pending.iter().map(|(n, _)| n.as_str()).collect();
+        let flushed = before
+            .pending
+            .iter()
+            .map(|(n, _)| n)
+            .filter(|n| !after_names.contains(n.as_str()))
+            .cloned()
+            .collect();
+        ChainEvent::TxMinedDelta {
+            mined: flushed,
+            appended: named_tuples(&after.catalog, &after.base[p..]),
+        }
+    } else {
+        mined_event(after, mined)
+    }
+}
+
 /// A reorg snapshot event from the post-reorg export. `depth` 0 marks a
 /// resync (e.g. after journal recovery).
 pub fn reorg_event(after: &RelationalExport, depth: u64) -> ChainEvent {

@@ -3,10 +3,14 @@
 //! A [`ChainEvent`] is the unit of change the monitor observes. The two
 //! intra-epoch events ([`TxArrived`](ChainEvent::TxArrived) and
 //! [`TxEvicted`](ChainEvent::TxEvicted)) leave the base state `R` alone
-//! and are applied incrementally; the two epoch-advancing events
-//! ([`TxMined`](ChainEvent::TxMined) and [`Reorg`](ChainEvent::Reorg))
-//! mutate `R` and therefore carry a full relational snapshot, from which
-//! the monitor rebuilds.
+//! and are applied incrementally. Epoch-advancing events come in two
+//! shapes: the snapshot forms ([`TxMined`](ChainEvent::TxMined) and
+//! [`Reorg`](ChainEvent::Reorg)) carry the full post-event relational
+//! state, so the monitor can either reconcile incrementally or rebuild
+//! from scratch; the delta forms ([`TxMinedDelta`](ChainEvent::TxMinedDelta)
+//! and [`ReorgDelta`](ChainEvent::ReorgDelta)) carry only the change and
+//! are applied purely incrementally, with reorgs replaying journaled
+//! [`UndoRecord`]s.
 //!
 //! Events serialize to single text lines so the journal can be recovered
 //! line-by-line after a torn write. Relations are referenced **by name**
@@ -61,6 +65,57 @@ pub enum ChainEvent {
         /// Full pending set after the reorg.
         pending: NamedPending,
     },
+    /// Delta form of [`TxMined`](ChainEvent::TxMined) for thin wires: the
+    /// block is described by what it *changed* — the mined transaction
+    /// names (which leave the pending set) and the base rows the block
+    /// appended (mined tuples plus coinbase-style rows). Advances the
+    /// epoch; applied purely incrementally, there is no snapshot to
+    /// rebuild from.
+    TxMinedDelta {
+        /// Names of the transactions accepted into the block.
+        mined: Vec<String>,
+        /// The base rows the block appended, in chain order.
+        appended: NamedTuples,
+    },
+    /// Delta form of [`Reorg`](ChainEvent::Reorg): disconnect the last
+    /// `depth` blocks by replaying their journaled inverse deltas
+    /// ([`UndoRecord`]s). Advances the epoch; requires the session to hold
+    /// undo records for at least `depth` epoch-advancing events.
+    ReorgDelta {
+        /// Number of blocks to disconnect.
+        depth: u64,
+    },
+}
+
+/// One inverse-delta step of an [`UndoRecord`]. Executing the ops of a
+/// record in order reverts one epoch-advancing event; relations and
+/// transactions are named (not id-addressed) so records survive journal
+/// round trips and re-resolution against a fresh catalog.
+#[derive(Clone, Debug, PartialEq)]
+pub enum UndoOp {
+    /// Append these rows to the base state (they were removed).
+    AppendBase(NamedTuples),
+    /// Remove these rows from the base state (they were appended).
+    RemoveBase(NamedTuples),
+    /// Re-issue these pending transactions at the given indices, in
+    /// ascending index order (they were removed; each insert shifts
+    /// larger ids up, so ascending order restores the original layout).
+    InsertTxs(Vec<(u64, String, NamedTuples)>),
+    /// Remove the named pending transaction (it was inserted).
+    RemoveTx {
+        /// Name of the transaction to drop.
+        name: String,
+    },
+}
+
+/// The journaled inverse delta of one epoch-advancing event: executing
+/// `ops` in order restores the state from before the event. Reorg undo
+/// and crash recovery share these records — the undo stack *is* the
+/// journal's `U` lines.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct UndoRecord {
+    /// Inverse ops, in execution order.
+    pub ops: Vec<UndoOp>,
 }
 
 /// Why a journal line could not be decoded into a [`ChainEvent`].
@@ -282,6 +337,19 @@ impl ChainEvent {
                 encode_tuples(base, &mut out);
                 encode_pending(pending, &mut out);
             }
+            ChainEvent::TxMinedDelta { mined, appended } => {
+                out.push_str("MD ");
+                out.push_str(&mined.len().to_string());
+                for name in mined {
+                    out.push(' ');
+                    out.push_str(&encode_text(name));
+                }
+                encode_tuples(appended, &mut out);
+            }
+            ChainEvent::ReorgDelta { depth } => {
+                out.push_str("RD ");
+                out.push_str(&depth.to_string());
+            }
         }
         out
     }
@@ -314,6 +382,20 @@ impl ChainEvent {
                 base: decode_tuples(&mut toks)?,
                 pending: decode_pending(&mut toks)?,
             },
+            "MD" => {
+                let n = toks.next_u64("mined count")? as usize;
+                let mut mined = Vec::with_capacity(n);
+                for _ in 0..n {
+                    mined.push(toks.next_text("mined name")?);
+                }
+                ChainEvent::TxMinedDelta {
+                    mined,
+                    appended: decode_tuples(&mut toks)?,
+                }
+            }
+            "RD" => ChainEvent::ReorgDelta {
+                depth: toks.next_u64("reorg depth")?,
+            },
             tag => return Err(DecodeError(format!("unknown event tag {tag:?}"))),
         };
         toks.finish()?;
@@ -322,7 +404,79 @@ impl ChainEvent {
 
     /// Whether this event advances the epoch (mutates the base state `R`).
     pub fn advances_epoch(&self) -> bool {
-        matches!(self, ChainEvent::TxMined { .. } | ChainEvent::Reorg { .. })
+        matches!(
+            self,
+            ChainEvent::TxMined { .. }
+                | ChainEvent::Reorg { .. }
+                | ChainEvent::TxMinedDelta { .. }
+                | ChainEvent::ReorgDelta { .. }
+        )
+    }
+}
+
+impl UndoRecord {
+    /// Serializes the record to one line (no trailing newline).
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.ops.len().to_string());
+        for op in &self.ops {
+            match op {
+                UndoOp::AppendBase(rows) => {
+                    out.push_str(" ab");
+                    encode_tuples(rows, &mut out);
+                }
+                UndoOp::RemoveBase(rows) => {
+                    out.push_str(" rb");
+                    encode_tuples(rows, &mut out);
+                }
+                UndoOp::InsertTxs(entries) => {
+                    out.push_str(" it ");
+                    out.push_str(&entries.len().to_string());
+                    for (at, name, tuples) in entries {
+                        out.push(' ');
+                        out.push_str(&at.to_string());
+                        out.push(' ');
+                        out.push_str(&encode_text(name));
+                        encode_tuples(tuples, &mut out);
+                    }
+                }
+                UndoOp::RemoveTx { name } => {
+                    out.push_str(" rt ");
+                    out.push_str(&encode_text(name));
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a payload produced by [`encode`](UndoRecord::encode).
+    pub fn decode(line: &str) -> Result<UndoRecord, DecodeError> {
+        let mut toks = Tokens::new(line);
+        let count = toks.next_u64("undo op count")? as usize;
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let op = match toks.next("undo op tag")? {
+                "ab" => UndoOp::AppendBase(decode_tuples(&mut toks)?),
+                "rb" => UndoOp::RemoveBase(decode_tuples(&mut toks)?),
+                "it" => {
+                    let n = toks.next_u64("inserted tx count")? as usize;
+                    let mut entries = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let at = toks.next_u64("tx index")?;
+                        let name = toks.next_text("transaction name")?;
+                        entries.push((at, name, decode_tuples(&mut toks)?));
+                    }
+                    UndoOp::InsertTxs(entries)
+                }
+                "rt" => UndoOp::RemoveTx {
+                    name: toks.next_text("transaction name")?,
+                },
+                tag => return Err(DecodeError(format!("unknown undo op tag {tag:?}"))),
+            };
+            ops.push(op);
+        }
+        toks.finish()?;
+        Ok(UndoRecord { ops })
     }
 }
 
@@ -362,8 +516,17 @@ mod tests {
         roundtrip(&ChainEvent::Reorg {
             depth: 3,
             base: vec![],
-            pending: vec![("solo".to_string(), tuples)],
+            pending: vec![("solo".to_string(), tuples.clone())],
         });
+        roundtrip(&ChainEvent::TxMinedDelta {
+            mined: vec!["t1".to_string(), "t 2".to_string()],
+            appended: tuples,
+        });
+        roundtrip(&ChainEvent::TxMinedDelta {
+            mined: vec![],
+            appended: vec![],
+        });
+        roundtrip(&ChainEvent::ReorgDelta { depth: 2 });
     }
 
     #[test]
@@ -378,11 +541,56 @@ mod tests {
             "M 1 t1 0 0 junk",         // trailing token after counts
             "A name 1 Rel 1 I1 extra", // trailing token
             "A na%GGme 0",             // bad escape
+            "MD 1 t1 0 junk",          // trailing token
+            "MD 2 t1 0",               // mined count promises 2 names
+            "RD",                      // missing depth
+            "RD 1 extra",              // trailing token
         ] {
             assert!(
                 ChainEvent::decode(bad).is_err(),
                 "should reject {bad:?}"
             );
+        }
+    }
+
+    #[test]
+    fn undo_record_round_trips() {
+        let rows = vec![
+            ("TxOut".to_string(), tuple!["a b", 1_i64]),
+            ("TxIn".to_string(), tuple![true]),
+        ];
+        let rec = UndoRecord {
+            ops: vec![
+                UndoOp::RemoveTx {
+                    name: "odd %name".to_string(),
+                },
+                UndoOp::InsertTxs(vec![
+                    (0, "t0".to_string(), rows.clone()),
+                    (2, "t2".to_string(), vec![]),
+                ]),
+                UndoOp::RemoveBase(rows.clone()),
+                UndoOp::AppendBase(rows),
+            ],
+        };
+        let line = rec.encode();
+        assert!(!line.contains('\n'));
+        assert_eq!(UndoRecord::decode(&line).unwrap(), rec);
+        // Empty record round-trips too (a no-op event).
+        let empty = UndoRecord::default();
+        assert_eq!(UndoRecord::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn undo_decode_rejects_garbage() {
+        for bad in [
+            "1",              // promises one op, none given
+            "1 zz",           // unknown op tag
+            "1 rt",           // missing name
+            "1 it 1 0 t0",    // missing tuples
+            "0 extra",        // trailing token
+            "1 ab 1 Rel 1 I1 extra",
+        ] {
+            assert!(UndoRecord::decode(bad).is_err(), "should reject {bad:?}");
         }
     }
 

@@ -5,6 +5,7 @@
 //! ```text
 //! E <seq> <epoch> <payload> <crc32-hex>     — a chain event
 //! S <seq> <epoch> <snapshot-id> <crc32-hex> — a snapshot boundary
+//! U <seq> <epoch> <payload> <crc32-hex>     — an inverse delta (undo)
 //! ```
 //!
 //! `seq` is dense from 0, `epoch` is non-decreasing, and the CRC covers
@@ -13,8 +14,13 @@
 //! session's [`StorageBackend`](bcdb_storage::StorageBackend), so the
 //! journal is the single recovery log: load the newest loadable snapshot
 //! named by an `S` record, then replay only the records after it — the
-//! WAL tail. The reader is backward-compatible with `bcdb-journal v1`
-//! files (which simply contain no `S` records).
+//! WAL tail. An undo record (`U`) is appended after each incrementally
+//! applied epoch-advancing event and carries that event's inverse delta
+//! ([`UndoRecord`]); recovery seeds the session's reorg undo stack from
+//! the `U` records *before* the WAL tail (tail events regenerate their
+//! own undos during replay), so reorg undo and crash recovery share one
+//! log. The reader is backward-compatible with `bcdb-journal v1` files
+//! (which simply contain no `S` or `U` records).
 //!
 //! Recovery ([`Journal::recover`]) reads the longest valid prefix —
 //! stopping at the first torn line, checksum mismatch, sequence gap, or
@@ -27,7 +33,7 @@
 //! unsynced tail becomes durable: every record, only on epoch-advancing
 //! records, or only on explicit [`Journal::sync`] calls.
 
-use crate::event::ChainEvent;
+use crate::event::{ChainEvent, UndoRecord};
 use bcdb_storage::durable::{CrashController, DurableFile, SyncPolicy};
 use std::fs::OpenOptions;
 use std::path::{Path, PathBuf};
@@ -51,6 +57,9 @@ pub enum JournalEntry {
         /// The backend snapshot id.
         snapshot: String,
     },
+    /// An inverse delta (a `U` line): executing it reverts the
+    /// epoch-advancing event most recently applied before it.
+    Undo(UndoRecord),
 }
 
 /// One validated journal record.
@@ -71,7 +80,15 @@ impl JournalRecord {
     pub fn event(&self) -> Option<&ChainEvent> {
         match &self.entry {
             JournalEntry::Event(ev) => Some(ev),
-            JournalEntry::SnapshotBoundary { .. } => None,
+            _ => None,
+        }
+    }
+
+    /// The inverse delta, if this is a `U` record.
+    pub fn undo(&self) -> Option<&UndoRecord> {
+        match &self.entry {
+            JournalEntry::Undo(undo) => Some(undo),
+            _ => None,
         }
     }
 }
@@ -106,7 +123,7 @@ impl Recovery {
     pub fn snapshot_boundaries(&self) -> impl Iterator<Item = (usize, &str)> {
         self.records.iter().enumerate().filter_map(|(i, r)| match &r.entry {
             JournalEntry::SnapshotBoundary { snapshot } => Some((i, snapshot.as_str())),
-            JournalEntry::Event(_) => None,
+            _ => None,
         })
     }
 }
@@ -115,6 +132,7 @@ fn format_entry(seq: u64, epoch: u64, entry: &JournalEntry) -> String {
     let body = match entry {
         JournalEntry::Event(event) => format!("E {seq} {epoch} {}", event.encode()),
         JournalEntry::SnapshotBoundary { snapshot } => format!("S {seq} {epoch} {snapshot}"),
+        JournalEntry::Undo(undo) => format!("U {seq} {epoch} {}", undo.encode()),
     };
     let crc = crc32(body.as_bytes());
     format!("{body} {crc:08x}\n")
@@ -143,6 +161,7 @@ fn parse_record(line: &str, expected_seq: u64, min_epoch: u64) -> Option<Journal
                 snapshot: payload.to_string(),
             }
         }
+        "U" => JournalEntry::Undo(UndoRecord::decode(payload).ok()?),
         _ => return None,
     };
     Some(JournalRecord { seq, epoch, entry })
@@ -204,7 +223,8 @@ impl Journal {
         self.file.write_chunk(line.as_bytes())?;
         let advances = match entry {
             JournalEntry::Event(ev) => ev.advances_epoch(),
-            JournalEntry::SnapshotBoundary { .. } => true,
+            // Boundaries and undos belong to an epoch edge: sync them.
+            JournalEntry::SnapshotBoundary { .. } | JournalEntry::Undo(_) => true,
         };
         match self.policy {
             SyncPolicy::Always => self.file.sync()?,
@@ -245,6 +265,14 @@ impl Journal {
         )?;
         self.file.sync()?;
         Ok(seq)
+    }
+
+    /// Appends an undo record: the inverse delta of the epoch-advancing
+    /// event applied just before it, written at the *post-advance* epoch.
+    /// Synced like an epoch-advancing event (the undo is part of the
+    /// block's durability story — a reorg must be able to find it).
+    pub fn append_undo(&mut self, epoch: u64, undo: &UndoRecord) -> std::io::Result<u64> {
+        self.append_entry(epoch, &JournalEntry::Undo(undo.clone()))
     }
 
     /// Makes every appended record durable now, regardless of policy.
@@ -479,6 +507,31 @@ mod tests {
         );
         assert_eq!(rec.records[1].epoch, 1);
         assert!(rec.records[1].event().is_none());
+    }
+
+    #[test]
+    fn undo_records_roundtrip() {
+        use crate::event::UndoOp;
+        let path = scratch_path("journal_undo");
+        let mut j = Journal::create(&path).unwrap();
+        j.append(0, &ev("t0")).unwrap();
+        let undo = UndoRecord {
+            ops: vec![
+                UndoOp::RemoveBase(vec![(
+                    "Rel".to_string(),
+                    bcdb_storage::tuple![1_i64, "a b"],
+                )]),
+                UndoOp::InsertTxs(vec![(0, "t0".to_string(), vec![])]),
+            ],
+        };
+        j.append_undo(1, &undo).unwrap();
+        j.append(1, &ev("t1")).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        assert_eq!(rec.records.len(), 3);
+        assert_eq!(rec.records[1].epoch, 1);
+        assert_eq!(rec.records[1].undo(), Some(&undo));
+        assert!(rec.records[1].event().is_none());
+        assert!(rec.records[0].undo().is_none());
     }
 
     #[test]

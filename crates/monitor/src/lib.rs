@@ -32,11 +32,12 @@ pub mod soak;
 mod testutil;
 
 pub use crashstorm::{run_crashstorm, CrashStormConfig, CrashStormReport, ScaleStats, TailScaling};
-pub use event::{decode_text, encode_text, ChainEvent, DecodeError};
+pub use event::{decode_text, encode_text, ChainEvent, DecodeError, UndoOp, UndoRecord};
 pub use journal::{
     crc32, drop_tail_records, tear_last_record, Journal, JournalEntry, JournalRecord, Recovery,
 };
 pub use session::{
-    ConstraintVerdict, MonitorConfig, MonitorError, MonitorSession, MonitorStats, RecoveryReport,
+    ConstraintVerdict, EpochApply, MonitorConfig, MonitorError, MonitorSession, MonitorStats,
+    RecoveryReport,
 };
 pub use soak::{run_soak, SoakConfig, SoakReport};

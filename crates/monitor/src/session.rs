@@ -7,10 +7,17 @@
 //!   *incrementally* — [`Solver::add_transaction`] /
 //!   [`Solver::remove_transaction`] — never rebuilding from scratch.
 //! * **Epoch-advancing** events (mined block, reorg) mutate the base
-//!   state `R`, so the session rebuilds from the event's snapshot via
-//!   [`Solver::replace_db`], which advances the solver epoch and drops
-//!   its base-verdict cache — exactly the soundness contract of the
-//!   solver's epoch-tagged hints.
+//!   state `R`. Under the default [`EpochApply::Incremental`] policy the
+//!   session treats the event as a batch of deltas — base rows appended
+//!   or retracted, pending transactions removed or re-issued — applied
+//!   in place through the solver's batch mutators, then advances the
+//!   epoch once via [`Solver::advance_epoch`]. Each applied event leaves
+//!   an inverse delta ([`UndoRecord`]) on the session's undo stack and
+//!   in the journal (`U` records), so a depth-`d` reorg can pop and
+//!   replay `d` undos instead of rebuilding. [`EpochApply::Rebuild`]
+//!   keeps the old full-rebuild path ([`Solver::replace_db`]) as an
+//!   oracle, and [`EpochApply::IncrementalVerified`] runs both and
+//!   counts divergences.
 //!
 //! The monitor *watches* its registered constraints: each event marks
 //! dirty only the constraints whose verdict may actually have changed,
@@ -33,7 +40,7 @@
 //! (deadline, cancellation, lost worker) is retried under the session's
 //! [`RetryPolicy`].
 
-use crate::event::ChainEvent;
+use crate::event::{ChainEvent, NamedPending, NamedTuples, UndoOp, UndoRecord};
 use crate::journal::{Journal, JournalRecord};
 use bcdb_core::{
     query_components, BlockchainDb, CoreError, DcSatOptions, DcSatStats, GovernedOutcome,
@@ -43,6 +50,7 @@ use bcdb_governor::{BudgetSpec, ExhaustionReason, RetryPolicy};
 use bcdb_query::DenialConstraint;
 use bcdb_storage::{Catalog, ConstraintSet, RelationId, StorageBackend, Tuple, TxId};
 use bcdb_telemetry::probes;
+use rustc_hash::FxHashSet;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -55,6 +63,14 @@ pub enum MonitorError {
     UnknownRelation(String),
     /// An eviction named a transaction that is not pending.
     UnknownTransaction(String),
+    /// A delta-form reorg asked for more undo depth than the session
+    /// holds journaled inverse deltas for.
+    UndoUnavailable {
+        /// The requested reorg depth.
+        depth: u64,
+        /// How many undo records the session holds.
+        available: usize,
+    },
     /// The underlying database rejected the change.
     Core(CoreError),
     /// The journal could not be written or read.
@@ -66,6 +82,10 @@ impl fmt::Display for MonitorError {
         match self {
             MonitorError::UnknownRelation(n) => write!(f, "unknown relation {n:?}"),
             MonitorError::UnknownTransaction(n) => write!(f, "unknown transaction {n:?}"),
+            MonitorError::UndoUnavailable { depth, available } => write!(
+                f,
+                "reorg depth {depth} exceeds the {available} journaled undo record(s)"
+            ),
             MonitorError::Core(e) => write!(f, "core error: {e}"),
             MonitorError::Io(e) => write!(f, "journal i/o error: {e}"),
         }
@@ -105,6 +125,27 @@ impl MonitorError {
     }
 }
 
+/// How the session applies epoch-advancing events (mined blocks and
+/// reorgs) to its solver state.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EpochApply {
+    /// Treat the event as a batch of deltas applied in place, advancing
+    /// the epoch without rebuilding. The default.
+    #[default]
+    Incremental,
+    /// Rebuild the solver state from the event's full snapshot via
+    /// [`Solver::replace_db`] — the oracle the incremental path is
+    /// checked against. Delta-form events carry no snapshot and are
+    /// applied incrementally regardless.
+    Rebuild,
+    /// Apply incrementally, then also run the snapshot rebuild as a
+    /// shadow oracle and compare: a mismatch increments
+    /// [`MonitorStats::apply_divergences`] (the incremental state is
+    /// kept). Measures both `block_apply_ns` and `block_rebuild_ns` in
+    /// one run.
+    IncrementalVerified,
+}
+
 /// Tunables for a session's re-checks.
 #[derive(Clone, Debug)]
 pub struct MonitorConfig {
@@ -123,6 +164,9 @@ pub struct MonitorConfig {
     /// epoch-advancing events, when a storage backend is attached.
     /// 1 = every advance (the default); 0 = never snapshot.
     pub snapshot_every: u64,
+    /// How epoch-advancing events reach the solver state (see
+    /// [`EpochApply`]).
+    pub epoch_apply: EpochApply,
 }
 
 impl Default for MonitorConfig {
@@ -132,6 +176,7 @@ impl Default for MonitorConfig {
             budget: BudgetSpec::UNLIMITED,
             retry: RetryPolicy::NONE,
             snapshot_every: 1,
+            epoch_apply: EpochApply::Incremental,
         }
     }
 }
@@ -143,8 +188,36 @@ pub struct MonitorStats {
     pub events_applied: u64,
     /// Intra-epoch events applied incrementally.
     pub incremental_applies: u64,
-    /// Epoch-advancing events (each one full rebuild from snapshot).
+    /// Epoch-advancing events applied as in-place batch deltas.
+    pub applies: u64,
+    /// Epoch-advancing events that rebuilt the solver state from a full
+    /// snapshot — the [`EpochApply::Rebuild`] oracle path plus any
+    /// incremental-path fallbacks. *Not* incremented by incremental
+    /// applies.
     pub rebuilds: u64,
+    /// Incremental epoch applies that bailed out to a snapshot rebuild
+    /// (e.g. a mined event whose base was not append-only). Each one also
+    /// counts in `rebuilds`.
+    pub apply_fallbacks: u64,
+    /// Verified-mode epoch applies whose incremental state differed from
+    /// the shadow rebuild oracle. Should be zero, always.
+    pub apply_divergences: u64,
+    /// Verified-mode shadow oracle builds (each timed into
+    /// `block_rebuild_ns` without counting as a `rebuilds` state change).
+    pub shadow_builds: u64,
+    /// Wall nanoseconds spent applying epoch-advancing events as batch
+    /// deltas.
+    pub block_apply_ns: u64,
+    /// Wall nanoseconds spent rebuilding epoch state from snapshots
+    /// (oracle path, fallbacks, and verified-mode shadow rebuilds).
+    pub block_rebuild_ns: u64,
+    /// The subset of `applies` that were wire deltas
+    /// ([`ChainEvent::TxMinedDelta`]/[`ChainEvent::ReorgDelta`]) — O(block)
+    /// work, no snapshot resolution or reconcile planning.
+    pub delta_applies: u64,
+    /// Wall nanoseconds spent in those delta applies (also included in
+    /// `block_apply_ns`).
+    pub delta_apply_ns: u64,
     /// Individual constraint re-checks performed.
     pub rechecks: u64,
     /// Retry attempts beyond each check's first try.
@@ -226,6 +299,9 @@ struct Registered {
     retired: bool,
 }
 
+/// Base rows resolved against the live catalog.
+type ResolvedRows = Vec<(RelationId, Tuple)>;
+
 /// A monitor over one evolving blockchain database. See the module docs.
 pub struct MonitorSession {
     solver: Solver,
@@ -236,6 +312,10 @@ pub struct MonitorSession {
     /// Epoch advances since the last persisted snapshot (see
     /// [`MonitorConfig::snapshot_every`]).
     advances_since_snapshot: u64,
+    /// Inverse deltas of incrementally-applied epoch events, newest last.
+    /// A depth-`d` reorg pops and replays the top `d`; recovery reseeds
+    /// the stack from the journal's `U` records.
+    undo_stack: Vec<UndoRecord>,
 }
 
 impl MonitorSession {
@@ -247,6 +327,7 @@ impl MonitorSession {
             config: MonitorConfig::default(),
             stats: MonitorStats::default(),
             advances_since_snapshot: 0,
+            undo_stack: Vec::new(),
         }
     }
 
@@ -283,7 +364,20 @@ impl MonitorSession {
         constraints: ConstraintSet,
         records: &[JournalRecord],
     ) -> Result<MonitorSession, MonitorError> {
+        MonitorSession::replay_with(catalog, constraints, records, MonitorConfig::default())
+    }
+
+    /// [`replay`](MonitorSession::replay) under an explicit config, so
+    /// the replayed events run the same [`EpochApply`] policy (and
+    /// budget) the crashed session did.
+    pub fn replay_with(
+        catalog: Catalog,
+        constraints: ConstraintSet,
+        records: &[JournalRecord],
+        config: MonitorConfig,
+    ) -> Result<MonitorSession, MonitorError> {
         let mut s = MonitorSession::new(catalog, constraints);
+        s.set_config(config);
         for rec in records {
             if let Some(ev) = rec.event() {
                 s.apply(ev)?;
@@ -332,6 +426,14 @@ impl MonitorSession {
             }
             None => (MonitorSession::new(catalog, constraints), 0, None, 0),
         };
+        // Seed the reorg undo stack from the `U` records before the tail:
+        // the tail's events regenerate their own undos during replay, but
+        // the pre-snapshot inverse deltas exist only in the journal.
+        for rec in &recovery.records[..tail_start] {
+            if let Some(undo) = rec.undo() {
+                session.undo_stack.push(undo.clone());
+            }
+        }
         let mut wal_tail_records = 0usize;
         for rec in &recovery.records[tail_start..] {
             wal_tail_records += 1;
@@ -429,6 +531,12 @@ impl MonitorSession {
     /// The current epoch (bumped by every mined block or reorg).
     pub fn epoch(&self) -> u64 {
         self.solver.epoch()
+    }
+
+    /// How many journaled inverse deltas the session holds — the maximum
+    /// depth a delta-form reorg can rewind right now.
+    pub fn undo_depth(&self) -> usize {
+        self.undo_stack.len()
     }
 
     /// Counters so far.
@@ -550,48 +658,540 @@ impl MonitorSession {
                 }
                 self.stats.incremental_applies += 1;
             }
-            ChainEvent::TxMined { base, pending, .. } | ChainEvent::Reorg { base, pending, .. } => {
-                let _span = probes::MONITOR_REBUILD_NS.span();
-                let catalog = self.solver.db().database().catalog().clone();
-                let cs = self.solver.db().constraints().clone();
-                let mut next = BlockchainDb::new(catalog, cs);
-                for (rel_name, tuple) in base {
-                    let rel = next
-                        .database()
-                        .catalog()
-                        .resolve(rel_name)
-                        .ok_or_else(|| MonitorError::UnknownRelation(rel_name.clone()))?;
-                    next.insert_current(rel, tuple.clone())?;
-                }
-                for (name, tuples) in pending {
-                    let resolved: Result<Vec<_>, MonitorError> = tuples
-                        .iter()
-                        .map(|(rn, t)| {
-                            next.database()
-                                .catalog()
-                                .resolve(rn)
-                                .map(|rel| (rel, t.clone()))
-                                .ok_or_else(|| MonitorError::UnknownRelation(rn.clone()))
-                        })
-                        .collect();
-                    next.add_transaction(name.clone(), resolved?)?;
-                }
-                // `replace_db` rebuilds the steady state, advances the
-                // solver epoch, and drops its base-verdict cache — and the
-                // base state changed, so every watched constraint is dirty.
-                self.solver.replace_db(next);
+            ChainEvent::TxMined { .. }
+            | ChainEvent::Reorg { .. }
+            | ChainEvent::TxMinedDelta { .. }
+            | ChainEvent::ReorgDelta { .. } => {
+                self.apply_epoch_event(event)?;
+                // The base state changed, so every watched constraint is
+                // dirty regardless of which apply path ran.
                 for c in &mut self.constraints {
                     if !c.retired {
                         c.dirty = true;
                     }
                 }
-                self.stats.rebuilds += 1;
                 self.maybe_persist_snapshot()?;
             }
         }
         probes::MONITOR_EPOCH.set(self.solver.epoch());
         self.stats.events_applied += 1;
         Ok(())
+    }
+
+    /// Routes one epoch-advancing event through the configured
+    /// [`EpochApply`] policy. Either path leaves the solver exactly one
+    /// epoch further with current steady-state structures and an empty
+    /// base-verdict cache.
+    fn apply_epoch_event(&mut self, event: &ChainEvent) -> Result<(), MonitorError> {
+        // Snapshot-form events can take the rebuild oracle; delta-form
+        // events carry no snapshot and are always applied incrementally.
+        let snapshot = match event {
+            ChainEvent::TxMined { base, pending, .. } => Some((base, pending, true)),
+            ChainEvent::Reorg { base, pending, .. } => Some((base, pending, false)),
+            _ => None,
+        };
+        if self.config.epoch_apply == EpochApply::Rebuild {
+            if let Some((base, pending, _)) = snapshot {
+                return self.rebuild_from_snapshot(base, pending);
+            }
+        }
+        let t0 = Instant::now();
+        let undo = match (event, snapshot) {
+            (_, Some((base, pending, append_only))) => {
+                self.try_reconcile_to_snapshot(base, pending, append_only)?
+            }
+            (ChainEvent::TxMinedDelta { mined, appended }, _) => {
+                Some(self.apply_mined_delta(mined, appended)?)
+            }
+            (ChainEvent::ReorgDelta { depth }, _) => Some(self.apply_reorg_delta(*depth)?),
+            _ => unreachable!("apply_epoch_event sees only epoch-advancing events"),
+        };
+        let Some(undo) = undo else {
+            // The incremental plan was rejected (a mined event whose base
+            // was not append-only): take the oracle path.
+            let (base, pending, _) = snapshot.expect("only snapshot events can fall back");
+            self.stats.apply_fallbacks += 1;
+            return self.rebuild_from_snapshot(base, pending);
+        };
+        self.solver.advance_epoch();
+        let ns = t0.elapsed().as_nanos() as u64;
+        probes::MONITOR_APPLY_NS.record(ns);
+        self.stats.block_apply_ns += ns;
+        self.stats.applies += 1;
+        if snapshot.is_none() {
+            self.stats.delta_applies += 1;
+            self.stats.delta_apply_ns += ns;
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.append_undo(self.solver.epoch(), &undo)?;
+        }
+        self.undo_stack.push(undo);
+        if self.config.epoch_apply == EpochApply::IncrementalVerified {
+            match snapshot {
+                Some((base, pending, _)) => self.shadow_verify(base, pending)?,
+                // Delta events carry no authoritative snapshot; verify
+                // the incrementally maintained steady state against a
+                // cold build over the live database instead.
+                None => self.shadow_verify_steady(),
+            }
+        }
+        Ok(())
+    }
+
+    /// The oracle path: rebuilds the solver state from the event's full
+    /// snapshot via [`Solver::replace_db`], which rebuilds the steady
+    /// state, advances the epoch, and drops the base-verdict cache.
+    fn rebuild_from_snapshot(
+        &mut self,
+        base: &NamedTuples,
+        pending: &NamedPending,
+    ) -> Result<(), MonitorError> {
+        let t0 = Instant::now();
+        let next = {
+            let _span = probes::MONITOR_REBUILD_NS.span();
+            self.build_snapshot_db(base, pending)?
+        };
+        self.solver.replace_db(next);
+        self.stats.block_rebuild_ns += t0.elapsed().as_nanos() as u64;
+        self.stats.rebuilds += 1;
+        Ok(())
+    }
+
+    /// Builds a fresh [`BlockchainDb`] holding exactly the snapshot.
+    fn build_snapshot_db(
+        &self,
+        base: &NamedTuples,
+        pending: &NamedPending,
+    ) -> Result<BlockchainDb, MonitorError> {
+        let catalog = self.solver.db().database().catalog().clone();
+        let cs = self.solver.db().constraints().clone();
+        let mut next = BlockchainDb::new(catalog, cs);
+        for (rel_name, tuple) in base {
+            let rel = next
+                .database()
+                .catalog()
+                .resolve(rel_name)
+                .ok_or_else(|| MonitorError::UnknownRelation(rel_name.clone()))?;
+            next.insert_current(rel, tuple.clone())?;
+        }
+        for (name, tuples) in pending {
+            let resolved: Result<Vec<_>, MonitorError> = tuples
+                .iter()
+                .map(|(rn, t)| {
+                    next.database()
+                        .catalog()
+                        .resolve(rn)
+                        .map(|rel| (rel, t.clone()))
+                        .ok_or_else(|| MonitorError::UnknownRelation(rn.clone()))
+                })
+                .collect();
+            next.add_transaction(name.clone(), resolved?)?;
+        }
+        Ok(next)
+    }
+
+    /// Verified mode's shadow oracle: rebuild from the snapshot on the
+    /// side, time it as the rebuild cost, and compare against the live
+    /// incremental state. Divergences are counted, never adopted — the
+    /// incremental path is what is under test, and the soak gate requires
+    /// the counter to stay zero.
+    fn shadow_verify(
+        &mut self,
+        base: &NamedTuples,
+        pending: &NamedPending,
+    ) -> Result<(), MonitorError> {
+        let t0 = Instant::now();
+        let oracle_db = self.build_snapshot_db(base, pending)?;
+        let oracle_pre = Precomputed::build(&oracle_db);
+        let ns = t0.elapsed().as_nanos() as u64;
+        probes::MONITOR_REBUILD_NS.record(ns);
+        self.stats.block_rebuild_ns += ns;
+        self.stats.shadow_builds += 1;
+        if !self.matches_oracle(&oracle_db, &oracle_pre) {
+            self.stats.apply_divergences += 1;
+        }
+        Ok(())
+    }
+
+    /// The verified-mode shadow for *delta* events, which carry no
+    /// authoritative snapshot: rebuild the steady state cold over the
+    /// live database and demand it match the incrementally maintained
+    /// one. (Row contents can't be cross-checked without a snapshot; the
+    /// soak's epoch-end audit covers those against the chain export.)
+    fn shadow_verify_steady(&mut self) {
+        let t0 = Instant::now();
+        let oracle_pre = Precomputed::build(self.solver.db());
+        let ns = t0.elapsed().as_nanos() as u64;
+        probes::MONITOR_REBUILD_NS.record(ns);
+        self.stats.block_rebuild_ns += ns;
+        self.stats.shadow_builds += 1;
+        let live_pre = self.solver.precomputed_ref();
+        let n = oracle_pre.fd_graph.node_count();
+        let mut agree = live_pre.viable == oracle_pre.viable
+            && live_pre.includable == oracle_pre.includable
+            && live_pre.fd_graph.node_count() == n;
+        if agree {
+            let mut live_uf = live_pre.ind_uf.clone();
+            let mut oracle_uf = oracle_pre.ind_uf.clone();
+            'scan: for a in 0..n {
+                for b in a + 1..n {
+                    if live_pre.fd_graph.has_edge(a, b) != oracle_pre.fd_graph.has_edge(a, b)
+                        || live_uf.connected(a, b) != oracle_uf.connected(a, b)
+                    {
+                        agree = false;
+                        break 'scan;
+                    }
+                }
+            }
+        }
+        if !agree {
+            self.stats.apply_divergences += 1;
+        }
+    }
+
+    /// Whether the live state is observably identical to the oracle's:
+    /// same per-relation row sequences (tuple and source), same pending
+    /// names, same steady-state verdict inputs.
+    fn matches_oracle(&self, oracle_db: &BlockchainDb, oracle_pre: &Precomputed) -> bool {
+        let live_db = self.solver.db();
+        let cat = live_db.database().catalog();
+        for (rel, _) in cat.iter() {
+            let live: Vec<_> = live_db
+                .database()
+                .relation(rel)
+                .scan_all()
+                .map(|(_, row)| (row.tuple.clone(), row.source))
+                .collect();
+            let oracle: Vec<_> = oracle_db
+                .database()
+                .relation(rel)
+                .scan_all()
+                .map(|(_, row)| (row.tuple.clone(), row.source))
+                .collect();
+            if live != oracle {
+                return false;
+            }
+        }
+        let live_names: Vec<_> = live_db.pending().iter().map(|t| &t.name).collect();
+        let oracle_names: Vec<_> = oracle_db.pending().iter().map(|t| &t.name).collect();
+        if live_names != oracle_names {
+            return false;
+        }
+        let live_pre = self.solver.precomputed_ref();
+        if live_pre.viable != oracle_pre.viable || live_pre.includable != oracle_pre.includable {
+            return false;
+        }
+        let n = oracle_pre.fd_graph.node_count();
+        if live_pre.fd_graph.node_count() != n {
+            return false;
+        }
+        let mut live_uf = live_pre.ind_uf.clone();
+        let mut oracle_uf = oracle_pre.ind_uf.clone();
+        for a in 0..n {
+            for b in a + 1..n {
+                if live_pre.fd_graph.has_edge(a, b) != oracle_pre.fd_graph.has_edge(a, b)
+                    || live_uf.connected(a, b) != oracle_uf.connected(a, b)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental epoch apply: recorded batch deltas.
+    //
+    // Each primitive below mutates through the solver's batch delta
+    // mutators and pushes the *inverse* op onto `rec` (in apply order);
+    // `finish_undo` reverses the list so executing the resulting record's
+    // ops front-to-back reverts the event.
+    // ------------------------------------------------------------------
+
+    fn rel_name(&self, rel: RelationId) -> String {
+        self.solver
+            .db()
+            .database()
+            .catalog()
+            .schema(rel)
+            .name()
+            .to_string()
+    }
+
+    fn name_rows(&self, rows: &[(RelationId, Tuple)]) -> NamedTuples {
+        rows.iter()
+            .map(|(rel, t)| (self.rel_name(*rel), t.clone()))
+            .collect()
+    }
+
+    fn rec_append_base(
+        &mut self,
+        rows: Vec<(RelationId, Tuple)>,
+        rec: &mut Vec<UndoOp>,
+    ) -> Result<(), MonitorError> {
+        if rows.is_empty() {
+            return Ok(());
+        }
+        let added = self.solver.append_base_rows(&rows)?;
+        if !added.is_empty() {
+            let named = self.name_rows(&added);
+            rec.push(UndoOp::RemoveBase(named));
+        }
+        Ok(())
+    }
+
+    fn rec_remove_base(&mut self, rows: Vec<(RelationId, Tuple)>, rec: &mut Vec<UndoOp>) {
+        if rows.is_empty() {
+            return;
+        }
+        let named = self.name_rows(&rows);
+        self.solver.remove_base_rows(&rows);
+        rec.push(UndoOp::AppendBase(named));
+    }
+
+    fn rec_remove_txs(&mut self, mut ids: Vec<TxId>, rec: &mut Vec<UndoOp>) {
+        if ids.is_empty() {
+            return;
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        let entries: Vec<(u64, String, NamedTuples)> = ids
+            .iter()
+            .map(|id| {
+                let t = &self.solver.db().pending()[id.index()];
+                (id.0 as u64, t.name.clone(), self.name_rows(&t.tuples))
+            })
+            .collect();
+        self.solver.remove_transactions(&ids);
+        rec.push(UndoOp::InsertTxs(entries));
+    }
+
+    fn rec_insert_tx(
+        &mut self,
+        at: TxId,
+        name: String,
+        tuples: Vec<(RelationId, Tuple)>,
+        rec: &mut Vec<UndoOp>,
+    ) -> Result<(), MonitorError> {
+        self.solver.insert_transaction_at(at, name.clone(), tuples)?;
+        rec.push(UndoOp::RemoveTx { name });
+        Ok(())
+    }
+
+    fn finish_undo(mut rec: Vec<UndoOp>) -> UndoRecord {
+        rec.reverse();
+        UndoRecord { ops: rec }
+    }
+
+    /// Executes one undo record through the recorded primitives, so the
+    /// *current* event's recorder captures the inverse (undoing an undo
+    /// re-applies the block — a reorg's own undo record is its redo).
+    ///
+    /// Tolerates mempool churn since the record was captured: arrivals
+    /// and evictions between the block and its reorg can shift or remove
+    /// pending entries, so insert indices are clamped to the live pending
+    /// length and removing an already-evicted name is a no-op. With no
+    /// intervening intra-epoch events the record is an exact inverse.
+    fn execute_undo(&mut self, undo: &UndoRecord, rec: &mut Vec<UndoOp>) -> Result<(), MonitorError> {
+        for op in &undo.ops {
+            match op {
+                UndoOp::AppendBase(rows) => {
+                    let rows = self.resolve(rows)?;
+                    self.rec_append_base(rows, rec)?;
+                }
+                UndoOp::RemoveBase(rows) => {
+                    let rows = self.resolve(rows)?;
+                    self.rec_remove_base(rows, rec);
+                }
+                UndoOp::InsertTxs(entries) => {
+                    for (at, name, tuples) in entries {
+                        let tuples = self.resolve(tuples)?;
+                        let len = self.solver.db().pending().len() as u64;
+                        let at = (*at).min(len);
+                        self.rec_insert_tx(TxId(at as u32), name.clone(), tuples, rec)?;
+                    }
+                }
+                UndoOp::RemoveTx { name } => {
+                    let idx = self
+                        .solver
+                        .db()
+                        .pending()
+                        .iter()
+                        .position(|t| &t.name == name);
+                    if let Some(idx) = idx {
+                        self.rec_remove_txs(vec![TxId(idx as u32)], rec);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Resolves the snapshot's base rows and collapses duplicates to
+    /// first occurrence per relation — exactly the sequence a cold
+    /// rebuild's deduplicating `insert_current` loop would store.
+    fn resolve_base(&self, base: &NamedTuples) -> Result<Vec<(RelationId, Tuple)>, MonitorError> {
+        let rows = self.resolve(base)?;
+        let mut seen: FxHashSet<(RelationId, &Tuple)> = FxHashSet::default();
+        let mut keep = Vec::with_capacity(rows.len());
+        for (i, (rel, tuple)) in rows.iter().enumerate() {
+            if seen.insert((*rel, tuple)) {
+                keep.push(i);
+            }
+        }
+        if keep.len() == rows.len() {
+            return Ok(rows);
+        }
+        Ok(keep.into_iter().map(|i| rows[i].clone()).collect())
+    }
+
+    /// Longest-common-prefix base plan: per relation, keep the shared
+    /// prefix of the current base rows and the (deduplicated) target,
+    /// remove the current suffix past it, append the target remainder.
+    /// Base rows are unique per relation, so removing a suffix by content
+    /// never touches a kept prefix row.
+    fn base_reconcile_plan(&self, target: &[(RelationId, Tuple)]) -> (ResolvedRows, ResolvedRows) {
+        let db = self.solver.db().database();
+        let nrel = db.catalog().relation_count();
+        let mut per_rel_target: Vec<Vec<&Tuple>> = vec![Vec::new(); nrel];
+        for (rel, tuple) in target {
+            per_rel_target[rel.index()].push(tuple);
+        }
+        let mut to_remove = Vec::new();
+        let mut to_append = Vec::new();
+        for (rel, _) in db.catalog().iter() {
+            let current: Vec<&Tuple> = db.relation(rel).base_tuples().collect();
+            let tgt = &per_rel_target[rel.index()];
+            let mut p = 0;
+            while p < current.len() && p < tgt.len() && current[p] == tgt[p] {
+                p += 1;
+            }
+            for t in &current[p..] {
+                to_remove.push((rel, (*t).clone()));
+            }
+            for t in &tgt[p..] {
+                to_append.push((rel, (*t).clone()));
+            }
+        }
+        (to_remove, to_append)
+    }
+
+    /// Brings the pending set to exactly `target` (names, tuples, order)
+    /// with a batch removal of entries not in the target, then ordered
+    /// re-insertions of entries not currently present. Greedy
+    /// subsequence matching keeps every entry that survives unchanged.
+    fn reconcile_pending(
+        &mut self,
+        target: &[(String, Vec<(RelationId, Tuple)>)],
+        rec: &mut Vec<UndoOp>,
+    ) -> Result<(), MonitorError> {
+        let current: Vec<(String, Vec<(RelationId, Tuple)>)> = self
+            .solver
+            .db()
+            .pending()
+            .iter()
+            .map(|t| (t.name.clone(), t.tuples.clone()))
+            .collect();
+        let mut matched = vec![false; target.len()];
+        let mut keep = vec![false; current.len()];
+        let mut ti = 0usize;
+        for (ci, entry) in current.iter().enumerate() {
+            if let Some(j) = (ti..target.len()).find(|&j| &target[j] == entry) {
+                matched[j] = true;
+                keep[ci] = true;
+                ti = j + 1;
+            }
+        }
+        let removals: Vec<TxId> = (0..current.len())
+            .filter(|&i| !keep[i])
+            .map(|i| TxId(i as u32))
+            .collect();
+        self.rec_remove_txs(removals, rec);
+        // Ascending target order: when slot j is filled, slots 0..j
+        // already hold exactly target[0..j] (matched survivors plus
+        // earlier insertions), so each insert lands at its final index.
+        for (j, (name, tuples)) in target.iter().enumerate() {
+            if !matched[j] {
+                self.rec_insert_tx(TxId(j as u32), name.clone(), tuples.clone(), rec)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The incremental path for snapshot-form epoch events. The snapshot
+    /// carries the full authoritative target state, so it reconciles
+    /// directly — no undo rewind (that is the delta-form reorg's job,
+    /// where no target exists). Returns `None` — plan rejected, nothing
+    /// mutated — when `append_only` (a mined event) and the base would
+    /// have to shrink: a block never retracts rows, so the stream
+    /// disagrees with our state and the snapshot oracle should take over.
+    fn try_reconcile_to_snapshot(
+        &mut self,
+        base: &NamedTuples,
+        pending: &NamedPending,
+        append_only: bool,
+    ) -> Result<Option<UndoRecord>, MonitorError> {
+        let target_base = self.resolve_base(base)?;
+        let target_pending: Vec<(String, Vec<(RelationId, Tuple)>)> = pending
+            .iter()
+            .map(|(name, tuples)| Ok((name.clone(), self.resolve(tuples)?)))
+            .collect::<Result<_, MonitorError>>()?;
+        if append_only {
+            let (to_remove, _) = self.base_reconcile_plan(&target_base);
+            if !to_remove.is_empty() {
+                return Ok(None);
+            }
+        }
+        let mut rec = Vec::new();
+        let (to_remove, to_append) = self.base_reconcile_plan(&target_base);
+        self.rec_remove_base(to_remove, &mut rec);
+        self.rec_append_base(to_append, &mut rec)?;
+        self.reconcile_pending(&target_pending, &mut rec)?;
+        Ok(Some(Self::finish_undo(rec)))
+    }
+
+    /// The purely incremental mined-block delta: append the block's base
+    /// rows, drop the mined transactions from the pending set.
+    fn apply_mined_delta(
+        &mut self,
+        mined: &[String],
+        appended: &NamedTuples,
+    ) -> Result<UndoRecord, MonitorError> {
+        let rows = self.resolve(appended)?;
+        let ids: Vec<TxId> = mined
+            .iter()
+            .map(|name| {
+                self.solver
+                    .db()
+                    .pending()
+                    .iter()
+                    .position(|t| &t.name == name)
+                    .map(|i| TxId(i as u32))
+                    .ok_or_else(|| MonitorError::UnknownTransaction(name.clone()))
+            })
+            .collect::<Result<_, MonitorError>>()?;
+        let mut rec = Vec::new();
+        self.rec_append_base(rows, &mut rec)?;
+        self.rec_remove_txs(ids, &mut rec);
+        Ok(Self::finish_undo(rec))
+    }
+
+    /// The delta-form reorg: pop `depth` undo records and replay them.
+    /// The recorded inverse of the rewind is the reorg's own undo — so a
+    /// later `ReorgDelta` can *redo* the disconnected blocks.
+    fn apply_reorg_delta(&mut self, depth: u64) -> Result<UndoRecord, MonitorError> {
+        if (self.undo_stack.len() as u64) < depth {
+            return Err(MonitorError::UndoUnavailable {
+                depth,
+                available: self.undo_stack.len(),
+            });
+        }
+        let mut rec = Vec::new();
+        for _ in 0..depth {
+            let undo = self.undo_stack.pop().expect("checked above");
+            self.execute_undo(&undo, &mut rec)?;
+        }
+        Ok(Self::finish_undo(rec))
     }
 
     /// After an epoch advance: persist a snapshot of the new state and
@@ -869,7 +1469,7 @@ mod tests {
     }
 
     #[test]
-    fn mined_event_rebuilds_and_advances_epoch() {
+    fn mined_event_applies_incrementally_and_advances_epoch() {
         let (cat, cs) = setup();
         let mut s = MonitorSession::new(cat, cs);
         s.apply(&arrival("t0", 1, "ann")).unwrap();
@@ -893,7 +1493,135 @@ mod tests {
             .filter(|(_, row)| row.source == bcdb_storage::Source::Base)
             .collect();
         assert_eq!(base_rows.len(), 1);
+        // The default policy applies the block as a batch delta: no
+        // snapshot rebuild, one inverse delta on the undo stack.
+        assert_eq!(s.stats().applies, 1);
+        assert_eq!(s.stats().rebuilds, 0);
+        assert_eq!(s.undo_depth(), 1);
+    }
+
+    #[test]
+    fn rebuild_oracle_mode_still_rebuilds() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        s.set_config(MonitorConfig {
+            epoch_apply: EpochApply::Rebuild,
+            ..MonitorConfig::default()
+        });
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&ChainEvent::TxMined {
+            mined: vec!["t0".to_string()],
+            base: vec![("Pay".to_string(), tuple![1i64, "ann"])],
+            pending: vec![],
+        })
+        .unwrap();
+        assert_eq!(s.epoch(), 1);
+        assert_self_consistent(&s);
         assert_eq!(s.stats().rebuilds, 1);
+        assert_eq!(s.stats().applies, 0);
+        assert_eq!(s.undo_depth(), 0, "the oracle path records no undos");
+    }
+
+    #[test]
+    fn verified_mode_times_both_paths_and_sees_no_divergence() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        s.set_config(MonitorConfig {
+            epoch_apply: EpochApply::IncrementalVerified,
+            ..MonitorConfig::default()
+        });
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 2, "bob")).unwrap();
+        s.apply(&ChainEvent::TxMined {
+            mined: vec!["t0".to_string()],
+            base: vec![("Pay".to_string(), tuple![1i64, "ann"])],
+            pending: vec![(
+                "t1".to_string(),
+                vec![("Pay".to_string(), tuple![2i64, "bob"])],
+            )],
+        })
+        .unwrap();
+        s.apply(&ChainEvent::Reorg {
+            depth: 1,
+            base: vec![],
+            pending: vec![(
+                "t1".to_string(),
+                vec![("Pay".to_string(), tuple![2i64, "bob"])],
+            )],
+        })
+        .unwrap();
+        let st = s.stats();
+        assert_eq!(st.applies, 2);
+        assert_eq!(st.apply_divergences, 0);
+        assert!(st.block_apply_ns > 0, "incremental path was timed");
+        assert!(st.block_rebuild_ns > 0, "shadow oracle was timed");
+        assert_self_consistent(&s);
+    }
+
+    #[test]
+    fn delta_events_mine_and_reorg_without_snapshots() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs.clone());
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&arrival("t1", 2, "bob")).unwrap();
+        // Delta-form block: t0 mined, its row (plus a coinbase-style row)
+        // appended — no snapshot anywhere.
+        s.apply(&ChainEvent::TxMinedDelta {
+            mined: vec!["t0".to_string()],
+            appended: vec![
+                ("Pay".to_string(), tuple![100i64, "miner"]),
+                ("Pay".to_string(), tuple![1i64, "ann"]),
+            ],
+        })
+        .unwrap();
+        assert_eq!(s.epoch(), 1);
+        assert_eq!(s.pending_names(), ["t1"]);
+        assert_self_consistent(&s);
+        let before = state_bytes(&s);
+
+        // Mine a second delta block, then rewind it with a delta reorg.
+        s.apply(&ChainEvent::TxMinedDelta {
+            mined: vec!["t1".to_string()],
+            appended: vec![("Pay".to_string(), tuple![2i64, "bob"])],
+        })
+        .unwrap();
+        assert_eq!(s.undo_depth(), 2);
+        s.apply(&ChainEvent::ReorgDelta { depth: 1 }).unwrap();
+        assert_eq!(s.epoch(), 3);
+        assert_eq!(s.pending_names(), ["t1"]);
+        assert_self_consistent(&s);
+        // State (modulo the epoch tag) is exactly the pre-block state.
+        assert_eq!(
+            bcdb_storage::encode_snapshot(&s.bcdb().to_db_snapshot(1)),
+            before
+        );
+        // The reorg's own undo is a redo: rewinding it re-mines t1.
+        s.apply(&ChainEvent::ReorgDelta { depth: 1 }).unwrap();
+        assert_eq!(s.pending_names(), Vec::<&str>::new());
+        assert_self_consistent(&s);
+
+        // Rewinding deeper than the stack is an error, applied atomically.
+        let err = s.apply(&ChainEvent::ReorgDelta { depth: 99 }).unwrap_err();
+        assert!(matches!(err, MonitorError::UndoUnavailable { .. }));
+    }
+
+    #[test]
+    fn non_append_only_mined_event_falls_back_to_rebuild() {
+        let (cat, cs) = setup();
+        let mut s = MonitorSession::new(cat, cs);
+        s.apply(&arrival("t0", 1, "ann")).unwrap();
+        s.apply(&mined("t0", vec![("Pay".to_string(), tuple![1i64, "ann"])]))
+            .unwrap();
+        assert_eq!(s.stats().applies, 1);
+        // A mined event whose base *dropped* a row contradicts the
+        // append-only contract: the snapshot oracle takes over.
+        s.apply(&mined("t1", vec![("Pay".to_string(), tuple![9i64, "zed"])]))
+            .unwrap();
+        let st = s.stats();
+        assert_eq!(st.apply_fallbacks, 1);
+        assert_eq!(st.rebuilds, 1);
+        assert_eq!(s.epoch(), 2);
+        assert_self_consistent(&s);
     }
 
     #[test]
@@ -949,14 +1677,19 @@ mod tests {
         s.apply(&arrival("t2", 2, "cam")).unwrap();
 
         let recovery = Journal::recover(&path).unwrap();
-        assert_eq!(recovery.records.len(), 5);
+        assert_eq!(recovery.records.len(), 6, "5 events + 1 undo record");
         assert_eq!(recovery.dropped_bytes, 0);
         let replayed = MonitorSession::replay(cat, cs, &recovery.records).unwrap();
         assert_eq!(replayed.epoch(), s.epoch());
         assert_eq!(replayed.pending_names(), s.pending_names());
         assert_self_consistent(&replayed);
+        // Replaying the mined event regenerated its inverse delta, and it
+        // matches the journaled one byte for byte.
+        assert_eq!(replayed.undo_depth(), 1);
+        let journaled = recovery.records.iter().find_map(|r| r.undo()).unwrap();
+        assert_eq!(&replayed.undo_stack[0], journaled);
         // The recovered journal continues the sequence.
-        assert_eq!(recovery.journal.next_seq(), 5);
+        assert_eq!(recovery.journal.next_seq(), 6);
     }
 
     #[test]
@@ -1130,21 +1863,37 @@ mod tests {
         assert!(report.snapshot_loaded.is_some());
         assert_eq!(report.snapshot_epoch, 1);
         assert_eq!(report.snapshots_rejected, 0);
-        assert_eq!(report.total_records, 6, "5 events + 1 boundary");
+        assert_eq!(report.total_records, 7, "5 events + 1 undo + 1 boundary");
         assert_eq!(report.total_events, 5);
         assert_eq!(report.wal_tail_records, 2, "only the tail is replayed");
         assert_eq!(recovered.epoch(), want_epoch);
         assert_eq!(state_bytes(&recovered), want, "byte-identical state");
         assert_self_consistent(&recovered);
+        assert_eq!(
+            recovered.undo_depth(),
+            1,
+            "the pre-tail undo record reseeded the reorg stack"
+        );
 
-        // And the recovered session keeps journaling + snapshotting.
+        // And the recovered session keeps journaling + snapshotting. The
+        // event snapshot carries the *full* post-block base state.
         let mut recovered = recovered;
         recovered
-            .apply(&mined("t2", vec![("Pay".to_string(), tuple![3i64, "cam"])]))
+            .apply(&mined(
+                "t2",
+                vec![
+                    ("Pay".to_string(), tuple![1i64, "ann"]),
+                    ("Pay".to_string(), tuple![3i64, "cam"]),
+                ],
+            ))
             .unwrap();
         assert_eq!(recovered.stats().snapshots_persisted, 1);
         let rec = Journal::recover(&journal_path).unwrap();
-        assert_eq!(rec.records.len(), 8, "tail event + its boundary appended");
+        assert_eq!(
+            rec.records.len(),
+            10,
+            "tail event + its undo + its boundary appended"
+        );
     }
 
     #[test]

@@ -191,6 +191,13 @@ pub fn build_ind_indexes(db: &mut Database, cs: &ConstraintSet) {
     }
 }
 
+/// Dependent projections seen under one determinant, with multiplicities.
+/// One entry per *distinct* dependent; two or more entries mark a
+/// determinant that is internally inconsistent within the source.
+/// Multiplicities make the fingerprint a multiset, so rows can be removed
+/// as well as added — the basis of incremental base-state maintenance.
+type FpDeps = SmallVec<[(Projection, u32); 1]>;
+
 /// Per-source FD fingerprints: for one FD, the map from determinant values
 /// to dependent values over the tuples of one source.
 ///
@@ -199,41 +206,57 @@ pub fn build_ind_indexes(db: &mut Database, cs: &ConstraintSet) {
 /// rescanning tuples.
 #[derive(Clone, Debug, Default)]
 pub struct FdFingerprint {
-    /// determinant projection -> dependent projection. `None` marks a
-    /// determinant that is *internally* inconsistent within the source
-    /// itself (the source alone violates the FD).
-    map: FxHashMap<SmallVec<[Value; 4]>, Option<SmallVec<[Value; 4]>>>,
+    /// determinant projection -> distinct dependent projections with counts.
+    map: FxHashMap<Projection, FpDeps>,
 }
 
 impl FdFingerprint {
+    /// Records one row's `(determinant, dependent)` projection pair.
+    fn add(&mut self, lhs: Projection, rhs: Projection) {
+        let deps = self.map.entry(lhs).or_default();
+        match deps.iter_mut().find(|(r, _)| *r == rhs) {
+            Some((_, n)) => *n += 1,
+            None => deps.push((rhs, 1)),
+        }
+    }
+
+    /// Removes one row's `(determinant, dependent)` pair previously added.
+    /// Returns whether the pair was present.
+    fn remove(&mut self, lhs: &Projection, rhs: &Projection) -> bool {
+        let Some(deps) = self.map.get_mut(lhs) else {
+            return false;
+        };
+        let Some(pos) = deps.iter().position(|(r, _)| r == rhs) else {
+            return false;
+        };
+        deps[pos].1 -= 1;
+        if deps[pos].1 == 0 {
+            let last = deps.len() - 1;
+            deps.swap(pos, last);
+            deps.pop();
+        }
+        if deps.is_empty() {
+            self.map.remove(lhs);
+        }
+        true
+    }
+
     /// Collects the fingerprint of `source` for `fd`.
     pub fn collect(db: &Database, fd: &Fd, source: Source) -> Self {
         let store = db.relation(fd.relation);
-        let mut map: FxHashMap<SmallVec<[Value; 4]>, Option<SmallVec<[Value; 4]>>> =
-            FxHashMap::default();
+        let mut fp = FdFingerprint::default();
         for (_, row) in store.scan_all() {
             if row.source != source {
                 continue;
             }
-            let lhs = row.tuple.project(&fd.lhs);
-            let rhs = row.tuple.project(&fd.rhs);
-            match map.entry(lhs) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if e.get().as_ref() != Some(&rhs) {
-                        e.insert(None);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Some(rhs));
-                }
-            }
+            fp.add(row.tuple.project(&fd.lhs), row.tuple.project(&fd.rhs));
         }
-        FdFingerprint { map }
+        fp
     }
 
     /// Whether the source is internally consistent for the FD.
     pub fn self_consistent(&self) -> bool {
-        self.map.values().all(|v| v.is_some())
+        self.map.values().all(|deps| deps.len() == 1)
     }
 
     /// Whether two fingerprints are mutually consistent: no shared
@@ -245,13 +268,11 @@ impl FdFingerprint {
         } else {
             (&other.map, &self.map)
         };
-        for (lhs, rhs) in small {
-            match large.get(lhs) {
-                None => {}
-                Some(other_rhs) if rhs.is_none() || other_rhs.is_none() || rhs != other_rhs => {
+        for (lhs, deps) in small {
+            if let Some(other_deps) = large.get(lhs) {
+                if deps.len() != 1 || other_deps.len() != 1 || deps[0].0 != other_deps[0].0 {
                     return false;
                 }
-                Some(_) => {}
             }
         }
         true
@@ -288,21 +309,36 @@ impl SourceFingerprints {
                 if rel != fd.relation {
                     continue;
                 }
-                let lhs = tuple.project(&fd.lhs);
-                let rhs = tuple.project(&fd.rhs);
-                match per_fd[fd_idx].map.entry(lhs) {
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        if e.get().as_ref() != Some(&rhs) {
-                            e.insert(None);
-                        }
-                    }
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert(Some(rhs));
-                    }
-                }
+                per_fd[fd_idx].add(tuple.project(&fd.lhs), tuple.project(&fd.rhs));
             }
         }
         SourceFingerprints { per_fd }
+    }
+
+    /// Adds one tuple of `rel` to the fingerprints — O(|FDs on rel|),
+    /// the per-row cost of incremental base maintenance.
+    pub fn add_tuple(&mut self, cs: &ConstraintSet, rel: RelationId, tuple: &crate::tuple::Tuple) {
+        for (fd_idx, fd) in cs.fds().iter().enumerate() {
+            if fd.relation == rel {
+                self.per_fd[fd_idx].add(tuple.project(&fd.lhs), tuple.project(&fd.rhs));
+            }
+        }
+    }
+
+    /// Removes one previously added tuple of `rel` from the fingerprints.
+    pub fn remove_tuple(
+        &mut self,
+        cs: &ConstraintSet,
+        rel: RelationId,
+        tuple: &crate::tuple::Tuple,
+    ) {
+        for (fd_idx, fd) in cs.fds().iter().enumerate() {
+            if fd.relation == rel {
+                let removed = self.per_fd[fd_idx]
+                    .remove(&tuple.project(&fd.lhs), &tuple.project(&fd.rhs));
+                debug_assert!(removed, "removing a tuple that was never fingerprinted");
+            }
+        }
     }
 
     /// Collects all FD fingerprints of `source`.
@@ -365,18 +401,7 @@ pub fn collect_all_fingerprints(
                 Source::Base => &mut base.per_fd[fd_idx],
                 Source::Pending(t) => &mut per_tx[t.index()].per_fd[fd_idx],
             };
-            let lhs = row.tuple.project(&fd.lhs);
-            let rhs = row.tuple.project(&fd.rhs);
-            match target.map.entry(lhs) {
-                std::collections::hash_map::Entry::Occupied(mut e) => {
-                    if e.get().as_ref() != Some(&rhs) {
-                        e.insert(None);
-                    }
-                }
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    e.insert(Some(rhs));
-                }
-            }
+            target.add(row.tuple.project(&fd.lhs), row.tuple.project(&fd.rhs));
         }
     }
     (base, per_tx)
@@ -519,6 +544,32 @@ mod tests {
             .unwrap();
         let (_, txs2) = collect_all_fingerprints(&other, &cs);
         assert!(!txs2[0].consistent_with(&txs2[1]));
+    }
+
+    #[test]
+    fn incremental_fingerprint_add_remove_round_trips() {
+        let (mut db, cs, r, _) = setup();
+        db.insert_base(r, tuple![1i64, 10i64]).unwrap();
+        db.insert(r, tuple![1i64, 20i64], Source::Pending(TxId(0)))
+            .unwrap();
+        let (mut base, txs) = collect_all_fingerprints(&db, &cs);
+        assert!(!base.consistent_with(&txs[0]));
+
+        // Adding a conflicting row then removing it restores behaviour,
+        // even when another row shares the same (lhs, rhs) pair.
+        let clash = tuple![1i64, 20i64];
+        base.add_tuple(&cs, r, &clash);
+        assert!(!base.self_consistent());
+        base.add_tuple(&cs, r, &clash);
+        base.remove_tuple(&cs, r, &clash);
+        assert!(!base.self_consistent(), "one copy of the clash remains");
+        base.remove_tuple(&cs, r, &clash);
+        assert!(base.self_consistent());
+        assert!(!base.consistent_with(&txs[0]));
+
+        // Removing the original row makes base compatible with T0 again.
+        base.remove_tuple(&cs, r, &tuple![1i64, 10i64]);
+        assert!(base.consistent_with(&txs[0]));
     }
 
     #[test]

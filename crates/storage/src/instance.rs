@@ -151,6 +151,105 @@ impl Database {
         self.tx_count -= 1;
     }
 
+    /// Removes a batch of pending transactions (any order, duplicate-free)
+    /// from every relation in one compaction pass per store and renumbers
+    /// the survivors dense — equivalent to calling
+    /// [`remove_pending_tx`](Database::remove_pending_tx) for each id in
+    /// descending order, but O(rows) total instead of O(rows × batch).
+    pub fn remove_pending_txs(&mut self, txs: &[TxId]) {
+        if txs.is_empty() {
+            return;
+        }
+        let mut sorted = txs.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), txs.len(), "duplicate tx in removal batch");
+        assert!(
+            sorted.last().unwrap().0 < self.tx_count,
+            "remove_pending_txs: {} out of range ({} pending)",
+            sorted.last().unwrap(),
+            self.tx_count
+        );
+        for store in &mut self.stores {
+            store.remove_pending_txs(&sorted);
+        }
+        self.tx_count -= sorted.len() as u32;
+    }
+
+    /// Typechecks and appends `rows` to the base state *at the end of the
+    /// base segment* (before any pending row), skipping tuples that already
+    /// have a base copy. Returns the rows actually added per relation, in
+    /// order — the inverse delta needed to undo the append.
+    pub fn append_base_rows(
+        &mut self,
+        rows: &[(RelationId, Tuple)],
+    ) -> Result<Vec<(RelationId, Tuple)>, StorageError> {
+        let mut per_rel: Vec<Vec<Tuple>> = vec![Vec::new(); self.stores.len()];
+        for (rel, tuple) in rows {
+            self.catalog.schema(*rel).typecheck(tuple)?;
+            let t = self.intern_tuple(tuple.clone());
+            per_rel[rel.index()].push(t);
+        }
+        let mut added = Vec::new();
+        for (idx, tuples) in per_rel.iter().enumerate() {
+            if tuples.is_empty() {
+                continue;
+            }
+            for t in self.stores[idx].append_base_rows(tuples) {
+                added.push((RelationId(idx as u32), t));
+            }
+        }
+        Ok(added)
+    }
+
+    /// Removes base rows by content (each base tuple is stored at most
+    /// once). Returns how many rows were removed.
+    pub fn remove_base_rows(&mut self, rows: &[(RelationId, Tuple)]) -> usize {
+        let mut per_rel: Vec<Vec<Tuple>> = vec![Vec::new(); self.stores.len()];
+        for (rel, tuple) in rows {
+            per_rel[rel.index()].push(tuple.clone());
+        }
+        let mut removed = 0;
+        for (idx, tuples) in per_rel.iter().enumerate() {
+            if !tuples.is_empty() {
+                removed += self.stores[idx].remove_base_rows(tuples);
+            }
+        }
+        removed
+    }
+
+    /// Typechecks and inserts a new pending transaction at id `at`,
+    /// shifting existing transactions with ids `>= at` up by one. Rows land
+    /// where a canonically built store would place them. `at` may equal
+    /// [`tx_count`](Database::tx_count) (a plain append).
+    pub fn insert_pending_tx_at(
+        &mut self,
+        at: TxId,
+        rows: &[(RelationId, Tuple)],
+    ) -> Result<(), StorageError> {
+        assert!(
+            at.0 <= self.tx_count,
+            "insert_pending_tx_at: {at} past the end ({} pending)",
+            self.tx_count
+        );
+        let mut per_rel: Vec<Vec<Tuple>> = vec![Vec::new(); self.stores.len()];
+        for (rel, tuple) in rows {
+            self.catalog.schema(*rel).typecheck(tuple)?;
+            let t = self.intern_tuple(tuple.clone());
+            per_rel[rel.index()].push(t);
+        }
+        for (idx, tuples) in per_rel.iter().enumerate() {
+            self.stores[idx].insert_pending_rows_at(at, tuples);
+        }
+        // Mirror `insert`'s max-id tracking: an empty transaction appended
+        // at the tail leaves the count unchanged, exactly as a sequence of
+        // plain inserts would have.
+        if !rows.is_empty() || at.0 < self.tx_count {
+            self.tx_count += 1;
+        }
+        Ok(())
+    }
+
     /// Total rows across all relations (all sources).
     pub fn total_rows(&self) -> usize {
         self.stores.iter().map(|s| s.row_count()).sum()

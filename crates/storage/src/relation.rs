@@ -39,6 +39,17 @@ struct SecondaryIndex {
     map: FxHashMap<SmallVec<[Value; 4]>, SmallVec<[u32; 4]>>,
 }
 
+/// Inserts `id` into a sorted id list at its ordered position (a push plus
+/// a bubble, since the vendored smallvec has no `insert`).
+fn sorted_insert<A: smallvec::Array<Item = u32>>(ids: &mut SmallVec<A>, id: u32) {
+    ids.push(id);
+    let mut i = ids.len() - 1;
+    while i > 0 && ids[i - 1] > id {
+        ids.swap(i, i - 1);
+        i -= 1;
+    }
+}
+
 impl SecondaryIndex {
     fn insert(&mut self, row_id: u32, tuple: &Tuple) {
         self.map
@@ -228,41 +239,7 @@ impl RelationStore {
     /// store remains byte-identical to one built by inserting only the
     /// survivors in the first place.
     pub fn remove_pending_tx(&mut self, tx: crate::source::TxId) {
-        let untouched = self.rows.iter().all(|r| match r.source {
-            Source::Pending(t) => t < tx,
-            Source::Base => true,
-        });
-        if untouched {
-            // Nothing from `tx` and nothing to renumber: keep ids stable.
-            return;
-        }
-        let old_rows = std::mem::take(&mut self.rows);
-        self.by_tuple.clear();
-        self.pending_rows.clear();
-        for idx in &mut self.indexes {
-            idx.map.clear();
-        }
-        for row in old_rows {
-            if row.source == Source::Pending(tx) {
-                continue;
-            }
-            let source = match row.source {
-                Source::Pending(t) if t > tx => Source::Pending(crate::source::TxId(t.0 - 1)),
-                s => s,
-            };
-            let id = self.rows.len() as u32;
-            self.by_tuple.entry(row.tuple.clone()).or_default().push(id);
-            for idx in &mut self.indexes {
-                idx.insert(id, &row.tuple);
-            }
-            if matches!(source, Source::Pending(_)) {
-                self.pending_rows.push(id);
-            }
-            self.rows.push(Row {
-                tuple: row.tuple,
-                source,
-            });
-        }
+        self.remove_pending_txs(&[tx]);
     }
 
     /// Number of rows from the base source.
@@ -271,6 +248,456 @@ impl RelationStore {
             .iter()
             .filter(|r| r.source == Source::Base)
             .count()
+    }
+
+    /// Base-row tuples in scan order — the store's segment of the canonical
+    /// base sequence.
+    pub fn base_tuples(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.rows
+            .iter()
+            .filter(|r| r.source == Source::Base)
+            .map(|r| &r.tuple)
+    }
+
+    /// Replaces the row sequence with `new_rows`, rewriting the content map,
+    /// secondary indexes, and pending-row list *without rehashing surviving
+    /// rows*: `old_to_new[old_id]` gives each surviving row's new id (`None`
+    /// for dropped rows), and only the `fresh` ids — rows that did not exist
+    /// before — are hashed in. This keeps batch mutations (block application,
+    /// reorg undo) O(rows) in integer work rather than O(rows) in hashing.
+    ///
+    /// Every map's id list ends up sorted ascending, matching the insertion
+    /// order a cold-built store would produce.
+    fn apply_remap(&mut self, new_rows: Vec<Row>, old_to_new: &[Option<u32>], fresh: &[u32]) {
+        self.rows = new_rows;
+        // Surviving ids are compacted through a monotone map, so each
+        // entry's list stays sorted; fresh ids are inserted at their sorted
+        // position, so no global re-sort pass is needed.
+        self.by_tuple.retain(|_, ids| {
+            let mut w = 0;
+            for i in 0..ids.len() {
+                if let Some(new_id) = old_to_new[ids[i] as usize] {
+                    ids[w] = new_id;
+                    w += 1;
+                }
+            }
+            while ids.len() > w {
+                ids.pop();
+            }
+            !ids.is_empty()
+        });
+        for &id in fresh {
+            let ids = self
+                .by_tuple
+                .entry(self.rows[id as usize].tuple.clone())
+                .or_default();
+            sorted_insert(ids, id);
+        }
+        for idx in &mut self.indexes {
+            idx.map.retain(|_, ids| {
+                let mut w = 0;
+                for i in 0..ids.len() {
+                    if let Some(new_id) = old_to_new[ids[i] as usize] {
+                        ids[w] = new_id;
+                        w += 1;
+                    }
+                }
+                while ids.len() > w {
+                ids.pop();
+            }
+                !ids.is_empty()
+            });
+        }
+        // The projection borrows the row while the index is mutated, so
+        // clone it out of the loop.
+        for &id in fresh {
+            let tuple = self.rows[id as usize].tuple.clone();
+            for idx in &mut self.indexes {
+                let ids = idx.map.entry(tuple.project(&idx.attrs)).or_default();
+                sorted_insert(ids, id);
+            }
+        }
+        self.pending_rows.clear();
+        for (i, row) in self.rows.iter().enumerate() {
+            if matches!(row.source, Source::Pending(_)) {
+                self.pending_rows.push(i as u32);
+            }
+        }
+    }
+
+    /// The length of the leading base segment if the store is in canonical
+    /// layout — every base row before every pending row, which all the
+    /// monitor-driven mutators preserve. `None` if a caller interleaved
+    /// sources through raw [`insert`](Self::insert) calls.
+    fn base_segment(&self) -> Option<usize> {
+        let b = self.rows.len() - self.pending_rows.len();
+        match self.pending_rows.first() {
+            None => Some(self.rows.len()),
+            Some(&first) if first as usize == b => Some(b),
+            _ => None,
+        }
+    }
+
+    /// Removes every row contributed by any transaction in `txs` (which must
+    /// be sorted ascending and duplicate-free) and renumbers surviving
+    /// pending sources down so ids stay dense — the batch counterpart of
+    /// [`remove_pending_tx`](Self::remove_pending_tx), one O(rows) pass with
+    /// no rehashing regardless of how many transactions leave.
+    pub fn remove_pending_txs(&mut self, txs: &[crate::source::TxId]) {
+        debug_assert!(txs.windows(2).all(|w| w[0] < w[1]), "txs must be sorted");
+        if txs.is_empty() {
+            return;
+        }
+        let affected = self.rows.iter().any(|r| match r.source {
+            Source::Pending(t) => t >= txs[0],
+            Source::Base => false,
+        });
+        if !affected {
+            return;
+        }
+
+        if let Some(b) = self.base_segment() {
+            // Fast path: every affected row lives in the pending tail, so
+            // the base prefix keeps its ids and only rows `b..` compact in
+            // place. Entries that need fixing are found through the tail's
+            // own tuples (first occurrence per tuple / per index key), so
+            // the whole operation is O(pending) — independent of how large
+            // the base segment has grown.
+            let n = self.rows.len();
+            let bu = b as u32;
+            let mut tail_map: Vec<Option<u32>> = vec![None; n - b];
+            let mut w = bu;
+            for r in b..n {
+                if let Source::Pending(t) = self.rows[r].source {
+                    if txs.binary_search(&t).is_err() {
+                        tail_map[r - b] = Some(w);
+                        w += 1;
+                    }
+                }
+            }
+            let compact = |ids: &mut SmallVec<[u32; 2]>| {
+                let mut wr = 0;
+                for i in 0..ids.len() {
+                    let id = ids[i];
+                    let new_id = if id < bu {
+                        Some(id)
+                    } else {
+                        tail_map[(id - bu) as usize]
+                    };
+                    if let Some(new_id) = new_id {
+                        ids[wr] = new_id;
+                        wr += 1;
+                    }
+                }
+                while ids.len() > wr {
+                    ids.pop();
+                }
+                !ids.is_empty()
+            };
+            {
+                let rows = &self.rows;
+                let mut seen: rustc_hash::FxHashSet<&Tuple> = rustc_hash::FxHashSet::default();
+                let mut dead: Vec<Tuple> = Vec::new();
+                for row in &rows[b..n] {
+                    let tuple = &row.tuple;
+                    if !seen.insert(tuple) {
+                        continue;
+                    }
+                    if let Some(ids) = self.by_tuple.get_mut(tuple) {
+                        if !compact(ids) {
+                            dead.push(tuple.clone());
+                        }
+                    }
+                }
+                for t in dead {
+                    self.by_tuple.remove(&t);
+                }
+                for idx in &mut self.indexes {
+                    let mut seen: rustc_hash::FxHashSet<SmallVec<[Value; 4]>> =
+                        rustc_hash::FxHashSet::default();
+                    for row in &rows[b..n] {
+                        let key = row.tuple.project(&idx.attrs);
+                        if seen.contains(&key) {
+                            continue;
+                        }
+                        let mut emptied = false;
+                        if let Some(ids) = idx.map.get_mut(&key) {
+                            let mut wr = 0;
+                            for i in 0..ids.len() {
+                                let id = ids[i];
+                                let new_id = if id < bu {
+                                    Some(id)
+                                } else {
+                                    tail_map[(id - bu) as usize]
+                                };
+                                if let Some(new_id) = new_id {
+                                    ids[wr] = new_id;
+                                    wr += 1;
+                                }
+                            }
+                            while ids.len() > wr {
+                                ids.pop();
+                            }
+                            emptied = ids.is_empty();
+                        }
+                        if emptied {
+                            idx.map.remove(&key);
+                        }
+                        seen.insert(key);
+                    }
+                }
+            }
+            let mut wrow = b;
+            for r in b..n {
+                if tail_map[r - b].is_some() {
+                    let Source::Pending(t) = self.rows[r].source else {
+                        unreachable!("segmented tail holds only pending rows");
+                    };
+                    let below = txs.binary_search(&t).unwrap_err();
+                    self.rows.swap(wrow, r);
+                    self.rows[wrow].source =
+                        Source::Pending(crate::source::TxId(t.0 - below as u32));
+                    wrow += 1;
+                }
+            }
+            self.rows.truncate(wrow);
+            self.pending_rows.clear();
+            self.pending_rows.extend(bu..wrow as u32);
+            return;
+        }
+
+        let old_rows = std::mem::take(&mut self.rows);
+        let mut old_to_new = vec![None; old_rows.len()];
+        let mut new_rows = Vec::with_capacity(old_rows.len());
+        for (old_id, row) in old_rows.into_iter().enumerate() {
+            let source = match row.source {
+                Source::Pending(t) => match txs.binary_search(&t) {
+                    Ok(_) => continue,
+                    Err(below) => Source::Pending(crate::source::TxId(t.0 - below as u32)),
+                },
+                Source::Base => Source::Base,
+            };
+            old_to_new[old_id] = Some(new_rows.len() as u32);
+            new_rows.push(Row {
+                tuple: row.tuple,
+                source,
+            });
+        }
+        self.apply_remap(new_rows, &old_to_new, &[]);
+    }
+
+    /// Appends `tuples` as base rows at the end of the base segment (before
+    /// any pending row), preserving canonical layout: base rows first in
+    /// insertion order, then pending rows. Tuples that already have a base
+    /// copy are skipped (set semantics). Returns the tuples actually added,
+    /// in order — the inverse delta a caller needs to undo the append.
+    pub fn append_base_rows(&mut self, tuples: &[Tuple]) -> Vec<Tuple> {
+        let mut added: Vec<Tuple> = Vec::new();
+        let mut fresh_set: rustc_hash::FxHashSet<&Tuple> = rustc_hash::FxHashSet::default();
+        for t in tuples {
+            let dup = self
+                .by_tuple
+                .get(t)
+                .is_some_and(|ids| ids.iter().any(|&id| self.rows[id as usize].source == Source::Base))
+                || !fresh_set.insert(t);
+            if !dup {
+                added.push(t.clone());
+            }
+        }
+        if added.is_empty() {
+            return added;
+        }
+        let k = added.len() as u32;
+
+        if let Some(b) = self.base_segment() {
+            // Fast path: the store is already segmented, so the append
+            // inserts `k` rows at the boundary and every pending id shifts
+            // up by exactly `k`. The entries holding pending ids are found
+            // through the tail's own tuples (first occurrence per tuple /
+            // per index key), so the whole operation is O(pending + block)
+            // — independent of how large the base segment has grown.
+            let bu = b as u32;
+            {
+                let rows = &self.rows;
+                let mut seen: rustc_hash::FxHashSet<&Tuple> = rustc_hash::FxHashSet::default();
+                for row in &rows[b..] {
+                    let tuple = &row.tuple;
+                    if !seen.insert(tuple) {
+                        continue;
+                    }
+                    if let Some(ids) = self.by_tuple.get_mut(tuple) {
+                        for id in ids.iter_mut() {
+                            if *id >= bu {
+                                *id += k;
+                            }
+                        }
+                    }
+                }
+                for idx in &mut self.indexes {
+                    let mut seen: rustc_hash::FxHashSet<SmallVec<[Value; 4]>> =
+                        rustc_hash::FxHashSet::default();
+                    for row in &rows[b..] {
+                        let key = row.tuple.project(&idx.attrs);
+                        if seen.contains(&key) {
+                            continue;
+                        }
+                        if let Some(ids) = idx.map.get_mut(&key) {
+                            for id in ids.iter_mut() {
+                                if *id >= bu {
+                                    *id += k;
+                                }
+                            }
+                        }
+                        seen.insert(key);
+                    }
+                }
+            }
+            self.rows.splice(
+                b..b,
+                added.iter().map(|t| Row {
+                    tuple: t.clone(),
+                    source: Source::Base,
+                }),
+            );
+            for (i, t) in added.iter().enumerate() {
+                let id = bu + i as u32;
+                let ids = self.by_tuple.entry(t.clone()).or_default();
+                sorted_insert(ids, id);
+                for idx in &mut self.indexes {
+                    let ids = idx.map.entry(t.project(&idx.attrs)).or_default();
+                    sorted_insert(ids, id);
+                }
+            }
+            for p in &mut self.pending_rows {
+                *p += k;
+            }
+            return added;
+        }
+
+        let old_rows = std::mem::take(&mut self.rows);
+        let mut old_to_new = vec![None; old_rows.len()];
+        let mut base_rows: Vec<(u32, Row)> = Vec::new();
+        let mut pending_rows: Vec<(u32, Row)> = Vec::new();
+        for (old_id, row) in old_rows.into_iter().enumerate() {
+            match row.source {
+                Source::Base => base_rows.push((old_id as u32, row)),
+                Source::Pending(_) => pending_rows.push((old_id as u32, row)),
+            }
+        }
+        let b = base_rows.len() as u32;
+        let mut new_rows = Vec::with_capacity(base_rows.len() + added.len() + pending_rows.len());
+        for (old_id, row) in base_rows {
+            old_to_new[old_id as usize] = Some(new_rows.len() as u32);
+            new_rows.push(row);
+        }
+        let fresh: Vec<u32> = (b..b + k).collect();
+        for t in &added {
+            new_rows.push(Row {
+                tuple: t.clone(),
+                source: Source::Base,
+            });
+        }
+        for (old_id, row) in pending_rows {
+            old_to_new[old_id as usize] = Some(new_rows.len() as u32);
+            new_rows.push(row);
+        }
+        self.apply_remap(new_rows, &old_to_new, &fresh);
+        added
+    }
+
+    /// Removes the base rows whose tuples appear in `tuples` (each base
+    /// tuple is stored at most once, so content identifies the row).
+    /// Surviving rows keep their relative order. Returns how many rows
+    /// were actually removed.
+    pub fn remove_base_rows(&mut self, tuples: &[Tuple]) -> usize {
+        let mut drop_ids: Vec<u32> = Vec::new();
+        for t in tuples {
+            if let Some(ids) = self.by_tuple.get(t) {
+                for &id in ids.iter() {
+                    if self.rows[id as usize].source == Source::Base {
+                        drop_ids.push(id);
+                    }
+                }
+            }
+        }
+        if drop_ids.is_empty() {
+            return 0;
+        }
+        drop_ids.sort_unstable();
+        drop_ids.dedup();
+        let removed = drop_ids.len();
+        let old_rows = std::mem::take(&mut self.rows);
+        let mut old_to_new = vec![None; old_rows.len()];
+        let mut new_rows = Vec::with_capacity(old_rows.len() - removed);
+        for (old_id, row) in old_rows.into_iter().enumerate() {
+            if drop_ids.binary_search(&(old_id as u32)).is_ok() {
+                continue;
+            }
+            old_to_new[old_id] = Some(new_rows.len() as u32);
+            new_rows.push(row);
+        }
+        self.apply_remap(new_rows, &old_to_new, &[]);
+        removed
+    }
+
+    /// Inserts a new pending transaction *at* id `at`: existing sources
+    /// `Pending(t >= at)` shift up by one, and `tuples` (deduplicated — set
+    /// semantics per source) are placed where a canonically built store
+    /// would put them: after every row of transactions below `at`, before
+    /// every row of transactions at or above it.
+    pub fn insert_pending_rows_at(&mut self, at: crate::source::TxId, tuples: &[Tuple]) {
+        let mut dedup: Vec<Tuple> = Vec::new();
+        for t in tuples {
+            if !dedup.contains(t) {
+                dedup.push(t.clone());
+            }
+        }
+        let needs_shift = self.rows.iter().any(|r| match r.source {
+            Source::Pending(t) => t >= at,
+            Source::Base => false,
+        });
+        if dedup.is_empty() && !needs_shift {
+            return;
+        }
+        let pos = self
+            .rows
+            .iter()
+            .position(|r| matches!(r.source, Source::Pending(t) if t >= at))
+            .unwrap_or(self.rows.len());
+        let k = dedup.len();
+        let old_rows = std::mem::take(&mut self.rows);
+        let mut old_to_new = vec![None; old_rows.len()];
+        let mut new_rows = Vec::with_capacity(old_rows.len() + k);
+        let mut fresh = Vec::with_capacity(k);
+        for (old_id, row) in old_rows.into_iter().enumerate() {
+            if old_id == pos {
+                for t in dedup.drain(..) {
+                    fresh.push(new_rows.len() as u32);
+                    new_rows.push(Row {
+                        tuple: t,
+                        source: Source::Pending(at),
+                    });
+                }
+            }
+            let source = match row.source {
+                Source::Pending(t) if t >= at => Source::Pending(crate::source::TxId(t.0 + 1)),
+                s => s,
+            };
+            old_to_new[old_id] = Some(new_rows.len() as u32);
+            new_rows.push(Row {
+                tuple: row.tuple,
+                source,
+            });
+        }
+        for t in dedup.drain(..) {
+            // `pos` was at or past the end: the new rows go last.
+            fresh.push(new_rows.len() as u32);
+            new_rows.push(Row {
+                tuple: t,
+                source: Source::Pending(at),
+            });
+        }
+        self.apply_remap(new_rows, &old_to_new, &fresh);
     }
 }
 
@@ -446,6 +873,117 @@ mod tests {
         // Removing a tx beyond every stored id is a no-op.
         s.remove_pending_tx(TxId(9));
         assert_eq!(s.row_count(), 2);
+    }
+
+    /// Exact (tuple, source) scan-sequence equality — the identity the
+    /// monitor's incremental-vs-cold comparisons rely on.
+    fn assert_same_rows(a: &RelationStore, b: &RelationStore) {
+        assert_eq!(a.row_count(), b.row_count());
+        for ((_, x), (_, y)) in a.scan_all().zip(b.scan_all()) {
+            assert_eq!(x.tuple, y.tuple);
+            assert_eq!(x.source, y.source);
+        }
+    }
+
+    #[test]
+    fn append_base_rows_lands_before_pending_and_dedupes() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![2i64], Source::Pending(TxId(0)));
+        s.insert(tuple![3i64], Source::Pending(TxId(1)));
+        let idx = s.ensure_index(&[0]);
+        let added = s.append_base_rows(&[tuple![4i64], tuple![1i64], tuple![2i64], tuple![4i64]]);
+        // 1 already base; 4 repeated in the batch; 2 only exists as pending.
+        assert_eq!(added, vec![tuple![4i64], tuple![2i64]]);
+
+        let mut cold = RelationStore::new();
+        cold.insert(tuple![1i64], Source::Base);
+        cold.insert(tuple![4i64], Source::Base);
+        cold.insert(tuple![2i64], Source::Base);
+        cold.insert(tuple![2i64], Source::Pending(TxId(0)));
+        cold.insert(tuple![3i64], Source::Pending(TxId(1)));
+        assert_same_rows(&s, &cold);
+        // The secondary index saw the new rows.
+        let key: SmallVec<[Value; 4]> = [Value::Int(4)].into_iter().collect();
+        assert!(s.index_contains(idx, &key, &WorldMask::base_only(8)));
+        // Pending-row bookkeeping survived the remap.
+        assert_eq!(s.scan_delta(&WorldMask::all(8)).count(), 2);
+    }
+
+    #[test]
+    fn remove_base_rows_by_content_keeps_pending_copies() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![2i64], Source::Base);
+        s.insert(tuple![2i64], Source::Pending(TxId(0)));
+        let idx = s.ensure_index(&[0]);
+        assert_eq!(s.remove_base_rows(&[tuple![2i64], tuple![9i64]]), 1);
+        assert_eq!(s.base_row_count(), 1);
+        // The pending copy of 2 survives; the base copy is gone.
+        assert!(!s.contains(&tuple![2i64], &WorldMask::base_only(8)));
+        assert!(s.contains(&tuple![2i64], &mask_with(&[0])));
+        let key: SmallVec<[Value; 4]> = [Value::Int(2)].into_iter().collect();
+        assert_eq!(s.lookup_all(idx, &key).count(), 1);
+    }
+
+    #[test]
+    fn remove_pending_txs_batch_matches_sequential() {
+        let build = || {
+            let mut s = RelationStore::new();
+            s.insert(tuple![0i64], Source::Base);
+            for t in 0..5u32 {
+                s.insert(tuple![10 + t as i64], Source::Pending(TxId(t)));
+                s.insert(tuple![20 + t as i64], Source::Pending(TxId(t)));
+            }
+            s.ensure_index(&[0]);
+            s
+        };
+        let mut batch = build();
+        batch.remove_pending_txs(&[TxId(1), TxId(3)]);
+        let mut seq = build();
+        // Descending order keeps earlier ids stable, as the monitor does.
+        seq.remove_pending_tx(TxId(3));
+        seq.remove_pending_tx(TxId(1));
+        assert_same_rows(&batch, &seq);
+        assert_eq!(
+            batch.scan_delta(&WorldMask::all(8)).count(),
+            seq.scan_delta(&WorldMask::all(8)).count()
+        );
+        // No-ops: empty list, and ids beyond every stored row.
+        let before = batch.row_count();
+        batch.remove_pending_txs(&[]);
+        batch.remove_pending_txs(&[TxId(7)]);
+        assert_eq!(batch.row_count(), before);
+    }
+
+    #[test]
+    fn insert_pending_rows_at_matches_cold_build() {
+        let mut s = RelationStore::new();
+        s.insert(tuple![1i64], Source::Base);
+        s.insert(tuple![10i64], Source::Pending(TxId(0)));
+        s.insert(tuple![11i64], Source::Pending(TxId(1)));
+        let idx = s.ensure_index(&[0]);
+        s.insert_pending_rows_at(TxId(1), &[tuple![99i64], tuple![99i64], tuple![98i64]]);
+
+        let mut cold = RelationStore::new();
+        cold.insert(tuple![1i64], Source::Base);
+        cold.insert(tuple![10i64], Source::Pending(TxId(0)));
+        cold.insert(tuple![99i64], Source::Pending(TxId(1)));
+        cold.insert(tuple![98i64], Source::Pending(TxId(1)));
+        cold.insert(tuple![11i64], Source::Pending(TxId(2)));
+        assert_same_rows(&s, &cold);
+        let key: SmallVec<[Value; 4]> = [Value::Int(99)].into_iter().collect();
+        assert!(s.index_contains(idx, &key, &mask_with(&[1])));
+        assert!(!s.index_contains(idx, &key, &mask_with(&[2])));
+
+        // Appending at the tail (no shift) also matches a plain insert.
+        let mut tail = RelationStore::new();
+        tail.insert(tuple![5i64], Source::Pending(TxId(0)));
+        tail.insert_pending_rows_at(TxId(1), &[tuple![6i64]]);
+        let mut cold_tail = RelationStore::new();
+        cold_tail.insert(tuple![5i64], Source::Pending(TxId(0)));
+        cold_tail.insert(tuple![6i64], Source::Pending(TxId(1)));
+        assert_same_rows(&tail, &cold_tail);
     }
 
     #[test]

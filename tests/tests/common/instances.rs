@@ -202,3 +202,70 @@ pub fn generous_budget() -> BudgetSpec {
     }
 }
 
+/// Base rows as `(relation-name, tuple)`, the monitor's wire shape.
+pub type NamedRows = Vec<(String, Tuple)>;
+/// Pending transactions as `(name, rows)`, the monitor's wire shape.
+pub type NamedTxs = Vec<(String, NamedRows)>;
+
+/// The instance in monitor-event form: catalog, constraints, the repaired
+/// base as `(relation-name, tuple)` rows and the pending set as named
+/// transactions — exactly the payload of a depth-0 [`Reorg`] resync that
+/// bootstraps a `MonitorSession` onto the instance. Mirrors [`build_db`]'s
+/// repair (first tuple per key wins, dangling S rows dropped); returns
+/// `None` for instances with an empty transaction.
+///
+/// [`Reorg`]: bcdb_monitor::ChainEvent::Reorg
+pub fn named_export(inst: &Instance) -> Option<(Catalog, ConstraintSet, NamedRows, NamedTxs)> {
+    let mut cat = Catalog::new();
+    let cols: Vec<(String, ValueType)> = (0..inst.arity)
+        .map(|i| (format!("c{i}"), ValueType::Int))
+        .collect();
+    cat.add(RelationSchema::new("R", cols).unwrap()).unwrap();
+    cat.add(RelationSchema::new("S", [("x", ValueType::Int)]).unwrap())
+        .unwrap();
+    let mut cs = ConstraintSet::new();
+    if inst.key {
+        cs.add_fd(Fd::named_key(&cat, "R", &["c0"]).unwrap());
+    }
+    if inst.ind {
+        cs.add_ind(Ind::named(&cat, "S", &["x"], "R", &["c0"]).unwrap());
+    }
+    let mut base = Vec::new();
+    let mut seen_keys = std::collections::HashSet::new();
+    let mut kept_keys = std::collections::HashSet::new();
+    for row in &inst.base_r {
+        if inst.key && !seen_keys.insert(row[0]) {
+            continue;
+        }
+        kept_keys.insert(row[0]);
+        base.push((
+            "R".to_string(),
+            Tuple::new(row.iter().map(|&v| Value::Int(v))),
+        ));
+    }
+    for &x in &inst.base_s {
+        if inst.ind && !kept_keys.contains(&x) {
+            continue;
+        }
+        base.push(("S".to_string(), tuple![x]));
+    }
+    let mut pending = Vec::new();
+    for (i, (rt, st)) in inst.txs.iter().enumerate() {
+        let tuples: Vec<(String, Tuple)> = rt
+            .iter()
+            .map(|row| {
+                (
+                    "R".to_string(),
+                    Tuple::new(row.iter().map(|&v| Value::Int(v))),
+                )
+            })
+            .chain(st.iter().map(|&x| ("S".to_string(), tuple![x])))
+            .collect();
+        if tuples.is_empty() {
+            return None; // empty transactions are uninteresting
+        }
+        pending.push((format!("T{i}"), tuples));
+    }
+    Some((cat, cs, base, pending))
+}
+

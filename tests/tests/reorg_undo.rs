@@ -1,0 +1,318 @@
+//! Reorg undo/redo inversion: journaled inverse deltas exactly invert
+//! mined blocks.
+//!
+//! Over random solver-matrix instances, the suite mines `k` delta-form
+//! blocks on top of a churned mempool and then reorgs `d ≤ k` of them
+//! away via `ReorgDelta` — the path that replays journaled inverse
+//! deltas instead of reconciling to a snapshot. Three identities are
+//! pinned:
+//!
+//! 1. **Undo**: the reorged session equals a session that only ever saw
+//!    the canonical history (the same stream minus the last `d` blocks) —
+//!    same rows, same pending order, same steady-state structures, same
+//!    verdict.
+//! 2. **Redo**: the reorg's own undo record re-applies the disconnected
+//!    blocks — a depth-1 `ReorgDelta` right after the reorg restores the
+//!    full-history state exactly.
+//! 3. **Crash**: a session that crashes mid-reorg — its journal torn in
+//!    the middle of the reorg's trailing undo (`U`) record, and again
+//!    with the whole reorg lost — recovers by replay (plus re-applying
+//!    the lost tail) into the same reorged state.
+
+mod common;
+
+use bcdb_monitor::{
+    drop_tail_records, tear_last_record, ChainEvent, EpochApply, Journal, MonitorConfig,
+    MonitorSession,
+};
+use bcdb_query::parse_denial_constraint;
+use bcdb_storage::{tuple, Tuple, Value};
+use common::instances::{generous_budget, instance_strategy, named_export, Instance};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+type NamedRows = Vec<(String, Tuple)>;
+type NamedPending = Vec<(String, Vec<(String, Tuple)>)>;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../target/monitor-scratch");
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    let path = dir.join(format!("{name}.journal"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn config() -> MonitorConfig {
+    MonitorConfig {
+        budget: generous_budget(),
+        epoch_apply: EpochApply::Incremental,
+        ..MonitorConfig::default()
+    }
+}
+
+/// Mempool churn before the blocks: arrivals and evictions.
+#[derive(Clone, Debug)]
+enum Churn {
+    Arrive { rows: Vec<Vec<i64>>, xs: Vec<i64> },
+    Evict { pick: usize },
+}
+
+fn churn_strategy(arity: usize) -> impl Strategy<Value = Churn> {
+    let row = move || prop::collection::vec(0..4i64, arity..=arity);
+    prop_oneof![
+        (
+            prop::collection::vec(row(), 0..3),
+            prop::collection::vec(0..4i64, 0..2),
+        )
+            .prop_filter("transactions must be non-empty", |(r, s)| {
+                !r.is_empty() || !s.is_empty()
+            })
+            .prop_map(|(rows, xs)| Churn::Arrive { rows, xs }),
+        (0..8usize).prop_map(|pick| Churn::Evict { pick }),
+    ]
+}
+
+/// The chain the sessions observe, just deep enough to emit valid events.
+struct Model {
+    arity: usize,
+    base: NamedRows,
+    pending: NamedPending,
+    next: usize,
+}
+
+impl Model {
+    fn churn(&mut self, c: &Churn) -> Option<ChainEvent> {
+        match c {
+            Churn::Arrive { rows, xs } => {
+                let name = format!("a{}", self.next);
+                self.next += 1;
+                let tuples: Vec<(String, Tuple)> = rows
+                    .iter()
+                    .map(|row| {
+                        (
+                            "R".to_string(),
+                            Tuple::new(row.iter().map(|&v| Value::Int(v))),
+                        )
+                    })
+                    .chain(xs.iter().map(|&x| ("S".to_string(), tuple![x])))
+                    .collect();
+                self.pending.push((name.clone(), tuples.clone()));
+                Some(ChainEvent::TxArrived { name, tuples })
+            }
+            Churn::Evict { pick } => {
+                if self.pending.is_empty() {
+                    return None;
+                }
+                let (name, _) = self.pending.remove(pick % self.pending.len());
+                Some(ChainEvent::TxEvicted { name })
+            }
+        }
+    }
+
+    /// Mines a non-empty subset of the pending set as a delta-form block.
+    fn mine(&mut self, mask: u64, coinbase: bool) -> Option<ChainEvent> {
+        let n = self.pending.len();
+        if n == 0 {
+            return None;
+        }
+        let sel = if n >= 63 { mask } else { mask % ((1 << n) - 1) + 1 };
+        let mined: Vec<usize> = (0..n).filter(|i| sel >> i & 1 == 1).collect();
+        if mined.is_empty() {
+            return None;
+        }
+        let names: Vec<String> = mined.iter().map(|&i| self.pending[i].0.clone()).collect();
+        let mut appended: NamedRows = mined
+            .iter()
+            .flat_map(|&i| self.pending[i].1.iter().cloned())
+            .collect();
+        if coinbase {
+            let row: Vec<i64> = (0..self.arity).map(|_| 100 + self.next as i64).collect();
+            self.next += 1;
+            appended.push((
+                "R".to_string(),
+                Tuple::new(row.iter().map(|&v| Value::Int(v))),
+            ));
+        }
+        self.base.extend(appended.iter().cloned());
+        let mut i = 0;
+        self.pending.retain(|_| {
+            let keep = !mined.contains(&i);
+            i += 1;
+            keep
+        });
+        Some(ChainEvent::TxMinedDelta {
+            mined: names,
+            appended,
+        })
+    }
+}
+
+/// Everything observable about a session except the epoch counter (the
+/// compared sessions advance different event counts by construction).
+fn fingerprint(s: &mut MonitorSession, dc_idx: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    out.extend(s.pending_names().iter().map(|n| n.to_string()));
+    let db = s.bcdb().database();
+    for (rid, schema) in db.catalog().iter() {
+        for (_, row) in db.relation(rid).scan_all() {
+            out.push(format!("{} {:?} {:?}", schema.name(), row.tuple, row.source));
+        }
+    }
+    let pre = s.precomputed();
+    out.push(format!("viable {:?}", pre.viable));
+    out.push(format!("includable {:?}", pre.includable));
+    let n = pre.fd_graph.node_count();
+    let mut uf = pre.ind_uf.clone();
+    for a in 0..n {
+        for b in a + 1..n {
+            if pre.fd_graph.has_edge(a, b) {
+                out.push(format!("edge {a} {b}"));
+            }
+            if uf.connected(a, b) {
+                out.push(format!("ind {a} {b}"));
+            }
+        }
+    }
+    let v = s.recheck(dc_idx).verdict;
+    out.push(format!(
+        "verdict {}",
+        match v {
+            bcdb_core::Verdict::Holds => "holds",
+            bcdb_core::Verdict::Violated(_) => "violated",
+            bcdb_core::Verdict::Unknown(_) => "unknown",
+        }
+    ));
+    out
+}
+
+/// A fresh session with the instance's constraint registered, fed the
+/// given event prefix.
+fn session_over(
+    inst: &Instance,
+    cat: &bcdb_storage::Catalog,
+    cs: &bcdb_storage::ConstraintSet,
+    events: &[ChainEvent],
+) -> (MonitorSession, usize) {
+    let mut s = MonitorSession::new(cat.clone(), cs.clone());
+    s.set_config(config());
+    let dc = parse_denial_constraint(&inst.query, s.bcdb().database().catalog()).unwrap();
+    let idx = s.register("q", dc);
+    for e in events {
+        s.apply(e).unwrap();
+    }
+    (s, idx)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Mine k blocks, reorg d ≤ k: the session equals one that only saw
+    /// the canonical history; a follow-up depth-1 reorg redoes the
+    /// disconnected blocks; crashing mid-reorg and recovering lands in
+    /// the same state.
+    #[test]
+    fn reorg_depth_d_inverts_the_last_d_blocks(
+        (inst, churn, masks) in instance_strategy().prop_flat_map(|inst| {
+            let arity = inst.arity;
+            (
+                Just(inst),
+                prop::collection::vec(churn_strategy(arity), 0..6),
+                prop::collection::vec((0..u64::MAX, prop::bool::ANY), 1..5),
+            )
+        }),
+        d_sel in 0..16usize,
+        keep in 0..6u64,
+        case in 0..1_000_000u64,
+    ) {
+        let Some((cat, cs, base, pending)) = named_export(&inst) else {
+            return Ok(());
+        };
+        let mut model = Model { arity: inst.arity, base, pending, next: 0 };
+
+        // The shared stream: bootstrap resync, mempool churn, k blocks.
+        let mut events = vec![ChainEvent::Reorg {
+            depth: 0,
+            base: model.base.clone(),
+            pending: model.pending.clone(),
+        }];
+        for c in &churn {
+            events.extend(model.churn(c));
+        }
+        let prefix_len = events.len();
+        for (mask, coinbase) in &masks {
+            events.extend(model.mine(*mask, *coinbase));
+        }
+        let k = events.len() - prefix_len;
+        if k == 0 {
+            return Ok(());
+        }
+        let d = 1 + d_sel % k;
+
+        // Full history, then the reorg.
+        let (mut full, full_dc) = session_over(&inst, &cat, &cs, &events);
+        let want_full = fingerprint(&mut full, full_dc);
+        full.apply(&ChainEvent::ReorgDelta { depth: d as u64 }).unwrap();
+        let got_reorged = fingerprint(&mut full, full_dc);
+
+        // 1. Undo: identical to the canonical-history-only session.
+        let canonical = &events[..events.len() - d];
+        let (mut canon, canon_dc) = session_over(&inst, &cat, &cs, canonical);
+        let want_reorged = fingerprint(&mut canon, canon_dc);
+        prop_assert_eq!(&got_reorged, &want_reorged, "undo diverged from canonical history");
+
+        // 2. Redo: the reorg's own undo record reconnects the blocks.
+        full.apply(&ChainEvent::ReorgDelta { depth: 1 }).unwrap();
+        let got_redone = fingerprint(&mut full, full_dc);
+        prop_assert_eq!(&got_redone, &want_full, "redo diverged from full history");
+
+        // 3. Crash drill: journal the stream and the reorg, then tear the
+        // journal inside the reorg's trailing undo record — the crash
+        // window where the reorg applied but its own inverse delta was
+        // still being written.
+        let path = scratch(&format!("reorg-undo-{case}"));
+        {
+            let mut j = MonitorSession::new(cat.clone(), cs.clone());
+            j.set_config(config());
+            j.attach_journal(Journal::create(&path).unwrap());
+            for e in &events {
+                j.apply(e).unwrap();
+            }
+            j.apply(&ChainEvent::ReorgDelta { depth: d as u64 }).unwrap();
+        }
+        tear_last_record(&path, keep).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        // The torn record is the reorg's undo line; every event survived.
+        let survived = rec.records.iter().filter(|r| r.event().is_some()).count();
+        prop_assert_eq!(survived, events.len() + 1);
+        let mut replayed =
+            MonitorSession::replay_with(cat.clone(), cs.clone(), &rec.records, config()).unwrap();
+        let dc = parse_denial_constraint(&inst.query, replayed.bcdb().database().catalog()).unwrap();
+        let rp_dc = replayed.register("q", dc);
+        prop_assert_eq!(
+            &fingerprint(&mut replayed, rp_dc),
+            &want_reorged,
+            "recovery after a torn undo record diverged"
+        );
+
+        // Lose the reorg entirely (its event and undo records), recover,
+        // and re-apply it live: same destination.
+        drop_tail_records(&path, 2).unwrap();
+        let rec = Journal::recover(&path).unwrap();
+        let survived = rec.records.iter().filter(|r| r.event().is_some()).count();
+        prop_assert_eq!(survived, events.len());
+        let mut replayed =
+            MonitorSession::replay_with(cat.clone(), cs.clone(), &rec.records, config()).unwrap();
+        replayed.apply(&ChainEvent::ReorgDelta { depth: d as u64 }).unwrap();
+        let dc = parse_denial_constraint(&inst.query, replayed.bcdb().database().catalog()).unwrap();
+        let rp_dc = replayed.register("q", dc);
+        prop_assert_eq!(
+            &fingerprint(&mut replayed, rp_dc),
+            &want_reorged,
+            "recovery after a lost reorg diverged"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}
