@@ -1185,6 +1185,13 @@ fn serve_storm(smoke: bool, seed: u64, out: &str) {
             .join(",")
     );
     let (p50, p95, p99) = report.flip_latency_ns;
+    // Reuse gates: the duplicate-shape cohort must actually share work.
+    // The parallel gate is lenient on single-core hosts, where the
+    // measurement phase never sees more than one worker.
+    let reuse_hit_ok = report.cache_hit_ratio > 0.5;
+    let cache_speedup_ok = report.cache_speedup >= 2.0;
+    let parallel_ok = report.parallel_speedup >= 1.5 || report.round_parallel_workers < 2;
+    let passed = report.passed() && reuse_hit_ok && cache_speedup_ok && parallel_ok;
     let json = JsonObject::new()
         .str("bench", "serve-storm")
         .bool("smoke", smoke)
@@ -1212,10 +1219,17 @@ fn serve_storm(smoke: bool, seed: u64, out: &str) {
         .num("flip_latency_ns_p50", p50)
         .num("flip_latency_ns_p95", p95)
         .num("flip_latency_ns_p99", p99)
+        .num("cache_hits", report.cache_hits)
+        .num("cache_misses", report.cache_misses)
+        .num("cache_invalidations", report.cache_invalidations)
+        .raw("cache_hit_ratio", &format!("{:.6}", report.cache_hit_ratio))
+        .raw("cache_speedup", &format!("{:.4}", report.cache_speedup))
+        .raw("parallel_speedup", &format!("{:.4}", report.parallel_speedup))
+        .num("round_parallel_workers", report.round_parallel_workers)
         .num("elapsed_ms", report.elapsed_ms)
         .num("divergence_count", report.divergences.len())
         .raw("divergences", &divergences)
-        .bool("passed", report.passed())
+        .bool("passed", passed)
         .raw("telemetry", &telemetry.to_json())
         .finish();
     std::fs::write(out, format!("{json}\n")).expect("write serve-storm report");
@@ -1246,9 +1260,23 @@ fn serve_storm(smoke: bool, seed: u64, out: &str) {
         p95 as f64 / 1e6,
         p99 as f64 / 1e6,
     );
+    println!(
+        "[serve-storm] reuse: {} cache hits / {} misses (hit ratio {:.4}), \
+         {} invalidations; cache speedup {:.2}x, parallel speedup {:.2}x \
+         ({} workers)",
+        report.cache_hits,
+        report.cache_misses,
+        report.cache_hit_ratio,
+        report.cache_invalidations,
+        report.cache_speedup,
+        report.parallel_speedup,
+        report.round_parallel_workers,
+    );
     println!("[serve-storm] wrote {out}");
-    if report.passed() {
-        println!("[serve-storm] PASS: fault isolation held across every tenant");
+    if passed {
+        println!(
+            "[serve-storm] PASS: fault isolation held and the shared cache paid for itself"
+        );
     } else {
         eprintln!("[serve-storm] FAIL:");
         if !report.divergences.is_empty() {
@@ -1280,6 +1308,27 @@ fn serve_storm(smoke: bool, seed: u64, out: &str) {
         }
         if !report.kill_recover {
             eprintln!("[serve-storm]   the kill/recover drill did not run");
+        }
+        if !reuse_hit_ok {
+            eprintln!(
+                "[serve-storm]   duplicate-shape cohort missed the cache: \
+                 hit ratio {:.4} <= 0.5",
+                report.cache_hit_ratio
+            );
+        }
+        if !cache_speedup_ok {
+            eprintln!(
+                "[serve-storm]   shared cache did not pay for itself: \
+                 speedup {:.2}x < 2.0x",
+                report.cache_speedup
+            );
+        }
+        if !parallel_ok {
+            eprintln!(
+                "[serve-storm]   parallel rounds did not pay for themselves: \
+                 speedup {:.2}x < 1.5x with {} workers",
+                report.parallel_speedup, report.round_parallel_workers
+            );
         }
         std::process::exit(1);
     }

@@ -463,20 +463,33 @@ pub(crate) fn eval_world(
 /// the constraints of a batch.
 type SharedPartition = Arc<Vec<Vec<usize>>>;
 
-/// Shared-precompute reuse state for one [`Solver::check_batch`] run
+/// Reuse view for one governed check or one [`Solver::check_batch`] run
 /// (see `crate::solver`): the refined `Gq,ind` partition per canonical Θq
 /// list, and the component-keyed clique cache.
 ///
-/// Both caches are only sound while the pending set is frozen, so a context
-/// lives exactly as long as one batch over one chain snapshot.
+/// By default both stores are private to the view and die with it — sound
+/// because the pending set is frozen for the view's lifetime. When backed
+/// by a [`SharedEnumCache`](crate::cache::SharedEnumCache)
+/// (via [`ReuseCtx::with_shared`]) the stores outlive the view and are
+/// shared across sessions; the shared cache's generation-checked
+/// invalidation hooks keep them sound across mutations. Either way the
+/// view keeps its *own* hit/miss counters, so per-batch (and per-tenant)
+/// reuse accounting stays exact against a long-lived backing store.
 pub(crate) struct ReuseCtx {
+    /// Long-lived backing store, when attached.
+    shared: Option<Arc<crate::cache::SharedEnumCache>>,
     /// Refined partitions keyed by the *exact* canonical Θq list — a hash
     /// signature alone could collide two different refinements, which would
-    /// be silently unsound.
+    /// be silently unsound. Used only when no shared backing is attached.
     partitions: Mutex<HashMap<Vec<EqualityConstraint>, SharedPartition>>,
     /// Complete per-component clique enumerations, in local induced-subgraph
     /// indices (the component member list is the local→global mapping).
-    pub(crate) cliques: CliqueCache,
+    /// Used only when no shared backing is attached.
+    local_cliques: CliqueCache,
+    /// Components answered from the clique store through *this* view.
+    hits: std::sync::atomic::AtomicU64,
+    /// Components this view had to enumerate afresh.
+    misses: std::sync::atomic::AtomicU64,
     /// Sequence number of the batch constraint currently being checked;
     /// labels the work-stealing scheduler's (constraint × component ×
     /// subproblem) units. Purely diagnostic — results never depend on it.
@@ -486,10 +499,65 @@ pub(crate) struct ReuseCtx {
 impl ReuseCtx {
     pub(crate) fn new() -> Self {
         ReuseCtx {
+            shared: None,
             partitions: Mutex::new(HashMap::new()),
-            cliques: CliqueCache::new(),
+            local_cliques: CliqueCache::new(),
+            hits: std::sync::atomic::AtomicU64::new(0),
+            misses: std::sync::atomic::AtomicU64::new(0),
             constraint_seq: std::sync::atomic::AtomicUsize::new(0),
         }
+    }
+
+    /// A view backed by a cross-session shared cache: partition and clique
+    /// probes read and seed the shared stores instead of view-local ones.
+    pub(crate) fn with_shared(cache: Arc<crate::cache::SharedEnumCache>) -> Self {
+        let mut ctx = ReuseCtx::new();
+        ctx.shared = Some(cache);
+        ctx
+    }
+
+    /// The clique store this view reads and seeds.
+    fn cliques(&self) -> &CliqueCache {
+        match &self.shared {
+            Some(cache) => cache.cliques(),
+            None => &self.local_cliques,
+        }
+    }
+
+    /// Uncharged peek (shaping work items before the charged probe).
+    pub(crate) fn peek_cliques(&self, component: &[usize]) -> Option<Arc<Vec<Vec<usize>>>> {
+        self.cliques().peek(component)
+    }
+
+    /// Charged probe: counts a hit or miss on both the backing store and
+    /// this view, returning the cached enumeration or a vacant slot.
+    pub(crate) fn clique_entry<'a>(&'a self, component: &[usize]) -> bcdb_graph::CliqueEntry<'a> {
+        let entry = self.cliques().entry(component);
+        match &entry {
+            bcdb_graph::CliqueEntry::Hit(_) => {
+                self.hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            }
+            bcdb_graph::CliqueEntry::Miss(_) => {
+                self.misses.fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            }
+        };
+        entry
+    }
+
+    /// Uncharged publish of a **complete** enumeration (deferred-harvest
+    /// path; the charged probe already ran through [`ReuseCtx::clique_entry`]).
+    pub(crate) fn publish_cliques(&self, component: Vec<usize>, cliques: Vec<Vec<usize>>) {
+        self.cliques().publish_complete(component, cliques);
+    }
+
+    /// Components answered from the cache through this view.
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Components this view enumerated afresh.
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Advances to the next batch constraint (called once per constraint
@@ -508,7 +576,7 @@ impl ReuseCtx {
     }
 
     /// The refined `Gq,ind` partition for `q`, computed at most once per
-    /// distinct canonical Θq list.
+    /// distinct canonical Θq list (per backing-store lifetime).
     pub(crate) fn partition(
         &self,
         bcdb: &BlockchainDb,
@@ -516,6 +584,9 @@ impl ReuseCtx {
         q: &ConjunctiveQuery,
     ) -> Arc<Vec<Vec<usize>>> {
         let key = canonical_equalities(q);
+        if let Some(cache) = &self.shared {
+            return cache.partition_or_compute(key, || query_components(bcdb, pre, q));
+        }
         if let Some(p) = self.partitions.lock().unwrap().get(&key) {
             return Arc::clone(p);
         }

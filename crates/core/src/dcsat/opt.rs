@@ -21,7 +21,7 @@ use std::sync::Arc;
 use bcdb_governor::{Budget, ExhaustionReason};
 use bcdb_graph::{
     expand_subproblem_governed_in, maximal_cliques_governed_in, split_subproblems, BitSet,
-    CliqueSubproblem, ExpandArena, StealScheduler, UndirectedGraph, Visit, WorkUnit,
+    CliqueEntry, CliqueSubproblem, ExpandArena, StealScheduler, UndirectedGraph, Visit, WorkUnit,
 };
 use bcdb_query::{constant_patterns, ConstantPattern, PreparedQuery};
 use bcdb_storage::{Source, TxId, WorldMask};
@@ -165,7 +165,7 @@ fn build_plans<'a>(
             // An uncharged peek: the hit/miss counters are charged exactly
             // once per component, either by `run`'s parallel branch or by
             // the serial `check_component` fallback.
-            if let Some(cached) = reuse.and_then(|ctx| ctx.cliques.peek(comp)) {
+            if let Some(cached) = reuse.and_then(|ctx| ctx.peek_cliques(comp)) {
                 return ComponentPlan {
                     component: comp,
                     graph: UndirectedGraph::new(0),
@@ -303,7 +303,9 @@ pub(crate) fn run(
             // batch.
             let collect: Option<Vec<CliqueSlot>> = reuse.map(|ctx| {
                 for plan in &plans {
-                    if ctx.cliques.lookup(plan.component).is_some() {
+                    // A dropped vacant slot records the miss; the plan's
+                    // enumeration is harvested (uncharged) below.
+                    if let CliqueEntry::Hit(_) = ctx.clique_entry(plan.component) {
                         probes::CORE_SOLVER_CLIQUE_REUSE.incr();
                     }
                 }
@@ -379,7 +381,7 @@ fn harvest_completed_plans(
             }
         }
         if complete {
-            ctx.cliques.insert(plan.component.to_vec(), cliques);
+            ctx.publish_cliques(plan.component.to_vec(), cliques);
         }
     }
 }
@@ -483,28 +485,39 @@ fn check_component(
 ) -> Result<Option<WorldMask>, ExhaustionReason> {
     inject_fault(opts, component);
     if let Some(ctx) = reuse {
-        if let Some(cached) = ctx.cliques.lookup(component) {
-            probes::CORE_SOLVER_CLIQUE_REUSE.incr();
-            // Cached cliques are local indices of the induced subgraph,
-            // whose mapping is the component member list itself.
-            return drive(bcdb, pre, pc, component, opts, budget, stats, |visit| {
-                replay_cliques(&cached, budget, visit)
-            });
+        match ctx.clique_entry(component) {
+            CliqueEntry::Hit(cached) => {
+                probes::CORE_SOLVER_CLIQUE_REUSE.incr();
+                // Cached cliques are local indices of the induced subgraph,
+                // whose mapping is the component member list itself.
+                return drive(bcdb, pre, pc, component, opts, budget, stats, |visit| {
+                    replay_cliques(&cached, budget, visit)
+                });
+            }
+            CliqueEntry::Miss(vacant) => {
+                let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
+                let mut collected = Vec::new();
+                let out = drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
+                    maximal_cliques_governed_in(
+                        &sub,
+                        opts.clique_strategy,
+                        budget,
+                        arena,
+                        |c: &[usize]| {
+                            collected.push(c.to_vec());
+                            visit(c)
+                        },
+                    )
+                });
+                // `Ok(None)` is the only complete-enumeration outcome: a
+                // witness or an exhaustion stopped early and must not seed
+                // the cache (the vacant slot is simply dropped).
+                if matches!(out, Ok(None)) {
+                    vacant.insert_complete(collected);
+                }
+                return out;
+            }
         }
-        let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
-        let mut collected = Vec::new();
-        let out = drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {
-            maximal_cliques_governed_in(&sub, opts.clique_strategy, budget, arena, |c: &[usize]| {
-                collected.push(c.to_vec());
-                visit(c)
-            })
-        });
-        // `Ok(None)` is the only complete-enumeration outcome: a witness or
-        // an exhaustion stopped early and must not seed the cache.
-        if matches!(out, Ok(None)) {
-            ctx.cliques.insert(component.to_vec(), collected);
-        }
-        return out;
     }
     let (sub, mapping) = pre.fd_graph.induced_subgraph(component);
     drive(bcdb, pre, pc, &mapping, opts, budget, stats, |visit| {

@@ -41,6 +41,7 @@
 //! assert_eq!(outcome.verdict.satisfied(), Some(true));
 //! ```
 
+pub mod cache;
 pub mod db;
 pub mod dcsat;
 pub mod error;
@@ -51,6 +52,7 @@ pub mod witness;
 pub mod worlds;
 
 pub use bcdb_governor::{Budget, BudgetSpec, ExhaustionReason, RetryPolicy};
+pub use cache::{SharedCacheStats, SharedEnumCache};
 pub use db::{BlockchainDb, PendingTransaction};
 #[allow(deprecated)]
 pub use dcsat::{

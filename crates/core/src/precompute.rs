@@ -365,16 +365,21 @@ impl Precomputed {
     /// rows' FD projections; viability, `GfTd`, and inclusion status are
     /// re-derived against the new `R` without rehashing any stored row.
     /// `Gind` is untouched: ΘI groups range over pending transactions only.
+    ///
+    /// Returns the pending-transaction indices whose viability flipped
+    /// (ascending): their `GfTd` edges were rewired in place, which is
+    /// exactly the set a member-list-keyed enumeration cache must drop
+    /// (see [`bcdb_graph::CliqueCache::invalidate_members`]).
     pub fn note_base_rows_added(
         &mut self,
         bcdb: &BlockchainDb,
         rows: &[(bcdb_storage::RelationId, bcdb_storage::Tuple)],
-    ) {
+    ) -> Vec<usize> {
         let cs = bcdb.constraints();
         for (rel, tuple) in rows {
             self.base_fp.add_tuple(cs, *rel, tuple);
         }
-        self.refresh_after_base_change(bcdb, BaseChange::Grew);
+        self.refresh_after_base_change(bcdb, BaseChange::Grew)
     }
 
     /// The inverse of [`note_base_rows_added`](Self::note_base_rows_added):
@@ -382,16 +387,19 @@ impl Precomputed {
     /// block's tuples, via [`BlockchainDb::remove_base_rows`]). The rows
     /// must actually have been base rows — fingerprint counts underflow
     /// otherwise (checked in debug builds).
+    ///
+    /// Returns the viability-flipped pending-transaction indices, as
+    /// [`note_base_rows_added`](Self::note_base_rows_added) does.
     pub fn note_base_rows_removed(
         &mut self,
         bcdb: &BlockchainDb,
         rows: &[(bcdb_storage::RelationId, bcdb_storage::Tuple)],
-    ) {
+    ) -> Vec<usize> {
         let cs = bcdb.constraints();
         for (rel, tuple) in rows {
             self.base_fp.remove_tuple(cs, *rel, tuple);
         }
-        self.refresh_after_base_change(bcdb, BaseChange::Shrank);
+        self.refresh_after_base_change(bcdb, BaseChange::Shrank)
     }
 
     /// Re-derives every per-transaction judgement that depends on `R` after
@@ -408,18 +416,23 @@ impl Precomputed {
     /// without a probe — only viable, not-yet-includable transactions need
     /// re-probing. When `R` shrank the direction reverses for support, so
     /// every viable transaction is re-probed.
-    fn refresh_after_base_change(&mut self, bcdb: &BlockchainDb, change: BaseChange) {
+    ///
+    /// Returns the transactions whose viability flipped, ascending.
+    fn refresh_after_base_change(&mut self, bcdb: &BlockchainDb, change: BaseChange) -> Vec<usize> {
         let db = bcdb.database();
         let cs = bcdb.constraints();
         let n = self.tx_fp.len();
+        let mut flipped = Vec::new();
 
         for t in 0..n {
             let now =
                 self.tx_fp[t].self_consistent() && self.base_fp.consistent_with(&self.tx_fp[t]);
             if self.viable[t] && !now {
+                flipped.push(t);
                 self.fd_graph.isolate(t);
                 self.viable[t] = false;
             } else if !self.viable[t] && now {
+                flipped.push(t);
                 // Peers processed later still carry their pre-change
                 // viability bit here; an edge added against a peer that
                 // flips off afterwards is removed by that peer's `isolate`,
@@ -461,6 +474,7 @@ impl Precomputed {
                 })
             };
         }
+        flipped
     }
 
     /// Incrementally extends the structures for a transaction just placed

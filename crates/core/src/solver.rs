@@ -32,15 +32,31 @@
 //! everything from scratch and advances the epoch itself.
 //! Direct mutation through [`db_mut`](Solver::db_mut) marks the session
 //! stale, and the next check transparently rebuilds. Batch reuse state
-//! (partitions, cliques) never outlives a single `check_batch` call, so it
-//! needs no invalidation at all.
+//! (partitions, cliques) never outlives a single `check_batch` call by
+//! default, so it needs no invalidation at all.
+//!
+//! # Shared enumeration cache
+//!
+//! Attaching a [`SharedEnumCache`] (via
+//! [`SolverBuilder::shared_cache`] or [`Solver::set_shared_cache`])
+//! replaces the per-call reuse state with a long-lived, `Arc`-shared store:
+//! partitions, complete clique enumerations, and definite verdicts then
+//! survive across checks, batches, and sibling sessions (e.g. the read
+//! forks of a parallel round executor, see
+//! [`fork_for_read`](Solver::fork_for_read)). Every mutator above reports
+//! its delta to the cache so only the entries the delta actually touched
+//! are dropped — the soundness mapping is tabulated in the
+//! [`cache`](crate::cache) module docs. All sessions attached to one cache
+//! must observe the same logical database state.
 
 #![deny(missing_docs)]
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
+use crate::cache::SharedEnumCache;
 use crate::db::{BlockchainDb, PendingTransaction};
 use crate::dcsat::{
     check_governed, check_ungoverned, Algorithm, DcSatOptions, DcSatOutcome, DcSatStats,
@@ -63,6 +79,7 @@ pub struct SolverBuilder {
     opts: DcSatOptions,
     backend: Option<Box<dyn StorageBackend>>,
     starting_epoch: u64,
+    shared_cache: Option<Arc<SharedEnumCache>>,
 }
 
 impl SolverBuilder {
@@ -159,6 +176,16 @@ impl SolverBuilder {
         self
     }
 
+    /// Attaches a cross-session [`SharedEnumCache`]: partitions, complete
+    /// clique enumerations, and definite verdicts are read from and seeded
+    /// into the shared store instead of per-call reuse state (see the
+    /// module docs for the sharing contract). Without this call the
+    /// classic per-batch behaviour is unchanged.
+    pub fn shared_cache(mut self, cache: Arc<SharedEnumCache>) -> Self {
+        self.shared_cache = Some(cache);
+        self
+    }
+
     /// Seeds the session epoch (default 0). Recovery uses this to resume
     /// a session from a persisted snapshot at the epoch it captured, so
     /// replayed epoch-advancing events land on the same epoch numbers a
@@ -181,6 +208,7 @@ impl SolverBuilder {
             base_cache: HashMap::new(),
             stats: SolverStats::default(),
             backend: self.backend,
+            shared: self.shared_cache,
         }
     }
 }
@@ -201,10 +229,15 @@ pub struct SolverStats {
     pub base_cache_hits: u64,
     /// Checks that ran with a base-verdict hint supplied.
     pub base_hints_supplied: u64,
-    /// Components whose cliques were enumerated fresh during batches.
+    /// Components whose cliques were enumerated fresh during batches (and,
+    /// with a shared cache attached, single checks).
     pub components_enumerated: u64,
     /// Component checks answered by replaying a cached enumeration.
     pub components_reused: u64,
+    /// Checks answered outright from the shared cache's generation-checked
+    /// definite-verdict memo (always 0 without an attached
+    /// [`SharedEnumCache`]).
+    pub verdict_memo_hits: u64,
     /// Epoch advances since the session started — full rebuilds
     /// ([`Solver::replace_db`], staleness) plus incremental
     /// [`Solver::advance_epoch`] calls. Each one dropped the base-verdict
@@ -270,6 +303,8 @@ pub struct Solver {
     stats: SolverStats,
     /// Destination for epoch snapshots, if persistence is wanted.
     backend: Option<Box<dyn StorageBackend>>,
+    /// Cross-session shared enumeration cache, when attached.
+    shared: Option<Arc<SharedEnumCache>>,
 }
 
 impl Solver {
@@ -280,6 +315,7 @@ impl Solver {
             opts: DcSatOptions::default(),
             backend: None,
             starting_epoch: 0,
+            shared_cache: None,
         }
     }
 
@@ -299,8 +335,24 @@ impl Solver {
     ) -> Result<GovernedOutcome, CoreError> {
         self.refresh();
         self.stats.checks += 1;
+        let memo = self.memo_key(dc);
+        if let Some(outcome) = self.memo_lookup(&memo, budget) {
+            return Ok(outcome);
+        }
         let opts = self.opts_with_hint(dc);
-        check_governed(&mut self.db, &self.pre, dc, &opts, budget, None)
+        let reuse = self
+            .shared
+            .as_ref()
+            .map(|cache| ReuseCtx::with_shared(Arc::clone(cache)));
+        let result = check_governed(&mut self.db, &self.pre, dc, &opts, budget, reuse.as_ref());
+        if let Some(ctx) = &reuse {
+            self.stats.components_reused += ctx.hits();
+            self.stats.components_enumerated += ctx.misses();
+        }
+        if let Ok(outcome) = &result {
+            self.memo_store(memo, &outcome.verdict);
+        }
+        result
     }
 
     /// Checks one constraint to completion, ignoring the session budget
@@ -342,19 +394,27 @@ impl Solver {
         self.stats.batch_constraints += dcs.len() as u64;
         probes::CORE_SOLVER_BATCH_CONSTRAINTS.add(dcs.len() as u64);
         let budget = spec.start();
-        let reuse = ReuseCtx::new();
+        let reuse = match &self.shared {
+            Some(cache) => ReuseCtx::with_shared(Arc::clone(cache)),
+            None => ReuseCtx::new(),
+        };
         let mut outcomes = Vec::with_capacity(dcs.len());
         for dc in dcs {
             // Tags the work units scheduled for this constraint so stolen
             // units stay attributable to their batch position.
             reuse.begin_constraint();
+            let memo = self.memo_key(dc);
+            if let Some(outcome) = self.memo_lookup(&memo, &budget) {
+                outcomes.push(Ok(outcome));
+                continue;
+            }
             let opts = self.opts_with_hint(dc);
             let db = &mut self.db;
             let pre = &self.pre;
             let result = catch_unwind(AssertUnwindSafe(|| {
                 check_governed(db, pre, dc, &opts, &budget, Some(&reuse))
             }));
-            outcomes.push(match result {
+            let outcome = match result {
                 Ok(outcome) => outcome,
                 Err(payload) => Ok(GovernedOutcome {
                     verdict: Verdict::Unknown(ExhaustionReason::WorkerPanicked {
@@ -368,9 +428,13 @@ impl Solver {
                     degraded_to: None,
                     elapsed: budget.elapsed(),
                 }),
-            });
+            };
+            if let Ok(out) = &outcome {
+                self.memo_store(memo, &out.verdict);
+            }
+            outcomes.push(outcome);
         }
-        let (reused, enumerated) = (reuse.cliques.hits(), reuse.cliques.misses());
+        let (reused, enumerated) = (reuse.hits(), reuse.misses());
         self.stats.components_enumerated += enumerated;
         self.stats.components_reused += reused;
         BatchOutcome {
@@ -400,6 +464,9 @@ impl Solver {
         self.refresh();
         let tx = self.db.add_transaction(name, tuples)?;
         self.pre.note_transaction_added(&self.db, tx);
+        if let Some(cache) = &self.shared {
+            cache.note_pending_appended();
+        }
         Ok(tx)
     }
 
@@ -411,6 +478,9 @@ impl Solver {
         self.refresh();
         let removed = self.db.remove_transaction(tx);
         self.pre.note_transaction_removed(tx);
+        if let Some(cache) = &self.shared {
+            cache.note_pending_removed(&[tx.index()]);
+        }
         removed
     }
 
@@ -427,6 +497,10 @@ impl Solver {
         sorted.dedup();
         let removed = self.db.remove_transactions(&sorted);
         self.pre.note_transactions_removed(&sorted);
+        if let Some(cache) = &self.shared {
+            let idxs: Vec<usize> = sorted.iter().map(|t| t.index()).collect();
+            cache.note_pending_removed(&idxs);
+        }
         removed
     }
 
@@ -447,7 +521,14 @@ impl Solver {
         sorted.sort_unstable();
         sorted.dedup();
         self.pre.note_transactions_removed(&sorted);
-        self.pre.note_base_rows_added(&self.db, &added);
+        let flipped = self.pre.note_base_rows_added(&self.db, &added);
+        if let Some(cache) = &self.shared {
+            // Removal remap first (survivors renumber down), then the
+            // viability flips, which are already in post-removal numbering.
+            let idxs: Vec<usize> = sorted.iter().map(|t| t.index()).collect();
+            cache.note_pending_removed(&idxs);
+            cache.note_base_flips(&flipped);
+        }
         self.base_cache.clear();
         Ok(added)
     }
@@ -469,7 +550,10 @@ impl Solver {
     ) -> Result<Vec<(RelationId, Tuple)>, CoreError> {
         self.refresh();
         let added = self.db.append_base_rows(rows)?;
-        self.pre.note_base_rows_added(&self.db, &added);
+        let flipped = self.pre.note_base_rows_added(&self.db, &added);
+        if let Some(cache) = &self.shared {
+            cache.note_base_flips(&flipped);
+        }
         self.base_cache.clear();
         Ok(added)
     }
@@ -481,7 +565,10 @@ impl Solver {
     pub fn remove_base_rows(&mut self, rows: &[(RelationId, Tuple)]) -> usize {
         self.refresh();
         let removed = self.db.remove_base_rows(rows);
-        self.pre.note_base_rows_removed(&self.db, rows);
+        let flipped = self.pre.note_base_rows_removed(&self.db, rows);
+        if let Some(cache) = &self.shared {
+            cache.note_base_flips(&flipped);
+        }
         self.base_cache.clear();
         removed
     }
@@ -499,6 +586,9 @@ impl Solver {
         self.refresh();
         self.db.insert_transaction_at(at, name, tuples)?;
         self.pre.note_transaction_inserted(&self.db, at);
+        if let Some(cache) = &self.shared {
+            cache.note_pending_inserted_at(at.index());
+        }
         Ok(())
     }
 
@@ -513,6 +603,12 @@ impl Solver {
         self.epoch += 1;
         self.stats.epoch_invalidations += 1;
         self.base_cache.clear();
+        // The incremental mutators already applied their targeted
+        // invalidations; the epoch tick itself only has to kill the
+        // verdict memo, which any generation bump does.
+        if let Some(cache) = &self.shared {
+            cache.note_base_flips(&[]);
+        }
     }
 
     /// Replaces the database wholesale — a mined block, a reorg, any base-
@@ -625,6 +721,110 @@ impl Solver {
         self.stats.epoch_invalidations += 1;
         self.base_cache.clear();
         self.stale = false;
+        // A rebuild means the session cannot name what changed — the only
+        // sound shared-cache action is a full flush.
+        if let Some(cache) = &self.shared {
+            cache.invalidate_all();
+        }
+    }
+
+    /// The shared cache attached to this session, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedEnumCache>> {
+        self.shared.as_ref()
+    }
+
+    /// Attaches (or detaches) a cross-session shared cache after
+    /// construction. See [`SolverBuilder::shared_cache`] for the sharing
+    /// contract; attaching a cache that older sessions seeded against a
+    /// *different* database state is unsound — when in doubt, attach a
+    /// fresh cache or call [`SharedEnumCache::invalidate_all`] first.
+    pub fn set_shared_cache(&mut self, cache: Option<Arc<SharedEnumCache>>) {
+        self.shared = cache;
+    }
+
+    /// A read-only fork for parallel round executors: an independent
+    /// session over a clone of the database and precomputed structures,
+    /// sharing the attached [`SharedEnumCache`] (if any) with its parent.
+    /// The fork carries no storage backend and starts with zeroed session
+    /// counters, so the caller can absorb its per-round stat deltas back
+    /// into the parent with [`absorb_fork_stats`](Solver::absorb_fork_stats).
+    ///
+    /// Checks are logically read-only (their `&mut` is lazy index
+    /// building), so a fork's verdicts equal the parent's for the same
+    /// constraints — the basis of the deterministic parallel round
+    /// executor in `bcdb-server`.
+    pub fn fork_for_read(&mut self) -> Solver {
+        self.refresh();
+        Solver {
+            db: self.db.clone(),
+            pre: self.pre.clone(),
+            opts: self.opts.clone(),
+            epoch: self.epoch,
+            stale: false,
+            base_cache: self.base_cache.clone(),
+            stats: SolverStats::default(),
+            backend: None,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Adds a fork's session counters into this session's, so work done on
+    /// [`fork_for_read`](Solver::fork_for_read) forks stays visible in the
+    /// parent's [`session_stats`](Solver::session_stats).
+    pub fn absorb_fork_stats(&mut self, delta: &SolverStats) {
+        self.stats.checks += delta.checks;
+        self.stats.batches += delta.batches;
+        self.stats.batch_constraints += delta.batch_constraints;
+        self.stats.base_probes += delta.base_probes;
+        self.stats.base_cache_hits += delta.base_cache_hits;
+        self.stats.base_hints_supplied += delta.base_hints_supplied;
+        self.stats.components_enumerated += delta.components_enumerated;
+        self.stats.components_reused += delta.components_reused;
+        self.stats.verdict_memo_hits += delta.verdict_memo_hits;
+        self.stats.epoch_invalidations += delta.epoch_invalidations;
+    }
+
+    /// The shared-memo coordinates for `dc`: its canonical shape (alpha-
+    /// renamed duplicates across tenants share one key) and the cache
+    /// generation observed *before* the check runs (so a concurrent
+    /// mutation between lookup and store can never stamp a stale proof).
+    /// `None` without an attached cache.
+    fn memo_key(&self, dc: &DenialConstraint) -> Option<(String, u64)> {
+        let cache = self.shared.as_ref()?;
+        Some((
+            dc.canonical_shape(self.db.database().catalog()),
+            cache.generation(),
+        ))
+    }
+
+    /// Serves a memoized definite verdict for the memo coordinates, if the
+    /// shared cache holds one proven under the same generation.
+    fn memo_lookup(
+        &mut self,
+        memo: &Option<(String, u64)>,
+        budget: &Budget,
+    ) -> Option<GovernedOutcome> {
+        let (key, gen) = memo.as_ref()?;
+        let verdict = self.shared.as_ref()?.lookup_verdict(key, *gen)?;
+        self.stats.verdict_memo_hits += 1;
+        probes::CORE_SOLVER_VERDICT_MEMO.incr();
+        Some(GovernedOutcome {
+            verdict,
+            stats: DcSatStats {
+                algorithm: "solver/memo",
+                ..DcSatStats::default()
+            },
+            degraded_to: None,
+            elapsed: budget.elapsed(),
+        })
+    }
+
+    /// Publishes a freshly-proven verdict under the pre-check generation;
+    /// `Unknown` verdicts and stale generations are dropped by the cache.
+    fn memo_store(&self, memo: Option<(String, u64)>, verdict: &Verdict) {
+        if let (Some(cache), Some((key, gen))) = (&self.shared, memo) {
+            cache.store_verdict(key, gen, verdict);
+        }
     }
 
     /// The session options with a base-verdict hint filled in from the

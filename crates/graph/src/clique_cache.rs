@@ -36,43 +36,210 @@ pub struct CliqueCache {
     misses: AtomicU64,
 }
 
+/// Outcome of a charged cache probe from [`CliqueCache::entry`].
+///
+/// A `Hit` carries the cached enumeration; a `Miss` carries a vacant slot
+/// that can be filled with [`VacantCliqueEntry::insert_complete`] once the
+/// caller has produced a *complete* enumeration, or simply dropped when the
+/// enumeration was cut short. Either way the hit/miss counter was charged
+/// exactly once, at probe time — the race-prone charged-`lookup` /
+/// separate-`insert` two-step is no longer needed.
+pub enum CliqueEntry<'a> {
+    /// The component was cached; replay the carried cliques.
+    Hit(CachedCliques),
+    /// The component was not cached; fill the slot after a complete run.
+    Miss(VacantCliqueEntry<'a>),
+}
+
+impl CliqueEntry<'_> {
+    /// The cached cliques on a hit, `None` on a miss (without consuming the
+    /// vacant slot's right to insert).
+    pub fn cached(&self) -> Option<CachedCliques> {
+        match self {
+            CliqueEntry::Hit(c) => Some(Arc::clone(c)),
+            CliqueEntry::Miss(_) => None,
+        }
+    }
+}
+
+/// A vacant slot returned by a [`CliqueCache::entry`] miss.
+///
+/// Dropping it without inserting is the correct way to abandon an
+/// enumeration that ended early (witness, budget, panic) — the miss was
+/// already counted and the cache stays free of partial lists.
+pub struct VacantCliqueEntry<'a> {
+    cache: &'a CliqueCache,
+    key: Vec<usize>,
+}
+
+impl VacantCliqueEntry<'_> {
+    /// Fills the slot with a **complete** enumeration (first insert wins
+    /// under a race; the stored list is returned either way).
+    ///
+    /// The caller must guarantee the list covers every maximal clique of
+    /// the induced subgraph in enumeration order; partial lists are unsound
+    /// to insert (see the module docs).
+    pub fn insert_complete(self, cliques: Vec<Vec<usize>>) -> CachedCliques {
+        self.cache
+            .inner
+            .lock()
+            .unwrap()
+            .entry(self.key)
+            .or_insert_with(|| Arc::new(cliques))
+            .clone()
+    }
+}
+
 impl CliqueCache {
     /// Creates an empty cache.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Looks up a component's cached clique list, counting a hit or miss.
+    /// Probes a component, charging exactly one hit or miss, and returns
+    /// either the cached enumeration or a vacant slot to fill.
     ///
-    /// The returned cliques are in local indices of the component's induced
+    /// Cached cliques are in local indices of the component's induced
     /// subgraph; replay them through the component member list as the
     /// local→global mapping.
-    pub fn lookup(&self, component: &[usize]) -> Option<Arc<Vec<Vec<usize>>>> {
-        let found = self.inner.lock().unwrap().get(component).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    pub fn entry(&self, component: &[usize]) -> CliqueEntry<'_> {
+        match self.inner.lock().unwrap().get(component).cloned() {
+            Some(c) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                CliqueEntry::Hit(c)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                CliqueEntry::Miss(VacantCliqueEntry {
+                    cache: self,
+                    key: component.to_vec(),
+                })
+            }
+        }
+    }
+
+    /// Charged probe-or-compute: on a miss, `enumerate` runs and its result
+    /// (when `Some`, i.e. the enumeration ran to completion) is stored and
+    /// returned. Returning `None` from `enumerate` leaves the cache
+    /// untouched beyond the counted miss.
+    pub fn get_or_insert_with(
+        &self,
+        component: &[usize],
+        enumerate: impl FnOnce() -> Option<Vec<Vec<usize>>>,
+    ) -> Option<CachedCliques> {
+        match self.entry(component) {
+            CliqueEntry::Hit(c) => Some(c),
+            CliqueEntry::Miss(vacant) => enumerate().map(|cl| vacant.insert_complete(cl)),
+        }
     }
 
     /// Peeks without touching the hit/miss counters (used when deciding how
-    /// to shape work items before the charged lookup happens).
+    /// to shape work items before the charged probe happens).
     pub fn peek(&self, component: &[usize]) -> Option<Arc<Vec<Vec<usize>>>> {
         self.inner.lock().unwrap().get(component).cloned()
     }
 
-    /// Inserts a component's **complete** clique enumeration.
-    ///
-    /// The caller must guarantee the list covers every maximal clique of
-    /// the induced subgraph in enumeration order; partial lists are unsound
-    /// to insert (see the module docs).
-    pub fn insert(&self, component: Vec<usize>, cliques: Vec<Vec<usize>>) {
+    /// Publishes a **complete** enumeration without charging the counters
+    /// (first insert wins). For deferred-harvest paths where the charged
+    /// probe already happened through [`CliqueCache::entry`] earlier.
+    pub fn publish_complete(&self, component: Vec<usize>, cliques: Vec<Vec<usize>>) {
         self.inner
             .lock()
             .unwrap()
             .entry(component)
             .or_insert_with(|| Arc::new(cliques));
+    }
+
+    /// Looks up a component's cached clique list, counting a hit or miss.
+    #[deprecated(note = "use `entry` or `get_or_insert_with`, which charge \
+                         hit/miss and fill the slot atomically")]
+    pub fn lookup(&self, component: &[usize]) -> Option<Arc<Vec<Vec<usize>>>> {
+        match self.entry(component) {
+            CliqueEntry::Hit(c) => Some(c),
+            CliqueEntry::Miss(_) => None,
+        }
+    }
+
+    /// Inserts a component's **complete** clique enumeration.
+    #[deprecated(note = "use `entry`/`get_or_insert_with` (charged) or \
+                         `publish_complete` (uncharged)")]
+    pub fn insert(&self, component: Vec<usize>, cliques: Vec<Vec<usize>>) {
+        self.publish_complete(component, cliques);
+    }
+
+    /// Drops every entry whose member list intersects `members` (both the
+    /// entry keys and `members` must be sorted ascending). Returns the
+    /// number of entries dropped.
+    ///
+    /// This is the targeted invalidation primitive for base-relation
+    /// deltas: a viability flip rewires a transaction's conflict edges
+    /// without changing any component member list, so every cached
+    /// enumeration *containing* that transaction is stale while the rest
+    /// remain exact.
+    pub fn invalidate_members(&self, members: &[usize]) -> usize {
+        if members.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.len();
+        inner.retain(|key, _| sorted_disjoint(key, members));
+        before - inner.len()
+    }
+
+    /// Applies the index shift of a pending-set removal: entries containing
+    /// a removed index are dropped; every surviving key index `i` becomes
+    /// `i - #{removed < i}` (`removed` must be sorted ascending). Returns
+    /// the number of entries dropped.
+    ///
+    /// Sound because cached cliques are stored in *local* induced-subgraph
+    /// indices — positions within the member list — which a pure renumbering
+    /// of the members does not disturb.
+    pub fn remap_removed(&self, removed: &[usize]) -> usize {
+        if removed.is_empty() {
+            return 0;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.len();
+        let remapped: HashMap<Vec<usize>, CachedCliques> = inner
+            .drain()
+            .filter(|(key, _)| sorted_disjoint(key, removed))
+            .map(|(key, v)| {
+                let key = key
+                    .into_iter()
+                    .map(|i| i - removed.partition_point(|&r| r < i))
+                    .collect();
+                (key, v)
+            })
+            .collect();
+        let after = remapped.len();
+        *inner = remapped;
+        before - after
+    }
+
+    /// Applies the index shift of a positional pending insert: every key
+    /// index `>= at` moves up by one. No entry is dropped — the new
+    /// transaction is not a member of any cached component, and survivors
+    /// keep their induced subgraphs verbatim.
+    pub fn remap_inserted_at(&self, at: usize) {
+        let mut inner = self.inner.lock().unwrap();
+        let remapped: HashMap<Vec<usize>, CachedCliques> = inner
+            .drain()
+            .map(|(key, v)| {
+                let key = key
+                    .into_iter()
+                    .map(|i| if i >= at { i + 1 } else { i })
+                    .collect();
+                (key, v)
+            })
+            .collect();
+        *inner = remapped;
+    }
+
+    /// Drops every entry but — unlike [`CliqueCache::clear`] — keeps the
+    /// hit/miss counters, so long-lived shared caches report cumulative
+    /// ratios across invalidation storms.
+    pub fn purge(&self) {
+        self.inner.lock().unwrap().clear();
     }
 
     /// Number of lookups answered from the cache.
@@ -103,45 +270,143 @@ impl CliqueCache {
     }
 }
 
+/// Whether two ascending-sorted index slices share no element (merge scan).
+fn sorted_disjoint(a: &[usize], b: &[usize]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return false,
+        }
+    }
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn lookup_counts_hits_and_misses() {
+    fn entry_counts_hits_and_misses_and_fills() {
         let cache = CliqueCache::new();
-        assert!(cache.lookup(&[0, 2, 5]).is_none());
-        cache.insert(vec![0, 2, 5], vec![vec![0, 1], vec![2]]);
-        let got = cache.lookup(&[0, 2, 5]).expect("cached");
+        match cache.entry(&[0, 2, 5]) {
+            CliqueEntry::Hit(_) => panic!("empty cache cannot hit"),
+            CliqueEntry::Miss(vacant) => {
+                let stored = vacant.insert_complete(vec![vec![0, 1], vec![2]]);
+                assert_eq!(*stored, vec![vec![0, 1], vec![2]]);
+            }
+        }
+        let got = cache.entry(&[0, 2, 5]).cached().expect("cached");
         assert_eq!(*got, vec![vec![0, 1], vec![2]]);
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
     }
 
     #[test]
+    fn abandoned_vacant_charges_miss_but_stores_nothing() {
+        let cache = CliqueCache::new();
+        drop(cache.entry(&[1, 2]));
+        assert!(cache.peek(&[1, 2]).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+    }
+
+    #[test]
+    fn get_or_insert_with_skips_store_on_incomplete_run() {
+        let cache = CliqueCache::new();
+        assert!(cache.get_or_insert_with(&[3, 4], || None).is_none());
+        assert!(cache.is_empty());
+        let got = cache
+            .get_or_insert_with(&[3, 4], || Some(vec![vec![0]]))
+            .expect("stored");
+        assert_eq!(*got, vec![vec![0]]);
+        let again = cache
+            .get_or_insert_with(&[3, 4], || panic!("must not re-enumerate"))
+            .expect("hit");
+        assert_eq!(*again, vec![vec![0]]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+    }
+
+    #[test]
     fn peek_does_not_charge_counters() {
         let cache = CliqueCache::new();
-        cache.insert(vec![1, 3], vec![vec![0, 1]]);
+        cache.publish_complete(vec![1, 3], vec![vec![0, 1]]);
         assert!(cache.peek(&[1, 3]).is_some());
         assert!(cache.peek(&[9]).is_none());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
     }
 
     #[test]
-    fn first_insert_wins() {
+    fn first_publish_wins() {
         let cache = CliqueCache::new();
-        cache.insert(vec![4, 7], vec![vec![0]]);
-        cache.insert(vec![4, 7], vec![vec![0, 1]]);
+        cache.publish_complete(vec![4, 7], vec![vec![0]]);
+        cache.publish_complete(vec![4, 7], vec![vec![0, 1]]);
         assert_eq!(*cache.peek(&[4, 7]).unwrap(), vec![vec![0]]);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_two_step_still_routes_through_entry() {
+        let cache = CliqueCache::new();
+        assert!(cache.lookup(&[0, 2]).is_none());
+        cache.insert(vec![0, 2], vec![vec![0]]);
+        assert_eq!(*cache.lookup(&[0, 2]).unwrap(), vec![vec![0]]);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
     }
 
     #[test]
     fn clear_resets_everything() {
         let cache = CliqueCache::new();
-        cache.insert(vec![0], vec![]);
-        cache.lookup(&[0]);
+        cache.publish_complete(vec![0], vec![]);
+        cache.entry(&[0]);
         cache.clear();
         assert!(cache.is_empty());
         assert_eq!((cache.hits(), cache.misses()), (0, 0));
+    }
+
+    #[test]
+    fn purge_drops_entries_but_keeps_counters() {
+        let cache = CliqueCache::new();
+        cache.get_or_insert_with(&[0, 1], || Some(vec![vec![0, 1]]));
+        cache.entry(&[0, 1]);
+        cache.purge();
+        assert!(cache.is_empty());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+    }
+
+    #[test]
+    fn invalidate_members_drops_only_intersecting_entries() {
+        let cache = CliqueCache::new();
+        cache.publish_complete(vec![0, 2, 5], vec![vec![0, 1, 2]]);
+        cache.publish_complete(vec![1, 3], vec![vec![0, 1]]);
+        cache.publish_complete(vec![4], vec![vec![0]]);
+        assert_eq!(cache.invalidate_members(&[2, 4]), 2);
+        assert!(cache.peek(&[0, 2, 5]).is_none());
+        assert!(cache.peek(&[4]).is_none());
+        assert!(cache.peek(&[1, 3]).is_some());
+    }
+
+    #[test]
+    fn remap_removed_drops_and_renumbers() {
+        let cache = CliqueCache::new();
+        cache.publish_complete(vec![0, 3, 6], vec![vec![0, 2]]);
+        cache.publish_complete(vec![2, 4], vec![vec![0, 1]]);
+        // Removing pending indices 1 and 4: [2,4] dies, [0,3,6] survives as
+        // [0,2,4] with its local-index cliques untouched.
+        assert_eq!(cache.remap_removed(&[1, 4]), 1);
+        assert!(cache.peek(&[2, 4]).is_none());
+        assert!(cache.peek(&[0, 3, 6]).is_none());
+        assert_eq!(*cache.peek(&[0, 2, 4]).unwrap(), vec![vec![0, 2]]);
+    }
+
+    #[test]
+    fn remap_inserted_at_shifts_keys_up() {
+        let cache = CliqueCache::new();
+        cache.publish_complete(vec![0, 2], vec![vec![0, 1]]);
+        cache.remap_inserted_at(1);
+        assert!(cache.peek(&[0, 2]).is_none());
+        assert_eq!(*cache.peek(&[0, 3]).unwrap(), vec![vec![0, 1]]);
+        cache.remap_inserted_at(0);
+        assert_eq!(*cache.peek(&[1, 4]).unwrap(), vec![vec![0, 1]]);
     }
 }

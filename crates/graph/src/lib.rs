@@ -30,7 +30,7 @@ pub use bron_kerbosch::{
     maximal_cliques_governed_in, split_subproblems, CliqueStrategy, CliqueSubproblem, ExpandArena,
     Visit,
 };
-pub use clique_cache::CliqueCache;
+pub use clique_cache::{CachedCliques, CliqueCache, CliqueEntry, VacantCliqueEntry};
 pub use components::{connected_components, Components, UnionFind};
 pub use graph::UndirectedGraph;
 pub use scheduler::{StealScheduler, WorkUnit};

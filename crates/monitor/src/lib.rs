@@ -38,6 +38,6 @@ pub use journal::{
 };
 pub use session::{
     ConstraintVerdict, EpochApply, MonitorConfig, MonitorError, MonitorSession, MonitorStats,
-    RecoveryReport,
+    RecoveryReport, RoundCheck, RoundResult,
 };
 pub use soak::{run_soak, SoakConfig, SoakReport};

@@ -44,9 +44,10 @@ use crate::event::{ChainEvent, NamedPending, NamedTuples, UndoOp, UndoRecord};
 use crate::journal::{Journal, JournalRecord};
 use bcdb_core::{
     query_components, BlockchainDb, CoreError, DcSatOptions, DcSatStats, GovernedOutcome,
-    Precomputed, Solver, SolverStats, Verdict,
+    Precomputed, SharedEnumCache, Solver, SolverStats, Verdict,
 };
 use bcdb_governor::{BudgetSpec, ExhaustionReason, RetryPolicy};
+use bcdb_graph::StealScheduler;
 use bcdb_query::DenialConstraint;
 use bcdb_storage::{Catalog, ConstraintSet, RelationId, StorageBackend, Tuple, TxId};
 use bcdb_telemetry::probes;
@@ -54,6 +55,7 @@ use rustc_hash::FxHashSet;
 use std::fmt;
 use std::ops::ControlFlow;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// What went wrong while applying an event or journaling it.
@@ -278,6 +280,39 @@ pub struct ConstraintVerdict {
     pub attempts: u32,
     /// Whether an epoch-valid cached base verdict was supplied.
     pub base_hint_used: bool,
+}
+
+/// One scheduled check of a batched round (see
+/// [`recheck_round`](MonitorSession::recheck_round)): which slot to
+/// re-check and under whose envelope. The serving layer builds one of
+/// these per due subscription after its fair-share scheduling pass.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundCheck {
+    /// Registration slot of the constraint to re-check.
+    pub slot: usize,
+    /// Per-attempt budget for this check (the tenant's envelope).
+    pub budget: BudgetSpec,
+    /// Retry schedule for transient exhaustion.
+    pub retry: RetryPolicy,
+}
+
+/// Outcome of one [`RoundCheck`], with the cost and cache attribution
+/// the serving layer needs to reconcile its fair-share clocks and
+/// per-tenant counters after the round.
+#[derive(Clone, Debug)]
+pub struct RoundResult {
+    /// The slot this result answers (mirrors the input check).
+    pub slot: usize,
+    /// The per-constraint outcome, as [`recheck`](MonitorSession::recheck)
+    /// would have reported it.
+    pub verdict: ConstraintVerdict,
+    /// Wall-clock cost of the check (all attempts), in nanoseconds.
+    pub cost_ns: u64,
+    /// Enumerations this check answered from cache: component replays
+    /// plus generation-checked verdict-memo hits.
+    pub cache_hits: u64,
+    /// Components this check had to enumerate fresh.
+    pub cache_misses: u64,
 }
 
 /// A registered denial constraint under watch.
@@ -1277,61 +1312,164 @@ impl MonitorSession {
         let dc = self.constraints[idx].dc.clone();
         let name = self.constraints[idx].name.clone();
         let before = self.solver.session_stats();
-        // The retry loop gets its own overall deadline: enough for every
-        // allowed attempt to spend its full per-attempt budget, so the
-        // schedule is bounded even if each attempt runs to exhaustion.
-        let deadline = spec
-            .timeout
-            .map(|t| Instant::now() + t.saturating_mul(retry.max_retries + 1));
-        let mut attempts = 0u32;
-        let outcome = retry.run(deadline, |attempt| {
-            attempts = attempt + 1;
-            let budget = spec.start();
-            let solver = &mut self.solver;
-            let checked =
-                catch_unwind(AssertUnwindSafe(|| solver.check_with_budget(&dc, &budget)));
-            let elapsed = budget.elapsed();
-            match checked {
-                Ok(Ok(out)) => match &out.verdict {
-                    // Transient exhaustion: the next attempt may win the
-                    // race (or the backoff may let an event batch drain).
-                    Verdict::Unknown(
-                        ExhaustionReason::DeadlineExceeded { .. }
-                        | ExhaustionReason::Cancelled
-                        | ExhaustionReason::WorkerPanicked { .. },
-                    ) => ControlFlow::Continue(out),
-                    // Definite verdicts and deterministic limits are final.
-                    _ => ControlFlow::Break(out),
-                },
-                // A configuration error (invalid constraint) will not
-                // improve with retries.
-                Ok(Err(err)) => ControlFlow::Break(unknown_outcome(err.to_string(), elapsed)),
-                Err(panic) => {
-                    self.stats.panics_contained += 1;
-                    let message = panic_message(panic.as_ref());
-                    ControlFlow::Continue(unknown_outcome(message, elapsed))
-                }
-            }
-        });
-        // Mirror the solver's base-hint accounting for this check.
-        let after = self.solver.session_stats();
-        self.stats.base_probes += after.base_probes - before.base_probes;
-        self.stats.base_hints_supplied += after.base_hints_supplied - before.base_hints_supplied;
-        let hint_used = after.base_hints_supplied > before.base_hints_supplied;
+        let raw = run_check(&mut self.solver, &dc, spec, retry);
+        let delta = diff_stats(&self.solver.session_stats(), &before);
+        self.merge_check(idx, name, raw, &delta)
+    }
+
+    /// Folds one raw check result into the session: mirrors the solver's
+    /// stat deltas into the monitor stats, records the verdict on the
+    /// slot, and shapes the public [`ConstraintVerdict`]. Shared by the
+    /// serial path and the post-round merge of the parallel path, so both
+    /// account identically.
+    fn merge_check(
+        &mut self,
+        idx: usize,
+        name: String,
+        raw: RawCheck,
+        delta: &SolverStats,
+    ) -> ConstraintVerdict {
+        self.stats.panics_contained += raw.panics;
+        self.stats.base_probes += delta.base_probes;
+        self.stats.base_hints_supplied += delta.base_hints_supplied;
         self.stats.rechecks += 1;
-        self.stats.retries += u64::from(attempts.saturating_sub(1));
-        if !outcome.verdict.is_definite() {
+        self.stats.retries += u64::from(raw.attempts.saturating_sub(1));
+        if !raw.outcome.verdict.is_definite() {
             self.stats.unknown_verdicts += 1;
         }
-        self.constraints[idx].last = Some(outcome.verdict.clone());
+        self.constraints[idx].last = Some(raw.outcome.verdict.clone());
         self.constraints[idx].dirty = false;
         ConstraintVerdict {
             name,
-            verdict: outcome.verdict,
-            degraded_to: outcome.degraded_to,
-            attempts,
-            base_hint_used: hint_used,
+            verdict: raw.outcome.verdict,
+            degraded_to: raw.outcome.degraded_to,
+            attempts: raw.attempts,
+            base_hint_used: delta.base_hints_supplied > 0,
         }
+    }
+
+    /// Attaches a cross-session [`SharedEnumCache`] to the underlying
+    /// solver, so this session's checks reuse (and feed) enumerations
+    /// from every other solver on the same cache. The cache's sharing
+    /// contract applies: all attached sessions must observe the same
+    /// logical database state (see [`bcdb_core::cache`]).
+    pub fn attach_shared_cache(&mut self, cache: Arc<SharedEnumCache>) {
+        self.solver.set_shared_cache(Some(cache));
+    }
+
+    /// The attached shared cache, if any.
+    pub fn shared_cache(&self) -> Option<&Arc<SharedEnumCache>> {
+        self.solver.shared_cache()
+    }
+
+    /// Re-checks a batch of constraints as one round, on up to `threads`
+    /// workers, and returns one [`RoundResult`] per check **in input
+    /// order** regardless of thread count or scheduling.
+    ///
+    /// With `threads <= 1` this is exactly a loop of
+    /// [`recheck_with`](MonitorSession::recheck_with). With more, each
+    /// worker runs checks against its own read-only
+    /// [fork](Solver::fork_for_read) of the solver, claiming work through
+    /// a [`StealScheduler`]; the forks share the session's
+    /// [`SharedEnumCache`] (when attached), so one worker's enumeration
+    /// still answers another's duplicate shape. Checks are logically
+    /// read-only, so a fork returns the verdict the parent would have —
+    /// which is what makes the merge deterministic: results, stat
+    /// mirroring, and slot updates are applied serially in input order
+    /// after all workers finish, and fork stats are absorbed back into
+    /// the parent session.
+    ///
+    /// Panics inside a check are contained per-item exactly as in the
+    /// serial path; a panicking check costs its worker nothing beyond
+    /// that item.
+    pub fn recheck_round(&mut self, checks: &[RoundCheck], threads: usize) -> Vec<RoundResult> {
+        let workers = threads.max(1).min(checks.len());
+        if workers <= 1 {
+            return checks
+                .iter()
+                .map(|check| {
+                    let before = self.solver.session_stats();
+                    let start = Instant::now();
+                    let verdict = self.recheck_with(check.slot, check.budget, check.retry);
+                    let delta = diff_stats(&self.solver.session_stats(), &before);
+                    RoundResult {
+                        slot: check.slot,
+                        verdict,
+                        cost_ns: start.elapsed().as_nanos() as u64,
+                        cache_hits: delta.components_reused + delta.verdict_memo_hits,
+                        cache_misses: delta.components_enumerated,
+                    }
+                })
+                .collect();
+        }
+        struct Partial {
+            raw: RawCheck,
+            cost_ns: u64,
+            delta: SolverStats,
+        }
+        for check in checks {
+            debug_assert!(
+                !self.constraints[check.slot].retired,
+                "round check of a retired slot"
+            );
+        }
+        let dcs: Vec<DenialConstraint> = checks
+            .iter()
+            .map(|check| self.constraints[check.slot].dc.clone())
+            .collect();
+        let slots: Vec<Mutex<Option<Partial>>> =
+            checks.iter().map(|_| Mutex::new(None)).collect();
+        let scheduler = StealScheduler::new(workers, 0..checks.len());
+        let mut forks: Vec<Solver> = (0..workers).map(|_| self.solver.fork_for_read()).collect();
+        std::thread::scope(|scope| {
+            for (worker, fork) in forks.iter_mut().enumerate() {
+                let scheduler = &scheduler;
+                let slots = &slots;
+                let dcs = &dcs;
+                scope.spawn(move || {
+                    while let Some(i) = scheduler.pop(worker) {
+                        let check = &checks[i];
+                        let before = fork.session_stats();
+                        let start = Instant::now();
+                        let raw = run_check(fork, &dcs[i], check.budget, check.retry);
+                        let cost_ns = start.elapsed().as_nanos() as u64;
+                        let delta = diff_stats(&fork.session_stats(), &before);
+                        *slots[i].lock().unwrap() = Some(Partial {
+                            raw,
+                            cost_ns,
+                            delta,
+                        });
+                    }
+                });
+            }
+        });
+        // Serial merge in input order: identical bookkeeping to the
+        // 1-thread path, applied in the same sequence every run.
+        let mut absorbed = SolverStats::default();
+        let results = checks
+            .iter()
+            .zip(slots)
+            .map(|(check, slot)| {
+                let partial = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("scheduler drained every index");
+                add_stats(&mut absorbed, &partial.delta);
+                let name = self.constraints[check.slot].name.clone();
+                let verdict =
+                    self.merge_check(check.slot, name, partial.raw, &partial.delta);
+                RoundResult {
+                    slot: check.slot,
+                    verdict,
+                    cost_ns: partial.cost_ns,
+                    cache_hits: partial.delta.components_reused
+                        + partial.delta.verdict_memo_hits,
+                    cache_misses: partial.delta.components_enumerated,
+                }
+            })
+            .collect();
+        self.solver.absorb_fork_stats(&absorbed);
+        results
     }
 
     /// Re-checks every live registered constraint, in registration order.
@@ -1361,6 +1499,96 @@ impl MonitorSession {
         }
         out
     }
+}
+
+/// The raw product of one retried, panic-contained check — everything
+/// [`merge_check`](MonitorSession::merge_check) needs that came from the
+/// solver rather than the session.
+struct RawCheck {
+    outcome: GovernedOutcome,
+    attempts: u32,
+    panics: u64,
+}
+
+/// The retry/containment core of a re-check, runnable against any solver
+/// — the session's own or a per-worker read fork. Never panics.
+fn run_check(
+    solver: &mut Solver,
+    dc: &DenialConstraint,
+    spec: BudgetSpec,
+    retry: RetryPolicy,
+) -> RawCheck {
+    // The retry loop gets its own overall deadline: enough for every
+    // allowed attempt to spend its full per-attempt budget, so the
+    // schedule is bounded even if each attempt runs to exhaustion.
+    let deadline = spec
+        .timeout
+        .map(|t| Instant::now() + t.saturating_mul(retry.max_retries + 1));
+    let mut attempts = 0u32;
+    let mut panics = 0u64;
+    let outcome = retry.run(deadline, |attempt| {
+        attempts = attempt + 1;
+        let budget = spec.start();
+        let checked = catch_unwind(AssertUnwindSafe(|| solver.check_with_budget(dc, &budget)));
+        let elapsed = budget.elapsed();
+        match checked {
+            Ok(Ok(out)) => match &out.verdict {
+                // Transient exhaustion: the next attempt may win the
+                // race (or the backoff may let an event batch drain).
+                Verdict::Unknown(
+                    ExhaustionReason::DeadlineExceeded { .. }
+                    | ExhaustionReason::Cancelled
+                    | ExhaustionReason::WorkerPanicked { .. },
+                ) => ControlFlow::Continue(out),
+                // Definite verdicts and deterministic limits are final.
+                _ => ControlFlow::Break(out),
+            },
+            // A configuration error (invalid constraint) will not
+            // improve with retries.
+            Ok(Err(err)) => ControlFlow::Break(unknown_outcome(err.to_string(), elapsed)),
+            Err(panic) => {
+                panics += 1;
+                let message = panic_message(panic.as_ref());
+                ControlFlow::Continue(unknown_outcome(message, elapsed))
+            }
+        }
+    });
+    RawCheck {
+        outcome,
+        attempts,
+        panics,
+    }
+}
+
+/// Field-wise `after - before` over session stats (both cumulative
+/// snapshots of the same solver, so every subtraction is non-negative).
+fn diff_stats(after: &SolverStats, before: &SolverStats) -> SolverStats {
+    SolverStats {
+        checks: after.checks - before.checks,
+        batches: after.batches - before.batches,
+        batch_constraints: after.batch_constraints - before.batch_constraints,
+        base_probes: after.base_probes - before.base_probes,
+        base_cache_hits: after.base_cache_hits - before.base_cache_hits,
+        base_hints_supplied: after.base_hints_supplied - before.base_hints_supplied,
+        components_enumerated: after.components_enumerated - before.components_enumerated,
+        components_reused: after.components_reused - before.components_reused,
+        verdict_memo_hits: after.verdict_memo_hits - before.verdict_memo_hits,
+        epoch_invalidations: after.epoch_invalidations - before.epoch_invalidations,
+    }
+}
+
+/// Field-wise `into += delta`.
+fn add_stats(into: &mut SolverStats, delta: &SolverStats) {
+    into.checks += delta.checks;
+    into.batches += delta.batches;
+    into.batch_constraints += delta.batch_constraints;
+    into.base_probes += delta.base_probes;
+    into.base_cache_hits += delta.base_cache_hits;
+    into.base_hints_supplied += delta.base_hints_supplied;
+    into.components_enumerated += delta.components_enumerated;
+    into.components_reused += delta.components_reused;
+    into.verdict_memo_hits += delta.verdict_memo_hits;
+    into.epoch_invalidations += delta.epoch_invalidations;
 }
 
 fn unknown_outcome(message: String, elapsed: std::time::Duration) -> GovernedOutcome {
@@ -1995,5 +2223,51 @@ mod tests {
             s.apply(&evict("ghost")),
             Err(MonitorError::UnknownTransaction(_))
         ));
+    }
+
+    #[test]
+    fn recheck_round_parallel_matches_serial() {
+        fn build() -> MonitorSession {
+            let (cat, cs) = setup();
+            let dup =
+                parse_denial_constraint("q() <- Pay(i, x), Pay(j, x), i != j", &cat).unwrap();
+            let solo = parse_denial_constraint("q() <- Pay(i, 'cam')", &cat).unwrap();
+            let mut s = MonitorSession::new(cat, cs);
+            for i in 0..4 {
+                s.register(format!("dup-{i}"), dup.clone());
+            }
+            s.register("no-cam", solo);
+            s.apply(&arrival("t0", 1, "ann")).unwrap();
+            s.apply(&arrival("t1", 2, "ann")).unwrap();
+            s.apply(&arrival("t2", 3, "bob")).unwrap();
+            s
+        }
+        let checks: Vec<RoundCheck> = (0..5)
+            .map(|slot| RoundCheck {
+                slot,
+                budget: BudgetSpec::UNLIMITED,
+                retry: RetryPolicy::NONE,
+            })
+            .collect();
+        let mut serial = build();
+        serial.attach_shared_cache(Arc::new(SharedEnumCache::new()));
+        let narrow = serial.recheck_round(&checks, 1);
+        let mut parallel = build();
+        parallel.attach_shared_cache(Arc::new(SharedEnumCache::new()));
+        let wide = parallel.recheck_round(&checks, 4);
+        assert_eq!(narrow.len(), wide.len());
+        for (a, b) in narrow.iter().zip(&wide) {
+            assert_eq!(a.slot, b.slot, "results come back in input order");
+            assert_eq!(a.verdict.name, b.verdict.name);
+            assert_eq!(a.verdict.verdict, b.verdict.verdict);
+        }
+        assert_eq!(serial.stats().rechecks, 5);
+        assert_eq!(parallel.stats().rechecks, 5);
+        assert!(parallel.dirty_indices().is_empty());
+        // Fork stats were absorbed: the parent solver saw all five checks.
+        assert_eq!(parallel.solver_stats().checks, serial.solver_stats().checks);
+        // Four identical shapes: the serial path answers the last three
+        // from the shared cache (verdict memo or component replay).
+        assert!(narrow.iter().map(|r| r.cache_hits).sum::<u64>() >= 3);
     }
 }

@@ -518,6 +518,26 @@ impl DenialConstraint {
     pub fn display<'a>(&'a self, catalog: &'a Catalog) -> impl fmt::Display + 'a {
         ConstraintDisplay { dc: self, catalog }
     }
+
+    /// Renders the constraint's *canonical shape*: the surface syntax with
+    /// every variable renamed positionally (`_0`, `_1`, … in [`Var`]-index
+    /// order, which is first-occurrence order). Alpha-renamed constraints
+    /// — equal up to variable names — render to the same shape, while any
+    /// structural difference (atoms, constants, comparisons, aggregate
+    /// form) keeps shapes distinct, so the shape is a sound sharing key
+    /// for cross-tenant verdict reuse.
+    pub fn canonical_shape(&self, catalog: &Catalog) -> String {
+        let mut dc = self.clone();
+        let names = match &mut dc {
+            DenialConstraint::Conjunctive(q) => &mut q.var_names,
+            DenialConstraint::Aggregate(a) => &mut a.body.var_names,
+        };
+        for (i, name) in names.iter_mut().enumerate() {
+            *name = format!("_{i}");
+        }
+        let shape = dc.display(catalog).to_string();
+        shape
+    }
 }
 
 struct ConstraintDisplay<'a> {
@@ -924,5 +944,45 @@ mod tests {
         assert!(s.contains("TxOut(t, s, 'U8', amt)"), "{s}");
         assert!(s.contains("!Trusted(pk2)"), "{s}");
         assert!(s.contains("t != pk2"), "{s}");
+    }
+
+    #[test]
+    fn canonical_shape_is_alpha_invariant() {
+        let cat = catalog();
+        let build = |names: [&str; 3]| {
+            DenialConstraint::Conjunctive(
+                QueryBuilder::new(&cat)
+                    .atom("Trusted", |a| a.var(names[0]))
+                    .atom("Trusted", |a| a.var(names[1]))
+                    .atom("Trusted", |a| a.var(names[2]))
+                    .cmp_vars(names[0], CmpOp::Ne, names[1])
+                    .build_conjunctive()
+                    .unwrap(),
+            )
+        };
+        let a = build(["x", "y", "z"]);
+        let b = build(["p", "q", "r"]);
+        assert_ne!(
+            a.display(&cat).to_string(),
+            b.display(&cat).to_string(),
+            "surface texts differ"
+        );
+        assert_eq!(
+            a.canonical_shape(&cat),
+            b.canonical_shape(&cat),
+            "alpha-renamed duplicates share a shape"
+        );
+        // A structural difference — comparing a different variable pair —
+        // keeps shapes distinct.
+        let c = DenialConstraint::Conjunctive(
+            QueryBuilder::new(&cat)
+                .atom("Trusted", |a| a.var("x"))
+                .atom("Trusted", |a| a.var("y"))
+                .atom("Trusted", |a| a.var("z"))
+                .cmp_vars("x", CmpOp::Ne, "z")
+                .build_conjunctive()
+                .unwrap(),
+        );
+        assert_ne!(a.canonical_shape(&cat), c.canonical_shape(&cat));
     }
 }

@@ -22,6 +22,12 @@ pub enum ServerError {
     BadConstraint(String),
     /// A malformed wire request (missing field, wrong type, unknown op).
     BadRequest(String),
+    /// The request declared a wire-protocol version this server does not
+    /// speak (see [`crate::wire::PROTOCOL_VERSION`]).
+    UnsupportedVersion {
+        /// The version the client asked for.
+        requested: i64,
+    },
     /// The underlying monitor session failed to apply an event or
     /// touch durable state.
     Monitor(MonitorError),
@@ -39,6 +45,11 @@ impl fmt::Display for ServerError {
             ServerError::UnknownSubscription(id) => write!(f, "unknown subscription {id}"),
             ServerError::BadConstraint(msg) => write!(f, "bad constraint: {msg}"),
             ServerError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServerError::UnsupportedVersion { requested } => write!(
+                f,
+                "unsupported protocol version {requested} (this server speaks {})",
+                crate::wire::PROTOCOL_VERSION
+            ),
             ServerError::Monitor(e) => write!(f, "monitor error: {e}"),
             ServerError::ShuttingDown => write!(f, "service is shutting down"),
         }
@@ -62,6 +73,7 @@ impl ServerError {
             ServerError::UnknownSubscription(_) => "unknown_subscription",
             ServerError::BadConstraint(_) => "bad_constraint",
             ServerError::BadRequest(_) => "bad_request",
+            ServerError::UnsupportedVersion { .. } => "unsupported_version",
             ServerError::Monitor(_) => "monitor",
             ServerError::ShuttingDown => "shutting_down",
         }

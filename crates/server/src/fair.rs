@@ -73,6 +73,26 @@ impl TenantClock {
         self.vtime += u128::from(ns) * VTIME_SCALE / u128::from(self.weight);
     }
 
+    /// Reconciles an estimated charge with the measured cost after the
+    /// fact. The two-phase round executor charges an *estimate* at
+    /// scheduling time — so the schedule, and every refusal, is decided
+    /// before any check runs and cannot depend on execution timing —
+    /// then settles the difference here once the actual cost is known.
+    /// After settling, both the round envelope and the long-run virtual
+    /// clock read exactly as if `actual` had been charged directly.
+    pub fn settle(&mut self, estimate: Duration, actual: Duration) {
+        // Reverse exactly what `charge(estimate)` added (same floored
+        // fixed-point term), then add what `charge(actual)` would have —
+        // so settling is rounding-identical to a direct charge.
+        let est = estimate.as_nanos() as u64;
+        let act = actual.as_nanos() as u64;
+        self.round_spent_ns = self.round_spent_ns.saturating_sub(est).saturating_add(act);
+        self.vtime = self
+            .vtime
+            .saturating_sub(u128::from(est) * VTIME_SCALE / u128::from(self.weight))
+            .saturating_add(u128::from(act) * VTIME_SCALE / u128::from(self.weight));
+    }
+
     /// The long-run virtual time (scaled weighted cost).
     pub fn vtime(&self) -> u128 {
         self.vtime
@@ -162,6 +182,23 @@ mod tests {
         t.start_round(Duration::from_millis(10));
         assert!(t.can_afford(Duration::from_millis(1)));
         assert_eq!(t.vtime(), v);
+    }
+
+    #[test]
+    fn settle_reconciles_estimate_to_actual() {
+        let mut estimated = TenantClock::new(3);
+        let mut direct = TenantClock::new(3);
+        estimated.start_round(Duration::from_millis(10));
+        direct.start_round(Duration::from_millis(10));
+        // Overshooting and undershooting estimates both settle to the
+        // exact clock a direct charge would have produced.
+        for (est, act) in [(5u64, 9u64), (8, 2), (1, 1)] {
+            estimated.charge(Duration::from_millis(est));
+            estimated.settle(Duration::from_millis(est), Duration::from_millis(act));
+            direct.charge(Duration::from_millis(act));
+        }
+        assert_eq!(estimated.vtime(), direct.vtime());
+        assert_eq!(estimated.remaining(), direct.remaining());
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //! * [`shed`] — overload walks the degradation ladder (tighter budgets
 //!   for the most expensive work first) instead of dropping work or
 //!   stalling ingest.
-//! * [`service`] — the single-threaded core: admission control with
+//! * [`service`] — the serving core: cross-tenant shared enumeration
+//!   cache, a round executor that schedules serially and executes on a
+//!   worker pool (identical verdicts at any thread count), admission
+//!   control with
 //!   typed refusals, bounded per-subscription notification queues with
 //!   coalescing, panic containment and transient retry per re-check
 //!   (inherited from the monitor), graceful shutdown that flushes the
@@ -46,7 +49,7 @@ pub use net::{install_signal_handlers, serve, NetConfig, NetSummary, ShutdownFla
 pub use registry::{Registry, RegistryRecovery, SubRecord};
 pub use service::{
     Notification, PollSnapshot, RoundReport, ServeConfig, ServeLimits, ServeStats, ServerCore,
-    ServerRecovery, ShutdownReport,
+    ServerRecovery, ShutdownReport, TenantStats,
 };
 pub use shed::{ShedConfig, ShedLevel};
 pub use storm::{run_serve_storm, ServeStormConfig, ServeStormReport};

@@ -365,7 +365,18 @@ fn execute(
                 }
             },
         },
-        Request::Stats => wire::stats_line(&core.stats()),
+        Request::Stats { tenant } => {
+            let stats = core.stats();
+            match tenant {
+                None => wire::stats_line(&stats, None),
+                Some(name) => match core.tenant_stats(&name) {
+                    Some(t) => wire::stats_line(&stats, Some((name.as_str(), &t))),
+                    None => wire::error_line(&crate::error::ServerError::BadRequest(format!(
+                        "unknown tenant {name:?}"
+                    ))),
+                },
+            }
+        }
         Request::Shutdown => {
             core.drain();
             shutdown.request();

@@ -15,6 +15,16 @@
 //! * **fault containment** — each re-check runs under the monitor's
 //!   panic containment and transient-retry policy; a panicking
 //!   constraint yields `Unknown` for its own subscription only.
+//! * **cross-tenant reuse** — all subscriptions share one
+//!   [`SharedEnumCache`] (on by default, [`ServeConfig::shared_cache`]):
+//!   tenants subscribing the same constraint shape pay for one
+//!   enumeration, with hit/miss attribution kept per tenant.
+//! * **parallel rounds** — re-check *execution* fans out across a worker
+//!   pool ([`ServeConfig::round_threads`]) between two serial phases:
+//!   scheduling (fair-share picks and refusals, charged at cost
+//!   estimates) and merging (verdicts, flips, and clock settlement in
+//!   schedule order). Verdicts and notification order are identical at
+//!   any thread count.
 //! * **durability** — events are journaled write-ahead by the session,
 //!   subscriptions by the [`crate::registry::Registry`];
 //!   [`ServerCore::shutdown`] flushes both and persists a snapshot, and
@@ -25,15 +35,18 @@ use crate::error::ServerError;
 use crate::fair::{pick_min_vtime, TenantClock};
 use crate::registry::{Registry, SubRecord};
 use crate::shed::{median_cost, shed_budget, ShedConfig, ShedLevel};
-use bcdb_core::Verdict;
+use bcdb_core::{SharedEnumCache, Verdict};
 use bcdb_governor::ExhaustionReason;
-use bcdb_monitor::{ChainEvent, MonitorConfig, MonitorSession, MonitorStats, RecoveryReport};
+use bcdb_monitor::{
+    ChainEvent, MonitorConfig, MonitorSession, MonitorStats, RecoveryReport, RoundCheck,
+};
 use bcdb_query::parse_denial_constraint;
 use bcdb_storage::{Catalog, ConstraintSet, DiskBackend};
 use bcdb_telemetry::probes;
 use rustc_hash::FxHashMap;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Admission limits.
@@ -75,6 +88,16 @@ pub struct ServeConfig {
     pub min_check: Duration,
     /// Overload thresholds.
     pub shed: ShedConfig,
+    /// Attach a cross-tenant [`SharedEnumCache`] to the session (on by
+    /// default). Subscriptions with identical constraint shapes then
+    /// share one enumeration; `false` restores fully isolated per-check
+    /// reuse, mainly for oracle runs and A/B measurement.
+    pub shared_cache: bool,
+    /// Worker threads for round *execution* (`0` = ask the OS via
+    /// `available_parallelism`). Scheduling and merging stay serial at
+    /// any setting, so verdicts and notification order do not depend on
+    /// this knob.
+    pub round_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -85,6 +108,8 @@ impl Default for ServeConfig {
             envelope: Duration::from_millis(250),
             min_check: Duration::from_micros(200),
             shed: ShedConfig::default(),
+            shared_cache: true,
+            round_threads: 0,
         }
     }
 }
@@ -145,6 +170,8 @@ pub struct RoundReport {
     pub flips: usize,
     /// The shed level this round ran at.
     pub level: ShedLevel,
+    /// Worker threads the execution phase ran on (1 = serial).
+    pub workers: usize,
 }
 
 /// Cumulative service counters.
@@ -170,8 +197,31 @@ pub struct ServeStats {
     pub flips: u64,
     /// Notifications dropped by queue coalescing.
     pub coalesced: u64,
+    /// Checks (or components within checks) answered from the shared
+    /// enumeration cache: component replays plus verdict-memo hits.
+    pub cache_hits: u64,
+    /// Components enumerated fresh during checks.
+    pub cache_misses: u64,
+    /// Cache entries invalidated by chain-event deltas so far.
+    pub cache_invalidations: u64,
     /// The monitor session's own counters.
     pub monitor: MonitorStats,
+}
+
+/// One tenant's slice of the service counters, as surfaced by
+/// [`ServerCore::tenant_stats`] and the wire `stats` request.
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// Live subscriptions owned by the tenant.
+    pub subscriptions: usize,
+    /// Scheduling weight.
+    pub weight: u32,
+    /// Rounds in which the tenant's envelope ran dry.
+    pub exhausted_rounds: u64,
+    /// Shared-cache hits attributed to the tenant's checks.
+    pub cache_hits: u64,
+    /// Fresh enumerations attributed to the tenant's checks.
+    pub cache_misses: u64,
 }
 
 /// What [`ServerCore::recover`] rebuilt.
@@ -220,11 +270,17 @@ struct Tenant {
     subs: usize,
     /// Rounds in which this tenant's envelope ran dry.
     exhausted_rounds: u64,
+    /// Shared-cache hits attributed to this tenant's checks.
+    cache_hits: u64,
+    /// Fresh enumerations attributed to this tenant's checks.
+    cache_misses: u64,
 }
 
-/// The serving core. Single-threaded by design: the network front wraps
-/// it in a mutex, so every state transition is serial and the fairness
-/// accounting is exact.
+/// The serving core. Every *state transition* is serial — the network
+/// front wraps it in a mutex, and a round's scheduling and merge phases
+/// run on the caller's thread, so the fairness accounting is exact. Only
+/// check *execution* inside [`run_round`](ServerCore::run_round) fans
+/// out, over read-only solver forks that cannot touch service state.
 pub struct ServerCore {
     session: MonitorSession,
     catalog: Catalog,
@@ -239,6 +295,9 @@ pub struct ServerCore {
     /// measured from here.
     last_ingest: Option<Instant>,
     draining: bool,
+    /// `invalidated_entries` already folded into `stats` and the
+    /// telemetry probe (the cache's own counter is cumulative).
+    cache_invalidations_seen: u64,
 }
 
 /// Files inside a server store directory.
@@ -276,6 +335,9 @@ impl ServerCore {
     ) -> ServerCore {
         let mut session = MonitorSession::new(catalog.clone(), constraints);
         session.set_config(config.monitor.clone());
+        if config.shared_cache {
+            session.attach_shared_cache(Arc::new(SharedEnumCache::new()));
+        }
         ServerCore {
             session,
             catalog,
@@ -288,6 +350,7 @@ impl ServerCore {
             stats: ServeStats::default(),
             last_ingest: None,
             draining: false,
+            cache_invalidations_seen: 0,
         }
     }
 
@@ -332,6 +395,9 @@ impl ServerCore {
             Box::new(backend),
         )?;
         session.set_config(config.monitor.clone());
+        if config.shared_cache {
+            session.attach_shared_cache(Arc::new(SharedEnumCache::new()));
+        }
         let (registry, reg_rec) =
             Registry::recover(registry_path(&dir)).map_err(bcdb_monitor::MonitorError::from)?;
         let mut core = ServerCore {
@@ -346,6 +412,7 @@ impl ServerCore {
             stats: ServeStats::default(),
             last_ingest: None,
             draining: false,
+            cache_invalidations_seen: 0,
         };
         let mut restored = 0usize;
         let mut rejected = 0usize;
@@ -389,6 +456,8 @@ impl ServerCore {
                 clock: TenantClock::new(rec.weight),
                 subs: 0,
                 exhausted_rounds: 0,
+                cache_hits: 0,
+                cache_misses: 0,
             });
         tenant.clock.join_at(floor);
         tenant.subs += 1;
@@ -489,12 +558,28 @@ impl ServerCore {
         Ok(())
     }
 
-    /// Runs one fair processing round over the dirty backlog. Each pick
-    /// is the minimum-virtual-time tenant with envelope left; its next dirty
-    /// subscription runs under a (possibly shed-tightened) budget clamped
-    /// to the envelope remainder. Tenants whose envelope runs dry have
-    /// their remaining dirty subscriptions refused — surfaced as
-    /// `Unknown`, counted, never silently skipped.
+    /// Runs one fair processing round over the dirty backlog, in three
+    /// phases:
+    ///
+    /// 1. **Schedule** (serial): each pick is the minimum-virtual-time
+    ///    tenant with envelope left; its next dirty subscription gets a
+    ///    (possibly shed-tightened) budget clamped to the envelope
+    ///    remainder, and its clock is charged a cost *estimate* (last
+    ///    observed cost, floored at `min_check`). Tenants whose envelope
+    ///    runs dry have their remaining dirty subscriptions refused —
+    ///    surfaced as `Unknown`, counted, never silently skipped.
+    ///    Charging estimates up front makes every pick and every refusal
+    ///    a function of pre-round state alone.
+    /// 2. **Execute**: the scheduled checks run on up to
+    ///    [`round_threads`](ServeConfig::round_threads) workers over
+    ///    read-only solver forks sharing the enumeration cache.
+    /// 3. **Merge** (serial, schedule order): verdicts are recorded,
+    ///    flips enqueued, per-tenant cache attribution accumulated, and
+    ///    each clock settled from its estimate to the measured cost.
+    ///
+    /// Because scheduling and merging are serial and timing-independent,
+    /// the round's verdicts and notification order are identical at any
+    /// worker count.
     pub fn run_round(&mut self) -> RoundReport {
         let ingest_t = self.last_ingest.take();
         let epoch = self.session.epoch();
@@ -537,7 +622,16 @@ impl ServerCore {
             }
         }
 
-        let mut exhausted: Vec<String> = Vec::new();
+        // Phase 1: schedule.
+        struct Scheduled {
+            id: u64,
+            /// Index into `queues` — the owning tenant.
+            tenant: usize,
+            estimate: Duration,
+            check: RoundCheck,
+        }
+        let min_check = self.config.min_check;
+        let mut schedule: Vec<Scheduled> = Vec::new();
         loop {
             let pick = pick_min_vtime(queues.iter().enumerate().filter_map(|(i, (name, q))| {
                 if q.is_empty() {
@@ -550,13 +644,12 @@ impl ServerCore {
             let (tenant_name, queue) = &mut queues[i];
             let tenant = self.tenants.get_mut(tenant_name).expect("picked tenant");
 
-            if !tenant.clock.can_afford(self.config.min_check) {
+            if !tenant.clock.can_afford(min_check) {
                 // Envelope dry: refuse the tenant's remaining work for
                 // this round, honestly.
                 tenant.exhausted_rounds += 1;
                 probes::SERVER_TENANT_BUDGET_EXHAUSTED.incr();
                 let refused: Vec<u64> = queue.drain(..).collect();
-                exhausted.push(tenant_name.clone());
                 for id in refused {
                     report.refusals += 1;
                     self.stats.refusals += 1;
@@ -583,17 +676,43 @@ impl ServerCore {
             budget.timeout = Some(budget.timeout.map_or(remaining, |t| t.min(remaining)));
 
             let retry = self.config.monitor.retry.for_site(id);
-            let t0 = Instant::now();
-            let cv = self.session.recheck_with(slot, budget, retry);
-            let cost = t0.elapsed();
+            let estimate = Duration::from_nanos(sub.last_cost_ns).max(min_check);
+            tenant.clock.charge(estimate);
+            schedule.push(Scheduled {
+                id,
+                tenant: i,
+                estimate,
+                check: RoundCheck {
+                    slot,
+                    budget,
+                    retry,
+                },
+            });
+        }
+
+        // Phase 2: execute.
+        let workers = self.round_workers(schedule.len());
+        report.workers = workers;
+        probes::SERVER_ROUND_PARALLEL_WORKERS.set(workers as u64);
+        let checks: Vec<RoundCheck> = schedule.iter().map(|s| s.check).collect();
+        let results = self.session.recheck_round(&checks, workers);
+
+        // Phase 3: merge, in schedule order.
+        for (sched, res) in schedule.iter().zip(results) {
             report.checks += 1;
             self.stats.checks += 1;
-
-            let tenant = self.tenants.get_mut(tenant_name).expect("picked tenant");
-            tenant.clock.charge(cost);
-            let sub = self.subs.get_mut(&id).expect("queued sub");
-            sub.last_cost_ns = cost.as_nanos() as u64;
-            let flipped = sub.record_verdict(cv.verdict, cv.degraded_to, epoch);
+            let tenant_name = queues[sched.tenant].0.as_str();
+            let tenant = self.tenants.get_mut(tenant_name).expect("scheduled tenant");
+            tenant.clock.settle(sched.estimate, Duration::from_nanos(res.cost_ns));
+            tenant.cache_hits += res.cache_hits;
+            tenant.cache_misses += res.cache_misses;
+            self.stats.cache_hits += res.cache_hits;
+            self.stats.cache_misses += res.cache_misses;
+            probes::SERVER_CACHE_HITS.add(res.cache_hits);
+            let sub = self.subs.get_mut(&sched.id).expect("scheduled sub");
+            sub.last_cost_ns = res.cost_ns;
+            let flipped =
+                sub.record_verdict(res.verdict.verdict, res.verdict.degraded_to, epoch);
             if flipped {
                 report.flips += 1;
                 self.stats.flips += 1;
@@ -606,9 +725,36 @@ impl ServerCore {
                 );
             }
         }
+        self.sync_cache_invalidations();
 
         self.stats.rounds += 1;
         report
+    }
+
+    /// Worker-thread count for one round's execution phase: the
+    /// configured setting (0 = OS parallelism), never more than the
+    /// number of scheduled checks, never less than 1.
+    fn round_workers(&self, scheduled: usize) -> usize {
+        let configured = match self.config.round_threads {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        configured.clamp(1, scheduled.max(1))
+    }
+
+    /// Folds the shared cache's cumulative invalidation counter into the
+    /// service stats and the telemetry probe, exactly once per entry.
+    fn sync_cache_invalidations(&mut self) {
+        let Some(cache) = self.session.shared_cache() else {
+            return;
+        };
+        let seen = cache.stats().invalidated_entries;
+        let delta = seen.saturating_sub(self.cache_invalidations_seen);
+        if delta > 0 {
+            self.cache_invalidations_seen = seen;
+            self.stats.cache_invalidations += delta;
+            probes::SERVER_CACHE_INVALIDATIONS.add(delta);
+        }
     }
 
     /// Marks a refused subscription `Unknown` without running it. The
@@ -717,6 +863,18 @@ impl ServerCore {
     /// Rounds in which `tenant`'s envelope ran dry.
     pub fn tenant_exhausted_rounds(&self, tenant: &str) -> u64 {
         self.tenants.get(tenant).map_or(0, |t| t.exhausted_rounds)
+    }
+
+    /// One tenant's slice of the service counters, or `None` if the
+    /// tenant has no live subscriptions.
+    pub fn tenant_stats(&self, tenant: &str) -> Option<TenantStats> {
+        self.tenants.get(tenant).map(|t| TenantStats {
+            subscriptions: t.subs,
+            weight: t.clock.weight,
+            exhausted_rounds: t.exhausted_rounds,
+            cache_hits: t.cache_hits,
+            cache_misses: t.cache_misses,
+        })
     }
 
     /// Cumulative counters.

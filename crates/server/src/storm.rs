@@ -124,6 +124,8 @@ impl ServeStormConfig {
                 yellow_backlog: 2_000,
                 red_backlog: 8_000,
             },
+            shared_cache: true,
+            round_threads: 0,
         };
         ServeStormConfig {
             seed,
@@ -206,8 +208,28 @@ pub struct ServeStormReport {
     pub flip_latency_ns: (u64, u64, u64),
     /// Wall-clock milliseconds.
     pub elapsed_ms: u64,
-    /// Cross-tenant divergences vs the single-tenant oracle. Empty on a
-    /// passing run.
+    /// Shared-cache hits across the whole drill (component replays plus
+    /// verdict-memo answers).
+    pub cache_hits: u64,
+    /// Fresh enumerations across the whole drill.
+    pub cache_misses: u64,
+    /// Cache entries invalidated by chain deltas across the drill.
+    pub cache_invalidations: u64,
+    /// Hit ratio of the duplicate-shape measurement cohort: a fresh
+    /// cache-enabled core re-serving the honest fleet (whose constraint
+    /// texts repeat heavily across tenants) over mutating rounds.
+    pub cache_hit_ratio: f64,
+    /// Wall-time ratio of cache-off to cache-on rounds over the same
+    /// duplicate-shape workload (>1 = the shared cache pays).
+    pub cache_speedup: f64,
+    /// Wall-time ratio of 1-thread to K-thread round execution, cache
+    /// off (>1 = the parallel executor pays). On a single-core host K=1
+    /// and this is ~1.0 by construction.
+    pub parallel_speedup: f64,
+    /// The K used for the parallel measurement (OS parallelism).
+    pub round_parallel_workers: usize,
+    /// Cross-tenant divergences vs the single-tenant oracle, plus any
+    /// verdict mismatch between thread counts. Empty on a passing run.
     pub divergences: Vec<String>,
 }
 
@@ -451,6 +473,93 @@ impl Drop for QuietPanicHook {
     }
 }
 
+/// A/B measurement of the reuse machinery over the storm's end state:
+/// fresh in-memory cores serve the honest fleet (a duplicate-shape
+/// cohort — its constraint texts repeat heavily across tenants) through
+/// identical mutating rounds, varying one knob at a time:
+///
+/// * cache **on** vs **off** at 1 thread → `cache_speedup` and the
+///   cohort `cache_hit_ratio`;
+/// * 1 thread vs OS-parallelism threads, cache off → `parallel_speedup`,
+///   with the verdict vectors compared subscription-by-subscription (any
+///   mismatch is a divergence — the round executor must be
+///   thread-count-deterministic).
+///
+/// Envelopes are opened wide so refusals cannot skew the comparison.
+fn measure_reuse(
+    cfg: &ServeStormConfig,
+    ex: &RelationalExport,
+    report: &mut ServeStormReport,
+) -> Result<(), crate::ServerError> {
+    const MEASURE_ROUNDS: usize = 2;
+    let wallets = base_wallets(ex);
+    let build = |shared: bool, threads: usize| -> Result<ServerCore, crate::ServerError> {
+        let mut serve = cfg.serve.clone();
+        serve.shared_cache = shared;
+        serve.round_threads = threads;
+        serve.envelope = Duration::from_secs(10);
+        let mut core =
+            ServerCore::new_in_memory(ex.catalog.clone(), ex.constraints.clone(), serve);
+        core.ingest(&reorg_event(ex, 0))?;
+        for i in 0..cfg.subscriptions {
+            let tenant = format!("t{:03}", i % cfg.tenants);
+            let text = tenant_constraint(i, &wallets);
+            core.subscribe(&tenant, &format!("m{i}"), &text, 1, false)?;
+        }
+        core.run_round(); // settle initial verdicts, unmeasured
+        Ok(core)
+    };
+    // Each measured round is preceded by a full pending-set resync that
+    // dirties every subscription (and bumps the cache generation), so
+    // cache-on rounds win by intra-round sharing, not stale answers.
+    let drive = |core: &mut ServerCore| -> Result<(Duration, Vec<&'static str>), crate::ServerError> {
+        let mut spent = Duration::ZERO;
+        for _ in 0..MEASURE_ROUNDS {
+            core.ingest(&reorg_event(ex, 0))?;
+            let t0 = std::time::Instant::now();
+            core.run_round();
+            spent += t0.elapsed();
+        }
+        let mut verdicts = Vec::new();
+        for id in core.subscription_ids() {
+            verdicts.push(core.poll(id).map_or("?", |s| s.verdict));
+        }
+        Ok((spent, verdicts))
+    };
+
+    let mut cached = build(true, 1)?;
+    let (t_cached, _) = drive(&mut cached)?;
+    let cstats = cached.stats();
+    let looked_up = cstats.cache_hits + cstats.cache_misses;
+    report.cache_hit_ratio = if looked_up == 0 {
+        0.0
+    } else {
+        cstats.cache_hits as f64 / looked_up as f64
+    };
+
+    let mut serial = build(false, 1)?;
+    let (t_serial, v_serial) = drive(&mut serial)?;
+    report.cache_speedup = t_serial.as_secs_f64() / t_cached.as_secs_f64().max(1e-9);
+
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get());
+    report.round_parallel_workers = workers;
+    let mut wide = build(false, workers)?;
+    let (t_wide, v_wide) = drive(&mut wide)?;
+    report.parallel_speedup = t_serial.as_secs_f64() / t_wide.as_secs_f64().max(1e-9);
+    let mismatches = v_serial
+        .iter()
+        .zip(&v_wide)
+        .filter(|(a, b)| a != b)
+        .count();
+    if v_serial.len() != v_wide.len() || mismatches > 0 {
+        report.divergences.push(format!(
+            "thread-count divergence: {mismatches} verdicts differ between 1-thread and \
+             {workers}-thread rounds"
+        ));
+    }
+    Ok(())
+}
+
 /// Runs the storm. The run passed iff [`ServeStormReport::passed`].
 pub fn run_serve_storm(cfg: &ServeStormConfig) -> Result<ServeStormReport, crate::ServerError> {
     let started = std::time::Instant::now();
@@ -470,6 +579,9 @@ pub fn run_serve_storm(cfg: &ServeStormConfig) -> Result<ServeStormReport, crate
     let mut carried_coalesced = 0u64;
     let mut carried_panics = 0u64;
     let mut carried_exhausted = 0u64;
+    let mut carried_cache_hits = 0u64;
+    let mut carried_cache_misses = 0u64;
+    let mut carried_cache_invalidations = 0u64;
 
     // Fresh store.
     let _ = std::fs::remove_dir_all(&cfg.store_dir);
@@ -509,6 +621,9 @@ pub fn run_serve_storm(cfg: &ServeStormConfig) -> Result<ServeStormReport, crate
             carried_coalesced += pre.coalesced;
             carried_panics += pre.monitor.panics_contained;
             carried_exhausted += core.tenant_exhausted_rounds(ADVERSARY);
+            carried_cache_hits += pre.cache_hits;
+            carried_cache_misses += pre.cache_misses;
+            carried_cache_invalidations += pre.cache_invalidations;
             drop(core);
             let (rebuilt, recovery) = ServerCore::recover(
                 ex0.catalog.clone(),
@@ -661,6 +776,13 @@ pub fn run_serve_storm(cfg: &ServeStormConfig) -> Result<ServeStormReport, crate
     report.flips = carried_flips + stats.flips;
     report.coalesced = carried_coalesced + stats.coalesced;
     report.panics_contained = carried_panics + stats.monitor.panics_contained;
+    report.cache_hits = carried_cache_hits + stats.cache_hits;
+    report.cache_misses = carried_cache_misses + stats.cache_misses;
+    report.cache_invalidations = carried_cache_invalidations + stats.cache_invalidations;
+
+    // A/B the reuse machinery over the end state (fresh cores; the main
+    // core's own durable state is untouched).
+    measure_reuse(cfg, &ex, &mut report)?;
 
     // Graceful shutdown at the end — the drill already covered the
     // ungraceful path.
@@ -722,6 +844,15 @@ mod tests {
             report.adversary_exhausted_rounds > 0,
             "adversary envelope must run dry"
         );
+        assert!(
+            report.cache_hits > 0,
+            "duplicate shapes must hit the shared cache"
+        );
+        assert!(
+            report.cache_hit_ratio > 0.0 && report.cache_speedup > 0.0,
+            "measurement phase must run: {report:?}"
+        );
+        assert!(report.round_parallel_workers >= 1);
         assert!(report.passed(), "overall: {report:?}");
     }
 }

@@ -9,18 +9,42 @@
 //!
 //! ```text
 //! → {"op":"subscribe","tenant":"acme","name":"double-spend","constraint":"q() <- ...","weight":2,"notify":true}
-//! ← {"ok":true,"sub":17}
-//! → {"op":"poll","sub":17}
-//! ← {"ok":true,"sub":17,"verdict":"holds","flips":3,"epoch":42}
+//! ← {"v":1,"ok":true,"sub":17}
+//! → {"v":1,"op":"poll","sub":17}
+//! ← {"v":1,"ok":true,"sub":17,"verdict":"holds","flips":3,"epoch":42}
 //! → {"op":"event","payload":"mined <block> ..."}
-//! ← {"ok":true,"epoch":43}
-//! ← {"op":"notify","sub":17,"verdict":"violated","epoch":43}
+//! ← {"v":1,"ok":true,"epoch":43}
+//! ← {"v":1,"op":"notify","sub":17,"verdict":"violated","epoch":43}
 //! ```
+//!
+//! # Versioning
+//!
+//! Frames carry a protocol version in the `"v"` field. Every response
+//! (and pushed notification) states the server's version,
+//! [`PROTOCOL_VERSION`]. Requests *may* declare one: an absent `"v"`
+//! means version 1 (the pre-versioning wire, so old clients keep
+//! working), a matching `"v"` is accepted, and anything else is refused
+//! with the typed [`ServerError::UnsupportedVersion`] (`error` code
+//! `"unsupported_version"`) — never silently misinterpreted. A client
+//! probing a server can therefore send `{"v":2,"op":"stats"}` and
+//! distinguish "server too old" from "request malformed" by the error
+//! code alone.
+//!
+//! The `stats` request optionally scopes to one tenant
+//! (`{"op":"stats","tenant":"acme"}`): the response then carries the
+//! flat `tenant_*` fields — per-tenant cache hit/miss attribution,
+//! envelope-exhaustion rounds, weight — alongside the service-wide
+//! counters. An unknown tenant is a `bad_request` error.
 
 use crate::error::ServerError;
-use crate::service::{Notification, PollSnapshot, ServeStats};
+use crate::service::{Notification, PollSnapshot, ServeStats, TenantStats};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
+
+/// The wire-protocol version this server speaks. Bump only on a change
+/// an existing client could misread; additive response fields are not
+/// that.
+pub const PROTOCOL_VERSION: i64 = 1;
 
 /// A flat JSON scalar.
 #[derive(Clone, Debug, PartialEq)]
@@ -207,8 +231,12 @@ pub enum Request {
         /// `ChainEvent::encode()` payload.
         payload: String,
     },
-    /// Read service counters.
-    Stats,
+    /// Read service counters, optionally scoped to one tenant.
+    Stats {
+        /// When set, the response adds the tenant's own breakdown
+        /// (`tenant_*` fields); unknown tenants are refused.
+        tenant: Option<String>,
+    },
     /// Begin graceful shutdown.
     Shutdown,
 }
@@ -229,9 +257,21 @@ fn get_u64(map: &BTreeMap<String, Scalar>, key: &str) -> Result<u64, ServerError
     }
 }
 
-/// Parses one request line.
+/// Parses one request line. A `"v"` field other than
+/// [`PROTOCOL_VERSION`] (or absent, which means version 1) is refused
+/// before the op is even looked at.
 pub fn parse_request(line: &str) -> Result<Request, ServerError> {
     let map = parse_flat(line).map_err(ServerError::BadRequest)?;
+    match map.get("v") {
+        None => {}
+        Some(Scalar::Num(n)) if *n == PROTOCOL_VERSION => {}
+        Some(Scalar::Num(n)) => {
+            return Err(ServerError::UnsupportedVersion { requested: *n });
+        }
+        Some(_) => {
+            return Err(ServerError::BadRequest("v must be an integer".into()));
+        }
+    }
     let op = get_str(&map, "op")?;
     match op.as_str() {
         "subscribe" => Ok(Request::Subscribe {
@@ -254,7 +294,15 @@ pub fn parse_request(line: &str) -> Result<Request, ServerError> {
         "event" => Ok(Request::Event {
             payload: get_str(&map, "payload")?,
         }),
-        "stats" => Ok(Request::Stats),
+        "stats" => Ok(Request::Stats {
+            tenant: match map.get("tenant") {
+                Some(Scalar::Str(s)) => Some(s.clone()),
+                None => None,
+                Some(_) => {
+                    return Err(ServerError::BadRequest("tenant must be a string".into()))
+                }
+            },
+        }),
         "shutdown" => Ok(Request::Shutdown),
         other => Err(ServerError::BadRequest(format!("unknown op {other:?}"))),
     }
@@ -267,12 +315,14 @@ pub struct Line {
 }
 
 impl Line {
-    /// Opens an object.
+    /// Opens a response frame, stamped with [`PROTOCOL_VERSION`] as its
+    /// first field.
     pub fn new() -> Line {
-        Line {
+        let line = Line {
             buf: "{".to_string(),
             first: true,
-        }
+        };
+        line.num("v", PROTOCOL_VERSION as u64)
     }
     fn key(&mut self, key: &str) {
         if !self.first {
@@ -377,9 +427,10 @@ pub fn notify_line(n: &Notification) -> String {
         .finish()
 }
 
-/// Renders a stats response.
-pub fn stats_line(s: &ServeStats) -> String {
-    Line::new()
+/// Renders a stats response; `tenant` adds one tenant's flat
+/// `tenant_*` breakdown to the service-wide counters.
+pub fn stats_line(s: &ServeStats, tenant: Option<(&str, &TenantStats)>) -> String {
+    let mut line = Line::new()
         .bool("ok", true)
         .num("subscriptions", s.subscriptions as u64)
         .num("tenants", s.tenants as u64)
@@ -391,9 +442,21 @@ pub fn stats_line(s: &ServeStats) -> String {
         .num("sheds", s.sheds)
         .num("flips", s.flips)
         .num("coalesced", s.coalesced)
+        .num("cache_hits", s.cache_hits)
+        .num("cache_misses", s.cache_misses)
+        .num("cache_invalidations", s.cache_invalidations)
         .num("panics_contained", s.monitor.panics_contained)
-        .num("retries", s.monitor.retries)
-        .finish()
+        .num("retries", s.monitor.retries);
+    if let Some((name, t)) = tenant {
+        line = line
+            .str("tenant", name)
+            .num("tenant_subscriptions", t.subscriptions as u64)
+            .num("tenant_weight", u64::from(t.weight))
+            .num("tenant_exhausted_rounds", t.exhausted_rounds)
+            .num("tenant_cache_hits", t.cache_hits)
+            .num("tenant_cache_misses", t.cache_misses);
+    }
+    line.finish()
 }
 
 #[cfg(test)]
@@ -448,6 +511,58 @@ mod tests {
     fn unicode_escape_parses() {
         let parsed = parse_flat("{\"v\":\"\\u0041é\\n\"}").unwrap();
         assert_eq!(parsed["v"], Scalar::Str("Aé\n".to_string()));
+    }
+
+    #[test]
+    fn version_field_is_checked_and_stamped() {
+        // Absent v means version 1; matching v is accepted.
+        assert!(parse_request(r#"{"op":"stats"}"#).is_ok());
+        assert!(parse_request(&format!(r#"{{"v":{PROTOCOL_VERSION},"op":"stats"}}"#)).is_ok());
+        // A future version is a typed refusal, checked before the op.
+        let err = parse_request(r#"{"v":99,"op":"warp"}"#).unwrap_err();
+        assert!(matches!(
+            err,
+            ServerError::UnsupportedVersion { requested: 99 }
+        ));
+        assert_eq!(err.code(), "unsupported_version");
+        let parsed = parse_flat(&error_line(&err)).unwrap();
+        assert_eq!(parsed["error"], Scalar::Str("unsupported_version".into()));
+        // Non-integer v is malformed, not a version mismatch.
+        assert!(matches!(
+            parse_request(r#"{"v":"two","op":"stats"}"#),
+            Err(ServerError::BadRequest(_))
+        ));
+        // Every response frame states the server's version.
+        let line = Line::new().bool("ok", true).finish();
+        assert_eq!(
+            parse_flat(&line).unwrap()["v"],
+            Scalar::Num(PROTOCOL_VERSION)
+        );
+    }
+
+    #[test]
+    fn stats_parses_optional_tenant_scope() {
+        assert_eq!(
+            parse_request(r#"{"op":"stats"}"#).unwrap(),
+            Request::Stats { tenant: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"stats","tenant":"acme"}"#).unwrap(),
+            Request::Stats {
+                tenant: Some("acme".into())
+            }
+        );
+        assert!(parse_request(r#"{"op":"stats","tenant":7}"#).is_err());
+        let tstats = TenantStats {
+            cache_hits: 5,
+            subscriptions: 2,
+            ..TenantStats::default()
+        };
+        let line = stats_line(&ServeStats::default(), Some(("acme", &tstats)));
+        let parsed = parse_flat(&line).unwrap();
+        assert_eq!(parsed["tenant"], Scalar::Str("acme".into()));
+        assert_eq!(parsed["tenant_cache_hits"], Scalar::Num(5));
+        assert_eq!(parsed["tenant_subscriptions"], Scalar::Num(2));
     }
 
     #[test]

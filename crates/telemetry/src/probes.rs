@@ -57,6 +57,10 @@ pub static CORE_PRECHECK_SHORT_CIRCUITS: Counter = Counter::new("core.precheck_s
 pub static CORE_SOLVER_CLIQUE_REUSE: Counter = Counter::new("core.solver.clique_reuse");
 /// Denial constraints submitted through `Solver::check_batch`.
 pub static CORE_SOLVER_BATCH_CONSTRAINTS: Counter = Counter::new("core.solver.batch_constraints");
+/// Checks answered outright from a shared cache's generation-checked
+/// definite-verdict memo (duplicate constraint shapes within one frozen
+/// state).
+pub static CORE_SOLVER_VERDICT_MEMO: Counter = Counter::new("core.solver.verdict_memo");
 
 // ---- bcdb-governor: budgets and degradation ----
 
@@ -102,6 +106,13 @@ pub static SERVER_SHED_TOTAL: Counter = Counter::new("server.shed_total");
 /// other tenants' checks proceed untouched).
 pub static SERVER_TENANT_BUDGET_EXHAUSTED: Counter =
     Counter::new("server.tenant_budget_exhausted");
+/// Per-check reuse answered from the server's shared enumeration cache —
+/// replayed component enumerations plus memoized definite verdicts.
+pub static SERVER_CACHE_HITS: Counter = Counter::new("server.cache_hits");
+/// Shared-cache entries dropped by targeted (delta-driven) invalidation.
+pub static SERVER_CACHE_INVALIDATIONS: Counter = Counter::new("server.cache_invalidations");
+/// Worker threads used by the most recent parallel round execution.
+pub static SERVER_ROUND_PARALLEL_WORKERS: Gauge = Gauge::new("server.round_parallel_workers");
 
 // ---- bcdb-monitor: epochs and the journal ----
 
@@ -132,6 +143,7 @@ pub static COUNTERS: &[&Counter] = &[
     &CORE_PRECHECK_SHORT_CIRCUITS,
     &CORE_SOLVER_CLIQUE_REUSE,
     &CORE_SOLVER_BATCH_CONSTRAINTS,
+    &CORE_SOLVER_VERDICT_MEMO,
     &GOVERNOR_TICKS,
     &GOVERNOR_TUPLES_CHARGED,
     &GOVERNOR_DEGRADATION_TRANSITIONS,
@@ -140,6 +152,8 @@ pub static COUNTERS: &[&Counter] = &[
     &STORAGE_SNAPSHOT_BYTES_WRITTEN,
     &SERVER_SHED_TOTAL,
     &SERVER_TENANT_BUDGET_EXHAUSTED,
+    &SERVER_CACHE_HITS,
+    &SERVER_CACHE_INVALIDATIONS,
 ];
 
 /// Every gauge, in snapshot order.
@@ -148,6 +162,7 @@ pub static GAUGES: &[&Gauge] = &[
     &STORAGE_WAL_TAIL_RECORDS,
     &MONITOR_EPOCH,
     &SERVER_SUBSCRIPTIONS_ACTIVE,
+    &SERVER_ROUND_PARALLEL_WORKERS,
 ];
 
 /// Every histogram, in snapshot order.
